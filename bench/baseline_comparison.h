@@ -1,0 +1,86 @@
+#ifndef RELM_BENCH_BASELINE_COMPARISON_H_
+#define RELM_BENCH_BASELINE_COMPARISON_H_
+
+// Shared end-to-end baseline-comparison runner behind Figures 7-11:
+// for each scenario x data shape, measures the four static baselines
+// (B-SS, B-LS, B-SL, B-LL) and the optimizer's configuration (Opt) on
+// the cluster simulator, reporting elapsed times and the configuration
+// Opt chose (Table 2).
+
+#include <algorithm>
+#include <functional>
+
+#include "bench_common.h"
+
+namespace relm {
+namespace bench {
+
+struct ComparisonOptions {
+  /// Scenarios to include (names from Scenarios()).
+  std::vector<std::string> scenarios = {"XS", "S", "M", "L"};
+  /// Oracle factory per (rows) for data-dependent sizes; may be null.
+  std::function<SymbolMap(int64_t rows)> oracle;
+  /// Enable runtime adaptation during the Opt run (Figure 15 uses this).
+  bool adaptation = false;
+};
+
+inline void RunBaselineComparison(const std::string& script,
+                                  const ComparisonOptions& options) {
+  double max_speedup = 1.0;
+  std::printf("%-4s %-10s %10s %10s %10s %10s %10s   %s\n", "scen",
+              "shape", "B-SS", "B-LS", "B-SL", "B-LL", "Opt",
+              "Opt config (CP/maxMR)");
+  for (const Scenario& scenario : Scenarios()) {
+    if (std::find(options.scenarios.begin(), options.scenarios.end(),
+                  scenario.name) == options.scenarios.end()) {
+      continue;
+    }
+    for (const Shape& shape : Shapes()) {
+      RelmSystem sys;
+      RegisterData(&sys, scenario.cells, shape.cols, shape.sparsity);
+      auto prog = MustCompile(&sys, script);
+      int64_t rows = scenario.cells / shape.cols;
+      SymbolMap oracle =
+          options.oracle ? options.oracle(rows) : SymbolMap{};
+
+      std::printf("%-4s %-10s", scenario.name, shape.name);
+      double worst = 0.0;
+      for (const auto& baseline : sys.StaticBaselines()) {
+        SimResult run = MeasureClone(&sys, *prog, baseline.config, {},
+                                     oracle);
+        worst = std::max(worst, run.elapsed_seconds);
+        std::printf(" %9.1fs", run.elapsed_seconds);
+      }
+      OptimizerStats stats;
+      auto config = sys.OptimizeResources(prog.get(), &stats);
+      if (!config.ok()) {
+        std::printf("  optimizer error: %s\n",
+                    config.status().ToString().c_str());
+        continue;
+      }
+      SimOptions opts;
+      opts.enable_adaptation = options.adaptation;
+      SimResult opt_run = MeasureClone(&sys, *prog, *config, opts, oracle);
+      // Include the optimization overhead in Opt's elapsed time (the
+      // paper reports end-to-end client elapsed time).
+      double opt_elapsed = opt_run.elapsed_seconds +
+                           stats.opt_time_seconds;
+      max_speedup = std::max(max_speedup, worst / opt_elapsed);
+      std::printf(" %9.1fs   %s/%s", opt_elapsed,
+                  FormatBytes(config->cp_heap).c_str(),
+                  FormatBytes(config->MaxMrHeap()).c_str());
+      if (opt_run.migrations > 0) {
+        std::printf(" (%d migration%s)", opt_run.migrations,
+                    opt_run.migrations > 1 ? "s" : "");
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\nmax speedup of Opt over the worst static baseline: "
+              "%.1fx\n", max_speedup);
+}
+
+}  // namespace bench
+}  // namespace relm
+
+#endif  // RELM_BENCH_BASELINE_COMPARISON_H_

@@ -1,0 +1,130 @@
+#ifndef RELM_BENCH_BENCH_COMMON_H_
+#define RELM_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the experiment harnesses that regenerate the
+// paper's tables and figures. Each bench binary prints the same rows /
+// series the paper reports; absolute numbers come from the cluster
+// simulator, so the shapes (who wins, by what factor, where crossovers
+// fall) are the reproduction target, not the exact values.
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/relm_system.h"
+
+namespace relm {
+namespace bench {
+
+/// Data scenarios of Section 5.1: XS..XL total cells, with 1000 or 100
+/// columns and dense (1.0) or sparse (0.01) data.
+struct Scenario {
+  const char* name;   // "XS".."XL"
+  int64_t cells;
+};
+
+inline const std::vector<Scenario>& Scenarios() {
+  static const std::vector<Scenario> kScenarios = {
+      {"XS", 10000000LL},      // 80 MB dense
+      {"S", 100000000LL},      // 800 MB
+      {"M", 1000000000LL},     // 8 GB
+      {"L", 10000000000LL},    // 80 GB
+      {"XL", 100000000000LL},  // 800 GB
+  };
+  return kScenarios;
+}
+
+/// The four data shapes of Figures 7-11.
+struct Shape {
+  const char* name;
+  int64_t cols;
+  double sparsity;
+};
+
+inline const std::vector<Shape>& Shapes() {
+  static const std::vector<Shape> kShapes = {
+      {"dense1000", 1000, 1.0},
+      {"sparse1000", 1000, 0.01},
+      {"dense100", 100, 1.0},
+      {"sparse100", 100, 0.01},
+  };
+  return kShapes;
+}
+
+inline std::string ScriptPath(const std::string& name) {
+  return std::string(RELM_SCRIPTS_DIR) + "/" + name;
+}
+
+inline ScriptArgs DefaultArgs() {
+  return ScriptArgs{{"X", "/data/X"}, {"Y", "/data/y"},
+                    {"B", "/out/B"},  {"model", "/out/w"}};
+}
+
+/// Registers the scenario's X / y metadata on a fresh system.
+inline void RegisterData(RelmSystem* sys, int64_t cells, int64_t cols,
+                         double sparsity) {
+  int64_t rows = cells / cols;
+  sys->hdfs().PutMetadata("/data/X", MatrixCharacteristics::WithSparsity(
+                                         rows, cols, sparsity));
+  sys->hdfs().PutMetadata("/data/y",
+                          MatrixCharacteristics::Dense(rows, 1));
+}
+
+/// Oracle entry for mlogreg's table() output with k classes.
+inline SymbolMap MlogregOracle(int64_t rows, int64_t k) {
+  SymbolMap oracle;
+  SymbolInfo info;
+  info.dtype = DataType::kMatrix;
+  info.mc = MatrixCharacteristics(rows, k, rows);
+  oracle["Y"] = info;
+  return oracle;
+}
+
+/// Measured execution of a pristine clone under `config`.
+inline SimResult MeasureClone(RelmSystem* sys, const MlProgram& prog,
+                              const ResourceConfig& config,
+                              const SimOptions& opts = SimOptions(),
+                              const SymbolMap& oracle = {}) {
+  auto clone = prog.Clone();
+  if (!clone.ok()) {
+    std::fprintf(stderr, "clone failed: %s\n",
+                 clone.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto run = sys->Simulate(clone->get(), config, opts, oracle);
+  if (!run.ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n",
+                 run.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *run;
+}
+
+/// Loads + compiles a script for the current system, exiting on error.
+inline std::unique_ptr<MlProgram> MustCompile(RelmSystem* sys,
+                                              const std::string& script,
+                                              ScriptArgs args =
+                                                  DefaultArgs()) {
+  auto prog = sys->CompileFile(ScriptPath(script), args);
+  if (!prog.ok()) {
+    std::fprintf(stderr, "compile failed for %s: %s\n", script.c_str(),
+                 prog.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(*prog);
+}
+
+/// Prints a standard header naming the experiment.
+inline void PrintHeader(const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace relm
+
+#endif  // RELM_BENCH_BENCH_COMMON_H_

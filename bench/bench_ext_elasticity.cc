@@ -1,0 +1,93 @@
+// Extensions beyond the paper's evaluation (its Sections 2.3 and 6
+// discussion items), exercised end to end:
+//   (a) offer-based allocation (Mesos-style): optimize over a fixed menu
+//       of offered CP containers;
+//   (b) CP cores as an additional resource dimension;
+//   (c) cluster-utilization-based adaptation: fall back toward
+//       single-node in-memory execution when the cluster gets loaded.
+
+#include "bench_common.h"
+
+using namespace relm;         // NOLINT
+using namespace relm::bench;  // NOLINT
+
+int main() {
+  PrintHeader("Extensions: offers, CP cores, utilization adaptation");
+
+  // (a) offer-based allocation, LinregCG 8GB.
+  {
+    RelmSystem sys;
+    RegisterData(&sys, 1000000000LL, 1000, 1.0);
+    auto prog = MustCompile(&sys, "linreg_cg.dml");
+    ResourceOptimizer opt(sys.cluster(), OptimizerOptions{});
+    std::printf("\n(a) offer-based allocation (LinregCG, 8GB dense)\n");
+    std::printf("%-34s %-12s %10s\n", "offers", "chosen CP", "est [s]");
+    struct OfferSet {
+      const char* label;
+      std::vector<int64_t> offers;
+    };
+    for (const OfferSet& set : std::vector<OfferSet>{
+             {"{1GB, 4GB, 16GB}", {1 * kGB, 4 * kGB, 16 * kGB}},
+             {"{1GB, 2GB} (none fits X)", {1 * kGB, 2 * kGB}},
+             {"{32GB} (over-sized)", {32 * kGB}}}) {
+      auto cfg = opt.OptimizeForOffers(prog.get(), set.offers);
+      if (!cfg.ok()) {
+        std::printf("%-34s %s\n", set.label,
+                    cfg.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%-34s %-12s %10.1f\n", set.label,
+                  FormatBytes(cfg->cp_heap).c_str(),
+                  *sys.EstimateCost(prog.get(), *cfg));
+    }
+  }
+
+  // (b) CP cores dimension, LinregDS forced local vs distributed.
+  {
+    RelmSystem sys;
+    RegisterData(&sys, 1000000000LL, 1000, 1.0);
+    auto prog = MustCompile(&sys, "linreg_ds.dml");
+    std::printf("\n(b) CP cores (LinregDS, 8GB dense, max CP heap)\n");
+    std::printf("%8s %12s %14s\n", "cores", "est [s]", "budget");
+    int64_t heap = sys.cluster().MaxHeapSize();
+    for (int cores : {1, 2, 4, 8, 12}) {
+      ResourceConfig rc(heap, 4 * kGB, cores);
+      std::printf("%8d %12.1f %14s\n", cores,
+                  *sys.EstimateCost(prog.get(), rc),
+                  FormatBytes(rc.CpBudget()).c_str());
+    }
+    OptimizerOptions multi;
+    multi.cp_core_options = {1, 2, 4, 8, 12};
+    ResourceOptimizer opt(sys.cluster(), multi);
+    auto best = opt.Optimize(prog.get());
+    if (best.ok()) {
+      std::printf("3-dim optimizer choice: %s + %d core(s), est %.1fs\n",
+                  best->ToString().c_str(), best->cp_cores,
+                  *sys.EstimateCost(prog.get(), *best));
+    }
+  }
+
+  // (c) utilization-triggered adaptation, L2SVM 8GB from B-SL.
+  {
+    RelmSystem sys;
+    RegisterData(&sys, 1000000000LL, 1000, 1.0);
+    auto prog = MustCompile(&sys, "l2svm.dml");
+    ResourceConfig bsl(512 * kMB, GigaBytes(4.4));
+    std::printf("\n(c) cluster load jumps to 95%% at t=20s "
+                "(L2SVM, 8GB dense, started on B-SL)\n");
+    for (bool adapt : {false, true}) {
+      SimOptions opts;
+      opts.noise = 0;
+      opts.load_change_at_seconds = 20.0;
+      opts.new_cluster_load = 0.95;
+      opts.enable_adaptation = adapt;
+      SimResult run = MeasureClone(&sys, *prog, bsl, opts);
+      std::printf("  adaptation %-8s elapsed %8.1fs  reopts=%d "
+                  "migrations=%d final=%s\n",
+                  adapt ? "ENABLED" : "off", run.elapsed_seconds,
+                  run.reoptimizations, run.migrations,
+                  run.final_config.ToString().c_str());
+    }
+  }
+  return 0;
+}

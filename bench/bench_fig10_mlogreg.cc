@@ -1,0 +1,18 @@
+// Figure 10: end-to-end baseline comparison for MLogreg on scenarios
+// XS-L. The table() indicator matrix (k=5 classes here) is unknown
+// during initial compilation, so initial resource optimization is
+// systematically misled in the core loops — the paper's motivation for
+// runtime adaptation (Figure 15 re-runs this with adaptation enabled).
+
+#include "baseline_comparison.h"
+
+using namespace relm;         // NOLINT
+using namespace relm::bench;  // NOLINT
+
+int main() {
+  PrintHeader("Figure 10: MLogreg vs static baselines, XS-L (k=5)");
+  ComparisonOptions options;
+  options.oracle = [](int64_t rows) { return MlogregOracle(rows, 5); };
+  RunBaselineComparison("mlogreg.dml", options);
+  return 0;
+}

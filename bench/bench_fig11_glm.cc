@@ -1,0 +1,14 @@
+// Figure 11: end-to-end baseline comparison for GLM (Poisson/log) on
+// scenarios XS-L. GLM's unknowns come from UDF outputs; sizes become
+// derivable at runtime via dynamic recompilation of the function bodies.
+
+#include "baseline_comparison.h"
+
+using namespace relm;         // NOLINT
+using namespace relm::bench;  // NOLINT
+
+int main() {
+  PrintHeader("Figure 11: GLM vs static baselines, XS-L");
+  RunBaselineComparison("glm.dml", ComparisonOptions{});
+  return 0;
+}

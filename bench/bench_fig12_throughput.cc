@@ -1,0 +1,63 @@
+// Figure 12: end-to-end throughput comparison Opt vs B-LL with 1..128
+// concurrent users (8 applications each). Expected shape: identical up
+// to ~4 users; from 8 users on, B-LL saturates at 6 concurrent 80 GB AM
+// containers while Opt's right-sized containers admit 36+ applications,
+// for multi-x throughput gains.
+
+#include "bench_common.h"
+#include "mrsim/throughput.h"
+
+using namespace relm;         // NOLINT
+using namespace relm::bench;  // NOLINT
+
+namespace {
+
+void RunWorkload(const char* label, const char* script, int64_t cells,
+                 int64_t cols, double sparsity) {
+  RelmSystem sys;
+  RegisterData(&sys, cells, cols, sparsity);
+  auto prog = MustCompile(&sys, script);
+  auto config = sys.OptimizeResources(prog.get());
+  if (!config.ok()) {
+    std::printf("optimizer error\n");
+    return;
+  }
+  ResourceConfig bll = sys.StaticBaselines().back().config;
+  double solo_opt =
+      MeasureClone(&sys, *prog, *config).elapsed_seconds;
+  double solo_bll = MeasureClone(&sys, *prog, bll).elapsed_seconds;
+  const ClusterConfig& cc = sys.cluster();
+  int64_t c_opt = cc.ContainerRequestForHeap(config->cp_heap);
+  int64_t c_bll = cc.ContainerRequestForHeap(bll.cp_heap);
+
+  std::printf("\n%s: Opt=%s (AM %s, solo %.1fs), B-LL (AM %s, solo %.1fs)\n",
+              label, config->ToString().c_str(),
+              FormatBytes(c_opt).c_str(), solo_opt,
+              FormatBytes(c_bll).c_str(), solo_bll);
+  std::printf("%8s %14s %14s %10s %12s %12s\n", "#users", "Opt[app/min]",
+              "B-LL[app/min]", "speedup", "Opt#conc", "B-LL#conc");
+  double best_speedup = 0;
+  for (int users : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    auto t_opt = SimulateThroughput(cc, c_opt, solo_opt, users);
+    auto t_bll = SimulateThroughput(cc, c_bll, solo_bll, users);
+    double speedup = t_opt.apps_per_minute / t_bll.apps_per_minute;
+    best_speedup = std::max(best_speedup, speedup);
+    std::printf("%8d %14.1f %14.1f %9.1fx %12d %12d\n", users,
+                t_opt.apps_per_minute, t_bll.apps_per_minute, speedup,
+                t_opt.max_concurrent, t_bll.max_concurrent);
+  }
+  std::printf("peak speedup: %.1fx\n", best_speedup);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 12: end-to-end throughput, Opt vs B-LL");
+  // (a) LinregDS, scenario S, dense1000 (800 MB).
+  RunWorkload("(a) LinregDS, S dense1000", "linreg_ds.dml", 100000000LL,
+              1000, 1.0);
+  // (b) L2SVM, scenario M, sparse100 (8 GB cells, 1% sparse).
+  RunWorkload("(b) L2SVM, M sparse100", "l2svm.dml", 1000000000LL, 100,
+              0.01);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 13: number of generated grid points per generator strategy as a
+// function of data size, for base grids of m=15 and m=45 (LinregDS,
+// dense1000). Expected shape: Equi is constant (m points), Exp is
+// logarithmic and data-independent, Mem depends on the input data and
+// needs few points (one at XS where every estimate is below mincc),
+// Hybrid adapts while keeping systematic coverage.
+
+#include "bench_common.h"
+#include "core/grid_generators.h"
+
+using namespace relm;         // NOLINT
+using namespace relm::bench;  // NOLINT
+
+int main() {
+  PrintHeader("Figure 13: grid point generation strategies");
+  for (int m : {15, 45}) {
+    std::printf("\nbase grid m=%d (LinregDS, dense1000)\n", m);
+    std::printf("%-5s %10s %8s %8s %8s %8s\n", "scen", "data", "Equi",
+                "Exp", "Mem", "Hybrid");
+    for (const Scenario& scenario : Scenarios()) {
+      RelmSystem sys;
+      RegisterData(&sys, scenario.cells, 1000, 1.0);
+      auto prog = MustCompile(&sys, "linreg_ds.dml");
+      const ClusterConfig& cc = sys.cluster();
+      auto count = [&](GridType type) {
+        return EnumGridPoints(prog.get(), cc, type, m).size();
+      };
+      std::printf("%-5s %10s %8zu %8zu %8zu %8zu\n", scenario.name,
+                  FormatBytes(scenario.cells * 8).c_str(),
+                  count(GridType::kEquiSpaced),
+                  count(GridType::kExpSpaced),
+                  count(GridType::kMemBased), count(GridType::kHybrid));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 14: percentage of program blocks remaining after pruning, per
+// ML program and data scenario (dense, 1000 columns). Expected shape:
+// 0% for small data (everything fits in CP under any config), growing
+// with data size; pruning of all-unknown blocks keeps MLogreg/GLM from
+// carrying a constant offset of unprunable blocks.
+
+#include "bench_common.h"
+#include "core/resource_optimizer.h"
+
+using namespace relm;         // NOLINT
+using namespace relm::bench;  // NOLINT
+
+int main() {
+  PrintHeader("Figure 14: effect of block pruning");
+  std::printf("%-10s %8s", "Prog.", "|B|");
+  for (const Scenario& scenario : Scenarios()) {
+    std::printf(" %7s", scenario.name);
+  }
+  std::printf("   (remaining blocks after pruning [%%])\n");
+  for (const char* script :
+       {"linreg_ds.dml", "linreg_cg.dml", "l2svm.dml", "mlogreg.dml",
+        "glm.dml"}) {
+    int total = 0;
+    std::vector<double> remaining;
+    for (const Scenario& scenario : Scenarios()) {
+      RelmSystem sys;
+      RegisterData(&sys, scenario.cells, 1000, 1.0);
+      auto prog = MustCompile(&sys, script);
+      OptimizerStats stats;
+      ResourceOptimizer opt(sys.cluster(), OptimizerOptions{});
+      auto cfg = opt.Optimize(prog.get(), &stats);
+      if (!cfg.ok()) {
+        remaining.push_back(-1);
+        continue;
+      }
+      total = stats.total_generic_blocks;
+      remaining.push_back(100.0 * stats.remaining_blocks_after_pruning /
+                          std::max(1, stats.total_generic_blocks));
+    }
+    std::printf("%-10s %8d", script, total);
+    for (double r : remaining) std::printf(" %6.1f%%", r);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 15: end-to-end baseline comparison with runtime plan adaptation
+// for the two ML programs with initial unknowns (MLogreg with k=2
+// classes, GLM), on scenarios S and M across all shapes. Columns:
+//   B-LL  — large static baseline,
+//   Opt   — initial resource optimization only,
+//   ReOpt — initial optimization + runtime re-optimization/migration.
+// Expected shape: ReOpt recovers (near) best-baseline performance with
+// at most two migrations, and never hurts when no adaptation is needed.
+
+#include <functional>
+
+#include "bench_common.h"
+
+using namespace relm;         // NOLINT
+using namespace relm::bench;  // NOLINT
+
+namespace {
+
+void RunProgram(const char* label, const char* script,
+                std::function<SymbolMap(int64_t)> oracle_fn) {
+  std::printf("\n%s\n", label);
+  std::printf("%-4s %-10s %10s %10s %10s %6s\n", "scen", "shape", "B-LL",
+              "Opt", "ReOpt", "#migr");
+  for (const Scenario& scenario : Scenarios()) {
+    if (std::string(scenario.name) != "S" &&
+        std::string(scenario.name) != "M") {
+      continue;
+    }
+    for (const Shape& shape : Shapes()) {
+      RelmSystem sys;
+      RegisterData(&sys, scenario.cells, shape.cols, shape.sparsity);
+      auto prog = MustCompile(&sys, script);
+      int64_t rows = scenario.cells / shape.cols;
+      SymbolMap oracle = oracle_fn ? oracle_fn(rows) : SymbolMap{};
+
+      ResourceConfig bll = sys.StaticBaselines().back().config;
+      double t_bll =
+          MeasureClone(&sys, *prog, bll, {}, oracle).elapsed_seconds;
+
+      OptimizerStats stats;
+      auto config = sys.OptimizeResources(prog.get(), &stats);
+      if (!config.ok()) continue;
+      double t_opt = MeasureClone(&sys, *prog, *config, {}, oracle)
+                         .elapsed_seconds +
+                     stats.opt_time_seconds;
+
+      SimOptions adapt;
+      adapt.enable_adaptation = true;
+      SimResult reopt = MeasureClone(&sys, *prog, *config, adapt, oracle);
+      double t_reopt = reopt.elapsed_seconds + stats.opt_time_seconds;
+
+      std::printf("%-4s %-10s %9.1fs %9.1fs %9.1fs %6d\n", scenario.name,
+                  shape.name, t_bll, t_opt, t_reopt, reopt.migrations);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 15: runtime plan adaptation (Opt vs ReOpt)");
+  RunProgram("MLogreg (k=2 classes)", "mlogreg.dml",
+             [](int64_t rows) { return MlogregOracle(rows, 2); });
+  RunProgram("GLM (Poisson/log)", "glm.dml", nullptr);
+  return 0;
+}

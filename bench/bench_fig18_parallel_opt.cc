@@ -1,0 +1,69 @@
+// Figure 18 (Appendix C): parallel resource optimization for GLM.
+// (a) Equi grid m=45, dense1000 L: optimization time vs worker threads
+//     (1 thread already beats serial thanks to pipelining).
+// (b) Hybrid default grid: serial vs parallel across scenarios XS-L.
+// Note: on a single-core host the wall-clock speedup is limited to the
+// pipelining effect; the worker decomposition itself is still exercised.
+
+#include "bench_common.h"
+#include "core/resource_optimizer.h"
+
+using namespace relm;         // NOLINT
+using namespace relm::bench;  // NOLINT
+
+namespace {
+
+double OptimizeTime(RelmSystem* sys, MlProgram* prog,
+                    const OptimizerOptions& options) {
+  OptimizerStats stats;
+  ResourceOptimizer opt(sys->cluster(), options);
+  auto cfg = opt.Optimize(prog, &stats);
+  if (!cfg.ok()) return -1;
+  return stats.opt_time_seconds;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 18: parallel resource optimizer (GLM)");
+
+  // (a) Equi m=45, scenario L dense1000, thread sweep.
+  {
+    RelmSystem sys;
+    RegisterData(&sys, 10000000000LL, 1000, 1.0);
+    auto prog = MustCompile(&sys, "glm.dml");
+    OptimizerOptions serial;
+    serial.cp_grid = GridType::kEquiSpaced;
+    serial.mr_grid = GridType::kEquiSpaced;
+    serial.grid_points = 45;
+    double t_serial = OptimizeTime(&sys, prog.get(), serial);
+    std::printf("\n(a) Equi m=45, dense1000 L\n");
+    std::printf("%10s %12s %10s\n", "threads", "time [s]", "speedup");
+    std::printf("%10s %12.3f %10s\n", "serial", t_serial, "1.0x");
+    for (int threads : {1, 2, 4, 8, 16}) {
+      OptimizerOptions parallel = serial;
+      parallel.num_threads = threads;
+      double t = OptimizeTime(&sys, prog.get(), parallel);
+      std::printf("%10d %12.3f %9.1fx\n", threads, t, t_serial / t);
+    }
+  }
+
+  // (b) Hybrid default, all scenarios, serial vs 4 workers.
+  {
+    std::printf("\n(b) Hybrid grid, serial vs parallel (4 workers)\n");
+    std::printf("%-5s %12s %12s\n", "scen", "serial [s]", "parallel [s]");
+    for (const Scenario& scenario : Scenarios()) {
+      if (std::string(scenario.name) == "XL") continue;
+      RelmSystem sys;
+      RegisterData(&sys, scenario.cells, 1000, 1.0);
+      auto prog = MustCompile(&sys, "glm.dml");
+      double t_serial = OptimizeTime(&sys, prog.get(), {});
+      OptimizerOptions parallel;
+      parallel.num_threads = 4;
+      double t_parallel = OptimizeTime(&sys, prog.get(), parallel);
+      std::printf("%-5s %12.3f %12.3f\n", scenario.name, t_serial,
+                  t_parallel);
+    }
+  }
+  return 0;
+}

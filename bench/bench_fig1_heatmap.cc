@@ -1,0 +1,39 @@
+// Figure 1: estimated runtime [s] of the two linear-regression scripts
+// under different control-program (CP) and MapReduce (MR) memory
+// configurations, for X of 8 GB (1e6 x 1000 dense) and y of 8 MB.
+// Expected shape: Linreg DS prefers a massively parallel plan with small
+// CP memory; the iterative Linreg CG prefers a large CP memory that
+// keeps X resident across iterations.
+
+#include "bench_common.h"
+
+using namespace relm;         // NOLINT
+using namespace relm::bench;  // NOLINT
+
+int main() {
+  PrintHeader("Figure 1: estimated runtime heatmap, CP x MR memory");
+  const std::vector<double> grid_gb = {1, 2,  4,  6,  8, 10,
+                                       12, 14, 16, 18, 20};
+  for (const char* script : {"linreg_ds.dml", "linreg_cg.dml"}) {
+    RelmSystem sys;
+    RegisterData(&sys, 1000000000LL, 1000, 1.0);  // 8GB dense X
+    auto prog = MustCompile(&sys, script);
+    std::printf("\n%s, X(8GB)/y(8MB): estimated runtime [s]\n", script);
+    std::printf("%8s", "CP\\MR");
+    for (double mr : grid_gb) std::printf("%8.0fG", mr);
+    std::printf("\n");
+    for (double cp : grid_gb) {
+      std::printf("%7.0fG", cp);
+      for (double mr : grid_gb) {
+        ResourceConfig rc(GigaBytes(cp), GigaBytes(mr));
+        auto cost = sys.EstimateCost(prog.get(), rc);
+        std::printf("%9.0f", *cost);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\nExpected: DS cheapest at small CP (distributed plan); CG cheapest"
+      "\nat CP >= ~12GB (X stays in memory across iterations).\n");
+  return 0;
+}

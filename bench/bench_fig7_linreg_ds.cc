@@ -1,0 +1,20 @@
+// Figure 7 + Table 2: end-to-end baseline comparison for LinregDS on
+// scenarios XS-XL across all four data shapes. Expected shape: no single
+// static baseline wins everywhere (small CP wins at M+ for dense1000,
+// in-memory wins for sparse shapes), and Opt tracks the best baseline
+// while choosing small resources. The Opt config column reproduces
+// Table 2.
+
+#include "baseline_comparison.h"
+
+using namespace relm;         // NOLINT
+using namespace relm::bench;  // NOLINT
+
+int main() {
+  PrintHeader(
+      "Figure 7 / Table 2: LinregDS vs static baselines, XS-XL");
+  ComparisonOptions options;
+  options.scenarios = {"XS", "S", "M", "L", "XL"};
+  RunBaselineComparison("linreg_ds.dml", options);
+  return 0;
+}

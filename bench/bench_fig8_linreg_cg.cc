@@ -1,0 +1,15 @@
+// Figure 8: end-to-end baseline comparison for LinregCG on scenarios
+// XS-L. Expected shape: a large CP memory wins from S/M upward (the
+// input is read once and the CG iterations run in memory), so B-LS/B-LL
+// beat B-SS/B-SL; Opt matches the winners with a right-sized CP heap.
+
+#include "baseline_comparison.h"
+
+using namespace relm;         // NOLINT
+using namespace relm::bench;  // NOLINT
+
+int main() {
+  PrintHeader("Figure 8: LinregCG vs static baselines, XS-L");
+  RunBaselineComparison("linreg_cg.dml", ComparisonOptions{});
+  return 0;
+}

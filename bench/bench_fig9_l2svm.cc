@@ -1,0 +1,15 @@
+// Figure 9: end-to-end baseline comparison for L2SVM on scenarios XS-L.
+// Expected shape: like LinregCG, the nested-loop iterative script favors
+// a CP memory large enough to keep X resident; Opt finds it without
+// over-provisioning.
+
+#include "baseline_comparison.h"
+
+using namespace relm;         // NOLINT
+using namespace relm::bench;  // NOLINT
+
+int main() {
+  PrintHeader("Figure 9: L2SVM vs static baselines, XS-L");
+  RunBaselineComparison("l2svm.dml", ComparisonOptions{});
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Micro-benchmarks (google-benchmark) for the optimizer's hot paths and
+// the ablations called out in DESIGN.md: grid generation strategies,
+// per-block recompilation, runtime-plan costing, dynamic recompilation,
+// and full optimization with/without pruning and across grid types.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/grid_generators.h"
+#include "core/resource_optimizer.h"
+#include "lops/compiler_backend.h"
+
+namespace relm {
+namespace bench {
+namespace {
+
+struct Fixture {
+  Fixture(const char* script, int64_t cells, int64_t cols) {
+    RegisterData(&sys, cells, cols, 1.0);
+    prog = MustCompile(&sys, script);
+  }
+  RelmSystem sys;
+  std::unique_ptr<MlProgram> prog;
+};
+
+Fixture& L2svmM() {
+  static Fixture* f = new Fixture("l2svm.dml", 1000000000LL, 1000);
+  return *f;
+}
+
+Fixture& GlmM() {
+  static Fixture* f = new Fixture("glm.dml", 1000000000LL, 1000);
+  return *f;
+}
+
+void BM_GridGeneration(benchmark::State& state) {
+  Fixture& f = L2svmM();
+  GridType type = static_cast<GridType>(state.range(0));
+  for (auto _ : state) {
+    auto points = EnumGridPoints(f.prog.get(), f.sys.cluster(), type, 15);
+    benchmark::DoNotOptimize(points);
+  }
+  state.SetLabel(GridTypeName(type));
+}
+BENCHMARK(BM_GridGeneration)->DenseRange(0, 3);
+
+void BM_ProgramCompile(benchmark::State& state) {
+  Fixture& f = L2svmM();
+  ResourceConfig rc(2 * kGB, 2 * kGB);
+  for (auto _ : state) {
+    CompileCounters counters;
+    auto rp = GenerateRuntimeProgram(f.prog.get(), f.sys.cluster(), rc,
+                                     &counters);
+    benchmark::DoNotOptimize(rp);
+  }
+}
+BENCHMARK(BM_ProgramCompile);
+
+void BM_BlockRecompile(benchmark::State& state) {
+  Fixture& f = L2svmM();
+  ResourceConfig rc(2 * kGB, 2 * kGB);
+  StatementBlock* block = f.prog->GenericBlocks().front();
+  for (auto _ : state) {
+    CompileCounters counters;
+    auto rb = CompileBlockPlan(f.prog.get(), f.sys.cluster(), block, rc,
+                               &counters);
+    benchmark::DoNotOptimize(rb);
+  }
+}
+BENCHMARK(BM_BlockRecompile);
+
+void BM_ProgramCosting(benchmark::State& state) {
+  Fixture& f = L2svmM();
+  ResourceConfig rc(2 * kGB, 2 * kGB);
+  CompileCounters counters;
+  auto rp = *GenerateRuntimeProgram(f.prog.get(), f.sys.cluster(), rc,
+                                    &counters);
+  CostModel cm(f.sys.cluster());
+  for (auto _ : state) {
+    double cost = cm.EstimateProgramCost(rp);
+    benchmark::DoNotOptimize(cost);
+  }
+}
+BENCHMARK(BM_ProgramCosting);
+
+void BM_FrontendCompile(benchmark::State& state) {
+  Fixture& f = GlmM();
+  for (auto _ : state) {
+    auto clone = f.prog->Clone();
+    benchmark::DoNotOptimize(clone);
+  }
+}
+BENCHMARK(BM_FrontendCompile);
+
+void BM_DynamicRecompile(benchmark::State& state) {
+  Fixture f("mlogreg.dml", 1000000000LL, 1000);
+  SymbolMap overrides = MlogregOracle(1000000, 5);
+  for (auto _ : state) {
+    Status st = f.prog->Rebuild(overrides);
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_DynamicRecompile);
+
+/// Ablation: full optimization under different grid strategies.
+void BM_OptimizeGrid(benchmark::State& state) {
+  Fixture& f = L2svmM();
+  OptimizerOptions options;
+  options.cp_grid = static_cast<GridType>(state.range(0));
+  options.mr_grid = options.cp_grid;
+  ResourceOptimizer opt(f.sys.cluster(), options);
+  for (auto _ : state) {
+    auto cfg = opt.Optimize(f.prog.get());
+    benchmark::DoNotOptimize(cfg);
+  }
+  state.SetLabel(GridTypeName(options.cp_grid));
+}
+BENCHMARK(BM_OptimizeGrid)->DenseRange(0, 3);
+
+/// Ablation: pruning on/off (Table 3 deltas).
+void BM_OptimizePruning(benchmark::State& state) {
+  Fixture& f = GlmM();
+  OptimizerOptions options;
+  options.prune_small_blocks = state.range(0) != 0;
+  options.prune_unknown_blocks = state.range(0) != 0;
+  ResourceOptimizer opt(f.sys.cluster(), options);
+  for (auto _ : state) {
+    auto cfg = opt.Optimize(f.prog.get());
+    benchmark::DoNotOptimize(cfg);
+  }
+  state.SetLabel(state.range(0) != 0 ? "pruning-on" : "pruning-off");
+}
+BENCHMARK(BM_OptimizePruning)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace bench
+}  // namespace relm
+
+BENCHMARK_MAIN();

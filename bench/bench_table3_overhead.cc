@@ -1,0 +1,54 @@
+// Table 3: optimization details for all ML programs on dense1000 —
+// number of block recompilations, cost-model invocations, optimization
+// time, and relative overhead w.r.t. total (simulated) execution time.
+// Expected shape: sub-second optimization for the small programs,
+// growing with program size (GLM largest); relative overhead shrinks
+// with data size.
+
+#include <algorithm>
+
+#include "bench_common.h"
+#include "core/resource_optimizer.h"
+
+using namespace relm;         // NOLINT
+using namespace relm::bench;  // NOLINT
+
+int main() {
+  PrintHeader("Table 3: optimization details, dense1000");
+  std::printf("%-10s %-5s %9s %9s %11s %8s\n", "Prog.", "Scen.",
+              "# Comp.", "# Cost.", "Opt. Time", "%");
+  struct Case {
+    const char* script;
+    std::vector<std::string> scenarios;
+  };
+  for (const Case& c : std::vector<Case>{
+           {"linreg_ds.dml", {"XS", "S", "M", "L", "XL"}},
+           {"linreg_cg.dml", {"XS", "S", "M", "L"}},
+           {"l2svm.dml", {"XS", "S", "M", "L"}},
+           {"mlogreg.dml", {"XS", "S", "M", "L"}},
+           {"glm.dml", {"XS", "S", "M", "L"}}}) {
+    for (const Scenario& scenario : Scenarios()) {
+      if (std::find(c.scenarios.begin(), c.scenarios.end(),
+                    scenario.name) == c.scenarios.end()) {
+        continue;
+      }
+      RelmSystem sys;
+      RegisterData(&sys, scenario.cells, 1000, 1.0);
+      auto prog = MustCompile(&sys, c.script);
+      OptimizerStats stats;
+      ResourceOptimizer opt(sys.cluster(), OptimizerOptions{});
+      auto cfg = opt.Optimize(prog.get(), &stats);
+      if (!cfg.ok()) continue;
+      // Relative overhead w.r.t. simulated end-to-end execution.
+      SimResult run = MeasureClone(&sys, *prog, *cfg);
+      double pct = 100.0 * stats.opt_time_seconds /
+                   (run.elapsed_seconds + stats.opt_time_seconds);
+      std::printf("%-10s %-5s %9lld %9lld %10.3fs %7.2f%%\n", c.script,
+                  scenario.name,
+                  static_cast<long long>(stats.block_recompiles),
+                  static_cast<long long>(stats.cost_invocations),
+                  stats.opt_time_seconds, pct);
+    }
+  }
+  return 0;
+}

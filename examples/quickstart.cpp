@@ -1,0 +1,66 @@
+// Quickstart: compile a declarative ML script, let the resource
+// optimizer pick memory configurations, and compare the result against
+// the static baseline configurations on the simulated cluster.
+//
+// This walks the full pipeline of the paper: DML script -> HOP DAGs ->
+// memory-sensitive runtime plans -> cost-based resource optimization ->
+// measured execution.
+
+#include <cstdio>
+#include <string>
+
+#include "api/relm_system.h"
+#include "common/string_util.h"
+
+using namespace relm;  // NOLINT — example brevity
+
+int main() {
+  RelmSystem sys;  // the paper's 1+6 node YARN cluster
+  std::printf("cluster: %s\n\n", sys.cluster().ToString().c_str());
+
+  // An 8 GB dense feature matrix and its label vector (Figure 1 setup).
+  sys.RegisterMatrixMetadata("/data/X", 1000000, 1000);
+  sys.RegisterMatrixMetadata("/data/y", 1000000, 1);
+
+  ScriptArgs args{{"X", "/data/X"}, {"Y", "/data/y"}, {"B", "/out/B"}};
+
+  for (const char* script : {"linreg_ds.dml", "linreg_cg.dml"}) {
+    std::printf("=== %s ===\n", script);
+    auto prog = sys.CompileFile(
+        std::string(RELM_SCRIPTS_DIR) + "/" + script, args);
+    if (!prog.ok()) {
+      std::printf("compile error: %s\n", prog.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("program: %d source lines, %d blocks, unknowns=%s\n",
+                (*prog)->source_lines(), (*prog)->total_blocks(),
+                (*prog)->has_unknowns() ? "yes" : "no");
+
+    OptimizerStats stats;
+    auto config = sys.OptimizeResources(prog->get(), &stats);
+    if (!config.ok()) {
+      std::printf("optimizer error: %s\n",
+                  config.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("optimized resources: %s\n", config->ToString().c_str());
+    std::printf("optimization: %s\n\n", stats.ToString().c_str());
+
+    std::printf("%-6s %-24s %12s %12s\n", "config", "resources",
+                "est. [s]", "meas. [s]");
+    for (const auto& baseline : sys.StaticBaselines()) {
+      double est = *sys.EstimateCost(prog->get(), baseline.config);
+      auto clone = (*prog)->Clone();
+      auto run = sys.Simulate(clone->get(), baseline.config);
+      std::printf("%-6s %-24s %12.1f %12.1f\n", baseline.name,
+                  baseline.config.ToString().c_str(), est,
+                  run->elapsed_seconds);
+    }
+    double est = *sys.EstimateCost(prog->get(), *config);
+    auto clone = (*prog)->Clone();
+    auto run = sys.Simulate(clone->get(), *config);
+    std::printf("%-6s %-24s %12.1f %12.1f\n\n", "Opt",
+                config->ToString().c_str(), est, run->elapsed_seconds);
+  }
+  return 0;
+}

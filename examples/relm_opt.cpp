@@ -1,0 +1,182 @@
+// relm_opt — command-line resource optimizer.
+//
+// Compiles a DML script against described inputs, runs the resource
+// optimizer, and reports the chosen memory configuration next to the
+// static baselines; optionally dumps the compiled runtime plan.
+//
+// Usage:
+//   relm_opt --script scripts/linreg_cg.dml \
+//            --input X=/data/X:1000000x1000:1.0 \
+//            --input Y=/data/y:1000000x1"    \
+//            --arg B=/out/B [--explain] [--simulate] [--adapt]
+//            [--grid equi|exp|mem|hybrid] [--points N] [--threads N]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/relm_system.h"
+#include "common/string_util.h"
+#include "lops/compiler_backend.h"
+
+using namespace relm;  // NOLINT — tool brevity
+
+namespace {
+
+struct InputSpec {
+  std::string arg_name;  // script parameter name ($X)
+  std::string path;
+  int64_t rows = 0;
+  int64_t cols = 0;
+  double sparsity = 1.0;
+};
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: relm_opt --script FILE --input NAME=PATH:RxC[:SP] ...\n"
+      "                [--arg NAME=VALUE ...] [--explain] [--simulate]\n"
+      "                [--adapt] [--grid equi|exp|mem|hybrid]\n"
+      "                [--points N] [--threads N]\n");
+  std::exit(2);
+}
+
+bool ParseInput(const std::string& spec, InputSpec* out) {
+  // NAME=PATH:RxC[:SPARSITY]
+  auto eq = spec.find('=');
+  if (eq == std::string::npos) return false;
+  out->arg_name = spec.substr(0, eq);
+  std::vector<std::string> parts = Split(spec.substr(eq + 1), ':');
+  if (parts.size() < 2) return false;
+  out->path = parts[0];
+  std::vector<std::string> dims = Split(parts[1], 'x');
+  if (dims.size() != 2) return false;
+  out->rows = std::strtoll(dims[0].c_str(), nullptr, 10);
+  out->cols = std::strtoll(dims[1].c_str(), nullptr, 10);
+  if (parts.size() >= 3) {
+    out->sparsity = std::strtod(parts[2].c_str(), nullptr);
+  }
+  return out->rows > 0 && out->cols > 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string script;
+  std::vector<InputSpec> inputs;
+  ScriptArgs args;
+  bool explain = false;
+  bool simulate = false;
+  bool adapt = false;
+  OptimizerOptions opt_options;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) Usage();
+      return argv[++i];
+    };
+    if (flag == "--script") {
+      script = next();
+    } else if (flag == "--input") {
+      InputSpec spec;
+      if (!ParseInput(next(), &spec)) Usage();
+      inputs.push_back(spec);
+    } else if (flag == "--arg") {
+      std::string kv = next();
+      auto eq = kv.find('=');
+      if (eq == std::string::npos) Usage();
+      args[kv.substr(0, eq)] = kv.substr(eq + 1);
+    } else if (flag == "--explain") {
+      explain = true;
+    } else if (flag == "--simulate") {
+      simulate = true;
+    } else if (flag == "--adapt") {
+      adapt = true;
+    } else if (flag == "--points") {
+      opt_options.grid_points = std::atoi(next().c_str());
+    } else if (flag == "--threads") {
+      opt_options.num_threads = std::atoi(next().c_str());
+    } else if (flag == "--grid") {
+      std::string g = next();
+      GridType type = g == "equi"  ? GridType::kEquiSpaced
+                      : g == "exp" ? GridType::kExpSpaced
+                      : g == "mem" ? GridType::kMemBased
+                                   : GridType::kHybrid;
+      opt_options.cp_grid = type;
+      opt_options.mr_grid = type;
+    } else {
+      Usage();
+    }
+  }
+  if (script.empty() || inputs.empty()) Usage();
+
+  RelmSystem sys;
+  for (const InputSpec& in : inputs) {
+    sys.RegisterMatrixMetadata(in.path, in.rows, in.cols, in.sparsity);
+    args[in.arg_name] = in.path;
+  }
+
+  auto prog = sys.CompileFile(script, args);
+  if (!prog.ok()) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 prog.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("program: %d lines, %d blocks, unknown sizes: %s\n",
+              (*prog)->source_lines(), (*prog)->total_blocks(),
+              (*prog)->has_unknowns() ? "yes" : "no");
+
+  OptimizerStats stats;
+  auto config = sys.OptimizeResources(prog->get(), &stats, opt_options);
+  if (!config.ok()) {
+    std::fprintf(stderr, "optimizer error: %s\n",
+                 config.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("optimized resources: %s\n", config->ToString().c_str());
+  std::printf("container request: %s (AM)\n",
+              FormatBytes(sys.cluster().ContainerRequestForHeap(
+                              config->cp_heap))
+                  .c_str());
+  std::printf("optimizer: %s\n\n", stats.ToString().c_str());
+
+  std::printf("%-6s %-26s %12s\n", "config", "resources", "est. [s]");
+  for (const auto& baseline : sys.StaticBaselines()) {
+    auto est = sys.EstimateCost(prog->get(), baseline.config);
+    std::printf("%-6s %-26s %12.1f\n", baseline.name,
+                baseline.config.ToString().c_str(), *est);
+  }
+  auto est = sys.EstimateCost(prog->get(), *config);
+  std::printf("%-6s %-26s %12.1f\n", "Opt", config->ToString().c_str(),
+              *est);
+
+  if (explain) {
+    CompileCounters counters;
+    auto rp = GenerateRuntimeProgram(prog->get(), sys.cluster(), *config,
+                                     &counters);
+    if (rp.ok()) {
+      std::printf("\n---- runtime plan under Opt ----\n%s",
+                  rp->ToString().c_str());
+    }
+  }
+
+  if (simulate) {
+    SimOptions sim_options;
+    sim_options.enable_adaptation = adapt;
+    auto clone = (*prog)->Clone();
+    auto run = sys.Simulate(clone->get(), *config, sim_options);
+    if (run.ok()) {
+      std::printf("\nsimulated execution: %.1fs, %d MR jobs, "
+                  "%d recompiles, %d migrations\n",
+                  run->elapsed_seconds, run->mr_jobs_executed,
+                  run->dynamic_recompiles, run->migrations);
+      for (const auto& ev : run->events) {
+        std::printf("  [%8.1fs] %s\n", ev.at_seconds, ev.what.c_str());
+      }
+    }
+  }
+  return 0;
+}

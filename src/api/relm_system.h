@@ -1,0 +1,93 @@
+#ifndef RELM_API_RELM_SYSTEM_H_
+#define RELM_API_RELM_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/resource_optimizer.h"
+#include "hdfs/file_system.h"
+#include "hops/ml_program.h"
+#include "lops/resources.h"
+#include "mrsim/cluster_simulator.h"
+#include "runtime/interpreter.h"
+#include "yarn/cluster_config.h"
+
+namespace relm {
+
+/// High-level facade over the ReLM library: a simulated cluster plus the
+/// declarative-ML compiler, resource optimizer, in-memory runtime, and
+/// measured-execution simulator. This is the API the examples and
+/// benchmark harnesses are written against.
+///
+/// Typical usage:
+///
+///   RelmSystem sys;                       // paper's 1+6 node cluster
+///   sys.RegisterMatrixMetadata("/data/X", 1000000, 1000, 1.0);
+///   sys.RegisterMatrixMetadata("/data/y", 1000000, 1, 1.0);
+///   auto prog = sys.CompileFile("scripts/linreg_cg.dml",
+///                               {{"X", "/data/X"}, {"Y", "/data/y"},
+///                                {"B", "/out/B"}});
+///   auto config = sys.OptimizeResources(prog->get());
+///   auto run = sys.Simulate(prog->get(), *config);
+class RelmSystem {
+ public:
+  explicit RelmSystem(ClusterConfig cc = ClusterConfig::PaperCluster());
+
+  const ClusterConfig& cluster() const { return cc_; }
+  SimulatedHdfs& hdfs() { return hdfs_; }
+
+  /// Registers a metadata-only input (benchmark scale).
+  void RegisterMatrixMetadata(const std::string& path, int64_t rows,
+                              int64_t cols, double sparsity = 1.0);
+  /// Registers a real in-memory input (real-execution scale).
+  void RegisterMatrix(const std::string& path, MatrixBlock data);
+
+  /// Compiles a DML script from a file / from source.
+  Result<std::unique_ptr<MlProgram>> CompileFile(const std::string& path,
+                                                 const ScriptArgs& args);
+  Result<std::unique_ptr<MlProgram>> CompileSource(
+      const std::string& source, const ScriptArgs& args);
+
+  /// Runs the resource optimizer (initial resource optimization).
+  Result<ResourceConfig> OptimizeResources(
+      MlProgram* program, OptimizerStats* stats = nullptr,
+      const OptimizerOptions& options = OptimizerOptions());
+
+  /// Estimated cost of running `program` under `config` (seconds).
+  Result<double> EstimateCost(MlProgram* program,
+                              const ResourceConfig& config);
+
+  /// Result of a real, in-process execution.
+  struct RealRun {
+    std::vector<std::string> printed;
+    int64_t blocks_executed = 0;
+  };
+  /// Executes the program for real on in-memory data (correctness path;
+  /// all read() inputs must have payloads).
+  Result<RealRun> ExecuteReal(MlProgram* program, bool echo = false);
+
+  /// Simulated "measured" execution on the cluster model. Mutates the
+  /// program's IR with sizes discovered at runtime.
+  Result<SimResult> Simulate(MlProgram* program,
+                             const ResourceConfig& config,
+                             const SimOptions& options = SimOptions(),
+                             const SymbolMap& oracle = {});
+
+  /// The paper's four static baseline configurations (Section 5.1):
+  /// B-SS, B-LS, B-SL, B-LL.
+  struct Baseline {
+    const char* name;
+    ResourceConfig config;
+  };
+  std::vector<Baseline> StaticBaselines() const;
+
+ private:
+  ClusterConfig cc_;
+  SimulatedHdfs hdfs_;
+};
+
+}  // namespace relm
+
+#endif  // RELM_API_RELM_SYSTEM_H_

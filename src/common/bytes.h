@@ -1,0 +1,31 @@
+#ifndef RELM_COMMON_BYTES_H_
+#define RELM_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace relm {
+
+/// Byte-size constants. The paper quotes container and heap sizes in
+/// binary units (512 MB, 4.4 GB, 53.3 GB, ...), so we use 1024-based units.
+inline constexpr int64_t kKB = 1024;
+inline constexpr int64_t kMB = 1024 * kKB;
+inline constexpr int64_t kGB = 1024 * kMB;
+inline constexpr int64_t kTB = 1024 * kGB;
+
+/// Converts a fractional GB quantity (e.g. 53.3) to bytes.
+constexpr int64_t GigaBytes(double gb) {
+  return static_cast<int64_t>(gb * static_cast<double>(kGB));
+}
+
+/// Converts a fractional MB quantity to bytes.
+constexpr int64_t MegaBytes(double mb) {
+  return static_cast<int64_t>(mb * static_cast<double>(kMB));
+}
+
+/// Renders a byte count as a compact human-readable string ("8GB", "1.5MB").
+std::string FormatBytes(int64_t bytes);
+
+}  // namespace relm
+
+#endif  // RELM_COMMON_BYTES_H_

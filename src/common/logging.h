@@ -1,0 +1,94 @@
+#ifndef RELM_COMMON_LOGGING_H_
+#define RELM_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace relm {
+
+/// Log severities in increasing order of importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level below which log statements are discarded.
+/// Defaults to kWarn so library consumers see a quiet stdout by default.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits the accumulated message on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Sink that swallows everything; used for disabled log levels.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+#define RELM_LOG(level)                                      \
+  (static_cast<int>(::relm::LogLevel::k##level) <            \
+   static_cast<int>(::relm::GetLogLevel()))                  \
+      ? (void)0                                              \
+      : (void)::relm::internal_logging::LogMessage(          \
+            ::relm::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Stream-style logging: RELM_DEBUG() << "x=" << x;
+#define RELM_DEBUG()                                                       \
+  ::relm::internal_logging::LogMessage(::relm::LogLevel::kDebug, __FILE__, \
+                                       __LINE__)
+#define RELM_INFO()                                                       \
+  ::relm::internal_logging::LogMessage(::relm::LogLevel::kInfo, __FILE__, \
+                                       __LINE__)
+#define RELM_WARN()                                                       \
+  ::relm::internal_logging::LogMessage(::relm::LogLevel::kWarn, __FILE__, \
+                                       __LINE__)
+#define RELM_ERROR()                                                       \
+  ::relm::internal_logging::LogMessage(::relm::LogLevel::kError, __FILE__, \
+                                       __LINE__)
+
+/// Fatal invariant check. Aborts with a message when `cond` is false; used
+/// for programming errors only, never for user input.
+#define RELM_CHECK(cond)                                                    \
+  if (!(cond))                                                              \
+  ::relm::internal_logging::FatalMessage(__FILE__, __LINE__).stream()       \
+      << "Check failed: " #cond " "
+
+namespace internal_logging {
+
+/// Aborts the process after emitting the accumulated message.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line);
+  [[noreturn]] ~FatalMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace relm
+
+#endif  // RELM_COMMON_LOGGING_H_

@@ -1,0 +1,59 @@
+#ifndef RELM_COMMON_RANDOM_H_
+#define RELM_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace relm {
+
+/// Deterministic xorshift128+ pseudo-random generator. Used for synthetic
+/// data generation and for the cluster simulator's reproducible noise;
+/// the same seed always yields the same experiment output.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 42) {
+    // SplitMix64 seeding to decorrelate nearby seeds.
+    s0_ = SplitMix(&seed);
+    s1_ = SplitMix(&seed);
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, n).
+  uint64_t NextBelow(uint64_t n) { return n == 0 ? 0 : NextU64() % n; }
+
+  /// Multiplicative noise factor in [1-eps, 1+eps]; eps in [0,1).
+  double Noise(double eps) { return 1.0 + Uniform(-eps, eps); }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace relm
+
+#endif  // RELM_COMMON_RANDOM_H_

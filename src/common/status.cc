@@ -1,0 +1,39 @@
+#include "common/status.h"
+
+namespace relm {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kValidationError:
+      return "ValidationError";
+    case StatusCode::kCompileError:
+      return "CompileError";
+    case StatusCode::kRuntimeError:
+      return "RuntimeError";
+    case StatusCode::kResourceError:
+      return "ResourceError";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = StatusCodeName(code_);
+  s += ": ";
+  s += message_;
+  return s;
+}
+
+}  // namespace relm

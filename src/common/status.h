@@ -1,0 +1,132 @@
+#ifndef RELM_COMMON_STATUS_H_
+#define RELM_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace relm {
+
+/// Error categories used across the ReLM library. Mirrors the coarse error
+/// classes a declarative ML compiler needs: user-facing script errors,
+/// compiler-internal invariant violations, and resource/runtime failures.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kValidationError,
+  kCompileError,
+  kRuntimeError,
+  kResourceError,
+  kNotFound,
+  kUnsupported,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a status code ("ParseError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight status object used instead of exceptions throughout the
+/// library (public APIs must not throw). An OK status carries no message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory for an OK status.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ValidationError(std::string msg) {
+    return Status(StatusCode::kValidationError, std::move(msg));
+  }
+  static Status CompileError(std::string msg) {
+    return Status(StatusCode::kCompileError, std::move(msg));
+  }
+  static Status RuntimeError(std::string msg) {
+    return Status(StatusCode::kRuntimeError, std::move(msg));
+  }
+  static Status ResourceError(std::string msg) {
+    return Status(StatusCode::kResourceError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error result type. Holds either a T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (the error path).
+  Result(Status status) : value_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  /// Returns the error status; OK() when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(value_);
+  }
+
+  /// Access the held value. Requires ok().
+  const T& value() const& { return std::get<T>(value_); }
+  T& value() & { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+/// Propagates a non-OK status from an expression to the caller.
+#define RELM_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::relm::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+/// Evaluates a Result expression, assigning the value to `lhs` on success
+/// and returning the error status otherwise.
+#define RELM_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto RELM_CONCAT_(_res, __LINE__) = (expr);     \
+  if (!RELM_CONCAT_(_res, __LINE__).ok())         \
+    return RELM_CONCAT_(_res, __LINE__).status(); \
+  lhs = std::move(RELM_CONCAT_(_res, __LINE__)).value();
+
+#define RELM_CONCAT_INNER_(a, b) a##b
+#define RELM_CONCAT_(a, b) RELM_CONCAT_INNER_(a, b)
+
+}  // namespace relm
+
+#endif  // RELM_COMMON_STATUS_H_

@@ -1,0 +1,31 @@
+#ifndef RELM_COMMON_STRING_UTIL_H_
+#define RELM_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace relm {
+
+/// Splits `s` on the single-character delimiter, keeping empty fields.
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string Trim(const std::string& s);
+
+/// Joins the elements with the given separator.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(const std::string& s, const std::string& suffix);
+
+/// Formats a double with `digits` significant decimal places, trimming
+/// trailing zeros ("1.5", "0.01", "3").
+std::string FormatDouble(double v, int digits = 3);
+
+}  // namespace relm
+
+#endif  // RELM_COMMON_STRING_UTIL_H_

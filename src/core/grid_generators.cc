@@ -1,0 +1,119 @@
+#include "core/grid_generators.h"
+
+#include <algorithm>
+#include <set>
+
+#include "matrix/matrix_characteristics.h"
+
+namespace relm {
+
+const char* GridTypeName(GridType type) {
+  switch (type) {
+    case GridType::kEquiSpaced:
+      return "Equi";
+    case GridType::kExpSpaced:
+      return "Exp";
+    case GridType::kMemBased:
+      return "Mem";
+    case GridType::kHybrid:
+      return "Hybrid";
+  }
+  return "?";
+}
+
+namespace {
+
+int64_t MinHeap(const ClusterConfig& cc) { return cc.MinHeapSize(); }
+int64_t MaxHeap(const ClusterConfig& cc) { return cc.MaxHeapSize(); }
+
+std::vector<int64_t> EquiPoints(const ClusterConfig& cc, int m) {
+  std::vector<int64_t> out;
+  int64_t lo = MinHeap(cc);
+  int64_t hi = MaxHeap(cc);
+  if (m <= 1) return {lo};
+  double gap = static_cast<double>(hi - lo) / (m - 1);
+  for (int i = 0; i < m; ++i) {
+    out.push_back(lo + static_cast<int64_t>(i * gap));
+  }
+  return out;
+}
+
+std::vector<int64_t> ExpPoints(const ClusterConfig& cc) {
+  std::vector<int64_t> out;
+  int64_t lo = MinHeap(cc);
+  int64_t hi = MaxHeap(cc);
+  // Gaps g_i = 2^(i-1) * mincc, i.e. points at mincc * 2^k.
+  for (int64_t p = lo; p <= hi; p *= 2) out.push_back(p);
+  if (out.empty() || out.back() != hi) out.push_back(hi);
+  return out;
+}
+
+std::vector<int64_t> MemPoints(const MlProgram* program,
+                               const ClusterConfig& cc, int m) {
+  std::vector<int64_t> base = EquiPoints(cc, m);
+  std::set<int64_t> selected;
+  int64_t lo = MinHeap(cc);
+  int64_t hi = MaxHeap(cc);
+  std::vector<int64_t> estimates =
+      program != nullptr ? CollectMemoryEstimateHeaps(*program)
+                         : std::vector<int64_t>{};
+  for (int64_t est : estimates) {
+    // Estimates outside the constraints fall back to the extreme values.
+    int64_t clamped = std::clamp(est, lo, hi);
+    if (clamped <= lo) {
+      selected.insert(lo);
+      continue;
+    }
+    if (clamped >= hi) {
+      selected.insert(hi);
+      continue;
+    }
+    // Enumerate both base points bracketing the estimate.
+    auto it = std::upper_bound(base.begin(), base.end(), clamped);
+    if (it != base.end()) selected.insert(*it);
+    if (it != base.begin()) selected.insert(*(it - 1));
+  }
+  if (selected.empty()) selected.insert(lo);
+  return std::vector<int64_t>(selected.begin(), selected.end());
+}
+
+}  // namespace
+
+std::vector<int64_t> CollectMemoryEstimateHeaps(const MlProgram& program) {
+  std::set<int64_t> heaps;
+  for (StatementBlock* blk : program.AllBlocksPreOrder()) {
+    if (!program.has_ir(blk->id())) continue;
+    for (Hop* h : program.ir(blk->id()).dag.TopoOrder()) {
+      if (!h->is_matrix() || h->fused()) continue;
+      int64_t est = h->op_mem();
+      if (est <= 0 || est >= kUnknownSizeSentinel) continue;
+      // Heap at which a budget of 0.7*heap covers the estimate.
+      heaps.insert(static_cast<int64_t>(
+          static_cast<double>(est) / kMemoryBudgetFraction));
+    }
+  }
+  return std::vector<int64_t>(heaps.begin(), heaps.end());
+}
+
+std::vector<int64_t> EnumGridPoints(const MlProgram* program,
+                                    const ClusterConfig& cc, GridType type,
+                                    int m) {
+  switch (type) {
+    case GridType::kEquiSpaced:
+      return EquiPoints(cc, m);
+    case GridType::kExpSpaced:
+      return ExpPoints(cc);
+    case GridType::kMemBased:
+      return MemPoints(program, cc, m);
+    case GridType::kHybrid: {
+      std::vector<int64_t> mem = MemPoints(program, cc, m);
+      std::vector<int64_t> exp = ExpPoints(cc);
+      std::set<int64_t> all(mem.begin(), mem.end());
+      all.insert(exp.begin(), exp.end());
+      return std::vector<int64_t>(all.begin(), all.end());
+    }
+  }
+  return {MinHeap(cc)};
+}
+
+}  // namespace relm

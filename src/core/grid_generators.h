@@ -1,0 +1,40 @@
+#ifndef RELM_CORE_GRID_GENERATORS_H_
+#define RELM_CORE_GRID_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hops/ml_program.h"
+#include "yarn/cluster_config.h"
+
+namespace relm {
+
+/// Grid point generation strategies for discretizing the continuous
+/// memory search space (Section 3.3.2).
+enum class GridType {
+  kEquiSpaced,   // fixed-size gaps
+  kExpSpaced,    // exponentially increasing gaps (logarithmic #points)
+  kMemBased,     // derived from the program's operator memory estimates
+  kHybrid,       // union of memory-based and exp-spaced (the default)
+};
+
+const char* GridTypeName(GridType type);
+
+/// Generates ascending heap-size grid points within the cluster's
+/// min/max allocation constraints. `m` is the number of base points for
+/// the equi-spaced grid (and the bracketing resolution of the
+/// memory-based grid). The memory-based and hybrid grids additionally
+/// inspect `program`'s operator memory estimates; program may be null
+/// for program-independent grids.
+std::vector<int64_t> EnumGridPoints(const MlProgram* program,
+                                    const ClusterConfig& cc, GridType type,
+                                    int m);
+
+/// All distinct operator memory estimates of the program (bytes),
+/// translated to the heap sizes at which the operator would start to fit
+/// (estimate / budget-fraction), unclamped.
+std::vector<int64_t> CollectMemoryEstimateHeaps(const MlProgram& program);
+
+}  // namespace relm
+
+#endif  // RELM_CORE_GRID_GENERATORS_H_

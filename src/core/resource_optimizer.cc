@@ -1,0 +1,527 @@
+#include "core/resource_optimizer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace relm {
+
+std::string OptimizerStats::ToString() const {
+  std::ostringstream os;
+  os << "#comp=" << block_recompiles << " #cost=" << cost_invocations
+     << " time=" << FormatDouble(opt_time_seconds, 3) << "s blocks="
+     << remaining_blocks_after_pruning << "/" << total_generic_blocks
+     << " grid=" << cp_grid_points << "x" << mr_grid_points
+     << " best=" << FormatDouble(best_cost, 2) << "s";
+  return os.str();
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Time-weighted resource footprint used to break cost ties toward the
+/// minimal configuration (Definition 1's outer min).
+double ResourceFootprint(const ResourceConfig& rc,
+                         const std::vector<int>& block_ids) {
+  double total = static_cast<double>(rc.cp_heap);
+  for (int id : block_ids) {
+    total += static_cast<double>(rc.MrHeapForBlock(id)) /
+             std::max<size_t>(block_ids.size(), 1);
+  }
+  // Extra CP cores count as a (small) resource: ties prefer fewer.
+  total += static_cast<double>(rc.cp_cores - 1) * kMB;
+  return total;
+}
+
+/// True if all MR operators of the block have unknown dimensions (their
+/// plans cannot differ across MR budgets).
+bool AllMrOpsUnknown(const BlockIR& ir) {
+  bool any_mr = false;
+  for (Hop* h : ir.dag.TopoOrder()) {
+    if (h->exec_type() != ExecType::kMR || h->fused()) continue;
+    if (!h->is_matrix()) continue;
+    any_mr = true;
+    if (h->mc().dims_known()) return false;
+  }
+  return any_mr;
+}
+
+}  // namespace
+
+/// One optimization run. Owns the per-run state (memo, counters).
+class ResourceOptimizer::Runner {
+ public:
+  Runner(const ClusterConfig& cc, const OptimizerOptions& opts,
+         MlProgram* program)
+      : cc_(cc), opts_(opts), program_(program), cost_model_(cc) {}
+
+  /// Runs the full grid enumeration. If fixed_cp >= 0, only that CP heap
+  /// is enumerated (runtime re-optimization's local variant).
+  /// Restricts the CP dimension to the given points (offer-based mode).
+  void RestrictCpPoints(std::vector<int64_t> points) {
+    std::sort(points.begin(), points.end());
+    points.erase(std::unique(points.begin(), points.end()), points.end());
+    custom_src_ = std::move(points);
+  }
+
+  Result<ResourceOptimizer::ExtendedResult> Run(int64_t fixed_cp,
+                                                OptimizerStats* stats) {
+    auto start = Clock::now();
+    std::vector<int64_t> src =
+        custom_src_.empty()
+            ? EnumGridPoints(program_, cc_, opts_.cp_grid,
+                             opts_.grid_points)
+            : custom_src_;
+    std::vector<int64_t> srm =
+        EnumGridPoints(program_, cc_, opts_.mr_grid, opts_.grid_points);
+    if (fixed_cp >= 0) {
+      // Keep the fixed point plus the full grid for the global result.
+      if (std::find(src.begin(), src.end(), fixed_cp) == src.end()) {
+        src.push_back(fixed_cp);
+        std::sort(src.begin(), src.end());
+      }
+    }
+    generic_blocks_.clear();
+    for (StatementBlock* b : program_->AllBlocksPreOrder()) {
+      if (b->IsLastLevel()) generic_blocks_.push_back(b);
+    }
+    block_ids_.clear();
+    for (StatementBlock* b : generic_blocks_) {
+      block_ids_.push_back(b->id());
+    }
+
+    if (stats != nullptr) {
+      stats->cp_grid_points = static_cast<int>(src.size());
+      stats->mr_grid_points = static_cast<int>(srm.size());
+      stats->total_generic_blocks =
+          static_cast<int>(generic_blocks_.size());
+      stats->remaining_blocks_after_pruning = -1;
+    }
+
+    std::vector<int> core_options = opts_.cp_core_options;
+    if (core_options.empty()) core_options = {1};
+    if (opts_.num_threads > 1) {
+      RELM_RETURN_IF_ERROR(
+          RunParallel(src, srm, fixed_cp, start, stats));
+    } else {
+      for (int cores : core_options) {
+        for (int64_t rc : src) {
+          if (Seconds(start) > opts_.time_budget_seconds) break;
+          RELM_ASSIGN_OR_RETURN(
+              CandidateResult cand,
+              EvaluateCpPoint(program_, rc, cores, srm, stats));
+          candidates_.push_back(std::move(cand));
+        }
+      }
+    }
+
+    if (candidates_.empty()) {
+      return Status::ResourceError("resource optimization found no plan");
+    }
+    // Final selection (Definition 1): minimal cost; among near-ties the
+    // minimal resource footprint wins.
+    ResourceOptimizer::ExtendedResult result;
+    bool have_global = SelectBest(
+        [](const CandidateResult&) { return true; }, &result.global,
+        &result.global_cost);
+    bool have_local =
+        fixed_cp < 0 ||
+        SelectBest(
+            [&](const CandidateResult& c) {
+              return c.config.cp_heap == fixed_cp;
+            },
+            &result.local, &result.local_cost);
+    if (!have_global || !have_local) {
+      return Status::ResourceError("resource optimization found no plan");
+    }
+    if (stats != nullptr) {
+      stats->block_recompiles += counters_.block_compiles;
+      stats->cost_invocations += cost_model_.num_invocations() +
+                                 parallel_cost_invocations_.load();
+      stats->opt_time_seconds = Seconds(start);
+      stats->best_cost = result.global_cost;
+    }
+    return result;
+  }
+
+ private:
+  /// Result of evaluating one CP grid point.
+  struct CandidateResult {
+    ResourceConfig config;
+    double cost = 0.0;
+  };
+
+  /// Lines 6-17 of Algorithm 1 for a single (rc, cores) point.
+  Result<CandidateResult> EvaluateCpPoint(MlProgram* program, int64_t rc,
+                                          int cores,
+                                          const std::vector<int64_t>& srm,
+                                          OptimizerStats* stats) {
+    int64_t min_mr = cc_.MinHeapSize();
+    // Baseline compilation with minimal MR resources.
+    ResourceConfig base_cfg(rc, min_mr, cores);
+    RELM_ASSIGN_OR_RETURN(
+        RuntimeProgram base,
+        GenerateRuntimeProgram(program, cc_, base_cfg, &counters_));
+
+    // Block index for pruning and costing.
+    std::unordered_map<int, const RuntimeBlock*> rt_blocks;
+    IndexBlocks(base.main, &rt_blocks);
+    for (const auto& [name, blocks] : base.functions) {
+      IndexBlocks(blocks, &rt_blocks);
+    }
+
+    // Prune program blocks (Section 3.4).
+    std::vector<StatementBlock*> remaining;
+    for (StatementBlock* b : generic_blocks_) {
+      auto it = rt_blocks.find(b->id());
+      if (it == rt_blocks.end()) continue;  // dead branch
+      if (opts_.prune_small_blocks) {
+        // Monotonic dependency elimination: once MR-free at a smaller
+        // rc, a block never reintroduces MR jobs at a larger rc.
+        if (pruned_forever_.count(b->id())) continue;
+        if (it->second->NumMrJobs() == 0) {
+          pruned_forever_.insert(b->id());
+          continue;
+        }
+      }
+      if (opts_.prune_unknown_blocks &&
+          AllMrOpsUnknown(program->ir(b->id()))) {
+        continue;
+      }
+      remaining.push_back(b);
+    }
+    if (stats != nullptr && stats->remaining_blocks_after_pruning < 0) {
+      stats->remaining_blocks_after_pruning =
+          static_cast<int>(remaining.size());
+    }
+
+    // Memoized per-block best MR resources under this rc.
+    std::map<int, std::pair<int64_t, double>> memo;
+    for (StatementBlock* b : remaining) {
+      double base_cost =
+          cost_model_.EstimateBlockCost(*rt_blocks.at(b->id()), base);
+      memo[b->id()] = {min_mr, base_cost};
+      for (int64_t ri : srm) {
+        if (ri == min_mr) continue;
+        ResourceConfig cfg_i(rc, min_mr, cores);
+        cfg_i.per_block_mr_heap[b->id()] = ri;
+        RELM_ASSIGN_OR_RETURN(
+            RuntimeBlock rb,
+            CompileBlockPlan(program, cc_, b, cfg_i, &counters_));
+        RuntimeProgram probe;
+        probe.resources = cfg_i;
+        double cost = cost_model_.EstimateBlockCost(rb, probe);
+        if (cost < memo[b->id()].second) {
+          memo[b->id()] = {ri, cost};
+        }
+      }
+    }
+
+    // Full-program compilation and costing with the memoized vector.
+    CandidateResult cand;
+    cand.config = ResourceConfig(rc, min_mr, cores);
+    for (const auto& [id, entry] : memo) {
+      if (entry.first != min_mr) {
+        cand.config.per_block_mr_heap[id] = entry.first;
+      }
+    }
+    RELM_ASSIGN_OR_RETURN(
+        RuntimeProgram full,
+        GenerateRuntimeProgram(program, cc_, cand.config, &counters_));
+    cand.cost = cost_model_.EstimateProgramCost(full);
+    return cand;
+  }
+
+  /// Picks from the collected candidates matching `filter`: minimum
+  /// cost, then minimal resource footprint among configurations within
+  /// the cost tolerance. Returns false if no candidate matches.
+  template <typename Filter>
+  bool SelectBest(Filter filter, ResourceConfig* config, double* cost) {
+    double min_cost = -1;
+    for (const auto& c : candidates_) {
+      if (!filter(c)) continue;
+      if (min_cost < 0 || c.cost < min_cost) min_cost = c.cost;
+    }
+    if (min_cost < 0) return false;
+    double threshold = min_cost * (1.0 + opts_.cost_tolerance);
+    const CandidateResult* best = nullptr;
+    double best_footprint = 0;
+    for (const auto& c : candidates_) {
+      if (!filter(c) || c.cost > threshold) continue;
+      double fp = ResourceFootprint(c.config, block_ids_);
+      if (best == nullptr || fp < best_footprint) {
+        best = &c;
+        best_footprint = fp;
+      }
+    }
+    *config = best->config;
+    *cost = best->cost;
+    return true;
+  }
+
+  static void IndexBlocks(
+      const std::vector<RuntimeBlock>& blocks,
+      std::unordered_map<int, const RuntimeBlock*>* out) {
+    for (const auto& b : blocks) {
+      (*out)[b.block->id()] = &b;
+      IndexBlocks(b.body, out);
+      IndexBlocks(b.else_body, out);
+    }
+  }
+
+  /// Task-parallel enumeration (Appendix C): the master performs the
+  /// baseline compilation and pruning per rc; workers (each owning a
+  /// deep copy of the program) evaluate per-block MR grids and aggregate
+  /// rc candidates once all blocks of that rc are memoized.
+  Status RunParallel(const std::vector<int64_t>& src,
+                     const std::vector<int64_t>& srm, int64_t fixed_cp,
+                     Clock::time_point start, OptimizerStats* stats) {
+    struct EnumTask {
+      int64_t rc;
+      int block_id;
+      size_t rc_index;
+    };
+    struct RcState {
+      std::atomic<int> outstanding{0};
+      std::map<int, std::pair<int64_t, double>> memo;  // guarded by mu
+      std::mutex mu;
+    };
+
+    std::deque<EnumTask> queue;
+    std::mutex queue_mu;
+    std::condition_variable queue_cv;
+    bool done_producing = false;
+    std::vector<std::unique_ptr<RcState>> rc_states;
+    Status worker_error;
+    std::mutex result_mu;
+
+    // Pre-plan: baseline compile + prune per rc on the master program.
+    int64_t min_mr = cc_.MinHeapSize();
+    std::vector<std::pair<int64_t, std::vector<int>>> plans;
+    for (int64_t rc : src) {
+      if (Seconds(start) > opts_.time_budget_seconds) break;
+      ResourceConfig base_cfg(rc, min_mr);
+      RELM_ASSIGN_OR_RETURN(
+          RuntimeProgram base,
+          GenerateRuntimeProgram(program_, cc_, base_cfg, &counters_));
+      std::unordered_map<int, const RuntimeBlock*> rt_blocks;
+      IndexBlocks(base.main, &rt_blocks);
+      for (const auto& [name, blocks] : base.functions) {
+        IndexBlocks(blocks, &rt_blocks);
+      }
+      std::vector<int> remaining;
+      for (StatementBlock* b : generic_blocks_) {
+        auto it = rt_blocks.find(b->id());
+        if (it == rt_blocks.end()) continue;
+        if (opts_.prune_small_blocks) {
+          if (pruned_forever_.count(b->id())) continue;
+          if (it->second->NumMrJobs() == 0) {
+            pruned_forever_.insert(b->id());
+            continue;
+          }
+        }
+        if (opts_.prune_unknown_blocks &&
+            AllMrOpsUnknown(program_->ir(b->id()))) {
+          continue;
+        }
+        remaining.push_back(b->id());
+      }
+      if (stats != nullptr && stats->remaining_blocks_after_pruning < 0) {
+        stats->remaining_blocks_after_pruning =
+            static_cast<int>(remaining.size());
+      }
+      plans.emplace_back(rc, std::move(remaining));
+    }
+
+    rc_states.resize(plans.size());
+    for (size_t i = 0; i < plans.size(); ++i) {
+      rc_states[i] = std::make_unique<RcState>();
+      rc_states[i]->outstanding.store(
+          std::max<int>(1, static_cast<int>(plans[i].second.size())));
+    }
+
+    auto worker_fn = [&]() {
+      auto clone_result = program_->Clone();
+      if (!clone_result.ok()) {
+        std::lock_guard<std::mutex> lock(result_mu);
+        worker_error = clone_result.status();
+        return;
+      }
+      std::unique_ptr<MlProgram> local_program =
+          std::move(*clone_result);
+      CostModel local_cost(cc_);
+      CompileCounters local_counters;
+
+      // Resolve block ids on the clone.
+      std::unordered_map<int, StatementBlock*> blocks_by_id;
+      for (StatementBlock* b : local_program->AllBlocksPreOrder()) {
+        blocks_by_id[b->id()] = b;
+      }
+
+      auto finish_rc = [&](size_t rc_index) {
+        // Aggregate: compile the whole program with the memoized vector.
+        RcState& state = *rc_states[rc_index];
+        int64_t rc = plans[rc_index].first;
+        CandidateResult cand;
+        cand.config = ResourceConfig(rc, min_mr);
+        {
+          std::lock_guard<std::mutex> lock(state.mu);
+          for (const auto& [id, entry] : state.memo) {
+            if (entry.first != min_mr) {
+              cand.config.per_block_mr_heap[id] = entry.first;
+            }
+          }
+        }
+        auto full = GenerateRuntimeProgram(local_program.get(), cc_,
+                                           cand.config, &local_counters);
+        if (!full.ok()) {
+          std::lock_guard<std::mutex> lock(result_mu);
+          worker_error = full.status();
+          return;
+        }
+        cand.cost = local_cost.EstimateProgramCost(*full);
+        std::lock_guard<std::mutex> lock(result_mu);
+        candidates_.push_back(std::move(cand));
+      };
+
+      while (true) {
+        EnumTask task;
+        {
+          std::unique_lock<std::mutex> lock(queue_mu);
+          queue_cv.wait(lock, [&] {
+            return !queue.empty() || done_producing;
+          });
+          if (queue.empty()) break;
+          task = queue.front();
+          queue.pop_front();
+        }
+        RcState& state = *rc_states[task.rc_index];
+        if (task.block_id >= 0) {
+          StatementBlock* blk = blocks_by_id[task.block_id];
+          int64_t best_ri = min_mr;
+          double best_cost = -1;
+          for (int64_t ri : srm) {
+            ResourceConfig cfg_i(task.rc, min_mr);
+            cfg_i.per_block_mr_heap[task.block_id] = ri;
+            auto rb = CompileBlockPlan(local_program.get(), cc_, blk,
+                                       cfg_i, &local_counters);
+            if (!rb.ok()) {
+              std::lock_guard<std::mutex> lock(result_mu);
+              worker_error = rb.status();
+              return;
+            }
+            RuntimeProgram probe;
+            probe.resources = cfg_i;
+            double cost = local_cost.EstimateBlockCost(*rb, probe);
+            if (best_cost < 0 || cost < best_cost) {
+              best_cost = cost;
+              best_ri = ri;
+            }
+          }
+          {
+            std::lock_guard<std::mutex> lock(state.mu);
+            state.memo[task.block_id] = {best_ri, best_cost};
+          }
+        }
+        if (state.outstanding.fetch_sub(1) == 1) {
+          finish_rc(task.rc_index);
+        }
+      }
+      // Fold local counters into the shared ones.
+      std::lock_guard<std::mutex> lock(result_mu);
+      counters_.block_compiles += local_counters.block_compiles;
+      parallel_cost_invocations_.fetch_add(local_cost.num_invocations());
+    };
+
+    std::vector<std::thread> workers;
+    int n = std::max(1, opts_.num_threads);
+    workers.reserve(n);
+    for (int i = 0; i < n; ++i) workers.emplace_back(worker_fn);
+
+    // Produce tasks (pipelined with workers).
+    {
+      std::lock_guard<std::mutex> lock(queue_mu);
+      for (size_t i = 0; i < plans.size(); ++i) {
+        if (plans[i].second.empty()) {
+          queue.push_back(EnumTask{plans[i].first, -1, i});
+          continue;
+        }
+        for (int id : plans[i].second) {
+          queue.push_back(EnumTask{plans[i].first, id, i});
+        }
+      }
+      done_producing = true;
+    }
+    queue_cv.notify_all();
+    for (auto& w : workers) w.join();
+    return worker_error;
+  }
+
+  ClusterConfig cc_;
+  OptimizerOptions opts_;
+  MlProgram* program_;
+  CostModel cost_model_;
+  CompileCounters counters_;
+  std::vector<StatementBlock*> generic_blocks_;
+  std::vector<int> block_ids_;
+  std::set<int> pruned_forever_;
+  std::vector<CandidateResult> candidates_;
+  std::vector<int64_t> custom_src_;
+  std::atomic<int64_t> parallel_cost_invocations_{0};
+};
+
+ResourceOptimizer::ResourceOptimizer(const ClusterConfig& cc,
+                                     const OptimizerOptions& opts)
+    : cc_(cc), opts_(opts) {}
+
+Result<ResourceConfig> ResourceOptimizer::Optimize(MlProgram* program,
+                                                   OptimizerStats* stats) {
+  Runner runner(cc_, opts_, program);
+  RELM_ASSIGN_OR_RETURN(ExtendedResult res, runner.Run(-1, stats));
+  return res.global;
+}
+
+Result<ResourceOptimizer::ExtendedResult> ResourceOptimizer::OptimizeExtended(
+    MlProgram* program, int64_t fixed_cp_heap, OptimizerStats* stats) {
+  Runner runner(cc_, opts_, program);
+  return runner.Run(fixed_cp_heap, stats);
+}
+
+Result<ResourceConfig> ResourceOptimizer::OptimizeForOffers(
+    MlProgram* program, const std::vector<int64_t>& offered_cp_heaps,
+    OptimizerStats* stats) {
+  if (offered_cp_heaps.empty()) {
+    return Status::InvalidArgument("no resource offers to optimize over");
+  }
+  std::vector<int64_t> clamped;
+  for (int64_t heap : offered_cp_heaps) {
+    if (heap < cc_.MinHeapSize() || heap > cc_.MaxHeapSize()) continue;
+    clamped.push_back(heap);
+  }
+  if (clamped.empty()) {
+    return Status::ResourceError(
+        "no offered container satisfies the cluster's allocation "
+        "constraints");
+  }
+  Runner runner(cc_, opts_, program);
+  runner.RestrictCpPoints(std::move(clamped));
+  RELM_ASSIGN_OR_RETURN(ExtendedResult res, runner.Run(-1, stats));
+  return res.global;
+}
+
+}  // namespace relm

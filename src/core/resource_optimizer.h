@@ -1,0 +1,105 @@
+#ifndef RELM_CORE_RESOURCE_OPTIMIZER_H_
+#define RELM_CORE_RESOURCE_OPTIMIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/grid_generators.h"
+#include "cost/cost_model.h"
+#include "hops/ml_program.h"
+#include "lops/compiler_backend.h"
+#include "lops/resources.h"
+#include "yarn/cluster_config.h"
+
+namespace relm {
+
+/// Configuration of the resource optimizer.
+struct OptimizerOptions {
+  GridType cp_grid = GridType::kHybrid;
+  GridType mr_grid = GridType::kHybrid;
+  /// Base grid resolution m (equi-spaced / memory-based bracketing).
+  int grid_points = 15;
+  /// >1 enables the task-parallel optimizer (Appendix C).
+  int num_threads = 1;
+  /// Optimization time budget; enumeration stops when exceeded.
+  double time_budget_seconds = 1e18;
+  /// Pruning of blocks without MR jobs (monotonic dependency
+  /// elimination) and of blocks whose MR operators are all unknown.
+  bool prune_small_blocks = true;
+  bool prune_unknown_blocks = true;
+  /// Near-tie tolerance for the secondary objective: among
+  /// configurations whose cost is within (1 + tolerance) of the minimum,
+  /// the one with the smallest resource footprint wins (Definition 1's
+  /// outer min — prevents unnecessary over-provisioning).
+  double cost_tolerance = 0.02;
+  /// CP thread counts to enumerate ("additional resources beyond
+  /// memory", Section 6). Default {1} reproduces the paper's
+  /// single-threaded CP; e.g. {1, 2, 4, 8} adds a third dimension.
+  std::vector<int> cp_core_options = {1};
+};
+
+/// Optimization statistics (Table 3 and Figures 13/14).
+struct OptimizerStats {
+  int64_t block_recompiles = 0;   // "# Comp."
+  int64_t cost_invocations = 0;   // "# Cost."
+  double opt_time_seconds = 0.0;  // "Opt. Time"
+  int total_generic_blocks = 0;
+  /// Blocks surviving pruning at the smallest CP grid point.
+  int remaining_blocks_after_pruning = 0;
+  int cp_grid_points = 0;
+  int mr_grid_points = 0;
+  double best_cost = 0.0;
+
+  std::string ToString() const;
+};
+
+/// The cost-based resource optimizer (Section 3): enumerates CP x MR
+/// memory grid points, exploits the semi-independent 2-dimensional
+/// problem structure with a memo table, prunes irrelevant blocks, and
+/// returns the minimal resource configuration with minimal estimated
+/// cost.
+class ResourceOptimizer {
+ public:
+  ResourceOptimizer(const ClusterConfig& cc, const OptimizerOptions& opts);
+
+  /// Solves the ML program resource allocation problem (Definition 1).
+  Result<ResourceConfig> Optimize(MlProgram* program,
+                                  OptimizerStats* stats = nullptr);
+
+  /// Extended variant for runtime re-optimization (Section 4.2): returns
+  /// both the globally optimal configuration and the locally optimal one
+  /// under the current (fixed) CP heap.
+  struct ExtendedResult {
+    ResourceConfig global;
+    double global_cost = 0.0;
+    ResourceConfig local;  // optimal with cp_heap fixed
+    double local_cost = 0.0;
+  };
+  Result<ExtendedResult> OptimizeExtended(MlProgram* program,
+                                          int64_t fixed_cp_heap,
+                                          OptimizerStats* stats = nullptr);
+
+  /// Offer-based instantiation of the resource allocation problem
+  /// (Section 2.3, Mesos-style): the CP container must be taken from one
+  /// of the offered heap sizes instead of the free request-based grid.
+  /// MR task sizes remain requestable. Returns the best configuration
+  /// whose CP heap matches an offer (non-matching offers are the
+  /// "additional optimization decisions" the paper alludes to: we pick
+  /// the cheapest plan over the offered points).
+  Result<ResourceConfig> OptimizeForOffers(
+      MlProgram* program, const std::vector<int64_t>& offered_cp_heaps,
+      OptimizerStats* stats = nullptr);
+
+  const OptimizerOptions& options() const { return opts_; }
+
+ private:
+  class Runner;
+  ClusterConfig cc_;
+  OptimizerOptions opts_;
+};
+
+}  // namespace relm
+
+#endif  // RELM_CORE_RESOURCE_OPTIMIZER_H_

@@ -1,0 +1,95 @@
+#ifndef RELM_COST_COST_MODEL_H_
+#define RELM_COST_COST_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "lops/runtime_program.h"
+#include "yarn/cluster_config.h"
+
+namespace relm {
+
+/// Tracked state of a live variable during plan costing: where the data
+/// currently lives and whether the in-memory copy differs from HDFS.
+/// Mirrors the paper's "track sizes and states of live variables".
+struct VarState {
+  int64_t mem_bytes = 0;
+  int64_t disk_bytes = 0;
+  bool in_memory = false;
+  bool dirty = false;  // in-memory copy not yet exported to HDFS
+};
+
+using VarStateMap = std::map<std::string, VarState>;
+
+/// Timing breakdown of one MR job under a given MR task heap. Shared by
+/// the analytic cost model and the cluster simulator; the simulator
+/// additionally enables the second-order "trashing" penalty for
+/// undersized task memory that the cost model deliberately ignores.
+struct MrJobTimeBreakdown {
+  double total = 0.0;
+  double map_phase = 0.0;
+  double shuffle = 0.0;
+  double reduce_phase = 0.0;
+  int num_map_tasks = 0;
+  int map_waves = 0;
+  bool trashing = false;
+};
+
+MrJobTimeBreakdown EstimateMrJobTime(const ClusterConfig& cc,
+                                     const MRJobInstr& job, int64_t mr_heap,
+                                     bool model_trashing);
+
+/// Compute-time efficiency factor applied to the peak FLOP rate.
+inline constexpr double kComputeEfficiency = 0.5;
+/// Single-stream HDFS bandwidths of the control program process.
+inline constexpr double kCpReadBps = 250e6;
+inline constexpr double kCpWriteBps = 150e6;
+
+/// White-box analytic cost model over generated runtime plans. Estimates
+/// execution time (seconds) by scanning the plan in execution order,
+/// tracking variable states, and charging IO, compute, and latency:
+///  - CP instructions: HDFS read on first use of non-resident inputs plus
+///    single-threaded compute time;
+///  - MR jobs: job/task latencies, dirty-variable export, map read /
+///    compute / write, shuffle, and reduce phases, divided by the degree
+///    of parallelism implied by the CP/MR resources;
+///  - loops scale by the estimated iteration count with a separately
+///    costed first (cold) iteration; branches take the weighted sum.
+///
+/// Deliberately ignores buffer-pool evictions and cache effects (the
+/// cluster simulator models those), which reproduces the paper's noted
+/// sources of suboptimality.
+class CostModel {
+ public:
+  explicit CostModel(const ClusterConfig& cc);
+
+  /// Estimated end-to-end execution time of a runtime program in seconds.
+  /// Counts as one cost-model invocation.
+  double EstimateProgramCost(const RuntimeProgram& program);
+
+  /// Estimated time of a single block subtree (partial runtime plan),
+  /// starting from empty variable state. Counts as one invocation.
+  double EstimateBlockCost(const RuntimeBlock& block,
+                           const RuntimeProgram& program);
+
+  /// Number of cost-model invocations so far (Table 3's "# Cost.").
+  int64_t num_invocations() const { return invocations_; }
+  void ResetCounters() { invocations_ = 0; }
+
+  /// Branch probability used for unknown if-predicates.
+  static constexpr double kBranchWeight = 0.5;
+
+ private:
+  friend class CostWalk;
+  ClusterConfig cc_;
+  int64_t invocations_ = 0;
+
+  // Single-process (control program) HDFS bandwidths in bytes/second.
+  double cp_read_bps_;
+  double cp_write_bps_;
+};
+
+}  // namespace relm
+
+#endif  // RELM_COST_COST_MODEL_H_

@@ -1,0 +1,71 @@
+#include "hdfs/file_system.h"
+
+#include <algorithm>
+
+namespace relm {
+
+const char* DataFormatName(DataFormat format) {
+  switch (format) {
+    case DataFormat::kBinaryBlock:
+      return "binary-block";
+    case DataFormat::kBinaryCell:
+      return "binary-cell";
+    case DataFormat::kText:
+      return "text";
+  }
+  return "?";
+}
+
+void SimulatedHdfs::PutMetadata(const std::string& path,
+                                const MatrixCharacteristics& mc,
+                                DataFormat format, int64_t size_bytes) {
+  HdfsFile f;
+  f.characteristics = mc;
+  f.format = format;
+  f.size_bytes = size_bytes >= 0 ? size_bytes : EstimateSizeOnDisk(mc);
+  files_[path] = std::move(f);
+}
+
+void SimulatedHdfs::PutMatrix(const std::string& path, MatrixBlock block,
+                              DataFormat format) {
+  HdfsFile f;
+  f.characteristics = block.Characteristics();
+  f.format = format;
+  f.size_bytes = EstimateSizeOnDisk(f.characteristics);
+  f.data = std::make_shared<const MatrixBlock>(std::move(block));
+  files_[path] = std::move(f);
+}
+
+bool SimulatedHdfs::Exists(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+Result<HdfsFile> SimulatedHdfs::Get(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("no such HDFS file: " + path);
+  }
+  return it->second;
+}
+
+void SimulatedHdfs::Delete(const std::string& path) { files_.erase(path); }
+
+int64_t SimulatedHdfs::NumBlocks(int64_t size_bytes) const {
+  if (size_bytes <= 0) return 1;
+  return (size_bytes + block_size_ - 1) / block_size_;
+}
+
+std::vector<std::string> SimulatedHdfs::ListPaths() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, file] : files_) out.push_back(path);
+  return out;
+}
+
+int64_t SimulatedHdfs::TotalBytes() const {
+  int64_t total = 0;
+  for (const auto& [path, file] : files_) total += file.size_bytes;
+  return total;
+}
+
+}  // namespace relm

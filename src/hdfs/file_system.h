@@ -1,0 +1,85 @@
+#ifndef RELM_HDFS_FILE_SYSTEM_H_
+#define RELM_HDFS_FILE_SYSTEM_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "matrix/matrix_block.h"
+#include "matrix/matrix_characteristics.h"
+
+namespace relm {
+
+/// Serialized data formats on (simulated) HDFS. The cost model charges
+/// format-specific read/write bandwidths, mirroring the paper's
+/// "default format-specific read/write bandwidths".
+enum class DataFormat {
+  kBinaryBlock,  // blocked binary matrices (the default internal format)
+  kBinaryCell,   // (row, col, value) triples, used for sparse outputs
+  kText,         // csv/ijv text, slowest to parse
+};
+
+const char* DataFormatName(DataFormat format);
+
+/// Metadata (and optionally real payload) of one file in the simulated
+/// distributed file system. At benchmark scale files are metadata-only;
+/// tests and examples attach real MatrixBlocks.
+struct HdfsFile {
+  MatrixCharacteristics characteristics;
+  DataFormat format = DataFormat::kBinaryBlock;
+  int64_t size_bytes = 0;
+  /// Real payload for small-data execution; null for metadata-only files.
+  std::shared_ptr<const MatrixBlock> data;
+};
+
+/// A simulated HDFS namespace: pathnames to file metadata plus the block
+/// size that drives MapReduce split computation. No actual disk IO happens;
+/// the cluster simulator charges time for the bytes recorded here.
+class SimulatedHdfs {
+ public:
+  explicit SimulatedHdfs(int64_t block_size = 128 * kMB)
+      : block_size_(block_size) {}
+
+  int64_t block_size() const { return block_size_; }
+
+  /// Registers a metadata-only file (dims/sparsity known, no payload).
+  /// size_bytes defaults to the serialized-size estimate for the format.
+  void PutMetadata(const std::string& path,
+                   const MatrixCharacteristics& mc,
+                   DataFormat format = DataFormat::kBinaryBlock,
+                   int64_t size_bytes = -1);
+
+  /// Registers a file with a real in-memory payload.
+  void PutMatrix(const std::string& path, MatrixBlock block,
+                 DataFormat format = DataFormat::kBinaryBlock);
+
+  bool Exists(const std::string& path) const;
+
+  /// Looks up a file; NotFound if absent.
+  Result<HdfsFile> Get(const std::string& path) const;
+
+  /// Removes a file if present (idempotent).
+  void Delete(const std::string& path);
+
+  /// Number of HDFS blocks (= minimum map tasks) for a file size.
+  int64_t NumBlocks(int64_t size_bytes) const;
+
+  /// All registered paths (sorted), for debugging and tests.
+  std::vector<std::string> ListPaths() const;
+
+  /// Total bytes stored across all files.
+  int64_t TotalBytes() const;
+
+ private:
+  int64_t block_size_;
+  std::map<std::string, HdfsFile> files_;
+};
+
+}  // namespace relm
+
+#endif  // RELM_HDFS_FILE_SYSTEM_H_

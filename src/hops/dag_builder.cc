@@ -1,0 +1,1058 @@
+#include "hops/dag_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "hops/rewrites.h"
+#include "hops/size_propagation.h"
+#include "lang/statement_block.h"
+#include "lang/validator.h"
+
+namespace relm {
+namespace {
+
+Status ErrorAt(int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "line " << line << ": " << msg;
+  return Status::CompileError(os.str());
+}
+
+/// Per-generic-block construction context: current variable definitions,
+/// CSE table, and accumulated side-effect roots.
+struct DagContext {
+  std::map<std::string, HopPtr> var_hops;  // in-block definitions/reads
+  std::unordered_map<std::string, HopPtr> cse;
+  std::vector<HopPtr> roots;  // prints/persistent writes, program order
+};
+
+/// Maps ppred operator strings to BinOps.
+Result<BinOp> PpredOp(const std::string& s, int line) {
+  if (s == ">") return BinOp::kGreater;
+  if (s == ">=") return BinOp::kGreaterEq;
+  if (s == "<") return BinOp::kLess;
+  if (s == "<=") return BinOp::kLessEq;
+  if (s == "==") return BinOp::kEq;
+  if (s == "!=") return BinOp::kNotEq;
+  return ErrorAt(line, "unknown ppred operator '" + s + "'");
+}
+
+}  // namespace
+
+/// The actual builder implementation.
+class IrBuilder::Impl {
+ public:
+  Impl(MlProgram* program, const SymbolMap& overrides)
+      : program_(program), overrides_(overrides) {}
+
+  Status Build() {
+    // Main program.
+    SymbolMap table;
+    RELM_RETURN_IF_ERROR(
+        ProcessSeq(program_->blocks_.main, &table, /*store=*/true));
+    // Function bodies: parameters have unknown characteristics (no
+    // inter-procedural analysis, mirroring the paper's GLM behaviour).
+    for (auto& [name, fn_blocks] : program_->blocks_.functions) {
+      const FunctionDef& fn = program_->ast_.functions.at(name);
+      SymbolMap fn_table;
+      for (const auto& p : fn.params) {
+        SymbolInfo info;
+        info.dtype = p.data_type;
+        info.vtype = p.value_type;
+        info.mc = MatrixCharacteristics::Unknown();
+        // Dynamic recompilation may have recorded actual argument sizes
+        // under the qualified key "<function>/<param>".
+        auto oit = overrides_.find(name + "/" + p.name);
+        if (oit != overrides_.end()) info.mc = oit->second.mc;
+        fn_table[p.name] = info;
+      }
+      RELM_RETURN_IF_ERROR(ProcessSeq(fn_blocks, &fn_table, /*store=*/true));
+    }
+    return Status::OK();
+  }
+
+ private:
+  // ---------------- block walking ----------------
+
+  Status ProcessSeq(std::vector<BlockPtr>& blocks, SymbolMap* table,
+                    bool store) {
+    for (auto& blk : blocks) {
+      RELM_RETURN_IF_ERROR(ProcessBlock(blk.get(), table, store));
+    }
+    return Status::OK();
+  }
+
+  Status ProcessBlock(StatementBlock* blk, SymbolMap* table, bool store) {
+    BlockIR ir;
+    ir.block = blk;
+    if (store) ir.entry_symbols = *table;
+    switch (blk->kind()) {
+      case BlockKind::kGeneric:
+        RELM_RETURN_IF_ERROR(BuildGenericDag(blk, table, &ir));
+        break;
+      case BlockKind::kIf:
+        RELM_RETURN_IF_ERROR(ProcessIf(blk, table, store, &ir));
+        break;
+      case BlockKind::kWhile:
+        RELM_RETURN_IF_ERROR(ProcessWhile(blk, table, store, &ir));
+        break;
+      case BlockKind::kFor:
+        RELM_RETURN_IF_ERROR(ProcessFor(blk, table, store, &ir));
+        break;
+    }
+    FinishIr(&ir);
+    if (store) program_->ir_[blk->id()] = std::move(ir);
+    return Status::OK();
+  }
+
+  void FinishIr(BlockIR* ir) {
+    MarkFusedTransposes(ir);
+    ir->has_unknown_dims = false;
+    for (Hop* h : ir->dag.TopoOrder()) {
+      if (h->is_matrix() && !h->mc().dims_known()) {
+        ir->has_unknown_dims = true;
+        break;
+      }
+    }
+  }
+
+  /// Marks transposes consumed exclusively as the left input of matrix
+  /// multiplies as fused (never materialized), and corrects the memory
+  /// estimates of the consuming multiplies: the fused pattern pins X
+  /// once, not X plus its transposed copy.
+  static void MarkFusedTransposes(BlockIR* ir) {
+    std::vector<Hop*> topo = ir->dag.TopoOrder();
+    std::unordered_map<const Hop*, std::vector<Hop*>> consumers;
+    for (Hop* h : topo) {
+      for (const auto& in : h->inputs()) consumers[in.get()].push_back(h);
+    }
+    for (Hop* h : topo) {
+      if (h->kind() != HopKind::kReorg ||
+          h->reorg_op != ReorgOp::kTranspose) {
+        continue;
+      }
+      auto cit = consumers.find(h);
+      if (cit == consumers.end() || cit->second.empty()) continue;
+      bool all_mm_left = true;
+      for (Hop* c : cit->second) {
+        if (c->kind() != HopKind::kMatMult || c->input(0) != h) {
+          all_mm_left = false;
+        }
+      }
+      if (!all_mm_left) continue;
+      h->set_fused(true);
+      for (Hop* c : cit->second) {
+        // op_mem: X (+ second input unless it is X again, i.e. TSMM) + out.
+        int64_t op_mem = SaturatingAdd(c->output_mem(),
+                                       h->input(0)->output_mem());
+        if (c->input(1) != h->input(0)) {
+          op_mem = SaturatingAdd(op_mem, c->input(1)->output_mem());
+        }
+        c->set_op_mem(op_mem);
+      }
+    }
+  }
+
+  Status ProcessIf(StatementBlock* blk, SymbolMap* table, bool store,
+                   BlockIR* ir) {
+    const auto& stmt = static_cast<const IfStmt&>(*blk->control);
+    DagContext ctx;
+    RELM_ASSIGN_OR_RETURN(HopPtr pred, BuildExpr(*stmt.predicate, &ctx,
+                                                 table));
+    ir->dag.roots.push_back(pred);
+    // Static branch removal when the predicate folded to a literal.
+    if (pred->kind() == HopKind::kLiteral && !pred->literal_is_string) {
+      ir->taken_branch = pred->literal_value != 0.0 ? 0 : 1;
+    }
+    SymbolMap entry = *table;
+    if (ir->taken_branch == 0) {
+      // Taken branch updates the real table; the dead branch is still
+      // compiled (on a scratch table) so its IR exists for completeness.
+      RELM_RETURN_IF_ERROR(ProcessSeq(blk->body, table, store));
+      SymbolMap scratch = entry;
+      RELM_RETURN_IF_ERROR(ProcessSeq(blk->else_body, &scratch, store));
+      return Status::OK();
+    }
+    if (ir->taken_branch == 1) {
+      SymbolMap scratch = entry;
+      RELM_RETURN_IF_ERROR(ProcessSeq(blk->body, &scratch, store));
+      RELM_RETURN_IF_ERROR(ProcessSeq(blk->else_body, table, store));
+      return Status::OK();
+    }
+    // Unknown predicate: process both branches and merge conservatively.
+    SymbolMap then_table = entry;
+    SymbolMap else_table = entry;
+    RELM_RETURN_IF_ERROR(ProcessSeq(blk->body, &then_table, store));
+    RELM_RETURN_IF_ERROR(ProcessSeq(blk->else_body, &else_table, store));
+    *table = MergeTables(then_table, else_table);
+    return Status::OK();
+  }
+
+  Status ProcessWhile(StatementBlock* blk, SymbolMap* table, bool store,
+                      BlockIR* ir) {
+    const auto& stmt = static_cast<const WhileStmt&>(*blk->control);
+    // Trial pass: detect unstable variable sizes across the back edge.
+    SymbolMap snapshot = *table;
+    SymbolMap trial = *table;
+    RELM_RETURN_IF_ERROR(ProcessSeq(blk->body, &trial, /*store=*/false));
+    SymbolMap stable = DegradeUnstable(snapshot, trial, blk->updated);
+    // Predicate DAG against the stabilized table.
+    DagContext ctx;
+    RELM_ASSIGN_OR_RETURN(HopPtr pred, BuildExpr(*stmt.predicate, &ctx,
+                                                 &stable));
+    ir->dag.roots.push_back(pred);
+    ir->estimated_iterations = EstimateWhileIterations(pred.get());
+    ir->iterations_known = false;
+    // Real pass.
+    *table = stable;
+    RELM_RETURN_IF_ERROR(ProcessSeq(blk->body, table, store));
+    // Post-loop state: loop may run zero times.
+    *table = MergeTables(stable, *table);
+    return Status::OK();
+  }
+
+  Status ProcessFor(StatementBlock* blk, SymbolMap* table, bool store,
+                    BlockIR* ir) {
+    const auto& stmt = static_cast<const ForStmt&>(*blk->control);
+    DagContext ctx;
+    RELM_ASSIGN_OR_RETURN(HopPtr from, BuildExpr(*stmt.from, &ctx, table));
+    RELM_ASSIGN_OR_RETURN(HopPtr to, BuildExpr(*stmt.to, &ctx, table));
+    HopPtr incr;
+    if (stmt.increment) {
+      RELM_ASSIGN_OR_RETURN(incr, BuildExpr(*stmt.increment, &ctx, table));
+    }
+    ir->dag.roots.push_back(from);
+    ir->dag.roots.push_back(to);
+    if (incr) ir->dag.roots.push_back(incr);
+    // Iteration count from literal bounds.
+    if (from->kind() == HopKind::kLiteral && to->kind() == HopKind::kLiteral &&
+        (!incr || incr->kind() == HopKind::kLiteral)) {
+      double step = incr ? incr->literal_value : 1.0;
+      if (step != 0.0) {
+        double n = std::floor(
+                       (to->literal_value - from->literal_value) / step) +
+                   1;
+        ir->estimated_iterations = std::max(0.0, n);
+        ir->iterations_known = true;
+      }
+    }
+    if (!ir->iterations_known) {
+      ir->estimated_iterations = kDefaultLoopIterations;
+    }
+    // Loop variable: scalar with unknown value inside the body.
+    SymbolMap snapshot = *table;
+    SymbolInfo loop_var;
+    loop_var.dtype = DataType::kScalar;
+    loop_var.vtype = ValueType::kInt;
+    snapshot[stmt.var] = loop_var;
+    SymbolMap trial = snapshot;
+    RELM_RETURN_IF_ERROR(ProcessSeq(blk->body, &trial, /*store=*/false));
+    SymbolMap stable = DegradeUnstable(snapshot, trial, blk->updated);
+    stable[stmt.var] = loop_var;
+    *table = stable;
+    RELM_RETURN_IF_ERROR(ProcessSeq(blk->body, table, store));
+    *table = MergeTables(stable, *table);
+    return Status::OK();
+  }
+
+  /// Degrades symbols whose characteristics changed across one loop-body
+  /// evaluation: changed dims -> unknown dims, changed nnz -> unknown nnz,
+  /// changed scalar constants -> unknown value.
+  static SymbolMap DegradeUnstable(const SymbolMap& before,
+                                   const SymbolMap& after,
+                                   const std::set<std::string>& updated) {
+    SymbolMap out = before;
+    for (const auto& var : updated) {
+      auto bit = before.find(var);
+      auto ait = after.find(var);
+      if (ait == after.end()) continue;
+      if (bit == before.end()) {
+        // Variable first defined inside the loop; keep the body result but
+        // degrade scalar constants (value differs per iteration).
+        SymbolInfo info = ait->second;
+        info.scalar_known = false;
+        out[var] = info;
+        continue;
+      }
+      SymbolInfo info = bit->second;
+      const SymbolInfo& b = bit->second;
+      const SymbolInfo& a = ait->second;
+      if (b.dtype == DataType::kMatrix || a.dtype == DataType::kMatrix) {
+        if (b.mc.rows() != a.mc.rows() || b.mc.cols() != a.mc.cols()) {
+          info.mc = MatrixCharacteristics::Unknown();
+        } else if (b.mc.nnz() != a.mc.nnz()) {
+          info.mc.set_nnz(kUnknown);
+        }
+      }
+      if (b.dtype == DataType::kScalar) {
+        if (!b.scalar_known || !a.scalar_known ||
+            b.scalar_value != a.scalar_value ||
+            b.string_value != a.string_value) {
+          info.scalar_known = false;
+        }
+      }
+      out[var] = info;
+    }
+    return out;
+  }
+
+  static SymbolMap MergeTables(const SymbolMap& a, const SymbolMap& b) {
+    SymbolMap out;
+    for (const auto& [name, ia] : a) {
+      auto it = b.find(name);
+      if (it == b.end()) {
+        out[name] = ia;
+        continue;
+      }
+      const SymbolInfo& ib = it->second;
+      SymbolInfo merged = ia;
+      if (ia.dtype != ib.dtype) {
+        merged.dtype = DataType::kUnknown;
+        merged.mc = MatrixCharacteristics::Unknown();
+        merged.scalar_known = false;
+      } else if (ia.dtype == DataType::kMatrix) {
+        if (ia.mc.rows() != ib.mc.rows() || ia.mc.cols() != ib.mc.cols()) {
+          merged.mc = MatrixCharacteristics::Unknown();
+        } else if (ia.mc.nnz() != ib.mc.nnz()) {
+          merged.mc.set_nnz(kUnknown);
+        }
+      } else {
+        if (!ia.scalar_known || !ib.scalar_known ||
+            ia.scalar_value != ib.scalar_value ||
+            ia.string_value != ib.string_value) {
+          merged.scalar_known = false;
+        }
+      }
+      out[name] = merged;
+    }
+    for (const auto& [name, ib] : b) {
+      if (!out.count(name)) out[name] = ib;
+    }
+    return out;
+  }
+
+  /// While-loop iteration estimate: look for `i < bound` / `i <= bound`
+  /// with a literal bound in the predicate DAG; otherwise use the default
+  /// constant.
+  static double EstimateWhileIterations(Hop* pred) {
+    double best = -1.0;
+    std::vector<Hop*> stack{pred};
+    while (!stack.empty()) {
+      Hop* h = stack.back();
+      stack.pop_back();
+      if (h->kind() == HopKind::kBinary &&
+          (h->bin_op == BinOp::kLess || h->bin_op == BinOp::kLessEq)) {
+        Hop* rhs = h->input(1);
+        if (rhs->kind() == HopKind::kLiteral && !rhs->literal_is_string &&
+            h->input(0)->kind() == HopKind::kTransientRead) {
+          double bound = rhs->literal_value;
+          if (h->bin_op == BinOp::kLessEq) bound += 1;
+          if (bound >= 1 && (best < 0 || bound < best)) best = bound;
+        }
+      }
+      for (const auto& in : h->inputs()) stack.push_back(in.get());
+    }
+    if (best < 0) return kDefaultLoopIterations;
+    return std::min(best, 1000.0);
+  }
+
+  // ---------------- generic-block DAG construction ----------------
+
+  Status BuildGenericDag(StatementBlock* blk, SymbolMap* table,
+                         BlockIR* ir) {
+    DagContext ctx;
+    for (const Statement* stmt : blk->statements) {
+      RELM_RETURN_IF_ERROR(ProcessStatement(*stmt, &ctx, table));
+    }
+    // Transient writes for live-out variables updated in this block.
+    for (const auto& var : blk->live_out) {
+      if (!blk->updated.count(var)) continue;
+      auto it = ctx.var_hops.find(var);
+      if (it == ctx.var_hops.end()) continue;
+      auto tw = NewHop(HopKind::kTransientWrite, it->second->data_type());
+      tw->set_name(var);
+      tw->set_value_type(it->second->value_type());
+      tw->AddInput(it->second);
+      InferHopCharacteristics(tw.get());
+      ctx.roots.push_back(tw);
+    }
+    ir->dag.roots = std::move(ctx.roots);
+    return Status::OK();
+  }
+
+  Status ProcessStatement(const Statement& stmt, DagContext* ctx,
+                          SymbolMap* table) {
+    switch (stmt.kind) {
+      case Statement::Kind::kAssign: {
+        const auto& a = static_cast<const AssignStmt&>(stmt);
+        // Left indexing: partial update of an existing matrix.
+        if (a.has_left_index) {
+          RELM_ASSIGN_OR_RETURN(
+              HopPtr target, ReadVar(a.targets[0], stmt.line, ctx, table));
+          RELM_ASSIGN_OR_RETURN(HopPtr value, BuildExpr(*a.rhs, ctx,
+                                                        table));
+          auto bound = [&](const ExprPtr& e,
+                           double def) -> Result<HopPtr> {
+            if (!e) {
+              HopPtr h = MakeNumericLiteral(def);
+              h->set_id(next_id_++);
+              InferHopCharacteristics(h.get());
+              return h;
+            }
+            return BuildExpr(*e, ctx, table);
+          };
+          RELM_ASSIGN_OR_RETURN(HopPtr rl, bound(a.li_row_lower, 1));
+          HopPtr ru;
+          if (a.li_row_lower && !a.li_row_upper) {
+            ru = rl;
+          } else {
+            RELM_ASSIGN_OR_RETURN(ru, bound(a.li_row_upper, -1));
+          }
+          RELM_ASSIGN_OR_RETURN(HopPtr cl, bound(a.li_col_lower, 1));
+          HopPtr cu;
+          if (a.li_col_lower && !a.li_col_upper) {
+            cu = cl;
+          } else {
+            RELM_ASSIGN_OR_RETURN(cu, bound(a.li_col_upper, -1));
+          }
+          auto h = NewHop(HopKind::kLeftIndexing, DataType::kMatrix);
+          h->AddInput(target);
+          h->AddInput(value);
+          h->AddInput(rl);
+          h->AddInput(ru);
+          h->AddInput(cl);
+          h->AddInput(cu);
+          InferHopCharacteristics(h.get());
+          Assign(a.targets[0], h, ctx, table);
+          return Status::OK();
+        }
+        // Multi-return user-function call.
+        if (a.targets.size() > 1) {
+          const auto& call = static_cast<const CallExpr&>(*a.rhs);
+          RELM_ASSIGN_OR_RETURN(HopPtr fcall,
+                                BuildFunctionCall(call, ctx, table));
+          const FunctionDef& fn =
+              program_->ast_.functions.at(call.function);
+          for (size_t i = 0; i < a.targets.size(); ++i) {
+            auto out = NewHop(HopKind::kFunctionOutput,
+                              fn.returns[i].data_type);
+            out->function_output_index = static_cast<int>(i);
+            out->AddInput(fcall);
+            InferHopCharacteristics(out.get());
+            ApplyReturnOverride(out.get(), call.function,
+                                fn.returns[i].name);
+            Assign(a.targets[i], out, ctx, table);
+          }
+          return Status::OK();
+        }
+        RELM_ASSIGN_OR_RETURN(HopPtr rhs, BuildExpr(*a.rhs, ctx, table));
+        Assign(a.targets[0], rhs, ctx, table);
+        return Status::OK();
+      }
+      case Statement::Kind::kExpr: {
+        const auto& e = static_cast<const ExprStmt&>(stmt);
+        if (e.expr->kind == Expr::Kind::kCall) {
+          const auto& call = static_cast<const CallExpr&>(*e.expr);
+          if (call.function == "print" || call.function == "stop") {
+            RELM_ASSIGN_OR_RETURN(
+                HopPtr arg, BuildExpr(*call.args[0].value, ctx, table));
+            auto p = NewHop(HopKind::kPrint, DataType::kScalar);
+            p->set_value_type(ValueType::kString);
+            p->AddInput(arg);
+            InferHopCharacteristics(p.get());
+            ctx->roots.push_back(p);
+            return Status::OK();
+          }
+          if (call.function == "write") {
+            RELM_ASSIGN_OR_RETURN(
+                HopPtr data, BuildExpr(*call.args[0].value, ctx, table));
+            RELM_ASSIGN_OR_RETURN(
+                HopPtr path, BuildExpr(*call.args[1].value, ctx, table));
+            if (path->kind() != HopKind::kLiteral ||
+                !path->literal_is_string) {
+              return ErrorAt(stmt.line,
+                             "write() requires a literal output path");
+            }
+            auto w = NewHop(HopKind::kPersistentWrite, data->data_type());
+            w->set_name(path->literal_string);
+            w->AddInput(data);
+            InferHopCharacteristics(w.get());
+            ctx->roots.push_back(w);
+            return Status::OK();
+          }
+        }
+        // Any other expression statement: evaluate for side effects
+        // (none in the supported subset) — build and drop.
+        RELM_ASSIGN_OR_RETURN(HopPtr ignored, BuildExpr(*e.expr, ctx,
+                                                        table));
+        (void)ignored;
+        return Status::OK();
+      }
+      default:
+        return Status::Internal("control statement inside generic block");
+    }
+  }
+
+  /// Assigns hop as the new definition of `var`, applying size overrides
+  /// for operators whose output dims are unknown, and updating the
+  /// propagation symbol table.
+  void Assign(const std::string& var, HopPtr hop, DagContext* ctx,
+              SymbolMap* table) {
+    if (hop->is_matrix() && !hop->mc().dims_known()) {
+      auto it = overrides_.find(var);
+      if (it != overrides_.end()) {
+        hop->set_mc(it->second.mc);
+        ComputeMemoryEstimates(hop.get());
+      }
+    }
+    ctx->var_hops[var] = hop;
+    SymbolInfo info;
+    info.dtype = hop->data_type();
+    info.vtype = hop->value_type();
+    if (hop->is_matrix()) {
+      info.mc = hop->mc();
+    } else if (hop->kind() == HopKind::kLiteral) {
+      info.scalar_known = true;
+      if (hop->literal_is_string) {
+        info.is_string = true;
+        info.string_value = hop->literal_string;
+      } else {
+        info.scalar_value = hop->literal_value;
+      }
+    }
+    (*table)[var] = info;
+  }
+
+  // ---------------- expression construction ----------------
+
+  HopPtr NewHop(HopKind kind, DataType dtype) {
+    auto h = std::make_shared<Hop>(kind, dtype);
+    h->set_id(next_id_++);
+    return h;
+  }
+
+  HopPtr Intern(DagContext* ctx, const std::string& key, HopPtr hop) {
+    auto it = ctx->cse.find(key);
+    if (it != ctx->cse.end()) return it->second;
+    hop->set_id(next_id_++);
+    InferHopCharacteristics(hop.get());
+    ctx->cse.emplace(key, hop);
+    return hop;
+  }
+
+  static std::string Key(const char* tag,
+                         std::initializer_list<const Hop*> ins,
+                         const std::string& extra = "") {
+    std::ostringstream os;
+    os << tag << ":" << extra;
+    for (const Hop* h : ins) os << ":" << h->id();
+    return os.str();
+  }
+
+  Result<HopPtr> ReadVar(const std::string& name, int line, DagContext* ctx,
+                         SymbolMap* table) {
+    auto vit = ctx->var_hops.find(name);
+    if (vit != ctx->var_hops.end()) return vit->second;
+    auto sit = table->find(name);
+    if (sit == table->end()) {
+      return ErrorAt(line, "undefined variable '" + name + "'");
+    }
+    const SymbolInfo& info = sit->second;
+    HopPtr hop;
+    if (info.dtype == DataType::kScalar && info.scalar_known) {
+      // Constant propagation across blocks.
+      hop = info.is_string ? MakeStringLiteral(info.string_value)
+                           : MakeNumericLiteral(info.scalar_value);
+      hop->set_id(next_id_++);
+      InferHopCharacteristics(hop.get());
+    } else {
+      DataType dt = info.dtype == DataType::kUnknown ? DataType::kMatrix
+                                                     : info.dtype;
+      hop = NewHop(HopKind::kTransientRead, dt);
+      hop->set_name(name);
+      hop->set_value_type(info.vtype);
+      if (dt == DataType::kMatrix) hop->set_mc(info.mc);
+      ComputeMemoryEstimates(hop.get());
+    }
+    ctx->var_hops[name] = hop;
+    return hop;
+  }
+
+  Result<HopPtr> BuildExpr(const Expr& expr, DagContext* ctx,
+                           SymbolMap* table) {
+    switch (expr.kind) {
+      case Expr::Kind::kLiteral: {
+        const auto& lit = static_cast<const LiteralExpr&>(expr);
+        HopPtr h;
+        switch (lit.literal_type) {
+          case ValueType::kString:
+            h = MakeStringLiteral(lit.str);
+            break;
+          case ValueType::kBoolean:
+            h = MakeNumericLiteral(lit.boolean ? 1.0 : 0.0);
+            h->set_value_type(ValueType::kBoolean);
+            break;
+          default:
+            h = MakeNumericLiteral(lit.number);
+            break;
+        }
+        h->set_id(next_id_++);
+        InferHopCharacteristics(h.get());
+        return h;
+      }
+      case Expr::Kind::kIdent:
+        return ReadVar(static_cast<const IdentExpr&>(expr).name, expr.line,
+                       ctx, table);
+      case Expr::Kind::kParam:
+        return ErrorAt(expr.line, "unresolved script parameter");
+      case Expr::Kind::kUnary: {
+        const auto& u = static_cast<const UnaryExpr&>(expr);
+        RELM_ASSIGN_OR_RETURN(HopPtr in, BuildExpr(*u.operand, ctx, table));
+        if (HopPtr folded = TryFoldUnary(u.op, in)) {
+          folded->set_id(next_id_++);
+          InferHopCharacteristics(folded.get());
+          return folded;
+        }
+        auto h = std::make_shared<Hop>(HopKind::kUnary, in->data_type());
+        h->un_op = u.op;
+        h->AddInput(in);
+        return Intern(ctx, Key("u", {in.get()}, UnOpName(u.op)), h);
+      }
+      case Expr::Kind::kBinary: {
+        const auto& b = static_cast<const BinaryExpr&>(expr);
+        RELM_ASSIGN_OR_RETURN(HopPtr lhs, BuildExpr(*b.lhs, ctx, table));
+        RELM_ASSIGN_OR_RETURN(HopPtr rhs, BuildExpr(*b.rhs, ctx, table));
+        return MakeBinary(b.op, lhs, rhs, ctx);
+      }
+      case Expr::Kind::kMatMult:
+        return BuildMatMultChain(static_cast<const MatMultExpr&>(expr),
+                                 ctx, table);
+      case Expr::Kind::kIndex:
+        return BuildIndexing(static_cast<const IndexExpr&>(expr), ctx,
+                             table);
+      case Expr::Kind::kCall:
+        return BuildCall(static_cast<const CallExpr&>(expr), ctx, table);
+    }
+    return Status::Internal("unhandled expression kind");
+  }
+
+  HopPtr MakeMatMult(HopPtr lhs, HopPtr rhs, DagContext* ctx) {
+    auto h = std::make_shared<Hop>(HopKind::kMatMult, DataType::kMatrix);
+    h->AddInput(lhs);
+    h->AddInput(rhs);
+    return Intern(ctx, Key("mm", {lhs.get(), rhs.get()}), h);
+  }
+
+  /// Matrix-multiplication chain optimization (Appendix B): `%*%` parses
+  /// left-deep, but for chains with known dimensions the classic
+  /// dynamic program picks the association order with minimal flops
+  /// (e.g. A %*% B %*% v computes B %*% v first).
+  Result<HopPtr> BuildMatMultChain(const MatMultExpr& expr,
+                                   DagContext* ctx, SymbolMap* table) {
+    // Flatten the left spine of consecutive %*% nodes.
+    std::vector<const Expr*> operands;
+    const Expr* cur = &expr;
+    while (cur->kind == Expr::Kind::kMatMult) {
+      const auto& m = static_cast<const MatMultExpr&>(*cur);
+      operands.push_back(m.rhs.get());
+      cur = m.lhs.get();
+    }
+    operands.push_back(cur);
+    std::reverse(operands.begin(), operands.end());
+
+    std::vector<HopPtr> hops;
+    hops.reserve(operands.size());
+    for (const Expr* op_expr : operands) {
+      RELM_ASSIGN_OR_RETURN(HopPtr h, BuildExpr(*op_expr, ctx, table));
+      hops.push_back(std::move(h));
+    }
+    if (hops.size() == 2) {
+      return MakeMatMult(hops[0], hops[1], ctx);
+    }
+    // Dimensions p[0..k]: operand i is p[i] x p[i+1]. Fall back to the
+    // left-deep order when any dimension is unknown.
+    const size_t k = hops.size();
+    std::vector<double> p(k + 1);
+    bool known = true;
+    for (size_t i = 0; i < k; ++i) {
+      const MatrixCharacteristics& mc = hops[i]->mc();
+      if (!mc.dims_known()) known = false;
+      if (i == 0) p[0] = static_cast<double>(mc.rows());
+      p[i + 1] = static_cast<double>(mc.cols());
+    }
+    if (!known) {
+      HopPtr acc = hops[0];
+      for (size_t i = 1; i < k; ++i) acc = MakeMatMult(acc, hops[i], ctx);
+      return acc;
+    }
+    // Standard O(k^3) chain DP on multiply costs p[i]*p[s+1]*p[j+1].
+    std::vector<std::vector<double>> cost(k, std::vector<double>(k, 0.0));
+    std::vector<std::vector<size_t>> split(k, std::vector<size_t>(k, 0));
+    for (size_t len = 2; len <= k; ++len) {
+      for (size_t i = 0; i + len - 1 < k; ++i) {
+        size_t j = i + len - 1;
+        cost[i][j] = -1;
+        for (size_t s = i; s < j; ++s) {
+          double c =
+              cost[i][s] + cost[s + 1][j] + p[i] * p[s + 1] * p[j + 1];
+          if (cost[i][j] < 0 || c < cost[i][j]) {
+            cost[i][j] = c;
+            split[i][j] = s;
+          }
+        }
+      }
+    }
+    std::function<HopPtr(size_t, size_t)> build = [&](size_t i,
+                                                      size_t j) -> HopPtr {
+      if (i == j) return hops[i];
+      size_t s = split[i][j];
+      return MakeMatMult(build(i, s), build(s + 1, j), ctx);
+    };
+    return build(0, k - 1);
+  }
+
+  Result<HopPtr> MakeBinary(BinOp op, HopPtr lhs, HopPtr rhs,
+                            DagContext* ctx) {
+    if (HopPtr folded = TryFoldBinary(op, lhs, rhs)) {
+      folded->set_id(next_id_++);
+      InferHopCharacteristics(folded.get());
+      return folded;
+    }
+    // Algebraic simplifications (Appendix B): neutral elements vanish,
+    // X^2 becomes the cheaper cell-wise X*X.
+    if (HopPtr simplified = TrySimplifyBinary(op, lhs, rhs)) {
+      return simplified;
+    }
+    if (IsSquarePattern(op, rhs) && lhs->is_matrix()) {
+      op = BinOp::kMul;
+      rhs = lhs;
+    }
+    bool matrix = lhs->is_matrix() || rhs->is_matrix();
+    auto h = std::make_shared<Hop>(HopKind::kBinary,
+                                   matrix ? DataType::kMatrix
+                                          : DataType::kScalar);
+    h->bin_op = op;
+    // String concatenation keeps the string value type for print().
+    if (op == BinOp::kAdd && (lhs->value_type() == ValueType::kString ||
+                              rhs->value_type() == ValueType::kString)) {
+      h->set_value_type(ValueType::kString);
+    } else if (!matrix && IsComparison(op)) {
+      h->set_value_type(ValueType::kBoolean);
+    }
+    h->AddInput(lhs);
+    h->AddInput(rhs);
+    return Intern(ctx, Key("b", {lhs.get(), rhs.get()}, BinOpName(op)), h);
+  }
+
+  Result<HopPtr> BuildIndexing(const IndexExpr& ix, DagContext* ctx,
+                               SymbolMap* table) {
+    RELM_ASSIGN_OR_RETURN(HopPtr target, BuildExpr(*ix.target, ctx, table));
+    auto bound = [&](const ExprPtr& e, double def) -> Result<HopPtr> {
+      if (!e) {
+        HopPtr h = MakeNumericLiteral(def);
+        h->set_id(next_id_++);
+        InferHopCharacteristics(h.get());
+        return h;
+      }
+      return BuildExpr(*e, ctx, table);
+    };
+    // Convention: missing lower bound -> 1; missing upper bound with a
+    // missing lower -> -1 ("to the end"); single index -> upper == lower.
+    RELM_ASSIGN_OR_RETURN(HopPtr rl, bound(ix.row_lower, 1));
+    HopPtr ru;
+    if (ix.row_lower && !ix.row_upper) {
+      ru = rl;  // single row
+    } else {
+      RELM_ASSIGN_OR_RETURN(ru, bound(ix.row_upper, -1));
+    }
+    RELM_ASSIGN_OR_RETURN(HopPtr cl, bound(ix.col_lower, 1));
+    HopPtr cu;
+    if (ix.col_lower && !ix.col_upper) {
+      cu = cl;
+    } else {
+      RELM_ASSIGN_OR_RETURN(cu, bound(ix.col_upper, -1));
+    }
+    auto h = std::make_shared<Hop>(HopKind::kIndexing, DataType::kMatrix);
+    h->AddInput(target);
+    h->AddInput(rl);
+    h->AddInput(ru);
+    h->AddInput(cl);
+    h->AddInput(cu);
+    return Intern(
+        ctx,
+        Key("rix", {target.get(), rl.get(), ru.get(), cl.get(), cu.get()}),
+        h);
+  }
+
+  Result<HopPtr> BuildFunctionCall(const CallExpr& call, DagContext* ctx,
+                                   SymbolMap* table) {
+    auto h = NewHop(HopKind::kFunctionCall, DataType::kMatrix);
+    h->function_name = call.function;
+    const FunctionDef& fn = program_->ast_.functions.at(call.function);
+    h->num_function_outputs = static_cast<int>(fn.returns.size());
+    for (const auto& arg : call.args) {
+      RELM_ASSIGN_OR_RETURN(HopPtr in, BuildExpr(*arg.value, ctx, table));
+      h->AddInput(in);
+    }
+    InferHopCharacteristics(h.get());
+    return h;
+  }
+
+  Result<HopPtr> BuildCall(const CallExpr& call, DagContext* ctx,
+                           SymbolMap* table) {
+    const std::string& fn = call.function;
+    // User-defined function in expression position: first return value.
+    if (program_->ast_.functions.count(fn)) {
+      RELM_ASSIGN_OR_RETURN(HopPtr fcall, BuildFunctionCall(call, ctx,
+                                                            table));
+      const FunctionDef& def = program_->ast_.functions.at(fn);
+      auto out = NewHop(HopKind::kFunctionOutput, def.returns[0].data_type);
+      out->function_output_index = 0;
+      out->AddInput(fcall);
+      InferHopCharacteristics(out.get());
+      ApplyReturnOverride(out.get(), fn, def.returns[0].name);
+      return out;
+    }
+
+    auto arg = [&](size_t i) -> const Expr& { return *call.args[i].value; };
+
+    if (fn == "read") {
+      RELM_ASSIGN_OR_RETURN(HopPtr path, BuildExpr(arg(0), ctx, table));
+      if (path->kind() != HopKind::kLiteral || !path->literal_is_string) {
+        return ErrorAt(call.line, "read() requires a literal path");
+      }
+      auto file = program_->hdfs_->Get(path->literal_string);
+      if (!file.ok()) {
+        return ErrorAt(call.line, "read(): " + file.status().message());
+      }
+      auto h = std::make_shared<Hop>(HopKind::kPersistentRead,
+                                     DataType::kMatrix);
+      h->set_name(path->literal_string);
+      h->set_mc(file->characteristics);
+      return Intern(ctx, Key("pread", {}, path->literal_string), h);
+    }
+    if (fn == "matrix" || fn == "rand") {
+      const Expr* rows = call.Named("rows");
+      const Expr* cols = call.Named("cols");
+      RELM_ASSIGN_OR_RETURN(HopPtr rows_h, BuildExpr(*rows, ctx, table));
+      RELM_ASSIGN_OR_RETURN(HopPtr cols_h, BuildExpr(*cols, ctx, table));
+      HopPtr value_h;
+      if (fn == "matrix") {
+        RELM_ASSIGN_OR_RETURN(value_h, BuildExpr(arg(0), ctx, table));
+      } else {
+        const Expr* min = call.Named("min");
+        if (min != nullptr) {
+          RELM_ASSIGN_OR_RETURN(value_h, BuildExpr(*min, ctx, table));
+        } else {
+          value_h = MakeNumericLiteral(0.0);
+          value_h->set_id(next_id_++);
+          InferHopCharacteristics(value_h.get());
+        }
+      }
+      auto h = std::make_shared<Hop>(HopKind::kDataGen, DataType::kMatrix);
+      h->datagen_op = fn == "matrix" ? DataGenOp::kConstMatrix
+                                     : DataGenOp::kRand;
+      h->AddInput(value_h);
+      h->AddInput(rows_h);
+      h->AddInput(cols_h);
+      if (fn == "rand") {
+        const Expr* sp = call.Named("sparsity");
+        HopPtr sp_h;
+        if (sp != nullptr) {
+          RELM_ASSIGN_OR_RETURN(sp_h, BuildExpr(*sp, ctx, table));
+        } else {
+          sp_h = MakeNumericLiteral(1.0);
+          sp_h->set_id(next_id_++);
+          InferHopCharacteristics(sp_h.get());
+        }
+        h->AddInput(sp_h);
+        // No CSE for rand (non-deterministic).
+        h->set_id(next_id_++);
+        InferHopCharacteristics(h.get());
+        return HopPtr(h);
+      }
+      return Intern(ctx,
+                    Key("dg", {value_h.get(), rows_h.get(), cols_h.get()}),
+                    h);
+    }
+    if (fn == "seq") {
+      auto h = std::make_shared<Hop>(HopKind::kDataGen, DataType::kMatrix);
+      h->datagen_op = DataGenOp::kSeq;
+      std::vector<const Hop*> keys;
+      for (size_t i = 0; i < call.args.size(); ++i) {
+        RELM_ASSIGN_OR_RETURN(HopPtr in, BuildExpr(arg(i), ctx, table));
+        h->AddInput(in);
+      }
+      for (const auto& in : h->inputs()) keys.push_back(in.get());
+      std::string key = "seq";
+      for (const Hop* k : keys) key += ":" + std::to_string(k->id());
+      return Intern(ctx, key, h);
+    }
+    if (fn == "t" || fn == "diag") {
+      RELM_ASSIGN_OR_RETURN(HopPtr in, BuildExpr(arg(0), ctx, table));
+      ReorgOp op = fn == "t" ? ReorgOp::kTranspose : ReorgOp::kDiag;
+      if (HopPtr simplified = TrySimplifyReorg(op, in)) return simplified;
+      auto h = std::make_shared<Hop>(HopKind::kReorg, DataType::kMatrix);
+      h->reorg_op = op;
+      h->AddInput(in);
+      return Intern(ctx, Key("r", {in.get()}, fn), h);
+    }
+    if (fn == "sum" || fn == "mean" || fn == "trace" ||
+        ((fn == "min" || fn == "max") && call.args.size() == 1 &&
+         arg(0).data_type == DataType::kMatrix)) {
+      RELM_ASSIGN_OR_RETURN(HopPtr in, BuildExpr(arg(0), ctx, table));
+      auto h = std::make_shared<Hop>(HopKind::kAggUnary, DataType::kScalar);
+      h->agg_op = fn == "sum" ? AggOp::kSum
+                  : fn == "mean"
+                      ? AggOp::kMean
+                      : fn == "trace" ? AggOp::kTrace
+                                      : (fn == "min" ? AggOp::kMin
+                                                     : AggOp::kMax);
+      h->agg_dir = AggDir::kAll;
+      h->AddInput(in);
+      return Intern(ctx, Key("ua", {in.get()}, fn), h);
+    }
+    if (fn == "min" || fn == "max") {
+      // Two-argument form: cell-wise / scalar min/max.
+      RELM_ASSIGN_OR_RETURN(HopPtr a, BuildExpr(arg(0), ctx, table));
+      RELM_ASSIGN_OR_RETURN(HopPtr b, BuildExpr(arg(1), ctx, table));
+      return MakeBinary(fn == "min" ? BinOp::kMin : BinOp::kMax, a, b, ctx);
+    }
+    if (fn == "rowSums" || fn == "colSums" || fn == "rowMeans" ||
+        fn == "colMeans" || fn == "rowMaxs" || fn == "colMaxs") {
+      RELM_ASSIGN_OR_RETURN(HopPtr in, BuildExpr(arg(0), ctx, table));
+      auto h = std::make_shared<Hop>(HopKind::kAggUnary, DataType::kMatrix);
+      bool row = fn[0] == 'r';
+      h->agg_dir = row ? AggDir::kRow : AggDir::kCol;
+      if (EndsWithStr(fn, "Sums")) {
+        h->agg_op = AggOp::kSum;
+      } else if (EndsWithStr(fn, "Means")) {
+        h->agg_op = AggOp::kMean;
+      } else {
+        h->agg_op = AggOp::kMax;
+      }
+      h->AddInput(in);
+      return Intern(ctx, Key("ua", {in.get()}, fn), h);
+    }
+    if (fn == "ppred") {
+      RELM_ASSIGN_OR_RETURN(HopPtr a, BuildExpr(arg(0), ctx, table));
+      RELM_ASSIGN_OR_RETURN(HopPtr b, BuildExpr(arg(1), ctx, table));
+      const auto& op_lit = static_cast<const LiteralExpr&>(arg(2));
+      RELM_ASSIGN_OR_RETURN(BinOp op, PpredOp(op_lit.str, call.line));
+      return MakeBinary(op, a, b, ctx);
+    }
+    if (fn == "table") {
+      RELM_ASSIGN_OR_RETURN(HopPtr a, BuildExpr(arg(0), ctx, table));
+      RELM_ASSIGN_OR_RETURN(HopPtr b, BuildExpr(arg(1), ctx, table));
+      auto h = std::make_shared<Hop>(HopKind::kTernary, DataType::kMatrix);
+      h->AddInput(a);
+      h->AddInput(b);
+      return Intern(ctx, Key("ctable", {a.get(), b.get()}), h);
+    }
+    if (fn == "solve") {
+      RELM_ASSIGN_OR_RETURN(HopPtr a, BuildExpr(arg(0), ctx, table));
+      RELM_ASSIGN_OR_RETURN(HopPtr b, BuildExpr(arg(1), ctx, table));
+      auto h = std::make_shared<Hop>(HopKind::kSolve, DataType::kMatrix);
+      h->AddInput(a);
+      h->AddInput(b);
+      return Intern(ctx, Key("solve", {a.get(), b.get()}), h);
+    }
+    if (fn == "cbind" || fn == "append") {
+      RELM_ASSIGN_OR_RETURN(HopPtr a, BuildExpr(arg(0), ctx, table));
+      RELM_ASSIGN_OR_RETURN(HopPtr b, BuildExpr(arg(1), ctx, table));
+      auto h = std::make_shared<Hop>(HopKind::kAppend, DataType::kMatrix);
+      h->AddInput(a);
+      h->AddInput(b);
+      return Intern(ctx, Key("append", {a.get(), b.get()}), h);
+    }
+    if (fn == "abs" || fn == "sqrt" || fn == "exp" || fn == "log" ||
+        fn == "round" || fn == "floor" || fn == "ceil" || fn == "sign") {
+      RELM_ASSIGN_OR_RETURN(HopPtr in, BuildExpr(arg(0), ctx, table));
+      UnOp op = fn == "abs"     ? UnOp::kAbs
+                : fn == "sqrt"  ? UnOp::kSqrt
+                : fn == "exp"   ? UnOp::kExp
+                : fn == "log"   ? UnOp::kLog
+                : fn == "round" ? UnOp::kRound
+                : fn == "floor" ? UnOp::kFloor
+                : fn == "ceil"  ? UnOp::kCeil
+                                : UnOp::kSign;
+      if (HopPtr folded = TryFoldUnary(op, in)) {
+        folded->set_id(next_id_++);
+        InferHopCharacteristics(folded.get());
+        return folded;
+      }
+      auto h = std::make_shared<Hop>(HopKind::kUnary, in->data_type());
+      h->un_op = op;
+      h->AddInput(in);
+      return Intern(ctx, Key("u", {in.get()}, fn), h);
+    }
+    if (fn == "nrow" || fn == "ncol") {
+      RELM_ASSIGN_OR_RETURN(HopPtr in, BuildExpr(arg(0), ctx, table));
+      bool rows = fn == "nrow";
+      int64_t dim = rows ? in->mc().rows() : in->mc().cols();
+      if (dim >= 0) {
+        HopPtr lit = MakeNumericLiteral(static_cast<double>(dim));
+        lit->set_id(next_id_++);
+        lit->set_value_type(ValueType::kInt);
+        InferHopCharacteristics(lit.get());
+        return lit;
+      }
+      auto h = std::make_shared<Hop>(HopKind::kDimExtract,
+                                     DataType::kScalar);
+      h->dim_extract_rows = rows;
+      h->set_value_type(ValueType::kInt);
+      h->AddInput(in);
+      return Intern(ctx, Key("dim", {in.get()}, fn), h);
+    }
+    if (fn == "as.scalar" || fn == "castAsScalar" || fn == "as.double" ||
+        fn == "as.integer" || fn == "as.matrix") {
+      RELM_ASSIGN_OR_RETURN(HopPtr in, BuildExpr(arg(0), ctx, table));
+      bool to_matrix = fn == "as.matrix";
+      if (!to_matrix && !in->is_matrix() &&
+          in->kind() == HopKind::kLiteral) {
+        return in;  // cast of a scalar literal is a no-op
+      }
+      auto h = std::make_shared<Hop>(
+          HopKind::kCast, to_matrix ? DataType::kMatrix : DataType::kScalar);
+      h->AddInput(in);
+      return Intern(ctx, Key("cast", {in.get()}, fn), h);
+    }
+    return ErrorAt(call.line, "unsupported builtin '" + fn + "'");
+  }
+
+  /// Applies a runtime-derived function-return size override (key
+  /// "<function>><return>") to a FunctionOutput hop with unknown dims.
+  void ApplyReturnOverride(Hop* out, const std::string& fn,
+                           const std::string& ret_name) {
+    if (!out->is_matrix() || out->mc().dims_known()) return;
+    auto it = overrides_.find(fn + ">" + ret_name);
+    if (it == overrides_.end()) return;
+    out->set_mc(it->second.mc);
+    ComputeMemoryEstimates(out);
+  }
+
+  static bool EndsWithStr(const std::string& s, const std::string& suf) {
+    return s.size() >= suf.size() &&
+           s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+  }
+
+  MlProgram* program_;
+  const SymbolMap& overrides_;
+  int64_t next_id_ = 0;
+};
+
+IrBuilder::IrBuilder(MlProgram* program, const SymbolMap& size_overrides)
+    : program_(program), size_overrides_(size_overrides) {}
+
+Status IrBuilder::Build() {
+  Impl impl(program_, size_overrides_);
+  return impl.Build();
+}
+
+}  // namespace relm

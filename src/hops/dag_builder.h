@@ -1,0 +1,32 @@
+#ifndef RELM_HOPS_DAG_BUILDER_H_
+#define RELM_HOPS_DAG_BUILDER_H_
+
+#include "common/status.h"
+#include "hops/ml_program.h"
+
+namespace relm {
+
+/// Builds (or rebuilds) all per-block HOP DAGs of an MlProgram, walking
+/// blocks in execution order with a symbol table so that sizes, scalar
+/// constants, and sparsity propagate across blocks. Performs constant
+/// folding, common-subexpression elimination, static branch removal, and
+/// loop-stability analysis along the way.
+///
+/// `size_overrides` supplies characteristics that became known at runtime
+/// (dynamic recompilation); they are applied when the named variable is
+/// assigned an operator output with unknown dimensions.
+class IrBuilder {
+ public:
+  IrBuilder(MlProgram* program, const SymbolMap& size_overrides);
+
+  Status Build();
+
+ private:
+  class Impl;
+  MlProgram* program_;
+  const SymbolMap& size_overrides_;
+};
+
+}  // namespace relm
+
+#endif  // RELM_HOPS_DAG_BUILDER_H_

@@ -1,0 +1,194 @@
+#include "hops/hop.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace relm {
+
+const char* HopKindName(HopKind kind) {
+  switch (kind) {
+    case HopKind::kLiteral:
+      return "lit";
+    case HopKind::kTransientRead:
+      return "tread";
+    case HopKind::kPersistentRead:
+      return "pread";
+    case HopKind::kTransientWrite:
+      return "twrite";
+    case HopKind::kPersistentWrite:
+      return "pwrite";
+    case HopKind::kBinary:
+      return "b";
+    case HopKind::kUnary:
+      return "u";
+    case HopKind::kAggUnary:
+      return "ua";
+    case HopKind::kMatMult:
+      return "ba(+*)";
+    case HopKind::kReorg:
+      return "r";
+    case HopKind::kDataGen:
+      return "datagen";
+    case HopKind::kTernary:
+      return "ctable";
+    case HopKind::kIndexing:
+      return "rix";
+    case HopKind::kLeftIndexing:
+      return "lix";
+    case HopKind::kAppend:
+      return "append";
+    case HopKind::kSolve:
+      return "solve";
+    case HopKind::kFunctionCall:
+      return "fcall";
+    case HopKind::kFunctionOutput:
+      return "fout";
+    case HopKind::kDimExtract:
+      return "dim";
+    case HopKind::kCast:
+      return "cast";
+    case HopKind::kPrint:
+      return "print";
+  }
+  return "?";
+}
+
+const char* MMultMethodName(MMultMethod method) {
+  switch (method) {
+    case MMultMethod::kCpMM:
+      return "CP-MM";
+    case MMultMethod::kMapMM:
+      return "MapMM";
+    case MMultMethod::kMapMMChain:
+      return "MapMMChain";
+    case MMultMethod::kTSMM:
+      return "TSMM";
+    case MMultMethod::kCPMM:
+      return "CPMM";
+    case MMultMethod::kRMM:
+      return "RMM";
+  }
+  return "?";
+}
+
+double Hop::ComputeFlops() const {
+  auto cells = [](const MatrixCharacteristics& mc) -> double {
+    if (!mc.dims_known()) return 0.0;
+    return static_cast<double>(mc.rows()) * static_cast<double>(mc.cols());
+  };
+  switch (kind_) {
+    case HopKind::kMatMult: {
+      // 2*m*k*n scaled by the sparsity of the left input.
+      if (inputs_.size() < 2) return 0.0;
+      const auto& a = inputs_[0]->mc();
+      const auto& b = inputs_[1]->mc();
+      if (!a.dims_known() || !b.dims_known()) return 0.0;
+      double sp = a.SparsityOrWorstCase();
+      return 2.0 * static_cast<double>(a.rows()) *
+             static_cast<double>(a.cols()) * sp *
+             static_cast<double>(b.cols());
+    }
+    case HopKind::kSolve: {
+      if (inputs_.empty()) return 0.0;
+      const auto& a = inputs_[0]->mc();
+      if (!a.dims_known()) return 0.0;
+      double n = static_cast<double>(a.rows());
+      return (2.0 / 3.0) * n * n * n;
+    }
+    case HopKind::kBinary:
+    case HopKind::kUnary:
+    case HopKind::kIndexing:
+    case HopKind::kLeftIndexing:
+    case HopKind::kAppend:
+    case HopKind::kDataGen:
+      return cells(mc_);
+    case HopKind::kAggUnary:
+    case HopKind::kReorg:
+    case HopKind::kTernary:
+      return inputs_.empty() ? cells(mc_) : cells(inputs_[0]->mc());
+    default:
+      return 1.0;
+  }
+}
+
+std::string Hop::ToString() const {
+  std::ostringstream os;
+  os << "(" << id_ << ") " << HopKindName(kind_);
+  switch (kind_) {
+    case HopKind::kBinary:
+      os << "(" << BinOpName(bin_op) << ")";
+      break;
+    case HopKind::kUnary:
+      os << "(" << UnOpName(un_op) << ")";
+      break;
+    case HopKind::kAggUnary:
+      os << "(" << AggOpName(agg_op) << ","
+         << (agg_dir == AggDir::kAll ? "all"
+                                     : (agg_dir == AggDir::kRow ? "row"
+                                                                : "col"))
+         << ")";
+      break;
+    case HopKind::kReorg:
+      os << "(" << (reorg_op == ReorgOp::kTranspose ? "t" : "diag") << ")";
+      break;
+    case HopKind::kLiteral:
+      if (literal_is_string) {
+        os << " \"" << literal_string << "\"";
+      } else {
+        os << " " << literal_value;
+      }
+      break;
+    case HopKind::kFunctionCall:
+      os << " " << function_name;
+      break;
+    default:
+      break;
+  }
+  if (!name_.empty()) os << " [" << name_ << "]";
+  if (is_matrix()) os << " " << mc_.ToString();
+  if (!inputs_.empty()) {
+    os << " <-";
+    for (const auto& in : inputs_) os << " " << in->id();
+  }
+  return os.str();
+}
+
+std::vector<Hop*> HopDag::TopoOrder() const {
+  std::vector<Hop*> order;
+  std::unordered_set<const Hop*> visited;
+  // Iterative post-order DFS from each root.
+  struct Frame {
+    Hop* hop;
+    size_t next_input;
+  };
+  for (const auto& root : roots) {
+    if (visited.count(root.get())) continue;
+    std::vector<Frame> stack;
+    stack.push_back({root.get(), 0});
+    visited.insert(root.get());
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.next_input < f.hop->inputs().size()) {
+        Hop* child = f.hop->inputs()[f.next_input].get();
+        ++f.next_input;
+        if (!visited.count(child)) {
+          visited.insert(child);
+          stack.push_back({child, 0});
+        }
+      } else {
+        order.push_back(f.hop);
+        stack.pop_back();
+      }
+    }
+  }
+  return order;
+}
+
+std::string HopDag::ToString() const {
+  std::ostringstream os;
+  for (Hop* h : TopoOrder()) os << h->ToString() << "\n";
+  return os.str();
+}
+
+}  // namespace relm

@@ -1,0 +1,181 @@
+#ifndef RELM_HOPS_HOP_H_
+#define RELM_HOPS_HOP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+#include "matrix/matrix_characteristics.h"
+#include "matrix/op_types.h"
+
+namespace relm {
+
+/// High-level operator kinds. Each generic statement block compiles into
+/// one DAG of these operators.
+enum class HopKind {
+  kLiteral,          // scalar constant
+  kTransientRead,    // read of a live variable
+  kPersistentRead,   // read() from HDFS
+  kTransientWrite,   // write of a live-out variable
+  kPersistentWrite,  // write() to HDFS
+  kBinary,           // cell-wise / scalar binary op
+  kUnary,            // cell-wise / scalar unary op (incl. casts)
+  kAggUnary,         // sum/min/max/mean/trace with direction
+  kMatMult,          // aggregate binary: %*%
+  kReorg,            // transpose, diag
+  kDataGen,          // matrix()/rand()/seq()
+  kTernary,          // table(v1, v2)
+  kIndexing,         // right indexing
+  kLeftIndexing,     // partial update X[rl:ru, cl:cu] = V
+  kAppend,           // cbind
+  kSolve,            // solve(A, b)
+  kFunctionCall,     // user-defined function invocation
+  kFunctionOutput,   // the i-th return value of a FunctionCall
+  kDimExtract,       // nrow()/ncol() when not statically foldable
+  kCast,             // as.scalar / as.matrix / as.double / as.integer
+  kPrint,            // print()/stop()
+};
+
+const char* HopKindName(HopKind kind);
+
+/// Where an operator executes: in-memory in the control program, or as
+/// part of a distributed MR job.
+enum class ExecType { kCP, kMR };
+
+/// Reorg sub-operations.
+enum class ReorgOp { kTranspose, kDiag };
+
+/// DataGen sub-operations.
+enum class DataGenOp { kConstMatrix, kRand, kSeq };
+
+/// Physical matrix-multiplication methods (chosen during operator
+/// selection; the memory-sensitive choice at the heart of the paper).
+enum class MMultMethod {
+  kCpMM,        // in-memory multiply
+  kMapMM,       // map-side multiply, small side broadcast to mappers
+  kMapMMChain,  // fused t(X) %*% (w * (X %*% v)) map-side chain
+  kTSMM,        // transpose-self t(X) %*% X
+  kCPMM,        // cross-product based repartition multiply (shuffle)
+  kRMM,         // replication based multiply (shuffle)
+};
+
+const char* MMultMethodName(MMultMethod method);
+
+class Hop;
+using HopPtr = std::shared_ptr<Hop>;
+
+/// One node of a HOP DAG. Carries logical operator semantics, inferred
+/// output characteristics, memory estimates, and — after operator
+/// selection — the chosen execution type and physical method.
+class Hop {
+ public:
+  Hop(HopKind kind, DataType dtype) : kind_(kind), data_type_(dtype) {}
+
+  HopKind kind() const { return kind_; }
+  DataType data_type() const { return data_type_; }
+  bool is_matrix() const { return data_type_ == DataType::kMatrix; }
+
+  /// Cell/scalar value type (kString for string scalars, used by print).
+  ValueType value_type() const { return value_type_; }
+  void set_value_type(ValueType vt) { value_type_ = vt; }
+
+  int64_t id() const { return id_; }
+  void set_id(int64_t id) { id_ = id; }
+
+  /// Variable name for reads/writes; file path for persistent IO.
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  /// Operator payloads (meaningful per kind).
+  BinOp bin_op = BinOp::kAdd;
+  UnOp un_op = UnOp::kNeg;
+  AggOp agg_op = AggOp::kSum;
+  AggDir agg_dir = AggDir::kAll;
+  ReorgOp reorg_op = ReorgOp::kTranspose;
+  DataGenOp datagen_op = DataGenOp::kConstMatrix;
+  double literal_value = 0.0;         // kLiteral numeric value
+  std::string literal_string;         // kLiteral string value
+  bool literal_is_string = false;
+  std::string function_name;          // kFunctionCall
+  int function_output_index = 0;      // kFunctionOutput
+  int num_function_outputs = 1;       // kFunctionCall
+  bool dim_extract_rows = true;       // kDimExtract: nrow vs ncol
+  /// Operator selection: index of the input broadcast to all map tasks
+  /// (MapMM small side, map-binary vector, ...); -1 when none.
+  int broadcast_input = -1;
+
+  std::vector<HopPtr>& inputs() { return inputs_; }
+  const std::vector<HopPtr>& inputs() const { return inputs_; }
+  void AddInput(HopPtr input) { inputs_.push_back(std::move(input)); }
+  Hop* input(size_t i) const { return inputs_[i].get(); }
+
+  /// Inferred output characteristics (scalars: 1x1 nnz 1).
+  const MatrixCharacteristics& mc() const { return mc_; }
+  MatrixCharacteristics* mutable_mc() { return &mc_; }
+  void set_mc(const MatrixCharacteristics& mc) { mc_ = mc; }
+
+  /// True when output dims are known (scalars always are).
+  bool dims_known() const {
+    return !is_matrix() || mc_.dims_known();
+  }
+
+  /// ---- memory estimates (bytes), computed during size propagation ----
+
+  /// Estimated in-memory size of this operator's output.
+  int64_t output_mem() const { return output_mem_; }
+  void set_output_mem(int64_t m) { output_mem_ = m; }
+  /// Estimated total operation memory: inputs + intermediates + output.
+  int64_t op_mem() const { return op_mem_; }
+  void set_op_mem(int64_t m) { op_mem_ = m; }
+
+  /// ---- operator selection results ----
+
+  ExecType exec_type() const { return exec_type_; }
+  void set_exec_type(ExecType t) { exec_type_ = t; }
+  MMultMethod mmult_method() const { return mmult_method_; }
+  void set_mmult_method(MMultMethod m) { mmult_method_ = m; }
+
+  /// A fused transpose (t(X) consumed only by matrix multiplies) is never
+  /// materialized: the consumer reads X directly (the transpose-mm
+  /// rewrite / fused physical operators of SystemML's Table 4).
+  bool fused() const { return fused_; }
+  void set_fused(bool f) { fused_ = f; }
+
+  /// Approximate floating point operations of this operator.
+  double ComputeFlops() const;
+
+  std::string ToString() const;
+
+ private:
+  HopKind kind_;
+  DataType data_type_;
+  ValueType value_type_ = ValueType::kDouble;
+  int64_t id_ = -1;
+  std::string name_;
+  std::vector<HopPtr> inputs_;
+  MatrixCharacteristics mc_{0, 0, 0};
+  int64_t output_mem_ = 0;
+  int64_t op_mem_ = 0;
+  ExecType exec_type_ = ExecType::kCP;
+  MMultMethod mmult_method_ = MMultMethod::kCpMM;
+  bool fused_ = false;
+};
+
+/// The HOP DAG of one statement block (or of a predicate). Roots are the
+/// transient/persistent writes and print side effects, in program order.
+struct HopDag {
+  std::vector<HopPtr> roots;
+
+  bool empty() const { return roots.empty(); }
+
+  /// All nodes in topological order (inputs before consumers).
+  std::vector<Hop*> TopoOrder() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace relm
+
+#endif  // RELM_HOPS_HOP_H_

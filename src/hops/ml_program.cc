@@ -1,0 +1,88 @@
+#include "hops/ml_program.h"
+
+#include <utility>
+
+#include "hops/dag_builder.h"
+#include "lang/validator.h"
+
+namespace relm {
+
+Result<std::unique_ptr<MlProgram>> MlProgram::Compile(
+    const std::string& source, const ScriptArgs& args,
+    const SimulatedHdfs* hdfs) {
+  auto program = std::unique_ptr<MlProgram>(new MlProgram());
+  program->source_ = source;
+  program->args_ = args;
+  program->hdfs_ = hdfs;
+  RELM_ASSIGN_OR_RETURN(program->ast_, ParseDml(source, args));
+  RELM_RETURN_IF_ERROR(ValidateProgram(&program->ast_));
+  RELM_ASSIGN_OR_RETURN(program->blocks_,
+                        BuildProgramBlocks(program->ast_));
+  IrBuilder builder(program.get(), program->size_overrides_);
+  RELM_RETURN_IF_ERROR(builder.Build());
+  return program;
+}
+
+Result<std::unique_ptr<MlProgram>> MlProgram::Clone() const {
+  RELM_ASSIGN_OR_RETURN(std::unique_ptr<MlProgram> copy,
+                        Compile(source_, args_, hdfs_));
+  if (!size_overrides_.empty()) {
+    RELM_RETURN_IF_ERROR(copy->Rebuild(size_overrides_));
+  }
+  return copy;
+}
+
+Status MlProgram::Rebuild(const SymbolMap& size_overrides) {
+  for (const auto& [name, info] : size_overrides) {
+    size_overrides_[name] = info;
+  }
+  ir_.clear();
+  IrBuilder builder(this, size_overrides_);
+  return builder.Build();
+}
+
+namespace {
+
+void CollectPreOrder(const std::vector<BlockPtr>& blocks,
+                     std::vector<StatementBlock*>* out) {
+  for (const auto& b : blocks) {
+    out->push_back(b.get());
+    CollectPreOrder(b->body, out);
+    CollectPreOrder(b->else_body, out);
+  }
+}
+
+}  // namespace
+
+std::vector<StatementBlock*> MlProgram::MainBlocksPreOrder() const {
+  std::vector<StatementBlock*> out;
+  CollectPreOrder(blocks_.main, &out);
+  return out;
+}
+
+std::vector<StatementBlock*> MlProgram::AllBlocksPreOrder() const {
+  std::vector<StatementBlock*> out;
+  CollectPreOrder(blocks_.main, &out);
+  for (const auto& [name, fn_blocks] : blocks_.functions) {
+    CollectPreOrder(fn_blocks, &out);
+  }
+  return out;
+}
+
+std::vector<StatementBlock*> MlProgram::GenericBlocks() const {
+  std::vector<StatementBlock*> all = MainBlocksPreOrder();
+  std::vector<StatementBlock*> out;
+  for (StatementBlock* b : all) {
+    if (b->IsLastLevel()) out.push_back(b);
+  }
+  return out;
+}
+
+bool MlProgram::has_unknowns() const {
+  for (const auto& [id, block_ir] : ir_) {
+    if (block_ir.has_unknown_dims) return true;
+  }
+  return false;
+}
+
+}  // namespace relm

@@ -1,0 +1,128 @@
+#ifndef RELM_HOPS_ML_PROGRAM_H_
+#define RELM_HOPS_ML_PROGRAM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "hdfs/file_system.h"
+#include "hops/hop.h"
+#include "lang/ast.h"
+#include "lang/parser.h"
+#include "lang/statement_block.h"
+
+namespace relm {
+
+/// Size/constant information of one live variable during propagation.
+struct SymbolInfo {
+  DataType dtype = DataType::kUnknown;
+  ValueType vtype = ValueType::kDouble;
+  /// Matrix characteristics (matrices only).
+  MatrixCharacteristics mc = MatrixCharacteristics::Unknown();
+  /// Known literal value (scalars only; enables constant propagation,
+  /// branch removal, and loop-iteration estimates).
+  bool scalar_known = false;
+  double scalar_value = 0.0;
+  bool is_string = false;
+  std::string string_value;
+};
+
+using SymbolMap = std::map<std::string, SymbolInfo>;
+
+/// Compiler IR attached to one statement block.
+struct BlockIR {
+  StatementBlock* block = nullptr;  // non-owning
+  /// Generic blocks: the statement DAG. Control blocks: the predicate DAG
+  /// (for for-loops: from/to/increment roots).
+  HopDag dag;
+  /// If-blocks: statically taken branch (0 = then, 1 = else, -1 unknown).
+  int taken_branch = -1;
+  /// Loop blocks: estimated number of iterations for cost aggregation.
+  double estimated_iterations = 0.0;
+  /// True when the estimate is exact (literal for-loop bounds).
+  bool iterations_known = false;
+  /// True when any matrix operator in the DAG has unknown dimensions.
+  bool has_unknown_dims = false;
+  /// Variable sizes at block entry (used for scoped re-optimization).
+  SymbolMap entry_symbols;
+};
+
+/// Default loop-iteration constant used when the number of iterations is
+/// unknown ("a constant which at least reflects that the body is executed
+/// multiple times", Section 3.1). A while-predicate of the shape
+/// `... & i < bound` with a known literal bound uses the bound instead.
+inline constexpr double kDefaultLoopIterations = 10.0;
+
+/// A fully front-end-compiled ML program: AST, statement-block hierarchy,
+/// and per-block HOP DAGs with propagated sizes and memory estimates.
+/// Operator selection / runtime-plan generation (the memory-sensitive,
+/// repeatedly re-run part) lives in the lops layer and takes an MlProgram
+/// plus a resource configuration.
+class MlProgram {
+ public:
+  /// Runs the front-end pipeline: parse, validate, block construction,
+  /// HOP DAG construction with rewrites, size propagation, and memory
+  /// estimation. `hdfs` provides metadata for read() inputs and must
+  /// outlive the program.
+  static Result<std::unique_ptr<MlProgram>> Compile(
+      const std::string& source, const ScriptArgs& args,
+      const SimulatedHdfs* hdfs);
+
+  /// Deep copy for concurrent recompilation (each parallel-optimizer
+  /// worker owns its own program and HOP DAGs, Appendix C). Implemented
+  /// as a deterministic re-compile of the original source plus a replay
+  /// of accumulated size overrides; block and hop ids match the source
+  /// program.
+  Result<std::unique_ptr<MlProgram>> Clone() const;
+
+  /// Rebuilds all HOP DAGs with updated initial variable characteristics
+  /// (dynamic recompilation: sizes that became known during execution).
+  /// `overrides` maps variable names to their now-known characteristics
+  /// and is applied whenever the variable is (re)created by the operator
+  /// recorded in the overrides (keyed by variable name).
+  Status Rebuild(const SymbolMap& size_overrides);
+
+  /// IR of a block (must exist).
+  BlockIR& ir(int block_id) { return ir_.at(block_id); }
+  const BlockIR& ir(int block_id) const { return ir_.at(block_id); }
+  bool has_ir(int block_id) const { return ir_.count(block_id) > 0; }
+
+  /// All blocks of the main program in pre-order (outer before nested).
+  std::vector<StatementBlock*> MainBlocksPreOrder() const;
+  /// All blocks including function bodies.
+  std::vector<StatementBlock*> AllBlocksPreOrder() const;
+  /// Last-level (generic) blocks of the main program, execution order.
+  std::vector<StatementBlock*> GenericBlocks() const;
+
+  const DmlProgram& ast() const { return ast_; }
+  const ProgramBlocks& blocks() const { return blocks_; }
+  ProgramBlocks& blocks() { return blocks_; }
+  const SimulatedHdfs* hdfs() const { return hdfs_; }
+  const ScriptArgs& args() const { return args_; }
+  const std::string& source() const { return source_; }
+
+  /// Statistics for Table 1 and optimization-overhead reporting.
+  int source_lines() const { return ast_.source_lines; }
+  int total_blocks() const { return blocks_.TotalBlocks(); }
+  bool has_unknowns() const;
+
+ private:
+  friend class IrBuilder;
+
+  MlProgram() = default;
+
+  std::string source_;
+  ScriptArgs args_;
+  DmlProgram ast_;
+  ProgramBlocks blocks_;
+  std::unordered_map<int, BlockIR> ir_;
+  const SimulatedHdfs* hdfs_ = nullptr;
+  SymbolMap size_overrides_;
+};
+
+}  // namespace relm
+
+#endif  // RELM_HOPS_ML_PROGRAM_H_

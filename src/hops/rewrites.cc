@@ -1,0 +1,103 @@
+#include "hops/rewrites.h"
+
+#include "common/string_util.h"
+#include "matrix/op_types.h"
+
+namespace relm {
+
+HopPtr MakeNumericLiteral(double value) {
+  auto h = std::make_shared<Hop>(HopKind::kLiteral, DataType::kScalar);
+  h->literal_value = value;
+  return h;
+}
+
+HopPtr MakeStringLiteral(std::string value) {
+  auto h = std::make_shared<Hop>(HopKind::kLiteral, DataType::kScalar);
+  h->literal_is_string = true;
+  h->literal_string = std::move(value);
+  h->set_value_type(ValueType::kString);
+  return h;
+}
+
+std::string LiteralToString(const Hop& literal) {
+  if (literal.literal_is_string) return literal.literal_string;
+  return FormatDouble(literal.literal_value, 6);
+}
+
+namespace {
+
+bool IsNumericLiteral(const HopPtr& h) {
+  return h->kind() == HopKind::kLiteral && !h->literal_is_string;
+}
+
+bool IsLiteral(const HopPtr& h) { return h->kind() == HopKind::kLiteral; }
+
+}  // namespace
+
+HopPtr TryFoldBinary(BinOp op, const HopPtr& lhs, const HopPtr& rhs) {
+  if (op == BinOp::kAdd && IsLiteral(lhs) && IsLiteral(rhs) &&
+      (lhs->literal_is_string || rhs->literal_is_string)) {
+    return MakeStringLiteral(LiteralToString(*lhs) + LiteralToString(*rhs));
+  }
+  if (!IsNumericLiteral(lhs) || !IsNumericLiteral(rhs)) return nullptr;
+  return MakeNumericLiteral(
+      ApplyBinOp(op, lhs->literal_value, rhs->literal_value));
+}
+
+HopPtr TryFoldUnary(UnOp op, const HopPtr& input) {
+  if (!IsNumericLiteral(input)) return nullptr;
+  return MakeNumericLiteral(ApplyUnOp(op, input->literal_value));
+}
+
+HopPtr TrySimplifyReorg(ReorgOp op, const HopPtr& input) {
+  if (op == ReorgOp::kTranspose && input->kind() == HopKind::kReorg &&
+      input->reorg_op == ReorgOp::kTranspose) {
+    return input->inputs()[0];
+  }
+  return nullptr;
+}
+
+namespace {
+
+bool IsNumeric(const HopPtr& h, double value) {
+  return h->kind() == HopKind::kLiteral && !h->literal_is_string &&
+         h->literal_value == value;
+}
+
+}  // namespace
+
+HopPtr TrySimplifyBinary(BinOp op, const HopPtr& lhs, const HopPtr& rhs) {
+  // Only rewrite when one side is a matrix (scalar-scalar constant
+  // folding handles the rest) and the neutral element is a literal.
+  switch (op) {
+    case BinOp::kMul:
+      if (lhs->is_matrix() && IsNumeric(rhs, 1.0)) return lhs;
+      if (rhs->is_matrix() && IsNumeric(lhs, 1.0)) return rhs;
+      return nullptr;
+    case BinOp::kDiv:
+      if (lhs->is_matrix() && IsNumeric(rhs, 1.0)) return lhs;
+      return nullptr;
+    case BinOp::kAdd:
+      if (lhs->is_matrix() && IsNumeric(rhs, 0.0)) return lhs;
+      if (rhs->is_matrix() && IsNumeric(lhs, 0.0)) return rhs;
+      return nullptr;
+    case BinOp::kSub:
+      if (lhs->is_matrix() && IsNumeric(rhs, 0.0)) return lhs;
+      return nullptr;
+    case BinOp::kPow:
+      if (lhs->is_matrix() && IsNumeric(rhs, 1.0)) return lhs;
+      return nullptr;
+    case BinOp::kMin:
+    case BinOp::kMax:
+      if (lhs == rhs && lhs->is_matrix()) return lhs;
+      return nullptr;
+    default:
+      return nullptr;
+  }
+}
+
+bool IsSquarePattern(BinOp op, const HopPtr& rhs) {
+  return op == BinOp::kPow && IsNumeric(rhs, 2.0);
+}
+
+}  // namespace relm

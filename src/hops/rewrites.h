@@ -1,0 +1,45 @@
+#ifndef RELM_HOPS_REWRITES_H_
+#define RELM_HOPS_REWRITES_H_
+
+#include <optional>
+#include <string>
+
+#include "hops/hop.h"
+
+namespace relm {
+
+/// Constant-folds a scalar binary operation when both inputs are numeric
+/// literals; also folds string concatenation of two literals. Returns
+/// null when not foldable.
+HopPtr TryFoldBinary(BinOp op, const HopPtr& lhs, const HopPtr& rhs);
+
+/// Constant-folds a scalar unary operation on a numeric literal.
+HopPtr TryFoldUnary(UnOp op, const HopPtr& input);
+
+/// Algebraic simplification for reorg construction: t(t(X)) -> X.
+/// Returns the simplified operand or null when no rewrite applies.
+HopPtr TrySimplifyReorg(ReorgOp op, const HopPtr& input);
+
+/// Static algebraic simplifications for binary operators on matrices
+/// (the HOP-level rewrites of Appendix B): X*1 -> X, X/1 -> X,
+/// X+0 -> X, X-0 -> X, X^1 -> X, min/max(X, X) -> X. Returns the
+/// surviving operand, or null when no rewrite applies. (X^2 -> X*X is
+/// handled separately since it creates a new node.)
+HopPtr TrySimplifyBinary(BinOp op, const HopPtr& lhs, const HopPtr& rhs);
+
+/// True when the binary op is x^2 (rewritten to x*x, which the backend
+/// can execute cell-wise without pow()).
+bool IsSquarePattern(BinOp op, const HopPtr& rhs);
+
+/// Creates a numeric literal hop (id must still be assigned by caller).
+HopPtr MakeNumericLiteral(double value);
+
+/// Creates a string literal hop.
+HopPtr MakeStringLiteral(std::string value);
+
+/// Renders a literal hop's value as a string (for print folding).
+std::string LiteralToString(const Hop& literal);
+
+}  // namespace relm
+
+#endif  // RELM_HOPS_REWRITES_H_

@@ -1,0 +1,417 @@
+#include "hops/size_propagation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "matrix/matrix_characteristics.h"
+
+namespace relm {
+
+namespace {
+
+constexpr int64_t kScalarMem = 16;
+
+/// Characteristics of a 1x1 scalar.
+MatrixCharacteristics ScalarMc() { return MatrixCharacteristics(1, 1, 1); }
+
+int64_t NnzFromSparsity(const MatrixCharacteristics& mc, double sp) {
+  if (!mc.dims_known()) return kUnknown;
+  sp = std::clamp(sp, 0.0, 1.0);
+  double nnz = sp * static_cast<double>(mc.rows()) *
+               static_cast<double>(mc.cols());
+  return static_cast<int64_t>(std::llround(nnz));
+}
+
+/// Literal numeric value of an input hop, or nullopt.
+bool LiteralValue(const Hop* hop, double* out) {
+  if (hop->kind() != HopKind::kLiteral || hop->literal_is_string) {
+    return false;
+  }
+  *out = hop->literal_value;
+  return true;
+}
+
+MatrixCharacteristics InferBinary(const Hop& hop) {
+  const Hop* a = hop.input(0);
+  const Hop* b = hop.input(1);
+  // Scalar-scalar.
+  if (!a->is_matrix() && !b->is_matrix()) return ScalarMc();
+  // Matrix side defines the output shape (broadcasting).
+  const MatrixCharacteristics& ma = a->is_matrix() ? a->mc() : b->mc();
+  MatrixCharacteristics out(ma.rows(), ma.cols());
+  if (!out.dims_known()) return out;
+
+  double spa = a->is_matrix() ? a->mc().SparsityOrWorstCase() : 1.0;
+  double spb = b->is_matrix() ? b->mc().SparsityOrWorstCase() : 1.0;
+  bool a_known = !a->is_matrix() || a->mc().nnz_known();
+  bool b_known = !b->is_matrix() || b->mc().nnz_known();
+
+  // Matrix op scalar-literal: sparsity depends on whether zero cells stay
+  // zero under the op.
+  double blit = 0.0;
+  bool b_is_lit = LiteralValue(b, &blit);
+  if (a->is_matrix() && !b->is_matrix()) {
+    if (!a_known) return out;  // unknown nnz
+    switch (hop.bin_op) {
+      case BinOp::kMul:
+      case BinOp::kDiv:
+      case BinOp::kPow:
+        out.set_nnz(NnzFromSparsity(out, spa));  // zero-preserving
+        return out;
+      case BinOp::kAdd:
+      case BinOp::kSub:
+        if (b_is_lit && blit == 0.0) {
+          out.set_nnz(NnzFromSparsity(out, spa));
+          return out;
+        }
+        out.set_nnz(NnzFromSparsity(out, 1.0));
+        return out;
+      default:
+        out.set_nnz(NnzFromSparsity(out, 1.0));  // comparisons: worst case
+        return out;
+    }
+  }
+  if (!a->is_matrix() && b->is_matrix()) {
+    // scalar op matrix: mirror the matrix-scalar rules conservatively.
+    if (!b_known) return out;
+    switch (hop.bin_op) {
+      case BinOp::kMul:
+        out.set_nnz(NnzFromSparsity(out, spb));
+        return out;
+      default:
+        out.set_nnz(NnzFromSparsity(out, 1.0));
+        return out;
+    }
+  }
+  // Matrix-matrix.
+  if (!a_known || !b_known) return out;  // unknown nnz
+  switch (hop.bin_op) {
+    case BinOp::kMul:
+    case BinOp::kAnd:
+      out.set_nnz(NnzFromSparsity(out, std::min(spa, spb)));
+      return out;
+    case BinOp::kAdd:
+    case BinOp::kSub:
+      out.set_nnz(NnzFromSparsity(out, std::min(1.0, spa + spb)));
+      return out;
+    case BinOp::kDiv:
+    case BinOp::kPow:
+      out.set_nnz(NnzFromSparsity(out, spa));
+      return out;
+    default:
+      out.set_nnz(NnzFromSparsity(out, 1.0));
+      return out;
+  }
+}
+
+MatrixCharacteristics InferMatMult(const Hop& hop) {
+  const auto& a = hop.input(0)->mc();
+  const auto& b = hop.input(1)->mc();
+  MatrixCharacteristics out(a.rows(), b.cols());
+  if (!out.dims_known() || !a.fully_known() || !b.fully_known()) return out;
+  // Worst-case sparsity estimate: sp = min(1, spA * spB * k).
+  double sp = std::min(
+      1.0, a.SparsityOrWorstCase() * b.SparsityOrWorstCase() *
+               static_cast<double>(a.cols()));
+  out.set_nnz(NnzFromSparsity(out, sp));
+  return out;
+}
+
+MatrixCharacteristics InferAggUnary(const Hop& hop) {
+  const auto& in = hop.input(0)->mc();
+  switch (hop.agg_dir) {
+    case AggDir::kAll:
+      return ScalarMc();
+    case AggDir::kRow: {
+      MatrixCharacteristics out(in.rows(), 1);
+      if (out.dims_known()) out.set_nnz(out.rows());
+      return out;
+    }
+    case AggDir::kCol: {
+      MatrixCharacteristics out(1, in.cols());
+      if (out.dims_known()) out.set_nnz(out.cols());
+      return out;
+    }
+  }
+  return MatrixCharacteristics::Unknown();
+}
+
+MatrixCharacteristics InferReorg(const Hop& hop) {
+  const auto& in = hop.input(0)->mc();
+  if (hop.reorg_op == ReorgOp::kTranspose) {
+    return MatrixCharacteristics(in.cols(), in.rows(), in.nnz());
+  }
+  // diag: vector -> diagonal matrix; matrix -> diagonal vector.
+  if (in.cols() == 1) {
+    MatrixCharacteristics out(in.rows(), in.rows());
+    out.set_nnz(in.nnz());
+    return out;
+  }
+  MatrixCharacteristics out(in.rows(), 1);
+  if (in.dims_known() && in.nnz_known()) {
+    out.set_nnz(std::min(in.rows(), in.nnz()));
+  }
+  return out;
+}
+
+MatrixCharacteristics InferDataGen(const Hop& hop) {
+  switch (hop.datagen_op) {
+    case DataGenOp::kConstMatrix:
+    case DataGenOp::kRand: {
+      // inputs: [value, rows, cols] or [rows, cols, sparsity...] for rand;
+      // the builder normalizes to [value, rows, cols, sparsity?].
+      double rows = 0;
+      double cols = 0;
+      if (hop.inputs().size() < 3 ||
+          !LiteralValue(hop.input(1), &rows) ||
+          !LiteralValue(hop.input(2), &cols)) {
+        return MatrixCharacteristics::Unknown();
+      }
+      MatrixCharacteristics out(static_cast<int64_t>(rows),
+                                static_cast<int64_t>(cols));
+      double value = 1.0;
+      double sparsity = 1.0;
+      LiteralValue(hop.input(0), &value);
+      if (hop.inputs().size() >= 4) {
+        LiteralValue(hop.input(3), &sparsity);
+      }
+      if (hop.datagen_op == DataGenOp::kConstMatrix) {
+        out.set_nnz(value == 0.0 ? 0 : out.cells());
+      } else {
+        out.set_nnz(NnzFromSparsity(out, sparsity));
+      }
+      return out;
+    }
+    case DataGenOp::kSeq: {
+      double from = 0;
+      double to = 0;
+      double incr = 1;
+      if (hop.inputs().size() < 2 ||
+          !LiteralValue(hop.input(0), &from) ||
+          !LiteralValue(hop.input(1), &to)) {
+        return MatrixCharacteristics(kUnknown, 1);
+      }
+      if (hop.inputs().size() >= 3) {
+        if (!LiteralValue(hop.input(2), &incr)) {
+          return MatrixCharacteristics(kUnknown, 1);
+        }
+      }
+      if (incr == 0.0) return MatrixCharacteristics(kUnknown, 1);
+      int64_t n = static_cast<int64_t>(std::floor((to - from) / incr)) + 1;
+      n = std::max<int64_t>(n, 0);
+      return MatrixCharacteristics(n, 1, n);
+    }
+  }
+  return MatrixCharacteristics::Unknown();
+}
+
+MatrixCharacteristics InferIndexing(const Hop& hop) {
+  // inputs: [target, rl, ru, cl, cu]; value -1 encodes "to the end".
+  const auto& in = hop.input(0)->mc();
+  double rl = 0;
+  double ru = 0;
+  double cl = 0;
+  double cu = 0;
+  bool rl_k = LiteralValue(hop.input(1), &rl);
+  bool ru_k = LiteralValue(hop.input(2), &ru);
+  bool cl_k = LiteralValue(hop.input(3), &cl);
+  bool cu_k = LiteralValue(hop.input(4), &cu);
+  auto extent = [](bool lo_known, double lo, bool hi_known, double hi,
+                   int64_t full) -> int64_t {
+    if (lo_known && lo == 1 && hi_known && hi == -1) return full;  // all
+    if (hi_known && hi == -1) {
+      // lo : end
+      if (!lo_known || full < 0) return kUnknown;
+      return full - static_cast<int64_t>(lo) + 1;
+    }
+    if (lo_known && hi_known) {
+      return static_cast<int64_t>(hi) - static_cast<int64_t>(lo) + 1;
+    }
+    return kUnknown;
+  };
+  int64_t out_rows = extent(rl_k, rl, ru_k, ru, in.rows());
+  int64_t out_cols = extent(cl_k, cl, cu_k, cu, in.cols());
+  // Single-index forms share the same bound node (X[i, ]): extent 1 even
+  // when the bound value itself is unknown.
+  if (hop.input(1) == hop.input(2)) out_rows = 1;
+  if (hop.input(3) == hop.input(4)) out_cols = 1;
+  MatrixCharacteristics out(out_rows, out_cols);
+  if (out.dims_known() && in.fully_known() && in.cells() > 0) {
+    // Proportional nnz estimate.
+    double frac = static_cast<double>(out.cells()) /
+                  static_cast<double>(in.cells());
+    out.set_nnz(std::min<int64_t>(
+        out.cells(),
+        static_cast<int64_t>(std::ceil(frac * in.nnz()))));
+  }
+  return out;
+}
+
+}  // namespace
+
+int64_t SaturatingAdd(int64_t a, int64_t b) {
+  if (a >= kUnknownSizeSentinel || b >= kUnknownSizeSentinel) {
+    return kUnknownSizeSentinel;
+  }
+  int64_t s = a + b;
+  return s >= kUnknownSizeSentinel ? kUnknownSizeSentinel : s;
+}
+
+void ComputeMemoryEstimates(Hop* hop) {
+  int64_t out_mem;
+  if (!hop->is_matrix()) {
+    out_mem = kScalarMem;
+  } else {
+    out_mem = EstimateSizeInMemory(hop->mc());
+  }
+  hop->set_output_mem(out_mem);
+
+  // Operation memory: inputs pinned + output (+ op-specific scratch).
+  // A hop consumed through several input slots (e.g. X*X) is pinned
+  // only once.
+  int64_t op_mem = out_mem;
+  for (size_t i = 0; i < hop->inputs().size(); ++i) {
+    const Hop* in = hop->input(i);
+    bool seen = false;
+    for (size_t j = 0; j < i; ++j) {
+      if (hop->input(j) == in) seen = true;
+    }
+    if (seen) continue;
+    op_mem = SaturatingAdd(op_mem,
+                           in->is_matrix() ? in->output_mem() : kScalarMem);
+  }
+  switch (hop->kind()) {
+    case HopKind::kSolve:
+      // Dense working copy of the coefficient matrix.
+      if (!hop->inputs().empty()) {
+        op_mem = SaturatingAdd(op_mem, hop->input(0)->output_mem());
+      }
+      break;
+    case HopKind::kTransientRead:
+    case HopKind::kTransientWrite:
+      // Logical renames; no additional footprint beyond the data itself.
+      op_mem = out_mem;
+      break;
+    default:
+      break;
+  }
+  hop->set_op_mem(op_mem);
+}
+
+void InferHopCharacteristics(Hop* hop) {
+  switch (hop->kind()) {
+    case HopKind::kLiteral:
+      hop->set_mc(ScalarMc());
+      break;
+    case HopKind::kTransientRead:
+    case HopKind::kPersistentRead:
+      // Characteristics assigned by the builder from symbols / HDFS.
+      break;
+    case HopKind::kTransientWrite:
+    case HopKind::kPersistentWrite:
+    case HopKind::kPrint:
+      hop->set_mc(hop->inputs().empty() ? ScalarMc()
+                                        : hop->input(0)->mc());
+      break;
+    case HopKind::kBinary:
+      hop->set_mc(InferBinary(*hop));
+      break;
+    case HopKind::kUnary: {
+      if (!hop->is_matrix()) {
+        hop->set_mc(ScalarMc());
+        break;
+      }
+      const auto& in = hop->input(0)->mc();
+      MatrixCharacteristics out(in.rows(), in.cols());
+      switch (hop->un_op) {
+        case UnOp::kNeg:
+        case UnOp::kAbs:
+        case UnOp::kSqrt:
+        case UnOp::kRound:
+        case UnOp::kFloor:
+        case UnOp::kCeil:
+        case UnOp::kSign:
+          out.set_nnz(in.nnz());  // zero-preserving
+          break;
+        default:
+          if (out.dims_known()) out.set_nnz(out.cells());  // densifying
+          break;
+      }
+      hop->set_mc(out);
+      break;
+    }
+    case HopKind::kAggUnary:
+      hop->set_mc(InferAggUnary(*hop));
+      break;
+    case HopKind::kMatMult:
+      hop->set_mc(InferMatMult(*hop));
+      break;
+    case HopKind::kReorg:
+      hop->set_mc(InferReorg(*hop));
+      break;
+    case HopKind::kDataGen:
+      hop->set_mc(InferDataGen(*hop));
+      break;
+    case HopKind::kTernary:
+      // table(): output dimensions depend on the data (max category
+      // values) and are unknown during initial compilation.
+      hop->set_mc(MatrixCharacteristics::Unknown());
+      break;
+    case HopKind::kIndexing:
+      hop->set_mc(InferIndexing(*hop));
+      break;
+    case HopKind::kLeftIndexing: {
+      // inputs: [target, value, rl, ru, cl, cu]; the output keeps the
+      // target's shape; worst-case nnz adds the value's nnz.
+      const auto& t = hop->input(0)->mc();
+      const auto& v = hop->input(1)->mc();
+      MatrixCharacteristics out(t.rows(), t.cols());
+      if (out.dims_known() && t.nnz_known() && v.nnz_known()) {
+        out.set_nnz(std::min(out.cells(), t.nnz() + v.nnz()));
+      }
+      hop->set_mc(out);
+      break;
+    }
+    case HopKind::kAppend: {
+      const auto& a = hop->input(0)->mc();
+      const auto& b = hop->input(1)->mc();
+      MatrixCharacteristics out(
+          a.rows(), (a.cols() >= 0 && b.cols() >= 0) ? a.cols() + b.cols()
+                                                     : kUnknown);
+      if (a.nnz_known() && b.nnz_known()) out.set_nnz(a.nnz() + b.nnz());
+      hop->set_mc(out);
+      break;
+    }
+    case HopKind::kSolve: {
+      const auto& b = hop->input(1)->mc();
+      MatrixCharacteristics out(b.rows(), b.cols());
+      if (out.dims_known()) out.set_nnz(out.cells());
+      hop->set_mc(out);
+      break;
+    }
+    case HopKind::kDimExtract:
+      hop->set_mc(ScalarMc());
+      break;
+    case HopKind::kCast:
+      if (hop->is_matrix()) {
+        // as.matrix(scalar) -> 1x1 matrix.
+        hop->set_mc(MatrixCharacteristics(1, 1, 1));
+      } else {
+        hop->set_mc(ScalarMc());
+      }
+      break;
+    case HopKind::kFunctionCall:
+    case HopKind::kFunctionOutput:
+      // Outputs of user-defined functions are unknown to the initial
+      // compilation (no inter-procedural analysis, like the paper's GLM).
+      if (hop->is_matrix()) {
+        hop->set_mc(MatrixCharacteristics::Unknown());
+      } else {
+        hop->set_mc(ScalarMc());
+      }
+      break;
+  }
+  ComputeMemoryEstimates(hop);
+}
+
+}  // namespace relm

@@ -1,0 +1,24 @@
+#ifndef RELM_HOPS_SIZE_PROPAGATION_H_
+#define RELM_HOPS_SIZE_PROPAGATION_H_
+
+#include "hops/hop.h"
+
+namespace relm {
+
+/// Infers the output characteristics (dims, nnz) of `hop` from its inputs
+/// (which must already be inferred) and computes its memory estimates.
+/// Read hops are excluded: their characteristics come from the symbol
+/// table / HDFS metadata and only the memory estimate is refreshed here.
+void InferHopCharacteristics(Hop* hop);
+
+/// Recomputes output_mem/op_mem of `hop` from its current mc and inputs.
+/// Unknown dimensions yield the kUnknownSizeSentinel worst case so that
+/// "fits in budget" checks fail.
+void ComputeMemoryEstimates(Hop* hop);
+
+/// Saturating addition that treats kUnknownSizeSentinel as infinity.
+int64_t SaturatingAdd(int64_t a, int64_t b);
+
+}  // namespace relm
+
+#endif  // RELM_HOPS_SIZE_PROPAGATION_H_

@@ -1,0 +1,168 @@
+#include "lang/ast.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace relm {
+
+const char* DataTypeName(DataType dt) {
+  switch (dt) {
+    case DataType::kUnknown:
+      return "unknown";
+    case DataType::kMatrix:
+      return "matrix";
+    case DataType::kScalar:
+      return "scalar";
+  }
+  return "?";
+}
+
+const char* ValueTypeName(ValueType vt) {
+  switch (vt) {
+    case ValueType::kUnknown:
+      return "unknown";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kInt:
+      return "integer";
+    case ValueType::kBoolean:
+      return "boolean";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+ExprPtr LiteralExpr::Number(double v) {
+  auto e = std::make_unique<LiteralExpr>();
+  e->literal_type = ValueType::kDouble;
+  e->number = v;
+  return e;
+}
+
+ExprPtr LiteralExpr::Bool(bool v) {
+  auto e = std::make_unique<LiteralExpr>();
+  e->literal_type = ValueType::kBoolean;
+  e->boolean = v;
+  return e;
+}
+
+ExprPtr LiteralExpr::String(std::string v) {
+  auto e = std::make_unique<LiteralExpr>();
+  e->literal_type = ValueType::kString;
+  e->str = std::move(v);
+  return e;
+}
+
+std::string LiteralExpr::ToString() const {
+  switch (literal_type) {
+    case ValueType::kBoolean:
+      return boolean ? "TRUE" : "FALSE";
+    case ValueType::kString:
+      return "\"" + str + "\"";
+    default:
+      return FormatDouble(number, 10);
+  }
+}
+
+std::string BinaryExpr::ToString() const {
+  return "(" + lhs->ToString() + " " + BinOpName(op) + " " +
+         rhs->ToString() + ")";
+}
+
+std::string UnaryExpr::ToString() const {
+  const char* sym = (op == UnOp::kNot) ? "!" : "-";
+  return std::string(sym) + operand->ToString();
+}
+
+std::string MatMultExpr::ToString() const {
+  return "(" + lhs->ToString() + " %*% " + rhs->ToString() + ")";
+}
+
+const Expr* CallExpr::Positional(size_t idx) const {
+  size_t seen = 0;
+  for (const auto& a : args) {
+    if (!a.name.empty()) continue;
+    if (seen == idx) return a.value.get();
+    ++seen;
+  }
+  return nullptr;
+}
+
+const Expr* CallExpr::Named(const std::string& name) const {
+  for (const auto& a : args) {
+    if (a.name == name) return a.value.get();
+  }
+  return nullptr;
+}
+
+std::string CallExpr::ToString() const {
+  std::ostringstream os;
+  os << function << "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) os << ", ";
+    if (!args[i].name.empty()) os << args[i].name << "=";
+    os << args[i].value->ToString();
+  }
+  os << ")";
+  return os.str();
+}
+
+std::string IndexExpr::ToString() const {
+  auto range = [](const ExprPtr& lo, const ExprPtr& hi) -> std::string {
+    if (!lo) return "";
+    if (!hi) return lo->ToString();
+    return lo->ToString() + ":" + hi->ToString();
+  };
+  return target->ToString() + "[" + range(row_lower, row_upper) + ", " +
+         range(col_lower, col_upper) + "]";
+}
+
+std::string AssignStmt::ToString() const {
+  std::string lhs = targets.size() == 1
+                        ? targets[0]
+                        : "[" + Join(targets, ", ") + "]";
+  if (has_left_index) {
+    auto range = [](const ExprPtr& lo, const ExprPtr& hi) -> std::string {
+      if (!lo) return "";
+      if (!hi) return lo->ToString();
+      return lo->ToString() + ":" + hi->ToString();
+    };
+    lhs += "[" + range(li_row_lower, li_row_upper) + ", " +
+           range(li_col_lower, li_col_upper) + "]";
+  }
+  return lhs + " = " + rhs->ToString();
+}
+
+namespace {
+std::string BodyToString(const std::vector<StmtPtr>& body) {
+  std::ostringstream os;
+  os << "{ ";
+  for (const auto& s : body) os << s->ToString() << "; ";
+  os << "}";
+  return os.str();
+}
+}  // namespace
+
+std::string IfStmt::ToString() const {
+  std::string s = "if (" + predicate->ToString() + ") " +
+                  BodyToString(then_body);
+  if (!else_body.empty()) s += " else " + BodyToString(else_body);
+  return s;
+}
+
+std::string WhileStmt::ToString() const {
+  return "while (" + predicate->ToString() + ") " + BodyToString(body);
+}
+
+std::string ForStmt::ToString() const {
+  std::string hdr = "for (" + var + " in " + from->ToString() + ":" +
+                    to->ToString();
+  if (increment) hdr += " by " + increment->ToString();
+  return hdr + ") " + BodyToString(body);
+}
+
+std::string ExprStmt::ToString() const { return expr->ToString(); }
+
+}  // namespace relm

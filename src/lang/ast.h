@@ -1,0 +1,233 @@
+#ifndef RELM_LANG_AST_H_
+#define RELM_LANG_AST_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "matrix/op_types.h"
+
+namespace relm {
+
+/// Data type of an expression: a matrix or a scalar value.
+enum class DataType { kUnknown, kMatrix, kScalar };
+
+/// Value type of scalar expressions and matrix cells.
+enum class ValueType { kUnknown, kDouble, kInt, kBoolean, kString };
+
+const char* DataTypeName(DataType dt);
+const char* ValueTypeName(ValueType vt);
+
+/// ---------------------------------------------------------------------
+/// Expressions
+/// ---------------------------------------------------------------------
+
+struct Expr {
+  enum class Kind {
+    kLiteral,
+    kIdent,
+    kParam,    // $name script parameter
+    kBinary,   // cell-wise / scalar binary op
+    kUnary,    // -x, !x
+    kMatMult,  // %*%
+    kCall,     // builtin or user function
+    kIndex,    // X[a:b, c:d]
+  };
+
+  explicit Expr(Kind k) : kind(k) {}
+  virtual ~Expr() = default;
+
+  Kind kind;
+  int line = 0;
+  int column = 0;
+  /// Filled in by the validator.
+  DataType data_type = DataType::kUnknown;
+  ValueType value_type = ValueType::kUnknown;
+
+  /// Pretty-prints the expression (round-trippable for simple cases).
+  virtual std::string ToString() const = 0;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct LiteralExpr : Expr {
+  LiteralExpr() : Expr(Kind::kLiteral) {}
+  ValueType literal_type = ValueType::kDouble;
+  double number = 0.0;     // kDouble / kInt
+  bool boolean = false;    // kBoolean
+  std::string str;         // kString
+
+  static ExprPtr Number(double v);
+  static ExprPtr Bool(bool v);
+  static ExprPtr String(std::string v);
+
+  std::string ToString() const override;
+};
+
+struct IdentExpr : Expr {
+  IdentExpr() : Expr(Kind::kIdent) {}
+  std::string name;
+  std::string ToString() const override { return name; }
+};
+
+struct ParamExpr : Expr {
+  ParamExpr() : Expr(Kind::kParam) {}
+  std::string name;
+  std::string ToString() const override { return "$" + name; }
+};
+
+struct BinaryExpr : Expr {
+  BinaryExpr() : Expr(Kind::kBinary) {}
+  BinOp op = BinOp::kAdd;
+  ExprPtr lhs;
+  ExprPtr rhs;
+  std::string ToString() const override;
+};
+
+struct UnaryExpr : Expr {
+  UnaryExpr() : Expr(Kind::kUnary) {}
+  UnOp op = UnOp::kNeg;  // kNeg or kNot from the parser
+  ExprPtr operand;
+  std::string ToString() const override;
+};
+
+struct MatMultExpr : Expr {
+  MatMultExpr() : Expr(Kind::kMatMult) {}
+  ExprPtr lhs;
+  ExprPtr rhs;
+  std::string ToString() const override;
+};
+
+/// A (possibly named) call argument: `rows=n` or a plain positional expr.
+struct CallArg {
+  std::string name;  // empty for positional
+  ExprPtr value;
+};
+
+struct CallExpr : Expr {
+  CallExpr() : Expr(Kind::kCall) {}
+  std::string function;  // builtin ("sum", "t", ...) or user function
+  std::vector<CallArg> args;
+
+  /// Returns the positional argument at `idx` or nullptr.
+  const Expr* Positional(size_t idx) const;
+  /// Returns the named argument or nullptr.
+  const Expr* Named(const std::string& name) const;
+
+  std::string ToString() const override;
+};
+
+/// Right indexing X[rl:ru, cl:cu]; absent bounds mean full range.
+struct IndexExpr : Expr {
+  IndexExpr() : Expr(Kind::kIndex) {}
+  ExprPtr target;
+  ExprPtr row_lower;  // may be null (full range / all rows)
+  ExprPtr row_upper;  // null with non-null lower means single row
+  ExprPtr col_lower;
+  ExprPtr col_upper;
+  std::string ToString() const override;
+};
+
+/// ---------------------------------------------------------------------
+/// Statements
+/// ---------------------------------------------------------------------
+
+struct Statement {
+  enum class Kind {
+    kAssign,
+    kIf,
+    kWhile,
+    kFor,
+    kExpr,  // expression statement: print(...), write(...)
+  };
+
+  explicit Statement(Kind k) : kind(k) {}
+  virtual ~Statement() = default;
+
+  Kind kind;
+  int line = 0;
+
+  virtual std::string ToString() const = 0;
+};
+
+using StmtPtr = std::unique_ptr<Statement>;
+
+struct AssignStmt : Statement {
+  AssignStmt() : Statement(Kind::kAssign) {}
+  /// One target normally; several for multi-return calls `[a, b] = f(...)`.
+  std::vector<std::string> targets;
+  ExprPtr rhs;
+
+  /// Left indexing `X[rl:ru, cl:cu] = expr`: partial update of the
+  /// target. Bound semantics match IndexExpr (null = full range, lower
+  /// without upper = single row/column).
+  bool has_left_index = false;
+  ExprPtr li_row_lower;
+  ExprPtr li_row_upper;
+  ExprPtr li_col_lower;
+  ExprPtr li_col_upper;
+
+  std::string ToString() const override;
+};
+
+struct IfStmt : Statement {
+  IfStmt() : Statement(Kind::kIf) {}
+  ExprPtr predicate;
+  std::vector<StmtPtr> then_body;
+  std::vector<StmtPtr> else_body;
+  std::string ToString() const override;
+};
+
+struct WhileStmt : Statement {
+  WhileStmt() : Statement(Kind::kWhile) {}
+  ExprPtr predicate;
+  std::vector<StmtPtr> body;
+  std::string ToString() const override;
+};
+
+struct ForStmt : Statement {
+  ForStmt() : Statement(Kind::kFor) {}
+  std::string var;
+  ExprPtr from;
+  ExprPtr to;
+  ExprPtr increment;  // may be null (defaults to 1)
+  std::vector<StmtPtr> body;
+  std::string ToString() const override;
+};
+
+struct ExprStmt : Statement {
+  ExprStmt() : Statement(Kind::kExpr) {}
+  ExprPtr expr;
+  std::string ToString() const override;
+};
+
+/// ---------------------------------------------------------------------
+/// Functions and program
+/// ---------------------------------------------------------------------
+
+struct FunctionParam {
+  std::string name;
+  DataType data_type = DataType::kScalar;
+  ValueType value_type = ValueType::kDouble;
+};
+
+struct FunctionDef {
+  std::string name;
+  std::vector<FunctionParam> params;
+  std::vector<FunctionParam> returns;
+  std::vector<StmtPtr> body;
+};
+
+/// A parsed DML program: top-level statements plus named functions.
+struct DmlProgram {
+  std::vector<StmtPtr> statements;
+  std::map<std::string, FunctionDef> functions;
+  /// Number of non-empty, non-comment source lines (Table 1 statistic).
+  int source_lines = 0;
+};
+
+}  // namespace relm
+
+#endif  // RELM_LANG_AST_H_

@@ -1,0 +1,355 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <unordered_map>
+
+namespace relm {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd:
+      return "end of input";
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kDollar:
+      return "$parameter";
+    case TokenKind::kIf:
+      return "'if'";
+    case TokenKind::kElse:
+      return "'else'";
+    case TokenKind::kWhile:
+      return "'while'";
+    case TokenKind::kFor:
+      return "'for'";
+    case TokenKind::kIn:
+      return "'in'";
+    case TokenKind::kFunction:
+      return "'function'";
+    case TokenKind::kReturn:
+      return "'return'";
+    case TokenKind::kTrue:
+      return "'TRUE'";
+    case TokenKind::kFalse:
+      return "'FALSE'";
+    case TokenKind::kAssign:
+      return "'='";
+    case TokenKind::kArrow:
+      return "'<-'";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kCaret:
+      return "'^'";
+    case TokenKind::kMatMult:
+      return "'%*%'";
+    case TokenKind::kLess:
+      return "'<'";
+    case TokenKind::kLessEq:
+      return "'<='";
+    case TokenKind::kGreater:
+      return "'>'";
+    case TokenKind::kGreaterEq:
+      return "'>='";
+    case TokenKind::kEq:
+      return "'=='";
+    case TokenKind::kNotEq:
+      return "'!='";
+    case TokenKind::kAnd:
+      return "'&'";
+    case TokenKind::kOr:
+      return "'|'";
+    case TokenKind::kNot:
+      return "'!'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kColon:
+      return "':'";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string, TokenKind>& Keywords() {
+  static const auto* kMap = new std::unordered_map<std::string, TokenKind>{
+      {"if", TokenKind::kIf},         {"else", TokenKind::kElse},
+      {"while", TokenKind::kWhile},   {"for", TokenKind::kFor},
+      {"in", TokenKind::kIn},         {"function", TokenKind::kFunction},
+      {"return", TokenKind::kReturn}, {"TRUE", TokenKind::kTrue},
+      {"FALSE", TokenKind::kFalse},
+  };
+  return *kMap;
+}
+
+Status LexError(int line, int column, const std::string& msg) {
+  std::ostringstream os;
+  os << "line " << line << ":" << column << ": " << msg;
+  return Status::ParseError(os.str());
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  int line = 1;
+  int col = 1;
+  auto advance = [&](size_t n = 1) {
+    for (size_t k = 0; k < n && i < source.size(); ++k) {
+      if (source[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+  auto peek = [&](size_t off = 0) -> char {
+    return i + off < source.size() ? source[i + off] : '\0';
+  };
+  auto emit = [&](TokenKind kind, std::string text, int tl, int tc) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = tl;
+    t.column = tc;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < source.size()) {
+    char c = peek();
+    int tl = line;
+    int tc = col;
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    if (c == '#') {
+      while (i < source.size() && peek() != '\n') advance();
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(peek())) ||
+              peek() == '_' || peek() == '.')) {
+        ident.push_back(peek());
+        advance();
+      }
+      auto kw = Keywords().find(ident);
+      if (kw != Keywords().end()) {
+        emit(kw->second, ident, tl, tc);
+      } else {
+        emit(TokenKind::kIdent, ident, tl, tc);
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      std::string num;
+      bool seen_exp = false;
+      while (i < source.size()) {
+        char d = peek();
+        if (std::isdigit(static_cast<unsigned char>(d)) || d == '.') {
+          num.push_back(d);
+          advance();
+        } else if ((d == 'e' || d == 'E') && !seen_exp) {
+          seen_exp = true;
+          num.push_back(d);
+          advance();
+          if (peek() == '+' || peek() == '-') {
+            num.push_back(peek());
+            advance();
+          }
+        } else {
+          break;
+        }
+      }
+      char* end = nullptr;
+      double v = std::strtod(num.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return LexError(tl, tc, "malformed number '" + num + "'");
+      }
+      Token t;
+      t.kind = TokenKind::kNumber;
+      t.text = num;
+      t.number = v;
+      t.line = tl;
+      t.column = tc;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"') {
+      advance();
+      std::string s;
+      while (i < source.size() && peek() != '"') {
+        if (peek() == '\\' && peek(1) == '"') {
+          s.push_back('"');
+          advance(2);
+        } else {
+          s.push_back(peek());
+          advance();
+        }
+      }
+      if (i >= source.size()) {
+        return LexError(tl, tc, "unterminated string literal");
+      }
+      advance();  // closing quote
+      emit(TokenKind::kString, s, tl, tc);
+      continue;
+    }
+    if (c == '$') {
+      advance();
+      std::string name;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(peek())) ||
+              peek() == '_')) {
+        name.push_back(peek());
+        advance();
+      }
+      if (name.empty()) {
+        return LexError(tl, tc, "'$' must be followed by a parameter name");
+      }
+      emit(TokenKind::kDollar, name, tl, tc);
+      continue;
+    }
+    if (c == '%') {
+      if (peek(1) == '*' && peek(2) == '%') {
+        advance(3);
+        emit(TokenKind::kMatMult, "%*%", tl, tc);
+        continue;
+      }
+      return LexError(tl, tc, "unknown operator starting with '%'");
+    }
+    auto two = [&](char second, TokenKind k2, TokenKind k1,
+                   const char* t2, const char* t1) {
+      if (peek(1) == second) {
+        advance(2);
+        emit(k2, t2, tl, tc);
+      } else {
+        advance();
+        emit(k1, t1, tl, tc);
+      }
+    };
+    switch (c) {
+      case '=':
+        two('=', TokenKind::kEq, TokenKind::kAssign, "==", "=");
+        continue;
+      case '<':
+        if (peek(1) == '-') {
+          advance(2);
+          emit(TokenKind::kArrow, "<-", tl, tc);
+        } else {
+          two('=', TokenKind::kLessEq, TokenKind::kLess, "<=", "<");
+        }
+        continue;
+      case '>':
+        two('=', TokenKind::kGreaterEq, TokenKind::kGreater, ">=", ">");
+        continue;
+      case '!':
+        two('=', TokenKind::kNotEq, TokenKind::kNot, "!=", "!");
+        continue;
+      case '+':
+        advance();
+        emit(TokenKind::kPlus, "+", tl, tc);
+        continue;
+      case '-':
+        advance();
+        emit(TokenKind::kMinus, "-", tl, tc);
+        continue;
+      case '*':
+        advance();
+        emit(TokenKind::kStar, "*", tl, tc);
+        continue;
+      case '/':
+        advance();
+        emit(TokenKind::kSlash, "/", tl, tc);
+        continue;
+      case '^':
+        advance();
+        emit(TokenKind::kCaret, "^", tl, tc);
+        continue;
+      case '&':
+        advance();
+        emit(TokenKind::kAnd, "&", tl, tc);
+        continue;
+      case '|':
+        advance();
+        emit(TokenKind::kOr, "|", tl, tc);
+        continue;
+      case '(':
+        advance();
+        emit(TokenKind::kLParen, "(", tl, tc);
+        continue;
+      case ')':
+        advance();
+        emit(TokenKind::kRParen, ")", tl, tc);
+        continue;
+      case '{':
+        advance();
+        emit(TokenKind::kLBrace, "{", tl, tc);
+        continue;
+      case '}':
+        advance();
+        emit(TokenKind::kRBrace, "}", tl, tc);
+        continue;
+      case '[':
+        advance();
+        emit(TokenKind::kLBracket, "[", tl, tc);
+        continue;
+      case ']':
+        advance();
+        emit(TokenKind::kRBracket, "]", tl, tc);
+        continue;
+      case ',':
+        advance();
+        emit(TokenKind::kComma, ",", tl, tc);
+        continue;
+      case ';':
+        advance();
+        emit(TokenKind::kSemicolon, ";", tl, tc);
+        continue;
+      case ':':
+        advance();
+        emit(TokenKind::kColon, ":", tl, tc);
+        continue;
+      default:
+        return LexError(tl, tc,
+                        std::string("unexpected character '") + c + "'");
+    }
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.line = line;
+  end.column = col;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace relm

@@ -1,0 +1,75 @@
+#ifndef RELM_LANG_LEXER_H_
+#define RELM_LANG_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace relm {
+
+/// Token kinds of the DML subset (R-like syntax).
+enum class TokenKind {
+  kEnd,
+  kIdent,       // X, grad, nrow
+  kNumber,      // 1, 0.001, 1e-9
+  kString,      // "text"
+  kDollar,      // $name (script-level parameter)
+  // Keywords.
+  kIf,
+  kElse,
+  kWhile,
+  kFor,
+  kIn,
+  kFunction,
+  kReturn,
+  kTrue,
+  kFalse,
+  // Operators and punctuation.
+  kAssign,      // =
+  kArrow,       // <- (alias for =)
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kCaret,       // ^
+  kMatMult,     // %*%
+  kLess,
+  kLessEq,
+  kGreater,
+  kGreaterEq,
+  kEq,          // ==
+  kNotEq,       // !=
+  kAnd,         // &
+  kOr,          // |
+  kNot,         // !
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kSemicolon,
+  kColon,
+};
+
+/// Name for diagnostics ("'%*%'", "identifier", ...).
+const char* TokenKindName(TokenKind kind);
+
+/// One lexical token with its source position (1-based line/column).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;      // identifier/string/number spelling
+  double number = 0.0;   // value when kind == kNumber
+  int line = 0;
+  int column = 0;
+};
+
+/// Tokenizes a DML script. Comments run from '#' to end of line.
+Result<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace relm
+
+#endif  // RELM_LANG_LEXER_H_

@@ -1,0 +1,634 @@
+#include "lang/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "lang/lexer.h"
+
+namespace relm {
+namespace {
+
+/// Recursive-descent parser over the token stream. Operator precedence
+/// follows R: ^  >  unary-  >  %*%  >  * /  >  + -  >  comparisons  >
+/// !  >  &  >  |.
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const ScriptArgs& args)
+      : tokens_(std::move(tokens)), args_(args) {}
+
+  Result<DmlProgram> ParseProgram() {
+    DmlProgram prog;
+    while (!AtEnd()) {
+      // Function definition: ident = function(...) return (...) { ... }
+      if (Check(TokenKind::kIdent) &&
+          CheckAt(1, TokenKind::kAssign) &&
+          CheckAt(2, TokenKind::kFunction)) {
+        RELM_ASSIGN_OR_RETURN(FunctionDef fn, ParseFunctionDef());
+        std::string name = fn.name;
+        prog.functions.emplace(std::move(name), std::move(fn));
+        continue;
+      }
+      RELM_ASSIGN_OR_RETURN(StmtPtr stmt, ParseStatement());
+      prog.statements.push_back(std::move(stmt));
+    }
+    return prog;
+  }
+
+ private:
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+  const Token& Peek(size_t off = 0) const {
+    size_t i = pos_ + off;
+    if (i >= tokens_.size()) i = tokens_.size() - 1;
+    return tokens_[i];
+  }
+  bool Check(TokenKind k) const { return Peek().kind == k; }
+  bool CheckAt(size_t off, TokenKind k) const { return Peek(off).kind == k; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Match(TokenKind k) {
+    if (!Check(k)) return false;
+    Advance();
+    return true;
+  }
+
+  Status Error(const std::string& msg) const {
+    const Token& t = Peek();
+    std::ostringstream os;
+    os << "line " << t.line << ":" << t.column << ": " << msg << " (got "
+       << TokenKindName(t.kind)
+       << (t.text.empty() ? "" : " '" + t.text + "'") << ")";
+    return Status::ParseError(os.str());
+  }
+
+  Status Expect(TokenKind k, const char* what) {
+    if (!Check(k)) {
+      return Error(std::string("expected ") + TokenKindName(k) + " " + what);
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  // ---- statements ----
+
+  Result<StmtPtr> ParseStatement() {
+    switch (Peek().kind) {
+      case TokenKind::kIf:
+        return ParseIf();
+      case TokenKind::kWhile:
+        return ParseWhile();
+      case TokenKind::kFor:
+        return ParseFor();
+      case TokenKind::kLBracket:
+        return ParseMultiAssign();
+      default:
+        break;
+    }
+    if (Check(TokenKind::kIdent) &&
+        (CheckAt(1, TokenKind::kAssign) || CheckAt(1, TokenKind::kArrow))) {
+      return ParseAssign();
+    }
+    // Left indexing: `X[rl:ru, cl:cu] = expr` (statement position only).
+    if (Check(TokenKind::kIdent) && CheckAt(1, TokenKind::kLBracket)) {
+      return ParseLeftIndexAssign();
+    }
+    // Expression statement (print/write calls).
+    int line = Peek().line;
+    RELM_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    auto stmt = std::make_unique<ExprStmt>();
+    stmt->line = line;
+    stmt->expr = std::move(e);
+    Match(TokenKind::kSemicolon);
+    return StmtPtr(std::move(stmt));
+  }
+
+  Result<StmtPtr> ParseAssign() {
+    auto stmt = std::make_unique<AssignStmt>();
+    stmt->line = Peek().line;
+    stmt->targets.push_back(Advance().text);
+    Advance();  // '=' or '<-'
+    RELM_ASSIGN_OR_RETURN(stmt->rhs, ParseExpr());
+    Match(TokenKind::kSemicolon);
+    return StmtPtr(std::move(stmt));
+  }
+
+  Result<StmtPtr> ParseLeftIndexAssign() {
+    auto stmt = std::make_unique<AssignStmt>();
+    stmt->line = Peek().line;
+    stmt->has_left_index = true;
+    stmt->targets.push_back(Advance().text);  // ident
+    Advance();                                // '['
+    if (!Check(TokenKind::kComma)) {
+      RELM_ASSIGN_OR_RETURN(stmt->li_row_lower, ParseExpr());
+      if (Match(TokenKind::kColon)) {
+        RELM_ASSIGN_OR_RETURN(stmt->li_row_upper, ParseExpr());
+      }
+    }
+    RELM_RETURN_IF_ERROR(Expect(TokenKind::kComma, "in left indexing"));
+    if (!Check(TokenKind::kRBracket)) {
+      RELM_ASSIGN_OR_RETURN(stmt->li_col_lower, ParseExpr());
+      if (Match(TokenKind::kColon)) {
+        RELM_ASSIGN_OR_RETURN(stmt->li_col_upper, ParseExpr());
+      }
+    }
+    RELM_RETURN_IF_ERROR(
+        Expect(TokenKind::kRBracket, "closing left indexing"));
+    if (!Match(TokenKind::kAssign) && !Match(TokenKind::kArrow)) {
+      return Error("expected '=' after left-indexing target");
+    }
+    RELM_ASSIGN_OR_RETURN(stmt->rhs, ParseExpr());
+    Match(TokenKind::kSemicolon);
+    return StmtPtr(std::move(stmt));
+  }
+
+  Result<StmtPtr> ParseMultiAssign() {
+    auto stmt = std::make_unique<AssignStmt>();
+    stmt->line = Peek().line;
+    Advance();  // '['
+    while (true) {
+      if (!Check(TokenKind::kIdent)) return Error("expected identifier");
+      stmt->targets.push_back(Advance().text);
+      if (Match(TokenKind::kComma)) continue;
+      break;
+    }
+    RELM_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "after targets"));
+    if (!Match(TokenKind::kAssign) && !Match(TokenKind::kArrow)) {
+      return Error("expected '=' after multi-assignment targets");
+    }
+    RELM_ASSIGN_OR_RETURN(stmt->rhs, ParseExpr());
+    Match(TokenKind::kSemicolon);
+    return StmtPtr(std::move(stmt));
+  }
+
+  Result<std::vector<StmtPtr>> ParseBody() {
+    std::vector<StmtPtr> body;
+    if (Match(TokenKind::kLBrace)) {
+      while (!Check(TokenKind::kRBrace)) {
+        if (AtEnd()) return Error("unterminated block; expected '}'");
+        RELM_ASSIGN_OR_RETURN(StmtPtr s, ParseStatement());
+        body.push_back(std::move(s));
+      }
+      Advance();  // '}'
+    } else {
+      RELM_ASSIGN_OR_RETURN(StmtPtr s, ParseStatement());
+      body.push_back(std::move(s));
+    }
+    return body;
+  }
+
+  Result<StmtPtr> ParseIf() {
+    auto stmt = std::make_unique<IfStmt>();
+    stmt->line = Peek().line;
+    Advance();  // 'if'
+    RELM_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "after 'if'"));
+    RELM_ASSIGN_OR_RETURN(stmt->predicate, ParseExpr());
+    RELM_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "after if predicate"));
+    RELM_ASSIGN_OR_RETURN(stmt->then_body, ParseBody());
+    if (Match(TokenKind::kElse)) {
+      if (Check(TokenKind::kIf)) {
+        // else-if chains become a nested if in the else body.
+        RELM_ASSIGN_OR_RETURN(StmtPtr nested, ParseIf());
+        stmt->else_body.push_back(std::move(nested));
+      } else {
+        RELM_ASSIGN_OR_RETURN(stmt->else_body, ParseBody());
+      }
+    }
+    return StmtPtr(std::move(stmt));
+  }
+
+  Result<StmtPtr> ParseWhile() {
+    auto stmt = std::make_unique<WhileStmt>();
+    stmt->line = Peek().line;
+    Advance();  // 'while'
+    RELM_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "after 'while'"));
+    RELM_ASSIGN_OR_RETURN(stmt->predicate, ParseExpr());
+    RELM_RETURN_IF_ERROR(
+        Expect(TokenKind::kRParen, "after while predicate"));
+    RELM_ASSIGN_OR_RETURN(stmt->body, ParseBody());
+    return StmtPtr(std::move(stmt));
+  }
+
+  Result<StmtPtr> ParseFor() {
+    auto stmt = std::make_unique<ForStmt>();
+    stmt->line = Peek().line;
+    Advance();  // 'for'
+    RELM_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "after 'for'"));
+    if (!Check(TokenKind::kIdent)) return Error("expected loop variable");
+    stmt->var = Advance().text;
+    RELM_RETURN_IF_ERROR(Expect(TokenKind::kIn, "in for header"));
+    // Either `a:b` or `seq(a, b, c)`.
+    if (Check(TokenKind::kIdent) && Peek().text == "seq" &&
+        CheckAt(1, TokenKind::kLParen)) {
+      Advance();
+      Advance();
+      RELM_ASSIGN_OR_RETURN(stmt->from, ParseExpr());
+      RELM_RETURN_IF_ERROR(Expect(TokenKind::kComma, "in seq()"));
+      RELM_ASSIGN_OR_RETURN(stmt->to, ParseExpr());
+      if (Match(TokenKind::kComma)) {
+        RELM_ASSIGN_OR_RETURN(stmt->increment, ParseExpr());
+      }
+      RELM_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "closing seq()"));
+    } else {
+      RELM_ASSIGN_OR_RETURN(stmt->from, ParseExpr());
+      RELM_RETURN_IF_ERROR(Expect(TokenKind::kColon, "in for range"));
+      RELM_ASSIGN_OR_RETURN(stmt->to, ParseExpr());
+    }
+    RELM_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "after for header"));
+    RELM_ASSIGN_OR_RETURN(stmt->body, ParseBody());
+    return StmtPtr(std::move(stmt));
+  }
+
+  Result<FunctionDef> ParseFunctionDef() {
+    FunctionDef fn;
+    fn.name = Advance().text;  // ident
+    Advance();                 // '='
+    Advance();                 // 'function'
+    RELM_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "after 'function'"));
+    if (!Check(TokenKind::kRParen)) {
+      while (true) {
+        RELM_ASSIGN_OR_RETURN(FunctionParam p, ParseTypedParam());
+        fn.params.push_back(std::move(p));
+        if (!Match(TokenKind::kComma)) break;
+      }
+    }
+    RELM_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "after parameters"));
+    if (!Check(TokenKind::kReturn)) {
+      return Error("expected 'return' clause in function definition");
+    }
+    Advance();  // 'return'
+    RELM_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "after 'return'"));
+    while (true) {
+      RELM_ASSIGN_OR_RETURN(FunctionParam p, ParseTypedParam());
+      fn.returns.push_back(std::move(p));
+      if (!Match(TokenKind::kComma)) break;
+    }
+    RELM_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "after returns"));
+    RELM_ASSIGN_OR_RETURN(fn.body, ParseBody());
+    return fn;
+  }
+
+  /// Parses `matrix[double] X`, `double lambda`, `integer k`, etc.
+  Result<FunctionParam> ParseTypedParam() {
+    FunctionParam p;
+    if (!Check(TokenKind::kIdent)) return Error("expected parameter type");
+    std::string type = Advance().text;
+    if (type == "matrix") {
+      p.data_type = DataType::kMatrix;
+      p.value_type = ValueType::kDouble;
+      if (Match(TokenKind::kLBracket)) {
+        if (!Check(TokenKind::kIdent)) {
+          return Error("expected cell type in matrix[...]");
+        }
+        Advance();
+        RELM_RETURN_IF_ERROR(
+            Expect(TokenKind::kRBracket, "closing matrix[...]"));
+      }
+    } else {
+      p.data_type = DataType::kScalar;
+      if (type == "double") {
+        p.value_type = ValueType::kDouble;
+      } else if (type == "integer" || type == "int") {
+        p.value_type = ValueType::kInt;
+      } else if (type == "boolean") {
+        p.value_type = ValueType::kBoolean;
+      } else if (type == "string") {
+        p.value_type = ValueType::kString;
+      } else {
+        return Error("unknown type '" + type + "'");
+      }
+    }
+    if (!Check(TokenKind::kIdent)) return Error("expected parameter name");
+    p.name = Advance().text;
+    return p;
+  }
+
+  // ---- expressions ----
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    RELM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (Check(TokenKind::kOr)) {
+      Advance();
+      RELM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = MakeBinary(BinOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    RELM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (Check(TokenKind::kAnd)) {
+      Advance();
+      RELM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = MakeBinary(BinOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (Check(TokenKind::kNot)) {
+      int line = Peek().line;
+      Advance();
+      RELM_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      auto e = std::make_unique<UnaryExpr>();
+      e->line = line;
+      e->op = UnOp::kNot;
+      e->operand = std::move(operand);
+      return ExprPtr(std::move(e));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    RELM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdd());
+    while (true) {
+      BinOp op;
+      switch (Peek().kind) {
+        case TokenKind::kLess:
+          op = BinOp::kLess;
+          break;
+        case TokenKind::kLessEq:
+          op = BinOp::kLessEq;
+          break;
+        case TokenKind::kGreater:
+          op = BinOp::kGreater;
+          break;
+        case TokenKind::kGreaterEq:
+          op = BinOp::kGreaterEq;
+          break;
+        case TokenKind::kEq:
+          op = BinOp::kEq;
+          break;
+        case TokenKind::kNotEq:
+          op = BinOp::kNotEq;
+          break;
+        default:
+          return lhs;
+      }
+      Advance();
+      RELM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdd());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<ExprPtr> ParseAdd() {
+    RELM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMul());
+    while (Check(TokenKind::kPlus) || Check(TokenKind::kMinus)) {
+      BinOp op = Check(TokenKind::kPlus) ? BinOp::kAdd : BinOp::kSub;
+      Advance();
+      RELM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMul());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMul() {
+    RELM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMatMult());
+    while (Check(TokenKind::kStar) || Check(TokenKind::kSlash)) {
+      BinOp op = Check(TokenKind::kStar) ? BinOp::kMul : BinOp::kDiv;
+      Advance();
+      RELM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMatMult());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMatMult() {
+    RELM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (Check(TokenKind::kMatMult)) {
+      int line = Peek().line;
+      Advance();
+      RELM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      auto e = std::make_unique<MatMultExpr>();
+      e->line = line;
+      e->lhs = std::move(lhs);
+      e->rhs = std::move(rhs);
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Check(TokenKind::kMinus)) {
+      int line = Peek().line;
+      Advance();
+      RELM_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      // Fold -literal immediately so sizes like -1 stay literals.
+      if (operand->kind == Expr::Kind::kLiteral) {
+        auto* lit = static_cast<LiteralExpr*>(operand.get());
+        if (lit->literal_type == ValueType::kDouble ||
+            lit->literal_type == ValueType::kInt) {
+          lit->number = -lit->number;
+          return operand;
+        }
+      }
+      auto e = std::make_unique<UnaryExpr>();
+      e->line = line;
+      e->op = UnOp::kNeg;
+      e->operand = std::move(operand);
+      return ExprPtr(std::move(e));
+    }
+    if (Check(TokenKind::kPlus)) {
+      Advance();
+      return ParseUnary();
+    }
+    return ParsePower();
+  }
+
+  Result<ExprPtr> ParsePower() {
+    RELM_ASSIGN_OR_RETURN(ExprPtr base, ParsePostfix());
+    if (Check(TokenKind::kCaret)) {
+      Advance();
+      RELM_ASSIGN_OR_RETURN(ExprPtr exp, ParseUnary());  // right assoc
+      return MakeBinary(BinOp::kPow, std::move(base), std::move(exp));
+    }
+    return base;
+  }
+
+  Result<ExprPtr> ParsePostfix() {
+    RELM_ASSIGN_OR_RETURN(ExprPtr e, ParsePrimary());
+    // Indexing must open on the same line as its target; a '[' on a new
+    // line starts a multi-assignment statement instead (DML/R treat the
+    // line break as a statement boundary here).
+    while (Check(TokenKind::kLBracket) && pos_ > 0 &&
+           Peek().line == tokens_[pos_ - 1].line) {
+      int line = Peek().line;
+      Advance();
+      auto idx = std::make_unique<IndexExpr>();
+      idx->line = line;
+      idx->target = std::move(e);
+      // Row range (possibly empty before the comma).
+      if (!Check(TokenKind::kComma)) {
+        RELM_ASSIGN_OR_RETURN(idx->row_lower, ParseExpr());
+        if (Match(TokenKind::kColon)) {
+          RELM_ASSIGN_OR_RETURN(idx->row_upper, ParseExpr());
+        }
+      }
+      RELM_RETURN_IF_ERROR(Expect(TokenKind::kComma, "in indexing"));
+      if (!Check(TokenKind::kRBracket)) {
+        RELM_ASSIGN_OR_RETURN(idx->col_lower, ParseExpr());
+        if (Match(TokenKind::kColon)) {
+          RELM_ASSIGN_OR_RETURN(idx->col_upper, ParseExpr());
+        }
+      }
+      RELM_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "closing indexing"));
+      e = std::move(idx);
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kNumber: {
+        Advance();
+        ExprPtr e = LiteralExpr::Number(t.number);
+        e->line = t.line;
+        return e;
+      }
+      case TokenKind::kString: {
+        Advance();
+        ExprPtr e = LiteralExpr::String(t.text);
+        e->line = t.line;
+        return e;
+      }
+      case TokenKind::kTrue:
+      case TokenKind::kFalse: {
+        bool v = t.kind == TokenKind::kTrue;
+        Advance();
+        ExprPtr e = LiteralExpr::Bool(v);
+        e->line = t.line;
+        return e;
+      }
+      case TokenKind::kDollar: {
+        Advance();
+        return ResolveParam(t);
+      }
+      case TokenKind::kLParen: {
+        Advance();
+        RELM_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        RELM_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "closing group"));
+        return e;
+      }
+      case TokenKind::kIdent: {
+        if (CheckAt(1, TokenKind::kLParen)) return ParseCall();
+        Advance();
+        auto e = std::make_unique<IdentExpr>();
+        e->line = t.line;
+        e->column = t.column;
+        e->name = t.text;
+        return ExprPtr(std::move(e));
+      }
+      default:
+        return Error("expected expression");
+    }
+  }
+
+  Result<ExprPtr> ParseCall() {
+    const Token& name = Advance();  // ident
+    Advance();                      // '('
+    auto call = std::make_unique<CallExpr>();
+    call->line = name.line;
+    call->column = name.column;
+    call->function = name.text;
+    if (!Check(TokenKind::kRParen)) {
+      while (true) {
+        CallArg arg;
+        if (Check(TokenKind::kIdent) && CheckAt(1, TokenKind::kAssign)) {
+          arg.name = Advance().text;
+          Advance();  // '='
+        }
+        RELM_ASSIGN_OR_RETURN(arg.value, ParseExpr());
+        call->args.push_back(std::move(arg));
+        if (!Match(TokenKind::kComma)) break;
+      }
+    }
+    RELM_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "closing call"));
+    // `ifdef($p, default)` resolves at parse time: if the parameter was
+    // supplied it became a literal; otherwise it is a ParamExpr and the
+    // default wins.
+    if (call->function == "ifdef") {
+      if (call->args.size() != 2) {
+        return Error("ifdef() takes exactly two arguments");
+      }
+      if (call->args[0].value->kind == Expr::Kind::kParam) {
+        return std::move(call->args[1].value);
+      }
+      return std::move(call->args[0].value);
+    }
+    return ExprPtr(std::move(call));
+  }
+
+  /// Substitutes a `$name` parameter from the supplied script args. The
+  /// special grammar form `ifdef($name, default)` is handled in ParseCall:
+  /// when $name is missing there, the default is used instead.
+  Result<ExprPtr> ResolveParam(const Token& t) {
+    auto it = args_.find(t.text);
+    // Inside ifdef(), a missing parameter becomes a sentinel the call
+    // handler replaces; detect that by lookahead: our ParseCall consumed
+    // arguments in order, so we signal "missing" via a ParamExpr.
+    if (it == args_.end()) {
+      auto e = std::make_unique<ParamExpr>();
+      e->line = t.line;
+      e->name = t.text;
+      return ExprPtr(std::move(e));
+    }
+    const std::string& raw = it->second;
+    // Numeric spellings become numbers; TRUE/FALSE booleans; else string.
+    if (raw == "TRUE" || raw == "true") return LiteralExpr::Bool(true);
+    if (raw == "FALSE" || raw == "false") return LiteralExpr::Bool(false);
+    char* end = nullptr;
+    double v = std::strtod(raw.c_str(), &end);
+    if (end != nullptr && *end == '\0' && !raw.empty()) {
+      return LiteralExpr::Number(v);
+    }
+    return LiteralExpr::String(raw);
+  }
+
+  static ExprPtr MakeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+    auto e = std::make_unique<BinaryExpr>();
+    e->line = lhs->line;
+    e->op = op;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  const ScriptArgs& args_;
+  size_t pos_ = 0;
+};
+
+int CountSourceLines(const std::string& source) {
+  int count = 0;
+  bool has_code = false;
+  for (size_t i = 0; i <= source.size(); ++i) {
+    char c = i < source.size() ? source[i] : '\n';
+    if (c == '\n') {
+      if (has_code) ++count;
+      has_code = false;
+    } else if (c == '#') {
+      // Rest of line is a comment; count the line only if code preceded.
+      while (i < source.size() && source[i] != '\n') ++i;
+      if (has_code) ++count;
+      has_code = false;
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      has_code = true;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+Result<DmlProgram> ParseDml(const std::string& source,
+                            const ScriptArgs& args) {
+  RELM_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens), args);
+  RELM_ASSIGN_OR_RETURN(DmlProgram prog, parser.ParseProgram());
+  prog.source_lines = CountSourceLines(source);
+  return prog;
+}
+
+}  // namespace relm

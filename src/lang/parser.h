@@ -1,0 +1,24 @@
+#ifndef RELM_LANG_PARSER_H_
+#define RELM_LANG_PARSER_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "lang/ast.h"
+
+namespace relm {
+
+/// Script-level parameters supplied at invocation time ($X, $icpt, ...),
+/// mapped to their string spellings; numeric strings become numbers.
+using ScriptArgs = std::map<std::string, std::string>;
+
+/// Parses a DML script into an AST. `$name` parameters are substituted
+/// from `args` (after `ifdef($name, default)` resolution during parsing a
+/// missing parameter is a validation error when actually used).
+Result<DmlProgram> ParseDml(const std::string& source,
+                            const ScriptArgs& args = {});
+
+}  // namespace relm
+
+#endif  // RELM_LANG_PARSER_H_

@@ -1,0 +1,340 @@
+#include "lang/statement_block.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace relm {
+
+const char* BlockKindName(BlockKind kind) {
+  switch (kind) {
+    case BlockKind::kGeneric:
+      return "generic";
+    case BlockKind::kIf:
+      return "if";
+    case BlockKind::kWhile:
+      return "while";
+    case BlockKind::kFor:
+      return "for";
+  }
+  return "?";
+}
+
+void CollectExprReads(const Expr& expr, std::set<std::string>* reads) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+    case Expr::Kind::kParam:
+      return;
+    case Expr::Kind::kIdent:
+      reads->insert(static_cast<const IdentExpr&>(expr).name);
+      return;
+    case Expr::Kind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(expr);
+      CollectExprReads(*b.lhs, reads);
+      CollectExprReads(*b.rhs, reads);
+      return;
+    }
+    case Expr::Kind::kUnary:
+      CollectExprReads(*static_cast<const UnaryExpr&>(expr).operand, reads);
+      return;
+    case Expr::Kind::kMatMult: {
+      const auto& m = static_cast<const MatMultExpr&>(expr);
+      CollectExprReads(*m.lhs, reads);
+      CollectExprReads(*m.rhs, reads);
+      return;
+    }
+    case Expr::Kind::kCall: {
+      const auto& c = static_cast<const CallExpr&>(expr);
+      for (const auto& a : c.args) CollectExprReads(*a.value, reads);
+      return;
+    }
+    case Expr::Kind::kIndex: {
+      const auto& ix = static_cast<const IndexExpr&>(expr);
+      CollectExprReads(*ix.target, reads);
+      for (const Expr* bound :
+           {ix.row_lower.get(), ix.row_upper.get(), ix.col_lower.get(),
+            ix.col_upper.get()}) {
+        if (bound != nullptr) CollectExprReads(*bound, reads);
+      }
+      return;
+    }
+  }
+}
+
+void CollectReadsWrites(const Statement& stmt, std::set<std::string>* reads,
+                        std::set<std::string>* writes) {
+  switch (stmt.kind) {
+    case Statement::Kind::kAssign: {
+      const auto& a = static_cast<const AssignStmt&>(stmt);
+      CollectExprReads(*a.rhs, reads);
+      if (a.has_left_index) {
+        // Partial update: the old contents of the target are read too.
+        reads->insert(a.targets[0]);
+        for (const Expr* bound :
+             {a.li_row_lower.get(), a.li_row_upper.get(),
+              a.li_col_lower.get(), a.li_col_upper.get()}) {
+          if (bound != nullptr) CollectExprReads(*bound, reads);
+        }
+      }
+      for (const auto& t : a.targets) writes->insert(t);
+      return;
+    }
+    case Statement::Kind::kExpr: {
+      const auto& e = static_cast<const ExprStmt&>(stmt);
+      CollectExprReads(*e.expr, reads);
+      return;
+    }
+    case Statement::Kind::kIf: {
+      const auto& s = static_cast<const IfStmt&>(stmt);
+      CollectExprReads(*s.predicate, reads);
+      for (const auto& c : s.then_body) CollectReadsWrites(*c, reads, writes);
+      for (const auto& c : s.else_body) CollectReadsWrites(*c, reads, writes);
+      return;
+    }
+    case Statement::Kind::kWhile: {
+      const auto& s = static_cast<const WhileStmt&>(stmt);
+      CollectExprReads(*s.predicate, reads);
+      for (const auto& c : s.body) CollectReadsWrites(*c, reads, writes);
+      return;
+    }
+    case Statement::Kind::kFor: {
+      const auto& s = static_cast<const ForStmt&>(stmt);
+      CollectExprReads(*s.from, reads);
+      CollectExprReads(*s.to, reads);
+      if (s.increment) CollectExprReads(*s.increment, reads);
+      writes->insert(s.var);
+      for (const auto& c : s.body) CollectReadsWrites(*c, reads, writes);
+      return;
+    }
+  }
+}
+
+namespace {
+
+/// Builds the nested block structure for a statement sequence.
+std::vector<BlockPtr> BuildBlocks(const std::vector<StmtPtr>& stmts,
+                                  int* next_id) {
+  std::vector<BlockPtr> out;
+  BlockPtr current;  // open generic block
+  auto flush = [&]() {
+    if (current) out.push_back(std::move(current));
+  };
+  for (const auto& stmt : stmts) {
+    switch (stmt->kind) {
+      case Statement::Kind::kAssign:
+      case Statement::Kind::kExpr: {
+        if (!current) {
+          current = std::make_unique<StatementBlock>(BlockKind::kGeneric);
+          current->set_id((*next_id)++);
+          current->set_line(stmt->line);
+        }
+        current->statements.push_back(stmt.get());
+        break;
+      }
+      case Statement::Kind::kIf: {
+        flush();
+        const auto& s = static_cast<const IfStmt&>(*stmt);
+        auto blk = std::make_unique<StatementBlock>(BlockKind::kIf);
+        blk->set_id((*next_id)++);
+        blk->set_line(stmt->line);
+        blk->control = stmt.get();
+        blk->body = BuildBlocks(s.then_body, next_id);
+        blk->else_body = BuildBlocks(s.else_body, next_id);
+        out.push_back(std::move(blk));
+        break;
+      }
+      case Statement::Kind::kWhile: {
+        flush();
+        const auto& s = static_cast<const WhileStmt&>(*stmt);
+        auto blk = std::make_unique<StatementBlock>(BlockKind::kWhile);
+        blk->set_id((*next_id)++);
+        blk->set_line(stmt->line);
+        blk->control = stmt.get();
+        blk->body = BuildBlocks(s.body, next_id);
+        out.push_back(std::move(blk));
+        break;
+      }
+      case Statement::Kind::kFor: {
+        flush();
+        const auto& s = static_cast<const ForStmt&>(*stmt);
+        auto blk = std::make_unique<StatementBlock>(BlockKind::kFor);
+        blk->set_id((*next_id)++);
+        blk->set_line(stmt->line);
+        blk->control = stmt.get();
+        blk->body = BuildBlocks(s.body, next_id);
+        out.push_back(std::move(blk));
+        break;
+      }
+    }
+  }
+  flush();
+  return out;
+}
+
+using VarSet = std::set<std::string>;
+
+VarSet Union(const VarSet& a, const VarSet& b) {
+  VarSet out = a;
+  out.insert(b.begin(), b.end());
+  return out;
+}
+
+VarSet Minus(const VarSet& a, const VarSet& b) {
+  VarSet out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::inserter(out, out.begin()));
+  return out;
+}
+
+/// Fills read/updated sets of a block (transitively through children).
+void ComputeReadUpdated(StatementBlock* blk) {
+  if (blk->kind() == BlockKind::kGeneric) {
+    for (const Statement* s : blk->statements) {
+      CollectReadsWrites(*s, &blk->read, &blk->updated);
+    }
+    return;
+  }
+  CollectReadsWrites(*blk->control, &blk->read, &blk->updated);
+  for (auto& c : blk->body) {
+    ComputeReadUpdated(c.get());
+  }
+  for (auto& c : blk->else_body) {
+    ComputeReadUpdated(c.get());
+  }
+}
+
+VarSet AnalyzeSeq(std::vector<BlockPtr>& blocks, const VarSet& live_out);
+
+/// Computes live_in of one block given its live_out; records both.
+VarSet AnalyzeBlock(StatementBlock* blk, const VarSet& live_out) {
+  blk->live_out = live_out;
+  switch (blk->kind()) {
+    case BlockKind::kGeneric: {
+      // Backward pass over statements.
+      VarSet live = live_out;
+      for (auto it = blk->statements.rbegin(); it != blk->statements.rend();
+           ++it) {
+        VarSet reads;
+        VarSet writes;
+        CollectReadsWrites(**it, &reads, &writes);
+        live = Union(Minus(live, writes), reads);
+      }
+      blk->live_in = live;
+      return live;
+    }
+    case BlockKind::kIf: {
+      const auto& s = static_cast<const IfStmt&>(*blk->control);
+      VarSet pred_reads;
+      CollectExprReads(*s.predicate, &pred_reads);
+      VarSet then_in = AnalyzeSeq(blk->body, live_out);
+      VarSet else_in = blk->else_body.empty()
+                           ? live_out
+                           : AnalyzeSeq(blk->else_body, live_out);
+      blk->live_in = Union(pred_reads, Union(then_in, else_in));
+      return blk->live_in;
+    }
+    case BlockKind::kWhile:
+    case BlockKind::kFor: {
+      VarSet pred_reads;
+      if (blk->kind() == BlockKind::kWhile) {
+        const auto& s = static_cast<const WhileStmt&>(*blk->control);
+        CollectExprReads(*s.predicate, &pred_reads);
+      } else {
+        const auto& s = static_cast<const ForStmt&>(*blk->control);
+        CollectExprReads(*s.from, &pred_reads);
+        CollectExprReads(*s.to, &pred_reads);
+        if (s.increment) CollectExprReads(*s.increment, &pred_reads);
+      }
+      // Fixpoint over the back edge: everything live at loop entry is also
+      // live at the end of the body.
+      VarSet exit_live = live_out;
+      VarSet live_in;
+      for (int iter = 0; iter < 8; ++iter) {
+        VarSet body_in = AnalyzeSeq(blk->body, exit_live);
+        VarSet new_in = Union(pred_reads, Union(body_in, live_out));
+        if (new_in == live_in) break;
+        live_in = new_in;
+        exit_live = Union(live_out, live_in);
+      }
+      blk->live_in = live_in;
+      return live_in;
+    }
+  }
+  return live_out;
+}
+
+VarSet AnalyzeSeq(std::vector<BlockPtr>& blocks, const VarSet& live_out) {
+  VarSet live = live_out;
+  for (auto it = blocks.rbegin(); it != blocks.rend(); ++it) {
+    live = AnalyzeBlock(it->get(), live);
+  }
+  return live;
+}
+
+}  // namespace
+
+int ProgramBlocks::TotalBlocks() const {
+  struct Counter {
+    static int Count(const std::vector<BlockPtr>& blocks) {
+      int n = 0;
+      for (const auto& b : blocks) {
+        n += 1 + Count(b->body) + Count(b->else_body);
+      }
+      return n;
+    }
+  };
+  int n = Counter::Count(main);
+  for (const auto& [name, blocks] : functions) n += Counter::Count(blocks);
+  return n;
+}
+
+std::string StatementBlock::ToString(int indent) const {
+  std::ostringstream os;
+  std::string pad(indent * 2, ' ');
+  os << pad << "#" << id_ << " " << BlockKindName(kind_);
+  if (kind_ == BlockKind::kGeneric) {
+    os << " (" << statements.size() << " stmts)";
+  }
+  os << "\n";
+  for (const auto& c : body) os << c->ToString(indent + 1);
+  if (!else_body.empty()) {
+    os << pad << "else:\n";
+    for (const auto& c : else_body) os << c->ToString(indent + 1);
+  }
+  return os.str();
+}
+
+std::string ProgramBlocks::ToString() const {
+  std::ostringstream os;
+  for (const auto& b : main) os << b->ToString();
+  for (const auto& [name, blocks] : functions) {
+    os << "function " << name << ":\n";
+    for (const auto& b : blocks) os << b->ToString(1);
+  }
+  return os.str();
+}
+
+Result<ProgramBlocks> BuildProgramBlocks(const DmlProgram& program) {
+  ProgramBlocks out;
+  int next_id = 0;
+  out.main = BuildBlocks(program.statements, &next_id);
+  for (const auto& [name, fn] : program.functions) {
+    out.functions[name] = BuildBlocks(fn.body, &next_id);
+  }
+  // Read/updated sets.
+  for (auto& b : out.main) ComputeReadUpdated(b.get());
+  for (auto& [name, blocks] : out.functions) {
+    for (auto& b : blocks) ComputeReadUpdated(b.get());
+  }
+  // Liveness: nothing is live at program end except persistent writes,
+  // which read their inputs inside the final blocks anyway.
+  AnalyzeSeq(out.main, {});
+  for (auto& [name, fn_blocks] : out.functions) {
+    auto it = program.functions.find(name);
+    VarSet returns;
+    for (const auto& r : it->second.returns) returns.insert(r.name);
+    AnalyzeSeq(fn_blocks, returns);
+  }
+  return out;
+}
+
+}  // namespace relm

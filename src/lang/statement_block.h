@@ -1,0 +1,94 @@
+#ifndef RELM_LANG_STATEMENT_BLOCK_H_
+#define RELM_LANG_STATEMENT_BLOCK_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "lang/ast.h"
+
+namespace relm {
+
+/// Kinds of statement blocks in the program-block hierarchy (the control
+/// structure of the script defines the blocks, like in SystemML).
+enum class BlockKind { kGeneric, kIf, kWhile, kFor };
+
+const char* BlockKindName(BlockKind kind);
+
+/// One statement block. Generic blocks hold consecutive straight-line
+/// statements (one HOP DAG each); control blocks hold their predicate and
+/// nested child blocks. Pointers into the AST are non-owning: the parsed
+/// DmlProgram must outlive its block structure.
+class StatementBlock {
+ public:
+  explicit StatementBlock(BlockKind kind) : kind_(kind) {}
+
+  BlockKind kind() const { return kind_; }
+  int id() const { return id_; }
+  void set_id(int id) { id_ = id; }
+  int line() const { return line_; }
+  void set_line(int line) { line_ = line; }
+
+  /// Statements of a generic block.
+  std::vector<const Statement*> statements;
+
+  /// The controlling statement (If/While/For) for control blocks.
+  const Statement* control = nullptr;
+
+  /// Nested blocks: loop body or if-then body.
+  std::vector<std::unique_ptr<StatementBlock>> body;
+  /// If-else body (kIf only).
+  std::vector<std::unique_ptr<StatementBlock>> else_body;
+
+  /// Live-variable analysis results (variable names).
+  std::set<std::string> live_in;
+  std::set<std::string> live_out;
+  /// Variables (re-)assigned within this block (transitively for loops).
+  std::set<std::string> updated;
+  /// Variables read within this block (transitively).
+  std::set<std::string> read;
+
+  /// True for blocks that compile to a single HOP DAG (generic blocks).
+  bool IsLastLevel() const { return kind_ == BlockKind::kGeneric; }
+
+  std::string ToString(int indent = 0) const;
+
+ private:
+  BlockKind kind_;
+  int id_ = -1;
+  int line_ = 0;
+};
+
+using BlockPtr = std::unique_ptr<StatementBlock>;
+
+/// The block structure of a whole program: top-level blocks plus one
+/// block list per user-defined function.
+struct ProgramBlocks {
+  std::vector<BlockPtr> main;
+  std::map<std::string, std::vector<BlockPtr>> functions;
+
+  /// Total number of blocks, counted recursively (Table 1's "#Blocks").
+  int TotalBlocks() const;
+
+  std::string ToString() const;
+};
+
+/// Builds the statement-block hierarchy for a parsed program and runs
+/// live-variable analysis (live-in/live-out/updated/read per block).
+/// `result_vars` lists variables that must stay live at program end
+/// (outputs of write() calls are detected automatically).
+Result<ProgramBlocks> BuildProgramBlocks(const DmlProgram& program);
+
+/// Variables read / written by a single statement (AST walk).
+void CollectReadsWrites(const Statement& stmt, std::set<std::string>* reads,
+                        std::set<std::string>* writes);
+
+/// Variables read by an expression.
+void CollectExprReads(const Expr& expr, std::set<std::string>* reads);
+
+}  // namespace relm
+
+#endif  // RELM_LANG_STATEMENT_BLOCK_H_

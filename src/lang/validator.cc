@@ -1,0 +1,476 @@
+#include "lang/validator.h"
+
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace relm {
+namespace {
+
+/// Builtins grouped by their typing rule.
+enum class BuiltinRule {
+  kMatrixToScalar,    // sum, mean, trace, nrow, ncol, as.scalar
+  kMatrixToMatrix,    // t, rowSums, colSums, diag, round-on-matrix...
+  kElementwise,       // abs/sqrt/exp/log/...: matrix->matrix, scalar->scalar
+  kTwoMatrix,         // solve(A,b), table(v1,v2), cbind/append(A,B)
+  kMinMax,            // min/max: all-scalar -> scalar, else matrix
+  kPpred,             // ppred(X, s, "op") -> matrix
+  kMatrixGen,         // matrix(v, rows, cols), rand(...) -> matrix
+  kSeq,               // seq(a,b[,c]) -> matrix
+  kRead,              // read(path) -> matrix
+  kCast,              // as.matrix / as.double / as.integer
+  kVoid,              // print, write, stop
+};
+
+const std::unordered_map<std::string, BuiltinRule>& Builtins() {
+  static const auto* kMap = new std::unordered_map<std::string, BuiltinRule>{
+      {"sum", BuiltinRule::kMatrixToScalar},
+      {"mean", BuiltinRule::kMatrixToScalar},
+      {"trace", BuiltinRule::kMatrixToScalar},
+      {"nrow", BuiltinRule::kMatrixToScalar},
+      {"ncol", BuiltinRule::kMatrixToScalar},
+      {"as.scalar", BuiltinRule::kMatrixToScalar},
+      {"castAsScalar", BuiltinRule::kMatrixToScalar},
+      {"t", BuiltinRule::kMatrixToMatrix},
+      {"rowSums", BuiltinRule::kMatrixToMatrix},
+      {"colSums", BuiltinRule::kMatrixToMatrix},
+      {"rowMeans", BuiltinRule::kMatrixToMatrix},
+      {"colMeans", BuiltinRule::kMatrixToMatrix},
+      {"rowMaxs", BuiltinRule::kMatrixToMatrix},
+      {"colMaxs", BuiltinRule::kMatrixToMatrix},
+      {"diag", BuiltinRule::kMatrixToMatrix},
+      {"abs", BuiltinRule::kElementwise},
+      {"sqrt", BuiltinRule::kElementwise},
+      {"exp", BuiltinRule::kElementwise},
+      {"log", BuiltinRule::kElementwise},
+      {"round", BuiltinRule::kElementwise},
+      {"floor", BuiltinRule::kElementwise},
+      {"ceil", BuiltinRule::kElementwise},
+      {"sign", BuiltinRule::kElementwise},
+      {"solve", BuiltinRule::kTwoMatrix},
+      {"table", BuiltinRule::kTwoMatrix},
+      {"cbind", BuiltinRule::kTwoMatrix},
+      {"append", BuiltinRule::kTwoMatrix},
+      {"min", BuiltinRule::kMinMax},
+      {"max", BuiltinRule::kMinMax},
+      {"ppred", BuiltinRule::kPpred},
+      {"matrix", BuiltinRule::kMatrixGen},
+      {"rand", BuiltinRule::kMatrixGen},
+      {"seq", BuiltinRule::kSeq},
+      {"read", BuiltinRule::kRead},
+      {"as.matrix", BuiltinRule::kCast},
+      {"as.double", BuiltinRule::kCast},
+      {"as.integer", BuiltinRule::kCast},
+      {"print", BuiltinRule::kVoid},
+      {"write", BuiltinRule::kVoid},
+      {"stop", BuiltinRule::kVoid},
+  };
+  return *kMap;
+}
+
+Status ErrorAt(int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "line " << line << ": " << msg;
+  return Status::ValidationError(os.str());
+}
+
+using SymbolTable = std::map<std::string, VarType>;
+
+/// Stateful validator walking blocks in order with a symbol table.
+class Validator {
+ public:
+  explicit Validator(DmlProgram* program) : program_(program) {}
+
+  Status Run() {
+    // Validate each function body once against its declared signature.
+    for (auto& [name, fn] : program_->functions) {
+      SymbolTable table;
+      for (const auto& p : fn.params) {
+        table[p.name] = VarType{p.data_type, p.value_type};
+      }
+      RELM_RETURN_IF_ERROR(ValidateStatements(fn.body, &table));
+      for (const auto& r : fn.returns) {
+        auto it = table.find(r.name);
+        if (it == table.end()) {
+          return Status::ValidationError("function '" + name +
+                                         "' never assigns return value '" +
+                                         r.name + "'");
+        }
+      }
+    }
+    SymbolTable table;
+    return ValidateStatements(program_->statements, &table);
+  }
+
+ private:
+  Status ValidateStatements(const std::vector<StmtPtr>& stmts,
+                            SymbolTable* table) {
+    for (const auto& stmt : stmts) {
+      RELM_RETURN_IF_ERROR(ValidateStatement(*stmt, table));
+    }
+    return Status::OK();
+  }
+
+  Status ValidateStatement(const Statement& stmt, SymbolTable* table) {
+    switch (stmt.kind) {
+      case Statement::Kind::kAssign: {
+        auto& a = const_cast<AssignStmt&>(static_cast<const AssignStmt&>(stmt));
+        RELM_RETURN_IF_ERROR(ValidateExpr(a.rhs.get(), *table));
+        if (a.has_left_index) {
+          auto tit = table->find(a.targets[0]);
+          if (tit == table->end() ||
+              tit->second.data_type != DataType::kMatrix) {
+            return ErrorAt(stmt.line, "left indexing requires an "
+                                      "existing matrix variable");
+          }
+          for (Expr* bound :
+               {a.li_row_lower.get(), a.li_row_upper.get(),
+                a.li_col_lower.get(), a.li_col_upper.get()}) {
+            if (bound == nullptr) continue;
+            RELM_RETURN_IF_ERROR(ValidateExpr(bound, *table));
+            if (bound->data_type == DataType::kMatrix) {
+              return ErrorAt(stmt.line, "index bounds must be scalars");
+            }
+          }
+          return Status::OK();  // target keeps its matrix type
+        }
+        if (a.targets.size() == 1) {
+          (*table)[a.targets[0]] =
+              VarType{a.rhs->data_type, a.rhs->value_type};
+        } else {
+          // Multi-assignment requires a user-function call.
+          if (a.rhs->kind != Expr::Kind::kCall) {
+            return ErrorAt(stmt.line,
+                           "multi-assignment requires a function call");
+          }
+          const auto& call = static_cast<const CallExpr&>(*a.rhs);
+          auto fit = program_->functions.find(call.function);
+          if (fit == program_->functions.end()) {
+            return ErrorAt(stmt.line, "multi-assignment from unknown "
+                                      "function '" + call.function + "'");
+          }
+          if (fit->second.returns.size() != a.targets.size()) {
+            return ErrorAt(stmt.line, "function '" + call.function +
+                                      "' returns " +
+                                      std::to_string(
+                                          fit->second.returns.size()) +
+                                      " values");
+          }
+          for (size_t i = 0; i < a.targets.size(); ++i) {
+            const auto& r = fit->second.returns[i];
+            (*table)[a.targets[i]] = VarType{r.data_type, r.value_type};
+          }
+        }
+        return Status::OK();
+      }
+      case Statement::Kind::kExpr: {
+        const auto& e = static_cast<const ExprStmt&>(stmt);
+        return ValidateExpr(e.expr.get(), *table);
+      }
+      case Statement::Kind::kIf: {
+        const auto& s = static_cast<const IfStmt&>(stmt);
+        RELM_RETURN_IF_ERROR(ValidateExpr(s.predicate.get(), *table));
+        SymbolTable then_table = *table;
+        SymbolTable else_table = *table;
+        RELM_RETURN_IF_ERROR(ValidateStatements(s.then_body, &then_table));
+        RELM_RETURN_IF_ERROR(ValidateStatements(s.else_body, &else_table));
+        // Merge: variables defined in both branches (or pre-existing)
+        // survive; conflicting data types degrade to unknown.
+        MergeTables(then_table, else_table, table);
+        return Status::OK();
+      }
+      case Statement::Kind::kWhile: {
+        const auto& s = static_cast<const WhileStmt&>(stmt);
+        RELM_RETURN_IF_ERROR(ValidateExpr(s.predicate.get(), *table));
+        // Two passes so types assigned late in the body are visible to
+        // uses early in the body on the second iteration.
+        RELM_RETURN_IF_ERROR(ValidateStatements(s.body, table));
+        RELM_RETURN_IF_ERROR(ValidateExpr(s.predicate.get(), *table));
+        return ValidateStatements(s.body, table);
+      }
+      case Statement::Kind::kFor: {
+        const auto& s = static_cast<const ForStmt&>(stmt);
+        RELM_RETURN_IF_ERROR(ValidateExpr(s.from.get(), *table));
+        RELM_RETURN_IF_ERROR(ValidateExpr(s.to.get(), *table));
+        if (s.increment) {
+          RELM_RETURN_IF_ERROR(ValidateExpr(s.increment.get(), *table));
+        }
+        (*table)[s.var] = VarType{DataType::kScalar, ValueType::kInt};
+        RELM_RETURN_IF_ERROR(ValidateStatements(s.body, table));
+        return ValidateStatements(s.body, table);
+      }
+    }
+    return Status::OK();
+  }
+
+  static void MergeTables(const SymbolTable& a, const SymbolTable& b,
+                          SymbolTable* out) {
+    SymbolTable merged;
+    for (const auto& [name, ta] : a) {
+      auto it = b.find(name);
+      if (it == b.end()) {
+        merged[name] = ta;  // defined in one branch only: keep (may be
+                            // dead after the if; liveness decides)
+        continue;
+      }
+      if (it->second.data_type == ta.data_type) {
+        merged[name] = ta;
+      } else {
+        merged[name] = VarType{DataType::kUnknown, ValueType::kUnknown};
+      }
+    }
+    for (const auto& [name, tb] : b) {
+      if (merged.find(name) == merged.end()) merged[name] = tb;
+    }
+    *out = std::move(merged);
+  }
+
+  Status ValidateExpr(Expr* expr, const SymbolTable& table) {
+    switch (expr->kind) {
+      case Expr::Kind::kLiteral: {
+        auto* lit = static_cast<LiteralExpr*>(expr);
+        expr->data_type = DataType::kScalar;
+        expr->value_type = lit->literal_type;
+        return Status::OK();
+      }
+      case Expr::Kind::kParam: {
+        auto* p = static_cast<ParamExpr*>(expr);
+        return ErrorAt(expr->line, "script parameter $" + p->name +
+                                   " was not supplied and has no default");
+      }
+      case Expr::Kind::kIdent: {
+        auto* id = static_cast<IdentExpr*>(expr);
+        auto it = table.find(id->name);
+        if (it == table.end()) {
+          return ErrorAt(expr->line,
+                         "undefined variable '" + id->name + "'");
+        }
+        expr->data_type = it->second.data_type;
+        expr->value_type = it->second.value_type;
+        return Status::OK();
+      }
+      case Expr::Kind::kBinary: {
+        auto* b = static_cast<BinaryExpr*>(expr);
+        RELM_RETURN_IF_ERROR(ValidateExpr(b->lhs.get(), table));
+        RELM_RETURN_IF_ERROR(ValidateExpr(b->rhs.get(), table));
+        // String concatenation via '+'.
+        if (b->op == BinOp::kAdd &&
+            (b->lhs->value_type == ValueType::kString ||
+             b->rhs->value_type == ValueType::kString)) {
+          expr->data_type = DataType::kScalar;
+          expr->value_type = ValueType::kString;
+          return Status::OK();
+        }
+        bool lhs_matrix = b->lhs->data_type == DataType::kMatrix;
+        bool rhs_matrix = b->rhs->data_type == DataType::kMatrix;
+        expr->data_type = (lhs_matrix || rhs_matrix) ? DataType::kMatrix
+                                                     : DataType::kScalar;
+        expr->value_type = IsComparison(b->op) && !lhs_matrix && !rhs_matrix
+                               ? ValueType::kBoolean
+                               : ValueType::kDouble;
+        return Status::OK();
+      }
+      case Expr::Kind::kUnary: {
+        auto* u = static_cast<UnaryExpr*>(expr);
+        RELM_RETURN_IF_ERROR(ValidateExpr(u->operand.get(), table));
+        expr->data_type = u->operand->data_type;
+        expr->value_type = u->op == UnOp::kNot ? ValueType::kBoolean
+                                               : u->operand->value_type;
+        return Status::OK();
+      }
+      case Expr::Kind::kMatMult: {
+        auto* m = static_cast<MatMultExpr*>(expr);
+        RELM_RETURN_IF_ERROR(ValidateExpr(m->lhs.get(), table));
+        RELM_RETURN_IF_ERROR(ValidateExpr(m->rhs.get(), table));
+        if (m->lhs->data_type != DataType::kMatrix ||
+            m->rhs->data_type != DataType::kMatrix) {
+          return ErrorAt(expr->line, "%*% requires matrix operands");
+        }
+        expr->data_type = DataType::kMatrix;
+        expr->value_type = ValueType::kDouble;
+        return Status::OK();
+      }
+      case Expr::Kind::kIndex: {
+        auto* ix = static_cast<IndexExpr*>(expr);
+        RELM_RETURN_IF_ERROR(ValidateExpr(ix->target.get(), table));
+        if (ix->target->data_type != DataType::kMatrix) {
+          return ErrorAt(expr->line, "indexing requires a matrix");
+        }
+        for (Expr* bound : {ix->row_lower.get(), ix->row_upper.get(),
+                            ix->col_lower.get(), ix->col_upper.get()}) {
+          if (bound != nullptr) {
+            RELM_RETURN_IF_ERROR(ValidateExpr(bound, table));
+            if (bound->data_type == DataType::kMatrix) {
+              return ErrorAt(expr->line, "index bounds must be scalars");
+            }
+          }
+        }
+        expr->data_type = DataType::kMatrix;
+        expr->value_type = ValueType::kDouble;
+        return Status::OK();
+      }
+      case Expr::Kind::kCall:
+        return ValidateCall(static_cast<CallExpr*>(expr), table);
+    }
+    return Status::OK();
+  }
+
+  Status ValidateCall(CallExpr* call, const SymbolTable& table) {
+    for (auto& arg : call->args) {
+      RELM_RETURN_IF_ERROR(ValidateExpr(arg.value.get(), table));
+    }
+    // User-defined functions.
+    auto fit = program_->functions.find(call->function);
+    if (fit != program_->functions.end()) {
+      const FunctionDef& fn = fit->second;
+      if (call->args.size() != fn.params.size()) {
+        return ErrorAt(call->line, "function '" + call->function +
+                                   "' expects " +
+                                   std::to_string(fn.params.size()) +
+                                   " arguments");
+      }
+      if (fn.returns.empty()) {
+        return ErrorAt(call->line,
+                       "function '" + call->function + "' has no returns");
+      }
+      call->data_type = fn.returns[0].data_type;
+      call->value_type = fn.returns[0].value_type;
+      return Status::OK();
+    }
+    auto bit = Builtins().find(call->function);
+    if (bit == Builtins().end()) {
+      return ErrorAt(call->line,
+                     "unknown function '" + call->function + "'");
+    }
+    auto require_args = [&](size_t lo, size_t hi) -> Status {
+      if (call->args.size() < lo || call->args.size() > hi) {
+        return ErrorAt(call->line,
+                       "wrong number of arguments to '" + call->function +
+                       "'");
+      }
+      return Status::OK();
+    };
+    auto require_matrix = [&](size_t idx) -> Status {
+      if (call->args[idx].value->data_type != DataType::kMatrix) {
+        return ErrorAt(call->line, "argument " + std::to_string(idx + 1) +
+                                   " of '" + call->function +
+                                   "' must be a matrix");
+      }
+      return Status::OK();
+    };
+    switch (bit->second) {
+      case BuiltinRule::kMatrixToScalar:
+        RELM_RETURN_IF_ERROR(require_args(1, 1));
+        RELM_RETURN_IF_ERROR(require_matrix(0));
+        call->data_type = DataType::kScalar;
+        call->value_type =
+            (call->function == "nrow" || call->function == "ncol")
+                ? ValueType::kInt
+                : ValueType::kDouble;
+        return Status::OK();
+      case BuiltinRule::kMatrixToMatrix:
+        RELM_RETURN_IF_ERROR(require_args(1, 1));
+        RELM_RETURN_IF_ERROR(require_matrix(0));
+        call->data_type = DataType::kMatrix;
+        call->value_type = ValueType::kDouble;
+        return Status::OK();
+      case BuiltinRule::kElementwise:
+        RELM_RETURN_IF_ERROR(require_args(1, 1));
+        call->data_type = call->args[0].value->data_type;
+        call->value_type = ValueType::kDouble;
+        return Status::OK();
+      case BuiltinRule::kTwoMatrix:
+        RELM_RETURN_IF_ERROR(require_args(2, 2));
+        RELM_RETURN_IF_ERROR(require_matrix(0));
+        RELM_RETURN_IF_ERROR(require_matrix(1));
+        call->data_type = DataType::kMatrix;
+        call->value_type = ValueType::kDouble;
+        return Status::OK();
+      case BuiltinRule::kMinMax: {
+        RELM_RETURN_IF_ERROR(require_args(1, 2));
+        bool any_matrix = false;
+        for (const auto& a : call->args) {
+          any_matrix |= a.value->data_type == DataType::kMatrix;
+        }
+        if (call->args.size() == 1) {
+          // min(X): full aggregate -> scalar.
+          RELM_RETURN_IF_ERROR(require_matrix(0));
+          call->data_type = DataType::kScalar;
+        } else {
+          call->data_type =
+              any_matrix ? DataType::kMatrix : DataType::kScalar;
+        }
+        call->value_type = ValueType::kDouble;
+        return Status::OK();
+      }
+      case BuiltinRule::kPpred: {
+        RELM_RETURN_IF_ERROR(require_args(3, 3));
+        RELM_RETURN_IF_ERROR(require_matrix(0));
+        if (call->args[2].value->kind != Expr::Kind::kLiteral ||
+            call->args[2].value->value_type != ValueType::kString) {
+          return ErrorAt(call->line,
+                         "third argument of ppred must be an operator "
+                         "string like \">\"");
+        }
+        call->data_type = DataType::kMatrix;
+        call->value_type = ValueType::kDouble;
+        return Status::OK();
+      }
+      case BuiltinRule::kMatrixGen: {
+        if (call->Named("rows") == nullptr ||
+            call->Named("cols") == nullptr) {
+          return ErrorAt(call->line, "'" + call->function +
+                                     "' requires rows= and cols=");
+        }
+        call->data_type = DataType::kMatrix;
+        call->value_type = ValueType::kDouble;
+        return Status::OK();
+      }
+      case BuiltinRule::kSeq:
+        RELM_RETURN_IF_ERROR(require_args(2, 3));
+        call->data_type = DataType::kMatrix;
+        call->value_type = ValueType::kDouble;
+        return Status::OK();
+      case BuiltinRule::kRead:
+        RELM_RETURN_IF_ERROR(require_args(1, 1));
+        call->data_type = DataType::kMatrix;
+        call->value_type = ValueType::kDouble;
+        return Status::OK();
+      case BuiltinRule::kCast:
+        RELM_RETURN_IF_ERROR(require_args(1, 1));
+        call->data_type = call->function == "as.matrix"
+                              ? DataType::kMatrix
+                              : DataType::kScalar;
+        call->value_type = call->function == "as.integer"
+                               ? ValueType::kInt
+                               : ValueType::kDouble;
+        return Status::OK();
+      case BuiltinRule::kVoid:
+        if (call->function == "write") {
+          RELM_RETURN_IF_ERROR(require_args(2, 2));
+        } else {
+          RELM_RETURN_IF_ERROR(require_args(1, 1));
+        }
+        call->data_type = DataType::kScalar;
+        call->value_type = ValueType::kString;
+        return Status::OK();
+    }
+    return Status::OK();
+  }
+
+  DmlProgram* program_;
+};
+
+}  // namespace
+
+bool IsBuiltinFunction(const std::string& name) {
+  return Builtins().count(name) > 0;
+}
+
+Status ValidateProgram(DmlProgram* program) {
+  Validator v(program);
+  return v.Run();
+}
+
+}  // namespace relm

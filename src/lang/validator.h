@@ -1,0 +1,30 @@
+#ifndef RELM_LANG_VALIDATOR_H_
+#define RELM_LANG_VALIDATOR_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "lang/ast.h"
+
+namespace relm {
+
+/// Variable type entry for semantic validation.
+struct VarType {
+  DataType data_type = DataType::kUnknown;
+  ValueType value_type = ValueType::kUnknown;
+};
+
+/// Semantic validation of a parsed program: resolves variable and function
+/// references, checks builtin signatures and operand data types, and
+/// annotates every expression with its DataType/ValueType in place.
+/// Matrix dimensions are NOT inferred here; size propagation lives in the
+/// HOP layer where it interacts with rewrites and memory estimation.
+Status ValidateProgram(DmlProgram* program);
+
+/// True if `name` is a known builtin function.
+bool IsBuiltinFunction(const std::string& name);
+
+}  // namespace relm
+
+#endif  // RELM_LANG_VALIDATOR_H_

@@ -1,0 +1,602 @@
+#include "lops/compiler_backend.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace relm {
+
+int64_t HopDiskBytes(const Hop& hop) {
+  if (!hop.is_matrix()) return 16;
+  if (!hop.mc().dims_known()) return kUnknownPlaceholderBytes;
+  return EstimateSizeOnDisk(hop.mc());
+}
+
+int64_t HopMemBytes(const Hop& hop) {
+  if (!hop.is_matrix()) return 16;
+  if (!hop.mc().dims_known()) return kUnknownPlaceholderBytes;
+  return hop.output_mem();
+}
+
+namespace {
+
+/// True for hop kinds that become executable operators (as opposed to
+/// reads, literals, and function-output markers).
+bool IsOperator(const Hop& h) {
+  if (h.fused()) return false;  // fused transposes are not materialized
+  switch (h.kind()) {
+    case HopKind::kLiteral:
+    case HopKind::kTransientRead:
+    case HopKind::kPersistentRead:
+    case HopKind::kFunctionOutput:
+      return false;
+    default:
+      return true;
+  }
+}
+
+/// Resolves data through fused transposes: the consumer streams X itself.
+Hop* ResolveFused(Hop* h) {
+  while (h->fused() && !h->inputs().empty()) h = h->input(0);
+  return h;
+}
+
+/// True for matrix operators that are eligible for MR execution at all.
+bool MrCapable(const Hop& h) {
+  if (!h.is_matrix() && h.kind() != HopKind::kAggUnary) return false;
+  switch (h.kind()) {
+    case HopKind::kBinary:
+    case HopKind::kUnary:
+    case HopKind::kAggUnary:
+    case HopKind::kMatMult:
+    case HopKind::kReorg:
+    case HopKind::kDataGen:
+    case HopKind::kTernary:
+    case HopKind::kIndexing:
+    case HopKind::kLeftIndexing:
+    case HopKind::kAppend:
+      return true;
+    default:
+      // solve(), casts, function calls, prints, and writes stay in CP.
+      return false;
+  }
+}
+
+/// MR execution traits of one operator under its chosen physical method.
+struct MrOpTraits {
+  bool full_shuffle = false;   // repartitions its main input (exclusive)
+  bool aggregation = false;    // needs a (cheap) reduce-side aggregation
+  int64_t broadcast = 0;       // bytes broadcast to every task
+};
+
+/// Decides physical methods for MR operators and returns their traits.
+class OperatorSelector {
+ public:
+  OperatorSelector(int64_t cp_budget, int64_t mr_budget)
+      : cp_budget_(cp_budget), mr_budget_(mr_budget) {}
+
+  /// Assigns exec types + physical methods for all operators of the DAG.
+  void Run(const HopDag& dag) {
+    for (Hop* h : dag.TopoOrder()) {
+      if (!IsOperator(*h)) {
+        h->set_exec_type(ExecType::kCP);
+        continue;
+      }
+      h->broadcast_input = -1;
+      // The simple yet effective heuristic: CP whenever the operation
+      // memory estimate fits the CP budget.
+      if (!MrCapable(*h) || h->op_mem() <= cp_budget_) {
+        h->set_exec_type(ExecType::kCP);
+        if (h->kind() == HopKind::kMatMult) {
+          h->set_mmult_method(MMultMethod::kCpMM);
+        }
+        continue;
+      }
+      h->set_exec_type(ExecType::kMR);
+      if (h->kind() == HopKind::kMatMult) SelectMMultMethod(h);
+      if (h->kind() == HopKind::kBinary) SelectBinaryMethod(h);
+      if (h->kind() == HopKind::kAppend ||
+          h->kind() == HopKind::kLeftIndexing) {
+        SelectAppendMethod(h);  // broadcast the (small) second input
+      }
+    }
+  }
+
+  /// Traits of an MR operator after selection.
+  MrOpTraits Traits(const Hop& h) const {
+    MrOpTraits t;
+    switch (h.kind()) {
+      case HopKind::kMatMult:
+        switch (h.mmult_method()) {
+          case MMultMethod::kMapMM:
+          case MMultMethod::kMapMMChain:
+            t.broadcast = BroadcastBytes(h);
+            t.aggregation = true;  // block-partial aggregation
+            break;
+          case MMultMethod::kTSMM:
+            t.aggregation = true;
+            break;
+          case MMultMethod::kCPMM:
+          case MMultMethod::kRMM:
+            t.full_shuffle = true;
+            t.aggregation = true;
+            break;
+          case MMultMethod::kCpMM:
+            break;
+        }
+        break;
+      case HopKind::kBinary:
+      case HopKind::kAppend:
+      case HopKind::kLeftIndexing:
+        if (h.broadcast_input >= 0) {
+          t.broadcast = BroadcastBytes(h);
+        } else if (h.inputs().size() >= 2 && h.input(0)->is_matrix() &&
+                   h.input(1)->is_matrix()) {
+          // matrix-matrix without broadcast: co-group via shuffle.
+          t.full_shuffle = true;
+        }
+        break;
+      case HopKind::kAggUnary:
+        t.aggregation = true;
+        break;
+      case HopKind::kReorg:
+        if (h.reorg_op == ReorgOp::kTranspose) t.full_shuffle = true;
+        break;
+      case HopKind::kTernary:
+        t.full_shuffle = true;  // grouping by category
+        t.aggregation = true;
+        break;
+      case HopKind::kUnary:
+      case HopKind::kDataGen:
+      case HopKind::kIndexing:
+      default:
+        break;  // pure map-side
+    }
+    return t;
+  }
+
+ private:
+  int64_t BroadcastBytes(const Hop& h) const {
+    if (h.broadcast_input < 0) return 0;
+    return HopMemBytes(*h.input(h.broadcast_input));
+  }
+
+  void SelectMMultMethod(Hop* h) {
+    Hop* a = h->input(0);
+    Hop* b = h->input(1);
+    // TSMM: t(X) %*% X.
+    if (a->kind() == HopKind::kReorg &&
+        a->reorg_op == ReorgOp::kTranspose && a->input(0) == b) {
+      h->set_mmult_method(MMultMethod::kTSMM);
+      return;
+    }
+    // MapMMChain: t(X) %*% (X %*% v) or t(X) %*% (w * (X %*% v)).
+    if (a->kind() == HopKind::kReorg &&
+        a->reorg_op == ReorgOp::kTranspose) {
+      Hop* x = a->input(0);
+      Hop* inner = b;
+      int64_t chain_bc = 0;
+      bool matches = false;
+      if (inner->kind() == HopKind::kMatMult && inner->input(0) == x) {
+        chain_bc = HopMemBytes(*inner->input(1));
+        matches = true;
+      } else if (inner->kind() == HopKind::kBinary &&
+                 inner->bin_op == BinOp::kMul &&
+                 inner->input(1)->kind() == HopKind::kMatMult &&
+                 inner->input(1)->input(0) == x) {
+        chain_bc = HopMemBytes(*inner->input(0)) +
+                   HopMemBytes(*inner->input(1)->input(1));
+        matches = true;
+      }
+      if (matches && chain_bc <= mr_budget_) {
+        h->set_mmult_method(MMultMethod::kMapMMChain);
+        h->broadcast_input = 1;  // the vector side(s), sizes via traits
+        chain_broadcast_[h] = chain_bc;
+        return;
+      }
+    }
+    // MapMM: broadcast whichever input fits the task budget.
+    int64_t mem_a = HopMemBytes(*a);
+    int64_t mem_b = HopMemBytes(*b);
+    if (std::min(mem_a, mem_b) <= mr_budget_) {
+      h->set_mmult_method(MMultMethod::kMapMM);
+      h->broadcast_input = mem_a <= mem_b ? 0 : 1;
+      return;
+    }
+    h->set_mmult_method(MMultMethod::kCPMM);
+  }
+
+  void SelectBinaryMethod(Hop* h) {
+    if (!h->input(0)->is_matrix() || !h->input(1)->is_matrix()) {
+      return;  // matrix-scalar is trivially map-side
+    }
+    // Map-side binary when the second (vector) operand fits in task memory
+    // (broadcast, like broadcast joins in Jaql/Hive).
+    int64_t mem_b = HopMemBytes(*h->input(1));
+    if (mem_b <= mr_budget_) h->broadcast_input = 1;
+  }
+
+  void SelectAppendMethod(Hop* h) {
+    int64_t mem_b = HopMemBytes(*h->input(1));
+    if (mem_b <= mr_budget_) h->broadcast_input = 1;
+  }
+
+ public:
+  /// MapMMChain broadcast sizes (vector + optional weight vector).
+  int64_t ChainBroadcast(const Hop* h) const {
+    auto it = chain_broadcast_.find(h);
+    return it != chain_broadcast_.end() ? it->second : 0;
+  }
+
+ private:
+  int64_t cp_budget_;
+  int64_t mr_budget_;
+  std::map<const Hop*, int64_t> chain_broadcast_;
+};
+
+/// Piggybacks the MR operators of a DAG into a minimal number of MR jobs
+/// (greedy bin packing under job-structure and memory constraints), then
+/// emits the block's instruction list in dependency order.
+class Piggyback {
+ public:
+  Piggyback(const OperatorSelector& selector, const SimulatedHdfs* hdfs,
+            int64_t mr_budget)
+      : selector_(selector), hdfs_(hdfs), mr_budget_(mr_budget) {}
+
+  std::vector<RuntimeInstr> Run(const HopDag& dag) {
+    std::vector<Hop*> topo = dag.TopoOrder();
+
+    // ---- 1. group MR operators into jobs ----
+    struct Job {
+      std::vector<Hop*> ops;
+      bool has_full_shuffle = false;
+      int64_t broadcast = 0;
+      Hop* primary_input = nullptr;  // streamed input shared by the job
+    };
+    std::vector<Job> jobs;
+    std::unordered_map<const Hop*, int> job_of;         // MR hop -> job
+    std::unordered_map<const Hop*, std::set<int>> dep_jobs;
+    // Direct job-to-job dependencies (for join-time cycle checks).
+    std::vector<std::set<int>> job_deps;
+    // True if job `from` transitively depends on job `to`.
+    std::function<bool(int, int)> job_reaches = [&](int from,
+                                                    int to) -> bool {
+      if (from == to) return true;
+      for (int d : job_deps[from]) {
+        if (job_reaches(d, to)) return true;
+      }
+      return false;
+    };
+
+    auto primary_stream_input = [&](Hop* h) -> Hop* {
+      Hop* best = nullptr;
+      int64_t best_bytes = -1;
+      for (size_t i = 0; i < h->inputs().size(); ++i) {
+        Hop* in = ResolveFused(h->input(i));
+        if (!in->is_matrix()) continue;
+        if (static_cast<int>(i) == h->broadcast_input) continue;
+        int64_t bytes = HopDiskBytes(*in);
+        if (bytes > best_bytes) {
+          best_bytes = bytes;
+          best = in;
+        }
+      }
+      return best;
+    };
+
+    for (Hop* h : topo) {
+      // Dependency-job propagation (for cycle avoidance).
+      std::set<int>& deps = dep_jobs[h];
+      for (const auto& in : h->inputs()) {
+        const auto& din = dep_jobs[in.get()];
+        deps.insert(din.begin(), din.end());
+        auto jit = job_of.find(in.get());
+        if (jit != job_of.end()) deps.insert(jit->second);
+      }
+      if (!IsOperator(*h) || h->exec_type() != ExecType::kMR) continue;
+
+      MrOpTraits traits = selector_.Traits(*h);
+      if (h->kind() == HopKind::kMatMult &&
+          h->mmult_method() == MMultMethod::kMapMMChain) {
+        traits.broadcast = selector_.ChainBroadcast(h);
+      }
+
+      // Candidate: the single job producing this op's MR inputs; or a
+      // scan-sharing job with the same primary input.
+      int candidate = -1;
+      bool multiple = false;
+      for (const auto& in : h->inputs()) {
+        auto jit = job_of.find(in.get());
+        if (jit == job_of.end()) continue;
+        if (candidate >= 0 && jit->second != candidate) multiple = true;
+        candidate = jit->second;
+      }
+      Hop* primary = primary_stream_input(h);
+      if (candidate < 0 && !multiple && primary != nullptr) {
+        // Scan sharing: join an existing job streaming the same input.
+        for (int j = static_cast<int>(jobs.size()) - 1; j >= 0; --j) {
+          if (jobs[j].primary_input == primary) {
+            candidate = j;
+            break;
+          }
+        }
+      }
+      // Jobs h would depend on if placed in a new/other job.
+      std::set<int> h_dep_jobs;
+      for (const auto& in : h->inputs()) {
+        const auto& d = dep_jobs[in.get()];
+        h_dep_jobs.insert(d.begin(), d.end());
+      }
+      bool joined = false;
+      if (candidate >= 0 && !multiple) {
+        Job& j = jobs[candidate];
+        bool shuffle_conflict = traits.full_shuffle && j.has_full_shuffle;
+        bool budget_ok = j.broadcast + traits.broadcast <= mr_budget_ ||
+                         traits.broadcast == 0;
+        // Cycle check: joining J may not make J depend on any job that
+        // already (transitively) reaches J, and none of h's CP-side
+        // ancestors may depend on J itself.
+        bool cycle = false;
+        for (int dep : h_dep_jobs) {
+          if (dep == candidate) continue;
+          if (job_reaches(dep, candidate)) cycle = true;
+        }
+        for (const auto& in : h->inputs()) {
+          if (job_of.count(in.get())) continue;  // same-job MR input
+          if (dep_jobs[in.get()].count(candidate)) cycle = true;
+        }
+        if (!shuffle_conflict && budget_ok && !cycle) {
+          j.ops.push_back(h);
+          j.has_full_shuffle |= traits.full_shuffle;
+          j.broadcast += traits.broadcast;
+          if (j.primary_input == nullptr) j.primary_input = primary;
+          job_of[h] = candidate;
+          for (int dep : h_dep_jobs) {
+            if (dep != candidate) job_deps[candidate].insert(dep);
+          }
+          joined = true;
+        }
+      }
+      if (!joined) {
+        Job j;
+        j.ops.push_back(h);
+        j.has_full_shuffle = traits.full_shuffle;
+        j.broadcast = traits.broadcast;
+        j.primary_input = primary;
+        jobs.push_back(std::move(j));
+        job_of[h] = static_cast<int>(jobs.size()) - 1;
+        job_deps.push_back(h_dep_jobs);
+      }
+      dep_jobs[h].insert(job_of[h]);
+    }
+
+    // ---- 2. derive per-job data volumes ----
+    // Consumer map for "does this output leave the job" checks.
+    std::unordered_map<const Hop*, std::vector<Hop*>> consumers;
+    for (Hop* h : topo) {
+      for (const auto& in : h->inputs()) consumers[in.get()].push_back(h);
+    }
+    std::vector<MRJobInstr> job_instrs(jobs.size());
+    for (size_t ji = 0; ji < jobs.size(); ++ji) {
+      const Job& j = jobs[ji];
+      MRJobInstr& mi = job_instrs[ji];
+      std::unordered_set<const Hop*> in_job(j.ops.begin(), j.ops.end());
+      bool post_shuffle_seen = false;
+      for (Hop* op : j.ops) {
+        MrOpTraits traits = selector_.Traits(*op);
+        if (op->kind() == HopKind::kMatMult &&
+            op->mmult_method() == MMultMethod::kMapMMChain) {
+          traits.broadcast = selector_.ChainBroadcast(op);
+        }
+        bool reduce_side = post_shuffle_seen;
+        if (traits.full_shuffle) {
+          mi.has_shuffle = true;
+          mi.shuffle_bytes += HopDiskBytes(
+              op->inputs().empty() ? *op : *op->input(0));
+          post_shuffle_seen = true;
+          reduce_side = true;  // the repartitioned work lands in reducers
+        } else if (traits.aggregation) {
+          mi.has_shuffle = true;
+          // Partial aggregates are small: one output block per task.
+          mi.shuffle_bytes += std::min<int64_t>(HopDiskBytes(*op),
+                                                16 * kMB);
+        }
+        if (reduce_side) {
+          mi.reduce_ops.push_back(op);
+          mi.reduce_flops += op->ComputeFlops();
+        } else {
+          mi.map_ops.push_back(op);
+          mi.map_flops += op->ComputeFlops();
+        }
+        // External inputs: streamed bytes + exports of CP-produced data.
+        for (size_t i = 0; i < op->inputs().size(); ++i) {
+          Hop* in = ResolveFused(op->input(i));
+          if (in_job.count(in) || !in->is_matrix()) continue;
+          bool broadcast = static_cast<int>(i) == op->broadcast_input;
+          int64_t bytes = HopDiskBytes(*in);
+          switch (in->kind()) {
+            case HopKind::kPersistentRead:
+              if (!broadcast) mi.map_input_bytes += bytes;
+              break;
+            case HopKind::kTransientRead:
+              mi.exported_inputs[in->name()] = bytes;
+              if (!broadcast) mi.map_input_bytes += bytes;
+              break;
+            default:
+              // CP intermediate: must be exported to HDFS first.
+              mi.exported_inputs["#tmp" + std::to_string(in->id())] = bytes;
+              if (!broadcast) mi.map_input_bytes += bytes;
+              break;
+          }
+        }
+        // Outputs leaving the job (consumed by CP or written).
+        bool leaves = false;
+        auto cit = consumers.find(op);
+        if (cit == consumers.end()) {
+          leaves = true;  // sink
+        } else {
+          for (Hop* other : cit->second) {
+            if (!in_job.count(other)) leaves = true;
+          }
+        }
+        if (leaves) mi.output_bytes += HopDiskBytes(*op);
+      }
+      mi.broadcast_bytes = j.broadcast;
+    }
+
+    // ---- 3. emit instructions in dependency order ----
+    std::vector<RuntimeInstr> out;
+    std::unordered_set<const Hop*> emitted;
+    std::vector<bool> job_emitted(jobs.size(), false);
+    auto deps_ready = [&](Hop* h) {
+      for (const auto& raw : h->inputs()) {
+        Hop* in = ResolveFused(raw.get());
+        if (IsOperator(*in) && !emitted.count(in)) return false;
+      }
+      return true;
+    };
+    auto job_ready = [&](size_t ji) {
+      for (Hop* op : jobs[ji].ops) {
+        for (const auto& raw : op->inputs()) {
+          Hop* in = ResolveFused(raw.get());
+          if (!IsOperator(*in)) continue;
+          if (job_of.count(in) &&
+              job_of[in] == static_cast<int>(ji)) {
+            continue;  // intra-job edge
+          }
+          if (!emitted.count(in)) return false;
+        }
+      }
+      return true;
+    };
+    // Worklist fixpoint: repeatedly emit ready CP instructions (in topo
+    // order) and ready jobs until everything is placed. Roots are
+    // traversed in declaration order, so a single topo pass can reach a
+    // consumer before the producers of a sibling subtree — the fixpoint
+    // handles those cross-subtree dependencies.
+    int remaining = 0;
+    for (Hop* h : topo) {
+      if (IsOperator(*h)) ++remaining;
+    }
+    bool progress = true;
+    while (remaining > 0 && progress) {
+      progress = false;
+      for (Hop* h : topo) {
+        if (!IsOperator(*h) || emitted.count(h)) continue;
+        if (h->exec_type() == ExecType::kMR && MrCapable(*h)) {
+          size_t ji = static_cast<size_t>(job_of[h]);
+          if (job_emitted[ji] || !job_ready(ji)) continue;
+          RuntimeInstr ri;
+          ri.kind = RuntimeInstr::Kind::kMrJob;
+          ri.job = job_instrs[ji];
+          out.push_back(std::move(ri));
+          for (Hop* op : jobs[ji].ops) {
+            emitted.insert(op);
+            --remaining;
+          }
+          job_emitted[ji] = true;
+          progress = true;
+          continue;
+        }
+        if (!deps_ready(h)) continue;
+        RuntimeInstr ri;
+        ri.kind = RuntimeInstr::Kind::kCp;
+        ri.hop = h;
+        out.push_back(std::move(ri));
+        emitted.insert(h);
+        --remaining;
+        progress = true;
+      }
+    }
+    if (remaining > 0) {
+      RELM_ERROR() << "instruction emission: " << remaining
+                   << " operator(s) unplaceable (cyclic job dependency)";
+    }
+    return out;
+  }
+
+ private:
+  const OperatorSelector& selector_;
+  const SimulatedHdfs* hdfs_;
+  int64_t mr_budget_;
+};
+
+}  // namespace
+
+Result<RuntimeBlock> CompileBlockPlan(MlProgram* program,
+                                      const ClusterConfig& cc,
+                                      StatementBlock* block,
+                                      const ResourceConfig& resources,
+                                      CompileCounters* counters) {
+  RuntimeBlock out;
+  out.block = block;
+  if (!program->has_ir(block->id())) {
+    return Status::CompileError("no IR for block " +
+                                std::to_string(block->id()));
+  }
+  BlockIR& ir = program->ir(block->id());
+  out.ir = &ir;
+  if (counters != nullptr) ++counters->block_compiles;
+
+  int64_t cp_budget = resources.CpBudget();
+  int64_t mr_budget = resources.MrBudgetForBlock(block->id());
+
+  OperatorSelector selector(cp_budget, mr_budget);
+  selector.Run(ir.dag);
+  Piggyback piggyback(selector, program->hdfs(), mr_budget);
+  out.instrs = piggyback.Run(ir.dag);
+
+  // Statically removed branches are not compiled into the plan.
+  bool skip_then = block->kind() == BlockKind::kIf && ir.taken_branch == 1;
+  bool skip_else = block->kind() == BlockKind::kIf && ir.taken_branch == 0;
+  if (!skip_then) {
+    for (auto& child : block->body) {
+      RELM_ASSIGN_OR_RETURN(
+          RuntimeBlock cb,
+          CompileBlockPlan(program, cc, child.get(), resources, counters));
+      out.body.push_back(std::move(cb));
+    }
+  }
+  if (!skip_else) {
+    for (auto& child : block->else_body) {
+      RELM_ASSIGN_OR_RETURN(
+          RuntimeBlock cb,
+          CompileBlockPlan(program, cc, child.get(), resources, counters));
+      out.else_body.push_back(std::move(cb));
+    }
+  }
+  return out;
+}
+
+Result<RuntimeProgram> GenerateRuntimeProgram(MlProgram* program,
+                                              const ClusterConfig& cc,
+                                              const ResourceConfig& resources,
+                                              CompileCounters* counters) {
+  RuntimeProgram out;
+  out.resources = resources;
+  for (auto& blk : program->blocks().main) {
+    RELM_ASSIGN_OR_RETURN(
+        RuntimeBlock rb,
+        CompileBlockPlan(program, cc, blk.get(), resources, counters));
+    out.main.push_back(std::move(rb));
+  }
+  for (auto& [name, fn_blocks] : program->blocks().functions) {
+    std::vector<RuntimeBlock> rbs;
+    for (auto& blk : fn_blocks) {
+      RELM_ASSIGN_OR_RETURN(
+          RuntimeBlock rb,
+          CompileBlockPlan(program, cc, blk.get(), resources, counters));
+      rbs.push_back(std::move(rb));
+    }
+    out.functions[name] = std::move(rbs);
+  }
+  return out;
+}
+
+}  // namespace relm

@@ -1,0 +1,47 @@
+#ifndef RELM_LOPS_COMPILER_BACKEND_H_
+#define RELM_LOPS_COMPILER_BACKEND_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "hops/ml_program.h"
+#include "lops/resources.h"
+#include "lops/runtime_program.h"
+#include "yarn/cluster_config.h"
+
+namespace relm {
+
+/// Counters for optimization-overhead reporting (Table 3).
+struct CompileCounters {
+  int64_t block_compiles = 0;  // per-block plan (re)generations
+};
+
+/// Placeholder size used when the compiler must cost an operator with
+/// unknown dimensions (no plan differences arise from unknowns anyway;
+/// see the pruning of all-unknown blocks in the resource optimizer).
+inline constexpr int64_t kUnknownPlaceholderBytes = 128 * kMB;
+
+/// Serialized (HDFS) size of a hop's output, placeholder when unknown.
+int64_t HopDiskBytes(const Hop& hop);
+/// In-memory size of a hop's output, placeholder when unknown.
+int64_t HopMemBytes(const Hop& hop);
+
+/// Compiles the runtime plan for one statement block (and nothing else):
+/// operator selection under the block's CP/MR memory budgets, then
+/// piggybacking of MR operators into a minimal number of MR jobs.
+/// Control blocks compile their predicate plus nested blocks recursively.
+Result<RuntimeBlock> CompileBlockPlan(MlProgram* program,
+                                      const ClusterConfig& cc,
+                                      StatementBlock* block,
+                                      const ResourceConfig& resources,
+                                      CompileCounters* counters);
+
+/// Compiles the whole program (main + functions) under `resources`.
+Result<RuntimeProgram> GenerateRuntimeProgram(MlProgram* program,
+                                              const ClusterConfig& cc,
+                                              const ResourceConfig& resources,
+                                              CompileCounters* counters);
+
+}  // namespace relm
+
+#endif  // RELM_LOPS_COMPILER_BACKEND_H_

@@ -1,0 +1,20 @@
+#include "lops/resources.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace relm {
+
+std::string ResourceConfig::ToString() const {
+  std::ostringstream os;
+  os << "CP " << FormatBytes(cp_heap) << " / MR "
+     << FormatBytes(default_mr_heap);
+  if (!per_block_mr_heap.empty()) {
+    os << " (max " << FormatBytes(MaxMrHeap()) << ", "
+       << per_block_mr_heap.size() << " block overrides)";
+  }
+  return os.str();
+}
+
+}  // namespace relm

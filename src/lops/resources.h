@@ -1,0 +1,79 @@
+#ifndef RELM_LOPS_RESOURCES_H_
+#define RELM_LOPS_RESOURCES_H_
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "yarn/cluster_config.h"
+
+namespace relm {
+
+/// A resource configuration R_P = (rc, r1, ..., rn): the control-program
+/// (AM) max heap plus per-program-block MR task max heaps. Blocks without
+/// an explicit entry use the default MR heap. All values are max JVM heap
+/// sizes in bytes; the actual YARN container request is 1.5x the heap.
+struct ResourceConfig {
+  int64_t cp_heap = 512 * kMB;
+  int64_t default_mr_heap = 512 * kMB;
+  std::map<int, int64_t> per_block_mr_heap;  // generic block id -> heap
+  /// Control-program threads (the paper's "additional resources beyond
+  /// memory" extension; 1 = the paper's single-threaded CP runtime).
+  /// More cores speed up CP compute sub-linearly but shrink the
+  /// effective operation memory budget (per-thread intermediates).
+  int cp_cores = 1;
+
+  ResourceConfig() = default;
+  ResourceConfig(int64_t cp, int64_t mr, int cores = 1)
+      : cp_heap(cp), default_mr_heap(mr), cp_cores(cores) {}
+
+  /// MR task heap for a given generic block.
+  int64_t MrHeapForBlock(int block_id) const {
+    auto it = per_block_mr_heap.find(block_id);
+    return it != per_block_mr_heap.end() ? it->second : default_mr_heap;
+  }
+
+  /// Largest MR heap across all blocks (reported as "max MR size").
+  int64_t MaxMrHeap() const {
+    int64_t m = default_mr_heap;
+    for (const auto& [id, heap] : per_block_mr_heap) {
+      m = std::max(m, heap);
+    }
+    return m;
+  }
+
+  /// Memory-budget shrink factor per additional CP thread (each thread
+  /// keeps private partial results / row partitions).
+  static constexpr double kPerCoreMemoryOverhead = 0.15;
+  /// Sub-linear compute scaling exponent for multi-threaded CP ops.
+  static constexpr double kCoreScalingExponent = 0.85;
+
+  /// Operation memory budget of the control program: 0.7 x heap, reduced
+  /// by the per-thread overhead when running multi-threaded.
+  int64_t CpBudget() const {
+    double budget =
+        static_cast<double>(ClusterConfig::BudgetForHeap(cp_heap));
+    if (cp_cores > 1) {
+      budget /= 1.0 + kPerCoreMemoryOverhead * (cp_cores - 1);
+    }
+    return static_cast<int64_t>(budget);
+  }
+
+  /// Effective CP compute speedup from cp_cores (sub-linear).
+  double CpComputeSpeedup() const {
+    if (cp_cores <= 1) return 1.0;
+    return std::pow(static_cast<double>(cp_cores), kCoreScalingExponent);
+  }
+
+  /// Operation memory budget of MR tasks for a block.
+  int64_t MrBudgetForBlock(int block_id) const {
+    return ClusterConfig::BudgetForHeap(MrHeapForBlock(block_id));
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace relm
+
+#endif  // RELM_LOPS_RESOURCES_H_

@@ -1,0 +1,78 @@
+#include "lops/runtime_program.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace relm {
+
+std::string MRJobInstr::ToString() const {
+  std::ostringstream os;
+  os << "MR-job[map:";
+  for (const Hop* h : map_ops) os << " " << HopKindName(h->kind());
+  if (has_shuffle) {
+    os << " | shuffle " << FormatBytes(shuffle_bytes) << " | reduce:";
+    for (const Hop* h : reduce_ops) os << " " << HopKindName(h->kind());
+  }
+  os << "] in=" << FormatBytes(map_input_bytes)
+     << " bc=" << FormatBytes(broadcast_bytes)
+     << " out=" << FormatBytes(output_bytes);
+  return os.str();
+}
+
+std::string RuntimeInstr::ToString() const {
+  if (kind == Kind::kMrJob) return job.ToString();
+  std::ostringstream os;
+  os << "CP " << hop->ToString();
+  return os.str();
+}
+
+int RuntimeBlock::NumMrJobs() const {
+  int n = 0;
+  for (const auto& i : instrs) {
+    if (i.kind == RuntimeInstr::Kind::kMrJob) ++n;
+  }
+  return n;
+}
+
+int RuntimeBlock::TotalMrJobs() const {
+  int n = NumMrJobs();
+  for (const auto& b : body) n += b.TotalMrJobs();
+  for (const auto& b : else_body) n += b.TotalMrJobs();
+  return n;
+}
+
+std::string RuntimeBlock::ToString(int indent) const {
+  std::ostringstream os;
+  std::string pad(indent * 2, ' ');
+  os << pad << "block #" << (block ? block->id() : -1) << " ("
+     << BlockKindName(block ? block->kind() : BlockKind::kGeneric) << ")\n";
+  for (const auto& i : instrs) os << pad << "  " << i.ToString() << "\n";
+  for (const auto& b : body) os << b.ToString(indent + 1);
+  if (!else_body.empty()) {
+    os << pad << "else:\n";
+    for (const auto& b : else_body) os << b.ToString(indent + 1);
+  }
+  return os.str();
+}
+
+int RuntimeProgram::TotalMrJobs() const {
+  int n = 0;
+  for (const auto& b : main) n += b.TotalMrJobs();
+  for (const auto& [name, blocks] : functions) {
+    for (const auto& b : blocks) n += b.TotalMrJobs();
+  }
+  return n;
+}
+
+std::string RuntimeProgram::ToString() const {
+  std::ostringstream os;
+  for (const auto& b : main) os << b.ToString();
+  for (const auto& [name, blocks] : functions) {
+    os << "function " << name << ":\n";
+    for (const auto& b : blocks) os << b.ToString(1);
+  }
+  return os.str();
+}
+
+}  // namespace relm

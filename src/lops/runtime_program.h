@@ -1,0 +1,79 @@
+#ifndef RELM_LOPS_RUNTIME_PROGRAM_H_
+#define RELM_LOPS_RUNTIME_PROGRAM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hops/ml_program.h"
+#include "lops/resources.h"
+
+namespace relm {
+
+/// One MapReduce job instruction: a set of HOPs piggybacked into a single
+/// job, split into map-side and reduce-side work, plus the derived data
+/// volumes the cost model and cluster simulator charge for.
+struct MRJobInstr {
+  std::vector<Hop*> map_ops;     // executed in mappers (topological order)
+  std::vector<Hop*> reduce_ops;  // executed in reducers
+  bool has_shuffle = false;
+
+  /// Broadcast inputs loaded into every map task (MapMM vectors etc.);
+  /// their sum must fit the MR task budget.
+  int64_t broadcast_bytes = 0;
+  /// HDFS bytes streamed through the mappers (the job's driving input).
+  int64_t map_input_bytes = 0;
+  /// Bytes moved through the shuffle.
+  int64_t shuffle_bytes = 0;
+  /// Bytes written back to HDFS by this job (map- or reduce-side).
+  int64_t output_bytes = 0;
+  /// In-memory CP variables that must be exported to HDFS before the job
+  /// can run (name -> serialized bytes).
+  std::map<std::string, int64_t> exported_inputs;
+  /// Compute volume.
+  double map_flops = 0.0;
+  double reduce_flops = 0.0;
+
+  std::string ToString() const;
+};
+
+/// One runtime instruction: an in-memory CP operator or an MR job.
+struct RuntimeInstr {
+  enum class Kind { kCp, kMrJob };
+  Kind kind = Kind::kCp;
+  Hop* hop = nullptr;  // kCp
+  MRJobInstr job;      // kMrJob
+
+  std::string ToString() const;
+};
+
+/// Runtime plan of one statement block; control blocks carry predicate
+/// instructions plus nested plans.
+struct RuntimeBlock {
+  const StatementBlock* block = nullptr;
+  const BlockIR* ir = nullptr;
+  std::vector<RuntimeInstr> instrs;  // statements or predicate evaluation
+  std::vector<RuntimeBlock> body;
+  std::vector<RuntimeBlock> else_body;
+
+  int NumMrJobs() const;
+  /// Recursively counts MR jobs including nested blocks.
+  int TotalMrJobs() const;
+
+  std::string ToString(int indent = 0) const;
+};
+
+/// An executable runtime program for one specific resource configuration.
+struct RuntimeProgram {
+  ResourceConfig resources;
+  std::vector<RuntimeBlock> main;
+  std::map<std::string, std::vector<RuntimeBlock>> functions;
+
+  int TotalMrJobs() const;
+  std::string ToString() const;
+};
+
+}  // namespace relm
+
+#endif  // RELM_LOPS_RUNTIME_PROGRAM_H_

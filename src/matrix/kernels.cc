@@ -1,0 +1,600 @@
+#include "matrix/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace relm {
+
+double ApplyBinOp(BinOp op, double a, double b) {
+  switch (op) {
+    case BinOp::kAdd:
+      return a + b;
+    case BinOp::kSub:
+      return a - b;
+    case BinOp::kMul:
+      return a * b;
+    case BinOp::kDiv:
+      return a / b;
+    case BinOp::kPow:
+      return std::pow(a, b);
+    case BinOp::kMin:
+      return std::min(a, b);
+    case BinOp::kMax:
+      return std::max(a, b);
+    case BinOp::kLess:
+      return a < b ? 1.0 : 0.0;
+    case BinOp::kLessEq:
+      return a <= b ? 1.0 : 0.0;
+    case BinOp::kGreater:
+      return a > b ? 1.0 : 0.0;
+    case BinOp::kGreaterEq:
+      return a >= b ? 1.0 : 0.0;
+    case BinOp::kEq:
+      return a == b ? 1.0 : 0.0;
+    case BinOp::kNotEq:
+      return a != b ? 1.0 : 0.0;
+    case BinOp::kAnd:
+      return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
+    case BinOp::kOr:
+      return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+double ApplyUnOp(UnOp op, double a) {
+  switch (op) {
+    case UnOp::kNeg:
+      return -a;
+    case UnOp::kAbs:
+      return std::fabs(a);
+    case UnOp::kSqrt:
+      return std::sqrt(a);
+    case UnOp::kExp:
+      return std::exp(a);
+    case UnOp::kLog:
+      return std::log(a);
+    case UnOp::kRound:
+      return std::round(a);
+    case UnOp::kFloor:
+      return std::floor(a);
+    case UnOp::kCeil:
+      return std::ceil(a);
+    case UnOp::kSign:
+      return a > 0 ? 1.0 : (a < 0 ? -1.0 : 0.0);
+    case UnOp::kNot:
+      return a == 0.0 ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd:
+      return "+";
+    case BinOp::kSub:
+      return "-";
+    case BinOp::kMul:
+      return "*";
+    case BinOp::kDiv:
+      return "/";
+    case BinOp::kPow:
+      return "^";
+    case BinOp::kMin:
+      return "min";
+    case BinOp::kMax:
+      return "max";
+    case BinOp::kLess:
+      return "<";
+    case BinOp::kLessEq:
+      return "<=";
+    case BinOp::kGreater:
+      return ">";
+    case BinOp::kGreaterEq:
+      return ">=";
+    case BinOp::kEq:
+      return "==";
+    case BinOp::kNotEq:
+      return "!=";
+    case BinOp::kAnd:
+      return "&";
+    case BinOp::kOr:
+      return "|";
+  }
+  return "?";
+}
+
+const char* UnOpName(UnOp op) {
+  switch (op) {
+    case UnOp::kNeg:
+      return "neg";
+    case UnOp::kAbs:
+      return "abs";
+    case UnOp::kSqrt:
+      return "sqrt";
+    case UnOp::kExp:
+      return "exp";
+    case UnOp::kLog:
+      return "log";
+    case UnOp::kRound:
+      return "round";
+    case UnOp::kFloor:
+      return "floor";
+    case UnOp::kCeil:
+      return "ceil";
+    case UnOp::kSign:
+      return "sign";
+    case UnOp::kNot:
+      return "!";
+  }
+  return "?";
+}
+
+const char* AggOpName(AggOp op) {
+  switch (op) {
+    case AggOp::kSum:
+      return "sum";
+    case AggOp::kMin:
+      return "min";
+    case AggOp::kMax:
+      return "max";
+    case AggOp::kMean:
+      return "mean";
+    case AggOp::kTrace:
+      return "trace";
+  }
+  return "?";
+}
+
+bool IsComparison(BinOp op) {
+  switch (op) {
+    case BinOp::kLess:
+    case BinOp::kLessEq:
+    case BinOp::kGreater:
+    case BinOp::kGreaterEq:
+    case BinOp::kEq:
+    case BinOp::kNotEq:
+    case BinOp::kAnd:
+    case BinOp::kOr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsSparseSafe(BinOp op) {
+  return op == BinOp::kMul || op == BinOp::kAnd;
+}
+
+namespace {
+
+Status ShapeError(const char* what, const MatrixBlock& a,
+                  const MatrixBlock& b) {
+  std::ostringstream os;
+  os << what << ": incompatible shapes " << a.rows() << "x" << a.cols()
+     << " and " << b.rows() << "x" << b.cols();
+  return Status::RuntimeError(os.str());
+}
+
+}  // namespace
+
+Result<MatrixBlock> MatMult(const MatrixBlock& a, const MatrixBlock& b) {
+  if (a.cols() != b.rows()) return ShapeError("%*%", a, b);
+  const int64_t m = a.rows();
+  const int64_t n = b.cols();
+  const int64_t k = a.cols();
+  MatrixBlock c(m, n, false);
+  auto& cd = c.dense();
+  if (!a.is_sparse() && !b.is_sparse()) {
+    const auto& ad = a.dense();
+    const auto& bd = b.dense();
+    // ikj loop order for cache-friendly access to B and C.
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t kk = 0; kk < k; ++kk) {
+        double aik = ad[i * k + kk];
+        if (aik == 0.0) continue;
+        const double* brow = &bd[kk * n];
+        double* crow = &cd[i * n];
+        for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  } else if (a.is_sparse() && !b.is_sparse()) {
+    const auto& bd = b.dense();
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t p = a.row_ptr()[i]; p < a.row_ptr()[i + 1]; ++p) {
+        double aik = a.values()[p];
+        int64_t kk = a.col_idx()[p];
+        const double* brow = &bd[kk * n];
+        double* crow = &cd[i * n];
+        for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  } else if (!a.is_sparse() && b.is_sparse()) {
+    const auto& ad = a.dense();
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t kk = 0; kk < k; ++kk) {
+        double aik = ad[i * k + kk];
+        if (aik == 0.0) continue;
+        for (int64_t p = b.row_ptr()[kk]; p < b.row_ptr()[kk + 1]; ++p) {
+          cd[i * n + b.col_idx()[p]] += aik * b.values()[p];
+        }
+      }
+    }
+  } else {
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t p = a.row_ptr()[i]; p < a.row_ptr()[i + 1]; ++p) {
+        double aik = a.values()[p];
+        int64_t kk = a.col_idx()[p];
+        for (int64_t q = b.row_ptr()[kk]; q < b.row_ptr()[kk + 1]; ++q) {
+          cd[i * n + b.col_idx()[q]] += aik * b.values()[q];
+        }
+      }
+    }
+  }
+  return c;
+}
+
+Result<MatrixBlock> TransposeSelfMatMult(const MatrixBlock& a, bool left) {
+  // t(A)%*%A or A%*%t(A); computed via explicit transpose for simplicity
+  // with a symmetric fill to halve the multiply work on the dense path.
+  MatrixBlock at = Transpose(a);
+  if (left) return MatMult(at, a);
+  return MatMult(a, at);
+}
+
+MatrixBlock Transpose(const MatrixBlock& a) {
+  MatrixBlock t(a.cols(), a.rows(), false);
+  auto& td = t.dense();
+  if (!a.is_sparse()) {
+    const auto& ad = a.dense();
+    for (int64_t r = 0; r < a.rows(); ++r) {
+      for (int64_t c = 0; c < a.cols(); ++c) {
+        td[c * a.rows() + r] = ad[r * a.cols() + c];
+      }
+    }
+  } else {
+    for (int64_t r = 0; r < a.rows(); ++r) {
+      for (int64_t p = a.row_ptr()[r]; p < a.row_ptr()[r + 1]; ++p) {
+        td[static_cast<int64_t>(a.col_idx()[p]) * a.rows() + r] =
+            a.values()[p];
+      }
+    }
+    t.Compact();
+  }
+  return t;
+}
+
+Result<MatrixBlock> ElementwiseBinary(BinOp op, const MatrixBlock& a,
+                                      const MatrixBlock& b) {
+  // Broadcast rules: exact shape match; or b is 1x1; or b is a column
+  // vector with matching rows; or b is a row vector with matching cols.
+  enum class Mode { kCell, kScalar, kColVec, kRowVec } mode;
+  if (a.rows() == b.rows() && a.cols() == b.cols()) {
+    mode = Mode::kCell;
+  } else if (b.is_scalar_shape()) {
+    mode = Mode::kScalar;
+  } else if (b.cols() == 1 && b.rows() == a.rows()) {
+    mode = Mode::kColVec;
+  } else if (b.rows() == 1 && b.cols() == a.cols()) {
+    mode = Mode::kRowVec;
+  } else {
+    return ShapeError("elementwise", a, b);
+  }
+  MatrixBlock out(a.rows(), a.cols(), false);
+  auto& od = out.dense();
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      double bv;
+      switch (mode) {
+        case Mode::kCell:
+          bv = b.Get(r, c);
+          break;
+        case Mode::kScalar:
+          bv = b.Get(0, 0);
+          break;
+        case Mode::kColVec:
+          bv = b.Get(r, 0);
+          break;
+        case Mode::kRowVec:
+          bv = b.Get(0, c);
+          break;
+      }
+      od[r * a.cols() + c] = ApplyBinOp(op, a.Get(r, c), bv);
+    }
+  }
+  if (IsSparseSafe(op)) out.Compact();
+  return out;
+}
+
+MatrixBlock ScalarBinary(BinOp op, const MatrixBlock& a, double scalar,
+                         bool scalar_left) {
+  MatrixBlock out(a.rows(), a.cols(), false);
+  auto& od = out.dense();
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      double av = a.Get(r, c);
+      od[r * a.cols() + c] =
+          scalar_left ? ApplyBinOp(op, scalar, av) : ApplyBinOp(op, av, scalar);
+    }
+  }
+  return out;
+}
+
+MatrixBlock ElementwiseUnary(UnOp op, const MatrixBlock& a) {
+  MatrixBlock out(a.rows(), a.cols(), false);
+  auto& od = out.dense();
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      od[r * a.cols() + c] = ApplyUnOp(op, a.Get(r, c));
+    }
+  }
+  return out;
+}
+
+Result<double> Aggregate(AggOp op, const MatrixBlock& a) {
+  if (op == AggOp::kTrace && a.rows() != a.cols()) {
+    return Status::RuntimeError("trace requires a square matrix");
+  }
+  double acc = 0.0;
+  switch (op) {
+    case AggOp::kSum:
+    case AggOp::kMean:
+      acc = 0.0;
+      break;
+    case AggOp::kMin:
+      acc = std::numeric_limits<double>::infinity();
+      break;
+    case AggOp::kMax:
+      acc = -std::numeric_limits<double>::infinity();
+      break;
+    case AggOp::kTrace: {
+      acc = 0.0;
+      for (int64_t i = 0; i < a.rows(); ++i) acc += a.Get(i, i);
+      return acc;
+    }
+  }
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      double v = a.Get(r, c);
+      switch (op) {
+        case AggOp::kSum:
+        case AggOp::kMean:
+          acc += v;
+          break;
+        case AggOp::kMin:
+          acc = std::min(acc, v);
+          break;
+        case AggOp::kMax:
+          acc = std::max(acc, v);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  if (op == AggOp::kMean) {
+    acc /= static_cast<double>(a.rows() * a.cols());
+  }
+  return acc;
+}
+
+Result<MatrixBlock> AggregateAxis(AggOp op, AggDir dir,
+                                  const MatrixBlock& a) {
+  if (dir == AggDir::kAll) {
+    RELM_ASSIGN_OR_RETURN(double v, Aggregate(op, a));
+    MatrixBlock out(1, 1, false);
+    out.Set(0, 0, v);
+    return out;
+  }
+  if (op == AggOp::kTrace) {
+    return Status::RuntimeError("trace has no row/col variant");
+  }
+  bool row = dir == AggDir::kRow;
+  int64_t out_rows = row ? a.rows() : 1;
+  int64_t out_cols = row ? 1 : a.cols();
+  double init = 0.0;
+  if (op == AggOp::kMin) init = std::numeric_limits<double>::infinity();
+  if (op == AggOp::kMax) init = -std::numeric_limits<double>::infinity();
+  MatrixBlock out(out_rows, out_cols, false);
+  auto& od = out.dense();
+  std::fill(od.begin(), od.end(), init);
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      double v = a.Get(r, c);
+      double& slot = row ? od[r] : od[c];
+      switch (op) {
+        case AggOp::kSum:
+        case AggOp::kMean:
+          slot += v;
+          break;
+        case AggOp::kMin:
+          slot = std::min(slot, v);
+          break;
+        case AggOp::kMax:
+          slot = std::max(slot, v);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  if (op == AggOp::kMean) {
+    double denom = row ? static_cast<double>(a.cols())
+                       : static_cast<double>(a.rows());
+    for (auto& v : od) v /= denom;
+  }
+  return out;
+}
+
+MatrixBlock PpredScalar(BinOp cmp, const MatrixBlock& a, double scalar) {
+  return ScalarBinary(cmp, a, scalar, /*scalar_left=*/false);
+}
+
+Result<MatrixBlock> Table(const MatrixBlock& v1, const MatrixBlock& v2) {
+  if (v1.cols() != 1 || v2.cols() != 1 || v1.rows() != v2.rows()) {
+    return ShapeError("table", v1, v2);
+  }
+  int64_t max1 = 0;
+  int64_t max2 = 0;
+  for (int64_t i = 0; i < v1.rows(); ++i) {
+    int64_t a = static_cast<int64_t>(std::llround(v1.Get(i, 0)));
+    int64_t b = static_cast<int64_t>(std::llround(v2.Get(i, 0)));
+    if (a < 1 || b < 1) {
+      return Status::RuntimeError(
+          "table requires positive integer category values");
+    }
+    max1 = std::max(max1, a);
+    max2 = std::max(max2, b);
+  }
+  MatrixBlock out(max1, max2, false);
+  for (int64_t i = 0; i < v1.rows(); ++i) {
+    int64_t a = static_cast<int64_t>(std::llround(v1.Get(i, 0)));
+    int64_t b = static_cast<int64_t>(std::llround(v2.Get(i, 0)));
+    out.Set(a - 1, b - 1, out.Get(a - 1, b - 1) + 1.0);
+  }
+  out.Compact();
+  return out;
+}
+
+Result<MatrixBlock> Solve(const MatrixBlock& a, const MatrixBlock& b) {
+  if (a.rows() != a.cols()) {
+    return Status::RuntimeError("solve: coefficient matrix must be square");
+  }
+  if (b.rows() != a.rows()) return ShapeError("solve", a, b);
+  const int64_t n = a.rows();
+  const int64_t m = b.cols();
+  // Work on dense copies (augmented elimination with partial pivoting).
+  MatrixBlock acopy = a;
+  acopy.ToDense();
+  MatrixBlock x = b;
+  x.ToDense();
+  auto& ad = acopy.dense();
+  auto& xd = x.dense();
+  for (int64_t col = 0; col < n; ++col) {
+    // Pivot selection.
+    int64_t pivot = col;
+    double best = std::fabs(ad[col * n + col]);
+    for (int64_t r = col + 1; r < n; ++r) {
+      double v = std::fabs(ad[r * n + col]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-14) {
+      return Status::RuntimeError("solve: matrix is singular");
+    }
+    if (pivot != col) {
+      for (int64_t c = 0; c < n; ++c) {
+        std::swap(ad[col * n + c], ad[pivot * n + c]);
+      }
+      for (int64_t c = 0; c < m; ++c) {
+        std::swap(xd[col * m + c], xd[pivot * m + c]);
+      }
+    }
+    double diag = ad[col * n + col];
+    for (int64_t r = col + 1; r < n; ++r) {
+      double f = ad[r * n + col] / diag;
+      if (f == 0.0) continue;
+      for (int64_t c = col; c < n; ++c) ad[r * n + c] -= f * ad[col * n + c];
+      for (int64_t c = 0; c < m; ++c) xd[r * m + c] -= f * xd[col * m + c];
+    }
+  }
+  // Back substitution.
+  for (int64_t col = n - 1; col >= 0; --col) {
+    double diag = ad[col * n + col];
+    for (int64_t c = 0; c < m; ++c) xd[col * m + c] /= diag;
+    for (int64_t r = 0; r < col; ++r) {
+      double f = ad[r * n + col];
+      if (f == 0.0) continue;
+      for (int64_t c = 0; c < m; ++c) xd[r * m + c] -= f * xd[col * m + c];
+    }
+  }
+  return x;
+}
+
+Result<MatrixBlock> Append(const MatrixBlock& a, const MatrixBlock& b) {
+  if (a.rows() != b.rows()) return ShapeError("cbind", a, b);
+  MatrixBlock out(a.rows(), a.cols() + b.cols(), false);
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < a.cols(); ++c) out.Set(r, c, a.Get(r, c));
+    for (int64_t c = 0; c < b.cols(); ++c) {
+      out.Set(r, a.cols() + c, b.Get(r, c));
+    }
+  }
+  out.Compact();
+  return out;
+}
+
+Result<MatrixBlock> RightIndex(const MatrixBlock& a, int64_t rl, int64_t ru,
+                               int64_t cl, int64_t cu) {
+  if (rl < 1 || cl < 1 || ru > a.rows() || cu > a.cols() || rl > ru ||
+      cl > cu) {
+    std::ostringstream os;
+    os << "indexing [" << rl << ":" << ru << ", " << cl << ":" << cu
+       << "] out of bounds for " << a.rows() << "x" << a.cols();
+    return Status::RuntimeError(os.str());
+  }
+  MatrixBlock out(ru - rl + 1, cu - cl + 1, false);
+  for (int64_t r = rl; r <= ru; ++r) {
+    for (int64_t c = cl; c <= cu; ++c) {
+      out.Set(r - rl, c - cl, a.Get(r - 1, c - 1));
+    }
+  }
+  out.Compact();
+  return out;
+}
+
+Result<MatrixBlock> LeftIndex(const MatrixBlock& a, const MatrixBlock& v,
+                              int64_t rl, int64_t ru, int64_t cl,
+                              int64_t cu) {
+  if (rl < 1 || cl < 1 || ru > a.rows() || cu > a.cols() || rl > ru ||
+      cl > cu) {
+    std::ostringstream os;
+    os << "left indexing [" << rl << ":" << ru << ", " << cl << ":" << cu
+       << "] out of bounds for " << a.rows() << "x" << a.cols();
+    return Status::RuntimeError(os.str());
+  }
+  if (v.rows() != ru - rl + 1 || v.cols() != cu - cl + 1) {
+    std::ostringstream os;
+    os << "left indexing: value shape " << v.rows() << "x" << v.cols()
+       << " does not match range " << (ru - rl + 1) << "x"
+       << (cu - cl + 1);
+    return Status::RuntimeError(os.str());
+  }
+  MatrixBlock out = a;
+  out.ToDense();
+  for (int64_t r = rl; r <= ru; ++r) {
+    for (int64_t c = cl; c <= cu; ++c) {
+      out.Set(r - 1, c - 1, v.Get(r - rl, c - cl));
+    }
+  }
+  out.Compact();
+  return out;
+}
+
+Result<MatrixBlock> Diag(const MatrixBlock& a) {
+  if (a.cols() == 1) {
+    MatrixBlock out(a.rows(), a.rows(), false);
+    for (int64_t i = 0; i < a.rows(); ++i) out.Set(i, i, a.Get(i, 0));
+    out.Compact();
+    return out;
+  }
+  if (a.rows() != a.cols()) {
+    return Status::RuntimeError("diag requires a vector or square matrix");
+  }
+  MatrixBlock out(a.rows(), 1, false);
+  for (int64_t i = 0; i < a.rows(); ++i) out.Set(i, 0, a.Get(i, i));
+  return out;
+}
+
+Result<double> CastToScalar(const MatrixBlock& a) {
+  if (!a.is_scalar_shape()) {
+    return Status::RuntimeError("as.scalar requires a 1x1 matrix");
+  }
+  return a.Get(0, 0);
+}
+
+}  // namespace relm

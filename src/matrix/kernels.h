@@ -1,0 +1,77 @@
+#ifndef RELM_MATRIX_KERNELS_H_
+#define RELM_MATRIX_KERNELS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "matrix/matrix_block.h"
+#include "matrix/op_types.h"
+
+namespace relm {
+
+/// Real linear-algebra kernels backing the in-memory (CP) runtime. All
+/// kernels validate shapes and return Status errors rather than throwing.
+
+/// Matrix multiply C = A %*% B. Handles dense*dense, sparse*dense,
+/// dense*sparse and sparse*sparse (sparse inputs via CSR row iteration).
+Result<MatrixBlock> MatMult(const MatrixBlock& a, const MatrixBlock& b);
+
+/// Transpose-self matrix multiply: t(A) %*% A (left) or A %*% t(A) (right).
+Result<MatrixBlock> TransposeSelfMatMult(const MatrixBlock& a,
+                                         bool left = true);
+
+/// Transpose.
+MatrixBlock Transpose(const MatrixBlock& a);
+
+/// Cell-wise binary op with broadcasting: shapes must match, or `b` may be
+/// a column vector (same rows), a row vector (same cols), or 1x1.
+Result<MatrixBlock> ElementwiseBinary(BinOp op, const MatrixBlock& a,
+                                      const MatrixBlock& b);
+
+/// Matrix-scalar op; `scalar_left` computes op(s, A) instead of op(A, s).
+MatrixBlock ScalarBinary(BinOp op, const MatrixBlock& a, double scalar,
+                         bool scalar_left = false);
+
+/// Cell-wise unary op.
+MatrixBlock ElementwiseUnary(UnOp op, const MatrixBlock& a);
+
+/// Full aggregate (sum, min, max, mean, trace).
+Result<double> Aggregate(AggOp op, const MatrixBlock& a);
+
+/// Row/column aggregate, e.g. rowSums -> rows x 1, colSums -> 1 x cols.
+Result<MatrixBlock> AggregateAxis(AggOp op, AggDir dir, const MatrixBlock& a);
+
+/// ppred(A, s, op): cell-wise comparison against a scalar yielding 0/1.
+MatrixBlock PpredScalar(BinOp cmp, const MatrixBlock& a, double scalar);
+
+/// Contingency table: out[v1[i]-1, v2[i]-1] += 1 for column vectors v1, v2
+/// of equal length with positive integer entries. Output dims are the max
+/// values observed (this is the data-dependent operator with an unknown
+/// output size at compile time).
+Result<MatrixBlock> Table(const MatrixBlock& v1, const MatrixBlock& v2);
+
+/// Solve A x = b via Gaussian elimination with partial pivoting.
+Result<MatrixBlock> Solve(const MatrixBlock& a, const MatrixBlock& b);
+
+/// Horizontal concatenation cbind(A, B).
+Result<MatrixBlock> Append(const MatrixBlock& a, const MatrixBlock& b);
+
+/// Right indexing A[rl:ru, cl:cu], 1-based inclusive bounds.
+Result<MatrixBlock> RightIndex(const MatrixBlock& a, int64_t rl, int64_t ru,
+                               int64_t cl, int64_t cu);
+
+/// Left indexing: copy of A with A[rl:ru, cl:cu] overwritten by V (whose
+/// shape must match the index range).
+Result<MatrixBlock> LeftIndex(const MatrixBlock& a, const MatrixBlock& v,
+                              int64_t rl, int64_t ru, int64_t cl,
+                              int64_t cu);
+
+/// diag(v): vector -> diagonal matrix; matrix -> main-diagonal vector.
+Result<MatrixBlock> Diag(const MatrixBlock& a);
+
+/// Value of a 1x1 matrix (as.scalar).
+Result<double> CastToScalar(const MatrixBlock& a);
+
+}  // namespace relm
+
+#endif  // RELM_MATRIX_KERNELS_H_

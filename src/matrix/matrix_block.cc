@@ -1,0 +1,205 @@
+#include "matrix/matrix_block.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace relm {
+
+MatrixBlock::MatrixBlock(int64_t rows, int64_t cols, bool sparse)
+    : rows_(rows), cols_(cols), sparse_(sparse) {
+  if (sparse_) {
+    row_ptr_.assign(rows_ + 1, 0);
+  } else {
+    dense_.assign(rows_ * cols_, 0.0);
+  }
+}
+
+MatrixBlock MatrixBlock::Constant(int64_t rows, int64_t cols, double value) {
+  if (value == 0.0) return MatrixBlock(rows, cols, /*sparse=*/cols > 1);
+  MatrixBlock m(rows, cols, false);
+  std::fill(m.dense_.begin(), m.dense_.end(), value);
+  return m;
+}
+
+MatrixBlock MatrixBlock::Rand(int64_t rows, int64_t cols, double sparsity,
+                              double min, double max, Random* rng) {
+  bool sparse = cols > 1 && sparsity < kSparsityTurnPoint;
+  if (!sparse) {
+    MatrixBlock m(rows, cols, false);
+    for (auto& v : m.dense_) {
+      if (sparsity >= 1.0 || rng->NextDouble() < sparsity) {
+        v = rng->Uniform(min, max);
+      }
+    }
+    return m;
+  }
+  std::vector<int64_t> row_ptr(rows + 1, 0);
+  std::vector<int32_t> col_idx;
+  std::vector<double> values;
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      if (rng->NextDouble() < sparsity) {
+        col_idx.push_back(static_cast<int32_t>(c));
+        values.push_back(rng->Uniform(min, max));
+      }
+    }
+    row_ptr[r + 1] = static_cast<int64_t>(values.size());
+  }
+  return FromCsr(rows, cols, std::move(row_ptr), std::move(col_idx),
+                 std::move(values));
+}
+
+MatrixBlock MatrixBlock::Seq(double from, double to, double incr) {
+  RELM_CHECK(incr != 0.0) << "seq increment must be non-zero";
+  int64_t n = static_cast<int64_t>(std::floor((to - from) / incr)) + 1;
+  n = std::max<int64_t>(n, 0);
+  MatrixBlock m(n, 1, false);
+  double v = from;
+  for (int64_t i = 0; i < n; ++i, v += incr) m.dense_[i] = v;
+  return m;
+}
+
+MatrixBlock MatrixBlock::Identity(int64_t n) {
+  MatrixBlock m(n, n, false);
+  for (int64_t i = 0; i < n; ++i) m.dense_[i * n + i] = 1.0;
+  return m;
+}
+
+MatrixBlock MatrixBlock::FromCsr(int64_t rows, int64_t cols,
+                                 std::vector<int64_t> row_ptr,
+                                 std::vector<int32_t> col_idx,
+                                 std::vector<double> values) {
+  RELM_CHECK(static_cast<int64_t>(row_ptr.size()) == rows + 1);
+  MatrixBlock m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.sparse_ = true;
+  m.row_ptr_ = std::move(row_ptr);
+  m.col_idx_ = std::move(col_idx);
+  m.values_ = std::move(values);
+  return m;
+}
+
+int64_t MatrixBlock::ComputeNnz() const {
+  if (sparse_) {
+    int64_t nnz = 0;
+    for (double v : values_) {
+      if (v != 0.0) ++nnz;
+    }
+    return nnz;
+  }
+  int64_t nnz = 0;
+  for (double v : dense_) {
+    if (v != 0.0) ++nnz;
+  }
+  return nnz;
+}
+
+MatrixCharacteristics MatrixBlock::Characteristics() const {
+  return MatrixCharacteristics(rows_, cols_, ComputeNnz());
+}
+
+double MatrixBlock::Get(int64_t r, int64_t c) const {
+  if (!sparse_) return dense_[r * cols_ + c];
+  int64_t lo = row_ptr_[r];
+  int64_t hi = row_ptr_[r + 1];
+  auto begin = col_idx_.begin() + lo;
+  auto end = col_idx_.begin() + hi;
+  auto it = std::lower_bound(begin, end, static_cast<int32_t>(c));
+  if (it != end && *it == c) return values_[it - col_idx_.begin()];
+  return 0.0;
+}
+
+void MatrixBlock::Set(int64_t r, int64_t c, double v) {
+  RELM_CHECK(!sparse_) << "Set() requires a dense block";
+  dense_[r * cols_ + c] = v;
+}
+
+void MatrixBlock::ToDense() {
+  if (!sparse_) return;
+  std::vector<double> d(rows_ * cols_, 0.0);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      d[r * cols_ + col_idx_[k]] = values_[k];
+    }
+  }
+  dense_ = std::move(d);
+  row_ptr_.clear();
+  col_idx_.clear();
+  values_.clear();
+  sparse_ = false;
+}
+
+void MatrixBlock::ToSparse() {
+  if (sparse_) return;
+  std::vector<int64_t> row_ptr(rows_ + 1, 0);
+  std::vector<int32_t> col_idx;
+  std::vector<double> values;
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t c = 0; c < cols_; ++c) {
+      double v = dense_[r * cols_ + c];
+      if (v != 0.0) {
+        col_idx.push_back(static_cast<int32_t>(c));
+        values.push_back(v);
+      }
+    }
+    row_ptr[r + 1] = static_cast<int64_t>(values.size());
+  }
+  row_ptr_ = std::move(row_ptr);
+  col_idx_ = std::move(col_idx);
+  values_ = std::move(values);
+  dense_.clear();
+  sparse_ = true;
+}
+
+void MatrixBlock::Compact() {
+  int64_t cells = rows_ * cols_;
+  if (cells == 0) return;
+  double sparsity = static_cast<double>(ComputeNnz()) /
+                    static_cast<double>(cells);
+  if (cols_ > 1 && sparsity < kSparsityTurnPoint) {
+    ToSparse();
+  } else {
+    ToDense();
+  }
+}
+
+int64_t MatrixBlock::MemorySize() const {
+  if (sparse_) {
+    return static_cast<int64_t>(values_.size()) * 8 +
+           static_cast<int64_t>(col_idx_.size()) * 4 +
+           static_cast<int64_t>(row_ptr_.size()) * 8 + 64;
+  }
+  return static_cast<int64_t>(dense_.size()) * 8 + 64;
+}
+
+bool MatrixBlock::ApproxEquals(const MatrixBlock& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t c = 0; c < cols_; ++c) {
+      if (std::fabs(Get(r, c) - other.Get(r, c)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+std::string MatrixBlock::ToString(int64_t max_rows, int64_t max_cols) const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_ << (sparse_ ? " sparse" : " dense") << "\n";
+  int64_t pr = std::min(rows_, max_rows);
+  int64_t pc = std::min(cols_, max_cols);
+  for (int64_t r = 0; r < pr; ++r) {
+    for (int64_t c = 0; c < pc; ++c) {
+      os << Get(r, c) << (c + 1 < pc ? " " : "");
+    }
+    if (pc < cols_) os << " ...";
+    os << "\n";
+  }
+  if (pr < rows_) os << "...\n";
+  return os.str();
+}
+
+}  // namespace relm

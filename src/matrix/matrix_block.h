@@ -1,0 +1,98 @@
+#ifndef RELM_MATRIX_MATRIX_BLOCK_H_
+#define RELM_MATRIX_MATRIX_BLOCK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "matrix/matrix_characteristics.h"
+
+namespace relm {
+
+/// An in-memory matrix with either a dense (row-major) or CSR sparse
+/// representation. This is the real runtime data structure used by the
+/// in-memory (CP) operators; at benchmark scale only metadata is used,
+/// but tests and examples execute real numerics on these blocks.
+class MatrixBlock {
+ public:
+  /// Creates an empty (0x0) dense block.
+  MatrixBlock() = default;
+
+  /// Creates an all-zero block with the given shape; representation is
+  /// dense unless `sparse` is requested.
+  MatrixBlock(int64_t rows, int64_t cols, bool sparse = false);
+
+  /// ---- Factories ----
+
+  /// Matrix filled with a constant value (sparse-aware: 0.0 yields nnz 0).
+  static MatrixBlock Constant(int64_t rows, int64_t cols, double value);
+  /// Uniform random entries in [min,max] with the given sparsity, using a
+  /// deterministic generator.
+  static MatrixBlock Rand(int64_t rows, int64_t cols, double sparsity,
+                          double min, double max, Random* rng);
+  /// Column vector [from, from+incr, ...] up to `to` (inclusive).
+  static MatrixBlock Seq(double from, double to, double incr);
+  /// Identity matrix.
+  static MatrixBlock Identity(int64_t n);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  bool is_sparse() const { return sparse_; }
+  bool is_vector() const { return rows_ == 1 || cols_ == 1; }
+  bool is_scalar_shape() const { return rows_ == 1 && cols_ == 1; }
+
+  /// Number of non-zero values (recomputed for dense on demand).
+  int64_t ComputeNnz() const;
+
+  /// Characteristics view of this block (dims + exact nnz).
+  MatrixCharacteristics Characteristics() const;
+
+  /// Element access (both representations; CSR get is O(log nnz_row)).
+  double Get(int64_t r, int64_t c) const;
+  /// Element update; only valid on dense blocks.
+  void Set(int64_t r, int64_t c, double v);
+
+  /// Converts the representation in place.
+  void ToDense();
+  void ToSparse();
+  /// Switches to the representation the sparsity suggests.
+  void Compact();
+
+  /// Dense payload (valid only when !is_sparse()).
+  std::vector<double>& dense() { return dense_; }
+  const std::vector<double>& dense() const { return dense_; }
+
+  /// CSR payload (valid only when is_sparse()).
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int32_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Builds a CSR block directly from its arrays (rows+1 pointers).
+  static MatrixBlock FromCsr(int64_t rows, int64_t cols,
+                             std::vector<int64_t> row_ptr,
+                             std::vector<int32_t> col_idx,
+                             std::vector<double> values);
+
+  /// Actual in-memory footprint of this block in bytes.
+  int64_t MemorySize() const;
+
+  /// True when all entries differ by at most `tol` (shape must match).
+  bool ApproxEquals(const MatrixBlock& other, double tol = 1e-9) const;
+
+  std::string ToString(int64_t max_rows = 8, int64_t max_cols = 8) const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  bool sparse_ = false;
+  std::vector<double> dense_;       // row-major, rows*cols
+  std::vector<int64_t> row_ptr_;    // CSR, size rows+1
+  std::vector<int32_t> col_idx_;    // CSR
+  std::vector<double> values_;      // CSR
+};
+
+}  // namespace relm
+
+#endif  // RELM_MATRIX_MATRIX_BLOCK_H_

@@ -1,0 +1,95 @@
+#include "matrix/matrix_characteristics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace relm {
+
+MatrixCharacteristics MatrixCharacteristics::WithSparsity(int64_t rows,
+                                                          int64_t cols,
+                                                          double sparsity) {
+  int64_t nnz = static_cast<int64_t>(
+      std::llround(sparsity * static_cast<double>(rows) *
+                   static_cast<double>(cols)));
+  nnz = std::min(nnz, rows * cols);
+  return MatrixCharacteristics(rows, cols, nnz);
+}
+
+double MatrixCharacteristics::SparsityOrWorstCase() const {
+  if (!fully_known() || rows_ == 0 || cols_ == 0) return 1.0;
+  return static_cast<double>(nnz_) /
+         (static_cast<double>(rows_) * static_cast<double>(cols_));
+}
+
+bool MatrixCharacteristics::PrefersSparse() const {
+  if (!fully_known()) return false;  // worst case: dense
+  return cols_ > 1 && SparsityOrWorstCase() < kSparsityTurnPoint;
+}
+
+std::string MatrixCharacteristics::ToString() const {
+  std::ostringstream os;
+  os << "[" << rows_ << " x " << cols_ << ", nnz=" << nnz_ << "]";
+  return os.str();
+}
+
+namespace {
+constexpr int64_t kHeaderOverhead = 64;
+constexpr int64_t kDoubleSize = 8;
+constexpr int64_t kIndexSize = 4;
+}  // namespace
+
+int64_t EstimateSizeInMemory(int64_t rows, int64_t cols, double sparsity) {
+  if (rows < 0 || cols < 0) return kUnknownSizeSentinel;
+  double cells = static_cast<double>(rows) * static_cast<double>(cols);
+  bool sparse = cols > 1 && sparsity < kSparsityTurnPoint;
+  double bytes;
+  if (sparse) {
+    // CSR: values + column indices per nnz, one row pointer per row.
+    double nnz = sparsity * cells;
+    bytes = nnz * (kDoubleSize + kIndexSize) +
+            static_cast<double>(rows + 1) * kIndexSize;
+  } else {
+    bytes = cells * kDoubleSize;
+  }
+  double total = bytes + kHeaderOverhead;
+  if (total >= static_cast<double>(kUnknownSizeSentinel)) {
+    return kUnknownSizeSentinel;
+  }
+  return static_cast<int64_t>(total);
+}
+
+int64_t EstimateSizeInMemory(const MatrixCharacteristics& mc) {
+  if (!mc.dims_known()) return kUnknownSizeSentinel;
+  return EstimateSizeInMemory(mc.rows(), mc.cols(), mc.SparsityOrWorstCase());
+}
+
+int64_t EstimateSizeOnDisk(int64_t rows, int64_t cols, int64_t nnz) {
+  if (rows < 0 || cols < 0) return kUnknownSizeSentinel;
+  if (nnz < 0) nnz = rows * cols;
+  double sparsity = (rows == 0 || cols == 0)
+                        ? 1.0
+                        : static_cast<double>(nnz) /
+                              (static_cast<double>(rows) *
+                               static_cast<double>(cols));
+  bool sparse = cols > 1 && sparsity < kSparsityTurnPoint;
+  double bytes;
+  if (sparse) {
+    // Binary-cell blocks: (row, col, value) triples.
+    bytes = static_cast<double>(nnz) * (2 * kIndexSize + kDoubleSize);
+  } else {
+    bytes = static_cast<double>(rows) * static_cast<double>(cols) *
+            kDoubleSize;
+  }
+  if (bytes >= static_cast<double>(kUnknownSizeSentinel)) {
+    return kUnknownSizeSentinel;
+  }
+  return static_cast<int64_t>(bytes);
+}
+
+int64_t EstimateSizeOnDisk(const MatrixCharacteristics& mc) {
+  if (!mc.dims_known()) return kUnknownSizeSentinel;
+  return EstimateSizeOnDisk(mc.rows(), mc.cols(), mc.nnz());
+}
+
+}  // namespace relm

@@ -1,0 +1,93 @@
+#ifndef RELM_MATRIX_MATRIX_CHARACTERISTICS_H_
+#define RELM_MATRIX_MATRIX_CHARACTERISTICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace relm {
+
+/// Marker for an unknown dimension or nnz count. Size inference over ML
+/// programs is not always possible (data-dependent operators, UDFs), and
+/// unknowns are first-class in the compiler and the resource optimizer.
+inline constexpr int64_t kUnknown = -1;
+
+/// Dimensions and sparsity metadata of a matrix (or scalar, 1x1). This is
+/// the only information the compiler, cost model, and resource optimizer
+/// ever need about data; actual cell values are irrelevant to plan choice.
+class MatrixCharacteristics {
+ public:
+  MatrixCharacteristics() = default;
+  MatrixCharacteristics(int64_t rows, int64_t cols, int64_t nnz = kUnknown)
+      : rows_(rows), cols_(cols), nnz_(nnz) {}
+
+  /// Fully-known characteristics from a sparsity fraction in [0,1].
+  static MatrixCharacteristics Dense(int64_t rows, int64_t cols) {
+    return MatrixCharacteristics(rows, cols, rows * cols);
+  }
+  static MatrixCharacteristics WithSparsity(int64_t rows, int64_t cols,
+                                            double sparsity);
+  /// Characteristics with everything unknown.
+  static MatrixCharacteristics Unknown() {
+    return MatrixCharacteristics(kUnknown, kUnknown, kUnknown);
+  }
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return nnz_; }
+
+  void set_rows(int64_t r) { rows_ = r; }
+  void set_cols(int64_t c) { cols_ = c; }
+  void set_nnz(int64_t n) { nnz_ = n; }
+
+  bool dims_known() const { return rows_ >= 0 && cols_ >= 0; }
+  bool nnz_known() const { return nnz_ >= 0; }
+  bool fully_known() const { return dims_known() && nnz_known(); }
+
+  int64_t cells() const {
+    return dims_known() ? rows_ * cols_ : kUnknown;
+  }
+
+  /// Sparsity in [0,1]; returns 1.0 (worst case) if nnz or dims unknown.
+  double SparsityOrWorstCase() const;
+
+  /// True if the compiler would pick a sparse representation: sparsity
+  /// below threshold and more than one column (vectors stay dense).
+  bool PrefersSparse() const;
+
+  bool operator==(const MatrixCharacteristics& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_ && nnz_ == o.nnz_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  int64_t rows_ = kUnknown;
+  int64_t cols_ = kUnknown;
+  int64_t nnz_ = kUnknown;
+};
+
+/// Sparsity threshold below which a matrix (with >1 column) is stored
+/// sparse, mirroring SystemML's MatrixBlock.SPARSITY_TURN_POINT.
+inline constexpr double kSparsityTurnPoint = 0.4;
+
+/// Compiler-side worst-case estimate of the in-memory size of a matrix
+/// with the given characteristics; unknown dims/nnz fall back to dense
+/// worst case, unknown dims yield a very large sentinel so operators with
+/// unknown inputs never fit a memory budget.
+int64_t EstimateSizeInMemory(const MatrixCharacteristics& mc);
+
+/// In-memory size for explicit dims/sparsity (no unknown handling).
+int64_t EstimateSizeInMemory(int64_t rows, int64_t cols, double sparsity);
+
+/// Serialized size in the binary-block format on (simulated) HDFS.
+int64_t EstimateSizeOnDisk(const MatrixCharacteristics& mc);
+int64_t EstimateSizeOnDisk(int64_t rows, int64_t cols, int64_t nnz);
+
+/// Sentinel returned when the size cannot be bounded (unknown dims);
+/// larger than any real cluster memory so "does it fit" checks fail.
+inline constexpr int64_t kUnknownSizeSentinel =
+    int64_t{1} << 62;  // ~4.6 exabytes
+
+}  // namespace relm
+
+#endif  // RELM_MATRIX_MATRIX_CHARACTERISTICS_H_

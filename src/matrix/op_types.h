@@ -1,0 +1,67 @@
+#ifndef RELM_MATRIX_OP_TYPES_H_
+#define RELM_MATRIX_OP_TYPES_H_
+
+namespace relm {
+
+/// Cell-wise binary operators (arithmetic, comparison, logical). Shared
+/// between the compiler's HOPs and the runtime kernels so operator
+/// semantics are defined exactly once.
+enum class BinOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kPow,
+  kMin,
+  kMax,
+  kLess,
+  kLessEq,
+  kGreater,
+  kGreaterEq,
+  kEq,
+  kNotEq,
+  kAnd,
+  kOr,
+};
+
+/// Cell-wise unary operators.
+enum class UnOp {
+  kNeg,
+  kAbs,
+  kSqrt,
+  kExp,
+  kLog,
+  kRound,
+  kFloor,
+  kCeil,
+  kSign,
+  kNot,
+};
+
+/// Aggregation operators.
+enum class AggOp { kSum, kMin, kMax, kMean, kTrace };
+
+/// Aggregation direction: full, per-row (rowSums), per-column (colSums).
+enum class AggDir { kAll, kRow, kCol };
+
+/// Applies a binary operator to two scalars.
+double ApplyBinOp(BinOp op, double a, double b);
+
+/// Applies a unary operator to a scalar.
+double ApplyUnOp(UnOp op, double a);
+
+/// Short operator names for plan printing ("+", "-", "min", ">=", ...).
+const char* BinOpName(BinOp op);
+const char* UnOpName(UnOp op);
+const char* AggOpName(AggOp op);
+
+/// True for comparison/logical operators (result is 0/1).
+bool IsComparison(BinOp op);
+
+/// True if op(x, 0)==0 for all x, i.e. sparse-safe w.r.t. the second input
+/// being a zero cell (multiplication and logical-and).
+bool IsSparseSafe(BinOp op);
+
+}  // namespace relm
+
+#endif  // RELM_MATRIX_OP_TYPES_H_

@@ -1,0 +1,64 @@
+#include "mrsim/buffer_pool.h"
+
+#include <vector>
+
+namespace relm {
+
+std::vector<BufferPool::Evicted> BufferPool::Put(const std::string& name,
+                                                 int64_t bytes, bool dirty) {
+  std::vector<Evicted> evicted;
+  Remove(name);
+  if (bytes > capacity_) {
+    // Oversized object: stream-through, never resident.
+    ++evictions_;
+    evicted.push_back(Evicted{name, bytes, dirty});
+    return evicted;
+  }
+  while (used_ + bytes > capacity_ && !lru_.empty()) {
+    const std::string victim = lru_.back();
+    auto it = entries_.find(victim);
+    evicted.push_back(Evicted{victim, it->second.bytes, it->second.dirty});
+    used_ -= it->second.bytes;
+    lru_.pop_back();
+    entries_.erase(it);
+    ++evictions_;
+  }
+  lru_.push_front(name);
+  Entry e;
+  e.bytes = bytes;
+  e.dirty = dirty;
+  e.lru_it = lru_.begin();
+  entries_[name] = e;
+  used_ += bytes;
+  return evicted;
+}
+
+bool BufferPool::Touch(const std::string& name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return false;
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(name);
+  it->second.lru_it = lru_.begin();
+  return true;
+}
+
+void BufferPool::MarkClean(const std::string& name) {
+  auto it = entries_.find(name);
+  if (it != entries_.end()) it->second.dirty = false;
+}
+
+void BufferPool::Remove(const std::string& name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return;
+  used_ -= it->second.bytes;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+void BufferPool::Clear() {
+  entries_.clear();
+  lru_.clear();
+  used_ = 0;
+}
+
+}  // namespace relm

@@ -1,0 +1,73 @@
+#ifndef RELM_MRSIM_BUFFER_POOL_H_
+#define RELM_MRSIM_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace relm {
+
+/// LRU buffer pool of in-memory variables in the control program.
+/// Tracks pinned bytes against a capacity; inserting beyond capacity
+/// evicts least-recently-used entries, which the simulator charges as
+/// write (for dirty entries) and later re-read IO. This is exactly the
+/// second-order effect the analytic cost model only partially considers
+/// (a documented source of suboptimality in the paper).
+class BufferPool {
+ public:
+  explicit BufferPool(int64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  struct Evicted {
+    std::string name;
+    int64_t bytes = 0;
+    bool dirty = false;
+  };
+
+  /// Inserts or touches a variable; returns the entries evicted to make
+  /// room (empty if it fits). Oversized single entries simply bypass the
+  /// pool (stream-through), reported as an eviction of themselves.
+  std::vector<Evicted> Put(const std::string& name, int64_t bytes,
+                           bool dirty);
+
+  /// Marks a variable accessed (LRU touch); false if not resident.
+  bool Touch(const std::string& name);
+
+  /// True if the variable is resident.
+  bool Contains(const std::string& name) const {
+    return entries_.count(name) > 0;
+  }
+
+  /// Marks a resident variable clean (after an export to HDFS).
+  void MarkClean(const std::string& name);
+
+  /// Removes a variable (e.g. on overwrite with a new version).
+  void Remove(const std::string& name);
+
+  /// Drops everything (AM migration: the new container starts cold).
+  void Clear();
+
+  int64_t used_bytes() const { return used_; }
+  int64_t capacity() const { return capacity_; }
+  void set_capacity(int64_t capacity) { capacity_ = capacity; }
+  int64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    int64_t bytes = 0;
+    bool dirty = false;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  int64_t capacity_;
+  int64_t used_ = 0;
+  int64_t evictions_ = 0;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recent
+};
+
+}  // namespace relm
+
+#endif  // RELM_MRSIM_BUFFER_POOL_H_

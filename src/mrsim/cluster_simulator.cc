@@ -1,0 +1,646 @@
+#include "mrsim/cluster_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "cost/cost_model.h"
+#include "lops/compiler_backend.h"
+
+namespace relm {
+
+/// One simulated execution; holds all mutable run state.
+class ClusterSimulator::Run {
+ public:
+  Run(const ClusterConfig& cc, const SimOptions& opts, MlProgram* program,
+      const ResourceConfig& initial, const SymbolMap& oracle)
+      : cc_(cc),
+        opts_(opts),
+        program_(program),
+        config_(initial),
+        oracle_(oracle),
+        pool_(initial.CpBudget()),
+        rng_(opts.seed) {
+    cc_.mr_slot_availability =
+        1.0 - std::clamp(opts.cluster_load, 0.0, 0.99);
+  }
+
+  Result<SimResult> Execute() {
+    result_.final_config = config_;
+    for (auto& blk : program_->blocks().main) {
+      RELM_RETURN_IF_ERROR(ExecuteBlock(blk.get(), 0));
+    }
+    result_.elapsed_seconds = elapsed_;
+    result_.final_config = config_;
+    result_.bufferpool_evictions = pool_.evictions();
+    return result_;
+  }
+
+ private:
+  /// Captured user-function invocation: everything needed to execute it
+  /// and derive output sizes without holding hop pointers.
+  struct PendingCall {
+    std::string fn;
+    std::vector<MatrixCharacteristics> arg_mcs;  // per matrix param slot
+    std::vector<std::pair<int, std::string>> outputs;  // index, caller var
+  };
+
+  void Log(const std::string& what) {
+    result_.events.push_back(SimEvent{elapsed_, what});
+  }
+
+  void Charge(double seconds) { elapsed_ += std::max(0.0, seconds); }
+
+  double ComputeRate() const {
+    return cc_.peak_gflops * 1e9 * kComputeEfficiency *
+           config_.CpComputeSpeedup();
+  }
+
+  double ReadBps() const { return kCpReadBps / opts_.io_contention; }
+  double WriteBps() const { return kCpWriteBps / opts_.io_contention; }
+
+  // ---------------- block walking ----------------
+
+  Status ExecuteBlock(StatementBlock* blk, int depth) {
+    if (depth > 64) {
+      return Status::RuntimeError("simulated call depth exceeded");
+    }
+    switch (blk->kind()) {
+      case BlockKind::kGeneric:
+        return ExecuteGeneric(blk, depth);
+      case BlockKind::kIf: {
+        RELM_RETURN_IF_ERROR(ChargeBlockInstrs(blk, depth));
+        const BlockIR& ir = program_->ir(blk->id());
+        // Known predicate: take that branch; unknown: take the then
+        // branch (the convergence-style scripts put the accept-path
+        // there), falling back to else when then is empty.
+        bool take_then = ir.taken_branch != 1 && !blk->body.empty();
+        auto& branch = take_then ? blk->body : blk->else_body;
+        for (auto& child : branch) {
+          RELM_RETURN_IF_ERROR(ExecuteBlock(child.get(), depth));
+        }
+        return Status::OK();
+      }
+      case BlockKind::kWhile:
+      case BlockKind::kFor: {
+        const BlockIR& ir = program_->ir(blk->id());
+        int64_t iters = static_cast<int64_t>(
+            std::llround(std::max(1.0, ir.estimated_iterations)));
+        iters = std::min(iters, opts_.max_loop_iterations);
+        for (int64_t i = 0; i < iters; ++i) {
+          RELM_RETURN_IF_ERROR(ChargeBlockInstrs(blk, depth));
+          for (auto& child : blk->body) {
+            RELM_RETURN_IF_ERROR(ExecuteBlock(child.get(), depth));
+          }
+        }
+        // Final (failing) predicate evaluation.
+        RELM_RETURN_IF_ERROR(ChargeBlockInstrs(blk, depth));
+        return Status::OK();
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ExecuteGeneric(StatementBlock* blk, int depth) {
+    // Cluster-utilization change (Section 6 extension): apply the new
+    // load and schedule a utilization-triggered re-optimization.
+    if (opts_.load_change_at_seconds >= 0 && !load_changed_ &&
+        elapsed_ >= opts_.load_change_at_seconds) {
+      load_changed_ = true;
+      cc_.mr_slot_availability =
+          1.0 - std::clamp(opts_.new_cluster_load, 0.0, 0.99);
+      Log("cluster load changed; slot availability now " +
+          FormatDouble(cc_.mr_slot_availability, 2));
+      if (opts_.enable_adaptation) pending_utilization_reopt_ = true;
+    }
+    // Metadata-only fixpoint: derive user-function output sizes reachable
+    // from this block (known argument sizes -> rebuilt function bodies ->
+    // known return sizes) BEFORE the block's plan is compiled and
+    // charged, so dependent operators compile against known sizes.
+    if (opts_.enable_dynamic_recompilation) {
+      RELM_RETURN_IF_ERROR(DeriveCallSizesFixpoint(blk));
+    }
+    // Dynamic recompilation: when this block still has unknowns and new
+    // sizes became known, rebuild the IR before compiling its plan.
+    bool recompiled = rebuilt_for_block_ == blk->id();
+    if (opts_.enable_dynamic_recompilation &&
+        program_->ir(blk->id()).has_unknown_dims &&
+        knowns_version_ > rebuilt_version_) {
+      RELM_RETURN_IF_ERROR(program_->Rebuild(known_overrides_));
+      rebuilt_version_ = knowns_version_;
+      ++result_.dynamic_recompiles;
+      recompiled = true;
+      Log("dynamic recompile at block " + std::to_string(blk->id()));
+    }
+    std::vector<PendingCall> calls;
+    {
+      RELM_ASSIGN_OR_RETURN(RuntimeBlock rb, CompilePlan(blk));
+      // Runtime resource adaptation (Section 4): triggered when dynamic
+      // recompilation still produced MR jobs, or when the cluster
+      // utilization changed (Section 6 extension).
+      bool unknown_trigger = opts_.enable_adaptation && recompiled &&
+                             rb.NumMrJobs() > 0 &&
+                             knowns_version_ > reopt_version_;
+      bool utilization_trigger =
+          pending_utilization_reopt_ && rb.NumMrJobs() > 0;
+      if (unknown_trigger || utilization_trigger) {
+        RELM_RETURN_IF_ERROR(ReoptimizeAndMaybeMigrate(blk));
+        reopt_version_ = knowns_version_;
+        pending_utilization_reopt_ = false;
+        RELM_ASSIGN_OR_RETURN(rb, CompilePlan(blk));
+      }
+      RELM_RETURN_IF_ERROR(ChargeInstrs(rb, blk, &calls));
+    }
+    // Execute user-function bodies after the block plan is dropped (size
+    // derivation above already rebuilt; bodies compile to known sizes).
+    for (const PendingCall& call : calls) {
+      RELM_RETURN_IF_ERROR(ExecuteCallBody(call, depth));
+    }
+    DiscoverSizes(blk);
+    return Status::OK();
+  }
+
+  /// Collects the block's function calls without charging time.
+  Result<std::vector<PendingCall>> CollectCalls(StatementBlock* blk) {
+    std::vector<PendingCall> calls;
+    const BlockIR& ir = program_->ir(blk->id());
+    for (Hop* h : ir.dag.TopoOrder()) {
+      if (h->kind() != HopKind::kFunctionCall) continue;
+      calls.push_back(CaptureCall(*h, ir));
+    }
+    return calls;
+  }
+
+  PendingCall CaptureCall(const Hop& hop, const BlockIR& ir) {
+    PendingCall call;
+    call.fn = hop.function_name;
+    for (const auto& in : hop.inputs()) {
+      call.arg_mcs.push_back(in->is_matrix()
+                                 ? in->mc()
+                                 : MatrixCharacteristics(1, 1, 1));
+    }
+    for (Hop* h : ir.dag.TopoOrder()) {
+      if (h->kind() != HopKind::kTransientWrite) continue;
+      Hop* in = h->input(0);
+      if (in->kind() == HopKind::kFunctionOutput &&
+          in->input(0) == &hop) {
+        call.outputs.emplace_back(in->function_output_index, h->name());
+      }
+    }
+    return call;
+  }
+
+  Status DeriveCallSizesFixpoint(StatementBlock* blk) {
+    for (int round = 0; round < 8; ++round) {
+      if (knowns_version_ > rebuilt_version_) {
+        RELM_RETURN_IF_ERROR(program_->Rebuild(known_overrides_));
+        rebuilt_version_ = knowns_version_;
+        ++result_.dynamic_recompiles;
+        rebuilt_for_block_ = blk->id();
+      }
+      RELM_ASSIGN_OR_RETURN(std::vector<PendingCall> calls,
+                            CollectCalls(blk));
+      bool changed = false;
+      for (const PendingCall& call : calls) {
+        RELM_ASSIGN_OR_RETURN(bool c, DeriveForCall(call));
+        changed |= c;
+      }
+      if (!changed) break;
+    }
+    return Status::OK();
+  }
+
+  /// Registers parameter-size overrides and derives caller-variable
+  /// sizes for one call; returns true when anything new became known.
+  /// Purely metadata work — no execution time is charged.
+  Result<bool> DeriveForCall(const PendingCall& call) {
+    const auto& functions = program_->ast().functions;
+    auto fit = functions.find(call.fn);
+    if (fit == functions.end()) return false;
+    const FunctionDef& fn = fit->second;
+    bool new_knowns = false;
+    for (size_t i = 0; i < fn.params.size() && i < call.arg_mcs.size();
+         ++i) {
+      if (fn.params[i].data_type != DataType::kMatrix) continue;
+      const MatrixCharacteristics& arg_mc = call.arg_mcs[i];
+      if (!arg_mc.dims_known()) continue;
+      std::string key = call.fn + "/" + fn.params[i].name;
+      auto existing = known_overrides_.find(key);
+      if (existing != known_overrides_.end() &&
+          existing->second.mc.rows() == arg_mc.rows() &&
+          existing->second.mc.cols() == arg_mc.cols()) {
+        continue;
+      }
+      SymbolInfo info;
+      info.dtype = DataType::kMatrix;
+      info.mc = arg_mc;
+      known_overrides_[key] = info;
+      new_knowns = true;
+    }
+    if (new_knowns) {
+      RELM_RETURN_IF_ERROR(program_->Rebuild(known_overrides_));
+      ++knowns_version_;
+      rebuilt_version_ = knowns_version_;
+    }
+    // Derive return sizes from the (possibly rebuilt) body IR and
+    // register them under the qualified key "<function>><return>" so the
+    // builder resolves FunctionOutput hops directly (works even when the
+    // output is consumed within the calling block and never written).
+    bool derived = false;
+    auto bit = program_->blocks().functions.find(call.fn);
+    if (bit != program_->blocks().functions.end()) {
+      for (const FunctionParam& ret : fn.returns) {
+        if (ret.data_type != DataType::kMatrix) continue;
+        std::string key = call.fn + ">" + ret.name;
+        if (known_overrides_.count(key)) continue;
+        MatrixCharacteristics ret_mc = FindReturnMc(bit->second, ret.name);
+        if (!ret_mc.dims_known()) continue;
+        SymbolInfo info;
+        info.dtype = DataType::kMatrix;
+        info.mc = ret_mc;
+        known_overrides_[key] = info;
+        derived = true;
+        Log("derived return size of " + call.fn + "::" + ret.name + ": " +
+            ret_mc.ToString());
+      }
+    }
+    if (derived) ++knowns_version_;
+    return new_knowns || derived;
+  }
+
+  /// Charges the execution of a user-function body (sizes were already
+  /// derived by the metadata fixpoint, so the body compiles against
+  /// known argument sizes).
+  Status ExecuteCallBody(const PendingCall& call, int depth) {
+    if (in_function_.count(call.fn)) return Status::OK();  // recursion
+    in_function_.insert(call.fn);
+    Status st = Status::OK();
+    auto bit = program_->blocks().functions.find(call.fn);
+    if (bit != program_->blocks().functions.end()) {
+      for (auto& fb : bit->second) {
+        st = ExecuteBlock(fb.get(), depth + 1);
+        if (!st.ok()) break;
+      }
+    }
+    in_function_.erase(call.fn);
+    return st;
+  }
+
+  Result<RuntimeBlock> CompilePlan(StatementBlock* blk) {
+    return CompileBlockPlan(program_, cc_, blk, config_, &counters_);
+  }
+
+  /// Charges the predicate instructions of a control block (cheap).
+  Status ChargeBlockInstrs(StatementBlock* blk, int depth) {
+    std::vector<PendingCall> calls;
+    {
+      RELM_ASSIGN_OR_RETURN(RuntimeBlock rb, CompilePlan(blk));
+      rb.body.clear();
+      rb.else_body.clear();
+      RELM_RETURN_IF_ERROR(ChargeInstrs(rb, blk, &calls));
+    }
+    for (const PendingCall& call : calls) {
+      RELM_ASSIGN_OR_RETURN(bool derived, DeriveForCall(call));
+      (void)derived;
+      RELM_RETURN_IF_ERROR(ExecuteCallBody(call, depth));
+    }
+    return Status::OK();
+  }
+
+  // ---------------- size discovery ----------------
+
+  /// Records newly known characteristics after executing a block: oracle
+  /// truths for data-dependent results, plus sizes derivable through
+  /// user-function bodies once their parameters are known.
+  void DiscoverSizes(StatementBlock* blk) {
+    const BlockIR& ir = program_->ir(blk->id());
+    for (Hop* h : ir.dag.TopoOrder()) {
+      if (h->kind() == HopKind::kTransientWrite && h->is_matrix() &&
+          !h->mc().dims_known()) {
+        auto oit = oracle_.find(h->name());
+        if (oit != oracle_.end() &&
+            !known_overrides_.count(h->name())) {
+          known_overrides_[h->name()] = oit->second;
+          ++knowns_version_;
+          Log("size of '" + h->name() + "' became known: " +
+              oit->second.mc.ToString());
+        }
+      }
+    }
+  }
+
+  /// Characteristics of the last known-size write of `name` in a block
+  /// list (recursively; later writes win).
+  MatrixCharacteristics FindReturnMc(const std::vector<BlockPtr>& blocks,
+                                     const std::string& name) {
+    MatrixCharacteristics out = MatrixCharacteristics::Unknown();
+    for (const auto& blk : blocks) {
+      if (program_->has_ir(blk->id())) {
+        for (Hop* h : program_->ir(blk->id()).dag.TopoOrder()) {
+          if (h->kind() == HopKind::kTransientWrite &&
+              h->name() == name && h->mc().dims_known()) {
+            out = h->mc();
+          }
+        }
+      }
+      MatrixCharacteristics nested = FindReturnMc(blk->body, name);
+      if (nested.dims_known()) out = nested;
+      nested = FindReturnMc(blk->else_body, name);
+      if (nested.dims_known()) out = nested;
+    }
+    return out;
+  }
+
+  // ---------------- instruction charging ----------------
+
+  Status ChargeInstrs(const RuntimeBlock& rb, StatementBlock* blk,
+                      std::vector<PendingCall>* pending_calls) {
+    double block_time = 0.0;
+    std::unordered_set<const Hop*> loaded;
+    for (const auto& instr : rb.instrs) {
+      if (instr.kind == RuntimeInstr::Kind::kCp) {
+        RELM_ASSIGN_OR_RETURN(
+            double t, ChargeCp(*instr.hop, rb, pending_calls, &loaded));
+        block_time += t;
+      } else {
+        block_time += ChargeJob(instr.job, blk);
+      }
+    }
+    if (opts_.noise > 0) block_time *= rng_.Noise(opts_.noise);
+    Charge(block_time);
+    return Status::OK();
+  }
+
+  Result<double> ChargeCp(const Hop& hop, const RuntimeBlock& rb,
+                          std::vector<PendingCall>* pending_calls,
+                          std::unordered_set<const Hop*>* loaded) {
+    double time = 0.0;
+    for (const auto& raw : hop.inputs()) {
+      const Hop* in = raw.get();
+      while (in->fused() && !in->inputs().empty()) in = in->input(0);
+      time += ChargeRead(*in, loaded);
+    }
+    time += hop.ComputeFlops() / ComputeRate();
+    switch (hop.kind()) {
+      case HopKind::kTransientWrite: {
+        const Hop* in = hop.input(0);
+        bool from_mr =
+            in->exec_type() == ExecType::kMR && in->is_matrix() &&
+            in->kind() != HopKind::kTransientRead &&
+            in->kind() != HopKind::kPersistentRead &&
+            in->kind() != HopKind::kLiteral;
+        var_disk_bytes_[hop.name()] = HopDiskBytes(hop);
+        if (hop.is_matrix()) {
+          if (from_mr) {
+            pool_.Remove(hop.name());
+          } else if (in->kind() == HopKind::kPersistentRead) {
+            // `X = read(...)`: the variable aliases the cached file
+            // object; move the accounting instead of duplicating it.
+            pool_.Remove("::file:" + in->name());
+            time += PoolPut(hop.name(), HopMemBytes(hop),
+                            /*dirty=*/false);
+          } else {
+            time += PoolPut(hop.name(), HopMemBytes(hop), /*dirty=*/true);
+          }
+        }
+        break;
+      }
+      case HopKind::kPersistentWrite: {
+        const Hop* in = hop.input(0);
+        bool from_mr = in->exec_type() == ExecType::kMR &&
+                       in->is_matrix() &&
+                       in->kind() != HopKind::kTransientRead;
+        if (!from_mr) {
+          time += static_cast<double>(HopDiskBytes(hop)) / WriteBps();
+        }
+        break;
+      }
+      case HopKind::kFunctionCall: {
+        // Capture everything now (hop pointers may be invalidated by
+        // rebuilds before the call is processed).
+        PendingCall call;
+        call.fn = hop.function_name;
+        for (const auto& in : hop.inputs()) {
+          call.arg_mcs.push_back(in->is_matrix()
+                                     ? in->mc()
+                                     : MatrixCharacteristics(1, 1, 1));
+        }
+        // Map output indices to the caller variables they define.
+        if (rb.ir != nullptr) {
+          for (Hop* h : rb.ir->dag.TopoOrder()) {
+            if (h->kind() != HopKind::kTransientWrite) continue;
+            Hop* in = h->input(0);
+            if (in->kind() == HopKind::kFunctionOutput &&
+                in->input(0) == &hop) {
+              call.outputs.emplace_back(in->function_output_index,
+                                        h->name());
+            }
+          }
+        }
+        pending_calls->push_back(std::move(call));
+        break;
+      }
+      default:
+        break;
+    }
+    return time;
+  }
+
+  double ChargeRead(const Hop& in,
+                    std::unordered_set<const Hop*>* loaded) {
+    switch (in.kind()) {
+      case HopKind::kTransientRead: {
+        if (!in.is_matrix()) return 0.0;
+        if (pool_.Touch(in.name())) return 0.0;
+        int64_t disk = var_disk_bytes_.count(in.name())
+                           ? var_disk_bytes_[in.name()]
+                           : HopDiskBytes(in);
+        double t = static_cast<double>(disk) / ReadBps();
+        t += PoolPut(in.name(), HopMemBytes(in), /*dirty=*/false);
+        return t;
+      }
+      case HopKind::kPersistentRead: {
+        std::string key = "::file:" + in.name();
+        if (pool_.Touch(key)) return 0.0;
+        double t = static_cast<double>(HopDiskBytes(in)) / ReadBps();
+        t += PoolPut(key, HopMemBytes(in), /*dirty=*/false);
+        return t;
+      }
+      default: {
+        if (in.exec_type() == ExecType::kMR && in.is_matrix() &&
+            in.kind() != HopKind::kLiteral && !loaded->count(&in)) {
+          loaded->insert(&in);
+          return static_cast<double>(HopDiskBytes(in)) / ReadBps();
+        }
+        return 0.0;
+      }
+    }
+  }
+
+  /// Inserts into the buffer pool, charging the export of evicted dirty
+  /// entries; returns the charged time.
+  double PoolPut(const std::string& name, int64_t bytes, bool dirty) {
+    double time = 0.0;
+    for (const auto& ev : pool_.Put(name, bytes, dirty)) {
+      if (ev.dirty) {
+        int64_t disk = var_disk_bytes_.count(ev.name)
+                           ? var_disk_bytes_[ev.name]
+                           : ev.bytes;
+        time += static_cast<double>(disk) / WriteBps();
+      }
+    }
+    return time;
+  }
+
+  double ChargeJob(const MRJobInstr& job, StatementBlock* blk) {
+    double time = 0.0;
+    for (const auto& [name, bytes] : job.exported_inputs) {
+      if (name.rfind("#tmp", 0) == 0) {
+        time += static_cast<double>(bytes) / WriteBps();
+        continue;
+      }
+      if (pool_.Contains(name)) {
+        time += static_cast<double>(bytes) / WriteBps();
+        pool_.MarkClean(name);
+      }
+    }
+    MrJobTimeBreakdown breakdown = EstimateMrJobTime(
+        cc_, job, config_.MrHeapForBlock(blk->id()),
+        /*model_trashing=*/true);
+    time += breakdown.total * opts_.io_contention;
+    ++result_.mr_jobs_executed;
+    return time;
+  }
+
+  // ---------------- runtime resource adaptation ----------------
+
+  Status ReoptimizeAndMaybeMigrate(StatementBlock* blk) {
+    ++result_.reoptimizations;
+    OptimizerStats stats;
+    // A fresh optimizer sees the current cluster state (slot
+    // availability may have changed since the run started).
+    ResourceOptimizer optimizer(cc_, opts_.optimizer);
+    RELM_ASSIGN_OR_RETURN(
+        ResourceOptimizer::ExtendedResult ext,
+        optimizer.OptimizeExtended(program_, config_.cp_heap, &stats));
+    Charge(stats.opt_time_seconds);  // optimization overhead is real time
+
+    // Re-optimization scope: from the outermost enclosing loop (or the
+    // current top-level block) to the end of the program.
+    std::vector<StatementBlock*> scope = ReoptScope(blk);
+    RELM_ASSIGN_OR_RETURN(double cost_local, ScopeCost(scope, ext.local));
+    RELM_ASSIGN_OR_RETURN(double cost_global,
+                          ScopeCost(scope, ext.global));
+    double benefit = cost_local - cost_global;
+
+    // Migration cost: export dirty live variables + new container.
+    double migration_cost = cc_.container_alloc_latency;
+    for (const auto& [name, bytes] : var_disk_bytes_) {
+      if (pool_.Contains(name)) {
+        migration_cost += static_cast<double>(bytes) / WriteBps();
+      }
+    }
+    std::ostringstream os;
+    os << "reopt: benefit=" << FormatDouble(benefit, 2)
+       << "s migration=" << FormatDouble(migration_cost, 2) << "s";
+    Log(os.str());
+
+    if (ext.global.cp_heap != config_.cp_heap &&
+        benefit > migration_cost) {
+      // Migrate: materialize state, obtain a new container, resume.
+      Charge(migration_cost);
+      config_ = ext.global;
+      pool_.Clear();
+      pool_.set_capacity(config_.CpBudget());
+      ++result_.migrations;
+      Log("AM migration to " + config_.ToString());
+    } else {
+      // Keep the container; adopt the locally optimal MR configuration.
+      config_.per_block_mr_heap = ext.local.per_block_mr_heap;
+      config_.default_mr_heap = ext.local.default_mr_heap;
+      Log("no migration; adopting local MR config");
+    }
+    return Status::OK();
+  }
+
+  std::vector<StatementBlock*> ReoptScope(StatementBlock* blk) {
+    // Find the top-level ancestor of blk, then take everything from it
+    // to the end of the main block list.
+    std::vector<StatementBlock*> scope;
+    const auto& main = program_->blocks().main;
+    size_t start = main.size();
+    for (size_t i = 0; i < main.size(); ++i) {
+      if (ContainsBlock(main[i].get(), blk)) {
+        start = i;
+        break;
+      }
+    }
+    for (size_t i = start; i < main.size(); ++i) {
+      scope.push_back(main[i].get());
+    }
+    return scope;
+  }
+
+  static bool ContainsBlock(StatementBlock* root, StatementBlock* target) {
+    if (root == target) return true;
+    for (const auto& c : root->body) {
+      if (ContainsBlock(c.get(), target)) return true;
+    }
+    for (const auto& c : root->else_body) {
+      if (ContainsBlock(c.get(), target)) return true;
+    }
+    return false;
+  }
+
+  Result<double> ScopeCost(const std::vector<StatementBlock*>& scope,
+                           const ResourceConfig& cfg) {
+    CostModel cm(cc_);
+    double total = 0.0;
+    for (StatementBlock* b : scope) {
+      RELM_ASSIGN_OR_RETURN(
+          RuntimeBlock rb,
+          CompileBlockPlan(program_, cc_, b, cfg, &counters_));
+      RuntimeProgram probe;
+      probe.resources = cfg;
+      total += cm.EstimateBlockCost(rb, probe);
+    }
+    return total;
+  }
+
+  ClusterConfig cc_;
+  SimOptions opts_;
+  MlProgram* program_;
+  ResourceConfig config_;
+  SymbolMap oracle_;
+  BufferPool pool_;
+  Random rng_;
+
+  SimResult result_;
+  double elapsed_ = 0.0;
+  CompileCounters counters_;
+  SymbolMap known_overrides_;
+  int64_t knowns_version_ = 0;
+  int64_t rebuilt_version_ = 0;
+  int64_t reopt_version_ = 0;
+  int rebuilt_for_block_ = -1;
+  bool load_changed_ = false;
+  bool pending_utilization_reopt_ = false;
+  std::unordered_map<std::string, int64_t> var_disk_bytes_;
+  std::unordered_set<std::string> in_function_;
+};
+
+ClusterSimulator::ClusterSimulator(const ClusterConfig& cc,
+                                   const SimOptions& opts)
+    : cc_(cc), opts_(opts) {}
+
+Result<SimResult> ClusterSimulator::Execute(MlProgram* program,
+                                            const ResourceConfig& initial,
+                                            const SymbolMap& oracle) {
+  Run run(cc_, opts_, program, initial, oracle);
+  return run.Execute();
+}
+
+}  // namespace relm

@@ -1,0 +1,96 @@
+#ifndef RELM_MRSIM_CLUSTER_SIMULATOR_H_
+#define RELM_MRSIM_CLUSTER_SIMULATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/resource_optimizer.h"
+#include "hops/ml_program.h"
+#include "lops/resources.h"
+#include "mrsim/buffer_pool.h"
+#include "yarn/cluster_config.h"
+
+namespace relm {
+
+/// Options of the measured-execution cluster simulator.
+struct SimOptions {
+  /// Runtime resource adaptation (Section 4): re-optimization plus AM
+  /// migration when dynamic recompilation spawns MR jobs.
+  bool enable_adaptation = false;
+  /// Dynamic recompilation of blocks once unknown sizes become known.
+  bool enable_dynamic_recompilation = true;
+  /// Optimizer settings used for runtime re-optimization.
+  OptimizerOptions optimizer;
+  /// Multiplicative reproducible noise applied per block (0 disables).
+  double noise = 0.02;
+  uint64_t seed = 42;
+  /// IO contention multiplier (>1 under multi-tenancy).
+  double io_contention = 1.0;
+  /// Safety cap on simulated loop iterations.
+  int64_t max_loop_iterations = 1000;
+
+  /// ---- cluster-utilization-based adaptation (Section 6 extension) ----
+  /// Initial fraction of MR slots occupied by other tenants.
+  double cluster_load = 0.0;
+  /// At this simulated time the load changes to `new_cluster_load`
+  /// (negative disables). With adaptation enabled, the change triggers a
+  /// resource re-optimization at the next block that schedules MR jobs
+  /// (e.g. falling back to single-node in-memory execution on a loaded
+  /// cluster).
+  double load_change_at_seconds = -1.0;
+  double new_cluster_load = 0.0;
+};
+
+/// Timeline entry for debugging and experiment reporting.
+struct SimEvent {
+  double at_seconds = 0.0;
+  std::string what;
+};
+
+/// Result of one simulated program execution.
+struct SimResult {
+  double elapsed_seconds = 0.0;
+  int migrations = 0;
+  int dynamic_recompiles = 0;
+  int reoptimizations = 0;
+  int mr_jobs_executed = 0;
+  int64_t bufferpool_evictions = 0;
+  ResourceConfig final_config;
+  std::vector<SimEvent> events;
+};
+
+/// Discrete "measured" execution of a compiled ML program on the
+/// simulated YARN/MapReduce cluster. Shares its first-order performance
+/// physics with the analytic cost model but additionally models the
+/// second-order effects the optimizer cannot see: buffer-pool evictions,
+/// task-memory trashing, IO contention, and — crucially — unknown
+/// intermediate sizes that only resolve during execution and feed dynamic
+/// recompilation and runtime resource adaptation (AM migration).
+///
+/// Execution mutates `program` (rebuilds its IR with discovered sizes);
+/// callers that want a pristine program afterwards should pass a Clone().
+class ClusterSimulator {
+ public:
+  ClusterSimulator(const ClusterConfig& cc, const SimOptions& opts);
+
+  /// Runs `program` under the initial resource configuration.
+  /// `oracle` supplies the true characteristics of data-dependent
+  /// results (e.g. the table() indicator matrix), keyed by variable
+  /// name; sizes derivable from inputs (UDF outputs) are discovered
+  /// automatically via dynamic recompilation.
+  Result<SimResult> Execute(MlProgram* program,
+                            const ResourceConfig& initial,
+                            const SymbolMap& oracle = {});
+
+ private:
+  class Run;
+  ClusterConfig cc_;
+  SimOptions opts_;
+};
+
+}  // namespace relm
+
+#endif  // RELM_MRSIM_CLUSTER_SIMULATOR_H_

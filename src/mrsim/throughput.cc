@@ -1,0 +1,93 @@
+#include "mrsim/throughput.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "yarn/resource_manager.h"
+
+namespace relm {
+
+ThroughputResult SimulateThroughput(const ClusterConfig& cc,
+                                    int64_t am_container_bytes,
+                                    double solo_app_seconds, int num_users,
+                                    int apps_per_user,
+                                    double io_saturation_alpha) {
+  ThroughputResult out;
+  const int total_apps = num_users * apps_per_user;
+  if (total_apps == 0 || solo_app_seconds <= 0) return out;
+
+  ResourceManager rm(cc);
+
+  struct RunningApp {
+    double remaining_work;  // seconds of solo-speed work left
+    Container container;
+    int user;
+  };
+  // Each user runs apps back-to-back: one pending submission per user
+  // until their quota is exhausted.
+  std::vector<int> apps_left(num_users, apps_per_user);
+  std::deque<int> submit_queue;  // users with a pending submission
+  for (int u = 0; u < num_users; ++u) submit_queue.push_back(u);
+
+  std::vector<RunningApp> running;
+  double now = 0.0;
+  int completed = 0;
+
+  auto try_admit = [&]() {
+    // FIFO admission while capacity remains.
+    while (!submit_queue.empty()) {
+      int user = submit_queue.front();
+      auto c = rm.Allocate(am_container_bytes);
+      if (!c.ok()) break;
+      submit_queue.pop_front();
+      running.push_back(RunningApp{solo_app_seconds, *c, user});
+      --apps_left[user];
+    }
+  };
+
+  try_admit();
+  out.max_concurrent = static_cast<int>(running.size());
+
+  while (completed < total_apps) {
+    if (running.empty()) break;  // should not happen
+    // Processor-sharing with IO saturation: every running app progresses
+    // at rate 1 / (1 + alpha * (k - 1)).
+    double k = static_cast<double>(running.size());
+    double rate = 1.0 / (1.0 + io_saturation_alpha * (k - 1.0));
+    // Next completion.
+    double min_work = std::numeric_limits<double>::infinity();
+    size_t next = 0;
+    for (size_t i = 0; i < running.size(); ++i) {
+      if (running[i].remaining_work < min_work) {
+        min_work = running[i].remaining_work;
+        next = i;
+      }
+    }
+    double dt = min_work / rate;
+    now += dt;
+    for (auto& app : running) app.remaining_work -= dt * rate;
+    // Complete the finished app (and any that reached ~zero).
+    for (size_t i = running.size(); i-- > 0;) {
+      if (running[i].remaining_work <= 1e-9) {
+        rm.Release(running[i].container);
+        int user = running[i].user;
+        running.erase(running.begin() + i);
+        ++completed;
+        if (apps_left[user] > 0) submit_queue.push_back(user);
+      }
+    }
+    (void)next;
+    try_admit();
+    out.max_concurrent =
+        std::max(out.max_concurrent, static_cast<int>(running.size()));
+  }
+
+  out.total_seconds = now;
+  out.apps_completed = completed;
+  out.apps_per_minute = completed / (now / 60.0);
+  return out;
+}
+
+}  // namespace relm

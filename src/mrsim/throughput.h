@@ -1,0 +1,32 @@
+#ifndef RELM_MRSIM_THROUGHPUT_H_
+#define RELM_MRSIM_THROUGHPUT_H_
+
+#include <cstdint>
+
+#include "yarn/cluster_config.h"
+
+namespace relm {
+
+/// Result of a multi-user throughput simulation (Section 5.3).
+struct ThroughputResult {
+  double total_seconds = 0.0;
+  double apps_per_minute = 0.0;
+  int max_concurrent = 0;
+  int apps_completed = 0;
+};
+
+/// Simulates `num_users` concurrent users, each submitting
+/// `apps_per_user` back-to-back applications whose AM containers request
+/// `am_container_bytes`. The ResourceManager grants containers against
+/// cluster capacity (queueing excess submissions); each running app needs
+/// `solo_app_seconds` of work, slowed down by IO-bandwidth saturation as
+/// concurrency grows: rate = 1 / (1 + alpha * (concurrent - 1)).
+ThroughputResult SimulateThroughput(const ClusterConfig& cc,
+                                    int64_t am_container_bytes,
+                                    double solo_app_seconds, int num_users,
+                                    int apps_per_user = 8,
+                                    double io_saturation_alpha = 0.05);
+
+}  // namespace relm
+
+#endif  // RELM_MRSIM_THROUGHPUT_H_

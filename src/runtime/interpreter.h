@@ -1,0 +1,63 @@
+#ifndef RELM_RUNTIME_INTERPRETER_H_
+#define RELM_RUNTIME_INTERPRETER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "hdfs/file_system.h"
+#include "hops/ml_program.h"
+#include "runtime/value.h"
+
+namespace relm {
+
+/// Executes a compiled ML program in-process on real MatrixBlocks. This
+/// is the correctness path: every operator runs its actual kernel,
+/// control flow follows the data, UDFs are interpreted, and persistent
+/// writes land in the (simulated) HDFS. Execution-type annotations are
+/// ignored — at the small scales where real execution makes sense,
+/// everything is an in-memory operation anyway; the cluster simulator
+/// covers the distributed timing behaviour instead.
+class Interpreter {
+ public:
+  /// `hdfs` must hold real payloads for every read() input and outlive
+  /// the interpreter; writes are stored back into it.
+  Interpreter(const MlProgram* program, SimulatedHdfs* hdfs);
+
+  /// Runs the whole program.
+  Status Run();
+
+  /// Variable bindings after execution.
+  const std::map<std::string, Value>& symbols() const { return symbols_; }
+
+  /// Captured print() output, in order.
+  const std::vector<std::string>& printed() const { return printed_; }
+
+  /// Echo print() lines to stdout as they happen (off by default).
+  void set_echo(bool echo) { echo_ = echo; }
+
+  /// Safety cap for while-loop iterations (guards non-converging tests).
+  void set_max_loop_iterations(int64_t n) { max_loop_iterations_ = n; }
+
+  /// Total number of statement-block executions (for tests/metrics).
+  int64_t blocks_executed() const { return blocks_executed_; }
+
+ private:
+  class Impl;
+  friend class Impl;
+
+  const MlProgram* program_;
+  SimulatedHdfs* hdfs_;
+  std::map<std::string, Value> symbols_;
+  std::vector<std::string> printed_;
+  bool echo_ = false;
+  int64_t max_loop_iterations_ = 100000;
+  int64_t blocks_executed_ = 0;
+  Random rng_{1234};
+};
+
+}  // namespace relm
+
+#endif  // RELM_RUNTIME_INTERPRETER_H_

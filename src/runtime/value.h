@@ -1,0 +1,52 @@
+#ifndef RELM_RUNTIME_VALUE_H_
+#define RELM_RUNTIME_VALUE_H_
+
+#include <memory>
+#include <string>
+
+#include "lang/ast.h"
+#include "matrix/matrix_block.h"
+
+namespace relm {
+
+/// A runtime value: a scalar (double/boolean), a string, or a matrix.
+struct Value {
+  DataType dtype = DataType::kScalar;
+  bool is_string = false;
+  double scalar = 0.0;
+  std::string str;
+  std::shared_ptr<const MatrixBlock> matrix;
+
+  static Value Number(double v) {
+    Value out;
+    out.scalar = v;
+    return out;
+  }
+  static Value Str(std::string s) {
+    Value out;
+    out.is_string = true;
+    out.str = std::move(s);
+    return out;
+  }
+  static Value Matrix(MatrixBlock m) {
+    Value out;
+    out.dtype = DataType::kMatrix;
+    out.matrix = std::make_shared<const MatrixBlock>(std::move(m));
+    return out;
+  }
+  static Value MatrixPtr(std::shared_ptr<const MatrixBlock> m) {
+    Value out;
+    out.dtype = DataType::kMatrix;
+    out.matrix = std::move(m);
+    return out;
+  }
+
+  bool is_matrix() const { return dtype == DataType::kMatrix; }
+
+  /// Renders the value like DML's print() would.
+  std::string ToDisplayString() const;
+};
+
+}  // namespace relm
+
+#endif  // RELM_RUNTIME_VALUE_H_

@@ -1,0 +1,103 @@
+#include "spark/spark_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace relm {
+
+const char* SparkPlanName(SparkPlan plan) {
+  return plan == SparkPlan::kHybrid ? "Hybrid" : "Full";
+}
+
+namespace {
+
+/// Time of one distributed pass over X: first pass ingests from HDFS;
+/// later passes scan the cache when X fits, otherwise they hit disk with
+/// the spill penalty.
+double PassSeconds(const SparkConfig& spark, int64_t x_bytes, bool cached,
+                   bool first_pass) {
+  double aggregate_ingest =
+      spark.ingest_bps * static_cast<double>(spark.num_executors);
+  double aggregate_scan =
+      spark.memory_scan_bps * static_cast<double>(spark.num_executors);
+  double aggregate_reread =
+      spark.reread_bps * static_cast<double>(spark.num_executors);
+  if (first_pass) {
+    return static_cast<double>(x_bytes) / aggregate_ingest;
+  }
+  if (cached) {
+    return static_cast<double>(x_bytes) / aggregate_scan;
+  }
+  return spark.spill_penalty * static_cast<double>(x_bytes) /
+         aggregate_reread;
+}
+
+}  // namespace
+
+SparkRunEstimate EstimateSparkRun(const SparkConfig& spark,
+                                  const ClusterConfig& cc,
+                                  const SparkWorkload& workload,
+                                  SparkPlan plan) {
+  SparkRunEstimate out;
+  int64_t x_mem = EstimateSizeInMemory(workload.x);
+  int64_t x_disk = EstimateSizeOnDisk(workload.x);
+  out.x_cached = x_mem <= spark.TotalCacheBytes();
+
+  double time = spark.app_startup_seconds;
+  int stages = 0;
+
+  // Initial scan: t(X) %*% Y style pass + caching.
+  stages += 1;
+  time += PassSeconds(spark, x_disk, out.x_cached, /*first_pass=*/true);
+
+  // Driver-side scalar/vector work per iteration (hybrid) or additional
+  // distributed stages (full).
+  int64_t vec_bytes = EstimateSizeOnDisk(
+      MatrixCharacteristics(workload.x.rows(), 1,
+                            workload.x.rows()));
+  double driver_vec_op =
+      static_cast<double>(vec_bytes) / 4e9;  // in-memory vector op
+
+  for (int it = 0; it < workload.outer_iterations; ++it) {
+    // Distributed passes over X.
+    for (int p = 0; p < workload.x_passes_per_iteration; ++p) {
+      stages += 1;
+      time += spark.stage_latency_seconds;
+      time += PassSeconds(spark, out.x_cached ? x_mem : x_disk,
+                          out.x_cached, /*first_pass=*/false);
+    }
+    int vector_ops = workload.vector_ops_per_outer +
+                     workload.inner_iterations *
+                         workload.vector_ops_per_inner;
+    if (plan == SparkPlan::kHybrid) {
+      // Vector operations run in the driver.
+      time += vector_ops * driver_vec_op;
+    } else {
+      // Every vector operation becomes an RDD stage: per-stage latency
+      // dominates on small data, and each aggregate adds a tiny shuffle.
+      for (int v = 0; v < vector_ops; ++v) {
+        stages += 1;
+        time += spark.stage_latency_seconds;
+        time += static_cast<double>(vec_bytes) /
+                (spark.ingest_bps * spark.num_executors);
+      }
+    }
+  }
+  (void)cc;
+  out.seconds = time;
+  out.stages = stages;
+  return out;
+}
+
+int MaxConcurrentSparkApps(const SparkConfig& spark,
+                           const ClusterConfig& cc) {
+  // Each application holds driver + all executors for its lifetime.
+  int64_t per_app =
+      spark.driver_memory +
+      static_cast<int64_t>(spark.num_executors) * spark.executor_memory;
+  int64_t capacity = cc.total_memory();
+  return std::max(1, static_cast<int>(capacity / std::max<int64_t>(
+                                                     per_app, 1)));
+}
+
+}  // namespace relm

@@ -1,0 +1,90 @@
+#ifndef RELM_SPARK_SPARK_MODEL_H_
+#define RELM_SPARK_SPARK_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "matrix/matrix_characteristics.h"
+#include "yarn/cluster_config.h"
+
+namespace relm {
+
+/// Static Spark deployment (Appendix D setup: yarn-cluster mode, 6
+/// executors of 55 GB / 24 cores, 20 GB driver; resources are held for
+/// the lifetime of the application).
+struct SparkConfig {
+  int num_executors = 6;
+  int64_t executor_memory = 55 * kGB;
+  int executor_cores = 24;
+  int64_t driver_memory = 20 * kGB;
+
+  /// Application spin-up: driver + executor containers + scheduler.
+  double app_startup_seconds = 20.0;
+  /// Per-stage scheduling latency (much lower than an MR job).
+  double stage_latency_seconds = 0.2;
+  /// Fraction of executor memory usable for RDD caching.
+  double cache_fraction = 0.6;
+  /// Aggregate in-memory scan bandwidth per executor (bytes/s) for
+  /// cached RDD passes.
+  double memory_scan_bps = 6e9;
+  /// Ingestion bandwidth per executor for the first HDFS read including
+  /// text parsing / deserialization into RDD partitions (bytes/s).
+  double ingest_bps = 0.09e9;
+  /// Re-read bandwidth per executor for disk-resident passes once the
+  /// data has been serialized into binary partitions (bytes/s).
+  double reread_bps = 0.4e9;
+  /// Penalty factor on disk-resident passes (eviction, recomputation)
+  /// when the working set exceeds the cache.
+  double spill_penalty = 1.5;
+
+  int64_t TotalCacheBytes() const {
+    return static_cast<int64_t>(cache_fraction *
+                                static_cast<double>(executor_memory)) *
+           num_executors;
+  }
+  int total_cores() const { return num_executors * executor_cores; }
+};
+
+/// Plan variants of Appendix D: Hybrid keeps only operations on the big
+/// X distributed (everything else in the driver); Full makes every
+/// matrix operation an RDD operation.
+enum class SparkPlan { kHybrid, kFull };
+
+const char* SparkPlanName(SparkPlan plan);
+
+/// Abstract iterative-workload description (an L2SVM-shaped script).
+struct SparkWorkload {
+  MatrixCharacteristics x;   // the big input
+  int outer_iterations = 5;
+  int inner_iterations = 5;  // line-search style inner loop
+  /// Distributed passes over X per outer iteration in the hybrid plan
+  /// (e.g. X %*% s and t(X) %*% (out * Y)).
+  int x_passes_per_iteration = 2;
+  /// Driver-side (vector) operations per outer iteration, counted as
+  /// stages in the Full plan.
+  int vector_ops_per_outer = 10;
+  int vector_ops_per_inner = 6;
+};
+
+/// Estimated execution time of the workload under a Spark plan.
+struct SparkRunEstimate {
+  double seconds = 0.0;
+  bool x_cached = false;  // X fits the aggregate RDD cache
+  int stages = 0;
+};
+
+SparkRunEstimate EstimateSparkRun(const SparkConfig& spark,
+                                  const ClusterConfig& cc,
+                                  const SparkWorkload& workload,
+                                  SparkPlan plan);
+
+/// Maximum concurrent Spark applications of this shape on the cluster:
+/// executors are standing containers, so one application typically
+/// occupies the whole cluster (the over-provisioning effect of Table 6).
+int MaxConcurrentSparkApps(const SparkConfig& spark,
+                           const ClusterConfig& cc);
+
+}  // namespace relm
+
+#endif  // RELM_SPARK_SPARK_MODEL_H_

@@ -1,0 +1,44 @@
+#include "yarn/cluster_config.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace relm {
+
+int64_t ClusterConfig::ContainerRequestForHeap(int64_t heap_bytes) const {
+  int64_t request = static_cast<int64_t>(kContainerMemoryFactor *
+                                         static_cast<double>(heap_bytes));
+  // YARN rounds requests up to a multiple of the minimum allocation.
+  int64_t units = (request + min_allocation - 1) / min_allocation;
+  request = units * min_allocation;
+  return std::min(request, max_allocation);
+}
+
+int ClusterConfig::MaxTasksPerNode(int64_t task_heap_bytes) const {
+  // Task containers use the raw 1.5x request (the paper sizes task heaps
+  // such that 12 * 1.5 * heap fits node memory exactly; min-allocation
+  // rounding would spuriously drop one slot).
+  int64_t per_task = static_cast<int64_t>(
+      kContainerMemoryFactor * static_cast<double>(task_heap_bytes));
+  if (per_task <= 0) return cores_per_node;
+  int64_t by_memory = memory_per_node / per_task;
+  return static_cast<int>(
+      std::max<int64_t>(1, std::min<int64_t>(by_memory, cores_per_node)));
+}
+
+ClusterConfig ClusterConfig::PaperCluster() {
+  return ClusterConfig{};  // defaults mirror the paper's 1+6 node cluster
+}
+
+std::string ClusterConfig::ToString() const {
+  std::ostringstream os;
+  os << num_worker_nodes << " nodes x " << cores_per_node << " cores x "
+     << FormatBytes(memory_per_node) << ", alloc ["
+     << FormatBytes(min_allocation) << ", " << FormatBytes(max_allocation)
+     << "], block " << FormatBytes(hdfs_block_size);
+  return os.str();
+}
+
+}  // namespace relm

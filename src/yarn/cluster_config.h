@@ -1,0 +1,99 @@
+#ifndef RELM_YARN_CLUSTER_CONFIG_H_
+#define RELM_YARN_CLUSTER_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace relm {
+
+/// Fraction of the max JVM heap available as operation memory budget
+/// (SystemML default used in the paper's setup: 70%).
+inline constexpr double kMemoryBudgetFraction = 0.70;
+
+/// Container memory requested per unit of heap, to account for JVM
+/// overheads (the paper requests 1.5x the max heap size).
+inline constexpr double kContainerMemoryFactor = 1.5;
+
+/// Cluster information `cc` as obtained from the resource manager: node
+/// shape, YARN min/max allocation constraints, and IO characteristics that
+/// the cost model and simulator share.
+struct ClusterConfig {
+  int num_worker_nodes = 6;
+  int cores_per_node = 12;        // physical cores usable for tasks
+  int vcores_per_node = 24;       // with hyper-threading
+  int64_t memory_per_node = 80 * kGB;  // NM-managed memory
+  int64_t min_allocation = 512 * kMB;  // YARN scheduler minimum
+  int64_t max_allocation = 80 * kGB;   // YARN scheduler maximum
+  int64_t hdfs_block_size = 128 * kMB;
+  int num_reducers = 12;  // SystemML default: 2x number of nodes
+
+  /// Fraction of MR task slots currently available to this application
+  /// (1.0 = idle cluster). Multi-tenant load shrinks the achievable
+  /// degree of parallelism; the cluster-utilization-based adaptation
+  /// extension (Section 6) re-optimizes when this changes.
+  double mr_slot_availability = 1.0;
+
+  /// IO and compute characteristics shared by cost model and simulator.
+  double disk_read_mbps = 180.0;      // per-disk sequential read, MB/s
+  double disk_write_mbps = 140.0;     // per-disk sequential write, MB/s
+  int disks_per_node = 12;
+  double network_mbps = 1100.0;       // ~10GbE effective per node, MB/s
+  double peak_gflops = 3.2;           // per-core double-precision GFLOP/s
+
+  /// Latency constants (seconds). MR-v2 job submission spawns a per-job
+  /// MR AM container; task waves pay JVM/startup costs.
+  double mr_job_latency = 6.0;        // job submission + MR AM spawn
+  double mr_task_latency = 1.5;       // per task-wave startup
+  double container_alloc_latency = 2.0;  // obtaining a new container
+
+  int total_cores() const { return num_worker_nodes * cores_per_node; }
+  int total_vcores() const { return num_worker_nodes * vcores_per_node; }
+  int64_t total_memory() const {
+    return static_cast<int64_t>(num_worker_nodes) * memory_per_node;
+  }
+
+  /// Aggregate disk bandwidth of one node in bytes/second.
+  double node_disk_read_bps() const {
+    return disk_read_mbps * disks_per_node * 1e6;
+  }
+  double node_disk_write_bps() const {
+    return disk_write_mbps * disks_per_node * 1e6;
+  }
+
+  /// Largest heap whose 1.5x container request fits max_allocation
+  /// (53.3 GB for the paper's 80 GB limit).
+  int64_t MaxHeapSize() const {
+    return static_cast<int64_t>(static_cast<double>(max_allocation) /
+                                kContainerMemoryFactor);
+  }
+
+  /// Smallest grantable heap (the scheduler minimum itself; the paper's
+  /// baselines use 512 MB heaps on 512 MB minimum allocations).
+  int64_t MinHeapSize() const { return min_allocation; }
+
+  /// Container memory requested for a given max heap size, rounded up to
+  /// a multiple of the scheduler minimum and clamped to max_allocation.
+  int64_t ContainerRequestForHeap(int64_t heap_bytes) const;
+
+  /// Operation memory budget for a given max heap size (0.7 x heap).
+  static int64_t BudgetForHeap(int64_t heap_bytes) {
+    return static_cast<int64_t>(kMemoryBudgetFraction *
+                                static_cast<double>(heap_bytes));
+  }
+
+  /// Maximum concurrently running task containers per node for a given
+  /// task heap size: limited by memory (1.5x heap per container) and by
+  /// physical cores.
+  int MaxTasksPerNode(int64_t task_heap_bytes) const;
+
+  /// The cluster used in the paper's evaluation (1 head + 6 workers).
+  static ClusterConfig PaperCluster();
+
+  std::string ToString() const;
+};
+
+}  // namespace relm
+
+#endif  // RELM_YARN_CLUSTER_CONFIG_H_

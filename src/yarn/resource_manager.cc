@@ -1,0 +1,71 @@
+#include "yarn/resource_manager.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace relm {
+
+ResourceManager::ResourceManager(const ClusterConfig& cc) : cc_(cc) {
+  free_.assign(cc_.num_worker_nodes, cc_.memory_per_node);
+}
+
+Result<Container> ResourceManager::Allocate(int64_t memory) {
+  if (memory <= 0) {
+    return Status::InvalidArgument("container request must be positive");
+  }
+  // Round up to a multiple of the minimum allocation (YARN semantics).
+  int64_t units = (memory + cc_.min_allocation - 1) / cc_.min_allocation;
+  memory = units * cc_.min_allocation;
+  if (memory > cc_.max_allocation) {
+    return Status::ResourceError(
+        "container request " + FormatBytes(memory) +
+        " exceeds maximum allocation " + FormatBytes(cc_.max_allocation));
+  }
+  // Most-free-node placement.
+  int best = -1;
+  for (int n = 0; n < cc_.num_worker_nodes; ++n) {
+    if (free_[n] >= memory && (best < 0 || free_[n] > free_[best])) {
+      best = n;
+    }
+  }
+  if (best < 0) {
+    return Status::ResourceError("no node has " + FormatBytes(memory) +
+                                 " free");
+  }
+  free_[best] -= memory;
+  Container c{next_id_++, best, memory};
+  live_[c.id] = c;
+  return c;
+}
+
+void ResourceManager::Release(const Container& container) {
+  auto it = live_.find(container.id);
+  if (it == live_.end()) return;
+  free_[it->second.node] += it->second.memory;
+  live_.erase(it);
+}
+
+int64_t ResourceManager::FreeMemory(int node) const {
+  if (node < 0 || node >= static_cast<int>(free_.size())) return 0;
+  return free_[node];
+}
+
+int64_t ResourceManager::TotalFreeMemory() const {
+  int64_t total = 0;
+  for (int64_t f : free_) total += f;
+  return total;
+}
+
+int ResourceManager::MaxConcurrentContainers(int64_t memory) const {
+  if (memory <= 0) return 0;
+  int64_t units = (memory + cc_.min_allocation - 1) / cc_.min_allocation;
+  memory = units * cc_.min_allocation;
+  int total = 0;
+  for (int n = 0; n < cc_.num_worker_nodes; ++n) {
+    total += static_cast<int>(cc_.memory_per_node / memory);
+  }
+  return total;
+}
+
+}  // namespace relm

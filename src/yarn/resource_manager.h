@@ -1,0 +1,65 @@
+#ifndef RELM_YARN_RESOURCE_MANAGER_H_
+#define RELM_YARN_RESOURCE_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "yarn/cluster_config.h"
+
+namespace relm {
+
+/// A granted container: node index, memory reserved on that node, and a
+/// process-unique id.
+struct Container {
+  int64_t id = -1;
+  int node = -1;
+  int64_t memory = 0;
+};
+
+/// Capacity-accounting model of the YARN ResourceManager. Grants and
+/// releases containers against per-node memory capacity with the
+/// min/max-allocation semantics of the request-based YARN scheduler.
+/// Time is not modeled here; the cluster simulator owns all timing.
+class ResourceManager {
+ public:
+  explicit ResourceManager(const ClusterConfig& cc);
+
+  const ClusterConfig& cluster() const { return cc_; }
+
+  /// Tries to allocate a container of `memory` bytes (already rounded by
+  /// the caller or rounded up here to a min-allocation multiple) on the
+  /// node with the most free memory. Returns ResourceError if the request
+  /// violates constraints and NotFound-like ResourceError if no node
+  /// currently has room (caller may queue and retry).
+  Result<Container> Allocate(int64_t memory);
+
+  /// Releases a previously granted container (idempotent per id).
+  void Release(const Container& container);
+
+  /// Free memory on a given node.
+  int64_t FreeMemory(int node) const;
+
+  /// Total free memory across nodes.
+  int64_t TotalFreeMemory() const;
+
+  /// Number of currently live containers.
+  int64_t NumLiveContainers() const { return live_.size(); }
+
+  /// Maximum number of containers of the given size the idle cluster
+  /// could host simultaneously (the paper's application-parallelism
+  /// formula: sum over nodes of floor(nodeMem / containerSize)).
+  int MaxConcurrentContainers(int64_t memory) const;
+
+ private:
+  ClusterConfig cc_;
+  std::vector<int64_t> free_;  // free memory per node
+  std::map<int64_t, Container> live_;
+  int64_t next_id_ = 0;
+};
+
+}  // namespace relm
+
+#endif  // RELM_YARN_RESOURCE_MANAGER_H_

@@ -1,0 +1,121 @@
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "api/relm_system.h"
+#include "spark/spark_model.h"
+
+namespace relm {
+namespace {
+
+std::string ScriptPath(const std::string& name) {
+  return std::string(RELM_SCRIPTS_DIR) + "/" + name;
+}
+
+class RelmSystemTest : public ::testing::Test {
+ protected:
+  RelmSystem sys_;
+};
+
+TEST_F(RelmSystemTest, CompileFileAndMissingFile) {
+  sys_.RegisterMatrixMetadata("/data/X", 1000000, 1000);
+  sys_.RegisterMatrixMetadata("/data/y", 1000000, 1);
+  ScriptArgs args{{"X", "/data/X"}, {"Y", "/data/y"}, {"B", "/out/B"}};
+  auto prog = sys_.CompileFile(ScriptPath("linreg_ds.dml"), args);
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  EXPECT_GT((*prog)->total_blocks(), 0);
+  EXPECT_FALSE(sys_.CompileFile("/no/such/file.dml", args).ok());
+}
+
+TEST_F(RelmSystemTest, OptimizeEstimateSimulateRoundTrip) {
+  sys_.RegisterMatrixMetadata("/data/X", 1000000, 1000);
+  sys_.RegisterMatrixMetadata("/data/y", 1000000, 1);
+  ScriptArgs args{{"X", "/data/X"}, {"Y", "/data/y"}, {"B", "/out/B"}};
+  auto prog = sys_.CompileFile(ScriptPath("linreg_cg.dml"), args);
+  ASSERT_TRUE(prog.ok());
+  OptimizerStats stats;
+  auto config = sys_.OptimizeResources(prog->get(), &stats);
+  ASSERT_TRUE(config.ok());
+  auto est = sys_.EstimateCost(prog->get(), *config);
+  ASSERT_TRUE(est.ok());
+  EXPECT_GT(*est, 0.0);
+  auto clone = (*prog)->Clone();
+  ASSERT_TRUE(clone.ok());
+  auto run = sys_.Simulate(clone->get(), *config);
+  ASSERT_TRUE(run.ok());
+  // Measured within a reasonable factor of the estimate (no unknowns).
+  EXPECT_LT(run->elapsed_seconds, *est * 3.0);
+  EXPECT_GT(run->elapsed_seconds, *est * 0.3);
+}
+
+TEST_F(RelmSystemTest, RealExecutionThroughFacade) {
+  sys_.RegisterMatrix("/m/A", MatrixBlock::Constant(4, 4, 2.0));
+  auto prog = sys_.CompileSource(
+      "A = read(\"/m/A\")\nprint(\"sum=\" + sum(A))", {});
+  ASSERT_TRUE(prog.ok());
+  auto run = sys_.ExecuteReal(prog->get());
+  ASSERT_TRUE(run.ok());
+  ASSERT_EQ(run->printed.size(), 1u);
+  EXPECT_EQ(run->printed[0], "sum=32");
+}
+
+TEST_F(RelmSystemTest, StaticBaselinesMatchPaper) {
+  auto baselines = sys_.StaticBaselines();
+  ASSERT_EQ(baselines.size(), 4u);
+  EXPECT_STREQ(baselines[0].name, "B-SS");
+  EXPECT_EQ(baselines[0].config.cp_heap, 512 * kMB);
+  EXPECT_EQ(baselines[0].config.default_mr_heap, 512 * kMB);
+  EXPECT_STREQ(baselines[3].name, "B-LL");
+  EXPECT_EQ(baselines[3].config.cp_heap, sys_.cluster().MaxHeapSize());
+  EXPECT_EQ(baselines[3].config.default_mr_heap, GigaBytes(4.4));
+}
+
+// ---- Spark model (Appendix D) ----
+
+TEST(SparkModelTest, CacheSweetSpot) {
+  SparkConfig spark;
+  ClusterConfig cc = ClusterConfig::PaperCluster();
+  SparkWorkload w;
+  // 80 GB fits the ~198 GB aggregate cache; 800 GB does not.
+  w.x = MatrixCharacteristics::Dense(10000000000LL / 1000, 1000);
+  auto cached = EstimateSparkRun(spark, cc, w, SparkPlan::kHybrid);
+  EXPECT_TRUE(cached.x_cached);
+  w.x = MatrixCharacteristics::Dense(100000000000LL / 1000, 1000);
+  auto uncached = EstimateSparkRun(spark, cc, w, SparkPlan::kHybrid);
+  EXPECT_FALSE(uncached.x_cached);
+  // Per-byte cost is far higher once the cache is blown.
+  EXPECT_GT(uncached.seconds / 10.0, cached.seconds);
+}
+
+TEST(SparkModelTest, FullPlanPaysStageLatency) {
+  SparkConfig spark;
+  ClusterConfig cc = ClusterConfig::PaperCluster();
+  SparkWorkload w;
+  w.x = MatrixCharacteristics::Dense(10000, 1000);  // 80MB
+  auto hybrid = EstimateSparkRun(spark, cc, w, SparkPlan::kHybrid);
+  auto full = EstimateSparkRun(spark, cc, w, SparkPlan::kFull);
+  EXPECT_GT(full.seconds, hybrid.seconds * 1.5);
+  EXPECT_GT(full.stages, hybrid.stages);
+}
+
+TEST(SparkModelTest, StartupDominatesTinyData) {
+  SparkConfig spark;
+  ClusterConfig cc = ClusterConfig::PaperCluster();
+  SparkWorkload w;
+  w.x = MatrixCharacteristics::Dense(1000, 100);
+  auto run = EstimateSparkRun(spark, cc, w, SparkPlan::kHybrid);
+  EXPECT_GE(run.seconds, spark.app_startup_seconds);
+  EXPECT_LT(run.seconds, spark.app_startup_seconds + 10);
+}
+
+TEST(SparkModelTest, SingleAppOccupiesCluster) {
+  SparkConfig spark;
+  ClusterConfig cc = ClusterConfig::PaperCluster();
+  // 6 executors x 55GB + 20GB driver = 350GB of the 480GB cluster.
+  EXPECT_EQ(MaxConcurrentSparkApps(spark, cc), 1);
+}
+
+}  // namespace
+}  // namespace relm

@@ -1,0 +1,130 @@
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace relm {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("unexpected token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "unexpected token");
+  EXPECT_EQ(s.ToString(), "ParseError: unexpected token");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kRuntimeError), "RuntimeError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceError), "ResourceError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnsupported), "Unsupported");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> HalveEven(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+Result<int> QuarterEven(int v) {
+  RELM_ASSIGN_OR_RETURN(int half, HalveEven(v));
+  return HalveEven(half);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*QuarterEven(8), 2);
+  EXPECT_FALSE(QuarterEven(6).ok());
+  EXPECT_EQ(QuarterEven(6).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BytesTest, Constants) {
+  EXPECT_EQ(kKB, 1024);
+  EXPECT_EQ(kMB, 1024 * 1024);
+  EXPECT_EQ(GigaBytes(1.0), kGB);
+  EXPECT_EQ(MegaBytes(512), 512 * kMB);
+}
+
+TEST(BytesTest, Format) {
+  EXPECT_EQ(FormatBytes(512 * kMB), "512MB");
+  EXPECT_EQ(FormatBytes(8 * kGB), "8GB");
+  EXPECT_EQ(FormatBytes(1536), "1.5KB");
+  EXPECT_EQ(FormatBytes(10), "10B");
+}
+
+TEST(StringUtilTest, SplitTrimJoin) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Trim("  hi \n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Join({"a", "b"}, "-"), "a-b");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("linreg_ds.dml", "linreg"));
+  EXPECT_FALSE(StartsWith("x", "xyz"));
+  EXPECT_TRUE(EndsWith("linreg_ds.dml", ".dml"));
+  EXPECT_FALSE(EndsWith("a", "ab"));
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(1.5), "1.5");
+  EXPECT_EQ(FormatDouble(3.0), "3");
+  EXPECT_EQ(FormatDouble(0.001, 3), "0.001");
+}
+
+TEST(RandomTest, Deterministic) {
+  Random a(7);
+  Random b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random r(1);
+  for (int i = 0; i < 1000; ++i) {
+    double v = r.Uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RandomTest, NoiseBounded) {
+  Random r(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = r.Noise(0.05);
+    EXPECT_GE(v, 0.95);
+    EXPECT_LE(v, 1.05);
+  }
+}
+
+}  // namespace
+}  // namespace relm

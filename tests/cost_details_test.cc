@@ -1,0 +1,171 @@
+// Detail tests for the shared MR-job time formula and front-end
+// robustness: malformed scripts must produce Status errors, never
+// crashes or silent acceptance.
+
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+#include "hdfs/file_system.h"
+#include "hops/ml_program.h"
+#include "lang/parser.h"
+#include "lang/validator.h"
+
+namespace relm {
+namespace {
+
+// ---- EstimateMrJobTime ----
+
+class MrJobTimeTest : public ::testing::Test {
+ protected:
+  MrJobTimeTest() : cc_(ClusterConfig::PaperCluster()) {}
+
+  MRJobInstr MakeJob(int64_t input_bytes, int64_t output_bytes = 0,
+                     double flops = 0) {
+    MRJobInstr job;
+    job.map_input_bytes = input_bytes;
+    job.output_bytes = output_bytes;
+    job.map_flops = flops;
+    return job;
+  }
+
+  ClusterConfig cc_;
+};
+
+TEST_F(MrJobTimeTest, TaskCountFollowsBlockSize) {
+  // 8GB input / 128MB blocks -> 63 map tasks, one wave on 72 slots.
+  auto t = EstimateMrJobTime(cc_, MakeJob(8000000000LL), 2 * kGB, false);
+  EXPECT_EQ(t.num_map_tasks, 60);  // ceil(8e9 / 128MiB)
+  EXPECT_EQ(t.map_waves, 1);
+  EXPECT_GE(t.total, cc_.mr_job_latency);
+}
+
+TEST_F(MrJobTimeTest, MinimumTaskSizeCapsTaskCount) {
+  // 800GB input would be 5961 block-sized tasks; the split-size raise
+  // keeps it within 2x the available slots.
+  auto t = EstimateMrJobTime(cc_, MakeJob(800000000000LL), GigaBytes(4.4),
+                             false);
+  int slots = cc_.MaxTasksPerNode(GigaBytes(4.4)) * cc_.num_worker_nodes;
+  EXPECT_LE(t.num_map_tasks, 2 * slots + 1);
+  EXPECT_GE(t.map_waves, 1);
+}
+
+TEST_F(MrJobTimeTest, GiantTasksLoseComputeParallelism) {
+  // 40GB tasks leave one slot per node; a compute-heavy job loses the
+  // task parallelism even though the adaptive split keeps the wave
+  // count flat (scans are aggregate-disk-bound either way).
+  auto big_tasks = EstimateMrJobTime(
+      cc_, MakeJob(80000000000LL, 0, 1e13), 40 * kGB, false);
+  auto small_tasks = EstimateMrJobTime(
+      cc_, MakeJob(80000000000LL, 0, 1e13), GigaBytes(4.4), false);
+  EXPECT_LT(big_tasks.num_map_tasks, small_tasks.num_map_tasks);
+  EXPECT_GT(big_tasks.total, small_tasks.total * 2);
+}
+
+TEST_F(MrJobTimeTest, TrashingOnlyWhenModeled) {
+  // 512MB heap -> 358MB budget < 3x (128MB split): spill territory.
+  auto with = EstimateMrJobTime(cc_, MakeJob(8000000000LL), 512 * kMB,
+                                true);
+  auto without = EstimateMrJobTime(cc_, MakeJob(8000000000LL), 512 * kMB,
+                                   false);
+  EXPECT_TRUE(with.trashing);
+  EXPECT_FALSE(without.trashing);
+  EXPECT_GT(with.total, without.total);
+  // Ample task memory: no trashing either way.
+  auto ample = EstimateMrJobTime(cc_, MakeJob(8000000000LL),
+                                 GigaBytes(4.4), true);
+  EXPECT_FALSE(ample.trashing);
+}
+
+TEST_F(MrJobTimeTest, ShuffleAddsReducePhase) {
+  MRJobInstr job = MakeJob(8000000000LL, 8000000000LL);
+  job.has_shuffle = true;
+  job.shuffle_bytes = 8000000000LL;
+  auto with = EstimateMrJobTime(cc_, job, 2 * kGB, false);
+  job.has_shuffle = false;
+  job.shuffle_bytes = 0;
+  auto without = EstimateMrJobTime(cc_, job, 2 * kGB, false);
+  EXPECT_GT(with.reduce_phase, 0.0);
+  EXPECT_EQ(without.reduce_phase, 0.0);
+  EXPECT_GT(with.total, without.total);
+}
+
+TEST_F(MrJobTimeTest, BroadcastChargedPerTask) {
+  MRJobInstr with_bc = MakeJob(8000000000LL);
+  with_bc.broadcast_bytes = 500 * kMB;
+  auto t_bc = EstimateMrJobTime(cc_, with_bc, GigaBytes(4.4), false);
+  auto t_plain = EstimateMrJobTime(cc_, MakeJob(8000000000LL),
+                                   GigaBytes(4.4), false);
+  EXPECT_GT(t_bc.total, t_plain.total);
+}
+
+TEST_F(MrJobTimeTest, LoadedClusterReducesSlots) {
+  ClusterConfig loaded = cc_;
+  loaded.mr_slot_availability = 0.1;
+  auto busy = EstimateMrJobTime(loaded, MakeJob(80000000000LL), 2 * kGB,
+                                false);
+  auto idle = EstimateMrJobTime(cc_, MakeJob(80000000000LL), 2 * kGB,
+                                false);
+  EXPECT_GT(busy.total, idle.total * 2);
+}
+
+// ---- front-end robustness: malformed inputs must fail cleanly ----
+
+class RobustnessTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RobustnessTest, MalformedScriptsRejectedNotCrashed) {
+  SimulatedHdfs hdfs;
+  hdfs.PutMetadata("/X", MatrixCharacteristics::Dense(100, 10));
+  auto result = MlProgram::Compile(GetParam(), {}, &hdfs);
+  EXPECT_FALSE(result.ok()) << "accepted: " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadScripts, RobustnessTest,
+    ::testing::Values(
+        "x = ",                            // missing rhs
+        "x = 1 +",                         // dangling operator
+        "if (x > 0 { y = 1 }",             // missing paren
+        "while () { }",                    // empty predicate
+        "for (i in ) { }",                 // empty range
+        "x = read()",                      // missing path
+        "x = read(\"/nonexistent\")\nprint(\"\"+sum(x))",  // missing file
+        "x = matrix(0)",                   // missing dims
+        "y = undefined + 1",               // undefined variable
+        "x = 1\ny = x %*% x",              // scalar matmult
+        "f = function(double a) { b = a }",  // missing return clause
+        "x = sum()",                       // no args
+        "x = ppred(1, 2, 3)",              // non-string ppred op
+        "x = $undefined_param",            // unresolved parameter
+        "x = 1 @ 2",                       // bad token
+        "\"unterminated",                  // bad string
+        "x = foo(1)",                      // unknown function
+        "x = 3\nx[1, 1] = 5"));            // left index on scalar
+
+// ---- grammar corner cases that must be ACCEPTED ----
+
+class AcceptedTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AcceptedTest, ValidCornerCasesCompile) {
+  SimulatedHdfs hdfs;
+  hdfs.PutMetadata("/X", MatrixCharacteristics::Dense(100, 10));
+  auto result = MlProgram::Compile(GetParam(), {}, &hdfs);
+  EXPECT_TRUE(result.ok()) << GetParam() << ": "
+                           << result.status().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GoodScripts, AcceptedTest,
+    ::testing::Values(
+        "x = -2 ^ 2\nprint(\"\" + x)",            // unary minus + power
+        "x = 1; y = 2; print(\"\" + (x + y));",   // semicolons
+        "x = ((((1))))\nprint(\"\" + x)",         // nesting
+        "b = TRUE & FALSE | !FALSE\nprint(\"\" + b)",
+        "X = read(\"/X\")\nprint(\"\" + sum(X[1:5, ]))",
+        "X = read(\"/X\")\nY = t(t(t(X)))\nprint(\"\" + sum(Y))",
+        "i = 5\nwhile (i > 0) { i = i - 1 }\nprint(\"\" + i)",
+        "s = 0\nfor (i in seq(10, 2, -2)) { s = s + i }\nprint(\"\" + s)",
+        "x = 1e-9 + 1E3 + .5\nprint(\"\" + x)",   // number formats
+        "# only comments and one print\nprint(\"ok\")"));
+
+}  // namespace
+}  // namespace relm

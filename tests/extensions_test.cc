@@ -1,0 +1,163 @@
+// Tests for the paper's discussed extensions (Sections 2.3 and 6):
+// offer-based allocation (Mesos-style), CP cores as an additional
+// resource dimension, and cluster-utilization-based adaptation.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "api/relm_system.h"
+
+namespace relm {
+namespace {
+
+std::string ReadScript(const std::string& name) {
+  std::ifstream in(std::string(RELM_SCRIPTS_DIR) + "/" + name);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class ExtensionsTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<MlProgram> Compile(const std::string& script,
+                                     int64_t rows, int64_t cols) {
+    sys_.RegisterMatrixMetadata("/data/X", rows, cols);
+    sys_.RegisterMatrixMetadata("/data/y", rows, 1);
+    ScriptArgs args{{"X", "/data/X"}, {"Y", "/data/y"},
+                    {"B", "/out/B"},  {"model", "/out/w"}};
+    auto p = sys_.CompileSource(ReadScript(script), args);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    return std::move(*p);
+  }
+
+  RelmSystem sys_;
+};
+
+// ---- offer-based allocation (Section 2.3) ----
+
+TEST_F(ExtensionsTest, OffersPickTheBestMatchingContainer) {
+  auto prog = Compile("linreg_cg.dml", 1000000, 1000);  // 8GB, wants 12GB
+  ResourceOptimizer opt(sys_.cluster(), OptimizerOptions{});
+  // Offers include one container large enough for the in-memory plan.
+  auto best = opt.OptimizeForOffers(prog.get(),
+                                    {1 * kGB, 4 * kGB, 16 * kGB});
+  ASSERT_TRUE(best.ok()) << best.status().ToString();
+  EXPECT_EQ(best->cp_heap, 16 * kGB);
+}
+
+TEST_F(ExtensionsTest, NonMatchingOffersStillYieldAPlan) {
+  auto prog = Compile("linreg_cg.dml", 1000000, 1000);
+  ResourceOptimizer opt(sys_.cluster(), OptimizerOptions{});
+  // None of the offers fits X in memory: the optimizer must still pick
+  // the cheapest distributed plan among the offered points.
+  auto best = opt.OptimizeForOffers(prog.get(), {1 * kGB, 2 * kGB});
+  ASSERT_TRUE(best.ok());
+  EXPECT_TRUE(best->cp_heap == 1 * kGB || best->cp_heap == 2 * kGB);
+}
+
+TEST_F(ExtensionsTest, OfferErrors) {
+  auto prog = Compile("linreg_ds.dml", 1000000, 1000);
+  ResourceOptimizer opt(sys_.cluster(), OptimizerOptions{});
+  EXPECT_FALSE(opt.OptimizeForOffers(prog.get(), {}).ok());
+  // Offers outside the scheduler constraints are unusable.
+  EXPECT_FALSE(
+      opt.OptimizeForOffers(prog.get(), {200 * kGB}).ok());
+}
+
+// ---- CP cores dimension (Section 6) ----
+
+TEST_F(ExtensionsTest, CoresShrinkBudgetAndSpeedUpCompute) {
+  ResourceConfig one(8 * kGB, 512 * kMB, 1);
+  ResourceConfig eight(8 * kGB, 512 * kMB, 8);
+  EXPECT_LT(eight.CpBudget(), one.CpBudget());
+  EXPECT_DOUBLE_EQ(one.CpComputeSpeedup(), 1.0);
+  EXPECT_GT(eight.CpComputeSpeedup(), 4.0);
+  EXPECT_LT(eight.CpComputeSpeedup(), 8.0);  // sub-linear
+}
+
+TEST_F(ExtensionsTest, MultiThreadedCpCheaperForComputeBoundPlan) {
+  // LinregDS forced into a local plan: the normal equations are
+  // compute-bound, so extra CP cores cut the estimated time.
+  auto prog = Compile("linreg_ds.dml", 1000000, 1000);
+  int64_t heap = sys_.cluster().MaxHeapSize();
+  double t1 = *sys_.EstimateCost(prog.get(),
+                                 ResourceConfig(heap, 4 * kGB, 1));
+  double t8 = *sys_.EstimateCost(prog.get(),
+                                 ResourceConfig(heap, 4 * kGB, 8));
+  EXPECT_LT(t8, t1 * 0.5);
+}
+
+TEST_F(ExtensionsTest, OptimizerEnumeratesCores) {
+  auto prog = Compile("linreg_cg.dml", 1000000, 1000);
+  OptimizerOptions options;
+  options.cp_core_options = {1, 2, 4, 8};
+  ResourceOptimizer opt(sys_.cluster(), options);
+  auto best = opt.Optimize(prog.get());
+  ASSERT_TRUE(best.ok()) << best.status().ToString();
+  EXPECT_GE(best->cp_cores, 1);
+  EXPECT_LE(best->cp_cores, 8);
+  // Never worse than the single-threaded optimum under the model.
+  OptimizerOptions single;
+  ResourceOptimizer opt1(sys_.cluster(), single);
+  auto best1 = opt1.Optimize(prog.get());
+  ASSERT_TRUE(best1.ok());
+  double cost_multi = *sys_.EstimateCost(prog.get(), *best);
+  double cost_single = *sys_.EstimateCost(prog.get(), *best1);
+  EXPECT_LE(cost_multi, cost_single * 1.03);
+}
+
+// ---- cluster-utilization-based adaptation (Section 6) ----
+
+TEST_F(ExtensionsTest, LoadedClusterSlowsDistributedPlans) {
+  auto prog = Compile("linreg_ds.dml", 10000000, 1000);  // 80GB
+  ResourceConfig distributed(512 * kMB, 2 * kGB);
+  SimOptions idle;
+  idle.noise = 0;
+  auto t_idle = sys_.Simulate(prog->Clone()->get(), distributed, idle);
+  SimOptions loaded;
+  loaded.noise = 0;
+  loaded.cluster_load = 0.9;  // only 10% of the slots available
+  auto t_loaded = sys_.Simulate(prog->Clone()->get(), distributed,
+                                loaded);
+  ASSERT_TRUE(t_idle.ok());
+  ASSERT_TRUE(t_loaded.ok());
+  EXPECT_GT(t_loaded->elapsed_seconds, t_idle->elapsed_seconds * 2.0);
+}
+
+TEST_F(ExtensionsTest, UtilizationChangeTriggersReoptimization) {
+  // Iterative L2SVM on 8GB data, deliberately started on a distributed
+  // configuration (B-SL). Mid-run the cluster becomes heavily loaded;
+  // adaptation should re-optimize (fallback toward in-memory execution).
+  auto prog = Compile("l2svm.dml", 1000000, 1000);
+  ResourceConfig bsl(512 * kMB, GigaBytes(4.4));
+
+  SimOptions no_adapt;
+  no_adapt.noise = 0;
+  no_adapt.cluster_load = 0.0;
+  no_adapt.load_change_at_seconds = 20.0;
+  no_adapt.new_cluster_load = 0.95;
+  auto passive = sys_.Simulate(prog->Clone()->get(), bsl, no_adapt);
+  ASSERT_TRUE(passive.ok());
+
+  SimOptions adapt = no_adapt;
+  adapt.enable_adaptation = true;
+  auto active = sys_.Simulate(prog->Clone()->get(), bsl, adapt);
+  ASSERT_TRUE(active.ok());
+
+  bool load_event = false;
+  for (const auto& ev : active->events) {
+    if (ev.what.find("cluster load changed") != std::string::npos) {
+      load_event = true;
+    }
+  }
+  EXPECT_TRUE(load_event);
+  EXPECT_GE(active->reoptimizations, 1);
+  EXPECT_LT(active->elapsed_seconds, passive->elapsed_seconds)
+      << "utilization-triggered adaptation must pay off";
+}
+
+}  // namespace
+}  // namespace relm

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "hdfs/file_system.h"
+#include "yarn/cluster_config.h"
+#include "yarn/resource_manager.h"
+
+namespace relm {
+namespace {
+
+TEST(SimulatedHdfsTest, MetadataLifecycle) {
+  SimulatedHdfs fs;
+  EXPECT_FALSE(fs.Exists("/data/X"));
+  fs.PutMetadata("/data/X", MatrixCharacteristics::Dense(1000, 1000));
+  ASSERT_TRUE(fs.Exists("/data/X"));
+  auto f = fs.Get("/data/X");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->size_bytes, 8000000);
+  EXPECT_EQ(f->format, DataFormat::kBinaryBlock);
+  EXPECT_EQ(f->data, nullptr);
+  fs.Delete("/data/X");
+  EXPECT_FALSE(fs.Exists("/data/X"));
+  EXPECT_FALSE(fs.Get("/data/X").ok());
+}
+
+TEST(SimulatedHdfsTest, RealPayload) {
+  SimulatedHdfs fs;
+  fs.PutMatrix("/data/y", MatrixBlock::Constant(10, 1, 2.0));
+  auto f = fs.Get("/data/y");
+  ASSERT_TRUE(f.ok());
+  ASSERT_NE(f->data, nullptr);
+  EXPECT_EQ(f->data->Get(3, 0), 2.0);
+  EXPECT_EQ(f->characteristics.nnz(), 10);
+}
+
+TEST(SimulatedHdfsTest, BlockCounting) {
+  SimulatedHdfs fs(128 * kMB);
+  EXPECT_EQ(fs.NumBlocks(1), 1);
+  EXPECT_EQ(fs.NumBlocks(128 * kMB), 1);
+  EXPECT_EQ(fs.NumBlocks(128 * kMB + 1), 2);
+  EXPECT_EQ(fs.NumBlocks(8 * kGB), 64);
+}
+
+TEST(SimulatedHdfsTest, ListAndTotal) {
+  SimulatedHdfs fs;
+  fs.PutMetadata("/b", MatrixCharacteristics::Dense(10, 10));
+  fs.PutMetadata("/a", MatrixCharacteristics::Dense(10, 10));
+  auto paths = fs.ListPaths();
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0], "/a");
+  EXPECT_EQ(fs.TotalBytes(), 2 * 800);
+}
+
+TEST(ClusterConfigTest, PaperClusterShape) {
+  ClusterConfig cc = ClusterConfig::PaperCluster();
+  EXPECT_EQ(cc.num_worker_nodes, 6);
+  EXPECT_EQ(cc.total_cores(), 72);
+  EXPECT_EQ(cc.total_memory(), 480 * kGB);
+  // Max heap 80GB/1.5 = 53.3GB, as quoted in the paper.
+  EXPECT_NEAR(static_cast<double>(cc.MaxHeapSize()) / kGB, 53.33, 0.01);
+}
+
+TEST(ClusterConfigTest, ContainerRequestRounding) {
+  ClusterConfig cc = ClusterConfig::PaperCluster();
+  // 512MB heap -> 768MB raw -> rounds to 1GB (two 512MB units).
+  EXPECT_EQ(cc.ContainerRequestForHeap(512 * kMB), 1 * kGB);
+  // 8GB heap -> 12GB request.
+  EXPECT_EQ(cc.ContainerRequestForHeap(8 * kGB), 12 * kGB);
+  // Max heap never exceeds the max allocation.
+  EXPECT_LE(cc.ContainerRequestForHeap(cc.MaxHeapSize()),
+            cc.max_allocation);
+}
+
+TEST(ClusterConfigTest, BudgetAndTaskPacking) {
+  ClusterConfig cc = ClusterConfig::PaperCluster();
+  EXPECT_EQ(ClusterConfig::BudgetForHeap(10 * kGB), 7 * kGB);
+  // The paper: 4.4GB task heap -> 12 * 4.4GB * 1.5 fits in 80GB, i.e. all
+  // 12 cores per node usable.
+  EXPECT_EQ(cc.MaxTasksPerNode(GigaBytes(4.4)), 12);
+  // Very large tasks: only one per node.
+  EXPECT_EQ(cc.MaxTasksPerNode(GigaBytes(40.0)), 1);
+}
+
+TEST(ResourceManagerTest, AllocateReleaseAccounting) {
+  ClusterConfig cc = ClusterConfig::PaperCluster();
+  ResourceManager rm(cc);
+  EXPECT_EQ(rm.TotalFreeMemory(), cc.total_memory());
+  auto c = rm.Allocate(10 * kGB);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(rm.TotalFreeMemory(), cc.total_memory() - 10 * kGB);
+  rm.Release(*c);
+  EXPECT_EQ(rm.TotalFreeMemory(), cc.total_memory());
+  rm.Release(*c);  // idempotent
+  EXPECT_EQ(rm.TotalFreeMemory(), cc.total_memory());
+}
+
+TEST(ResourceManagerTest, RoundsUpToMinAllocation) {
+  ResourceManager rm(ClusterConfig::PaperCluster());
+  auto c = rm.Allocate(700 * kMB);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->memory, 1 * kGB);
+}
+
+TEST(ResourceManagerTest, RejectsOversizeAndExhaustion) {
+  ClusterConfig cc = ClusterConfig::PaperCluster();
+  ResourceManager rm(cc);
+  EXPECT_FALSE(rm.Allocate(81 * kGB).ok());
+  EXPECT_FALSE(rm.Allocate(0).ok());
+  // Exhaust the cluster with 80GB containers (one per node).
+  std::vector<Container> held;
+  for (int i = 0; i < cc.num_worker_nodes; ++i) {
+    auto c = rm.Allocate(80 * kGB);
+    ASSERT_TRUE(c.ok());
+    held.push_back(*c);
+  }
+  EXPECT_FALSE(rm.Allocate(80 * kGB).ok());
+  rm.Release(held[0]);
+  EXPECT_TRUE(rm.Allocate(80 * kGB).ok());
+}
+
+TEST(ResourceManagerTest, MaxConcurrentContainersMatchesPaper) {
+  ClusterConfig cc = ClusterConfig::PaperCluster();
+  ResourceManager rm(cc);
+  // Paper S5.3: 8GB heap -> 12GB container -> 6*floor(80/12)=36 apps.
+  EXPECT_EQ(rm.MaxConcurrentContainers(cc.ContainerRequestForHeap(8 * kGB)),
+            36);
+  // 4GB heap -> 6GB container -> 6*floor(80/6)=78 apps.
+  EXPECT_EQ(rm.MaxConcurrentContainers(cc.ContainerRequestForHeap(4 * kGB)),
+            78);
+  // 53.3GB heap -> 80GB container -> 6 apps.
+  EXPECT_EQ(rm.MaxConcurrentContainers(
+                cc.ContainerRequestForHeap(cc.MaxHeapSize())),
+            6);
+}
+
+TEST(ResourceManagerTest, SpreadsAcrossNodes) {
+  ClusterConfig cc = ClusterConfig::PaperCluster();
+  ResourceManager rm(cc);
+  auto a = rm.Allocate(40 * kGB);
+  auto b = rm.Allocate(40 * kGB);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->node, b->node);  // most-free placement spreads load
+}
+
+}  // namespace
+}  // namespace relm

@@ -1,0 +1,336 @@
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "hdfs/file_system.h"
+#include "hops/ml_program.h"
+
+namespace relm {
+namespace {
+
+std::string ReadScript(const std::string& name) {
+  std::ifstream in(std::string(RELM_SCRIPTS_DIR) + "/" + name);
+  EXPECT_TRUE(in.good()) << "missing script " << name;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Fixture with an HDFS holding the canonical X (1e6 x 1000 dense, 8GB)
+/// and y (1e6 x 1, 8MB) of the paper's Figure 1 setup.
+class HopsTest : public ::testing::Test {
+ protected:
+  HopsTest() {
+    hdfs_.PutMetadata("/data/X",
+                      MatrixCharacteristics::Dense(1000000, 1000));
+    hdfs_.PutMetadata("/data/y", MatrixCharacteristics::Dense(1000000, 1));
+    hdfs_.PutMetadata("/data/Xs", MatrixCharacteristics::WithSparsity(
+                                      1000000, 1000, 0.01));
+  }
+
+  Result<std::unique_ptr<MlProgram>> Compile(const std::string& src,
+                                             ScriptArgs args = {}) {
+    return MlProgram::Compile(src, args, &hdfs_);
+  }
+
+  /// First hop of the given kind across all IR DAGs, or nullptr.
+  static Hop* FindHop(MlProgram* p, HopKind kind) {
+    for (StatementBlock* b : p->AllBlocksPreOrder()) {
+      if (!p->has_ir(b->id())) continue;
+      for (Hop* h : p->ir(b->id()).dag.TopoOrder()) {
+        if (h->kind() == kind) return h;
+      }
+    }
+    return nullptr;
+  }
+
+  SimulatedHdfs hdfs_;
+};
+
+TEST_F(HopsTest, PersistentReadGetsHdfsMetadata) {
+  auto p = Compile("X = read(\"/data/X\")\ns = sum(X)\nprint(\"\" + s)");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  Hop* read = FindHop(p->get(), HopKind::kPersistentRead);
+  ASSERT_NE(read, nullptr);
+  EXPECT_EQ(read->mc().rows(), 1000000);
+  EXPECT_EQ(read->mc().cols(), 1000);
+  // ~8GB (decimal) dense in memory: 1e6 * 1000 * 8 bytes.
+  EXPECT_NEAR(static_cast<double>(read->output_mem()) / 1e9, 8.0, 0.1);
+}
+
+TEST_F(HopsTest, ReadOfMissingFileFails) {
+  auto p = Compile("X = read(\"/nope\")\ns = sum(X)\nprint(\"\" + s)");
+  EXPECT_FALSE(p.ok());
+}
+
+TEST_F(HopsTest, MatMultSizePropagation) {
+  auto p = Compile(
+      "X = read(\"/data/X\")\n"
+      "v = matrix(1, rows=ncol(X), cols=1)\n"
+      "q = X %*% v\n"
+      "s = sum(q)\nprint(\"\" + s)");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  Hop* mm = FindHop(p->get(), HopKind::kMatMult);
+  ASSERT_NE(mm, nullptr);
+  EXPECT_EQ(mm->mc().rows(), 1000000);
+  EXPECT_EQ(mm->mc().cols(), 1);
+  // Output is a dense 8MB (decimal) vector.
+  EXPECT_NEAR(static_cast<double>(mm->output_mem()) / 1e6, 8.0, 0.1);
+  // Operation memory includes the 8GB input.
+  EXPECT_GT(mm->op_mem(), static_cast<int64_t>(8e9));
+}
+
+TEST_F(HopsTest, ConstantFoldingAndPropagation) {
+  auto p = Compile(
+      "a = 2 + 3 * 4\n"
+      "b = a * 2\n"
+      "v = matrix(0, rows=b, cols=1)\n"
+      "s = sum(v)\nprint(\"\" + s)");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  Hop* dg = FindHop(p->get(), HopKind::kDataGen);
+  ASSERT_NE(dg, nullptr);
+  EXPECT_EQ(dg->mc().rows(), 28);  // (2+12)*2
+  EXPECT_EQ(dg->mc().nnz(), 0);    // constant zero matrix
+}
+
+TEST_F(HopsTest, BranchRemovalOnLiteralPredicate) {
+  auto p = Compile(
+      "icpt = 0\n"
+      "X = read(\"/data/X\")\n"
+      "if (icpt == 1) { X = append(X, matrix(1, rows=nrow(X), cols=1)) }\n"
+      "s = sum(X)\nprint(\"\" + s)");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  // Find the if block's IR.
+  bool found = false;
+  for (StatementBlock* b : (*p)->MainBlocksPreOrder()) {
+    if (b->kind() == BlockKind::kIf) {
+      EXPECT_EQ((*p)->ir(b->id()).taken_branch, 1);  // else (empty) taken
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  // X keeps 1000 columns after the (removed) branch.
+  for (StatementBlock* b : (*p)->MainBlocksPreOrder()) {
+    if (b->IsLastLevel() && b->live_in.count("X") &&
+        b->read.count("X") && !b->updated.count("X")) {
+      for (Hop* h : (*p)->ir(b->id()).dag.TopoOrder()) {
+        if (h->kind() == HopKind::kTransientRead && h->name() == "X") {
+          EXPECT_EQ(h->mc().cols(), 1000);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(HopsTest, CommonSubexpressionElimination) {
+  auto p = Compile(
+      "X = read(\"/data/X\")\n"
+      "a = sum(X * X)\n"
+      "b = sum(X * X) + 1\n"
+      "print(\"\" + a + b)");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  // Only one elementwise multiply and one aggregate must exist.
+  int mults = 0;
+  int aggs = 0;
+  for (StatementBlock* b : (*p)->MainBlocksPreOrder()) {
+    if (!(*p)->has_ir(b->id())) continue;
+    for (Hop* h : (*p)->ir(b->id()).dag.TopoOrder()) {
+      if (h->kind() == HopKind::kBinary && h->bin_op == BinOp::kMul &&
+          h->is_matrix()) {
+        ++mults;
+      }
+      if (h->kind() == HopKind::kAggUnary) ++aggs;
+    }
+  }
+  EXPECT_EQ(mults, 1);
+  EXPECT_EQ(aggs, 1);
+}
+
+TEST_F(HopsTest, TransposeTransposeElimination) {
+  auto p = Compile(
+      "X = read(\"/data/X\")\n"
+      "Y = t(t(X))\n"
+      "s = sum(Y)\nprint(\"\" + s)");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(FindHop(p->get(), HopKind::kReorg), nullptr);
+}
+
+TEST_F(HopsTest, SparseMemoryEstimate) {
+  auto p = Compile(
+      "X = read(\"/data/Xs\")\n"
+      "s = sum(X)\nprint(\"\" + s)");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  Hop* read = FindHop(p->get(), HopKind::kPersistentRead);
+  ASSERT_NE(read, nullptr);
+  // 1% sparse: roughly 12 bytes per nnz -> ~120MB, far below dense 8GB.
+  EXPECT_LT(read->output_mem(), 200 * kMB);
+  EXPECT_GT(read->output_mem(), 50 * kMB);
+}
+
+TEST_F(HopsTest, TableProducesUnknowns) {
+  auto p = Compile(
+      "X = read(\"/data/X\")\n"
+      "y = read(\"/data/y\")\n"
+      "Y = table(seq(1, nrow(X), 1), y)\n"
+      "k = ncol(Y)\n"
+      "B = matrix(0, rows=ncol(X), cols=k)\n"
+      "s = sum(B) + sum(Y)\nprint(\"\" + s)");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  Hop* table_hop = FindHop(p->get(), HopKind::kTernary);
+  ASSERT_NE(table_hop, nullptr);
+  EXPECT_FALSE(table_hop->mc().dims_known());
+  EXPECT_EQ(table_hop->op_mem(), kUnknownSizeSentinel);
+  Hop* dim = FindHop(p->get(), HopKind::kDimExtract);
+  EXPECT_NE(dim, nullptr);  // ncol(Y) could not be folded
+  EXPECT_TRUE((*p)->has_unknowns());
+}
+
+TEST_F(HopsTest, RebuildWithSizeOverridesResolvesUnknowns) {
+  auto p = Compile(
+      "X = read(\"/data/X\")\n"
+      "y = read(\"/data/y\")\n"
+      "Y = table(seq(1, nrow(X), 1), y)\n"
+      "B = matrix(0, rows=ncol(X), cols=ncol(Y))\n"
+      "s = sum(B) + sum(Y)\nprint(\"\" + s)");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_TRUE((*p)->has_unknowns());
+  SymbolMap overrides;
+  SymbolInfo y_info;
+  y_info.dtype = DataType::kMatrix;
+  y_info.mc = MatrixCharacteristics(1000000, 200, 1000000);
+  overrides["Y"] = y_info;
+  ASSERT_TRUE((*p)->Rebuild(overrides).ok());
+  EXPECT_FALSE((*p)->has_unknowns());
+  Hop* table_hop = FindHop(p->get(), HopKind::kTernary);
+  ASSERT_NE(table_hop, nullptr);
+  EXPECT_EQ(table_hop->mc().cols(), 200);
+  // B = matrix(0, ncol(X), ncol(Y)) now folds to 1000 x 200.
+  Hop* dg = FindHop(p->get(), HopKind::kDataGen);
+  ASSERT_NE(dg, nullptr);
+  EXPECT_EQ(dg->mc().rows(), 1000);
+  EXPECT_EQ(dg->mc().cols(), 200);
+}
+
+TEST_F(HopsTest, WhileIterationEstimateFromBound) {
+  auto p = Compile(
+      "i = 0\nmaxi = 7\ncontinue = TRUE\n"
+      "while (continue & i < maxi) { i = i + 1 }\n"
+      "print(\"\" + i)");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  for (StatementBlock* b : (*p)->MainBlocksPreOrder()) {
+    if (b->kind() == BlockKind::kWhile) {
+      EXPECT_DOUBLE_EQ((*p)->ir(b->id()).estimated_iterations, 7.0);
+    }
+  }
+}
+
+TEST_F(HopsTest, WhileIterationDefaultWhenUnknown) {
+  auto p = Compile(
+      "c = TRUE\nx = 1\n"
+      "while (c) { x = x * 2\n if (x > 100) { c = FALSE } }\n"
+      "print(\"\" + x)");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  for (StatementBlock* b : (*p)->MainBlocksPreOrder()) {
+    if (b->kind() == BlockKind::kWhile) {
+      EXPECT_DOUBLE_EQ((*p)->ir(b->id()).estimated_iterations,
+                       kDefaultLoopIterations);
+    }
+  }
+}
+
+TEST_F(HopsTest, ForIterationExact) {
+  auto p = Compile("s = 0\nfor (i in 1:12) { s = s + i }\nprint(\"\" + s)");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  for (StatementBlock* b : (*p)->MainBlocksPreOrder()) {
+    if (b->kind() == BlockKind::kFor) {
+      EXPECT_TRUE((*p)->ir(b->id()).iterations_known);
+      EXPECT_DOUBLE_EQ((*p)->ir(b->id()).estimated_iterations, 12.0);
+    }
+  }
+}
+
+TEST_F(HopsTest, LoopStableDimsStayKnown) {
+  // CG-style loop: p and r keep their shapes across iterations.
+  auto p = Compile(
+      "X = read(\"/data/X\")\n"
+      "r = t(X) %*% read(\"/data/y\")\n"
+      "p = r\n"
+      "i = 0\n"
+      "while (i < 5) {\n"
+      "  q = t(X) %*% (X %*% p)\n"
+      "  p = p - q\n"
+      "  i = i + 1\n"
+      "}\n"
+      "s = sum(p)\nprint(\"\" + s)");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  // Inside the loop, p must still have known dims 1000x1.
+  for (StatementBlock* b : (*p)->MainBlocksPreOrder()) {
+    if (b->kind() != BlockKind::kWhile) continue;
+    for (const auto& child : b->body) {
+      for (Hop* h : (*p)->ir(child->id()).dag.TopoOrder()) {
+        if (h->kind() == HopKind::kTransientRead && h->name() == "p") {
+          EXPECT_EQ(h->mc().rows(), 1000);
+          EXPECT_EQ(h->mc().cols(), 1);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(HopsTest, ScalarConstantsInvalidatedInLoop) {
+  auto p = Compile(
+      "i = 0\ntotal = 0\n"
+      "while (i < 3) {\n"
+      "  v = matrix(0, rows=i + 1, cols=1)\n"
+      "  total = total + sum(v)\n"
+      "  i = i + 1\n"
+      "}\n"
+      "print(\"\" + i + total)");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  // v's rows depend on the loop variable: unknown inside the loop.
+  Hop* dg = FindHop(p->get(), HopKind::kDataGen);
+  ASSERT_NE(dg, nullptr);
+  EXPECT_FALSE(dg->mc().dims_known());
+}
+
+struct ScriptUnknowns {
+  const char* file;
+  bool expect_unknowns;
+};
+
+class ScriptCompileTest : public ::testing::TestWithParam<ScriptUnknowns> {};
+
+TEST_P(ScriptCompileTest, CompilesWithExpectedUnknowns) {
+  SimulatedHdfs hdfs;
+  hdfs.PutMetadata("/data/X", MatrixCharacteristics::Dense(1000000, 1000));
+  hdfs.PutMetadata("/data/y", MatrixCharacteristics::Dense(1000000, 1));
+  std::ifstream in(std::string(RELM_SCRIPTS_DIR) + "/" +
+                   GetParam().file);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  ScriptArgs args{{"X", "/data/X"}, {"Y", "/data/y"},
+                  {"B", "/out/B"},  {"model", "/out/w"}};
+  auto p = MlProgram::Compile(ss.str(), args, &hdfs);
+  ASSERT_TRUE(p.ok()) << GetParam().file << ": " << p.status().ToString();
+  EXPECT_EQ((*p)->has_unknowns(), GetParam().expect_unknowns)
+      << GetParam().file;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScripts, ScriptCompileTest,
+    ::testing::Values(ScriptUnknowns{"linreg_ds.dml", false},
+                      ScriptUnknowns{"linreg_cg.dml", false},
+                      ScriptUnknowns{"l2svm.dml", false},
+                      ScriptUnknowns{"mlogreg.dml", true},
+                      ScriptUnknowns{"glm.dml", true}),
+    [](const ::testing::TestParamInfo<ScriptUnknowns>& info) {
+      std::string name = info.param.file;
+      return name.substr(0, name.find('.'));
+    });
+
+}  // namespace
+}  // namespace relm

@@ -1,0 +1,271 @@
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "hops/ml_program.h"
+#include "matrix/kernels.h"
+#include "runtime/interpreter.h"
+
+namespace relm {
+namespace {
+
+std::string ReadScript(const std::string& name) {
+  std::ifstream in(std::string(RELM_SCRIPTS_DIR) + "/" + name);
+  EXPECT_TRUE(in.good()) << "missing script " << name;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class InterpreterTest : public ::testing::Test {
+ protected:
+  Result<std::unique_ptr<MlProgram>> Compile(const std::string& src,
+                                             ScriptArgs args = {}) {
+    return MlProgram::Compile(src, args, &hdfs_);
+  }
+
+  Status RunSource(const std::string& src, ScriptArgs args = {}) {
+    auto p = Compile(src, args);
+    RELM_RETURN_IF_ERROR(p.status());
+    program_ = std::move(*p);
+    interp_ = std::make_unique<Interpreter>(program_.get(), &hdfs_);
+    return interp_->Run();
+  }
+
+  /// Finds the first printed line starting with `prefix` and parses the
+  /// remainder as a number. Dead-code elimination removes variables that
+  /// are not live at program end, so results are observed via print().
+  double PrintedNumber(const std::string& prefix) {
+    for (const auto& line : interp_->printed()) {
+      if (line.rfind(prefix, 0) == 0) {
+        return std::strtod(line.c_str() + prefix.size(), nullptr);
+      }
+    }
+    ADD_FAILURE() << "no printed line starts with '" << prefix << "'";
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+
+  SimulatedHdfs hdfs_;
+  std::unique_ptr<MlProgram> program_;
+  std::unique_ptr<Interpreter> interp_;
+};
+
+TEST_F(InterpreterTest, ScalarArithmeticAndPrint) {
+  ASSERT_TRUE(RunSource("a = 2 + 3 * 4\nb = a ^ 2\n"
+                        "print(\"b=\" + b)")
+                  .ok());
+  ASSERT_EQ(interp_->printed().size(), 1u);
+  EXPECT_EQ(interp_->printed()[0], "b=196");
+}
+
+TEST_F(InterpreterTest, ControlFlow) {
+  ASSERT_TRUE(RunSource("s = 0\n"
+                        "for (i in 1:10) { s = s + i }\n"
+                        "t = 0\nj = 0\n"
+                        "while (j < 5) { t = t + 2\n j = j + 1 }\n"
+                        "if (s > t) { w = 1 } else { w = 2 }\n"
+                        "print(\"\" + s + \",\" + t + \",\" + w)")
+                  .ok());
+  EXPECT_EQ(interp_->printed().back(), "55,10,1");
+}
+
+TEST_F(InterpreterTest, MatrixPipeline) {
+  Status st = RunSource(
+      "X = matrix(2, rows=3, cols=4)\n"
+      "v = matrix(1, rows=4, cols=1)\n"
+      "q = X %*% v\n"
+      "s = sum(q)\n"
+      "print(\"s=\" + s)");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(PrintedNumber("s="), 24.0);
+}
+
+TEST_F(InterpreterTest, ReadWriteHdfs) {
+  hdfs_.PutMatrix("/in/A", MatrixBlock::Constant(2, 2, 3.0));
+  Status st = RunSource(
+      "A = read(\"/in/A\")\n"
+      "B = A * A\n"
+      "write(B, \"/out/B\")");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  auto f = hdfs_.Get("/out/B");
+  ASSERT_TRUE(f.ok());
+  ASSERT_NE(f->data, nullptr);
+  EXPECT_EQ(f->data->Get(1, 1), 9.0);
+}
+
+TEST_F(InterpreterTest, UserFunctionsMultiReturn) {
+  Status st = RunSource(
+      "stats = function(matrix[double] A) "
+      "return (double s, double m) { s = sum(A)\n m = s / nrow(A) }\n"
+      "X = matrix(5, rows=4, cols=1)\n"
+      "[total, avg] = stats(X)\n"
+      "print(\"t=\" + total)\n"
+      "print(\"a=\" + avg)");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(PrintedNumber("t="), 20.0);
+  EXPECT_EQ(PrintedNumber("a="), 5.0);
+}
+
+TEST_F(InterpreterTest, WhileLoopCapGuards) {
+  auto p = Compile("x = 1\nwhile (x > 0) { x = x + 1 }\nprint(\"\" + x)");
+  ASSERT_TRUE(p.ok());
+  Interpreter interp(p->get(), &hdfs_);
+  interp.set_max_loop_iterations(100);
+  EXPECT_FALSE(interp.Run().ok());
+}
+
+TEST_F(InterpreterTest, IndexingAndTable) {
+  Status st = RunSource(
+      "y = seq(1, 4, 1)\n"
+      "Y = table(seq(1, 4, 1), y)\n"
+      "d = sum(diag(Y))\n"
+      "sub = Y[1:2, 1:2]\n"
+      "s2 = sum(sub)\n"
+      "print(\"d=\" + d)\n"
+      "print(\"s2=\" + s2)");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(PrintedNumber("d="), 4.0);  // identity-like indicator
+  EXPECT_EQ(PrintedNumber("s2="), 2.0);
+}
+
+/// End-to-end algorithm correctness on synthetic data.
+class AlgorithmTest : public InterpreterTest {
+ protected:
+  /// y = X beta_true (noise-free), well conditioned.
+  void MakeRegressionData(int64_t n, int64_t m) {
+    Random rng(7);
+    MatrixBlock x = MatrixBlock::Rand(n, m, 1.0, -1, 1, &rng);
+    beta_true_ = MatrixBlock::Rand(m, 1, 1.0, -2, 2, &rng);
+    auto y = MatMult(x, beta_true_);
+    ASSERT_TRUE(y.ok());
+    hdfs_.PutMatrix("/data/X", std::move(x));
+    hdfs_.PutMatrix("/data/y", std::move(*y));
+  }
+
+  ScriptArgs DefaultArgs() {
+    return ScriptArgs{{"X", "/data/X"}, {"Y", "/data/y"},
+                      {"B", "/out/B"},  {"model", "/out/w"},
+                      {"reg", "1e-12"}};
+  }
+
+  MatrixBlock beta_true_;
+};
+
+TEST_F(AlgorithmTest, LinregDsRecoversCoefficients) {
+  MakeRegressionData(200, 10);
+  Status st = RunSource(ReadScript("linreg_ds.dml"), DefaultArgs());
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  auto beta = hdfs_.Get("/out/B");
+  ASSERT_TRUE(beta.ok());
+  EXPECT_TRUE(beta->data->ApproxEquals(beta_true_, 1e-6));
+  // R2 should be ~1 on noise-free data.
+  EXPECT_NEAR(PrintedNumber("R2="), 1.0, 1e-9);
+}
+
+TEST_F(AlgorithmTest, LinregCgMatchesDirectSolve) {
+  MakeRegressionData(200, 10);
+  ScriptArgs args = DefaultArgs();
+  args["maxi"] = "50";
+  args["tol"] = "1e-14";
+  Status st = RunSource(ReadScript("linreg_cg.dml"), args);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  auto beta = hdfs_.Get("/out/B");
+  ASSERT_TRUE(beta.ok());
+  EXPECT_TRUE(beta->data->ApproxEquals(beta_true_, 1e-5));
+}
+
+TEST_F(AlgorithmTest, L2svmSeparatesSeparableData) {
+  // Linearly separable: y = sign(x1 + x2).
+  Random rng(11);
+  int n = 200;
+  MatrixBlock x = MatrixBlock::Rand(n, 4, 1.0, -1, 1, &rng);
+  MatrixBlock y(n, 1, false);
+  for (int i = 0; i < n; ++i) {
+    double v = x.Get(i, 0) + x.Get(i, 1);
+    if (std::fabs(v) < 0.1) {
+      // keep a margin
+      x.Set(i, 0, x.Get(i, 0) + (v >= 0 ? 0.2 : -0.2));
+      v = x.Get(i, 0) + x.Get(i, 1);
+    }
+    y.Set(i, 0, v > 0 ? 1.0 : -1.0);
+  }
+  hdfs_.PutMatrix("/data/X", x);
+  hdfs_.PutMatrix("/data/y", y);
+  ScriptArgs args{{"X", "/data/X"}, {"Y", "/data/y"},
+                  {"model", "/out/w"}, {"maxiter", "20"}};
+  Status st = RunSource(ReadScript("l2svm.dml"), args);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  auto w = hdfs_.Get("/out/w");
+  ASSERT_TRUE(w.ok());
+  // Training accuracy of the learned model.
+  auto scores = MatMult(x, *w->data);
+  ASSERT_TRUE(scores.ok());
+  int correct = 0;
+  for (int i = 0; i < n; ++i) {
+    double pred = scores->Get(i, 0) > 0 ? 1.0 : -1.0;
+    if (pred == y.Get(i, 0)) ++correct;
+  }
+  EXPECT_GE(correct, n * 95 / 100);
+}
+
+TEST_F(AlgorithmTest, MlogregLearnsClasses) {
+  // Three well-separated clusters in 2D.
+  Random rng(13);
+  int per = 60;
+  int n = 3 * per;
+  MatrixBlock x(n, 2, false);
+  MatrixBlock y(n, 1, false);
+  double centers[3][2] = {{4, 0}, {-4, 4}, {0, -5}};
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < per; ++i) {
+      int r = c * per + i;
+      x.Set(r, 0, centers[c][0] + rng.Uniform(-1, 1));
+      x.Set(r, 1, centers[c][1] + rng.Uniform(-1, 1));
+      y.Set(r, 0, c + 1);
+    }
+  }
+  hdfs_.PutMatrix("/data/X", x);
+  hdfs_.PutMatrix("/data/y", y);
+  ScriptArgs args{{"X", "/data/X"}, {"Y", "/data/y"}, {"B", "/out/B"},
+                  {"moi", "60"},    {"mii", "20"},    {"reg", "0.001"}};
+  Status st = RunSource(ReadScript("mlogreg.dml"), args);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_GE(PrintedNumber("training accuracy: "), 0.9);
+}
+
+TEST_F(AlgorithmTest, GlmPoissonFitsCounts) {
+  // Counts with log-linear mean mu = exp(0.5*x1 - 0.3*x2 + 1).
+  Random rng(17);
+  int n = 300;
+  MatrixBlock x(n, 2, false);
+  MatrixBlock y(n, 1, false);
+  for (int i = 0; i < n; ++i) {
+    double x1 = rng.Uniform(-1, 1);
+    double x2 = rng.Uniform(-1, 1);
+    x.Set(i, 0, x1);
+    x.Set(i, 1, x2);
+    double mu = std::exp(0.5 * x1 - 0.3 * x2 + 1.0);
+    // Deterministic pseudo-Poisson: round mu with jitter.
+    y.Set(i, 0, std::max(0.0, std::round(mu + rng.Uniform(-0.5, 0.5))));
+  }
+  hdfs_.PutMatrix("/data/X", x);
+  hdfs_.PutMatrix("/data/y", y);
+  ScriptArgs args{{"X", "/data/X"}, {"Y", "/data/y"}, {"B", "/out/B"},
+                  {"icpt", "1"},    {"moi", "25"},    {"mii", "10"},
+                  {"reg", "0.0001"}};
+  Status st = RunSource(ReadScript("glm.dml"), args);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  // The fitted model must improve strongly over the null deviance.
+  EXPECT_GT(PrintedNumber("PSEUDO_R2="), 0.3);
+  EXPECT_LT(PrintedNumber("DEVIANCE="), PrintedNumber("NULL_DEVIANCE="));
+}
+
+}  // namespace
+}  // namespace relm

@@ -1,0 +1,233 @@
+// Property tests for the matrix kernels: every optimized path (sparse
+// formats, fused variants, broadcasts) must agree with a brute-force
+// reference implementation across a parameterized sweep of shapes and
+// sparsities; metadata (nnz, memory sizes) must stay consistent with the
+// data.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "matrix/kernels.h"
+#include "matrix/matrix_block.h"
+
+namespace relm {
+namespace {
+
+/// Brute-force reference matmult via Get().
+MatrixBlock RefMatMult(const MatrixBlock& a, const MatrixBlock& b) {
+  MatrixBlock c(a.rows(), b.cols(), false);
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < b.cols(); ++j) {
+      double acc = 0;
+      for (int64_t k = 0; k < a.cols(); ++k) {
+        acc += a.Get(i, k) * b.Get(k, j);
+      }
+      c.Set(i, j, acc);
+    }
+  }
+  return c;
+}
+
+using ShapeSparsity =
+    std::tuple<int /*m*/, int /*k*/, int /*n*/, double /*spA*/,
+               double /*spB*/>;
+
+class MatMultProperty : public ::testing::TestWithParam<ShapeSparsity> {};
+
+TEST_P(MatMultProperty, MatchesReferenceAcrossFormats) {
+  auto [m, k, n, spa, spb] = GetParam();
+  Random rng(static_cast<uint64_t>(m * 131 + k * 17 + n +
+                                   spa * 1000 + spb * 100));
+  MatrixBlock a = MatrixBlock::Rand(m, k, spa, -2, 2, &rng);
+  MatrixBlock b = MatrixBlock::Rand(k, n, spb, -2, 2, &rng);
+  MatrixBlock ref = RefMatMult(a, b);
+  // All four representation combinations.
+  for (bool a_sparse : {false, true}) {
+    for (bool b_sparse : {false, true}) {
+      MatrixBlock ac = a;
+      MatrixBlock bc = b;
+      if (a_sparse) ac.ToSparse(); else ac.ToDense();
+      if (b_sparse) bc.ToSparse(); else bc.ToDense();
+      auto c = MatMult(ac, bc);
+      ASSERT_TRUE(c.ok());
+      EXPECT_TRUE(c->ApproxEquals(ref, 1e-9))
+          << "a_sparse=" << a_sparse << " b_sparse=" << b_sparse;
+    }
+  }
+}
+
+TEST_P(MatMultProperty, TransposeIdentity) {
+  // t(A %*% B) == t(B) %*% t(A)
+  auto [m, k, n, spa, spb] = GetParam();
+  Random rng(7 + m + k + n);
+  MatrixBlock a = MatrixBlock::Rand(m, k, spa, -1, 1, &rng);
+  MatrixBlock b = MatrixBlock::Rand(k, n, spb, -1, 1, &rng);
+  auto ab = MatMult(a, b);
+  ASSERT_TRUE(ab.ok());
+  auto rhs = MatMult(Transpose(b), Transpose(a));
+  ASSERT_TRUE(rhs.ok());
+  EXPECT_TRUE(Transpose(*ab).ApproxEquals(*rhs, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MatMultProperty,
+    ::testing::Values(ShapeSparsity{1, 1, 1, 1.0, 1.0},
+                      ShapeSparsity{5, 7, 3, 1.0, 1.0},
+                      ShapeSparsity{20, 30, 10, 0.1, 1.0},
+                      ShapeSparsity{20, 30, 10, 1.0, 0.1},
+                      ShapeSparsity{25, 25, 25, 0.05, 0.05},
+                      ShapeSparsity{1, 40, 1, 0.5, 1.0},
+                      ShapeSparsity{40, 1, 40, 1.0, 1.0},
+                      ShapeSparsity{13, 17, 19, 0.3, 0.7}));
+
+class ElementwiseProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(ElementwiseProperty, BinaryOpsMatchScalarSemantics) {
+  auto [rows, cols, sp] = GetParam();
+  Random rng(rows * 31 + cols);
+  MatrixBlock a = MatrixBlock::Rand(rows, cols, sp, -2, 2, &rng);
+  // Dense strictly-positive divisor (structural zeros would make both
+  // sides +-inf, which EXPECT_NEAR cannot compare).
+  MatrixBlock b = MatrixBlock::Rand(rows, cols, 1.0, 0.5, 2, &rng);
+  for (BinOp op : {BinOp::kAdd, BinOp::kSub, BinOp::kMul, BinOp::kDiv,
+                   BinOp::kMin, BinOp::kMax, BinOp::kGreater}) {
+    auto c = ElementwiseBinary(op, a, b);
+    ASSERT_TRUE(c.ok());
+    for (int64_t i = 0; i < rows; ++i) {
+      for (int64_t j = 0; j < cols; ++j) {
+        ASSERT_NEAR(c->Get(i, j),
+                    ApplyBinOp(op, a.Get(i, j), b.Get(i, j)), 1e-12);
+      }
+    }
+  }
+}
+
+TEST_P(ElementwiseProperty, BroadcastMatchesFullMatrix) {
+  auto [rows, cols, sp] = GetParam();
+  Random rng(rows + cols * 13);
+  MatrixBlock a = MatrixBlock::Rand(rows, cols, sp, -2, 2, &rng);
+  MatrixBlock col = MatrixBlock::Rand(rows, 1, 1.0, -2, 2, &rng);
+  // Manually broadcast the column across all columns.
+  MatrixBlock expanded(rows, cols, false);
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) {
+      expanded.Set(i, j, col.Get(i, 0));
+    }
+  }
+  auto broadcast = ElementwiseBinary(BinOp::kSub, a, col);
+  auto full = ElementwiseBinary(BinOp::kSub, a, expanded);
+  ASSERT_TRUE(broadcast.ok());
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(broadcast->ApproxEquals(*full, 1e-12));
+}
+
+TEST_P(ElementwiseProperty, AggregatesConsistent) {
+  auto [rows, cols, sp] = GetParam();
+  Random rng(rows * 7 + cols * 3);
+  MatrixBlock a = MatrixBlock::Rand(rows, cols, sp, -2, 2, &rng);
+  // sum == sum of rowSums == sum of colSums.
+  double total = *Aggregate(AggOp::kSum, a);
+  auto rs = AggregateAxis(AggOp::kSum, AggDir::kRow, a);
+  auto cs = AggregateAxis(AggOp::kSum, AggDir::kCol, a);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(cs.ok());
+  EXPECT_NEAR(total, *Aggregate(AggOp::kSum, *rs), 1e-9);
+  EXPECT_NEAR(total, *Aggregate(AggOp::kSum, *cs), 1e-9);
+  // min <= mean <= max.
+  double mn = *Aggregate(AggOp::kMin, a);
+  double mx = *Aggregate(AggOp::kMax, a);
+  double mean = *Aggregate(AggOp::kMean, a);
+  EXPECT_LE(mn, mean + 1e-12);
+  EXPECT_LE(mean, mx + 1e-12);
+}
+
+TEST_P(ElementwiseProperty, NnzAndMemoryConsistent) {
+  auto [rows, cols, sp] = GetParam();
+  Random rng(rows * 11 + cols * 5);
+  MatrixBlock a = MatrixBlock::Rand(rows, cols, sp, 1, 2, &rng);
+  int64_t nnz = a.ComputeNnz();
+  MatrixCharacteristics mc = a.Characteristics();
+  EXPECT_EQ(mc.nnz(), nnz);
+  EXPECT_EQ(mc.rows(), rows);
+  EXPECT_EQ(mc.cols(), cols);
+  // The in-memory footprint is positive and bounded by the dense size
+  // plus overheads.
+  EXPECT_GT(a.MemorySize(), 0);
+  EXPECT_LE(a.MemorySize(),
+            rows * cols * 8 + rows * 8 + 128 + rows * cols * 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ElementwiseProperty,
+    ::testing::Values(std::tuple<int, int, double>{1, 1, 1.0},
+                      std::tuple<int, int, double>{8, 8, 1.0},
+                      std::tuple<int, int, double>{30, 20, 0.1},
+                      std::tuple<int, int, double>{50, 3, 0.5},
+                      std::tuple<int, int, double>{3, 50, 0.05}));
+
+// ---- solve properties ----
+
+class SolveProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolveProperty, ResidualIsSmall) {
+  int n = GetParam();
+  Random rng(n * 101);
+  MatrixBlock a = MatrixBlock::Rand(n, n, 1.0, -1, 1, &rng);
+  for (int i = 0; i < n; ++i) a.Set(i, i, a.Get(i, i) + n);
+  MatrixBlock b = MatrixBlock::Rand(n, 1, 1.0, -5, 5, &rng);
+  auto x = Solve(a, b);
+  ASSERT_TRUE(x.ok());
+  auto ax = MatMult(a, *x);
+  ASSERT_TRUE(ax.ok());
+  EXPECT_TRUE(ax->ApproxEquals(b, 1e-8));
+}
+
+TEST_P(SolveProperty, IdentitySolveReturnsRhs) {
+  int n = GetParam();
+  Random rng(n);
+  MatrixBlock b = MatrixBlock::Rand(n, 2, 1.0, -1, 1, &rng);
+  auto x = Solve(MatrixBlock::Identity(n), b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(x->ApproxEquals(b, 1e-12));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SolveProperty,
+                         ::testing::Values(1, 2, 5, 12, 30));
+
+// ---- table / indexing round trips ----
+
+TEST(TableProperty, RowSumsAreOne) {
+  // table(seq, y) is an indicator matrix: every row sums to 1.
+  Random rng(4);
+  int n = 100;
+  MatrixBlock y(n, 1, false);
+  for (int i = 0; i < n; ++i) {
+    y.Set(i, 0, 1 + static_cast<double>(rng.NextBelow(7)));
+  }
+  auto t = Table(MatrixBlock::Seq(1, n, 1), y);
+  ASSERT_TRUE(t.ok());
+  auto rs = AggregateAxis(AggOp::kSum, AggDir::kRow, *t);
+  ASSERT_TRUE(rs.ok());
+  for (int i = 0; i < n; ++i) EXPECT_EQ(rs->Get(i, 0), 1.0);
+  // Column sums add up to n.
+  EXPECT_EQ(*Aggregate(AggOp::kSum, *t), n);
+}
+
+TEST(IndexingProperty, TilesReassembleViaAppend) {
+  Random rng(21);
+  MatrixBlock a = MatrixBlock::Rand(10, 9, 1.0, -1, 1, &rng);
+  auto left = RightIndex(a, 1, 10, 1, 4);
+  auto right = RightIndex(a, 1, 10, 5, 9);
+  ASSERT_TRUE(left.ok());
+  ASSERT_TRUE(right.ok());
+  auto joined = Append(*left, *right);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_TRUE(joined->ApproxEquals(a, 1e-12));
+}
+
+}  // namespace
+}  // namespace relm

@@ -1,0 +1,367 @@
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "lang/ast.h"
+#include "lang/lexer.h"
+#include "lang/parser.h"
+#include "lang/statement_block.h"
+#include "lang/validator.h"
+
+namespace relm {
+namespace {
+
+std::string ReadScript(const std::string& name) {
+  std::ifstream in(std::string(RELM_SCRIPTS_DIR) + "/" + name);
+  EXPECT_TRUE(in.good()) << "missing script " << name;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+ScriptArgs DefaultArgs() {
+  return ScriptArgs{{"X", "/data/X"}, {"Y", "/data/y"},
+                    {"B", "/out/B"},  {"model", "/out/w"}};
+}
+
+// ---- lexer ----
+
+TEST(LexerTest, BasicTokens) {
+  auto toks = Tokenize("x = 1 + 2.5e-1; # comment\ny <- t(X) %*% v");
+  ASSERT_TRUE(toks.ok());
+  // x = 1 + 0.25 ; y <- t ( X ) %*% v END
+  ASSERT_EQ(toks->size(), 15u);
+  EXPECT_EQ((*toks)[0].kind, TokenKind::kIdent);
+  EXPECT_EQ((*toks)[2].kind, TokenKind::kNumber);
+  EXPECT_DOUBLE_EQ((*toks)[4].number, 0.25);
+  EXPECT_EQ((*toks)[7].kind, TokenKind::kArrow);
+  EXPECT_EQ((*toks)[12].kind, TokenKind::kMatMult);
+}
+
+TEST(LexerTest, OperatorsAndStrings) {
+  auto toks = Tokenize("a >= b != \"hi \\\" there\" & !c");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[1].kind, TokenKind::kGreaterEq);
+  EXPECT_EQ((*toks)[3].kind, TokenKind::kNotEq);
+  EXPECT_EQ((*toks)[4].kind, TokenKind::kString);
+  EXPECT_EQ((*toks)[4].text, "hi \" there");
+  EXPECT_EQ((*toks)[5].kind, TokenKind::kAnd);
+  EXPECT_EQ((*toks)[6].kind, TokenKind::kNot);
+}
+
+TEST(LexerTest, DollarParams) {
+  auto toks = Tokenize("X = read($X)");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[4].kind, TokenKind::kDollar);
+  EXPECT_EQ((*toks)[4].text, "X");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("a @ b").ok());
+  EXPECT_FALSE(Tokenize("\"unterminated").ok());
+  EXPECT_FALSE(Tokenize("a %+% b").ok());
+  EXPECT_FALSE(Tokenize("x = $").ok());
+}
+
+TEST(LexerTest, LineTracking) {
+  auto toks = Tokenize("a\nbb\n  c");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].line, 1);
+  EXPECT_EQ((*toks)[1].line, 2);
+  EXPECT_EQ((*toks)[2].line, 3);
+  EXPECT_EQ((*toks)[2].column, 3);
+}
+
+// ---- parser ----
+
+TEST(ParserTest, Precedence) {
+  auto prog = ParseDml("x = 1 + 2 * 3 ^ 2");
+  ASSERT_TRUE(prog.ok());
+  const auto& a = static_cast<const AssignStmt&>(*prog->statements[0]);
+  // 1 + (2 * (3^2))
+  EXPECT_EQ(a.rhs->ToString(), "(1 + (2 * (3 ^ 2)))");
+}
+
+TEST(ParserTest, UnaryMinusAndPower) {
+  auto prog = ParseDml("x = -y ^ 2");
+  ASSERT_TRUE(prog.ok());
+  const auto& a = static_cast<const AssignStmt&>(*prog->statements[0]);
+  // R semantics: -(y^2)
+  EXPECT_EQ(a.rhs->ToString(), "-(y ^ 2)");
+}
+
+TEST(ParserTest, MatMultBindsTighterThanMul) {
+  auto prog = ParseDml("q = a * X %*% v");
+  ASSERT_TRUE(prog.ok());
+  const auto& a = static_cast<const AssignStmt&>(*prog->statements[0]);
+  EXPECT_EQ(a.rhs->ToString(), "(a * (X %*% v))");
+}
+
+TEST(ParserTest, ComparisonsAndLogic) {
+  auto prog = ParseDml("c = continue & iter < maxi | done");
+  ASSERT_TRUE(prog.ok());
+  const auto& a = static_cast<const AssignStmt&>(*prog->statements[0]);
+  EXPECT_EQ(a.rhs->ToString(), "((continue & (iter < maxi)) | done)");
+}
+
+TEST(ParserTest, IndexingForms) {
+  auto prog = ParseDml("a = P[, 1:k]\nb = X[i, ]\nc = M[1:3, 2]");
+  ASSERT_TRUE(prog.ok());
+  const auto& a = static_cast<const AssignStmt&>(*prog->statements[0]);
+  const auto* ix = static_cast<const IndexExpr*>(a.rhs.get());
+  EXPECT_EQ(ix->row_lower, nullptr);
+  ASSERT_NE(ix->col_lower, nullptr);
+  ASSERT_NE(ix->col_upper, nullptr);
+  const auto& b = static_cast<const AssignStmt&>(*prog->statements[1]);
+  const auto* ix2 = static_cast<const IndexExpr*>(b.rhs.get());
+  EXPECT_NE(ix2->row_lower, nullptr);
+  EXPECT_EQ(ix2->row_upper, nullptr);
+  EXPECT_EQ(ix2->col_lower, nullptr);
+}
+
+TEST(ParserTest, NamedCallArgs) {
+  auto prog = ParseDml("w = matrix(0, rows=n, cols=1)");
+  ASSERT_TRUE(prog.ok());
+  const auto& a = static_cast<const AssignStmt&>(*prog->statements[0]);
+  const auto* call = static_cast<const CallExpr*>(a.rhs.get());
+  EXPECT_NE(call->Named("rows"), nullptr);
+  EXPECT_NE(call->Named("cols"), nullptr);
+  EXPECT_NE(call->Positional(0), nullptr);
+  EXPECT_EQ(call->Positional(1), nullptr);
+}
+
+TEST(ParserTest, IfdefSubstitution) {
+  ScriptArgs args{{"reg", "0.1"}};
+  auto prog = ParseDml("lambda = ifdef($reg, 0.01)\ntol = ifdef($tol, 1e-9)",
+                       args);
+  ASSERT_TRUE(prog.ok());
+  const auto& l = static_cast<const AssignStmt&>(*prog->statements[0]);
+  EXPECT_EQ(l.rhs->ToString(), "0.1");
+  const auto& t = static_cast<const AssignStmt&>(*prog->statements[1]);
+  EXPECT_EQ(t.rhs->ToString(), "0.000000001");
+}
+
+TEST(ParserTest, MultiAssign) {
+  auto prog = ParseDml("[a, b] = f(x)");
+  ASSERT_TRUE(prog.ok());
+  const auto& a = static_cast<const AssignStmt&>(*prog->statements[0]);
+  ASSERT_EQ(a.targets.size(), 2u);
+  EXPECT_EQ(a.targets[1], "b");
+}
+
+TEST(ParserTest, ControlFlow) {
+  auto prog = ParseDml(
+      "while (c & i < 5) { i = i + 1; }\n"
+      "if (x > 0) { y = 1 } else if (x < 0) { y = -1 } else { y = 0 }\n"
+      "for (j in 1:10) { s = s + j }\n"
+      "for (j in seq(2, 20, 2)) { s = s + j }");
+  ASSERT_TRUE(prog.ok());
+  ASSERT_EQ(prog->statements.size(), 4u);
+  EXPECT_EQ(prog->statements[0]->kind, Statement::Kind::kWhile);
+  const auto& iff = static_cast<const IfStmt&>(*prog->statements[1]);
+  ASSERT_EQ(iff.else_body.size(), 1u);
+  EXPECT_EQ(iff.else_body[0]->kind, Statement::Kind::kIf);
+  const auto& fr = static_cast<const ForStmt&>(*prog->statements[3]);
+  ASSERT_NE(fr.increment, nullptr);
+}
+
+TEST(ParserTest, FunctionDef) {
+  auto prog = ParseDml(
+      "f = function(matrix[double] X, double lam) "
+      "return (matrix[double] out, double s) { out = X * lam; s = sum(out) }\n"
+      "[o, v] = f(M, 2)");
+  ASSERT_TRUE(prog.ok());
+  ASSERT_EQ(prog->functions.size(), 1u);
+  const auto& fn = prog->functions.at("f");
+  ASSERT_EQ(fn.params.size(), 2u);
+  EXPECT_EQ(fn.params[0].data_type, DataType::kMatrix);
+  EXPECT_EQ(fn.params[1].data_type, DataType::kScalar);
+  ASSERT_EQ(fn.returns.size(), 2u);
+  EXPECT_EQ(fn.returns[1].name, "s");
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseDml("x = ").ok());
+  EXPECT_FALSE(ParseDml("if x > 0 { }").ok());
+  EXPECT_FALSE(ParseDml("while (a { }").ok());
+  EXPECT_FALSE(ParseDml("x = f(1,").ok());
+  EXPECT_FALSE(ParseDml("x = ifdef($a)").ok());
+  EXPECT_FALSE(ParseDml("for (i in 1) { }").ok());
+}
+
+// ---- statement blocks + liveness ----
+
+TEST(BlocksTest, GroupingAndNesting) {
+  auto prog = ParseDml(
+      "a = 1\nb = 2\n"
+      "while (a < 10) { a = a + b\n c = a * 2 }\n"
+      "d = a");
+  ASSERT_TRUE(prog.ok());
+  auto blocks = BuildProgramBlocks(*prog);
+  ASSERT_TRUE(blocks.ok());
+  ASSERT_EQ(blocks->main.size(), 3u);
+  EXPECT_EQ(blocks->main[0]->kind(), BlockKind::kGeneric);
+  EXPECT_EQ(blocks->main[0]->statements.size(), 2u);
+  EXPECT_EQ(blocks->main[1]->kind(), BlockKind::kWhile);
+  ASSERT_EQ(blocks->main[1]->body.size(), 1u);
+  EXPECT_EQ(blocks->main[2]->kind(), BlockKind::kGeneric);
+  EXPECT_EQ(blocks->TotalBlocks(), 4);
+}
+
+TEST(BlocksTest, Liveness) {
+  auto prog = ParseDml(
+      "x = read($X)\n"
+      "s = sum(x)\n"
+      "while (i < 3) { s = s + sum(x); i = i + 1 }\n"
+      "print(\"total \" + s)");
+  ASSERT_TRUE(prog.ok());
+  auto blocks = BuildProgramBlocks(*prog);
+  ASSERT_TRUE(blocks.ok());
+  const auto& wh = *blocks->main[1];
+  // x, s, i live into the loop; s live out (printed after).
+  EXPECT_TRUE(wh.live_in.count("x"));
+  EXPECT_TRUE(wh.live_in.count("s"));
+  EXPECT_TRUE(wh.live_in.count("i"));
+  EXPECT_TRUE(wh.live_out.count("s"));
+  EXPECT_FALSE(wh.live_out.count("x"));
+  EXPECT_TRUE(wh.updated.count("s"));
+  EXPECT_TRUE(wh.updated.count("i"));
+  // Final print block needs s.
+  EXPECT_TRUE(blocks->main[2]->live_in.count("s"));
+}
+
+TEST(BlocksTest, IfLiveness) {
+  auto prog = ParseDml(
+      "a = 1\n"
+      "if (c > 0) { b = a } else { b = 2 }\n"
+      "print(\"\" + b)");
+  ASSERT_TRUE(prog.ok());
+  auto blocks = BuildProgramBlocks(*prog);
+  ASSERT_TRUE(blocks.ok());
+  const auto& iff = *blocks->main[1];
+  EXPECT_TRUE(iff.live_in.count("a"));  // read in then-branch
+  EXPECT_TRUE(iff.live_in.count("c"));  // predicate
+  EXPECT_TRUE(iff.live_out.count("b"));
+}
+
+// ---- validator ----
+
+Result<DmlProgram> ParseAndValidate(const std::string& src,
+                                    const ScriptArgs& args = {}) {
+  RELM_ASSIGN_OR_RETURN(DmlProgram prog, ParseDml(src, args));
+  RELM_RETURN_IF_ERROR(ValidateProgram(&prog));
+  return prog;
+}
+
+TEST(ValidatorTest, TypesFlow) {
+  auto prog = ParseAndValidate(
+      "X = read(\"/x\")\n"
+      "n = nrow(X)\n"
+      "v = matrix(0, rows=n, cols=1)\n"
+      "q = X %*% v\n"
+      "s = sum(q)\n"
+      "flag = s > 0");
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  const auto& q = static_cast<const AssignStmt&>(*prog->statements[3]);
+  EXPECT_EQ(q.rhs->data_type, DataType::kMatrix);
+  const auto& s = static_cast<const AssignStmt&>(*prog->statements[4]);
+  EXPECT_EQ(s.rhs->data_type, DataType::kScalar);
+  const auto& f = static_cast<const AssignStmt&>(*prog->statements[5]);
+  EXPECT_EQ(f.rhs->value_type, ValueType::kBoolean);
+}
+
+TEST(ValidatorTest, Errors) {
+  EXPECT_FALSE(ParseAndValidate("y = undefined_var + 1").ok());
+  EXPECT_FALSE(ParseAndValidate("x = 1\ny = x %*% x").ok());
+  EXPECT_FALSE(ParseAndValidate("y = nosuchfunc(1)").ok());
+  EXPECT_FALSE(ParseAndValidate("x = sum(1, 2)").ok());
+  EXPECT_FALSE(ParseAndValidate("x = read(\"/x\")\ny = ppred(x, 0, 3)").ok());
+  EXPECT_FALSE(ParseAndValidate("x = $missing").ok());
+  EXPECT_FALSE(ParseAndValidate("m = matrix(0, rows=2)").ok());
+}
+
+TEST(ValidatorTest, StringConcat) {
+  auto prog = ParseAndValidate("i = 3\nmsg = \"iter \" + i\nprint(msg)");
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  const auto& m = static_cast<const AssignStmt&>(*prog->statements[1]);
+  EXPECT_EQ(m.rhs->value_type, ValueType::kString);
+}
+
+TEST(ValidatorTest, UserFunctions) {
+  auto prog = ParseAndValidate(
+      "sq = function(matrix[double] A) return (matrix[double] B) "
+      "{ B = A * A }\n"
+      "X = read(\"/x\")\n"
+      "Y = sq(X)\n"
+      "s = sum(Y)");
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  // Wrong arity.
+  EXPECT_FALSE(ParseAndValidate(
+                   "sq = function(matrix[double] A) return "
+                   "(matrix[double] B) { B = A }\n"
+                   "Y = sq()")
+                   .ok());
+  // Missing return assignment.
+  EXPECT_FALSE(ParseAndValidate(
+                   "f = function(double a) return (double b) { c = a }")
+                   .ok());
+}
+
+// ---- full scripts (Table 1 program characteristics) ----
+
+struct ScriptCase {
+  const char* file;
+  int min_lines;
+  int min_blocks;
+  bool has_functions;
+};
+
+class ScriptParseTest : public ::testing::TestWithParam<ScriptCase> {};
+
+TEST_P(ScriptParseTest, ParsesValidatesAndBuildsBlocks) {
+  const ScriptCase& sc = GetParam();
+  std::string src = ReadScript(sc.file);
+  auto prog = ParseDml(src, DefaultArgs());
+  ASSERT_TRUE(prog.ok()) << sc.file << ": " << prog.status().ToString();
+  ASSERT_TRUE(ValidateProgram(&*prog).ok())
+      << sc.file << ": " << ValidateProgram(&*prog).ToString();
+  EXPECT_GE(prog->source_lines, sc.min_lines) << sc.file;
+  EXPECT_EQ(!prog->functions.empty(), sc.has_functions) << sc.file;
+  auto blocks = BuildProgramBlocks(*prog);
+  ASSERT_TRUE(blocks.ok()) << sc.file;
+  EXPECT_GE(blocks->TotalBlocks(), sc.min_blocks) << sc.file;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScripts, ScriptParseTest,
+    ::testing::Values(ScriptCase{"linreg_ds.dml", 30, 3, false},
+                      ScriptCase{"linreg_cg.dml", 45, 6, false},
+                      ScriptCase{"l2svm.dml", 40, 8, false},
+                      ScriptCase{"mlogreg.dml", 50, 10, false},
+                      ScriptCase{"glm.dml", 90, 15, true}),
+    [](const ::testing::TestParamInfo<ScriptCase>& info) {
+      std::string name = info.param.file;
+      return name.substr(0, name.find('.'));
+    });
+
+TEST(ScriptStructureTest, L2svmNestedLoops) {
+  std::string src = ReadScript("l2svm.dml");
+  auto prog = ParseDml(src, DefaultArgs());
+  ASSERT_TRUE(prog.ok());
+  auto blocks = BuildProgramBlocks(*prog);
+  ASSERT_TRUE(blocks.ok());
+  // Find the outer while; it must contain a nested while (line search).
+  bool found_nested = false;
+  for (const auto& b : blocks->main) {
+    if (b->kind() != BlockKind::kWhile) continue;
+    for (const auto& c : b->body) {
+      if (c->kind() == BlockKind::kWhile) found_nested = true;
+    }
+  }
+  EXPECT_TRUE(found_nested);
+}
+
+}  // namespace
+}  // namespace relm

@@ -1,0 +1,165 @@
+// Left-indexing (`X[rl:ru, cl:cu] = V`) across all layers: kernel,
+// parser, validator, size propagation, operator selection, interpreter.
+
+#include <gtest/gtest.h>
+
+#include "api/relm_system.h"
+#include "lops/compiler_backend.h"
+#include "matrix/kernels.h"
+
+namespace relm {
+namespace {
+
+// ---- kernel ----
+
+TEST(LeftIndexKernel, OverwritesRange) {
+  MatrixBlock a = MatrixBlock::Constant(4, 4, 1.0);
+  MatrixBlock v = MatrixBlock::Constant(2, 2, 9.0);
+  auto out = LeftIndex(a, v, 2, 3, 2, 3);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->Get(0, 0), 1.0);
+  EXPECT_EQ(out->Get(1, 1), 9.0);
+  EXPECT_EQ(out->Get(2, 2), 9.0);
+  EXPECT_EQ(out->Get(3, 3), 1.0);
+  // Original untouched (copy semantics).
+  EXPECT_EQ(a.Get(1, 1), 1.0);
+}
+
+TEST(LeftIndexKernel, BoundsAndShapeErrors) {
+  MatrixBlock a = MatrixBlock::Constant(4, 4, 1.0);
+  MatrixBlock v = MatrixBlock::Constant(2, 2, 9.0);
+  EXPECT_FALSE(LeftIndex(a, v, 0, 1, 1, 2).ok());   // rl < 1
+  EXPECT_FALSE(LeftIndex(a, v, 4, 5, 1, 2).ok());   // ru > rows
+  EXPECT_FALSE(LeftIndex(a, v, 1, 3, 1, 2).ok());   // shape mismatch
+}
+
+TEST(LeftIndexKernel, RoundTripWithRightIndex) {
+  Random rng(5);
+  MatrixBlock a = MatrixBlock::Rand(8, 6, 1.0, -1, 1, &rng);
+  MatrixBlock v = MatrixBlock::Rand(3, 2, 1.0, 5, 6, &rng);
+  auto updated = LeftIndex(a, v, 2, 4, 3, 4);
+  ASSERT_TRUE(updated.ok());
+  auto extracted = RightIndex(*updated, 2, 4, 3, 4);
+  ASSERT_TRUE(extracted.ok());
+  EXPECT_TRUE(extracted->ApproxEquals(v, 1e-12));
+}
+
+// ---- language + interpreter ----
+
+class LeftIndexScriptTest : public ::testing::Test {
+ protected:
+  Result<std::vector<std::string>> Run(const std::string& src) {
+    auto prog = sys_.CompileSource(src, {});
+    RELM_RETURN_IF_ERROR(prog.status());
+    auto run = sys_.ExecuteReal(prog->get());
+    RELM_RETURN_IF_ERROR(run.status());
+    return run->printed;
+  }
+  RelmSystem sys_;
+};
+
+TEST_F(LeftIndexScriptTest, PartialUpdateEndToEnd) {
+  auto printed = Run(
+      "M = matrix(0, rows=3, cols=3)\n"
+      "M[2, 2] = 5\n"
+      "M[1, ] = matrix(1, rows=1, cols=3)\n"
+      "print(\"sum=\" + sum(M))\n"
+      "print(\"mid=\" + as.scalar(M[2:2, 2:2]))");
+  ASSERT_TRUE(printed.ok()) << printed.status().ToString();
+  EXPECT_EQ((*printed)[0], "sum=8");
+  EXPECT_EQ((*printed)[1], "mid=5");
+}
+
+TEST_F(LeftIndexScriptTest, ColumnBlockUpdate) {
+  auto printed = Run(
+      "M = matrix(2, rows=4, cols=5)\n"
+      "M[, 2:3] = matrix(7, rows=4, cols=2)\n"
+      "print(\"s=\" + sum(M))");
+  ASSERT_TRUE(printed.ok()) << printed.status().ToString();
+  // 12 cells of 2 + 8 cells of 7 = 24 + 56 = 80.
+  EXPECT_EQ((*printed)[0], "s=80");
+}
+
+TEST_F(LeftIndexScriptTest, LoopAccumulatesColumns) {
+  // mlogreg-style per-class column writes.
+  auto printed = Run(
+      "B = matrix(0, rows=3, cols=4)\n"
+      "for (j in 1:4) {\n"
+      "  B[, j:j] = matrix(j, rows=3, cols=1)\n"
+      "}\n"
+      "print(\"s=\" + sum(B))");
+  ASSERT_TRUE(printed.ok()) << printed.status().ToString();
+  EXPECT_EQ((*printed)[0], "s=30");  // 3*(1+2+3+4)
+}
+
+TEST_F(LeftIndexScriptTest, OutOfBoundsFailsAtRuntime) {
+  // Bounds are data values; the compiler accepts, the runtime rejects.
+  auto r = Run("M = matrix(0, rows=2, cols=2)\nM[0, 1] = 1\n"
+               "print(\"\" + sum(M))");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(LeftIndexScriptTest, ValidatorRejectsBadTargets) {
+  EXPECT_FALSE(Run("Z[1, 1] = 5").ok());  // undefined target
+  EXPECT_FALSE(Run("x = 3\nx[1, 1] = 5").ok());  // scalar target
+  EXPECT_FALSE(Run("M = matrix(0, rows=2, cols=2)\n"
+                   "v = matrix(1, rows=2, cols=1)\n"
+                   "M[v, 1] = 3")
+                   .ok());  // matrix bound
+}
+
+// ---- compiler-side behaviour ----
+
+TEST(LeftIndexCompileTest, SizePropagationKeepsTargetShape) {
+  SimulatedHdfs hdfs;
+  hdfs.PutMetadata("/X", MatrixCharacteristics::Dense(1000000, 1000));
+  auto prog = MlProgram::Compile(
+      "X = read(\"/X\")\n"
+      "X[, 1:1] = matrix(0, rows=nrow(X), cols=1)\n"
+      "print(\"\" + sum(X))",
+      {}, &hdfs);
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  bool found = false;
+  for (StatementBlock* b : (*prog)->AllBlocksPreOrder()) {
+    if (!(*prog)->has_ir(b->id())) continue;
+    for (Hop* h : (*prog)->ir(b->id()).dag.TopoOrder()) {
+      if (h->kind() == HopKind::kLeftIndexing) {
+        found = true;
+        EXPECT_EQ(h->mc().rows(), 1000000);
+        EXPECT_EQ(h->mc().cols(), 1000);
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LeftIndexCompileTest, LargeUpdateGoesToMrWithBroadcastValue) {
+  SimulatedHdfs hdfs;
+  hdfs.PutMetadata("/X", MatrixCharacteristics::Dense(1000000, 1000));
+  auto prog = MlProgram::Compile(
+      "X = read(\"/X\")\n"
+      "X[, 1:1] = matrix(0, rows=nrow(X), cols=1)\n"
+      "print(\"\" + sum(X))",
+      {}, &hdfs);
+  ASSERT_TRUE(prog.ok());
+  ClusterConfig cc = ClusterConfig::PaperCluster();
+  CompileCounters counters;
+  auto rp = GenerateRuntimeProgram(prog->get(), cc,
+                                   ResourceConfig(512 * kMB, 2 * kGB),
+                                   &counters);
+  ASSERT_TRUE(rp.ok());
+  EXPECT_GE(rp->TotalMrJobs(), 1);
+  // Find the left-indexing op: MR with the 8MB value vector broadcast.
+  for (StatementBlock* b : (*prog)->AllBlocksPreOrder()) {
+    if (!(*prog)->has_ir(b->id())) continue;
+    for (Hop* h : (*prog)->ir(b->id()).dag.TopoOrder()) {
+      if (h->kind() == HopKind::kLeftIndexing) {
+        EXPECT_EQ(h->exec_type(), ExecType::kMR);
+        EXPECT_EQ(h->broadcast_input, 1);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace relm

@@ -1,0 +1,322 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "matrix/kernels.h"
+#include "matrix/matrix_block.h"
+#include "matrix/matrix_characteristics.h"
+
+namespace relm {
+namespace {
+
+TEST(MatrixCharacteristicsTest, KnownAndUnknown) {
+  MatrixCharacteristics mc(100, 10, 500);
+  EXPECT_TRUE(mc.fully_known());
+  EXPECT_DOUBLE_EQ(mc.SparsityOrWorstCase(), 0.5);
+  EXPECT_EQ(mc.cells(), 1000);
+
+  MatrixCharacteristics unk = MatrixCharacteristics::Unknown();
+  EXPECT_FALSE(unk.dims_known());
+  EXPECT_DOUBLE_EQ(unk.SparsityOrWorstCase(), 1.0);
+  EXPECT_EQ(unk.cells(), kUnknown);
+}
+
+TEST(MatrixCharacteristicsTest, SparsePreference) {
+  EXPECT_TRUE(MatrixCharacteristics::WithSparsity(100, 100, 0.01)
+                  .PrefersSparse());
+  EXPECT_FALSE(MatrixCharacteristics::WithSparsity(100, 100, 0.9)
+                   .PrefersSparse());
+  // Vectors always stay dense.
+  EXPECT_FALSE(
+      MatrixCharacteristics::WithSparsity(100, 1, 0.01).PrefersSparse());
+}
+
+TEST(MatrixCharacteristicsTest, MemoryEstimates) {
+  // Dense 1000x1000: 8MB + overhead.
+  int64_t dense = EstimateSizeInMemory(1000, 1000, 1.0);
+  EXPECT_GE(dense, 8000000);
+  EXPECT_LT(dense, 8100000);
+  // Sparse 1% is much smaller.
+  int64_t sparse = EstimateSizeInMemory(1000, 1000, 0.01);
+  EXPECT_LT(sparse, dense / 10);
+  // Unknown dims hit the sentinel.
+  EXPECT_EQ(EstimateSizeInMemory(MatrixCharacteristics::Unknown()),
+            kUnknownSizeSentinel);
+}
+
+TEST(MatrixCharacteristicsTest, DiskEstimates) {
+  EXPECT_EQ(EstimateSizeOnDisk(1000, 1000, 1000 * 1000), 8000000);
+  // Sparse cell format: 16 bytes per nnz.
+  EXPECT_EQ(EstimateSizeOnDisk(1000, 1000, 10000), 160000);
+}
+
+TEST(MatrixBlockTest, ConstantAndIdentity) {
+  MatrixBlock c = MatrixBlock::Constant(3, 2, 5.0);
+  EXPECT_EQ(c.Get(2, 1), 5.0);
+  EXPECT_EQ(c.ComputeNnz(), 6);
+  MatrixBlock z = MatrixBlock::Constant(3, 2, 0.0);
+  EXPECT_EQ(z.ComputeNnz(), 0);
+  MatrixBlock i = MatrixBlock::Identity(3);
+  EXPECT_EQ(i.Get(1, 1), 1.0);
+  EXPECT_EQ(i.Get(0, 1), 0.0);
+}
+
+TEST(MatrixBlockTest, SeqVector) {
+  MatrixBlock s = MatrixBlock::Seq(1, 5, 1);
+  ASSERT_EQ(s.rows(), 5);
+  EXPECT_EQ(s.Get(0, 0), 1.0);
+  EXPECT_EQ(s.Get(4, 0), 5.0);
+  MatrixBlock s2 = MatrixBlock::Seq(0, 1, 0.25);
+  EXPECT_EQ(s2.rows(), 5);
+}
+
+TEST(MatrixBlockTest, SparseRoundTrip) {
+  Random rng(3);
+  MatrixBlock m = MatrixBlock::Rand(50, 40, 0.05, -1, 1, &rng);
+  EXPECT_TRUE(m.is_sparse());
+  MatrixBlock d = m;
+  d.ToDense();
+  EXPECT_TRUE(m.ApproxEquals(d));
+  d.ToSparse();
+  EXPECT_TRUE(m.ApproxEquals(d));
+}
+
+TEST(MatrixBlockTest, RandRespectsSparsityRoughly) {
+  Random rng(11);
+  MatrixBlock m = MatrixBlock::Rand(200, 200, 0.1, 1, 2, &rng);
+  double sp = static_cast<double>(m.ComputeNnz()) / (200.0 * 200.0);
+  EXPECT_NEAR(sp, 0.1, 0.02);
+}
+
+TEST(KernelsTest, MatMultDense) {
+  MatrixBlock a(2, 3, false);
+  MatrixBlock b(3, 2, false);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+  double av[] = {1, 2, 3, 4, 5, 6};
+  double bv[] = {7, 8, 9, 10, 11, 12};
+  a.dense().assign(av, av + 6);
+  b.dense().assign(bv, bv + 6);
+  auto c = MatMult(a, b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->Get(0, 0), 58);
+  EXPECT_EQ(c->Get(0, 1), 64);
+  EXPECT_EQ(c->Get(1, 0), 139);
+  EXPECT_EQ(c->Get(1, 1), 154);
+}
+
+TEST(KernelsTest, MatMultShapeMismatch) {
+  MatrixBlock a(2, 3, false);
+  MatrixBlock b(2, 2, false);
+  EXPECT_FALSE(MatMult(a, b).ok());
+}
+
+TEST(KernelsTest, MatMultSparseMatchesDense) {
+  Random rng(5);
+  MatrixBlock a = MatrixBlock::Rand(30, 40, 0.1, -1, 1, &rng);
+  MatrixBlock b = MatrixBlock::Rand(40, 20, 0.1, -1, 1, &rng);
+  ASSERT_TRUE(a.is_sparse());
+  ASSERT_TRUE(b.is_sparse());
+  MatrixBlock ad = a;
+  ad.ToDense();
+  MatrixBlock bd = b;
+  bd.ToDense();
+  auto ss = MatMult(a, b);
+  auto dd = MatMult(ad, bd);
+  auto sd = MatMult(a, bd);
+  auto ds = MatMult(ad, b);
+  ASSERT_TRUE(ss.ok());
+  ASSERT_TRUE(dd.ok());
+  ASSERT_TRUE(sd.ok());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_TRUE(ss->ApproxEquals(*dd, 1e-9));
+  EXPECT_TRUE(sd->ApproxEquals(*dd, 1e-9));
+  EXPECT_TRUE(ds->ApproxEquals(*dd, 1e-9));
+}
+
+TEST(KernelsTest, TransposeSelfMatMult) {
+  Random rng(6);
+  MatrixBlock a = MatrixBlock::Rand(10, 4, 1.0, -1, 1, &rng);
+  auto tsmm = TransposeSelfMatMult(a, true);
+  auto ref = MatMult(Transpose(a), a);
+  ASSERT_TRUE(tsmm.ok());
+  EXPECT_TRUE(tsmm->ApproxEquals(*ref, 1e-9));
+  auto tsmm_r = TransposeSelfMatMult(a, false);
+  auto ref_r = MatMult(a, Transpose(a));
+  EXPECT_TRUE(tsmm_r->ApproxEquals(*ref_r, 1e-9));
+}
+
+TEST(KernelsTest, TransposeSparse) {
+  Random rng(8);
+  MatrixBlock a = MatrixBlock::Rand(20, 30, 0.1, -1, 1, &rng);
+  MatrixBlock t = Transpose(a);
+  EXPECT_EQ(t.rows(), 30);
+  EXPECT_EQ(t.cols(), 20);
+  for (int r = 0; r < 20; ++r) {
+    for (int c = 0; c < 30; ++c) {
+      EXPECT_EQ(a.Get(r, c), t.Get(c, r));
+    }
+  }
+}
+
+TEST(KernelsTest, ElementwiseBroadcast) {
+  MatrixBlock a = MatrixBlock::Constant(3, 2, 10.0);
+  MatrixBlock col(3, 1, false);
+  col.dense() = {1, 2, 3};
+  auto r = ElementwiseBinary(BinOp::kSub, a, col);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Get(0, 0), 9);
+  EXPECT_EQ(r->Get(2, 1), 7);
+
+  MatrixBlock row(1, 2, false);
+  row.dense() = {1, 2};
+  auto r2 = ElementwiseBinary(BinOp::kDiv, a, row);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->Get(0, 1), 5);
+
+  MatrixBlock bad(2, 2, false);
+  EXPECT_FALSE(ElementwiseBinary(BinOp::kAdd, a, bad).ok());
+}
+
+TEST(KernelsTest, ScalarAndUnary) {
+  MatrixBlock a = MatrixBlock::Constant(2, 2, 4.0);
+  MatrixBlock r = ScalarBinary(BinOp::kPow, a, 0.5);
+  EXPECT_EQ(r.Get(0, 0), 2.0);
+  MatrixBlock l = ScalarBinary(BinOp::kSub, a, 1.0, /*scalar_left=*/true);
+  EXPECT_EQ(l.Get(1, 1), -3.0);
+  MatrixBlock u = ElementwiseUnary(UnOp::kSqrt, a);
+  EXPECT_EQ(u.Get(0, 0), 2.0);
+  MatrixBlock n = ElementwiseUnary(UnOp::kNeg, a);
+  EXPECT_EQ(n.Get(0, 0), -4.0);
+}
+
+TEST(KernelsTest, Aggregates) {
+  MatrixBlock a(2, 3, false);
+  a.dense() = {1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(*Aggregate(AggOp::kSum, a), 21);
+  EXPECT_EQ(*Aggregate(AggOp::kMin, a), 1);
+  EXPECT_EQ(*Aggregate(AggOp::kMax, a), 6);
+  EXPECT_DOUBLE_EQ(*Aggregate(AggOp::kMean, a), 3.5);
+  EXPECT_FALSE(Aggregate(AggOp::kTrace, a).ok());  // non-square
+
+  auto rs = AggregateAxis(AggOp::kSum, AggDir::kRow, a);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows(), 2);
+  EXPECT_EQ(rs->Get(0, 0), 6);
+  EXPECT_EQ(rs->Get(1, 0), 15);
+
+  auto cs = AggregateAxis(AggOp::kSum, AggDir::kCol, a);
+  ASSERT_TRUE(cs.ok());
+  EXPECT_EQ(cs->cols(), 3);
+  EXPECT_EQ(cs->Get(0, 2), 9);
+}
+
+TEST(KernelsTest, Trace) {
+  MatrixBlock a = MatrixBlock::Identity(4);
+  EXPECT_EQ(*Aggregate(AggOp::kTrace, a), 4.0);
+}
+
+TEST(KernelsTest, Ppred) {
+  MatrixBlock a(1, 4, false);
+  a.dense() = {-1, 0, 0.5, 2};
+  MatrixBlock p = PpredScalar(BinOp::kGreater, a, 0.0);
+  EXPECT_EQ(p.Get(0, 0), 0.0);
+  EXPECT_EQ(p.Get(0, 2), 1.0);
+  EXPECT_EQ(p.Get(0, 3), 1.0);
+}
+
+TEST(KernelsTest, TableBuildsIndicator) {
+  // y = [2,1,3,2]; table(seq(1,4), y) -> 4x3 indicator.
+  MatrixBlock seq = MatrixBlock::Seq(1, 4, 1);
+  MatrixBlock y(4, 1, false);
+  y.dense() = {2, 1, 3, 2};
+  auto t = Table(seq, y);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->rows(), 4);
+  EXPECT_EQ(t->cols(), 3);
+  EXPECT_EQ(t->Get(0, 1), 1.0);
+  EXPECT_EQ(t->Get(1, 0), 1.0);
+  EXPECT_EQ(t->Get(2, 2), 1.0);
+  EXPECT_EQ(t->Get(3, 1), 1.0);
+  EXPECT_EQ(t->ComputeNnz(), 4);
+}
+
+TEST(KernelsTest, TableRejectsNonPositive) {
+  MatrixBlock seq = MatrixBlock::Seq(1, 2, 1);
+  MatrixBlock y(2, 1, false);
+  y.dense() = {0, 1};
+  EXPECT_FALSE(Table(seq, y).ok());
+}
+
+TEST(KernelsTest, SolveRecoversSolution) {
+  Random rng(13);
+  MatrixBlock a = MatrixBlock::Rand(6, 6, 1.0, 1, 2, &rng);
+  // Make diagonally dominant for stability.
+  for (int i = 0; i < 6; ++i) a.Set(i, i, a.Get(i, i) + 10.0);
+  MatrixBlock x_true = MatrixBlock::Rand(6, 1, 1.0, -1, 1, &rng);
+  auto b = MatMult(a, x_true);
+  ASSERT_TRUE(b.ok());
+  auto x = Solve(a, *b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(x->ApproxEquals(x_true, 1e-8));
+}
+
+TEST(KernelsTest, SolveSingular) {
+  MatrixBlock a = MatrixBlock::Constant(3, 3, 1.0);
+  MatrixBlock b = MatrixBlock::Constant(3, 1, 1.0);
+  EXPECT_FALSE(Solve(a, b).ok());
+}
+
+TEST(KernelsTest, AppendAndIndex) {
+  MatrixBlock a = MatrixBlock::Constant(2, 2, 1.0);
+  MatrixBlock b = MatrixBlock::Constant(2, 1, 2.0);
+  auto ab = Append(a, b);
+  ASSERT_TRUE(ab.ok());
+  EXPECT_EQ(ab->cols(), 3);
+  EXPECT_EQ(ab->Get(0, 2), 2.0);
+
+  auto sub = RightIndex(*ab, 1, 2, 3, 3);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->rows(), 2);
+  EXPECT_EQ(sub->cols(), 1);
+  EXPECT_EQ(sub->Get(1, 0), 2.0);
+
+  EXPECT_FALSE(RightIndex(*ab, 0, 2, 1, 1).ok());
+  EXPECT_FALSE(RightIndex(*ab, 1, 3, 1, 1).ok());
+}
+
+TEST(KernelsTest, DiagBothDirections) {
+  MatrixBlock v(3, 1, false);
+  v.dense() = {1, 2, 3};
+  auto d = Diag(v);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->rows(), 3);
+  EXPECT_EQ(d->Get(1, 1), 2.0);
+  EXPECT_EQ(d->Get(0, 1), 0.0);
+  auto back = Diag(*d);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->ApproxEquals(v));
+}
+
+TEST(KernelsTest, CastToScalar) {
+  MatrixBlock one = MatrixBlock::Constant(1, 1, 7.0);
+  EXPECT_EQ(*CastToScalar(one), 7.0);
+  EXPECT_FALSE(CastToScalar(MatrixBlock::Constant(2, 1, 0.0)).ok());
+}
+
+TEST(OpTypesTest, Semantics) {
+  EXPECT_EQ(ApplyBinOp(BinOp::kAdd, 2, 3), 5);
+  EXPECT_EQ(ApplyBinOp(BinOp::kGreaterEq, 3, 3), 1);
+  EXPECT_EQ(ApplyBinOp(BinOp::kAnd, 1, 0), 0);
+  EXPECT_EQ(ApplyUnOp(UnOp::kSign, -3), -1);
+  EXPECT_EQ(ApplyUnOp(UnOp::kNot, 0), 1);
+  EXPECT_TRUE(IsComparison(BinOp::kEq));
+  EXPECT_FALSE(IsComparison(BinOp::kMul));
+  EXPECT_TRUE(IsSparseSafe(BinOp::kMul));
+  EXPECT_FALSE(IsSparseSafe(BinOp::kAdd));
+  EXPECT_STREQ(BinOpName(BinOp::kPow), "^");
+  EXPECT_STREQ(AggOpName(AggOp::kSum), "sum");
+}
+
+}  // namespace
+}  // namespace relm

@@ -1,0 +1,276 @@
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "core/resource_optimizer.h"
+#include "mrsim/buffer_pool.h"
+#include "mrsim/cluster_simulator.h"
+#include "mrsim/throughput.h"
+
+namespace relm {
+namespace {
+
+// ---- buffer pool ----
+
+TEST(BufferPoolTest, LruEviction) {
+  BufferPool pool(100);
+  EXPECT_TRUE(pool.Put("a", 40, true).empty());
+  EXPECT_TRUE(pool.Put("b", 40, false).empty());
+  EXPECT_TRUE(pool.Touch("a"));  // a is now most recent
+  auto ev = pool.Put("c", 40, true);
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_EQ(ev[0].name, "b");  // LRU victim
+  EXPECT_FALSE(ev[0].dirty);
+  EXPECT_TRUE(pool.Contains("a"));
+  EXPECT_TRUE(pool.Contains("c"));
+  EXPECT_EQ(pool.used_bytes(), 80);
+  EXPECT_EQ(pool.evictions(), 1);
+}
+
+TEST(BufferPoolTest, OversizedStreamsThrough) {
+  BufferPool pool(100);
+  pool.Put("a", 50, true);
+  auto ev = pool.Put("big", 200, true);
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_EQ(ev[0].name, "big");
+  EXPECT_FALSE(pool.Contains("big"));
+  EXPECT_TRUE(pool.Contains("a"));  // untouched
+}
+
+TEST(BufferPoolTest, DirtyTracking) {
+  BufferPool pool(100);
+  pool.Put("a", 60, true);
+  pool.MarkClean("a");
+  auto ev = pool.Put("b", 60, false);
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_FALSE(ev[0].dirty);  // was marked clean
+}
+
+TEST(BufferPoolTest, RemoveAndClear) {
+  BufferPool pool(100);
+  pool.Put("a", 30, false);
+  pool.Put("b", 30, false);
+  pool.Remove("a");
+  EXPECT_FALSE(pool.Contains("a"));
+  EXPECT_EQ(pool.used_bytes(), 30);
+  pool.Clear();
+  EXPECT_EQ(pool.used_bytes(), 0);
+  EXPECT_FALSE(pool.Contains("b"));
+}
+
+// ---- cluster simulator ----
+
+std::string ReadScript(const std::string& name) {
+  std::ifstream in(std::string(RELM_SCRIPTS_DIR) + "/" + name);
+  EXPECT_TRUE(in.good()) << "missing script " << name;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  SimulatorTest() : cc_(ClusterConfig::PaperCluster()) {}
+
+  std::unique_ptr<MlProgram> CompileScript(const std::string& file,
+                                           int64_t rows, int64_t cols,
+                                           double sparsity = 1.0) {
+    hdfs_ = std::make_unique<SimulatedHdfs>(cc_.hdfs_block_size);
+    hdfs_->PutMetadata("/data/X", MatrixCharacteristics::WithSparsity(
+                                      rows, cols, sparsity));
+    hdfs_->PutMetadata("/data/y", MatrixCharacteristics::Dense(rows, 1));
+    ScriptArgs args{{"X", "/data/X"}, {"Y", "/data/y"},
+                    {"B", "/out/B"},  {"model", "/out/w"}};
+    auto p = MlProgram::Compile(ReadScript(file), args, hdfs_.get());
+    EXPECT_TRUE(p.ok()) << file << ": " << p.status().ToString();
+    return std::move(*p);
+  }
+
+  double Measure(const std::string& file, int64_t rows, int64_t cols,
+                 const ResourceConfig& config, SimOptions opts = {},
+                 const SymbolMap& oracle = {}, SimResult* out = nullptr) {
+    auto p = CompileScript(file, rows, cols);
+    ClusterSimulator sim(cc_, opts);
+    auto r = sim.Execute(p.get(), config, oracle);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    if (out != nullptr) *out = *r;
+    return r->elapsed_seconds;
+  }
+
+  ClusterConfig cc_;
+  std::unique_ptr<SimulatedHdfs> hdfs_;
+};
+
+TEST_F(SimulatorTest, MeasuredTimesArePositiveAndOrdered) {
+  // LinregCG, 8GB dense: a large CP must beat the minimum CP.
+  double small = Measure("linreg_cg.dml", 1000000, 1000,
+                         ResourceConfig(512 * kMB, GigaBytes(4.4)));
+  double large = Measure("linreg_cg.dml", 1000000, 1000,
+                         ResourceConfig(20 * kGB, GigaBytes(4.4)));
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(large, 0.0);
+  EXPECT_LT(large, small);
+}
+
+TEST_F(SimulatorTest, LinregDsDistributedBeatsLocalAtScale) {
+  double distributed = Measure("linreg_ds.dml", 1000000, 1000,
+                               ResourceConfig(2 * kGB, 2 * kGB));
+  double local = Measure("linreg_ds.dml", 1000000, 1000,
+                         ResourceConfig(cc_.MaxHeapSize(), 2 * kGB));
+  EXPECT_LT(distributed, local);
+}
+
+TEST_F(SimulatorTest, MeasuredTracksEstimatedShape) {
+  // The simulator and cost model share first-order physics: for a plan
+  // without unknowns the measured and estimated times should agree
+  // within a small factor.
+  auto p = CompileScript("l2svm.dml", 1000000, 1000);
+  ResourceConfig cfg(4 * kGB, 2 * kGB);
+  CompileCounters counters;
+  auto rp = GenerateRuntimeProgram(p.get(), cc_, cfg, &counters);
+  ASSERT_TRUE(rp.ok());
+  CostModel cm(cc_);
+  double estimated = cm.EstimateProgramCost(*rp);
+  SimOptions opts;
+  opts.noise = 0.0;
+  ClusterSimulator sim(cc_, opts);
+  auto r = sim.Execute(p.get(), cfg);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->elapsed_seconds, estimated * 0.3);
+  EXPECT_LT(r->elapsed_seconds, estimated * 3.0);
+}
+
+TEST_F(SimulatorTest, NoiseIsReproducible) {
+  SimOptions opts;
+  opts.seed = 7;
+  double a = Measure("linreg_ds.dml", 1000000, 1000,
+                     ResourceConfig(2 * kGB, 2 * kGB), opts);
+  double b = Measure("linreg_ds.dml", 1000000, 1000,
+                     ResourceConfig(2 * kGB, 2 * kGB), opts);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST_F(SimulatorTest, SmallHeapSuffersEvictions) {
+  // CG with a CP heap just below the data size: X cannot stay resident,
+  // so each iteration re-reads it (buffer-pool evictions).
+  SimResult small_result;
+  Measure("linreg_cg.dml", 1000000, 1000,
+          ResourceConfig(8 * kGB, 2 * kGB), {}, {}, &small_result);
+  SimResult large_result;
+  Measure("linreg_cg.dml", 1000000, 1000,
+          ResourceConfig(24 * kGB, 2 * kGB), {}, {}, &large_result);
+  EXPECT_GT(small_result.bufferpool_evictions,
+            large_result.bufferpool_evictions);
+}
+
+TEST_F(SimulatorTest, MlogregUnknownsResolveViaOracle) {
+  // MLogreg with k=20 classes: table() output size comes from the
+  // oracle; dynamic recompilation must pick it up.
+  SymbolMap oracle;
+  SymbolInfo y_info;
+  y_info.dtype = DataType::kMatrix;
+  y_info.mc = MatrixCharacteristics(1000000, 20, 1000000);
+  oracle["Y"] = y_info;
+  SimOptions opts;
+  SimResult result;
+  Measure("mlogreg.dml", 1000000, 100,
+          ResourceConfig(512 * kMB, 512 * kMB), opts, oracle, &result);
+  EXPECT_GT(result.dynamic_recompiles, 0);
+}
+
+TEST_F(SimulatorTest, AdaptationMigratesAndImproves) {
+  // 800MB dense100 with k=2 classes: after the table() size resolves,
+  // the core loop fits a ~2GB CP heap, but the initial (unknown-blind)
+  // optimization stays near the minimum and pays MR-job latency in every
+  // iteration until adaptation migrates (the Figure 15 S scenario).
+  const int64_t rows = 1000000;
+  const int64_t cols = 100;
+  SymbolMap oracle;
+  SymbolInfo y_info;
+  y_info.dtype = DataType::kMatrix;
+  y_info.mc = MatrixCharacteristics(rows, 2, rows);
+  oracle["Y"] = y_info;
+
+  // Initial configuration from the initial resource optimization (which
+  // cannot see through the unknowns).
+  auto p0 = CompileScript("mlogreg.dml", rows, cols);
+  ResourceOptimizer opt(cc_, OptimizerOptions{});
+  auto initial = opt.Optimize(p0.get());
+  ASSERT_TRUE(initial.ok());
+
+  SimOptions no_adapt;
+  no_adapt.enable_adaptation = false;
+  SimResult r_no;
+  double t_no = Measure("mlogreg.dml", rows, cols, *initial, no_adapt,
+                        oracle, &r_no);
+
+  SimOptions adapt;
+  adapt.enable_adaptation = true;
+  SimResult r_yes;
+  double t_yes = Measure("mlogreg.dml", rows, cols, *initial, adapt,
+                         oracle, &r_yes);
+
+  EXPECT_LE(r_yes.migrations, 2);  // paper: at most two migrations
+  EXPECT_GE(r_yes.reoptimizations, 1);
+  EXPECT_LT(t_yes, t_no) << "adaptation must pay off";
+}
+
+TEST_F(SimulatorTest, GlmDerivesFunctionSizes) {
+  // GLM's unknowns come from UDF outputs; the simulator derives them
+  // from known argument sizes without any oracle entries.
+  SimOptions opts;
+  SimResult result;
+  Measure("glm.dml", 1000000, 100, ResourceConfig(2 * kGB, 2 * kGB),
+          opts, {}, &result);
+  EXPECT_GT(result.dynamic_recompiles, 0);
+  bool derived = false;
+  for (const auto& ev : result.events) {
+    if (ev.what.find("derived return size") != std::string::npos) {
+      derived = true;
+    }
+  }
+  EXPECT_TRUE(derived);
+}
+
+// ---- throughput ----
+
+TEST(ThroughputTest, ConcurrencyLimitedByContainerSize) {
+  ClusterConfig cc = ClusterConfig::PaperCluster();
+  // B-LL: 80GB AM containers -> 6 concurrent apps.
+  auto big = SimulateThroughput(cc, 80 * kGB, 60.0, 32, 8, 0.0);
+  EXPECT_EQ(big.max_concurrent, 6);
+  // Opt: 12GB containers -> 36 concurrent apps.
+  auto small = SimulateThroughput(cc, 12 * kGB, 60.0, 32, 8, 0.0);
+  EXPECT_EQ(small.max_concurrent, 32);  // limited by users, not memory
+  EXPECT_GT(small.apps_per_minute, big.apps_per_minute * 4);
+}
+
+TEST(ThroughputTest, NoDifferenceAtLowConcurrency) {
+  ClusterConfig cc = ClusterConfig::PaperCluster();
+  auto big = SimulateThroughput(cc, 80 * kGB, 60.0, 4, 8, 0.0);
+  auto small = SimulateThroughput(cc, 12 * kGB, 60.0, 4, 8, 0.0);
+  EXPECT_NEAR(big.apps_per_minute, small.apps_per_minute,
+              0.01 * small.apps_per_minute);
+}
+
+TEST(ThroughputTest, SaturationSlowsThroughput) {
+  ClusterConfig cc = ClusterConfig::PaperCluster();
+  auto ideal = SimulateThroughput(cc, 12 * kGB, 60.0, 32, 8, 0.0);
+  auto saturated = SimulateThroughput(cc, 12 * kGB, 60.0, 32, 8, 0.10);
+  EXPECT_LT(saturated.apps_per_minute, ideal.apps_per_minute);
+  EXPECT_EQ(saturated.apps_completed, 32 * 8);
+}
+
+TEST(ThroughputTest, AllAppsComplete) {
+  ClusterConfig cc = ClusterConfig::PaperCluster();
+  auto r = SimulateThroughput(cc, 80 * kGB, 10.0, 128, 8, 0.05);
+  EXPECT_EQ(r.apps_completed, 1024);
+  EXPECT_GT(r.total_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace relm

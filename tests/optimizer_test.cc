@@ -1,0 +1,248 @@
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "core/grid_generators.h"
+#include "core/resource_optimizer.h"
+
+namespace relm {
+namespace {
+
+std::string ReadScript(const std::string& name) {
+  std::ifstream in(std::string(RELM_SCRIPTS_DIR) + "/" + name);
+  EXPECT_TRUE(in.good()) << "missing script " << name;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  OptimizerTest() : cc_(ClusterConfig::PaperCluster()) {}
+
+  /// Registers X (rows x cols, sparsity) and matching y, then compiles.
+  std::unique_ptr<MlProgram> CompileScript(const std::string& file,
+                                           int64_t rows, int64_t cols,
+                                           double sparsity = 1.0) {
+    hdfs_ = std::make_unique<SimulatedHdfs>(cc_.hdfs_block_size);
+    hdfs_->PutMetadata(
+        "/data/X", MatrixCharacteristics::WithSparsity(rows, cols,
+                                                       sparsity));
+    hdfs_->PutMetadata("/data/y", MatrixCharacteristics::Dense(rows, 1));
+    ScriptArgs args{{"X", "/data/X"}, {"Y", "/data/y"},
+                    {"B", "/out/B"},  {"model", "/out/w"}};
+    auto p = MlProgram::Compile(ReadScript(file), args, hdfs_.get());
+    EXPECT_TRUE(p.ok()) << file << ": " << p.status().ToString();
+    return std::move(*p);
+  }
+
+  double CostOfConfig(MlProgram* p, const ResourceConfig& rc) {
+    CompileCounters counters;
+    auto rp = GenerateRuntimeProgram(p, cc_, rc, &counters);
+    EXPECT_TRUE(rp.ok());
+    CostModel cm(cc_);
+    return cm.EstimateProgramCost(*rp);
+  }
+
+  ClusterConfig cc_;
+  std::unique_ptr<SimulatedHdfs> hdfs_;
+};
+
+// ---- grid generators (Figure 13 behaviour) ----
+
+TEST_F(OptimizerTest, EquiGridHasExactlyMPoints) {
+  auto pts = EnumGridPoints(nullptr, cc_, GridType::kEquiSpaced, 15);
+  EXPECT_EQ(pts.size(), 15u);
+  EXPECT_EQ(pts.front(), cc_.MinHeapSize());
+  EXPECT_TRUE(std::is_sorted(pts.begin(), pts.end()));
+  auto pts45 = EnumGridPoints(nullptr, cc_, GridType::kEquiSpaced, 45);
+  EXPECT_EQ(pts45.size(), 45u);
+}
+
+TEST_F(OptimizerTest, ExpGridIsLogarithmic) {
+  auto pts = EnumGridPoints(nullptr, cc_, GridType::kExpSpaced, 15);
+  // 512MB..53.3GB doubling: 512MB,1,2,4,8,16,32GB + max = 8 points.
+  EXPECT_EQ(pts.size(), 8u);
+  EXPECT_EQ(pts.front(), cc_.MinHeapSize());
+  EXPECT_EQ(pts.back(), cc_.MaxHeapSize());
+}
+
+TEST_F(OptimizerTest, MemGridDependsOnDataSize) {
+  auto tiny = CompileScript("linreg_ds.dml", 10000, 1000);    // 80MB
+  auto mid = CompileScript("linreg_ds.dml", 1000000, 1000);   // 8GB
+  auto tiny_pts = EnumGridPoints(tiny.get(), cc_, GridType::kMemBased, 15);
+  auto mid_pts = EnumGridPoints(mid.get(), cc_, GridType::kMemBased, 15);
+  // Small data: all estimates below mincc -> a single point.
+  EXPECT_EQ(tiny_pts.size(), 1u);
+  EXPECT_EQ(tiny_pts.front(), cc_.MinHeapSize());
+  // 8GB data: several estimate-bracketing points.
+  EXPECT_GT(mid_pts.size(), tiny_pts.size());
+}
+
+TEST_F(OptimizerTest, HybridIsUnionOfMemAndExp) {
+  auto p = CompileScript("linreg_ds.dml", 1000000, 1000);
+  auto hybrid = EnumGridPoints(p.get(), cc_, GridType::kHybrid, 15);
+  auto exp = EnumGridPoints(p.get(), cc_, GridType::kExpSpaced, 15);
+  auto mem = EnumGridPoints(p.get(), cc_, GridType::kMemBased, 15);
+  EXPECT_GE(hybrid.size(), exp.size());
+  EXPECT_GE(hybrid.size(), mem.size());
+  for (int64_t e : exp) {
+    EXPECT_NE(std::find(hybrid.begin(), hybrid.end(), e), hybrid.end());
+  }
+}
+
+// ---- core optimizer ----
+
+TEST_F(OptimizerTest, BeatsOrMatchesAllStaticBaselines) {
+  // The optimizer's chosen config must cost no more than the paper's
+  // four static baselines (B-SS, B-LS, B-SL, B-LL) under the same model.
+  for (const char* script : {"linreg_ds.dml", "linreg_cg.dml",
+                             "l2svm.dml"}) {
+    auto p = CompileScript(script, 1000000, 1000);  // 8GB dense
+    ResourceOptimizer opt(cc_, OptimizerOptions{});
+    OptimizerStats stats;
+    auto best = opt.Optimize(p.get(), &stats);
+    ASSERT_TRUE(best.ok()) << script << ": " << best.status().ToString();
+    double opt_cost = CostOfConfig(p.get(), *best);
+    int64_t small = 512 * kMB;
+    int64_t large = cc_.MaxHeapSize();
+    int64_t task_large = GigaBytes(4.4);
+    for (ResourceConfig base :
+         {ResourceConfig(small, small), ResourceConfig(large, small),
+          ResourceConfig(small, task_large),
+          ResourceConfig(large, task_large)}) {
+      // The optimizer prefers minimal resources among near-ties, so its
+      // pick may cost up to the tie tolerance above the true minimum.
+      double base_cost = CostOfConfig(p.get(), base);
+      EXPECT_LE(opt_cost, base_cost * 1.03)
+          << script << " vs baseline " << base.ToString();
+    }
+  }
+}
+
+TEST_F(OptimizerTest, LinregCgPicksLargeCp) {
+  auto p = CompileScript("linreg_cg.dml", 1000000, 1000);  // 8GB dense
+  ResourceOptimizer opt(cc_, OptimizerOptions{});
+  auto best = opt.Optimize(p.get());
+  ASSERT_TRUE(best.ok());
+  // CG wants X (8GB) in CP memory: heap must be at least ~12GB.
+  EXPECT_GE(best->cp_heap, 10 * kGB) << best->ToString();
+}
+
+TEST_F(OptimizerTest, LinregDsPicksSmallCp) {
+  auto p = CompileScript("linreg_ds.dml", 1000000, 1000);  // 8GB dense
+  ResourceOptimizer opt(cc_, OptimizerOptions{});
+  auto best = opt.Optimize(p.get());
+  ASSERT_TRUE(best.ok());
+  // DS prefers the distributed plan: no need for a giant CP heap.
+  EXPECT_LE(best->cp_heap, 8 * kGB) << best->ToString();
+}
+
+TEST_F(OptimizerTest, SmallDataAvoidsOverProvisioning) {
+  auto p = CompileScript("linreg_ds.dml", 10000, 1000);  // 80MB
+  ResourceOptimizer opt(cc_, OptimizerOptions{});
+  OptimizerStats stats;
+  auto best = opt.Optimize(p.get(), &stats);
+  ASSERT_TRUE(best.ok());
+  // Everything fits in a small CP: minimal resources, zero MR blocks.
+  EXPECT_LE(best->cp_heap, 2 * kGB) << best->ToString();
+  EXPECT_EQ(stats.remaining_blocks_after_pruning, 0);
+}
+
+TEST_F(OptimizerTest, PruningReducesWork) {
+  auto p = CompileScript("l2svm.dml", 1000000, 1000);
+  OptimizerOptions with;
+  OptimizerOptions without;
+  without.prune_small_blocks = false;
+  without.prune_unknown_blocks = false;
+  OptimizerStats s_with;
+  OptimizerStats s_without;
+  ResourceOptimizer opt_with(cc_, with);
+  ResourceOptimizer opt_without(cc_, without);
+  auto r1 = opt_with.Optimize(p.get(), &s_with);
+  auto r2 = opt_without.Optimize(p.get(), &s_without);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_LT(s_with.block_recompiles, s_without.block_recompiles);
+  // Pruning must not change the found configuration's cost class.
+  EXPECT_NEAR(s_with.best_cost, s_without.best_cost,
+              0.05 * s_without.best_cost);
+}
+
+TEST_F(OptimizerTest, UnknownBlocksPruned) {
+  auto p = CompileScript("mlogreg.dml", 1000000, 100);  // 800MB, unknowns
+  ASSERT_TRUE(p->has_unknowns());
+  OptimizerOptions opts;
+  OptimizerStats stats;
+  ResourceOptimizer opt(cc_, opts);
+  auto best = opt.Optimize(p.get(), &stats);
+  ASSERT_TRUE(best.ok());
+  // Unknown-block pruning keeps the remaining count low even though the
+  // core loops contain (unknown-size) MR operators.
+  EXPECT_LT(stats.remaining_blocks_after_pruning,
+            stats.total_generic_blocks / 2);
+}
+
+TEST_F(OptimizerTest, StatsArepopulated) {
+  auto p = CompileScript("linreg_ds.dml", 1000000, 1000);
+  ResourceOptimizer opt(cc_, OptimizerOptions{});
+  OptimizerStats stats;
+  auto best = opt.Optimize(p.get(), &stats);
+  ASSERT_TRUE(best.ok());
+  EXPECT_GT(stats.block_recompiles, 0);
+  EXPECT_GT(stats.cost_invocations, 0);
+  EXPECT_GT(stats.opt_time_seconds, 0.0);
+  EXPECT_GT(stats.cp_grid_points, 0);
+  EXPECT_GT(stats.best_cost, 0.0);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST_F(OptimizerTest, ParallelMatchesSerial) {
+  auto p = CompileScript("l2svm.dml", 1000000, 1000);
+  OptimizerOptions serial;
+  OptimizerOptions parallel;
+  parallel.num_threads = 4;
+  ResourceOptimizer opt_s(cc_, serial);
+  ResourceOptimizer opt_p(cc_, parallel);
+  OptimizerStats ss;
+  OptimizerStats sp;
+  auto rs = opt_s.Optimize(p.get(), &ss);
+  auto rp = opt_p.Optimize(p.get(), &sp);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rp.ok()) << rp.status().ToString();
+  EXPECT_EQ(rs->cp_heap, rp->cp_heap);
+  EXPECT_NEAR(ss.best_cost, sp.best_cost, 1e-6 * ss.best_cost);
+}
+
+TEST_F(OptimizerTest, ExtendedReturnsLocalOptimum) {
+  auto p = CompileScript("linreg_cg.dml", 1000000, 1000);
+  ResourceOptimizer opt(cc_, OptimizerOptions{});
+  int64_t fixed_cp = 512 * kMB;
+  auto ext = opt.OptimizeExtended(p.get(), fixed_cp);
+  ASSERT_TRUE(ext.ok()) << ext.status().ToString();
+  EXPECT_EQ(ext->local.cp_heap, fixed_cp);
+  // The global optimum (large CP) must be at least as good as the local.
+  EXPECT_LE(ext->global_cost, ext->local_cost);
+  EXPECT_GT(ext->global.cp_heap, fixed_cp);
+}
+
+TEST_F(OptimizerTest, TimeBudgetRespected) {
+  auto p = CompileScript("glm.dml", 1000000, 1000);
+  OptimizerOptions opts;
+  opts.time_budget_seconds = 0.0;  // only the first grid point runs
+  ResourceOptimizer opt(cc_, opts);
+  OptimizerStats stats;
+  auto best = opt.Optimize(p.get(), &stats);
+  // With a zero budget nothing is enumerated -> error is acceptable, or
+  // a single-point result; either way it must not hang.
+  if (best.ok()) {
+    EXPECT_GT(stats.opt_time_seconds, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace relm

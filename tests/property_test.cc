@@ -1,0 +1,292 @@
+// Property-based suites over the compiler, optimizer, and simulator:
+// invariants that must hold across sweeps of scripts, data shapes, and
+// resource configurations (TEST_P / INSTANTIATE_TEST_SUITE_P).
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "api/relm_system.h"
+#include "core/grid_generators.h"
+#include "core/resource_optimizer.h"
+#include "lops/compiler_backend.h"
+
+namespace relm {
+namespace {
+
+const char* kScripts[] = {"linreg_ds.dml", "linreg_cg.dml", "l2svm.dml",
+                          "mlogreg.dml", "glm.dml"};
+
+std::string ReadScript(const std::string& name) {
+  std::ifstream in(std::string(RELM_SCRIPTS_DIR) + "/" + name);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::unique_ptr<MlProgram> CompileFor(RelmSystem* sys,
+                                      const std::string& script,
+                                      int64_t cells, int64_t cols,
+                                      double sparsity) {
+  sys->RegisterMatrixMetadata("/data/X", cells / cols, cols, sparsity);
+  sys->RegisterMatrixMetadata("/data/y", cells / cols, 1);
+  ScriptArgs args{{"X", "/data/X"}, {"Y", "/data/y"},
+                  {"B", "/out/B"},  {"model", "/out/w"}};
+  auto p = sys->CompileSource(ReadScript(script), args);
+  EXPECT_TRUE(p.ok()) << script << ": " << p.status().ToString();
+  return std::move(*p);
+}
+
+// ------------------------------------------------------------------
+// Plan invariants across scripts x memory configs.
+// ------------------------------------------------------------------
+
+using PlanParam = std::tuple<const char*, int64_t /*cp*/, int64_t /*mr*/>;
+
+class PlanInvariantTest : public ::testing::TestWithParam<PlanParam> {};
+
+TEST_P(PlanInvariantTest, EveryMrOperatorInExactlyOneJob) {
+  auto [script, cp, mr] = GetParam();
+  RelmSystem sys;
+  auto prog = CompileFor(&sys, script, 1000000000LL, 1000, 1.0);
+  CompileCounters counters;
+  auto rp = GenerateRuntimeProgram(prog.get(), sys.cluster(),
+                                   ResourceConfig(cp, mr), &counters);
+  ASSERT_TRUE(rp.ok());
+  // Walk all runtime blocks: every MR-exec matrix operator of each DAG
+  // must appear exactly once across that block's jobs, and every CP
+  // instruction must be a CP-exec hop.
+  std::function<void(const RuntimeBlock&)> check =
+      [&](const RuntimeBlock& rb) {
+        std::set<const Hop*> in_jobs;
+        for (const auto& instr : rb.instrs) {
+          if (instr.kind == RuntimeInstr::Kind::kMrJob) {
+            for (const Hop* op : instr.job.map_ops) {
+              EXPECT_TRUE(in_jobs.insert(op).second)
+                  << "operator in two jobs";
+              EXPECT_EQ(op->exec_type(), ExecType::kMR);
+            }
+            for (const Hop* op : instr.job.reduce_ops) {
+              EXPECT_TRUE(in_jobs.insert(op).second);
+              EXPECT_EQ(op->exec_type(), ExecType::kMR);
+            }
+            // Broadcast memory must fit the task budget whenever a
+            // broadcast-based operator was chosen.
+            if (instr.job.broadcast_bytes > 0) {
+              EXPECT_LE(instr.job.broadcast_bytes,
+                        ResourceConfig(cp, mr)
+                            .MrBudgetForBlock(rb.block->id()));
+            }
+          } else {
+            EXPECT_EQ(instr.hop->exec_type(), ExecType::kCP)
+                << instr.hop->ToString();
+          }
+        }
+        for (const auto& c : rb.body) check(c);
+        for (const auto& c : rb.else_body) check(c);
+      };
+  for (const auto& rb : rp->main) check(rb);
+  for (const auto& [name, blocks] : rp->functions) {
+    for (const auto& rb : blocks) check(rb);
+  }
+}
+
+TEST_P(PlanInvariantTest, InstructionsRespectDependencies) {
+  auto [script, cp, mr] = GetParam();
+  RelmSystem sys;
+  auto prog = CompileFor(&sys, script, 1000000000LL, 1000, 1.0);
+  CompileCounters counters;
+  auto rp = GenerateRuntimeProgram(prog.get(), sys.cluster(),
+                                   ResourceConfig(cp, mr), &counters);
+  ASSERT_TRUE(rp.ok());
+  std::function<void(const RuntimeBlock&)> check =
+      [&](const RuntimeBlock& rb) {
+        std::set<const Hop*> emitted;
+        auto resolve = [](const Hop* h) {
+          while (h->fused() && !h->inputs().empty()) h = h->input(0);
+          return h;
+        };
+        auto is_op = [](const Hop* h) {
+          switch (h->kind()) {
+            case HopKind::kLiteral:
+            case HopKind::kTransientRead:
+            case HopKind::kPersistentRead:
+            case HopKind::kFunctionOutput:
+              return false;
+            default:
+              return !h->fused();
+          }
+        };
+        for (const auto& instr : rb.instrs) {
+          std::vector<const Hop*> ops;
+          if (instr.kind == RuntimeInstr::Kind::kCp) {
+            ops.push_back(instr.hop);
+          } else {
+            for (const Hop* op : instr.job.map_ops) ops.push_back(op);
+            for (const Hop* op : instr.job.reduce_ops) ops.push_back(op);
+          }
+          std::set<const Hop*> instr_set(ops.begin(), ops.end());
+          for (const Hop* op : ops) {
+            for (const auto& raw : op->inputs()) {
+              const Hop* in = resolve(raw.get());
+              if (!is_op(in) || instr_set.count(in)) continue;
+              EXPECT_TRUE(emitted.count(in))
+                  << "instruction ordering violates dependency: "
+                  << op->ToString() << " needs " << in->ToString();
+            }
+          }
+          for (const Hop* op : ops) emitted.insert(op);
+        }
+        for (const auto& c : rb.body) check(c);
+        for (const auto& c : rb.else_body) check(c);
+      };
+  for (const auto& rb : rp->main) check(rb);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlanInvariantTest,
+    ::testing::Combine(::testing::ValuesIn(kScripts),
+                       ::testing::Values(512 * kMB, 4 * kGB, 32 * kGB),
+                       ::testing::Values(512 * kMB, 4 * kGB)),
+    [](const auto& info) {
+      std::string s = std::get<0>(info.param);
+      s = s.substr(0, s.find('.'));
+      return s + "_cp" +
+             std::to_string(std::get<1>(info.param) / kMB) + "_mr" +
+             std::to_string(std::get<2>(info.param) / kMB);
+    });
+
+// ------------------------------------------------------------------
+// Monotonicity properties of the plan w.r.t. memory budgets.
+// ------------------------------------------------------------------
+
+class MonotonicityTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MonotonicityTest, MrJobsNeverIncreaseWithCpMemory) {
+  RelmSystem sys;
+  auto prog = CompileFor(&sys, GetParam(), 1000000000LL, 1000, 1.0);
+  int prev_jobs = -1;
+  for (int64_t cp : {512 * kMB, 1 * kGB, 2 * kGB, 4 * kGB, 8 * kGB,
+                     16 * kGB, 32 * kGB}) {
+    CompileCounters counters;
+    auto rp = GenerateRuntimeProgram(prog.get(), sys.cluster(),
+                                     ResourceConfig(cp, 512 * kMB),
+                                     &counters);
+    ASSERT_TRUE(rp.ok());
+    int jobs = rp->TotalMrJobs();
+    if (prev_jobs >= 0) {
+      EXPECT_LE(jobs, prev_jobs)
+          << "monotonic dependency elimination violated at cp=" << cp;
+    }
+    prev_jobs = jobs;
+  }
+}
+
+TEST_P(MonotonicityTest, SimulatedTimeDeterministic) {
+  RelmSystem sys;
+  auto prog = CompileFor(&sys, GetParam(), 100000000LL, 1000, 1.0);
+  SimOptions opts;
+  opts.seed = 99;
+  auto a = sys.Simulate(prog->Clone()->get(),
+                        ResourceConfig(2 * kGB, 2 * kGB), opts);
+  auto b = sys.Simulate(prog->Clone()->get(),
+                        ResourceConfig(2 * kGB, 2 * kGB), opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->elapsed_seconds, b->elapsed_seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScripts, MonotonicityTest,
+                         ::testing::ValuesIn(kScripts),
+                         [](const auto& info) {
+                           std::string s = info.param;
+                           return s.substr(0, s.find('.'));
+                         });
+
+// ------------------------------------------------------------------
+// Grid generator properties across base resolutions.
+// ------------------------------------------------------------------
+
+class GridPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridPropertyTest, AllGridsSortedUniqueAndBounded) {
+  int m = GetParam();
+  RelmSystem sys;
+  auto prog = CompileFor(&sys, "l2svm.dml", 1000000000LL, 1000, 1.0);
+  const ClusterConfig& cc = sys.cluster();
+  for (GridType type : {GridType::kEquiSpaced, GridType::kExpSpaced,
+                        GridType::kMemBased, GridType::kHybrid}) {
+    auto pts = EnumGridPoints(prog.get(), cc, type, m);
+    ASSERT_FALSE(pts.empty()) << GridTypeName(type);
+    EXPECT_TRUE(std::is_sorted(pts.begin(), pts.end()));
+    EXPECT_EQ(std::set<int64_t>(pts.begin(), pts.end()).size(),
+              pts.size())
+        << "duplicate grid points in " << GridTypeName(type);
+    EXPECT_GE(pts.front(), cc.MinHeapSize());
+    EXPECT_LE(pts.back(), cc.MaxHeapSize());
+  }
+}
+
+TEST_P(GridPropertyTest, EquiGapsAreUniform) {
+  int m = GetParam();
+  RelmSystem sys;
+  const ClusterConfig& cc = sys.cluster();
+  auto pts = EnumGridPoints(nullptr, cc, GridType::kEquiSpaced, m);
+  ASSERT_EQ(pts.size(), static_cast<size_t>(m));
+  int64_t gap = pts[1] - pts[0];
+  for (size_t i = 2; i < pts.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(pts[i] - pts[i - 1]),
+                static_cast<double>(gap), static_cast<double>(gap) * 0.01);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, GridPropertyTest,
+                         ::testing::Values(5, 15, 30, 45));
+
+// ------------------------------------------------------------------
+// Optimizer properties across data shapes.
+// ------------------------------------------------------------------
+
+using ShapeParam = std::tuple<const char*, int64_t /*cols*/,
+                              double /*sparsity*/>;
+
+class OptimizerPropertyTest
+    : public ::testing::TestWithParam<ShapeParam> {};
+
+TEST_P(OptimizerPropertyTest, OptNeverWorseThanBaselinesByModel) {
+  auto [script, cols, sparsity] = GetParam();
+  RelmSystem sys;
+  auto prog = CompileFor(&sys, script, 1000000000LL, cols, sparsity);
+  auto config = sys.OptimizeResources(prog.get());
+  ASSERT_TRUE(config.ok());
+  double opt_cost = *sys.EstimateCost(prog.get(), *config);
+  for (const auto& baseline : sys.StaticBaselines()) {
+    double base_cost = *sys.EstimateCost(prog.get(), baseline.config);
+    EXPECT_LE(opt_cost, base_cost * 1.03)
+        << baseline.name << " beats Opt under the model";
+  }
+  // The chosen config must respect cluster constraints.
+  EXPECT_GE(config->cp_heap, sys.cluster().MinHeapSize());
+  EXPECT_LE(config->cp_heap, sys.cluster().MaxHeapSize());
+  EXPECT_LE(config->MaxMrHeap(), sys.cluster().MaxHeapSize());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, OptimizerPropertyTest,
+    ::testing::Combine(::testing::Values("linreg_ds.dml", "linreg_cg.dml",
+                                         "l2svm.dml"),
+                       ::testing::Values<int64_t>(1000, 100),
+                       ::testing::Values(1.0, 0.01)),
+    [](const auto& info) {
+      std::string s = std::get<0>(info.param);
+      s = s.substr(0, s.find('.'));
+      return s + "_c" + std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) == 1.0 ? "_dense" : "_sparse");
+    });
+
+}  // namespace
+}  // namespace relm

@@ -1,0 +1,216 @@
+// Behavioural properties of the cluster simulator that the end-to-end
+// figures rely on: monotone responses to contention and noise, event
+// accounting, and agreement between repeated runs under config sweeps.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "api/relm_system.h"
+
+namespace relm {
+namespace {
+
+std::string ReadScript(const std::string& name) {
+  std::ifstream in(std::string(RELM_SCRIPTS_DIR) + "/" + name);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class SimBehaviorTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<MlProgram> Compile(const std::string& script,
+                                     int64_t rows, int64_t cols,
+                                     double sparsity = 1.0) {
+    sys_ = std::make_unique<RelmSystem>();
+    sys_->RegisterMatrixMetadata("/data/X", rows, cols, sparsity);
+    sys_->RegisterMatrixMetadata("/data/y", rows, 1);
+    ScriptArgs args{{"X", "/data/X"}, {"Y", "/data/y"},
+                    {"B", "/out/B"},  {"model", "/out/w"}};
+    auto p = sys_->CompileSource(ReadScript(script), args);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    return std::move(*p);
+  }
+
+  SimResult Sim(const MlProgram& prog, const ResourceConfig& cfg,
+                SimOptions opts = {}) {
+    auto clone = prog.Clone();
+    EXPECT_TRUE(clone.ok());
+    auto run = sys_->Simulate(clone->get(), cfg, opts);
+    EXPECT_TRUE(run.ok()) << run.status().ToString();
+    return *run;
+  }
+
+  std::unique_ptr<RelmSystem> sys_;
+};
+
+TEST_F(SimBehaviorTest, IoContentionMonotone) {
+  auto prog = Compile("linreg_ds.dml", 1000000, 1000);
+  ResourceConfig cfg(512 * kMB, 2 * kGB);
+  double prev = 0;
+  for (double contention : {1.0, 1.5, 2.0, 4.0}) {
+    SimOptions opts;
+    opts.noise = 0;
+    opts.io_contention = contention;
+    double t = Sim(*prog, cfg, opts).elapsed_seconds;
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST_F(SimBehaviorTest, NoiseStaysBounded) {
+  auto prog = Compile("l2svm.dml", 1000000, 1000);
+  ResourceConfig cfg(2 * kGB, 2 * kGB);
+  SimOptions quiet;
+  quiet.noise = 0;
+  double base = Sim(*prog, cfg, quiet).elapsed_seconds;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    SimOptions noisy;
+    noisy.noise = 0.02;
+    noisy.seed = seed;
+    double t = Sim(*prog, cfg, noisy).elapsed_seconds;
+    EXPECT_GT(t, base * 0.95);
+    EXPECT_LT(t, base * 1.05);
+  }
+}
+
+TEST_F(SimBehaviorTest, ClusterLoadMonotone) {
+  auto prog = Compile("linreg_ds.dml", 10000000, 1000);  // 80GB
+  ResourceConfig distributed(512 * kMB, 2 * kGB);
+  double prev = 0;
+  for (double load : {0.0, 0.5, 0.8, 0.95}) {
+    SimOptions opts;
+    opts.noise = 0;
+    opts.cluster_load = load;
+    double t = Sim(*prog, distributed, opts).elapsed_seconds;
+    EXPECT_GT(t, prev) << "load " << load;
+    prev = t;
+  }
+}
+
+TEST_F(SimBehaviorTest, MrJobCountMatchesPlanAcrossConfigs) {
+  // Distributed plans execute jobs; in-memory plans execute none.
+  auto prog = Compile("linreg_ds.dml", 1000000, 1000);
+  SimOptions opts;
+  opts.noise = 0;
+  SimResult mr = Sim(*prog, ResourceConfig(512 * kMB, 2 * kGB), opts);
+  SimResult cp =
+      Sim(*prog, ResourceConfig(sys_->cluster().MaxHeapSize(), 2 * kGB),
+          opts);
+  EXPECT_GT(mr.mr_jobs_executed, 0);
+  EXPECT_EQ(cp.mr_jobs_executed, 0);
+}
+
+TEST_F(SimBehaviorTest, IterativeProgramsExecuteJobsPerIteration) {
+  // L2SVM with a small CP runs MR jobs in every (outer) iteration; the
+  // executed job count must exceed the static plan's job count.
+  auto prog = Compile("l2svm.dml", 1000000, 1000);
+  SimOptions opts;
+  opts.noise = 0;
+  SimResult run = Sim(*prog, ResourceConfig(512 * kMB, 2 * kGB), opts);
+  EXPECT_GE(run.mr_jobs_executed, 5);  // >= one per outer iteration
+}
+
+TEST_F(SimBehaviorTest, EventTimesAreMonotone) {
+  SymbolMap oracle;
+  SymbolInfo y_info;
+  y_info.dtype = DataType::kMatrix;
+  y_info.mc = MatrixCharacteristics(1000000, 2, 1000000);
+  oracle["Y"] = y_info;
+  auto prog = Compile("mlogreg.dml", 1000000, 100);
+  SimOptions opts;
+  opts.enable_adaptation = true;
+  auto clone = prog->Clone();
+  auto run = sys_->Simulate(clone->get(),
+                            ResourceConfig(512 * kMB, 512 * kMB), opts,
+                            oracle);
+  ASSERT_TRUE(run.ok());
+  double prev = -1;
+  for (const auto& ev : run->events) {
+    EXPECT_GE(ev.at_seconds, prev);
+    EXPECT_LE(ev.at_seconds, run->elapsed_seconds + 1e-9);
+    prev = ev.at_seconds;
+  }
+}
+
+TEST_F(SimBehaviorTest, MigrationChangesFinalConfig) {
+  SymbolMap oracle;
+  SymbolInfo y_info;
+  y_info.dtype = DataType::kMatrix;
+  y_info.mc = MatrixCharacteristics(1000000, 2, 1000000);
+  oracle["Y"] = y_info;
+  auto prog = Compile("mlogreg.dml", 1000000, 100);
+  SimOptions opts;
+  opts.enable_adaptation = true;
+  ResourceConfig initial(512 * kMB, 512 * kMB);
+  auto clone = prog->Clone();
+  auto run = sys_->Simulate(clone->get(), initial, opts, oracle);
+  ASSERT_TRUE(run.ok());
+  if (run->migrations > 0) {
+    EXPECT_GT(run->final_config.cp_heap, initial.cp_heap);
+  } else {
+    EXPECT_EQ(run->final_config.cp_heap, initial.cp_heap);
+  }
+}
+
+TEST_F(SimBehaviorTest, DisablingDynamicRecompilationKeepsUnknownPlans) {
+  SymbolMap oracle;
+  SymbolInfo y_info;
+  y_info.dtype = DataType::kMatrix;
+  y_info.mc = MatrixCharacteristics(1000000, 2, 1000000);
+  oracle["Y"] = y_info;
+  auto prog = Compile("mlogreg.dml", 1000000, 100);
+  SimOptions off;
+  off.noise = 0;
+  off.enable_dynamic_recompilation = false;
+  auto r_off = Sim(*prog, ResourceConfig(2 * kGB, 2 * kGB), off);
+  EXPECT_EQ(r_off.dynamic_recompiles, 0);
+  SimOptions on;
+  on.noise = 0;
+  auto clone = prog->Clone();
+  auto r_on = sys_->Simulate(clone->get(),
+                             ResourceConfig(2 * kGB, 2 * kGB), on, oracle);
+  ASSERT_TRUE(r_on.ok());
+  EXPECT_GT(r_on->dynamic_recompiles, 0);
+  // Resolving sizes never makes execution slower at the same config.
+  EXPECT_LE(r_on->elapsed_seconds, r_off.elapsed_seconds * 1.01);
+}
+
+using ScriptConfig = std::tuple<const char*, int64_t, int64_t>;
+
+class SimSweepTest : public ::testing::TestWithParam<ScriptConfig> {};
+
+TEST_P(SimSweepTest, AllConfigsExecutableAndFinite) {
+  auto [script, cp, mr] = GetParam();
+  RelmSystem sys;
+  sys.RegisterMatrixMetadata("/data/X", 1000000, 100);
+  sys.RegisterMatrixMetadata("/data/y", 1000000, 1);
+  ScriptArgs args{{"X", "/data/X"}, {"Y", "/data/y"},
+                  {"B", "/out/B"},  {"model", "/out/w"}};
+  auto prog = sys.CompileSource(ReadScript(script), args);
+  ASSERT_TRUE(prog.ok());
+  auto run = sys.Simulate(prog->get(), ResourceConfig(cp, mr));
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_GT(run->elapsed_seconds, 0.0);
+  EXPECT_LT(run->elapsed_seconds, 1e6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimSweepTest,
+    ::testing::Combine(::testing::Values("linreg_ds.dml", "linreg_cg.dml",
+                                         "l2svm.dml", "glm.dml"),
+                       ::testing::Values(512 * kMB, 8 * kGB),
+                       ::testing::Values(512 * kMB, GigaBytes(4.4))),
+    [](const auto& info) {
+      std::string s = std::get<0>(info.param);
+      s = s.substr(0, s.find('.'));
+      return s + "_cp" + std::to_string(std::get<1>(info.param) / kMB) +
+             "_mr" + std::to_string(std::get<2>(info.param) / kMB);
+    });
+
+}  // namespace
+}  // namespace relm

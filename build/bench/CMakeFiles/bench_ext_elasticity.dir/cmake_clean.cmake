@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_elasticity.dir/bench_ext_elasticity.cc.o"
+  "CMakeFiles/bench_ext_elasticity.dir/bench_ext_elasticity.cc.o.d"
+  "bench_ext_elasticity"
+  "bench_ext_elasticity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_elasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_mlogreg.dir/bench_fig10_mlogreg.cc.o"
+  "CMakeFiles/bench_fig10_mlogreg.dir/bench_fig10_mlogreg.cc.o.d"
+  "bench_fig10_mlogreg"
+  "bench_fig10_mlogreg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_mlogreg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_glm.dir/bench_fig11_glm.cc.o"
+  "CMakeFiles/bench_fig11_glm.dir/bench_fig11_glm.cc.o.d"
+  "bench_fig11_glm"
+  "bench_fig11_glm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_glm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

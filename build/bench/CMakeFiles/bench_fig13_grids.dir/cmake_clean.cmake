@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_grids.dir/bench_fig13_grids.cc.o"
+  "CMakeFiles/bench_fig13_grids.dir/bench_fig13_grids.cc.o.d"
+  "bench_fig13_grids"
+  "bench_fig13_grids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_grids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

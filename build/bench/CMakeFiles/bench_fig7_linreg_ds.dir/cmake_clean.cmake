@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_linreg_ds.dir/bench_fig7_linreg_ds.cc.o"
+  "CMakeFiles/bench_fig7_linreg_ds.dir/bench_fig7_linreg_ds.cc.o.d"
+  "bench_fig7_linreg_ds"
+  "bench_fig7_linreg_ds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_linreg_ds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_linreg_cg.dir/bench_fig8_linreg_cg.cc.o"
+  "CMakeFiles/bench_fig8_linreg_cg.dir/bench_fig8_linreg_cg.cc.o.d"
+  "bench_fig8_linreg_cg"
+  "bench_fig8_linreg_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_linreg_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

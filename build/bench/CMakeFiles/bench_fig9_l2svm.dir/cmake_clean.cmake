@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_l2svm.dir/bench_fig9_l2svm.cc.o"
+  "CMakeFiles/bench_fig9_l2svm.dir/bench_fig9_l2svm.cc.o.d"
+  "bench_fig9_l2svm"
+  "bench_fig9_l2svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_l2svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table5_spark.cc" "bench/CMakeFiles/bench_table5_spark.dir/bench_table5_spark.cc.o" "gcc" "bench/CMakeFiles/bench_table5_spark.dir/bench_table5_spark.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/api/CMakeFiles/relm_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrsim/CMakeFiles/relm_mrsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/relm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/relm_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/lops/CMakeFiles/relm_lops.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/relm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/hops/CMakeFiles/relm_hops.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/relm_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/relm_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/spark/CMakeFiles/relm_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/yarn/CMakeFiles/relm_yarn.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/relm_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/relm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_spark.dir/bench_table5_spark.cc.o"
+  "CMakeFiles/bench_table5_spark.dir/bench_table5_spark.cc.o.d"
+  "bench_table5_spark"
+  "bench_table5_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

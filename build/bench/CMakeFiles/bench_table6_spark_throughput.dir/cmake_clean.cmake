@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_spark_throughput.dir/bench_table6_spark_throughput.cc.o"
+  "CMakeFiles/bench_table6_spark_throughput.dir/bench_table6_spark_throughput.cc.o.d"
+  "bench_table6_spark_throughput"
+  "bench_table6_spark_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_spark_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_mlogreg.dir/adaptive_mlogreg.cpp.o"
+  "CMakeFiles/adaptive_mlogreg.dir/adaptive_mlogreg.cpp.o.d"
+  "adaptive_mlogreg"
+  "adaptive_mlogreg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_mlogreg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_multitenant.dir/elastic_multitenant.cpp.o"
+  "CMakeFiles/elastic_multitenant.dir/elastic_multitenant.cpp.o.d"
+  "elastic_multitenant"
+  "elastic_multitenant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_multitenant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

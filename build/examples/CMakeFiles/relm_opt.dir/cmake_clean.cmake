@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relm_opt.dir/relm_opt.cpp.o"
+  "CMakeFiles/relm_opt.dir/relm_opt.cpp.o.d"
+  "relm_opt"
+  "relm_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relm_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("matrix")
+subdirs("hdfs")
+subdirs("yarn")
+subdirs("lang")
+subdirs("hops")
+subdirs("lops")
+subdirs("runtime")
+subdirs("cost")
+subdirs("core")
+subdirs("mrsim")
+subdirs("spark")
+subdirs("api")

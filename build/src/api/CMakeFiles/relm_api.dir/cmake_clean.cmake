@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relm_api.dir/relm_system.cc.o"
+  "CMakeFiles/relm_api.dir/relm_system.cc.o.d"
+  "librelm_api.a"
+  "librelm_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relm_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relm_common.dir/logging.cc.o"
+  "CMakeFiles/relm_common.dir/logging.cc.o.d"
+  "CMakeFiles/relm_common.dir/status.cc.o"
+  "CMakeFiles/relm_common.dir/status.cc.o.d"
+  "CMakeFiles/relm_common.dir/string_util.cc.o"
+  "CMakeFiles/relm_common.dir/string_util.cc.o.d"
+  "librelm_common.a"
+  "librelm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relm_core.dir/grid_generators.cc.o"
+  "CMakeFiles/relm_core.dir/grid_generators.cc.o.d"
+  "CMakeFiles/relm_core.dir/resource_optimizer.cc.o"
+  "CMakeFiles/relm_core.dir/resource_optimizer.cc.o.d"
+  "librelm_core.a"
+  "librelm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

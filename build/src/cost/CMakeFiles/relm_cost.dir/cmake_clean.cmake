@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relm_cost.dir/cost_model.cc.o"
+  "CMakeFiles/relm_cost.dir/cost_model.cc.o.d"
+  "librelm_cost.a"
+  "librelm_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relm_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

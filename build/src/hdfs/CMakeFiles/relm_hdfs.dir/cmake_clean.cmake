@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relm_hdfs.dir/file_system.cc.o"
+  "CMakeFiles/relm_hdfs.dir/file_system.cc.o.d"
+  "librelm_hdfs.a"
+  "librelm_hdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relm_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

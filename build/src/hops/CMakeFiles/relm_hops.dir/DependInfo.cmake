@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hops/dag_builder.cc" "src/hops/CMakeFiles/relm_hops.dir/dag_builder.cc.o" "gcc" "src/hops/CMakeFiles/relm_hops.dir/dag_builder.cc.o.d"
+  "/root/repo/src/hops/hop.cc" "src/hops/CMakeFiles/relm_hops.dir/hop.cc.o" "gcc" "src/hops/CMakeFiles/relm_hops.dir/hop.cc.o.d"
+  "/root/repo/src/hops/ml_program.cc" "src/hops/CMakeFiles/relm_hops.dir/ml_program.cc.o" "gcc" "src/hops/CMakeFiles/relm_hops.dir/ml_program.cc.o.d"
+  "/root/repo/src/hops/rewrites.cc" "src/hops/CMakeFiles/relm_hops.dir/rewrites.cc.o" "gcc" "src/hops/CMakeFiles/relm_hops.dir/rewrites.cc.o.d"
+  "/root/repo/src/hops/size_propagation.cc" "src/hops/CMakeFiles/relm_hops.dir/size_propagation.cc.o" "gcc" "src/hops/CMakeFiles/relm_hops.dir/size_propagation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/relm_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/relm_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/relm_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/relm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relm_hops.dir/dag_builder.cc.o"
+  "CMakeFiles/relm_hops.dir/dag_builder.cc.o.d"
+  "CMakeFiles/relm_hops.dir/hop.cc.o"
+  "CMakeFiles/relm_hops.dir/hop.cc.o.d"
+  "CMakeFiles/relm_hops.dir/ml_program.cc.o"
+  "CMakeFiles/relm_hops.dir/ml_program.cc.o.d"
+  "CMakeFiles/relm_hops.dir/rewrites.cc.o"
+  "CMakeFiles/relm_hops.dir/rewrites.cc.o.d"
+  "CMakeFiles/relm_hops.dir/size_propagation.cc.o"
+  "CMakeFiles/relm_hops.dir/size_propagation.cc.o.d"
+  "librelm_hops.a"
+  "librelm_hops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relm_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

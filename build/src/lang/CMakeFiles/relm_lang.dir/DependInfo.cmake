@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/ast.cc" "src/lang/CMakeFiles/relm_lang.dir/ast.cc.o" "gcc" "src/lang/CMakeFiles/relm_lang.dir/ast.cc.o.d"
+  "/root/repo/src/lang/lexer.cc" "src/lang/CMakeFiles/relm_lang.dir/lexer.cc.o" "gcc" "src/lang/CMakeFiles/relm_lang.dir/lexer.cc.o.d"
+  "/root/repo/src/lang/parser.cc" "src/lang/CMakeFiles/relm_lang.dir/parser.cc.o" "gcc" "src/lang/CMakeFiles/relm_lang.dir/parser.cc.o.d"
+  "/root/repo/src/lang/statement_block.cc" "src/lang/CMakeFiles/relm_lang.dir/statement_block.cc.o" "gcc" "src/lang/CMakeFiles/relm_lang.dir/statement_block.cc.o.d"
+  "/root/repo/src/lang/validator.cc" "src/lang/CMakeFiles/relm_lang.dir/validator.cc.o" "gcc" "src/lang/CMakeFiles/relm_lang.dir/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/relm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/relm_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

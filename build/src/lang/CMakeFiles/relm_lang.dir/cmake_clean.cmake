@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relm_lang.dir/ast.cc.o"
+  "CMakeFiles/relm_lang.dir/ast.cc.o.d"
+  "CMakeFiles/relm_lang.dir/lexer.cc.o"
+  "CMakeFiles/relm_lang.dir/lexer.cc.o.d"
+  "CMakeFiles/relm_lang.dir/parser.cc.o"
+  "CMakeFiles/relm_lang.dir/parser.cc.o.d"
+  "CMakeFiles/relm_lang.dir/statement_block.cc.o"
+  "CMakeFiles/relm_lang.dir/statement_block.cc.o.d"
+  "CMakeFiles/relm_lang.dir/validator.cc.o"
+  "CMakeFiles/relm_lang.dir/validator.cc.o.d"
+  "librelm_lang.a"
+  "librelm_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relm_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

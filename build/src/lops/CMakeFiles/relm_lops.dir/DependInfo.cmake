@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lops/compiler_backend.cc" "src/lops/CMakeFiles/relm_lops.dir/compiler_backend.cc.o" "gcc" "src/lops/CMakeFiles/relm_lops.dir/compiler_backend.cc.o.d"
+  "/root/repo/src/lops/resources.cc" "src/lops/CMakeFiles/relm_lops.dir/resources.cc.o" "gcc" "src/lops/CMakeFiles/relm_lops.dir/resources.cc.o.d"
+  "/root/repo/src/lops/runtime_program.cc" "src/lops/CMakeFiles/relm_lops.dir/runtime_program.cc.o" "gcc" "src/lops/CMakeFiles/relm_lops.dir/runtime_program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hops/CMakeFiles/relm_hops.dir/DependInfo.cmake"
+  "/root/repo/build/src/yarn/CMakeFiles/relm_yarn.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/relm_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/relm_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/relm_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/relm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relm_lops.dir/compiler_backend.cc.o"
+  "CMakeFiles/relm_lops.dir/compiler_backend.cc.o.d"
+  "CMakeFiles/relm_lops.dir/resources.cc.o"
+  "CMakeFiles/relm_lops.dir/resources.cc.o.d"
+  "CMakeFiles/relm_lops.dir/runtime_program.cc.o"
+  "CMakeFiles/relm_lops.dir/runtime_program.cc.o.d"
+  "librelm_lops.a"
+  "librelm_lops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relm_lops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matrix/kernels.cc" "src/matrix/CMakeFiles/relm_matrix.dir/kernels.cc.o" "gcc" "src/matrix/CMakeFiles/relm_matrix.dir/kernels.cc.o.d"
+  "/root/repo/src/matrix/matrix_block.cc" "src/matrix/CMakeFiles/relm_matrix.dir/matrix_block.cc.o" "gcc" "src/matrix/CMakeFiles/relm_matrix.dir/matrix_block.cc.o.d"
+  "/root/repo/src/matrix/matrix_characteristics.cc" "src/matrix/CMakeFiles/relm_matrix.dir/matrix_characteristics.cc.o" "gcc" "src/matrix/CMakeFiles/relm_matrix.dir/matrix_characteristics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/relm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relm_matrix.dir/kernels.cc.o"
+  "CMakeFiles/relm_matrix.dir/kernels.cc.o.d"
+  "CMakeFiles/relm_matrix.dir/matrix_block.cc.o"
+  "CMakeFiles/relm_matrix.dir/matrix_block.cc.o.d"
+  "CMakeFiles/relm_matrix.dir/matrix_characteristics.cc.o"
+  "CMakeFiles/relm_matrix.dir/matrix_characteristics.cc.o.d"
+  "librelm_matrix.a"
+  "librelm_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relm_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relm_mrsim.dir/buffer_pool.cc.o"
+  "CMakeFiles/relm_mrsim.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/relm_mrsim.dir/cluster_simulator.cc.o"
+  "CMakeFiles/relm_mrsim.dir/cluster_simulator.cc.o.d"
+  "CMakeFiles/relm_mrsim.dir/throughput.cc.o"
+  "CMakeFiles/relm_mrsim.dir/throughput.cc.o.d"
+  "librelm_mrsim.a"
+  "librelm_mrsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relm_mrsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relm_runtime.dir/interpreter.cc.o"
+  "CMakeFiles/relm_runtime.dir/interpreter.cc.o.d"
+  "librelm_runtime.a"
+  "librelm_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relm_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

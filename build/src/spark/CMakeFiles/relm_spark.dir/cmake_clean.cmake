@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relm_spark.dir/spark_model.cc.o"
+  "CMakeFiles/relm_spark.dir/spark_model.cc.o.d"
+  "librelm_spark.a"
+  "librelm_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relm_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relm_yarn.dir/cluster_config.cc.o"
+  "CMakeFiles/relm_yarn.dir/cluster_config.cc.o.d"
+  "CMakeFiles/relm_yarn.dir/resource_manager.cc.o"
+  "CMakeFiles/relm_yarn.dir/resource_manager.cc.o.d"
+  "librelm_yarn.a"
+  "librelm_yarn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relm_yarn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

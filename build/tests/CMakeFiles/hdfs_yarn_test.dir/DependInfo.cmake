@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hdfs_yarn_test.cc" "tests/CMakeFiles/hdfs_yarn_test.dir/hdfs_yarn_test.cc.o" "gcc" "tests/CMakeFiles/hdfs_yarn_test.dir/hdfs_yarn_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hdfs/CMakeFiles/relm_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/yarn/CMakeFiles/relm_yarn.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/relm_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/relm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

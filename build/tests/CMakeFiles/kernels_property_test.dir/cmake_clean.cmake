@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_property_test.dir/kernels_property_test.cc.o"
+  "CMakeFiles/kernels_property_test.dir/kernels_property_test.cc.o.d"
+  "kernels_property_test"
+  "kernels_property_test.pdb"
+  "kernels_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

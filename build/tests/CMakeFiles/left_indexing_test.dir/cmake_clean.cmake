@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/left_indexing_test.dir/left_indexing_test.cc.o"
+  "CMakeFiles/left_indexing_test.dir/left_indexing_test.cc.o.d"
+  "left_indexing_test"
+  "left_indexing_test.pdb"
+  "left_indexing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/left_indexing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lops_cost_test.dir/lops_cost_test.cc.o"
+  "CMakeFiles/lops_cost_test.dir/lops_cost_test.cc.o.d"
+  "lops_cost_test"
+  "lops_cost_test.pdb"
+  "lops_cost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lops_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrsim_test.dir/mrsim_test.cc.o"
+  "CMakeFiles/mrsim_test.dir/mrsim_test.cc.o.d"
+  "mrsim_test"
+  "mrsim_test.pdb"
+  "mrsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/hdfs_yarn_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_test[1]_include.cmake")
+include("/root/repo/build/tests/hops_test[1]_include.cmake")
+include("/root/repo/build/tests/lops_cost_test[1]_include.cmake")
+include("/root/repo/build/tests/interpreter_test[1]_include.cmake")
+include("/root/repo/build/tests/optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/mrsim_test[1]_include.cmake")
+include("/root/repo/build/tests/api_spark_test[1]_include.cmake")
+include("/root/repo/build/tests/simulator_behavior_test[1]_include.cmake")
+include("/root/repo/build/tests/differential_test[1]_include.cmake")
+include("/root/repo/build/tests/rewrites_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_details_test[1]_include.cmake")
+include("/root/repo/build/tests/left_indexing_test[1]_include.cmake")
+include("/root/repo/build/tests/kernels_property_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")

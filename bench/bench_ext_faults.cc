@@ -1,0 +1,133 @@
+// Extension: fault injection and failure recovery in the simulated
+// YARN/MR cluster. Runs LinregCG and L2SVM (8GB dense, B-SL resources,
+// i.e. MR-heavy plans) under increasing failure pressure and reports
+// how the recovery machinery (task retries, speculation, node
+// re-execution, AM restart) stretches execution time; closes with the
+// optimizer's blast-radius response to a nonzero expected failure rate.
+
+#include "bench_common.h"
+
+using namespace relm;         // NOLINT
+using namespace relm::bench;  // NOLINT
+
+namespace {
+
+/// MeasureClone that tolerates failed runs (retry exhaustion is a
+/// legitimate outcome at high fault rates, not a harness error).
+Result<SimResult> TryMeasure(RelmSystem* sys, const MlProgram& prog,
+                             const ResourceConfig& config,
+                             const SimOptions& opts) {
+  auto clone = prog.Clone();
+  if (!clone.ok()) return clone.status();
+  return sys->Simulate(clone->get(), config, opts);
+}
+
+void FaultRateSweep(const char* script) {
+  RelmSystem sys;
+  RegisterData(&sys, 1000000000LL, 1000, 1.0);
+  auto prog = MustCompile(&sys, script);
+  ResourceConfig bsl(512 * kMB, GigaBytes(4.4));
+  std::printf("\n%s (8GB dense, B-SL)\n", script);
+  std::printf("%10s %10s %10s %10s %10s\n", "fail rate", "elapsed",
+              "retries", "specul.", "MR jobs");
+  for (double rate : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+    SimOptions opts;
+    opts.noise = 0;
+    opts.faults.transient_task_failure_rate = rate;
+    opts.faults.straggler_probability = rate;  // stragglers scale along
+    opts.faults.straggler_slowdown = 3.0;
+    auto run = TryMeasure(&sys, *prog, bsl, opts);
+    if (!run.ok()) {
+      std::printf("%10.2f %s\n", rate, run.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%10.2f %9.1fs %10d %10d %10d\n", rate,
+                run->elapsed_seconds, run->task_retries,
+                run->speculative_launches, run->mr_jobs_executed);
+  }
+}
+
+void NodeCrashScenarios(const char* script) {
+  RelmSystem sys;
+  RegisterData(&sys, 1000000000LL, 1000, 1.0);
+  auto prog = MustCompile(&sys, script);
+  ResourceConfig bsl(512 * kMB, GigaBytes(4.4));
+  std::printf("\n%s: node crash at t=60s (mid MR job)\n", script);
+  struct Scenario {
+    const char* label;
+    SimOptions opts;
+  };
+  std::vector<Scenario> scenarios;
+  {
+    Scenario s{"no faults", {}};
+    s.opts.noise = 0;
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s{"crash, no recovery", {}};
+    s.opts.noise = 0;
+    s.opts.faults.node_crashes.push_back(NodeCrash{0, 60.0, -1.0});
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s{"crash, back after 30s", {}};
+    s.opts.noise = 0;
+    s.opts.faults.node_crashes.push_back(NodeCrash{0, 60.0, 30.0});
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s{"crash + AM crash at 70s", {}};
+    s.opts.noise = 0;
+    s.opts.faults.node_crashes.push_back(NodeCrash{0, 60.0, -1.0});
+    s.opts.faults.am_crash_at_seconds = 70.0;
+    scenarios.push_back(s);
+  }
+  std::printf("%-26s %10s %9s %9s %9s\n", "scenario", "elapsed",
+              "survived", "retries", "AM rest.");
+  for (const Scenario& s : scenarios) {
+    auto run = TryMeasure(&sys, *prog, bsl, s.opts);
+    if (!run.ok()) {
+      std::printf("%-26s %s\n", s.label,
+                  run.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-26s %9.1fs %9d %9d %9d\n", s.label,
+                run->elapsed_seconds, run->node_failures_survived,
+                run->task_retries, run->am_restarts);
+  }
+}
+
+void BlastRadiusOptimization() {
+  RelmSystem sys;
+  RegisterData(&sys, 1000000000LL, 1000, 1.0);
+  auto prog = MustCompile(&sys, "linreg_cg.dml");
+  std::printf("\noptimizer under expected failure rate "
+              "(LinregCG, 8GB dense)\n");
+  std::printf("%12s %-26s %12s\n", "fail rate", "chosen config",
+              "est [s]");
+  for (double rate : {0.0, 1e-4, 1e-3, 1e-2}) {
+    OptimizerOptions oo;
+    oo.expected_failure_rate = rate;
+    ResourceOptimizer opt(sys.cluster(), oo);
+    OptimizerStats stats;
+    auto cfg = opt.Optimize(prog.get(), &stats);
+    if (!cfg.ok()) {
+      std::printf("%12.0e %s\n", rate, cfg.status().ToString().c_str());
+      continue;
+    }
+    // best_cost is the failure-aware estimate the optimizer minimized.
+    std::printf("%12.0e %-26s %12.1f\n", rate, cfg->ToString().c_str(),
+                stats.best_cost);
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Extension: fault injection + failure recovery");
+  FaultRateSweep("linreg_cg.dml");
+  FaultRateSweep("l2svm.dml");
+  NodeCrashScenarios("linreg_cg.dml");
+  BlastRadiusOptimization();
+  return 0;
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Sanitized check build: configures a fresh Debug tree with
+# AddressSanitizer + UndefinedBehaviorSanitizer and runs the full test
+# suite under it. Slower than the default build; use before merging
+# changes that touch allocation paths or the simulator's recovery logic.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build-asan)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-asan}"
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build "$build_dir" -j "$(nproc)"
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"

@@ -68,7 +68,10 @@ class ResourceOptimizer::Runner {
  public:
   Runner(const ClusterConfig& cc, const OptimizerOptions& opts,
          MlProgram* program)
-      : cc_(cc), opts_(opts), program_(program), cost_model_(cc) {}
+      : cc_(cc),
+        opts_(opts),
+        program_(program),
+        cost_model_(cc, opts.expected_failure_rate) {}
 
   /// Runs the full grid enumeration. If fixed_cp >= 0, only that CP heap
   /// is enumerated (runtime re-optimization's local variant).
@@ -364,7 +367,7 @@ class ResourceOptimizer::Runner {
       }
       std::unique_ptr<MlProgram> local_program =
           std::move(*clone_result);
-      CostModel local_cost(cc_);
+      CostModel local_cost(cc_, opts_.expected_failure_rate);
       CompileCounters local_counters;
 
       // Resolve block ids on the clone.

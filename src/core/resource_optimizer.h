@@ -38,6 +38,11 @@ struct OptimizerOptions {
   /// memory", Section 6). Default {1} reproduces the paper's
   /// single-threaded CP; e.g. {1, 2, 4, 8} adds a third dimension.
   std::vector<int> cp_core_options = {1};
+  /// Expected failures per busy container-second (0 disables). When set,
+  /// plan costing adds expected-retry overhead so configurations with
+  /// few large containers (large blast radius per failure) lose against
+  /// many small ones on failure-prone clusters.
+  double expected_failure_rate = 0.0;
 };
 
 /// Optimization statistics (Table 3 and Figures 13/14).

@@ -8,8 +8,31 @@
 
 namespace relm {
 
-CostModel::CostModel(const ClusterConfig& cc)
-    : cc_(cc), cp_read_bps_(kCpReadBps), cp_write_bps_(kCpWriteBps) {}
+CostModel::CostModel(const ClusterConfig& cc, double expected_failure_rate)
+    : cc_(cc),
+      expected_failure_rate_(std::max(0.0, expected_failure_rate)),
+      cp_read_bps_(kCpReadBps),
+      cp_write_bps_(kCpWriteBps) {}
+
+double CostModel::ExpectedMrRetryOverhead(double rate,
+                                          const MrJobTimeBreakdown& bd,
+                                          const ClusterConfig& cc) {
+  if (rate <= 0.0 || bd.num_map_tasks <= 0 || bd.map_waves <= 0) {
+    return 0.0;
+  }
+  double per_task = std::max(
+      0.0, bd.map_phase / bd.map_waves - cc.mr_task_latency);
+  if (per_task <= 0.0) return 0.0;
+  double busy_seconds = per_task * bd.num_map_tasks;
+  // Losing an attempt costs the work done so far (half a task on
+  // average) plus the relaunch latency — so fewer, larger tasks pay
+  // quadratically more: same busy_seconds, larger per-failure loss.
+  double expected_failures = rate * busy_seconds;
+  double loss_per_failure = 0.5 * per_task + cc.mr_task_latency;
+  int slots = std::max(1, (bd.num_map_tasks + bd.map_waves - 1) /
+                              bd.map_waves);
+  return expected_failures * loss_per_failure / slots;
+}
 
 MrJobTimeBreakdown EstimateMrJobTime(const ClusterConfig& cc,
                                      const MRJobInstr& job, int64_t mr_heap,
@@ -321,9 +344,11 @@ class CostWalk {
     // of the model (it drives the optimizer away from minimum-size task
     // containers, cf. Table 2); only buffer-pool eviction effects are
     // left to the simulator.
-    time += EstimateMrJobTime(cc_, job, mr_heap,
-                              /*model_trashing=*/true)
-                .total;
+    MrJobTimeBreakdown bd = EstimateMrJobTime(cc_, job, mr_heap,
+                                              /*model_trashing=*/true);
+    time += bd.total;
+    time += CostModel::ExpectedMrRetryOverhead(
+        model_.expected_failure_rate_, bd, cc_);
     return time;
   }
 
@@ -353,7 +378,17 @@ double CostModel::EstimateProgramCost(const RuntimeProgram& program) {
   ++invocations_;
   CostWalk walk(*this, cc_, program);
   VarStateMap states;
-  return walk.CostBlocks(program.main, &states);
+  double total = walk.CostBlocks(program.main, &states);
+  if (expected_failure_rate_ > 0.0) {
+    // AM blast radius: expected AM failures over the run (rate x time)
+    // each pay a container grant plus re-reading a working set that
+    // scales with the CP budget — penalizing oversized CP containers.
+    double recovery =
+        cc_.container_alloc_latency +
+        static_cast<double>(program.resources.CpBudget()) / cp_read_bps_;
+    total += expected_failure_rate_ * total * recovery;
+  }
+  return total;
 }
 
 double CostModel::EstimateBlockCost(const RuntimeBlock& block,

@@ -62,7 +62,21 @@ inline constexpr double kCpWriteBps = 150e6;
 /// sources of suboptimality.
 class CostModel {
  public:
-  explicit CostModel(const ClusterConfig& cc);
+  /// `expected_failure_rate` (failures per busy container-second, 0
+  /// disables) makes the model price expected-retry overhead: large MR
+  /// tasks lose more work per failure and a large CP container costs
+  /// more to restart, so under failures the optimizer is pushed toward
+  /// many small containers over few large ones (smaller blast radius).
+  explicit CostModel(const ClusterConfig& cc,
+                     double expected_failure_rate = 0.0);
+
+  /// Expected re-execution overhead of one MR job under a per-busy-
+  /// second failure rate: expected failures (rate x total busy task
+  /// seconds) times the per-failure loss (half an average task attempt
+  /// plus relaunch latency), serialized over the job's task slots.
+  static double ExpectedMrRetryOverhead(double rate,
+                                        const MrJobTimeBreakdown& bd,
+                                        const ClusterConfig& cc);
 
   /// Estimated end-to-end execution time of a runtime program in seconds.
   /// Counts as one cost-model invocation.
@@ -83,6 +97,7 @@ class CostModel {
  private:
   friend class CostWalk;
   ClusterConfig cc_;
+  double expected_failure_rate_ = 0.0;
   int64_t invocations_ = 0;
 
   // Single-process (control program) HDFS bandwidths in bytes/second.

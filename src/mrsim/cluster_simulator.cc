@@ -9,8 +9,37 @@
 #include "common/string_util.h"
 #include "cost/cost_model.h"
 #include "lops/compiler_backend.h"
+#include "yarn/resource_manager.h"
 
 namespace relm {
+
+Status SimOptions::Validate() const {
+  if (noise < 0.0 || noise >= 1.0) {
+    return Status::InvalidArgument("noise must be in [0,1)");
+  }
+  if (cluster_load < 0.0 || cluster_load > 1.0) {
+    return Status::InvalidArgument("cluster_load must be in [0,1]");
+  }
+  if (load_change_at_seconds >= 0.0 &&
+      (new_cluster_load < 0.0 || new_cluster_load > 1.0)) {
+    return Status::InvalidArgument("new_cluster_load must be in [0,1]");
+  }
+  if (max_loop_iterations <= 0) {
+    return Status::InvalidArgument("max_loop_iterations must be positive");
+  }
+  if (io_contention <= 0.0) {
+    return Status::InvalidArgument("io_contention must be positive");
+  }
+  return faults.Validate();
+}
+
+namespace {
+/// Scheduling priority of the application-master container; co-tenant
+/// filler containers are granted below the default so AM recovery can
+/// preempt them.
+constexpr int kAmPriority = 100;
+constexpr int kTenantPriority = -1;
+}  // namespace
 
 /// One simulated execution; holds all mutable run state.
 class ClusterSimulator::Run {
@@ -23,12 +52,25 @@ class ClusterSimulator::Run {
         config_(initial),
         oracle_(oracle),
         pool_(initial.CpBudget()),
-        rng_(opts.seed) {
+        rng_(opts.seed),
+        injector_(opts.faults, opts.seed),
+        rm_(cc) {
     cc_.mr_slot_availability =
         1.0 - std::clamp(opts.cluster_load, 0.0, 0.99);
   }
 
   Result<SimResult> Execute() {
+    if (injector_.enabled()) {
+      // Obtain the AM container so node loss and preemption act against
+      // real capacity accounting. Best effort: a full cluster does not
+      // block the run (the AM was running before the simulation's t=0).
+      auto am = rm_.Allocate(cc_.ContainerRequestForHeap(config_.cp_heap),
+                             kAmPriority);
+      if (am.ok()) {
+        am_container_ = *am;
+        Log("AM container on node " + std::to_string(am_container_.node));
+      }
+    }
     result_.final_config = config_;
     for (auto& blk : program_->blocks().main) {
       RELM_RETURN_IF_ERROR(ExecuteBlock(blk.get(), 0));
@@ -105,6 +147,13 @@ class ClusterSimulator::Run {
   }
 
   Status ExecuteGeneric(StatementBlock* blk, int depth) {
+    // Deliver timed faults that came due during CP-only phases (node
+    // crashes between MR jobs, scheduled AM crash, lease expiries).
+    if (injector_.enabled()) {
+      RELM_ASSIGN_OR_RETURN(double fault_time,
+                            ProcessTimedFaults(elapsed_));
+      Charge(fault_time);
+    }
     // Cluster-utilization change (Section 6 extension): apply the new
     // load and schedule a utilization-triggered re-optimization.
     if (opts_.load_change_at_seconds >= 0 && !load_changed_ &&
@@ -146,10 +195,15 @@ class ClusterSimulator::Run {
                              knowns_version_ > reopt_version_;
       bool utilization_trigger =
           pending_utilization_reopt_ && rb.NumMrJobs() > 0;
-      if (unknown_trigger || utilization_trigger) {
+      // AM recovery consults the optimizer again before the next block
+      // that schedules MR jobs (restart + re-optimization/migration).
+      bool recovery_trigger =
+          pending_recovery_reopt_ && rb.NumMrJobs() > 0;
+      if (unknown_trigger || utilization_trigger || recovery_trigger) {
         RELM_RETURN_IF_ERROR(ReoptimizeAndMaybeMigrate(blk));
         reopt_version_ = knowns_version_;
         pending_utilization_reopt_ = false;
+        pending_recovery_reopt_ = false;
         RELM_ASSIGN_OR_RETURN(rb, CompilePlan(blk));
       }
       RELM_RETURN_IF_ERROR(ChargeInstrs(rb, blk, &calls));
@@ -366,7 +420,9 @@ class ClusterSimulator::Run {
             double t, ChargeCp(*instr.hop, rb, pending_calls, &loaded));
         block_time += t;
       } else {
-        block_time += ChargeJob(instr.job, blk);
+        RELM_ASSIGN_OR_RETURN(double t,
+                              ChargeJob(instr.job, blk, block_time));
+        block_time += t;
       }
     }
     if (opts_.noise > 0) block_time *= rng_.Noise(opts_.noise);
@@ -495,7 +551,11 @@ class ClusterSimulator::Run {
     return time;
   }
 
-  double ChargeJob(const MRJobInstr& job, StatementBlock* blk) {
+  /// Charges one MR job. `block_offset` is the time already accumulated
+  /// for the enclosing block (elapsed_ lags until the block is charged);
+  /// the fault path uses it to place the job's execution window.
+  Result<double> ChargeJob(const MRJobInstr& job, StatementBlock* blk,
+                           double block_offset) {
     double time = 0.0;
     for (const auto& [name, bytes] : job.exported_inputs) {
       if (name.rfind("#tmp", 0) == 0) {
@@ -507,12 +567,245 @@ class ClusterSimulator::Run {
         pool_.MarkClean(name);
       }
     }
-    MrJobTimeBreakdown breakdown = EstimateMrJobTime(
-        cc_, job, config_.MrHeapForBlock(blk->id()),
+    if (!injector_.enabled()) {
+      MrJobTimeBreakdown breakdown = EstimateMrJobTime(
+          cc_, job, config_.MrHeapForBlock(blk->id()),
+          /*model_trashing=*/true);
+      time += breakdown.total * opts_.io_contention;
+      ++result_.mr_jobs_executed;
+      return time;
+    }
+    RELM_ASSIGN_OR_RETURN(
+        double job_time, FaultyJobTime(job, blk, block_offset + time));
+    return time + job_time;
+  }
+
+  // ---------------- fault injection & recovery ----------------
+
+  /// Cluster view for MR job estimates under the current degradation:
+  /// crashed nodes are gone and co-tenant preemption shrinks the slot
+  /// availability.
+  ClusterConfig DegradedCluster() const {
+    ClusterConfig ecc = cc_;
+    ecc.num_worker_nodes = std::max(1, rm_.NumAvailableNodes());
+    double preempted = injector_.PreemptedFraction(elapsed_);
+    if (preempted > 0.0) {
+      ecc.mr_slot_availability =
+          std::max(0.05, cc_.mr_slot_availability * (1.0 - preempted));
+    }
+    return ecc;
+  }
+
+  /// Runs one MR job under the fault plan: transient task retries with
+  /// capped attempts and exponential backoff, straggler slowdowns with
+  /// speculative re-execution, and node/AM crashes landing inside the
+  /// job's execution window (lost work re-runs on the surviving nodes).
+  Result<double> FaultyJobTime(const MRJobInstr& job, StatementBlock* blk,
+                               double start_offset) {
+    RELM_ASSIGN_OR_RETURN(double fault_time,
+                          ProcessTimedFaults(elapsed_ + start_offset));
+    ClusterConfig ecc = DegradedCluster();
+    MrJobTimeBreakdown bd = EstimateMrJobTime(
+        ecc, job, config_.MrHeapForBlock(blk->id()),
         /*model_trashing=*/true);
-    time += breakdown.total * opts_.io_contention;
+    double base = bd.total * opts_.io_contention;
+    double extra = fault_time;
+    const FaultPlan& plan = injector_.plan();
+    int slots = std::max(
+        1, (bd.num_map_tasks + bd.map_waves - 1) /
+               std::max(1, bd.map_waves));
+    double per_task =
+        std::max(0.0, bd.map_phase / std::max(1, bd.map_waves) -
+                          ecc.mr_task_latency) *
+        opts_.io_contention;
+
+    // Transient task failures: each attempt draws independently; the
+    // attempt cap mirrors mapreduce.map.maxattempts, and retry k backs
+    // off 2^(k-1) times the base delay before relaunching.
+    if (plan.transient_task_failure_rate > 0.0) {
+      int retries = 0;
+      double max_backoff = 0.0;
+      for (int t = 0; t < bd.num_map_tasks; ++t) {
+        int attempt = 1;
+        while (injector_.DrawTaskFailure()) {
+          if (attempt >= plan.max_task_attempts) {
+            return Status::RuntimeError(
+                "map task failed " + std::to_string(attempt) +
+                " attempts (transient failure rate " +
+                FormatDouble(plan.transient_task_failure_rate, 2) +
+                "); job aborted");
+          }
+          max_backoff = std::max(
+              max_backoff, plan.retry_backoff_seconds *
+                               static_cast<double>(1LL << (attempt - 1)));
+          ++retries;
+          ++attempt;
+        }
+      }
+      if (retries > 0) {
+        result_.task_retries += retries;
+        int extra_waves = (retries + slots - 1) / slots;
+        extra += extra_waves * (ecc.mr_task_latency + per_task) +
+                 max_backoff;
+        Log("transient task failures: " + std::to_string(retries) +
+            " retries");
+      }
+    }
+
+    // Stragglers: a hit wave runs `straggler_slowdown` times slower;
+    // past the speculation threshold a backup copy races the straggler
+    // and the wave finishes with whichever attempt completes first.
+    if (plan.straggler_probability > 0.0 && per_task > 0.0) {
+      for (int w = 0; w < bd.map_waves; ++w) {
+        if (!injector_.DrawStraggler()) continue;
+        double slow = plan.straggler_slowdown;
+        if (slow >= plan.speculation_threshold) {
+          ++result_.speculative_launches;
+          double straggler_end = per_task * slow;
+          double copy_end = 2.0 * per_task + ecc.mr_task_latency;
+          extra += std::max(
+              0.0, std::min(straggler_end, copy_end) - per_task);
+          Log("straggler (" + FormatDouble(slow, 1) +
+              "x); speculative copy launched");
+        } else {
+          extra += (slow - 1.0) * per_task;
+        }
+      }
+    }
+
+    // Node and AM crashes landing inside this job's execution window.
+    double window_end = elapsed_ + start_offset + base + extra;
+    for (const NodeCrash& crash : injector_.TakeCrashesDue(window_end)) {
+      RELM_ASSIGN_OR_RETURN(
+          double rerun,
+          HandleNodeCrash(crash, base, bd.num_map_tasks));
+      extra += rerun;
+    }
+    if (injector_.TakeAmCrashDue(window_end)) {
+      extra += HandleAmRestart("scheduled AM crash");
+    }
     ++result_.mr_jobs_executed;
-    return time;
+    return base + extra;
+  }
+
+  /// Delivers timed faults due by `now` outside of any MR job: node
+  /// recoveries, co-tenant preemption windows (start and expiry), node
+  /// crashes (no in-flight tasks to lose), and the scheduled AM crash.
+  /// Returns the recovery time to charge.
+  Result<double> ProcessTimedFaults(double now) {
+    double extra = 0.0;
+    for (int node : injector_.TakeRecoveriesDue(now)) {
+      if (rm_.RecommissionNode(node).ok()) {
+        Log("node " + std::to_string(node) + " recommissioned");
+      }
+    }
+    // Expired co-tenant leases give their capacity back.
+    for (auto it = tenant_leases_.begin(); it != tenant_leases_.end();) {
+      if (it->until <= now) {
+        for (const Container& c : it->containers) rm_.Release(c);
+        it = tenant_leases_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (const PreemptionEvent& ev : injector_.TakePreemptionsDue(now)) {
+      ++result_.preemptions;
+      // The co-tenant's reclaimed share occupies real capacity at low
+      // priority, so AM recovery has to preempt it to place containers.
+      TenantLease lease;
+      lease.until = ev.at_seconds + ev.duration_seconds;
+      int64_t grab = static_cast<int64_t>(
+          ev.slot_fraction * static_cast<double>(cc_.memory_per_node));
+      grab = std::min(grab, cc_.max_allocation);
+      for (int n = 0; n < cc_.num_worker_nodes && grab > 0; ++n) {
+        auto c = rm_.Allocate(grab, kTenantPriority);
+        if (c.ok()) lease.containers.push_back(*c);
+      }
+      tenant_leases_.push_back(std::move(lease));
+      Log("co-tenant preemption: " +
+          FormatDouble(ev.slot_fraction * 100.0, 0) +
+          "% of slots reclaimed for " +
+          FormatDouble(ev.duration_seconds, 0) + "s");
+    }
+    for (const NodeCrash& crash : injector_.TakeCrashesDue(now)) {
+      RELM_ASSIGN_OR_RETURN(
+          double t, HandleNodeCrash(crash, /*job_base=*/0.0,
+                                    /*num_map_tasks=*/0));
+      extra += t;
+    }
+    if (injector_.TakeAmCrashDue(now)) {
+      extra += HandleAmRestart("scheduled AM crash");
+    }
+    return extra;
+  }
+
+  /// Decommissions the crashed node and re-runs the work lost with it.
+  /// `job_base > 0` means the crash landed inside a running MR job whose
+  /// resident map work must be re-executed on the surviving nodes.
+  Result<double> HandleNodeCrash(const NodeCrash& crash, double job_base,
+                                 int num_map_tasks) {
+    if (!rm_.NodeAvailable(crash.node)) return 0.0;  // already down
+    int nodes_before = rm_.NumAvailableNodes();
+    std::vector<Container> killed = rm_.DecommissionNode(crash.node);
+    if (rm_.NumAvailableNodes() == 0) {
+      return Status::ResourceError(
+          "node " + std::to_string(crash.node) +
+          " crashed and no worker nodes remain; cannot recover");
+    }
+    ++result_.node_failures_survived;
+    Log("node " + std::to_string(crash.node) + " crashed (" +
+        std::to_string(killed.size()) + " containers killed)");
+    double extra = 0.0;
+    if (job_base > 0.0 && nodes_before > 0) {
+      // Re-run the map work that was resident on the lost node: its
+      // share of the job plus one task-wave relaunch latency.
+      int lost_tasks =
+          std::max(1, num_map_tasks / std::max(1, nodes_before));
+      result_.task_retries += lost_tasks;
+      extra += job_base / static_cast<double>(nodes_before) +
+               cc_.mr_task_latency;
+      Log("re-running " + std::to_string(lost_tasks) +
+          " tasks lost with node " + std::to_string(crash.node));
+    }
+    bool am_lost =
+        am_container_.id >= 0 && am_container_.node == crash.node;
+    if (am_lost) {
+      extra += HandleAmRestart("AM container lost with node " +
+                               std::to_string(crash.node));
+    }
+    return extra;
+  }
+
+  /// Restarts the application master after its container died: a new
+  /// container is obtained (preempting lower-priority co-tenants if the
+  /// degraded cluster is full), the in-memory state is gone (live
+  /// variables re-read from HDFS on next access), and — with adaptation
+  /// enabled — recovery routes through the re-optimization/migration
+  /// path before the next MR-scheduling block.
+  double HandleAmRestart(const std::string& why) {
+    ++result_.am_restarts;
+    Log("AM failure: " + why + "; restarting application master");
+    if (am_container_.id >= 0) {
+      rm_.Release(am_container_);  // no-op if killed with its node
+      am_container_ = Container{};
+    }
+    std::vector<Container> preempted;
+    auto am = rm_.AllocateWithPreemption(
+        cc_.ContainerRequestForHeap(config_.cp_heap), kAmPriority,
+        &preempted);
+    if (am.ok()) {
+      am_container_ = *am;
+      if (!preempted.empty()) {
+        Log("AM restart preempted " + std::to_string(preempted.size()) +
+            " co-tenant container(s)");
+      }
+      Log("AM restarted on node " + std::to_string(am_container_.node));
+    }
+    // The buffer pool dies with the AM process; dirty state is
+    // recovered from HDFS/lineage, charged as re-reads on next access.
+    pool_.Clear();
+    if (opts_.enable_adaptation) pending_recovery_reopt_ = true;
+    return cc_.container_alloc_latency;
   }
 
   // ---------------- runtime resource adaptation ----------------
@@ -521,8 +814,10 @@ class ClusterSimulator::Run {
     ++result_.reoptimizations;
     OptimizerStats stats;
     // A fresh optimizer sees the current cluster state (slot
-    // availability may have changed since the run started).
-    ResourceOptimizer optimizer(cc_, opts_.optimizer);
+    // availability may have changed since the run started; crashed
+    // nodes and co-tenant preemption shrink the cluster it plans for).
+    ResourceOptimizer optimizer(
+        injector_.enabled() ? DegradedCluster() : cc_, opts_.optimizer);
     RELM_ASSIGN_OR_RETURN(
         ResourceOptimizer::ExtendedResult ext,
         optimizer.OptimizeExtended(program_, config_.cp_heap, &stats));
@@ -556,6 +851,13 @@ class ClusterSimulator::Run {
       pool_.Clear();
       pool_.set_capacity(config_.CpBudget());
       ++result_.migrations;
+      if (injector_.enabled() && am_container_.id >= 0) {
+        // Move the AM's capacity booking to the new container size.
+        rm_.Release(am_container_);
+        auto am = rm_.AllocateWithPreemption(
+            cc_.ContainerRequestForHeap(config_.cp_heap), kAmPriority);
+        am_container_ = am.ok() ? *am : Container{};
+      }
       Log("AM migration to " + config_.ToString());
     } else {
       // Keep the container; adopt the locally optimal MR configuration.
@@ -597,7 +899,7 @@ class ClusterSimulator::Run {
 
   Result<double> ScopeCost(const std::vector<StatementBlock*>& scope,
                            const ResourceConfig& cfg) {
-    CostModel cm(cc_);
+    CostModel cm(cc_, opts_.optimizer.expected_failure_rate);
     double total = 0.0;
     for (StatementBlock* b : scope) {
       RELM_ASSIGN_OR_RETURN(
@@ -610,6 +912,12 @@ class ClusterSimulator::Run {
     return total;
   }
 
+  /// Capacity held by a co-tenant preemption window until it expires.
+  struct TenantLease {
+    double until = 0.0;
+    std::vector<Container> containers;
+  };
+
   ClusterConfig cc_;
   SimOptions opts_;
   MlProgram* program_;
@@ -617,6 +925,11 @@ class ClusterSimulator::Run {
   SymbolMap oracle_;
   BufferPool pool_;
   Random rng_;
+  FaultInjector injector_;
+  ResourceManager rm_;
+  Container am_container_;
+  std::vector<TenantLease> tenant_leases_;
+  bool pending_recovery_reopt_ = false;
 
   SimResult result_;
   double elapsed_ = 0.0;
@@ -639,6 +952,7 @@ ClusterSimulator::ClusterSimulator(const ClusterConfig& cc,
 Result<SimResult> ClusterSimulator::Execute(MlProgram* program,
                                             const ResourceConfig& initial,
                                             const SymbolMap& oracle) {
+  RELM_RETURN_IF_ERROR(opts_.Validate());
   Run run(cc_, opts_, program, initial, oracle);
   return run.Execute();
 }

@@ -11,6 +11,7 @@
 #include "hops/ml_program.h"
 #include "lops/resources.h"
 #include "mrsim/buffer_pool.h"
+#include "mrsim/fault_injector.h"
 #include "yarn/cluster_config.h"
 
 namespace relm {
@@ -42,6 +43,17 @@ struct SimOptions {
   /// cluster).
   double load_change_at_seconds = -1.0;
   double new_cluster_load = 0.0;
+
+  /// ---- fault injection (robustness extension) ----
+  /// Deterministic fault schedule: node crashes, co-tenant preemption,
+  /// transient task failures, stragglers, AM crash. Disabled by default;
+  /// a disabled plan leaves results bit-identical to a fault-free build.
+  FaultPlan faults;
+
+  /// Rejects nonsensical option combinations (negative noise, cluster
+  /// load outside [0,1], non-positive loop cap, malformed fault plans)
+  /// with InvalidArgument instead of silently simulating nonsense.
+  Status Validate() const;
 };
 
 /// Timeline entry for debugging and experiment reporting.
@@ -58,6 +70,19 @@ struct SimResult {
   int reoptimizations = 0;
   int mr_jobs_executed = 0;
   int64_t bufferpool_evictions = 0;
+
+  /// ---- failure-recovery accounting (fault injection) ----
+  /// Task attempts relaunched after transient failures or node loss.
+  int task_retries = 0;
+  /// Speculative task copies launched against stragglers.
+  int speculative_launches = 0;
+  /// Node crashes the run absorbed (lost work re-run, capacity degraded).
+  int node_failures_survived = 0;
+  /// Co-tenant preemption events applied to the run.
+  int preemptions = 0;
+  /// Application-master restarts (planned crash or AM-node loss).
+  int am_restarts = 0;
+
   ResourceConfig final_config;
   std::vector<SimEvent> events;
 };

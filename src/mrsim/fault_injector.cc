@@ -1,0 +1,143 @@
+#include "mrsim/fault_injector.h"
+
+#include <algorithm>
+#include <string>
+
+namespace relm {
+
+bool FaultPlan::enabled() const {
+  return !node_crashes.empty() || !preemptions.empty() ||
+         transient_task_failure_rate > 0.0 || straggler_probability > 0.0 ||
+         am_crash_at_seconds >= 0.0;
+}
+
+Status FaultPlan::Validate() const {
+  if (transient_task_failure_rate < 0.0 ||
+      transient_task_failure_rate > 1.0) {
+    return Status::InvalidArgument(
+        "transient_task_failure_rate must be in [0,1]");
+  }
+  if (straggler_probability < 0.0 || straggler_probability > 1.0) {
+    return Status::InvalidArgument(
+        "straggler_probability must be in [0,1]");
+  }
+  if (straggler_slowdown < 1.0) {
+    return Status::InvalidArgument("straggler_slowdown must be >= 1");
+  }
+  if (max_task_attempts < 1) {
+    return Status::InvalidArgument("max_task_attempts must be >= 1");
+  }
+  if (retry_backoff_seconds < 0.0) {
+    return Status::InvalidArgument("retry_backoff_seconds must be >= 0");
+  }
+  if (speculation_threshold < 1.0) {
+    return Status::InvalidArgument("speculation_threshold must be >= 1");
+  }
+  for (const NodeCrash& crash : node_crashes) {
+    if (crash.node < 0) {
+      return Status::InvalidArgument("node crash index must be >= 0");
+    }
+    if (crash.at_seconds < 0.0) {
+      return Status::InvalidArgument("node crash time must be >= 0");
+    }
+  }
+  for (const PreemptionEvent& ev : preemptions) {
+    if (ev.at_seconds < 0.0) {
+      return Status::InvalidArgument("preemption time must be >= 0");
+    }
+    if (ev.slot_fraction <= 0.0 || ev.slot_fraction > 1.0) {
+      return Status::InvalidArgument(
+          "preemption slot_fraction must be in (0,1]");
+    }
+    if (ev.duration_seconds <= 0.0) {
+      return Status::InvalidArgument("preemption duration must be > 0");
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+/// Seed perturbation so fault draws never alias the simulator's noise
+/// sequence for the same user seed.
+constexpr uint64_t kFaultSeedSalt = 0x5DEECE66DULL;
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultPlan& plan, uint64_t seed)
+    : plan_(plan),
+      enabled_(plan.enabled()),
+      rng_(seed ^ kFaultSeedSalt),
+      crash_delivered_(plan.node_crashes.size(), false),
+      recovery_delivered_(plan.node_crashes.size(), false),
+      preemption_delivered_(plan.preemptions.size(), false) {}
+
+std::vector<NodeCrash> FaultInjector::TakeCrashesDue(double now) {
+  std::vector<NodeCrash> due;
+  for (size_t i = 0; i < plan_.node_crashes.size(); ++i) {
+    if (crash_delivered_[i]) continue;
+    if (plan_.node_crashes[i].at_seconds <= now) {
+      crash_delivered_[i] = true;
+      due.push_back(plan_.node_crashes[i]);
+    }
+  }
+  return due;
+}
+
+std::vector<int> FaultInjector::TakeRecoveriesDue(double now) {
+  std::vector<int> due;
+  for (size_t i = 0; i < plan_.node_crashes.size(); ++i) {
+    const NodeCrash& crash = plan_.node_crashes[i];
+    if (!crash_delivered_[i] || recovery_delivered_[i]) continue;
+    if (crash.recover_after_seconds < 0.0) continue;
+    if (crash.at_seconds + crash.recover_after_seconds <= now) {
+      recovery_delivered_[i] = true;
+      due.push_back(crash.node);
+    }
+  }
+  return due;
+}
+
+std::vector<PreemptionEvent> FaultInjector::TakePreemptionsDue(double now) {
+  std::vector<PreemptionEvent> due;
+  for (size_t i = 0; i < plan_.preemptions.size(); ++i) {
+    if (preemption_delivered_[i]) continue;
+    if (plan_.preemptions[i].at_seconds <= now) {
+      preemption_delivered_[i] = true;
+      due.push_back(plan_.preemptions[i]);
+    }
+  }
+  return due;
+}
+
+double FaultInjector::PreemptedFraction(double now) const {
+  double fraction = 0.0;
+  for (const PreemptionEvent& ev : plan_.preemptions) {
+    if (ev.at_seconds <= now &&
+        now < ev.at_seconds + ev.duration_seconds) {
+      fraction += ev.slot_fraction;
+    }
+  }
+  return std::min(fraction, 0.95);
+}
+
+bool FaultInjector::TakeAmCrashDue(double now) {
+  if (am_crash_delivered_ || plan_.am_crash_at_seconds < 0.0) return false;
+  if (plan_.am_crash_at_seconds <= now) {
+    am_crash_delivered_ = true;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::DrawTaskFailure() {
+  if (plan_.transient_task_failure_rate <= 0.0) return false;
+  if (plan_.transient_task_failure_rate >= 1.0) return true;
+  return rng_.NextDouble() < plan_.transient_task_failure_rate;
+}
+
+bool FaultInjector::DrawStraggler() {
+  if (plan_.straggler_probability <= 0.0) return false;
+  if (plan_.straggler_probability >= 1.0) return true;
+  return rng_.NextDouble() < plan_.straggler_probability;
+}
+
+}  // namespace relm

@@ -1,0 +1,119 @@
+#ifndef RELM_MRSIM_FAULT_INJECTOR_H_
+#define RELM_MRSIM_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace relm {
+
+/// One scheduled node crash: worker `node` dies at `at_seconds` of
+/// simulated time. A non-negative `recover_after_seconds` recommissions
+/// the node that much later (NodeManager restart); negative means the
+/// node is lost for the rest of the run.
+struct NodeCrash {
+  int node = 0;
+  double at_seconds = 0.0;
+  double recover_after_seconds = -1.0;
+};
+
+/// One preemption event: at `at_seconds`, co-tenant pressure reclaims
+/// `slot_fraction` of the cluster's MR task slots (and the matching
+/// memory) for `duration_seconds`. Mirrors YARN capacity-scheduler
+/// preemption when a queue exceeds its share.
+struct PreemptionEvent {
+  double at_seconds = 0.0;
+  double slot_fraction = 0.25;
+  double duration_seconds = 60.0;
+};
+
+/// Deterministic fault schedule for one simulated execution. The plan
+/// combines timed events (node crashes, preemption windows, an AM crash
+/// point) with rate-based faults (transient task failures, stragglers)
+/// drawn from a seeded RNG, so the same seed and plan always reproduce
+/// the same failure sequence and therefore the same SimResult.
+struct FaultPlan {
+  /// Timed node crashes (and optional recoveries).
+  std::vector<NodeCrash> node_crashes;
+  /// Timed co-tenant preemption windows.
+  std::vector<PreemptionEvent> preemptions;
+  /// Probability that one map-task attempt fails transiently (lost JVM,
+  /// disk hiccup, killed container). Each retry draws independently.
+  double transient_task_failure_rate = 0.0;
+  /// Probability that a task wave contains a straggler, and the factor
+  /// by which the straggling task runs slower than its peers.
+  double straggler_probability = 0.0;
+  double straggler_slowdown = 2.5;
+  /// Simulated time at which the application master's container dies
+  /// (negative disables). Recovery restarts the AM and, with adaptation
+  /// enabled, routes through the re-optimization/migration path.
+  double am_crash_at_seconds = -1.0;
+
+  /// ---- recovery policy ----
+  /// Maximum attempts per task (YARN's mapreduce.map.maxattempts);
+  /// exhausting them fails the whole run.
+  int max_task_attempts = 4;
+  /// Base of the exponential retry backoff: attempt k waits
+  /// `retry_backoff_seconds * 2^(k-1)` before relaunching.
+  double retry_backoff_seconds = 0.5;
+  /// A straggler at least this many times slower than its wave triggers
+  /// speculative re-execution (Hadoop's speculative execution).
+  double speculation_threshold = 1.8;
+
+  /// True when any fault source is configured. A disabled plan must
+  /// leave simulation results bit-identical to a fault-free build.
+  bool enabled() const;
+
+  /// Rejects malformed plans (rates outside [0,1], non-positive attempt
+  /// caps, node indices below zero, ...).
+  Status Validate() const;
+};
+
+/// Consumes a FaultPlan during one simulated run: delivers each timed
+/// event exactly once as simulated time advances and draws rate-based
+/// faults from a private seeded RNG (decoupled from the simulator's
+/// noise RNG so enabling faults never perturbs the noise sequence).
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, uint64_t seed);
+
+  bool enabled() const { return enabled_; }
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Node crashes scheduled at or before `now`, each delivered once.
+  std::vector<NodeCrash> TakeCrashesDue(double now);
+
+  /// Nodes whose recovery time (crash + recover_after) has arrived.
+  std::vector<int> TakeRecoveriesDue(double now);
+
+  /// Preemption events starting at or before `now`, each delivered once.
+  std::vector<PreemptionEvent> TakePreemptionsDue(double now);
+
+  /// Fraction of MR slots reclaimed by co-tenants at `now` (sum of the
+  /// active preemption windows, capped at 0.95).
+  double PreemptedFraction(double now) const;
+
+  /// True exactly once, when `now` has passed the AM crash point.
+  bool TakeAmCrashDue(double now);
+
+  /// Seeded draw: does this task attempt fail transiently?
+  bool DrawTaskFailure();
+
+  /// Seeded draw: does this task wave contain a straggler?
+  bool DrawStraggler();
+
+ private:
+  FaultPlan plan_;
+  bool enabled_;
+  Random rng_;
+  std::vector<bool> crash_delivered_;
+  std::vector<bool> recovery_delivered_;
+  std::vector<bool> preemption_delivered_;
+  bool am_crash_delivered_ = false;
+};
+
+}  // namespace relm
+
+#endif  // RELM_MRSIM_FAULT_INJECTOR_H_

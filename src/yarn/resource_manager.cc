@@ -8,9 +8,10 @@ namespace relm {
 
 ResourceManager::ResourceManager(const ClusterConfig& cc) : cc_(cc) {
   free_.assign(cc_.num_worker_nodes, cc_.memory_per_node);
+  down_.assign(cc_.num_worker_nodes, false);
 }
 
-Result<Container> ResourceManager::Allocate(int64_t memory) {
+Result<int64_t> ResourceManager::RoundRequest(int64_t memory) const {
   if (memory <= 0) {
     return Status::InvalidArgument("container request must be positive");
   }
@@ -22,9 +23,15 @@ Result<Container> ResourceManager::Allocate(int64_t memory) {
         "container request " + FormatBytes(memory) +
         " exceeds maximum allocation " + FormatBytes(cc_.max_allocation));
   }
-  // Most-free-node placement.
+  return memory;
+}
+
+Result<Container> ResourceManager::Allocate(int64_t memory, int priority) {
+  RELM_ASSIGN_OR_RETURN(memory, RoundRequest(memory));
+  // Most-free-node placement over available nodes.
   int best = -1;
   for (int n = 0; n < cc_.num_worker_nodes; ++n) {
+    if (down_[n]) continue;
     if (free_[n] >= memory && (best < 0 || free_[n] > free_[best])) {
       best = n;
     }
@@ -34,16 +41,121 @@ Result<Container> ResourceManager::Allocate(int64_t memory) {
                                  " free");
   }
   free_[best] -= memory;
-  Container c{next_id_++, best, memory};
+  Container c{next_id_++, best, memory, priority};
+  live_[c.id] = c;
+  return c;
+}
+
+Result<Container> ResourceManager::AllocateWithPreemption(
+    int64_t memory, int priority, std::vector<Container>* preempted) {
+  Result<Container> direct = Allocate(memory, priority);
+  if (direct.ok() ||
+      direct.status().code() != StatusCode::kResourceError) {
+    return direct;
+  }
+  RELM_ASSIGN_OR_RETURN(int64_t rounded, RoundRequest(memory));
+  // Per node: how much memory strictly-lower-priority containers could
+  // yield, and which they are (lowest priority first, then youngest, so
+  // the cheapest work is killed first — capacity-scheduler order).
+  int best = -1;
+  int64_t best_evicted = 0;
+  std::vector<Container> best_victims;
+  for (int n = 0; n < cc_.num_worker_nodes; ++n) {
+    if (down_[n]) continue;
+    std::vector<Container> candidates;
+    for (const auto& [id, c] : live_) {
+      if (c.node == n && c.priority < priority) candidates.push_back(c);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Container& a, const Container& b) {
+                if (a.priority != b.priority) {
+                  return a.priority < b.priority;
+                }
+                return a.id > b.id;
+              });
+    int64_t freed = free_[n];
+    std::vector<Container> victims;
+    for (const Container& c : candidates) {
+      if (freed >= rounded) break;
+      freed += c.memory;
+      victims.push_back(c);
+    }
+    if (freed < rounded) continue;
+    int64_t evicted = 0;
+    for (const Container& c : victims) evicted += c.memory;
+    if (best < 0 || evicted < best_evicted) {
+      best = n;
+      best_evicted = evicted;
+      best_victims = std::move(victims);
+    }
+  }
+  if (best < 0) {
+    return Status::ResourceError(
+        "no node can host " + FormatBytes(rounded) +
+        " even after preempting lower-priority containers");
+  }
+  for (const Container& victim : best_victims) {
+    Release(victim);
+    if (preempted != nullptr) preempted->push_back(victim);
+  }
+  free_[best] -= rounded;
+  Container c{next_id_++, best, rounded, priority};
   live_[c.id] = c;
   return c;
 }
 
 void ResourceManager::Release(const Container& container) {
   auto it = live_.find(container.id);
-  if (it == live_.end()) return;
-  free_[it->second.node] += it->second.memory;
+  if (it == live_.end()) return;  // unknown, double-released, or killed
+  // A container on a since-decommissioned node was already reclaimed
+  // when the node went down; only the live_ entry needs to go.
+  int node = it->second.node;
+  if (node >= 0 && node < static_cast<int>(free_.size()) &&
+      !down_[node]) {
+    free_[node] = std::min(free_[node] + it->second.memory,
+                           cc_.memory_per_node);
+  }
   live_.erase(it);
+}
+
+std::vector<Container> ResourceManager::DecommissionNode(int node) {
+  std::vector<Container> killed;
+  if (node < 0 || node >= static_cast<int>(free_.size())) return killed;
+  if (down_[node]) return killed;
+  down_[node] = true;
+  free_[node] = 0;
+  for (auto it = live_.begin(); it != live_.end();) {
+    if (it->second.node == node) {
+      killed.push_back(it->second);
+      it = live_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return killed;
+}
+
+Status ResourceManager::RecommissionNode(int node) {
+  if (node < 0 || node >= static_cast<int>(free_.size())) {
+    return Status::InvalidArgument("no such node " + std::to_string(node));
+  }
+  if (!down_[node]) return Status::OK();
+  down_[node] = false;
+  free_[node] = cc_.memory_per_node;
+  return Status::OK();
+}
+
+bool ResourceManager::NodeAvailable(int node) const {
+  if (node < 0 || node >= static_cast<int>(down_.size())) return false;
+  return !down_[node];
+}
+
+int ResourceManager::NumAvailableNodes() const {
+  int n = 0;
+  for (bool d : down_) {
+    if (!d) ++n;
+  }
+  return n;
 }
 
 int64_t ResourceManager::FreeMemory(int node) const {
@@ -63,6 +175,7 @@ int ResourceManager::MaxConcurrentContainers(int64_t memory) const {
   memory = units * cc_.min_allocation;
   int total = 0;
   for (int n = 0; n < cc_.num_worker_nodes; ++n) {
+    if (down_[n]) continue;
     total += static_cast<int>(cc_.memory_per_node / memory);
   }
   return total;

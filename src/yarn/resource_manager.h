@@ -11,18 +11,23 @@
 
 namespace relm {
 
-/// A granted container: node index, memory reserved on that node, and a
-/// process-unique id.
+/// A granted container: node index, memory reserved on that node, a
+/// process-unique id, and the scheduling priority it was granted at
+/// (higher values win preemption contests).
 struct Container {
   int64_t id = -1;
   int node = -1;
   int64_t memory = 0;
+  int priority = 0;
 };
 
 /// Capacity-accounting model of the YARN ResourceManager. Grants and
 /// releases containers against per-node memory capacity with the
-/// min/max-allocation semantics of the request-based YARN scheduler.
-/// Time is not modeled here; the cluster simulator owns all timing.
+/// min/max-allocation semantics of the request-based YARN scheduler,
+/// plus the failure-handling surface the fault-injection subsystem
+/// needs: node decommission/recommission (NodeManager loss and rejoin)
+/// and priority preemption. Time is not modeled here; the cluster
+/// simulator owns all timing.
 class ResourceManager {
  public:
   explicit ResourceManager(const ClusterConfig& cc);
@@ -31,31 +36,68 @@ class ResourceManager {
 
   /// Tries to allocate a container of `memory` bytes (already rounded by
   /// the caller or rounded up here to a min-allocation multiple) on the
-  /// node with the most free memory. Returns ResourceError if the request
-  /// violates constraints and NotFound-like ResourceError if no node
-  /// currently has room (caller may queue and retry).
-  Result<Container> Allocate(int64_t memory);
+  /// available node with the most free memory. Returns ResourceError if
+  /// the request violates constraints and NotFound-like ResourceError if
+  /// no node currently has room (caller may queue and retry).
+  Result<Container> Allocate(int64_t memory, int priority = 0);
 
-  /// Releases a previously granted container (idempotent per id).
+  /// Allocates like Allocate(), but when no node has room it preempts
+  /// strictly-lower-priority containers (lowest priority first, then
+  /// most recently granted) on the node that needs the least eviction
+  /// volume. Preempted containers are appended to `preempted` (may be
+  /// null) and are no longer live; their owners must not Release them
+  /// again (doing so is a safe no-op).
+  Result<Container> AllocateWithPreemption(
+      int64_t memory, int priority,
+      std::vector<Container>* preempted = nullptr);
+
+  /// Releases a previously granted container. Idempotent per id: double
+  /// release, release of an unknown/never-granted id, and release of a
+  /// container already reclaimed by decommission or preemption are safe
+  /// no-ops, and the per-node free-memory invariant
+  /// `FreeMemory(n) <= memory_per_node` holds after any sequence.
   void Release(const Container& container);
 
-  /// Free memory on a given node.
+  /// Takes a node out of service (crash or maintenance): its capacity
+  /// leaves the pool and every container hosted there is killed.
+  /// Returns the killed containers so callers can re-schedule the lost
+  /// work. Idempotent; an out-of-range node returns an empty list.
+  std::vector<Container> DecommissionNode(int node);
+
+  /// Returns a previously decommissioned node to service with its full
+  /// capacity (all of its containers were killed at decommission time).
+  /// Recommissioning an available node is a no-op.
+  Status RecommissionNode(int node);
+
+  /// Whether the node is currently in service.
+  bool NodeAvailable(int node) const;
+
+  /// Number of nodes currently in service.
+  int NumAvailableNodes() const;
+
+  /// Free memory on a given node (0 for decommissioned nodes).
   int64_t FreeMemory(int node) const;
 
-  /// Total free memory across nodes.
+  /// Total free memory across available nodes.
   int64_t TotalFreeMemory() const;
 
   /// Number of currently live containers.
   int64_t NumLiveContainers() const { return live_.size(); }
 
-  /// Maximum number of containers of the given size the idle cluster
-  /// could host simultaneously (the paper's application-parallelism
-  /// formula: sum over nodes of floor(nodeMem / containerSize)).
+  /// Maximum number of containers of the given size the idle available
+  /// cluster could host simultaneously (the paper's
+  /// application-parallelism formula: sum over nodes of
+  /// floor(nodeMem / containerSize)).
   int MaxConcurrentContainers(int64_t memory) const;
 
  private:
+  /// Rounds a request up to a min-allocation multiple; ResourceError
+  /// when the rounded request exceeds max_allocation.
+  Result<int64_t> RoundRequest(int64_t memory) const;
+
   ClusterConfig cc_;
   std::vector<int64_t> free_;  // free memory per node
+  std::vector<bool> down_;     // decommissioned nodes
   std::map<int64_t, Container> live_;
   int64_t next_id_ = 0;
 };

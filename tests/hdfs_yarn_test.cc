@@ -1,3 +1,5 @@
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/bytes.h"
@@ -141,6 +143,98 @@ TEST(ResourceManagerTest, SpreadsAcrossNodes) {
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   EXPECT_NE(a->node, b->node);  // most-free placement spreads load
+}
+
+TEST(ResourceManagerTest, ReleaseIsSafeAgainstDoubleAndUnknownIds) {
+  ClusterConfig cc = ClusterConfig::PaperCluster();
+  ResourceManager rm(cc);
+  auto a = rm.Allocate(10 * kGB);
+  auto b = rm.Allocate(10 * kGB);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Unknown id: must be a no-op regardless of the claimed memory.
+  Container bogus;
+  bogus.id = 999999;
+  bogus.node = 0;
+  bogus.memory = 500 * kGB;
+  rm.Release(bogus);
+  EXPECT_EQ(rm.TotalFreeMemory(), cc.total_memory() - 20 * kGB);
+  // Double release: the second call must not free memory twice.
+  rm.Release(*a);
+  rm.Release(*a);
+  rm.Release(*a);
+  EXPECT_EQ(rm.TotalFreeMemory(), cc.total_memory() - 10 * kGB);
+  rm.Release(*b);
+  // Invariant after any release sequence: no node exceeds its capacity.
+  for (int n = 0; n < cc.num_worker_nodes; ++n) {
+    EXPECT_LE(rm.FreeMemory(n), cc.memory_per_node);
+  }
+  EXPECT_EQ(rm.TotalFreeMemory(), cc.total_memory());
+  EXPECT_EQ(rm.NumLiveContainers(), 0);
+}
+
+TEST(ResourceManagerTest, DecommissionKillsContainersAndRecommissionRestores) {
+  ClusterConfig cc = ClusterConfig::PaperCluster();
+  ResourceManager rm(cc);
+  std::vector<Container> held;
+  for (int i = 0; i < cc.num_worker_nodes; ++i) {
+    auto c = rm.Allocate(40 * kGB);
+    ASSERT_TRUE(c.ok());
+    held.push_back(*c);
+  }
+  int victim_node = held[0].node;
+  auto killed = rm.DecommissionNode(victim_node);
+  ASSERT_EQ(killed.size(), 1u);
+  EXPECT_EQ(killed[0].node, victim_node);
+  EXPECT_FALSE(rm.NodeAvailable(victim_node));
+  EXPECT_EQ(rm.NumAvailableNodes(), cc.num_worker_nodes - 1);
+  EXPECT_EQ(rm.FreeMemory(victim_node), 0);
+  // Releasing a container that died with its node is a harmless no-op.
+  rm.Release(killed[0]);
+  EXPECT_EQ(rm.FreeMemory(victim_node), 0);
+  // A second decommission of the same node finds nothing to kill.
+  EXPECT_TRUE(rm.DecommissionNode(victim_node).empty());
+  // Allocation skips the down node.
+  auto c = rm.Allocate(20 * kGB);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(c->node, victim_node);
+  // Recommission restores the full (empty) node.
+  ASSERT_TRUE(rm.RecommissionNode(victim_node).ok());
+  EXPECT_TRUE(rm.NodeAvailable(victim_node));
+  EXPECT_EQ(rm.FreeMemory(victim_node), cc.memory_per_node);
+  for (int n = 0; n < cc.num_worker_nodes; ++n) {
+    EXPECT_LE(rm.FreeMemory(n), cc.memory_per_node);
+  }
+}
+
+TEST(ResourceManagerTest, PreemptionEvictsLowerPriorityOnly) {
+  ClusterConfig cc = ClusterConfig::PaperCluster();
+  ResourceManager rm(cc);
+  // Fill the cluster with low-priority tenants.
+  std::vector<Container> tenants;
+  for (int i = 0; i < cc.num_worker_nodes; ++i) {
+    auto c = rm.Allocate(80 * kGB, /*priority=*/-1);
+    ASSERT_TRUE(c.ok());
+    tenants.push_back(*c);
+  }
+  ASSERT_FALSE(rm.Allocate(10 * kGB).ok());
+  // Equal priority cannot preempt.
+  std::vector<Container> preempted;
+  EXPECT_FALSE(rm.AllocateWithPreemption(10 * kGB, -1, &preempted).ok());
+  EXPECT_TRUE(preempted.empty());
+  // Higher priority evicts the cheapest victim set and fits.
+  auto c = rm.AllocateWithPreemption(10 * kGB, /*priority=*/100, &preempted);
+  ASSERT_TRUE(c.ok());
+  ASSERT_EQ(preempted.size(), 1u);
+  EXPECT_EQ(preempted[0].node, c->node);
+  EXPECT_EQ(preempted[0].priority, -1);
+  // The victim is gone: releasing it again must not corrupt accounting.
+  rm.Release(preempted[0]);
+  for (int n = 0; n < cc.num_worker_nodes; ++n) {
+    EXPECT_LE(rm.FreeMemory(n), cc.memory_per_node);
+  }
+  EXPECT_EQ(rm.TotalFreeMemory(),
+            cc.total_memory() - 5 * 80 * kGB - c->memory);
 }
 
 }  // namespace

@@ -11,6 +11,8 @@
 #include <functional>
 
 #include "bench_common.h"
+#include "common/random.h"
+#include "matrix/matrix_block.h"
 
 namespace relm {
 namespace bench {
@@ -22,7 +24,44 @@ struct ComparisonOptions {
   std::function<SymbolMap(int64_t rows)> oracle;
   /// Enable runtime adaptation during the Opt run (Figure 15 uses this).
   bool adaptation = false;
+  /// Label generator for the tiny real CP run: maps (row index, linear
+  /// response) to a y value the script accepts. Defaults to the linear
+  /// response itself (regression scripts).
+  std::function<double(int row, double response)> label;
 };
+
+/// Executes the script for real on the CP interpreter over a tiny
+/// synthetic dataset. This cross-checks that the algorithm actually
+/// runs end to end, and it gives `--trace-out` traces per-block
+/// interpreter spans alongside the optimizer and simulator ones.
+inline void RunRealCpValidation(const std::string& script,
+                                const ComparisonOptions& options) {
+  Random rng(42);
+  const int n = 240, d = 8;
+  MatrixBlock x(n, d, false);
+  MatrixBlock y(n, 1, false);
+  for (int i = 0; i < n; ++i) {
+    double response = 0.0;
+    for (int j = 0; j < d; ++j) {
+      double v = rng.Uniform(-1, 1);
+      x.Set(i, j, v);
+      response += (j % 2 == 0 ? 1.0 : -0.5) * v;
+    }
+    y.Set(i, 0, options.label ? options.label(i, response) : response);
+  }
+  RelmSystem sys;
+  sys.hdfs().PutMatrix("/data/X", std::move(x));
+  sys.hdfs().PutMatrix("/data/y", std::move(y));
+  auto prog = MustCompile(&sys, script);
+  auto run = sys.ExecuteReal(prog.get());
+  if (!run.ok()) {
+    std::printf("real CP validation run failed: %s\n",
+                run.status().ToString().c_str());
+    return;
+  }
+  std::printf("real CP validation run (%dx%d): %lld blocks executed\n",
+              n, d, static_cast<long long>(run->blocks_executed));
+}
 
 inline void RunBaselineComparison(const std::string& script,
                                   const ComparisonOptions& options) {
@@ -78,6 +117,7 @@ inline void RunBaselineComparison(const std::string& script,
   }
   std::printf("\nmax speedup of Opt over the worst static baseline: "
               "%.1fx\n", max_speedup);
+  RunRealCpValidation(script, options);
 }
 
 }  // namespace bench

@@ -8,6 +8,8 @@
 // fall) are the reproduction target, not the exact values.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -15,9 +17,50 @@
 #include <vector>
 
 #include "api/relm_system.h"
+#include "obs/trace.h"
 
 namespace relm {
 namespace bench {
+
+/// Destination of `--trace-out=`; empty means no dump.
+inline std::string& TraceOutPath() {
+  static std::string path;
+  return path;
+}
+
+/// Writes the collected telemetry (spans + metrics snapshot) and a text
+/// flamegraph summary; registered via atexit by InitBench.
+inline void DumpTraceAtExit() {
+  const std::string& path = TraceOutPath();
+  if (path.empty()) return;
+  Status st = RelmSystem::DumpTelemetry(path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "trace dump failed: %s\n", st.ToString().c_str());
+    return;
+  }
+  std::fprintf(stderr, "\nwrote %zu trace events to %s\n",
+               obs::Tracer::Global().NumEvents(), path.c_str());
+  std::string flame = obs::Tracer::Global().FlamegraphSummary();
+  if (!flame.empty()) {
+    std::fprintf(stderr, "wall-clock flamegraph:\n%s", flame.c_str());
+  }
+}
+
+/// Common bench flag handling. Currently: `--trace-out=PATH` enables
+/// span collection and dumps Chrome-trace JSON (plus a metrics
+/// snapshot) at exit. Unknown flags are ignored so benches stay
+/// forgiving about extra arguments.
+inline void InitBench(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* kFlag = "--trace-out=";
+    if (std::strncmp(arg, kFlag, std::strlen(kFlag)) == 0) {
+      TraceOutPath() = arg + std::strlen(kFlag);
+      obs::Tracer::Global().SetEnabled(true);
+      std::atexit(DumpTraceAtExit);
+    }
+  }
+}
 
 /// Data scenarios of Section 5.1: XS..XL total cells, with 1000 or 100
 /// columns and dense (1.0) or sparse (0.01) data.

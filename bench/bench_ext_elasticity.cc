@@ -11,7 +11,8 @@
 using namespace relm;         // NOLINT
 using namespace relm::bench;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  relm::bench::InitBench(argc, argv);
   PrintHeader("Extensions: offers, CP cores, utilization adaptation");
 
   // (a) offer-based allocation, LinregCG 8GB.

@@ -123,7 +123,8 @@ void BlastRadiusOptimization() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  relm::bench::InitBench(argc, argv);
   PrintHeader("Extension: fault injection + failure recovery");
   FaultRateSweep("linreg_cg.dml");
   FaultRateSweep("l2svm.dml");

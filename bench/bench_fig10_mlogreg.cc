@@ -9,10 +9,14 @@
 using namespace relm;         // NOLINT
 using namespace relm::bench;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  relm::bench::InitBench(argc, argv);
   PrintHeader("Figure 10: MLogreg vs static baselines, XS-L (k=5)");
   ComparisonOptions options;
   options.oracle = [](int64_t rows) { return MlogregOracle(rows, 5); };
+  options.label = [](int row, double) {
+    return 1.0 + (row % 5);  // class labels 1..5
+  };
   RunBaselineComparison("mlogreg.dml", options);
   return 0;
 }

@@ -2,13 +2,21 @@
 // scenarios XS-L. GLM's unknowns come from UDF outputs; sizes become
 // derivable at runtime via dynamic recompilation of the function bodies.
 
+#include <cmath>
+
 #include "baseline_comparison.h"
 
 using namespace relm;         // NOLINT
 using namespace relm::bench;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  relm::bench::InitBench(argc, argv);
   PrintHeader("Figure 11: GLM vs static baselines, XS-L");
-  RunBaselineComparison("glm.dml", ComparisonOptions{});
+  ComparisonOptions options;
+  options.label = [](int, double response) {
+    // Poisson-flavored counts: nonnegative integers.
+    return std::floor(std::exp(response / 2.0));
+  };
+  RunBaselineComparison("glm.dml", options);
   return 0;
 }

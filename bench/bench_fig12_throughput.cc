@@ -51,7 +51,8 @@ void RunWorkload(const char* label, const char* script, int64_t cells,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  relm::bench::InitBench(argc, argv);
   PrintHeader("Figure 12: end-to-end throughput, Opt vs B-LL");
   // (a) LinregDS, scenario S, dense1000 (800 MB).
   RunWorkload("(a) LinregDS, S dense1000", "linreg_ds.dml", 100000000LL,

@@ -7,11 +7,13 @@
 
 #include "bench_common.h"
 #include "core/grid_generators.h"
+#include "core/resource_optimizer.h"
 
 using namespace relm;         // NOLINT
 using namespace relm::bench;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  relm::bench::InitBench(argc, argv);
   PrintHeader("Figure 13: grid point generation strategies");
   for (int m : {15, 45}) {
     std::printf("\nbase grid m=%d (LinregDS, dense1000)\n", m);
@@ -30,6 +32,18 @@ int main() {
                   count(GridType::kEquiSpaced),
                   count(GridType::kExpSpaced),
                   count(GridType::kMemBased), count(GridType::kHybrid));
+    }
+    // One full optimizer run at M documents what this base grid means
+    // end to end (self-describing provenance JSON incl. decision trace).
+    RelmSystem sys;
+    RegisterData(&sys, Scenarios()[2].cells, 1000, 1.0);
+    auto prog = MustCompile(&sys, "linreg_ds.dml");
+    OptimizerOptions opts;
+    opts.grid_points = m;
+    OptimizerStats stats;
+    ResourceOptimizer opt(sys.cluster(), opts);
+    if (opt.Optimize(prog.get(), &stats).ok()) {
+      std::printf("provenance (M): %s\n", stats.ToJson().c_str());
     }
   }
   return 0;

@@ -10,7 +10,8 @@
 using namespace relm;         // NOLINT
 using namespace relm::bench;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  relm::bench::InitBench(argc, argv);
   PrintHeader("Figure 14: effect of block pruning");
   std::printf("%-10s %8s", "Prog.", "|B|");
   for (const Scenario& scenario : Scenarios()) {

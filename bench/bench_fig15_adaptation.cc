@@ -57,7 +57,8 @@ void RunProgram(const char* label, const char* script,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  relm::bench::InitBench(argc, argv);
   PrintHeader("Figure 15: runtime plan adaptation (Opt vs ReOpt)");
   RunProgram("MLogreg (k=2 classes)", "mlogreg.dml",
              [](int64_t rows) { return MlogregOracle(rows, 2); });

@@ -24,7 +24,8 @@ double OptimizeTime(RelmSystem* sys, MlProgram* prog,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  relm::bench::InitBench(argc, argv);
   PrintHeader("Figure 18: parallel resource optimizer (GLM)");
 
   // (a) Equi m=45, scenario L dense1000, thread sweep.

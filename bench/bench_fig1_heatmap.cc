@@ -10,7 +10,8 @@
 using namespace relm;         // NOLINT
 using namespace relm::bench;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  relm::bench::InitBench(argc, argv);
   PrintHeader("Figure 1: estimated runtime heatmap, CP x MR memory");
   const std::vector<double> grid_gb = {1, 2,  4,  6,  8, 10,
                                        12, 14, 16, 18, 20};

@@ -10,7 +10,8 @@
 using namespace relm;         // NOLINT
 using namespace relm::bench;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  relm::bench::InitBench(argc, argv);
   PrintHeader(
       "Figure 7 / Table 2: LinregDS vs static baselines, XS-XL");
   ComparisonOptions options;

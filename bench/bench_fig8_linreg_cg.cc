@@ -8,7 +8,8 @@
 using namespace relm;         // NOLINT
 using namespace relm::bench;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  relm::bench::InitBench(argc, argv);
   PrintHeader("Figure 8: LinregCG vs static baselines, XS-L");
   RunBaselineComparison("linreg_cg.dml", ComparisonOptions{});
   return 0;

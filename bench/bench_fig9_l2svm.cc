@@ -8,8 +8,13 @@
 using namespace relm;         // NOLINT
 using namespace relm::bench;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  relm::bench::InitBench(argc, argv);
   PrintHeader("Figure 9: L2SVM vs static baselines, XS-L");
-  RunBaselineComparison("l2svm.dml", ComparisonOptions{});
+  ComparisonOptions options;
+  options.label = [](int, double response) {
+    return response > 0 ? 1.0 : -1.0;
+  };
+  RunBaselineComparison("l2svm.dml", options);
   return 0;
 }

@@ -8,7 +8,8 @@
 using namespace relm;         // NOLINT
 using namespace relm::bench;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  relm::bench::InitBench(argc, argv);
   PrintHeader("Table 1: ML program characteristics");
   std::printf("%-12s %8s %8s %4s %5s %8s %8s %6s\n", "Prog.", "#Lines",
               "#Blocks", "?", "Icp.", "lambda", "eps", "Maxi.");

@@ -13,7 +13,8 @@
 using namespace relm;         // NOLINT
 using namespace relm::bench;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  relm::bench::InitBench(argc, argv);
   PrintHeader("Table 3: optimization details, dense1000");
   std::printf("%-10s %-5s %9s %9s %11s %8s\n", "Prog.", "Scen.",
               "# Comp.", "# Cost.", "Opt. Time", "%");
@@ -21,6 +22,9 @@ int main() {
     const char* script;
     std::vector<std::string> scenarios;
   };
+  // Self-describing stats of the largest scenario per program, printed
+  // after the table (provenance: m, threads, failure rate, grids).
+  std::vector<std::pair<std::string, std::string>> provenance;
   for (const Case& c : std::vector<Case>{
            {"linreg_ds.dml", {"XS", "S", "M", "L", "XL"}},
            {"linreg_cg.dml", {"XS", "S", "M", "L"}},
@@ -48,7 +52,14 @@ int main() {
                   static_cast<long long>(stats.block_recompiles),
                   static_cast<long long>(stats.cost_invocations),
                   stats.opt_time_seconds, pct);
+      if (scenario.name == c.scenarios.back()) {
+        provenance.emplace_back(c.script, stats.ToString());
+      }
     }
+  }
+  std::printf("\noptimizer provenance (largest scenario per program):\n");
+  for (const auto& [script, line] : provenance) {
+    std::printf("  %-10s %s\n", script.c_str(), line.c_str());
   }
   return 0;
 }

@@ -12,7 +12,8 @@
 using namespace relm;         // NOLINT
 using namespace relm::bench;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  relm::bench::InitBench(argc, argv);
   PrintHeader("Table 5: MR + resource optimizer vs Spark plans (L2SVM)");
   std::printf("%-4s %10s %14s %14s %14s %8s\n", "scen", "dense size",
               "MR w/ Opt", "Spark Hybrid", "Spark Full", "cached");

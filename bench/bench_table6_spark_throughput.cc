@@ -12,7 +12,8 @@
 using namespace relm;         // NOLINT
 using namespace relm::bench;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  relm::bench::InitBench(argc, argv);
   PrintHeader("Table 6: throughput, MR + Opt vs Spark Full (L2SVM, S)");
   RelmSystem sys;
   RegisterData(&sys, 100000000LL, 1000, 1.0);

@@ -1,19 +1,44 @@
 #!/usr/bin/env bash
-# Sanitized check build: configures a fresh Debug tree with
-# AddressSanitizer + UndefinedBehaviorSanitizer and runs the full test
-# suite under it. Slower than the default build; use before merging
-# changes that touch allocation paths or the simulator's recovery logic.
+# Extended check build, three stages in separate trees:
 #
-# Usage: scripts/check.sh [build-dir]   (default: build-asan)
+#   1. ASan+UBSan Debug build running the full test suite (catches
+#      allocation bugs and UB in the simulator's recovery logic);
+#   2. an RELM_OBS_ENABLED=OFF build running the full suite (proves the
+#      observability macros compile out and nothing depends on them);
+#   3. a TSan build running the observability tests (registry and tracer
+#      are the only deliberately concurrent hot paths).
+#
+# TSan is incompatible with ASan, hence the separate tree. Slower than
+# the default build; use before merging changes that touch allocation
+# paths, simulator recovery, or the obs layer.
+#
+# Usage: scripts/check.sh [build-dir-prefix]   (default: build)
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-$repo_root/build-asan}"
+prefix="${1:-$repo_root/build}"
 
-cmake -B "$build_dir" -S "$repo_root" \
+echo "=== stage 1: ASan+UBSan, full suite ==="
+cmake -B "${prefix}-asan" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
-cmake --build "$build_dir" -j "$(nproc)"
-ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+cmake --build "${prefix}-asan" -j "$(nproc)"
+ctest --test-dir "${prefix}-asan" --output-on-failure -j "$(nproc)"
+
+echo "=== stage 2: RELM_OBS_ENABLED=OFF, full suite ==="
+cmake -B "${prefix}-noobs" -S "$repo_root" -DRELM_OBS_ENABLED=OFF
+cmake --build "${prefix}-noobs" -j "$(nproc)"
+ctest --test-dir "${prefix}-noobs" --output-on-failure -j "$(nproc)"
+
+echo "=== stage 3: TSan, observability tests ==="
+cmake -B "${prefix}-tsan" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build "${prefix}-tsan" -j "$(nproc)" --target obs_test
+ctest --test-dir "${prefix}-tsan" --output-on-failure \
+  -R 'MetricsTest|TracerTest|LogCaptureTest|ObsSystemTest'
+
+echo "all check stages passed"

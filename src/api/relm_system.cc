@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "lops/compiler_backend.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace relm {
 
@@ -71,6 +73,11 @@ Result<SimResult> RelmSystem::Simulate(MlProgram* program,
                                        const SymbolMap& oracle) {
   ClusterSimulator sim(cc_, options);
   return sim.Execute(program, config, oracle);
+}
+
+Status RelmSystem::DumpTelemetry(const std::string& path) {
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  return obs::Tracer::Global().WriteChromeTrace(path, &snapshot);
 }
 
 std::vector<RelmSystem::Baseline> RelmSystem::StaticBaselines() const {

@@ -83,6 +83,13 @@ class RelmSystem {
   };
   std::vector<Baseline> StaticBaselines() const;
 
+  /// Writes the process-wide telemetry — Chrome-trace spans collected so
+  /// far plus a snapshot of every metric — as trace-event JSON loadable
+  /// in Perfetto / chrome://tracing. Call after the runs of interest;
+  /// tracing must have been enabled (Tracer::Global().SetEnabled(true))
+  /// for spans to be present, metrics are always collected.
+  static Status DumpTelemetry(const std::string& path);
+
  private:
   ClusterConfig cc_;
   SimulatedHdfs hdfs_;

@@ -3,11 +3,15 @@
 #include <atomic>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace relm {
 
 namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
+
+std::mutex g_sink_mu;
+LogSink g_sink;  // null => stderr
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -22,6 +26,15 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+void Emit(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  if (g_sink) {
+    g_sink(level, message);
+  } else {
+    std::cerr << message << std::endl;
+  }
+}
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -30,6 +43,11 @@ void SetLogLevel(LogLevel level) {
 
 LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_sink = std::move(sink);
 }
 
 namespace internal_logging {
@@ -42,9 +60,9 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (static_cast<int>(level_) >= static_cast<int>(GetLogLevel())) {
-    std::cerr << stream_.str() << std::endl;
-  }
+  // The macros only construct messages for enabled levels; re-checking
+  // here keeps direct (non-macro) construction safe too.
+  if (LogLevelEnabled(level_)) Emit(level_, stream_.str());
 }
 
 FatalMessage::FatalMessage(const char* file, int line) {

@@ -1,6 +1,7 @@
 #ifndef RELM_COMMON_LOGGING_H_
 #define RELM_COMMON_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -14,9 +15,24 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// True when statements at `level` are currently emitted. All severity
+/// macros consult this before constructing their message, so disabled
+/// statements never pay formatting costs.
+inline bool LogLevelEnabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(GetLogLevel());
+}
+
+/// Redirects emitted log lines (already filtered by level) away from
+/// stderr, e.g. into a test capture buffer. Passing nullptr restores
+/// the default stderr sink. The sink receives the formatted message
+/// without a trailing newline.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void SetLogSink(LogSink sink);
+
 namespace internal_logging {
 
 /// Stream-style log sink; emits the accumulated message on destruction.
+/// Only constructed for enabled levels (the macros check first).
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
@@ -36,37 +52,35 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
-/// Sink that swallows everything; used for disabled log levels.
-class NullStream {
- public:
-  template <typename T>
-  NullStream& operator<<(const T&) {
-    return *this;
-  }
+/// Swallows a LogMessage expression inside the short-circuit macros.
+/// operator& binds tighter than ?: but looser than <<, so the whole
+/// streaming chain evaluates (or is skipped) as one expression.
+struct Voidify {
+  void operator&(const LogMessage&) const {}
 };
 
 }  // namespace internal_logging
 
-#define RELM_LOG(level)                                      \
-  (static_cast<int>(::relm::LogLevel::k##level) <            \
-   static_cast<int>(::relm::GetLogLevel()))                  \
-      ? (void)0                                              \
-      : (void)::relm::internal_logging::LogMessage(          \
-            ::relm::LogLevel::k##level, __FILE__, __LINE__)
+/// Statement-style logging with a named level:
+///   RELM_LOG(Warn) << "x=" << x;
+/// The streaming operands are not evaluated when the level is disabled.
+#define RELM_LOG_AT_LEVEL(level)                                   \
+  !::relm::LogLevelEnabled(level)                                  \
+      ? (void)0                                                    \
+      : ::relm::internal_logging::Voidify() &                      \
+            ::relm::internal_logging::LogMessage(level, __FILE__,  \
+                                                 __LINE__)
+
+#define RELM_LOG(level) RELM_LOG_AT_LEVEL(::relm::LogLevel::k##level)
 
 /// Stream-style logging: RELM_DEBUG() << "x=" << x;
-#define RELM_DEBUG()                                                       \
-  ::relm::internal_logging::LogMessage(::relm::LogLevel::kDebug, __FILE__, \
-                                       __LINE__)
-#define RELM_INFO()                                                       \
-  ::relm::internal_logging::LogMessage(::relm::LogLevel::kInfo, __FILE__, \
-                                       __LINE__)
-#define RELM_WARN()                                                       \
-  ::relm::internal_logging::LogMessage(::relm::LogLevel::kWarn, __FILE__, \
-                                       __LINE__)
-#define RELM_ERROR()                                                       \
-  ::relm::internal_logging::LogMessage(::relm::LogLevel::kError, __FILE__, \
-                                       __LINE__)
+/// These are the same macro family as RELM_LOG — every severity macro
+/// respects the runtime level and skips message formatting when
+/// disabled.
+#define RELM_DEBUG() RELM_LOG_AT_LEVEL(::relm::LogLevel::kDebug)
+#define RELM_INFO() RELM_LOG_AT_LEVEL(::relm::LogLevel::kInfo)
+#define RELM_WARN() RELM_LOG_AT_LEVEL(::relm::LogLevel::kWarn)
+#define RELM_ERROR() RELM_LOG_AT_LEVEL(::relm::LogLevel::kError)
 
 /// Fatal invariant check. Aborts with a message when `cond` is false; used
 /// for programming errors only, never for user input.

@@ -13,8 +13,37 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/json_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace relm {
+
+const GridPointDecision* OptimizerTrace::Winner() const {
+  for (const GridPointDecision& d : grid_points) {
+    if (d.winner) return &d;
+  }
+  return nullptr;
+}
+
+std::string OptimizerTrace::ToJson() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < grid_points.size(); ++i) {
+    const GridPointDecision& d = grid_points[i];
+    if (i > 0) os << ",";
+    os << "{\"cp_mb\":" << d.cp_mb << ",\"mr_mb\":" << d.mr_mb
+       << ",\"cp_cores\":" << d.cp_cores
+       << ",\"cost\":" << obs::JsonNumber(d.cost)
+       << ",\"footprint\":" << obs::JsonNumber(d.footprint)
+       << ",\"pruned_blocks\":" << d.pruned_blocks
+       << ",\"enumerated_blocks\":" << d.enumerated_blocks
+       << ",\"winner\":" << (d.winner ? "true" : "false")
+       << ",\"verdict\":" << obs::JsonQuote(d.verdict) << "}";
+  }
+  os << "]";
+  return os.str();
+}
 
 std::string OptimizerStats::ToString() const {
   std::ostringstream os;
@@ -22,7 +51,33 @@ std::string OptimizerStats::ToString() const {
      << " time=" << FormatDouble(opt_time_seconds, 3) << "s blocks="
      << remaining_blocks_after_pruning << "/" << total_generic_blocks
      << " grid=" << cp_grid_points << "x" << mr_grid_points
-     << " best=" << FormatDouble(best_cost, 2) << "s";
+     << " best=" << FormatDouble(best_cost, 2) << "s"
+     << " [m=" << provenance.grid_points
+     << " threads=" << provenance.num_threads
+     << " failure_rate=" << FormatDouble(provenance.expected_failure_rate, 4)
+     << "]";
+  return os.str();
+}
+
+std::string OptimizerStats::ToJson() const {
+  std::ostringstream os;
+  os << "{\"block_recompiles\":" << block_recompiles
+     << ",\"cost_invocations\":" << cost_invocations
+     << ",\"opt_time_seconds\":" << obs::JsonNumber(opt_time_seconds)
+     << ",\"total_generic_blocks\":" << total_generic_blocks
+     << ",\"remaining_blocks_after_pruning\":"
+     << remaining_blocks_after_pruning
+     << ",\"cp_grid_points\":" << cp_grid_points
+     << ",\"mr_grid_points\":" << mr_grid_points
+     << ",\"best_cost\":" << obs::JsonNumber(best_cost)
+     << ",\"provenance\":{\"grid_points\":" << provenance.grid_points
+     << ",\"num_threads\":" << provenance.num_threads
+     << ",\"expected_failure_rate\":"
+     << obs::JsonNumber(provenance.expected_failure_rate)
+     << ",\"cost_tolerance\":" << obs::JsonNumber(provenance.cost_tolerance)
+     << ",\"cp_grid\":" << obs::JsonQuote(provenance.cp_grid)
+     << ",\"mr_grid\":" << obs::JsonQuote(provenance.mr_grid)
+     << "},\"grid_point_trace\":" << trace.ToJson() << "}";
   return os.str();
 }
 
@@ -84,6 +139,8 @@ class ResourceOptimizer::Runner {
 
   Result<ResourceOptimizer::ExtendedResult> Run(int64_t fixed_cp,
                                                 OptimizerStats* stats) {
+    RELM_TRACE_SPAN("optimize.run");
+    RELM_COUNTER_INC("optimizer.runs");
     auto start = Clock::now();
     std::vector<int64_t> src =
         custom_src_.empty()
@@ -114,6 +171,13 @@ class ResourceOptimizer::Runner {
       stats->total_generic_blocks =
           static_cast<int>(generic_blocks_.size());
       stats->remaining_blocks_after_pruning = -1;
+      stats->provenance.grid_points = opts_.grid_points;
+      stats->provenance.num_threads = opts_.num_threads;
+      stats->provenance.expected_failure_rate =
+          opts_.expected_failure_rate;
+      stats->provenance.cost_tolerance = opts_.cost_tolerance;
+      stats->provenance.cp_grid = GridTypeName(opts_.cp_grid);
+      stats->provenance.mr_grid = GridTypeName(opts_.mr_grid);
     }
 
     std::vector<int> core_options = opts_.cp_core_options;
@@ -158,7 +222,19 @@ class ResourceOptimizer::Runner {
                                  parallel_cost_invocations_.load();
       stats->opt_time_seconds = Seconds(start);
       stats->best_cost = result.global_cost;
+      BuildDecisionTrace(&stats->trace);
     }
+    // Route the run's counters through the metrics registry at the same
+    // sites that update OptimizerStats, so telemetry cannot drift from
+    // the hand-maintained statistics.
+    RELM_COUNTER_ADD("optimizer.block_recompiles",
+                     counters_.block_compiles);
+    RELM_COUNTER_ADD("optimizer.cost_invocations",
+                     cost_model_.num_invocations() +
+                         parallel_cost_invocations_.load());
+    RELM_COUNTER_ADD("optimizer.grid_points_evaluated",
+                     static_cast<int64_t>(candidates_.size()));
+    RELM_HISTOGRAM_OBSERVE("optimizer.opt_time_seconds", Seconds(start));
     return result;
   }
 
@@ -167,13 +243,68 @@ class ResourceOptimizer::Runner {
   struct CandidateResult {
     ResourceConfig config;
     double cost = 0.0;
+    int pruned_blocks = 0;
+    int enumerated_blocks = 0;
   };
+
+  /// Reconstructs the final selection's reasoning over all collected
+  /// candidates: the minimum-cost threshold, the tolerance window, and
+  /// the footprint tie-break (Definition 1's outer min), recording a
+  /// verdict per enumerated grid point.
+  void BuildDecisionTrace(OptimizerTrace* trace) {
+    trace->grid_points.clear();
+    if (candidates_.empty()) return;
+    double min_cost = candidates_[0].cost;
+    for (const auto& c : candidates_) min_cost = std::min(min_cost, c.cost);
+    double threshold = min_cost * (1.0 + opts_.cost_tolerance);
+    size_t winner = candidates_.size();
+    double winner_fp = 0.0;
+    std::vector<double> footprints(candidates_.size());
+    for (size_t i = 0; i < candidates_.size(); ++i) {
+      footprints[i] = ResourceFootprint(candidates_[i].config, block_ids_);
+      if (candidates_[i].cost > threshold) continue;
+      if (winner == candidates_.size() || footprints[i] < winner_fp) {
+        winner = i;
+        winner_fp = footprints[i];
+      }
+    }
+    for (size_t i = 0; i < candidates_.size(); ++i) {
+      const CandidateResult& c = candidates_[i];
+      GridPointDecision d;
+      d.cp_mb = c.config.cp_heap / kMB;
+      d.mr_mb = c.config.MaxMrHeap() / kMB;
+      d.cp_cores = c.config.cp_cores;
+      d.cost = c.cost;
+      d.footprint = footprints[i];
+      d.pruned_blocks = c.pruned_blocks;
+      d.enumerated_blocks = c.enumerated_blocks;
+      d.winner = (i == winner);
+      if (i == winner) {
+        d.verdict = c.cost <= min_cost ? "win:min_cost"
+                                       : "win:tie_break_footprint";
+      } else if (c.cost > threshold) {
+        d.verdict = "lose:cost";
+      } else {
+        d.verdict = "lose:tie_break_footprint";
+      }
+      trace->grid_points.push_back(std::move(d));
+    }
+    std::sort(trace->grid_points.begin(), trace->grid_points.end(),
+              [](const GridPointDecision& a, const GridPointDecision& b) {
+                if (a.cp_mb != b.cp_mb) return a.cp_mb < b.cp_mb;
+                return a.cp_cores < b.cp_cores;
+              });
+  }
 
   /// Lines 6-17 of Algorithm 1 for a single (rc, cores) point.
   Result<CandidateResult> EvaluateCpPoint(MlProgram* program, int64_t rc,
                                           int cores,
                                           const std::vector<int64_t>& srm,
                                           OptimizerStats* stats) {
+    RELM_TRACE_SPAN_ARGS("optimize.grid_point", [&] {
+      return "\"cp_mb\":" + std::to_string(rc / kMB) +
+             ",\"cp_cores\":" + std::to_string(cores);
+    });
     int64_t min_mr = cc_.MinHeapSize();
     // Baseline compilation with minimal MR resources.
     ResourceConfig base_cfg(rc, min_mr, cores);
@@ -238,6 +369,9 @@ class ResourceOptimizer::Runner {
     // Full-program compilation and costing with the memoized vector.
     CandidateResult cand;
     cand.config = ResourceConfig(rc, min_mr, cores);
+    cand.enumerated_blocks = static_cast<int>(remaining.size());
+    cand.pruned_blocks = static_cast<int>(generic_blocks_.size()) -
+                         cand.enumerated_blocks;
     for (const auto& [id, entry] : memo) {
       if (entry.first != min_mr) {
         cand.config.per_block_mr_heap[id] = entry.first;
@@ -378,10 +512,18 @@ class ResourceOptimizer::Runner {
 
       auto finish_rc = [&](size_t rc_index) {
         // Aggregate: compile the whole program with the memoized vector.
+        RELM_TRACE_SPAN_ARGS("optimize.aggregate_rc", [&] {
+          return "\"cp_mb\":" +
+                 std::to_string(plans[rc_index].first / kMB);
+        });
         RcState& state = *rc_states[rc_index];
         int64_t rc = plans[rc_index].first;
         CandidateResult cand;
         cand.config = ResourceConfig(rc, min_mr);
+        cand.enumerated_blocks =
+            static_cast<int>(plans[rc_index].second.size());
+        cand.pruned_blocks = static_cast<int>(generic_blocks_.size()) -
+                             cand.enumerated_blocks;
         {
           std::lock_guard<std::mutex> lock(state.mu);
           for (const auto& [id, entry] : state.memo) {
@@ -415,6 +557,10 @@ class ResourceOptimizer::Runner {
         }
         RcState& state = *rc_states[task.rc_index];
         if (task.block_id >= 0) {
+          RELM_TRACE_SPAN_ARGS("optimize.block_grid", [&] {
+            return "\"cp_mb\":" + std::to_string(task.rc / kMB) +
+                   ",\"block\":" + std::to_string(task.block_id);
+          });
           StatementBlock* blk = blocks_by_id[task.block_id];
           int64_t best_ri = min_mr;
           double best_cost = -1;

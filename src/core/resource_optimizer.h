@@ -45,6 +45,36 @@ struct OptimizerOptions {
   double expected_failure_rate = 0.0;
 };
 
+/// One enumerated CP grid point (what-if evaluation) and its verdict in
+/// the final selection: why it won or lost, including the
+/// cost-tolerance tie-break toward the smaller resource footprint.
+struct GridPointDecision {
+  int64_t cp_mb = 0;       // CP heap, MB
+  int64_t mr_mb = 0;       // largest per-block MR heap of the plan, MB
+  int cp_cores = 1;
+  double cost = 0.0;       // estimated plan cost, seconds
+  double footprint = 0.0;  // tie-break resource footprint (bytes-ish)
+  /// Blocks pruned before per-block MR enumeration at this point, and
+  /// blocks that were enumerated.
+  int pruned_blocks = 0;
+  int enumerated_blocks = 0;
+  bool winner = false;
+  /// "win:min_cost", "win:tie_break_footprint", "lose:cost",
+  /// "lose:tie_break_footprint", or "lose:filtered" (offer/local-only
+  /// selection excluded it).
+  std::string verdict;
+};
+
+/// Queryable record of every optimizer decision in one run; attached to
+/// OptimizerStats so experiment harnesses can explain the outcome.
+struct OptimizerTrace {
+  std::vector<GridPointDecision> grid_points;
+
+  /// The winning grid point, or nullptr when the run found no plan.
+  const GridPointDecision* Winner() const;
+  std::string ToJson() const;
+};
+
 /// Optimization statistics (Table 3 and Figures 13/14).
 struct OptimizerStats {
   int64_t block_recompiles = 0;   // "# Comp."
@@ -57,7 +87,25 @@ struct OptimizerStats {
   int mr_grid_points = 0;
   double best_cost = 0.0;
 
+  /// Options the run was configured with, so serialized stats are
+  /// self-describing (bench JSON provenance).
+  struct Provenance {
+    int grid_points = 0;
+    int num_threads = 0;
+    double expected_failure_rate = 0.0;
+    double cost_tolerance = 0.0;
+    const char* cp_grid = "";
+    const char* mr_grid = "";
+  };
+  Provenance provenance;
+
+  /// Per-grid-point decision log (cp_mb, mr_mb, cost, pruning,
+  /// win/lose reason).
+  OptimizerTrace trace;
+
   std::string ToString() const;
+  /// Self-describing JSON: counters + provenance + decision trace.
+  std::string ToJson() const;
 };
 
 /// The cost-based resource optimizer (Section 3): enumerates CP x MR

@@ -9,9 +9,50 @@
 #include "common/string_util.h"
 #include "cost/cost_model.h"
 #include "lops/compiler_backend.h"
+#include "obs/json_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "yarn/resource_manager.h"
 
 namespace relm {
+
+const char* SimEventKindName(SimEventKind kind) {
+  switch (kind) {
+    case SimEventKind::kInfo:
+      return "sim.info";
+    case SimEventKind::kAmStart:
+      return "sim.am_start";
+    case SimEventKind::kLoadChange:
+      return "sim.load_change";
+    case SimEventKind::kDynamicRecompile:
+      return "sim.dynamic_recompile";
+    case SimEventKind::kSizeDiscovered:
+      return "sim.size_discovered";
+    case SimEventKind::kReturnSizeDerived:
+      return "sim.return_size_derived";
+    case SimEventKind::kTaskRetries:
+      return "sim.task_retries";
+    case SimEventKind::kStraggler:
+      return "sim.straggler";
+    case SimEventKind::kPreemption:
+      return "sim.preemption";
+    case SimEventKind::kNodeCrash:
+      return "sim.node_crash";
+    case SimEventKind::kNodeRecovered:
+      return "sim.node_recovered";
+    case SimEventKind::kTaskRerun:
+      return "sim.task_rerun";
+    case SimEventKind::kAmRestart:
+      return "sim.am_restart";
+    case SimEventKind::kReoptimization:
+      return "sim.reoptimization";
+    case SimEventKind::kMigration:
+      return "sim.migration";
+    case SimEventKind::kLocalAdoption:
+      return "sim.local_adoption";
+  }
+  return "sim.unknown";
+}
 
 Status SimOptions::Validate() const {
   if (noise < 0.0 || noise >= 1.0) {
@@ -60,6 +101,7 @@ class ClusterSimulator::Run {
   }
 
   Result<SimResult> Execute() {
+    RELM_TRACE_SPAN("sim.execute");
     if (injector_.enabled()) {
       // Obtain the AM container so node loss and preemption act against
       // real capacity accounting. Best effort: a full cluster does not
@@ -68,7 +110,9 @@ class ClusterSimulator::Run {
                              kAmPriority);
       if (am.ok()) {
         am_container_ = *am;
-        Log("AM container on node " + std::to_string(am_container_.node));
+        Log(SimEventKind::kAmStart,
+            "AM container on node " + std::to_string(am_container_.node),
+            am_container_.node);
       }
     }
     result_.final_config = config_;
@@ -78,6 +122,13 @@ class ClusterSimulator::Run {
     result_.elapsed_seconds = elapsed_;
     result_.final_config = config_;
     result_.bufferpool_evictions = pool_.evictions();
+    RELM_COUNTER_ADD("sim.bufferpool_evictions",
+                     result_.bufferpool_evictions);
+    RELM_COUNTER_INC("sim.runs");
+    RELM_HISTOGRAM_OBSERVE("sim.elapsed_seconds", elapsed_);
+    RELM_TRACE_SIM_SPAN("sim.program", 0.0, elapsed_,
+                        "\"config\":" +
+                            obs::JsonQuote(config_.ToString()));
     return result_;
   }
 
@@ -90,8 +141,19 @@ class ClusterSimulator::Run {
     std::vector<std::pair<int, std::string>> outputs;  // index, caller var
   };
 
-  void Log(const std::string& what) {
-    result_.events.push_back(SimEvent{elapsed_, what});
+  /// Appends one typed timeline event and mirrors it onto the
+  /// simulated-time trace track as an instant event.
+  void Log(SimEventKind kind, const std::string& what, int node = -1,
+           int tasks = 0, std::string config = {}) {
+    RELM_TRACE_SIM_INSTANT(
+        SimEventKindName(kind), elapsed_,
+        "\"what\":" + obs::JsonQuote(what) +
+            (node >= 0 ? ",\"node\":" + std::to_string(node) : "") +
+            (tasks > 0 ? ",\"tasks\":" + std::to_string(tasks) : "") +
+            (config.empty() ? ""
+                            : ",\"config\":" + obs::JsonQuote(config)));
+    result_.events.push_back(
+        SimEvent{kind, elapsed_, node, tasks, std::move(config), what});
   }
 
   void Charge(double seconds) { elapsed_ += std::max(0.0, seconds); }
@@ -161,8 +223,9 @@ class ClusterSimulator::Run {
       load_changed_ = true;
       cc_.mr_slot_availability =
           1.0 - std::clamp(opts_.new_cluster_load, 0.0, 0.99);
-      Log("cluster load changed; slot availability now " +
-          FormatDouble(cc_.mr_slot_availability, 2));
+      Log(SimEventKind::kLoadChange,
+          "cluster load changed; slot availability now " +
+              FormatDouble(cc_.mr_slot_availability, 2));
       if (opts_.enable_adaptation) pending_utilization_reopt_ = true;
     }
     // Metadata-only fixpoint: derive user-function output sizes reachable
@@ -181,8 +244,10 @@ class ClusterSimulator::Run {
       RELM_RETURN_IF_ERROR(program_->Rebuild(known_overrides_));
       rebuilt_version_ = knowns_version_;
       ++result_.dynamic_recompiles;
+      RELM_COUNTER_INC("sim.dynamic_recompiles");
       recompiled = true;
-      Log("dynamic recompile at block " + std::to_string(blk->id()));
+      Log(SimEventKind::kDynamicRecompile,
+          "dynamic recompile at block " + std::to_string(blk->id()));
     }
     std::vector<PendingCall> calls;
     {
@@ -253,6 +318,7 @@ class ClusterSimulator::Run {
         RELM_RETURN_IF_ERROR(program_->Rebuild(known_overrides_));
         rebuilt_version_ = knowns_version_;
         ++result_.dynamic_recompiles;
+        RELM_COUNTER_INC("sim.dynamic_recompiles");
         rebuilt_for_block_ = blk->id();
       }
       RELM_ASSIGN_OR_RETURN(std::vector<PendingCall> calls,
@@ -317,8 +383,9 @@ class ClusterSimulator::Run {
         info.mc = ret_mc;
         known_overrides_[key] = info;
         derived = true;
-        Log("derived return size of " + call.fn + "::" + ret.name + ": " +
-            ret_mc.ToString());
+        Log(SimEventKind::kReturnSizeDerived,
+            "derived return size of " + call.fn + "::" + ret.name +
+                ": " + ret_mc.ToString());
       }
     }
     if (derived) ++knowns_version_;
@@ -379,8 +446,9 @@ class ClusterSimulator::Run {
             !known_overrides_.count(h->name())) {
           known_overrides_[h->name()] = oit->second;
           ++knowns_version_;
-          Log("size of '" + h->name() + "' became known: " +
-              oit->second.mc.ToString());
+          Log(SimEventKind::kSizeDiscovered,
+              "size of '" + h->name() + "' became known: " +
+                  oit->second.mc.ToString());
         }
       }
     }
@@ -426,6 +494,10 @@ class ClusterSimulator::Run {
       }
     }
     if (opts_.noise > 0) block_time *= rng_.Noise(opts_.noise);
+    RELM_TRACE_SIM_SPAN("sim.block", elapsed_, block_time,
+                        "\"block\":" + std::to_string(blk->id()) +
+                            ",\"mr_jobs\":" +
+                            std::to_string(rb.NumMrJobs()));
     Charge(block_time);
     return Status::OK();
   }
@@ -571,8 +643,14 @@ class ClusterSimulator::Run {
       MrJobTimeBreakdown breakdown = EstimateMrJobTime(
           cc_, job, config_.MrHeapForBlock(blk->id()),
           /*model_trashing=*/true);
-      time += breakdown.total * opts_.io_contention;
+      double job_time = breakdown.total * opts_.io_contention;
+      RELM_TRACE_SIM_SPAN(
+          "sim.mr_job", elapsed_ + block_offset + time, job_time,
+          "\"block\":" + std::to_string(blk->id()) +
+              ",\"map_tasks\":" + std::to_string(breakdown.num_map_tasks));
+      time += job_time;
       ++result_.mr_jobs_executed;
+      RELM_COUNTER_INC("sim.mr_jobs_executed");
       return time;
     }
     RELM_ASSIGN_OR_RETURN(
@@ -644,11 +722,14 @@ class ClusterSimulator::Run {
       }
       if (retries > 0) {
         result_.task_retries += retries;
+        RELM_COUNTER_ADD("sim.task_retries", retries);
         int extra_waves = (retries + slots - 1) / slots;
         extra += extra_waves * (ecc.mr_task_latency + per_task) +
                  max_backoff;
-        Log("transient task failures: " + std::to_string(retries) +
-            " retries");
+        Log(SimEventKind::kTaskRetries,
+            "transient task failures: " + std::to_string(retries) +
+                " retries",
+            /*node=*/-1, /*tasks=*/retries);
       }
     }
 
@@ -661,12 +742,15 @@ class ClusterSimulator::Run {
         double slow = plan.straggler_slowdown;
         if (slow >= plan.speculation_threshold) {
           ++result_.speculative_launches;
+          RELM_COUNTER_INC("sim.speculative_launches");
           double straggler_end = per_task * slow;
           double copy_end = 2.0 * per_task + ecc.mr_task_latency;
           extra += std::max(
               0.0, std::min(straggler_end, copy_end) - per_task);
-          Log("straggler (" + FormatDouble(slow, 1) +
-              "x); speculative copy launched");
+          Log(SimEventKind::kStraggler,
+              "straggler (" + FormatDouble(slow, 1) +
+                  "x); speculative copy launched",
+              /*node=*/-1, /*tasks=*/1);
         } else {
           extra += (slow - 1.0) * per_task;
         }
@@ -685,6 +769,12 @@ class ClusterSimulator::Run {
       extra += HandleAmRestart("scheduled AM crash");
     }
     ++result_.mr_jobs_executed;
+    RELM_COUNTER_INC("sim.mr_jobs_executed");
+    RELM_TRACE_SIM_SPAN(
+        "sim.mr_job", elapsed_ + start_offset, base + extra,
+        "\"block\":" + std::to_string(blk->id()) +
+            ",\"map_tasks\":" + std::to_string(bd.num_map_tasks) +
+            ",\"faulty\":true");
     return base + extra;
   }
 
@@ -696,7 +786,8 @@ class ClusterSimulator::Run {
     double extra = 0.0;
     for (int node : injector_.TakeRecoveriesDue(now)) {
       if (rm_.RecommissionNode(node).ok()) {
-        Log("node " + std::to_string(node) + " recommissioned");
+        Log(SimEventKind::kNodeRecovered,
+            "node " + std::to_string(node) + " recommissioned", node);
       }
     }
     // Expired co-tenant leases give their capacity back.
@@ -710,6 +801,7 @@ class ClusterSimulator::Run {
     }
     for (const PreemptionEvent& ev : injector_.TakePreemptionsDue(now)) {
       ++result_.preemptions;
+      RELM_COUNTER_INC("sim.preemptions");
       // The co-tenant's reclaimed share occupies real capacity at low
       // priority, so AM recovery has to preempt it to place containers.
       TenantLease lease;
@@ -721,11 +813,14 @@ class ClusterSimulator::Run {
         auto c = rm_.Allocate(grab, kTenantPriority);
         if (c.ok()) lease.containers.push_back(*c);
       }
+      int grabbed = static_cast<int>(lease.containers.size());
       tenant_leases_.push_back(std::move(lease));
-      Log("co-tenant preemption: " +
-          FormatDouble(ev.slot_fraction * 100.0, 0) +
-          "% of slots reclaimed for " +
-          FormatDouble(ev.duration_seconds, 0) + "s");
+      Log(SimEventKind::kPreemption,
+          "co-tenant preemption: " +
+              FormatDouble(ev.slot_fraction * 100.0, 0) +
+              "% of slots reclaimed for " +
+              FormatDouble(ev.duration_seconds, 0) + "s",
+          /*node=*/-1, /*tasks=*/grabbed);
     }
     for (const NodeCrash& crash : injector_.TakeCrashesDue(now)) {
       RELM_ASSIGN_OR_RETURN(
@@ -753,8 +848,11 @@ class ClusterSimulator::Run {
           " crashed and no worker nodes remain; cannot recover");
     }
     ++result_.node_failures_survived;
-    Log("node " + std::to_string(crash.node) + " crashed (" +
-        std::to_string(killed.size()) + " containers killed)");
+    RELM_COUNTER_INC("sim.node_failures_survived");
+    Log(SimEventKind::kNodeCrash,
+        "node " + std::to_string(crash.node) + " crashed (" +
+            std::to_string(killed.size()) + " containers killed)",
+        crash.node, static_cast<int>(killed.size()));
     double extra = 0.0;
     if (job_base > 0.0 && nodes_before > 0) {
       // Re-run the map work that was resident on the lost node: its
@@ -762,10 +860,13 @@ class ClusterSimulator::Run {
       int lost_tasks =
           std::max(1, num_map_tasks / std::max(1, nodes_before));
       result_.task_retries += lost_tasks;
+      RELM_COUNTER_ADD("sim.task_retries", lost_tasks);
       extra += job_base / static_cast<double>(nodes_before) +
                cc_.mr_task_latency;
-      Log("re-running " + std::to_string(lost_tasks) +
-          " tasks lost with node " + std::to_string(crash.node));
+      Log(SimEventKind::kTaskRerun,
+          "re-running " + std::to_string(lost_tasks) +
+              " tasks lost with node " + std::to_string(crash.node),
+          crash.node, lost_tasks);
     }
     bool am_lost =
         am_container_.id >= 0 && am_container_.node == crash.node;
@@ -773,6 +874,8 @@ class ClusterSimulator::Run {
       extra += HandleAmRestart("AM container lost with node " +
                                std::to_string(crash.node));
     }
+    RELM_TRACE_SIM_SPAN("sim.recovery", elapsed_, extra,
+                        "\"node\":" + std::to_string(crash.node));
     return extra;
   }
 
@@ -784,7 +887,12 @@ class ClusterSimulator::Run {
   /// path before the next MR-scheduling block.
   double HandleAmRestart(const std::string& why) {
     ++result_.am_restarts;
-    Log("AM failure: " + why + "; restarting application master");
+    RELM_COUNTER_INC("sim.am_restarts");
+    RELM_TRACE_SIM_SPAN("sim.recovery", elapsed_,
+                        cc_.container_alloc_latency,
+                        "\"why\":" + obs::JsonQuote(why));
+    Log(SimEventKind::kAmRestart,
+        "AM failure: " + why + "; restarting application master");
     if (am_container_.id >= 0) {
       rm_.Release(am_container_);  // no-op if killed with its node
       am_container_ = Container{};
@@ -796,10 +904,14 @@ class ClusterSimulator::Run {
     if (am.ok()) {
       am_container_ = *am;
       if (!preempted.empty()) {
-        Log("AM restart preempted " + std::to_string(preempted.size()) +
-            " co-tenant container(s)");
+        Log(SimEventKind::kInfo,
+            "AM restart preempted " + std::to_string(preempted.size()) +
+                " co-tenant container(s)",
+            /*node=*/-1, static_cast<int>(preempted.size()));
       }
-      Log("AM restarted on node " + std::to_string(am_container_.node));
+      Log(SimEventKind::kInfo,
+          "AM restarted on node " + std::to_string(am_container_.node),
+          am_container_.node);
     }
     // The buffer pool dies with the AM process; dirty state is
     // recovered from HDFS/lineage, charged as re-reads on next access.
@@ -811,7 +923,9 @@ class ClusterSimulator::Run {
   // ---------------- runtime resource adaptation ----------------
 
   Status ReoptimizeAndMaybeMigrate(StatementBlock* blk) {
+    RELM_TRACE_SPAN("sim.reoptimize");
     ++result_.reoptimizations;
+    RELM_COUNTER_INC("sim.reoptimizations");
     OptimizerStats stats;
     // A fresh optimizer sees the current cluster state (slot
     // availability may have changed since the run started; crashed
@@ -821,6 +935,8 @@ class ClusterSimulator::Run {
     RELM_ASSIGN_OR_RETURN(
         ResourceOptimizer::ExtendedResult ext,
         optimizer.OptimizeExtended(program_, config_.cp_heap, &stats));
+    RELM_TRACE_SIM_SPAN("sim.reoptimize", elapsed_, stats.opt_time_seconds,
+                        "\"block\":" + std::to_string(blk->id()));
     Charge(stats.opt_time_seconds);  // optimization overhead is real time
 
     // Re-optimization scope: from the outermost enclosing loop (or the
@@ -841,7 +957,7 @@ class ClusterSimulator::Run {
     std::ostringstream os;
     os << "reopt: benefit=" << FormatDouble(benefit, 2)
        << "s migration=" << FormatDouble(migration_cost, 2) << "s";
-    Log(os.str());
+    Log(SimEventKind::kReoptimization, os.str());
 
     if (ext.global.cp_heap != config_.cp_heap &&
         benefit > migration_cost) {
@@ -851,6 +967,7 @@ class ClusterSimulator::Run {
       pool_.Clear();
       pool_.set_capacity(config_.CpBudget());
       ++result_.migrations;
+      RELM_COUNTER_INC("sim.migrations");
       if (injector_.enabled() && am_container_.id >= 0) {
         // Move the AM's capacity booking to the new container size.
         rm_.Release(am_container_);
@@ -858,12 +975,15 @@ class ClusterSimulator::Run {
             cc_.ContainerRequestForHeap(config_.cp_heap), kAmPriority);
         am_container_ = am.ok() ? *am : Container{};
       }
-      Log("AM migration to " + config_.ToString());
+      Log(SimEventKind::kMigration, "AM migration to " + config_.ToString(),
+          /*node=*/-1, /*tasks=*/0, config_.ToString());
     } else {
       // Keep the container; adopt the locally optimal MR configuration.
       config_.per_block_mr_heap = ext.local.per_block_mr_heap;
       config_.default_mr_heap = ext.local.default_mr_heap;
-      Log("no migration; adopting local MR config");
+      Log(SimEventKind::kLocalAdoption,
+          "no migration; adopting local MR config",
+          /*node=*/-1, /*tasks=*/0, config_.ToString());
     }
     return Status::OK();
   }

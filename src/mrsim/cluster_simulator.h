@@ -56,9 +56,41 @@ struct SimOptions {
   Status Validate() const;
 };
 
-/// Timeline entry for debugging and experiment reporting.
+/// Typed timeline event kinds: what happened during a simulated run,
+/// queryable without parsing free-form strings.
+enum class SimEventKind {
+  kInfo = 0,           // informational, no typed payload
+  kAmStart,            // AM container obtained at t=0
+  kLoadChange,         // cluster utilization changed
+  kDynamicRecompile,   // block IR rebuilt with discovered sizes
+  kSizeDiscovered,     // a variable's characteristics became known
+  kReturnSizeDerived,  // UDF return size derived from argument sizes
+  kTaskRetries,        // transient task failures retried in an MR job
+  kStraggler,          // straggling wave (maybe speculatively re-run)
+  kPreemption,         // co-tenant preemption window started
+  kNodeCrash,          // worker node lost
+  kNodeRecovered,      // worker node recommissioned
+  kTaskRerun,          // map work re-executed after node loss
+  kAmRestart,          // application master restarted
+  kReoptimization,     // runtime re-optimization consulted the optimizer
+  kMigration,          // AM migrated to a new container
+  kLocalAdoption,      // kept the container, adopted local MR config
+};
+
+const char* SimEventKindName(SimEventKind kind);
+
+/// Timeline entry for debugging and experiment reporting. The typed
+/// fields (kind, node, tasks, config) carry the machine-readable
+/// payload; `what` remains the human-readable rendering.
 struct SimEvent {
+  SimEventKind kind = SimEventKind::kInfo;
   double at_seconds = 0.0;
+  /// Worker node involved (-1 when not node-related).
+  int node = -1;
+  /// Number of tasks/containers involved (0 when not applicable).
+  int tasks = 0;
+  /// Resource configuration adopted by the event, when it changes one.
+  std::string config;
   std::string what;
 };
 

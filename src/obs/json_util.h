@@ -1,0 +1,65 @@
+#ifndef RELM_OBS_JSON_UTIL_H_
+#define RELM_OBS_JSON_UTIL_H_
+
+// Minimal JSON emission helpers shared by the metrics and trace
+// exporters. Emission only — ReLM never parses JSON.
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace relm {
+namespace obs {
+
+/// Quotes and escapes a string for JSON.
+inline std::string JsonQuote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+/// Formats a double as a JSON number (JSON has no inf/nan; they map to
+/// string sentinels that Perfetto tolerates inside "args").
+inline std::string JsonNumber(double v) {
+  if (std::isnan(v)) return "\"nan\"";
+  if (std::isinf(v)) return v > 0 ? "\"inf\"" : "\"-inf\"";
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace relm
+
+#endif  // RELM_OBS_JSON_UTIL_H_

@@ -1,0 +1,180 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/json_util.h"
+
+namespace relm {
+namespace obs {
+
+void Histogram::Observe(double v) {
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+int Histogram::BucketIndex(double v) {
+  if (!(v >= 1.0)) return 0;  // < 1, negatives, and NaN
+  if (std::isinf(v)) return kNumBuckets - 1;
+  // frexp gives exact power-of-two edges (log2+floor misclassifies
+  // values one ulp below a boundary): v = f * 2^exp with f in [0.5,1),
+  // so [2^e, 2^(e+1)) maps to exp == e+1 and lands in bucket e+1 = exp.
+  int exp = 0;
+  std::frexp(v, &exp);
+  if (exp >= kNumBuckets - 1) return kNumBuckets - 1;
+  return exp;
+}
+
+double Histogram::BucketUpperEdge(int i) {
+  if (i <= 0) return 1.0;
+  if (i >= kNumBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::ldexp(1.0, i);  // 2^i
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+int64_t MetricsSnapshot::counter(const std::string& name) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) os << ",";
+    first = false;
+    os << JsonQuote(name) << ":" << v;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) os << ",";
+    first = false;
+    os << JsonQuote(name) << ":" << JsonNumber(v);
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) os << ",";
+    first = false;
+    os << JsonQuote(name) << ":{\"count\":" << h.count
+       << ",\"sum\":" << JsonNumber(h.sum) << ",\"buckets\":[";
+    // Sparse emission: [bucket_index, count] pairs for non-empty
+    // buckets keeps the snapshot compact.
+    bool bfirst = true;
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      if (!bfirst) os << ",";
+      bfirst = false;
+      os << "[" << i << "," << h.buckets[i] << "]";
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(
+    const std::string& name, Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    if (it->second.kind != kind) {
+      std::fprintf(stderr,
+                   "[FATAL] metric '%s' re-registered with a different "
+                   "type\n",
+                   name.c_str());
+      std::abort();
+    }
+    return &it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      entry.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  return &metrics_.emplace(name, std::move(entry)).first->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  return FindOrCreate(name, Kind::kCounter)->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  return FindOrCreate(name, Kind::kGauge)->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  return FindOrCreate(name, Kind::kHistogram)->histogram.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, entry] : metrics_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        snap.counters[name] = entry.counter->value();
+        break;
+      case Kind::kGauge:
+        snap.gauges[name] = entry.gauge->value();
+        break;
+      case Kind::kHistogram: {
+        MetricsSnapshot::HistogramData data;
+        data.count = entry.histogram->count();
+        data.sum = entry.histogram->sum();
+        data.buckets.reserve(Histogram::kNumBuckets);
+        for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+          data.buckets.push_back(entry.histogram->bucket(i));
+        }
+        snap.histograms[name] = std::move(data);
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : metrics_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        entry.counter->Reset();
+        break;
+      case Kind::kGauge:
+        entry.gauge->Reset();
+        break;
+      case Kind::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace relm

@@ -1,0 +1,177 @@
+#ifndef RELM_OBS_METRICS_H_
+#define RELM_OBS_METRICS_H_
+
+// Process-wide metrics registry: counters, gauges, and histograms with
+// fixed log-scale buckets. The hot path (incrementing an already
+// resolved metric handle) is a single relaxed atomic add; name lookup
+// happens once per call site (the RELM_COUNTER_* macros cache the
+// handle in a function-local static). Handles are stable for the
+// lifetime of the process: Reset() zeroes values but never invalidates
+// pointers, so cached call-site handles stay valid across benchmark
+// iterations and tests.
+//
+// Naming convention: dot-separated "<layer>.<what>" in snake_case,
+// e.g. "optimizer.cost_invocations", "sim.task_retries",
+// "rm.preemptions" (see DESIGN.md §8).
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#ifndef RELM_OBS_ENABLED
+#define RELM_OBS_ENABLED 1
+#endif
+
+namespace relm {
+namespace obs {
+
+/// Monotonically increasing counter. Thread-safe, lock-free.
+class Counter {
+ public:
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-written value. Thread-safe, lock-free.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Histogram over non-negative samples with fixed log2-scale buckets:
+/// bucket 0 holds samples < 1, bucket i (1 <= i < kNumBuckets-1) holds
+/// samples in [2^(i-1), 2^i), and the last bucket is the overflow. Each
+/// Observe() is two relaxed atomic adds plus one atomic increment.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 40;
+
+  void Observe(double v);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Index of the bucket a sample lands in (exposed for tests).
+  static int BucketIndex(double v);
+  /// Inclusive upper edge of bucket i (infinity for the overflow).
+  static double BucketUpperEdge(int i);
+  void Reset();
+
+ private:
+  std::atomic<int64_t> buckets_[kNumBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of every registered metric.
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  struct HistogramData {
+    int64_t count = 0;
+    double sum = 0.0;
+    std::vector<int64_t> buckets;  // kNumBuckets entries
+  };
+  std::map<std::string, HistogramData> histograms;
+
+  /// Counter value by name (0 when absent) — convenience for tests that
+  /// compare the snapshot against SimResult/OptimizerStats fields.
+  int64_t counter(const std::string& name) const;
+
+  std::string ToJson() const;
+};
+
+/// Process-wide registry. Get*() registers on first use and returns a
+/// stable handle; concurrent Get*() of the same name return the same
+/// handle. Requesting an existing name with a different metric type
+/// aborts (programming error).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+  std::string ToJson() const { return Snapshot().ToJson(); }
+
+  /// Zeroes every metric without invalidating handles.
+  void Reset();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry* FindOrCreate(const std::string& name, Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> metrics_;
+};
+
+}  // namespace obs
+}  // namespace relm
+
+// ---- call-site macros ----
+//
+// The enabled versions resolve the metric once (function-local static)
+// and then pay only the relaxed atomic update. With observability
+// compiled out (RELM_OBS_ENABLED=0) they evaluate nothing.
+
+#if RELM_OBS_ENABLED
+
+#define RELM_COUNTER_ADD(name, delta)                              \
+  do {                                                             \
+    static ::relm::obs::Counter* relm_obs_counter_ =               \
+        ::relm::obs::MetricsRegistry::Global().GetCounter(name);   \
+    relm_obs_counter_->Add(delta);                                 \
+  } while (0)
+
+#define RELM_COUNTER_INC(name) RELM_COUNTER_ADD(name, 1)
+
+#define RELM_GAUGE_SET(name, value)                                \
+  do {                                                             \
+    static ::relm::obs::Gauge* relm_obs_gauge_ =                   \
+        ::relm::obs::MetricsRegistry::Global().GetGauge(name);     \
+    relm_obs_gauge_->Set(value);                                   \
+  } while (0)
+
+#define RELM_HISTOGRAM_OBSERVE(name, value)                        \
+  do {                                                             \
+    static ::relm::obs::Histogram* relm_obs_histogram_ =           \
+        ::relm::obs::MetricsRegistry::Global().GetHistogram(name); \
+    relm_obs_histogram_->Observe(value);                           \
+  } while (0)
+
+#else  // !RELM_OBS_ENABLED
+
+#define RELM_COUNTER_ADD(name, delta) static_cast<void>(0)
+#define RELM_COUNTER_INC(name) static_cast<void>(0)
+#define RELM_GAUGE_SET(name, value) static_cast<void>(0)
+#define RELM_HISTOGRAM_OBSERVE(name, value) static_cast<void>(0)
+
+#endif  // RELM_OBS_ENABLED
+
+#endif  // RELM_OBS_METRICS_H_

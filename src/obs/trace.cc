@@ -1,0 +1,230 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "obs/json_util.h"
+
+namespace relm {
+namespace obs {
+
+namespace {
+
+/// Per-thread span stack: the '/'-joined path of currently open spans.
+/// Only touched while tracing is enabled, so its cost is off the
+/// disabled path entirely.
+thread_local std::vector<std::string> t_span_stack;
+
+std::atomic<int> g_next_thread_id{1};
+thread_local int t_thread_id = 0;
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::SetEnabled(bool enabled) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (enabled && events_.empty()) {
+      epoch_ = std::chrono::steady_clock::now();
+    }
+  }
+  enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+double Tracer::NowUs() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+int Tracer::CurrentThreadId() {
+  if (t_thread_id == 0) {
+    t_thread_id = g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t_thread_id;
+}
+
+void Tracer::Record(TraceEvent ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::RecordInstant(const std::string& name,
+                           const std::string& args_json) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.path = name;
+  ev.phase = 'i';
+  ev.pid = 1;
+  ev.tid = CurrentThreadId();
+  ev.ts_us = NowUs();
+  ev.args_json = args_json;
+  Record(std::move(ev));
+}
+
+void Tracer::RecordSimSpan(const std::string& name, double start_s,
+                           double dur_s, const std::string& args_json) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.path = name;
+  ev.phase = 'X';
+  ev.pid = 2;
+  ev.tid = 1;  // the simulated cluster is one logical timeline
+  ev.ts_us = start_s * 1e6;
+  ev.dur_us = std::max(0.0, dur_s) * 1e6;
+  ev.args_json = args_json;
+  Record(std::move(ev));
+}
+
+void Tracer::RecordSimInstant(const std::string& name, double at_s,
+                              const std::string& args_json) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.path = name;
+  ev.phase = 'i';
+  ev.pid = 2;
+  ev.tid = 1;
+  ev.ts_us = at_s * 1e6;
+  ev.args_json = args_json;
+  Record(std::move(ev));
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t Tracer::NumEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string Tracer::ToChromeJson(const MetricsSnapshot* metrics) const {
+  std::vector<TraceEvent> events = Events();
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  // Process/thread naming metadata so the viewers label the timelines.
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"relm wall clock\"}},"
+     << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,"
+        "\"args\":{\"name\":\"relm simulated time\"}}";
+  for (const TraceEvent& ev : events) {
+    os << ",{\"name\":" << JsonQuote(ev.name) << ",\"ph\":\"" << ev.phase
+       << "\",\"pid\":" << ev.pid << ",\"tid\":" << ev.tid
+       << ",\"ts\":" << JsonNumber(ev.ts_us);
+    if (ev.phase == 'X') {
+      os << ",\"dur\":" << JsonNumber(ev.dur_us);
+    }
+    if (ev.phase == 'i') {
+      os << ",\"s\":\"t\"";  // instant scope: thread
+    }
+    os << ",\"args\":{" << ev.args_json << "}}";
+  }
+  os << "]";
+  if (metrics != nullptr) {
+    os << ",\"relmMetrics\":" << metrics->ToJson();
+  }
+  os << ",\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+std::string Tracer::FlamegraphSummary() const {
+  struct Node {
+    int64_t count = 0;
+    double total_us = 0.0;
+    double child_us = 0.0;
+  };
+  std::map<std::string, Node> nodes;  // ordered => parents before kids
+  for (const TraceEvent& ev : Events()) {
+    if (ev.phase != 'X' || ev.pid != 1) continue;
+    Node& n = nodes[ev.path];
+    ++n.count;
+    n.total_us += ev.dur_us;
+  }
+  for (const auto& [path, node] : nodes) {
+    auto slash = path.rfind('/');
+    if (slash == std::string::npos) continue;
+    auto parent = nodes.find(path.substr(0, slash));
+    if (parent != nodes.end()) parent->second.child_us += node.total_us;
+  }
+  std::ostringstream os;
+  os << "flamegraph (wall time)\n";
+  os << "  count      total       self  span\n";
+  for (const auto& [path, node] : nodes) {
+    int depth = static_cast<int>(
+        std::count(path.begin(), path.end(), '/'));
+    std::string leaf = path.substr(path.rfind('/') + 1);
+    double self_us = std::max(0.0, node.total_us - node.child_us);
+    os << FormatDouble(static_cast<double>(node.count), 0);
+    os << std::string(
+        std::max<int>(1, 7 - static_cast<int>(
+                              std::to_string(node.count).size())),
+        ' ');
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%9.3fms %9.3fms  ",
+                  node.total_us / 1000.0, self_us / 1000.0);
+    os << buf << std::string(2 * depth, ' ') << leaf << "\n";
+  }
+  return os.str();
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path,
+                                const MetricsSnapshot* metrics) const {
+  std::ofstream out(path);
+  if (!out.good()) {
+    return Status::NotFound("cannot open trace output file: " + path);
+  }
+  out << ToChromeJson(metrics);
+  out.close();
+  if (!out.good()) {
+    return Status::Internal("failed writing trace file: " + path);
+  }
+  return Status::OK();
+}
+
+ScopedSpan::ScopedSpan(const char* name) {
+  Tracer& tracer = Tracer::Global();
+  if (!tracer.enabled()) return;
+  active_ = true;
+  if (t_span_stack.empty()) {
+    path_ = name;
+  } else {
+    path_ = t_span_stack.back() + "/" + name;
+  }
+  t_span_stack.push_back(path_);
+  start_us_ = tracer.NowUs();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  Tracer& tracer = Tracer::Global();
+  t_span_stack.pop_back();
+  TraceEvent ev;
+  ev.path = path_;
+  ev.name = path_.substr(path_.rfind('/') + 1);
+  ev.phase = 'X';
+  ev.pid = 1;
+  ev.tid = Tracer::CurrentThreadId();
+  ev.ts_us = start_us_;
+  ev.dur_us = std::max(0.0, tracer.NowUs() - start_us_);
+  ev.args_json = std::move(args_);
+  tracer.Record(std::move(ev));
+}
+
+}  // namespace obs
+}  // namespace relm

@@ -1,0 +1,185 @@
+#ifndef RELM_OBS_TRACE_H_
+#define RELM_OBS_TRACE_H_
+
+// Span-based tracer with RAII scoped spans, nested spans across
+// threads, and a Chrome trace-event JSON exporter
+// (chrome://tracing / https://ui.perfetto.dev loadable).
+//
+// Two timelines are emitted as separate "processes":
+//   pid 1 "wall clock"     — real time spent in ReLM itself (optimizer
+//                            enumeration, interpreter, compilation).
+//   pid 2 "simulated time" — the cluster simulator's simulated seconds
+//                            (MR jobs, recovery, re-optimization), so
+//                            every simulated second is attributable.
+//
+// Cost model: with tracing disabled at runtime every instrumentation
+// site is one relaxed atomic load + branch; with RELM_OBS_ENABLED=0 the
+// macros compile to nothing.
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+#ifndef RELM_OBS_ENABLED
+#define RELM_OBS_ENABLED 1
+#endif
+
+namespace relm {
+namespace obs {
+
+/// One recorded trace event (complete span or instant).
+struct TraceEvent {
+  std::string name;
+  /// Full span path from the thread's root span, '/'-joined (used by
+  /// the flamegraph summary), e.g. "optimize.run/optimize.grid_point".
+  std::string path;
+  char phase = 'X';       // 'X' complete span, 'i' instant
+  int pid = 1;            // 1 wall clock, 2 simulated time
+  int tid = 0;
+  double ts_us = 0.0;     // start, microseconds since trace epoch
+  double dur_us = 0.0;    // span duration ('X' only)
+  std::string args_json;  // JSON object body without braces, may be ""
+};
+
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  /// Runtime toggle. Enabling (re)starts the trace epoch when the
+  /// buffer is empty.
+  void SetEnabled(bool enabled);
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops all recorded events and restarts the trace epoch.
+  void Clear();
+
+  /// Microseconds since the trace epoch (wall clock).
+  double NowUs() const;
+
+  /// Small dense id for the calling thread, stable per thread.
+  static int CurrentThreadId();
+
+  void Record(TraceEvent ev);
+
+  /// Wall-clock instant event at the current time.
+  void RecordInstant(const std::string& name,
+                     const std::string& args_json = "");
+
+  /// Simulated-time span: `start_s`/`dur_s` are simulated seconds.
+  void RecordSimSpan(const std::string& name, double start_s,
+                     double dur_s, const std::string& args_json = "");
+
+  /// Simulated-time instant event.
+  void RecordSimInstant(const std::string& name, double at_s,
+                        const std::string& args_json = "");
+
+  std::vector<TraceEvent> Events() const;
+  size_t NumEvents() const;
+
+  /// Serializes the trace to Chrome trace-event JSON (object form). A
+  /// non-null metrics snapshot is embedded under "relmMetrics" — the
+  /// trace viewers ignore unknown keys, so one file carries both spans
+  /// and the metrics snapshot.
+  std::string ToChromeJson(const MetricsSnapshot* metrics = nullptr) const;
+
+  /// Compact text flamegraph: one row per distinct span path with call
+  /// count, total and self wall time, indented by nesting depth.
+  std::string FlamegraphSummary() const;
+
+  Status WriteChromeTrace(const std::string& path,
+                          const MetricsSnapshot* metrics = nullptr) const;
+
+ private:
+  Tracer();
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span. Construction checks the runtime toggle; an inactive span
+/// is a no-op. Use through RELM_TRACE_SPAN / RELM_TRACE_SPAN_ARGS.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+
+  /// Variant with lazily built args: `args_fn` (returning the JSON
+  /// object body, e.g. "\"cp_mb\":1024") only runs when tracing is on.
+  template <typename F>
+  ScopedSpan(const char* name, F&& args_fn) : ScopedSpan(name) {
+    if (active_) args_ = args_fn();
+  }
+
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return active_; }
+  void set_args(std::string args_json) { args_ = std::move(args_json); }
+
+ private:
+  bool active_ = false;
+  std::string path_;
+  std::string args_;
+  double start_us_ = 0.0;
+};
+
+}  // namespace obs
+}  // namespace relm
+
+#define RELM_OBS_CONCAT_INNER_(a, b) a##b
+#define RELM_OBS_CONCAT_(a, b) RELM_OBS_CONCAT_INNER_(a, b)
+
+#if RELM_OBS_ENABLED
+
+/// Opens a span covering the rest of the enclosing scope.
+#define RELM_TRACE_SPAN(name) \
+  ::relm::obs::ScopedSpan RELM_OBS_CONCAT_(relm_obs_span_, __COUNTER__)(name)
+
+/// Span with lazily evaluated args: pass a lambda returning the JSON
+/// object body, e.g. RELM_TRACE_SPAN_ARGS("x", [&] { return ...; });
+#define RELM_TRACE_SPAN_ARGS(name, ...)                   \
+  ::relm::obs::ScopedSpan RELM_OBS_CONCAT_(relm_obs_span_, \
+                                           __COUNTER__)(name, __VA_ARGS__)
+
+#define RELM_TRACE_INSTANT(name, args_json)                            \
+  do {                                                                 \
+    if (::relm::obs::Tracer::Global().enabled())                       \
+      ::relm::obs::Tracer::Global().RecordInstant(name, args_json);    \
+  } while (0)
+
+#define RELM_TRACE_SIM_SPAN(name, start_s, dur_s, args_json)           \
+  do {                                                                 \
+    if (::relm::obs::Tracer::Global().enabled())                       \
+      ::relm::obs::Tracer::Global().RecordSimSpan(name, start_s,       \
+                                                  dur_s, args_json);   \
+  } while (0)
+
+#define RELM_TRACE_SIM_INSTANT(name, at_s, args_json)                  \
+  do {                                                                 \
+    if (::relm::obs::Tracer::Global().enabled())                       \
+      ::relm::obs::Tracer::Global().RecordSimInstant(name, at_s,       \
+                                                     args_json);       \
+  } while (0)
+
+#else  // !RELM_OBS_ENABLED
+
+#define RELM_TRACE_SPAN(name) static_cast<void>(0)
+#define RELM_TRACE_SPAN_ARGS(name, ...) static_cast<void>(0)
+#define RELM_TRACE_INSTANT(name, args_json) static_cast<void>(0)
+#define RELM_TRACE_SIM_SPAN(name, start_s, dur_s, args_json) \
+  static_cast<void>(0)
+#define RELM_TRACE_SIM_INSTANT(name, at_s, args_json) static_cast<void>(0)
+
+#endif  // RELM_OBS_ENABLED
+
+#endif  // RELM_OBS_TRACE_H_

@@ -7,6 +7,8 @@
 
 #include "common/string_util.h"
 #include "matrix/kernels.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace relm {
 
@@ -38,7 +40,11 @@ class Interpreter::Impl {
   }
 
   Status RunBlock(const StatementBlock& blk) {
+    RELM_TRACE_SPAN_ARGS("interp.block", [&] {
+      return "\"block\":" + std::to_string(blk.id());
+    });
     ++host_.blocks_executed_;
+    RELM_COUNTER_INC("interp.blocks_executed");
     const MlProgram& p = *host_.program_;
     if (!p.has_ir(blk.id())) {
       return Status::RuntimeError("missing IR for block " +

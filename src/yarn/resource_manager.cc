@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace relm {
 
@@ -43,6 +44,7 @@ Result<Container> ResourceManager::Allocate(int64_t memory, int priority) {
   free_[best] -= memory;
   Container c{next_id_++, best, memory, priority};
   live_[c.id] = c;
+  RELM_COUNTER_INC("rm.allocations");
   return c;
 }
 
@@ -96,11 +98,13 @@ Result<Container> ResourceManager::AllocateWithPreemption(
   }
   for (const Container& victim : best_victims) {
     Release(victim);
+    RELM_COUNTER_INC("rm.preemptions");
     if (preempted != nullptr) preempted->push_back(victim);
   }
   free_[best] -= rounded;
   Container c{next_id_++, best, rounded, priority};
   live_[c.id] = c;
+  RELM_COUNTER_INC("rm.allocations");
   return c;
 }
 
@@ -116,6 +120,7 @@ void ResourceManager::Release(const Container& container) {
                            cc_.memory_per_node);
   }
   live_.erase(it);
+  RELM_COUNTER_INC("rm.releases");
 }
 
 std::vector<Container> ResourceManager::DecommissionNode(int node) {
@@ -124,6 +129,7 @@ std::vector<Container> ResourceManager::DecommissionNode(int node) {
   if (down_[node]) return killed;
   down_[node] = true;
   free_[node] = 0;
+  RELM_COUNTER_INC("rm.node_decommissions");
   for (auto it = live_.begin(); it != live_.end();) {
     if (it->second.node == node) {
       killed.push_back(it->second);
@@ -142,6 +148,7 @@ Status ResourceManager::RecommissionNode(int node) {
   if (!down_[node]) return Status::OK();
   down_[node] = false;
   free_[node] = cc_.memory_per_node;
+  RELM_COUNTER_INC("rm.node_recommissions");
   return Status::OK();
 }
 

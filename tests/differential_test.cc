@@ -12,7 +12,9 @@
 #include <gtest/gtest.h>
 
 #include "api/relm_system.h"
+#include "common/bytes.h"
 #include "common/random.h"
+#include "obs/trace.h"
 
 namespace relm {
 namespace {
@@ -143,6 +145,52 @@ TEST(DifferentialLoopTest, AccumulationMatchesReference) {
     ASSERT_TRUE(run.ok());
     double got = std::strtod(run->printed[0].c_str() + 4, nullptr);
     EXPECT_NEAR(got, expect, 1e-9) << script.str();
+  }
+}
+
+/// Observability must be pure observation: the same simulated run with
+/// the tracer enabled and disabled must produce bit-identical results.
+TEST(ObservabilityDifferentialTest, TracingDoesNotPerturbSimulation) {
+  RelmSystem sys;
+  sys.RegisterMatrixMetadata("/data/X", 1000000, 1000, 1.0);
+  sys.RegisterMatrixMetadata("/data/y", 1000000, 1, 1.0);
+  auto prog = sys.CompileSource(
+      "X = read($X)\n"
+      "y = read($Y)\n"
+      "A = t(X) %*% X\n"
+      "b = t(X) %*% y\n"
+      "beta = solve(A, b)\n"
+      "write(beta, $B)\n",
+      ScriptArgs{{"X", "/data/X"}, {"Y", "/data/y"}, {"B", "/out/B"}});
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+
+  auto simulate = [&](bool traced) -> SimResult {
+    obs::Tracer::Global().SetEnabled(false);
+    obs::Tracer::Global().Clear();
+    obs::Tracer::Global().SetEnabled(traced);
+    auto clone = prog->get()->Clone();
+    EXPECT_TRUE(clone.ok());
+    auto run = sys.Simulate(clone->get(),
+                            ResourceConfig(2 * kGB, 2 * kGB));
+    EXPECT_TRUE(run.ok()) << run.status().ToString();
+    obs::Tracer::Global().SetEnabled(false);
+    obs::Tracer::Global().Clear();
+    return *run;
+  };
+  SimResult traced = simulate(true);
+  SimResult untraced = simulate(false);
+
+  EXPECT_EQ(traced.elapsed_seconds, untraced.elapsed_seconds);
+  EXPECT_EQ(traced.mr_jobs_executed, untraced.mr_jobs_executed);
+  EXPECT_EQ(traced.dynamic_recompiles, untraced.dynamic_recompiles);
+  EXPECT_EQ(traced.bufferpool_evictions, untraced.bufferpool_evictions);
+  EXPECT_EQ(traced.final_config.cp_heap, untraced.final_config.cp_heap);
+  ASSERT_EQ(traced.events.size(), untraced.events.size());
+  for (size_t i = 0; i < traced.events.size(); ++i) {
+    EXPECT_EQ(traced.events[i].kind, untraced.events[i].kind);
+    EXPECT_EQ(traced.events[i].at_seconds,
+              untraced.events[i].at_seconds);
+    EXPECT_EQ(traced.events[i].what, untraced.events[i].what);
   }
 }
 

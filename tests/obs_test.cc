@@ -1,0 +1,523 @@
+// Observability layer: metrics registry (exact concurrent counting,
+// histogram bucket edges, stable handles across Reset), span tracer
+// (nesting, thread interleaving, Chrome trace-event JSON), structured
+// logging (sink capture, level filtering, << chains), the optimizer's
+// decision trace, and the typed SimEvent timeline of a fault-injected
+// run whose counters must match the metrics registry exactly.
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/relm_system.h"
+#include "common/bytes.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace relm {
+namespace {
+
+using obs::Histogram;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+using obs::ScopedSpan;
+using obs::TraceEvent;
+using obs::Tracer;
+
+// ---- metrics registry ----
+
+TEST(MetricsTest, ConcurrentIncrementsSumExactly) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  obs::Counter* c = reg.GetCounter("test.concurrent_increments");
+  c->Reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      // Resolve through the registry inside the thread too: concurrent
+      // GetCounter of one name must return one handle.
+      obs::Counter* mine = reg.GetCounter("test.concurrent_increments");
+      for (int i = 0; i < kPerThread; ++i) mine->Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->value(), int64_t{kThreads} * kPerThread);
+  EXPECT_EQ(reg.Snapshot().counter("test.concurrent_increments"),
+            int64_t{kThreads} * kPerThread);
+}
+
+TEST(MetricsTest, HandlesSurviveReset) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  obs::Counter* c = reg.GetCounter("test.reset_stability");
+  c->Add(7);
+  reg.Reset();
+  EXPECT_EQ(c->value(), 0);
+  c->Add(3);  // the old handle still feeds the registry
+  EXPECT_EQ(reg.GetCounter("test.reset_stability")->value(), 3);
+  EXPECT_EQ(reg.GetCounter("test.reset_stability"), c);
+}
+
+TEST(MetricsTest, GaugeHoldsLastValue) {
+  obs::Gauge* g = MetricsRegistry::Global().GetGauge("test.gauge");
+  g->Set(1.5);
+  g->Set(-2.25);
+  EXPECT_EQ(g->value(), -2.25);
+}
+
+TEST(MetricsTest, HistogramBucketEdges) {
+  // Bucket 0: v < 1 (and non-finite / negative junk).
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(0.999), 0);
+  EXPECT_EQ(Histogram::BucketIndex(-5.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(std::nan("")), 0);
+  // Bucket i: [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketIndex(1.0), 1);
+  EXPECT_EQ(Histogram::BucketIndex(1.999), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2.0), 2);
+  EXPECT_EQ(Histogram::BucketIndex(3.999), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4.0), 3);
+  // Overflow bucket.
+  EXPECT_EQ(Histogram::BucketIndex(1e300), Histogram::kNumBuckets - 1);
+  // Upper edges match the bucket boundaries used above.
+  EXPECT_EQ(Histogram::BucketUpperEdge(0), 1.0);
+  EXPECT_EQ(Histogram::BucketUpperEdge(1), 2.0);
+  EXPECT_EQ(Histogram::BucketUpperEdge(2), 4.0);
+  EXPECT_TRUE(std::isinf(
+      Histogram::BucketUpperEdge(Histogram::kNumBuckets - 1)));
+  // Every boundary sample lands in the bucket whose upper edge is the
+  // next boundary (half-open intervals).
+  for (int i = 1; i < Histogram::kNumBuckets - 1; ++i) {
+    double lower = Histogram::BucketUpperEdge(i - 1);
+    EXPECT_EQ(Histogram::BucketIndex(lower), i) << "lower edge of " << i;
+    EXPECT_EQ(Histogram::BucketIndex(std::nextafter(lower, 0.0)), i - 1);
+  }
+}
+
+TEST(MetricsTest, HistogramConcurrentObserveCountsExactly) {
+  obs::Histogram* h =
+      MetricsRegistry::Global().GetHistogram("test.histogram");
+  h->Reset();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h->Observe(static_cast<double>(t));  // 0,1,2,3
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h->count(), int64_t{kThreads} * kPerThread);
+  EXPECT_EQ(h->bucket(0), kPerThread);      // 0
+  EXPECT_EQ(h->bucket(1), kPerThread);      // 1
+  EXPECT_EQ(h->bucket(2), 2 * kPerThread);  // 2 and 3
+}
+
+TEST(MetricsTest, SnapshotJsonIsBalanced) {
+  MetricsRegistry::Global().GetCounter("test.json")->Add(1);
+  MetricsRegistry::Global().GetHistogram("test.histogram")->Observe(2.0);
+  std::string json = MetricsRegistry::Global().ToJson();
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  EXPECT_NE(json.find("\"test.json\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.histogram\""), std::string::npos);
+}
+
+// ---- tracer ----
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Global().SetEnabled(false);
+    Tracer::Global().Clear();
+    Tracer::Global().SetEnabled(true);
+  }
+  void TearDown() override {
+    Tracer::Global().SetEnabled(false);
+    Tracer::Global().Clear();
+  }
+};
+
+#if RELM_OBS_ENABLED
+// The next four tests exercise the span macros, which compile to
+// nothing under RELM_OBS_ENABLED=OFF.
+TEST_F(TracerTest, NestedSpansBuildPaths) {
+  {
+    RELM_TRACE_SPAN("outer");
+    { RELM_TRACE_SPAN("inner"); }
+    { RELM_TRACE_SPAN("inner"); }
+  }
+  std::vector<TraceEvent> events = Tracer::Global().Events();
+  ASSERT_EQ(events.size(), 3u);
+  // Spans are recorded at close, so the children come first.
+  EXPECT_EQ(events[0].path, "outer/inner");
+  EXPECT_EQ(events[1].path, "outer/inner");
+  EXPECT_EQ(events[2].path, "outer");
+  EXPECT_EQ(events[2].name, "outer");
+  // The parent's window covers both children.
+  EXPECT_LE(events[2].ts_us, events[0].ts_us);
+  EXPECT_GE(events[2].ts_us + events[2].dur_us,
+            events[1].ts_us + events[1].dur_us);
+  for (const TraceEvent& ev : events) {
+    EXPECT_EQ(ev.phase, 'X');
+    EXPECT_EQ(ev.pid, 1);
+  }
+}
+#endif  // RELM_OBS_ENABLED
+
+TEST_F(TracerTest, DisabledSpansRecordNothing) {
+  Tracer::Global().SetEnabled(false);
+  {
+    RELM_TRACE_SPAN("invisible");
+    RELM_TRACE_INSTANT("also_invisible", "");
+  }
+  EXPECT_EQ(Tracer::Global().NumEvents(), 0u);
+}
+
+#if RELM_OBS_ENABLED
+TEST_F(TracerTest, ThreadsInterleaveWithoutMixingStacks) {
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      RELM_TRACE_SPAN("worker");
+      for (int i = 0; i < 50; ++i) {
+        RELM_TRACE_SPAN("item");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<TraceEvent> events = Tracer::Global().Events();
+  ASSERT_EQ(events.size(), kThreads * 51u);
+  // Per-thread: every "item" nests under that thread's own "worker";
+  // no cross-thread path contamination.
+  std::vector<int> tids;
+  for (const TraceEvent& ev : events) {
+    if (ev.name == "item") {
+      EXPECT_EQ(ev.path, "worker/item");
+    } else {
+      EXPECT_EQ(ev.path, "worker");
+      tids.push_back(ev.tid);
+    }
+  }
+  std::sort(tids.begin(), tids.end());
+  EXPECT_EQ(std::unique(tids.begin(), tids.end()) - tids.begin(),
+            kThreads);
+}
+#endif  // RELM_OBS_ENABLED
+
+TEST_F(TracerTest, SimSpansLandOnSimulatedTimeline) {
+  Tracer::Global().RecordSimSpan("sim.block", 1.5, 2.0, "\"block\":3");
+  Tracer::Global().RecordSimInstant("sim.node_crash", 2.0, "\"node\":0");
+  std::vector<TraceEvent> events = Tracer::Global().Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].pid, 2);
+  EXPECT_EQ(events[0].ts_us, 1.5e6);  // simulated seconds -> µs
+  EXPECT_EQ(events[0].dur_us, 2.0e6);
+  EXPECT_EQ(events[1].phase, 'i');
+  EXPECT_EQ(events[1].pid, 2);
+}
+
+#if RELM_OBS_ENABLED
+TEST_F(TracerTest, ChromeJsonIsWellFormed) {
+  {
+    RELM_TRACE_SPAN_ARGS("span \"quoted\"", [] {
+      return std::string("\"k\":1");
+    });
+  }
+  Tracer::Global().RecordSimSpan("sim.program", 0.0, 10.0, "");
+  MetricsRegistry::Global().GetCounter("test.embedded")->Add(1);
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  std::string json = Tracer::Global().ToChromeJson(&snap);
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  // Both timelines are named via metadata events.
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Quotes in span names are escaped.
+  EXPECT_NE(json.find("span \\\"quoted\\\""), std::string::npos);
+  // The metrics snapshot rides along under its own key.
+  EXPECT_NE(json.find("\"relmMetrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.embedded\""), std::string::npos);
+}
+
+TEST_F(TracerTest, FlamegraphAggregatesByPath) {
+  {
+    RELM_TRACE_SPAN("root");
+    { RELM_TRACE_SPAN("leaf"); }
+    { RELM_TRACE_SPAN("leaf"); }
+  }
+  std::string flame = Tracer::Global().FlamegraphSummary();
+  EXPECT_NE(flame.find("root"), std::string::npos);
+  // Both "leaf" spans aggregate into one row with count 2.
+  auto leaf_line_start = flame.rfind('\n', flame.find("leaf"));
+  ASSERT_NE(leaf_line_start, std::string::npos);
+  EXPECT_EQ(flame[leaf_line_start + 1], '2');
+}
+#endif  // RELM_OBS_ENABLED
+
+// ---- structured logging ----
+
+class LogCaptureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetLogSink([this](LogLevel level, const std::string& message) {
+      captured_.emplace_back(level, message);
+    });
+  }
+  void TearDown() override {
+    SetLogSink(nullptr);
+    SetLogLevel(LogLevel::kWarn);
+  }
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+};
+
+TEST_F(LogCaptureTest, StreamChainsSurviveTheMacro) {
+  SetLogLevel(LogLevel::kInfo);
+  RELM_LOG(Info) << "parts " << 1 << " and " << 2.5;
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].first, LogLevel::kInfo);
+  // The whole chain lands in one message, not just the first operand.
+  EXPECT_NE(captured_[0].second.find("parts 1 and 2.5"),
+            std::string::npos);
+}
+
+TEST_F(LogCaptureTest, LevelsFilterAtRuntime) {
+  SetLogLevel(LogLevel::kWarn);
+  RELM_DEBUG() << "no";
+  RELM_LOG(Info) << "no";
+  RELM_LOG(Warn) << "yes-warn";
+  RELM_LOG(Error) << "yes-error";
+  SetLogLevel(LogLevel::kDebug);
+  RELM_DEBUG() << "yes-debug";
+  ASSERT_EQ(captured_.size(), 3u);
+  EXPECT_EQ(captured_[0].first, LogLevel::kWarn);
+  EXPECT_EQ(captured_[1].first, LogLevel::kError);
+  EXPECT_EQ(captured_[2].first, LogLevel::kDebug);
+}
+
+TEST_F(LogCaptureTest, MacroNestsInUnbracedIf) {
+  SetLogLevel(LogLevel::kInfo);
+  bool flag = false;
+  if (flag)
+    RELM_LOG(Info) << "then";
+  else
+    RELM_LOG(Info) << "else";
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_NE(captured_[0].second.find("else"), std::string::npos);
+}
+
+// ---- optimizer decision trace & provenance ----
+
+class ObsSystemTest : public ::testing::Test {
+ protected:
+  /// LinregDS on the 8 GB scenario: big enough that a small CP heap
+  /// schedules MR jobs (the same setup the fault-injection tests use).
+  std::unique_ptr<MlProgram> Compile(RelmSystem* sys) {
+    sys->RegisterMatrixMetadata("/data/X", 1000000, 1000, 1.0);
+    sys->RegisterMatrixMetadata("/data/y", 1000000, 1, 1.0);
+    auto prog = sys->CompileFile(
+        std::string(RELM_SCRIPTS_DIR) + "/linreg_ds.dml",
+        ScriptArgs{{"X", "/data/X"}, {"Y", "/data/y"}, {"B", "/out/B"}});
+    EXPECT_TRUE(prog.ok()) << prog.status().ToString();
+    return std::move(*prog);
+  }
+};
+
+TEST_F(ObsSystemTest, OptimizerTraceExplainsEveryGridPoint) {
+  RelmSystem sys;
+  auto prog = Compile(&sys);
+  OptimizerStats stats;
+  auto cfg = sys.OptimizeResources(prog.get(), &stats);
+  ASSERT_TRUE(cfg.ok()) << cfg.status().ToString();
+
+  ASSERT_FALSE(stats.trace.grid_points.empty());
+  int winners = 0;
+  for (const GridPointDecision& d : stats.trace.grid_points) {
+    EXPECT_GT(d.cp_mb, 0);
+    EXPECT_GE(d.cost, 0.0);
+    EXPECT_FALSE(d.verdict.empty());
+    EXPECT_EQ(d.winner, d.verdict.rfind("win:", 0) == 0);
+    if (d.winner) ++winners;
+  }
+  EXPECT_EQ(winners, 1);
+  const GridPointDecision* win = stats.trace.Winner();
+  ASSERT_NE(win, nullptr);
+  // The winner's cost is minimal up to the tie-break tolerance.
+  for (const GridPointDecision& d : stats.trace.grid_points) {
+    EXPECT_LE(win->cost,
+              d.cost * (1.0 + stats.provenance.cost_tolerance) + 1e-9);
+  }
+  EXPECT_EQ(win->cost, stats.best_cost);
+
+  // Provenance mirrors the options the run was configured with.
+  OptimizerOptions defaults;
+  EXPECT_EQ(stats.provenance.grid_points, defaults.grid_points);
+  EXPECT_EQ(stats.provenance.num_threads, defaults.num_threads);
+  EXPECT_EQ(stats.provenance.expected_failure_rate,
+            defaults.expected_failure_rate);
+  std::string text = stats.ToString();
+  EXPECT_NE(text.find("m=" + std::to_string(defaults.grid_points)),
+            std::string::npos);
+  EXPECT_NE(text.find("threads="), std::string::npos);
+  EXPECT_NE(text.find("failure_rate="), std::string::npos);
+  std::string json = stats.ToJson();
+  EXPECT_NE(json.find("\"provenance\""), std::string::npos);
+  EXPECT_NE(json.find("\"grid_point_trace\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+// ---- typed SimEvent timeline & counter routing ----
+
+TEST_F(ObsSystemTest, FaultRunEmitsGoldenTypedEventSequence) {
+  RelmSystem sys;
+  auto prog = Compile(&sys);
+  SimOptions opts;
+  opts.noise = 0.0;
+  // Node 1 (not the AM's node 0): t=35 lands inside the dominant MR
+  // job, so in-flight map tasks are lost and re-run; recovery at t=45.
+  opts.faults.node_crashes.push_back(NodeCrash{1, 35.0, 10.0});
+  auto run = sys.Simulate(prog.get(), ResourceConfig(2 * kGB, 2 * kGB),
+                          opts);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  // Golden sequence of the fault-related kinds: the AM starts, node 1
+  // crashes mid-job losing tasks, and later recommissions.
+  std::vector<SimEventKind> fault_kinds;
+  for (const SimEvent& ev : run->events) {
+    if (ev.kind != SimEventKind::kInfo &&
+        ev.kind != SimEventKind::kSizeDiscovered &&
+        ev.kind != SimEventKind::kReturnSizeDerived &&
+        ev.kind != SimEventKind::kDynamicRecompile) {
+      fault_kinds.push_back(ev.kind);
+    }
+  }
+  std::vector<SimEventKind> golden = {SimEventKind::kAmStart,
+                                      SimEventKind::kNodeCrash,
+                                      SimEventKind::kTaskRerun,
+                                      SimEventKind::kNodeRecovered};
+  EXPECT_EQ(fault_kinds, golden);
+
+  // Typed payloads carry the machine-readable fields.
+  for (const SimEvent& ev : run->events) {
+    EXPECT_GE(ev.at_seconds, 0.0);
+    switch (ev.kind) {
+      case SimEventKind::kNodeCrash:
+        EXPECT_EQ(ev.node, 1);
+        EXPECT_NE(ev.what.find("crashed"), std::string::npos);
+        break;
+      case SimEventKind::kTaskRerun:
+        EXPECT_EQ(ev.node, 1);
+        EXPECT_GT(ev.tasks, 0);
+        break;
+      case SimEventKind::kNodeRecovered:
+        EXPECT_EQ(ev.node, 1);
+        break;
+      default:
+        break;
+    }
+    EXPECT_STRNE(SimEventKindName(ev.kind), "sim.unknown");
+  }
+}
+
+#if RELM_OBS_ENABLED
+TEST_F(ObsSystemTest, RegistryCountersMatchSimResultExactly) {
+  RelmSystem sys;
+  auto prog = Compile(&sys);
+  MetricsRegistry::Global().Reset();
+  SimOptions opts;
+  opts.noise = 0.0;
+  opts.faults.node_crashes.push_back(NodeCrash{1, 35.0, 10.0});
+  opts.faults.straggler_probability = 1.0;
+  opts.faults.straggler_slowdown = 3.0;
+  opts.faults.preemptions.push_back(PreemptionEvent{1.0, 0.3, 20.0});
+  auto run = sys.Simulate(prog.get(), ResourceConfig(2 * kGB, 2 * kGB),
+                          opts);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.counter("sim.runs"), 1);
+  EXPECT_EQ(snap.counter("sim.mr_jobs_executed"),
+            run->mr_jobs_executed);
+  EXPECT_EQ(snap.counter("sim.dynamic_recompiles"),
+            run->dynamic_recompiles);
+  EXPECT_EQ(snap.counter("sim.task_retries"), run->task_retries);
+  EXPECT_EQ(snap.counter("sim.speculative_launches"),
+            run->speculative_launches);
+  EXPECT_EQ(snap.counter("sim.node_failures_survived"),
+            run->node_failures_survived);
+  EXPECT_EQ(snap.counter("sim.preemptions"), run->preemptions);
+  EXPECT_EQ(snap.counter("sim.am_restarts"), run->am_restarts);
+  EXPECT_EQ(snap.counter("sim.migrations"), run->migrations);
+  EXPECT_EQ(snap.counter("sim.reoptimizations"),
+            run->reoptimizations);
+  EXPECT_EQ(snap.counter("sim.bufferpool_evictions"),
+            run->bufferpool_evictions);
+  // A non-trivial run actually exercised the counters.
+  EXPECT_GT(run->mr_jobs_executed, 0);
+  EXPECT_GT(run->node_failures_survived, 0);
+}
+
+TEST_F(ObsSystemTest, RegistryCountersMatchOptimizerStatsExactly) {
+  RelmSystem sys;
+  auto prog = Compile(&sys);
+  MetricsRegistry::Global().Reset();
+  OptimizerStats stats;
+  auto cfg = sys.OptimizeResources(prog.get(), &stats);
+  ASSERT_TRUE(cfg.ok()) << cfg.status().ToString();
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.counter("optimizer.runs"), 1);
+  EXPECT_EQ(snap.counter("optimizer.block_recompiles"),
+            stats.block_recompiles);
+  EXPECT_EQ(snap.counter("optimizer.cost_invocations"),
+            stats.cost_invocations);
+  EXPECT_EQ(snap.counter("optimizer.grid_points_evaluated"),
+            static_cast<int64_t>(stats.trace.grid_points.size()));
+  EXPECT_GT(stats.cost_invocations, 0);
+}
+
+TEST_F(ObsSystemTest, TracedRunNestsSimulatorSpans) {
+  Tracer::Global().SetEnabled(false);
+  Tracer::Global().Clear();
+  Tracer::Global().SetEnabled(true);
+  RelmSystem sys;
+  auto prog = Compile(&sys);
+  OptimizerStats stats;
+  auto cfg = sys.OptimizeResources(prog.get(), &stats);
+  ASSERT_TRUE(cfg.ok());
+  auto run = sys.Simulate(prog.get(), *cfg);
+  ASSERT_TRUE(run.ok());
+  Tracer::Global().SetEnabled(false);
+
+  bool saw_grid_point = false, saw_mr_job = false, saw_block = false;
+  for (const TraceEvent& ev : Tracer::Global().Events()) {
+    if (ev.path.find("optimize.run/") == 0 &&
+        ev.name == "optimize.grid_point") {
+      saw_grid_point = true;  // nested under the run span
+    }
+    if (ev.name == "sim.mr_job") saw_mr_job = ev.pid == 2;
+    if (ev.name == "sim.block") saw_block = ev.pid == 2;
+  }
+  EXPECT_TRUE(saw_grid_point);
+  EXPECT_TRUE(saw_mr_job);
+  EXPECT_TRUE(saw_block);
+  Tracer::Global().Clear();
+}
+#endif  // RELM_OBS_ENABLED
+
+}  // namespace
+}  // namespace relm

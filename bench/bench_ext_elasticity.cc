@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
                   FormatBytes(rc.CpBudget()).c_str());
     }
     OptimizerOptions multi;
-    multi.cp_core_options = {1, 2, 4, 8, 12};
+    multi.WithCpCoreOptions({1, 2, 4, 8, 12});
     ResourceOptimizer opt(sys.cluster(), multi);
     auto best = opt.Optimize(prog.get());
     if (best.ok()) {
@@ -78,10 +78,7 @@ int main(int argc, char** argv) {
                 "(L2SVM, 8GB dense, started on B-SL)\n");
     for (bool adapt : {false, true}) {
       SimOptions opts;
-      opts.noise = 0;
-      opts.load_change_at_seconds = 20.0;
-      opts.new_cluster_load = 0.95;
-      opts.enable_adaptation = adapt;
+      opts.WithNoise(0).WithLoadChange(20.0, 0.95).WithAdaptation(adapt);
       SimResult run = MeasureClone(&sys, *prog, bsl, opts);
       std::printf("  adaptation %-8s elapsed %8.1fs  reopts=%d "
                   "migrations=%d final=%s\n",

@@ -31,11 +31,12 @@ void FaultRateSweep(const char* script) {
   std::printf("%10s %10s %10s %10s %10s\n", "fail rate", "elapsed",
               "retries", "specul.", "MR jobs");
   for (double rate : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+    FaultPlan faults;
+    faults.transient_task_failure_rate = rate;
+    faults.straggler_probability = rate;  // stragglers scale along
+    faults.straggler_slowdown = 3.0;
     SimOptions opts;
-    opts.noise = 0;
-    opts.faults.transient_task_failure_rate = rate;
-    opts.faults.straggler_probability = rate;  // stragglers scale along
-    opts.faults.straggler_slowdown = 3.0;
+    opts.WithNoise(0).WithFaults(faults);
     auto run = TryMeasure(&sys, *prog, bsl, opts);
     if (!run.ok()) {
       std::printf("%10.2f %s\n", rate, run.status().ToString().c_str());
@@ -60,24 +61,24 @@ void NodeCrashScenarios(const char* script) {
   std::vector<Scenario> scenarios;
   {
     Scenario s{"no faults", {}};
-    s.opts.noise = 0;
+    s.opts.WithNoise(0);
     scenarios.push_back(s);
   }
   {
     Scenario s{"crash, no recovery", {}};
-    s.opts.noise = 0;
+    s.opts.WithNoise(0);
     s.opts.faults.node_crashes.push_back(NodeCrash{0, 60.0, -1.0});
     scenarios.push_back(s);
   }
   {
     Scenario s{"crash, back after 30s", {}};
-    s.opts.noise = 0;
+    s.opts.WithNoise(0);
     s.opts.faults.node_crashes.push_back(NodeCrash{0, 60.0, 30.0});
     scenarios.push_back(s);
   }
   {
     Scenario s{"crash + AM crash at 70s", {}};
-    s.opts.noise = 0;
+    s.opts.WithNoise(0);
     s.opts.faults.node_crashes.push_back(NodeCrash{0, 60.0, -1.0});
     s.opts.faults.am_crash_at_seconds = 70.0;
     scenarios.push_back(s);
@@ -107,7 +108,7 @@ void BlastRadiusOptimization() {
               "est [s]");
   for (double rate : {0.0, 1e-4, 1e-3, 1e-2}) {
     OptimizerOptions oo;
-    oo.expected_failure_rate = rate;
+    oo.WithExpectedFailureRate(rate);
     ResourceOptimizer opt(sys.cluster(), oo);
     OptimizerStats stats;
     auto cfg = opt.Optimize(prog.get(), &stats);

@@ -3,9 +3,24 @@
 // to ~4 users; from 8 users on, B-LL saturates at 6 concurrent 80 GB AM
 // containers while Opt's right-sized containers admit 36+ applications,
 // for multi-x throughput gains.
+//
+// Multi-client serving mode (--clients=N [--jobs=M]): N client threads
+// submit a mixed workload through serve::JobService (shared plan/what-if
+// cache, per-tenant fairness, admission control) and the bench reports
+// jobs/minute against a serial uncached baseline doing the identical
+// work. Cache hit rates are exported as obs gauges, so they appear in
+// --trace-out dumps alongside the plan_cache.* counters.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "bench_common.h"
+#include "core/plan_cache.h"
 #include "mrsim/throughput.h"
+#include "obs/metrics.h"
+#include "serve/job_service.h"
 
 using namespace relm;         // NOLINT
 using namespace relm::bench;  // NOLINT
@@ -49,10 +64,232 @@ void RunWorkload(const char* label, const char* script, int64_t cells,
   std::printf("peak speedup: %.1fx\n", best_speedup);
 }
 
+// ---- multi-client serving mode ----------------------------------------
+
+/// One entry of the served workload mix.
+struct ServedWorkload {
+  const char* label;
+  const char* script;
+  int64_t cells;
+  int64_t cols;
+  double sparsity;
+};
+
+const std::vector<ServedWorkload>& ServedMix() {
+  static const std::vector<ServedWorkload> kMix = {
+      {"LinregDS S dense1000", "linreg_ds.dml", 100000000LL, 1000, 1.0},
+      {"LinregCG S dense100", "linreg_cg.dml", 100000000LL, 100, 1.0},
+      {"L2SVM M sparse100", "l2svm.dml", 1000000000LL, 100, 0.01},
+  };
+  return kMix;
+}
+
+/// Per-workload argument map: every mix entry reads/writes its own HDFS
+/// paths so concurrent jobs never race on input metadata.
+ScriptArgs ServedArgs(size_t idx) {
+  std::string base = "/data/w" + std::to_string(idx);
+  std::string out = "/out/w" + std::to_string(idx);
+  return ScriptArgs{{"X", base + "/X"},
+                    {"Y", base + "/y"},
+                    {"B", out + "/B"},
+                    {"model", out + "/w"}};
+}
+
+std::vector<serve::InputSpec> ServedInputs(size_t idx,
+                                           const ServedWorkload& wl) {
+  std::string base = "/data/w" + std::to_string(idx);
+  int64_t rows = wl.cells / wl.cols;
+  return {{base + "/X", rows, wl.cols, wl.sparsity},
+          {base + "/y", rows, 1, 1.0}};
+}
+
+std::string MustReadSource(const std::string& script) {
+  std::ifstream in(ScriptPath(script));
+  if (!in.good()) {
+    std::fprintf(stderr, "cannot read script %s\n", script.c_str());
+    std::exit(1);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Registers the full served namespace on a session (used up front for
+/// both the baseline and the service, so the input fingerprint is
+/// stable before any compile gets cached).
+void RegisterServedInputs(Session* session) {
+  const auto& mix = ServedMix();
+  for (size_t i = 0; i < mix.size(); ++i) {
+    for (const serve::InputSpec& input : ServedInputs(i, mix[i])) {
+      Status st = session->RegisterMatrixMetadata(input.path, input.rows,
+                                                  input.cols, input.sparsity);
+      if (!st.ok()) {
+        std::fprintf(stderr, "register failed: %s\n", st.ToString().c_str());
+        std::exit(1);
+      }
+    }
+  }
+}
+
+/// Serial uncached baseline: one thread, plan caching off, running the
+/// legacy per-job workflow (compile, optimize, estimate, simulate —
+/// the loop the pre-serving examples and benches perform). Returns
+/// wall seconds.
+double RunSerialBaseline(const ClusterConfig& cc,
+                         const std::vector<std::string>& sources,
+                         int total_jobs,
+                         const OptimizerOptions& optimizer) {
+  SessionOptions so;
+  so.enable_plan_cache = false;
+  Session session(cc, so);
+  RegisterServedInputs(&session);
+  const auto& mix = ServedMix();
+  const auto start = std::chrono::steady_clock::now();
+  for (int j = 0; j < total_jobs; ++j) {
+    size_t idx = static_cast<size_t>(j) % mix.size();
+    auto prog = session.CompileSource(sources[idx], ServedArgs(idx));
+    if (!prog.ok()) {
+      std::fprintf(stderr, "baseline compile failed: %s\n",
+                   prog.status().ToString().c_str());
+      std::exit(1);
+    }
+    auto opt = session.Optimize(prog->get(), optimizer);
+    if (!opt.ok()) {
+      std::fprintf(stderr, "baseline optimize failed: %s\n",
+                   opt.status().ToString().c_str());
+      std::exit(1);
+    }
+    auto cost = session.EstimateCost(prog->get(), opt->config);
+    auto sim = session.Simulate(prog->get(), opt->config);
+    if (!cost.ok() || !sim.ok()) {
+      std::fprintf(stderr, "baseline run failed\n");
+      std::exit(1);
+    }
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void RunMultiClient(int clients, int jobs_per_client, int grid_points) {
+  PrintHeader("Multi-client serving: JobService + shared plan cache");
+  const auto& mix = ServedMix();
+  std::vector<std::string> sources;
+  for (const ServedWorkload& wl : mix) {
+    sources.push_back(MustReadSource(wl.script));
+  }
+  const int total_jobs = clients * jobs_per_client;
+  ClusterConfig cc = ClusterConfig::PaperCluster();
+  std::printf("\nworkload mix (%d clients x %d jobs, %d total):\n", clients,
+              jobs_per_client, total_jobs);
+  for (const ServedWorkload& wl : mix) {
+    std::printf("  - %s (%s)\n", wl.label, wl.script);
+  }
+
+  // Both sides run the paper's fine 45-point grid so per-job optimizer
+  // work is realistic; the serial side re-derives every plan, the
+  // service reads through the shared cache.
+  OptimizerOptions optimizer;
+  optimizer.WithGridPoints(grid_points);
+
+  double serial_seconds =
+      RunSerialBaseline(cc, sources, total_jobs, optimizer);
+  double serial_rate = 60.0 * total_jobs / serial_seconds;
+  std::printf("\nserial uncached baseline: %d jobs in %.2fs  (%.1f jobs/min)\n",
+              total_jobs, serial_seconds, serial_rate);
+
+  PlanCache cache;
+  serve::ServeOptions options;
+  options.WithWorkers(clients).WithPlanCache(&cache).WithOptimizer(optimizer);
+  serve::JobService service(cc, options);
+  RegisterServedInputs(&service.session());
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> client_threads;
+  client_threads.reserve(static_cast<size_t>(clients));
+  std::atomic<int> failures{0};
+  for (int c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      std::vector<serve::JobHandle> handles;
+      for (int j = 0; j < jobs_per_client; ++j) {
+        size_t idx = static_cast<size_t>(c + j) % mix.size();
+        serve::JobRequest request;
+        request.source = sources[idx];
+        request.args = ServedArgs(idx);
+        request.inputs = ServedInputs(idx, mix[idx]);
+        auto handle =
+            service.Submit("client" + std::to_string(c), std::move(request));
+        if (!handle.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        handles.push_back(std::move(*handle));
+      }
+      for (serve::JobHandle& handle : handles) {
+        if (!handle.Await().ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : client_threads) t.join();
+  double served_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  service.Shutdown();
+
+  double served_rate = 60.0 * total_jobs / served_seconds;
+  double speedup = served_rate / serial_rate;
+  PlanCache::Stats cs = cache.stats();
+  // Export the hit rates so --trace-out dumps carry them next to the
+  // plan_cache.* counters.
+  RELM_GAUGE_SET("plan_cache.whatif_hit_rate", cs.WhatIfHitRate());
+  double program_rate =
+      cs.program_hits + cs.program_misses == 0
+          ? 0.0
+          : static_cast<double>(cs.program_hits) /
+                static_cast<double>(cs.program_hits + cs.program_misses);
+  RELM_GAUGE_SET("plan_cache.program_hit_rate", program_rate);
+
+  serve::JobService::Stats ss = service.stats();
+  std::printf(
+      "concurrent service (%d workers): %d jobs in %.2fs  (%.1f jobs/min)\n",
+      clients, total_jobs, served_seconds, served_rate);
+  std::printf("  completed=%lld failed=%lld rejected=%lld await_failures=%d\n",
+              static_cast<long long>(ss.completed),
+              static_cast<long long>(ss.failed),
+              static_cast<long long>(ss.rejected), failures.load());
+  std::printf(
+      "  plan cache: program %lld/%lld hits (%.0f%%), what-if %lld/%lld "
+      "hits (%.0f%%), evictions=%lld\n",
+      static_cast<long long>(cs.program_hits),
+      static_cast<long long>(cs.program_hits + cs.program_misses),
+      100.0 * program_rate, static_cast<long long>(cs.whatif_hits),
+      static_cast<long long>(cs.whatif_hits + cs.whatif_misses),
+      100.0 * cs.WhatIfHitRate(), static_cast<long long>(cs.evictions));
+  std::printf("speedup vs serial uncached: %.1fx %s\n", speedup,
+              speedup >= 2.0 ? "[PASS >= 2x]" : "[below 2x target]");
+}
+
+int ParseIntFlag(int argc, char** argv, const char* flag, int fallback) {
+  size_t len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], flag, len) == 0) {
+      return std::atoi(argv[i] + len);
+    }
+  }
+  return fallback;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   relm::bench::InitBench(argc, argv);
+  int clients = ParseIntFlag(argc, argv, "--clients=", 0);
+  int jobs_per_client = ParseIntFlag(argc, argv, "--jobs=", 12);
+  int grid_points = ParseIntFlag(argc, argv, "--grid=", 45);
+  if (clients > 0) {
+    RunMultiClient(clients, std::max(1, jobs_per_client),
+                   std::max(2, grid_points));
+    return 0;
+  }
   PrintHeader("Figure 12: end-to-end throughput, Opt vs B-LL");
   // (a) LinregDS, scenario S, dense1000 (800 MB).
   RunWorkload("(a) LinregDS, S dense1000", "linreg_ds.dml", 100000000LL,

@@ -38,10 +38,8 @@ int main(int argc, char** argv) {
     RelmSystem sys;
     RegisterData(&sys, Scenarios()[2].cells, 1000, 1.0);
     auto prog = MustCompile(&sys, "linreg_ds.dml");
-    OptimizerOptions opts;
-    opts.grid_points = m;
     OptimizerStats stats;
-    ResourceOptimizer opt(sys.cluster(), opts);
+    ResourceOptimizer opt(sys.cluster(), OptimizerOptions().WithGridPoints(m));
     if (opt.Optimize(prog.get(), &stats).ok()) {
       std::printf("provenance (M): %s\n", stats.ToJson().c_str());
     }

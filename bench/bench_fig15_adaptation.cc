@@ -44,9 +44,9 @@ void RunProgram(const char* label, const char* script,
                          .elapsed_seconds +
                      stats.opt_time_seconds;
 
-      SimOptions adapt;
-      adapt.enable_adaptation = true;
-      SimResult reopt = MeasureClone(&sys, *prog, *config, adapt, oracle);
+      SimResult reopt = MeasureClone(&sys, *prog, *config,
+                                     SimOptions().WithAdaptation(true),
+                                     oracle);
       double t_reopt = reopt.elapsed_seconds + stats.opt_time_seconds;
 
       std::printf("%-4s %-10s %9.1fs %9.1fs %9.1fs %6d\n", scenario.name,

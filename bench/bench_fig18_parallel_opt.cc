@@ -6,6 +6,7 @@
 // pipelining effect; the worker decomposition itself is still exercised.
 
 #include "bench_common.h"
+#include "core/plan_cache.h"
 #include "core/resource_optimizer.h"
 
 using namespace relm;         // NOLINT
@@ -34,16 +35,14 @@ int main(int argc, char** argv) {
     RegisterData(&sys, 10000000000LL, 1000, 1.0);
     auto prog = MustCompile(&sys, "glm.dml");
     OptimizerOptions serial;
-    serial.cp_grid = GridType::kEquiSpaced;
-    serial.mr_grid = GridType::kEquiSpaced;
-    serial.grid_points = 45;
+    serial.WithGrids(GridType::kEquiSpaced).WithGridPoints(45);
     double t_serial = OptimizeTime(&sys, prog.get(), serial);
     std::printf("\n(a) Equi m=45, dense1000 L\n");
     std::printf("%10s %12s %10s\n", "threads", "time [s]", "speedup");
     std::printf("%10s %12.3f %10s\n", "serial", t_serial, "1.0x");
     for (int threads : {1, 2, 4, 8, 16}) {
       OptimizerOptions parallel = serial;
-      parallel.num_threads = threads;
+      parallel.WithThreads(threads);
       double t = OptimizeTime(&sys, prog.get(), parallel);
       std::printf("%10d %12.3f %9.1fx\n", threads, t, t_serial / t);
     }
@@ -59,12 +58,50 @@ int main(int argc, char** argv) {
       RegisterData(&sys, scenario.cells, 1000, 1.0);
       auto prog = MustCompile(&sys, "glm.dml");
       double t_serial = OptimizeTime(&sys, prog.get(), {});
-      OptimizerOptions parallel;
-      parallel.num_threads = 4;
-      double t_parallel = OptimizeTime(&sys, prog.get(), parallel);
+      double t_parallel = OptimizeTime(&sys, prog.get(),
+                                       OptimizerOptions().WithThreads(4));
       std::printf("%-5s %12.3f %12.3f\n", scenario.name, t_serial,
                   t_parallel);
     }
+  }
+
+  // (c) Shared what-if cache read-through: the parallel enumeration's
+  // pre-planned grid points populate the cache; a second parallel run
+  // and a serial run of the same program read it back (the context hash
+  // excludes num_threads, so serial and parallel share entries).
+  {
+    std::printf("\n(c) Equi m=45, dense1000 L, shared what-if cache\n");
+    RelmSystem sys;
+    RegisterData(&sys, 10000000000LL, 1000, 1.0);
+    auto prog = MustCompile(&sys, "glm.dml");
+    PlanCache cache;
+    OptimizerOptions options;
+    options.WithGrids(GridType::kEquiSpaced)
+        .WithGridPoints(45)
+        .WithThreads(4)
+        .WithPlanCache(&cache);
+    std::printf("%-28s %12s %16s\n", "run", "time [s]", "what-if hits");
+    PlanCache::Stats before = cache.stats();
+    const char* labels[] = {"parallel cold (4 workers)",
+                            "parallel warm (4 workers)",
+                            "serial warm (shared cache)"};
+    double times[3] = {0, 0, 0};
+    for (int run = 0; run < 3; ++run) {
+      OptimizerOptions run_options = options;
+      if (run == 2) run_options.WithThreads(1);
+      times[run] = OptimizeTime(&sys, prog.get(), run_options);
+      PlanCache::Stats now = cache.stats();
+      std::printf("%-28s %12.3f %7lld/%-8lld\n", labels[run], times[run],
+                  static_cast<long long>(now.whatif_hits - before.whatif_hits),
+                  static_cast<long long>(now.whatif_hits + now.whatif_misses -
+                                         before.whatif_hits -
+                                         before.whatif_misses));
+      before = now;
+    }
+    std::printf("overall what-if hit rate: %.0f%%  (speedup warm vs cold: "
+                "%.1fx)\n",
+                100.0 * cache.stats().WhatIfHitRate(),
+                times[1] > 0 ? times[0] / times[1] : 0.0);
   }
   return 0;
 }

@@ -106,8 +106,7 @@ BENCHMARK(BM_DynamicRecompile);
 void BM_OptimizeGrid(benchmark::State& state) {
   Fixture& f = L2svmM();
   OptimizerOptions options;
-  options.cp_grid = static_cast<GridType>(state.range(0));
-  options.mr_grid = options.cp_grid;
+  options.WithGrids(static_cast<GridType>(state.range(0)));
   ResourceOptimizer opt(f.sys.cluster(), options);
   for (auto _ : state) {
     auto cfg = opt.Optimize(f.prog.get());
@@ -121,8 +120,7 @@ BENCHMARK(BM_OptimizeGrid)->DenseRange(0, 3);
 void BM_OptimizePruning(benchmark::State& state) {
   Fixture& f = GlmM();
   OptimizerOptions options;
-  options.prune_small_blocks = state.range(0) != 0;
-  options.prune_unknown_blocks = state.range(0) != 0;
+  options.WithPruning(state.range(0) != 0, state.range(0) != 0);
   ResourceOptimizer opt(f.sys.cluster(), options);
   for (auto _ : state) {
     auto cfg = opt.Optimize(f.prog.get());

@@ -42,7 +42,7 @@ int main() {
 
   for (bool adapt : {false, true}) {
     SimOptions opts;
-    opts.enable_adaptation = adapt;
+    opts.WithAdaptation(adapt);
     auto clone = (*prog)->Clone();
     auto run = sys.Simulate(clone->get(), *initial, opts, oracle);
     if (!run.ok()) {

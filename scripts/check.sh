@@ -1,16 +1,22 @@
 #!/usr/bin/env bash
-# Extended check build, three stages in separate trees:
+# Extended check build, five stages in separate trees:
 #
 #   1. ASan+UBSan Debug build running the full test suite (catches
 #      allocation bugs and UB in the simulator's recovery logic);
 #   2. an RELM_OBS_ENABLED=OFF build running the full suite (proves the
 #      observability macros compile out and nothing depends on them);
 #   3. a TSan build running the observability tests (registry and tracer
-#      are the only deliberately concurrent hot paths).
+#      concurrency);
+#   4. the same TSan tree running the serving-layer tests (job service
+#      stress, plan cache) plus a multi-client bench smoke run — the
+#      serve path is the most concurrent code in the repo;
+#   5. header self-containment: every public serve/ and api/ header must
+#      compile standalone (catches missing includes that the unity-ish
+#      test builds would mask).
 #
 # TSan is incompatible with ASan, hence the separate tree. Slower than
 # the default build; use before merging changes that touch allocation
-# paths, simulator recovery, or the obs layer.
+# paths, simulator recovery, the obs layer, or the serving layer.
 #
 # Usage: scripts/check.sh [build-dir-prefix]   (default: build)
 
@@ -40,5 +46,20 @@ cmake -B "${prefix}-tsan" -S "$repo_root" \
 cmake --build "${prefix}-tsan" -j "$(nproc)" --target obs_test
 ctest --test-dir "${prefix}-tsan" --output-on-failure \
   -R 'MetricsTest|TracerTest|LogCaptureTest|ObsSystemTest'
+
+echo "=== stage 4: TSan, serving layer + multi-client bench smoke ==="
+cmake --build "${prefix}-tsan" -j "$(nproc)" \
+  --target serve_test bench_fig12_throughput
+ctest --test-dir "${prefix}-tsan" --output-on-failure \
+  -R 'PlanCacheTest|OptimizerCacheTest|SessionTest|JobServiceTest'
+# Small end-to-end smoke: 4 concurrent clients through the job service.
+"${prefix}-tsan/bench/bench_fig12_throughput" --clients=4 --jobs=3
+
+echo "=== stage 5: header self-containment (serve/, api/) ==="
+cxx="${CXX:-c++}"
+for header in "$repo_root"/src/serve/*.h "$repo_root"/src/api/*.h; do
+  echo "  checking ${header#"$repo_root"/}"
+  "$cxx" -std=c++20 -fsyntax-only -x c++ -I "$repo_root/src" "$header"
+done
 
 echo "all check stages passed"

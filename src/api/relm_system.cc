@@ -1,95 +1,73 @@
 #include "api/relm_system.h"
 
-#include <fstream>
-#include <sstream>
-
-#include "lops/compiler_backend.h"
-#include "obs/metrics.h"
-#include "obs/trace.h"
-
 namespace relm {
 
+namespace {
+
+SessionOptions UncachedSessionOptions() {
+  SessionOptions options;
+  options.enable_plan_cache = false;
+  return options;
+}
+
+}  // namespace
+
 RelmSystem::RelmSystem(ClusterConfig cc)
-    : cc_(cc), hdfs_(cc.hdfs_block_size) {}
+    : session_(cc, UncachedSessionOptions()) {}
 
 void RelmSystem::RegisterMatrixMetadata(const std::string& path,
                                         int64_t rows, int64_t cols,
                                         double sparsity) {
-  hdfs_.PutMetadata(
-      path, MatrixCharacteristics::WithSparsity(rows, cols, sparsity));
+  // The legacy signature has no error channel; invalid metadata simply
+  // registers nothing (Session validates and reports).
+  session_.RegisterMatrixMetadata(path, rows, cols, sparsity);
 }
 
 void RelmSystem::RegisterMatrix(const std::string& path, MatrixBlock data) {
-  hdfs_.PutMatrix(path, std::move(data));
+  session_.RegisterMatrix(path, std::move(data));
 }
 
 Result<std::unique_ptr<MlProgram>> RelmSystem::CompileFile(
     const std::string& path, const ScriptArgs& args) {
-  std::ifstream in(path);
-  if (!in.good()) {
-    return Status::NotFound("cannot open script file: " + path);
-  }
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return CompileSource(ss.str(), args);
+  return session_.CompileFile(path, args);
 }
 
 Result<std::unique_ptr<MlProgram>> RelmSystem::CompileSource(
     const std::string& source, const ScriptArgs& args) {
-  return MlProgram::Compile(source, args, &hdfs_);
+  return session_.CompileSource(source, args);
 }
 
 Result<ResourceConfig> RelmSystem::OptimizeResources(
     MlProgram* program, OptimizerStats* stats,
     const OptimizerOptions& options) {
-  ResourceOptimizer optimizer(cc_, options);
-  return optimizer.Optimize(program, stats);
+  RELM_ASSIGN_OR_RETURN(OptimizeOutcome outcome,
+                        session_.Optimize(program, options));
+  if (stats != nullptr) *stats = std::move(outcome.stats);
+  return outcome.config;
 }
 
 Result<double> RelmSystem::EstimateCost(MlProgram* program,
                                         const ResourceConfig& config) {
-  CompileCounters counters;
-  RELM_ASSIGN_OR_RETURN(
-      RuntimeProgram rp,
-      GenerateRuntimeProgram(program, cc_, config, &counters));
-  CostModel cm(cc_);
-  return cm.EstimateProgramCost(rp);
+  return session_.EstimateCost(program, config);
 }
 
-Result<RelmSystem::RealRun> RelmSystem::ExecuteReal(MlProgram* program,
-                                                    bool echo) {
-  Interpreter interp(program, &hdfs_);
-  interp.set_echo(echo);
-  RELM_RETURN_IF_ERROR(interp.Run());
-  RealRun out;
-  out.printed = interp.printed();
-  out.blocks_executed = interp.blocks_executed();
-  return out;
+Result<RealRun> RelmSystem::ExecuteReal(MlProgram* program, bool echo) {
+  return session_.ExecuteReal(program, echo);
 }
 
 Result<SimResult> RelmSystem::Simulate(MlProgram* program,
                                        const ResourceConfig& config,
                                        const SimOptions& options,
                                        const SymbolMap& oracle) {
-  ClusterSimulator sim(cc_, options);
-  return sim.Execute(program, config, oracle);
+  return session_.Simulate(program, config, options, oracle);
 }
 
 Status RelmSystem::DumpTelemetry(const std::string& path) {
-  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
-  return obs::Tracer::Global().WriteChromeTrace(path, &snapshot);
+  return Session::DumpTelemetry(path);
 }
 
 std::vector<RelmSystem::Baseline> RelmSystem::StaticBaselines() const {
-  int64_t small = 512 * kMB;
-  int64_t large = cc_.MaxHeapSize();       // 53.3GB on the paper cluster
-  int64_t task_large = GigaBytes(4.4);     // all 12 cores usable
-  return {
-      {"B-SS", ResourceConfig(small, small)},
-      {"B-LS", ResourceConfig(large, small)},
-      {"B-SL", ResourceConfig(small, task_large)},
-      {"B-LL", ResourceConfig(large, task_large)},
-  };
+  return session_.StaticBaselines();
 }
 
 }  // namespace relm

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "api/session.h"
 #include "common/status.h"
 #include "core/resource_optimizer.h"
 #include "hdfs/file_system.h"
@@ -16,32 +17,29 @@
 
 namespace relm {
 
-/// High-level facade over the ReLM library: a simulated cluster plus the
-/// declarative-ML compiler, resource optimizer, in-memory runtime, and
-/// measured-execution simulator. This is the API the examples and
-/// benchmark harnesses are written against.
+/// DEPRECATED high-level facade over the ReLM library, kept as a thin
+/// shim so existing examples and benchmark harnesses migrate
+/// incrementally. New code should use Session (api/session.h), which
+/// returns Result<T> everywhere (no out-params), folds OptimizerStats
+/// into OptimizeOutcome, and reads through the shared plan/what-if
+/// cache; concurrent submissions belong in serve::JobService.
 ///
-/// Typical usage:
-///
-///   RelmSystem sys;                       // paper's 1+6 node cluster
-///   sys.RegisterMatrixMetadata("/data/X", 1000000, 1000, 1.0);
-///   sys.RegisterMatrixMetadata("/data/y", 1000000, 1, 1.0);
-///   auto prog = sys.CompileFile("scripts/linreg_cg.dml",
-///                               {{"X", "/data/X"}, {"Y", "/data/y"},
-///                                {"B", "/out/B"}});
-///   auto config = sys.OptimizeResources(prog->get());
-///   auto run = sys.Simulate(prog->get(), *config);
+/// Differences from Session: RelmSystem runs with plan caching disabled
+/// so its per-call costs (recompiles, cost invocations) match the
+/// pre-caching system — benchmark baselines depend on that.
 class RelmSystem {
  public:
   explicit RelmSystem(ClusterConfig cc = ClusterConfig::PaperCluster());
 
-  const ClusterConfig& cluster() const { return cc_; }
-  SimulatedHdfs& hdfs() { return hdfs_; }
+  const ClusterConfig& cluster() const { return session_.cluster(); }
+  SimulatedHdfs& hdfs() { return session_.hdfs(); }
+  /// The uncached Session backing this facade.
+  Session& session() { return session_; }
 
-  /// Registers a metadata-only input (benchmark scale).
+  /// \deprecated Use Session::RegisterMatrixMetadata (returns Status).
   void RegisterMatrixMetadata(const std::string& path, int64_t rows,
                               int64_t cols, double sparsity = 1.0);
-  /// Registers a real in-memory input (real-execution scale).
+  /// \deprecated Use Session::RegisterMatrix (returns Status).
   void RegisterMatrix(const std::string& path, MatrixBlock data);
 
   /// Compiles a DML script from a file / from source.
@@ -50,7 +48,8 @@ class RelmSystem {
   Result<std::unique_ptr<MlProgram>> CompileSource(
       const std::string& source, const ScriptArgs& args);
 
-  /// Runs the resource optimizer (initial resource optimization).
+  /// \deprecated Out-param stats convention. Use Session::Optimize,
+  /// which returns OptimizeOutcome{config, stats}.
   Result<ResourceConfig> OptimizeResources(
       MlProgram* program, OptimizerStats* stats = nullptr,
       const OptimizerOptions& options = OptimizerOptions());
@@ -59,11 +58,8 @@ class RelmSystem {
   Result<double> EstimateCost(MlProgram* program,
                               const ResourceConfig& config);
 
-  /// Result of a real, in-process execution.
-  struct RealRun {
-    std::vector<std::string> printed;
-    int64_t blocks_executed = 0;
-  };
+  /// \deprecated Alias of relm::RealRun, kept for source compatibility.
+  using RealRun = ::relm::RealRun;
   /// Executes the program for real on in-memory data (correctness path;
   /// all read() inputs must have payloads).
   Result<RealRun> ExecuteReal(MlProgram* program, bool echo = false);
@@ -75,12 +71,10 @@ class RelmSystem {
                              const SimOptions& options = SimOptions(),
                              const SymbolMap& oracle = {});
 
+  /// \deprecated Alias of relm::StaticBaseline.
+  using Baseline = ::relm::StaticBaseline;
   /// The paper's four static baseline configurations (Section 5.1):
   /// B-SS, B-LS, B-SL, B-LL.
-  struct Baseline {
-    const char* name;
-    ResourceConfig config;
-  };
   std::vector<Baseline> StaticBaselines() const;
 
   /// Writes the process-wide telemetry — Chrome-trace spans collected so
@@ -91,8 +85,7 @@ class RelmSystem {
   static Status DumpTelemetry(const std::string& path);
 
  private:
-  ClusterConfig cc_;
-  SimulatedHdfs hdfs_;
+  Session session_;
 };
 
 }  // namespace relm

@@ -1,0 +1,140 @@
+#include "api/session.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "lops/compiler_backend.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace relm {
+
+Session::Session(ClusterConfig cc, SessionOptions options)
+    : state_(std::make_shared<State>(cc)) {
+  if (options.enable_plan_cache) {
+    state_->cache = options.plan_cache != nullptr ? options.plan_cache
+                                                  : &PlanCache::Global();
+  }
+}
+
+Status Session::RegisterMatrixMetadata(const std::string& path,
+                                       int64_t rows, int64_t cols,
+                                       double sparsity) {
+  if (path.empty()) {
+    return Status::InvalidArgument("matrix path must not be empty");
+  }
+  if (rows <= 0 || cols <= 0) {
+    return Status::InvalidArgument(
+        "matrix dimensions must be positive: " + path);
+  }
+  if (sparsity < 0.0 || sparsity > 1.0) {
+    return Status::InvalidArgument("sparsity must be in [0, 1]: " + path);
+  }
+  state_->hdfs.PutMetadata(
+      path, MatrixCharacteristics::WithSparsity(rows, cols, sparsity));
+  return Status::OK();
+}
+
+Status Session::RegisterMatrix(const std::string& path, MatrixBlock data) {
+  if (path.empty()) {
+    return Status::InvalidArgument("matrix path must not be empty");
+  }
+  state_->hdfs.PutMatrix(path, std::move(data));
+  return Status::OK();
+}
+
+Result<std::unique_ptr<MlProgram>> Session::CompileFile(
+    const std::string& path, const ScriptArgs& args) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return Status::NotFound("cannot open script file: " + path);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return CompileSource(ss.str(), args);
+}
+
+Result<std::unique_ptr<MlProgram>> Session::CompileSource(
+    const std::string& source, const ScriptArgs& args) {
+  if (state_->cache != nullptr) {
+    return state_->cache->GetOrCompile(source, args, &state_->hdfs);
+  }
+  return MlProgram::Compile(source, args, &state_->hdfs);
+}
+
+Result<OptimizeOutcome> Session::Optimize(MlProgram* program,
+                                          const OptimizerOptions& options) {
+  if (program == nullptr) {
+    return Status::InvalidArgument("Optimize: program must not be null");
+  }
+  OptimizerOptions effective = options;
+  if (effective.plan_cache == nullptr) {
+    effective.plan_cache = state_->cache;
+  }
+  ResourceOptimizer optimizer(state_->cc, effective);
+  OptimizeOutcome outcome;
+  RELM_ASSIGN_OR_RETURN(outcome.config,
+                        optimizer.Optimize(program, &outcome.stats));
+  return outcome;
+}
+
+Result<double> Session::EstimateCost(MlProgram* program,
+                                     const ResourceConfig& config) {
+  if (program == nullptr) {
+    return Status::InvalidArgument("EstimateCost: program must not be null");
+  }
+  CompileCounters counters;
+  RELM_ASSIGN_OR_RETURN(
+      RuntimeProgram rp,
+      GenerateRuntimeProgram(program, state_->cc, config, &counters));
+  CostModel cm(state_->cc);
+  return cm.EstimateProgramCost(rp);
+}
+
+Result<RealRun> Session::ExecuteReal(MlProgram* program, bool echo) {
+  if (program == nullptr) {
+    return Status::InvalidArgument("ExecuteReal: program must not be null");
+  }
+  Interpreter interp(program, &state_->hdfs);
+  interp.set_echo(echo);
+  RELM_RETURN_IF_ERROR(interp.Run());
+  RealRun out;
+  out.printed = interp.printed();
+  out.blocks_executed = interp.blocks_executed();
+  return out;
+}
+
+Result<SimResult> Session::Simulate(MlProgram* program,
+                                    const ResourceConfig& config,
+                                    const SimOptions& options,
+                                    const SymbolMap& oracle) {
+  if (program == nullptr) {
+    return Status::InvalidArgument("Simulate: program must not be null");
+  }
+  SimOptions effective = options;
+  if (effective.optimizer.plan_cache == nullptr) {
+    // Runtime re-optimizations (adaptation) share the session cache.
+    effective.optimizer.plan_cache = state_->cache;
+  }
+  ClusterSimulator sim(state_->cc, effective);
+  return sim.Execute(program, config, oracle);
+}
+
+std::vector<StaticBaseline> Session::StaticBaselines() const {
+  int64_t small = 512 * kMB;
+  int64_t large = state_->cc.MaxHeapSize();  // 53.3GB on the paper cluster
+  int64_t task_large = GigaBytes(4.4);       // all 12 cores usable
+  return {
+      {"B-SS", ResourceConfig(small, small)},
+      {"B-LS", ResourceConfig(large, small)},
+      {"B-SL", ResourceConfig(small, task_large)},
+      {"B-LL", ResourceConfig(large, task_large)},
+  };
+}
+
+Status Session::DumpTelemetry(const std::string& path) {
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  return obs::Tracer::Global().WriteChromeTrace(path, &snapshot);
+}
+
+}  // namespace relm

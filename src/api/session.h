@@ -1,0 +1,144 @@
+#ifndef RELM_API_SESSION_H_
+#define RELM_API_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/plan_cache.h"
+#include "core/resource_optimizer.h"
+#include "hdfs/file_system.h"
+#include "hops/ml_program.h"
+#include "lops/resources.h"
+#include "mrsim/cluster_simulator.h"
+#include "runtime/interpreter.h"
+#include "yarn/cluster_config.h"
+
+namespace relm {
+
+/// Everything one optimization run produces: the chosen resource
+/// configuration plus the statistics and decision trace of the run that
+/// chose it. Replaces the old out-param convention
+/// (`OptimizeResources(prog, &stats)`).
+struct OptimizeOutcome {
+  ResourceConfig config;
+  OptimizerStats stats;
+};
+
+/// Result of a real, in-process execution.
+struct RealRun {
+  std::vector<std::string> printed;
+  int64_t blocks_executed = 0;
+};
+
+/// One of the paper's static baseline configurations (Section 5.1).
+struct StaticBaseline {
+  const char* name;
+  ResourceConfig config;
+};
+
+/// Session construction knobs.
+struct SessionOptions {
+  /// Read-through plan/what-if caching for compiles and optimizations
+  /// issued through this session. Disabled sessions behave exactly like
+  /// the pre-caching system (every benchmark iteration recompiles).
+  bool enable_plan_cache = true;
+  /// Cache instance to share (not owned). nullptr selects the
+  /// process-wide PlanCache::Global().
+  PlanCache* plan_cache = nullptr;
+};
+
+/// A client's handle onto one simulated cluster: the cluster model, the
+/// shared HDFS namespace, and (optionally) the shared plan/what-if
+/// cache. Sessions are cheap value types — copies share the same
+/// underlying cluster state, so handing a Session to each worker thread
+/// of a job service is the intended usage. All entry points return
+/// Result<T>/Status; nothing is reported through out-params.
+///
+/// Typical usage:
+///
+///   Session session;                       // paper's 1+6 node cluster
+///   session.RegisterMatrixMetadata("/data/X", 1000000, 1000, 1.0);
+///   session.RegisterMatrixMetadata("/data/y", 1000000, 1, 1.0);
+///   auto prog = session.CompileFile("scripts/linreg_cg.dml",
+///                                   {{"X", "/data/X"}, {"Y", "/data/y"},
+///                                    {"B", "/out/B"}});
+///   auto outcome = session.Optimize(prog->get());   // config + stats
+///   auto run = session.Simulate(prog->get(), outcome->config);
+class Session {
+ public:
+  explicit Session(ClusterConfig cc = ClusterConfig::PaperCluster(),
+                   SessionOptions options = SessionOptions());
+
+  const ClusterConfig& cluster() const { return state_->cc; }
+  SimulatedHdfs& hdfs() { return state_->hdfs; }
+  const SimulatedHdfs& hdfs() const { return state_->hdfs; }
+  /// The cache compiles/optimizations read through; nullptr when
+  /// caching is disabled for this session.
+  PlanCache* plan_cache() const { return state_->cache; }
+
+  /// Registers a metadata-only input (benchmark scale). Rejects empty
+  /// paths, non-positive dimensions, and sparsity outside [0, 1].
+  Status RegisterMatrixMetadata(const std::string& path, int64_t rows,
+                                int64_t cols, double sparsity = 1.0);
+  /// Registers a real in-memory input (real-execution scale).
+  Status RegisterMatrix(const std::string& path, MatrixBlock data);
+
+  /// Compiles a DML script from a file / from source. With caching
+  /// enabled, identical (script, args, input metadata) submissions are
+  /// served from the compiled-program cache.
+  Result<std::unique_ptr<MlProgram>> CompileFile(const std::string& path,
+                                                 const ScriptArgs& args);
+  Result<std::unique_ptr<MlProgram>> CompileSource(
+      const std::string& source, const ScriptArgs& args);
+
+  /// Runs the resource optimizer (initial resource optimization) and
+  /// returns the chosen configuration together with the run statistics.
+  /// options.plan_cache is filled in from the session when unset.
+  Result<OptimizeOutcome> Optimize(
+      MlProgram* program,
+      const OptimizerOptions& options = OptimizerOptions());
+
+  /// Estimated cost of running `program` under `config` (seconds).
+  Result<double> EstimateCost(MlProgram* program,
+                              const ResourceConfig& config);
+
+  /// Executes the program for real on in-memory data (correctness path;
+  /// all read() inputs must have payloads).
+  Result<RealRun> ExecuteReal(MlProgram* program, bool echo = false);
+
+  /// Simulated "measured" execution on the cluster model. Mutates the
+  /// program's IR with sizes discovered at runtime. Runtime
+  /// re-optimizations read through the session cache as well.
+  Result<SimResult> Simulate(MlProgram* program,
+                             const ResourceConfig& config,
+                             const SimOptions& options = SimOptions(),
+                             const SymbolMap& oracle = {});
+
+  /// The paper's four static baseline configurations (Section 5.1):
+  /// B-SS, B-LS, B-SL, B-LL.
+  std::vector<StaticBaseline> StaticBaselines() const;
+
+  /// Writes the process-wide telemetry — Chrome-trace spans collected so
+  /// far plus a snapshot of every metric (including the plan-cache
+  /// hit/miss/eviction counters) — as trace-event JSON loadable in
+  /// Perfetto / chrome://tracing.
+  static Status DumpTelemetry(const std::string& path);
+
+ private:
+  struct State {
+    // SimulatedHdfs holds a mutex, so State is constructed in place.
+    explicit State(const ClusterConfig& cc_in)
+        : cc(cc_in), hdfs(cc_in.hdfs_block_size) {}
+    ClusterConfig cc;
+    SimulatedHdfs hdfs;
+    PlanCache* cache = nullptr;  // not owned
+  };
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace relm
+
+#endif  // RELM_API_SESSION_H_

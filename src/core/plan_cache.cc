@@ -1,0 +1,212 @@
+#include "core/plan_cache.h"
+
+#include "core/resource_optimizer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace relm {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+void HashBytes(uint64_t* h, const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    *h ^= p[i];
+    *h *= kFnvPrime;
+  }
+}
+
+void HashString(uint64_t* h, const std::string& s) {
+  HashBytes(h, s.data(), s.size());
+  // Separator so ("ab","c") and ("a","bc") differ.
+  HashBytes(h, "\x1f", 1);
+}
+
+void HashInt(uint64_t* h, int64_t v) { HashBytes(h, &v, sizeof(v)); }
+
+void HashDouble(uint64_t* h, double v) { HashBytes(h, &v, sizeof(v)); }
+
+}  // namespace
+
+uint64_t ComputeScriptSignature(const std::string& source,
+                                const ScriptArgs& args,
+                                const SimulatedHdfs* hdfs) {
+  uint64_t h = kFnvOffset;
+  HashString(&h, source);
+  for (const auto& [key, value] : args) {
+    HashString(&h, key);
+    HashString(&h, value);
+  }
+  HashInt(&h, hdfs != nullptr
+                  ? static_cast<int64_t>(hdfs->MetadataFingerprint())
+                  : 0);
+  return h;
+}
+
+uint64_t ComputeProgramSignature(const MlProgram& program) {
+  uint64_t h =
+      ComputeScriptSignature(program.source(), program.args(),
+                             program.hdfs());
+  for (const auto& [name, info] : program.size_overrides()) {
+    HashString(&h, name);
+    HashInt(&h, static_cast<int64_t>(info.dtype));
+    HashInt(&h, info.mc.rows());
+    HashInt(&h, info.mc.cols());
+    HashInt(&h, info.mc.nnz());
+    HashInt(&h, info.scalar_known ? 1 : 0);
+    HashDouble(&h, info.scalar_value);
+    HashString(&h, info.string_value);
+  }
+  return h;
+}
+
+uint64_t ComputeOptimizerContextHash(const ClusterConfig& cc,
+                                     const OptimizerOptions& opts) {
+  uint64_t h = kFnvOffset;
+  // Cluster model: everything the compiler backend and cost model read.
+  HashInt(&h, cc.num_worker_nodes);
+  HashInt(&h, cc.cores_per_node);
+  HashInt(&h, cc.vcores_per_node);
+  HashInt(&h, cc.memory_per_node);
+  HashInt(&h, cc.min_allocation);
+  HashInt(&h, cc.max_allocation);
+  HashInt(&h, cc.hdfs_block_size);
+  HashInt(&h, cc.num_reducers);
+  HashDouble(&h, cc.mr_slot_availability);
+  HashDouble(&h, cc.disk_read_mbps);
+  HashDouble(&h, cc.disk_write_mbps);
+  HashInt(&h, cc.disks_per_node);
+  HashDouble(&h, cc.network_mbps);
+  HashDouble(&h, cc.peak_gflops);
+  HashDouble(&h, cc.mr_job_latency);
+  HashDouble(&h, cc.mr_task_latency);
+  HashDouble(&h, cc.container_alloc_latency);
+  // Option fields that change a grid point's verdict. num_threads and
+  // time_budget_seconds only steer enumeration, not per-point results.
+  HashInt(&h, static_cast<int64_t>(opts.mr_grid));
+  HashInt(&h, opts.grid_points);
+  HashInt(&h, opts.prune_small_blocks ? 1 : 0);
+  HashInt(&h, opts.prune_unknown_blocks ? 1 : 0);
+  HashDouble(&h, opts.expected_failure_rate);
+  return h;
+}
+
+PlanCache::PlanCache() : PlanCache(Options()) {}
+
+PlanCache::PlanCache(Options opts) : opts_(opts) {}
+
+PlanCache& PlanCache::Global() {
+  static PlanCache* cache = new PlanCache();
+  return *cache;
+}
+
+Result<std::unique_ptr<MlProgram>> PlanCache::GetOrCompile(
+    const std::string& source, const ScriptArgs& args,
+    const SimulatedHdfs* hdfs) {
+  uint64_t sig = ComputeScriptSignature(source, args, hdfs);
+  {
+    std::shared_ptr<MlProgram> master;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = programs_.find(sig);
+      if (it != programs_.end()) {
+        stats_.program_hits++;
+        RELM_COUNTER_INC("plan_cache.program_hits");
+        program_lru_.splice(program_lru_.begin(), program_lru_,
+                            it->second.lru_it);
+        master = it->second.master;  // pins the entry against eviction
+      }
+    }
+    // Clone outside the lock: cloning is a deterministic recompile, and
+    // holding mu_ across it would serialize concurrent submissions.
+    if (master != nullptr) return master->Clone();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.program_misses++;
+  }
+  RELM_COUNTER_INC("plan_cache.program_misses");
+  RELM_TRACE_SPAN("plan_cache.compile_miss");
+  RELM_ASSIGN_OR_RETURN(std::unique_ptr<MlProgram> master,
+                        MlProgram::Compile(source, args, hdfs));
+  RELM_ASSIGN_OR_RETURN(std::unique_ptr<MlProgram> copy, master->Clone());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (programs_.find(sig) == programs_.end()) {
+      program_lru_.push_front(sig);
+      programs_[sig] = ProgramEntry{std::move(master),
+                                    program_lru_.begin()};
+      while (programs_.size() > opts_.max_programs) {
+        uint64_t victim = program_lru_.back();
+        program_lru_.pop_back();
+        programs_.erase(victim);
+        stats_.evictions++;
+        RELM_COUNTER_INC("plan_cache.evictions");
+      }
+    }
+  }
+  return copy;
+}
+
+std::optional<PlanCache::CachedCandidate> PlanCache::LookupWhatIf(
+    const WhatIfKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = whatif_.find(key);
+  if (it == whatif_.end()) {
+    stats_.whatif_misses++;
+    RELM_COUNTER_INC("plan_cache.whatif_misses");
+    return std::nullopt;
+  }
+  stats_.whatif_hits++;
+  RELM_COUNTER_INC("plan_cache.whatif_hits");
+  whatif_lru_.splice(whatif_lru_.begin(), whatif_lru_, it->second.lru_it);
+  return it->second.candidate;
+}
+
+void PlanCache::InsertWhatIf(const WhatIfKey& key,
+                             CachedCandidate candidate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = whatif_.find(key);
+  if (it != whatif_.end()) {
+    it->second.candidate = std::move(candidate);
+    whatif_lru_.splice(whatif_lru_.begin(), whatif_lru_, it->second.lru_it);
+    return;
+  }
+  whatif_lru_.push_front(key);
+  whatif_[key] = WhatIfEntry{std::move(candidate), whatif_lru_.begin()};
+  while (whatif_.size() > opts_.max_whatif_entries) {
+    whatif_.erase(whatif_lru_.back());
+    whatif_lru_.pop_back();
+    stats_.evictions++;
+    RELM_COUNTER_INC("plan_cache.evictions");
+  }
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t PlanCache::NumPrograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return programs_.size();
+}
+
+size_t PlanCache::NumWhatIfEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return whatif_.size();
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  programs_.clear();
+  program_lru_.clear();
+  whatif_.clear();
+  whatif_lru_.clear();
+  stats_ = Stats();
+}
+
+}  // namespace relm

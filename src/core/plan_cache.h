@@ -1,0 +1,175 @@
+#ifndef RELM_CORE_PLAN_CACHE_H_
+#define RELM_CORE_PLAN_CACHE_H_
+
+// Memoization layer shared by concurrent job submissions and by the
+// optimizer's grid enumeration:
+//
+//   (a) a compiled-program cache keyed by (script hash, args, input
+//       metadata): identical submissions share one validated master
+//       program and receive private deep copies;
+//   (b) a what-if cost cache keyed by (program signature, optimizer
+//       context, CP memory budget, CP cores) holding the per-grid-point
+//       candidate (memoized per-block MR heaps + estimated cost), shared
+//       across grid enumeration, runtime re-optimizations, and
+//       submissions of the same program.
+//
+// Both sides are LRU-bounded and fully thread-safe; hit/miss/eviction
+// counts are exported through the obs metrics registry
+// ("plan_cache.program_hits", "plan_cache.whatif_hits", ...) and
+// cache-miss recompiles are wrapped in tracer spans.
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "hdfs/file_system.h"
+#include "hops/ml_program.h"
+#include "lops/resources.h"
+#include "yarn/cluster_config.h"
+
+namespace relm {
+
+struct OptimizerOptions;  // core/resource_optimizer.h
+
+/// Identity of a submitted program for caching purposes: a 64-bit FNV-1a
+/// digest over the script source, the argument bindings, the accumulated
+/// size overrides (dynamic recompilation state), and the metadata
+/// fingerprint of the HDFS namespace the program reads from. Any change
+/// to inputs or discovered sizes yields a new signature, which is how
+/// cached plans are invalidated.
+uint64_t ComputeProgramSignature(const MlProgram& program);
+
+/// Signature of the (source, args, inputs) triple before compilation —
+/// the compiled-program cache key. Matches ComputeProgramSignature of a
+/// freshly compiled program (no size overrides yet).
+uint64_t ComputeScriptSignature(const std::string& source,
+                                const ScriptArgs& args,
+                                const SimulatedHdfs* hdfs);
+
+/// Digest of everything outside the program that what-if costing depends
+/// on: the cluster model and the option fields that change per-point
+/// verdicts (grids, resolution, pruning, failure rate). Fields that only
+/// steer enumeration order or parallelism (num_threads, time budget) are
+/// deliberately excluded so serial and parallel runs share entries.
+uint64_t ComputeOptimizerContextHash(const ClusterConfig& cc,
+                                     const OptimizerOptions& opts);
+
+/// Key of one what-if evaluation: "what does this program cost at CP
+/// grid point (cp_heap, cp_cores)?".
+struct WhatIfKey {
+  uint64_t program_sig = 0;
+  uint64_t context_hash = 0;
+  int64_t cp_heap = 0;
+  int cp_cores = 1;
+
+  bool operator==(const WhatIfKey& o) const {
+    return program_sig == o.program_sig && context_hash == o.context_hash &&
+           cp_heap == o.cp_heap && cp_cores == o.cp_cores;
+  }
+};
+
+class PlanCache {
+ public:
+  struct Options {
+    /// Maximum cached master programs (compiled-program side).
+    size_t max_programs = 64;
+    /// Maximum what-if entries across all programs.
+    size_t max_whatif_entries = 8192;
+  };
+
+  /// Result of one memoized what-if evaluation: the candidate resource
+  /// configuration (with its per-block MR heap vector) and its verdict
+  /// inputs, exactly what the optimizer's grid loop produces per point.
+  struct CachedCandidate {
+    ResourceConfig config;
+    double cost = 0.0;
+    int pruned_blocks = 0;
+    int enumerated_blocks = 0;
+  };
+
+  /// Point-in-time counter values (also exported via obs metrics).
+  struct Stats {
+    int64_t program_hits = 0;
+    int64_t program_misses = 0;
+    int64_t whatif_hits = 0;
+    int64_t whatif_misses = 0;
+    int64_t evictions = 0;
+
+    double WhatIfHitRate() const {
+      int64_t total = whatif_hits + whatif_misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(whatif_hits) /
+                              static_cast<double>(total);
+    }
+  };
+
+  PlanCache();
+  explicit PlanCache(Options opts);
+
+  /// Process-wide instance shared by sessions and job services that do
+  /// not bring their own cache.
+  static PlanCache& Global();
+
+  /// Compiled-program lookup. On a hit the cached master is deep-copied
+  /// for the caller (each job mutates its program during optimization
+  /// and simulation, so masters are never handed out directly); on a
+  /// miss the script is compiled — inside a "plan_cache.compile_miss"
+  /// tracer span — and retained as the new master.
+  Result<std::unique_ptr<MlProgram>> GetOrCompile(
+      const std::string& source, const ScriptArgs& args,
+      const SimulatedHdfs* hdfs);
+
+  /// What-if cost cache.
+  std::optional<CachedCandidate> LookupWhatIf(const WhatIfKey& key);
+  void InsertWhatIf(const WhatIfKey& key, CachedCandidate candidate);
+
+  Stats stats() const;
+  size_t NumPrograms() const;
+  size_t NumWhatIfEntries() const;
+
+  /// Drops all entries and zeroes the stats (tests, bench phases).
+  void Clear();
+
+ private:
+  struct WhatIfKeyHash {
+    size_t operator()(const WhatIfKey& k) const {
+      uint64_t h = k.program_sig;
+      h ^= k.context_hash + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h ^= static_cast<uint64_t>(k.cp_heap) + 0x9e3779b97f4a7c15ULL +
+           (h << 6) + (h >> 2);
+      h ^= static_cast<uint64_t>(k.cp_cores) + 0x9e3779b97f4a7c15ULL +
+           (h << 6) + (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  struct ProgramEntry {
+    // shared_ptr so a hit can pin the master and clone it outside the
+    // cache lock (cloning is a recompile; doing it under mu_ would
+    // serialize every concurrent submission).
+    std::shared_ptr<MlProgram> master;
+    std::list<uint64_t>::iterator lru_it;
+  };
+  struct WhatIfEntry {
+    CachedCandidate candidate;
+    std::list<WhatIfKey>::iterator lru_it;
+  };
+
+  Options opts_;
+  mutable std::mutex mu_;
+  Stats stats_;
+  // LRU lists hold keys, most recently used at the front.
+  std::list<uint64_t> program_lru_;
+  std::unordered_map<uint64_t, ProgramEntry> programs_;
+  std::list<WhatIfKey> whatif_lru_;
+  std::unordered_map<WhatIfKey, WhatIfEntry, WhatIfKeyHash> whatif_;
+};
+
+}  // namespace relm
+
+#endif  // RELM_CORE_PLAN_CACHE_H_

@@ -13,11 +13,38 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "core/plan_cache.h"
 #include "obs/json_util.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace relm {
+
+Status OptimizerOptions::Validate() const {
+  if (grid_points <= 0) {
+    return Status::InvalidArgument("grid_points must be positive");
+  }
+  if (num_threads <= 0) {
+    return Status::InvalidArgument("num_threads must be positive");
+  }
+  if (time_budget_seconds <= 0) {
+    return Status::InvalidArgument("time_budget_seconds must be positive");
+  }
+  if (cost_tolerance < 0) {
+    return Status::InvalidArgument("cost_tolerance must be non-negative");
+  }
+  if (expected_failure_rate < 0) {
+    return Status::InvalidArgument(
+        "expected_failure_rate must be non-negative");
+  }
+  for (int cores : cp_core_options) {
+    if (cores <= 0) {
+      return Status::InvalidArgument(
+          "cp_core_options entries must be positive");
+    }
+  }
+  return Status::OK();
+}
 
 const GridPointDecision* OptimizerTrace::Winner() const {
   for (const GridPointDecision& d : grid_points) {
@@ -141,6 +168,12 @@ class ResourceOptimizer::Runner {
                                                 OptimizerStats* stats) {
     RELM_TRACE_SPAN("optimize.run");
     RELM_COUNTER_INC("optimizer.runs");
+    RELM_RETURN_IF_ERROR(opts_.Validate());
+    cache_ = opts_.plan_cache;
+    if (cache_ != nullptr) {
+      program_sig_ = ComputeProgramSignature(*program_);
+      context_hash_ = ComputeOptimizerContextHash(cc_, opts_);
+    }
     auto start = Clock::now();
     std::vector<int64_t> src =
         custom_src_.empty()
@@ -189,9 +222,11 @@ class ResourceOptimizer::Runner {
       for (int cores : core_options) {
         for (int64_t rc : src) {
           if (Seconds(start) > opts_.time_budget_seconds) break;
+          if (CandidateFromCache(rc, cores, stats)) continue;
           RELM_ASSIGN_OR_RETURN(
               CandidateResult cand,
               EvaluateCpPoint(program_, rc, cores, srm, stats));
+          InsertIntoCache(rc, cores, cand);
           candidates_.push_back(std::move(cand));
         }
       }
@@ -246,6 +281,46 @@ class ResourceOptimizer::Runner {
     int pruned_blocks = 0;
     int enumerated_blocks = 0;
   };
+
+  WhatIfKey CacheKey(int64_t rc, int cores) const {
+    WhatIfKey key;
+    key.program_sig = program_sig_;
+    key.context_hash = context_hash_;
+    key.cp_heap = rc;
+    key.cp_cores = cores;
+    return key;
+  }
+
+  /// Read-through of the shared what-if cache for one CP grid point.
+  /// On a hit the memoized candidate (per-block MR heaps + cost) is
+  /// appended to candidates_ — no block recompilation happens at all —
+  /// and true is returned.
+  bool CandidateFromCache(int64_t rc, int cores, OptimizerStats* stats) {
+    if (cache_ == nullptr) return false;
+    std::optional<PlanCache::CachedCandidate> hit =
+        cache_->LookupWhatIf(CacheKey(rc, cores));
+    if (!hit.has_value()) return false;
+    CandidateResult cand;
+    cand.config = std::move(hit->config);
+    cand.cost = hit->cost;
+    cand.pruned_blocks = hit->pruned_blocks;
+    cand.enumerated_blocks = hit->enumerated_blocks;
+    if (stats != nullptr && stats->remaining_blocks_after_pruning < 0) {
+      stats->remaining_blocks_after_pruning = cand.enumerated_blocks;
+    }
+    candidates_.push_back(std::move(cand));
+    return true;
+  }
+
+  void InsertIntoCache(int64_t rc, int cores, const CandidateResult& cand) {
+    if (cache_ == nullptr) return;
+    PlanCache::CachedCandidate entry;
+    entry.config = cand.config;
+    entry.cost = cand.cost;
+    entry.pruned_blocks = cand.pruned_blocks;
+    entry.enumerated_blocks = cand.enumerated_blocks;
+    cache_->InsertWhatIf(CacheKey(rc, cores), std::move(entry));
+  }
 
   /// Reconstructs the final selection's reasoning over all collected
   /// candidates: the minimum-cost threshold, the tolerance window, and
@@ -452,6 +527,10 @@ class ResourceOptimizer::Runner {
     std::vector<std::pair<int64_t, std::vector<int>>> plans;
     for (int64_t rc : src) {
       if (Seconds(start) > opts_.time_budget_seconds) break;
+      // Shared-cache read-through (Fig 18 path): a memoized grid point
+      // skips baseline compilation and per-block enumeration entirely —
+      // no tasks are produced for it.
+      if (CandidateFromCache(rc, 1, stats)) continue;
       ResourceConfig base_cfg(rc, min_mr);
       RELM_ASSIGN_OR_RETURN(
           RuntimeProgram base,
@@ -540,6 +619,7 @@ class ResourceOptimizer::Runner {
           return;
         }
         cand.cost = local_cost.EstimateProgramCost(*full);
+        InsertIntoCache(rc, 1, cand);
         std::lock_guard<std::mutex> lock(result_mu);
         candidates_.push_back(std::move(cand));
       };
@@ -632,6 +712,9 @@ class ResourceOptimizer::Runner {
   std::vector<CandidateResult> candidates_;
   std::vector<int64_t> custom_src_;
   std::atomic<int64_t> parallel_cost_invocations_{0};
+  PlanCache* cache_ = nullptr;  // not owned; nullptr = caching disabled
+  uint64_t program_sig_ = 0;
+  uint64_t context_hash_ = 0;
 };
 
 ResourceOptimizer::ResourceOptimizer(const ClusterConfig& cc,

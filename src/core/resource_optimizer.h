@@ -15,7 +15,19 @@
 
 namespace relm {
 
-/// Configuration of the resource optimizer.
+class PlanCache;  // core/plan_cache.h
+
+/// Configuration of the resource optimizer. Construct with designated
+/// defaults and refine with the chainable With*() setters:
+///
+///   auto opts = OptimizerOptions()
+///                   .WithGridPoints(45)
+///                   .WithGrids(GridType::kEquiSpaced)
+///                   .WithThreads(4);
+///
+/// Validation is not the caller's job: every ResourceOptimizer entry
+/// point runs Validate() on use and returns InvalidArgument for
+/// nonsensical combinations.
 struct OptimizerOptions {
   GridType cp_grid = GridType::kHybrid;
   GridType mr_grid = GridType::kHybrid;
@@ -43,6 +55,66 @@ struct OptimizerOptions {
   /// few large containers (large blast radius per failure) lose against
   /// many small ones on failure-prone clusters.
   double expected_failure_rate = 0.0;
+  /// Read-through what-if cost cache (not owned; nullptr disables
+  /// caching). Grid points whose (program signature, context, cp_heap,
+  /// cp_cores) key is present skip recompilation entirely; misses are
+  /// evaluated and inserted, shared across enumeration runs and across
+  /// concurrent submissions of the same program.
+  PlanCache* plan_cache = nullptr;
+
+  /// Rejects nonsensical combinations (non-positive grid resolution or
+  /// thread count, negative rates/tolerances, empty or non-positive CP
+  /// core options) with InvalidArgument. Run by every optimizer entry
+  /// point, so callers never need ad-hoc checks.
+  Status Validate() const;
+
+  // ---- chainable named setters (builder-style construction) ----
+  OptimizerOptions& WithGrids(GridType grid) {
+    cp_grid = grid;
+    mr_grid = grid;
+    return *this;
+  }
+  OptimizerOptions& WithCpGrid(GridType grid) {
+    cp_grid = grid;
+    return *this;
+  }
+  OptimizerOptions& WithMrGrid(GridType grid) {
+    mr_grid = grid;
+    return *this;
+  }
+  OptimizerOptions& WithGridPoints(int m) {
+    grid_points = m;
+    return *this;
+  }
+  OptimizerOptions& WithThreads(int threads) {
+    num_threads = threads;
+    return *this;
+  }
+  OptimizerOptions& WithTimeBudget(double seconds) {
+    time_budget_seconds = seconds;
+    return *this;
+  }
+  OptimizerOptions& WithPruning(bool small_blocks, bool unknown_blocks) {
+    prune_small_blocks = small_blocks;
+    prune_unknown_blocks = unknown_blocks;
+    return *this;
+  }
+  OptimizerOptions& WithCostTolerance(double tolerance) {
+    cost_tolerance = tolerance;
+    return *this;
+  }
+  OptimizerOptions& WithCpCoreOptions(std::vector<int> cores) {
+    cp_core_options = std::move(cores);
+    return *this;
+  }
+  OptimizerOptions& WithExpectedFailureRate(double rate) {
+    expected_failure_rate = rate;
+    return *this;
+  }
+  OptimizerOptions& WithPlanCache(PlanCache* cache) {
+    plan_cache = cache;
+    return *this;
+  }
 };
 
 /// One enumerated CP grid point (what-if evaluation) and its verdict in

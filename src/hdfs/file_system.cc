@@ -23,6 +23,7 @@ void SimulatedHdfs::PutMetadata(const std::string& path,
   f.characteristics = mc;
   f.format = format;
   f.size_bytes = size_bytes >= 0 ? size_bytes : EstimateSizeOnDisk(mc);
+  std::lock_guard<std::mutex> lock(mu_);
   files_[path] = std::move(f);
 }
 
@@ -33,14 +34,17 @@ void SimulatedHdfs::PutMatrix(const std::string& path, MatrixBlock block,
   f.format = format;
   f.size_bytes = EstimateSizeOnDisk(f.characteristics);
   f.data = std::make_shared<const MatrixBlock>(std::move(block));
+  std::lock_guard<std::mutex> lock(mu_);
   files_[path] = std::move(f);
 }
 
 bool SimulatedHdfs::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return files_.count(path) > 0;
 }
 
 Result<HdfsFile> SimulatedHdfs::Get(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) {
     return Status::NotFound("no such HDFS file: " + path);
@@ -48,7 +52,10 @@ Result<HdfsFile> SimulatedHdfs::Get(const std::string& path) const {
   return it->second;
 }
 
-void SimulatedHdfs::Delete(const std::string& path) { files_.erase(path); }
+void SimulatedHdfs::Delete(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.erase(path);
+}
 
 int64_t SimulatedHdfs::NumBlocks(int64_t size_bytes) const {
   if (size_bytes <= 0) return 1;
@@ -56,6 +63,7 @@ int64_t SimulatedHdfs::NumBlocks(int64_t size_bytes) const {
 }
 
 std::vector<std::string> SimulatedHdfs::ListPaths() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
   out.reserve(files_.size());
   for (const auto& [path, file] : files_) out.push_back(path);
@@ -63,9 +71,34 @@ std::vector<std::string> SimulatedHdfs::ListPaths() const {
 }
 
 int64_t SimulatedHdfs::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   int64_t total = 0;
   for (const auto& [path, file] : files_) total += file.size_bytes;
   return total;
+}
+
+uint64_t SimulatedHdfs::MetadataFingerprint() const {
+  // FNV-1a over the sorted (map-ordered) entries.
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [path, file] : files_) {
+    for (char c : path) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ULL;
+    }
+    mix(static_cast<uint64_t>(file.characteristics.rows()));
+    mix(static_cast<uint64_t>(file.characteristics.cols()));
+    mix(static_cast<uint64_t>(file.characteristics.nnz()));
+    mix(static_cast<uint64_t>(file.format));
+    mix(static_cast<uint64_t>(file.size_bytes));
+  }
+  return h;
 }
 
 }  // namespace relm

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -40,6 +41,10 @@ struct HdfsFile {
 /// A simulated HDFS namespace: pathnames to file metadata plus the block
 /// size that drives MapReduce split computation. No actual disk IO happens;
 /// the cluster simulator charges time for the bytes recorded here.
+///
+/// Thread-safe: concurrent Put*/Get/Delete calls from different job
+/// submissions are serialized on an internal mutex (the namespace is the
+/// one piece of state every concurrent session shares).
 class SimulatedHdfs {
  public:
   explicit SimulatedHdfs(int64_t block_size = 128 * kMB)
@@ -75,9 +80,16 @@ class SimulatedHdfs {
   /// Total bytes stored across all files.
   int64_t TotalBytes() const;
 
+  /// Order-independent fingerprint of the namespace metadata (paths,
+  /// dimensions, nnz, format, size). Plan/what-if cache keys include it
+  /// so entries are invalidated when any input's metadata changes;
+  /// re-registering identical metadata leaves the fingerprint stable.
+  uint64_t MetadataFingerprint() const;
+
  private:
   int64_t block_size_;
-  std::map<std::string, HdfsFile> files_;
+  mutable std::mutex mu_;
+  std::map<std::string, HdfsFile> files_;  // guarded by mu_
 };
 
 }  // namespace relm

@@ -103,6 +103,10 @@ class MlProgram {
   const SimulatedHdfs* hdfs() const { return hdfs_; }
   const ScriptArgs& args() const { return args_; }
   const std::string& source() const { return source_; }
+  /// Accumulated dynamic-recompilation size overrides (empty for a
+  /// freshly compiled program). Part of the program's cache signature:
+  /// a Rebuild() changes what plans cost, so it must change the key.
+  const SymbolMap& size_overrides() const { return size_overrides_; }
 
   /// Statistics for Table 1 and optimization-overhead reporting.
   int source_lines() const { return ast_.source_lines; }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
@@ -53,7 +54,48 @@ struct SimOptions {
   /// Rejects nonsensical option combinations (negative noise, cluster
   /// load outside [0,1], non-positive loop cap, malformed fault plans)
   /// with InvalidArgument instead of silently simulating nonsense.
+  /// Run by ClusterSimulator::Execute on use — callers never need
+  /// ad-hoc checks of their own.
   Status Validate() const;
+
+  // ---- chainable named setters (builder-style construction) ----
+  SimOptions& WithAdaptation(bool enabled) {
+    enable_adaptation = enabled;
+    return *this;
+  }
+  SimOptions& WithDynamicRecompilation(bool enabled) {
+    enable_dynamic_recompilation = enabled;
+    return *this;
+  }
+  SimOptions& WithOptimizer(OptimizerOptions opts) {
+    optimizer = std::move(opts);
+    return *this;
+  }
+  SimOptions& WithNoise(double fraction) {
+    noise = fraction;
+    return *this;
+  }
+  SimOptions& WithSeed(uint64_t s) {
+    seed = s;
+    return *this;
+  }
+  SimOptions& WithIoContention(double multiplier) {
+    io_contention = multiplier;
+    return *this;
+  }
+  SimOptions& WithClusterLoad(double load) {
+    cluster_load = load;
+    return *this;
+  }
+  SimOptions& WithLoadChange(double at_seconds, double new_load) {
+    load_change_at_seconds = at_seconds;
+    new_cluster_load = new_load;
+    return *this;
+  }
+  SimOptions& WithFaults(FaultPlan plan) {
+    faults = std::move(plan);
+    return *this;
+  }
 };
 
 /// Typed timeline event kinds: what happened during a simulated run,

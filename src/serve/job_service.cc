@@ -1,0 +1,384 @@
+#include "serve/job_service.h"
+
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace relm {
+namespace serve {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kCompleted:
+      return "completed";
+    case JobState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+Status ServeOptions::Validate() const {
+  if (num_workers <= 0) {
+    return Status::InvalidArgument("ServeOptions: num_workers must be > 0");
+  }
+  if (max_pending_jobs <= 0) {
+    return Status::InvalidArgument(
+        "ServeOptions: max_pending_jobs must be > 0");
+  }
+  if (max_queued_per_tenant <= 0) {
+    return Status::InvalidArgument(
+        "ServeOptions: max_queued_per_tenant must be > 0");
+  }
+  RELM_RETURN_IF_ERROR(optimizer.Validate());
+  RELM_RETURN_IF_ERROR(sim.Validate());
+  return Status::OK();
+}
+
+// ---- job control block -------------------------------------------------
+
+/// Shared between the service, the executing worker, and every handle
+/// copy. The service mutex does NOT protect this; each job has its own.
+struct JobHandle::Shared {
+  uint64_t id = 0;
+  std::string tenant;
+  JobRequest request;
+  std::chrono::steady_clock::time_point submit_time;
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  JobState state = JobState::kQueued;
+  Status error = Status::OK();
+  JobOutcome outcome;
+};
+
+struct JobService::Job {
+  std::shared_ptr<JobHandle::Shared> shared;
+};
+
+uint64_t JobHandle::id() const { return shared_ ? shared_->id : 0; }
+
+const std::string& JobHandle::tenant() const {
+  static const std::string kEmpty;
+  return shared_ ? shared_->tenant : kEmpty;
+}
+
+JobState JobHandle::state() const {
+  if (!shared_) return JobState::kFailed;
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->state;
+}
+
+Result<JobOutcome> JobHandle::Await() {
+  if (!shared_) {
+    return Status::InvalidArgument("Await on an invalid (empty) JobHandle");
+  }
+  std::unique_lock<std::mutex> lock(shared_->mu);
+  shared_->done_cv.wait(lock, [this] {
+    return shared_->state == JobState::kCompleted ||
+           shared_->state == JobState::kFailed;
+  });
+  if (shared_->state == JobState::kFailed) return shared_->error;
+  return shared_->outcome;
+}
+
+// ---- service lifecycle -------------------------------------------------
+
+JobService::JobService(ClusterConfig cc, ServeOptions options)
+    : options_(std::move(options)),
+      session_(cc, SessionOptions{/*enable_plan_cache=*/true,
+                                  options_.plan_cache}),
+      startup_status_(options_.Validate()) {
+  if (options_.max_inflight_container_bytes <= 0) {
+    options_.max_inflight_container_bytes = cc.total_memory();
+  }
+  if (!startup_status_.ok()) return;
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+JobService::~JobService() { Shutdown(); }
+
+void JobService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Second call: workers are already winding down; fall through to
+      // join whatever is left.
+    }
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  capacity_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+void JobService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return queued_ == 0 && running_ == 0; });
+}
+
+JobService::Stats JobService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out = stats_;
+  out.queued = queued_;
+  out.running = running_;
+  out.inflight_container_bytes = inflight_container_bytes_;
+  return out;
+}
+
+// ---- submission / admission -------------------------------------------
+
+Result<JobHandle> JobService::Submit(const std::string& tenant,
+                                     JobRequest request) {
+  if (!startup_status_.ok()) return startup_status_;
+  const std::string name = tenant.empty() ? "default" : tenant;
+
+  auto shared = std::make_shared<JobHandle::Shared>();
+  shared->tenant = name;
+  shared->request = std::move(request);
+  shared->submit_time = std::chrono::steady_clock::now();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return Status::ResourceError("JobService is shutting down");
+    }
+    // Admission control, stage 1: queue depth.
+    if (queued_ + running_ >= options_.max_pending_jobs) {
+      stats_.rejected++;
+      RELM_COUNTER_INC("serve.jobs_rejected");
+      return Status::ResourceError(
+          "admission control: service at capacity (" +
+          std::to_string(queued_ + running_) + " jobs pending)");
+    }
+    auto& tenant_queue = queues_[name];
+    if (static_cast<int>(tenant_queue.size()) >=
+        options_.max_queued_per_tenant) {
+      stats_.rejected++;
+      RELM_COUNTER_INC("serve.jobs_rejected");
+      return Status::ResourceError("admission control: tenant \"" + name +
+                                   "\" queue quota exceeded");
+    }
+    shared->id = next_job_id_++;
+    auto job = std::make_shared<Job>();
+    job->shared = shared;
+    if (tenant_queue.empty()) tenant_rr_.push_back(name);
+    tenant_queue.push_back(std::move(job));
+    queued_++;
+    stats_.submitted++;
+    RELM_COUNTER_INC("serve.jobs_submitted");
+    RELM_GAUGE_SET("serve.queue_depth", static_cast<double>(queued_));
+  }
+  work_cv_.notify_one();
+  return JobHandle(std::move(shared));
+}
+
+// ---- worker pool -------------------------------------------------------
+
+std::shared_ptr<JobService::Job> JobService::NextJobLocked() {
+  if (tenant_rr_.empty()) return nullptr;
+  // Round-robin: serve the head of the front tenant's FIFO, then move
+  // that tenant to the back if it still has queued work. A tenant with
+  // one job interleaves with a tenant that queued fifty.
+  const std::string tenant = tenant_rr_.front();
+  tenant_rr_.pop_front();
+  auto it = queues_.find(tenant);
+  std::shared_ptr<Job> job = std::move(it->second.front());
+  it->second.pop_front();
+  if (!it->second.empty()) {
+    tenant_rr_.push_back(tenant);
+  } else {
+    queues_.erase(it);
+  }
+  queued_--;
+  running_++;
+  RELM_GAUGE_SET("serve.queue_depth", static_cast<double>(queued_));
+  return job;
+}
+
+void JobService::WorkerLoop() {
+  while (true) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [this] { return stopping_ || !tenant_rr_.empty(); });
+      // Drain remaining queued jobs even when stopping: accepted jobs
+      // always resolve, so no Await() ever hangs.
+      job = NextJobLocked();
+      if (job == nullptr) return;  // stopping and nothing queued
+    }
+    RunJob(job);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      running_--;
+      if (queued_ == 0 && running_ == 0) drain_cv_.notify_all();
+    }
+  }
+}
+
+void JobService::AcquireCapacity(int64_t container_bytes) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // A request larger than the cap can never fit alongside others; admit
+  // it when it has the cluster to itself so it cannot deadlock.
+  capacity_cv_.wait(lock, [this, container_bytes] {
+    if (inflight_container_bytes_ == 0) return true;
+    return inflight_container_bytes_ + container_bytes <=
+           options_.max_inflight_container_bytes;
+  });
+  inflight_container_bytes_ += container_bytes;
+  RELM_GAUGE_SET("serve.inflight_container_bytes",
+                 static_cast<double>(inflight_container_bytes_));
+}
+
+void JobService::ReleaseCapacity(int64_t container_bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_container_bytes_ -= container_bytes;
+    RELM_GAUGE_SET("serve.inflight_container_bytes",
+                   static_cast<double>(inflight_container_bytes_));
+  }
+  capacity_cv_.notify_all();
+}
+
+// ---- program instance pool ---------------------------------------------
+
+namespace {
+/// Total instances parked across all signatures (stale signatures after
+/// a metadata change stay until evicted by this cap).
+constexpr size_t kMaxPooledInstances = 64;
+}  // namespace
+
+Result<std::unique_ptr<MlProgram>> JobService::AcquireProgram(
+    uint64_t script_sig, const JobRequest& request) {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    auto it = program_pool_.find(script_sig);
+    if (it != program_pool_.end() && !it->second.empty()) {
+      std::unique_ptr<MlProgram> program = std::move(it->second.back());
+      it->second.pop_back();
+      pooled_instances_--;
+      RELM_COUNTER_INC("serve.program_pool_hits");
+      return program;
+    }
+  }
+  RELM_COUNTER_INC("serve.program_pool_misses");
+  return session_.CompileSource(request.source, request.args);
+}
+
+void JobService::ReleaseProgram(uint64_t script_sig,
+                                std::unique_ptr<MlProgram> program) {
+  // Only park instances a run cannot have left state on: any discovered
+  // size (dynamic recompilation) shows up in size_overrides, unknowns
+  // make such discoveries possible, and user functions let the
+  // simulator's call-size derivation rebuild the IR.
+  if (program == nullptr || !program->size_overrides().empty() ||
+      program->has_unknowns() || !program->ast().functions.empty()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (pooled_instances_ >= kMaxPooledInstances) return;
+  program_pool_[script_sig].push_back(std::move(program));
+  pooled_instances_++;
+}
+
+// ---- execution ---------------------------------------------------------
+
+void JobService::RunJob(const std::shared_ptr<Job>& job) {
+  JobHandle::Shared& shared = *job->shared;
+  const double wait_seconds = SecondsSince(shared.submit_time);
+  {
+    std::lock_guard<std::mutex> lock(shared.mu);
+    shared.state = JobState::kRunning;
+  }
+  RELM_HISTOGRAM_OBSERVE("serve.job_wait_seconds", wait_seconds);
+  RELM_TRACE_SPAN_ARGS("serve.job", [&] {
+    return "\"tenant\":\"" + shared.tenant +
+           "\",\"job_id\":" + std::to_string(shared.id);
+  });
+
+  const auto run_start = std::chrono::steady_clock::now();
+  JobOutcome outcome;
+  outcome.wait_seconds = wait_seconds;
+  Status status = [&]() -> Status {
+    // Inputs first: concurrent registration is safe (SimulatedHdfs
+    // locks internally) and identical re-registration is idempotent.
+    for (const InputSpec& input : shared.request.inputs) {
+      RELM_RETURN_IF_ERROR(session_.RegisterMatrixMetadata(
+          input.path, input.rows, input.cols, input.sparsity));
+    }
+    const uint64_t script_sig = ComputeScriptSignature(
+        shared.request.source, shared.request.args, &session_.hdfs());
+    RELM_ASSIGN_OR_RETURN(std::unique_ptr<MlProgram> program,
+                          AcquireProgram(script_sig, shared.request));
+    RELM_ASSIGN_OR_RETURN(OptimizeOutcome opt,
+                          session_.Optimize(program.get(), options_.optimizer));
+    outcome.config = opt.config;
+    outcome.opt_stats = std::move(opt.stats);
+    // The optimizer already costed the winning configuration; reuse it
+    // rather than re-deriving the estimate per job.
+    outcome.estimated_cost_seconds = outcome.opt_stats.best_cost;
+    if (options_.simulate) {
+      // Execution-time admission: hold back until the granted CP (AM)
+      // container fits under the inflight-memory cap.
+      const int64_t container_bytes =
+          session_.cluster().ContainerRequestForHeap(outcome.config.cp_heap);
+      AcquireCapacity(container_bytes);
+      Result<SimResult> sim = session_.Simulate(
+          program.get(), outcome.config, options_.sim, shared.request.oracle);
+      ReleaseCapacity(container_bytes);
+      RELM_RETURN_IF_ERROR(sim.status());
+      outcome.sim = std::move(sim).value();
+      outcome.simulated = true;
+    }
+    ReleaseProgram(script_sig, std::move(program));
+    return Status::OK();
+  }();
+  outcome.run_seconds = SecondsSince(run_start);
+  RELM_HISTOGRAM_OBSERVE("serve.job_run_seconds", outcome.run_seconds);
+
+  {
+    std::lock_guard<std::mutex> service_lock(mu_);
+    outcome.completion_index = ++completion_counter_;
+    if (status.ok()) {
+      stats_.completed++;
+    } else {
+      stats_.failed++;
+    }
+  }
+  if (status.ok()) {
+    RELM_COUNTER_INC("serve.jobs_completed");
+  } else {
+    RELM_COUNTER_INC("serve.jobs_failed");
+  }
+  {
+    std::lock_guard<std::mutex> lock(shared.mu);
+    shared.error = std::move(status);
+    shared.outcome = std::move(outcome);
+    shared.state = shared.error.ok() ? JobState::kCompleted : JobState::kFailed;
+  }
+  shared.done_cv.notify_all();
+}
+
+}  // namespace serve
+}  // namespace relm

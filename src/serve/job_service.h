@@ -1,0 +1,267 @@
+#ifndef RELM_SERVE_JOB_SERVICE_H_
+#define RELM_SERVE_JOB_SERVICE_H_
+
+// Concurrent job service over one simulated cluster: accepts DML
+// submissions from many client threads, runs them through a bounded
+// worker pool with per-tenant FIFO fairness, and gates execution with
+// two admission controls — queue depth at submit time and the summed
+// container footprint of granted ResourceConfigs at execution time.
+// Submissions return JobHandle futures carrying status, optimizer
+// stats/trace, and the simulated run. Compilation and what-if costing
+// read through the shared PlanCache, so a service under steady traffic
+// spends its cycles on new programs, not on re-deriving plans it
+// already knows.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/session.h"
+#include "common/status.h"
+#include "core/plan_cache.h"
+#include "core/resource_optimizer.h"
+#include "mrsim/cluster_simulator.h"
+
+namespace relm {
+namespace serve {
+
+/// Configuration of the job service.
+struct ServeOptions {
+  /// Worker threads executing admitted jobs.
+  int num_workers = 4;
+  /// Admission control (queue depth): maximum jobs queued or running
+  /// across all tenants; Submit returns ResourceError beyond this.
+  int max_pending_jobs = 256;
+  /// Per-tenant cap on queued jobs (one tenant cannot monopolize the
+  /// admission window).
+  int max_queued_per_tenant = 64;
+  /// Admission control (memory): cap on the summed AM container
+  /// footprint of concurrently executing jobs. <= 0 selects the
+  /// simulated cluster's total memory.
+  int64_t max_inflight_container_bytes = 0;
+  /// Run the measured cluster simulation for each job. When false, jobs
+  /// stop after optimization + cost estimation (what-if service mode).
+  bool simulate = true;
+  /// Plan/what-if cache shared by all workers (not owned). nullptr
+  /// selects PlanCache::Global().
+  PlanCache* plan_cache = nullptr;
+  /// Optimizer/simulator settings applied to every job.
+  OptimizerOptions optimizer;
+  SimOptions sim;
+
+  /// Rejects nonsensical combinations (non-positive worker count or
+  /// admission limits, invalid nested options) with InvalidArgument.
+  /// Run by the JobService constructor-time Start(); also available to
+  /// callers directly.
+  Status Validate() const;
+
+  // ---- chainable named setters (builder-style construction) ----
+  ServeOptions& WithWorkers(int workers) {
+    num_workers = workers;
+    return *this;
+  }
+  ServeOptions& WithMaxPendingJobs(int jobs) {
+    max_pending_jobs = jobs;
+    return *this;
+  }
+  ServeOptions& WithMaxQueuedPerTenant(int jobs) {
+    max_queued_per_tenant = jobs;
+    return *this;
+  }
+  ServeOptions& WithMaxInflightContainerBytes(int64_t bytes) {
+    max_inflight_container_bytes = bytes;
+    return *this;
+  }
+  ServeOptions& WithSimulation(bool enabled) {
+    simulate = enabled;
+    return *this;
+  }
+  ServeOptions& WithPlanCache(PlanCache* cache) {
+    plan_cache = cache;
+    return *this;
+  }
+  ServeOptions& WithOptimizer(OptimizerOptions opts) {
+    optimizer = std::move(opts);
+    return *this;
+  }
+  ServeOptions& WithSim(SimOptions opts) {
+    sim = std::move(opts);
+    return *this;
+  }
+};
+
+/// Metadata-only input registered with a submission (benchmark scale).
+struct InputSpec {
+  std::string path;
+  int64_t rows = 0;
+  int64_t cols = 0;
+  double sparsity = 1.0;
+};
+
+/// One DML submission.
+struct JobRequest {
+  std::string source;  // DML source text
+  ScriptArgs args;
+  /// Inputs to register in the service's HDFS namespace before
+  /// compiling (idempotent for identical metadata).
+  std::vector<InputSpec> inputs;
+  /// True characteristics of data-dependent results for the simulator.
+  SymbolMap oracle;
+};
+
+enum class JobState {
+  kQueued = 0,
+  kRunning,
+  kCompleted,
+  kFailed,
+};
+
+const char* JobStateName(JobState state);
+
+/// Everything a finished job carries: the granted configuration, the
+/// optimizer's statistics and decision trace, the cost estimate, and
+/// (when simulation is on) the measured run.
+struct JobOutcome {
+  ResourceConfig config;
+  OptimizerStats opt_stats;
+  double estimated_cost_seconds = 0.0;
+  bool simulated = false;
+  SimResult sim;
+  /// Wall-clock queue wait and service time inside the pool.
+  double wait_seconds = 0.0;
+  double run_seconds = 0.0;
+  /// Position in the service-wide completion order (1-based) — lets
+  /// fairness tests observe interleaving without extra hooks.
+  int64_t completion_index = 0;
+};
+
+/// Future onto one submitted job. Cheap to copy; all copies observe the
+/// same job.
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  bool valid() const { return shared_ != nullptr; }
+  uint64_t id() const;
+  const std::string& tenant() const;
+  JobState state() const;
+
+  /// Blocks until the job finishes; returns its outcome, or the error
+  /// that failed it. Awaiting an invalid handle is an error, not UB.
+  Result<JobOutcome> Await();
+
+ private:
+  friend class JobService;
+  struct Shared;
+  explicit JobHandle(std::shared_ptr<Shared> shared)
+      : shared_(std::move(shared)) {}
+  std::shared_ptr<Shared> shared_;
+};
+
+/// The concurrent job service. Owns the worker pool and a Session onto
+/// the simulated cluster; the Session's HDFS namespace and plan cache
+/// are shared by all workers and with any other session handed out via
+/// session().
+class JobService {
+ public:
+  explicit JobService(ClusterConfig cc = ClusterConfig::PaperCluster(),
+                      ServeOptions options = ServeOptions());
+  ~JobService();
+
+  JobService(const JobService&) = delete;
+  JobService& operator=(const JobService&) = delete;
+
+  /// Non-OK when the options were invalid; every Submit fails fast with
+  /// the same status in that case.
+  const Status& startup_status() const { return startup_status_; }
+
+  /// The session backing the service (shared cluster + HDFS + cache).
+  Session& session() { return session_; }
+  const ServeOptions& options() const { return options_; }
+
+  /// Submits a job for `tenant` ("" maps to "default"). Returns the
+  /// handle, or ResourceError when admission control rejects the
+  /// submission (queue full / tenant quota exceeded), or the startup
+  /// error when the service never started.
+  Result<JobHandle> Submit(const std::string& tenant, JobRequest request);
+
+  /// Blocks until every accepted job has finished.
+  void Drain();
+
+  /// Stops accepting submissions, drains queued jobs, joins workers.
+  /// Idempotent; the destructor calls it.
+  void Shutdown();
+
+  /// Service-wide counters (also exported via obs metrics).
+  struct Stats {
+    int64_t submitted = 0;
+    int64_t completed = 0;
+    int64_t failed = 0;
+    int64_t rejected = 0;
+    int queued = 0;
+    int running = 0;
+    int64_t inflight_container_bytes = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Job;
+
+  void WorkerLoop();
+  /// Picks the next job round-robin across tenant FIFOs. Returns null
+  /// when stopping and empty. Called with mu_ held... (see .cc)
+  std::shared_ptr<Job> NextJobLocked();
+  void RunJob(const std::shared_ptr<Job>& job);
+  /// Program instance pool: a finished job's compiled program is reused
+  /// by the next job with the same script signature when the run left
+  /// no trace on it (fully size-known, function-free programs — the
+  /// simulator never rebuilds those, and exec-type annotations are
+  /// deterministically overwritten by every plan compile). Ineligible
+  /// programs are simply dropped and the next job compiles/clones.
+  Result<std::unique_ptr<MlProgram>> AcquireProgram(uint64_t script_sig,
+                                                    const JobRequest& request);
+  void ReleaseProgram(uint64_t script_sig,
+                      std::unique_ptr<MlProgram> program);
+  /// Blocks until `container_bytes` fits under the inflight cap, then
+  /// claims it (jobs larger than the cap run exclusively).
+  void AcquireCapacity(int64_t container_bytes);
+  void ReleaseCapacity(int64_t container_bytes);
+
+  ServeOptions options_;
+  Session session_;
+  Status startup_status_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: queue non-empty / stop
+  std::condition_variable drain_cv_;  // Drain(): all jobs finished
+  std::condition_variable capacity_cv_;
+  bool stopping_ = false;
+  uint64_t next_job_id_ = 1;
+  int64_t completion_counter_ = 0;
+  // Per-tenant FIFO queues plus the round-robin order of tenants that
+  // currently have queued work.
+  std::map<std::string, std::deque<std::shared_ptr<Job>>> queues_;
+  std::deque<std::string> tenant_rr_;
+  int queued_ = 0;
+  int running_ = 0;
+  int64_t inflight_container_bytes_ = 0;
+  Stats stats_;
+
+  std::mutex pool_mu_;
+  std::map<uint64_t, std::vector<std::unique_ptr<MlProgram>>> program_pool_;
+  size_t pooled_instances_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace serve
+}  // namespace relm
+
+#endif  // RELM_SERVE_JOB_SERVICE_H_

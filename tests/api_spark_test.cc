@@ -72,6 +72,76 @@ TEST_F(RelmSystemTest, StaticBaselinesMatchPaper) {
   EXPECT_EQ(baselines[3].config.default_mr_heap, GigaBytes(4.4));
 }
 
+// ---- Session API (the facade above is a deprecated shim over it) ----
+
+TEST(SessionApiTest, OptimizeReturnsOutcomeMatchingFacade) {
+  // The deprecated facade and the Session API must agree bit-for-bit:
+  // RelmSystem is now a thin shim over an uncached Session.
+  RelmSystem legacy;
+  legacy.RegisterMatrixMetadata("/data/X", 1000000, 1000);
+  legacy.RegisterMatrixMetadata("/data/y", 1000000, 1);
+  ScriptArgs args{{"X", "/data/X"}, {"Y", "/data/y"}, {"B", "/out/B"}};
+  auto legacy_prog = legacy.CompileFile(ScriptPath("linreg_cg.dml"), args);
+  ASSERT_TRUE(legacy_prog.ok());
+  OptimizerStats legacy_stats;
+  auto legacy_config =
+      legacy.OptimizeResources(legacy_prog->get(), &legacy_stats);
+  ASSERT_TRUE(legacy_config.ok());
+
+  Session session;
+  ASSERT_TRUE(
+      session.RegisterMatrixMetadata("/data/X", 1000000, 1000).ok());
+  ASSERT_TRUE(session.RegisterMatrixMetadata("/data/y", 1000000, 1).ok());
+  auto prog = session.CompileFile(ScriptPath("linreg_cg.dml"), args);
+  ASSERT_TRUE(prog.ok());
+  auto outcome = session.Optimize(prog->get());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->config.cp_heap, legacy_config->cp_heap);
+  EXPECT_EQ(outcome->config.default_mr_heap,
+            legacy_config->default_mr_heap);
+  EXPECT_DOUBLE_EQ(outcome->stats.best_cost, legacy_stats.best_cost);
+  EXPECT_EQ(outcome->stats.cp_grid_points, legacy_stats.cp_grid_points);
+  EXPECT_EQ(outcome->stats.cost_invocations,
+            legacy_stats.cost_invocations);
+}
+
+TEST(SessionApiTest, RegisterMatrixMetadataValidates) {
+  Session session;
+  EXPECT_FALSE(session.RegisterMatrixMetadata("", 10, 10).ok());
+  EXPECT_FALSE(session.RegisterMatrixMetadata("/data/X", 0, 10).ok());
+  EXPECT_FALSE(session.RegisterMatrixMetadata("/data/X", 10, -1).ok());
+  EXPECT_FALSE(
+      session.RegisterMatrixMetadata("/data/X", 10, 10, 1.5).ok());
+  EXPECT_TRUE(session.RegisterMatrixMetadata("/data/X", 10, 10, 0.5).ok());
+}
+
+TEST(SessionApiTest, RealExecutionThroughSession) {
+  Session session;
+  ASSERT_TRUE(
+      session.RegisterMatrix("/m/A", MatrixBlock::Constant(4, 4, 2.0))
+          .ok());
+  auto prog = session.CompileSource(
+      "A = read(\"/m/A\")\nprint(\"sum=\" + sum(A))", {});
+  ASSERT_TRUE(prog.ok());
+  auto run = session.ExecuteReal(prog->get());
+  ASSERT_TRUE(run.ok());
+  ASSERT_EQ(run->printed.size(), 1u);
+  EXPECT_EQ(run->printed[0], "sum=32");
+}
+
+TEST(SessionApiTest, FacadeSessionSharesState) {
+  // RelmSystem::session() exposes the underlying Session; metadata
+  // registered through either side is visible to the other.
+  RelmSystem legacy;
+  legacy.RegisterMatrixMetadata("/data/X", 100, 10);
+  EXPECT_TRUE(legacy.session().hdfs().Exists("/data/X"));
+  ASSERT_TRUE(
+      legacy.session().RegisterMatrixMetadata("/data/y", 100, 1).ok());
+  ScriptArgs args{{"X", "/data/X"}, {"Y", "/data/y"}, {"B", "/out/B"}};
+  EXPECT_TRUE(
+      legacy.CompileFile(ScriptPath("linreg_ds.dml"), args).ok());
+}
+
 // ---- Spark model (Appendix D) ----
 
 TEST(SparkModelTest, CacheSweetSpot) {

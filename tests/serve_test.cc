@@ -1,0 +1,421 @@
+// Tests for the serving layer: PlanCache (compiled-program + what-if
+// caching, LRU eviction, signature invalidation), the Session API, and
+// the concurrent JobService (determinism under N clients, per-tenant
+// fairness, admission control, cache hit rates). The stress test at the
+// bottom doubles as the TSan target wired into scripts/check.sh.
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/session.h"
+#include "core/plan_cache.h"
+#include "serve/job_service.h"
+
+namespace relm {
+namespace {
+
+std::string ScriptPath(const std::string& name) {
+  return std::string(RELM_SCRIPTS_DIR) + "/" + name;
+}
+
+std::string ReadScript(const std::string& name) {
+  std::ifstream in(ScriptPath(name));
+  EXPECT_TRUE(in.good()) << "missing script " << name;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+ScriptArgs LinregArgs() {
+  return ScriptArgs{{"X", "/data/X"}, {"Y", "/data/y"}, {"B", "/out/B"}};
+}
+
+// ---- PlanCache ---------------------------------------------------------
+
+class PlanCacheTest : public ::testing::Test {
+ protected:
+  PlanCacheTest() : hdfs_(128 * kMB) {
+    hdfs_.PutMetadata("/data/X", MatrixCharacteristics::Dense(1000000, 100));
+    hdfs_.PutMetadata("/data/y", MatrixCharacteristics::Dense(1000000, 1));
+    source_ = ReadScript("linreg_ds.dml");
+  }
+  SimulatedHdfs hdfs_;
+  std::string source_;
+};
+
+TEST_F(PlanCacheTest, RepeatedCompileHitsCache) {
+  PlanCache cache;
+  auto first = cache.GetOrCompile(source_, LinregArgs(), &hdfs_);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = cache.GetOrCompile(source_, LinregArgs(), &hdfs_);
+  ASSERT_TRUE(second.ok());
+  PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.program_misses, 1);
+  EXPECT_EQ(stats.program_hits, 1);
+  EXPECT_EQ(cache.NumPrograms(), 1u);
+  // The copies are distinct objects with identical structure.
+  EXPECT_NE(first->get(), second->get());
+  EXPECT_EQ((*first)->total_blocks(), (*second)->total_blocks());
+}
+
+TEST_F(PlanCacheTest, MetadataChangeInvalidatesProgramKey) {
+  PlanCache cache;
+  ASSERT_TRUE(cache.GetOrCompile(source_, LinregArgs(), &hdfs_).ok());
+  // Growing an input changes the namespace fingerprint, so the same
+  // (source, args) pair must recompile against the new sizes.
+  hdfs_.PutMetadata("/data/X", MatrixCharacteristics::Dense(2000000, 100));
+  ASSERT_TRUE(cache.GetOrCompile(source_, LinregArgs(), &hdfs_).ok());
+  EXPECT_EQ(cache.stats().program_misses, 2);
+  EXPECT_EQ(cache.stats().program_hits, 0);
+}
+
+TEST_F(PlanCacheTest, ProgramLruEviction) {
+  PlanCache::Options options;
+  options.max_programs = 2;
+  PlanCache cache(options);
+  ScriptArgs args = LinregArgs();
+  // Three distinct scripts through a 2-entry cache.
+  ASSERT_TRUE(cache.GetOrCompile(source_, args, &hdfs_).ok());
+  ASSERT_TRUE(cache.GetOrCompile(ReadScript("linreg_cg.dml"), args, &hdfs_)
+                  .ok());
+  ASSERT_TRUE(cache
+                  .GetOrCompile(ReadScript("l2svm.dml"),
+                                ScriptArgs{{"X", "/data/X"},
+                                           {"Y", "/data/y"},
+                                           {"model", "/out/w"}},
+                                &hdfs_)
+                  .ok());
+  EXPECT_EQ(cache.NumPrograms(), 2u);
+  EXPECT_GE(cache.stats().evictions, 1);
+  // The evicted (least recently used) script recompiles.
+  ASSERT_TRUE(cache.GetOrCompile(source_, args, &hdfs_).ok());
+  EXPECT_EQ(cache.stats().program_hits, 0);
+}
+
+TEST_F(PlanCacheTest, WhatIfRoundTripAndEviction) {
+  PlanCache::Options options;
+  options.max_whatif_entries = 2;
+  PlanCache cache(options);
+  WhatIfKey key{1, 2, 512 * kMB, 1};
+  EXPECT_FALSE(cache.LookupWhatIf(key).has_value());
+  PlanCache::CachedCandidate candidate;
+  candidate.cost = 42.0;
+  candidate.config = ResourceConfig(512 * kMB, 512 * kMB);
+  cache.InsertWhatIf(key, candidate);
+  auto found = cache.LookupWhatIf(key);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_DOUBLE_EQ(found->cost, 42.0);
+  // Two more keys through a 2-entry cache evict the oldest.
+  cache.InsertWhatIf(WhatIfKey{1, 2, 1024 * kMB, 1}, candidate);
+  cache.InsertWhatIf(WhatIfKey{1, 2, 2048 * kMB, 1}, candidate);
+  EXPECT_EQ(cache.NumWhatIfEntries(), 2u);
+  EXPECT_FALSE(cache.LookupWhatIf(key).has_value());
+  PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.whatif_hits, 1);
+  EXPECT_GE(stats.evictions, 1);
+}
+
+// ---- optimizer read-through -------------------------------------------
+
+TEST(OptimizerCacheTest, CachedRunMatchesUncachedAndSkipsRecompiles) {
+  Session session(ClusterConfig::PaperCluster(),
+                  SessionOptions{/*enable_plan_cache=*/false, nullptr});
+  ASSERT_TRUE(
+      session.RegisterMatrixMetadata("/data/X", 1000000, 1000).ok());
+  ASSERT_TRUE(session.RegisterMatrixMetadata("/data/y", 1000000, 1).ok());
+  auto prog =
+      session.CompileFile(ScriptPath("linreg_cg.dml"), LinregArgs());
+  ASSERT_TRUE(prog.ok());
+
+  auto uncached = session.Optimize(prog->get());
+  ASSERT_TRUE(uncached.ok());
+
+  PlanCache cache;
+  OptimizerOptions cached_options;
+  cached_options.WithPlanCache(&cache);
+  auto cold = session.Optimize(prog->get(), cached_options);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold->config.cp_heap, uncached->config.cp_heap);
+  EXPECT_EQ(cold->config.default_mr_heap, uncached->config.default_mr_heap);
+
+  auto warm = session.Optimize(prog->get(), cached_options);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->config.cp_heap, uncached->config.cp_heap);
+  EXPECT_EQ(warm->config.default_mr_heap, uncached->config.default_mr_heap);
+  EXPECT_DOUBLE_EQ(warm->stats.best_cost, uncached->stats.best_cost);
+  // The warm enumeration answers every grid point from the cache.
+  EXPECT_EQ(warm->stats.block_recompiles, 0);
+  EXPECT_GT(cache.stats().whatif_hits, 0);
+}
+
+TEST(OptimizerCacheTest, ValidateRejectsNonsense) {
+  Session session;
+  ASSERT_TRUE(
+      session.RegisterMatrixMetadata("/data/X", 1000000, 1000).ok());
+  ASSERT_TRUE(session.RegisterMatrixMetadata("/data/y", 1000000, 1).ok());
+  auto prog =
+      session.CompileFile(ScriptPath("linreg_ds.dml"), LinregArgs());
+  ASSERT_TRUE(prog.ok());
+  EXPECT_FALSE(
+      session.Optimize(prog->get(), OptimizerOptions().WithGridPoints(0))
+          .ok());
+  EXPECT_FALSE(
+      session.Optimize(prog->get(), OptimizerOptions().WithThreads(-1))
+          .ok());
+  EXPECT_FALSE(session
+                   .Optimize(prog->get(),
+                             OptimizerOptions().WithExpectedFailureRate(-1))
+                   .ok());
+}
+
+// ---- Session value semantics ------------------------------------------
+
+TEST(SessionTest, CopiesShareClusterStateAndCache) {
+  Session a;
+  Session b = a;  // cheap copy onto the same state
+  ASSERT_TRUE(b.RegisterMatrixMetadata("/data/X", 1000000, 100).ok());
+  ASSERT_TRUE(b.RegisterMatrixMetadata("/data/y", 1000000, 1).ok());
+  // The original observes metadata registered through the copy.
+  EXPECT_TRUE(a.hdfs().Exists("/data/X"));
+  EXPECT_EQ(a.plan_cache(), b.plan_cache());
+  auto prog = a.CompileFile(ScriptPath("linreg_ds.dml"), LinregArgs());
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+}
+
+TEST(SessionTest, NullProgramIsInvalidArgument) {
+  Session session;
+  EXPECT_FALSE(session.Optimize(nullptr).ok());
+  EXPECT_FALSE(session.EstimateCost(nullptr, ResourceConfig()).ok());
+  EXPECT_FALSE(session.Simulate(nullptr, ResourceConfig()).ok());
+}
+
+// ---- JobService --------------------------------------------------------
+
+serve::JobRequest LinregRequest(const std::string& source) {
+  serve::JobRequest request;
+  request.source = source;
+  request.args = LinregArgs();
+  request.inputs = {{"/data/X", 1000000, 100, 1.0},
+                    {"/data/y", 1000000, 1, 1.0}};
+  return request;
+}
+
+TEST(JobServiceTest, InvalidOptionsFailFast) {
+  serve::JobService service(ClusterConfig::PaperCluster(),
+                            serve::ServeOptions().WithWorkers(0));
+  EXPECT_FALSE(service.startup_status().ok());
+  EXPECT_FALSE(service.Submit("t", serve::JobRequest()).ok());
+}
+
+TEST(JobServiceTest, AwaitInvalidHandleIsError) {
+  serve::JobHandle handle;
+  EXPECT_FALSE(handle.valid());
+  EXPECT_FALSE(handle.Await().ok());
+}
+
+TEST(JobServiceTest, FailedJobReportsCompileError) {
+  PlanCache cache;
+  serve::JobService service(
+      ClusterConfig::PaperCluster(),
+      serve::ServeOptions().WithWorkers(1).WithPlanCache(&cache));
+  serve::JobRequest request;
+  request.source = "this is not DML (";
+  auto handle = service.Submit("t", std::move(request));
+  ASSERT_TRUE(handle.ok());
+  auto outcome = handle->Await();
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(handle->state(), serve::JobState::kFailed);
+  EXPECT_EQ(service.stats().failed, 1);
+}
+
+TEST(JobServiceTest, ConcurrentClientsDeterministicResults) {
+  const std::string source = ReadScript("linreg_ds.dml");
+
+  // Serial reference: the same job through an uncached Session.
+  Session reference(ClusterConfig::PaperCluster(),
+                    SessionOptions{/*enable_plan_cache=*/false, nullptr});
+  ASSERT_TRUE(reference.RegisterMatrixMetadata("/data/X", 1000000, 100).ok());
+  ASSERT_TRUE(reference.RegisterMatrixMetadata("/data/y", 1000000, 1).ok());
+  auto ref_prog = reference.CompileSource(source, LinregArgs());
+  ASSERT_TRUE(ref_prog.ok());
+  auto ref_opt = reference.Optimize(ref_prog->get());
+  ASSERT_TRUE(ref_opt.ok());
+  auto ref_sim = reference.Simulate(ref_prog->get(), ref_opt->config);
+  ASSERT_TRUE(ref_sim.ok());
+
+  PlanCache cache;
+  serve::JobService service(
+      ClusterConfig::PaperCluster(),
+      serve::ServeOptions().WithWorkers(4).WithPlanCache(&cache));
+  constexpr int kClients = 4;
+  constexpr int kJobsPerClient = 4;
+  std::vector<std::thread> clients;
+  std::vector<std::vector<serve::JobHandle>> handles(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int j = 0; j < kJobsPerClient; ++j) {
+        auto handle =
+            service.Submit("client" + std::to_string(c),
+                           LinregRequest(source));
+        ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+        handles[c].push_back(std::move(*handle));
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  for (auto& client_handles : handles) {
+    for (serve::JobHandle& handle : client_handles) {
+      auto outcome = handle.Await();
+      ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+      EXPECT_EQ(handle.state(), serve::JobState::kCompleted);
+      // Every concurrent submission lands on the serial result exactly.
+      EXPECT_EQ(outcome->config.cp_heap, ref_opt->config.cp_heap);
+      EXPECT_EQ(outcome->config.default_mr_heap, ref_opt->config.default_mr_heap);
+      ASSERT_TRUE(outcome->simulated);
+      EXPECT_DOUBLE_EQ(outcome->sim.elapsed_seconds,
+                       ref_sim->elapsed_seconds);
+      EXPECT_DOUBLE_EQ(outcome->estimated_cost_seconds,
+                       ref_opt->stats.best_cost);
+    }
+  }
+  EXPECT_EQ(service.stats().completed, kClients * kJobsPerClient);
+  // Identical submissions must be served mostly from the cache.
+  PlanCache::Stats cs = cache.stats();
+  EXPECT_GT(cs.whatif_hits, 0);
+  EXPECT_GE(cs.WhatIfHitRate(), 0.5);
+}
+
+TEST(JobServiceTest, PerTenantFairnessInterleavesHeavyTenant) {
+  const std::string source = ReadScript("linreg_ds.dml");
+  PlanCache cache;
+  serve::JobService service(
+      ClusterConfig::PaperCluster(),
+      serve::ServeOptions().WithWorkers(1).WithPlanCache(&cache));
+  // Tenant A floods 8 jobs, then tenant B submits 2. With one worker and
+  // FIFO scheduling B would finish last (indexes 9, 10); round-robin
+  // interleaves B long before A's backlog drains.
+  std::vector<serve::JobHandle> a_handles;
+  std::vector<serve::JobHandle> b_handles;
+  for (int i = 0; i < 8; ++i) {
+    auto handle = service.Submit("tenant-a", LinregRequest(source));
+    ASSERT_TRUE(handle.ok());
+    a_handles.push_back(std::move(*handle));
+  }
+  for (int i = 0; i < 2; ++i) {
+    auto handle = service.Submit("tenant-b", LinregRequest(source));
+    ASSERT_TRUE(handle.ok());
+    b_handles.push_back(std::move(*handle));
+  }
+  service.Drain();
+  int64_t b_worst = 0;
+  for (serve::JobHandle& handle : b_handles) {
+    auto outcome = handle.Await();
+    ASSERT_TRUE(outcome.ok());
+    b_worst = std::max(b_worst, outcome->completion_index);
+  }
+  // At most one A job can complete between consecutive B completions
+  // (plus whatever was already running at submit time).
+  EXPECT_LE(b_worst, 6) << "tenant B was starved behind tenant A's backlog";
+}
+
+TEST(JobServiceTest, AdmissionControlRejectsBeyondQueueDepth) {
+  const std::string source = ReadScript("linreg_ds.dml");
+  PlanCache cache;
+  serve::JobService service(ClusterConfig::PaperCluster(),
+                            serve::ServeOptions()
+                                .WithWorkers(1)
+                                .WithMaxPendingJobs(2)
+                                .WithPlanCache(&cache));
+  std::vector<serve::JobHandle> accepted;
+  int rejected = 0;
+  for (int i = 0; i < 16; ++i) {
+    auto handle = service.Submit("t", LinregRequest(source));
+    if (handle.ok()) {
+      accepted.push_back(std::move(*handle));
+    } else {
+      rejected++;
+    }
+  }
+  EXPECT_GT(rejected, 0);
+  EXPECT_EQ(service.stats().rejected, rejected);
+  for (serve::JobHandle& handle : accepted) {
+    EXPECT_TRUE(handle.Await().ok());
+  }
+}
+
+TEST(JobServiceTest, PerTenantQuotaIsEnforced) {
+  const std::string source = ReadScript("linreg_ds.dml");
+  PlanCache cache;
+  serve::JobService service(ClusterConfig::PaperCluster(),
+                            serve::ServeOptions()
+                                .WithWorkers(1)
+                                .WithMaxQueuedPerTenant(1)
+                                .WithPlanCache(&cache));
+  int rejected = 0;
+  std::vector<serve::JobHandle> accepted;
+  for (int i = 0; i < 12; ++i) {
+    auto handle = service.Submit("greedy", LinregRequest(source));
+    if (handle.ok()) {
+      accepted.push_back(std::move(*handle));
+    } else {
+      rejected++;
+    }
+  }
+  EXPECT_GT(rejected, 0);
+  for (serve::JobHandle& handle : accepted) {
+    EXPECT_TRUE(handle.Await().ok());
+  }
+}
+
+// Stress: many clients, mixed workloads, concurrent metadata
+// registration. Run under TSan by scripts/check.sh stage 4.
+TEST(JobServiceTest, StressMixedWorkloadsManyClients) {
+  const std::string linreg_ds = ReadScript("linreg_ds.dml");
+  const std::string linreg_cg = ReadScript("linreg_cg.dml");
+  PlanCache cache;
+  serve::JobService service(
+      ClusterConfig::PaperCluster(),
+      serve::ServeOptions().WithWorkers(4).WithPlanCache(&cache));
+  constexpr int kClients = 8;
+  constexpr int kJobsPerClient = 3;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int j = 0; j < kJobsPerClient; ++j) {
+        serve::JobRequest request;
+        bool ds = (c + j) % 2 == 0;
+        request.source = ds ? linreg_ds : linreg_cg;
+        // Per-client input paths: exercises concurrent
+        // RegisterMatrixMetadata on a shared namespace.
+        std::string base = "/data/c" + std::to_string(c % 4);
+        request.args = ScriptArgs{
+            {"X", base + "/X"}, {"Y", base + "/y"}, {"B", "/out/B"}};
+        request.inputs = {{base + "/X", 1000000, 100, 1.0},
+                          {base + "/y", 1000000, 1, 1.0}};
+        auto handle = service.Submit("client" + std::to_string(c),
+                                     std::move(request));
+        if (!handle.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        if (!handle->Await().ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  service.Drain();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(service.stats().completed, kClients * kJobsPerClient);
+  EXPECT_EQ(service.stats().failed, 0);
+}
+
+}  // namespace
+}  // namespace relm

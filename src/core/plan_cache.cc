@@ -1,5 +1,7 @@
 #include "core/plan_cache.h"
 
+#include <future>
+
 #include "core/resource_optimizer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -40,6 +42,12 @@ uint64_t ComputeScriptSignature(const std::string& source,
     HashString(&h, key);
     HashString(&h, value);
   }
+  // The namespace *instance* is part of the key, not just its metadata:
+  // instance ids are never reused, so a destroyed session's entries
+  // become unreachable instead of resolving — with a dangling hdfs
+  // pointer — for a later session with identical metadata.
+  HashInt(&h, hdfs != nullptr ? static_cast<int64_t>(hdfs->instance_id())
+                              : 0);
   HashInt(&h, hdfs != nullptr
                   ? static_cast<int64_t>(hdfs->MetadataFingerprint())
                   : 0);
@@ -103,42 +111,95 @@ PlanCache& PlanCache::Global() {
   return *cache;
 }
 
+/// One in-progress compile. The leader fills status/master, then
+/// fulfils the promise; followers wait on the shared future (whose
+/// release/acquire ordering publishes the fields) and clone the master
+/// instead of compiling again.
+struct PlanCache::InFlight {
+  InFlight() : done(promise.get_future().share()) {}
+  std::promise<void> promise;
+  std::shared_future<void> done;
+  Status status = Status::OK();
+  std::shared_ptr<MlProgram> master;
+};
+
 Result<std::unique_ptr<MlProgram>> PlanCache::GetOrCompile(
     const std::string& source, const ScriptArgs& args,
     const SimulatedHdfs* hdfs) {
   uint64_t sig = ComputeScriptSignature(source, args, hdfs);
+  std::shared_ptr<MlProgram> master;
+  std::shared_ptr<InFlight> flight;
+  bool leader = false;
   {
-    std::shared_ptr<MlProgram> master;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      auto it = programs_.find(sig);
-      if (it != programs_.end()) {
-        stats_.program_hits++;
-        RELM_COUNTER_INC("plan_cache.program_hits");
-        program_lru_.splice(program_lru_.begin(), program_lru_,
-                            it->second.lru_it);
-        master = it->second.master;  // pins the entry against eviction
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = programs_.find(sig);
+    if (it != programs_.end()) {
+      stats_.program_hits++;
+      RELM_COUNTER_INC("plan_cache.program_hits");
+      program_lru_.splice(program_lru_.begin(), program_lru_,
+                          it->second.lru_it);
+      master = it->second.master;  // pins the entry against eviction
+    } else {
+      auto in = inflight_.find(sig);
+      if (in != inflight_.end()) {
+        flight = in->second;
+      } else {
+        leader = true;
+        flight = std::make_shared<InFlight>();
+        inflight_[sig] = flight;
+        stats_.program_misses++;
+        RELM_COUNTER_INC("plan_cache.program_misses");
       }
     }
-    // Clone outside the lock: cloning is a deterministic recompile, and
-    // holding mu_ across it would serialize concurrent submissions.
-    if (master != nullptr) return master->Clone();
+  }
+  // Clone outside the lock: cloning is a deterministic recompile, and
+  // holding mu_ across it would serialize concurrent submissions.
+  if (master != nullptr) return master->Clone();
+
+  if (!leader) {
+    // Coalesced miss: another thread is compiling this exact key; wait
+    // for its master and count as a hit (exactly one miss per cold key).
+    flight->done.wait();
+    if (!flight->status.ok()) return flight->status;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.program_hits++;
+    }
+    RELM_COUNTER_INC("plan_cache.program_hits");
+    return flight->master->Clone();
+  }
+
+  // Leader: compile once (and clone the caller's private copy) outside
+  // the lock, then publish to both the cache and any waiting followers.
+  Status failure = Status::OK();
+  std::unique_ptr<MlProgram> copy;
+  {
+    RELM_TRACE_SPAN("plan_cache.compile_miss");
+    Result<std::unique_ptr<MlProgram>> compiled =
+        MlProgram::Compile(source, args, hdfs);
+    if (!compiled.ok()) {
+      failure = compiled.status();
+    } else {
+      flight->master = std::shared_ptr<MlProgram>(std::move(*compiled));
+      Result<std::unique_ptr<MlProgram>> cloned = flight->master->Clone();
+      if (!cloned.ok()) {
+        failure = cloned.status();
+        flight->master = nullptr;
+      } else {
+        copy = std::move(*cloned);
+      }
+    }
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    stats_.program_misses++;
-  }
-  RELM_COUNTER_INC("plan_cache.program_misses");
-  RELM_TRACE_SPAN("plan_cache.compile_miss");
-  RELM_ASSIGN_OR_RETURN(std::unique_ptr<MlProgram> master,
-                        MlProgram::Compile(source, args, hdfs));
-  RELM_ASSIGN_OR_RETURN(std::unique_ptr<MlProgram> copy, master->Clone());
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (programs_.find(sig) == programs_.end()) {
+    flight->status = failure;
+    // Clear() may have dropped (and a new leader replaced) our entry;
+    // only remove the in-flight marker if it is still ours.
+    auto in = inflight_.find(sig);
+    if (in != inflight_.end() && in->second == flight) inflight_.erase(in);
+    if (failure.ok() && programs_.find(sig) == programs_.end()) {
       program_lru_.push_front(sig);
-      programs_[sig] = ProgramEntry{std::move(master),
-                                    program_lru_.begin()};
+      programs_[sig] = ProgramEntry{flight->master, program_lru_.begin()};
       while (programs_.size() > opts_.max_programs) {
         uint64_t victim = program_lru_.back();
         program_lru_.pop_back();
@@ -148,6 +209,8 @@ Result<std::unique_ptr<MlProgram>> PlanCache::GetOrCompile(
       }
     }
   }
+  flight->promise.set_value();
+  if (!failure.ok()) return failure;
   return copy;
 }
 

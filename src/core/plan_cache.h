@@ -4,9 +4,10 @@
 // Memoization layer shared by concurrent job submissions and by the
 // optimizer's grid enumeration:
 //
-//   (a) a compiled-program cache keyed by (script hash, args, input
-//       metadata): identical submissions share one validated master
-//       program and receive private deep copies;
+//   (a) a compiled-program cache keyed by (script hash, args, hdfs
+//       namespace identity + input metadata): identical submissions
+//       against the same namespace share one validated master program
+//       and receive private deep copies;
 //   (b) a what-if cost cache keyed by (program signature, optimizer
 //       context, CP memory budget, CP cores) holding the per-grid-point
 //       candidate (memoized per-block MR heaps + estimated cost), shared
@@ -38,15 +39,19 @@ struct OptimizerOptions;  // core/resource_optimizer.h
 
 /// Identity of a submitted program for caching purposes: a 64-bit FNV-1a
 /// digest over the script source, the argument bindings, the accumulated
-/// size overrides (dynamic recompilation state), and the metadata
-/// fingerprint of the HDFS namespace the program reads from. Any change
-/// to inputs or discovered sizes yields a new signature, which is how
-/// cached plans are invalidated.
+/// size overrides (dynamic recompilation state), and the identity plus
+/// metadata fingerprint of the HDFS namespace the program reads from.
+/// Any change to inputs or discovered sizes yields a new signature,
+/// which is how cached plans are invalidated.
 uint64_t ComputeProgramSignature(const MlProgram& program);
 
 /// Signature of the (source, args, inputs) triple before compilation —
 /// the compiled-program cache key. Matches ComputeProgramSignature of a
-/// freshly compiled program (no size overrides yet).
+/// freshly compiled program (no size overrides yet). The key covers the
+/// hdfs *instance* (not just its metadata fingerprint): cached masters
+/// keep a raw pointer to the namespace they compiled against, so an
+/// entry must never be reachable from any other — possibly shorter-lived
+/// — namespace, however identical its contents.
 uint64_t ComputeScriptSignature(const std::string& source,
                                 const ScriptArgs& args,
                                 const SimulatedHdfs* hdfs);
@@ -119,7 +124,9 @@ class PlanCache {
   /// for the caller (each job mutates its program during optimization
   /// and simulation, so masters are never handed out directly); on a
   /// miss the script is compiled — inside a "plan_cache.compile_miss"
-  /// tracer span — and retained as the new master.
+  /// tracer span — and retained as the new master. Concurrent misses
+  /// for the same key coalesce onto one compile: followers wait for the
+  /// leader's master and count as hits (exactly one miss per cold key).
   Result<std::unique_ptr<MlProgram>> GetOrCompile(
       const std::string& source, const ScriptArgs& args,
       const SimulatedHdfs* hdfs);
@@ -159,6 +166,10 @@ class PlanCache {
     CachedCandidate candidate;
     std::list<WhatIfKey>::iterator lru_it;
   };
+  // One in-progress compile (see plan_cache.cc). Kept in a side map so
+  // concurrent misses for the same key wait for the leader's result
+  // instead of each running the full compile.
+  struct InFlight;
 
   Options opts_;
   mutable std::mutex mu_;
@@ -166,6 +177,7 @@ class PlanCache {
   // LRU lists hold keys, most recently used at the front.
   std::list<uint64_t> program_lru_;
   std::unordered_map<uint64_t, ProgramEntry> programs_;
+  std::unordered_map<uint64_t, std::shared_ptr<InFlight>> inflight_;
   std::list<WhatIfKey> whatif_lru_;
   std::unordered_map<WhatIfKey, WhatIfEntry, WhatIfKeyHash> whatif_;
 };

@@ -1,8 +1,14 @@
 #include "hdfs/file_system.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace relm {
+
+uint64_t SimulatedHdfs::NextInstanceId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 const char* DataFormatName(DataFormat format) {
   switch (format) {

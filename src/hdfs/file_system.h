@@ -52,6 +52,13 @@ class SimulatedHdfs {
 
   int64_t block_size() const { return block_size_; }
 
+  /// Process-unique identity of this namespace instance (never reused,
+  /// even after destruction). Plan-cache keys include it so a cached
+  /// program can only be hit by the namespace it was compiled against —
+  /// a namespace with identical metadata in a *different* session must
+  /// not resolve to a master program wired to this one.
+  uint64_t instance_id() const { return instance_id_; }
+
   /// Registers a metadata-only file (dims/sparsity known, no payload).
   /// size_bytes defaults to the serialized-size estimate for the format.
   void PutMetadata(const std::string& path,
@@ -87,7 +94,10 @@ class SimulatedHdfs {
   uint64_t MetadataFingerprint() const;
 
  private:
+  static uint64_t NextInstanceId();
+
   int64_t block_size_;
+  const uint64_t instance_id_ = NextInstanceId();
   mutable std::mutex mu_;
   std::map<std::string, HdfsFile> files_;  // guarded by mu_
 };

@@ -1,5 +1,6 @@
 #include "serve/job_service.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "obs/metrics.h"
@@ -43,6 +44,10 @@ Status ServeOptions::Validate() const {
   if (max_queued_per_tenant <= 0) {
     return Status::InvalidArgument(
         "ServeOptions: max_queued_per_tenant must be > 0");
+  }
+  if (max_pooled_programs < 0) {
+    return Status::InvalidArgument(
+        "ServeOptions: max_pooled_programs must be >= 0");
   }
   RELM_RETURN_IF_ERROR(optimizer.Validate());
   RELM_RETURN_IF_ERROR(sim.Validate());
@@ -143,6 +148,10 @@ JobService::Stats JobService::stats() const {
   out.queued = queued_;
   out.running = running_;
   out.inflight_container_bytes = inflight_container_bytes_;
+  {
+    std::lock_guard<std::mutex> pool_lock(pool_mu_);
+    out.pooled_programs = static_cast<int>(pooled_instances_);
+  }
   return out;
 }
 
@@ -239,16 +248,27 @@ void JobService::WorkerLoop() {
 
 void JobService::AcquireCapacity(int64_t container_bytes) {
   std::unique_lock<std::mutex> lock(mu_);
-  // A request larger than the cap can never fit alongside others; admit
-  // it when it has the cluster to itself so it cannot deadlock.
-  capacity_cv_.wait(lock, [this, container_bytes] {
+  // Grants are strictly FIFO: each waiter takes a ticket and only the
+  // ticket being served may claim. Without the ordering, a steady
+  // stream of small jobs that keep fitting under the cap would keep
+  // inflight bytes nonzero forever and starve a request larger than the
+  // cap, which is only admitted when it has the cluster to itself (it
+  // can never fit alongside others, but must not deadlock either).
+  const uint64_t ticket = capacity_next_ticket_++;
+  capacity_cv_.wait(lock, [this, ticket, container_bytes] {
+    if (ticket != capacity_serving_) return false;
     if (inflight_container_bytes_ == 0) return true;
     return inflight_container_bytes_ + container_bytes <=
            options_.max_inflight_container_bytes;
   });
+  capacity_serving_++;
   inflight_container_bytes_ += container_bytes;
   RELM_GAUGE_SET("serve.inflight_container_bytes",
                  static_cast<double>(inflight_container_bytes_));
+  lock.unlock();
+  // The next ticket holder may already fit under the cap; wake waiters
+  // so it can claim without waiting for a capacity release.
+  capacity_cv_.notify_all();
 }
 
 void JobService::ReleaseCapacity(int64_t container_bytes) {
@@ -263,12 +283,6 @@ void JobService::ReleaseCapacity(int64_t container_bytes) {
 
 // ---- program instance pool ---------------------------------------------
 
-namespace {
-/// Total instances parked across all signatures (stale signatures after
-/// a metadata change stay until evicted by this cap).
-constexpr size_t kMaxPooledInstances = 64;
-}  // namespace
-
 Result<std::unique_ptr<MlProgram>> JobService::AcquireProgram(
     uint64_t script_sig, const JobRequest& request) {
   {
@@ -277,6 +291,9 @@ Result<std::unique_ptr<MlProgram>> JobService::AcquireProgram(
     if (it != program_pool_.end() && !it->second.empty()) {
       std::unique_ptr<MlProgram> program = std::move(it->second.back());
       it->second.pop_back();
+      if (it->second.empty()) program_pool_.erase(it);
+      pool_fifo_.erase(std::find(pool_fifo_.begin(), pool_fifo_.end(),
+                                 script_sig));
       pooled_instances_--;
       RELM_COUNTER_INC("serve.program_pool_hits");
       return program;
@@ -296,9 +313,24 @@ void JobService::ReleaseProgram(uint64_t script_sig,
       program->has_unknowns() || !program->ast().functions.empty()) {
     return;
   }
+  const size_t cap = static_cast<size_t>(options_.max_pooled_programs);
+  if (cap == 0) return;
   std::lock_guard<std::mutex> lock(pool_mu_);
-  if (pooled_instances_ >= kMaxPooledInstances) return;
+  // Park the newest instance and FIFO-evict the oldest at capacity —
+  // instances under signatures no job asks for anymore (e.g. stale
+  // after a metadata change) age out instead of filling the pool with
+  // programs that can never be acquired again.
+  while (pooled_instances_ >= cap) {
+    const uint64_t victim_sig = pool_fifo_.front();
+    pool_fifo_.pop_front();
+    auto it = program_pool_.find(victim_sig);
+    it->second.pop_back();
+    if (it->second.empty()) program_pool_.erase(it);
+    pooled_instances_--;
+    RELM_COUNTER_INC("serve.program_pool_evictions");
+  }
   program_pool_[script_sig].push_back(std::move(program));
+  pool_fifo_.push_back(script_sig);
   pooled_instances_++;
 }
 

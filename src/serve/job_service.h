@@ -49,6 +49,10 @@ struct ServeOptions {
   /// Run the measured cluster simulation for each job. When false, jobs
   /// stop after optimization + cost estimation (what-if service mode).
   bool simulate = true;
+  /// Cap on finished program instances parked for reuse across jobs
+  /// (FIFO-evicted at capacity, so instances under stale script
+  /// signatures age out). 0 disables the pool.
+  int max_pooled_programs = 64;
   /// Plan/what-if cache shared by all workers (not owned). nullptr
   /// selects PlanCache::Global().
   PlanCache* plan_cache = nullptr;
@@ -81,6 +85,10 @@ struct ServeOptions {
   }
   ServeOptions& WithSimulation(bool enabled) {
     simulate = enabled;
+    return *this;
+  }
+  ServeOptions& WithMaxPooledPrograms(int programs) {
+    max_pooled_programs = programs;
     return *this;
   }
   ServeOptions& WithPlanCache(PlanCache* cache) {
@@ -208,6 +216,8 @@ class JobService {
     int queued = 0;
     int running = 0;
     int64_t inflight_container_bytes = 0;
+    /// Program instances currently parked in the reuse pool.
+    int pooled_programs = 0;
   };
   Stats stats() const;
 
@@ -225,12 +235,17 @@ class JobService {
   /// simulator never rebuilds those, and exec-type annotations are
   /// deterministically overwritten by every plan compile). Ineligible
   /// programs are simply dropped and the next job compiles/clones.
+  /// Parking at capacity evicts the oldest pooled instance (FIFO), so
+  /// instances under signatures no job asks for anymore — e.g. stale
+  /// after an HDFS metadata change — cannot pin the pool forever.
   Result<std::unique_ptr<MlProgram>> AcquireProgram(uint64_t script_sig,
                                                     const JobRequest& request);
   void ReleaseProgram(uint64_t script_sig,
                       std::unique_ptr<MlProgram> program);
   /// Blocks until `container_bytes` fits under the inflight cap, then
-  /// claims it (jobs larger than the cap run exclusively).
+  /// claims it (jobs larger than the cap run exclusively). Grants are
+  /// strictly FIFO (ticket-ordered), so a steady stream of small jobs
+  /// cannot starve a job that needs the cluster drained first.
   void AcquireCapacity(int64_t container_bytes);
   void ReleaseCapacity(int64_t container_bytes);
 
@@ -252,10 +267,17 @@ class JobService {
   int queued_ = 0;
   int running_ = 0;
   int64_t inflight_container_bytes_ = 0;
+  // FIFO order of capacity grants: each AcquireCapacity takes a ticket
+  // and is admitted only when its ticket is the one being served.
+  uint64_t capacity_next_ticket_ = 0;
+  uint64_t capacity_serving_ = 0;
   Stats stats_;
 
-  std::mutex pool_mu_;
+  mutable std::mutex pool_mu_;
   std::map<uint64_t, std::vector<std::unique_ptr<MlProgram>>> program_pool_;
+  // Pooled instances in parking order (one entry per instance); the
+  // front is the FIFO eviction victim when the pool is at capacity.
+  std::deque<uint64_t> pool_fifo_;
   size_t pooled_instances_ = 0;
 
   std::vector<std::thread> workers_;

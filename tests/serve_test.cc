@@ -98,6 +98,57 @@ TEST_F(PlanCacheTest, ProgramLruEviction) {
   EXPECT_EQ(cache.stats().program_hits, 0);
 }
 
+TEST_F(PlanCacheTest, EntriesAreScopedToOneHdfsInstance) {
+  PlanCache cache;
+  ASSERT_TRUE(cache.GetOrCompile(source_, LinregArgs(), &hdfs_).ok());
+  {
+    // A second namespace with byte-identical metadata must get its own
+    // entry, wired to itself — not a clone bound to `hdfs_`.
+    SimulatedHdfs other(128 * kMB);
+    other.PutMetadata("/data/X", MatrixCharacteristics::Dense(1000000, 100));
+    other.PutMetadata("/data/y", MatrixCharacteristics::Dense(1000000, 1));
+    auto prog = cache.GetOrCompile(source_, LinregArgs(), &other);
+    ASSERT_TRUE(prog.ok());
+    EXPECT_EQ((*prog)->hdfs(), &other);
+  }
+  // `other` is gone. A third identical namespace must miss (under ASan
+  // this guards the use-after-free of hitting the dead namespace's
+  // master and recompiling against it).
+  SimulatedHdfs revived(128 * kMB);
+  revived.PutMetadata("/data/X", MatrixCharacteristics::Dense(1000000, 100));
+  revived.PutMetadata("/data/y", MatrixCharacteristics::Dense(1000000, 1));
+  ASSERT_TRUE(cache.GetOrCompile(source_, LinregArgs(), &revived).ok());
+  // The original namespace still hits its own entry.
+  auto again = cache.GetOrCompile(source_, LinregArgs(), &hdfs_);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->hdfs(), &hdfs_);
+  PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.program_misses, 3);
+  EXPECT_EQ(stats.program_hits, 1);
+}
+
+TEST_F(PlanCacheTest, ConcurrentMissesCoalesceIntoOneCompile) {
+  PlanCache cache;
+  constexpr int kThreads = 8;
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      auto prog = cache.GetOrCompile(source_, LinregArgs(), &hdfs_);
+      if (prog.ok() && *prog != nullptr) ok_count.fetch_add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(ok_count.load(), kThreads);
+  EXPECT_EQ(cache.NumPrograms(), 1u);
+  // Whether the threads overlapped (followers join the in-flight
+  // compile) or ran back-to-back (plain hits), the counters agree:
+  // exactly one compile for the cold key.
+  PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.program_misses, 1);
+  EXPECT_EQ(stats.program_hits, kThreads - 1);
+}
+
 TEST_F(PlanCacheTest, WhatIfRoundTripAndEviction) {
   PlanCache::Options options;
   options.max_whatif_entries = 2;
@@ -372,6 +423,59 @@ TEST(JobServiceTest, PerTenantQuotaIsEnforced) {
   for (serve::JobHandle& handle : accepted) {
     EXPECT_TRUE(handle.Await().ok());
   }
+}
+
+TEST(JobServiceTest, ProgramPoolEvictsOldestAtCapacity) {
+  const std::string linreg_ds = ReadScript("linreg_ds.dml");
+  const std::string linreg_cg = ReadScript("linreg_cg.dml");
+  PlanCache cache;
+  // What-if mode keeps finished programs pristine (poolable); a 1-slot
+  // pool forces eviction when the second script's instance is parked.
+  serve::JobService service(ClusterConfig::PaperCluster(),
+                            serve::ServeOptions()
+                                .WithWorkers(1)
+                                .WithPlanCache(&cache)
+                                .WithSimulation(false)
+                                .WithMaxPooledPrograms(1));
+  auto run = [&](const std::string& source) {
+    auto handle = service.Submit("t", LinregRequest(source));
+    ASSERT_TRUE(handle.ok());
+    ASSERT_TRUE(handle->Await().ok());
+  };
+  run(linreg_ds);
+  EXPECT_EQ(service.stats().pooled_programs, 1);
+  run(linreg_cg);  // parks cg, evicts the ds instance
+  EXPECT_EQ(service.stats().pooled_programs, 1);
+  // The evicted script still runs (recompiles through the plan cache),
+  // and the pool stays bounded — it never wedges full of stale entries.
+  run(linreg_ds);
+  EXPECT_EQ(service.stats().pooled_programs, 1);
+  EXPECT_EQ(service.stats().completed, 3);
+}
+
+TEST(JobServiceTest, OversizedJobsCompleteUnderTinyCapacityCap) {
+  const std::string source = ReadScript("linreg_ds.dml");
+  PlanCache cache;
+  // A 1-byte inflight cap makes every job "oversized": each must be
+  // granted the cluster exclusively, in FIFO ticket order. All jobs
+  // completing proves the exclusive path cannot starve or deadlock.
+  serve::JobService service(ClusterConfig::PaperCluster(),
+                            serve::ServeOptions()
+                                .WithWorkers(4)
+                                .WithPlanCache(&cache)
+                                .WithMaxInflightContainerBytes(1));
+  std::vector<serve::JobHandle> handles;
+  for (int i = 0; i < 8; ++i) {
+    auto handle = service.Submit("t" + std::to_string(i % 2),
+                                 LinregRequest(source));
+    ASSERT_TRUE(handle.ok());
+    handles.push_back(std::move(*handle));
+  }
+  for (serve::JobHandle& handle : handles) {
+    EXPECT_TRUE(handle.Await().ok());
+  }
+  EXPECT_EQ(service.stats().completed, 8);
+  EXPECT_EQ(service.stats().inflight_container_bytes, 0);
 }
 
 // Stress: many clients, mixed workloads, concurrent metadata

@@ -1,0 +1,98 @@
+// Extension harness: cost of the plan-integrity analysis at its three
+// choke points. Prints, per script, the wall-clock of (a) the
+// structural program analysis that gates Session compiles and PlanCache
+// inserts, (b) the full plan audit at the min/max budgets, and (c) the
+// optimizer grid sweep with and without strict mode — the overhead a
+// deployment pays for running every grid point through the passes.
+
+#include <chrono>
+#include <cstdio>
+
+#include "analysis/analysis.h"
+#include "bench_common.h"
+#include "core/resource_optimizer.h"
+#include "lops/compiler_backend.h"
+
+namespace relm {
+namespace bench {
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void Run() {
+  const char* const scripts[] = {"linreg_ds.dml", "linreg_cg.dml",
+                                 "l2svm.dml", "glm.dml", "mlogreg.dml"};
+  std::printf("%-14s %12s %12s %12s %12s\n", "script", "program_ms",
+              "plan_ms", "sweep_ms", "strict_ms");
+  for (const char* script : scripts) {
+    RelmSystem sys;
+    RegisterData(&sys, 1000000000LL, 1000, 1.0);  // M scenario, 8 GB
+    auto prog = MustCompile(&sys, script);
+    const ClusterConfig& cc = sys.cluster();
+
+    auto t0 = std::chrono::steady_clock::now();
+    analysis::AnalysisReport program_report =
+        analysis::AnalyzeProgram(prog.get());
+    double program_ms = MsSince(t0);
+    if (program_report.has_errors()) {
+      std::fprintf(stderr, "%s: unexpected analysis errors:\n%s", script,
+                   program_report.ToString().c_str());
+      std::exit(1);
+    }
+
+    double plan_ms = 0.0;
+    for (int64_t heap : {cc.MinHeapSize(), cc.MaxHeapSize()}) {
+      CompileCounters counters;
+      auto rp = GenerateRuntimeProgram(prog.get(), cc,
+                                       ResourceConfig(heap, heap),
+                                       &counters);
+      if (!rp.ok()) {
+        std::fprintf(stderr, "%s: plan compile failed: %s\n", script,
+                     rp.status().ToString().c_str());
+        std::exit(1);
+      }
+      auto t1 = std::chrono::steady_clock::now();
+      analysis::AnalysisReport plan_report =
+          analysis::AnalyzeRuntimePlan(prog.get(), *rp, cc);
+      plan_ms += MsSince(t1);
+      if (plan_report.has_errors()) {
+        std::fprintf(stderr, "%s: unexpected plan errors:\n%s", script,
+                     plan_report.ToString().c_str());
+        std::exit(1);
+      }
+    }
+
+    OptimizerOptions base;
+    base.plan_cache = nullptr;  // measure compiles, not cache hits
+    auto t2 = std::chrono::steady_clock::now();
+    auto sweep = sys.session().Optimize(prog.get(), base);
+    double sweep_ms = MsSince(t2);
+
+    OptimizerOptions strict = base;
+    strict.WithStrictAnalysis(true);
+    auto t3 = std::chrono::steady_clock::now();
+    auto strict_sweep = sys.session().Optimize(prog.get(), strict);
+    double strict_ms = MsSince(t3);
+    if (!sweep.ok() || !strict_sweep.ok()) {
+      std::fprintf(stderr, "%s: optimize failed\n", script);
+      std::exit(1);
+    }
+
+    std::printf("%-14s %12.2f %12.2f %12.2f %12.2f\n", script, program_ms,
+                plan_ms, sweep_ms, strict_ms);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace relm
+
+int main(int argc, char** argv) {
+  relm::bench::InitBench(argc, argv);
+  relm::bench::Run();
+  return 0;
+}

@@ -1,0 +1,231 @@
+// relm-lint — plan-integrity linter for DML scripts.
+//
+// Compiles each script, runs the structural analysis passes, then
+// compiles and audits the runtime plan at the three container-memory
+// extremes (min, mid, max) of the cluster model; --grid additionally
+// runs the full resource-optimizer grid sweep with strict analysis on,
+// so every enumerated grid point is audited. Exits non-zero when any
+// error-severity diagnostic (or a compile/optimize failure) surfaces.
+//
+// Usage:
+//   relm-lint [options] SCRIPT.dml [SCRIPT.dml ...]
+//     --input NAME=PATH:RxC[:SP]  input metadata (default: the canonical
+//                                 X 1000000x1000 / Y 1000000x1 bindings)
+//     --arg NAME=VALUE            extra script argument
+//     --grid                      strict-mode optimizer grid sweep
+//     --points N                  grid resolution for --grid (default 15)
+//     --json                      machine-readable report
+//
+// Quick start:
+//   relm-lint scripts/linreg_cg.dml
+//   relm-lint --grid --json scripts/*.dml
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/analysis.h"
+#include "api/session.h"
+#include "common/string_util.h"
+#include "lops/compiler_backend.h"
+#include "obs/json_util.h"
+
+using namespace relm;  // NOLINT — tool brevity
+
+namespace {
+
+struct InputSpec {
+  std::string arg_name;
+  std::string path;
+  int64_t rows = 0;
+  int64_t cols = 0;
+  double sparsity = 1.0;
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: relm-lint [--input NAME=PATH:RxC[:SP] ...]\n"
+               "                 [--arg NAME=VALUE ...] [--grid]\n"
+               "                 [--points N] [--json] SCRIPT.dml ...\n");
+  std::exit(2);
+}
+
+bool ParseInput(const std::string& spec, InputSpec* out) {
+  auto eq = spec.find('=');
+  if (eq == std::string::npos) return false;
+  out->arg_name = spec.substr(0, eq);
+  std::vector<std::string> parts = Split(spec.substr(eq + 1), ':');
+  if (parts.size() < 2) return false;
+  out->path = parts[0];
+  std::vector<std::string> dims = Split(parts[1], 'x');
+  if (dims.size() != 2) return false;
+  out->rows = std::strtoll(dims[0].c_str(), nullptr, 10);
+  out->cols = std::strtoll(dims[1].c_str(), nullptr, 10);
+  if (parts.size() >= 3) {
+    out->sparsity = std::strtod(parts[2].c_str(), nullptr);
+  }
+  return out->rows > 0 && out->cols > 0;
+}
+
+/// One analyzed stage of one script.
+struct StageResult {
+  std::string stage;  // "compile", "min", "mid", "max", "grid"
+  analysis::AnalysisReport report;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> scripts;
+  std::vector<InputSpec> inputs;
+  ScriptArgs args;
+  bool grid = false;
+  bool json = false;
+  int points = 15;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) Usage();
+      return argv[++i];
+    };
+    if (flag == "--input") {
+      InputSpec spec;
+      if (!ParseInput(next(), &spec)) Usage();
+      inputs.push_back(spec);
+    } else if (flag == "--arg") {
+      std::string kv = next();
+      auto eq = kv.find('=');
+      if (eq == std::string::npos) Usage();
+      args[kv.substr(0, eq)] = kv.substr(eq + 1);
+    } else if (flag == "--grid") {
+      grid = true;
+    } else if (flag == "--points") {
+      points = std::atoi(next().c_str());
+    } else if (flag == "--json") {
+      json = true;
+    } else if (!flag.empty() && flag[0] == '-') {
+      Usage();
+    } else {
+      scripts.push_back(flag);
+    }
+  }
+  if (scripts.empty()) Usage();
+  if (inputs.empty()) {
+    // Canonical bindings shared with the test suite: a 1M x 1k feature
+    // matrix and its label vector, under the standard argument names.
+    inputs.push_back({"X", "/data/X", 1000000, 1000, 1.0});
+    inputs.push_back({"Y", "/data/y", 1000000, 1, 1.0});
+  }
+  if (args.find("B") == args.end()) args["B"] = "/out/B";
+  if (args.find("model") == args.end()) args["model"] = "/out/w";
+
+  bool any_errors = false;
+  std::string json_out = "{\"scripts\":[";
+  bool first_script = true;
+
+  for (const std::string& script : scripts) {
+    // Lint owns the reporting: no read-through cache, no double
+    // analysis inside CompileSource.
+    SessionOptions options;
+    options.enable_plan_cache = false;
+    options.analyze_compiles = false;
+    Session session(ClusterConfig::PaperCluster(), options);
+    for (const InputSpec& in : inputs) {
+      Status st = session.RegisterMatrixMetadata(in.path, in.rows,
+                                                 in.cols, in.sparsity);
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s: bad input: %s\n", script.c_str(),
+                     st.ToString().c_str());
+        return 1;
+      }
+      args[in.arg_name] = in.path;
+    }
+
+    auto prog = session.CompileFile(script, args);
+    if (!prog.ok()) {
+      std::fprintf(stderr, "%s: compile error: %s\n", script.c_str(),
+                   prog.status().ToString().c_str());
+      any_errors = true;
+      continue;
+    }
+
+    std::vector<StageResult> stages;
+    stages.push_back(
+        {"compile", analysis::AnalyzeProgram(prog->get())});
+
+    const ClusterConfig& cc = session.cluster();
+    int64_t min_heap = cc.MinHeapSize();
+    int64_t max_heap = cc.MaxHeapSize();
+    int64_t mid_heap = (min_heap + max_heap) / 2;
+    const std::pair<const char*, int64_t> budgets[] = {
+        {"min", min_heap}, {"mid", mid_heap}, {"max", max_heap}};
+    for (const auto& [name, heap] : budgets) {
+      ResourceConfig rc(heap, heap);
+      CompileCounters counters;
+      auto rp = GenerateRuntimeProgram(prog->get(), cc, rc, &counters);
+      if (!rp.ok()) {
+        std::fprintf(stderr, "%s: plan compile at %s budget failed: %s\n",
+                     script.c_str(), name,
+                     rp.status().ToString().c_str());
+        any_errors = true;
+        continue;
+      }
+      stages.push_back(
+          {name, analysis::AnalyzeRuntimePlan(prog->get(), *rp, cc)});
+    }
+
+    if (grid) {
+      OptimizerOptions opts;
+      opts.grid_points = points;
+      opts.strict_analysis = true;
+      auto outcome = session.Optimize(prog->get(), opts);
+      analysis::AnalysisReport grid_report;
+      if (!outcome.ok()) {
+        grid_report.Add(analysis::Severity::kError, "strict-grid-sweep",
+                        script, outcome.status().ToString());
+      }
+      stages.push_back({"grid", std::move(grid_report)});
+    }
+
+    int errors = 0;
+    int warnings = 0;
+    for (const StageResult& s : stages) {
+      errors += s.report.NumErrors();
+      warnings += s.report.NumWarnings();
+    }
+    if (errors > 0) any_errors = true;
+
+    if (json) {
+      if (!first_script) json_out += ",";
+      first_script = false;
+      json_out += "{\"script\":" + obs::JsonQuote(script) +
+                  ",\"errors\":" + std::to_string(errors) +
+                  ",\"warnings\":" + std::to_string(warnings) +
+                  ",\"stages\":[";
+      for (size_t i = 0; i < stages.size(); ++i) {
+        if (i > 0) json_out += ",";
+        json_out += "{\"stage\":" + obs::JsonQuote(stages[i].stage) +
+                    ",\"report\":" + stages[i].report.ToJson() + "}";
+      }
+      json_out += "]}";
+    } else {
+      std::printf("%s: %d error(s), %d warning(s)\n", script.c_str(),
+                  errors, warnings);
+      for (const StageResult& s : stages) {
+        for (const auto& d : s.report.diagnostics()) {
+          std::printf("  [%s] %s\n", s.stage.c_str(),
+                      d.ToString().c_str());
+        }
+      }
+    }
+  }
+
+  if (json) {
+    json_out += "]}";
+    std::printf("%s\n", json_out.c_str());
+  }
+  return any_errors ? 1 : 0;
+}

@@ -1,0 +1,233 @@
+#include "analysis/analysis.h"
+
+#include <sstream>
+#include <utility>
+
+#include "obs/json_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace relm {
+namespace analysis {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "INFO";
+    case Severity::kWarning:
+      return "WARNING";
+    case Severity::kError:
+      return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+std::string Diagnostic::ToString() const {
+  std::ostringstream os;
+  os << "[" << SeverityName(severity) << "] " << pass_id;
+  if (!location.empty()) os << " @ " << location;
+  os << ": " << message;
+  return os.str();
+}
+
+void AnalysisReport::Add(Severity severity, const std::string& pass_id,
+                         const std::string& location,
+                         const std::string& message) {
+  diags_.push_back(Diagnostic{severity, pass_id, location, message});
+}
+
+int AnalysisReport::NumErrors() const {
+  int n = 0;
+  for (const Diagnostic& d : diags_) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+int AnalysisReport::NumWarnings() const {
+  int n = 0;
+  for (const Diagnostic& d : diags_) {
+    if (d.severity == Severity::kWarning) ++n;
+  }
+  return n;
+}
+
+std::vector<Diagnostic> AnalysisReport::ForPass(
+    const std::string& pass_id) const {
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& d : diags_) {
+    if (d.pass_id == pass_id) out.push_back(d);
+  }
+  return out;
+}
+
+std::string AnalysisReport::ToString() const {
+  std::ostringstream os;
+  os << "analysis: " << NumErrors() << " error(s), " << NumWarnings()
+     << " warning(s)";
+  for (const Diagnostic& d : diags_) {
+    os << "\n  " << d.ToString();
+  }
+  return os.str();
+}
+
+std::string AnalysisReport::ToJson() const {
+  std::ostringstream os;
+  os << "{\"errors\":" << NumErrors()
+     << ",\"warnings\":" << NumWarnings() << ",\"diagnostics\":[";
+  for (size_t i = 0; i < diags_.size(); ++i) {
+    const Diagnostic& d = diags_[i];
+    if (i > 0) os << ",";
+    os << "{\"severity\":" << obs::JsonQuote(SeverityName(d.severity))
+       << ",\"pass\":" << obs::JsonQuote(d.pass_id)
+       << ",\"location\":" << obs::JsonQuote(d.location)
+       << ",\"message\":" << obs::JsonQuote(d.message) << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+Analyzer Analyzer::Default() {
+  Analyzer a;
+  a.AddPass(MakeDagIntegrityPass());
+  a.AddPass(MakeSizeConsistencyPass());
+  a.AddPass(MakeBudgetConformancePass());
+  a.AddPass(MakePiggybackLegalityPass());
+  a.AddPass(MakePoolPurityPass());
+  a.AddPass(MakeRecompileIdempotencePass());
+  return a;
+}
+
+Analyzer& Analyzer::AddPass(std::unique_ptr<Pass> pass) {
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+AnalysisReport Analyzer::Run(const AnalysisInput& input) const {
+  RELM_TRACE_SPAN("analysis.run");
+  RELM_COUNTER_INC("analysis.runs");
+  AnalysisReport report;
+  if (input.program == nullptr) {
+    report.Add(Severity::kError, "analyzer", "",
+               "analysis input has no program");
+    return report;
+  }
+  for (const auto& pass : passes_) {
+    pass->Run(input, &report);
+  }
+  RELM_COUNTER_ADD("analysis.errors", report.NumErrors());
+  RELM_COUNTER_ADD("analysis.warnings", report.NumWarnings());
+  return report;
+}
+
+AnalysisReport AnalyzeProgram(MlProgram* program) {
+  AnalysisInput input;
+  input.program = program;
+  return Analyzer()
+      .AddPass(MakeDagIntegrityPass())
+      .AddPass(MakeSizeConsistencyPass())
+      .AddPass(MakePoolPurityPass())
+      .Run(input);
+}
+
+AnalysisReport AnalyzeRuntimePlan(MlProgram* program,
+                                  const RuntimeProgram& runtime,
+                                  const ClusterConfig& cluster) {
+  AnalysisInput input;
+  input.program = program;
+  input.runtime = &runtime;
+  input.cluster = &cluster;
+  return Analyzer::Default().Run(input);
+}
+
+Status ReportToStatus(const AnalysisReport& report) {
+  if (!report.has_errors()) return Status::OK();
+  return Status::Internal("plan integrity violated: " + report.ToString());
+}
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+void SigBytes(uint64_t* h, const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    *h ^= p[i];
+    *h *= kFnvPrime;
+  }
+}
+
+void SigInt(uint64_t* h, int64_t v) { SigBytes(h, &v, sizeof(v)); }
+
+void SigDouble(uint64_t* h, double v) { SigBytes(h, &v, sizeof(v)); }
+
+void SigString(uint64_t* h, const std::string& s) {
+  SigBytes(h, s.data(), s.size());
+  SigBytes(h, "\x1f", 1);
+}
+
+void SigHop(uint64_t* h, const Hop* hop) {
+  if (hop == nullptr) {
+    SigInt(h, -2);
+    return;
+  }
+  SigInt(h, hop->id());
+  SigInt(h, static_cast<int64_t>(hop->kind()));
+  SigInt(h, static_cast<int64_t>(hop->exec_type()));
+  SigInt(h, static_cast<int64_t>(hop->mmult_method()));
+  SigInt(h, hop->broadcast_input);
+}
+
+void SigBlock(uint64_t* h, const RuntimeBlock& block) {
+  SigInt(h, block.block != nullptr ? block.block->id() : -1);
+  SigInt(h, static_cast<int64_t>(block.instrs.size()));
+  for (const RuntimeInstr& instr : block.instrs) {
+    SigInt(h, static_cast<int64_t>(instr.kind));
+    if (instr.kind == RuntimeInstr::Kind::kCp) {
+      SigHop(h, instr.hop);
+      continue;
+    }
+    const MRJobInstr& job = instr.job;
+    SigInt(h, static_cast<int64_t>(job.map_ops.size()));
+    for (const Hop* op : job.map_ops) SigHop(h, op);
+    SigInt(h, static_cast<int64_t>(job.reduce_ops.size()));
+    for (const Hop* op : job.reduce_ops) SigHop(h, op);
+    SigInt(h, job.has_shuffle ? 1 : 0);
+    SigInt(h, job.broadcast_bytes);
+    SigInt(h, job.map_input_bytes);
+    SigInt(h, job.shuffle_bytes);
+    SigInt(h, job.output_bytes);
+    SigDouble(h, job.map_flops);
+    SigDouble(h, job.reduce_flops);
+    for (const auto& [name, bytes] : job.exported_inputs) {
+      SigString(h, name);
+      SigInt(h, bytes);
+    }
+  }
+  for (const RuntimeBlock& child : block.body) SigBlock(h, child);
+  SigInt(h, -3);  // body/else separator
+  for (const RuntimeBlock& child : block.else_body) SigBlock(h, child);
+}
+
+}  // namespace
+
+uint64_t PlanSignature(const RuntimeProgram& runtime) {
+  uint64_t h = kFnvOffset;
+  SigInt(&h, runtime.resources.cp_heap);
+  SigInt(&h, runtime.resources.default_mr_heap);
+  SigInt(&h, runtime.resources.cp_cores);
+  for (const auto& [id, heap] : runtime.resources.per_block_mr_heap) {
+    SigInt(&h, id);
+    SigInt(&h, heap);
+  }
+  for (const RuntimeBlock& block : runtime.main) SigBlock(&h, block);
+  for (const auto& [name, blocks] : runtime.functions) {
+    SigString(&h, name);
+    for (const RuntimeBlock& block : blocks) SigBlock(&h, block);
+  }
+  return h;
+}
+
+}  // namespace analysis
+}  // namespace relm

@@ -1,0 +1,178 @@
+#ifndef RELM_ANALYSIS_ANALYSIS_H_
+#define RELM_ANALYSIS_ANALYSIS_H_
+
+// Plan-integrity static analysis: a diagnostic-pass framework that audits
+// every compilation artifact the resource optimizer relies on — HOP DAGs,
+// propagated sizes, CP/MR operator selection, and piggybacked MR jobs.
+//
+// The optimizer's whole premise (Section 3) is that recompiling a program
+// under a different memory budget yields a *valid* plan whose cost can be
+// compared against other grid points. Nothing in the compile pipeline
+// re-checks that premise; a rewrite or cache bug silently mis-costs a
+// plan, and with the shared plan/what-if cache one corrupt entry poisons
+// every tenant. The passes here make the invariants explicit and cheap to
+// enforce at three choke points: after compilation (Session / PlanCache
+// insert) and after every grid-point recompile (optimizer strict mode).
+//
+// Adding a pass: subclass Pass, emit Diagnostics into the report, and
+// register it in Analyzer::Default() (analysis.cc). Passes must be
+// read-only except for RecompileIdempotencePass, which re-runs the
+// deterministic backend compile (exec-type annotations are overwritten
+// by every compile, so this is observable only as CPU time).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "hops/ml_program.h"
+#include "lops/runtime_program.h"
+#include "yarn/cluster_config.h"
+
+namespace relm {
+namespace analysis {
+
+enum class Severity {
+  kInfo = 0,
+  kWarning,
+  kError,
+};
+
+const char* SeverityName(Severity severity);
+
+/// One finding of one pass.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  /// Stable pass identifier ("dag-integrity", "size-consistency", ...).
+  std::string pass_id;
+  /// Where in the program ("block 3 hop 17 (MatMult)", "block 2 job 0").
+  std::string location;
+  std::string message;
+
+  std::string ToString() const;
+};
+
+/// Everything a pass can look at. `program` is required; the plan-level
+/// fields are optional — passes that need them no-op when absent (a
+/// program-only analysis runs the structural passes, a plan analysis
+/// runs all of them).
+struct AnalysisInput {
+  /// The compiled program (non-owning). Mutable only so the idempotence
+  /// pass can re-run the deterministic backend compile.
+  MlProgram* program = nullptr;
+  /// Runtime plan to audit, with the ResourceConfig it was compiled
+  /// under in runtime->resources (non-owning).
+  const RuntimeProgram* runtime = nullptr;
+  /// Cluster model the plan was compiled against (non-owning; required
+  /// for the budget and idempotence passes).
+  const ClusterConfig* cluster = nullptr;
+};
+
+/// Collected findings of one analysis run.
+class AnalysisReport {
+ public:
+  void Add(Severity severity, const std::string& pass_id,
+           const std::string& location, const std::string& message);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  bool empty() const { return diags_.empty(); }
+  int NumErrors() const;
+  int NumWarnings() const;
+  bool has_errors() const { return NumErrors() > 0; }
+  /// Diagnostics emitted by one pass (test introspection).
+  std::vector<Diagnostic> ForPass(const std::string& pass_id) const;
+
+  /// Human-readable multi-line listing ("[ERROR] dag-integrity ...").
+  std::string ToString() const;
+  /// Self-describing JSON {"errors":N,"warnings":N,"diagnostics":[...]}.
+  std::string ToJson() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+/// One analysis pass over a compiled program / runtime plan.
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  /// Stable identifier recorded on every diagnostic the pass emits.
+  virtual const char* id() const = 0;
+  virtual void Run(const AnalysisInput& input, AnalysisReport* report) = 0;
+};
+
+/// An ordered collection of passes. Default() returns the full built-in
+/// suite; tests compose narrower analyzers pass by pass.
+class Analyzer {
+ public:
+  Analyzer() = default;
+
+  /// All six built-in passes, in dependency-friendly order (structural
+  /// checks before the passes that assume a well-formed DAG).
+  static Analyzer Default();
+
+  Analyzer& AddPass(std::unique_ptr<Pass> pass);
+  AnalysisReport Run(const AnalysisInput& input) const;
+
+ private:
+  std::vector<std::shared_ptr<Pass>> passes_;
+};
+
+// ---- built-in passes ----
+
+/// (1) "dag-integrity": acyclicity, no null/dangling inputs, unique hop
+/// ids, fused-transpose well-formedness, and topological-order closure
+/// (every reachable node appears exactly once, inputs before consumers).
+std::unique_ptr<Pass> MakeDagIntegrityPass();
+
+/// (2) "size-consistency": output dims match operator semantics
+/// (transpose swaps, matmult takes (A.rows, B.cols), aggregations
+/// collapse the aggregated dimension), nnz never exceeds rows*cols, and
+/// worst-case memory estimates never shrink below the exact statistics.
+std::unique_ptr<Pass> MakeSizeConsistencyPass();
+
+/// (3) "budget-conformance": every CP-selected MR-capable operator fits
+/// the CP budget the plan was compiled under; every MR-forced operator
+/// genuinely exceeds it (catches CP/MR drift under recompilation).
+std::unique_ptr<Pass> MakeBudgetConformancePass();
+
+/// (4) "piggyback-legality": operators packed into one MR job respect
+/// map/shuffle/reduce phase ordering, intra-job dependencies, the
+/// broadcast memory budget, and cross-instruction emission order.
+std::unique_ptr<Pass> MakePiggybackLegalityPass();
+
+/// (5) "pool-purity": the JobService pooling predicate
+/// (MlProgram::IsPoolableTraceFree) is cross-checked against an
+/// independent IR scan for size overrides, unknown dimensions, and
+/// function calls — a poolable-but-impure program is an error.
+std::unique_ptr<Pass> MakePoolPurityPass();
+
+/// (6) "recompile-idempotence": re-running the backend compile under the
+/// plan's own ResourceConfig reproduces the identical plan signature.
+std::unique_ptr<Pass> MakeRecompileIdempotencePass();
+
+// ---- convenience entry points ----
+
+/// Structural program analysis (passes 1, 2, 5). Used after compilation
+/// in Session::CompileSource and on PlanCache insert.
+AnalysisReport AnalyzeProgram(MlProgram* program);
+
+/// Full analysis of a compiled runtime plan (all passes). Used by the
+/// optimizer's strict mode and relm-lint.
+AnalysisReport AnalyzeRuntimePlan(MlProgram* program,
+                                  const RuntimeProgram& runtime,
+                                  const ClusterConfig& cluster);
+
+/// OK when the report has no error-severity diagnostics; otherwise an
+/// Internal status carrying the report listing.
+Status ReportToStatus(const AnalysisReport& report);
+
+/// Order-insensitive-free (FNV-1a) digest of a runtime plan: resource
+/// configuration, block structure, instruction kinds and order, per-hop
+/// exec types / physical methods, and MR job shapes and data volumes.
+/// Two plans with equal signatures are operationally identical.
+uint64_t PlanSignature(const RuntimeProgram& runtime);
+
+}  // namespace analysis
+}  // namespace relm
+
+#endif  // RELM_ANALYSIS_ANALYSIS_H_

@@ -1,0 +1,669 @@
+// The built-in plan-integrity passes. Each pass re-derives an invariant
+// from first principles (operator semantics, the published selection
+// rule, the piggybacking phase model) instead of calling back into the
+// code it audits, so a bug in the compile pipeline cannot hide itself.
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/analysis.h"
+#include "lops/compiler_backend.h"
+#include "matrix/matrix_characteristics.h"
+
+namespace relm {
+namespace analysis {
+
+namespace {
+
+std::string HopLoc(int block_id, const Hop& hop) {
+  return "block " + std::to_string(block_id) + " hop " +
+         std::to_string(hop.id()) + " (" + HopKindName(hop.kind()) + ")";
+}
+
+std::string BlockLoc(int block_id) {
+  return "block " + std::to_string(block_id);
+}
+
+/// Resolves data through fused transposes exactly like the backend: the
+/// consumer streams the transpose's input directly.
+const Hop* ResolveFused(const Hop* h) {
+  while (h != nullptr && h->fused() && !h->inputs().empty()) {
+    h = h->input(0);
+  }
+  return h;
+}
+
+/// Every (block id, IR) pair of the program, main and functions.
+std::vector<std::pair<int, const BlockIR*>> AllIrs(const MlProgram& p) {
+  std::vector<std::pair<int, const BlockIR*>> out;
+  for (const StatementBlock* b : p.AllBlocksPreOrder()) {
+    if (p.has_ir(b->id())) out.emplace_back(b->id(), &p.ir(b->id()));
+  }
+  return out;
+}
+
+/// Reachable nodes of a DAG (cycle-safe, null-safe).
+std::vector<const Hop*> ReachableNodes(const HopDag& dag) {
+  std::vector<const Hop*> out;
+  std::unordered_set<const Hop*> seen;
+  std::vector<const Hop*> stack;
+  for (const HopPtr& root : dag.roots) {
+    if (root != nullptr && seen.insert(root.get()).second) {
+      stack.push_back(root.get());
+    }
+  }
+  while (!stack.empty()) {
+    const Hop* h = stack.back();
+    stack.pop_back();
+    out.push_back(h);
+    for (const HopPtr& in : h->inputs()) {
+      if (in != nullptr && seen.insert(in.get()).second) {
+        stack.push_back(in.get());
+      }
+    }
+  }
+  return out;
+}
+
+// ---- (1) DAG structural integrity ----
+
+class DagIntegrityPass : public Pass {
+ public:
+  const char* id() const override { return "dag-integrity"; }
+
+  void Run(const AnalysisInput& input, AnalysisReport* report) override {
+    for (const auto& [block_id, ir] : AllIrs(*input.program)) {
+      CheckDag(block_id, ir->dag, report);
+    }
+  }
+
+ private:
+  void CheckDag(int block_id, const HopDag& dag, AnalysisReport* report) {
+    // Null roots / null input edges (dangling references after rewrites).
+    for (const HopPtr& root : dag.roots) {
+      if (root == nullptr) {
+        report->Add(Severity::kError, id(), BlockLoc(block_id),
+                    "DAG has a null root");
+      }
+    }
+    std::vector<const Hop*> nodes = ReachableNodes(dag);
+    bool nulls = false;
+    for (const Hop* h : nodes) {
+      for (const HopPtr& in : h->inputs()) {
+        if (in == nullptr) {
+          report->Add(Severity::kError, id(), HopLoc(block_id, *h),
+                      "null input edge (dangling hop reference)");
+          nulls = true;
+        }
+      }
+      if (h->id() < 0) {
+        report->Add(Severity::kError, id(), HopLoc(block_id, *h),
+                    "hop has no assigned id");
+      }
+      if (h->fused()) {
+        if (h->kind() != HopKind::kReorg ||
+            h->reorg_op != ReorgOp::kTranspose) {
+          report->Add(Severity::kError, id(), HopLoc(block_id, *h),
+                      "fused flag on a non-transpose operator");
+        } else if (h->inputs().empty()) {
+          report->Add(Severity::kError, id(), HopLoc(block_id, *h),
+                      "fused transpose has no input to stream");
+        }
+      }
+    }
+    // Duplicate ids break plan signatures and decision logs.
+    std::unordered_map<int64_t, const Hop*> by_id;
+    for (const Hop* h : nodes) {
+      if (h->id() < 0) continue;
+      auto [it, inserted] = by_id.emplace(h->id(), h);
+      if (!inserted && it->second != h) {
+        report->Add(Severity::kError, id(), HopLoc(block_id, *h),
+                    "duplicate hop id " + std::to_string(h->id()));
+      }
+    }
+    if (HasCycle(block_id, dag, report)) return;
+    if (nulls) return;
+    // Topological-order closure: TopoOrder must enumerate every
+    // reachable node exactly once, inputs strictly before consumers.
+    std::vector<Hop*> topo = dag.TopoOrder();
+    std::unordered_map<const Hop*, size_t> pos;
+    for (size_t i = 0; i < topo.size(); ++i) {
+      if (!pos.emplace(topo[i], i).second) {
+        report->Add(Severity::kError, id(), HopLoc(block_id, *topo[i]),
+                    "node appears twice in topological order");
+      }
+    }
+    if (topo.size() != nodes.size()) {
+      report->Add(Severity::kError, id(), BlockLoc(block_id),
+                  "topological order covers " +
+                      std::to_string(topo.size()) + " of " +
+                      std::to_string(nodes.size()) + " reachable nodes");
+    }
+    for (const Hop* h : topo) {
+      auto hit = pos.find(h);
+      for (const HopPtr& in : h->inputs()) {
+        auto iit = pos.find(in.get());
+        if (iit == pos.end()) {
+          report->Add(Severity::kError, id(), HopLoc(block_id, *h),
+                      "input missing from topological order");
+        } else if (iit->second >= hit->second) {
+          report->Add(Severity::kError, id(), HopLoc(block_id, *h),
+                      "input ordered at or after its consumer");
+        }
+      }
+    }
+  }
+
+  /// Iterative three-color DFS; reports the first back edge per DAG.
+  bool HasCycle(int block_id, const HopDag& dag, AnalysisReport* report) {
+    enum : char { kWhite = 0, kGray, kBlack };
+    std::unordered_map<const Hop*, char> color;
+    struct Frame {
+      const Hop* node;
+      size_t next_input;
+    };
+    for (const HopPtr& root : dag.roots) {
+      if (root == nullptr || color[root.get()] != kWhite) continue;
+      std::vector<Frame> stack{{root.get(), 0}};
+      color[root.get()] = kGray;
+      while (!stack.empty()) {
+        Frame& f = stack.back();
+        if (f.next_input >= f.node->inputs().size()) {
+          color[f.node] = kBlack;
+          stack.pop_back();
+          continue;
+        }
+        const Hop* in = f.node->input(f.next_input++);
+        if (in == nullptr) continue;
+        char c = color[in];
+        if (c == kGray) {
+          report->Add(Severity::kError, id(), HopLoc(block_id, *f.node),
+                      "cycle: input hop " + std::to_string(in->id()) +
+                          " is an ancestor of its consumer");
+          return true;
+        }
+        if (c == kWhite) {
+          color[in] = kGray;
+          stack.push_back({in, 0});
+        }
+      }
+    }
+    return false;
+  }
+};
+
+// ---- (2) size-propagation consistency ----
+
+class SizeConsistencyPass : public Pass {
+ public:
+  const char* id() const override { return "size-consistency"; }
+
+  void Run(const AnalysisInput& input, AnalysisReport* report) override {
+    for (const auto& [block_id, ir] : AllIrs(*input.program)) {
+      for (const Hop* h : ReachableNodes(ir->dag)) {
+        CheckHop(block_id, *h, report);
+      }
+    }
+  }
+
+ private:
+  void CheckHop(int block_id, const Hop& h, AnalysisReport* report) {
+    for (const HopPtr& in : h.inputs()) {
+      if (in == nullptr) return;  // dag-integrity's finding, not ours
+    }
+    if (!h.is_matrix()) return;
+    const MatrixCharacteristics& mc = h.mc();
+    if ((mc.rows() < 0 && mc.rows() != kUnknown) ||
+        (mc.cols() < 0 && mc.cols() != kUnknown)) {
+      report->Add(Severity::kError, id(), HopLoc(block_id, h),
+                  "negative dimension that is not the unknown sentinel");
+    }
+    if (mc.fully_known() && mc.nnz() > mc.cells()) {
+      report->Add(Severity::kError, id(), HopLoc(block_id, h),
+                  "nnz " + std::to_string(mc.nnz()) +
+                      " exceeds rows*cols " + std::to_string(mc.cells()));
+    }
+    CheckOpSemantics(block_id, h, report);
+    CheckMemory(block_id, h, report);
+  }
+
+  void CheckOpSemantics(int block_id, const Hop& h,
+                        AnalysisReport* report) {
+    const MatrixCharacteristics& mc = h.mc();
+    switch (h.kind()) {
+      case HopKind::kReorg: {
+        if (h.reorg_op != ReorgOp::kTranspose || h.inputs().empty()) break;
+        const MatrixCharacteristics& in = h.input(0)->mc();
+        if (in.dims_known() && mc.dims_known() &&
+            (mc.rows() != in.cols() || mc.cols() != in.rows())) {
+          report->Add(Severity::kError, id(), HopLoc(block_id, h),
+                      "transpose output is " + Dims(mc) +
+                          " but input is " + Dims(in));
+        }
+        if (in.nnz_known() && mc.nnz_known() && mc.nnz() != in.nnz()) {
+          report->Add(Severity::kError, id(), HopLoc(block_id, h),
+                      "transpose changes nnz");
+        }
+        break;
+      }
+      case HopKind::kMatMult: {
+        if (h.inputs().size() < 2) break;
+        // Fused transposes carry the transposed mc themselves, so the
+        // direct inputs' shapes are authoritative either way.
+        const MatrixCharacteristics& a = h.input(0)->mc();
+        const MatrixCharacteristics& b = h.input(1)->mc();
+        if (a.dims_known() && mc.rows() >= 0 && mc.rows() != a.rows()) {
+          report->Add(Severity::kError, id(), HopLoc(block_id, h),
+                      "matmult rows " + std::to_string(mc.rows()) +
+                          " != left input rows " +
+                          std::to_string(a.rows()));
+        }
+        if (b.dims_known() && mc.cols() >= 0 && mc.cols() != b.cols()) {
+          report->Add(Severity::kError, id(), HopLoc(block_id, h),
+                      "matmult cols " + std::to_string(mc.cols()) +
+                          " != right input cols " +
+                          std::to_string(b.cols()));
+        }
+        break;
+      }
+      case HopKind::kAggUnary: {
+        if (h.inputs().empty()) break;
+        const MatrixCharacteristics& in = h.input(0)->mc();
+        if (h.agg_dir == AggDir::kRow && in.dims_known() &&
+            mc.dims_known() &&
+            (mc.rows() != in.rows() || mc.cols() != 1)) {
+          report->Add(Severity::kError, id(), HopLoc(block_id, h),
+                      "row aggregation must produce (" +
+                          std::to_string(in.rows()) + " x 1), got " +
+                          Dims(mc));
+        }
+        if (h.agg_dir == AggDir::kCol && in.dims_known() &&
+            mc.dims_known() &&
+            (mc.rows() != 1 || mc.cols() != in.cols())) {
+          report->Add(Severity::kError, id(), HopLoc(block_id, h),
+                      "column aggregation must produce (1 x " +
+                          std::to_string(in.cols()) + "), got " +
+                          Dims(mc));
+        }
+        break;
+      }
+      case HopKind::kTransientWrite:
+      case HopKind::kPersistentWrite: {
+        if (h.inputs().empty() || !h.input(0)->is_matrix()) break;
+        const MatrixCharacteristics& in = h.input(0)->mc();
+        if (in.dims_known() && mc.dims_known() &&
+            (mc.rows() != in.rows() || mc.cols() != in.cols())) {
+          report->Add(Severity::kError, id(), HopLoc(block_id, h),
+                      "write output " + Dims(mc) +
+                          " differs from written value " + Dims(in));
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  void CheckMemory(int block_id, const Hop& h, AnalysisReport* report) {
+    if (h.fused()) return;  // never materialized
+    // Worst-case estimates may only over-approximate: once the exact
+    // statistics are known, the recorded estimate must cover them.
+    if (h.mc().fully_known() && h.mc().cells() >= 0) {
+      int64_t exact = EstimateSizeInMemory(h.mc());
+      if (exact < kUnknownSizeSentinel && h.output_mem() < exact) {
+        report->Add(Severity::kError, id(), HopLoc(block_id, h),
+                    "output estimate " + std::to_string(h.output_mem()) +
+                        " below exact in-memory size " +
+                        std::to_string(exact));
+      }
+    }
+    if (h.output_mem() < kUnknownSizeSentinel &&
+        h.op_mem() < h.output_mem()) {
+      report->Add(Severity::kError, id(), HopLoc(block_id, h),
+                  "operation estimate " + std::to_string(h.op_mem()) +
+                      " below output estimate " +
+                      std::to_string(h.output_mem()));
+    }
+  }
+
+  static std::string Dims(const MatrixCharacteristics& mc) {
+    return "(" + std::to_string(mc.rows()) + " x " +
+           std::to_string(mc.cols()) + ")";
+  }
+};
+
+// ---- (3) memory-budget conformance ----
+
+class BudgetConformancePass : public Pass {
+ public:
+  const char* id() const override { return "budget-conformance"; }
+
+  void Run(const AnalysisInput& input, AnalysisReport* report) override {
+    if (input.runtime == nullptr) return;
+    int64_t cp_budget = input.runtime->resources.CpBudget();
+    for (const RuntimeBlock& block : input.runtime->main) {
+      CheckBlock(block, cp_budget, report);
+    }
+    for (const auto& [name, blocks] : input.runtime->functions) {
+      for (const RuntimeBlock& block : blocks) {
+        CheckBlock(block, cp_budget, report);
+      }
+    }
+  }
+
+ private:
+  void CheckBlock(const RuntimeBlock& block, int64_t cp_budget,
+                  AnalysisReport* report) {
+    int block_id = block.block != nullptr ? block.block->id() : -1;
+    for (const RuntimeInstr& instr : block.instrs) {
+      if (instr.kind == RuntimeInstr::Kind::kCp) {
+        CheckCp(block_id, instr.hop, cp_budget, report);
+        continue;
+      }
+      for (const Hop* op : instr.job.map_ops) {
+        CheckMr(block_id, op, cp_budget, report);
+      }
+      for (const Hop* op : instr.job.reduce_ops) {
+        CheckMr(block_id, op, cp_budget, report);
+      }
+    }
+    for (const RuntimeBlock& child : block.body) {
+      CheckBlock(child, cp_budget, report);
+    }
+    for (const RuntimeBlock& child : block.else_body) {
+      CheckBlock(child, cp_budget, report);
+    }
+  }
+
+  void CheckCp(int block_id, const Hop* hop, int64_t cp_budget,
+               AnalysisReport* report) {
+    if (hop == nullptr) {
+      report->Add(Severity::kError, id(), BlockLoc(block_id),
+                  "CP instruction without a hop");
+      return;
+    }
+    if (!HopIsOperator(*hop)) return;
+    if (!HopIsMrCapable(*hop)) return;  // CP is its only home
+    if (hop->exec_type() == ExecType::kMR) {
+      report->Add(Severity::kError, id(), HopLoc(block_id, *hop),
+                  "MR-annotated operator emitted as a CP instruction");
+      return;
+    }
+    // The selection rule: CP if and only if the operation fits.
+    if (hop->op_mem() > cp_budget) {
+      report->Add(Severity::kError, id(), HopLoc(block_id, *hop),
+                  "CP-selected operation needs " +
+                      std::to_string(hop->op_mem()) +
+                      " bytes but the CP budget is " +
+                      std::to_string(cp_budget));
+    }
+  }
+
+  void CheckMr(int block_id, const Hop* op, int64_t cp_budget,
+               AnalysisReport* report) {
+    if (op == nullptr) {
+      report->Add(Severity::kError, id(), BlockLoc(block_id),
+                  "MR job references a null hop");
+      return;
+    }
+    if (!HopIsMrCapable(*op)) {
+      report->Add(Severity::kError, id(), HopLoc(block_id, *op),
+                  "operator kind is not MR-capable but was piggybacked");
+      return;
+    }
+    if (op->exec_type() != ExecType::kMR) {
+      report->Add(Severity::kError, id(), HopLoc(block_id, *op),
+                  "CP-annotated operator packed into an MR job");
+    }
+    if (op->op_mem() <= cp_budget) {
+      report->Add(Severity::kError, id(), HopLoc(block_id, *op),
+                  "MR-forced operation fits the CP budget (" +
+                      std::to_string(op->op_mem()) + " <= " +
+                      std::to_string(cp_budget) + "): CP/MR drift");
+    }
+  }
+};
+
+// ---- (4) piggybacking legality ----
+
+class PiggybackLegalityPass : public Pass {
+ public:
+  const char* id() const override { return "piggyback-legality"; }
+
+  void Run(const AnalysisInput& input, AnalysisReport* report) override {
+    if (input.runtime == nullptr) return;
+    for (const RuntimeBlock& block : input.runtime->main) {
+      CheckBlock(block, input.runtime->resources, report);
+    }
+    for (const auto& [name, blocks] : input.runtime->functions) {
+      for (const RuntimeBlock& block : blocks) {
+        CheckBlock(block, input.runtime->resources, report);
+      }
+    }
+  }
+
+ private:
+  void CheckBlock(const RuntimeBlock& block, const ResourceConfig& rc,
+                  AnalysisReport* report) {
+    int block_id = block.block != nullptr ? block.block->id() : -1;
+    int64_t mr_budget = rc.MrBudgetForBlock(block_id);
+    // Each operator must be emitted exactly once within its block plan.
+    std::unordered_set<const Hop*> emitted;
+    int job_index = -1;
+    for (const RuntimeInstr& instr : block.instrs) {
+      if (instr.kind == RuntimeInstr::Kind::kCp) {
+        CheckDepsReady(block_id, instr.hop, emitted, report);
+        if (instr.hop != nullptr && !emitted.insert(instr.hop).second) {
+          report->Add(Severity::kError, id(),
+                      HopLoc(block_id, *instr.hop),
+                      "operator emitted twice in one block plan");
+        }
+        continue;
+      }
+      ++job_index;
+      CheckJob(block_id, job_index, instr.job, mr_budget, emitted,
+               report);
+    }
+    for (const RuntimeBlock& child : block.body) {
+      CheckBlock(child, rc, report);
+    }
+    for (const RuntimeBlock& child : block.else_body) {
+      CheckBlock(child, rc, report);
+    }
+  }
+
+  void CheckJob(int block_id, int job_index, const MRJobInstr& job,
+                int64_t mr_budget,
+                std::unordered_set<const Hop*>& emitted,
+                AnalysisReport* report) {
+    std::string loc =
+        BlockLoc(block_id) + " job " + std::to_string(job_index);
+    if (job.map_ops.empty() && job.reduce_ops.empty()) {
+      report->Add(Severity::kError, id(), loc, "MR job with no operators");
+      return;
+    }
+    if (!job.reduce_ops.empty() && !job.has_shuffle) {
+      report->Add(Severity::kError, id(), loc,
+                  "reduce-side operators without a shuffle phase");
+    }
+    // Phase positions within the job: map phase strictly precedes the
+    // reduce phase; within a phase, list order is execution order.
+    std::unordered_map<const Hop*, int> phase_pos;
+    int pos = 0;
+    for (const Hop* op : job.map_ops) phase_pos[op] = pos++;
+    int first_reduce = pos;
+    for (const Hop* op : job.reduce_ops) {
+      auto [it, inserted] = phase_pos.emplace(op, pos++);
+      if (!inserted) {
+        report->Add(Severity::kError, id(),
+                    HopLoc(block_id, *op),
+                    "operator appears in both map and reduce phases");
+      }
+    }
+    auto check_op = [&](const Hop* op, bool reduce_side) {
+      if (op == nullptr) return;
+      for (const HopPtr& raw : op->inputs()) {
+        const Hop* in = ResolveFused(raw.get());
+        if (in == nullptr || !HopIsOperator(*in)) continue;
+        auto it = phase_pos.find(in);
+        if (it != phase_pos.end()) {
+          // Intra-job dependency: producer must run in an earlier slot,
+          // and a map-side consumer can never see reduce-side output.
+          if (!reduce_side && it->second >= first_reduce) {
+            report->Add(Severity::kError, id(), HopLoc(block_id, *op),
+                        "map-side operator consumes reduce-side output");
+          } else if (it->second >= phase_pos[op]) {
+            report->Add(Severity::kError, id(), HopLoc(block_id, *op),
+                        "intra-job input ordered at or after consumer");
+          }
+          continue;
+        }
+        if (!emitted.count(in)) {
+          report->Add(Severity::kError, id(), HopLoc(block_id, *op),
+                      "input hop " + std::to_string(in->id()) +
+                          " not produced before this MR job");
+        }
+      }
+    };
+    for (const Hop* op : job.map_ops) check_op(op, /*reduce_side=*/false);
+    for (const Hop* op : job.reduce_ops) check_op(op, /*reduce_side=*/true);
+    // Emission uniqueness across the block plan (the both-phases case
+    // was already reported above; phase_pos holds each op once).
+    for (const auto& [op, unused] : phase_pos) {
+      if (!emitted.insert(op).second) {
+        report->Add(Severity::kError, id(), HopLoc(block_id, *op),
+                    "operator emitted twice in one block plan");
+      }
+    }
+    // The packer admits one oversized broadcaster per job (a new job is
+    // created unchecked) but never grows past the budget by joining;
+    // a multi-op job over budget is suspicious, not provably illegal.
+    if (job.broadcast_bytes > mr_budget &&
+        job.map_ops.size() + job.reduce_ops.size() > 1) {
+      report->Add(Severity::kWarning, id(), loc,
+                  "job broadcasts " + std::to_string(job.broadcast_bytes) +
+                      " bytes against an MR budget of " +
+                      std::to_string(mr_budget));
+    }
+  }
+
+  void CheckDepsReady(int block_id, const Hop* hop,
+                      const std::unordered_set<const Hop*>& emitted,
+                      AnalysisReport* report) {
+    if (hop == nullptr) return;
+    for (const HopPtr& raw : hop->inputs()) {
+      const Hop* in = ResolveFused(raw.get());
+      if (in == nullptr || !HopIsOperator(*in)) continue;
+      if (!emitted.count(in)) {
+        report->Add(Severity::kError, id(), HopLoc(block_id, *hop),
+                    "input hop " + std::to_string(in->id()) +
+                        " not produced before this instruction");
+      }
+    }
+  }
+};
+
+// ---- (5) plan-cache / pool purity ----
+
+class PoolPurityPass : public Pass {
+ public:
+  const char* id() const override { return "pool-purity"; }
+
+  void Run(const AnalysisInput& input, AnalysisReport* report) override {
+    const MlProgram& p = *input.program;
+    // Independent evidence, gathered from the IR itself rather than the
+    // cached per-block flags the pooling predicate reads.
+    std::vector<std::string> impurities;
+    if (!p.size_overrides().empty()) {
+      impurities.push_back("carries " +
+                           std::to_string(p.size_overrides().size()) +
+                           " size override(s)");
+    }
+    if (!p.ast().functions.empty()) {
+      impurities.push_back("defines " +
+                           std::to_string(p.ast().functions.size()) +
+                           " function(s)");
+    }
+    for (const auto& [block_id, ir] : AllIrs(p)) {
+      for (const Hop* h : ReachableNodes(ir->dag)) {
+        if (h->kind() == HopKind::kFunctionCall) {
+          impurities.push_back("calls function '" + h->function_name +
+                               "' in " + BlockLoc(block_id));
+        }
+        if (h->is_matrix() && !h->mc().dims_known()) {
+          impurities.push_back("unknown dimensions at " +
+                               HopLoc(block_id, *h));
+        }
+      }
+    }
+    bool poolable = p.IsPoolableTraceFree();
+    if (poolable && !impurities.empty()) {
+      for (const std::string& why : impurities) {
+        report->Add(Severity::kError, id(), "program",
+                    "pooling predicate claims trace-free, but program " +
+                        why);
+      }
+    } else if (!poolable && impurities.empty()) {
+      report->Add(Severity::kWarning, id(), "program",
+                  "pooling predicate rejects a program with no "
+                  "observable impurity (stale unknown-dims flags?)");
+    }
+  }
+};
+
+// ---- (6) recompilation idempotence ----
+
+class RecompileIdempotencePass : public Pass {
+ public:
+  const char* id() const override { return "recompile-idempotence"; }
+
+  void Run(const AnalysisInput& input, AnalysisReport* report) override {
+    if (input.runtime == nullptr || input.cluster == nullptr) return;
+    uint64_t expected = PlanSignature(*input.runtime);
+    CompileCounters counters;
+    Result<RuntimeProgram> regen =
+        GenerateRuntimeProgram(input.program, *input.cluster,
+                               input.runtime->resources, &counters);
+    if (!regen.ok()) {
+      report->Add(Severity::kError, id(), "program",
+                  "recompilation under the plan's own resources failed: " +
+                      regen.status().ToString());
+      return;
+    }
+    uint64_t actual = PlanSignature(*regen);
+    if (actual != expected) {
+      report->Add(Severity::kError, id(), "program",
+                  "recompiling under the same budget changed the plan "
+                  "signature (" +
+                      std::to_string(expected) + " -> " +
+                      std::to_string(actual) + ")");
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> MakeDagIntegrityPass() {
+  return std::make_unique<DagIntegrityPass>();
+}
+std::unique_ptr<Pass> MakeSizeConsistencyPass() {
+  return std::make_unique<SizeConsistencyPass>();
+}
+std::unique_ptr<Pass> MakeBudgetConformancePass() {
+  return std::make_unique<BudgetConformancePass>();
+}
+std::unique_ptr<Pass> MakePiggybackLegalityPass() {
+  return std::make_unique<PiggybackLegalityPass>();
+}
+std::unique_ptr<Pass> MakePoolPurityPass() {
+  return std::make_unique<PoolPurityPass>();
+}
+std::unique_ptr<Pass> MakeRecompileIdempotencePass() {
+  return std::make_unique<RecompileIdempotencePass>();
+}
+
+}  // namespace analysis
+}  // namespace relm

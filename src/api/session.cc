@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "analysis/analysis.h"
 #include "lops/compiler_backend.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -15,6 +16,7 @@ Session::Session(ClusterConfig cc, SessionOptions options)
     state_->cache = options.plan_cache != nullptr ? options.plan_cache
                                                   : &PlanCache::Global();
   }
+  state_->analyze_compiles = options.analyze_compiles;
 }
 
 Status Session::RegisterMatrixMetadata(const std::string& path,
@@ -56,10 +58,19 @@ Result<std::unique_ptr<MlProgram>> Session::CompileFile(
 
 Result<std::unique_ptr<MlProgram>> Session::CompileSource(
     const std::string& source, const ScriptArgs& args) {
-  if (state_->cache != nullptr) {
-    return state_->cache->GetOrCompile(source, args, &state_->hdfs);
-  }
-  return MlProgram::Compile(source, args, &state_->hdfs);
+  Result<std::unique_ptr<MlProgram>> compiled =
+      state_->cache != nullptr
+          ? state_->cache->GetOrCompile(source, args, &state_->hdfs)
+          : MlProgram::Compile(source, args, &state_->hdfs);
+  if (!compiled.ok() || !state_->analyze_compiles) return compiled;
+  // Post-compile integrity gate (first of the three analysis choke
+  // points; the others are PlanCache insert and the optimizer's strict
+  // grid sweep). A program that fails the structural passes would only
+  // mislead the optimizer, so it never leaves the session.
+  analysis::AnalysisReport report =
+      analysis::AnalyzeProgram(compiled->get());
+  RELM_RETURN_IF_ERROR(analysis::ReportToStatus(report));
+  return compiled;
 }
 
 Result<OptimizeOutcome> Session::Optimize(MlProgram* program,

@@ -48,6 +48,10 @@ struct SessionOptions {
   /// Cache instance to share (not owned). nullptr selects the
   /// process-wide PlanCache::Global().
   PlanCache* plan_cache = nullptr;
+  /// Run the structural plan-integrity analysis on every program this
+  /// session compiles (including cache hits, whose clones are cheap to
+  /// re-audit) and fail CompileSource on error-severity diagnostics.
+  bool analyze_compiles = true;
 };
 
 /// A client's handle onto one simulated cluster: the cluster model, the
@@ -135,6 +139,7 @@ class Session {
     ClusterConfig cc;
     SimulatedHdfs hdfs;
     PlanCache* cache = nullptr;  // not owned
+    bool analyze_compiles = true;
   };
   std::shared_ptr<State> state_;
 };

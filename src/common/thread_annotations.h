@@ -1,0 +1,51 @@
+#ifndef RELM_COMMON_THREAD_ANNOTATIONS_H_
+#define RELM_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety analysis annotations (-Wthread-safety).
+//
+// Under Clang the macros attach capability attributes that let the
+// compiler prove lock discipline statically: which mutex guards which
+// field, which functions must (or must not) be called with a lock
+// held. Under other compilers — the pinned toolchain is GCC — every
+// macro expands to nothing, so annotated headers stay portable and the
+// annotations are pure documentation until a Clang build runs them.
+//
+// Usage mirrors the Abseil convention:
+//
+//   std::mutex mu_;
+//   int64_t hits_ RELM_GUARDED_BY(mu_) = 0;
+//   int NextJobLocked() RELM_REQUIRES(mu_);
+
+#if defined(__clang__) && defined(__has_attribute)
+#define RELM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define RELM_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Field is protected by the given mutex.
+#define RELM_GUARDED_BY(x) RELM_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointee (not the pointer itself) is protected by the given mutex.
+#define RELM_PT_GUARDED_BY(x) RELM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function must be called with the given mutex(es) held.
+#define RELM_REQUIRES(...) \
+  RELM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function must be called with the given mutex(es) NOT held.
+#define RELM_EXCLUDES(...) \
+  RELM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the mutex and does not release it before return.
+#define RELM_ACQUIRE(...) \
+  RELM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases a mutex acquired earlier.
+#define RELM_RELEASE(...) \
+  RELM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Escape hatch: function body is trusted, analysis skips it.
+#define RELM_NO_THREAD_SAFETY_ANALYSIS \
+  RELM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // RELM_COMMON_THREAD_ANNOTATIONS_H_

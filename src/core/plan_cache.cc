@@ -2,6 +2,7 @@
 
 #include <future>
 
+#include "analysis/analysis.h"
 #include "core/resource_optimizer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -181,12 +182,26 @@ Result<std::unique_ptr<MlProgram>> PlanCache::GetOrCompile(
       failure = compiled.status();
     } else {
       flight->master = std::shared_ptr<MlProgram>(std::move(*compiled));
-      Result<std::unique_ptr<MlProgram>> cloned = flight->master->Clone();
-      if (!cloned.ok()) {
-        failure = cloned.status();
-        flight->master = nullptr;
-      } else {
-        copy = std::move(*cloned);
+      if (opts_.analyze_on_insert) {
+        // Gate the insert: a structurally broken master must never be
+        // published to followers or future tenants.
+        analysis::AnalysisReport report =
+            analysis::AnalyzeProgram(flight->master.get());
+        failure = analysis::ReportToStatus(report);
+        if (!failure.ok()) {
+          flight->master = nullptr;
+          RELM_COUNTER_INC("plan_cache.analysis_rejects");
+        }
+      }
+      if (failure.ok()) {
+        Result<std::unique_ptr<MlProgram>> cloned =
+            flight->master->Clone();
+        if (!cloned.ok()) {
+          failure = cloned.status();
+          flight->master = nullptr;
+        } else {
+          copy = std::move(*cloned);
+        }
       }
     }
   }

@@ -28,6 +28,7 @@
 #include <unordered_map>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "hdfs/file_system.h"
 #include "hops/ml_program.h"
 #include "lops/resources.h"
@@ -85,6 +86,12 @@ class PlanCache {
     size_t max_programs = 64;
     /// Maximum what-if entries across all programs.
     size_t max_whatif_entries = 8192;
+    /// Run the structural plan-integrity analysis (src/analysis) on
+    /// every leader-compiled master before it is published. A master
+    /// with error-severity diagnostics is never cached — a single
+    /// corrupt entry would otherwise poison every tenant that shares
+    /// the cache — and the compile fails with the report instead.
+    bool analyze_on_insert = true;
   };
 
   /// Result of one memoized what-if evaluation: the candidate resource
@@ -173,13 +180,15 @@ class PlanCache {
 
   Options opts_;
   mutable std::mutex mu_;
-  Stats stats_;
+  Stats stats_ RELM_GUARDED_BY(mu_);
   // LRU lists hold keys, most recently used at the front.
-  std::list<uint64_t> program_lru_;
-  std::unordered_map<uint64_t, ProgramEntry> programs_;
-  std::unordered_map<uint64_t, std::shared_ptr<InFlight>> inflight_;
-  std::list<WhatIfKey> whatif_lru_;
-  std::unordered_map<WhatIfKey, WhatIfEntry, WhatIfKeyHash> whatif_;
+  std::list<uint64_t> program_lru_ RELM_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, ProgramEntry> programs_ RELM_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, std::shared_ptr<InFlight>> inflight_
+      RELM_GUARDED_BY(mu_);
+  std::list<WhatIfKey> whatif_lru_ RELM_GUARDED_BY(mu_);
+  std::unordered_map<WhatIfKey, WhatIfEntry, WhatIfKeyHash> whatif_
+      RELM_GUARDED_BY(mu_);
 };
 
 }  // namespace relm

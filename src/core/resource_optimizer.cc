@@ -11,6 +11,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "analysis/analysis.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "core/plan_cache.h"
@@ -456,7 +457,19 @@ class ResourceOptimizer::Runner {
         RuntimeProgram full,
         GenerateRuntimeProgram(program, cc_, cand.config, &counters_));
     cand.cost = cost_model_.EstimateProgramCost(full);
+    if (opts_.strict_analysis) {
+      RELM_RETURN_IF_ERROR(StrictCheck(program, full));
+    }
     return cand;
+  }
+
+  /// Strict-mode gate: every grid point's recompiled plan must pass the
+  /// full integrity analysis before its cost may enter the selection.
+  Status StrictCheck(MlProgram* program, const RuntimeProgram& full) {
+    RELM_TRACE_SPAN("optimize.strict_analysis");
+    analysis::AnalysisReport report =
+        analysis::AnalyzeRuntimePlan(program, full, cc_);
+    return analysis::ReportToStatus(report);
   }
 
   /// Picks from the collected candidates matching `filter`: minimum
@@ -619,6 +632,14 @@ class ResourceOptimizer::Runner {
           return;
         }
         cand.cost = local_cost.EstimateProgramCost(*full);
+        if (opts_.strict_analysis) {
+          Status strict = StrictCheck(local_program.get(), *full);
+          if (!strict.ok()) {
+            std::lock_guard<std::mutex> lock(result_mu);
+            worker_error = strict;
+            return;
+          }
+        }
         InsertIntoCache(rc, 1, cand);
         std::lock_guard<std::mutex> lock(result_mu);
         candidates_.push_back(std::move(cand));

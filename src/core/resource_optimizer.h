@@ -61,6 +61,14 @@ struct OptimizerOptions {
   /// evaluated and inserted, shared across enumeration runs and across
   /// concurrent submissions of the same program.
   PlanCache* plan_cache = nullptr;
+  /// Debug/strict mode: run the full plan-integrity analysis
+  /// (src/analysis) on every grid point's recompiled plan and fail the
+  /// optimization on any error-severity diagnostic. Roughly doubles the
+  /// per-point compile cost (the idempotence pass recompiles once more),
+  /// so it is off by default and — like num_threads — deliberately
+  /// excluded from the what-if context hash: it validates verdicts, it
+  /// never changes them.
+  bool strict_analysis = false;
 
   /// Rejects nonsensical combinations (non-positive grid resolution or
   /// thread count, negative rates/tolerances, empty or non-positive CP
@@ -113,6 +121,10 @@ struct OptimizerOptions {
   }
   OptimizerOptions& WithPlanCache(PlanCache* cache) {
     plan_cache = cache;
+    return *this;
+  }
+  OptimizerOptions& WithStrictAnalysis(bool strict = true) {
+    strict_analysis = strict;
     return *this;
   }
 };

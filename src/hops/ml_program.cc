@@ -85,4 +85,9 @@ bool MlProgram::has_unknowns() const {
   return false;
 }
 
+bool MlProgram::IsPoolableTraceFree() const {
+  return size_overrides_.empty() && !has_unknowns() &&
+         ast_.functions.empty();
+}
+
 }  // namespace relm

@@ -113,6 +113,15 @@ class MlProgram {
   int total_blocks() const { return blocks_.TotalBlocks(); }
   bool has_unknowns() const;
 
+  /// THE pooling predicate: true when a finished run can leave no trace
+  /// on this program instance — fully size-known, function-free, and
+  /// without dynamic-recompilation overrides — so the JobService may
+  /// park it for reuse by the next job with the same script signature.
+  /// The analysis layer's pool-purity pass cross-checks this verdict
+  /// against an independent IR scan; keep the two in sync by changing
+  /// only this predicate.
+  bool IsPoolableTraceFree() const;
+
  private:
   friend class IrBuilder;
 

@@ -148,6 +148,7 @@ struct Statement {
 
   Kind kind;
   int line = 0;
+  int column = 0;
 
   virtual std::string ToString() const = 0;
 };

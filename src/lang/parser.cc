@@ -94,9 +94,11 @@ class Parser {
     }
     // Expression statement (print/write calls).
     int line = Peek().line;
+    int column = Peek().column;
     RELM_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
     auto stmt = std::make_unique<ExprStmt>();
     stmt->line = line;
+    stmt->column = column;
     stmt->expr = std::move(e);
     Match(TokenKind::kSemicolon);
     return StmtPtr(std::move(stmt));
@@ -105,6 +107,7 @@ class Parser {
   Result<StmtPtr> ParseAssign() {
     auto stmt = std::make_unique<AssignStmt>();
     stmt->line = Peek().line;
+    stmt->column = Peek().column;
     stmt->targets.push_back(Advance().text);
     Advance();  // '=' or '<-'
     RELM_ASSIGN_OR_RETURN(stmt->rhs, ParseExpr());
@@ -115,6 +118,7 @@ class Parser {
   Result<StmtPtr> ParseLeftIndexAssign() {
     auto stmt = std::make_unique<AssignStmt>();
     stmt->line = Peek().line;
+    stmt->column = Peek().column;
     stmt->has_left_index = true;
     stmt->targets.push_back(Advance().text);  // ident
     Advance();                                // '['
@@ -144,6 +148,7 @@ class Parser {
   Result<StmtPtr> ParseMultiAssign() {
     auto stmt = std::make_unique<AssignStmt>();
     stmt->line = Peek().line;
+    stmt->column = Peek().column;
     Advance();  // '['
     while (true) {
       if (!Check(TokenKind::kIdent)) return Error("expected identifier");
@@ -179,6 +184,7 @@ class Parser {
   Result<StmtPtr> ParseIf() {
     auto stmt = std::make_unique<IfStmt>();
     stmt->line = Peek().line;
+    stmt->column = Peek().column;
     Advance();  // 'if'
     RELM_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "after 'if'"));
     RELM_ASSIGN_OR_RETURN(stmt->predicate, ParseExpr());
@@ -199,6 +205,7 @@ class Parser {
   Result<StmtPtr> ParseWhile() {
     auto stmt = std::make_unique<WhileStmt>();
     stmt->line = Peek().line;
+    stmt->column = Peek().column;
     Advance();  // 'while'
     RELM_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "after 'while'"));
     RELM_ASSIGN_OR_RETURN(stmt->predicate, ParseExpr());
@@ -211,6 +218,7 @@ class Parser {
   Result<StmtPtr> ParseFor() {
     auto stmt = std::make_unique<ForStmt>();
     stmt->line = Peek().line;
+    stmt->column = Peek().column;
     Advance();  // 'for'
     RELM_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "after 'for'"));
     if (!Check(TokenKind::kIdent)) return Error("expected loop variable");
@@ -329,10 +337,12 @@ class Parser {
   Result<ExprPtr> ParseNot() {
     if (Check(TokenKind::kNot)) {
       int line = Peek().line;
+      int column = Peek().column;
       Advance();
       RELM_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
       auto e = std::make_unique<UnaryExpr>();
       e->line = line;
+      e->column = column;
       e->op = UnOp::kNot;
       e->operand = std::move(operand);
       return ExprPtr(std::move(e));
@@ -398,10 +408,12 @@ class Parser {
     RELM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
     while (Check(TokenKind::kMatMult)) {
       int line = Peek().line;
+      int column = Peek().column;
       Advance();
       RELM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
       auto e = std::make_unique<MatMultExpr>();
       e->line = line;
+      e->column = column;
       e->lhs = std::move(lhs);
       e->rhs = std::move(rhs);
       lhs = std::move(e);
@@ -412,6 +424,7 @@ class Parser {
   Result<ExprPtr> ParseUnary() {
     if (Check(TokenKind::kMinus)) {
       int line = Peek().line;
+      int column = Peek().column;
       Advance();
       RELM_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
       // Fold -literal immediately so sizes like -1 stay literals.
@@ -425,6 +438,7 @@ class Parser {
       }
       auto e = std::make_unique<UnaryExpr>();
       e->line = line;
+      e->column = column;
       e->op = UnOp::kNeg;
       e->operand = std::move(operand);
       return ExprPtr(std::move(e));
@@ -454,9 +468,11 @@ class Parser {
     while (Check(TokenKind::kLBracket) && pos_ > 0 &&
            Peek().line == tokens_[pos_ - 1].line) {
       int line = Peek().line;
+      int column = Peek().column;
       Advance();
       auto idx = std::make_unique<IndexExpr>();
       idx->line = line;
+      idx->column = column;
       idx->target = std::move(e);
       // Row range (possibly empty before the comma).
       if (!Check(TokenKind::kComma)) {
@@ -485,12 +501,14 @@ class Parser {
         Advance();
         ExprPtr e = LiteralExpr::Number(t.number);
         e->line = t.line;
+        e->column = t.column;
         return e;
       }
       case TokenKind::kString: {
         Advance();
         ExprPtr e = LiteralExpr::String(t.text);
         e->line = t.line;
+        e->column = t.column;
         return e;
       }
       case TokenKind::kTrue:
@@ -499,6 +517,7 @@ class Parser {
         Advance();
         ExprPtr e = LiteralExpr::Bool(v);
         e->line = t.line;
+        e->column = t.column;
         return e;
       }
       case TokenKind::kDollar: {
@@ -571,6 +590,7 @@ class Parser {
     if (it == args_.end()) {
       auto e = std::make_unique<ParamExpr>();
       e->line = t.line;
+      e->column = t.column;
       e->name = t.text;
       return ExprPtr(std::move(e));
     }
@@ -589,6 +609,7 @@ class Parser {
   static ExprPtr MakeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
     auto e = std::make_unique<BinaryExpr>();
     e->line = lhs->line;
+    e->column = lhs->column;
     e->op = op;
     e->lhs = std::move(lhs);
     e->rhs = std::move(rhs);

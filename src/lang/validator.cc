@@ -69,10 +69,20 @@ const std::unordered_map<std::string, BuiltinRule>& Builtins() {
   return *kMap;
 }
 
-Status ErrorAt(int line, const std::string& msg) {
+Status ErrorAt(int line, int column, const std::string& msg) {
   std::ostringstream os;
-  os << "line " << line << ": " << msg;
+  os << "line " << line;
+  if (column > 0) os << ", col " << column;
+  os << ": " << msg;
   return Status::ValidationError(os.str());
+}
+
+Status ErrorAt(const Statement& stmt, const std::string& msg) {
+  return ErrorAt(stmt.line, stmt.column, msg);
+}
+
+Status ErrorAt(const Expr& e, const std::string& msg) {
+  return ErrorAt(e.line, e.column, msg);
 }
 
 using SymbolTable = std::map<std::string, VarType>;
@@ -121,7 +131,7 @@ class Validator {
           auto tit = table->find(a.targets[0]);
           if (tit == table->end() ||
               tit->second.data_type != DataType::kMatrix) {
-            return ErrorAt(stmt.line, "left indexing requires an "
+            return ErrorAt(stmt, "left indexing requires an "
                                       "existing matrix variable");
           }
           for (Expr* bound :
@@ -130,7 +140,7 @@ class Validator {
             if (bound == nullptr) continue;
             RELM_RETURN_IF_ERROR(ValidateExpr(bound, *table));
             if (bound->data_type == DataType::kMatrix) {
-              return ErrorAt(stmt.line, "index bounds must be scalars");
+              return ErrorAt(stmt, "index bounds must be scalars");
             }
           }
           return Status::OK();  // target keeps its matrix type
@@ -141,17 +151,17 @@ class Validator {
         } else {
           // Multi-assignment requires a user-function call.
           if (a.rhs->kind != Expr::Kind::kCall) {
-            return ErrorAt(stmt.line,
+            return ErrorAt(stmt,
                            "multi-assignment requires a function call");
           }
           const auto& call = static_cast<const CallExpr&>(*a.rhs);
           auto fit = program_->functions.find(call.function);
           if (fit == program_->functions.end()) {
-            return ErrorAt(stmt.line, "multi-assignment from unknown "
+            return ErrorAt(stmt, "multi-assignment from unknown "
                                       "function '" + call.function + "'");
           }
           if (fit->second.returns.size() != a.targets.size()) {
-            return ErrorAt(stmt.line, "function '" + call.function +
+            return ErrorAt(stmt, "function '" + call.function +
                                       "' returns " +
                                       std::to_string(
                                           fit->second.returns.size()) +
@@ -236,14 +246,14 @@ class Validator {
       }
       case Expr::Kind::kParam: {
         auto* p = static_cast<ParamExpr*>(expr);
-        return ErrorAt(expr->line, "script parameter $" + p->name +
+        return ErrorAt(*expr, "script parameter $" + p->name +
                                    " was not supplied and has no default");
       }
       case Expr::Kind::kIdent: {
         auto* id = static_cast<IdentExpr*>(expr);
         auto it = table.find(id->name);
         if (it == table.end()) {
-          return ErrorAt(expr->line,
+          return ErrorAt(*expr,
                          "undefined variable '" + id->name + "'");
         }
         expr->data_type = it->second.data_type;
@@ -285,7 +295,7 @@ class Validator {
         RELM_RETURN_IF_ERROR(ValidateExpr(m->rhs.get(), table));
         if (m->lhs->data_type != DataType::kMatrix ||
             m->rhs->data_type != DataType::kMatrix) {
-          return ErrorAt(expr->line, "%*% requires matrix operands");
+          return ErrorAt(*expr, "%*% requires matrix operands");
         }
         expr->data_type = DataType::kMatrix;
         expr->value_type = ValueType::kDouble;
@@ -295,14 +305,14 @@ class Validator {
         auto* ix = static_cast<IndexExpr*>(expr);
         RELM_RETURN_IF_ERROR(ValidateExpr(ix->target.get(), table));
         if (ix->target->data_type != DataType::kMatrix) {
-          return ErrorAt(expr->line, "indexing requires a matrix");
+          return ErrorAt(*expr, "indexing requires a matrix");
         }
         for (Expr* bound : {ix->row_lower.get(), ix->row_upper.get(),
                             ix->col_lower.get(), ix->col_upper.get()}) {
           if (bound != nullptr) {
             RELM_RETURN_IF_ERROR(ValidateExpr(bound, table));
             if (bound->data_type == DataType::kMatrix) {
-              return ErrorAt(expr->line, "index bounds must be scalars");
+              return ErrorAt(*expr, "index bounds must be scalars");
             }
           }
         }
@@ -325,13 +335,13 @@ class Validator {
     if (fit != program_->functions.end()) {
       const FunctionDef& fn = fit->second;
       if (call->args.size() != fn.params.size()) {
-        return ErrorAt(call->line, "function '" + call->function +
+        return ErrorAt(*call, "function '" + call->function +
                                    "' expects " +
                                    std::to_string(fn.params.size()) +
                                    " arguments");
       }
       if (fn.returns.empty()) {
-        return ErrorAt(call->line,
+        return ErrorAt(*call,
                        "function '" + call->function + "' has no returns");
       }
       call->data_type = fn.returns[0].data_type;
@@ -340,12 +350,12 @@ class Validator {
     }
     auto bit = Builtins().find(call->function);
     if (bit == Builtins().end()) {
-      return ErrorAt(call->line,
+      return ErrorAt(*call,
                      "unknown function '" + call->function + "'");
     }
     auto require_args = [&](size_t lo, size_t hi) -> Status {
       if (call->args.size() < lo || call->args.size() > hi) {
-        return ErrorAt(call->line,
+        return ErrorAt(*call,
                        "wrong number of arguments to '" + call->function +
                        "'");
       }
@@ -353,7 +363,7 @@ class Validator {
     };
     auto require_matrix = [&](size_t idx) -> Status {
       if (call->args[idx].value->data_type != DataType::kMatrix) {
-        return ErrorAt(call->line, "argument " + std::to_string(idx + 1) +
+        return ErrorAt(*call, "argument " + std::to_string(idx + 1) +
                                    " of '" + call->function +
                                    "' must be a matrix");
       }
@@ -409,7 +419,7 @@ class Validator {
         RELM_RETURN_IF_ERROR(require_matrix(0));
         if (call->args[2].value->kind != Expr::Kind::kLiteral ||
             call->args[2].value->value_type != ValueType::kString) {
-          return ErrorAt(call->line,
+          return ErrorAt(*call,
                          "third argument of ppred must be an operator "
                          "string like \">\"");
         }
@@ -420,7 +430,7 @@ class Validator {
       case BuiltinRule::kMatrixGen: {
         if (call->Named("rows") == nullptr ||
             call->Named("cols") == nullptr) {
-          return ErrorAt(call->line, "'" + call->function +
+          return ErrorAt(*call, "'" + call->function +
                                      "' requires rows= and cols=");
         }
         call->data_type = DataType::kMatrix;

@@ -529,6 +529,10 @@ class Piggyback {
 
 }  // namespace
 
+bool HopIsOperator(const Hop& hop) { return IsOperator(hop); }
+
+bool HopIsMrCapable(const Hop& hop) { return MrCapable(hop); }
+
 Result<RuntimeBlock> CompileBlockPlan(MlProgram* program,
                                       const ClusterConfig& cc,
                                       StatementBlock* block,

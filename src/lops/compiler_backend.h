@@ -26,6 +26,16 @@ int64_t HopDiskBytes(const Hop& hop);
 /// In-memory size of a hop's output, placeholder when unknown.
 int64_t HopMemBytes(const Hop& hop);
 
+/// True for hop kinds that become executable operators (as opposed to
+/// reads, literals, fused transposes, and function-output markers).
+/// Exported so the analysis layer audits plans against the same notion
+/// of "operator" that operator selection and piggybacking use.
+bool HopIsOperator(const Hop& hop);
+/// True for matrix operators eligible for MR execution at all; the
+/// selection invariant is: exec == CP iff (!HopIsMrCapable || op_mem <=
+/// CP budget), so MR-placed operators must satisfy both conjuncts.
+bool HopIsMrCapable(const Hop& hop);
+
 /// Compiles the runtime plan for one statement block (and nothing else):
 /// operator selection under the block's CP/MR memory budgets, then
 /// piggybacking of MR operators into a minimal number of MR jobs.

@@ -308,9 +308,10 @@ void JobService::ReleaseProgram(uint64_t script_sig,
   // Only park instances a run cannot have left state on: any discovered
   // size (dynamic recompilation) shows up in size_overrides, unknowns
   // make such discoveries possible, and user functions let the
-  // simulator's call-size derivation rebuild the IR.
-  if (program == nullptr || !program->size_overrides().empty() ||
-      program->has_unknowns() || !program->ast().functions.empty()) {
+  // simulator's call-size derivation rebuild the IR. The predicate
+  // lives on MlProgram so the analysis layer's pool-purity pass can
+  // cross-check the same verdict against an independent IR scan.
+  if (program == nullptr || !program->IsPoolableTraceFree()) {
     return;
   }
   const size_t cap = static_cast<size_t>(options_.max_pooled_programs);

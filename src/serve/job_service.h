@@ -25,6 +25,7 @@
 
 #include "api/session.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/plan_cache.h"
 #include "core/resource_optimizer.h"
 #include "mrsim/cluster_simulator.h"
@@ -227,7 +228,7 @@ class JobService {
   void WorkerLoop();
   /// Picks the next job round-robin across tenant FIFOs. Returns null
   /// when stopping and empty. Called with mu_ held... (see .cc)
-  std::shared_ptr<Job> NextJobLocked();
+  std::shared_ptr<Job> NextJobLocked() RELM_REQUIRES(mu_);
   void RunJob(const std::shared_ptr<Job>& job);
   /// Program instance pool: a finished job's compiled program is reused
   /// by the next job with the same script signature when the run left
@@ -257,28 +258,30 @@ class JobService {
   std::condition_variable work_cv_;   // workers: queue non-empty / stop
   std::condition_variable drain_cv_;  // Drain(): all jobs finished
   std::condition_variable capacity_cv_;
-  bool stopping_ = false;
-  uint64_t next_job_id_ = 1;
-  int64_t completion_counter_ = 0;
+  bool stopping_ RELM_GUARDED_BY(mu_) = false;
+  uint64_t next_job_id_ RELM_GUARDED_BY(mu_) = 1;
+  int64_t completion_counter_ RELM_GUARDED_BY(mu_) = 0;
   // Per-tenant FIFO queues plus the round-robin order of tenants that
   // currently have queued work.
-  std::map<std::string, std::deque<std::shared_ptr<Job>>> queues_;
-  std::deque<std::string> tenant_rr_;
-  int queued_ = 0;
-  int running_ = 0;
-  int64_t inflight_container_bytes_ = 0;
+  std::map<std::string, std::deque<std::shared_ptr<Job>>> queues_
+      RELM_GUARDED_BY(mu_);
+  std::deque<std::string> tenant_rr_ RELM_GUARDED_BY(mu_);
+  int queued_ RELM_GUARDED_BY(mu_) = 0;
+  int running_ RELM_GUARDED_BY(mu_) = 0;
+  int64_t inflight_container_bytes_ RELM_GUARDED_BY(mu_) = 0;
   // FIFO order of capacity grants: each AcquireCapacity takes a ticket
   // and is admitted only when its ticket is the one being served.
-  uint64_t capacity_next_ticket_ = 0;
-  uint64_t capacity_serving_ = 0;
-  Stats stats_;
+  uint64_t capacity_next_ticket_ RELM_GUARDED_BY(mu_) = 0;
+  uint64_t capacity_serving_ RELM_GUARDED_BY(mu_) = 0;
+  Stats stats_ RELM_GUARDED_BY(mu_);
 
   mutable std::mutex pool_mu_;
-  std::map<uint64_t, std::vector<std::unique_ptr<MlProgram>>> program_pool_;
+  std::map<uint64_t, std::vector<std::unique_ptr<MlProgram>>> program_pool_
+      RELM_GUARDED_BY(pool_mu_);
   // Pooled instances in parking order (one entry per instance); the
   // front is the FIFO eviction victim when the pool is at capacity.
-  std::deque<uint64_t> pool_fifo_;
-  size_t pooled_instances_ = 0;
+  std::deque<uint64_t> pool_fifo_ RELM_GUARDED_BY(pool_mu_);
+  size_t pooled_instances_ RELM_GUARDED_BY(pool_mu_) = 0;
 
   std::vector<std::thread> workers_;
 };

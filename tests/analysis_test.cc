@@ -1,0 +1,511 @@
+// Plan-integrity analysis tests: a corpus of seeded corruptions, each of
+// which must be caught by the matching pass, plus the clean-program
+// guarantee that every shipped script passes the full analysis at the
+// cluster's budget extremes.
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/analysis.h"
+#include "api/session.h"
+#include "lops/compiler_backend.h"
+
+namespace relm {
+namespace {
+
+using analysis::AnalysisReport;
+using analysis::AnalyzeProgram;
+using analysis::AnalyzeRuntimePlan;
+using analysis::PlanSignature;
+using analysis::ReportToStatus;
+using analysis::Severity;
+
+const char* const kScripts[] = {"glm.dml", "l2svm.dml", "linreg_cg.dml",
+                                "linreg_ds.dml", "mlogreg.dml"};
+
+std::string ReadScript(const std::string& name) {
+  std::ifstream in(std::string(RELM_SCRIPTS_DIR) + "/" + name);
+  EXPECT_TRUE(in.good()) << "missing script " << name;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class AnalysisTest : public ::testing::Test {
+ protected:
+  AnalysisTest() : cc_(ClusterConfig::PaperCluster()) {}
+
+  /// Registers X (rows x cols) and matching y, then compiles `source`.
+  std::unique_ptr<MlProgram> CompileSource(const std::string& source,
+                                           int64_t rows = 1000000,
+                                           int64_t cols = 1000) {
+    hdfs_ = std::make_unique<SimulatedHdfs>(cc_.hdfs_block_size);
+    hdfs_->PutMetadata("/data/X", MatrixCharacteristics::Dense(rows, cols));
+    hdfs_->PutMetadata("/data/y", MatrixCharacteristics::Dense(rows, 1));
+    ScriptArgs args{{"X", "/data/X"}, {"Y", "/data/y"},
+                    {"B", "/out/B"},  {"model", "/out/w"}};
+    auto p = MlProgram::Compile(source, args, hdfs_.get());
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    return std::move(*p);
+  }
+
+  std::unique_ptr<MlProgram> CompileScript(const std::string& file) {
+    return CompileSource(ReadScript(file));
+  }
+
+  RuntimeProgram CompilePlan(MlProgram* p, int64_t cp_heap) {
+    CompileCounters counters;
+    auto rp = GenerateRuntimeProgram(p, cc_,
+                                     ResourceConfig(cp_heap, cp_heap),
+                                     &counters);
+    EXPECT_TRUE(rp.ok()) << rp.status().ToString();
+    return std::move(*rp);
+  }
+
+  /// First hop (topological order, all blocks) matching the predicate.
+  template <typename Pred>
+  Hop* FindHop(MlProgram* p, Pred pred) {
+    for (StatementBlock* b : p->AllBlocksPreOrder()) {
+      if (!p->has_ir(b->id())) continue;
+      for (Hop* h : p->ir(b->id()).dag.TopoOrder()) {
+        if (pred(h)) return h;
+      }
+    }
+    return nullptr;
+  }
+
+  /// First MR job matching the predicate, searching nested blocks too.
+  template <typename Pred>
+  MRJobInstr* FindJob(std::vector<RuntimeBlock>& blocks, Pred pred) {
+    for (RuntimeBlock& block : blocks) {
+      for (RuntimeInstr& instr : block.instrs) {
+        if (instr.kind == RuntimeInstr::Kind::kMrJob && pred(instr.job)) {
+          return &instr.job;
+        }
+      }
+      if (MRJobInstr* j = FindJob(block.body, pred)) return j;
+      if (MRJobInstr* j = FindJob(block.else_body, pred)) return j;
+    }
+    return nullptr;
+  }
+
+  /// First CP instruction hop matching the predicate.
+  template <typename Pred>
+  Hop* FindCpInstr(std::vector<RuntimeBlock>& blocks, Pred pred) {
+    for (RuntimeBlock& block : blocks) {
+      for (RuntimeInstr& instr : block.instrs) {
+        if (instr.kind == RuntimeInstr::Kind::kCp &&
+            instr.hop != nullptr && pred(instr.hop)) {
+          return instr.hop;
+        }
+      }
+      if (Hop* h = FindCpInstr(block.body, pred)) return h;
+      if (Hop* h = FindCpInstr(block.else_body, pred)) return h;
+    }
+    return nullptr;
+  }
+
+  ClusterConfig cc_;
+  std::unique_ptr<SimulatedHdfs> hdfs_;
+};
+
+// ---- clean programs stay clean ----
+
+TEST_F(AnalysisTest, AllShippedScriptsAreAnalysisClean) {
+  for (const char* script : kScripts) {
+    auto p = CompileScript(script);
+    AnalysisReport report = AnalyzeProgram(p.get());
+    EXPECT_EQ(report.NumErrors(), 0)
+        << script << ":\n" << report.ToString();
+    EXPECT_EQ(report.NumWarnings(), 0)
+        << script << ":\n" << report.ToString();
+  }
+}
+
+TEST_F(AnalysisTest, AllShippedScriptsCleanAtBudgetExtremes) {
+  int64_t min_heap = cc_.MinHeapSize();
+  int64_t max_heap = cc_.MaxHeapSize();
+  int64_t budgets[] = {min_heap, (min_heap + max_heap) / 2, max_heap};
+  for (const char* script : kScripts) {
+    auto p = CompileScript(script);
+    for (int64_t heap : budgets) {
+      RuntimeProgram rp = CompilePlan(p.get(), heap);
+      AnalysisReport report = AnalyzeRuntimePlan(p.get(), rp, cc_);
+      EXPECT_EQ(report.NumErrors(), 0)
+          << script << " at " << heap << " bytes:\n" << report.ToString();
+    }
+  }
+}
+
+TEST_F(AnalysisTest, ReportToStatusMapsErrorsToInternal) {
+  AnalysisReport clean;
+  clean.Add(Severity::kWarning, "some-pass", "program", "just a warning");
+  EXPECT_TRUE(ReportToStatus(clean).ok());
+
+  AnalysisReport broken;
+  broken.Add(Severity::kError, "some-pass", "block 1", "seeded");
+  Status st = ReportToStatus(broken);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("plan integrity violated"),
+            std::string::npos);
+}
+
+TEST_F(AnalysisTest, ReportJsonIsSelfDescribing) {
+  AnalysisReport report;
+  report.Add(Severity::kError, "dag-integrity", "block 3 hop 7 (MatMult)",
+             "a \"quoted\" message");
+  std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"errors\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("dag-integrity"), std::string::npos) << json;
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos) << json;
+}
+
+// ---- plan signatures ----
+
+TEST_F(AnalysisTest, PlanSignatureIsDeterministic) {
+  auto p = CompileScript("linreg_ds.dml");
+  RuntimeProgram a = CompilePlan(p.get(), cc_.MaxHeapSize());
+  RuntimeProgram b = CompilePlan(p.get(), cc_.MaxHeapSize());
+  EXPECT_EQ(PlanSignature(a), PlanSignature(b));
+}
+
+TEST_F(AnalysisTest, PlanSignatureSeparatesBudgets) {
+  // 8GB of input: the min budget forces MR jobs, the max budget runs
+  // everything CP — operationally different plans, different signatures.
+  auto p = CompileScript("linreg_ds.dml");
+  RuntimeProgram small = CompilePlan(p.get(), cc_.MinHeapSize());
+  RuntimeProgram large = CompilePlan(p.get(), cc_.MaxHeapSize());
+  ASSERT_GT(small.TotalMrJobs(), 0);
+  EXPECT_NE(PlanSignature(small), PlanSignature(large));
+}
+
+// ---- seeded corruption corpus: dag-integrity ----
+
+TEST_F(AnalysisTest, CatchesCycle) {
+  auto p = CompileScript("linreg_ds.dml");
+  // Find a root with an input and close the loop: root -> input -> root.
+  HopPtr root;
+  for (StatementBlock* b : p->AllBlocksPreOrder()) {
+    if (!p->has_ir(b->id())) continue;
+    for (const HopPtr& r : p->ir(b->id()).dag.roots) {
+      if (r != nullptr && !r->inputs().empty()) {
+        root = r;
+        break;
+      }
+    }
+    if (root != nullptr) break;
+  }
+  ASSERT_NE(root, nullptr);
+  root->input(0)->AddInput(root);
+  AnalysisReport report = AnalyzeProgram(p.get());
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_FALSE(report.ForPass("dag-integrity").empty())
+      << report.ToString();
+}
+
+TEST_F(AnalysisTest, CatchesNullInputEdge) {
+  auto p = CompileScript("linreg_ds.dml");
+  Hop* victim = FindHop(p.get(), [](Hop* h) {
+    return !h->inputs().empty();
+  });
+  ASSERT_NE(victim, nullptr);
+  victim->inputs().push_back(nullptr);
+  AnalysisReport report = AnalyzeProgram(p.get());
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_FALSE(report.ForPass("dag-integrity").empty())
+      << report.ToString();
+}
+
+TEST_F(AnalysisTest, CatchesDuplicateHopIds) {
+  auto p = CompileScript("linreg_ds.dml");
+  Hop* a = FindHop(p.get(), [](Hop*) { return true; });
+  ASSERT_NE(a, nullptr);
+  Hop* b = FindHop(p.get(), [&](Hop* h) { return h != a; });
+  ASSERT_NE(b, nullptr);
+  b->set_id(a->id());
+  AnalysisReport report = AnalyzeProgram(p.get());
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_FALSE(report.ForPass("dag-integrity").empty())
+      << report.ToString();
+}
+
+TEST_F(AnalysisTest, CatchesBogusFusedFlag) {
+  auto p = CompileScript("linreg_ds.dml");
+  Hop* victim = FindHop(p.get(), [](Hop* h) {
+    return h->kind() != HopKind::kReorg;
+  });
+  ASSERT_NE(victim, nullptr);
+  victim->set_fused(true);
+  AnalysisReport report = AnalyzeProgram(p.get());
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_FALSE(report.ForPass("dag-integrity").empty())
+      << report.ToString();
+}
+
+// ---- seeded corruption corpus: size-consistency ----
+
+TEST_F(AnalysisTest, CatchesNnzAboveCellCount) {
+  auto p = CompileScript("linreg_ds.dml");
+  Hop* victim = FindHop(p.get(), [](Hop* h) {
+    return h->is_matrix() && h->mc().fully_known() && h->mc().cells() > 0;
+  });
+  ASSERT_NE(victim, nullptr);
+  victim->mutable_mc()->set_nnz(victim->mc().cells() + 5);
+  AnalysisReport report = AnalyzeProgram(p.get());
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_FALSE(report.ForPass("size-consistency").empty())
+      << report.ToString();
+}
+
+TEST_F(AnalysisTest, CatchesCorruptedTransposeDims) {
+  // The transpose is consumed by a write (not a matmult), so it is a
+  // real, unfused operator whose output shape must swap the input's.
+  auto p = CompileSource("X = read($X);\nZ = t(X);\nwrite(Z, $B);\n");
+  Hop* victim = FindHop(p.get(), [](Hop* h) {
+    return h->kind() == HopKind::kReorg && !h->fused() &&
+           h->reorg_op == ReorgOp::kTranspose;
+  });
+  ASSERT_NE(victim, nullptr);
+  const MatrixCharacteristics& in = victim->input(0)->mc();
+  victim->set_mc(MatrixCharacteristics(in.rows(), in.cols(), in.nnz()));
+  AnalysisReport report = AnalyzeProgram(p.get());
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_FALSE(report.ForPass("size-consistency").empty())
+      << report.ToString();
+}
+
+TEST_F(AnalysisTest, CatchesCorruptedMatMultDims) {
+  auto p = CompileScript("linreg_ds.dml");
+  Hop* victim = FindHop(p.get(), [](Hop* h) {
+    return h->kind() == HopKind::kMatMult && h->mc().dims_known();
+  });
+  ASSERT_NE(victim, nullptr);
+  victim->mutable_mc()->set_rows(victim->mc().rows() + 1);
+  AnalysisReport report = AnalyzeProgram(p.get());
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_FALSE(report.ForPass("size-consistency").empty())
+      << report.ToString();
+}
+
+TEST_F(AnalysisTest, CatchesShrunkOutputEstimate) {
+  auto p = CompileScript("linreg_ds.dml");
+  Hop* victim = FindHop(p.get(), [](Hop* h) {
+    return h->is_matrix() && !h->fused() && h->mc().fully_known() &&
+           h->output_mem() > 1024;
+  });
+  ASSERT_NE(victim, nullptr);
+  victim->set_output_mem(1);
+  AnalysisReport report = AnalyzeProgram(p.get());
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_FALSE(report.ForPass("size-consistency").empty())
+      << report.ToString();
+}
+
+TEST_F(AnalysisTest, CatchesOperationEstimateBelowOutput) {
+  auto p = CompileScript("linreg_ds.dml");
+  Hop* victim = FindHop(p.get(), [](Hop* h) {
+    return h->is_matrix() && !h->fused() && h->output_mem() > 0;
+  });
+  ASSERT_NE(victim, nullptr);
+  victim->set_op_mem(0);
+  AnalysisReport report = AnalyzeProgram(p.get());
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_FALSE(report.ForPass("size-consistency").empty())
+      << report.ToString();
+}
+
+// ---- seeded corruption corpus: budget-conformance ----
+
+TEST_F(AnalysisTest, CatchesMrOperatorThatFitsCpBudget) {
+  auto p = CompileScript("linreg_ds.dml");
+  RuntimeProgram rp = CompilePlan(p.get(), cc_.MinHeapSize());
+  ASSERT_GT(rp.TotalMrJobs(), 0);
+  MRJobInstr* job = FindJob(rp.main, [](const MRJobInstr& j) {
+    return !j.map_ops.empty();
+  });
+  ASSERT_NE(job, nullptr);
+  job->map_ops[0]->set_op_mem(1);  // "needs almost nothing" -> CP drift
+  AnalysisReport report = AnalyzeRuntimePlan(p.get(), rp, cc_);
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_FALSE(report.ForPass("budget-conformance").empty())
+      << report.ToString();
+}
+
+TEST_F(AnalysisTest, CatchesCpAnnotationInsideMrJob) {
+  auto p = CompileScript("linreg_ds.dml");
+  RuntimeProgram rp = CompilePlan(p.get(), cc_.MinHeapSize());
+  MRJobInstr* job = FindJob(rp.main, [](const MRJobInstr& j) {
+    return !j.map_ops.empty();
+  });
+  ASSERT_NE(job, nullptr);
+  job->map_ops[0]->set_exec_type(ExecType::kCP);
+  AnalysisReport report = AnalyzeRuntimePlan(p.get(), rp, cc_);
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_FALSE(report.ForPass("budget-conformance").empty())
+      << report.ToString();
+}
+
+TEST_F(AnalysisTest, CatchesCpOperatorOverBudget) {
+  auto p = CompileScript("linreg_ds.dml");
+  RuntimeProgram rp = CompilePlan(p.get(), cc_.MaxHeapSize());
+  Hop* victim = FindCpInstr(rp.main, [](Hop* h) {
+    return HopIsOperator(*h) && HopIsMrCapable(*h);
+  });
+  ASSERT_NE(victim, nullptr);
+  victim->set_op_mem(cc_.MaxHeapSize() * 2);
+  AnalysisReport report = AnalyzeRuntimePlan(p.get(), rp, cc_);
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_FALSE(report.ForPass("budget-conformance").empty())
+      << report.ToString();
+}
+
+// ---- seeded corruption corpus: piggyback-legality ----
+
+TEST_F(AnalysisTest, CatchesReduceWorkWithoutShuffle) {
+  auto p = CompileScript("linreg_ds.dml");
+  RuntimeProgram rp = CompilePlan(p.get(), cc_.MinHeapSize());
+  MRJobInstr* job = FindJob(rp.main, [](const MRJobInstr& j) {
+    return !j.map_ops.empty();
+  });
+  ASSERT_NE(job, nullptr) << "expected an MR job at the min budget";
+  // Seed reduce-side work with the shuffle flag cleared.
+  job->reduce_ops.push_back(job->map_ops.back());
+  job->map_ops.pop_back();
+  job->has_shuffle = false;
+  AnalysisReport report = AnalyzeRuntimePlan(p.get(), rp, cc_);
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_FALSE(report.ForPass("piggyback-legality").empty())
+      << report.ToString();
+}
+
+TEST_F(AnalysisTest, CatchesOperatorInBothPhases) {
+  auto p = CompileScript("linreg_ds.dml");
+  RuntimeProgram rp = CompilePlan(p.get(), cc_.MinHeapSize());
+  MRJobInstr* job = FindJob(rp.main, [](const MRJobInstr& j) {
+    return !j.map_ops.empty();
+  });
+  ASSERT_NE(job, nullptr);
+  job->has_shuffle = true;  // keep the shuffle invariant satisfied
+  job->reduce_ops.push_back(job->map_ops[0]);
+  AnalysisReport report = AnalyzeRuntimePlan(p.get(), rp, cc_);
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_FALSE(report.ForPass("piggyback-legality").empty())
+      << report.ToString();
+}
+
+TEST_F(AnalysisTest, CatchesEmptyMrJob) {
+  auto p = CompileScript("linreg_ds.dml");
+  RuntimeProgram rp = CompilePlan(p.get(), cc_.MinHeapSize());
+  MRJobInstr* job = FindJob(rp.main, [](const MRJobInstr& j) {
+    return !j.map_ops.empty();
+  });
+  ASSERT_NE(job, nullptr);
+  job->map_ops.clear();
+  job->reduce_ops.clear();
+  AnalysisReport report = AnalyzeRuntimePlan(p.get(), rp, cc_);
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_FALSE(report.ForPass("piggyback-legality").empty())
+      << report.ToString();
+}
+
+// ---- seeded corruption corpus: pool-purity ----
+
+TEST_F(AnalysisTest, CatchesHiddenUnknownDimensions) {
+  // Fully size-known program: the pooling predicate says trace-free.
+  // Corrupt one hop to unknown dims WITHOUT updating the cached
+  // per-block flag — the predicate still claims poolable, but the
+  // independent IR scan disagrees.
+  auto p = CompileScript("linreg_ds.dml");
+  ASSERT_TRUE(p->IsPoolableTraceFree());
+  Hop* victim = FindHop(p.get(), [](Hop* h) {
+    return h->is_matrix() && h->mc().dims_known();
+  });
+  ASSERT_NE(victim, nullptr);
+  victim->set_mc(MatrixCharacteristics::Unknown());
+  ASSERT_TRUE(p->IsPoolableTraceFree());  // the stale flag still lies
+  AnalysisReport report = AnalyzeProgram(p.get());
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_FALSE(report.ForPass("pool-purity").empty())
+      << report.ToString();
+}
+
+TEST_F(AnalysisTest, WarnsOnStaleUnknownDimsFlag) {
+  // The reverse direction: the flag claims unknowns on a clean program,
+  // so the predicate needlessly rejects pooling — a warning, since the
+  // plan itself is still sound.
+  auto p = CompileScript("linreg_ds.dml");
+  StatementBlock* first = p->AllBlocksPreOrder().front();
+  ASSERT_TRUE(p->has_ir(first->id()));
+  p->ir(first->id()).has_unknown_dims = true;
+  ASSERT_FALSE(p->IsPoolableTraceFree());
+  AnalysisReport report = AnalyzeProgram(p.get());
+  EXPECT_EQ(report.NumErrors(), 0) << report.ToString();
+  EXPECT_GE(report.NumWarnings(), 1);
+  EXPECT_FALSE(report.ForPass("pool-purity").empty())
+      << report.ToString();
+}
+
+// ---- seeded corruption corpus: recompile-idempotence ----
+
+TEST_F(AnalysisTest, CatchesMutatedRuntimePlan) {
+  auto p = CompileScript("linreg_ds.dml");
+  RuntimeProgram rp = CompilePlan(p.get(), cc_.MaxHeapSize());
+  // Drop the tail instruction of the first non-empty block: the
+  // recompile under the same budget will faithfully reproduce it, so
+  // the signatures must diverge.
+  RuntimeBlock* victim = nullptr;
+  for (RuntimeBlock& block : rp.main) {
+    if (!block.instrs.empty()) {
+      victim = &block;
+      break;
+    }
+  }
+  ASSERT_NE(victim, nullptr);
+  victim->instrs.pop_back();
+  AnalysisReport report = AnalyzeRuntimePlan(p.get(), rp, cc_);
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_FALSE(report.ForPass("recompile-idempotence").empty())
+      << report.ToString();
+}
+
+// ---- choke-point wiring ----
+
+TEST_F(AnalysisTest, SessionCompileRunsTheAnalysisGate) {
+  SessionOptions options;
+  options.enable_plan_cache = false;  // isolate from the global cache
+  Session session(cc_, options);
+  ASSERT_TRUE(session
+                  .RegisterMatrixMetadata("/data/X", 1000000, 1000)
+                  .ok());
+  ASSERT_TRUE(session.RegisterMatrixMetadata("/data/y", 1000000, 1).ok());
+  ScriptArgs args{{"X", "/data/X"}, {"Y", "/data/y"},
+                  {"B", "/out/B"},  {"model", "/out/w"}};
+  auto prog = session.CompileSource(ReadScript("linreg_ds.dml"), args);
+  EXPECT_TRUE(prog.ok()) << prog.status().ToString();
+}
+
+TEST_F(AnalysisTest, StrictOptimizerSweepPassesOnCleanProgram) {
+  SessionOptions options;
+  options.enable_plan_cache = false;
+  Session session(cc_, options);
+  ASSERT_TRUE(session
+                  .RegisterMatrixMetadata("/data/X", 1000000, 1000)
+                  .ok());
+  ASSERT_TRUE(session.RegisterMatrixMetadata("/data/y", 1000000, 1).ok());
+  ScriptArgs args{{"X", "/data/X"}, {"Y", "/data/y"},
+                  {"B", "/out/B"},  {"model", "/out/w"}};
+  auto prog = session.CompileSource(ReadScript("linreg_ds.dml"), args);
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  OptimizerOptions opts;
+  opts.WithStrictAnalysis(true);
+  auto outcome = session.Optimize(prog->get(), opts);
+  EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+}
+
+}  // namespace
+}  // namespace relm

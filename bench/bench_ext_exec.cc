@@ -1,0 +1,282 @@
+// Extension harness: throughput of the unified execution engine.
+// Three tables:
+//   (a) kernel speedup — tiled matmult / elementwise / row-aggregate
+//       wall-clock at 1/2/4/8 workers against the serial baseline;
+//   (b) end-to-end speedup — a matmult-heavy script and a real mlogreg
+//       training run through the interpreter at 1/2/8 workers;
+//   (c) spill overhead — the same run unmanaged vs under shrinking CP
+//       budgets, with the MemoryManager's spill/reload traffic.
+// All numbers are host wall-clock (the engine does real work, unlike
+// the simulator benches); speedups depend on available cores.
+// `--json-out=PATH` exports every row as JSON; `--trace-out=PATH`
+// dumps engine spans and exec.* metrics as Chrome-trace JSON.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/random.h"
+#include "exec/worker_pool.h"
+#include "hdfs/file_system.h"
+#include "hops/ml_program.h"
+#include "matrix/kernels.h"
+#include "runtime/interpreter.h"
+
+namespace relm {
+namespace bench {
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::ostringstream& Json() {
+  static std::ostringstream json;
+  return json;
+}
+
+void JsonRow(const std::string& table, const std::string& label,
+             int workers, double ms, double speedup, int64_t spill_bytes,
+             int64_t reload_bytes) {
+  std::ostringstream& json = Json();
+  if (json.tellp() > 0) json << ",\n";
+  json << "  {\"table\":\"" << table << "\",\"label\":\"" << label
+       << "\",\"workers\":" << workers << ",\"ms\":" << ms
+       << ",\"speedup\":" << speedup << ",\"spill_bytes\":" << spill_bytes
+       << ",\"reload_bytes\":" << reload_bytes << "}";
+}
+
+// ---- (a) kernel speedup ------------------------------------------------
+
+double TimeKernel(const std::function<void()>& body, int reps) {
+  body();  // warm up
+  auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) body();
+  return MsSince(t0) / reps;
+}
+
+void KernelTable() {
+  Random rng(42);
+  const MatrixBlock a = MatrixBlock::Rand(512, 512, 1.0, -1, 1, &rng);
+  const MatrixBlock b = MatrixBlock::Rand(512, 512, 1.0, -1, 1, &rng);
+  const MatrixBlock v = MatrixBlock::Rand(2000, 2000, 1.0, -1, 1, &rng);
+
+  struct Kernel {
+    const char* name;
+    std::function<void()> body;
+    int reps;
+  };
+  const Kernel kernels[] = {
+      {"matmult_512", [&] { (void)MatMult(a, b); }, 3},
+      {"elementwise_4M",
+       [&] { (void)ElementwiseBinary(BinOp::kMul, v, v); }, 5},
+      {"rowsums_4M", [&] { (void)AggregateAxis(AggOp::kSum, AggDir::kRow, v); },
+       5},
+  };
+
+  std::printf("(a) kernel wall-clock vs workers\n");
+  std::printf("%-16s %10s %10s %10s %10s %8s\n", "kernel", "w=1(ms)",
+              "w=2(ms)", "w=4(ms)", "w=8(ms)", "speedup");
+  for (const Kernel& k : kernels) {
+    double ms[4] = {0, 0, 0, 0};
+    const int counts[4] = {1, 2, 4, 8};
+    for (int i = 0; i < 4; ++i) {
+      exec::SetWorkers(counts[i]);
+      ms[i] = TimeKernel(k.body, k.reps);
+      JsonRow("kernel", k.name, counts[i], ms[i], ms[0] / ms[i], 0, 0);
+    }
+    exec::SetWorkers(1);
+    std::printf("%-16s %10.2f %10.2f %10.2f %10.2f %7.2fx\n", k.name,
+                ms[0], ms[1], ms[2], ms[3], ms[0] / ms[3]);
+  }
+  std::printf("\n");
+}
+
+// ---- (b) end-to-end speedup --------------------------------------------
+
+struct RunResult {
+  double ms = 0.0;
+  exec::ExecStats stats;
+};
+
+RunResult RunScript(const std::string& source, const ScriptArgs& args,
+                    const std::function<void(SimulatedHdfs*)>& setup,
+                    int workers, int64_t budget) {
+  SimulatedHdfs hdfs;
+  setup(&hdfs);
+  auto prog = MlProgram::Compile(source, args, &hdfs);
+  if (!prog.ok()) {
+    std::fprintf(stderr, "compile failed: %s\n",
+                 prog.status().ToString().c_str());
+    std::exit(1);
+  }
+  Interpreter interp(prog->get(), &hdfs);
+  exec::ExecOptions opts;
+  opts.workers = workers;
+  opts.memory_budget = budget;
+  interp.set_exec_options(opts);
+  auto t0 = std::chrono::steady_clock::now();
+  Status st = interp.Run();
+  RunResult out;
+  out.ms = MsSince(t0);
+  out.stats = interp.exec_stats();
+  if (!st.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  return out;
+}
+
+void ChainSetup(SimulatedHdfs* hdfs) {
+  Random rng(42);
+  hdfs->PutMatrix("/data/X", MatrixBlock::Rand(384, 384, 1.0, -1, 1, &rng));
+}
+
+const char kChainScript[] =
+    "X = read($X)\n"
+    "A = X %*% X\n"
+    "B = t(X) %*% X\n"
+    "C = X %*% t(X)\n"
+    "s = sum(A) + sum(B) + sum(C)\n"
+    "print(\"s=\" + s)\n";
+
+void MlogregSetup(SimulatedHdfs* hdfs) {
+  Random rng(42);
+  const int n = 2000;
+  MatrixBlock x(n, 32, false);
+  MatrixBlock y(n, 1, false);
+  for (int64_t i = 0; i < n; ++i) {
+    int c = static_cast<int>(i % 3);
+    for (int64_t j = 0; j < 32; ++j) {
+      x.Set(i, j, c * 2.0 + rng.Uniform(-1, 1));
+    }
+    y.Set(i, 0, c + 1);
+  }
+  hdfs->PutMatrix("/data/X", x);
+  hdfs->PutMatrix("/data/y", y);
+}
+
+std::string ReadScriptFile(const std::string& name) {
+  std::ifstream in(ScriptPath(name));
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void EndToEndTable() {
+  const ScriptArgs mlog_args{{"X", "/data/X"}, {"Y", "/data/y"},
+                             {"B", "/out/B"},  {"moi", "10"},
+                             {"mii", "5"},     {"reg", "0.001"}};
+  struct Case {
+    const char* name;
+    std::string source;
+    ScriptArgs args;
+    void (*setup)(SimulatedHdfs*);
+  };
+  const Case cases[] = {
+      {"matmult_chain", kChainScript, {{"X", "/data/X"}}, ChainSetup},
+      {"mlogreg_real", ReadScriptFile("mlogreg.dml"), mlog_args,
+       MlogregSetup},
+  };
+
+  std::printf("(b) end-to-end wall-clock vs workers\n");
+  std::printf("%-16s %10s %10s %10s %8s\n", "program", "w=1(ms)",
+              "w=2(ms)", "w=8(ms)", "speedup");
+  for (const Case& c : cases) {
+    const int counts[3] = {1, 2, 8};
+    double ms[3] = {0, 0, 0};
+    for (int i = 0; i < 3; ++i) {
+      exec::SetWorkers(counts[i]);
+      ms[i] = RunScript(c.source, c.args, c.setup, counts[i], 0).ms;
+      JsonRow("end_to_end", c.name, counts[i], ms[i], ms[0] / ms[i], 0, 0);
+    }
+    exec::SetWorkers(1);
+    std::printf("%-16s %10.2f %10.2f %10.2f %7.2fx\n", c.name, ms[0],
+                ms[1], ms[2], ms[0] / ms[2]);
+  }
+  std::printf("\n");
+}
+
+// ---- (c) spill overhead ------------------------------------------------
+
+void SpillTable() {
+  // Three loop-carried 1.3 MB matrices; budgets below 4 MB force the
+  // MemoryManager to spill on every iteration.
+  const char kLoopScript[] =
+      "X = read($X)\n"
+      "A = X %*% X\n"
+      "B = t(X)\n"
+      "for (i in 1:6) {\n"
+      "  A = t(A) + X\n"
+      "  B = B %*% X\n"
+      "}\n"
+      "print(\"a=\" + sum(A))\n"
+      "print(\"b=\" + sum(B))\n";
+  auto setup = [](SimulatedHdfs* hdfs) {
+    Random rng(42);
+    hdfs->PutMatrix("/data/X",
+                    MatrixBlock::Rand(400, 400, 1.0, -1, 1, &rng));
+  };
+  const struct {
+    const char* label;
+    int64_t budget;
+  } budgets[] = {
+      {"unlimited", 0},
+      {"4MB", 4 << 20},
+      {"2MB", 2 << 20},
+      {"1.5MB", 3 << 19},
+  };
+
+  std::printf("(c) spill overhead under shrinking CP budgets\n");
+  std::printf("%-12s %10s %12s %12s %10s\n", "budget", "ms",
+              "spill_bytes", "reload_bytes", "overhead");
+  double base_ms = 0.0;
+  for (const auto& b : budgets) {
+    RunResult r =
+        RunScript(kLoopScript, {{"X", "/data/X"}}, setup, 1, b.budget);
+    if (b.budget == 0) base_ms = r.ms;
+    JsonRow("spill", b.label, 1, r.ms, base_ms / r.ms,
+            r.stats.spill_bytes, r.stats.reload_bytes);
+    std::printf("%-12s %10.2f %12lld %12lld %9.2fx\n", b.label, r.ms,
+                static_cast<long long>(r.stats.spill_bytes),
+                static_cast<long long>(r.stats.reload_bytes),
+                r.ms / base_ms);
+  }
+  std::printf("\n");
+}
+
+void Run(const std::string& json_out) {
+  KernelTable();
+  EndToEndTable();
+  SpillTable();
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    out << "[\n" << Json().str() << "\n]\n";
+    std::printf("wrote JSON results to %s\n", json_out.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace relm
+
+int main(int argc, char** argv) {
+  relm::bench::InitBench(argc, argv);
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    const char* kFlag = "--json-out=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      json_out = argv[i] + std::strlen(kFlag);
+    }
+  }
+  relm::bench::Run(json_out);
+  return 0;
+}

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Extended check build, five stages in separate trees:
+# Extended check build, seven stages in separate trees:
 #
 #   1. ASan+UBSan Debug build running the full test suite (catches
 #      allocation bugs and UB in the simulator's recovery logic);
@@ -17,7 +17,12 @@
 #      repo .clang-tidy profile, plus a Clang -Wthread-safety build of
 #      the annotated serving layer. Both are skipped (with a notice)
 #      when clang/clang-tidy are not installed — the pinned container
-#      toolchain is GCC-only.
+#      toolchain is GCC-only;
+#   7. the TSan tree running the execution-engine differential and
+#      serving tests with RELM_EXEC_WORKERS=8 forced on, so the
+#      DAG scheduler, tiled kernels, and MemoryManager race under a
+#      real multi-worker pool, plus a bench_ext_exec smoke run with
+#      JSON export.
 #
 # TSan is incompatible with ASan, hence the separate tree. Slower than
 # the default build; use before merging changes that touch allocation
@@ -91,5 +96,15 @@ if command -v clang++ >/dev/null 2>&1; then
 else
   echo "  clang++ not installed; skipping -Wthread-safety pass"
 fi
+
+echo "=== stage 7: TSan, parallel execution engine (RELM_EXEC_WORKERS=8) ==="
+cmake --build "${prefix}-tsan" -j "$(nproc)" \
+  --target exec_test exec_differential_test serve_test bench_ext_exec
+# Force a real multi-worker pool: every engine run, differential
+# comparison, and real-execution job races 8 workers under TSan.
+RELM_EXEC_WORKERS=8 ctest --test-dir "${prefix}-tsan" --output-on-failure \
+  -R 'ExecDifferentialTest|BudgetEnforcementTest|EngineStatsTest|MemoryManagerTest|OpRegistryTest|SerialEffectOrderTest|WorkerPoolTest|SessionExecuteRealTest|JobServiceTest'
+RELM_EXEC_WORKERS=8 "${prefix}-tsan/bench/bench_ext_exec" \
+  --json-out="${prefix}-tsan/bench_ext_exec.json"
 
 echo "all check stages passed"

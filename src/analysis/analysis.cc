@@ -132,11 +132,13 @@ AnalysisReport AnalyzeProgram(MlProgram* program) {
 
 AnalysisReport AnalyzeRuntimePlan(MlProgram* program,
                                   const RuntimeProgram& runtime,
-                                  const ClusterConfig& cluster) {
+                                  const ClusterConfig& cluster,
+                                  int64_t engine_memory_capacity) {
   AnalysisInput input;
   input.program = program;
   input.runtime = &runtime;
   input.cluster = &cluster;
+  input.engine_memory_capacity = engine_memory_capacity;
   return Analyzer::Default().Run(input);
 }
 

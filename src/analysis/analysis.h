@@ -66,6 +66,12 @@ struct AnalysisInput {
   /// Cluster model the plan was compiled against (non-owning; required
   /// for the budget and idempotence passes).
   const ClusterConfig* cluster = nullptr;
+  /// Execution-engine MemoryManager capacity the plan will run under,
+  /// in bytes; < 0 means "not executing" and disables the check. The
+  /// budget-conformance pass errors when this differs from the plan's
+  /// CP budget: an engine pinning under a different cap than the plan
+  /// was costed for silently invalidates every CP/MR decision.
+  int64_t engine_memory_capacity = -1;
 };
 
 /// Collected findings of one analysis run.
@@ -157,10 +163,13 @@ std::unique_ptr<Pass> MakeRecompileIdempotencePass();
 AnalysisReport AnalyzeProgram(MlProgram* program);
 
 /// Full analysis of a compiled runtime plan (all passes). Used by the
-/// optimizer's strict mode and relm-lint.
+/// optimizer's strict mode and relm-lint. `engine_memory_capacity`
+/// (bytes; < 0 skips) additionally asserts the execution engine's
+/// MemoryManager capacity matches the plan's CP budget.
 AnalysisReport AnalyzeRuntimePlan(MlProgram* program,
                                   const RuntimeProgram& runtime,
-                                  const ClusterConfig& cluster);
+                                  const ClusterConfig& cluster,
+                                  int64_t engine_memory_capacity = -1);
 
 /// OK when the report has no error-severity diagnostics; otherwise an
 /// Internal status carrying the report listing.

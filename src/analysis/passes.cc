@@ -344,6 +344,14 @@ class BudgetConformancePass : public Pass {
   void Run(const AnalysisInput& input, AnalysisReport* report) override {
     if (input.runtime == nullptr) return;
     int64_t cp_budget = input.runtime->resources.CpBudget();
+    if (input.engine_memory_capacity >= 0 &&
+        input.engine_memory_capacity != cp_budget) {
+      report->Add(Severity::kError, id(), "engine",
+                  "execution engine memory capacity " +
+                      std::to_string(input.engine_memory_capacity) +
+                      " bytes does not match the plan's CP budget " +
+                      std::to_string(cp_budget));
+    }
     for (const RuntimeBlock& block : input.runtime->main) {
       CheckBlock(block, cp_budget, report);
     }

@@ -103,15 +103,41 @@ Result<double> Session::EstimateCost(MlProgram* program,
 }
 
 Result<RealRun> Session::ExecuteReal(MlProgram* program, bool echo) {
+  RealRunOptions options;
+  options.echo = echo;
+  return ExecuteReal(program, options);
+}
+
+Result<RealRun> Session::ExecuteReal(MlProgram* program,
+                                     const RealRunOptions& options) {
   if (program == nullptr) {
     return Status::InvalidArgument("ExecuteReal: program must not be null");
   }
+  if (options.strict_analysis) {
+    // Pre-run audit: compile the plan the run claims to execute under
+    // and check every invariant, including that the engine's memory
+    // capacity matches the plan's CP budget.
+    CompileCounters counters;
+    RELM_ASSIGN_OR_RETURN(
+        RuntimeProgram rp,
+        GenerateRuntimeProgram(program, state_->cc, options.resources,
+                               &counters));
+    analysis::AnalysisReport report = analysis::AnalyzeRuntimePlan(
+        program, rp, state_->cc,
+        options.memory_budget > 0 ? options.memory_budget : -1);
+    RELM_RETURN_IF_ERROR(analysis::ReportToStatus(report));
+  }
   Interpreter interp(program, &state_->hdfs);
-  interp.set_echo(echo);
+  interp.set_echo(options.echo);
+  exec::ExecOptions eo;
+  eo.workers = options.workers;
+  eo.memory_budget = options.memory_budget;
+  interp.set_exec_options(eo);
   RELM_RETURN_IF_ERROR(interp.Run());
   RealRun out;
   out.printed = interp.printed();
   out.blocks_executed = interp.blocks_executed();
+  out.exec = interp.exec_stats();
   return out;
 }
 

@@ -31,6 +31,29 @@ struct OptimizeOutcome {
 struct RealRun {
   std::vector<std::string> printed;
   int64_t blocks_executed = 0;
+  /// Execution-engine counters for the run (parallel/serial blocks,
+  /// tasks scheduled, spill/reload bytes, evictions).
+  exec::ExecStats exec;
+};
+
+/// Knobs for a real, in-process execution through the unified engine.
+struct RealRunOptions {
+  /// Echo print() lines to stdout as they commit.
+  bool echo = false;
+  /// Engine worker count for instruction-DAG scheduling and CP kernels;
+  /// <= 0 uses the process-wide default (exec::Workers()).
+  int workers = 0;
+  /// MemoryManager capacity for pinned matrix symbols, in bytes; <= 0
+  /// runs unmanaged (no pinning, no spilling).
+  int64_t memory_budget = 0;
+  /// Compile the program into a runtime plan under `resources` and run
+  /// the full plan-integrity analysis before executing — including the
+  /// engine-capacity conformance check, which requires memory_budget to
+  /// equal resources.CpBudget() when a budget is set. Fails the run on
+  /// error-severity diagnostics.
+  bool strict_analysis = false;
+  /// Resource configuration the strict-analysis audit compiles under.
+  ResourceConfig resources;
 };
 
 /// One of the paper's static baseline configurations (Section 5.1).
@@ -112,6 +135,11 @@ class Session {
   /// Executes the program for real on in-memory data (correctness path;
   /// all read() inputs must have payloads).
   Result<RealRun> ExecuteReal(MlProgram* program, bool echo = false);
+  /// Same, with full engine control: worker count, CP memory budget
+  /// (spilling to the session HDFS under pressure), and an optional
+  /// pre-run strict plan audit with the budget-conformance check.
+  Result<RealRun> ExecuteReal(MlProgram* program,
+                              const RealRunOptions& options);
 
   /// Simulated "measured" execution on the cluster model. Mutates the
   /// program's IR with sizes discovered at runtime. Runtime

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "exec/hop_ops.h"
+#include "exec/op_registry.h"
 #include "lops/compiler_backend.h"
 
 namespace relm {
@@ -11,8 +13,8 @@ namespace relm {
 CostModel::CostModel(const ClusterConfig& cc, double expected_failure_rate)
     : cc_(cc),
       expected_failure_rate_(std::max(0.0, expected_failure_rate)),
-      cp_read_bps_(kCpReadBps),
-      cp_write_bps_(kCpWriteBps) {}
+      cp_read_bps_(exec::kCpReadBps),
+      cp_write_bps_(exec::kCpWriteBps) {}
 
 double CostModel::ExpectedMrRetryOverhead(double rate,
                                           const MrJobTimeBreakdown& bd,
@@ -72,7 +74,7 @@ MrJobTimeBreakdown EstimateMrJobTime(const ClusterConfig& cc,
   double broadcast_read =
       static_cast<double>(job.broadcast_bytes) / task_read_bps;
   double map_compute = (job.map_flops / num_map) /
-                       (cc.peak_gflops * 1e9 * kComputeEfficiency);
+                       (cc.peak_gflops * 1e9 * exec::kComputeEfficiency);
   double map_write;
   if (!job.has_shuffle) {
     map_write = (static_cast<double>(job.output_bytes) / num_map) /
@@ -105,7 +107,7 @@ MrJobTimeBreakdown EstimateMrJobTime(const ClusterConfig& cc,
     double red_read = (static_cast<double>(job.shuffle_bytes) / num_red) /
                       (cc.node_disk_read_bps() / red_per_node);
     double red_compute = (job.reduce_flops / num_red) /
-                         (cc.peak_gflops * 1e9 * kComputeEfficiency);
+                         (cc.peak_gflops * 1e9 * exec::kComputeEfficiency);
     double red_write = (static_cast<double>(job.output_bytes) / num_red) /
                        (cc.node_disk_write_bps() / red_per_node);
     out.reduce_phase =
@@ -195,11 +197,15 @@ class CostWalk {
     for (const auto& in : hop.inputs()) {
       time += ChargeInputRead(*in, states, loaded);
     }
-    // Compute: single-threaded CP by default; sub-linear speedup when
-    // the configuration grants multiple CP cores.
+    // Compute: single-threaded CP by default; with multiple CP vcores
+    // the speedup is the raw core scaling damped by the operator
+    // class's parallel fraction (Amdahl), read from the same registry
+    // the tiled kernels tile by — a serial solve() gains nothing from
+    // extra cores while a matmult gains almost linearly.
     time += hop.ComputeFlops() /
-            (cc_.peak_gflops * 1e9 * kComputeEfficiency *
-             program_.resources.CpComputeSpeedup());
+            (cc_.peak_gflops * 1e9 * exec::kComputeEfficiency *
+             exec::OpSpeedup(exec::OpClassForHop(hop),
+                             program_.resources.CpComputeSpeedup()));
     // State transitions.
     switch (hop.kind()) {
       case HopKind::kTransientWrite: {

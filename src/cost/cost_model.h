@@ -40,12 +40,6 @@ MrJobTimeBreakdown EstimateMrJobTime(const ClusterConfig& cc,
                                      const MRJobInstr& job, int64_t mr_heap,
                                      bool model_trashing);
 
-/// Compute-time efficiency factor applied to the peak FLOP rate.
-inline constexpr double kComputeEfficiency = 0.5;
-/// Single-stream HDFS bandwidths of the control program process.
-inline constexpr double kCpReadBps = 250e6;
-inline constexpr double kCpWriteBps = 150e6;
-
 /// White-box analytic cost model over generated runtime plans. Estimates
 /// execution time (seconds) by scanning the plan in execution order,
 /// tracking variable states, and charging IO, compute, and latency:

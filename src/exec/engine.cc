@@ -1,0 +1,747 @@
+#include "exec/engine.h"
+
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <utility>
+
+#include "common/string_util.h"
+#include "exec/worker_pool.h"
+#include "matrix/kernels.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace relm {
+namespace exec {
+
+namespace {
+
+bool IsEffect(HopKind k) {
+  return k == HopKind::kPrint || k == HopKind::kTransientWrite ||
+         k == HopKind::kPersistentWrite;
+}
+
+std::string Stringify(const Value& v) {
+  if (v.is_matrix()) return v.matrix->ToString();
+  if (v.is_string) return v.str;
+  return FormatDouble(v.scalar, 6);
+}
+
+void EffectDfs(const Hop* h, std::set<const Hop*>* seen,
+               std::vector<const Hop*>* out) {
+  if (!seen->insert(h).second) return;
+  for (const auto& in : h->inputs()) EffectDfs(in.get(), seen, out);
+  if (IsEffect(h->kind())) out->push_back(h);
+}
+
+}  // namespace
+
+std::vector<const Hop*> SerialEffectOrder(const HopDag& dag) {
+  // The reference evaluator is a memoized post-order DFS: each hop's
+  // effect fires when its evaluation first completes. Recreate that
+  // order independently of TopoOrder() so the commit-order check is a
+  // genuine cross-validation, not a tautology.
+  std::set<const Hop*> seen;
+  std::vector<const Hop*> out;
+  for (const auto& root : dag.roots) EffectDfs(root.get(), &seen, &out);
+  return out;
+}
+
+Engine::Engine(SimulatedHdfs* hdfs, Random* rng, const ExecOptions& options)
+    : hdfs_(hdfs), rng_(rng), options_(options) {
+  workers_ = options.workers > 0 ? options.workers : Workers();
+  if (workers_ < 1) workers_ = 1;
+  if (options.memory_budget > 0) {
+    memory_ = std::make_unique<MemoryManager>(options.memory_budget, hdfs_);
+  }
+}
+
+Engine::~Engine() = default;
+
+ExecStats Engine::stats() const {
+  ExecStats s = stats_;
+  if (memory_ != nullptr) {
+    s.evictions = memory_->evictions();
+    s.spill_bytes = memory_->spill_bytes();
+    s.reload_bytes = memory_->reload_bytes();
+  }
+  return s;
+}
+
+Engine::CacheScope::CacheScope(Engine* engine)
+    : engine_(engine),
+      saved_cache_(std::move(engine->cache_)),
+      saved_fcalls_(std::move(engine->fcall_cache_)) {
+  engine_->cache_.clear();
+  engine_->fcall_cache_.clear();
+}
+
+Engine::CacheScope::~CacheScope() {
+  engine_->cache_ = std::move(saved_cache_);
+  engine_->fcall_cache_ = std::move(saved_fcalls_);
+}
+
+bool Engine::ParallelSafe(const std::vector<Hop*>& order) {
+  bool has_pread = false;
+  bool has_pwrite = false;
+  for (const Hop* h : order) {
+    switch (h->kind()) {
+      case HopKind::kFunctionCall:
+      case HopKind::kFunctionOutput:
+        // UDF bodies run whole statement blocks with their own effects;
+        // scheduling them off-thread would interleave frames.
+        return false;
+      case HopKind::kPersistentRead:
+        has_pread = true;
+        break;
+      case HopKind::kPersistentWrite:
+        has_pwrite = true;
+        break;
+      default:
+        break;
+    }
+  }
+  // A block that both reads and writes HDFS could read its own output
+  // under serial semantics; the parallel path hoists all reads before
+  // any write commits, so fall back.
+  return !(has_pread && has_pwrite);
+}
+
+Status Engine::RunGeneric(const HopDag& dag, const Hooks& hooks) {
+  cache_.clear();
+  fcall_cache_.clear();
+  const std::vector<Hop*> order = dag.TopoOrder();
+  const bool parallel = workers_ > 1 && ParallelSafe(order);
+  RELM_TRACE_SPAN_ARGS("exec.block", [&] {
+    return std::string("\"mode\":\"") + (parallel ? "parallel" : "serial") +
+           "\",\"instructions\":" + std::to_string(order.size());
+  });
+  if (parallel) {
+    ++stats_.parallel_blocks;
+    RELM_COUNTER_INC("exec.parallel_blocks");
+    return RunGenericParallel(dag, hooks);
+  }
+  ++stats_.serial_blocks;
+  RELM_COUNTER_INC("exec.serial_blocks");
+  return RunGenericSerial(dag, hooks);
+}
+
+Status Engine::RunGenericSerial(const HopDag& dag, const Hooks& hooks) {
+  // Pin block-entry values of all transient reads BEFORE any write
+  // root executes: the DAG has SSA semantics, so every read must see
+  // the variable's value at block entry, not a mid-block update.
+  for (Hop* h : dag.TopoOrder()) {
+    if (h->kind() == HopKind::kTransientRead) {
+      RELM_ASSIGN_OR_RETURN(Value v, EvalSerial(h, hooks));
+      (void)v;
+    }
+  }
+  for (const auto& root : dag.roots) {
+    RELM_ASSIGN_OR_RETURN(Value v, EvalSerial(root.get(), hooks));
+    (void)v;
+  }
+  return Status::OK();
+}
+
+Result<double> Engine::EvalPredicate(const HopDag& dag, const Hooks& hooks) {
+  cache_.clear();
+  fcall_cache_.clear();
+  if (dag.roots.empty()) {
+    return Status::RuntimeError("empty predicate DAG");
+  }
+  RELM_ASSIGN_OR_RETURN(Value v, EvalSerial(dag.roots[0].get(), hooks));
+  return v.scalar;
+}
+
+Result<Value> Engine::EvalRoot(const HopDag& dag, size_t root_index,
+                               const Hooks& hooks) {
+  if (root_index >= dag.roots.size()) {
+    return Status::RuntimeError("for-bound root index out of range");
+  }
+  // Deliberately no cache clear: for-loop bounds share the epoch of the
+  // enclosing evaluation (historical interpreter semantics).
+  return EvalSerial(dag.roots[root_index].get(), hooks);
+}
+
+Result<Value> Engine::EvalSerial(const Hop* h, const Hooks& hooks) {
+  auto it = cache_.find(h);
+  if (it != cache_.end()) return it->second;
+  RELM_ASSIGN_OR_RETURN(Value v, EvalSerialUncached(h, hooks));
+  cache_[h] = v;
+  return v;
+}
+
+Result<Value> Engine::ReadPersistent(const Hop* h) {
+  RELM_ASSIGN_OR_RETURN(HdfsFile file, hdfs_->Get(h->name()));
+  if (file.data == nullptr) {
+    return Status::RuntimeError(
+        "HDFS file has no payload for real execution: " + h->name());
+  }
+  return Value::MatrixPtr(file.data);
+}
+
+Status Engine::WritePersistent(const Hop* h, const Value& v) {
+  if (v.is_matrix()) {
+    hdfs_->PutMatrix(h->name(), *v.matrix);
+  } else {
+    hdfs_->PutMetadata(h->name(), MatrixCharacteristics(1, 1, 1));
+  }
+  return Status::OK();
+}
+
+Result<Value> Engine::CallFunction(const Hop* call, int output_index,
+                                   const Hooks& hooks) {
+  auto cit = fcall_cache_.find(call);
+  if (cit == fcall_cache_.end()) {
+    if (!hooks.call_function) {
+      return Status::RuntimeError("function call without a driver");
+    }
+    // Evaluate arguments in the caller frame (caller caches).
+    std::vector<Value> args;
+    for (const auto& in : call->inputs()) {
+      RELM_ASSIGN_OR_RETURN(Value v, EvalSerial(in.get(), hooks));
+      args.push_back(std::move(v));
+    }
+    std::vector<Value> returns;
+    {
+      // Caches are per-frame: save and restore around the body run.
+      CacheScope scope(this);
+      RELM_ASSIGN_OR_RETURN(returns,
+                            hooks.call_function(call, std::move(args)));
+    }
+    cit = fcall_cache_.emplace(call, std::move(returns)).first;
+  }
+  if (output_index < 0 ||
+      output_index >= static_cast<int>(cit->second.size())) {
+    return Status::RuntimeError("function output index out of range");
+  }
+  return cit->second[output_index];
+}
+
+Result<Value> Engine::EvalSerialUncached(const Hop* h, const Hooks& hooks) {
+  switch (h->kind()) {
+    case HopKind::kTransientRead:
+      return hooks.read_symbol(h->name());
+
+    case HopKind::kPersistentRead:
+      return ReadPersistent(h);
+
+    case HopKind::kTransientWrite: {
+      RELM_ASSIGN_OR_RETURN(Value v, EvalSerial(h->input(0), hooks));
+      RELM_RETURN_IF_ERROR(hooks.write_symbol(h->name(), v));
+      return v;
+    }
+
+    case HopKind::kPersistentWrite: {
+      RELM_ASSIGN_OR_RETURN(Value v, EvalSerial(h->input(0), hooks));
+      RELM_RETURN_IF_ERROR(WritePersistent(h, v));
+      return v;
+    }
+
+    case HopKind::kPrint: {
+      RELM_ASSIGN_OR_RETURN(Value v, EvalSerial(h->input(0), hooks));
+      hooks.emit_print(v.ToDisplayString());
+      return Value::Number(0);
+    }
+
+    case HopKind::kFunctionCall:
+      return CallFunction(h, 0, hooks);
+    case HopKind::kFunctionOutput:
+      return CallFunction(h->input(0), h->function_output_index, hooks);
+
+    default: {
+      // Pure compute: evaluate inputs serially, then the shared kernel
+      // dispatch used by both execution paths.
+      std::vector<Value> in;
+      in.reserve(h->inputs().size());
+      for (const auto& input : h->inputs()) {
+        RELM_ASSIGN_OR_RETURN(Value v, EvalSerial(input.get(), hooks));
+        in.push_back(std::move(v));
+      }
+      return EvalPure(h, in);
+    }
+  }
+}
+
+Result<Value> Engine::EvalPure(const Hop* h, const std::vector<Value>& in) {
+  switch (h->kind()) {
+    case HopKind::kLiteral:
+      if (h->literal_is_string) return Value::Str(h->literal_string);
+      return Value::Number(h->literal_value);
+
+    case HopKind::kBinary: {
+      const Value& a = in[0];
+      const Value& b = in[1];
+      // String concatenation.
+      if (h->bin_op == BinOp::kAdd && (a.is_string || b.is_string)) {
+        return Value::Str(Stringify(a) + Stringify(b));
+      }
+      if (a.is_matrix() && b.is_matrix()) {
+        RELM_ASSIGN_OR_RETURN(
+            MatrixBlock m,
+            ElementwiseBinary(h->bin_op, *a.matrix, *b.matrix));
+        return Value::Matrix(std::move(m));
+      }
+      if (a.is_matrix()) {
+        return Value::Matrix(ScalarBinary(h->bin_op, *a.matrix, b.scalar));
+      }
+      if (b.is_matrix()) {
+        return Value::Matrix(ScalarBinary(h->bin_op, *b.matrix, a.scalar,
+                                          /*scalar_left=*/true));
+      }
+      return Value::Number(ApplyBinOp(h->bin_op, a.scalar, b.scalar));
+    }
+
+    case HopKind::kUnary: {
+      const Value& a = in[0];
+      if (a.is_matrix()) {
+        return Value::Matrix(ElementwiseUnary(h->un_op, *a.matrix));
+      }
+      return Value::Number(ApplyUnOp(h->un_op, a.scalar));
+    }
+
+    case HopKind::kAggUnary: {
+      const Value& a = in[0];
+      if (!a.is_matrix()) {
+        return Status::RuntimeError("aggregate of a scalar");
+      }
+      if (h->agg_dir == AggDir::kAll) {
+        RELM_ASSIGN_OR_RETURN(double v, Aggregate(h->agg_op, *a.matrix));
+        return Value::Number(v);
+      }
+      RELM_ASSIGN_OR_RETURN(
+          MatrixBlock m, AggregateAxis(h->agg_op, h->agg_dir, *a.matrix));
+      return Value::Matrix(std::move(m));
+    }
+
+    case HopKind::kMatMult: {
+      RELM_ASSIGN_OR_RETURN(MatrixBlock m,
+                            MatMult(*in[0].matrix, *in[1].matrix));
+      return Value::Matrix(std::move(m));
+    }
+
+    case HopKind::kReorg: {
+      if (h->reorg_op == ReorgOp::kTranspose) {
+        return Value::Matrix(Transpose(*in[0].matrix));
+      }
+      RELM_ASSIGN_OR_RETURN(MatrixBlock m, Diag(*in[0].matrix));
+      return Value::Matrix(std::move(m));
+    }
+
+    case HopKind::kDataGen:
+      switch (h->datagen_op) {
+        case DataGenOp::kConstMatrix:
+          return Value::Matrix(MatrixBlock::Constant(
+              static_cast<int64_t>(in[1].scalar),
+              static_cast<int64_t>(in[2].scalar), in[0].scalar));
+        case DataGenOp::kRand: {
+          const double sparsity = in.size() >= 4 ? in[3].scalar : 1.0;
+          // The scheduler chains rand nodes in program order, so the
+          // shared RNG is consumed exactly like the serial path.
+          return Value::Matrix(MatrixBlock::Rand(
+              static_cast<int64_t>(in[1].scalar),
+              static_cast<int64_t>(in[2].scalar), sparsity, in[0].scalar,
+              in[0].scalar + 1.0, rng_));
+        }
+        case DataGenOp::kSeq: {
+          const double incr = in.size() >= 3 ? in[2].scalar : 1.0;
+          return Value::Matrix(
+              MatrixBlock::Seq(in[0].scalar, in[1].scalar, incr));
+        }
+      }
+      return Status::Internal("unhandled datagen op");
+
+    case HopKind::kTernary: {
+      RELM_ASSIGN_OR_RETURN(MatrixBlock m,
+                            Table(*in[0].matrix, *in[1].matrix));
+      return Value::Matrix(std::move(m));
+    }
+
+    case HopKind::kIndexing: {
+      const MatrixBlock& m = *in[0].matrix;
+      auto bound = [&](size_t idx, int64_t fallback) {
+        int64_t b = static_cast<int64_t>(std::llround(in[idx].scalar));
+        return b == -1 ? fallback : b;
+      };
+      RELM_ASSIGN_OR_RETURN(
+          MatrixBlock sub,
+          RightIndex(m, bound(1, 1), bound(2, m.rows()), bound(3, 1),
+                     bound(4, m.cols())));
+      return Value::Matrix(std::move(sub));
+    }
+
+    case HopKind::kLeftIndexing: {
+      const MatrixBlock& m = *in[0].matrix;
+      const Value& value = in[1];
+      auto bound = [&](size_t idx, int64_t fallback) {
+        int64_t b = static_cast<int64_t>(std::llround(in[idx].scalar));
+        return b == -1 ? fallback : b;
+      };
+      const int64_t rl = bound(2, 1);
+      const int64_t ru = bound(3, m.rows());
+      const int64_t cl = bound(4, 1);
+      const int64_t cu = bound(5, m.cols());
+      MatrixBlock vblock;
+      if (value.is_matrix()) {
+        vblock = *value.matrix;
+      } else {
+        // Scalar value: broadcast over the target range.
+        vblock = MatrixBlock::Constant(ru - rl + 1, cu - cl + 1,
+                                       value.scalar);
+      }
+      RELM_ASSIGN_OR_RETURN(MatrixBlock out,
+                            LeftIndex(m, vblock, rl, ru, cl, cu));
+      return Value::Matrix(std::move(out));
+    }
+
+    case HopKind::kAppend: {
+      RELM_ASSIGN_OR_RETURN(MatrixBlock m,
+                            Append(*in[0].matrix, *in[1].matrix));
+      return Value::Matrix(std::move(m));
+    }
+
+    case HopKind::kSolve: {
+      RELM_ASSIGN_OR_RETURN(MatrixBlock m,
+                            Solve(*in[0].matrix, *in[1].matrix));
+      return Value::Matrix(std::move(m));
+    }
+
+    case HopKind::kDimExtract: {
+      const Value& a = in[0];
+      if (!a.is_matrix()) {
+        return Status::RuntimeError("nrow/ncol of a scalar");
+      }
+      return Value::Number(static_cast<double>(
+          h->dim_extract_rows ? a.matrix->rows() : a.matrix->cols()));
+    }
+
+    case HopKind::kCast: {
+      const Value& a = in[0];
+      if (h->is_matrix()) {
+        if (a.is_matrix()) return a;
+        MatrixBlock m(1, 1, false);
+        m.Set(0, 0, a.scalar);
+        return Value::Matrix(std::move(m));
+      }
+      if (!a.is_matrix()) return a;
+      RELM_ASSIGN_OR_RETURN(double v, CastToScalar(*a.matrix));
+      return Value::Number(v);
+    }
+
+    // Effect hops pass their payload through; the effect itself is
+    // applied by the commit walk (parallel) or EvalSerialUncached.
+    case HopKind::kTransientWrite:
+    case HopKind::kPersistentWrite:
+      return in[0];
+    case HopKind::kPrint:
+      return Value::Number(0);
+
+    case HopKind::kTransientRead:
+    case HopKind::kPersistentRead:
+    case HopKind::kFunctionCall:
+    case HopKind::kFunctionOutput:
+      break;
+  }
+  return Status::Internal("hop kind not schedulable as a pure instruction");
+}
+
+// ---------------------------------------------------------------------
+// Parallel DAG scheduling.
+
+/// One parallel execution of a statement-block DAG: builds the
+/// data-dependency graph over the topological instruction order,
+/// pre-evaluates reads on the driver thread, schedules pure
+/// instructions over the shared pool (driver participating), then
+/// commits side effects in serial program order.
+class DagRun {
+ public:
+  DagRun(Engine* engine, const HopDag& dag, const Engine::Hooks& hooks)
+      : engine_(engine), dag_(dag), hooks_(hooks) {}
+
+  /// `self` keeps the run alive for pool tasks that may still be queued
+  /// after the driver finishes (a task whose node the driver stole is a
+  /// harmless no-op, but it still dereferences the run).
+  Status Run(const std::shared_ptr<DagRun>& self);
+
+ private:
+  enum class NodeState { kPending, kDone, kFailed, kSkipped };
+
+  struct Node {
+    const Hop* hop = nullptr;
+    std::vector<int> consumers;
+    int deps = 0;
+    /// Already pushed into ready_ (guards against the seed loop
+    /// re-queueing a node whose deps hit zero during Phase A).
+    bool queued = false;
+    NodeState state = NodeState::kPending;
+    Value value;
+    std::string print_line;
+    Status status = Status::OK();
+  };
+
+  bool IsPreEval(HopKind k) const {
+    return k == HopKind::kLiteral || k == HopKind::kTransientRead ||
+           k == HopKind::kPersistentRead;
+  }
+
+  void Build();
+  Result<Value> PreEval(const Hop* h);
+  void Execute(int i);
+  /// Marks node i resolved and enqueues newly-ready consumers.
+  void Resolve(int i, NodeState state, Value value, std::string print_line,
+               Status status);
+  void DrainOne(bool stolen);
+  Status Commit();
+
+  Engine* engine_;
+  const HopDag& dag_;
+  const Engine::Hooks& hooks_;
+  std::shared_ptr<DagRun> self_;  // set for the duration of Run()
+
+  std::vector<Hop*> order_;
+  std::unordered_map<const Hop*, int> index_;
+  std::vector<Node> nodes_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<int> ready_;
+  int resolved_ = 0;
+  int64_t scheduled_count_ = 0;
+  int64_t stolen_count_ = 0;
+};
+
+void DagRun::Build() {
+  order_ = dag_.TopoOrder();
+  nodes_.resize(order_.size());
+  for (size_t i = 0; i < order_.size(); ++i) {
+    index_[order_[i]] = static_cast<int>(i);
+    nodes_[i].hop = order_[i];
+  }
+  for (size_t i = 0; i < order_.size(); ++i) {
+    for (const auto& in : order_[i]->inputs()) {
+      // Duplicate inputs (e.g. X + X) add one dependency edge per
+      // occurrence; Resolve decrements once per consumer entry.
+      nodes_[index_.at(in.get())].consumers.push_back(static_cast<int>(i));
+      ++nodes_[i].deps;
+    }
+  }
+  // Chain rand() generators in program order so the shared RNG stream
+  // is consumed exactly as in serial execution.
+  int prev_rand = -1;
+  for (size_t i = 0; i < order_.size(); ++i) {
+    if (order_[i]->kind() == HopKind::kDataGen &&
+        order_[i]->datagen_op == DataGenOp::kRand) {
+      if (prev_rand >= 0) {
+        nodes_[prev_rand].consumers.push_back(static_cast<int>(i));
+        ++nodes_[i].deps;
+      }
+      prev_rand = static_cast<int>(i);
+    }
+  }
+}
+
+Result<Value> DagRun::PreEval(const Hop* h) {
+  switch (h->kind()) {
+    case HopKind::kLiteral:
+      return engine_->EvalPure(h, {});
+    case HopKind::kTransientRead:
+      return hooks_.read_symbol(h->name());
+    case HopKind::kPersistentRead:
+      return engine_->ReadPersistent(h);
+    default:
+      return Status::Internal("not a pre-evaluated hop");
+  }
+}
+
+void DagRun::Execute(int i) {
+  Node& n = nodes_[i];
+  const Hop* h = n.hop;
+  std::vector<Value> in;
+  in.reserve(h->inputs().size());
+  for (const auto& input : h->inputs()) {
+    const Node& src = nodes_[index_.at(input.get())];
+    if (src.state != NodeState::kDone) {
+      Resolve(i, NodeState::kSkipped, Value(), "", Status::OK());
+      return;
+    }
+    in.push_back(src.value);
+  }
+  Result<Value> r = engine_->EvalPure(h, in);
+  if (!r.ok()) {
+    Resolve(i, NodeState::kFailed, Value(), "", r.status());
+    return;
+  }
+  std::string line;
+  if (h->kind() == HopKind::kPrint) {
+    // Render off-thread; the text commits later in program order.
+    line = in[0].ToDisplayString();
+  }
+  Resolve(i, NodeState::kDone, std::move(r).value(), std::move(line),
+          Status::OK());
+}
+
+void DagRun::Resolve(int i, NodeState state, Value value,
+                     std::string print_line, Status status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Node& n = nodes_[i];
+  n.state = state;
+  n.value = std::move(value);
+  n.print_line = std::move(print_line);
+  n.status = std::move(status);
+  ++resolved_;
+  for (int c : n.consumers) {
+    if (--nodes_[c].deps == 0 && !nodes_[c].queued) {
+      nodes_[c].queued = true;
+      ready_.push_back(c);
+      ++scheduled_count_;
+      if (SharedPool()->num_threads() > 0) {
+        // Capture the shared self so a task that outlives Run() (its
+        // node was stolen by the driver) still has a live run to no-op
+        // against.
+        std::shared_ptr<DagRun> self = self_;
+        SharedPool()->Submit([self] { self->DrainOne(/*stolen=*/true); });
+      }
+    }
+  }
+  cv_.notify_all();
+}
+
+void DagRun::DrainOne(bool stolen) {
+  int i;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ready_.empty()) return;  // the driver stole this task's node
+    i = ready_.front();
+    ready_.pop_front();
+    if (stolen) ++stolen_count_;
+  }
+  Execute(i);
+}
+
+Status DagRun::Commit() {
+  for (size_t i = 0; i < order_.size(); ++i) {
+    const Node& n = nodes_[i];
+    switch (n.state) {
+      case NodeState::kFailed:
+        // All side effects that serial execution would have applied
+        // before hitting this error precede it in program order and
+        // have already committed above.
+        return n.status;
+      case NodeState::kSkipped:
+        return Status::Internal(
+            "skipped instruction committed before its failed ancestor");
+      case NodeState::kPending:
+        return Status::Internal("pending instruction at commit time");
+      case NodeState::kDone:
+        break;
+    }
+    const Hop* h = n.hop;
+    switch (h->kind()) {
+      case HopKind::kTransientWrite:
+        RELM_RETURN_IF_ERROR(hooks_.write_symbol(h->name(), n.value));
+        break;
+      case HopKind::kPersistentWrite:
+        RELM_RETURN_IF_ERROR(engine_->WritePersistent(h, n.value));
+        break;
+      case HopKind::kPrint:
+        hooks_.emit_print(n.print_line);
+        break;
+      default:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status DagRun::Run(const std::shared_ptr<DagRun>& self) {
+  self_ = self;
+  // Break the self-reference cycle when the run finishes (queued no-op
+  // tasks keep their own copies alive until they drain).
+  struct ClearSelf {
+    DagRun* run;
+    ~ClearSelf() {
+      std::lock_guard<std::mutex> lock(run->mu_);
+      run->self_.reset();
+    }
+  } clear_self{this};
+
+  Build();
+  const int total = static_cast<int>(order_.size());
+
+  // Phase A (driver thread): literals and reads, in program order, all
+  // before any effect commits — reads observe block-entry state.
+  for (int i = 0; i < total; ++i) {
+    if (!IsPreEval(order_[i]->kind())) continue;
+    Result<Value> r = PreEval(order_[i]);
+    if (r.ok()) {
+      Resolve(i, NodeState::kDone, std::move(r).value(), "", Status::OK());
+    } else {
+      Resolve(i, NodeState::kFailed, Value(), "", r.status());
+    }
+  }
+  {
+    // Nodes with no dependencies that are not pre-evaluated (e.g.
+    // seq()/matrix() with literal-free bounds do not exist, but a
+    // zero-input pure hop would land here) seed the ready queue.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int i = 0; i < total; ++i) {
+      if (nodes_[i].state == NodeState::kPending && nodes_[i].deps == 0 &&
+          !nodes_[i].queued) {
+        nodes_[i].queued = true;
+        ready_.push_back(i);
+        ++scheduled_count_;
+      }
+    }
+  }
+
+  // Scheduling loop: the driver participates, pool tasks drain the same
+  // ready queue. Pool tasks never block, so kernels nested inside an
+  // instruction can tile over the same pool without deadlock.
+  while (true) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (resolved_ == total) break;
+    if (!ready_.empty()) {
+      lock.unlock();
+      DrainOne(/*stolen=*/false);
+      continue;
+    }
+    cv_.wait(lock, [&] { return resolved_ == total || !ready_.empty(); });
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    engine_->stats_.tasks_scheduled += scheduled_count_;
+    engine_->stats_.tasks_stolen += stolen_count_;
+    RELM_COUNTER_ADD("exec.tasks_scheduled", scheduled_count_);
+    RELM_COUNTER_ADD("exec.tasks_stolen", stolen_count_);
+  }
+
+  if (engine_->options_.verify_commit_order) {
+    // Pool-purity-style static check: the order the commit walk applies
+    // effects in must equal the serial first-visit effect order.
+    std::vector<const Hop*> serial = SerialEffectOrder(dag_);
+    std::vector<const Hop*> commit;
+    for (const Hop* h : order_) {
+      if (IsEffect(h->kind())) commit.push_back(h);
+    }
+    RELM_COUNTER_INC("exec.commit_order_checks");
+    if (serial != commit) {
+      RELM_COUNTER_INC("exec.commit_order_mismatches");
+      return Status::Internal(
+          "engine commit order diverges from serial effect order");
+    }
+  }
+
+  return Commit();
+}
+
+Status Engine::RunGenericParallel(const HopDag& dag, const Hooks& hooks) {
+  auto run = std::make_shared<DagRun>(this, dag, hooks);
+  return run->Run(run);
+}
+
+}  // namespace exec
+}  // namespace relm

@@ -1,0 +1,161 @@
+#ifndef RELM_EXEC_ENGINE_H_
+#define RELM_EXEC_ENGINE_H_
+
+// The unified execution engine: evaluates statement-block HOP DAGs on
+// real MatrixBlocks, either serially (the reference path — effects
+// applied at first visit, exactly like the historical interpreter) or
+// in parallel (independent instructions scheduled over the shared
+// worker pool, side effects committed afterwards in program order).
+// The determinism contract: for any block, the parallel path produces
+// bitwise-identical symbol updates, printed lines, and HDFS writes to
+// the serial path; blocks the scheduler cannot prove safe (function
+// calls, persistent read-after-write) fall back to serial execution.
+//
+// The engine owns the optional MemoryManager that keeps pinned
+// variable payloads inside the optimizer-chosen CP budget; the driver
+// (runtime/interpreter) routes symbol reads/writes through it via the
+// hooks.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "exec/memory_manager.h"
+#include "hdfs/file_system.h"
+#include "hops/hop.h"
+#include "runtime/value.h"
+
+namespace relm {
+namespace exec {
+
+/// Per-run execution options.
+struct ExecOptions {
+  /// Degree of instruction parallelism: <= 0 uses the process-wide
+  /// Workers() default, 1 forces the serial reference path.
+  int workers = 0;
+  /// CP memory budget in bytes for pinned variable payloads; <= 0
+  /// disables budget enforcement (symbols keep their payloads).
+  int64_t memory_budget = 0;
+  /// Verify on every parallel block that the commit order equals the
+  /// serial first-visit effect order (cheap; on by default).
+  bool verify_commit_order = true;
+};
+
+/// Engine counters, also exported as exec.* obs metrics.
+struct ExecStats {
+  int64_t parallel_blocks = 0;
+  int64_t serial_blocks = 0;  // serial fallbacks + forced-serial runs
+  int64_t tasks_scheduled = 0;
+  int64_t tasks_stolen = 0;  // tasks executed by pool threads
+  int64_t evictions = 0;
+  int64_t spill_bytes = 0;
+  int64_t reload_bytes = 0;
+};
+
+class Engine {
+ public:
+  /// How the engine talks to its driver. All hooks are invoked from the
+  /// driver thread only (reads before scheduling, effects at commit).
+  struct Hooks {
+    /// Block-entry value of a transient variable.
+    std::function<Result<Value>(const std::string&)> read_symbol;
+    /// Ordered commit of a transient write.
+    std::function<Status(const std::string&, const Value&)> write_symbol;
+    /// Ordered commit of one print() line.
+    std::function<void(const std::string&)> emit_print;
+    /// Executes a user-defined function call hop with the given argument
+    /// values (already evaluated in the caller frame), returning its
+    /// outputs in declaration order. Only reached on the serial path;
+    /// the engine saves/clears/restores its caches around the call.
+    std::function<Result<std::vector<Value>>(const Hop*, std::vector<Value>)>
+        call_function;
+  };
+
+  Engine(SimulatedHdfs* hdfs, Random* rng, const ExecOptions& options);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// The budget-enforcing memory manager; nullptr when the budget is
+  /// disabled.
+  MemoryManager* memory() { return memory_.get(); }
+
+  const ExecOptions& options() const { return options_; }
+  /// Resolved degree of parallelism (>= 1).
+  int workers() const { return workers_; }
+
+  /// Counters including the memory manager's spill/reload totals.
+  ExecStats stats() const;
+
+  /// Executes one generic block DAG: pins block-entry reads, evaluates
+  /// the roots (in parallel when safe), commits effects in program
+  /// order.
+  Status RunGeneric(const HopDag& dag, const Hooks& hooks);
+
+  /// Evaluates a predicate DAG (root 0) serially; clears the caches.
+  Result<double> EvalPredicate(const HopDag& dag, const Hooks& hooks);
+
+  /// Evaluates one root of a for-loop bound DAG serially WITHOUT
+  /// clearing the caches (matches historical interpreter semantics).
+  Result<Value> EvalRoot(const HopDag& dag, size_t root_index,
+                         const Hooks& hooks);
+
+  /// RAII save/clear/restore of the per-epoch value caches around a
+  /// function body (caches are per-frame).
+  class CacheScope {
+   public:
+    explicit CacheScope(Engine* engine);
+    ~CacheScope();
+    CacheScope(const CacheScope&) = delete;
+    CacheScope& operator=(const CacheScope&) = delete;
+
+   private:
+    Engine* engine_;
+    std::unordered_map<const Hop*, Value> saved_cache_;
+    std::unordered_map<const Hop*, std::vector<Value>> saved_fcalls_;
+  };
+
+ private:
+  friend class DagRun;
+
+  Result<Value> EvalSerial(const Hop* h, const Hooks& hooks);
+  Result<Value> EvalSerialUncached(const Hop* h, const Hooks& hooks);
+  /// Pure evaluation of one node given its input values (no symbol,
+  /// print, or persistent-write effects; safe off-thread except for
+  /// the RNG, which callers must serialize).
+  Result<Value> EvalPure(const Hop* h, const std::vector<Value>& in);
+  Result<Value> ReadPersistent(const Hop* h);
+  Status WritePersistent(const Hop* h, const Value& v);
+  Result<Value> CallFunction(const Hop* call, int output_index,
+                             const Hooks& hooks);
+  Status RunGenericSerial(const HopDag& dag, const Hooks& hooks);
+  Status RunGenericParallel(const HopDag& dag, const Hooks& hooks);
+  /// True when every instruction of the DAG is schedulable off-thread.
+  static bool ParallelSafe(const std::vector<Hop*>& order);
+
+  SimulatedHdfs* hdfs_;
+  Random* rng_;
+  ExecOptions options_;
+  int workers_ = 1;
+  std::unique_ptr<MemoryManager> memory_;
+  std::unordered_map<const Hop*, Value> cache_;
+  std::unordered_map<const Hop*, std::vector<Value>> fcall_cache_;
+  ExecStats stats_;
+};
+
+/// The serial first-visit order of a DAG's side-effecting hops (print,
+/// transient write, persistent write): the order the recursive
+/// reference evaluator applies them in. Exposed for the commit-order
+/// verification and its tests.
+std::vector<const Hop*> SerialEffectOrder(const HopDag& dag);
+
+}  // namespace exec
+}  // namespace relm
+
+#endif  // RELM_EXEC_ENGINE_H_

@@ -1,0 +1,47 @@
+#ifndef RELM_EXEC_HOP_OPS_H_
+#define RELM_EXEC_HOP_OPS_H_
+
+// HOP -> operator-class mapping for the shared registry. Kept separate
+// from exec/op_registry.h so the registry itself stays below the
+// compiler layer (relm_matrix links it), while consumers that know
+// about HOPs (cost model, engine) include this header.
+
+#include "exec/op_registry.h"
+#include "hops/hop.h"
+
+namespace relm {
+namespace exec {
+
+inline OpClass OpClassForHop(const Hop& h) {
+  switch (h.kind()) {
+    case HopKind::kMatMult:
+      return OpClass::kMatMult;
+    case HopKind::kSolve:
+      return OpClass::kSolve;
+    case HopKind::kBinary:
+      return OpClass::kElementwise;
+    case HopKind::kUnary:
+      return OpClass::kUnary;
+    case HopKind::kAggUnary:
+      return h.agg_dir == AggDir::kAll ? OpClass::kFullAggregate
+                                       : OpClass::kRowColAggregate;
+    case HopKind::kReorg:
+      return OpClass::kReorg;
+    case HopKind::kDataGen:
+      return OpClass::kDataGen;
+    case HopKind::kIndexing:
+    case HopKind::kLeftIndexing:
+      return OpClass::kIndexing;
+    case HopKind::kTernary:
+      return OpClass::kTable;
+    case HopKind::kAppend:
+      return OpClass::kAppend;
+    default:
+      return OpClass::kOther;
+  }
+}
+
+}  // namespace exec
+}  // namespace relm
+
+#endif  // RELM_EXEC_HOP_OPS_H_

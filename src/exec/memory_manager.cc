@@ -1,0 +1,245 @@
+#include "exec/memory_manager.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace relm {
+namespace exec {
+
+MemoryManager::MemoryManager(int64_t capacity_bytes,
+                             SimulatedHdfs* spill_hdfs,
+                             std::string spill_prefix)
+    : capacity_(capacity_bytes),
+      hdfs_(spill_hdfs),
+      spill_prefix_(std::move(spill_prefix)) {}
+
+std::string MemoryManager::SpillPathLocked(const Entry& e,
+                                           const std::string& name) const {
+  if (e.dirty || e.source_path.empty()) return spill_prefix_ + name;
+  return e.source_path;
+}
+
+void MemoryManager::EvictOneLocked(std::vector<Evicted>* evicted) {
+  const std::string victim = lru_.back();
+  auto it = entries_.find(victim);
+  Entry& e = it->second;
+  if (e.payload != nullptr) {
+    const std::string path = SpillPathLocked(e, victim);
+    if (e.dirty) {
+      // Dirty payloads must survive eviction: write them to the spill
+      // space before releasing the in-memory copy.
+      if (hdfs_ != nullptr) {
+        hdfs_->PutMatrix(path, *e.payload);
+        spill_files_[victim] = path;
+        spill_bytes_ += e.bytes;
+        RELM_COUNTER_ADD("exec.spill_bytes", e.bytes);
+      }
+    }
+    evicted_sources_[victim] = EvictedSource{path, e.bytes};
+    RELM_COUNTER_INC("exec.evictions");
+  }
+  evicted->push_back(Evicted{victim, e.bytes, e.dirty});
+  used_ -= e.bytes;
+  lru_.pop_back();
+  entries_.erase(it);
+  ++evictions_;
+}
+
+std::vector<MemoryManager::Evicted> MemoryManager::PutLocked(
+    const std::string& name, int64_t bytes, bool dirty,
+    std::shared_ptr<const MatrixBlock> payload,
+    const std::string& source_path) {
+  std::vector<Evicted> evicted;
+  RemoveLocked(name);
+  if (capacity_ > 0 && bytes > capacity_) {
+    // Oversized object: stream-through, never resident. The payload (if
+    // any) still has to be reloadable, so dirty payloads spill now.
+    if (payload != nullptr) {
+      std::string path = dirty || source_path.empty() ? spill_prefix_ + name
+                                                      : source_path;
+      if (dirty && hdfs_ != nullptr) {
+        hdfs_->PutMatrix(path, *payload);
+        spill_files_[name] = path;
+        spill_bytes_ += bytes;
+        RELM_COUNTER_ADD("exec.spill_bytes", bytes);
+      }
+      evicted_sources_[name] = EvictedSource{path, bytes};
+      RELM_COUNTER_INC("exec.evictions");
+    }
+    ++evictions_;
+    evicted.push_back(Evicted{name, bytes, dirty});
+    return evicted;
+  }
+  while (capacity_ > 0 && used_ + bytes > capacity_ && !lru_.empty()) {
+    EvictOneLocked(&evicted);
+  }
+  lru_.push_front(name);
+  Entry e;
+  e.bytes = bytes;
+  e.dirty = dirty;
+  e.payload = std::move(payload);
+  e.source_path = source_path;
+  e.lru_it = lru_.begin();
+  entries_[name] = std::move(e);
+  used_ += bytes;
+  evicted_sources_.erase(name);
+  return evicted;
+}
+
+void MemoryManager::RemoveLocked(const std::string& name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return;
+  used_ -= it->second.bytes;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+std::vector<MemoryManager::Evicted> MemoryManager::Put(
+    const std::string& name, int64_t bytes, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PutLocked(name, bytes, dirty, nullptr, "");
+}
+
+bool MemoryManager::Touch(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return false;
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(name);
+  it->second.lru_it = lru_.begin();
+  return true;
+}
+
+bool MemoryManager::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(name) > 0;
+}
+
+void MemoryManager::MarkClean(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) it->second.dirty = false;
+}
+
+void MemoryManager::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RemoveLocked(name);
+}
+
+void MemoryManager::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+  evicted_sources_.clear();
+  used_ = 0;
+}
+
+std::vector<MemoryManager::Evicted> MemoryManager::SetCapacity(
+    int64_t capacity_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity_bytes;
+  std::vector<Evicted> evicted;
+  while (capacity_ > 0 && used_ > capacity_ && !lru_.empty()) {
+    EvictOneLocked(&evicted);
+  }
+  return evicted;
+}
+
+int64_t MemoryManager::used_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return used_;
+}
+
+int64_t MemoryManager::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+int64_t MemoryManager::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+int64_t MemoryManager::spill_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spill_bytes_;
+}
+
+int64_t MemoryManager::reload_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reload_bytes_;
+}
+
+Status MemoryManager::PinMatrix(const std::string& name,
+                                std::shared_ptr<const MatrixBlock> payload,
+                                bool dirty, const std::string& source_path) {
+  if (payload == nullptr) {
+    return Status::InvalidArgument("PinMatrix: null payload for " + name);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t bytes = payload->MemorySize();
+  PutLocked(name, bytes, dirty, std::move(payload), source_path);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const MatrixBlock>> MemoryManager::FetchMatrix(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    if (it->second.payload == nullptr) {
+      return Status::Internal("FetchMatrix on accounting-only entry " + name);
+    }
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(name);
+    it->second.lru_it = lru_.begin();
+    return it->second.payload;
+  }
+  auto src = evicted_sources_.find(name);
+  if (src == evicted_sources_.end()) {
+    return Status::NotFound("no pinned or spilled payload for '" + name +
+                            "'");
+  }
+  if (hdfs_ == nullptr) {
+    return Status::Internal("evicted payload without a spill HDFS: " + name);
+  }
+  const std::string path = src->second.path;
+  RELM_ASSIGN_OR_RETURN(HdfsFile file, hdfs_->Get(path));
+  if (file.data == nullptr) {
+    return Status::Internal("spill file lost its payload: " + path);
+  }
+  reload_bytes_ += src->second.bytes;
+  RELM_COUNTER_ADD("exec.reload_bytes", src->second.bytes);
+  std::shared_ptr<const MatrixBlock> payload = file.data;
+  // Re-pin clean: the copy at `path` is current, so a future eviction
+  // of this entry needs no second spill write.
+  PutLocked(name, src->second.bytes, /*dirty=*/false, payload, path);
+  return payload;
+}
+
+void MemoryManager::Drop(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RemoveLocked(name);
+  evicted_sources_.erase(name);
+  auto it = spill_files_.find(name);
+  if (it != spill_files_.end()) {
+    if (hdfs_ != nullptr) hdfs_->Delete(it->second);
+    spill_files_.erase(it);
+  }
+}
+
+void MemoryManager::DropAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (hdfs_ != nullptr) {
+    for (const auto& [name, path] : spill_files_) hdfs_->Delete(path);
+  }
+  spill_files_.clear();
+  evicted_sources_.clear();
+  entries_.clear();
+  lru_.clear();
+  used_ = 0;
+}
+
+}  // namespace exec
+}  // namespace relm

@@ -1,0 +1,147 @@
+#ifndef RELM_EXEC_MEMORY_MANAGER_H_
+#define RELM_EXEC_MEMORY_MANAGER_H_
+
+// LRU memory manager for control-program variables, promoted from the
+// simulator-private mrsim/buffer_pool. One eviction policy, two
+// consumers: the cluster simulator uses the accounting API (Put/Touch)
+// to charge eviction IO during timing, and the interpreter uses the
+// payload API (PinMatrix/FetchMatrix) to keep real MatrixBlock working
+// sets inside the optimizer-chosen CP budget, spilling dirty payloads
+// to the simulated HDFS and reloading them on next use.
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "hdfs/file_system.h"
+#include "matrix/matrix_block.h"
+
+namespace relm {
+namespace exec {
+
+class MemoryManager {
+ public:
+  /// `spill_hdfs` may be nullptr for accounting-only consumers (the
+  /// simulator); payload pins then require no spill target because
+  /// eviction simply drops accounting state. `capacity_bytes` <= 0
+  /// means unlimited.
+  explicit MemoryManager(int64_t capacity_bytes,
+                         SimulatedHdfs* spill_hdfs = nullptr,
+                         std::string spill_prefix = "/.spill/");
+
+  MemoryManager(const MemoryManager&) = delete;
+  MemoryManager& operator=(const MemoryManager&) = delete;
+
+  struct Evicted {
+    std::string name;
+    int64_t bytes = 0;
+    bool dirty = false;
+  };
+
+  // ---- accounting API (simulator) ----
+
+  /// Inserts or replaces a variable; returns the entries evicted to
+  /// make room (empty if it fits). Oversized single entries bypass the
+  /// pool (stream-through), reported as an eviction of themselves.
+  std::vector<Evicted> Put(const std::string& name, int64_t bytes,
+                           bool dirty);
+
+  /// Marks a variable accessed (LRU touch); false if not resident.
+  bool Touch(const std::string& name);
+
+  /// True if the variable is resident.
+  bool Contains(const std::string& name) const;
+
+  /// Marks a resident variable clean (after an export to HDFS).
+  void MarkClean(const std::string& name);
+
+  /// Removes a variable (e.g. on overwrite with a new version).
+  void Remove(const std::string& name);
+
+  /// Drops everything (AM migration: the new container starts cold).
+  void Clear();
+
+  /// Changes the capacity. Shrinking below used_bytes() evicts LRU
+  /// entries down to the new cap (an over-committed pool after AM
+  /// migration to a smaller container was a real bug); the evicted
+  /// entries are returned so callers can charge the write-back IO.
+  std::vector<Evicted> SetCapacity(int64_t capacity_bytes);
+
+  int64_t used_bytes() const;
+  int64_t capacity() const;
+  int64_t evictions() const;
+
+  // ---- payload API (interpreter) ----
+
+  /// Pins a real matrix payload under `name`, evicting LRU entries as
+  /// needed. Dirty evicted payloads are spilled to the spill HDFS;
+  /// payloads pinned with a non-empty `source_path` reload from that
+  /// path instead (clean read() inputs need no spill copy). A payload
+  /// larger than the whole capacity is spilled immediately and never
+  /// resident (stream-through).
+  Status PinMatrix(const std::string& name,
+                   std::shared_ptr<const MatrixBlock> payload, bool dirty,
+                   const std::string& source_path = "");
+
+  /// Returns the payload for `name`, reloading it from its spill/source
+  /// path when it was evicted. NotFound for names never pinned.
+  Result<std::shared_ptr<const MatrixBlock>> FetchMatrix(
+      const std::string& name);
+
+  /// Removes a payload entry and deletes its spill file, if any.
+  void Drop(const std::string& name);
+
+  /// Drops every entry and deletes all spill files this manager wrote.
+  void DropAll();
+
+  /// Bytes written to / read back from the spill space.
+  int64_t spill_bytes() const;
+  int64_t reload_bytes() const;
+
+ private:
+  struct Entry {
+    int64_t bytes = 0;
+    bool dirty = false;
+    std::shared_ptr<const MatrixBlock> payload;  // null in accounting mode
+    std::string source_path;  // reload path override ("" = spill path)
+    std::list<std::string>::iterator lru_it;
+  };
+  /// Where an evicted payload can be reloaded from.
+  struct EvictedSource {
+    std::string path;
+    int64_t bytes = 0;
+  };
+
+  std::string SpillPathLocked(const Entry& e, const std::string& name) const;
+  void EvictOneLocked(std::vector<Evicted>* evicted);
+  std::vector<Evicted> PutLocked(const std::string& name, int64_t bytes,
+                                 bool dirty,
+                                 std::shared_ptr<const MatrixBlock> payload,
+                                 const std::string& source_path);
+  void RemoveLocked(const std::string& name);
+
+  mutable std::mutex mu_;
+  int64_t capacity_;
+  SimulatedHdfs* hdfs_;
+  const std::string spill_prefix_;
+  int64_t used_ = 0;
+  int64_t evictions_ = 0;
+  int64_t spill_bytes_ = 0;
+  int64_t reload_bytes_ = 0;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recent
+  /// Evicted payload entries and where to reload them from.
+  std::map<std::string, EvictedSource> evicted_sources_;
+  /// Spill files this manager wrote (cleaned up by DropAll).
+  std::map<std::string, std::string> spill_files_;  // name -> path
+};
+
+}  // namespace exec
+}  // namespace relm
+
+#endif  // RELM_EXEC_MEMORY_MANAGER_H_

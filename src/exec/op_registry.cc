@@ -1,0 +1,45 @@
+#include "exec/op_registry.h"
+
+namespace relm {
+namespace exec {
+
+namespace {
+
+// Indexed by OpClass. Parallel fractions reflect what the tiled
+// kernels in matrix/kernels.cc actually parallelize: matmult tiles
+// rows of the output, elementwise/unary/reorg tile rows, row/col
+// aggregates tile the preserved dimension. Full reductions, solve,
+// table, append, indexing, and datagen run serially for bitwise
+// deterministic results.
+constexpr OpProfile kProfiles[] = {
+    {"matmult", 0.97, 16384},
+    {"solve", 0.0, 1 << 30},
+    {"elementwise", 0.90, 65536},
+    {"unary", 0.90, 65536},
+    {"rowcol_aggregate", 0.85, 65536},
+    {"full_aggregate", 0.0, 1 << 30},
+    {"reorg", 0.90, 65536},
+    {"datagen", 0.0, 1 << 30},
+    {"indexing", 0.0, 1 << 30},
+    {"table", 0.0, 1 << 30},
+    {"append", 0.0, 1 << 30},
+    {"other", 0.0, 1 << 30},
+};
+
+}  // namespace
+
+const OpProfile& Profile(OpClass cls) {
+  int idx = static_cast<int>(cls);
+  constexpr int n = sizeof(kProfiles) / sizeof(kProfiles[0]);
+  if (idx < 0 || idx >= n) idx = n - 1;
+  return kProfiles[idx];
+}
+
+double OpSpeedup(OpClass cls, double raw_core_speedup) {
+  if (raw_core_speedup <= 1.0) return 1.0;
+  const double f = Profile(cls).parallel_fraction;
+  return 1.0 / ((1.0 - f) + f / raw_core_speedup);
+}
+
+}  // namespace exec
+}  // namespace relm

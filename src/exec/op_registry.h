@@ -1,0 +1,63 @@
+#ifndef RELM_EXEC_OP_REGISTRY_H_
+#define RELM_EXEC_OP_REGISTRY_H_
+
+// Single source of the per-operator compute/IO constants shared by the
+// CP kernels (tiling grain), the analytic cost model (vcores scaling),
+// and the cluster simulator (compute/IO rates). Previously the global
+// constants lived in cost/cost_model.h while the kernels hard-coded
+// their own behaviour; one registry keeps the cost model honest about
+// what the kernels actually do.
+
+#include <cstdint>
+
+namespace relm {
+namespace exec {
+
+/// Compute-time efficiency factor applied to the peak FLOP rate.
+inline constexpr double kComputeEfficiency = 0.5;
+/// Single-stream HDFS bandwidths of the control program process.
+inline constexpr double kCpReadBps = 250e6;
+inline constexpr double kCpWriteBps = 150e6;
+
+/// Operator classes with distinct parallelization behaviour. The
+/// mapping from HOPs lives in exec/hop_ops.h (this header stays free of
+/// compiler-layer dependencies so relm_matrix can link it).
+enum class OpClass {
+  kMatMult = 0,
+  kSolve,
+  kElementwise,
+  kUnary,
+  kRowColAggregate,
+  kFullAggregate,  // scalar reductions stay serial (bitwise determinism)
+  kReorg,
+  kDataGen,  // rand consumes the program RNG in serial order
+  kIndexing,
+  kTable,
+  kAppend,
+  kOther,
+};
+
+/// Per-class execution profile.
+struct OpProfile {
+  const char* name;
+  /// Amdahl parallel fraction of the kernel: 0 = strictly serial.
+  double parallel_fraction;
+  /// Minimum output/input cells one pool task should own (tiling
+  /// grain; below this the kernel runs inline).
+  int64_t min_cells_per_task;
+};
+
+/// Profile of one operator class (never fails; unknown -> kOther).
+const OpProfile& Profile(OpClass cls);
+
+/// Effective multi-core speedup of one operator class given the raw
+/// core speedup (ResourceConfig::CpComputeSpeedup() = cores^alpha):
+/// Amdahl's law over the class's parallel fraction. Equals 1.0 for one
+/// core regardless of class, so single-core cost estimates are
+/// unchanged.
+double OpSpeedup(OpClass cls, double raw_core_speedup);
+
+}  // namespace exec
+}  // namespace relm
+
+#endif  // RELM_EXEC_OP_REGISTRY_H_

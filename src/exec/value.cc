@@ -1,0 +1,15 @@
+#include "runtime/value.h"
+
+#include "common/string_util.h"
+
+namespace relm {
+
+std::string Value::ToDisplayString() const {
+  if (is_matrix()) {
+    return matrix ? matrix->ToString() : "<matrix>";
+  }
+  if (is_string) return str;
+  return FormatDouble(scalar, 6);
+}
+
+}  // namespace relm

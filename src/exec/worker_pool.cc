@@ -1,0 +1,164 @@
+#include "exec/worker_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace relm {
+namespace exec {
+
+struct WorkerPool::State {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::function<void()>> queue;
+  bool stopping = false;
+  std::vector<std::thread> threads;
+};
+
+WorkerPool::WorkerPool(int num_threads)
+    : num_threads_(num_threads < 0 ? 0 : num_threads), state_(new State) {
+  for (int i = 0; i < num_threads_; ++i) {
+    state_->threads.emplace_back([s = state_] {
+      for (;;) {
+        std::function<void()> task;
+        {
+          std::unique_lock<std::mutex> lock(s->mu);
+          s->cv.wait(lock, [&] { return s->stopping || !s->queue.empty(); });
+          if (s->queue.empty()) return;  // stopping and drained
+          task = std::move(s->queue.front());
+          s->queue.pop_front();
+        }
+        task();
+      }
+    });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->stopping = true;
+  }
+  state_->cv.notify_all();
+  for (auto& t : state_->threads) t.join();
+  delete state_;
+}
+
+void WorkerPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->queue.push_back(std::move(fn));
+  }
+  state_->cv.notify_one();
+}
+
+namespace {
+
+int DefaultWorkers() {
+  if (const char* env = std::getenv("RELM_EXEC_WORKERS")) {
+    int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  return 1;
+}
+
+std::mutex g_pool_mu;
+int g_workers = 0;  // 0 = not yet resolved
+std::unique_ptr<WorkerPool> g_pool;
+
+}  // namespace
+
+int Workers() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_workers == 0) g_workers = DefaultWorkers();
+  return g_workers;
+}
+
+void SetWorkers(int workers) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  g_workers = workers >= 1 ? workers : DefaultWorkers();
+  g_pool.reset();  // rebuilt at the new size on next SharedPool()
+}
+
+WorkerPool* SharedPool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_workers == 0) g_workers = DefaultWorkers();
+  if (g_pool == nullptr) {
+    g_pool = std::make_unique<WorkerPool>(g_workers - 1);
+  }
+  return g_pool.get();
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& body) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+  // Chunk boundaries depend only on (range, grain) — never on the
+  // worker count. The decomposition of a kernel is a property of the
+  // problem; parallelism only changes which thread runs each chunk, so
+  // any worker count produces bitwise-identical results.
+  const int64_t chunk = grain;
+  const int64_t num_chunks = (n + chunk - 1) / chunk;
+  const int workers = Workers();
+  if (workers <= 1 || num_chunks <= 1) {
+    for (int64_t c = 0; c < num_chunks; ++c) {
+      int64_t lo = begin + c * chunk;
+      int64_t hi = lo + chunk < end ? lo + chunk : end;
+      body(lo, hi);
+    }
+    return;
+  }
+
+  struct Ctx {
+    std::atomic<int64_t> next{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    int64_t done = 0;
+  };
+  auto ctx = std::make_shared<Ctx>();
+  auto drain = [ctx, begin, end, chunk, num_chunks, &body]() {
+    for (;;) {
+      int64_t c = ctx->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      int64_t lo = begin + c * chunk;
+      int64_t hi = lo + chunk < end ? lo + chunk : end;
+      body(lo, hi);
+      {
+        std::lock_guard<std::mutex> lock(ctx->mu);
+        ++ctx->done;
+      }
+      ctx->cv.notify_one();
+    }
+  };
+
+  WorkerPool* pool = SharedPool();
+  int helpers = workers - 1;
+  if (helpers > num_chunks - 1) helpers = static_cast<int>(num_chunks - 1);
+  // Helpers capture the body by reference; the submitting thread stays
+  // inside this frame until every chunk is done, so the reference
+  // outlives all helper activity. A helper arriving after completion
+  // sees next >= num_chunks and exits without touching it... except the
+  // body reference itself, which it never dereferences in that case.
+  struct Guard {
+    std::shared_ptr<Ctx> ctx;
+    int64_t num_chunks;
+    ~Guard() {
+      std::unique_lock<std::mutex> lock(ctx->mu);
+      ctx->cv.wait(lock, [&] { return ctx->done == num_chunks; });
+    }
+  } guard{ctx, num_chunks};
+  RELM_COUNTER_ADD("exec.kernel_chunks", num_chunks);
+  for (int i = 0; i < helpers; ++i) pool->Submit(drain);
+  drain();
+}
+
+}  // namespace exec
+}  // namespace relm

@@ -1,0 +1,70 @@
+#ifndef RELM_EXEC_WORKER_POOL_H_
+#define RELM_EXEC_WORKER_POOL_H_
+
+// The process-wide execution substrate shared by the instruction-DAG
+// scheduler (exec/engine) and the tiled CP kernels (matrix/kernels):
+// one fixed pool of worker threads plus a caller-participating
+// ParallelFor. Pool threads never block on other pool tasks — every
+// blocking wait is done by the submitting thread, which also drains
+// work itself — so nesting a tiled kernel inside a scheduled
+// instruction cannot deadlock even on a single-thread pool.
+
+#include <cstdint>
+#include <functional>
+
+namespace relm {
+namespace exec {
+
+/// A fixed-size pool of worker threads with an unbounded FIFO task
+/// queue. Submit never blocks; tasks must not block on other tasks.
+class WorkerPool {
+ public:
+  /// `num_threads` may be 0 (every ParallelFor runs inline).
+  explicit WorkerPool(int num_threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Enqueues a task. Never blocks; tasks run in FIFO order per worker
+  /// availability.
+  void Submit(std::function<void()> fn);
+
+ private:
+  struct State;
+  int num_threads_ = 0;
+  State* state_ = nullptr;
+};
+
+/// Degree of parallelism the process is configured for (>= 1). Reads
+/// RELM_EXEC_WORKERS on first use; defaults to 1 (serial) so plain
+/// builds and tests keep the deterministic single-thread path.
+int Workers();
+
+/// Reconfigures the process-wide worker count (>= 1; values < 1 select
+/// the RELM_EXEC_WORKERS / serial default). Rebuilds the shared pool,
+/// so it must only be called while no engine or kernel work is in
+/// flight (service startup, bench setup, test fixtures).
+void SetWorkers(int workers);
+
+/// The shared pool backing kernels and the DAG scheduler. Has
+/// Workers() - 1 threads: the caller always participates, so total
+/// concurrency equals Workers(). Never returns nullptr.
+WorkerPool* SharedPool();
+
+/// Runs body(lo, hi) over [begin, end) in chunks of `grain` elements,
+/// tiled over the shared pool with the calling thread participating.
+/// Chunk boundaries depend only on (range, grain) — never on the
+/// worker count — so the work decomposition is identical under any
+/// parallelism; bodies must write disjoint state per index. Runs the
+/// chunks inline (same boundaries) when the process is configured
+/// serial.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& body);
+
+}  // namespace exec
+}  // namespace relm
+
+#endif  // RELM_EXEC_WORKER_POOL_H_

@@ -6,6 +6,9 @@
 #include <sstream>
 #include <vector>
 
+#include "exec/op_registry.h"
+#include "exec/worker_pool.h"
+
 namespace relm {
 
 double ApplyBinOp(BinOp op, double a, double b) {
@@ -178,6 +181,17 @@ Status ShapeError(const char* what, const MatrixBlock& a,
   return Status::RuntimeError(os.str());
 }
 
+// Rows (or columns) per parallel task so each task covers at least the
+// registry's cells-per-task floor for the operator class. Tiling is
+// along one dimension with disjoint output slices and an unchanged
+// inner loop, so results are bitwise identical to the serial kernels
+// for any worker count.
+int64_t TileGrain(exec::OpClass cls, int64_t cells_per_line) {
+  const int64_t floor_cells = exec::Profile(cls).min_cells_per_task;
+  return std::max<int64_t>(1,
+                           floor_cells / std::max<int64_t>(1, cells_per_line));
+}
+
 }  // namespace
 
 Result<MatrixBlock> MatMult(const MatrixBlock& a, const MatrixBlock& b) {
@@ -187,51 +201,63 @@ Result<MatrixBlock> MatMult(const MatrixBlock& a, const MatrixBlock& b) {
   const int64_t k = a.cols();
   MatrixBlock c(m, n, false);
   auto& cd = c.dense();
+  // All four sparsity combinations tile over rows of A: each task owns
+  // a disjoint slice of C's rows, so the parallel result is bitwise
+  // identical to the serial one.
+  const int64_t grain = TileGrain(exec::OpClass::kMatMult, k * n);
   if (!a.is_sparse() && !b.is_sparse()) {
     const auto& ad = a.dense();
     const auto& bd = b.dense();
     // ikj loop order for cache-friendly access to B and C.
-    for (int64_t i = 0; i < m; ++i) {
-      for (int64_t kk = 0; kk < k; ++kk) {
-        double aik = ad[i * k + kk];
-        if (aik == 0.0) continue;
-        const double* brow = &bd[kk * n];
-        double* crow = &cd[i * n];
-        for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    exec::ParallelFor(0, m, grain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        for (int64_t kk = 0; kk < k; ++kk) {
+          double aik = ad[i * k + kk];
+          if (aik == 0.0) continue;
+          const double* brow = &bd[kk * n];
+          double* crow = &cd[i * n];
+          for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+        }
       }
-    }
+    });
   } else if (a.is_sparse() && !b.is_sparse()) {
     const auto& bd = b.dense();
-    for (int64_t i = 0; i < m; ++i) {
-      for (int64_t p = a.row_ptr()[i]; p < a.row_ptr()[i + 1]; ++p) {
-        double aik = a.values()[p];
-        int64_t kk = a.col_idx()[p];
-        const double* brow = &bd[kk * n];
-        double* crow = &cd[i * n];
-        for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    exec::ParallelFor(0, m, grain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        for (int64_t p = a.row_ptr()[i]; p < a.row_ptr()[i + 1]; ++p) {
+          double aik = a.values()[p];
+          int64_t kk = a.col_idx()[p];
+          const double* brow = &bd[kk * n];
+          double* crow = &cd[i * n];
+          for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+        }
       }
-    }
+    });
   } else if (!a.is_sparse() && b.is_sparse()) {
     const auto& ad = a.dense();
-    for (int64_t i = 0; i < m; ++i) {
-      for (int64_t kk = 0; kk < k; ++kk) {
-        double aik = ad[i * k + kk];
-        if (aik == 0.0) continue;
-        for (int64_t p = b.row_ptr()[kk]; p < b.row_ptr()[kk + 1]; ++p) {
-          cd[i * n + b.col_idx()[p]] += aik * b.values()[p];
+    exec::ParallelFor(0, m, grain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        for (int64_t kk = 0; kk < k; ++kk) {
+          double aik = ad[i * k + kk];
+          if (aik == 0.0) continue;
+          for (int64_t p = b.row_ptr()[kk]; p < b.row_ptr()[kk + 1]; ++p) {
+            cd[i * n + b.col_idx()[p]] += aik * b.values()[p];
+          }
         }
       }
-    }
+    });
   } else {
-    for (int64_t i = 0; i < m; ++i) {
-      for (int64_t p = a.row_ptr()[i]; p < a.row_ptr()[i + 1]; ++p) {
-        double aik = a.values()[p];
-        int64_t kk = a.col_idx()[p];
-        for (int64_t q = b.row_ptr()[kk]; q < b.row_ptr()[kk + 1]; ++q) {
-          cd[i * n + b.col_idx()[q]] += aik * b.values()[q];
+    exec::ParallelFor(0, m, grain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        for (int64_t p = a.row_ptr()[i]; p < a.row_ptr()[i + 1]; ++p) {
+          double aik = a.values()[p];
+          int64_t kk = a.col_idx()[p];
+          for (int64_t q = b.row_ptr()[kk]; q < b.row_ptr()[kk + 1]; ++q) {
+            cd[i * n + b.col_idx()[q]] += aik * b.values()[q];
+          }
         }
       }
-    }
+    });
   }
   return c;
 }
@@ -247,20 +273,27 @@ Result<MatrixBlock> TransposeSelfMatMult(const MatrixBlock& a, bool left) {
 MatrixBlock Transpose(const MatrixBlock& a) {
   MatrixBlock t(a.cols(), a.rows(), false);
   auto& td = t.dense();
+  // Tiled over source rows: row r of A fills column r of T, disjoint
+  // across tasks.
+  const int64_t grain = TileGrain(exec::OpClass::kReorg, a.cols());
   if (!a.is_sparse()) {
     const auto& ad = a.dense();
-    for (int64_t r = 0; r < a.rows(); ++r) {
-      for (int64_t c = 0; c < a.cols(); ++c) {
-        td[c * a.rows() + r] = ad[r * a.cols() + c];
+    exec::ParallelFor(0, a.rows(), grain, [&](int64_t lo, int64_t hi) {
+      for (int64_t r = lo; r < hi; ++r) {
+        for (int64_t c = 0; c < a.cols(); ++c) {
+          td[c * a.rows() + r] = ad[r * a.cols() + c];
+        }
       }
-    }
+    });
   } else {
-    for (int64_t r = 0; r < a.rows(); ++r) {
-      for (int64_t p = a.row_ptr()[r]; p < a.row_ptr()[r + 1]; ++p) {
-        td[static_cast<int64_t>(a.col_idx()[p]) * a.rows() + r] =
-            a.values()[p];
+    exec::ParallelFor(0, a.rows(), grain, [&](int64_t lo, int64_t hi) {
+      for (int64_t r = lo; r < hi; ++r) {
+        for (int64_t p = a.row_ptr()[r]; p < a.row_ptr()[r + 1]; ++p) {
+          td[static_cast<int64_t>(a.col_idx()[p]) * a.rows() + r] =
+              a.values()[p];
+        }
       }
-    }
+    });
     t.Compact();
   }
   return t;
@@ -284,26 +317,30 @@ Result<MatrixBlock> ElementwiseBinary(BinOp op, const MatrixBlock& a,
   }
   MatrixBlock out(a.rows(), a.cols(), false);
   auto& od = out.dense();
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    for (int64_t c = 0; c < a.cols(); ++c) {
-      double bv;
-      switch (mode) {
-        case Mode::kCell:
-          bv = b.Get(r, c);
-          break;
-        case Mode::kScalar:
-          bv = b.Get(0, 0);
-          break;
-        case Mode::kColVec:
-          bv = b.Get(r, 0);
-          break;
-        case Mode::kRowVec:
-          bv = b.Get(0, c);
-          break;
-      }
-      od[r * a.cols() + c] = ApplyBinOp(op, a.Get(r, c), bv);
-    }
-  }
+  exec::ParallelFor(
+      0, a.rows(), TileGrain(exec::OpClass::kElementwise, a.cols()),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          for (int64_t c = 0; c < a.cols(); ++c) {
+            double bv;
+            switch (mode) {
+              case Mode::kCell:
+                bv = b.Get(r, c);
+                break;
+              case Mode::kScalar:
+                bv = b.Get(0, 0);
+                break;
+              case Mode::kColVec:
+                bv = b.Get(r, 0);
+                break;
+              case Mode::kRowVec:
+                bv = b.Get(0, c);
+                break;
+            }
+            od[r * a.cols() + c] = ApplyBinOp(op, a.Get(r, c), bv);
+          }
+        }
+      });
   if (IsSparseSafe(op)) out.Compact();
   return out;
 }
@@ -312,24 +349,33 @@ MatrixBlock ScalarBinary(BinOp op, const MatrixBlock& a, double scalar,
                          bool scalar_left) {
   MatrixBlock out(a.rows(), a.cols(), false);
   auto& od = out.dense();
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    for (int64_t c = 0; c < a.cols(); ++c) {
-      double av = a.Get(r, c);
-      od[r * a.cols() + c] =
-          scalar_left ? ApplyBinOp(op, scalar, av) : ApplyBinOp(op, av, scalar);
-    }
-  }
+  exec::ParallelFor(
+      0, a.rows(), TileGrain(exec::OpClass::kElementwise, a.cols()),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          for (int64_t c = 0; c < a.cols(); ++c) {
+            double av = a.Get(r, c);
+            od[r * a.cols() + c] = scalar_left
+                                       ? ApplyBinOp(op, scalar, av)
+                                       : ApplyBinOp(op, av, scalar);
+          }
+        }
+      });
   return out;
 }
 
 MatrixBlock ElementwiseUnary(UnOp op, const MatrixBlock& a) {
   MatrixBlock out(a.rows(), a.cols(), false);
   auto& od = out.dense();
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    for (int64_t c = 0; c < a.cols(); ++c) {
-      od[r * a.cols() + c] = ApplyUnOp(op, a.Get(r, c));
-    }
-  }
+  exec::ParallelFor(0, a.rows(),
+                    TileGrain(exec::OpClass::kUnary, a.cols()),
+                    [&](int64_t lo, int64_t hi) {
+                      for (int64_t r = lo; r < hi; ++r) {
+                        for (int64_t c = 0; c < a.cols(); ++c) {
+                          od[r * a.cols() + c] = ApplyUnOp(op, a.Get(r, c));
+                        }
+                      }
+                    });
   return out;
 }
 
@@ -400,25 +446,41 @@ Result<MatrixBlock> AggregateAxis(AggOp op, AggDir dir,
   MatrixBlock out(out_rows, out_cols, false);
   auto& od = out.dense();
   std::fill(od.begin(), od.end(), init);
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    for (int64_t c = 0; c < a.cols(); ++c) {
-      double v = a.Get(r, c);
-      double& slot = row ? od[r] : od[c];
-      switch (op) {
-        case AggOp::kSum:
-        case AggOp::kMean:
-          slot += v;
-          break;
-        case AggOp::kMin:
-          slot = std::min(slot, v);
-          break;
-        case AggOp::kMax:
-          slot = std::max(slot, v);
-          break;
-        default:
-          break;
-      }
+  auto accumulate = [op](double& slot, double v) {
+    switch (op) {
+      case AggOp::kSum:
+      case AggOp::kMean:
+        slot += v;
+        break;
+      case AggOp::kMin:
+        slot = std::min(slot, v);
+        break;
+      case AggOp::kMax:
+        slot = std::max(slot, v);
+        break;
+      default:
+        break;
     }
+  };
+  // Tile along the preserved dimension: each task owns a disjoint set
+  // of output slots and walks the reduced dimension in the same order
+  // as the serial kernel, so floating-point accumulation per slot is
+  // bitwise identical for any worker count. (Full reductions to one
+  // scalar stay serial — see Aggregate.)
+  const int64_t grain = TileGrain(exec::OpClass::kRowColAggregate,
+                                  row ? a.cols() : a.rows());
+  if (row) {
+    exec::ParallelFor(0, a.rows(), grain, [&](int64_t lo, int64_t hi) {
+      for (int64_t r = lo; r < hi; ++r) {
+        for (int64_t c = 0; c < a.cols(); ++c) accumulate(od[r], a.Get(r, c));
+      }
+    });
+  } else {
+    exec::ParallelFor(0, a.cols(), grain, [&](int64_t lo, int64_t hi) {
+      for (int64_t c = lo; c < hi; ++c) {
+        for (int64_t r = 0; r < a.rows(); ++r) accumulate(od[c], a.Get(r, c));
+      }
+    });
   }
   if (op == AggOp::kMean) {
     double denom = row ? static_cast<double>(a.cols())

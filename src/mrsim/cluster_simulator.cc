@@ -8,6 +8,7 @@
 
 #include "common/string_util.h"
 #include "cost/cost_model.h"
+#include "exec/op_registry.h"
 #include "lops/compiler_backend.h"
 #include "obs/json_util.h"
 #include "obs/metrics.h"
@@ -159,12 +160,12 @@ class ClusterSimulator::Run {
   void Charge(double seconds) { elapsed_ += std::max(0.0, seconds); }
 
   double ComputeRate() const {
-    return cc_.peak_gflops * 1e9 * kComputeEfficiency *
+    return cc_.peak_gflops * 1e9 * exec::kComputeEfficiency *
            config_.CpComputeSpeedup();
   }
 
-  double ReadBps() const { return kCpReadBps / opts_.io_contention; }
-  double WriteBps() const { return kCpWriteBps / opts_.io_contention; }
+  double ReadBps() const { return exec::kCpReadBps / opts_.io_contention; }
+  double WriteBps() const { return exec::kCpWriteBps / opts_.io_contention; }
 
   // ---------------- block walking ----------------
 
@@ -965,7 +966,7 @@ class ClusterSimulator::Run {
       Charge(migration_cost);
       config_ = ext.global;
       pool_.Clear();
-      pool_.set_capacity(config_.CpBudget());
+      pool_.SetCapacity(config_.CpBudget());
       ++result_.migrations;
       RELM_COUNTER_INC("sim.migrations");
       if (injector_.enabled() && am_container_.id >= 0) {
@@ -1043,7 +1044,7 @@ class ClusterSimulator::Run {
   MlProgram* program_;
   ResourceConfig config_;
   SymbolMap oracle_;
-  BufferPool pool_;
+  exec::MemoryManager pool_;
   Random rng_;
   FaultInjector injector_;
   ResourceManager rm_;

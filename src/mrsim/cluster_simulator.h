@@ -11,7 +11,7 @@
 #include "core/resource_optimizer.h"
 #include "hops/ml_program.h"
 #include "lops/resources.h"
-#include "mrsim/buffer_pool.h"
+#include "exec/memory_manager.h"
 #include "mrsim/fault_injector.h"
 #include "yarn/cluster_config.h"
 

@@ -1,36 +1,93 @@
 #include "runtime/interpreter.h"
 
-#include <cmath>
 #include <iostream>
-#include <sstream>
-#include <unordered_map>
+#include <utility>
 
-#include "common/string_util.h"
-#include "matrix/kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace relm {
 
-std::string Value::ToDisplayString() const {
-  if (is_matrix()) {
-    return matrix ? matrix->ToString() : "<matrix>";
-  }
-  if (is_string) return str;
-  return FormatDouble(scalar, 6);
-}
-
-/// The actual evaluation engine; one instance per Run().
+/// The control-flow driver; one instance per Run(). Statement-block
+/// DAGs are handed to the exec::Engine; this class owns the symbol
+/// frames, the loop constructs, and UDF call frames, wired to the
+/// engine through its hooks.
 class Interpreter::Impl {
  public:
-  Impl(Interpreter* host) : host_(*host) {}
+  Impl(Interpreter* host)
+      : host_(*host),
+        engine_(host->hdfs_, &host->rng_, host->exec_options_) {
+    hooks_.read_symbol = [this](const std::string& name) {
+      return ReadSymbol(name);
+    };
+    hooks_.write_symbol = [this](const std::string& name, const Value& v) {
+      return WriteSymbol(name, v);
+    };
+    hooks_.emit_print = [this](const std::string& line) {
+      host_.printed_.push_back(line);
+      if (host_.echo_) std::cout << line << std::endl;
+    };
+    hooks_.call_function = [this](const Hop* call, std::vector<Value> args) {
+      return CallFunction(call, std::move(args));
+    };
+  }
 
   Status Run() {
-    return RunBlocks(host_.program_->blocks().main);
+    Status st = RunBlocks(host_.program_->blocks().main);
+    // Materialize managed symbols (hollow matrix values point into the
+    // memory manager) before the spill space is cleaned up; payloads
+    // stay alive through their shared_ptrs.
+    if (engine_.memory() != nullptr) {
+      for (auto& [name, value] : host_.symbols_) {
+        if (value.is_matrix() && value.matrix == nullptr) {
+          auto fetched = engine_.memory()->FetchMatrix(ManagedKey(name));
+          if (fetched.ok()) value.matrix = std::move(fetched).value();
+        }
+      }
+      engine_.memory()->DropAll();
+    }
+    host_.exec_stats_ = engine_.stats();
+    RELM_GAUGE_SET("exec.workers", engine_.workers());
+    return st;
   }
 
  private:
   using Env = std::map<std::string, Value>;
+
+  std::string ManagedKey(const std::string& name) const {
+    return frame_prefix_ + name;
+  }
+
+  Result<Value> ReadSymbol(const std::string& name) {
+    auto sit = host_.symbols_.find(name);
+    if (sit == host_.symbols_.end()) {
+      return Status::RuntimeError("read of undefined variable '" + name +
+                                  "'");
+    }
+    Value v = sit->second;
+    if (v.is_matrix() && v.matrix == nullptr &&
+        engine_.memory() != nullptr) {
+      RELM_ASSIGN_OR_RETURN(v.matrix,
+                            engine_.memory()->FetchMatrix(ManagedKey(name)));
+    }
+    return v;
+  }
+
+  Status WriteSymbol(const std::string& name, const Value& v) {
+    if (v.is_matrix() && v.matrix != nullptr &&
+        engine_.memory() != nullptr) {
+      // Managed mode: the payload lives in the memory manager (which
+      // may spill it); the symbol table keeps a hollow marker.
+      RELM_RETURN_IF_ERROR(engine_.memory()->PinMatrix(
+          ManagedKey(name), v.matrix, /*dirty=*/true));
+      Value hollow = v;
+      hollow.matrix = nullptr;
+      host_.symbols_[name] = std::move(hollow);
+    } else {
+      host_.symbols_[name] = v;
+    }
+    return Status::OK();
+  }
 
   Status RunBlocks(const std::vector<BlockPtr>& blocks) {
     for (const auto& blk : blocks) {
@@ -53,16 +110,18 @@ class Interpreter::Impl {
     const BlockIR& ir = p.ir(blk.id());
     switch (blk.kind()) {
       case BlockKind::kGeneric:
-        return RunGeneric(ir);
+        return engine_.RunGeneric(ir.dag, hooks_);
       case BlockKind::kIf: {
-        RELM_ASSIGN_OR_RETURN(double pred, EvalPredicate(ir));
+        RELM_ASSIGN_OR_RETURN(double pred,
+                              engine_.EvalPredicate(ir.dag, hooks_));
         if (pred != 0.0) return RunBlocks(blk.body);
         return RunBlocks(blk.else_body);
       }
       case BlockKind::kWhile: {
         int64_t guard = 0;
         while (true) {
-          RELM_ASSIGN_OR_RETURN(double pred, EvalPredicate(ir));
+          RELM_ASSIGN_OR_RETURN(double pred,
+                                engine_.EvalPredicate(ir.dag, hooks_));
           if (pred == 0.0) break;
           if (++guard > host_.max_loop_iterations_) {
             return Status::RuntimeError("while loop exceeded iteration cap");
@@ -76,11 +135,13 @@ class Interpreter::Impl {
         if (ir.dag.roots.size() < 2) {
           return Status::RuntimeError("malformed for-loop IR");
         }
-        RELM_ASSIGN_OR_RETURN(Value from, Eval(ir.dag.roots[0].get()));
-        RELM_ASSIGN_OR_RETURN(Value to, Eval(ir.dag.roots[1].get()));
+        RELM_ASSIGN_OR_RETURN(Value from,
+                              engine_.EvalRoot(ir.dag, 0, hooks_));
+        RELM_ASSIGN_OR_RETURN(Value to, engine_.EvalRoot(ir.dag, 1, hooks_));
         double incr = 1.0;
         if (ir.dag.roots.size() >= 3) {
-          RELM_ASSIGN_OR_RETURN(Value iv, Eval(ir.dag.roots[2].get()));
+          RELM_ASSIGN_OR_RETURN(Value iv,
+                                engine_.EvalRoot(ir.dag, 2, hooks_));
           incr = iv.scalar;
         }
         if (incr == 0.0) {
@@ -97,362 +158,68 @@ class Interpreter::Impl {
     return Status::OK();
   }
 
-  Result<double> EvalPredicate(const BlockIR& ir) {
-    cache_.clear();
-    fcall_cache_.clear();
-    if (ir.dag.roots.empty()) {
-      return Status::RuntimeError("empty predicate DAG");
+  Result<std::vector<Value>> CallFunction(const Hop* call,
+                                          std::vector<Value> args) {
+    const DmlProgram& ast = host_.program_->ast();
+    auto fit = ast.functions.find(call->function_name);
+    if (fit == ast.functions.end()) {
+      return Status::RuntimeError("unknown function '" +
+                                  call->function_name + "'");
     }
-    RELM_ASSIGN_OR_RETURN(Value v, Eval(ir.dag.roots[0].get()));
-    return v.scalar;
-  }
-
-  Status RunGeneric(const BlockIR& ir) {
-    cache_.clear();
-    fcall_cache_.clear();
-    // Pin block-entry values of all transient reads BEFORE any write
-    // root executes: the DAG has SSA semantics, so every read must see
-    // the variable's value at block entry, not a mid-block update.
-    for (Hop* h : ir.dag.TopoOrder()) {
-      if (h->kind() == HopKind::kTransientRead) {
-        RELM_ASSIGN_OR_RETURN(Value v, Eval(h));
-        (void)v;
-      }
+    const FunctionDef& fn = fit->second;
+    // Execute the body in a fresh frame; managed payloads get a fresh
+    // key prefix so recursive calls cannot collide in the manager.
+    Env saved = std::move(host_.symbols_);
+    host_.symbols_ = Env();
+    const std::string saved_prefix = frame_prefix_;
+    frame_prefix_ = "f" + std::to_string(++frame_counter_) + ":";
+    Status st = Status::OK();
+    for (size_t i = 0; i < fn.params.size() && i < args.size(); ++i) {
+      st = WriteSymbol(fn.params[i].name, args[i]);
+      if (!st.ok()) break;
     }
-    for (const auto& root : ir.dag.roots) {
-      RELM_ASSIGN_OR_RETURN(Value v, Eval(root.get()));
-      (void)v;
+    auto body_it =
+        host_.program_->blocks().functions.find(call->function_name);
+    if (st.ok() && body_it != host_.program_->blocks().functions.end()) {
+      st = RunBlocks(body_it->second);
     }
-    return Status::OK();
-  }
-
-  Result<Value> Eval(const Hop* h) {
-    auto it = cache_.find(h);
-    if (it != cache_.end()) return it->second;
-    RELM_ASSIGN_OR_RETURN(Value v, EvalUncached(h));
-    cache_[h] = v;
-    return v;
-  }
-
-  Result<Value> EvalUncached(const Hop* h) {
-    switch (h->kind()) {
-      case HopKind::kLiteral:
-        if (h->literal_is_string) return Value::Str(h->literal_string);
-        return Value::Number(h->literal_value);
-
-      case HopKind::kTransientRead: {
-        auto sit = host_.symbols_.find(h->name());
-        if (sit == host_.symbols_.end()) {
-          return Status::RuntimeError("read of undefined variable '" +
-                                      h->name() + "'");
+    std::vector<Value> returns;
+    if (st.ok()) {
+      for (const auto& r : fn.returns) {
+        if (host_.symbols_.find(r.name) == host_.symbols_.end()) {
+          st = Status::RuntimeError("function '" + call->function_name +
+                                    "' did not assign return '" + r.name +
+                                    "'");
+          break;
         }
-        return sit->second;
-      }
-
-      case HopKind::kPersistentRead: {
-        RELM_ASSIGN_OR_RETURN(HdfsFile file, host_.hdfs_->Get(h->name()));
-        if (file.data == nullptr) {
-          return Status::RuntimeError(
-              "HDFS file has no payload for real execution: " + h->name());
+        // Materializes managed payloads so the value survives the
+        // frame teardown below.
+        Result<Value> rv = ReadSymbol(r.name);
+        if (!rv.ok()) {
+          st = rv.status();
+          break;
         }
-        return Value::MatrixPtr(file.data);
-      }
-
-      case HopKind::kTransientWrite: {
-        RELM_ASSIGN_OR_RETURN(Value v, Eval(h->input(0)));
-        host_.symbols_[h->name()] = v;
-        return v;
-      }
-
-      case HopKind::kPersistentWrite: {
-        RELM_ASSIGN_OR_RETURN(Value v, Eval(h->input(0)));
-        if (v.is_matrix()) {
-          host_.hdfs_->PutMatrix(h->name(), *v.matrix);
-        } else {
-          host_.hdfs_->PutMetadata(h->name(),
-                                   MatrixCharacteristics(1, 1, 1));
-        }
-        return v;
-      }
-
-      case HopKind::kPrint: {
-        RELM_ASSIGN_OR_RETURN(Value v, Eval(h->input(0)));
-        std::string line = v.ToDisplayString();
-        host_.printed_.push_back(line);
-        if (host_.echo_) std::cout << line << std::endl;
-        return Value::Number(0);
-      }
-
-      case HopKind::kBinary:
-        return EvalBinary(h);
-
-      case HopKind::kUnary: {
-        RELM_ASSIGN_OR_RETURN(Value a, Eval(h->input(0)));
-        if (a.is_matrix()) {
-          return Value::Matrix(ElementwiseUnary(h->un_op, *a.matrix));
-        }
-        return Value::Number(ApplyUnOp(h->un_op, a.scalar));
-      }
-
-      case HopKind::kAggUnary: {
-        RELM_ASSIGN_OR_RETURN(Value a, Eval(h->input(0)));
-        if (!a.is_matrix()) {
-          return Status::RuntimeError("aggregate of a scalar");
-        }
-        if (h->agg_dir == AggDir::kAll) {
-          RELM_ASSIGN_OR_RETURN(double v, Aggregate(h->agg_op, *a.matrix));
-          return Value::Number(v);
-        }
-        RELM_ASSIGN_OR_RETURN(
-            MatrixBlock m, AggregateAxis(h->agg_op, h->agg_dir, *a.matrix));
-        return Value::Matrix(std::move(m));
-      }
-
-      case HopKind::kMatMult: {
-        RELM_ASSIGN_OR_RETURN(Value a, Eval(h->input(0)));
-        RELM_ASSIGN_OR_RETURN(Value b, Eval(h->input(1)));
-        RELM_ASSIGN_OR_RETURN(MatrixBlock m,
-                              MatMult(*a.matrix, *b.matrix));
-        return Value::Matrix(std::move(m));
-      }
-
-      case HopKind::kReorg: {
-        RELM_ASSIGN_OR_RETURN(Value a, Eval(h->input(0)));
-        if (h->reorg_op == ReorgOp::kTranspose) {
-          return Value::Matrix(Transpose(*a.matrix));
-        }
-        RELM_ASSIGN_OR_RETURN(MatrixBlock m, Diag(*a.matrix));
-        return Value::Matrix(std::move(m));
-      }
-
-      case HopKind::kDataGen:
-        return EvalDataGen(h);
-
-      case HopKind::kTernary: {
-        RELM_ASSIGN_OR_RETURN(Value a, Eval(h->input(0)));
-        RELM_ASSIGN_OR_RETURN(Value b, Eval(h->input(1)));
-        RELM_ASSIGN_OR_RETURN(MatrixBlock m, Table(*a.matrix, *b.matrix));
-        return Value::Matrix(std::move(m));
-      }
-
-      case HopKind::kIndexing:
-        return EvalIndexing(h);
-
-      case HopKind::kLeftIndexing: {
-        RELM_ASSIGN_OR_RETURN(Value target, Eval(h->input(0)));
-        RELM_ASSIGN_OR_RETURN(Value value, Eval(h->input(1)));
-        auto bound = [&](size_t idx, int64_t fallback) -> Result<int64_t> {
-          RELM_ASSIGN_OR_RETURN(Value v, Eval(h->input(idx)));
-          int64_t b = static_cast<int64_t>(std::llround(v.scalar));
-          return b == -1 ? fallback : b;
-        };
-        const MatrixBlock& m = *target.matrix;
-        RELM_ASSIGN_OR_RETURN(int64_t rl, bound(2, 1));
-        RELM_ASSIGN_OR_RETURN(int64_t ru, bound(3, m.rows()));
-        RELM_ASSIGN_OR_RETURN(int64_t cl, bound(4, 1));
-        RELM_ASSIGN_OR_RETURN(int64_t cu, bound(5, m.cols()));
-        MatrixBlock vblock;
-        if (value.is_matrix()) {
-          vblock = *value.matrix;
-        } else {
-          // Scalar value: broadcast over the target range.
-          vblock = MatrixBlock::Constant(ru - rl + 1, cu - cl + 1,
-                                         value.scalar);
-        }
-        RELM_ASSIGN_OR_RETURN(MatrixBlock out,
-                              LeftIndex(m, vblock, rl, ru, cl, cu));
-        return Value::Matrix(std::move(out));
-      }
-
-      case HopKind::kAppend: {
-        RELM_ASSIGN_OR_RETURN(Value a, Eval(h->input(0)));
-        RELM_ASSIGN_OR_RETURN(Value b, Eval(h->input(1)));
-        RELM_ASSIGN_OR_RETURN(MatrixBlock m, Append(*a.matrix, *b.matrix));
-        return Value::Matrix(std::move(m));
-      }
-
-      case HopKind::kSolve: {
-        RELM_ASSIGN_OR_RETURN(Value a, Eval(h->input(0)));
-        RELM_ASSIGN_OR_RETURN(Value b, Eval(h->input(1)));
-        RELM_ASSIGN_OR_RETURN(MatrixBlock m, Solve(*a.matrix, *b.matrix));
-        return Value::Matrix(std::move(m));
-      }
-
-      case HopKind::kDimExtract: {
-        RELM_ASSIGN_OR_RETURN(Value a, Eval(h->input(0)));
-        if (!a.is_matrix()) {
-          return Status::RuntimeError("nrow/ncol of a scalar");
-        }
-        return Value::Number(static_cast<double>(
-            h->dim_extract_rows ? a.matrix->rows() : a.matrix->cols()));
-      }
-
-      case HopKind::kCast: {
-        RELM_ASSIGN_OR_RETURN(Value a, Eval(h->input(0)));
-        if (h->is_matrix()) {
-          if (a.is_matrix()) return a;
-          MatrixBlock m(1, 1, false);
-          m.Set(0, 0, a.scalar);
-          return Value::Matrix(std::move(m));
-        }
-        if (!a.is_matrix()) return a;
-        RELM_ASSIGN_OR_RETURN(double v, CastToScalar(*a.matrix));
-        return Value::Number(v);
-      }
-
-      case HopKind::kFunctionCall:
-        return EvalFunctionCall(h, 0);
-      case HopKind::kFunctionOutput:
-        return EvalFunctionCall(h->input(0), h->function_output_index);
-    }
-    return Status::Internal("unhandled hop kind in interpreter");
-  }
-
-  Result<Value> EvalBinary(const Hop* h) {
-    RELM_ASSIGN_OR_RETURN(Value a, Eval(h->input(0)));
-    RELM_ASSIGN_OR_RETURN(Value b, Eval(h->input(1)));
-    // String concatenation.
-    if (h->bin_op == BinOp::kAdd && (a.is_string || b.is_string)) {
-      return Value::Str(Stringify(a) + Stringify(b));
-    }
-    if (a.is_matrix() && b.is_matrix()) {
-      RELM_ASSIGN_OR_RETURN(
-          MatrixBlock m, ElementwiseBinary(h->bin_op, *a.matrix, *b.matrix));
-      return Value::Matrix(std::move(m));
-    }
-    if (a.is_matrix()) {
-      return Value::Matrix(ScalarBinary(h->bin_op, *a.matrix, b.scalar));
-    }
-    if (b.is_matrix()) {
-      return Value::Matrix(ScalarBinary(h->bin_op, *b.matrix, a.scalar,
-                                        /*scalar_left=*/true));
-    }
-    return Value::Number(ApplyBinOp(h->bin_op, a.scalar, b.scalar));
-  }
-
-  static std::string Stringify(const Value& v) {
-    if (v.is_matrix()) return v.matrix->ToString();
-    if (v.is_string) return v.str;
-    return FormatDouble(v.scalar, 6);
-  }
-
-  Result<Value> EvalDataGen(const Hop* h) {
-    switch (h->datagen_op) {
-      case DataGenOp::kConstMatrix: {
-        RELM_ASSIGN_OR_RETURN(Value val, Eval(h->input(0)));
-        RELM_ASSIGN_OR_RETURN(Value rows, Eval(h->input(1)));
-        RELM_ASSIGN_OR_RETURN(Value cols, Eval(h->input(2)));
-        return Value::Matrix(MatrixBlock::Constant(
-            static_cast<int64_t>(rows.scalar),
-            static_cast<int64_t>(cols.scalar), val.scalar));
-      }
-      case DataGenOp::kRand: {
-        RELM_ASSIGN_OR_RETURN(Value minv, Eval(h->input(0)));
-        RELM_ASSIGN_OR_RETURN(Value rows, Eval(h->input(1)));
-        RELM_ASSIGN_OR_RETURN(Value cols, Eval(h->input(2)));
-        double sparsity = 1.0;
-        if (h->inputs().size() >= 4) {
-          RELM_ASSIGN_OR_RETURN(Value sp, Eval(h->input(3)));
-          sparsity = sp.scalar;
-        }
-        return Value::Matrix(MatrixBlock::Rand(
-            static_cast<int64_t>(rows.scalar),
-            static_cast<int64_t>(cols.scalar), sparsity, minv.scalar,
-            minv.scalar + 1.0, &host_.rng_));
-      }
-      case DataGenOp::kSeq: {
-        RELM_ASSIGN_OR_RETURN(Value from, Eval(h->input(0)));
-        RELM_ASSIGN_OR_RETURN(Value to, Eval(h->input(1)));
-        double incr = 1.0;
-        if (h->inputs().size() >= 3) {
-          RELM_ASSIGN_OR_RETURN(Value iv, Eval(h->input(2)));
-          incr = iv.scalar;
-        }
-        return Value::Matrix(
-            MatrixBlock::Seq(from.scalar, to.scalar, incr));
+        returns.push_back(std::move(rv).value());
       }
     }
-    return Status::Internal("unhandled datagen op");
-  }
-
-  Result<Value> EvalIndexing(const Hop* h) {
-    RELM_ASSIGN_OR_RETURN(Value target, Eval(h->input(0)));
-    auto bound = [&](size_t idx, int64_t fallback) -> Result<int64_t> {
-      RELM_ASSIGN_OR_RETURN(Value v, Eval(h->input(idx)));
-      int64_t b = static_cast<int64_t>(std::llround(v.scalar));
-      return b == -1 ? fallback : b;
-    };
-    const MatrixBlock& m = *target.matrix;
-    RELM_ASSIGN_OR_RETURN(int64_t rl, bound(1, 1));
-    RELM_ASSIGN_OR_RETURN(int64_t ru, bound(2, m.rows()));
-    RELM_ASSIGN_OR_RETURN(int64_t cl, bound(3, 1));
-    RELM_ASSIGN_OR_RETURN(int64_t cu, bound(4, m.cols()));
-    RELM_ASSIGN_OR_RETURN(MatrixBlock sub, RightIndex(m, rl, ru, cl, cu));
-    return Value::Matrix(std::move(sub));
-  }
-
-  Result<Value> EvalFunctionCall(const Hop* call, int output_index) {
-    auto cit = fcall_cache_.find(call);
-    if (cit == fcall_cache_.end()) {
-      const DmlProgram& ast = host_.program_->ast();
-      auto fit = ast.functions.find(call->function_name);
-      if (fit == ast.functions.end()) {
-        return Status::RuntimeError("unknown function '" +
-                                    call->function_name + "'");
-      }
-      const FunctionDef& fn = fit->second;
-      // Evaluate arguments in the caller frame.
-      std::vector<Value> args;
-      for (const auto& in : call->inputs()) {
-        RELM_ASSIGN_OR_RETURN(Value v, Eval(in.get()));
-        args.push_back(std::move(v));
-      }
-      // Execute the body in a fresh frame.
-      Env saved = std::move(host_.symbols_);
-      host_.symbols_ = Env();
-      for (size_t i = 0; i < fn.params.size() && i < args.size(); ++i) {
-        host_.symbols_[fn.params[i].name] = args[i];
-      }
-      auto body_it = host_.program_->blocks().functions.find(
-          call->function_name);
-      Status st = Status::OK();
-      if (body_it != host_.program_->blocks().functions.end()) {
-        // Caches are per-frame: save and restore around the call.
-        auto saved_cache = std::move(cache_);
-        auto saved_fcalls = std::move(fcall_cache_);
-        cache_.clear();
-        fcall_cache_.clear();
-        st = RunBlocks(body_it->second);
-        cache_ = std::move(saved_cache);
-        fcall_cache_ = std::move(saved_fcalls);
-      }
-      std::vector<Value> returns;
-      if (st.ok()) {
-        for (const auto& r : fn.returns) {
-          auto rit = host_.symbols_.find(r.name);
-          if (rit == host_.symbols_.end()) {
-            st = Status::RuntimeError("function '" + call->function_name +
-                                      "' did not assign return '" +
-                                      r.name + "'");
-            break;
-          }
-          returns.push_back(rit->second);
+    if (engine_.memory() != nullptr) {
+      for (const auto& [name, value] : host_.symbols_) {
+        if (value.is_matrix() && value.matrix == nullptr) {
+          engine_.memory()->Drop(ManagedKey(name));
         }
       }
-      host_.symbols_ = std::move(saved);
-      RELM_RETURN_IF_ERROR(st);
-      cit = fcall_cache_.emplace(call, std::move(returns)).first;
     }
-    if (output_index < 0 ||
-        output_index >= static_cast<int>(cit->second.size())) {
-      return Status::RuntimeError("function output index out of range");
-    }
-    return cit->second[output_index];
+    host_.symbols_ = std::move(saved);
+    frame_prefix_ = saved_prefix;
+    RELM_RETURN_IF_ERROR(st);
+    return returns;
   }
 
   Interpreter& host_;
-  std::unordered_map<const Hop*, Value> cache_;
-  std::unordered_map<const Hop*, std::vector<Value>> fcall_cache_;
+  exec::Engine engine_;
+  exec::Engine::Hooks hooks_;
+  std::string frame_prefix_ = "f0:";
+  int64_t frame_counter_ = 0;
 };
 
 Interpreter::Interpreter(const MlProgram* program, SimulatedHdfs* hdfs)
@@ -462,6 +229,7 @@ Status Interpreter::Run() {
   symbols_.clear();
   printed_.clear();
   blocks_executed_ = 0;
+  exec_stats_ = exec::ExecStats();
   Impl impl(this);
   return impl.Run();
 }

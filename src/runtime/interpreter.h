@@ -7,6 +7,7 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "exec/engine.h"
 #include "hdfs/file_system.h"
 #include "hops/ml_program.h"
 #include "runtime/value.h"
@@ -20,6 +21,12 @@ namespace relm {
 /// ignored — at the small scales where real execution makes sense,
 /// everything is an in-memory operation anyway; the cluster simulator
 /// covers the distributed timing behaviour instead.
+///
+/// The interpreter itself is a thin driver: control flow (blocks, if /
+/// while / for, UDF frames) lives here, while statement-block DAGs are
+/// executed by the shared exec::Engine, which schedules independent
+/// instructions over the worker pool and — when a memory budget is set
+/// — keeps matrix-valued symbols pinned inside it, spilling to HDFS.
 class Interpreter {
  public:
   /// `hdfs` must hold real payloads for every read() input and outlive
@@ -41,6 +48,16 @@ class Interpreter {
   /// Safety cap for while-loop iterations (guards non-converging tests).
   void set_max_loop_iterations(int64_t n) { max_loop_iterations_ = n; }
 
+  /// Engine configuration for the next Run(): instruction parallelism
+  /// and the CP memory budget for pinned symbols.
+  void set_exec_options(const exec::ExecOptions& options) {
+    exec_options_ = options;
+  }
+  const exec::ExecOptions& exec_options() const { return exec_options_; }
+
+  /// Engine counters from the last Run() (spills, parallel blocks, ...).
+  const exec::ExecStats& exec_stats() const { return exec_stats_; }
+
   /// Total number of statement-block executions (for tests/metrics).
   int64_t blocks_executed() const { return blocks_executed_; }
 
@@ -55,6 +72,8 @@ class Interpreter {
   bool echo_ = false;
   int64_t max_loop_iterations_ = 100000;
   int64_t blocks_executed_ = 0;
+  exec::ExecOptions exec_options_;
+  exec::ExecStats exec_stats_;
   Random rng_{1234};
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "exec/worker_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -48,6 +49,10 @@ Status ServeOptions::Validate() const {
   if (max_pooled_programs < 0) {
     return Status::InvalidArgument(
         "ServeOptions: max_pooled_programs must be >= 0");
+  }
+  if (exec_workers < 0) {
+    return Status::InvalidArgument(
+        "ServeOptions: exec_workers must be >= 0");
   }
   RELM_RETURN_IF_ERROR(optimizer.Validate());
   RELM_RETURN_IF_ERROR(sim.Validate());
@@ -112,6 +117,11 @@ JobService::JobService(ClusterConfig cc, ServeOptions options)
     options_.max_inflight_container_bytes = cc.total_memory();
   }
   if (!startup_status_.ok()) return;
+  if (options_.exec_workers > 0) {
+    // One process-wide kernel/DAG pool shared by every job; per-job
+    // pools would oversubscribe the host num_workers times over.
+    exec::SetWorkers(options_.exec_workers);
+  }
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -383,6 +393,22 @@ void JobService::RunJob(const std::shared_ptr<Job>& job) {
       RELM_RETURN_IF_ERROR(sim.status());
       outcome.sim = std::move(sim).value();
       outcome.simulated = true;
+    }
+    if (shared.request.execute_real) {
+      // Real execution under the granted configuration: the engine's
+      // MemoryManager is capped at the plan's CP budget, and the same
+      // execution-time admission control applies as for simulation.
+      const int64_t container_bytes =
+          session_.cluster().ContainerRequestForHeap(outcome.config.cp_heap);
+      AcquireCapacity(container_bytes);
+      RealRunOptions real_opts;
+      real_opts.workers = options_.exec_workers;
+      real_opts.memory_budget = outcome.config.CpBudget();
+      Result<RealRun> real = session_.ExecuteReal(program.get(), real_opts);
+      ReleaseCapacity(container_bytes);
+      RELM_RETURN_IF_ERROR(real.status());
+      outcome.real = std::move(real).value();
+      outcome.executed_real = true;
     }
     ReleaseProgram(script_sig, std::move(program));
     return Status::OK();

@@ -54,6 +54,11 @@ struct ServeOptions {
   /// (FIFO-evicted at capacity, so instances under stale script
   /// signatures age out). 0 disables the pool.
   int max_pooled_programs = 64;
+  /// Execution-engine workers for jobs that execute for real
+  /// (JobRequest::execute_real). > 0 sets the process-wide kernel/DAG
+  /// worker pool (exec::SetWorkers) at service start — one shared pool,
+  /// not one per job; 0 leaves the process default untouched.
+  int exec_workers = 0;
   /// Plan/what-if cache shared by all workers (not owned). nullptr
   /// selects PlanCache::Global().
   PlanCache* plan_cache = nullptr;
@@ -92,6 +97,10 @@ struct ServeOptions {
     max_pooled_programs = programs;
     return *this;
   }
+  ServeOptions& WithExecWorkers(int workers) {
+    exec_workers = workers;
+    return *this;
+  }
   ServeOptions& WithPlanCache(PlanCache* cache) {
     plan_cache = cache;
     return *this;
@@ -123,6 +132,10 @@ struct JobRequest {
   std::vector<InputSpec> inputs;
   /// True characteristics of data-dependent results for the simulator.
   SymbolMap oracle;
+  /// Also execute the program for real through the unified engine under
+  /// the granted configuration's CP budget (all read() inputs must have
+  /// payloads registered, e.g. via session().RegisterMatrix).
+  bool execute_real = false;
 };
 
 enum class JobState {
@@ -143,6 +156,10 @@ struct JobOutcome {
   double estimated_cost_seconds = 0.0;
   bool simulated = false;
   SimResult sim;
+  /// Real in-process execution (JobRequest::execute_real): printed
+  /// output and engine counters from the run under the granted budget.
+  bool executed_real = false;
+  RealRun real;
   /// Wall-clock queue wait and service time inside the pool.
   double wait_seconds = 0.0;
   double run_seconds = 0.0;

@@ -142,6 +142,24 @@ TEST_F(AnalysisTest, AllShippedScriptsCleanAtBudgetExtremes) {
   }
 }
 
+TEST_F(AnalysisTest, EngineCapacityConformance) {
+  auto p = CompileScript("linreg_ds.dml");
+  RuntimeProgram rp = CompilePlan(p.get(), cc_.MinHeapSize());
+  const int64_t cp_budget = rp.resources.CpBudget();
+  // An engine capped at exactly the plan's CP budget is conformant.
+  AnalysisReport matched = AnalyzeRuntimePlan(p.get(), rp, cc_, cp_budget);
+  EXPECT_EQ(matched.NumErrors(), 0) << matched.ToString();
+  // Any other capacity invalidates the plan's CP/MR decisions.
+  AnalysisReport mismatched =
+      AnalyzeRuntimePlan(p.get(), rp, cc_, cp_budget / 2);
+  EXPECT_GT(mismatched.NumErrors(), 0);
+  EXPECT_FALSE(mismatched.ForPass("budget-conformance").empty())
+      << mismatched.ToString();
+  // Omitting the capacity (not executing) skips the check entirely.
+  AnalysisReport skipped = AnalyzeRuntimePlan(p.get(), rp, cc_);
+  EXPECT_EQ(skipped.NumErrors(), 0) << skipped.ToString();
+}
+
 TEST_F(AnalysisTest, ReportToStatusMapsErrorsToInternal) {
   AnalysisReport clean;
   clean.Add(Severity::kWarning, "some-pass", "program", "just a warning");

@@ -1,0 +1,309 @@
+// Serial/parallel differential testing of the unified execution
+// engine: every shipped DML script is executed through the interpreter
+// on real data with the serial reference engine and with the parallel
+// engine at 1, 2, and 8 workers — symbol tables, printed output, and
+// the HDFS namespace must be bitwise identical. The commit-order
+// verification inside the engine (on by default) independently checks
+// every parallel block against the serial effect order while these
+// tests run.
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "exec/worker_pool.h"
+#include "hdfs/file_system.h"
+#include "hops/ml_program.h"
+#include "matrix/kernels.h"
+#include "runtime/interpreter.h"
+
+namespace relm {
+namespace {
+
+std::string ReadScript(const std::string& name) {
+  std::ifstream in(std::string(RELM_SCRIPTS_DIR) + "/" + name);
+  EXPECT_TRUE(in.good()) << "missing script " << name;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool BitsEqual(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+::testing::AssertionResult MatricesIdentical(const MatrixBlock& a,
+                                             const MatrixBlock& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return ::testing::AssertionFailure() << "shape mismatch";
+  }
+  if (a.is_sparse() != b.is_sparse()) {
+    return ::testing::AssertionFailure() << "representation mismatch";
+  }
+  if (a.is_sparse()) {
+    if (a.row_ptr() != b.row_ptr() || a.col_idx() != b.col_idx() ||
+        !BitsEqual(a.values(), b.values())) {
+      return ::testing::AssertionFailure() << "sparse payload mismatch";
+    }
+    return ::testing::AssertionSuccess();
+  }
+  if (!BitsEqual(a.dense(), b.dense())) {
+    return ::testing::AssertionFailure() << "dense payload mismatch";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult ValuesIdentical(const Value& a, const Value& b) {
+  if (a.dtype != b.dtype) {
+    return ::testing::AssertionFailure() << "dtype mismatch";
+  }
+  if (std::memcmp(&a.scalar, &b.scalar, sizeof(double)) != 0) {
+    return ::testing::AssertionFailure()
+           << "scalar bits differ: " << a.scalar << " vs " << b.scalar;
+  }
+  if (a.str != b.str) {
+    return ::testing::AssertionFailure() << "string mismatch";
+  }
+  if ((a.matrix == nullptr) != (b.matrix == nullptr)) {
+    return ::testing::AssertionFailure() << "matrix presence mismatch";
+  }
+  if (a.matrix != nullptr) return MatricesIdentical(*a.matrix, *b.matrix);
+  return ::testing::AssertionSuccess();
+}
+
+/// Everything one run produces, captured for comparison.
+struct RunCapture {
+  std::map<std::string, Value> symbols;
+  std::vector<std::string> printed;
+  std::vector<std::string> hdfs_paths;
+  std::map<std::string, std::shared_ptr<const MatrixBlock>> hdfs_data;
+  exec::ExecStats stats;
+};
+
+void ExpectIdenticalRuns(const RunCapture& serial, const RunCapture& other,
+                         const std::string& label) {
+  EXPECT_EQ(serial.printed, other.printed) << label;
+  ASSERT_EQ(serial.hdfs_paths, other.hdfs_paths) << label;
+  for (const auto& [path, data] : serial.hdfs_data) {
+    auto it = other.hdfs_data.find(path);
+    ASSERT_NE(it, other.hdfs_data.end()) << label << " missing " << path;
+    ASSERT_EQ(data == nullptr, it->second == nullptr) << label << " " << path;
+    if (data != nullptr) {
+      EXPECT_TRUE(MatricesIdentical(*data, *it->second))
+          << label << " " << path;
+    }
+  }
+  ASSERT_EQ(serial.symbols.size(), other.symbols.size()) << label;
+  for (const auto& [name, value] : serial.symbols) {
+    auto it = other.symbols.find(name);
+    ASSERT_NE(it, other.symbols.end()) << label << " missing symbol " << name;
+    EXPECT_TRUE(ValuesIdentical(value, it->second))
+        << label << " symbol " << name;
+  }
+}
+
+/// One script + its real input data, regenerated identically per run.
+struct ScriptCase {
+  const char* script;
+  ScriptArgs args;
+  void (*setup)(SimulatedHdfs* hdfs);
+};
+
+void RegressionInputs(SimulatedHdfs* hdfs) {
+  Random rng(42);
+  const int n = 200;
+  const int m = 8;
+  MatrixBlock x = MatrixBlock::Rand(n, m, 1.0, -1, 1, &rng);
+  MatrixBlock beta = MatrixBlock::Rand(m, 1, 1.0, -2, 2, &rng);
+  MatrixBlock y = *MatMult(x, beta);
+  for (int64_t i = 0; i < n; ++i) {
+    y.Set(i, 0, y.Get(i, 0) + rng.Uniform(-0.01, 0.01));
+  }
+  hdfs->PutMatrix("/data/X", x);
+  hdfs->PutMatrix("/data/y", y);
+}
+
+void SvmInputs(SimulatedHdfs* hdfs) {
+  Random rng(42);
+  const int n = 200;
+  MatrixBlock x = MatrixBlock::Rand(n, 8, 1.0, -1, 1, &rng);
+  MatrixBlock y(n, 1, false);
+  for (int64_t i = 0; i < n; ++i) {
+    y.Set(i, 0, x.Get(i, 0) + x.Get(i, 1) > 0 ? 1.0 : -1.0);
+  }
+  hdfs->PutMatrix("/data/X", x);
+  hdfs->PutMatrix("/data/y", y);
+}
+
+void MultinomialInputs(SimulatedHdfs* hdfs) {
+  Random rng(42);
+  const int n = 150;
+  MatrixBlock x(n, 2, false);
+  MatrixBlock y(n, 1, false);
+  double centers[3][2] = {{4, 0}, {-4, 4}, {0, -5}};
+  for (int64_t i = 0; i < n; ++i) {
+    int c = static_cast<int>(i % 3);
+    x.Set(i, 0, centers[c][0] + rng.Uniform(-1, 1));
+    x.Set(i, 1, centers[c][1] + rng.Uniform(-1, 1));
+    y.Set(i, 0, c + 1);
+  }
+  hdfs->PutMatrix("/data/X", x);
+  hdfs->PutMatrix("/data/y", y);
+}
+
+void PoissonInputs(SimulatedHdfs* hdfs) {
+  Random rng(42);
+  const int n = 200;
+  MatrixBlock x = MatrixBlock::Rand(n, 8, 1.0, -1, 1, &rng);
+  MatrixBlock y(n, 1, false);
+  for (int64_t i = 0; i < n; ++i) {
+    double mu = std::exp(0.5 * x.Get(i, 0) - 0.3 * x.Get(i, 1) + 1.0);
+    y.Set(i, 0, std::max(0.0, std::round(mu + rng.Uniform(-0.5, 0.5))));
+  }
+  hdfs->PutMatrix("/data/X", x);
+  hdfs->PutMatrix("/data/y", y);
+}
+
+const ScriptCase kCases[] = {
+    {"linreg_ds.dml",
+     {{"X", "/data/X"}, {"Y", "/data/y"}, {"B", "/out/B"}},
+     RegressionInputs},
+    {"linreg_cg.dml",
+     {{"X", "/data/X"}, {"Y", "/data/y"}, {"B", "/out/B"}, {"maxi", "25"}},
+     RegressionInputs},
+    {"l2svm.dml",
+     {{"X", "/data/X"},
+      {"Y", "/data/y"},
+      {"model", "/out/w"},
+      {"maxiter", "15"}},
+     SvmInputs},
+    {"mlogreg.dml",
+     {{"X", "/data/X"},
+      {"Y", "/data/y"},
+      {"B", "/out/B"},
+      {"moi", "20"},
+      {"mii", "10"},
+      {"reg", "0.001"}},
+     MultinomialInputs},
+    {"glm.dml",
+     {{"X", "/data/X"},
+      {"Y", "/data/y"},
+      {"B", "/out/B"},
+      {"icpt", "1"},
+      {"moi", "10"},
+      {"mii", "5"},
+      {"reg", "0.0001"}},
+     PoissonInputs},
+};
+
+RunCapture RunOnce(const ScriptCase& c, int workers) {
+  RunCapture cap;
+  SimulatedHdfs hdfs;
+  c.setup(&hdfs);
+  auto prog = MlProgram::Compile(ReadScript(c.script), c.args, &hdfs);
+  EXPECT_TRUE(prog.ok()) << c.script << ": " << prog.status().ToString();
+  if (!prog.ok()) return cap;
+  Interpreter interp(prog->get(), &hdfs);
+  exec::ExecOptions opts;
+  opts.workers = workers;
+  interp.set_exec_options(opts);
+  Status st = interp.Run();
+  EXPECT_TRUE(st.ok()) << c.script << " workers=" << workers << ": "
+                       << st.ToString();
+  cap.symbols = interp.symbols();
+  cap.printed = interp.printed();
+  cap.stats = interp.exec_stats();
+  cap.hdfs_paths = hdfs.ListPaths();
+  for (const std::string& path : cap.hdfs_paths) {
+    auto file = hdfs.Get(path);
+    if (file.ok()) cap.hdfs_data[path] = file->data;
+  }
+  return cap;
+}
+
+class ExecDifferentialTest
+    : public ::testing::TestWithParam<const ScriptCase*> {};
+
+TEST_P(ExecDifferentialTest, ParallelMatchesSerialBitwise) {
+  const ScriptCase& c = *GetParam();
+  RunCapture serial = RunOnce(c, 1);
+  EXPECT_EQ(serial.stats.parallel_blocks, 0) << "workers=1 must stay serial";
+  for (int workers : {2, 8}) {
+    RunCapture parallel = RunOnce(c, workers);
+    ExpectIdenticalRuns(
+        serial, parallel,
+        std::string(c.script) + " workers=" + std::to_string(workers));
+  }
+}
+
+std::string CaseName(
+    const ::testing::TestParamInfo<const ScriptCase*>& info) {
+  std::string name = info.param->script;
+  return name.substr(0, name.find('.'));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScripts, ExecDifferentialTest,
+                         ::testing::Values(&kCases[0], &kCases[1],
+                                           &kCases[2], &kCases[3],
+                                           &kCases[4]),
+                         CaseName);
+
+/// The engine must also be bitwise-deterministic when a memory budget
+/// forces spills mid-run, in combination with parallel scheduling.
+/// Three loop-carried 32 KB matrices under a 48 KB budget guarantee
+/// evictions on every iteration.
+TEST(ExecDifferentialTest, BudgetedParallelMatchesSerial) {
+  const std::string src =
+      "X = read($X)\n"
+      "A = X %*% X\n"
+      "B = t(X)\n"
+      "for (i in 1:4) {\n"
+      "  A = t(A) + X\n"
+      "  B = B %*% X\n"
+      "}\n"
+      "print(\"a=\" + sum(A))\n"
+      "print(\"b=\" + sum(B))\n";
+  Random rng(7);
+  MatrixBlock x = MatrixBlock::Rand(64, 64, 1.0, -1, 1, &rng);
+
+  auto run = [&](int workers, int64_t budget, exec::ExecStats* stats) {
+    SimulatedHdfs hdfs;
+    hdfs.PutMatrix("/data/X", x);
+    auto prog = MlProgram::Compile(src, {{"X", "/data/X"}}, &hdfs);
+    EXPECT_TRUE(prog.ok()) << prog.status().ToString();
+    Interpreter interp(prog->get(), &hdfs);
+    exec::ExecOptions opts;
+    opts.workers = workers;
+    opts.memory_budget = budget;
+    interp.set_exec_options(opts);
+    EXPECT_TRUE(interp.Run().ok());
+    if (stats != nullptr) *stats = interp.exec_stats();
+    return std::make_pair(interp.symbols(), interp.printed());
+  };
+
+  auto [serial_symbols, serial_printed] = run(1, 0, nullptr);
+  exec::ExecStats stats;
+  auto [budget_symbols, budget_printed] = run(8, 48 * 1024, &stats);
+  EXPECT_GT(stats.spill_bytes, 0);
+  EXPECT_GT(stats.reload_bytes, 0);
+  EXPECT_EQ(serial_printed, budget_printed);
+  ASSERT_EQ(serial_symbols.size(), budget_symbols.size());
+  for (const auto& [name, value] : serial_symbols) {
+    auto it = budget_symbols.find(name);
+    ASSERT_NE(it, budget_symbols.end()) << name;
+    EXPECT_TRUE(ValuesIdentical(value, it->second)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace relm

@@ -1,0 +1,387 @@
+// Tests of the unified execution engine substrate: the shared worker
+// pool / ParallelFor, the budget-enforcing MemoryManager (accounting
+// and payload APIs, including the set-capacity shrink regression and
+// spill/reload round-trips), the serial-effect-order contract, and
+// budget enforcement end to end through the interpreter.
+
+#include <atomic>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "exec/engine.h"
+#include "exec/memory_manager.h"
+#include "exec/op_registry.h"
+#include "exec/worker_pool.h"
+#include "hdfs/file_system.h"
+#include "hops/ml_program.h"
+#include "matrix/kernels.h"
+#include "runtime/interpreter.h"
+
+namespace relm {
+namespace exec {
+namespace {
+
+/// Restores the process-wide worker count on scope exit so tests cannot
+/// leak parallelism into each other.
+class WorkerGuard {
+ public:
+  WorkerGuard() : saved_(Workers()) {}
+  ~WorkerGuard() { SetWorkers(saved_); }
+
+ private:
+  int saved_;
+};
+
+// ---- worker pool / ParallelFor ----
+
+TEST(WorkerPoolTest, ParallelForCoversRangeExactlyOnce) {
+  WorkerGuard guard;
+  SetWorkers(4);
+  const int64_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(0, n, 64, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(WorkerPoolTest, ChunkBoundariesMatchSerialConfiguration) {
+  // The determinism contract for kernels: chunk boundaries depend only
+  // on (range, grain), never on the worker count — each chunk writes a
+  // disjoint output slice with the serial inner loop, so identical
+  // chunking means bitwise-identical results.
+  auto chunks_at = [](int workers) {
+    WorkerGuard guard;
+    SetWorkers(workers);
+    std::mutex mu;
+    std::set<std::pair<int64_t, int64_t>> chunks;
+    ParallelFor(0, 1000, 128, [&](int64_t lo, int64_t hi) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.insert({lo, hi});
+    });
+    return chunks;
+  };
+  EXPECT_EQ(chunks_at(1), chunks_at(8));
+}
+
+TEST(WorkerPoolTest, SetWorkersRebuildsSharedPool) {
+  WorkerGuard guard;
+  SetWorkers(3);
+  EXPECT_EQ(Workers(), 3);
+  // Caller participates, so the pool itself holds Workers() - 1 threads.
+  EXPECT_EQ(SharedPool()->num_threads(), 2);
+  SetWorkers(1);
+  EXPECT_EQ(Workers(), 1);
+  EXPECT_EQ(SharedPool()->num_threads(), 0);
+}
+
+TEST(OpRegistryTest, SpeedupIsAmdahlBounded) {
+  // A fully-serial class never speeds up; a parallel class approaches
+  // but never exceeds its Amdahl bound 1 / (1 - f).
+  EXPECT_DOUBLE_EQ(OpSpeedup(OpClass::kFullAggregate, 8.0), 1.0);
+  double s = OpSpeedup(OpClass::kMatMult, 8.0);
+  EXPECT_GT(s, 1.0);
+  EXPECT_LT(s, 8.0);
+  EXPECT_LE(OpSpeedup(OpClass::kMatMult, 1e9),
+            1.0 / (1.0 - Profile(OpClass::kMatMult).parallel_fraction) +
+                1e-9);
+}
+
+// ---- memory manager: accounting API (ported from BufferPoolTest) ----
+
+TEST(MemoryManagerTest, LruEviction) {
+  MemoryManager pool(100);
+  EXPECT_TRUE(pool.Put("a", 40, true).empty());
+  EXPECT_TRUE(pool.Put("b", 40, false).empty());
+  EXPECT_TRUE(pool.Touch("a"));  // a is now most recent
+  auto ev = pool.Put("c", 40, true);
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_EQ(ev[0].name, "b");  // LRU victim
+  EXPECT_FALSE(ev[0].dirty);
+  EXPECT_TRUE(pool.Contains("a"));
+  EXPECT_TRUE(pool.Contains("c"));
+  EXPECT_EQ(pool.used_bytes(), 80);
+  EXPECT_EQ(pool.evictions(), 1);
+}
+
+TEST(MemoryManagerTest, OversizedStreamsThrough) {
+  MemoryManager pool(100);
+  pool.Put("a", 50, true);
+  auto ev = pool.Put("big", 200, true);
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_EQ(ev[0].name, "big");
+  EXPECT_FALSE(pool.Contains("big"));
+  EXPECT_TRUE(pool.Contains("a"));  // untouched
+}
+
+TEST(MemoryManagerTest, DirtyTracking) {
+  MemoryManager pool(100);
+  pool.Put("a", 60, true);
+  pool.MarkClean("a");
+  auto ev = pool.Put("b", 60, false);
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_FALSE(ev[0].dirty);  // was marked clean
+}
+
+TEST(MemoryManagerTest, RemoveAndClear) {
+  MemoryManager pool(100);
+  pool.Put("a", 30, false);
+  pool.Put("b", 30, false);
+  pool.Remove("a");
+  EXPECT_FALSE(pool.Contains("a"));
+  EXPECT_EQ(pool.used_bytes(), 30);
+  pool.Clear();
+  EXPECT_EQ(pool.used_bytes(), 0);
+  EXPECT_FALSE(pool.Contains("b"));
+}
+
+// ---- memory manager: set-capacity shrink (the regression) ----
+
+TEST(MemoryManagerTest, ShrinkingCapacityEvictsDownToNewCap) {
+  MemoryManager pool(150);
+  pool.Put("a", 50, false);
+  pool.Put("b", 50, true);
+  pool.Put("c", 50, false);
+  EXPECT_EQ(pool.used_bytes(), 150);
+  // AM migration to a smaller container: the pool must not stay
+  // over-committed. "a" is the LRU entry and must go first.
+  auto ev = pool.SetCapacity(100);
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_EQ(ev[0].name, "a");
+  EXPECT_EQ(pool.used_bytes(), 100);
+  EXPECT_EQ(pool.capacity(), 100);
+  // Shrinking further evicts again, reporting dirtiness for write-back.
+  ev = pool.SetCapacity(60);
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_EQ(ev[0].name, "b");
+  EXPECT_TRUE(ev[0].dirty);
+  EXPECT_LE(pool.used_bytes(), 60);
+  EXPECT_TRUE(pool.Contains("c"));
+  // Growing never evicts.
+  EXPECT_TRUE(pool.SetCapacity(1000).empty());
+}
+
+// ---- memory manager: payload API (spill / reload round-trips) ----
+
+std::shared_ptr<const MatrixBlock> MakePayload(int64_t rows, int64_t cols,
+                                               uint64_t seed) {
+  Random rng(seed);
+  return std::make_shared<const MatrixBlock>(
+      MatrixBlock::Rand(rows, cols, 1.0, -1, 1, &rng));
+}
+
+bool SamePayload(const std::shared_ptr<const MatrixBlock>& a,
+                 const std::shared_ptr<const MatrixBlock>& b) {
+  if (a == nullptr || b == nullptr) return a == b;
+  if (a->rows() != b->rows() || a->cols() != b->cols()) return false;
+  const auto& da = a->dense();
+  const auto& db = b->dense();
+  return da.size() == db.size() &&
+         (da.empty() ||
+          std::memcmp(da.data(), db.data(), da.size() * sizeof(double)) == 0);
+}
+
+TEST(MemoryManagerTest, SpillAndReloadRoundTrip) {
+  SimulatedHdfs hdfs;
+  auto a = MakePayload(20, 20, 1);
+  auto b = MakePayload(20, 20, 2);
+  // Budget fits exactly one of the two payloads.
+  MemoryManager mm(a->MemorySize() + 16, &hdfs);
+  ASSERT_TRUE(mm.PinMatrix("a", a, /*dirty=*/true).ok());
+  ASSERT_TRUE(mm.PinMatrix("b", b, /*dirty=*/true).ok());
+  // Pinning b evicted dirty a, which must have been spilled.
+  EXPECT_GT(mm.spill_bytes(), 0);
+  auto got_a = mm.FetchMatrix("a");
+  ASSERT_TRUE(got_a.ok()) << got_a.status().ToString();
+  EXPECT_TRUE(SamePayload(*got_a, a));
+  EXPECT_GT(mm.reload_bytes(), 0);
+  // Reloading a evicted b in turn; it must round-trip too.
+  auto got_b = mm.FetchMatrix("b");
+  ASSERT_TRUE(got_b.ok());
+  EXPECT_TRUE(SamePayload(*got_b, b));
+  EXPECT_FALSE(mm.FetchMatrix("never-pinned").ok());
+}
+
+TEST(MemoryManagerTest, CleanPayloadReloadsFromSourcePath) {
+  SimulatedHdfs hdfs;
+  auto x = MakePayload(16, 16, 3);
+  hdfs.PutMatrix("/data/x", *x);
+  MemoryManager mm(x->MemorySize() + 16, &hdfs);
+  // A clean read() input carries its source path: eviction needs no
+  // spill copy because the bytes are already in HDFS.
+  ASSERT_TRUE(mm.PinMatrix("x", x, /*dirty=*/false, "/data/x").ok());
+  ASSERT_TRUE(mm.PinMatrix("y", MakePayload(16, 16, 4), true).ok());
+  EXPECT_EQ(mm.spill_bytes(), 0);
+  auto got = mm.FetchMatrix("x");
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(SamePayload(*got, x));
+}
+
+TEST(MemoryManagerTest, DropAllDeletesSpillFiles) {
+  SimulatedHdfs hdfs;
+  auto a = MakePayload(20, 20, 5);
+  MemoryManager mm(a->MemorySize() + 16, &hdfs);
+  ASSERT_TRUE(mm.PinMatrix("a", a, true).ok());
+  ASSERT_TRUE(mm.PinMatrix("b", MakePayload(20, 20, 6), true).ok());
+  ASSERT_FALSE(hdfs.ListPaths().empty());  // spill file exists
+  mm.DropAll();
+  EXPECT_TRUE(hdfs.ListPaths().empty());
+  EXPECT_EQ(mm.used_bytes(), 0);
+}
+
+TEST(MemoryManagerTest, OversizedPayloadStreamsThroughSpill) {
+  SimulatedHdfs hdfs;
+  auto big = MakePayload(64, 64, 7);
+  MemoryManager mm(big->MemorySize() / 4, &hdfs);
+  ASSERT_TRUE(mm.PinMatrix("big", big, true).ok());
+  EXPECT_GT(mm.spill_bytes(), 0);  // spilled immediately, never resident
+  auto got = mm.FetchMatrix("big");
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(SamePayload(*got, big));
+}
+
+// ---- serial effect order (the commit-order contract) ----
+
+TEST(SerialEffectOrderTest, PrintsFollowProgramOrder) {
+  SimulatedHdfs hdfs;
+  auto prog = MlProgram::Compile(
+      "a = 1 + 2\nb = a * 3\nprint(\"a=\" + a)\nprint(\"b=\" + b)", {},
+      &hdfs);
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  std::vector<StatementBlock*> generic = (*prog)->GenericBlocks();
+  ASSERT_FALSE(generic.empty());
+  std::vector<HopKind> effect_kinds;
+  for (StatementBlock* blk : generic) {
+    if (!(*prog)->has_ir(blk->id())) continue;
+    for (const Hop* h : SerialEffectOrder((*prog)->ir(blk->id()).dag)) {
+      effect_kinds.push_back(h->kind());
+    }
+  }
+  // Both prints appear, in program order, after any transient writes
+  // they depend on.
+  int prints = 0;
+  for (HopKind k : effect_kinds) {
+    if (k == HopKind::kPrint) prints++;
+  }
+  EXPECT_EQ(prints, 2);
+}
+
+// ---- budget enforcement through the interpreter ----
+
+TEST(BudgetEnforcementTest, TinyBudgetSpillsAndStaysCorrect) {
+  // Loop-carried matrices (A, B) plus the input X are live across
+  // block boundaries, so the interpreter must pin all three in the
+  // MemoryManager — three 32 KB blocks cannot fit a 48 KB budget.
+  const std::string src =
+      "X = read($X)\n"
+      "A = X %*% X\n"
+      "B = t(X)\n"
+      "for (i in 1:3) {\n"
+      "  A = t(A) + X\n"
+      "  B = B %*% X\n"
+      "}\n"
+      "print(\"a=\" + sum(A))\n"
+      "print(\"b=\" + sum(B))\n";
+  Random rng(11);
+  MatrixBlock x = MatrixBlock::Rand(64, 64, 1.0, -1, 1, &rng);
+
+  auto run = [&](int64_t budget) {
+    SimulatedHdfs hdfs;
+    hdfs.PutMatrix("/data/X", x);
+    auto prog = MlProgram::Compile(src, {{"X", "/data/X"}}, &hdfs);
+    EXPECT_TRUE(prog.ok()) << prog.status().ToString();
+    Interpreter interp(prog->get(), &hdfs);
+    ExecOptions opts;
+    opts.memory_budget = budget;
+    interp.set_exec_options(opts);
+    EXPECT_TRUE(interp.Run().ok());
+    return std::make_pair(interp.printed(), interp.exec_stats());
+  };
+
+  auto [unmanaged_printed, unmanaged_stats] = run(0);
+  // One 64x64 dense block is 32 KB; a 48 KB budget cannot hold the
+  // three live matrices, so the engine must spill and reload.
+  auto [managed_printed, managed_stats] = run(48 * 1024);
+  EXPECT_EQ(unmanaged_stats.spill_bytes, 0);
+  EXPECT_GT(managed_stats.spill_bytes, 0);
+  EXPECT_GT(managed_stats.reload_bytes, 0);
+  EXPECT_GT(managed_stats.evictions, 0);
+  // The budget changes data movement, never results.
+  EXPECT_EQ(managed_printed, unmanaged_printed);
+}
+
+TEST(BudgetEnforcementTest, SpillFilesAreCleanedUpAfterRun) {
+  Random rng(13);
+  MatrixBlock x = MatrixBlock::Rand(64, 64, 1.0, -1, 1, &rng);
+  SimulatedHdfs hdfs;
+  hdfs.PutMatrix("/data/X", x);
+  auto prog = MlProgram::Compile(
+      "X = read($X)\n"
+      "A = X %*% X\n"
+      "for (i in 1:3) { A = t(A) + X }\n"
+      "print(sum(A))",
+      {{"X", "/data/X"}}, &hdfs);
+  ASSERT_TRUE(prog.ok());
+  Interpreter interp(prog->get(), &hdfs);
+  ExecOptions opts;
+  opts.memory_budget = 48 * 1024;
+  interp.set_exec_options(opts);
+  ASSERT_TRUE(interp.Run().ok());
+  EXPECT_GT(interp.exec_stats().spill_bytes, 0);
+  for (const std::string& path : hdfs.ListPaths()) {
+    EXPECT_EQ(path.find("/.spill/"), std::string::npos)
+        << "leaked spill file " << path;
+  }
+}
+
+// ---- engine block-mode accounting ----
+
+TEST(EngineStatsTest, ParallelRunSchedulesBlocksInParallel) {
+  WorkerGuard guard;
+  SimulatedHdfs hdfs;
+  Random rng(17);
+  hdfs.PutMatrix("/data/X", MatrixBlock::Rand(32, 32, 1.0, -1, 1, &rng));
+  // Two independent chains: the DAG scheduler can overlap them.
+  const std::string src =
+      "X = read($X)\n"
+      "A = X %*% X\n"
+      "B = t(X) %*% X\n"
+      "print(\"a=\" + sum(A))\n"
+      "print(\"b=\" + sum(B))\n";
+  auto prog = MlProgram::Compile(src, {{"X", "/data/X"}}, &hdfs);
+  ASSERT_TRUE(prog.ok());
+
+  Interpreter serial(prog->get(), &hdfs);
+  ExecOptions serial_opts;
+  serial_opts.workers = 1;  // explicit: ignore RELM_EXEC_WORKERS
+  serial.set_exec_options(serial_opts);
+  ASSERT_TRUE(serial.Run().ok());
+  EXPECT_EQ(serial.exec_stats().parallel_blocks, 0);
+  EXPECT_GT(serial.exec_stats().serial_blocks, 0);
+
+  Interpreter parallel(prog->get(), &hdfs);
+  ExecOptions opts;
+  opts.workers = 4;
+  parallel.set_exec_options(opts);
+  ASSERT_TRUE(parallel.Run().ok());
+  EXPECT_GT(parallel.exec_stats().parallel_blocks, 0);
+  EXPECT_GT(parallel.exec_stats().tasks_scheduled, 0);
+  EXPECT_EQ(parallel.printed(), serial.printed());
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace relm

@@ -7,60 +7,11 @@
 
 #include "common/bytes.h"
 #include "core/resource_optimizer.h"
-#include "mrsim/buffer_pool.h"
 #include "mrsim/cluster_simulator.h"
 #include "mrsim/throughput.h"
 
 namespace relm {
 namespace {
-
-// ---- buffer pool ----
-
-TEST(BufferPoolTest, LruEviction) {
-  BufferPool pool(100);
-  EXPECT_TRUE(pool.Put("a", 40, true).empty());
-  EXPECT_TRUE(pool.Put("b", 40, false).empty());
-  EXPECT_TRUE(pool.Touch("a"));  // a is now most recent
-  auto ev = pool.Put("c", 40, true);
-  ASSERT_EQ(ev.size(), 1u);
-  EXPECT_EQ(ev[0].name, "b");  // LRU victim
-  EXPECT_FALSE(ev[0].dirty);
-  EXPECT_TRUE(pool.Contains("a"));
-  EXPECT_TRUE(pool.Contains("c"));
-  EXPECT_EQ(pool.used_bytes(), 80);
-  EXPECT_EQ(pool.evictions(), 1);
-}
-
-TEST(BufferPoolTest, OversizedStreamsThrough) {
-  BufferPool pool(100);
-  pool.Put("a", 50, true);
-  auto ev = pool.Put("big", 200, true);
-  ASSERT_EQ(ev.size(), 1u);
-  EXPECT_EQ(ev[0].name, "big");
-  EXPECT_FALSE(pool.Contains("big"));
-  EXPECT_TRUE(pool.Contains("a"));  // untouched
-}
-
-TEST(BufferPoolTest, DirtyTracking) {
-  BufferPool pool(100);
-  pool.Put("a", 60, true);
-  pool.MarkClean("a");
-  auto ev = pool.Put("b", 60, false);
-  ASSERT_EQ(ev.size(), 1u);
-  EXPECT_FALSE(ev[0].dirty);  // was marked clean
-}
-
-TEST(BufferPoolTest, RemoveAndClear) {
-  BufferPool pool(100);
-  pool.Put("a", 30, false);
-  pool.Put("b", 30, false);
-  pool.Remove("a");
-  EXPECT_FALSE(pool.Contains("a"));
-  EXPECT_EQ(pool.used_bytes(), 30);
-  pool.Clear();
-  EXPECT_EQ(pool.used_bytes(), 0);
-  EXPECT_FALSE(pool.Contains("b"));
-}
 
 // ---- cluster simulator ----
 

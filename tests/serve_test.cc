@@ -14,7 +14,10 @@
 #include <gtest/gtest.h>
 
 #include "api/session.h"
+#include "common/random.h"
 #include "core/plan_cache.h"
+#include "exec/worker_pool.h"
+#include "matrix/kernels.h"
 #include "serve/job_service.h"
 
 namespace relm {
@@ -519,6 +522,70 @@ TEST(JobServiceTest, StressMixedWorkloadsManyClients) {
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(service.stats().completed, kClients * kJobsPerClient);
   EXPECT_EQ(service.stats().failed, 0);
+}
+
+// ---- real execution through the service --------------------------------
+
+/// Deterministic small regression data with real payloads.
+void RegisterRealRegressionData(Session* session) {
+  Random rng(42);
+  const int n = 200;
+  const int m = 8;
+  MatrixBlock x = MatrixBlock::Rand(n, m, 1.0, -1, 1, &rng);
+  MatrixBlock beta = MatrixBlock::Rand(m, 1, 1.0, -2, 2, &rng);
+  MatrixBlock y = *MatMult(x, beta);
+  ASSERT_TRUE(session->RegisterMatrix("/data/X", std::move(x)).ok());
+  ASSERT_TRUE(session->RegisterMatrix("/data/y", std::move(y)).ok());
+}
+
+TEST(SessionExecuteRealTest, StrictAnalysisEnforcesEngineBudget) {
+  Session session;
+  RegisterRealRegressionData(&session);
+  auto prog = session.CompileSource(ReadScript("linreg_ds.dml"),
+                                    LinregArgs());
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+
+  RealRunOptions opts;
+  opts.strict_analysis = true;
+  opts.resources = session.StaticBaselines()[0].config;  // B-SS
+  opts.memory_budget = opts.resources.CpBudget();
+  auto run = session.ExecuteReal(prog->get(), opts);
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+
+  // The same run with an engine capacity that differs from the audited
+  // plan's CP budget must be refused before executing anything.
+  opts.memory_budget = opts.resources.CpBudget() / 2;
+  auto refused = session.ExecuteReal(prog->get(), opts);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_NE(refused.status().ToString().find("budget-conformance"),
+            std::string::npos)
+      << refused.status().ToString();
+}
+
+TEST(JobServiceTest, ExecuteRealJobRunsUnderGrantedBudget) {
+  serve::JobService service(
+      ClusterConfig::PaperCluster(),
+      serve::ServeOptions().WithWorkers(2).WithSimulation(false).WithExecWorkers(
+          2));
+  ASSERT_TRUE(service.startup_status().ok());
+  RegisterRealRegressionData(&service.session());
+
+  serve::JobRequest request;
+  request.source = ReadScript("linreg_ds.dml");
+  request.args = LinregArgs();
+  request.execute_real = true;
+  auto handle = service.Submit("tenant", std::move(request));
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  auto outcome = handle->Await();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome->executed_real);
+  EXPECT_GT(outcome->real.blocks_executed, 0);
+  // The model was written back into the shared namespace for real.
+  auto model = service.session().hdfs().Get("/out/B");
+  ASSERT_TRUE(model.ok());
+  EXPECT_NE(model->data, nullptr);
+  service.Shutdown();
+  exec::SetWorkers(1);  // restore the process-wide serial default
 }
 
 }  // namespace

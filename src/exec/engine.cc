@@ -1,5 +1,6 @@
 #include "exec/engine.h"
 
+#include <atomic>
 #include <cmath>
 #include <condition_variable>
 #include <deque>
@@ -55,7 +56,17 @@ Engine::Engine(SimulatedHdfs* hdfs, Random* rng, const ExecOptions& options)
   workers_ = options.workers > 0 ? options.workers : Workers();
   if (workers_ < 1) workers_ = 1;
   if (options.memory_budget > 0) {
-    memory_ = std::make_unique<MemoryManager>(options.memory_budget, hdfs_);
+    // Each engine spills under its own process-unique namespace: the
+    // serving layer runs concurrent jobs against ONE shared HDFS, and
+    // frame-local keys like "f0:X" repeat across runs — a shared
+    // prefix would let one job reload (or DropAll-delete) another
+    // job's spilled payloads.
+    static std::atomic<uint64_t> next_run_id{0};
+    const uint64_t run_id =
+        next_run_id.fetch_add(1, std::memory_order_relaxed);
+    memory_ = std::make_unique<MemoryManager>(
+        options.memory_budget, hdfs_,
+        "/.spill/r" + std::to_string(run_id) + "/");
   }
 }
 

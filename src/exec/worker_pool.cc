@@ -87,6 +87,14 @@ void SetWorkers(int workers) {
   g_pool.reset();  // rebuilt at the new size on next SharedPool()
 }
 
+bool TrySetWorkers(int workers) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  const int requested = workers >= 1 ? workers : DefaultWorkers();
+  if (g_pool != nullptr) return g_workers == requested;
+  g_workers = requested;
+  return true;
+}
+
 WorkerPool* SharedPool() {
   std::lock_guard<std::mutex> lock(g_pool_mu);
   if (g_workers == 0) g_workers = DefaultWorkers();

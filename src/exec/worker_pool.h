@@ -49,6 +49,13 @@ int Workers();
 /// flight (service startup, bench setup, test fixtures).
 void SetWorkers(int workers);
 
+/// As SetWorkers, but never tears down a pool that has already been
+/// built: when the shared pool is live at a different size, it is left
+/// untouched and the call returns false (a rebuild would destroy the
+/// threads out from under whoever is using them). Safe to call at any
+/// time; returns true when the requested count is now in effect.
+bool TrySetWorkers(int workers);
+
 /// The shared pool backing kernels and the DAG scheduler. Has
 /// Workers() - 1 threads: the caller always participates, so total
 /// concurrency equals Workers(). Never returns nullptr.

@@ -41,7 +41,15 @@ class Interpreter::Impl {
       for (auto& [name, value] : host_.symbols_) {
         if (value.is_matrix() && value.matrix == nullptr) {
           auto fetched = engine_.memory()->FetchMatrix(ManagedKey(name));
-          if (fetched.ok()) value.matrix = std::move(fetched).value();
+          if (fetched.ok()) {
+            value.matrix = std::move(fetched).value();
+          } else if (st.ok()) {
+            // A hollow symbol with no payload would surface as a null
+            // dereference in any consumer of symbols(); fail the run
+            // instead (keeping the original error when one exists —
+            // a failed run legitimately leaves symbols unmaterialized).
+            st = fetched.status();
+          }
         }
       }
       engine_.memory()->DropAll();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/logging.h"
 #include "exec/worker_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -119,8 +120,15 @@ JobService::JobService(ClusterConfig cc, ServeOptions options)
   if (!startup_status_.ok()) return;
   if (options_.exec_workers > 0) {
     // One process-wide kernel/DAG pool shared by every job; per-job
-    // pools would oversubscribe the host num_workers times over.
-    exec::SetWorkers(options_.exec_workers);
+    // pools would oversubscribe the host num_workers times over. The
+    // pool may already be live (another service, or engine work in
+    // flight) — never rebuild it from under its users; the first
+    // configuration to build the pool wins.
+    if (!exec::TrySetWorkers(options_.exec_workers)) {
+      RELM_WARN() << "JobService: shared exec pool is already live with "
+                  << exec::Workers() << " workers; ignoring exec_workers="
+                  << options_.exec_workers;
+    }
   }
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {

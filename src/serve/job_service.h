@@ -55,9 +55,13 @@ struct ServeOptions {
   /// signatures age out). 0 disables the pool.
   int max_pooled_programs = 64;
   /// Execution-engine workers for jobs that execute for real
-  /// (JobRequest::execute_real). > 0 sets the process-wide kernel/DAG
-  /// worker pool (exec::SetWorkers) at service start — one shared pool,
-  /// not one per job; 0 leaves the process default untouched.
+  /// (JobRequest::execute_real). > 0 requests the process-wide
+  /// kernel/DAG worker pool size at service start — one shared pool,
+  /// not one per job; 0 leaves the process default untouched. The pool
+  /// is process-global, so the first configuration to build it wins: a
+  /// service constructed while the pool is already live at a different
+  /// size keeps the existing pool (with a warning) rather than
+  /// rebuilding it from under in-flight engine work.
   int exec_workers = 0;
   /// Plan/what-if cache shared by all workers (not owned). nullptr
   /// selects PlanCache::Global().

@@ -88,6 +88,23 @@ TEST(WorkerPoolTest, SetWorkersRebuildsSharedPool) {
   EXPECT_EQ(SharedPool()->num_threads(), 0);
 }
 
+TEST(WorkerPoolTest, TrySetWorkersRefusesToResizeLivePool) {
+  WorkerGuard guard;
+  SetWorkers(3);
+  ASSERT_EQ(SharedPool()->num_threads(), 2);  // pool is now live
+  // A live pool at a different size must be left untouched: rebuilding
+  // it would destroy threads out from under in-flight engine work.
+  EXPECT_FALSE(TrySetWorkers(5));
+  EXPECT_EQ(Workers(), 3);
+  EXPECT_EQ(SharedPool()->num_threads(), 2);
+  // Requesting the size the pool already has is a no-op success.
+  EXPECT_TRUE(TrySetWorkers(3));
+  // With no pool built yet, the count may change freely.
+  SetWorkers(2);  // resets the pool; rebuilt lazily
+  EXPECT_TRUE(TrySetWorkers(4));
+  EXPECT_EQ(Workers(), 4);
+}
+
 TEST(OpRegistryTest, SpeedupIsAmdahlBounded) {
   // A fully-serial class never speeds up; a parallel class approaches
   // but never exceeds its Amdahl bound 1 / (1 - f).
@@ -345,6 +362,40 @@ TEST(BudgetEnforcementTest, SpillFilesAreCleanedUpAfterRun) {
     EXPECT_EQ(path.find("/.spill/"), std::string::npos)
         << "leaked spill file " << path;
   }
+}
+
+TEST(BudgetEnforcementTest, ConcurrentEnginesSpillToDisjointNamespaces) {
+  // The serving layer runs concurrent execute_real jobs against ONE
+  // shared HDFS, and every run uses the same frame-local keys ("f0:X").
+  // Each engine must spill under its own namespace: with a shared
+  // prefix, one job reloads the other job's payload (silent wrong
+  // results) and one job's end-of-run DropAll deletes spill files the
+  // other still needs.
+  SimulatedHdfs hdfs;
+  Random rng_a(21), rng_b(22);
+  auto a1 = MakePayload(20, 20, 31);
+  auto b1 = MakePayload(20, 20, 32);
+  ExecOptions opts;
+  opts.memory_budget = a1->MemorySize() + 16;  // fits exactly one payload
+  Engine ea(&hdfs, &rng_a, opts);
+  Engine eb(&hdfs, &rng_b, opts);
+  ASSERT_TRUE(ea.memory()->PinMatrix("f0:X", a1, /*dirty=*/true).ok());
+  ASSERT_TRUE(eb.memory()->PinMatrix("f0:X", b1, /*dirty=*/true).ok());
+  // Evict (and spill) f0:X in both managers.
+  ASSERT_TRUE(
+      ea.memory()->PinMatrix("f0:Y", MakePayload(20, 20, 33), true).ok());
+  ASSERT_TRUE(
+      eb.memory()->PinMatrix("f0:Y", MakePayload(20, 20, 34), true).ok());
+  auto got_a = ea.memory()->FetchMatrix("f0:X");
+  ASSERT_TRUE(got_a.ok()) << got_a.status().ToString();
+  EXPECT_TRUE(SamePayload(*got_a, a1));  // a's payload, not b's
+  // One job finishing must not delete the other job's spill files.
+  ea.memory()->DropAll();
+  auto got_b = eb.memory()->FetchMatrix("f0:X");
+  ASSERT_TRUE(got_b.ok()) << got_b.status().ToString();
+  EXPECT_TRUE(SamePayload(*got_b, b1));
+  eb.memory()->DropAll();
+  EXPECT_TRUE(hdfs.ListPaths().empty());
 }
 
 // ---- engine block-mode accounting ----

@@ -5,7 +5,13 @@
 // re-execution, AM restart) stretches execution time; closes with the
 // optimizer's blast-radius response to a nonzero expected failure rate.
 
+#include <chrono>
+
 #include "bench_common.h"
+#include "common/random.h"
+#include "exec/fault_hooks.h"
+#include "exec/worker_pool.h"
+#include "runtime/interpreter.h"
 
 using namespace relm;         // NOLINT
 using namespace relm::bench;  // NOLINT
@@ -122,6 +128,93 @@ void BlastRadiusOptimization() {
   }
 }
 
+// ---- chaos injection on the REAL engine --------------------------------
+// Unlike the tables above (simulated cluster faults), this section runs
+// mlogreg training for real through the interpreter under the exec
+// layer's seeded ChaosInjector, with the serving layer's retry idiom
+// (persistent injector across attempts) wrapped around it. Reports
+// attempts burned, faults fired, and wall-clock overhead vs fault-free.
+
+void ChaosSetup(SimulatedHdfs* hdfs) {
+  Random rng(42);
+  const int n = 2000;
+  MatrixBlock x(n, 32, false);
+  MatrixBlock y(n, 1, false);
+  for (int64_t i = 0; i < n; ++i) {
+    int c = static_cast<int>(i % 3);
+    for (int64_t j = 0; j < 32; ++j) {
+      x.Set(i, j, c * 2.0 + rng.Uniform(-1, 1));
+    }
+    y.Set(i, 0, c + 1);
+  }
+  hdfs->PutMatrix("/data/X", x);
+  hdfs->PutMatrix("/data/y", y);
+}
+
+void ChaosRealExecution() {
+  std::string source;
+  {
+    std::ifstream in(ScriptPath("mlogreg.dml"));
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    source = ss.str();
+  }
+  const ScriptArgs args{{"X", "/data/X"}, {"Y", "/data/y"},
+                        {"B", "/out/B"},  {"moi", "10"},
+                        {"mii", "5"},     {"reg", "0.001"}};
+
+  std::printf("\nchaos injection on the real engine "
+              "(mlogreg, 8 workers, 2MB budget)\n");
+  std::printf("%12s %10s %10s %10s %10s %10s\n", "inject rate", "ms",
+              "attempts", "fired", "spills", "outcome");
+  constexpr int kMaxAttempts = 20;
+  double base_ms = 0.0;
+  for (double rate : {0.0, 0.001, 0.005, 0.02}) {
+    exec::FaultPolicy policy;
+    policy.WithSeed(7)
+        .WithRate(exec::FaultSite::kHdfsRead, rate)
+        .WithRate(exec::FaultSite::kHdfsWrite, rate)
+        .WithRate(exec::FaultSite::kSpillWrite, rate)
+        .WithRate(exec::FaultSite::kSpillReload, rate)
+        .WithRate(exec::FaultSite::kTaskAbort, rate / 10);
+    exec::ChaosInjector chaos(policy);
+    auto t0 = std::chrono::steady_clock::now();
+    int attempts = 0;
+    int64_t spill_bytes = 0;
+    Status st;
+    while (attempts < kMaxAttempts) {
+      ++attempts;
+      SimulatedHdfs hdfs;
+      ChaosSetup(&hdfs);
+      auto prog = MlProgram::Compile(source, args, &hdfs);
+      if (!prog.ok()) {
+        st = prog.status();
+        break;
+      }
+      Interpreter interp(prog->get(), &hdfs);
+      exec::ExecOptions opts;
+      opts.workers = 8;
+      opts.memory_budget = 2 << 20;
+      opts.chaos = &chaos;
+      interp.set_exec_options(opts);
+      st = interp.Run();
+      spill_bytes = interp.exec_stats().spill_bytes;
+      if (st.ok() || st.code() != StatusCode::kUnavailable) break;
+    }
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    if (rate == 0.0) base_ms = ms;
+    char outcome[32];
+    std::snprintf(outcome, sizeof(outcome), "%s (%.2fx)",
+                  st.ok() ? "ok" : "failed", ms / base_ms);
+    std::printf("%12.3f %10.2f %10d %10lld %10lld %10s\n", rate, ms,
+                attempts, static_cast<long long>(chaos.total_fired()),
+                static_cast<long long>(spill_bytes), outcome);
+  }
+  exec::SetWorkers(1);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -131,5 +224,6 @@ int main(int argc, char** argv) {
   FaultRateSweep("l2svm.dml");
   NodeCrashScenarios("linreg_cg.dml");
   BlastRadiusOptimization();
+  ChaosRealExecution();
   return 0;
 }

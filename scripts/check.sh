@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Extended check build, seven stages in separate trees:
+# Extended check build, eight stages in separate trees:
 #
 #   1. ASan+UBSan Debug build running the full test suite (catches
 #      allocation bugs and UB in the simulator's recovery logic);
@@ -22,7 +22,12 @@
 #      serving tests with RELM_EXEC_WORKERS=8 forced on, so the
 #      DAG scheduler, tiled kernels, and MemoryManager race under a
 #      real multi-worker pool, plus a bench_ext_exec smoke run with
-#      JSON export.
+#      JSON export;
+#   8. the chaos soak under BOTH sanitizer trees with
+#      RELM_EXEC_WORKERS=8: seeded fault injection (task aborts, spill
+#      losses, I/O errors) races the retry/cancel/degrade machinery,
+#      proving every injected failure is a typed error or a
+#      bitwise-identical recovery — never a leak, race, or corruption.
 #
 # TSan is incompatible with ASan, hence the separate tree. Slower than
 # the default build; use before merging changes that touch allocation
@@ -106,5 +111,19 @@ RELM_EXEC_WORKERS=8 ctest --test-dir "${prefix}-tsan" --output-on-failure \
   -R 'ExecDifferentialTest|BudgetEnforcementTest|EngineStatsTest|MemoryManagerTest|OpRegistryTest|SerialEffectOrderTest|WorkerPoolTest|SessionExecuteRealTest|JobServiceTest'
 RELM_EXEC_WORKERS=8 "${prefix}-tsan/bench/bench_ext_exec" \
   --json-out="${prefix}-tsan/bench_ext_exec.json"
+
+echo "=== stage 8: chaos soak under ASan and TSan (RELM_EXEC_WORKERS=8) ==="
+# Fault injection on the real engine under both sanitizers: the soak
+# retries every shipped script through seeded chaos, and the fault-layer
+# unit tests cover the retry/deadline/cancel/degrade state machine.
+chaos_filter='ChaosSoakTest|ChaosInjectorTest|FaultPolicyTest|JobServiceFaultTest|RetryTest'
+cmake --build "${prefix}-asan" -j "$(nproc)" \
+  --target common_test exec_test exec_differential_test serve_test
+RELM_EXEC_WORKERS=8 ctest --test-dir "${prefix}-asan" --output-on-failure \
+  -R "$chaos_filter"
+cmake --build "${prefix}-tsan" -j "$(nproc)" \
+  --target common_test exec_test exec_differential_test serve_test
+RELM_EXEC_WORKERS=8 ctest --test-dir "${prefix}-tsan" --output-on-failure \
+  -R "$chaos_filter"
 
 echo "all check stages passed"

@@ -132,6 +132,8 @@ Result<RealRun> Session::ExecuteReal(MlProgram* program,
   exec::ExecOptions eo;
   eo.workers = options.workers;
   eo.memory_budget = options.memory_budget;
+  eo.faults = options.faults;
+  eo.chaos = options.chaos;
   interp.set_exec_options(eo);
   RELM_RETURN_IF_ERROR(interp.Run());
   RealRun out;

@@ -54,6 +54,14 @@ struct RealRunOptions {
   bool strict_analysis = false;
   /// Resource configuration the strict-analysis audit compiles under.
   ResourceConfig resources;
+  /// Chaos injection for this run (off by default). Injected failures
+  /// surface as typed, retryable Unavailable errors — never corrupted
+  /// results (DESIGN.md §12).
+  exec::FaultPolicy faults;
+  /// External chaos injector (not owned; overrides `faults` when set).
+  /// Lets a retrying caller keep one injector across attempts so
+  /// retries draw fresh faults instead of replaying the failed ones.
+  exec::ChaosInjector* chaos = nullptr;
 };
 
 /// One of the paper's static baseline configurations (Section 5.1).

@@ -1,0 +1,117 @@
+#ifndef RELM_COMMON_RETRY_H_
+#define RELM_COMMON_RETRY_H_
+
+// Shared retry/backoff/deadline policy. One exponential-backoff idiom
+// for the whole system: the cluster simulator's task relaunch delay
+// (FaultPlan::retry_backoff_seconds, attempt k waits base * 2^(k-1))
+// and the serving layer's job-level retries both compute their waits
+// through ExponentialBackoffSeconds, and the classification of which
+// errors are worth retrying lives here (IsRetryable) rather than being
+// re-derived per layer.
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace relm {
+
+/// True for errors a fresh attempt can plausibly clear: transient
+/// faults (injected chaos, lost spill blocks, I/O hiccups) surface as
+/// kUnavailable. Everything else — bad scripts, invariant violations,
+/// deadline misses, cancellations, shed load — fails the same way on
+/// every attempt and must not be retried.
+inline bool IsRetryable(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
+}
+
+/// attempt k (1-based) backs off base * multiplier^(k-1), capped. The
+/// simulator's historical 2^(k-1) schedule is the multiplier=2 case.
+inline double ExponentialBackoffSeconds(double base_seconds, int attempt,
+                                        double multiplier = 2.0,
+                                        double cap_seconds = 0.0) {
+  double backoff = base_seconds;
+  for (int k = 1; k < attempt; ++k) {
+    backoff *= multiplier;
+    if (cap_seconds > 0.0 && backoff >= cap_seconds) return cap_seconds;
+  }
+  if (cap_seconds > 0.0) backoff = std::min(backoff, cap_seconds);
+  return backoff;
+}
+
+/// Retry policy for transiently-failed work: capped exponential backoff
+/// with seeded jitter (so a burst of jobs failed by one fault does not
+/// relaunch as a synchronized thundering herd).
+struct RetryPolicy {
+  /// Total attempts including the first (1 = no retries).
+  int max_attempts = 3;
+  /// Backoff before retry k (k >= 1): initial * multiplier^(k-1),
+  /// capped at max_backoff_seconds, then jittered.
+  double initial_backoff_seconds = 0.02;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 1.0;
+  /// Uniform multiplicative jitter in [1-f, 1+f]; f in [0, 1).
+  double jitter_fraction = 0.2;
+
+  Status Validate() const {
+    if (max_attempts < 1) {
+      return Status::InvalidArgument("RetryPolicy: max_attempts must be >= 1");
+    }
+    if (initial_backoff_seconds < 0.0) {
+      return Status::InvalidArgument(
+          "RetryPolicy: initial_backoff_seconds must be >= 0");
+    }
+    if (backoff_multiplier < 1.0) {
+      return Status::InvalidArgument(
+          "RetryPolicy: backoff_multiplier must be >= 1");
+    }
+    if (max_backoff_seconds < 0.0) {
+      return Status::InvalidArgument(
+          "RetryPolicy: max_backoff_seconds must be >= 0");
+    }
+    if (jitter_fraction < 0.0 || jitter_fraction >= 1.0) {
+      return Status::InvalidArgument(
+          "RetryPolicy: jitter_fraction must be in [0, 1)");
+    }
+    return Status::OK();
+  }
+
+  /// Jittered wait before retry number `attempt` (1-based: the backoff
+  /// taken after the attempt-th failure). `rng` supplies the jitter
+  /// draw; pass a per-job seeded Random for reproducible schedules.
+  double BackoffSeconds(int attempt, Random* rng) const {
+    double backoff = ExponentialBackoffSeconds(
+        initial_backoff_seconds, attempt, backoff_multiplier,
+        max_backoff_seconds);
+    if (rng != nullptr && jitter_fraction > 0.0) {
+      backoff *= rng->Noise(jitter_fraction);
+    }
+    return backoff;
+  }
+
+  // ---- chainable named setters ----
+  RetryPolicy& WithMaxAttempts(int attempts) {
+    max_attempts = attempts;
+    return *this;
+  }
+  RetryPolicy& WithInitialBackoffSeconds(double seconds) {
+    initial_backoff_seconds = seconds;
+    return *this;
+  }
+  RetryPolicy& WithBackoffMultiplier(double multiplier) {
+    backoff_multiplier = multiplier;
+    return *this;
+  }
+  RetryPolicy& WithMaxBackoffSeconds(double seconds) {
+    max_backoff_seconds = seconds;
+    return *this;
+  }
+  RetryPolicy& WithJitterFraction(double fraction) {
+    jitter_fraction = fraction;
+    return *this;
+  }
+};
+
+}  // namespace relm
+
+#endif  // RELM_COMMON_RETRY_H_

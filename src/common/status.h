@@ -21,6 +21,13 @@ enum class StatusCode {
   kNotFound,
   kUnsupported,
   kInternal,
+  // Failure-semantics codes for real execution (DESIGN.md §12): a
+  // transient fault worth retrying, load shed by admission control, a
+  // per-job deadline miss, and caller-requested cancellation.
+  kUnavailable,
+  kOverloaded,
+  kDeadlineExceeded,
+  kCancelled,
 };
 
 /// Returns a short human-readable name for a status code ("ParseError", ...).
@@ -64,6 +71,18 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

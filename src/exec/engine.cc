@@ -55,6 +55,12 @@ Engine::Engine(SimulatedHdfs* hdfs, Random* rng, const ExecOptions& options)
     : hdfs_(hdfs), rng_(rng), options_(options) {
   workers_ = options.workers > 0 ? options.workers : Workers();
   if (workers_ < 1) workers_ = 1;
+  if (options.chaos != nullptr) {
+    chaos_ = options.chaos;
+  } else if (options.faults.enabled()) {
+    owned_chaos_ = std::make_unique<ChaosInjector>(options.faults);
+    chaos_ = owned_chaos_.get();
+  }
   if (options.memory_budget > 0) {
     // Each engine spills under its own process-unique namespace: the
     // serving layer runs concurrent jobs against ONE shared HDFS, and
@@ -66,7 +72,7 @@ Engine::Engine(SimulatedHdfs* hdfs, Random* rng, const ExecOptions& options)
         next_run_id.fetch_add(1, std::memory_order_relaxed);
     memory_ = std::make_unique<MemoryManager>(
         options.memory_budget, hdfs_,
-        "/.spill/r" + std::to_string(run_id) + "/");
+        "/.spill/r" + std::to_string(run_id) + "/", chaos_);
   }
 }
 
@@ -79,6 +85,7 @@ ExecStats Engine::stats() const {
     s.spill_bytes = memory_->spill_bytes();
     s.reload_bytes = memory_->reload_bytes();
   }
+  if (chaos_ != nullptr) s.faults_injected = chaos_->total_fired();
   return s;
 }
 
@@ -186,6 +193,9 @@ Result<Value> Engine::EvalSerial(const Hop* h, const Hooks& hooks) {
 }
 
 Result<Value> Engine::ReadPersistent(const Hop* h) {
+  if (chaos_ != nullptr && chaos_->ShouldInject(FaultSite::kHdfsRead)) {
+    return ChaosInjector::InjectedError(FaultSite::kHdfsRead, h->name());
+  }
   RELM_ASSIGN_OR_RETURN(HdfsFile file, hdfs_->Get(h->name()));
   if (file.data == nullptr) {
     return Status::RuntimeError(
@@ -195,6 +205,9 @@ Result<Value> Engine::ReadPersistent(const Hop* h) {
 }
 
 Status Engine::WritePersistent(const Hop* h, const Value& v) {
+  if (chaos_ != nullptr && chaos_->ShouldInject(FaultSite::kHdfsWrite)) {
+    return ChaosInjector::InjectedError(FaultSite::kHdfsWrite, h->name());
+  }
   if (v.is_matrix()) {
     hdfs_->PutMatrix(h->name(), *v.matrix);
   } else {
@@ -570,6 +583,20 @@ Result<Value> DagRun::PreEval(const Hop* h) {
 void DagRun::Execute(int i) {
   Node& n = nodes_[i];
   const Hop* h = n.hop;
+  if (engine_->chaos_ != nullptr) {
+    // Straggler and task-abort injection cover the parallel path only;
+    // the serial reference path stays fault-free by construction, so
+    // the job-level degraded (serial) fallback is a genuine escape
+    // hatch from repeated scheduler faults.
+    engine_->chaos_->MaybeStall();
+    if (engine_->chaos_->ShouldInject(FaultSite::kTaskAbort)) {
+      Resolve(i, NodeState::kFailed, Value(), "",
+              ChaosInjector::InjectedError(
+                  FaultSite::kTaskAbort,
+                  "instruction " + std::to_string(i)));
+      return;
+    }
+  }
   std::vector<Value> in;
   in.reserve(h->inputs().size());
   for (const auto& input : h->inputs()) {

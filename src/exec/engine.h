@@ -25,6 +25,7 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "exec/fault_hooks.h"
 #include "exec/memory_manager.h"
 #include "hdfs/file_system.h"
 #include "hops/hop.h"
@@ -44,6 +45,15 @@ struct ExecOptions {
   /// Verify on every parallel block that the commit order equals the
   /// serial first-visit effect order (cheap; on by default).
   bool verify_commit_order = true;
+  /// Chaos injection (off unless a rate or first_n is set). Injected
+  /// failures surface as typed Unavailable errors; they never corrupt
+  /// results.
+  FaultPolicy faults;
+  /// External injector (not owned, must outlive the engine). When set
+  /// it overrides `faults`: per-site draw counters then persist across
+  /// engines, which is how job-level retries see *fresh* fault draws
+  /// instead of deterministically replaying the attempt that failed.
+  ChaosInjector* chaos = nullptr;
 };
 
 /// Engine counters, also exported as exec.* obs metrics.
@@ -55,6 +65,7 @@ struct ExecStats {
   int64_t evictions = 0;
   int64_t spill_bytes = 0;
   int64_t reload_bytes = 0;
+  int64_t faults_injected = 0;
 };
 
 class Engine {
@@ -85,6 +96,10 @@ class Engine {
   /// The budget-enforcing memory manager; nullptr when the budget is
   /// disabled.
   MemoryManager* memory() { return memory_.get(); }
+
+  /// The chaos injector (external or engine-owned); nullptr when
+  /// injection is disabled.
+  ChaosInjector* chaos() { return chaos_; }
 
   const ExecOptions& options() const { return options_; }
   /// Resolved degree of parallelism (>= 1).
@@ -143,6 +158,8 @@ class Engine {
   Random* rng_;
   ExecOptions options_;
   int workers_ = 1;
+  std::unique_ptr<ChaosInjector> owned_chaos_;  // outlives memory_
+  ChaosInjector* chaos_ = nullptr;  // external or owned_chaos_.get()
   std::unique_ptr<MemoryManager> memory_;
   std::unordered_map<const Hop*, Value> cache_;
   std::unordered_map<const Hop*, std::vector<Value>> fcall_cache_;

@@ -1,0 +1,139 @@
+#include "exec/fault_hooks.h"
+
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace relm {
+namespace exec {
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kSpillWrite:
+      return "spill_write";
+    case FaultSite::kSpillReload:
+      return "spill_reload";
+    case FaultSite::kHdfsRead:
+      return "hdfs_read";
+    case FaultSite::kHdfsWrite:
+      return "hdfs_write";
+    case FaultSite::kTaskAbort:
+      return "task_abort";
+    case FaultSite::kTaskStall:
+      return "task_stall";
+    case FaultSite::kBudgetPressure:
+      return "budget_pressure";
+  }
+  return "unknown";
+}
+
+Status FaultPolicy::Validate() const {
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    if (rate[i] < 0.0 || rate[i] > 1.0) {
+      return Status::InvalidArgument(
+          std::string("FaultPolicy: rate[") +
+          FaultSiteName(static_cast<FaultSite>(i)) + "] must be in [0, 1]");
+    }
+    if (first_n[i] < 0) {
+      return Status::InvalidArgument(
+          std::string("FaultPolicy: first_n[") +
+          FaultSiteName(static_cast<FaultSite>(i)) + "] must be >= 0");
+    }
+  }
+  if (stall_micros < 0) {
+    return Status::InvalidArgument("FaultPolicy: stall_micros must be >= 0");
+  }
+  if (budget_pressure_fraction <= 0.0 || budget_pressure_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "FaultPolicy: budget_pressure_fraction must be in (0, 1]");
+  }
+  return Status::OK();
+}
+
+Status ChaosInjector::InjectedError(FaultSite site,
+                                    const std::string& detail) {
+  std::string msg = "injected fault at ";
+  msg += FaultSiteName(site);
+  if (!detail.empty()) {
+    msg += ": ";
+    msg += detail;
+  }
+  return Status::Unavailable(std::move(msg));
+}
+
+#if RELM_FAULTS_ENABLED
+
+namespace {
+
+// SplitMix64 finalizer over (seed, site, draw index): a stateless hash
+// so concurrent draws need no shared RNG stream, only the per-site
+// draw counter.
+uint64_t HashDraw(uint64_t seed, int site, uint64_t draw) {
+  uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (draw * kNumFaultSites +
+                                               static_cast<uint64_t>(site) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double DrawUnit(uint64_t seed, int site, uint64_t draw) {
+  return static_cast<double>(HashDraw(seed, site, draw) >> 11) *
+         (1.0 / 9007199254740992.0);
+}
+
+}  // namespace
+
+ChaosInjector::ChaosInjector(const FaultPolicy& policy) : policy_(policy) {
+#if RELM_OBS_ENABLED
+  auto& registry = obs::MetricsRegistry::Global();
+  total_counter_ = registry.GetCounter("fault.injected");
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    site_counters_[i] = registry.GetCounter(
+        std::string("fault.injected.") +
+        FaultSiteName(static_cast<FaultSite>(i)));
+  }
+#endif
+}
+
+bool ChaosInjector::ShouldInject(FaultSite site) {
+  const int i = static_cast<int>(site);
+  if (policy_.rate[i] <= 0.0 && policy_.first_n[i] <= 0) return false;
+  const uint64_t draw = draws_[i].fetch_add(1, std::memory_order_relaxed);
+  bool fire = draw < static_cast<uint64_t>(policy_.first_n[i]);
+  if (!fire && policy_.rate[i] > 0.0) {
+    fire = DrawUnit(policy_.seed, i, draw) < policy_.rate[i];
+  }
+  if (fire) {
+    fired_[i].fetch_add(1, std::memory_order_relaxed);
+#if RELM_OBS_ENABLED
+    total_counter_->Increment();
+    site_counters_[i]->Increment();
+#endif
+  }
+  return fire;
+}
+
+void ChaosInjector::MaybeStall() {
+  if (ShouldInject(FaultSite::kTaskStall) && policy_.stall_micros > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(policy_.stall_micros));
+  }
+}
+
+int64_t ChaosInjector::total_fired() const {
+  int64_t total = 0;
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    total += fired_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+#else  // !RELM_FAULTS_ENABLED
+
+ChaosInjector::ChaosInjector(const FaultPolicy& policy) : policy_(policy) {}
+
+#endif  // RELM_FAULTS_ENABLED
+
+}  // namespace exec
+}  // namespace relm

@@ -1,0 +1,150 @@
+#ifndef RELM_EXEC_FAULT_HOOKS_H_
+#define RELM_EXEC_FAULT_HOOKS_H_
+
+// Runtime chaos/fault injection for the real execution path. The
+// engine, memory manager, and simulated HDFS consult a ChaosInjector
+// at well-defined sites (spill writes, spill reloads, persistent-file
+// I/O, worker-task dispatch, pin-time budget checks); the injector
+// decides deterministically — from a seed, the site, and a per-site
+// draw counter — whether that operation fails, stalls, or proceeds.
+// Determinism is the point: a chaos soak with a fixed FaultPolicy
+// injects the same *set* of faults per site regardless of thread
+// interleaving, so failures found under TSan reproduce under ASan.
+//
+// Like observability (RELM_OBS_ENABLED), the whole facility compiles
+// out with -DRELM_FAULTS_ENABLED=0: every site check collapses to a
+// constant-false inline, and production binaries pay nothing.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+#ifndef RELM_FAULTS_ENABLED
+#define RELM_FAULTS_ENABLED 1
+#endif
+
+namespace relm {
+namespace obs {
+class Counter;
+}  // namespace obs
+
+namespace exec {
+
+/// Injection points in the real execution path.
+enum class FaultSite {
+  kSpillWrite = 0,   // MemoryManager writing a dirty block to spill
+  kSpillReload,      // MemoryManager re-reading a spilled/evicted block
+  kHdfsRead,         // Engine reading a persistent input file
+  kHdfsWrite,        // Engine writing a persistent output file
+  kTaskAbort,        // parallel worker task fails before executing
+  kTaskStall,        // parallel worker task sleeps (straggler)
+  kBudgetPressure,   // transient memory-budget squeeze at pin time
+};
+inline constexpr int kNumFaultSites = 7;
+
+/// Short snake_case name ("spill_write", ...), also the metric suffix
+/// in fault.injected.<site>.
+const char* FaultSiteName(FaultSite site);
+
+/// Seeded description of which faults to inject and how often. All
+/// rates default to zero (injection off). `first_n[site]` forces the
+/// first N draws at a site to fire regardless of rate — the tool for
+/// tests that need an exact, guaranteed fault sequence.
+struct FaultPolicy {
+  uint64_t seed = 42;
+  double rate[kNumFaultSites] = {};
+  int first_n[kNumFaultSites] = {};
+  /// How long an injected kTaskStall sleeps.
+  int64_t stall_micros = 200;
+  /// An injected kBudgetPressure transiently squeezes the effective
+  /// memory budget to this fraction of capacity.
+  double budget_pressure_fraction = 0.5;
+
+  /// True when any site can fire.
+  bool enabled() const {
+    for (int i = 0; i < kNumFaultSites; ++i) {
+      if (rate[i] > 0.0 || first_n[i] > 0) return true;
+    }
+    return false;
+  }
+
+  Status Validate() const;
+
+  // ---- chainable named setters ----
+  FaultPolicy& WithSeed(uint64_t s) {
+    seed = s;
+    return *this;
+  }
+  FaultPolicy& WithRate(FaultSite site, double r) {
+    rate[static_cast<int>(site)] = r;
+    return *this;
+  }
+  /// Same rate at every site.
+  FaultPolicy& WithAllRates(double r) {
+    for (int i = 0; i < kNumFaultSites; ++i) rate[i] = r;
+    return *this;
+  }
+  FaultPolicy& WithFirstN(FaultSite site, int n) {
+    first_n[static_cast<int>(site)] = n;
+    return *this;
+  }
+  FaultPolicy& WithStallMicros(int64_t micros) {
+    stall_micros = micros;
+    return *this;
+  }
+  FaultPolicy& WithBudgetPressureFraction(double fraction) {
+    budget_pressure_fraction = fraction;
+    return *this;
+  }
+};
+
+/// Thread-safe fault oracle built from a FaultPolicy. Each site keeps
+/// an atomic draw counter; draw k at a site fires iff k < first_n or
+/// hash(seed, site, k) < rate. Counting draws (not wall-clock or
+/// thread identity) makes the fired set a pure function of how many
+/// times each site is reached.
+class ChaosInjector {
+ public:
+  explicit ChaosInjector(const FaultPolicy& policy);
+
+  ChaosInjector(const ChaosInjector&) = delete;
+  ChaosInjector& operator=(const ChaosInjector&) = delete;
+
+  const FaultPolicy& policy() const { return policy_; }
+
+  /// Typed, retryable error carried by every injected failure.
+  static Status InjectedError(FaultSite site, const std::string& detail);
+
+#if RELM_FAULTS_ENABLED
+  /// Draws at `site`; true means the caller must fail this operation.
+  bool ShouldInject(FaultSite site);
+  /// Draws at kTaskStall; sleeps policy().stall_micros when it fires.
+  void MaybeStall();
+  /// Faults fired at one site / across all sites so far.
+  int64_t fired(FaultSite site) const {
+    return fired_[static_cast<int>(site)].load(std::memory_order_relaxed);
+  }
+  int64_t total_fired() const;
+#else
+  bool ShouldInject(FaultSite) { return false; }
+  void MaybeStall() {}
+  int64_t fired(FaultSite) const { return 0; }
+  int64_t total_fired() const { return 0; }
+#endif
+
+ private:
+  FaultPolicy policy_;
+#if RELM_FAULTS_ENABLED
+  std::atomic<uint64_t> draws_[kNumFaultSites] = {};
+  std::atomic<int64_t> fired_[kNumFaultSites] = {};
+  obs::Counter* site_counters_[kNumFaultSites] = {};
+  obs::Counter* total_counter_ = nullptr;
+#endif
+};
+
+}  // namespace exec
+}  // namespace relm
+
+#endif  // RELM_EXEC_FAULT_HOOKS_H_

@@ -9,10 +9,11 @@ namespace exec {
 
 MemoryManager::MemoryManager(int64_t capacity_bytes,
                              SimulatedHdfs* spill_hdfs,
-                             std::string spill_prefix)
+                             std::string spill_prefix, ChaosInjector* chaos)
     : capacity_(capacity_bytes),
       hdfs_(spill_hdfs),
-      spill_prefix_(std::move(spill_prefix)) {}
+      spill_prefix_(std::move(spill_prefix)),
+      chaos_(chaos) {}
 
 std::string MemoryManager::SpillPathLocked(const Entry& e,
                                            const std::string& name) const {
@@ -26,17 +27,32 @@ void MemoryManager::EvictOneLocked(std::vector<Evicted>* evicted) {
   Entry& e = it->second;
   if (e.payload != nullptr) {
     const std::string path = SpillPathLocked(e, victim);
+    bool spill_failed = false;
     if (e.dirty) {
       // Dirty payloads must survive eviction: write them to the spill
       // space before releasing the in-memory copy.
       if (hdfs_ != nullptr) {
-        hdfs_->PutMatrix(path, *e.payload);
-        spill_files_[victim] = path;
-        spill_bytes_ += e.bytes;
-        RELM_COUNTER_ADD("exec.spill_bytes", e.bytes);
+        if (chaos_ != nullptr &&
+            chaos_->ShouldInject(FaultSite::kSpillWrite)) {
+          // The in-memory copy was the only copy; losing the spill
+          // write loses the block. Record it so FetchMatrix surfaces a
+          // typed retryable loss instead of reading garbage. Clean
+          // blocks are immune: they recover by re-reading the source.
+          spill_failed = true;
+          lost_.insert(victim);
+          ++lost_blocks_;
+          RELM_COUNTER_INC("fault.spill_blocks_lost");
+        } else {
+          hdfs_->PutMatrix(path, *e.payload);
+          spill_files_[victim] = path;
+          spill_bytes_ += e.bytes;
+          RELM_COUNTER_ADD("exec.spill_bytes", e.bytes);
+        }
       }
     }
-    evicted_sources_[victim] = EvictedSource{path, e.bytes};
+    if (!spill_failed) {
+      evicted_sources_[victim] = EvictedSource{path, e.bytes};
+    }
     RELM_COUNTER_INC("exec.evictions");
   }
   evicted->push_back(Evicted{victim, e.bytes, e.dirty});
@@ -52,19 +68,31 @@ std::vector<MemoryManager::Evicted> MemoryManager::PutLocked(
     const std::string& source_path) {
   std::vector<Evicted> evicted;
   RemoveLocked(name);
+  lost_.erase(name);
   if (capacity_ > 0 && bytes > capacity_) {
     // Oversized object: stream-through, never resident. The payload (if
     // any) still has to be reloadable, so dirty payloads spill now.
     if (payload != nullptr) {
       std::string path = dirty || source_path.empty() ? spill_prefix_ + name
                                                       : source_path;
+      bool spill_failed = false;
       if (dirty && hdfs_ != nullptr) {
-        hdfs_->PutMatrix(path, *payload);
-        spill_files_[name] = path;
-        spill_bytes_ += bytes;
-        RELM_COUNTER_ADD("exec.spill_bytes", bytes);
+        if (chaos_ != nullptr &&
+            chaos_->ShouldInject(FaultSite::kSpillWrite)) {
+          spill_failed = true;
+          lost_.insert(name);
+          ++lost_blocks_;
+          RELM_COUNTER_INC("fault.spill_blocks_lost");
+        } else {
+          hdfs_->PutMatrix(path, *payload);
+          spill_files_[name] = path;
+          spill_bytes_ += bytes;
+          RELM_COUNTER_ADD("exec.spill_bytes", bytes);
+        }
       }
-      evicted_sources_[name] = EvictedSource{path, bytes};
+      if (!spill_failed) {
+        evicted_sources_[name] = EvictedSource{path, bytes};
+      }
       RELM_COUNTER_INC("exec.evictions");
     }
     ++evictions_;
@@ -132,6 +160,7 @@ void MemoryManager::Clear() {
   entries_.clear();
   lru_.clear();
   evicted_sources_.clear();
+  lost_.clear();
   used_ = 0;
 }
 
@@ -171,6 +200,11 @@ int64_t MemoryManager::reload_bytes() const {
   return reload_bytes_;
 }
 
+int64_t MemoryManager::lost_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lost_blocks_;
+}
+
 Status MemoryManager::PinMatrix(const std::string& name,
                                 std::shared_ptr<const MatrixBlock> payload,
                                 bool dirty, const std::string& source_path) {
@@ -178,6 +212,19 @@ Status MemoryManager::PinMatrix(const std::string& name,
     return Status::InvalidArgument("PinMatrix: null payload for " + name);
   }
   std::lock_guard<std::mutex> lock(mu_);
+  if (chaos_ != nullptr && capacity_ > 0 &&
+      chaos_->ShouldInject(FaultSite::kBudgetPressure)) {
+    // Transient budget squeeze (a co-tenant burst): evict down to a
+    // fraction of capacity before admitting the new pin. The pin still
+    // succeeds — pressure costs spill traffic, not correctness.
+    const auto squeezed = static_cast<int64_t>(
+        static_cast<double>(capacity_) *
+        chaos_->policy().budget_pressure_fraction);
+    std::vector<Evicted> pressure_evicted;
+    while (used_ > squeezed && !lru_.empty()) {
+      EvictOneLocked(&pressure_evicted);
+    }
+  }
   const int64_t bytes = payload->MemorySize();
   PutLocked(name, bytes, dirty, std::move(payload), source_path);
   return Status::OK();
@@ -196,6 +243,11 @@ Result<std::shared_ptr<const MatrixBlock>> MemoryManager::FetchMatrix(
     it->second.lru_it = lru_.begin();
     return it->second.payload;
   }
+  if (lost_.count(name) > 0) {
+    return Status::Unavailable("dirty block '" + name +
+                               "' was lost to a spill-write failure; "
+                               "re-running the job regenerates it");
+  }
   auto src = evicted_sources_.find(name);
   if (src == evicted_sources_.end()) {
     return Status::NotFound("no pinned or spilled payload for '" + name +
@@ -203,6 +255,9 @@ Result<std::shared_ptr<const MatrixBlock>> MemoryManager::FetchMatrix(
   }
   if (hdfs_ == nullptr) {
     return Status::Internal("evicted payload without a spill HDFS: " + name);
+  }
+  if (chaos_ != nullptr && chaos_->ShouldInject(FaultSite::kSpillReload)) {
+    return ChaosInjector::InjectedError(FaultSite::kSpillReload, name);
   }
   const std::string path = src->second.path;
   RELM_ASSIGN_OR_RETURN(HdfsFile file, hdfs_->Get(path));
@@ -222,6 +277,7 @@ void MemoryManager::Drop(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   RemoveLocked(name);
   evicted_sources_.erase(name);
+  lost_.erase(name);
   auto it = spill_files_.find(name);
   if (it != spill_files_.end()) {
     if (hdfs_ != nullptr) hdfs_->Delete(it->second);
@@ -236,6 +292,7 @@ void MemoryManager::DropAll() {
   }
   spill_files_.clear();
   evicted_sources_.clear();
+  lost_.clear();
   entries_.clear();
   lru_.clear();
   used_ = 0;

@@ -14,10 +14,12 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "exec/fault_hooks.h"
 #include "hdfs/file_system.h"
 #include "matrix/matrix_block.h"
 
@@ -29,10 +31,13 @@ class MemoryManager {
   /// `spill_hdfs` may be nullptr for accounting-only consumers (the
   /// simulator); payload pins then require no spill target because
   /// eviction simply drops accounting state. `capacity_bytes` <= 0
-  /// means unlimited.
+  /// means unlimited. `chaos` (optional, not owned, must outlive the
+  /// manager) injects spill-write/reload failures and budget-pressure
+  /// spikes.
   explicit MemoryManager(int64_t capacity_bytes,
                          SimulatedHdfs* spill_hdfs = nullptr,
-                         std::string spill_prefix = "/.spill/");
+                         std::string spill_prefix = "/.spill/",
+                         ChaosInjector* chaos = nullptr);
 
   MemoryManager(const MemoryManager&) = delete;
   MemoryManager& operator=(const MemoryManager&) = delete;
@@ -103,6 +108,11 @@ class MemoryManager {
   int64_t spill_bytes() const;
   int64_t reload_bytes() const;
 
+  /// Dirty payloads lost to injected spill-write failures so far.
+  /// Fetching a lost block yields a typed, retryable Unavailable error;
+  /// re-pinning the name recovers it.
+  int64_t lost_blocks() const;
+
  private:
   struct Entry {
     int64_t bytes = 0;
@@ -129,6 +139,7 @@ class MemoryManager {
   int64_t capacity_;
   SimulatedHdfs* hdfs_;
   const std::string spill_prefix_;
+  ChaosInjector* chaos_;
   int64_t used_ = 0;
   int64_t evictions_ = 0;
   int64_t spill_bytes_ = 0;
@@ -139,6 +150,11 @@ class MemoryManager {
   std::map<std::string, EvictedSource> evicted_sources_;
   /// Spill files this manager wrote (cleaned up by DropAll).
   std::map<std::string, std::string> spill_files_;  // name -> path
+  /// Dirty payloads whose spill write was failed by chaos injection:
+  /// the only copy is gone, so FetchMatrix must surface a typed loss
+  /// instead of silently reloading stale or missing data.
+  std::set<std::string> lost_;
+  int64_t lost_blocks_ = 0;
 };
 
 }  // namespace exec

@@ -51,11 +51,21 @@ bool SimulatedHdfs::Exists(const std::string& path) const {
 
 Result<HdfsFile> SimulatedHdfs::Get(const std::string& path) const {
   std::lock_guard<std::mutex> lock(mu_);
+  if (read_fault_hook_) {
+    Status s = read_fault_hook_(path);
+    if (!s.ok()) return s;
+  }
   auto it = files_.find(path);
   if (it == files_.end()) {
     return Status::NotFound("no such HDFS file: " + path);
   }
   return it->second;
+}
+
+void SimulatedHdfs::SetReadFaultHook(
+    std::function<Status(const std::string&)> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  read_fault_hook_ = std::move(hook);
 }
 
 void SimulatedHdfs::Delete(const std::string& path) {

@@ -2,6 +2,7 @@
 #define RELM_HDFS_FILE_SYSTEM_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -72,8 +73,16 @@ class SimulatedHdfs {
 
   bool Exists(const std::string& path) const;
 
-  /// Looks up a file; NotFound if absent.
+  /// Looks up a file; NotFound if absent. Consults the read-fault hook
+  /// (if any) first.
   Result<HdfsFile> Get(const std::string& path) const;
+
+  /// Installs a fault hook consulted by every Get(): a non-OK return
+  /// fails that read with the hook's status. Chaos/fault-injection
+  /// testing only — pass nullptr to uninstall. Thread-safe, but
+  /// install/uninstall must not race live readers' hook invocations
+  /// (set it up before sharing the namespace).
+  void SetReadFaultHook(std::function<Status(const std::string&)> hook);
 
   /// Removes a file if present (idempotent).
   void Delete(const std::string& path);
@@ -100,6 +109,8 @@ class SimulatedHdfs {
   const uint64_t instance_id_ = NextInstanceId();
   mutable std::mutex mu_;
   std::map<std::string, HdfsFile> files_;  // guarded by mu_
+  /// Invoked under mu_, so it must not call back into this namespace.
+  std::function<Status(const std::string&)> read_fault_hook_;  // guarded
 };
 
 }  // namespace relm

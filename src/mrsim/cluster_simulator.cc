@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/retry.h"
 #include "common/string_util.h"
 #include "cost/cost_model.h"
 #include "exec/op_registry.h"
@@ -715,8 +716,8 @@ class ClusterSimulator::Run {
                 "); job aborted");
           }
           max_backoff = std::max(
-              max_backoff, plan.retry_backoff_seconds *
-                               static_cast<double>(1LL << (attempt - 1)));
+              max_backoff,
+              ExponentialBackoffSeconds(plan.retry_backoff_seconds, attempt));
           ++retries;
           ++attempt;
         }

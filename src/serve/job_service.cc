@@ -1,9 +1,12 @@
 #include "serve/job_service.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <thread>
 
 #include "common/logging.h"
+#include "common/random.h"
 #include "exec/worker_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -31,6 +34,8 @@ const char* JobStateName(JobState state) {
       return "completed";
     case JobState::kFailed:
       return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }
@@ -55,6 +60,16 @@ Status ServeOptions::Validate() const {
     return Status::InvalidArgument(
         "ServeOptions: exec_workers must be >= 0");
   }
+  if (max_retrying_jobs < 0) {
+    return Status::InvalidArgument(
+        "ServeOptions: max_retrying_jobs must be >= 0");
+  }
+  if (degrade_after_attempts < 1) {
+    return Status::InvalidArgument(
+        "ServeOptions: degrade_after_attempts must be >= 1");
+  }
+  RELM_RETURN_IF_ERROR(retry.Validate());
+  RELM_RETURN_IF_ERROR(fault_policy.Validate());
   RELM_RETURN_IF_ERROR(optimizer.Validate());
   RELM_RETURN_IF_ERROR(sim.Validate());
   return Status::OK();
@@ -75,7 +90,20 @@ struct JobHandle::Shared {
   JobState state = JobState::kQueued;
   Status error = Status::OK();
   JobOutcome outcome;
+  /// Set by JobHandle::Cancel(); checked at attempt boundaries and
+  /// during retry backoff (lock-free so waiters never contend with the
+  /// executing worker).
+  std::atomic<bool> cancel_requested{false};
 };
+
+namespace {
+
+bool IsTerminal(JobState state) {
+  return state == JobState::kCompleted || state == JobState::kFailed ||
+         state == JobState::kCancelled;
+}
+
+}  // namespace
 
 struct JobService::Job {
   std::shared_ptr<JobHandle::Shared> shared;
@@ -99,12 +127,34 @@ Result<JobOutcome> JobHandle::Await() {
     return Status::InvalidArgument("Await on an invalid (empty) JobHandle");
   }
   std::unique_lock<std::mutex> lock(shared_->mu);
-  shared_->done_cv.wait(lock, [this] {
-    return shared_->state == JobState::kCompleted ||
-           shared_->state == JobState::kFailed;
-  });
-  if (shared_->state == JobState::kFailed) return shared_->error;
+  shared_->done_cv.wait(lock, [this] { return IsTerminal(shared_->state); });
+  if (shared_->state != JobState::kCompleted) return shared_->error;
   return shared_->outcome;
+}
+
+Result<JobOutcome> JobHandle::AwaitFor(double seconds) {
+  if (!shared_) {
+    return Status::InvalidArgument(
+        "AwaitFor on an invalid (empty) JobHandle");
+  }
+  std::unique_lock<std::mutex> lock(shared_->mu);
+  const bool done = shared_->done_cv.wait_for(
+      lock, std::chrono::duration<double>(seconds > 0.0 ? seconds : 0.0),
+      [this] { return IsTerminal(shared_->state); });
+  if (!done) {
+    return Status::DeadlineExceeded(
+        "job " + std::to_string(shared_->id) + " still unfinished after " +
+        std::to_string(seconds) + "s wait");
+  }
+  if (shared_->state != JobState::kCompleted) return shared_->error;
+  return shared_->outcome;
+}
+
+bool JobHandle::Cancel() {
+  if (!shared_) return false;
+  shared_->cancel_requested.store(true, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return !IsTerminal(shared_->state);
 }
 
 // ---- service lifecycle -------------------------------------------------
@@ -130,6 +180,9 @@ JobService::JobService(ClusterConfig cc, ServeOptions options)
                   << options_.exec_workers;
     }
   }
+  // Record what is actually live (vs what was requested) so stats()
+  // exposes a refused TrySetWorkers instead of burying it in a log.
+  exec_workers_effective_ = exec::Workers();
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -165,7 +218,10 @@ JobService::Stats JobService::stats() const {
   Stats out = stats_;
   out.queued = queued_;
   out.running = running_;
+  out.retrying = retrying_;
   out.inflight_container_bytes = inflight_container_bytes_;
+  out.exec_workers_requested = options_.exec_workers;
+  out.exec_workers_effective = exec_workers_effective_;
   {
     std::lock_guard<std::mutex> pool_lock(pool_mu_);
     out.pooled_programs = static_cast<int>(pooled_instances_);
@@ -355,6 +411,79 @@ void JobService::ReleaseProgram(uint64_t script_sig,
 
 // ---- execution ---------------------------------------------------------
 
+Status JobService::RunAttempt(JobHandle::Shared& shared, JobOutcome* outcome,
+                              bool degraded, exec::ChaosInjector* chaos) {
+  // Inputs first: concurrent registration is safe (SimulatedHdfs
+  // locks internally) and identical re-registration is idempotent.
+  for (const InputSpec& input : shared.request.inputs) {
+    RELM_RETURN_IF_ERROR(session_.RegisterMatrixMetadata(
+        input.path, input.rows, input.cols, input.sparsity));
+  }
+  const uint64_t script_sig = ComputeScriptSignature(
+      shared.request.source, shared.request.args, &session_.hdfs());
+  RELM_ASSIGN_OR_RETURN(std::unique_ptr<MlProgram> program,
+                        AcquireProgram(script_sig, shared.request));
+  RELM_ASSIGN_OR_RETURN(OptimizeOutcome opt,
+                        session_.Optimize(program.get(), options_.optimizer));
+  outcome->config = opt.config;
+  outcome->opt_stats = std::move(opt.stats);
+  // The optimizer already costed the winning configuration; reuse it
+  // rather than re-deriving the estimate per job.
+  outcome->estimated_cost_seconds = outcome->opt_stats.best_cost;
+  if (options_.simulate) {
+    // Execution-time admission: hold back until the granted CP (AM)
+    // container fits under the inflight-memory cap.
+    const int64_t container_bytes =
+        session_.cluster().ContainerRequestForHeap(outcome->config.cp_heap);
+    AcquireCapacity(container_bytes);
+    Result<SimResult> sim = session_.Simulate(
+        program.get(), outcome->config, options_.sim, shared.request.oracle);
+    ReleaseCapacity(container_bytes);
+    RELM_RETURN_IF_ERROR(sim.status());
+    outcome->sim = std::move(sim).value();
+    outcome->simulated = true;
+  }
+  if (shared.request.execute_real) {
+    // Real execution under the granted configuration: the engine's
+    // MemoryManager is capped at the plan's CP budget, and the same
+    // execution-time admission control applies as for simulation.
+    const int64_t container_bytes =
+        session_.cluster().ContainerRequestForHeap(outcome->config.cp_heap);
+    AcquireCapacity(container_bytes);
+    RealRunOptions real_opts;
+    // Degraded mode: repeated failures fall back to the serial
+    // reference engine, trading throughput for the fault-free path.
+    real_opts.workers = degraded ? 1 : options_.exec_workers;
+    real_opts.memory_budget = outcome->config.CpBudget();
+    real_opts.chaos = chaos;
+    Result<RealRun> real = session_.ExecuteReal(program.get(), real_opts);
+    ReleaseCapacity(container_bytes);
+    RELM_RETURN_IF_ERROR(real.status());
+    outcome->real = std::move(real).value();
+    outcome->executed_real = true;
+  }
+  ReleaseProgram(script_sig, std::move(program));
+  return Status::OK();
+}
+
+void JobService::BackoffSleep(double seconds,
+                              const JobHandle::Shared& shared) {
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() < until) {
+    if (shared.cancel_requested.load(std::memory_order_relaxed)) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+    }
+    const auto remaining = until - std::chrono::steady_clock::now();
+    const auto slice =
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::milliseconds(20));
+    std::this_thread::sleep_for(remaining < slice ? remaining : slice);
+  }
+}
+
 void JobService::RunJob(const std::shared_ptr<Job>& job) {
   JobHandle::Shared& shared = *job->shared;
   const double wait_seconds = SecondsSince(shared.submit_time);
@@ -371,78 +500,140 @@ void JobService::RunJob(const std::shared_ptr<Job>& job) {
   const auto run_start = std::chrono::steady_clock::now();
   JobOutcome outcome;
   outcome.wait_seconds = wait_seconds;
-  Status status = [&]() -> Status {
-    // Inputs first: concurrent registration is safe (SimulatedHdfs
-    // locks internally) and identical re-registration is idempotent.
-    for (const InputSpec& input : shared.request.inputs) {
-      RELM_RETURN_IF_ERROR(session_.RegisterMatrixMetadata(
-          input.path, input.rows, input.cols, input.sparsity));
+
+  const int max_attempts = shared.request.max_attempts > 0
+                               ? shared.request.max_attempts
+                               : options_.retry.max_attempts;
+  const double deadline = shared.request.deadline_seconds;
+  // One chaos injector for the whole job: draw counters persist across
+  // attempts, so a retry samples fresh fault draws instead of
+  // deterministically replaying the attempt that just failed. The seed
+  // is perturbed per job id so concurrent jobs see independent
+  // schedules.
+  std::unique_ptr<exec::ChaosInjector> chaos;
+  if (shared.request.execute_real && options_.fault_policy.enabled()) {
+    exec::FaultPolicy fp = options_.fault_policy;
+    fp.seed ^= shared.id * 0x9E3779B97F4A7C15ULL;
+    chaos = std::make_unique<exec::ChaosInjector>(fp);
+  }
+  Random backoff_rng(options_.fault_policy.seed ^ shared.id);
+
+  Status status = Status::OK();
+  int attempt = 0;
+  while (true) {
+    ++attempt;
+    outcome.attempts = attempt;
+    if (shared.cancel_requested.load(std::memory_order_relaxed)) {
+      status = Status::Cancelled("job " + std::to_string(shared.id) +
+                                 " cancelled by caller");
+      break;
     }
-    const uint64_t script_sig = ComputeScriptSignature(
-        shared.request.source, shared.request.args, &session_.hdfs());
-    RELM_ASSIGN_OR_RETURN(std::unique_ptr<MlProgram> program,
-                          AcquireProgram(script_sig, shared.request));
-    RELM_ASSIGN_OR_RETURN(OptimizeOutcome opt,
-                          session_.Optimize(program.get(), options_.optimizer));
-    outcome.config = opt.config;
-    outcome.opt_stats = std::move(opt.stats);
-    // The optimizer already costed the winning configuration; reuse it
-    // rather than re-deriving the estimate per job.
-    outcome.estimated_cost_seconds = outcome.opt_stats.best_cost;
-    if (options_.simulate) {
-      // Execution-time admission: hold back until the granted CP (AM)
-      // container fits under the inflight-memory cap.
-      const int64_t container_bytes =
-          session_.cluster().ContainerRequestForHeap(outcome.config.cp_heap);
-      AcquireCapacity(container_bytes);
-      Result<SimResult> sim = session_.Simulate(
-          program.get(), outcome.config, options_.sim, shared.request.oracle);
-      ReleaseCapacity(container_bytes);
-      RELM_RETURN_IF_ERROR(sim.status());
-      outcome.sim = std::move(sim).value();
-      outcome.simulated = true;
+    if (deadline > 0.0 && SecondsSince(shared.submit_time) >= deadline) {
+      status = Status::DeadlineExceeded(
+          "job " + std::to_string(shared.id) + " missed its " +
+          std::to_string(deadline) + "s deadline before attempt " +
+          std::to_string(attempt));
+      break;
     }
-    if (shared.request.execute_real) {
-      // Real execution under the granted configuration: the engine's
-      // MemoryManager is capped at the plan's CP budget, and the same
-      // execution-time admission control applies as for simulation.
-      const int64_t container_bytes =
-          session_.cluster().ContainerRequestForHeap(outcome.config.cp_heap);
-      AcquireCapacity(container_bytes);
-      RealRunOptions real_opts;
-      real_opts.workers = options_.exec_workers;
-      real_opts.memory_budget = outcome.config.CpBudget();
-      Result<RealRun> real = session_.ExecuteReal(program.get(), real_opts);
-      ReleaseCapacity(container_bytes);
-      RELM_RETURN_IF_ERROR(real.status());
-      outcome.real = std::move(real).value();
-      outcome.executed_real = true;
+    const bool degraded = attempt > options_.degrade_after_attempts;
+    outcome.degraded = degraded;
+    if (degraded) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.degraded_runs++;
+      }
+      RELM_COUNTER_INC("serve.degraded_runs");
     }
-    ReleaseProgram(script_sig, std::move(program));
-    return Status::OK();
-  }();
+    status = RunAttempt(shared, &outcome, degraded, chaos.get());
+    if (status.ok() || !IsRetryable(status)) break;
+    if (attempt >= max_attempts) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.retry_exhausted++;
+      }
+      RELM_COUNTER_INC("serve.retry.exhausted");
+      break;
+    }
+    // Admission to the retry queue: shed the job (typed Overloaded)
+    // rather than let an unbounded backlog of backing-off jobs build
+    // up behind a fault burst.
+    bool shed = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (retrying_ >= options_.max_retrying_jobs) {
+        stats_.overload_shed++;
+        status = Status::Overloaded(
+            "retry queue at capacity (" +
+            std::to_string(options_.max_retrying_jobs) +
+            "); shedding job after transient failure: " + status.message());
+        shed = true;
+      } else {
+        retrying_++;
+        stats_.retries++;
+      }
+    }
+    if (shed) {
+      RELM_COUNTER_INC("serve.overload_shed");
+      break;
+    }
+    RELM_COUNTER_INC("serve.retry.attempts");
+    double backoff = options_.retry.BackoffSeconds(attempt, &backoff_rng);
+    if (deadline > 0.0) {
+      // Never sleep past the job's deadline; the next loop iteration
+      // then fails it promptly with DeadlineExceeded.
+      backoff = std::min(backoff,
+                         std::max(0.0, deadline -
+                                           SecondsSince(shared.submit_time)));
+    }
+    RELM_HISTOGRAM_OBSERVE("serve.retry.backoff_seconds", backoff);
+    BackoffSleep(backoff, shared);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      retrying_--;
+      if (stopping_) {
+        // Shutdown during backoff: resolve with the transient error so
+        // no Await() ever hangs on a job we will not retry.
+        break;
+      }
+    }
+  }
+
   outcome.run_seconds = SecondsSince(run_start);
   RELM_HISTOGRAM_OBSERVE("serve.job_run_seconds", outcome.run_seconds);
 
+  const bool cancelled = status.code() == StatusCode::kCancelled;
   {
     std::lock_guard<std::mutex> service_lock(mu_);
     outcome.completion_index = ++completion_counter_;
     if (status.ok()) {
       stats_.completed++;
+    } else if (cancelled) {
+      stats_.cancelled++;
     } else {
       stats_.failed++;
+      if (status.code() == StatusCode::kDeadlineExceeded) {
+        stats_.deadline_misses++;
+      }
     }
   }
   if (status.ok()) {
     RELM_COUNTER_INC("serve.jobs_completed");
+  } else if (cancelled) {
+    RELM_COUNTER_INC("serve.jobs_cancelled");
   } else {
     RELM_COUNTER_INC("serve.jobs_failed");
+    if (status.code() == StatusCode::kDeadlineExceeded) {
+      RELM_COUNTER_INC("serve.deadline_misses");
+    }
   }
   {
     std::lock_guard<std::mutex> lock(shared.mu);
     shared.error = std::move(status);
     shared.outcome = std::move(outcome);
-    shared.state = shared.error.ok() ? JobState::kCompleted : JobState::kFailed;
+    shared.state = shared.error.ok()
+                       ? JobState::kCompleted
+                       : (cancelled ? JobState::kCancelled
+                                    : JobState::kFailed);
   }
   shared.done_cv.notify_all();
 }

@@ -24,10 +24,12 @@
 #include <vector>
 
 #include "api/session.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "core/plan_cache.h"
 #include "core/resource_optimizer.h"
+#include "exec/fault_hooks.h"
 #include "mrsim/cluster_simulator.h"
 
 namespace relm {
@@ -63,6 +65,28 @@ struct ServeOptions {
   /// size keeps the existing pool (with a warning) rather than
   /// rebuilding it from under in-flight engine work.
   int exec_workers = 0;
+  /// Retry policy for `execute_real` jobs that fail with a transient
+  /// (retryable) error: each retry re-runs the full attempt —
+  /// including re-acquiring execution capacity, so a retrying job
+  /// cannot starve other tenants — after a jittered exponential
+  /// backoff. Non-retryable failures and simulate-only jobs never
+  /// retry.
+  RetryPolicy retry;
+  /// Cap on jobs concurrently sitting in retry backoff. A transient
+  /// failure arriving while the retry queue is full is shed instead of
+  /// retried: the job fails fast with a typed Overloaded status. 0
+  /// sheds every would-be retry (retries effectively disabled under
+  /// load).
+  int max_retrying_jobs = 16;
+  /// Graceful degradation: retry attempts after the first
+  /// `degrade_after_attempts` run with the serial reference engine
+  /// (workers = 1) instead of the parallel scheduler, so repeated
+  /// parallel-path failures cannot burn every attempt. >= 1.
+  int degrade_after_attempts = 2;
+  /// Chaos injection applied to `execute_real` runs (fault-tolerance
+  /// testing; off by default). Each job gets its own injector whose
+  /// draw counters persist across that job's retries.
+  exec::FaultPolicy fault_policy;
   /// Plan/what-if cache shared by all workers (not owned). nullptr
   /// selects PlanCache::Global().
   PlanCache* plan_cache = nullptr;
@@ -105,6 +129,22 @@ struct ServeOptions {
     exec_workers = workers;
     return *this;
   }
+  ServeOptions& WithRetry(RetryPolicy policy) {
+    retry = policy;
+    return *this;
+  }
+  ServeOptions& WithMaxRetryingJobs(int jobs) {
+    max_retrying_jobs = jobs;
+    return *this;
+  }
+  ServeOptions& WithDegradeAfterAttempts(int attempts) {
+    degrade_after_attempts = attempts;
+    return *this;
+  }
+  ServeOptions& WithFaultPolicy(exec::FaultPolicy policy) {
+    fault_policy = policy;
+    return *this;
+  }
   ServeOptions& WithPlanCache(PlanCache* cache) {
     plan_cache = cache;
     return *this;
@@ -140,6 +180,14 @@ struct JobRequest {
   /// the granted configuration's CP budget (all read() inputs must have
   /// payloads registered, e.g. via session().RegisterMatrix).
   bool execute_real = false;
+  /// Wall-clock deadline measured from submission, in seconds; <= 0
+  /// means none. A job whose deadline has passed before an attempt
+  /// starts fails with DeadlineExceeded (a running attempt is never
+  /// interrupted mid-flight), and retry backoffs never sleep past it.
+  double deadline_seconds = 0.0;
+  /// Per-job cap on total execution attempts (1 = no retries); 0 uses
+  /// the service RetryPolicy's max_attempts.
+  int max_attempts = 0;
 };
 
 enum class JobState {
@@ -147,6 +195,7 @@ enum class JobState {
   kRunning,
   kCompleted,
   kFailed,
+  kCancelled,
 };
 
 const char* JobStateName(JobState state);
@@ -164,6 +213,10 @@ struct JobOutcome {
   /// output and engine counters from the run under the granted budget.
   bool executed_real = false;
   RealRun real;
+  /// Execution attempts consumed (1 = succeeded without retries) and
+  /// whether the final attempt ran degraded (serial fallback).
+  int attempts = 1;
+  bool degraded = false;
   /// Wall-clock queue wait and service time inside the pool.
   double wait_seconds = 0.0;
   double run_seconds = 0.0;
@@ -186,6 +239,20 @@ class JobHandle {
   /// Blocks until the job finishes; returns its outcome, or the error
   /// that failed it. Awaiting an invalid handle is an error, not UB.
   Result<JobOutcome> Await();
+
+  /// Deadline-aware wait: blocks at most `seconds`, then returns
+  /// DeadlineExceeded if the job is still unfinished. The job itself
+  /// keeps running — this bounds the *wait*, not the job; combine with
+  /// Cancel() to also stop the work.
+  Result<JobOutcome> AwaitFor(double seconds);
+
+  /// Requests cancellation. Best-effort and asynchronous: a queued job
+  /// resolves kCancelled without running, a job in retry backoff stops
+  /// retrying, but an attempt already executing runs to completion —
+  /// if that attempt succeeds, the job completes normally (the request
+  /// arrived too late). Returns true if the request was recorded while
+  /// the job was still unfinished. Idempotent.
+  bool Cancel();
 
  private:
   friend class JobService;
@@ -235,11 +302,31 @@ class JobService {
     int64_t completed = 0;
     int64_t failed = 0;
     int64_t rejected = 0;
+    /// Failure-semantics counters (DESIGN.md §12): retry attempts
+    /// started, jobs that burned every attempt on transient errors,
+    /// jobs cancelled, deadline misses, attempts run in degraded
+    /// (serial-fallback) mode, and transient failures shed because the
+    /// retry queue was full.
+    int64_t retries = 0;
+    int64_t retry_exhausted = 0;
+    int64_t cancelled = 0;
+    int64_t deadline_misses = 0;
+    int64_t degraded_runs = 0;
+    int64_t overload_shed = 0;
     int queued = 0;
     int running = 0;
+    /// Jobs currently sitting in retry backoff.
+    int retrying = 0;
     int64_t inflight_container_bytes = 0;
     /// Program instances currently parked in the reuse pool.
     int pooled_programs = 0;
+    /// Exec-pool size the service asked for (options.exec_workers) vs
+    /// what is actually live. They differ when the process-wide pool
+    /// was already built at another size and TrySetWorkers refused the
+    /// resize — previously only a log line; surfaced here so callers
+    /// can detect silently-ignored configuration.
+    int exec_workers_requested = 0;
+    int exec_workers_effective = 0;
   };
   Stats stats() const;
 
@@ -250,7 +337,18 @@ class JobService {
   /// Picks the next job round-robin across tenant FIFOs. Returns null
   /// when stopping and empty. Called with mu_ held... (see .cc)
   std::shared_ptr<Job> NextJobLocked() RELM_REQUIRES(mu_);
+  /// The attempt loop: runs RunAttempt up to the job's attempt budget,
+  /// honoring cancellation, the deadline, retry backoff, load shedding,
+  /// and serial-fallback degradation; then resolves the handle.
   void RunJob(const std::shared_ptr<Job>& job);
+  /// One full execution attempt (register inputs, compile/acquire,
+  /// optimize, simulate and/or execute for real). Capacity is acquired
+  /// and released inside, so every retry re-queues for admission.
+  Status RunAttempt(JobHandle::Shared& shared, JobOutcome* outcome,
+                    bool degraded, exec::ChaosInjector* chaos);
+  /// Sleeps up to `seconds` in small slices, returning early on
+  /// cancellation or service shutdown.
+  void BackoffSleep(double seconds, const JobHandle::Shared& shared);
   /// Program instance pool: a finished job's compiled program is reused
   /// by the next job with the same script signature when the run left
   /// no trace on it (fully size-known, function-free programs — the
@@ -289,6 +387,10 @@ class JobService {
   std::deque<std::string> tenant_rr_ RELM_GUARDED_BY(mu_);
   int queued_ RELM_GUARDED_BY(mu_) = 0;
   int running_ RELM_GUARDED_BY(mu_) = 0;
+  int retrying_ RELM_GUARDED_BY(mu_) = 0;
+  /// Live size of the shared exec pool observed at startup (immutable
+  /// afterwards; reported via Stats::exec_workers_effective).
+  int exec_workers_effective_ = 0;
   int64_t inflight_container_bytes_ RELM_GUARDED_BY(mu_) = 0;
   // FIFO order of capacity grants: each AcquireCapacity takes a ticket
   // and is admitted only when its ticket is the one being served.

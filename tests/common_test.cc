@@ -5,6 +5,7 @@
 
 #include "common/bytes.h"
 #include "common/random.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "common/string_util.h"
 
@@ -32,6 +33,53 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kRuntimeError), "RuntimeError");
   EXPECT_STREQ(StatusCodeName(StatusCode::kResourceError), "ResourceError");
   EXPECT_STREQ(StatusCodeName(StatusCode::kUnsupported), "Unsupported");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOverloaded), "Overloaded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "Cancelled");
+}
+
+TEST(RetryTest, OnlyUnavailableIsRetryable) {
+  EXPECT_TRUE(IsRetryable(Status::Unavailable("transient")));
+  EXPECT_FALSE(IsRetryable(Status::OK()));
+  EXPECT_FALSE(IsRetryable(Status::RuntimeError("hard")));
+  EXPECT_FALSE(IsRetryable(Status::Overloaded("shed")));
+  EXPECT_FALSE(IsRetryable(Status::DeadlineExceeded("late")));
+  EXPECT_FALSE(IsRetryable(Status::Cancelled("stop")));
+}
+
+TEST(RetryTest, ExponentialBackoffDoublesAndCaps) {
+  EXPECT_DOUBLE_EQ(ExponentialBackoffSeconds(0.5, 1), 0.5);
+  EXPECT_DOUBLE_EQ(ExponentialBackoffSeconds(0.5, 2), 1.0);
+  EXPECT_DOUBLE_EQ(ExponentialBackoffSeconds(0.5, 4), 4.0);
+  EXPECT_DOUBLE_EQ(ExponentialBackoffSeconds(0.5, 4, 2.0, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(ExponentialBackoffSeconds(1.0, 3, 3.0), 9.0);
+}
+
+TEST(RetryTest, PolicyValidates) {
+  EXPECT_TRUE(RetryPolicy().Validate().ok());
+  EXPECT_FALSE(RetryPolicy().WithMaxAttempts(0).Validate().ok());
+  EXPECT_FALSE(
+      RetryPolicy().WithInitialBackoffSeconds(-0.1).Validate().ok());
+  EXPECT_FALSE(RetryPolicy().WithBackoffMultiplier(0.5).Validate().ok());
+  EXPECT_FALSE(RetryPolicy().WithJitterFraction(1.0).Validate().ok());
+}
+
+TEST(RetryTest, JitteredBackoffStaysNearSchedule) {
+  RetryPolicy policy = RetryPolicy()
+                           .WithInitialBackoffSeconds(0.1)
+                           .WithMaxBackoffSeconds(10.0)
+                           .WithJitterFraction(0.2);
+  Random rng(7);
+  for (int attempt = 1; attempt <= 5; ++attempt) {
+    double base = ExponentialBackoffSeconds(0.1, attempt, 2.0, 10.0);
+    double got = policy.BackoffSeconds(attempt, &rng);
+    EXPECT_GE(got, base * 0.8) << attempt;
+    EXPECT_LE(got, base * 1.2) << attempt;
+  }
+  // Without an rng the schedule is exact.
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(3, nullptr), 0.4);
 }
 
 TEST(ResultTest, HoldsValue) {

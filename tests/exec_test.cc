@@ -433,6 +433,127 @@ TEST(EngineStatsTest, ParallelRunSchedulesBlocksInParallel) {
   EXPECT_EQ(parallel.printed(), serial.printed());
 }
 
+// ---------------------------------------------------------------------
+// Chaos injection facility
+
+TEST(FaultPolicyTest, ValidatesFields) {
+  EXPECT_TRUE(FaultPolicy().Validate().ok());
+  EXPECT_FALSE(
+      FaultPolicy().WithRate(FaultSite::kSpillWrite, 1.5).Validate().ok());
+  EXPECT_FALSE(
+      FaultPolicy().WithRate(FaultSite::kHdfsRead, -0.1).Validate().ok());
+  EXPECT_FALSE(
+      FaultPolicy().WithFirstN(FaultSite::kTaskAbort, -1).Validate().ok());
+  EXPECT_FALSE(FaultPolicy().WithStallMicros(-5).Validate().ok());
+  EXPECT_FALSE(FaultPolicy().WithBudgetPressureFraction(0.0).Validate().ok());
+  EXPECT_FALSE(FaultPolicy().WithBudgetPressureFraction(1.5).Validate().ok());
+}
+
+TEST(FaultPolicyTest, EnabledOnlyWithActiveSites) {
+  EXPECT_FALSE(FaultPolicy().enabled());
+  EXPECT_TRUE(FaultPolicy().WithRate(FaultSite::kHdfsRead, 0.1).enabled());
+  EXPECT_TRUE(FaultPolicy().WithFirstN(FaultSite::kTaskAbort, 1).enabled());
+}
+
+TEST(ChaosInjectorTest, FirstNForcesExactCount) {
+  ChaosInjector chaos(FaultPolicy().WithFirstN(FaultSite::kSpillWrite, 3));
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (chaos.ShouldInject(FaultSite::kSpillWrite)) ++fired;
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(chaos.fired(FaultSite::kSpillWrite), 3);
+  EXPECT_EQ(chaos.total_fired(), 3);
+  // Other sites are untouched.
+  EXPECT_FALSE(chaos.ShouldInject(FaultSite::kHdfsRead));
+  EXPECT_EQ(chaos.fired(FaultSite::kHdfsRead), 0);
+}
+
+TEST(ChaosInjectorTest, DrawSequenceIsSeedDeterministic) {
+  FaultPolicy policy = FaultPolicy()
+                           .WithSeed(99)
+                           .WithRate(FaultSite::kHdfsRead, 0.3)
+                           .WithRate(FaultSite::kHdfsWrite, 0.3);
+  auto sequence = [&policy]() {
+    ChaosInjector chaos(policy);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) {
+      fired.push_back(chaos.ShouldInject(FaultSite::kHdfsRead));
+      fired.push_back(chaos.ShouldInject(FaultSite::kHdfsWrite));
+    }
+    return fired;
+  };
+  std::vector<bool> a = sequence();
+  std::vector<bool> b = sequence();
+  EXPECT_EQ(a, b);
+  // A different seed produces a different schedule.
+  policy.WithSeed(100);
+  EXPECT_NE(a, sequence());
+}
+
+TEST(ChaosInjectorTest, FiredSetIndependentOfThreadInterleaving) {
+  // The fault decision hashes (seed, site, draw-index), so the SET of
+  // firing draw indices is fixed regardless of which thread claims
+  // which index. Run the same draw count concurrently and serially and
+  // compare totals.
+  FaultPolicy policy =
+      FaultPolicy().WithSeed(7).WithRate(FaultSite::kTaskAbort, 0.25);
+  constexpr int kDraws = 4000;
+
+  ChaosInjector serial(policy);
+  for (int i = 0; i < kDraws; ++i) {
+    serial.ShouldInject(FaultSite::kTaskAbort);
+  }
+
+  ChaosInjector concurrent(policy);
+  WorkerGuard guard;
+  SetWorkers(8);
+  ParallelFor(0, kDraws, 16, [&concurrent](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      concurrent.ShouldInject(FaultSite::kTaskAbort);
+    }
+  });
+  EXPECT_EQ(concurrent.fired(FaultSite::kTaskAbort),
+            serial.fired(FaultSite::kTaskAbort));
+  EXPECT_GT(serial.fired(FaultSite::kTaskAbort), 0);
+}
+
+TEST(ChaosInjectorTest, InjectedErrorIsRetryable) {
+  Status st =
+      ChaosInjector::InjectedError(FaultSite::kSpillReload, "block 'X'");
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_NE(st.message().find("spill_reload"), std::string::npos);
+  EXPECT_NE(st.message().find("block 'X'"), std::string::npos);
+}
+
+TEST(ChaosInjectorTest, SpillReloadFaultIsTransient) {
+  // A reload fault leaves the spill file intact, so — unlike a lost
+  // dirty block — the very next fetch of the same name succeeds.
+  FaultPolicy policy = FaultPolicy().WithFirstN(FaultSite::kSpillReload, 1);
+  ChaosInjector chaos(policy);
+
+  SimulatedHdfs hdfs;
+  MatrixBlock m(8, 8, false);
+  for (int64_t i = 0; i < 8; ++i) m.Set(i, i, 3.0);
+  auto payload = std::make_shared<const MatrixBlock>(m);
+
+  MemoryManager mm(600, &hdfs, "/.spill/t/", &chaos);
+  ASSERT_TRUE(mm.PinMatrix("a", payload, /*dirty=*/true).ok());
+  // Pinning "b" evicts "a"; its spill write succeeds (no kSpillWrite
+  // injection configured).
+  ASSERT_TRUE(mm.PinMatrix("b", payload, /*dirty=*/true).ok());
+  EXPECT_EQ(mm.lost_blocks(), 0);
+
+  auto first = mm.FetchMatrix("a");
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(chaos.fired(FaultSite::kSpillReload), 1);
+
+  auto second = mm.FetchMatrix("a");
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ((*second)->Get(3, 3), 3.0);
+}
+
 }  // namespace
 }  // namespace exec
 }  // namespace relm

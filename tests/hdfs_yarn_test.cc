@@ -43,6 +43,23 @@ TEST(SimulatedHdfsTest, BlockCounting) {
   EXPECT_EQ(fs.NumBlocks(8 * kGB), 64);
 }
 
+TEST(SimulatedHdfsTest, ReadFaultHookFailsMatchingReads) {
+  SimulatedHdfs fs;
+  fs.PutMatrix("/data/y", MatrixBlock::Constant(10, 1, 2.0));
+  fs.PutMatrix("/data/z", MatrixBlock::Constant(10, 1, 3.0));
+  fs.SetReadFaultHook([](const std::string& path) {
+    return path == "/data/y" ? Status::Unavailable("injected: " + path)
+                             : Status::OK();
+  });
+  auto failed = fs.Get("/data/y");
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(fs.Get("/data/z").ok());  // non-matching paths unaffected
+  // Clearing the hook restores normal reads.
+  fs.SetReadFaultHook(nullptr);
+  EXPECT_TRUE(fs.Get("/data/y").ok());
+}
+
 TEST(SimulatedHdfsTest, ListAndTotal) {
   SimulatedHdfs fs;
   fs.PutMetadata("/b", MatrixCharacteristics::Dense(10, 10));

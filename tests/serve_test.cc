@@ -18,6 +18,7 @@
 #include "core/plan_cache.h"
 #include "exec/worker_pool.h"
 #include "matrix/kernels.h"
+#include "obs/metrics.h"
 #include "serve/job_service.h"
 
 namespace relm {
@@ -584,6 +585,239 @@ TEST(JobServiceTest, ExecuteRealJobRunsUnderGrantedBudget) {
   auto model = service.session().hdfs().Get("/out/B");
   ASSERT_TRUE(model.ok());
   EXPECT_NE(model->data, nullptr);
+  service.Shutdown();
+  exec::SetWorkers(1);  // restore the process-wide serial default
+}
+
+// ---- fault tolerance: retry, deadline, cancel, degradation ------------
+
+serve::JobRequest RealLinregRequest(const std::string& source) {
+  serve::JobRequest request;
+  request.source = source;
+  request.args = LinregArgs();
+  request.execute_real = true;
+  return request;
+}
+
+serve::ServeOptions FaultyServeOptions(exec::FaultPolicy policy) {
+  return serve::ServeOptions()
+      .WithWorkers(1)
+      .WithSimulation(false)
+      .WithFaultPolicy(policy)
+      .WithRetry(RetryPolicy()
+                     .WithInitialBackoffSeconds(0.001)
+                     .WithMaxBackoffSeconds(0.01));
+}
+
+TEST(JobServiceFaultTest, TransientFaultIsRetriedToSuccess) {
+  exec::FaultPolicy policy;
+  policy.WithFirstN(exec::FaultSite::kHdfsRead, 1);
+  serve::JobService service(ClusterConfig::PaperCluster(),
+                            FaultyServeOptions(policy));
+  ASSERT_TRUE(service.startup_status().ok());
+  RegisterRealRegressionData(&service.session());
+
+  auto handle =
+      service.Submit("tenant", RealLinregRequest(ReadScript("linreg_ds.dml")));
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  auto outcome = handle->Await();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->attempts, 2);
+  EXPECT_TRUE(outcome->executed_real);
+  EXPECT_EQ(handle->state(), serve::JobState::kCompleted);
+  serve::JobService::Stats stats = service.stats();
+  EXPECT_EQ(stats.retries, 1);
+  EXPECT_EQ(stats.retry_exhausted, 0);
+  EXPECT_EQ(stats.completed, 1);
+#if RELM_OBS_ENABLED
+  // The retry and the injected fault both land in the telemetry dump.
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(snapshot.counters["serve.retry.attempts"], 1);
+  EXPECT_GE(snapshot.counters["fault.injected"], 1);
+  EXPECT_GE(snapshot.counters["fault.injected.hdfs_read"], 1);
+#endif
+}
+
+TEST(JobServiceFaultTest, ExhaustedRetriesFailWithTypedError) {
+  exec::FaultPolicy policy;
+  policy.WithRate(exec::FaultSite::kHdfsRead, 1.0);  // every attempt fails
+  serve::JobService service(ClusterConfig::PaperCluster(),
+                            FaultyServeOptions(policy));
+  ASSERT_TRUE(service.startup_status().ok());
+  RegisterRealRegressionData(&service.session());
+
+  auto handle =
+      service.Submit("tenant", RealLinregRequest(ReadScript("linreg_ds.dml")));
+  ASSERT_TRUE(handle.ok());
+  auto outcome = handle->Await();
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(handle->state(), serve::JobState::kFailed);
+  serve::JobService::Stats stats = service.stats();
+  EXPECT_EQ(stats.retries, 2);  // default max_attempts = 3
+  EXPECT_EQ(stats.retry_exhausted, 1);
+  EXPECT_EQ(stats.failed, 1);
+}
+
+TEST(JobServiceFaultTest, PerRequestMaxAttemptsOverridesPolicy) {
+  exec::FaultPolicy policy;
+  policy.WithRate(exec::FaultSite::kHdfsRead, 1.0);
+  serve::JobService service(ClusterConfig::PaperCluster(),
+                            FaultyServeOptions(policy));
+  ASSERT_TRUE(service.startup_status().ok());
+  RegisterRealRegressionData(&service.session());
+
+  serve::JobRequest request = RealLinregRequest(ReadScript("linreg_ds.dml"));
+  request.max_attempts = 1;  // no retries for this job
+  auto handle = service.Submit("tenant", std::move(request));
+  ASSERT_TRUE(handle.ok());
+  auto outcome = handle->Await();
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(service.stats().retries, 0);
+  EXPECT_EQ(service.stats().retry_exhausted, 1);
+}
+
+TEST(JobServiceFaultTest, RetryQueueOverflowShedsLoad) {
+  exec::FaultPolicy policy;
+  policy.WithRate(exec::FaultSite::kHdfsRead, 1.0);
+  serve::JobService service(
+      ClusterConfig::PaperCluster(),
+      FaultyServeOptions(policy).WithMaxRetryingJobs(0));
+  ASSERT_TRUE(service.startup_status().ok());
+  RegisterRealRegressionData(&service.session());
+
+  auto handle =
+      service.Submit("tenant", RealLinregRequest(ReadScript("linreg_ds.dml")));
+  ASSERT_TRUE(handle.ok());
+  auto outcome = handle->Await();
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kOverloaded);
+  EXPECT_EQ(service.stats().overload_shed, 1);
+  EXPECT_EQ(service.stats().retries, 0);
+}
+
+TEST(JobServiceFaultTest, DegradedSerialFallbackEscapesSchedulerFaults) {
+  // Task aborts fire only on the parallel scheduler path, so a huge
+  // first_n budget would fail every parallel attempt forever. The
+  // serial fallback after degrade_after_attempts draws no task faults
+  // and must complete the job.
+  exec::FaultPolicy policy;
+  policy.WithFirstN(exec::FaultSite::kTaskAbort, 1000);
+  exec::SetWorkers(2);  // reset any live pool so the service's resize sticks
+  serve::JobService service(ClusterConfig::PaperCluster(),
+                            FaultyServeOptions(policy)
+                                .WithExecWorkers(2)
+                                .WithDegradeAfterAttempts(1));
+  ASSERT_TRUE(service.startup_status().ok());
+  RegisterRealRegressionData(&service.session());
+
+  auto handle =
+      service.Submit("tenant", RealLinregRequest(ReadScript("linreg_ds.dml")));
+  ASSERT_TRUE(handle.ok());
+  auto outcome = handle->Await();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->attempts, 2);
+  EXPECT_TRUE(outcome->degraded);
+  EXPECT_GE(service.stats().degraded_runs, 1);
+  service.Shutdown();
+  exec::SetWorkers(1);  // restore the process-wide serial default
+}
+
+TEST(JobServiceFaultTest, ExpiredDeadlineFailsBeforeExecuting) {
+  serve::JobService service(
+      ClusterConfig::PaperCluster(),
+      serve::ServeOptions().WithWorkers(1).WithSimulation(false));
+  ASSERT_TRUE(service.startup_status().ok());
+  RegisterRealRegressionData(&service.session());
+
+  serve::JobRequest request = RealLinregRequest(ReadScript("linreg_ds.dml"));
+  request.deadline_seconds = 1e-9;  // expires before any worker picks it up
+  auto handle = service.Submit("tenant", std::move(request));
+  ASSERT_TRUE(handle.ok());
+  auto outcome = handle->Await();
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(handle->state(), serve::JobState::kFailed);
+  EXPECT_EQ(service.stats().deadline_misses, 1);
+}
+
+TEST(JobServiceFaultTest, CancelQueuedJobResolvesWithoutRunning) {
+  // Job A burns ~all of a 1-worker service on failing attempts with
+  // real backoff, so B is reliably still queued when the cancel lands.
+  exec::FaultPolicy policy;
+  policy.WithRate(exec::FaultSite::kHdfsRead, 1.0);
+  serve::JobService service(
+      ClusterConfig::PaperCluster(),
+      serve::ServeOptions()
+          .WithWorkers(1)
+          .WithSimulation(false)
+          .WithFaultPolicy(policy)
+          .WithRetry(RetryPolicy().WithInitialBackoffSeconds(0.2)));
+  ASSERT_TRUE(service.startup_status().ok());
+  RegisterRealRegressionData(&service.session());
+
+  const std::string source = ReadScript("linreg_ds.dml");
+  auto blocker = service.Submit("tenant", RealLinregRequest(source));
+  ASSERT_TRUE(blocker.ok());
+  serve::JobRequest victim_request = RealLinregRequest(source);
+  victim_request.max_attempts = 1;
+  auto victim = service.Submit("tenant", std::move(victim_request));
+  ASSERT_TRUE(victim.ok());
+  EXPECT_TRUE(victim->Cancel());
+  EXPECT_TRUE(victim->Cancel());  // idempotent
+
+  auto outcome = victim->Await();
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(victim->state(), serve::JobState::kCancelled);
+  EXPECT_FALSE(blocker->Await().ok());  // exhausts its retries
+  EXPECT_EQ(service.stats().cancelled, 1);
+  // Cancelling a finished job reports too-late.
+  EXPECT_FALSE(victim->Cancel());
+}
+
+TEST(JobServiceFaultTest, AwaitForTimesOutWithoutFinishingJob) {
+  exec::FaultPolicy policy;
+  policy.WithFirstN(exec::FaultSite::kHdfsRead, 1);
+  serve::JobService service(
+      ClusterConfig::PaperCluster(),
+      serve::ServeOptions()
+          .WithWorkers(1)
+          .WithSimulation(false)
+          .WithFaultPolicy(policy)
+          .WithRetry(RetryPolicy().WithInitialBackoffSeconds(0.2)));
+  ASSERT_TRUE(service.startup_status().ok());
+  RegisterRealRegressionData(&service.session());
+
+  auto handle =
+      service.Submit("tenant", RealLinregRequest(ReadScript("linreg_ds.dml")));
+  ASSERT_TRUE(handle.ok());
+  // The first attempt fails and the job sits in a ~0.2s backoff, so a
+  // short bounded wait must time out without disturbing the job...
+  auto bounded = handle->AwaitFor(0.01);
+  ASSERT_FALSE(bounded.ok());
+  EXPECT_EQ(bounded.status().code(), StatusCode::kDeadlineExceeded);
+  // ...and the unbounded wait then sees the retry succeed.
+  auto outcome = handle->Await();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->attempts, 2);
+}
+
+TEST(JobServiceFaultTest, StatsSurfaceExecWorkerRefusal) {
+  // Build the process-wide pool at size 3, then ask the service for 5:
+  // TrySetWorkers must refuse (a rebuild would pull threads out from
+  // under live users) and the stats must surface requested vs live.
+  exec::SetWorkers(3);
+  exec::SharedPool();
+  serve::JobService service(ClusterConfig::PaperCluster(),
+                            serve::ServeOptions()
+                                .WithWorkers(1)
+                                .WithSimulation(false)
+                                .WithExecWorkers(5));
+  ASSERT_TRUE(service.startup_status().ok());
+  serve::JobService::Stats stats = service.stats();
+  EXPECT_EQ(stats.exec_workers_requested, 5);
+  EXPECT_EQ(stats.exec_workers_effective, 3);
   service.Shutdown();
   exec::SetWorkers(1);  // restore the process-wide serial default
 }

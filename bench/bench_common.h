@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "api/relm_system.h"
+#include "obs/profile.h"
+#include "obs/telemetry_sink.h"
 #include "obs/trace.h"
 
 namespace relm {
@@ -26,6 +28,31 @@ namespace bench {
 inline std::string& TraceOutPath() {
   static std::string path;
   return path;
+}
+
+/// Destination of `--metrics-out=`; empty means no dump.
+inline std::string& MetricsOutPath() {
+  static std::string path;
+  return path;
+}
+
+/// Writes one JSONL snapshot line (metrics registry + operator
+/// profiles) through a TelemetrySink; registered via atexit by
+/// InitBench when `--metrics-out=` is given.
+inline void DumpMetricsAtExit() {
+  const std::string& path = MetricsOutPath();
+  if (path.empty()) return;
+  obs::TelemetrySink::Options options;
+  options.path = path;
+  obs::TelemetrySink sink(options);
+  Status st = sink.Flush();
+  if (!st.ok()) {
+    std::fprintf(stderr, "metrics dump failed: %s\n",
+                 st.ToString().c_str());
+    return;
+  }
+  std::fprintf(stderr, "\nwrote metrics+profile snapshot (%zu op cells) to %s\n",
+               obs::OpProfileStore::Global().Snapshot().size(), path.c_str());
 }
 
 /// Writes the collected telemetry (spans + metrics snapshot) and a text
@@ -46,18 +73,25 @@ inline void DumpTraceAtExit() {
   }
 }
 
-/// Common bench flag handling. Currently: `--trace-out=PATH` enables
-/// span collection and dumps Chrome-trace JSON (plus a metrics
-/// snapshot) at exit. Unknown flags are ignored so benches stay
-/// forgiving about extra arguments.
+/// Common bench flag handling. `--trace-out=PATH` enables span
+/// collection and dumps Chrome-trace JSON (plus a metrics snapshot) at
+/// exit. `--metrics-out=PATH` enables operator profiling and dumps one
+/// JSONL line of metrics + per-op profiles at exit. Unknown flags are
+/// ignored so benches stay forgiving about extra arguments.
 inline void InitBench(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    const char* kFlag = "--trace-out=";
-    if (std::strncmp(arg, kFlag, std::strlen(kFlag)) == 0) {
-      TraceOutPath() = arg + std::strlen(kFlag);
+    const char* kTraceFlag = "--trace-out=";
+    const char* kMetricsFlag = "--metrics-out=";
+    if (std::strncmp(arg, kTraceFlag, std::strlen(kTraceFlag)) == 0) {
+      TraceOutPath() = arg + std::strlen(kTraceFlag);
       obs::Tracer::Global().SetEnabled(true);
       std::atexit(DumpTraceAtExit);
+    } else if (std::strncmp(arg, kMetricsFlag,
+                            std::strlen(kMetricsFlag)) == 0) {
+      MetricsOutPath() = arg + std::strlen(kMetricsFlag);
+      obs::OpProfileStore::Global().set_enabled(true);
+      std::atexit(DumpMetricsAtExit);
     }
   }
 }

@@ -9,7 +9,10 @@
 // All numbers are host wall-clock (the engine does real work, unlike
 // the simulator benches); speedups depend on available cores.
 // `--json-out=PATH` exports every row as JSON; `--trace-out=PATH`
-// dumps engine spans and exec.* metrics as Chrome-trace JSON.
+// dumps engine spans and exec.* metrics as Chrome-trace JSON;
+// `--metrics-out=PATH` dumps a metrics + per-operator-profile JSONL
+// snapshot (scripts/bench_gate.py compares the JSON export against the
+// committed BENCH_exec.json baseline).
 
 #include <chrono>
 #include <cmath>
@@ -45,13 +48,16 @@ std::ostringstream& Json() {
 
 void JsonRow(const std::string& table, const std::string& label,
              int workers, double ms, double speedup, int64_t spill_bytes,
-             int64_t reload_bytes) {
+             int64_t reload_bytes, int64_t parallel_blocks = 0,
+             int64_t tasks_scheduled = 0) {
   std::ostringstream& json = Json();
   if (json.tellp() > 0) json << ",\n";
   json << "  {\"table\":\"" << table << "\",\"label\":\"" << label
        << "\",\"workers\":" << workers << ",\"ms\":" << ms
        << ",\"speedup\":" << speedup << ",\"spill_bytes\":" << spill_bytes
-       << ",\"reload_bytes\":" << reload_bytes << "}";
+       << ",\"reload_bytes\":" << reload_bytes
+       << ",\"parallel_blocks\":" << parallel_blocks
+       << ",\"tasks_scheduled\":" << tasks_scheduled << "}";
 }
 
 // ---- (a) kernel speedup ------------------------------------------------
@@ -195,8 +201,10 @@ void EndToEndTable() {
     double ms[3] = {0, 0, 0};
     for (int i = 0; i < 3; ++i) {
       exec::SetWorkers(counts[i]);
-      ms[i] = RunScript(c.source, c.args, c.setup, counts[i], 0).ms;
-      JsonRow("end_to_end", c.name, counts[i], ms[i], ms[0] / ms[i], 0, 0);
+      RunResult r = RunScript(c.source, c.args, c.setup, counts[i], 0);
+      ms[i] = r.ms;
+      JsonRow("end_to_end", c.name, counts[i], ms[i], ms[0] / ms[i], 0, 0,
+              r.stats.parallel_blocks, r.stats.tasks_scheduled);
     }
     exec::SetWorkers(1);
     std::printf("%-16s %10.2f %10.2f %10.2f %7.2fx\n", c.name, ms[0],
@@ -244,7 +252,8 @@ void SpillTable() {
         RunScript(kLoopScript, {{"X", "/data/X"}}, setup, 1, b.budget);
     if (b.budget == 0) base_ms = r.ms;
     JsonRow("spill", b.label, 1, r.ms, base_ms / r.ms,
-            r.stats.spill_bytes, r.stats.reload_bytes);
+            r.stats.spill_bytes, r.stats.reload_bytes,
+            r.stats.parallel_blocks, r.stats.tasks_scheduled);
     std::printf("%-12s %10.2f %12lld %12lld %9.2fx\n", b.label, r.ms,
                 static_cast<long long>(r.stats.spill_bytes),
                 static_cast<long long>(r.stats.reload_bytes),

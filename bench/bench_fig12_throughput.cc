@@ -256,6 +256,16 @@ void RunMultiClient(int clients, int jobs_per_client, int grid_points) {
               static_cast<long long>(ss.completed),
               static_cast<long long>(ss.failed),
               static_cast<long long>(ss.rejected), failures.load());
+  const auto print_slo = [](const char* name,
+                            const serve::JobService::Stats::Slo& slo) {
+    std::printf("  %-10s p50=%8.2fms  p95=%8.2fms  p99=%8.2fms  (n=%lld)\n",
+                name, slo.p50, slo.p95, slo.p99,
+                static_cast<long long>(slo.count));
+  };
+  std::printf("  serve SLO latencies:\n");
+  print_slo("wait", ss.wait_ms);
+  print_slo("run", ss.run_ms);
+  print_slo("end-to-end", ss.e2e_ms);
   std::printf(
       "  plan cache: program %lld/%lld hits (%.0f%%), what-if %lld/%lld "
       "hits (%.0f%%), evictions=%lld\n",

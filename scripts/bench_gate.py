@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over bench_ext_exec JSON exports.
+
+Compares one or more fresh `bench_ext_exec --json-out=` runs against the
+committed baseline (BENCH_exec.json by default) and fails when a gated
+row got slower than the allowed ratio. Rows are keyed by
+(table, label, workers); when several fresh files are given, the gate
+takes the per-key minimum wall-clock across them, so transient machine
+noise in a single run does not fail the gate.
+
+Only the tables named by --tables are gated (default: end_to_end — the
+kernel table measures sub-millisecond loops too noisy to gate, and the
+spill table's interesting signal is bytes, not wall-clock).
+
+Exit status: 0 when every gated row passes; nonzero on regression, on a
+gated baseline row missing from the fresh runs, or on bad input.
+
+Usage:
+  scripts/bench_gate.py --baseline BENCH_exec.json fresh1.json [fresh2.json ...]
+  scripts/bench_gate.py --threshold 1.25 --tables end_to_end baseline.json fresh.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    """Returns {(table, label, workers): row-dict} for one export file."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            rows = json.load(fh)
+    except (OSError, ValueError) as err:
+        raise SystemExit(f"bench_gate: cannot read {path}: {err}")
+    if not isinstance(rows, list):
+        raise SystemExit(f"bench_gate: {path}: expected a JSON array of rows")
+    out = {}
+    for row in rows:
+        try:
+            key = (row["table"], row["label"], int(row["workers"]))
+        except (TypeError, KeyError) as err:
+            raise SystemExit(f"bench_gate: {path}: malformed row {row!r}: {err}")
+        out[key] = row
+    return out
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Fail when fresh bench rows regress past the baseline.")
+    parser.add_argument("--baseline", default="BENCH_exec.json",
+                        help="committed baseline export (default: %(default)s)")
+    parser.add_argument("--threshold", type=float, default=1.25,
+                        help="max allowed fresh/baseline wall-clock ratio "
+                             "(default: %(default)s, i.e. +25%%)")
+    parser.add_argument("--tables", default="end_to_end",
+                        help="comma-separated tables to gate "
+                             "(default: %(default)s)")
+    parser.add_argument("fresh", nargs="+",
+                        help="one or more fresh --json-out exports; the "
+                             "per-row minimum across them is compared")
+    args = parser.parse_args(argv)
+
+    if args.threshold <= 1.0:
+        raise SystemExit("bench_gate: --threshold must be > 1.0")
+    gated_tables = {t.strip() for t in args.tables.split(",") if t.strip()}
+
+    baseline = load_rows(args.baseline)
+    fresh_runs = [load_rows(path) for path in args.fresh]
+
+    # Per-key minimum across the fresh runs: the best of N runs is the
+    # honest capability number; a regression that survives the min is
+    # real, not scheduler noise.
+    fresh_min = {}
+    for run in fresh_runs:
+        for key, row in run.items():
+            prev = fresh_min.get(key)
+            if prev is None or row["ms"] < prev["ms"]:
+                fresh_min[key] = row
+
+    failures = []
+    checked = 0
+    print(f"bench_gate: baseline={args.baseline} fresh={len(fresh_runs)} "
+          f"run(s) threshold={args.threshold:.2f}x tables={sorted(gated_tables)}")
+    print(f"{'table':<12} {'label':<16} {'w':>3} {'base(ms)':>10} "
+          f"{'fresh(ms)':>10} {'ratio':>7}  verdict")
+    for key in sorted(baseline):
+        table, label, workers = key
+        if table not in gated_tables:
+            continue
+        base_ms = float(baseline[key]["ms"])
+        if base_ms <= 0.0:
+            continue
+        checked += 1
+        if key not in fresh_min:
+            failures.append(f"{table}/{label}/w={workers}: missing from fresh runs")
+            print(f"{table:<12} {label:<16} {workers:>3} {base_ms:>10.2f} "
+                  f"{'-':>10} {'-':>7}  MISSING")
+            continue
+        fresh_ms = float(fresh_min[key]["ms"])
+        ratio = fresh_ms / base_ms
+        verdict = "ok" if ratio <= args.threshold else "REGRESSION"
+        print(f"{table:<12} {label:<16} {workers:>3} {base_ms:>10.2f} "
+              f"{fresh_ms:>10.2f} {ratio:>6.2f}x  {verdict}")
+        if ratio > args.threshold:
+            failures.append(
+                f"{table}/{label}/w={workers}: {base_ms:.2f}ms -> "
+                f"{fresh_ms:.2f}ms ({ratio:.2f}x > {args.threshold:.2f}x)")
+
+    new_rows = sorted(k for k in fresh_min
+                      if k[0] in gated_tables and k not in baseline)
+    for table, label, workers in new_rows:
+        print(f"{table:<12} {label:<16} {workers:>3} {'-':>10} "
+              f"{float(fresh_min[(table, label, workers)]['ms']):>10.2f} "
+              f"{'-':>7}  new (no baseline)")
+
+    if checked == 0:
+        raise SystemExit("bench_gate: no gated rows found in the baseline "
+                         f"for tables {sorted(gated_tables)}")
+    if failures:
+        print(f"bench_gate: FAIL — {len(failures)} regression(s):")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"bench_gate: PASS — {checked} row(s) within {args.threshold:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

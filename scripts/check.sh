@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Extended check build, eight stages in separate trees:
+# Extended check build, nine stages in separate trees:
 #
 #   1. ASan+UBSan Debug build running the full test suite (catches
 #      allocation bugs and UB in the simulator's recovery logic);
@@ -27,7 +27,11 @@
 #      RELM_EXEC_WORKERS=8: seeded fault injection (task aborts, spill
 #      losses, I/O errors) races the retry/cancel/degrade machinery,
 #      proving every injected failure is a typed error or a
-#      bitwise-identical recovery — never a leak, race, or corruption.
+#      bitwise-identical recovery — never a leak, race, or corruption;
+#   9. the perf-regression gate: a PLAIN (unsanitized, like the
+#      committed baseline) tree runs bench_ext_exec three times and
+#      scripts/bench_gate.py fails the build when any end_to_end row
+#      regresses more than 25% against BENCH_exec.json.
 #
 # TSan is incompatible with ASan, hence the separate tree. Slower than
 # the default build; use before merging changes that touch allocation
@@ -60,13 +64,13 @@ cmake -B "${prefix}-tsan" -S "$repo_root" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "${prefix}-tsan" -j "$(nproc)" --target obs_test
 ctest --test-dir "${prefix}-tsan" --output-on-failure \
-  -R 'MetricsTest|TracerTest|LogCaptureTest|ObsSystemTest'
+  -R 'MetricsTest|TracerTest|LogCaptureTest|ObsSystemTest|JsonUtilTest|TraceContextTest|MetricScopeTest|OpProfileTest|TelemetrySinkTest|CalibrationTest'
 
 echo "=== stage 4: TSan, serving layer + multi-client bench smoke ==="
 cmake --build "${prefix}-tsan" -j "$(nproc)" \
   --target serve_test bench_fig12_throughput
 ctest --test-dir "${prefix}-tsan" --output-on-failure \
-  -R 'PlanCacheTest|OptimizerCacheTest|SessionTest|JobServiceTest'
+  -R 'PlanCacheTest|OptimizerCacheTest|SessionTest|JobServiceTest|JobTelemetryTest'
 # Small end-to-end smoke: 4 concurrent clients through the job service.
 "${prefix}-tsan/bench/bench_fig12_throughput" --clients=4 --jobs=3
 
@@ -108,7 +112,7 @@ cmake --build "${prefix}-tsan" -j "$(nproc)" \
 # Force a real multi-worker pool: every engine run, differential
 # comparison, and real-execution job races 8 workers under TSan.
 RELM_EXEC_WORKERS=8 ctest --test-dir "${prefix}-tsan" --output-on-failure \
-  -R 'ExecDifferentialTest|BudgetEnforcementTest|EngineStatsTest|MemoryManagerTest|OpRegistryTest|SerialEffectOrderTest|WorkerPoolTest|SessionExecuteRealTest|JobServiceTest'
+  -R 'ExecDifferentialTest|BudgetEnforcementTest|EngineStatsTest|MemoryManagerTest|OpRegistryTest|SerialEffectOrderTest|WorkerPoolTest|SessionExecuteRealTest|JobServiceTest|JobTelemetryTest'
 RELM_EXEC_WORKERS=8 "${prefix}-tsan/bench/bench_ext_exec" \
   --json-out="${prefix}-tsan/bench_ext_exec.json"
 
@@ -125,5 +129,25 @@ cmake --build "${prefix}-tsan" -j "$(nproc)" \
   --target common_test exec_test exec_differential_test serve_test
 RELM_EXEC_WORKERS=8 ctest --test-dir "${prefix}-tsan" --output-on-failure \
   -R "$chaos_filter"
+
+echo "=== stage 9: perf-regression gate (plain tree vs BENCH_exec.json) ==="
+# The committed baseline is a non-sanitized build's numbers, so the
+# gate must run against a plain tree — sanitizer overhead would trip
+# it spuriously. Three runs; the gate takes the per-row minimum, so
+# one noisy run cannot fail the build. The threshold is widened past
+# the script's 1.25x default because virtualized hosts drift ~1.3x in
+# effective CPU speed between sessions; 1.5x still catches the
+# algorithmic blowups the gate exists for. After an intentional perf
+# change, refresh the baseline with the per-row minimum of several
+# plain-tree runs (bench_gate.py's keying matches --json-out rows).
+cmake -B "${prefix}-gate" -S "$repo_root" >/dev/null
+cmake --build "${prefix}-gate" -j "$(nproc)" --target bench_ext_exec
+for i in 1 2 3; do
+  "${prefix}-gate/bench/bench_ext_exec" \
+    --json-out="${prefix}-gate/bench_exec_run${i}.json" >/dev/null
+done
+python3 "$repo_root/scripts/bench_gate.py" \
+  --baseline "$repo_root/BENCH_exec.json" --threshold 1.5 \
+  "${prefix}-gate"/bench_exec_run{1,2,3}.json
 
 echo "all check stages passed"

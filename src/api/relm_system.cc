@@ -46,9 +46,10 @@ Result<ResourceConfig> RelmSystem::OptimizeResources(
   return outcome.config;
 }
 
-Result<double> RelmSystem::EstimateCost(MlProgram* program,
-                                        const ResourceConfig& config) {
-  return session_.EstimateCost(program, config);
+Result<double> RelmSystem::EstimateCost(
+    MlProgram* program, const ResourceConfig& config,
+    const obs::CalibratedOpRegistry* calibration) {
+  return session_.EstimateCost(program, config, calibration);
 }
 
 Result<RealRun> RelmSystem::ExecuteReal(MlProgram* program, bool echo) {

@@ -54,9 +54,11 @@ class RelmSystem {
       MlProgram* program, OptimizerStats* stats = nullptr,
       const OptimizerOptions& options = OptimizerOptions());
 
-  /// Estimated cost of running `program` under `config` (seconds).
-  Result<double> EstimateCost(MlProgram* program,
-                              const ResourceConfig& config);
+  /// Estimated cost of running `program` under `config` (seconds),
+  /// optionally through a measured-throughput calibration.
+  Result<double> EstimateCost(
+      MlProgram* program, const ResourceConfig& config,
+      const obs::CalibratedOpRegistry* calibration = nullptr);
 
   /// \deprecated Alias of relm::RealRun, kept for source compatibility.
   using RealRun = ::relm::RealRun;

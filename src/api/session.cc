@@ -89,8 +89,9 @@ Result<OptimizeOutcome> Session::Optimize(MlProgram* program,
   return outcome;
 }
 
-Result<double> Session::EstimateCost(MlProgram* program,
-                                     const ResourceConfig& config) {
+Result<double> Session::EstimateCost(
+    MlProgram* program, const ResourceConfig& config,
+    const obs::CalibratedOpRegistry* calibration) {
   if (program == nullptr) {
     return Status::InvalidArgument("EstimateCost: program must not be null");
   }
@@ -99,6 +100,7 @@ Result<double> Session::EstimateCost(MlProgram* program,
       RuntimeProgram rp,
       GenerateRuntimeProgram(program, state_->cc, config, &counters));
   CostModel cm(state_->cc);
+  cm.set_calibration(calibration);
   return cm.EstimateProgramCost(rp);
 }
 

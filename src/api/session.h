@@ -137,8 +137,12 @@ class Session {
       const OptimizerOptions& options = OptimizerOptions());
 
   /// Estimated cost of running `program` under `config` (seconds).
-  Result<double> EstimateCost(MlProgram* program,
-                              const ResourceConfig& config);
+  /// A non-null `calibration` (e.g. obs::CalibratedOpRegistry::FromStore
+  /// over a profiled run) replaces the static per-operator compute
+  /// rates with measured effective throughput.
+  Result<double> EstimateCost(
+      MlProgram* program, const ResourceConfig& config,
+      const obs::CalibratedOpRegistry* calibration = nullptr);
 
   /// Executes the program for real on in-memory data (correctness path;
   /// all read() inputs must have payloads).

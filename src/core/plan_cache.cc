@@ -100,6 +100,13 @@ uint64_t ComputeOptimizerContextHash(const ClusterConfig& cc,
   HashInt(&h, opts.prune_small_blocks ? 1 : 0);
   HashInt(&h, opts.prune_unknown_blocks ? 1 : 0);
   HashDouble(&h, opts.expected_failure_rate);
+  // A calibration changes every compute charge, so its contents are
+  // part of the costing context: a cached static verdict must never be
+  // served to a calibrated run (or vice versa), and two different
+  // calibrations must not share entries either.
+  if (opts.calibration != nullptr) {
+    HashInt(&h, static_cast<int64_t>(opts.calibration->Fingerprint()));
+  }
   return h;
 }
 

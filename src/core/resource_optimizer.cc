@@ -154,7 +154,9 @@ class ResourceOptimizer::Runner {
       : cc_(cc),
         opts_(opts),
         program_(program),
-        cost_model_(cc, opts.expected_failure_rate) {}
+        cost_model_(cc, opts.expected_failure_rate) {
+    cost_model_.set_calibration(opts.calibration);
+  }
 
   /// Runs the full grid enumeration. If fixed_cp >= 0, only that CP heap
   /// is enumerated (runtime re-optimization's local variant).
@@ -594,6 +596,7 @@ class ResourceOptimizer::Runner {
       std::unique_ptr<MlProgram> local_program =
           std::move(*clone_result);
       CostModel local_cost(cc_, opts_.expected_failure_rate);
+      local_cost.set_calibration(opts_.calibration);
       CompileCounters local_counters;
 
       // Resolve block ids on the clone.

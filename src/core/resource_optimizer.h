@@ -61,6 +61,12 @@ struct OptimizerOptions {
   /// evaluated and inserted, shared across enumeration runs and across
   /// concurrent submissions of the same program.
   PlanCache* plan_cache = nullptr;
+  /// Measured-throughput calibration applied to every cost-model
+  /// invocation of the run (not owned; must outlive the optimization).
+  /// nullptr keeps the static op_registry constants. The calibration's
+  /// fingerprint is folded into the what-if cache context hash, so
+  /// calibrated and static costings never share cache entries.
+  const obs::CalibratedOpRegistry* calibration = nullptr;
   /// Debug/strict mode: run the full plan-integrity analysis
   /// (src/analysis) on every grid point's recompiled plan and fail the
   /// optimization on any error-severity diagnostic. Roughly doubles the
@@ -121,6 +127,11 @@ struct OptimizerOptions {
   }
   OptimizerOptions& WithPlanCache(PlanCache* cache) {
     plan_cache = cache;
+    return *this;
+  }
+  OptimizerOptions& WithCalibration(
+      const obs::CalibratedOpRegistry* registry) {
+    calibration = registry;
     return *this;
   }
   OptimizerOptions& WithStrictAnalysis(bool strict = true) {

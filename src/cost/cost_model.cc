@@ -201,11 +201,20 @@ class CostWalk {
     // the speedup is the raw core scaling damped by the operator
     // class's parallel fraction (Amdahl), read from the same registry
     // the tiled kernels tile by — a serial solve() gains nothing from
-    // extra cores while a matmult gains almost linearly.
+    // extra cores while a matmult gains almost linearly. With a
+    // calibration attached, the static peak * efficiency rate is
+    // replaced by the operator's measured effective FLOP/s from a
+    // profiled run (obs::CalibratedOpRegistry).
+    const exec::OpClass cls = exec::OpClassForHop(hop);
+    double flops_per_second =
+        cc_.peak_gflops * 1e9 * exec::kComputeEfficiency;
+    if (model_.calibration_ != nullptr) {
+      flops_per_second = model_.calibration_->FlopsPerSecond(
+          exec::Profile(cls).name, flops_per_second);
+    }
     time += hop.ComputeFlops() /
-            (cc_.peak_gflops * 1e9 * exec::kComputeEfficiency *
-             exec::OpSpeedup(exec::OpClassForHop(hop),
-                             program_.resources.CpComputeSpeedup()));
+            (flops_per_second *
+             exec::OpSpeedup(cls, program_.resources.CpComputeSpeedup()));
     // State transitions.
     switch (hop.kind()) {
       case HopKind::kTransientWrite: {

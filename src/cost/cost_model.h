@@ -6,6 +6,7 @@
 #include <string>
 
 #include "lops/runtime_program.h"
+#include "obs/profile.h"
 #include "yarn/cluster_config.h"
 
 namespace relm {
@@ -85,6 +86,20 @@ class CostModel {
   int64_t num_invocations() const { return invocations_; }
   void ResetCounters() { invocations_ = 0; }
 
+  /// Optional measured-throughput calibration (not owned; must outlive
+  /// the model). When set, CP compute charges use the profiled
+  /// effective FLOP/s of each operator class instead of the static
+  /// peak_gflops * efficiency constant; operators the calibration never
+  /// saw keep the static rate. The Amdahl multi-core speedup still
+  /// applies on top (profiles are recorded per kernel invocation, not
+  /// per core count).
+  void set_calibration(const obs::CalibratedOpRegistry* calibration) {
+    calibration_ = calibration;
+  }
+  const obs::CalibratedOpRegistry* calibration() const {
+    return calibration_;
+  }
+
   /// Branch probability used for unknown if-predicates.
   static constexpr double kBranchWeight = 0.5;
 
@@ -93,6 +108,7 @@ class CostModel {
   ClusterConfig cc_;
   double expected_failure_rate_ = 0.0;
   int64_t invocations_ = 0;
+  const obs::CalibratedOpRegistry* calibration_ = nullptr;
 
   // Single-process (control program) HDFS bandwidths in bytes/second.
   double cp_read_bps_;

@@ -1,6 +1,7 @@
 #include "exec/engine.h"
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <deque>
@@ -10,9 +11,11 @@
 #include <utility>
 
 #include "common/string_util.h"
+#include "exec/hop_ops.h"
 #include "exec/worker_pool.h"
 #include "matrix/kernels.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace relm {
@@ -291,6 +294,40 @@ Result<Value> Engine::EvalSerialUncached(const Hop* h, const Hooks& hooks) {
 }
 
 Result<Value> Engine::EvalPure(const Hop* h, const std::vector<Value>& in) {
+#if RELM_OBS_ENABLED
+  // Operator profiling around the kernel dispatch: one relaxed load
+  // when disabled, a steady_clock pair plus one mutex-protected
+  // aggregation when enabled. Runs on pool threads too (the store is
+  // thread-safe). Compiled out entirely with RELM_OBS_ENABLED=0 so the
+  // hot path carries zero overhead.
+  obs::OpProfileStore& profiles = obs::OpProfileStore::Global();
+  if (profiles.enabled() && OpClassForHop(*h) != OpClass::kOther) {
+    const auto start = std::chrono::steady_clock::now();
+    Result<Value> result = EvalPureImpl(h, in);
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    if (result.ok()) {
+      int64_t cells = 1;
+      int64_t bytes = 0;
+      if (result->is_matrix()) {
+        cells = result->matrix->rows() * result->matrix->cols();
+        bytes = result->matrix->MemorySize();
+      }
+      for (const Value& v : in) {
+        if (v.is_matrix()) bytes += v.matrix->MemorySize();
+      }
+      profiles.Record(Profile(OpClassForHop(*h)).name, cells, bytes,
+                      h->ComputeFlops(), seconds);
+    }
+    return result;
+  }
+#endif  // RELM_OBS_ENABLED
+  return EvalPureImpl(h, in);
+}
+
+Result<Value> Engine::EvalPureImpl(const Hop* h,
+                                   const std::vector<Value>& in) {
   switch (h->kind()) {
     case HopKind::kLiteral:
       if (h->literal_is_string) return Value::Str(h->literal_string);

@@ -143,8 +143,11 @@ class Engine {
   Result<Value> EvalSerialUncached(const Hop* h, const Hooks& hooks);
   /// Pure evaluation of one node given its input values (no symbol,
   /// print, or persistent-write effects; safe off-thread except for
-  /// the RNG, which callers must serialize).
+  /// the RNG, which callers must serialize). Wraps EvalPureImpl with
+  /// optional operator profiling (obs::OpProfileStore).
   Result<Value> EvalPure(const Hop* h, const std::vector<Value>& in);
+  /// The raw kernel dispatch behind EvalPure.
+  Result<Value> EvalPureImpl(const Hop* h, const std::vector<Value>& in);
   Result<Value> ReadPersistent(const Hop* h);
   Status WritePersistent(const Hop* h, const Value& v);
   Result<Value> CallFunction(const Hop* call, int output_index,

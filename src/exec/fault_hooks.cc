@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace relm {
 namespace exec {
@@ -109,6 +110,12 @@ bool ChaosInjector::ShouldInject(FaultSite site) {
 #if RELM_OBS_ENABLED
     total_counter_->Increment();
     site_counters_[i]->Increment();
+    // Fault instant on the trace timeline; the tracer stamps the
+    // thread's bound TraceContext, so faults hitting a serve-tier job
+    // carry its job id/tenant/attempt.
+    RELM_TRACE_INSTANT("fault.injected",
+                       std::string("\"site\":\"") + FaultSiteName(site) +
+                           "\"");
 #endif
   }
   return fire;

@@ -2,7 +2,9 @@
 
 #include <utility>
 
+#include "obs/json_util.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace relm {
 namespace exec {
@@ -47,6 +49,9 @@ void MemoryManager::EvictOneLocked(std::vector<Evicted>* evicted) {
           spill_files_[victim] = path;
           spill_bytes_ += e.bytes;
           RELM_COUNTER_ADD("exec.spill_bytes", e.bytes);
+          RELM_TRACE_INSTANT("mm.spill",
+                             "\"name\":" + obs::JsonQuote(victim) +
+                                 ",\"bytes\":" + std::to_string(e.bytes));
         }
       }
     }
@@ -88,6 +93,9 @@ std::vector<MemoryManager::Evicted> MemoryManager::PutLocked(
           spill_files_[name] = path;
           spill_bytes_ += bytes;
           RELM_COUNTER_ADD("exec.spill_bytes", bytes);
+          RELM_TRACE_INSTANT("mm.spill",
+                             "\"name\":" + obs::JsonQuote(name) +
+                                 ",\"bytes\":" + std::to_string(bytes));
         }
       }
       if (!spill_failed) {
@@ -266,6 +274,9 @@ Result<std::shared_ptr<const MatrixBlock>> MemoryManager::FetchMatrix(
   }
   reload_bytes_ += src->second.bytes;
   RELM_COUNTER_ADD("exec.reload_bytes", src->second.bytes);
+  RELM_TRACE_INSTANT("mm.reload",
+                     "\"name\":" + obs::JsonQuote(name) + ",\"bytes\":" +
+                         std::to_string(src->second.bytes));
   std::shared_ptr<const MatrixBlock> payload = file.data;
   // Re-pin clean: the copy at `path` is current, so a future eviction
   // of this entry needs no second spill write.

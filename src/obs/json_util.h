@@ -49,14 +49,19 @@ inline std::string JsonQuote(const std::string& s) {
 }
 
 /// Formats a double as a JSON number (JSON has no inf/nan; they map to
-/// string sentinels that Perfetto tolerates inside "args").
+/// string sentinels that Perfetto tolerates inside "args"). The result
+/// always carries a decimal point or an exponent: a gauge holding 3.0
+/// must not round-trip as the integer 3, or JSONL consumers that infer
+/// types lose the counter/gauge distinction.
 inline std::string JsonNumber(double v) {
   if (std::isnan(v)) return "\"nan\"";
   if (std::isinf(v)) return v > 0 ? "\"inf\"" : "\"-inf\"";
   std::ostringstream os;
   os.precision(std::numeric_limits<double>::max_digits10);
   os << v;
-  return os.str();
+  std::string out = os.str();
+  if (out.find_first_of(".eE") == std::string::npos) out += ".0";
+  return out;
 }
 
 }  // namespace obs

@@ -1,8 +1,10 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
 
 #include "obs/json_util.h"
@@ -36,10 +38,61 @@ double Histogram::BucketUpperEdge(int i) {
   return std::ldexp(1.0, i);  // 2^i
 }
 
+namespace {
+
+/// Shared quantile estimate over log2 bucket counts: walk the
+/// cumulative distribution to the bucket holding rank q*count, then
+/// interpolate linearly between the bucket's edges. Bucket 0 (samples
+/// < 1, including negatives) interpolates over [0, 1); the overflow
+/// bucket has no finite upper edge, so it reports its lower edge.
+double PercentileFromBuckets(const int64_t* buckets, int num_buckets,
+                             int64_t count, double q) {
+  if (count <= 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(count);
+  int64_t cum = 0;
+  for (int i = 0; i < num_buckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const int64_t next = cum + buckets[i];
+    if (target <= static_cast<double>(next)) {
+      const double lower = i == 0 ? 0.0 : Histogram::BucketUpperEdge(i - 1);
+      const double upper = Histogram::BucketUpperEdge(i);
+      if (std::isinf(upper)) return lower;
+      const double frac = (target - static_cast<double>(cum)) /
+                          static_cast<double>(buckets[i]);
+      return lower + (upper - lower) * frac;
+    }
+    cum = next;
+  }
+  return Histogram::BucketUpperEdge(num_buckets - 2);
+}
+
+}  // namespace
+
+double Histogram::Percentile(double q) const {
+  int64_t copied[kNumBuckets];
+  int64_t total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    copied[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += copied[i];
+  }
+  // Sum the copied buckets rather than reading count_: under concurrent
+  // Observe() the two can momentarily disagree, and the interpolation
+  // needs a rank consistent with the bucket snapshot it walks.
+  return PercentileFromBuckets(copied, kNumBuckets, total, q);
+}
+
 void Histogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+}
+
+double MetricsSnapshot::HistogramData::Percentile(double q) const {
+  int64_t total = 0;
+  for (int64_t b : buckets) total += b;
+  return PercentileFromBuckets(buckets.data(),
+                               static_cast<int>(buckets.size()), total, q);
 }
 
 int64_t MetricsSnapshot::counter(const std::string& name) const {
@@ -69,7 +122,11 @@ std::string MetricsSnapshot::ToJson() const {
     if (!first) os << ",";
     first = false;
     os << JsonQuote(name) << ":{\"count\":" << h.count
-       << ",\"sum\":" << JsonNumber(h.sum) << ",\"buckets\":[";
+       << ",\"sum\":" << JsonNumber(h.sum)
+       << ",\"p50\":" << JsonNumber(h.Percentile(0.50))
+       << ",\"p95\":" << JsonNumber(h.Percentile(0.95))
+       << ",\"p99\":" << JsonNumber(h.Percentile(0.99))
+       << ",\"buckets\":[";
     // Sparse emission: [bucket_index, count] pairs for non-empty
     // buckets keeps the snapshot compact.
     bool bfirst = true;

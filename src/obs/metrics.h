@@ -73,6 +73,11 @@ class Histogram {
   static int BucketIndex(double v);
   /// Inclusive upper edge of bucket i (infinity for the overflow).
   static double BucketUpperEdge(int i);
+  /// Estimated value at quantile `q` in [0, 1] (clamped) by linear
+  /// interpolation inside the log2 bucket holding the target rank;
+  /// bucket 0 interpolates over [0, 1) and the overflow bucket reports
+  /// its lower edge. 0 when the histogram is empty.
+  double Percentile(double q) const;
   void Reset();
 
  private:
@@ -89,6 +94,9 @@ struct MetricsSnapshot {
     int64_t count = 0;
     double sum = 0.0;
     std::vector<int64_t> buckets;  // kNumBuckets entries
+    /// Same interpolation as Histogram::Percentile, over the copied
+    /// bucket counts.
+    double Percentile(double q) const;
   };
   std::map<std::string, HistogramData> histograms;
 

@@ -1,0 +1,173 @@
+#include "obs/profile.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json_util.h"
+
+namespace relm {
+namespace obs {
+
+OpProfileStore& OpProfileStore::Global() {
+  static OpProfileStore* store = new OpProfileStore();
+  return *store;
+}
+
+int OpProfileStore::ShapeBucket(int64_t cells) {
+  if (cells <= 1) return 0;
+  int bucket = 0;
+  while (cells > 1) {
+    cells >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+void OpProfileStore::Record(const std::string& op, int64_t cells,
+                            int64_t bytes, double flops, double seconds) {
+  Key key{op, ShapeBucket(cells)};
+  std::lock_guard<std::mutex> lock(mu_);
+  OpProfileStats& s = stats_[std::move(key)];
+  s.samples++;
+  s.cells += cells;
+  s.bytes += bytes;
+  s.flops += flops;
+  s.seconds += seconds;
+}
+
+std::map<OpProfileStore::Key, OpProfileStats> OpProfileStore::Snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+int64_t OpProfileStore::total_samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [key, s] : stats_) total += s.samples;
+  return total;
+}
+
+namespace {
+
+void AppendCellJson(std::ostringstream* os, const OpProfileStore::Key& key,
+                    const OpProfileStats& s) {
+  *os << "{\"op\":" << JsonQuote(key.op)
+      << ",\"shape_bucket\":" << key.shape_bucket
+      << ",\"samples\":" << s.samples << ",\"cells\":" << s.cells
+      << ",\"bytes\":" << s.bytes
+      << ",\"seconds\":" << JsonNumber(s.seconds)
+      << ",\"flops\":" << JsonNumber(s.flops)
+      << ",\"flops_per_second\":" << JsonNumber(s.FlopsPerSecond())
+      << ",\"bytes_per_second\":" << JsonNumber(s.BytesPerSecond()) << "}";
+}
+
+}  // namespace
+
+std::string OpProfileStore::ToJson() const {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const auto& [key, s] : Snapshot()) {
+    if (!first) os << ",";
+    first = false;
+    AppendCellJson(&os, key, s);
+  }
+  os << "]";
+  return os.str();
+}
+
+std::string OpProfileStore::ToJsonl() const {
+  std::ostringstream os;
+  for (const auto& [key, s] : Snapshot()) {
+    AppendCellJson(&os, key, s);
+    os << "\n";
+  }
+  return os.str();
+}
+
+Status OpProfileStore::WriteJsonl(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.good()) {
+    return Status::NotFound("cannot open profile output file: " + path);
+  }
+  out << ToJsonl();
+  out.close();
+  if (!out.good()) {
+    return Status::Internal("failed writing profile file: " + path);
+  }
+  return Status::OK();
+}
+
+void OpProfileStore::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.clear();
+}
+
+CalibratedOpRegistry CalibratedOpRegistry::FromStore(
+    const OpProfileStore& store, int64_t min_samples) {
+  // Aggregate across shape buckets per operator name: the cost model
+  // charges flops, so a flops-weighted rate (total flops / total time)
+  // is the estimate that makes the calibrated charge match the
+  // measured wall time of the profiled run.
+  std::map<std::string, OpProfileStats> by_op;
+  for (const auto& [key, s] : store.Snapshot()) {
+    OpProfileStats& agg = by_op[key.op];
+    agg.samples += s.samples;
+    agg.cells += s.cells;
+    agg.bytes += s.bytes;
+    agg.flops += s.flops;
+    agg.seconds += s.seconds;
+  }
+  CalibratedOpRegistry out;
+  for (const auto& [op, s] : by_op) {
+    if (s.samples < min_samples) continue;
+    if (s.flops <= 0.0 || s.seconds <= 0.0) continue;
+    out.rates_[op] = s.FlopsPerSecond();
+  }
+  return out;
+}
+
+double CalibratedOpRegistry::FlopsPerSecond(const std::string& op,
+                                            double fallback) const {
+  auto it = rates_.find(op);
+  return it == rates_.end() ? fallback : it->second;
+}
+
+uint64_t CalibratedOpRegistry::Fingerprint() const {
+  // FNV-1a over name bytes and rate bit patterns; std::map iteration is
+  // name-ordered, so equal contents hash equal regardless of insertion
+  // order.
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](const void* data, size_t n) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const auto& [op, rate] : rates_) {
+    mix(op.data(), op.size());
+    uint64_t bits = 0;
+    std::memcpy(&bits, &rate, sizeof(bits));
+    mix(&bits, sizeof(bits));
+  }
+  return h;
+}
+
+std::string CalibratedOpRegistry::ToJson() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [op, rate] : rates_) {
+    if (!first) os << ",";
+    first = false;
+    os << JsonQuote(op) << ":" << JsonNumber(rate);
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace relm

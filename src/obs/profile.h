@@ -1,0 +1,129 @@
+#ifndef RELM_OBS_PROFILE_H_
+#define RELM_OBS_PROFILE_H_
+
+// Operator profile store: measured per-operator execution statistics
+// (cells, bytes, estimated flops, wall seconds) aggregated by operator
+// name and shape bucket (log2 of output cells). The engine records one
+// sample per pure-kernel evaluation when profiling is enabled; the
+// store stays below the exec layer (strings only, no HOP types) so
+// relm_obs keeps depending on relm_common alone.
+//
+// CalibratedOpRegistry is the cost-model-facing view: one effective
+// FLOP/s rate per operator name, built from a profiled run. The cost
+// model can read compute charges through it instead of the static
+// peak_gflops * efficiency constant — closing the loop between what
+// the optimizer assumes and what the kernels measurably do
+// (ROADMAP item 5, first half).
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace relm {
+namespace obs {
+
+/// Aggregated measurements of one (operator, shape bucket) cell.
+struct OpProfileStats {
+  int64_t samples = 0;
+  int64_t cells = 0;    // output cells across samples
+  int64_t bytes = 0;    // input + output bytes processed
+  double seconds = 0.0; // wall time across samples
+  double flops = 0.0;   // cost-model flops estimate across samples
+
+  /// Effective measured throughputs (0 when no time was accumulated).
+  double FlopsPerSecond() const { return seconds > 0 ? flops / seconds : 0; }
+  double BytesPerSecond() const {
+    return seconds > 0 ? static_cast<double>(bytes) / seconds : 0;
+  }
+  double CellsPerSecond() const {
+    return seconds > 0 ? static_cast<double>(cells) / seconds : 0;
+  }
+};
+
+/// Process-wide profile store. Record() is called from engine worker
+/// threads (mutex-protected map; the atomic enabled() gate keeps the
+/// disabled path to one relaxed load).
+class OpProfileStore {
+ public:
+  static OpProfileStore& Global();
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Shape bucket of an output size: floor(log2(cells)), 0 for <= 1
+  /// cell. Buckets keep a 100x100 matmult from averaging into a 10x10.
+  static int ShapeBucket(int64_t cells);
+
+  void Record(const std::string& op, int64_t cells, int64_t bytes,
+              double flops, double seconds);
+
+  struct Key {
+    std::string op;
+    int shape_bucket = 0;
+    bool operator<(const Key& other) const {
+      if (op != other.op) return op < other.op;
+      return shape_bucket < other.shape_bucket;
+    }
+  };
+
+  std::map<Key, OpProfileStats> Snapshot() const;
+  int64_t total_samples() const;
+
+  /// JSON array of {op, shape_bucket, samples, cells, bytes, seconds,
+  /// flops, flops_per_second, bytes_per_second} objects.
+  std::string ToJson() const;
+  /// Same objects, one JSONL line per (op, shape bucket) cell.
+  std::string ToJsonl() const;
+  Status WriteJsonl(const std::string& path) const;
+
+  void Reset();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::map<Key, OpProfileStats> stats_;
+};
+
+/// Measured effective FLOP/s per operator name, aggregated across shape
+/// buckets. Plain value type: build once from a profiled run, then hand
+/// a pointer to OptimizerOptions/CostModel (read-only thereafter).
+class CalibratedOpRegistry {
+ public:
+  CalibratedOpRegistry() = default;
+
+  /// Aggregates the store per operator name; cells with fewer than
+  /// `min_samples` measurements are skipped (one noisy sample must not
+  /// steer the optimizer). Operators whose samples carry no flops or no
+  /// time are skipped too.
+  static CalibratedOpRegistry FromStore(const OpProfileStore& store,
+                                        int64_t min_samples = 1);
+
+  /// Measured rate for `op`, or `fallback` when never profiled.
+  double FlopsPerSecond(const std::string& op, double fallback) const;
+  bool has(const std::string& op) const { return rates_.count(op) != 0; }
+  size_t size() const { return rates_.size(); }
+  void Set(const std::string& op, double flops_per_second) {
+    rates_[op] = flops_per_second;
+  }
+
+  /// Order-independent hash of the calibration contents, folded into
+  /// the what-if plan-cache context hash so calibrated and static
+  /// costings never share cache entries.
+  uint64_t Fingerprint() const;
+
+  std::string ToJson() const;
+
+ private:
+  std::map<std::string, double> rates_;
+};
+
+}  // namespace obs
+}  // namespace relm
+
+#endif  // RELM_OBS_PROFILE_H_

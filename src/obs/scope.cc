@@ -1,0 +1,110 @@
+#include "obs/scope.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "obs/json_util.h"
+#include "obs/metrics.h"
+
+namespace relm {
+namespace obs {
+
+namespace {
+
+/// The binding is per thread: a JobService worker binds its job's
+/// context, pool threads executing that job's kernels stay unbound
+/// (they are shared across jobs and cannot claim a single owner).
+thread_local const TraceContext* t_trace_context = nullptr;
+
+}  // namespace
+
+std::string TraceContext::ToJsonArgs() const {
+  char sig[32];
+  std::snprintf(sig, sizeof(sig), "0x%016llx",
+                static_cast<unsigned long long>(plan_signature));
+  std::ostringstream os;
+  os << "\"job_id\":" << job_id << ",\"tenant\":" << JsonQuote(tenant)
+     << ",\"plan_sig\":\"" << sig << "\",\"attempt\":" << attempt;
+  return os.str();
+}
+
+const TraceContext* CurrentTraceContext() { return t_trace_context; }
+
+ScopedTraceContext::ScopedTraceContext(TraceContext ctx)
+    : ctx_(std::move(ctx)), prev_(t_trace_context) {
+  t_trace_context = &ctx_;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { t_trace_context = prev_; }
+
+void MetricScope::set_context(TraceContext ctx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_ = std::move(ctx);
+}
+
+void MetricScope::Add(const std::string& name, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+void MetricScope::AddShared(const std::string& name, int64_t delta) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_[name] += delta;
+  }
+  MetricsRegistry::Global().GetCounter(name)->Add(delta);
+}
+
+void MetricScope::Set(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
+}
+
+int64_t MetricScope::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricScope::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+int64_t MetricScope::Snapshot::counter(const std::string& name) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+std::string MetricScope::Snapshot::ToJson() const {
+  std::ostringstream os;
+  os << "{\"trace\":{" << trace.ToJsonArgs() << "},\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) os << ",";
+    first = false;
+    os << JsonQuote(name) << ":" << v;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) os << ",";
+    first = false;
+    os << JsonQuote(name) << ":" << JsonNumber(v);
+  }
+  os << "}}";
+  return os.str();
+}
+
+MetricScope::Snapshot MetricScope::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.trace = ctx_;
+  snap.counters = counters_;
+  snap.gauges = gauges_;
+  return snap;
+}
+
+}  // namespace obs
+}  // namespace relm

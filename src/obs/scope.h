@@ -1,0 +1,113 @@
+#ifndef RELM_OBS_SCOPE_H_
+#define RELM_OBS_SCOPE_H_
+
+// Job-scoped observability: a TraceContext identifying one unit of
+// attributable work (job id, tenant, plan signature, attempt) plus a
+// MetricScope that layers per-job counter/gauge deltas over the
+// process-global registry.
+//
+// The context is carried in a thread-local slot bound RAII-style by the
+// layer that mints it (JobService around each job/attempt). Everything
+// downstream on the same thread — spans, instants, fault events —
+// reads the slot at record time, so the exec/obs hot paths need no
+// extra parameters and pay nothing when no context is bound.
+//
+// Layering rule (DESIGN.md §13): code below the serve tier keeps
+// writing the global registry through the lock-free RELM_* macros,
+// untouched. The serve tier then attributes per-job deltas explicitly
+// into a MetricScope — scope-only for metrics the lower layers already
+// export globally (Add), scope + global for serve-tier metrics that
+// exist only per job (AddShared). The scope is an overlay, never a
+// replacement, so global totals stay exact and nothing is counted
+// twice.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace relm {
+namespace obs {
+
+/// Identity of one attributable unit of work. A default-constructed
+/// context (job_id 0) is "unbound" and never stamped onto events.
+struct TraceContext {
+  uint64_t job_id = 0;
+  std::string tenant;
+  /// Script signature of the plan the attempt ran (0 before compile).
+  uint64_t plan_signature = 0;
+  /// 1-based execution attempt; 0 for job-level (pre-attempt) work.
+  int attempt = 0;
+
+  bool valid() const { return job_id != 0; }
+
+  /// JSON object body (no braces) for embedding into trace-event args,
+  /// e.g. "job_id":7,"tenant":"alpha","plan_sig":"0xabc","attempt":2.
+  std::string ToJsonArgs() const;
+};
+
+/// The context bound to the calling thread, nullptr when none.
+const TraceContext* CurrentTraceContext();
+
+/// RAII binder: stores a copy of `ctx` in the thread-local slot for the
+/// enclosing scope, restoring the previous binding (if any) on exit, so
+/// nested bindings (job -> attempt) override and unwind naturally.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(TraceContext ctx);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext ctx_;
+  const TraceContext* prev_;
+};
+
+/// Per-job metric overlay. Thread-safe; owned by the serve tier for the
+/// lifetime of one job and exported as a Snapshot on the job outcome.
+class MetricScope {
+ public:
+  MetricScope() = default;
+  explicit MetricScope(TraceContext ctx) : ctx_(std::move(ctx)) {}
+
+  const TraceContext& context() const { return ctx_; }
+  void set_context(TraceContext ctx);
+
+  /// Records a job-scoped counter delta only. Use for metrics the
+  /// producing layer already exports to the global registry (e.g. the
+  /// engine's exec.* counters) — forwarding again would double count.
+  void Add(const std::string& name, int64_t delta);
+  /// Records the delta job-scoped AND into the global registry counter
+  /// of the same name. Use for serve-tier metrics that are produced
+  /// per job and have no other global export path.
+  void AddShared(const std::string& name, int64_t delta);
+  /// Job-scoped gauge (last write wins).
+  void Set(const std::string& name, double value);
+
+  int64_t counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+
+  /// Plain-data copy of the scope, cheap to move onto a job outcome.
+  struct Snapshot {
+    TraceContext trace;
+    std::map<std::string, int64_t> counters;
+    std::map<std::string, double> gauges;
+
+    int64_t counter(const std::string& name) const;
+    std::string ToJson() const;
+  };
+  Snapshot TakeSnapshot() const;
+
+ private:
+  TraceContext ctx_;
+  mutable std::mutex mu_;
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, double> gauges_;
+};
+
+}  // namespace obs
+}  // namespace relm
+
+#endif  // RELM_OBS_SCOPE_H_

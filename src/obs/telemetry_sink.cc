@@ -1,0 +1,94 @@
+#include "obs/telemetry_sink.h"
+
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/profile.h"
+
+namespace relm {
+namespace obs {
+
+TelemetrySink::TelemetrySink(Options options)
+    : options_(std::move(options)) {}
+
+TelemetrySink::~TelemetrySink() { Stop(); }
+
+Status TelemetrySink::EnsureOpenLocked() {
+  if (out_.is_open()) return Status::OK();
+  out_.open(options_.path, std::ios::out | std::ios::app);
+  if (!out_.good()) {
+    return Status::NotFound("cannot open telemetry output file: " +
+                            options_.path);
+  }
+  return Status::OK();
+}
+
+Status TelemetrySink::WriteSnapshotLocked() {
+  RELM_RETURN_IF_ERROR(EnsureOpenLocked());
+  out_ << "{\"seq\":" << seq_
+       << ",\"metrics\":" << MetricsRegistry::Global().ToJson();
+  if (options_.include_profiles) {
+    out_ << ",\"profiles\":" << OpProfileStore::Global().ToJson();
+  }
+  out_ << "}\n";
+  out_.flush();
+  if (!out_.good()) {
+    return Status::Internal("failed writing telemetry file: " +
+                            options_.path);
+  }
+  ++seq_;
+  return Status::OK();
+}
+
+Status TelemetrySink::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return Status::OK();
+  RELM_RETURN_IF_ERROR(EnsureOpenLocked());
+  stop_ = false;
+  started_ = true;
+  thread_ = std::thread([this] { Loop(); });
+  return Status::OK();
+}
+
+void TelemetrySink::Stop() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) {
+      if (out_.is_open()) out_.close();
+      return;
+    }
+    stop_ = true;
+    to_join = std::move(thread_);
+  }
+  cv_.notify_all();
+  if (to_join.joinable()) to_join.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  // Final snapshot so the file always ends with the state at Stop().
+  static_cast<void>(WriteSnapshotLocked());
+  out_.close();
+  started_ = false;
+}
+
+Status TelemetrySink::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return WriteSnapshotLocked();
+}
+
+int64_t TelemetrySink::lines_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+void TelemetrySink::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    const auto interval = std::chrono::duration<double>(
+        options_.interval_seconds > 0 ? options_.interval_seconds : 5.0);
+    if (cv_.wait_for(lock, interval, [this] { return stop_; })) break;
+    static_cast<void>(WriteSnapshotLocked());
+  }
+}
+
+}  // namespace obs
+}  // namespace relm

@@ -1,0 +1,72 @@
+#ifndef RELM_OBS_TELEMETRY_SINK_H_
+#define RELM_OBS_TELEMETRY_SINK_H_
+
+// Periodic JSONL telemetry export: one line per snapshot carrying the
+// full metrics registry (counters, gauges, histograms with
+// p50/p95/p99) and optionally the operator profile store. A background
+// thread flushes every interval; Flush() is also callable directly for
+// a one-shot dump (benches use it at exit). Offline consumers get an
+// append-only file where each line is a self-contained JSON object —
+// no state is needed to tail it.
+
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace relm {
+namespace obs {
+
+class TelemetrySink {
+ public:
+  struct Options {
+    std::string path;
+    /// Snapshot cadence of the background thread.
+    double interval_seconds = 5.0;
+    /// Embed the OpProfileStore snapshot in each line.
+    bool include_profiles = true;
+  };
+
+  explicit TelemetrySink(Options options);
+  ~TelemetrySink();
+
+  TelemetrySink(const TelemetrySink&) = delete;
+  TelemetrySink& operator=(const TelemetrySink&) = delete;
+
+  /// Opens the output file and starts the periodic thread. Idempotent;
+  /// fails when the path cannot be opened.
+  Status Start();
+
+  /// Stops the thread (final snapshot included) and closes the file.
+  /// Idempotent; the destructor calls it.
+  void Stop();
+
+  /// Appends one snapshot line immediately (opens the file on first
+  /// use when Start() was never called). Thread-safe.
+  Status Flush();
+
+  int64_t lines_written() const;
+
+ private:
+  void Loop();
+  Status EnsureOpenLocked();
+  Status WriteSnapshotLocked();
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::ofstream out_;
+  bool stop_ = false;
+  bool started_ = false;
+  int64_t seq_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace relm
+
+#endif  // RELM_OBS_TELEMETRY_SINK_H_

@@ -7,11 +7,22 @@
 
 #include "common/string_util.h"
 #include "obs/json_util.h"
+#include "obs/scope.h"
 
 namespace relm {
 namespace obs {
 
 namespace {
+
+/// Appends the thread's bound TraceContext (if any) to an event's args,
+/// so every span and instant recorded while a job context is bound
+/// carries job attribution without the call site knowing about jobs.
+void StampTraceContext(std::string* args_json) {
+  const TraceContext* ctx = CurrentTraceContext();
+  if (ctx == nullptr || !ctx->valid()) return;
+  if (!args_json->empty()) *args_json += ",";
+  *args_json += ctx->ToJsonArgs();
+}
 
 /// Per-thread span stack: the '/'-joined path of currently open spans.
 /// Only touched while tracing is enabled, so its cost is off the
@@ -74,6 +85,7 @@ void Tracer::RecordInstant(const std::string& name,
   ev.tid = CurrentThreadId();
   ev.ts_us = NowUs();
   ev.args_json = args_json;
+  StampTraceContext(&ev.args_json);
   Record(std::move(ev));
 }
 
@@ -223,6 +235,7 @@ ScopedSpan::~ScopedSpan() {
   ev.ts_us = start_us_;
   ev.dur_us = std::max(0.0, tracer.NowUs() - start_us_);
   ev.args_json = std::move(args_);
+  StampTraceContext(&ev.args_json);
   tracer.Record(std::move(ev));
 }
 

@@ -226,6 +226,16 @@ JobService::Stats JobService::stats() const {
     std::lock_guard<std::mutex> pool_lock(pool_mu_);
     out.pooled_programs = static_cast<int>(pooled_instances_);
   }
+  const auto fill = [](const obs::Histogram& hist, Stats::Slo* slo) {
+    slo->count = hist.count();
+    slo->p50 = hist.Percentile(0.50);
+    slo->p95 = hist.Percentile(0.95);
+    slo->p99 = hist.Percentile(0.99);
+  };
+  fill(wait_ms_hist_, &out.wait_ms);
+  fill(run_ms_hist_, &out.run_ms);
+  fill(e2e_ms_hist_, &out.e2e_ms);
+  fill(attempts_hist_, &out.attempts_per_job);
   return out;
 }
 
@@ -412,7 +422,9 @@ void JobService::ReleaseProgram(uint64_t script_sig,
 // ---- execution ---------------------------------------------------------
 
 Status JobService::RunAttempt(JobHandle::Shared& shared, JobOutcome* outcome,
-                              bool degraded, exec::ChaosInjector* chaos) {
+                              bool degraded, exec::ChaosInjector* chaos,
+                              obs::TraceContext ctx,
+                              obs::MetricScope* scope) {
   // Inputs first: concurrent registration is safe (SimulatedHdfs
   // locks internally) and identical re-registration is idempotent.
   for (const InputSpec& input : shared.request.inputs) {
@@ -421,6 +433,14 @@ Status JobService::RunAttempt(JobHandle::Shared& shared, JobOutcome* outcome,
   }
   const uint64_t script_sig = ComputeScriptSignature(
       shared.request.source, shared.request.args, &session_.hdfs());
+  // Re-bind the trace context now that the plan signature is known:
+  // every span and instant below (optimizer, engine, memory manager,
+  // chaos faults) carries the full job/plan/attempt attribution. The
+  // scope keeps the latest attempt's identity, so the outcome snapshot
+  // names the attempt that actually resolved the job.
+  ctx.plan_signature = script_sig;
+  obs::ScopedTraceContext bind_attempt(ctx);
+  if (scope != nullptr) scope->set_context(ctx);
   RELM_ASSIGN_OR_RETURN(std::unique_ptr<MlProgram> program,
                         AcquireProgram(script_sig, shared.request));
   RELM_ASSIGN_OR_RETURN(OptimizeOutcome opt,
@@ -461,6 +481,19 @@ Status JobService::RunAttempt(JobHandle::Shared& shared, JobOutcome* outcome,
     RELM_RETURN_IF_ERROR(real.status());
     outcome->real = std::move(real).value();
     outcome->executed_real = true;
+    if (scope != nullptr) {
+      // Per-job attribution of the engine counters. Scope-only Add:
+      // the engine already exports these globally (exec.*), so adding
+      // them to the registry again would double count (DESIGN.md §13).
+      const exec::ExecStats& es = outcome->real.exec;
+      scope->Add("exec.parallel_blocks", es.parallel_blocks);
+      scope->Add("exec.serial_blocks", es.serial_blocks);
+      scope->Add("exec.tasks_scheduled", es.tasks_scheduled);
+      scope->Add("exec.spill_bytes", es.spill_bytes);
+      scope->Add("exec.reload_bytes", es.reload_bytes);
+      scope->Add("exec.evictions", es.evictions);
+      scope->Add("exec.faults_injected", es.faults_injected);
+    }
   }
   ReleaseProgram(script_sig, std::move(program));
   return Status::OK();
@@ -492,10 +525,19 @@ void JobService::RunJob(const std::shared_ptr<Job>& job) {
     shared.state = JobState::kRunning;
   }
   RELM_HISTOGRAM_OBSERVE("serve.job_wait_seconds", wait_seconds);
-  RELM_TRACE_SPAN_ARGS("serve.job", [&] {
-    return "\"tenant\":\"" + shared.tenant +
-           "\",\"job_id\":" + std::to_string(shared.id);
-  });
+  wait_ms_hist_.Observe(wait_seconds * 1e3);
+
+  // Job-level trace context: bound to this worker thread for the whole
+  // job, so every span and counter recorded below — by the optimizer,
+  // the engine driver, the memory manager, the chaos injector — carries
+  // the job's identity without threading it through their APIs.
+  // RunAttempt re-binds with the plan signature and attempt number.
+  obs::TraceContext job_ctx;
+  job_ctx.job_id = shared.id;
+  job_ctx.tenant = shared.tenant;
+  obs::ScopedTraceContext bind_job(job_ctx);
+  obs::MetricScope scope(job_ctx);
+  RELM_TRACE_SPAN("serve.job");  // job_id/tenant stamped from context
 
   const auto run_start = std::chrono::steady_clock::now();
   JobOutcome outcome;
@@ -544,7 +586,10 @@ void JobService::RunJob(const std::shared_ptr<Job>& job) {
       }
       RELM_COUNTER_INC("serve.degraded_runs");
     }
-    status = RunAttempt(shared, &outcome, degraded, chaos.get());
+    obs::TraceContext attempt_ctx = job_ctx;
+    attempt_ctx.attempt = attempt;
+    status = RunAttempt(shared, &outcome, degraded, chaos.get(),
+                        attempt_ctx, &scope);
     if (status.ok() || !IsRetryable(status)) break;
     if (attempt >= max_attempts) {
       {
@@ -600,6 +645,22 @@ void JobService::RunJob(const std::shared_ptr<Job>& job) {
 
   outcome.run_seconds = SecondsSince(run_start);
   RELM_HISTOGRAM_OBSERVE("serve.job_run_seconds", outcome.run_seconds);
+  run_ms_hist_.Observe(outcome.run_seconds * 1e3);
+  const double e2e_ms = (outcome.wait_seconds + outcome.run_seconds) * 1e3;
+  e2e_ms_hist_.Observe(e2e_ms);
+  attempts_hist_.Observe(static_cast<double>(outcome.attempts));
+  // Global ms-scale mirror: the seconds histograms put every
+  // sub-second job in bucket 0, so percentile exports need this one.
+  RELM_HISTOGRAM_OBSERVE("serve.job_e2e_ms", e2e_ms);
+
+  // Attempt bookkeeping goes into the per-job scope only; the
+  // service-wide equivalents (serve.retry.*, serve.degraded_runs) are
+  // already exported above.
+  scope.Add("job.attempts", outcome.attempts);
+  if (outcome.degraded) scope.Add("job.degraded", 1);
+  scope.Set("job.wait_seconds", outcome.wait_seconds);
+  scope.Set("job.run_seconds", outcome.run_seconds);
+  outcome.telemetry = scope.TakeSnapshot();
 
   const bool cancelled = status.code() == StatusCode::kCancelled;
   {

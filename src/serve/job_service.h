@@ -31,6 +31,8 @@
 #include "core/resource_optimizer.h"
 #include "exec/fault_hooks.h"
 #include "mrsim/cluster_simulator.h"
+#include "obs/metrics.h"
+#include "obs/scope.h"
 
 namespace relm {
 namespace serve {
@@ -223,6 +225,12 @@ struct JobOutcome {
   /// Position in the service-wide completion order (1-based) — lets
   /// fairness tests observe interleaving without extra hooks.
   int64_t completion_index = 0;
+  /// Job-scoped telemetry: the job's TraceContext (final attempt) and
+  /// the per-job counter/gauge deltas the service attributed to it
+  /// (engine counters from its real runs, attempt bookkeeping). The
+  /// global registry keeps aggregating across jobs; this is the
+  /// per-job overlay (DESIGN.md §13).
+  obs::MetricScope::Snapshot telemetry;
 };
 
 /// Future onto one submitted job. Cheap to copy; all copies observe the
@@ -327,6 +335,22 @@ class JobService {
     /// can detect silently-ignored configuration.
     int exec_workers_requested = 0;
     int exec_workers_effective = 0;
+    /// Interpolated percentiles over one service-local latency
+    /// histogram (obs::Histogram::Percentile). Milliseconds for the
+    /// latency histograms; attempt counts for `attempts`.
+    struct Slo {
+      int64_t count = 0;
+      double p50 = 0.0;
+      double p95 = 0.0;
+      double p99 = 0.0;
+    };
+    /// SLO latencies of finished jobs: queue wait, in-pool service
+    /// time (all attempts + backoffs), end-to-end (wait + run), and
+    /// the per-job attempt-count distribution.
+    Slo wait_ms;
+    Slo run_ms;
+    Slo e2e_ms;
+    Slo attempts_per_job;
   };
   Stats stats() const;
 
@@ -344,8 +368,12 @@ class JobService {
   /// One full execution attempt (register inputs, compile/acquire,
   /// optimize, simulate and/or execute for real). Capacity is acquired
   /// and released inside, so every retry re-queues for admission.
+  /// `ctx` carries the job/attempt identity; it is re-bound with the
+  /// compiled plan signature for the duration of the attempt, and the
+  /// attempt's engine counters are attributed into `scope`.
   Status RunAttempt(JobHandle::Shared& shared, JobOutcome* outcome,
-                    bool degraded, exec::ChaosInjector* chaos);
+                    bool degraded, exec::ChaosInjector* chaos,
+                    obs::TraceContext ctx, obs::MetricScope* scope);
   /// Sleeps up to `seconds` in small slices, returning early on
   /// cancellation or service shutdown.
   void BackoffSleep(double seconds, const JobHandle::Shared& shared);
@@ -397,6 +425,14 @@ class JobService {
   uint64_t capacity_next_ticket_ RELM_GUARDED_BY(mu_) = 0;
   uint64_t capacity_serving_ RELM_GUARDED_BY(mu_) = 0;
   Stats stats_ RELM_GUARDED_BY(mu_);
+  // Service-local SLO histograms (milliseconds / attempt counts).
+  // Internally atomic, so observed and read without mu_; one service's
+  // latencies never smear into another's the way the process-global
+  // serve.* histograms do.
+  obs::Histogram wait_ms_hist_;
+  obs::Histogram run_ms_hist_;
+  obs::Histogram e2e_ms_hist_;
+  obs::Histogram attempts_hist_;
 
   mutable std::mutex pool_mu_;
   std::map<uint64_t, std::vector<std::unique_ptr<MlProgram>>> program_pool_

@@ -7,6 +7,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -16,7 +19,14 @@
 #include "api/relm_system.h"
 #include "common/bytes.h"
 #include "common/logging.h"
+#include "common/random.h"
+#include "exec/op_registry.h"
+#include "matrix/kernels.h"
+#include "obs/json_util.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/scope.h"
+#include "obs/telemetry_sink.h"
 #include "obs/trace.h"
 
 namespace relm {
@@ -516,6 +526,405 @@ TEST_F(ObsSystemTest, TracedRunNestsSimulatorSpans) {
   EXPECT_TRUE(saw_mr_job);
   EXPECT_TRUE(saw_block);
   Tracer::Global().Clear();
+}
+#endif  // RELM_OBS_ENABLED
+
+// ---- JSON number formatting ----
+
+TEST(JsonUtilTest, NumbersAlwaysCarryDecimalOrExponent) {
+  const double cases[] = {0.0,
+                          -0.0,
+                          1.0,
+                          3.0,
+                          -17.0,
+                          0.5,
+                          1e300,
+                          -1e300,
+                          5e-324,  // smallest subnormal
+                          std::numeric_limits<double>::denorm_min(),
+                          std::numeric_limits<double>::min(),
+                          1234567890123456.0};
+  for (double v : cases) {
+    const std::string s = obs::JsonNumber(v);
+    EXPECT_NE(s.find_first_of(".eE"), std::string::npos)
+        << v << " formatted as bare integer: " << s;
+    // Still a number, not a quoted sentinel.
+    EXPECT_EQ(s.find('"'), std::string::npos) << s;
+    // Round-trips exactly. strtod, not std::stod: stod throws
+    // out_of_range on subnormal results (errno ERANGE), which are
+    // exactly the edge this test pins down.
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+  }
+  EXPECT_EQ(obs::JsonNumber(std::nan("")), "\"nan\"");
+  EXPECT_EQ(obs::JsonNumber(std::numeric_limits<double>::infinity()),
+            "\"inf\"");
+  EXPECT_EQ(obs::JsonNumber(-std::numeric_limits<double>::infinity()),
+            "\"-inf\"");
+}
+
+// ---- histogram percentiles ----
+
+TEST(MetricsTest, PercentileInterpolatesWithinBuckets) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(0.5), 0.0);  // empty
+  for (int i = 0; i < 100; ++i) h.Observe(0.5);
+  // All 100 samples in bucket 0 ([0, 1)): linear interpolation.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.50), 0.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.95), 0.95);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.00), 1.0);
+
+  h.Reset();
+  for (int i = 0; i < 50; ++i) h.Observe(0.5);  // bucket 0: [0, 1)
+  for (int i = 0; i < 50; ++i) h.Observe(3.0);  // bucket 2: [2, 4)
+  EXPECT_DOUBLE_EQ(h.Percentile(0.50), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.95), 3.8);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.99), 3.96);
+
+  h.Reset();
+  for (int i = 0; i < 10; ++i) h.Observe(5.0);  // bucket 3: [4, 8)
+  EXPECT_DOUBLE_EQ(h.Percentile(0.50), 6.0);
+
+  // Overflow bucket has no finite upper edge: report its lower edge.
+  h.Reset();
+  for (int i = 0; i < 4; ++i) h.Observe(1e300);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.50),
+                   Histogram::BucketUpperEdge(Histogram::kNumBuckets - 2));
+}
+
+TEST(MetricsTest, SnapshotPercentilesMatchLiveHistogram) {
+  obs::Histogram* h =
+      MetricsRegistry::Global().GetHistogram("test.percentile_snapshot");
+  h->Reset();
+  for (int i = 0; i < 50; ++i) h->Observe(0.5);
+  for (int i = 0; i < 50; ++i) h->Observe(3.0);
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  const auto it = snap.histograms.find("test.percentile_snapshot");
+  ASSERT_NE(it, snap.histograms.end());
+  EXPECT_DOUBLE_EQ(it->second.Percentile(0.95), h->Percentile(0.95));
+  // The JSON export carries the canned percentiles.
+  const std::string json = MetricsRegistry::Global().ToJson();
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  h->Reset();
+}
+
+// ---- trace context + metric scope ----
+
+TEST(TraceContextTest, BindingNestsAndRestores) {
+  EXPECT_EQ(obs::CurrentTraceContext(), nullptr);
+  obs::TraceContext job;
+  job.job_id = 7;
+  job.tenant = "alpha";
+  {
+    obs::ScopedTraceContext bind_job(job);
+    ASSERT_NE(obs::CurrentTraceContext(), nullptr);
+    EXPECT_EQ(obs::CurrentTraceContext()->job_id, 7u);
+    EXPECT_EQ(obs::CurrentTraceContext()->attempt, 0);
+    {
+      obs::TraceContext attempt = job;
+      attempt.attempt = 2;
+      attempt.plan_signature = 0xabcull;
+      obs::ScopedTraceContext bind_attempt(attempt);
+      EXPECT_EQ(obs::CurrentTraceContext()->attempt, 2);
+      EXPECT_EQ(obs::CurrentTraceContext()->plan_signature, 0xabcull);
+    }
+    // Inner binding unwound; the job-level context is visible again.
+    EXPECT_EQ(obs::CurrentTraceContext()->attempt, 0);
+    EXPECT_EQ(obs::CurrentTraceContext()->job_id, 7u);
+  }
+  EXPECT_EQ(obs::CurrentTraceContext(), nullptr);
+  // A default (job_id 0) context is bindable but never stamped.
+  obs::TraceContext unbound;
+  obs::ScopedTraceContext bind(unbound);
+  EXPECT_FALSE(obs::CurrentTraceContext()->valid());
+}
+
+#if RELM_OBS_ENABLED
+TEST_F(TracerTest, SpansAndInstantsCarryBoundContext) {
+  obs::TraceContext ctx;
+  ctx.job_id = 42;
+  ctx.tenant = "tenant-a";
+  ctx.plan_signature = 0x1234;
+  ctx.attempt = 3;
+  {
+    obs::ScopedTraceContext bind(ctx);
+    RELM_TRACE_SPAN("ctx.span");
+    RELM_TRACE_INSTANT("ctx.instant", "\"site\":\"test\"");
+  }
+  { RELM_TRACE_SPAN("ctx.unbound"); }
+  std::vector<TraceEvent> events = Tracer::Global().Events();
+  ASSERT_EQ(events.size(), 3u);
+  bool saw_span = false, saw_instant = false, saw_unbound = false;
+  for (const TraceEvent& ev : events) {
+    if (ev.name == "ctx.span") {
+      saw_span = true;
+      EXPECT_NE(ev.args_json.find("\"job_id\":42"), std::string::npos)
+          << ev.args_json;
+      EXPECT_NE(ev.args_json.find("\"tenant\":\"tenant-a\""),
+                std::string::npos);
+      EXPECT_NE(ev.args_json.find("\"attempt\":3"), std::string::npos);
+    }
+    if (ev.name == "ctx.instant") {
+      saw_instant = true;
+      // Context args append after the caller's own args.
+      EXPECT_NE(ev.args_json.find("\"site\":\"test\""), std::string::npos);
+      EXPECT_NE(ev.args_json.find("\"job_id\":42"), std::string::npos);
+    }
+    if (ev.name == "ctx.unbound") {
+      saw_unbound = true;
+      EXPECT_EQ(ev.args_json.find("job_id"), std::string::npos)
+          << "unbound span must not be stamped: " << ev.args_json;
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_instant);
+  EXPECT_TRUE(saw_unbound);
+}
+#endif  // RELM_OBS_ENABLED
+
+TEST(MetricScopeTest, AddIsScopeOnlyAddSharedForwardsToGlobal) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("test.scope_only")->Reset();
+  reg.GetCounter("test.scope_shared")->Reset();
+
+  obs::TraceContext ctx;
+  ctx.job_id = 9;
+  ctx.tenant = "beta";
+  obs::MetricScope scope(ctx);
+  scope.Add("test.scope_only", 5);
+  scope.AddShared("test.scope_shared", 3);
+  scope.AddShared("test.scope_shared", 4);
+  scope.Set("test.scope_gauge", 1.25);
+
+  EXPECT_EQ(scope.counter("test.scope_only"), 5);
+  EXPECT_EQ(scope.counter("test.scope_shared"), 7);
+  EXPECT_EQ(scope.gauge("test.scope_gauge"), 1.25);
+  // Add never touched the registry; AddShared did.
+  EXPECT_EQ(reg.GetCounter("test.scope_only")->value(), 0);
+  EXPECT_EQ(reg.GetCounter("test.scope_shared")->value(), 7);
+
+  obs::MetricScope::Snapshot snap = scope.TakeSnapshot();
+  EXPECT_EQ(snap.trace.job_id, 9u);
+  EXPECT_EQ(snap.counter("test.scope_only"), 5);
+  EXPECT_EQ(snap.counter("test.never_recorded"), 0);
+  const std::string json = snap.ToJson();
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_NE(json.find("\"tenant\":\"beta\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test.scope_only\":5"), std::string::npos) << json;
+}
+
+TEST(MetricScopeTest, ConcurrentAddsSumExactly) {
+  obs::MetricScope scope;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(
+        [&scope] {
+          for (int i = 0; i < kPerThread; ++i) scope.Add("n", 1);
+        });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(scope.counter("n"), int64_t{kThreads} * kPerThread);
+}
+
+// ---- operator profile store + calibration ----
+
+TEST(OpProfileTest, ShapeBucketIsFloorLog2) {
+  EXPECT_EQ(obs::OpProfileStore::ShapeBucket(-3), 0);
+  EXPECT_EQ(obs::OpProfileStore::ShapeBucket(0), 0);
+  EXPECT_EQ(obs::OpProfileStore::ShapeBucket(1), 0);
+  EXPECT_EQ(obs::OpProfileStore::ShapeBucket(2), 1);
+  EXPECT_EQ(obs::OpProfileStore::ShapeBucket(3), 1);
+  EXPECT_EQ(obs::OpProfileStore::ShapeBucket(4), 2);
+  EXPECT_EQ(obs::OpProfileStore::ShapeBucket(1023), 9);
+  EXPECT_EQ(obs::OpProfileStore::ShapeBucket(1024), 10);
+}
+
+TEST(OpProfileTest, RecordAggregatesByOpAndShapeBucket) {
+  obs::OpProfileStore store;
+  store.Record("matmult", 1 << 10, 4096, 2e6, 0.25);
+  store.Record("matmult", 1 << 10, 4096, 2e6, 0.75);
+  store.Record("matmult", 4, 64, 1e3, 0.001);  // different bucket
+  store.Record("elementwise", 1 << 10, 4096, 1e3, 0.001);
+  auto snap = store.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  const obs::OpProfileStats& mm = snap[{"matmult", 10}];
+  EXPECT_EQ(mm.samples, 2);
+  EXPECT_EQ(mm.cells, 2 << 10);
+  EXPECT_DOUBLE_EQ(mm.seconds, 1.0);
+  EXPECT_DOUBLE_EQ(mm.FlopsPerSecond(), 4e6);
+  EXPECT_EQ(store.total_samples(), 4);
+  const std::string json = store.ToJson();
+  EXPECT_NE(json.find("\"op\":\"matmult\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  store.Reset();
+  EXPECT_EQ(store.total_samples(), 0);
+}
+
+TEST(OpProfileTest, CalibratedRegistryIsFlopsWeightedAcrossBuckets) {
+  obs::OpProfileStore store;
+  // Two shape buckets with different rates: the aggregate is total
+  // flops / total seconds (weighted), not the mean of the two rates.
+  store.Record("matmult", 1 << 4, 0, 2e9, 1.0);  // 2 GFLOP/s
+  store.Record("matmult", 1 << 10, 0, 2e9, 3.0); // 0.67 GFLOP/s
+  store.Record("zero_flops", 1 << 4, 0, 0.0, 1.0);   // skipped
+  obs::CalibratedOpRegistry cal = obs::CalibratedOpRegistry::FromStore(store);
+  EXPECT_EQ(cal.size(), 1u);
+  ASSERT_TRUE(cal.has("matmult"));
+  EXPECT_DOUBLE_EQ(cal.FlopsPerSecond("matmult", 123.0), 1e9);
+  EXPECT_DOUBLE_EQ(cal.FlopsPerSecond("never_seen", 123.0), 123.0);
+}
+
+TEST(OpProfileTest, FromStoreHonorsMinSamples) {
+  obs::OpProfileStore store;
+  store.Record("noisy", 1 << 4, 0, 1e6, 0.5);
+  store.Record("stable", 1 << 4, 0, 1e6, 0.5);
+  store.Record("stable", 1 << 4, 0, 1e6, 0.5);
+  obs::CalibratedOpRegistry cal =
+      obs::CalibratedOpRegistry::FromStore(store, /*min_samples=*/2);
+  EXPECT_FALSE(cal.has("noisy"));
+  EXPECT_TRUE(cal.has("stable"));
+}
+
+TEST(OpProfileTest, FingerprintTracksContents) {
+  obs::CalibratedOpRegistry a;
+  obs::CalibratedOpRegistry b;
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  a.Set("matmult", 1e9);
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  b.Set("matmult", 1e9);
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  b.Set("matmult", 2e9);  // same op, different rate
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+}
+
+// ---- telemetry sink ----
+
+TEST(TelemetrySinkTest, FlushAppendsSelfContainedLines) {
+  const std::string path =
+      ::testing::TempDir() + "/relm_telemetry_flush.jsonl";
+  std::remove(path.c_str());
+  MetricsRegistry::Global().GetCounter("test.sink_counter")->Reset();
+  MetricsRegistry::Global().GetCounter("test.sink_counter")->Add(11);
+  obs::TelemetrySink::Options options;
+  options.path = path;
+  obs::TelemetrySink sink(options);
+  ASSERT_TRUE(sink.Flush().ok());
+  ASSERT_TRUE(sink.Flush().ok());
+  EXPECT_EQ(sink.lines_written(), 2);
+  sink.Stop();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    EXPECT_EQ(std::count(line.begin(), line.end(), '{'),
+              std::count(line.begin(), line.end(), '}'));
+    EXPECT_NE(line.find("\"metrics\""), std::string::npos);
+    EXPECT_NE(line.find("\"test.sink_counter\":11"), std::string::npos);
+    EXPECT_NE(line.find("\"profiles\""), std::string::npos);
+  }
+  // Stop() without Start() has no periodic thread, so no extra final
+  // snapshot: exactly the two explicit flushes.
+  EXPECT_EQ(lines, 2);
+  std::remove(path.c_str());
+}
+
+TEST(TelemetrySinkTest, StartStopWritesSnapshots) {
+  const std::string path =
+      ::testing::TempDir() + "/relm_telemetry_periodic.jsonl";
+  std::remove(path.c_str());
+  obs::TelemetrySink::Options options;
+  options.path = path;
+  options.interval_seconds = 0.01;
+  {
+    obs::TelemetrySink sink(options);
+    ASSERT_TRUE(sink.Start().ok());
+    ASSERT_TRUE(sink.Start().ok());  // idempotent
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }  // destructor stops and writes the final snapshot
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  int lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++lines;
+  }
+  EXPECT_GE(lines, 1);
+  std::remove(path.c_str());
+}
+
+// ---- cost-model calibration (differential) ----
+
+#if RELM_OBS_ENABLED
+// Engine profiling is compiled out under RELM_OBS_ENABLED=OFF, so the
+// differential only exists in observability builds.
+TEST(CalibrationTest, CalibratedEstimateMovesTowardMeasuredThroughput) {
+  Session session;
+  Random rng(7);
+  const int n = 1200;
+  const int m = 48;
+  MatrixBlock x = MatrixBlock::Rand(n, m, 1.0, -1, 1, &rng);
+  MatrixBlock beta = MatrixBlock::Rand(m, 1, 1.0, -2, 2, &rng);
+  MatrixBlock y = *MatMult(x, beta);
+  ASSERT_TRUE(session.RegisterMatrix("/data/X", std::move(x)).ok());
+  ASSERT_TRUE(session.RegisterMatrix("/data/y", std::move(y)).ok());
+  std::ifstream in(std::string(RELM_SCRIPTS_DIR) + "/linreg_ds.dml");
+  ASSERT_TRUE(in.good());
+  std::ostringstream source;
+  source << in.rdbuf();
+  auto prog = session.CompileSource(
+      source.str(),
+      ScriptArgs{{"X", "/data/X"}, {"Y", "/data/y"}, {"B", "/out/B"}});
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+
+  // Profile one real run of the shipped script.
+  obs::OpProfileStore& store = obs::OpProfileStore::Global();
+  store.Reset();
+  store.set_enabled(true);
+  auto run = session.ExecuteReal(prog->get());
+  store.set_enabled(false);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_GT(store.total_samples(), 0);
+
+  obs::CalibratedOpRegistry calibration =
+      obs::CalibratedOpRegistry::FromStore(store);
+  ASSERT_GT(calibration.size(), 0u);
+
+  const ResourceConfig config = session.StaticBaselines()[0].config;
+  auto static_cost = session.EstimateCost(prog->get(), config);
+  auto calibrated = session.EstimateCost(prog->get(), config, &calibration);
+  ASSERT_TRUE(static_cost.ok());
+  ASSERT_TRUE(calibrated.ok());
+  // The calibration must change the what-if answer, and in the right
+  // direction: when the kernels measure faster than the cluster
+  // model's static peak_gflops * efficiency assumption the calibrated
+  // estimate charges less compute time, and vice versa — either way
+  // the what-if moves toward the measured reality of the profiled run.
+  EXPECT_NE(*calibrated, *static_cost);
+  double measured_flops = 0.0;
+  double measured_seconds = 0.0;
+  for (const auto& [key, cell] : store.Snapshot()) {
+    measured_flops += cell.flops;
+    measured_seconds += cell.seconds;
+  }
+  ASSERT_GT(measured_seconds, 0.0);
+  const double measured_rate = measured_flops / measured_seconds;
+  const double static_rate =
+      session.cluster().peak_gflops * 1e9 * exec::kComputeEfficiency;
+  if (measured_rate > static_rate) {
+    EXPECT_LT(*calibrated, *static_cost);
+  } else {
+    EXPECT_GT(*calibrated, *static_cost);
+  }
+  store.Reset();
 }
 #endif  // RELM_OBS_ENABLED
 

@@ -5,10 +5,15 @@
 // bottom doubles as the TSan target wired into scripts/check.sh.
 
 #include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -19,6 +24,8 @@
 #include "exec/worker_pool.h"
 #include "matrix/kernels.h"
 #include "obs/metrics.h"
+#include "obs/scope.h"
+#include "obs/trace.h"
 #include "serve/job_service.h"
 
 namespace relm {
@@ -820,6 +827,128 @@ TEST(JobServiceFaultTest, StatsSurfaceExecWorkerRefusal) {
   EXPECT_EQ(stats.exec_workers_effective, 3);
   service.Shutdown();
   exec::SetWorkers(1);  // restore the process-wide serial default
+}
+
+// ---- job-scoped telemetry ---------------------------------------------
+
+TEST(JobTelemetryTest, ConcurrentTenantsKeepDisjointScopesAndSpans) {
+  obs::Tracer::Global().SetEnabled(false);
+  obs::Tracer::Global().Clear();
+  obs::Tracer::Global().SetEnabled(true);
+
+  serve::JobService service(ClusterConfig::PaperCluster(),
+                            serve::ServeOptions()
+                                .WithWorkers(2)
+                                .WithSimulation(false)
+                                .WithExecWorkers(2));
+  ASSERT_TRUE(service.startup_status().ok());
+  RegisterRealRegressionData(&service.session());
+  const std::string source = ReadScript("linreg_ds.dml");
+
+  // Two tenants race real-execution jobs through both workers; the
+  // per-job scopes and the span attribution must never cross.
+  constexpr int kJobsPerTenant = 3;
+  const char* tenants[] = {"alpha", "beta"};
+  std::vector<std::pair<std::string, serve::JobHandle>> handles;
+  for (int j = 0; j < kJobsPerTenant; ++j) {
+    for (const char* tenant : tenants) {
+      serve::JobRequest request;
+      request.source = source;
+      request.args = LinregArgs();
+      request.execute_real = true;
+      auto handle = service.Submit(tenant, std::move(request));
+      ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+      handles.emplace_back(tenant, std::move(*handle));
+    }
+  }
+  for (auto& [tenant, handle] : handles) {
+    auto outcome = handle.Await();
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    // The scope snapshot carries the job's own identity...
+    EXPECT_EQ(outcome->telemetry.trace.job_id, handle.id());
+    EXPECT_EQ(outcome->telemetry.trace.tenant, tenant);
+    EXPECT_EQ(outcome->telemetry.counter("job.attempts"),
+              outcome->attempts);
+    // ...and exactly this job's engine counters, not a neighbor's: the
+    // per-job tasks_scheduled delta must equal the job's own RealRun
+    // stats even while another tenant executes concurrently.
+    EXPECT_TRUE(outcome->executed_real);
+    EXPECT_EQ(outcome->telemetry.counter("exec.tasks_scheduled"),
+              outcome->real.exec.tasks_scheduled);
+    EXPECT_EQ(outcome->telemetry.counter("exec.spill_bytes"),
+              outcome->real.exec.spill_bytes);
+  }
+  service.Shutdown();
+  obs::Tracer::Global().SetEnabled(false);
+
+#if RELM_OBS_ENABLED
+  // Span attribution: every job id seen in the trace maps to exactly
+  // one tenant, and both tenants show up.
+  std::map<uint64_t, std::set<std::string>> tenants_by_job;
+  size_t attributed_spans = 0;
+  for (const obs::TraceEvent& ev : obs::Tracer::Global().Events()) {
+    const size_t id_pos = ev.args_json.find("\"job_id\":");
+    if (id_pos == std::string::npos) continue;
+    attributed_spans++;
+    const uint64_t job_id = std::strtoull(
+        ev.args_json.c_str() + id_pos + std::strlen("\"job_id\":"),
+        nullptr, 10);
+    const size_t tenant_pos = ev.args_json.find("\"tenant\":\"");
+    ASSERT_NE(tenant_pos, std::string::npos) << ev.args_json;
+    const size_t value_pos = tenant_pos + std::strlen("\"tenant\":\"");
+    const std::string tenant = ev.args_json.substr(
+        value_pos, ev.args_json.find('"', value_pos) - value_pos);
+    tenants_by_job[job_id].insert(tenant);
+  }
+  EXPECT_GE(attributed_spans, handles.size());  // at least serve.job each
+  std::set<std::string> seen_tenants;
+  for (const auto& [job_id, job_tenants] : tenants_by_job) {
+    EXPECT_EQ(job_tenants.size(), 1u)
+        << "job " << job_id << " attributed to multiple tenants";
+    seen_tenants.insert(*job_tenants.begin());
+  }
+  EXPECT_EQ(seen_tenants, (std::set<std::string>{"alpha", "beta"}));
+#endif  // RELM_OBS_ENABLED
+  obs::Tracer::Global().Clear();
+  exec::SetWorkers(1);  // restore the process-wide serial default
+}
+
+TEST(JobTelemetryTest, StatsReportSloPercentiles) {
+  serve::JobService service(
+      ClusterConfig::PaperCluster(),
+      serve::ServeOptions().WithWorkers(2));
+  ASSERT_TRUE(service.startup_status().ok());
+  const std::string source = ReadScript("linreg_ds.dml");
+  constexpr int kJobs = 6;
+  std::vector<serve::JobHandle> handles;
+  for (int j = 0; j < kJobs; ++j) {
+    serve::JobRequest request;
+    request.source = source;
+    request.args = LinregArgs();
+    request.inputs = {{"/data/X", 1000000, 100, 1.0},
+                      {"/data/y", 1000000, 1, 1.0}};
+    auto handle = service.Submit("tenant", std::move(request));
+    ASSERT_TRUE(handle.ok());
+    handles.push_back(std::move(*handle));
+  }
+  for (auto& handle : handles) {
+    ASSERT_TRUE(handle.Await().ok());
+  }
+  serve::JobService::Stats stats = service.stats();
+  EXPECT_EQ(stats.e2e_ms.count, kJobs);
+  EXPECT_EQ(stats.wait_ms.count, kJobs);
+  EXPECT_EQ(stats.run_ms.count, kJobs);
+  EXPECT_EQ(stats.attempts_per_job.count, kJobs);
+  // Percentiles are monotone and the end-to-end latency dominates its
+  // wait component.
+  EXPECT_LE(stats.e2e_ms.p50, stats.e2e_ms.p95);
+  EXPECT_LE(stats.e2e_ms.p95, stats.e2e_ms.p99);
+  EXPECT_GT(stats.e2e_ms.p99, 0.0);
+  // Fault-free jobs take exactly one attempt, which the percentile
+  // interpolation reports inside attempt bucket [1, 2).
+  EXPECT_GE(stats.attempts_per_job.p50, 1.0);
+  EXPECT_LT(stats.attempts_per_job.p99, 2.0);
+  service.Shutdown();
 }
 
 }  // namespace

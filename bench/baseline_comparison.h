@@ -49,11 +49,11 @@ inline void RunRealCpValidation(const std::string& script,
     }
     y.Set(i, 0, options.label ? options.label(i, response) : response);
   }
-  RelmSystem sys;
+  Session sys = UncachedSession();
   sys.hdfs().PutMatrix("/data/X", std::move(x));
   sys.hdfs().PutMatrix("/data/y", std::move(y));
   auto prog = MustCompile(&sys, script);
-  auto run = sys.ExecuteReal(prog.get());
+  auto run = sys.ExecuteReal(prog.get(), RealRunOptions());
   if (!run.ok()) {
     std::printf("real CP validation run failed: %s\n",
                 run.status().ToString().c_str());
@@ -75,7 +75,7 @@ inline void RunBaselineComparison(const std::string& script,
       continue;
     }
     for (const Shape& shape : Shapes()) {
-      RelmSystem sys;
+      Session sys = UncachedSession();
       RegisterData(&sys, scenario.cells, shape.cols, shape.sparsity);
       auto prog = MustCompile(&sys, script);
       int64_t rows = scenario.cells / shape.cols;
@@ -90,24 +90,24 @@ inline void RunBaselineComparison(const std::string& script,
         worst = std::max(worst, run.elapsed_seconds);
         std::printf(" %9.1fs", run.elapsed_seconds);
       }
-      OptimizerStats stats;
-      auto config = sys.OptimizeResources(prog.get(), &stats);
-      if (!config.ok()) {
+      auto outcome = sys.Optimize(prog.get());
+      if (!outcome.ok()) {
         std::printf("  optimizer error: %s\n",
-                    config.status().ToString().c_str());
+                    outcome.status().ToString().c_str());
         continue;
       }
       SimOptions opts;
       opts.enable_adaptation = options.adaptation;
-      SimResult opt_run = MeasureClone(&sys, *prog, *config, opts, oracle);
+      SimResult opt_run = MeasureClone(&sys, *prog, outcome->config, opts,
+                                       oracle);
       // Include the optimization overhead in Opt's elapsed time (the
       // paper reports end-to-end client elapsed time).
       double opt_elapsed = opt_run.elapsed_seconds +
-                           stats.opt_time_seconds;
+                           outcome->stats.opt_time_seconds;
       max_speedup = std::max(max_speedup, worst / opt_elapsed);
       std::printf(" %9.1fs   %s/%s", opt_elapsed,
-                  FormatBytes(config->cp_heap).c_str(),
-                  FormatBytes(config->MaxMrHeap()).c_str());
+                  FormatBytes(outcome->config.cp_heap).c_str(),
+                  FormatBytes(outcome->config.MaxMrHeap()).c_str());
       if (opt_run.migrations > 0) {
         std::printf(" (%d migration%s)", opt_run.migrations,
                     opt_run.migrations > 1 ? "s" : "");

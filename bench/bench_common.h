@@ -16,7 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "api/relm_system.h"
+#include "api/session.h"
 #include "obs/profile.h"
 #include "obs/telemetry_sink.h"
 #include "obs/trace.h"
@@ -60,7 +60,7 @@ inline void DumpMetricsAtExit() {
 inline void DumpTraceAtExit() {
   const std::string& path = TraceOutPath();
   if (path.empty()) return;
-  Status st = RelmSystem::DumpTelemetry(path);
+  Status st = Session::DumpTelemetry(path);
   if (!st.ok()) {
     std::fprintf(stderr, "trace dump failed: %s\n", st.ToString().c_str());
     return;
@@ -131,6 +131,17 @@ inline const std::vector<Shape>& Shapes() {
   return kShapes;
 }
 
+/// Fresh Session with plan caching disabled: per-iteration costs
+/// (recompiles, cost invocations) match the pre-caching system, which
+/// the benchmark baselines depend on. The harnesses that *measure*
+/// caching (bench_fig12, cold-start) construct cached sessions
+/// explicitly instead.
+inline Session UncachedSession(
+    ClusterConfig cc = ClusterConfig::PaperCluster()) {
+  return Session(std::move(cc),
+                 SessionOptions().WithPlanCacheEnabled(false));
+}
+
 inline std::string ScriptPath(const std::string& name) {
   return std::string(RELM_SCRIPTS_DIR) + "/" + name;
 }
@@ -140,8 +151,8 @@ inline ScriptArgs DefaultArgs() {
                     {"B", "/out/B"},  {"model", "/out/w"}};
 }
 
-/// Registers the scenario's X / y metadata on a fresh system.
-inline void RegisterData(RelmSystem* sys, int64_t cells, int64_t cols,
+/// Registers the scenario's X / y metadata on a fresh session.
+inline void RegisterData(Session* sys, int64_t cells, int64_t cols,
                          double sparsity) {
   int64_t rows = cells / cols;
   sys->hdfs().PutMetadata("/data/X", MatrixCharacteristics::WithSparsity(
@@ -161,7 +172,7 @@ inline SymbolMap MlogregOracle(int64_t rows, int64_t k) {
 }
 
 /// Measured execution of a pristine clone under `config`.
-inline SimResult MeasureClone(RelmSystem* sys, const MlProgram& prog,
+inline SimResult MeasureClone(Session* sys, const MlProgram& prog,
                               const ResourceConfig& config,
                               const SimOptions& opts = SimOptions(),
                               const SymbolMap& oracle = {}) {
@@ -180,8 +191,8 @@ inline SimResult MeasureClone(RelmSystem* sys, const MlProgram& prog,
   return *run;
 }
 
-/// Loads + compiles a script for the current system, exiting on error.
-inline std::unique_ptr<MlProgram> MustCompile(RelmSystem* sys,
+/// Loads + compiles a script for the current session, exiting on error.
+inline std::unique_ptr<MlProgram> MustCompile(Session* sys,
                                               const std::string& script,
                                               ScriptArgs args =
                                                   DefaultArgs()) {

@@ -29,7 +29,7 @@ void Run() {
   std::printf("%-14s %12s %12s %12s %12s\n", "script", "program_ms",
               "plan_ms", "sweep_ms", "strict_ms");
   for (const char* script : scripts) {
-    RelmSystem sys;
+    Session sys = UncachedSession();
     RegisterData(&sys, 1000000000LL, 1000, 1.0);  // M scenario, 8 GB
     auto prog = MustCompile(&sys, script);
     const ClusterConfig& cc = sys.cluster();
@@ -69,13 +69,13 @@ void Run() {
     OptimizerOptions base;
     base.plan_cache = nullptr;  // measure compiles, not cache hits
     auto t2 = std::chrono::steady_clock::now();
-    auto sweep = sys.session().Optimize(prog.get(), base);
+    auto sweep = sys.Optimize(prog.get(), base);
     double sweep_ms = MsSince(t2);
 
     OptimizerOptions strict = base;
     strict.WithStrictAnalysis(true);
     auto t3 = std::chrono::steady_clock::now();
-    auto strict_sweep = sys.session().Optimize(prog.get(), strict);
+    auto strict_sweep = sys.Optimize(prog.get(), strict);
     double strict_ms = MsSince(t3);
     if (!sweep.ok() || !strict_sweep.ok()) {
       std::fprintf(stderr, "%s: optimize failed\n", script);

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
 
   // (a) offer-based allocation, LinregCG 8GB.
   {
-    RelmSystem sys;
+    Session sys = UncachedSession();
     RegisterData(&sys, 1000000000LL, 1000, 1.0);
     auto prog = MustCompile(&sys, "linreg_cg.dml");
     ResourceOptimizer opt(sys.cluster(), OptimizerOptions{});
@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
 
   // (b) CP cores dimension, LinregDS forced local vs distributed.
   {
-    RelmSystem sys;
+    Session sys = UncachedSession();
     RegisterData(&sys, 1000000000LL, 1000, 1.0);
     auto prog = MustCompile(&sys, "linreg_ds.dml");
     std::printf("\n(b) CP cores (LinregDS, 8GB dense, max CP heap)\n");
@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
 
   // (c) utilization-triggered adaptation, L2SVM 8GB from B-SL.
   {
-    RelmSystem sys;
+    Session sys = UncachedSession();
     RegisterData(&sys, 1000000000LL, 1000, 1.0);
     auto prog = MustCompile(&sys, "l2svm.dml");
     ResourceConfig bsl(512 * kMB, GigaBytes(4.4));

@@ -20,7 +20,7 @@ namespace {
 
 /// MeasureClone that tolerates failed runs (retry exhaustion is a
 /// legitimate outcome at high fault rates, not a harness error).
-Result<SimResult> TryMeasure(RelmSystem* sys, const MlProgram& prog,
+Result<SimResult> TryMeasure(Session* sys, const MlProgram& prog,
                              const ResourceConfig& config,
                              const SimOptions& opts) {
   auto clone = prog.Clone();
@@ -29,7 +29,7 @@ Result<SimResult> TryMeasure(RelmSystem* sys, const MlProgram& prog,
 }
 
 void FaultRateSweep(const char* script) {
-  RelmSystem sys;
+  Session sys = UncachedSession();
   RegisterData(&sys, 1000000000LL, 1000, 1.0);
   auto prog = MustCompile(&sys, script);
   ResourceConfig bsl(512 * kMB, GigaBytes(4.4));
@@ -55,7 +55,7 @@ void FaultRateSweep(const char* script) {
 }
 
 void NodeCrashScenarios(const char* script) {
-  RelmSystem sys;
+  Session sys = UncachedSession();
   RegisterData(&sys, 1000000000LL, 1000, 1.0);
   auto prog = MustCompile(&sys, script);
   ResourceConfig bsl(512 * kMB, GigaBytes(4.4));
@@ -105,7 +105,7 @@ void NodeCrashScenarios(const char* script) {
 }
 
 void BlastRadiusOptimization() {
-  RelmSystem sys;
+  Session sys = UncachedSession();
   RegisterData(&sys, 1000000000LL, 1000, 1.0);
   auto prog = MustCompile(&sys, "linreg_cg.dml");
   std::printf("\noptimizer under expected failure rate "

@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
     std::printf("%-5s %10s %8s %8s %8s %8s\n", "scen", "data", "Equi",
                 "Exp", "Mem", "Hybrid");
     for (const Scenario& scenario : Scenarios()) {
-      RelmSystem sys;
+      Session sys = UncachedSession();
       RegisterData(&sys, scenario.cells, 1000, 1.0);
       auto prog = MustCompile(&sys, "linreg_ds.dml");
       const ClusterConfig& cc = sys.cluster();
@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
     }
     // One full optimizer run at M documents what this base grid means
     // end to end (self-describing provenance JSON incl. decision trace).
-    RelmSystem sys;
+    Session sys = UncachedSession();
     RegisterData(&sys, Scenarios()[2].cells, 1000, 1.0);
     auto prog = MustCompile(&sys, "linreg_ds.dml");
     OptimizerStats stats;

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
     int total = 0;
     std::vector<double> remaining;
     for (const Scenario& scenario : Scenarios()) {
-      RelmSystem sys;
+      Session sys = UncachedSession();
       RegisterData(&sys, scenario.cells, 1000, 1.0);
       auto prog = MustCompile(&sys, script);
       OptimizerStats stats;

@@ -27,7 +27,7 @@ void RunProgram(const char* label, const char* script,
       continue;
     }
     for (const Shape& shape : Shapes()) {
-      RelmSystem sys;
+      Session sys = UncachedSession();
       RegisterData(&sys, scenario.cells, shape.cols, shape.sparsity);
       auto prog = MustCompile(&sys, script);
       int64_t rows = scenario.cells / shape.cols;
@@ -37,17 +37,18 @@ void RunProgram(const char* label, const char* script,
       double t_bll =
           MeasureClone(&sys, *prog, bll, {}, oracle).elapsed_seconds;
 
-      OptimizerStats stats;
-      auto config = sys.OptimizeResources(prog.get(), &stats);
-      if (!config.ok()) continue;
-      double t_opt = MeasureClone(&sys, *prog, *config, {}, oracle)
+      auto outcome = sys.Optimize(prog.get());
+      if (!outcome.ok()) continue;
+      const ResourceConfig& config = outcome->config;
+      double t_opt = MeasureClone(&sys, *prog, config, {}, oracle)
                          .elapsed_seconds +
-                     stats.opt_time_seconds;
+                     outcome->stats.opt_time_seconds;
 
-      SimResult reopt = MeasureClone(&sys, *prog, *config,
+      SimResult reopt = MeasureClone(&sys, *prog, config,
                                      SimOptions().WithAdaptation(true),
                                      oracle);
-      double t_reopt = reopt.elapsed_seconds + stats.opt_time_seconds;
+      double t_reopt =
+          reopt.elapsed_seconds + outcome->stats.opt_time_seconds;
 
       std::printf("%-4s %-10s %9.1fs %9.1fs %9.1fs %6d\n", scenario.name,
                   shape.name, t_bll, t_opt, t_reopt, reopt.migrations);

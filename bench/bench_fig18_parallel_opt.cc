@@ -14,7 +14,7 @@ using namespace relm::bench;  // NOLINT
 
 namespace {
 
-double OptimizeTime(RelmSystem* sys, MlProgram* prog,
+double OptimizeTime(Session* sys, MlProgram* prog,
                     const OptimizerOptions& options) {
   OptimizerStats stats;
   ResourceOptimizer opt(sys->cluster(), options);
@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
 
   // (a) Equi m=45, scenario L dense1000, thread sweep.
   {
-    RelmSystem sys;
+    Session sys = UncachedSession();
     RegisterData(&sys, 10000000000LL, 1000, 1.0);
     auto prog = MustCompile(&sys, "glm.dml");
     OptimizerOptions serial;
@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
     std::printf("%-5s %12s %12s\n", "scen", "serial [s]", "parallel [s]");
     for (const Scenario& scenario : Scenarios()) {
       if (std::string(scenario.name) == "XL") continue;
-      RelmSystem sys;
+      Session sys = UncachedSession();
       RegisterData(&sys, scenario.cells, 1000, 1.0);
       auto prog = MustCompile(&sys, "glm.dml");
       double t_serial = OptimizeTime(&sys, prog.get(), {});
@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
   // excludes num_threads, so serial and parallel share entries).
   {
     std::printf("\n(c) Equi m=45, dense1000 L, shared what-if cache\n");
-    RelmSystem sys;
+    Session sys = UncachedSession();
     RegisterData(&sys, 10000000000LL, 1000, 1.0);
     auto prog = MustCompile(&sys, "glm.dml");
     PlanCache cache;

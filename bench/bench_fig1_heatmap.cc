@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   const std::vector<double> grid_gb = {1, 2,  4,  6,  8, 10,
                                        12, 14, 16, 18, 20};
   for (const char* script : {"linreg_ds.dml", "linreg_cg.dml"}) {
-    RelmSystem sys;
+    Session sys = UncachedSession();
     RegisterData(&sys, 1000000000LL, 1000, 1.0);  // 8GB dense X
     auto prog = MustCompile(&sys, script);
     std::printf("\n%s, X(8GB)/y(8MB): estimated runtime [s]\n", script);

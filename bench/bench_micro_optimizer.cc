@@ -19,7 +19,7 @@ struct Fixture {
     RegisterData(&sys, cells, cols, 1.0);
     prog = MustCompile(&sys, script);
   }
-  RelmSystem sys;
+  Session sys = UncachedSession();
   std::unique_ptr<MlProgram> prog;
 };
 

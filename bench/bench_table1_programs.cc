@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
            {"L2SVM", "l2svm.dml", "1e-9", "5/inf"},
            {"MLogreg", "mlogreg.dml", "1e-9", "5/5"},
            {"GLM", "glm.dml", "1e-9", "5/5"}}) {
-    RelmSystem sys;
+    Session sys = UncachedSession();
     RegisterData(&sys, 1000000000LL, 1000, 1.0);
     auto prog = MustCompile(&sys, row.file);
     std::printf("%-12s %8d %8d %4s %5d %8.2f %8s %6s\n", row.label,

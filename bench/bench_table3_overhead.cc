@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
                     scenario.name) == c.scenarios.end()) {
         continue;
       }
-      RelmSystem sys;
+      Session sys = UncachedSession();
       RegisterData(&sys, scenario.cells, 1000, 1.0);
       auto prog = MustCompile(&sys, c.script);
       OptimizerStats stats;

@@ -19,12 +19,13 @@ int main(int argc, char** argv) {
               "MR w/ Opt", "Spark Hybrid", "Spark Full", "cached");
   SparkConfig spark;
   for (const Scenario& scenario : Scenarios()) {
-    RelmSystem sys;
+    Session sys = UncachedSession();
     RegisterData(&sys, scenario.cells, 1000, 1.0);
     auto prog = MustCompile(&sys, "l2svm.dml");
-    auto config = sys.OptimizeResources(prog.get());
-    if (!config.ok()) continue;
-    double t_mr = MeasureClone(&sys, *prog, *config).elapsed_seconds;
+    auto outcome = sys.Optimize(prog.get());
+    if (!outcome.ok()) continue;
+    double t_mr =
+        MeasureClone(&sys, *prog, outcome->config).elapsed_seconds;
 
     SparkWorkload workload;
     workload.x = MatrixCharacteristics::Dense(scenario.cells / 1000, 1000);

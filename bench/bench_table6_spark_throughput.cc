@@ -15,14 +15,15 @@ using namespace relm::bench;  // NOLINT
 int main(int argc, char** argv) {
   relm::bench::InitBench(argc, argv);
   PrintHeader("Table 6: throughput, MR + Opt vs Spark Full (L2SVM, S)");
-  RelmSystem sys;
+  Session sys = UncachedSession();
   RegisterData(&sys, 100000000LL, 1000, 1.0);
   auto prog = MustCompile(&sys, "l2svm.dml");
-  auto config = sys.OptimizeResources(prog.get());
-  if (!config.ok()) return 1;
-  double solo_mr = MeasureClone(&sys, *prog, *config).elapsed_seconds;
+  auto outcome = sys.Optimize(prog.get());
+  if (!outcome.ok()) return 1;
+  ResourceConfig config = outcome->config;
+  double solo_mr = MeasureClone(&sys, *prog, config).elapsed_seconds;
   const ClusterConfig& cc = sys.cluster();
-  int64_t c_opt = cc.ContainerRequestForHeap(config->cp_heap);
+  int64_t c_opt = cc.ContainerRequestForHeap(config.cp_heap);
 
   SparkConfig spark;
   spark.driver_memory = 512 * kMB;  // as reduced in the paper's setup

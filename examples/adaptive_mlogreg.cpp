@@ -7,12 +7,12 @@
 #include <cstdio>
 #include <string>
 
-#include "api/relm_system.h"
+#include "api/session.h"
 
 using namespace relm;  // NOLINT — example brevity
 
 int main() {
-  RelmSystem sys;
+  Session sys;
   // 8 GB dense100 with k = 2 classes — the paper's Section 4.2 example.
   const int64_t rows = 10000000;
   sys.RegisterMatrixMetadata("/data/X", rows, 100);
@@ -28,10 +28,10 @@ int main() {
   std::printf("initial compilation has unknowns: %s\n",
               (*prog)->has_unknowns() ? "yes" : "no");
 
-  auto initial = sys.OptimizeResources(prog->get());
+  auto initial = sys.Optimize(prog->get());
   if (!initial.ok()) return 1;
   std::printf("initial resource optimization: %s\n\n",
-              initial->ToString().c_str());
+              initial->config.ToString().c_str());
 
   // The true size of the table() output (2 label classes).
   SymbolMap oracle;
@@ -44,7 +44,7 @@ int main() {
     SimOptions opts;
     opts.WithAdaptation(adapt);
     auto clone = (*prog)->Clone();
-    auto run = sys.Simulate(clone->get(), *initial, opts, oracle);
+    auto run = sys.Simulate(clone->get(), initial->config, opts, oracle);
     if (!run.ok()) {
       std::printf("simulation error: %s\n",
                   run.status().ToString().c_str());

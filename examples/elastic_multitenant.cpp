@@ -7,13 +7,13 @@
 #include <cstdio>
 #include <string>
 
-#include "api/relm_system.h"
+#include "api/session.h"
 #include "mrsim/throughput.h"
 
 using namespace relm;  // NOLINT — example brevity
 
 int main() {
-  RelmSystem sys;
+  Session sys;
   // Scenario S, dense1000: 800 MB input (the Figure 12(a) workload).
   sys.RegisterMatrixMetadata("/data/X", 100000, 1000);
   sys.RegisterMatrixMetadata("/data/y", 100000, 1);
@@ -25,20 +25,21 @@ int main() {
     std::printf("compile error: %s\n", prog.status().ToString().c_str());
     return 1;
   }
-  auto opt_config = sys.OptimizeResources(prog->get());
-  if (!opt_config.ok()) return 1;
+  auto outcome = sys.Optimize(prog->get());
+  if (!outcome.ok()) return 1;
+  const ResourceConfig& opt_config = outcome->config;
   ResourceConfig bll = sys.StaticBaselines().back().config;  // B-LL
 
   const ClusterConfig& cc = sys.cluster();
-  auto run_opt = sys.Simulate((*prog)->Clone()->get(), *opt_config);
+  auto run_opt = sys.Simulate((*prog)->Clone()->get(), opt_config);
   auto run_bll = sys.Simulate((*prog)->Clone()->get(), bll);
   double solo_opt = run_opt->elapsed_seconds;
   double solo_bll = run_bll->elapsed_seconds;
 
-  int64_t c_opt = cc.ContainerRequestForHeap(opt_config->cp_heap);
+  int64_t c_opt = cc.ContainerRequestForHeap(opt_config.cp_heap);
   int64_t c_bll = cc.ContainerRequestForHeap(bll.cp_heap);
   std::printf("Opt  : %s -> AM container %s, solo %.1fs\n",
-              opt_config->ToString().c_str(), FormatBytes(c_opt).c_str(),
+              opt_config.ToString().c_str(), FormatBytes(c_opt).c_str(),
               solo_opt);
   std::printf("B-LL : %s -> AM container %s, solo %.1fs\n\n",
               bll.ToString().c_str(), FormatBytes(c_bll).c_str(),

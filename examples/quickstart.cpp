@@ -9,13 +9,13 @@
 #include <cstdio>
 #include <string>
 
-#include "api/relm_system.h"
+#include "api/session.h"
 #include "common/string_util.h"
 
 using namespace relm;  // NOLINT — example brevity
 
 int main() {
-  RelmSystem sys;  // the paper's 1+6 node YARN cluster
+  Session sys;  // the paper's 1+6 node YARN cluster
   std::printf("cluster: %s\n\n", sys.cluster().ToString().c_str());
 
   // An 8 GB dense feature matrix and its label vector (Figure 1 setup).
@@ -36,15 +36,15 @@ int main() {
                 (*prog)->source_lines(), (*prog)->total_blocks(),
                 (*prog)->has_unknowns() ? "yes" : "no");
 
-    OptimizerStats stats;
-    auto config = sys.OptimizeResources(prog->get(), &stats);
-    if (!config.ok()) {
+    auto outcome = sys.Optimize(prog->get());
+    if (!outcome.ok()) {
       std::printf("optimizer error: %s\n",
-                  config.status().ToString().c_str());
+                  outcome.status().ToString().c_str());
       return 1;
     }
-    std::printf("optimized resources: %s\n", config->ToString().c_str());
-    std::printf("optimization: %s\n\n", stats.ToString().c_str());
+    const ResourceConfig& config = outcome->config;
+    std::printf("optimized resources: %s\n", config.ToString().c_str());
+    std::printf("optimization: %s\n\n", outcome->stats.ToString().c_str());
 
     std::printf("%-6s %-24s %12s %12s\n", "config", "resources",
                 "est. [s]", "meas. [s]");
@@ -56,11 +56,11 @@ int main() {
                   baseline.config.ToString().c_str(), est,
                   run->elapsed_seconds);
     }
-    double est = *sys.EstimateCost(prog->get(), *config);
+    double est = *sys.EstimateCost(prog->get(), config);
     auto clone = (*prog)->Clone();
-    auto run = sys.Simulate(clone->get(), *config);
+    auto run = sys.Simulate(clone->get(), config);
     std::printf("%-6s %-24s %12.1f %12.1f\n\n", "Opt",
-                config->ToString().c_str(), est, run->elapsed_seconds);
+                config.ToString().c_str(), est, run->elapsed_seconds);
   }
   return 0;
 }

@@ -6,7 +6,7 @@
 #include <cstdio>
 #include <string>
 
-#include "api/relm_system.h"
+#include "api/session.h"
 #include "common/random.h"
 #include "matrix/kernels.h"
 
@@ -14,7 +14,7 @@ using namespace relm;  // NOLINT — example brevity
 
 namespace {
 
-Status RunScript(RelmSystem* sys, const std::string& script,
+Status RunScript(Session* sys, const std::string& script,
                  ScriptArgs args) {
   std::printf("=== %s ===\n", script.c_str());
   auto prog = sys->CompileFile(std::string(RELM_SCRIPTS_DIR) + "/" + script,
@@ -32,7 +32,7 @@ Status RunScript(RelmSystem* sys, const std::string& script,
 }  // namespace
 
 int main() {
-  RelmSystem sys;
+  Session sys;
   Random rng(42);
 
   // ---- regression data: y = X beta + small noise ----

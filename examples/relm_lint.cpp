@@ -7,6 +7,11 @@
 // so every enumerated grid point is audited. Exits non-zero when any
 // error-severity diagnostic (or a compile/optimize failure) surfaces.
 //
+// With --artifact it additionally audits persistent plan-artifact
+// files (store/artifact_format.h): header dump, record counts, and the
+// full integrity validation the store runs at load time. A corrupt,
+// truncated, or version-skewed artifact is an error-severity finding.
+//
 // Usage:
 //   relm-lint [options] SCRIPT.dml [SCRIPT.dml ...]
 //     --input NAME=PATH:RxC[:SP]  input metadata (default: the canonical
@@ -14,11 +19,14 @@
 //     --arg NAME=VALUE            extra script argument
 //     --grid                      strict-mode optimizer grid sweep
 //     --points N                  grid resolution for --grid (default 15)
+//     --artifact PATH             audit a plan-artifact file (repeatable;
+//                                 =PATH form also accepted)
 //     --json                      machine-readable report
 //
 // Quick start:
 //   relm-lint scripts/linreg_cg.dml
 //   relm-lint --grid --json scripts/*.dml
+//   relm-lint --artifact /var/cache/relm/plans.relmplan
 
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +39,7 @@
 #include "common/string_util.h"
 #include "lops/compiler_backend.h"
 #include "obs/json_util.h"
+#include "store/plan_artifact_store.h"
 
 using namespace relm;  // NOLINT — tool brevity
 
@@ -48,8 +57,66 @@ void Usage() {
   std::fprintf(stderr,
                "usage: relm-lint [--input NAME=PATH:RxC[:SP] ...]\n"
                "                 [--arg NAME=VALUE ...] [--grid]\n"
-               "                 [--points N] [--json] SCRIPT.dml ...\n");
+               "                 [--points N] [--artifact PATH ...]\n"
+               "                 [--json] SCRIPT.dml ...\n");
   std::exit(2);
+}
+
+/// Audits one plan-artifact file. Returns true when the file is valid;
+/// fills *json_entry when JSON reporting is on.
+bool LintArtifact(const std::string& path, bool json,
+                  std::string* json_entry) {
+  auto info = store::InspectArtifact(path);
+  if (!info.ok()) {
+    if (json) {
+      *json_entry = "{\"path\":" + obs::JsonQuote(path) +
+                    ",\"ok\":false,\"error\":" +
+                    obs::JsonQuote(info.status().ToString()) + "}";
+    } else {
+      std::printf("%s: unreadable: %s\n", path.c_str(),
+                  info.status().ToString().c_str());
+    }
+    return false;
+  }
+  bool ok = info->integrity.ok();
+  if (json) {
+    char magic_hex[32];
+    std::snprintf(magic_hex, sizeof(magic_hex), "0x%016llx",
+                  static_cast<unsigned long long>(info->magic));
+    *json_entry =
+        "{\"path\":" + obs::JsonQuote(path) +
+        ",\"ok\":" + std::string(ok ? "true" : "false") +
+        ",\"file_bytes\":" + std::to_string(info->file_bytes) +
+        ",\"magic\":" + obs::JsonQuote(magic_hex) +
+        ",\"version\":" + std::to_string(info->version) +
+        ",\"programs\":" + std::to_string(info->program_count) +
+        ",\"inputs\":" + std::to_string(info->input_count) +
+        ",\"whatif\":" + std::to_string(info->whatif_count) +
+        ",\"block_heaps\":" + std::to_string(info->block_heap_count) +
+        ",\"string_bytes\":" + std::to_string(info->string_bytes) +
+        ",\"integrity\":" +
+        obs::JsonQuote(ok ? "ok" : info->integrity.ToString()) + "}";
+  } else {
+    std::printf("%s: %s\n", path.c_str(), ok ? "valid" : "CORRUPT");
+    std::printf("  size      %llu bytes\n",
+                static_cast<unsigned long long>(info->file_bytes));
+    std::printf("  magic     0x%016llx  version %u\n",
+                static_cast<unsigned long long>(info->magic),
+                info->version);
+    std::printf("  checksum  stored 0x%016llx  computed 0x%016llx\n",
+                static_cast<unsigned long long>(info->stored_checksum),
+                static_cast<unsigned long long>(info->computed_checksum));
+    std::printf("  records   %u programs, %u inputs, %u what-ifs, "
+                "%u block heaps, %llu string bytes\n",
+                info->program_count, info->input_count,
+                info->whatif_count, info->block_heap_count,
+                static_cast<unsigned long long>(info->string_bytes));
+    if (!ok) {
+      std::printf("  [artifact] error: %s\n",
+                  info->integrity.ToString().c_str());
+    }
+  }
+  return ok;
 }
 
 bool ParseInput(const std::string& spec, InputSpec* out) {
@@ -79,6 +146,7 @@ struct StageResult {
 
 int main(int argc, char** argv) {
   std::vector<std::string> scripts;
+  std::vector<std::string> artifacts;
   std::vector<InputSpec> inputs;
   ScriptArgs args;
   bool grid = false;
@@ -104,6 +172,10 @@ int main(int argc, char** argv) {
       grid = true;
     } else if (flag == "--points") {
       points = std::atoi(next().c_str());
+    } else if (flag == "--artifact") {
+      artifacts.push_back(next());
+    } else if (flag.rfind("--artifact=", 0) == 0) {
+      artifacts.push_back(flag.substr(std::string("--artifact=").size()));
     } else if (flag == "--json") {
       json = true;
     } else if (!flag.empty() && flag[0] == '-') {
@@ -112,7 +184,7 @@ int main(int argc, char** argv) {
       scripts.push_back(flag);
     }
   }
-  if (scripts.empty()) Usage();
+  if (scripts.empty() && artifacts.empty()) Usage();
   if (inputs.empty()) {
     // Canonical bindings shared with the test suite: a 1M x 1k feature
     // matrix and its label vector, under the standard argument names.
@@ -223,8 +295,18 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::string artifact_json = "";
+  for (const std::string& artifact : artifacts) {
+    std::string entry;
+    if (!LintArtifact(artifact, json, &entry)) any_errors = true;
+    if (json) {
+      if (!artifact_json.empty()) artifact_json += ",";
+      artifact_json += entry;
+    }
+  }
+
   if (json) {
-    json_out += "]}";
+    json_out += "],\"artifacts\":[" + artifact_json + "]}";
     std::printf("%s\n", json_out.c_str());
   }
   return any_errors ? 1 : 0;

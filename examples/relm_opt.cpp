@@ -17,7 +17,7 @@
 #include <string>
 #include <vector>
 
-#include "api/relm_system.h"
+#include "api/session.h"
 #include "common/string_util.h"
 #include "lops/compiler_backend.h"
 
@@ -113,7 +113,7 @@ int main(int argc, char** argv) {
   }
   if (script.empty() || inputs.empty()) Usage();
 
-  RelmSystem sys;
+  Session sys;
   for (const InputSpec& in : inputs) {
     sys.RegisterMatrixMetadata(in.path, in.rows, in.cols, in.sparsity);
     args[in.arg_name] = in.path;
@@ -129,17 +129,18 @@ int main(int argc, char** argv) {
               (*prog)->source_lines(), (*prog)->total_blocks(),
               (*prog)->has_unknowns() ? "yes" : "no");
 
-  OptimizerStats stats;
-  auto config = sys.OptimizeResources(prog->get(), &stats, opt_options);
-  if (!config.ok()) {
+  auto outcome = sys.Optimize(prog->get(), opt_options);
+  if (!outcome.ok()) {
     std::fprintf(stderr, "optimizer error: %s\n",
-                 config.status().ToString().c_str());
+                 outcome.status().ToString().c_str());
     return 1;
   }
-  std::printf("optimized resources: %s\n", config->ToString().c_str());
+  const ResourceConfig& config = outcome->config;
+  const OptimizerStats& stats = outcome->stats;
+  std::printf("optimized resources: %s\n", config.ToString().c_str());
   std::printf("container request: %s (AM)\n",
               FormatBytes(sys.cluster().ContainerRequestForHeap(
-                              config->cp_heap))
+                              config.cp_heap))
                   .c_str());
   std::printf("optimizer: %s\n\n", stats.ToString().c_str());
 
@@ -149,13 +150,13 @@ int main(int argc, char** argv) {
     std::printf("%-6s %-26s %12.1f\n", baseline.name,
                 baseline.config.ToString().c_str(), *est);
   }
-  auto est = sys.EstimateCost(prog->get(), *config);
-  std::printf("%-6s %-26s %12.1f\n", "Opt", config->ToString().c_str(),
+  auto est = sys.EstimateCost(prog->get(), config);
+  std::printf("%-6s %-26s %12.1f\n", "Opt", config.ToString().c_str(),
               *est);
 
   if (explain) {
     CompileCounters counters;
-    auto rp = GenerateRuntimeProgram(prog->get(), sys.cluster(), *config,
+    auto rp = GenerateRuntimeProgram(prog->get(), sys.cluster(), config,
                                      &counters);
     if (rp.ok()) {
       std::printf("\n---- runtime plan under Opt ----\n%s",
@@ -167,7 +168,7 @@ int main(int argc, char** argv) {
     SimOptions sim_options;
     sim_options.enable_adaptation = adapt;
     auto clone = (*prog)->Clone();
-    auto run = sys.Simulate(clone->get(), *config, sim_options);
+    auto run = sys.Simulate(clone->get(), config, sim_options);
     if (run.ok()) {
       std::printf("\nsimulated execution: %.1fs, %d MR jobs, "
                   "%d recompiles, %d migrations\n",

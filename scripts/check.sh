@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Extended check build, nine stages in separate trees:
+# Extended check build, ten stages in separate trees:
 #
 #   1. ASan+UBSan Debug build running the full test suite (catches
 #      allocation bugs and UB in the simulator's recovery logic);
@@ -30,8 +30,15 @@
 #      bitwise-identical recovery — never a leak, race, or corruption;
 #   9. the perf-regression gate: a PLAIN (unsanitized, like the
 #      committed baseline) tree runs bench_ext_exec three times and
-#      scripts/bench_gate.py fails the build when any end_to_end row
-#      regresses more than 25% against BENCH_exec.json.
+#      scripts/bench_gate.py fails the build when any end_to_end or
+#      cold_start row regresses more than the threshold against
+#      BENCH_exec.json;
+#  10. the cold-start round trip: the plain tree and the ASan tree each
+#      run the artifact-store suite plus the bench_fig12_throughput
+#      --cold-start gate (warm process must reach its first plan >= 2x
+#      faster with zero full compiles), and relm-lint --artifact must
+#      accept the artifact the bench wrote and reject a bit-flipped
+#      copy of it.
 #
 # TSan is incompatible with ASan, hence the separate tree. Slower than
 # the default build; use before merging changes that touch allocation
@@ -149,5 +156,29 @@ done
 python3 "$repo_root/scripts/bench_gate.py" \
   --baseline "$repo_root/BENCH_exec.json" --threshold 1.5 \
   "${prefix}-gate"/bench_exec_run{1,2,3}.json
+
+echo "=== stage 10: cold-start round trip (plain + ASan) ==="
+# The persistent plan-artifact store end to end: the warm process must
+# hit the store (zero full compiles, >= 2x faster first plan — the
+# bench exits non-zero otherwise), the flushed artifact must pass the
+# lint audit, and a corrupted copy must fail it.
+store_filter='ArtifactStoreOptionsTest|PlanArtifactStoreTest|CorruptionTest|PortableSignatureTest|ColdStartTest'
+for tree in "${prefix}-gate" "${prefix}-asan"; do
+  cmake --build "$tree" -j "$(nproc)" \
+    --target store_test bench_fig12_throughput relm-lint
+  ctest --test-dir "$tree" --output-on-failure -R "$store_filter"
+  artifact="$tree/cold_start.relmplan"
+  rm -f "$artifact"
+  "$tree/bench/bench_fig12_throughput" --cold-start --artifact="$artifact"
+  "$tree/examples/relm-lint" --artifact "$artifact"
+  # Truncating below the header's payload size is a deterministic
+  # corruption: the store (and lint) must reject it every time.
+  head -c 100 "$artifact" > "$artifact.bad"
+  if "$tree/examples/relm-lint" --artifact "$artifact.bad" >/dev/null; then
+    echo "relm-lint accepted a corrupted artifact" >&2
+    exit 1
+  fi
+  rm -f "$artifact" "$artifact.bad"
+done
 
 echo "all check stages passed"

@@ -1,35 +1,35 @@
 #ifndef RELM_API_RELM_SYSTEM_H_
 #define RELM_API_RELM_SYSTEM_H_
 
+// DEPRECATED compatibility header. RelmSystem was the original facade
+// over the ReLM library; Session (api/session.h) replaced it — Result<T>
+// everywhere, OptimizerStats folded into OptimizeOutcome, read-through
+// plan caching, persistent artifacts — and every in-tree bench, test,
+// and example now uses Session directly. This header-only shim keeps
+// out-of-tree callers compiling for one release (see the migration
+// section in README.md for the timeline) and then goes away. No logic
+// lives here: every member is a one-line forward onto an uncached
+// Session.
+
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "api/session.h"
-#include "common/status.h"
-#include "core/resource_optimizer.h"
-#include "hdfs/file_system.h"
-#include "hops/ml_program.h"
-#include "lops/resources.h"
-#include "mrsim/cluster_simulator.h"
-#include "runtime/interpreter.h"
-#include "yarn/cluster_config.h"
 
 namespace relm {
 
-/// DEPRECATED high-level facade over the ReLM library, kept as a thin
-/// shim so existing examples and benchmark harnesses migrate
-/// incrementally. New code should use Session (api/session.h), which
-/// returns Result<T> everywhere (no out-params), folds OptimizerStats
-/// into OptimizeOutcome, and reads through the shared plan/what-if
-/// cache; concurrent submissions belong in serve::JobService.
-///
-/// Differences from Session: RelmSystem runs with plan caching disabled
-/// so its per-call costs (recompiles, cost invocations) match the
-/// pre-caching system — benchmark baselines depend on that.
-class RelmSystem {
+/// \deprecated Use Session (api/session.h); concurrent submissions
+/// belong in serve::JobService. RelmSystem runs with plan caching
+/// disabled so its per-call costs match the pre-caching system.
+class [[deprecated(
+    "RelmSystem is a compatibility shim; use Session "
+    "(api/session.h)")]] RelmSystem {
  public:
-  explicit RelmSystem(ClusterConfig cc = ClusterConfig::PaperCluster());
+  explicit RelmSystem(ClusterConfig cc = ClusterConfig::PaperCluster())
+      : session_(std::move(cc),
+                 SessionOptions().WithPlanCacheEnabled(false)) {}
 
   const ClusterConfig& cluster() const { return session_.cluster(); }
   SimulatedHdfs& hdfs() { return session_.hdfs(); }
@@ -38,53 +38,65 @@ class RelmSystem {
 
   /// \deprecated Use Session::RegisterMatrixMetadata (returns Status).
   void RegisterMatrixMetadata(const std::string& path, int64_t rows,
-                              int64_t cols, double sparsity = 1.0);
+                              int64_t cols, double sparsity = 1.0) {
+    Status ignored =
+        session_.RegisterMatrixMetadata(path, rows, cols, sparsity);
+    (void)ignored;  // the legacy signature has no error channel
+  }
   /// \deprecated Use Session::RegisterMatrix (returns Status).
-  void RegisterMatrix(const std::string& path, MatrixBlock data);
+  void RegisterMatrix(const std::string& path, MatrixBlock data) {
+    Status ignored = session_.RegisterMatrix(path, std::move(data));
+    (void)ignored;
+  }
 
-  /// Compiles a DML script from a file / from source.
   Result<std::unique_ptr<MlProgram>> CompileFile(const std::string& path,
-                                                 const ScriptArgs& args);
+                                                 const ScriptArgs& args) {
+    return session_.CompileFile(path, args);
+  }
   Result<std::unique_ptr<MlProgram>> CompileSource(
-      const std::string& source, const ScriptArgs& args);
+      const std::string& source, const ScriptArgs& args) {
+    return session_.CompileSource(source, args);
+  }
 
   /// \deprecated Out-param stats convention. Use Session::Optimize,
   /// which returns OptimizeOutcome{config, stats}.
   Result<ResourceConfig> OptimizeResources(
       MlProgram* program, OptimizerStats* stats = nullptr,
-      const OptimizerOptions& options = OptimizerOptions());
+      const OptimizerOptions& options = OptimizerOptions()) {
+    RELM_ASSIGN_OR_RETURN(OptimizeOutcome outcome,
+                          session_.Optimize(program, options));
+    if (stats != nullptr) *stats = std::move(outcome.stats);
+    return outcome.config;
+  }
 
-  /// Estimated cost of running `program` under `config` (seconds),
-  /// optionally through a measured-throughput calibration.
   Result<double> EstimateCost(
       MlProgram* program, const ResourceConfig& config,
-      const obs::CalibratedOpRegistry* calibration = nullptr);
+      const obs::CalibratedOpRegistry* calibration = nullptr) {
+    return session_.EstimateCost(program, config, calibration);
+  }
 
   /// \deprecated Alias of relm::RealRun, kept for source compatibility.
   using RealRun = ::relm::RealRun;
-  /// Executes the program for real on in-memory data (correctness path;
-  /// all read() inputs must have payloads).
-  Result<RealRun> ExecuteReal(MlProgram* program, bool echo = false);
+  Result<RealRun> ExecuteReal(MlProgram* program, bool echo = false) {
+    return session_.ExecuteReal(program, RealRunOptions().WithEcho(echo));
+  }
 
-  /// Simulated "measured" execution on the cluster model. Mutates the
-  /// program's IR with sizes discovered at runtime.
   Result<SimResult> Simulate(MlProgram* program,
                              const ResourceConfig& config,
                              const SimOptions& options = SimOptions(),
-                             const SymbolMap& oracle = {});
+                             const SymbolMap& oracle = {}) {
+    return session_.Simulate(program, config, options, oracle);
+  }
 
   /// \deprecated Alias of relm::StaticBaseline.
   using Baseline = ::relm::StaticBaseline;
-  /// The paper's four static baseline configurations (Section 5.1):
-  /// B-SS, B-LS, B-SL, B-LL.
-  std::vector<Baseline> StaticBaselines() const;
+  std::vector<Baseline> StaticBaselines() const {
+    return session_.StaticBaselines();
+  }
 
-  /// Writes the process-wide telemetry — Chrome-trace spans collected so
-  /// far plus a snapshot of every metric — as trace-event JSON loadable
-  /// in Perfetto / chrome://tracing. Call after the runs of interest;
-  /// tracing must have been enabled (Tracer::Global().SetEnabled(true))
-  /// for spans to be present, metrics are always collected.
-  static Status DumpTelemetry(const std::string& path);
+  static Status DumpTelemetry(const std::string& path) {
+    return Session::DumpTelemetry(path);
+  }
 
  private:
   Session session_;

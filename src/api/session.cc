@@ -10,13 +10,57 @@
 
 namespace relm {
 
+Status RealRunOptions::Validate() const {
+  if (workers < 0) {
+    return Status::InvalidArgument(
+        "RealRunOptions: workers must be >= 0 (0 = process default)");
+  }
+  if (memory_budget < 0) {
+    return Status::InvalidArgument(
+        "RealRunOptions: memory_budget must be >= 0 (0 = unmanaged)");
+  }
+  return Status::OK();
+}
+
+Status SessionOptions::Validate() const {
+  if (!artifact_store.path.empty()) {
+    if (!enable_plan_cache) {
+      return Status::InvalidArgument(
+          "SessionOptions: an artifact store requires the plan cache "
+          "(enable_plan_cache = true)");
+    }
+    RELM_RETURN_IF_ERROR(artifact_store.Validate());
+  }
+  return Status::OK();
+}
+
 Session::Session(ClusterConfig cc, SessionOptions options)
     : state_(std::make_shared<State>(cc)) {
+  state_->store_status = options.Validate();
   if (options.enable_plan_cache) {
     state_->cache = options.plan_cache != nullptr ? options.plan_cache
                                                   : &PlanCache::Global();
+    if (state_->store_status.ok() && !options.artifact_store.path.empty()) {
+      // Persistence is strictly best-effort: any open/load failure is
+      // recorded in store_status and the session degrades to plain
+      // in-process caching (clean recompiles, never a crash).
+      Result<std::shared_ptr<store::PlanArtifactStore>> opened =
+          store::PlanArtifactStore::Open(options.artifact_store);
+      if (opened.ok()) {
+        state_->store = std::move(*opened);
+        state_->store_status = state_->store->load_status();
+        state_->cache->AttachStore(state_->store);
+      } else {
+        state_->store_status = opened.status();
+      }
+    }
   }
   state_->analyze_compiles = options.analyze_compiles;
+}
+
+Status Session::FlushArtifacts() {
+  if (state_->store == nullptr) return Status::OK();
+  return state_->store->Flush();
 }
 
 Status Session::RegisterMatrixMetadata(const std::string& path,
@@ -105,9 +149,8 @@ Result<double> Session::EstimateCost(
 }
 
 Result<RealRun> Session::ExecuteReal(MlProgram* program, bool echo) {
-  RealRunOptions options;
-  options.echo = echo;
-  return ExecuteReal(program, options);
+  // Deprecated shim; the options overload is the real entry point.
+  return ExecuteReal(program, RealRunOptions().WithEcho(echo));
 }
 
 Result<RealRun> Session::ExecuteReal(MlProgram* program,
@@ -115,6 +158,7 @@ Result<RealRun> Session::ExecuteReal(MlProgram* program,
   if (program == nullptr) {
     return Status::InvalidArgument("ExecuteReal: program must not be null");
   }
+  RELM_RETURN_IF_ERROR(options.Validate());
   if (options.strict_analysis) {
     // Pre-run audit: compile the plan the run claims to execute under
     // and check every invariant, including that the engine's memory

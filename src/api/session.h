@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "core/plan_cache.h"
+#include "store/plan_artifact_store.h"
 #include "core/resource_optimizer.h"
 #include "hdfs/file_system.h"
 #include "hops/ml_program.h"
@@ -37,6 +38,9 @@ struct RealRun {
 };
 
 /// Knobs for a real, in-process execution through the unified engine.
+/// Builder-setter + Validate()-on-use shape, like ServeOptions and
+/// ArtifactStoreOptions: construct, chain With*() calls, and ExecuteReal
+/// validates before running.
 struct RealRunOptions {
   /// Echo print() lines to stdout as they commit.
   bool echo = false;
@@ -62,6 +66,41 @@ struct RealRunOptions {
   /// Lets a retrying caller keep one injector across attempts so
   /// retries draw fresh faults instead of replaying the failed ones.
   exec::ChaosInjector* chaos = nullptr;
+
+  /// Rejects nonsensical combinations (negative worker count or memory
+  /// budget, strict analysis without a resource configuration) with
+  /// InvalidArgument. Run by ExecuteReal; also available directly.
+  Status Validate() const;
+
+  // ---- chainable named setters (builder-style construction) ----
+  RealRunOptions& WithEcho(bool on) {
+    echo = on;
+    return *this;
+  }
+  RealRunOptions& WithWorkers(int n) {
+    workers = n;
+    return *this;
+  }
+  RealRunOptions& WithMemoryBudget(int64_t bytes) {
+    memory_budget = bytes;
+    return *this;
+  }
+  RealRunOptions& WithStrictAnalysis(bool on) {
+    strict_analysis = on;
+    return *this;
+  }
+  RealRunOptions& WithResources(ResourceConfig config) {
+    resources = std::move(config);
+    return *this;
+  }
+  RealRunOptions& WithFaults(exec::FaultPolicy policy) {
+    faults = policy;
+    return *this;
+  }
+  RealRunOptions& WithChaos(exec::ChaosInjector* injector) {
+    chaos = injector;
+    return *this;
+  }
 };
 
 /// One of the paper's static baseline configurations (Section 5.1).
@@ -70,7 +109,8 @@ struct StaticBaseline {
   ResourceConfig config;
 };
 
-/// Session construction knobs.
+/// Session construction knobs. Same builder-setter + Validate()-on-use
+/// shape as ServeOptions/RealRunOptions/ArtifactStoreOptions.
 struct SessionOptions {
   /// Read-through plan/what-if caching for compiles and optimizations
   /// issued through this session. Disabled sessions behave exactly like
@@ -83,6 +123,37 @@ struct SessionOptions {
   /// session compiles (including cache hits, whose clones are cheap to
   /// re-audit) and fail CompileSource on error-severity diagnostics.
   bool analyze_compiles = true;
+  /// Persistent plan-artifact store backing the plan cache (DESIGN.md
+  /// §14). An empty path (the default) leaves persistence off; with a
+  /// path set, the session opens the artifact at construction, attaches
+  /// it to its plan cache, and compiled plans plus what-if costings
+  /// survive the process — a fresh session against a warm artifact
+  /// reaches its first result with zero full compiles.
+  ArtifactStoreOptions artifact_store;
+
+  /// Rejects nonsensical combinations (a configured artifact store
+  /// while caching is disabled, invalid store options) with
+  /// InvalidArgument. Run by the Session constructor; failures are
+  /// surfaced through Session::artifact_store_status().
+  Status Validate() const;
+
+  // ---- chainable named setters (builder-style construction) ----
+  SessionOptions& WithPlanCacheEnabled(bool on) {
+    enable_plan_cache = on;
+    return *this;
+  }
+  SessionOptions& WithPlanCache(PlanCache* cache) {
+    plan_cache = cache;
+    return *this;
+  }
+  SessionOptions& WithAnalyzeCompiles(bool on) {
+    analyze_compiles = on;
+    return *this;
+  }
+  SessionOptions& WithArtifactStore(ArtifactStoreOptions store) {
+    artifact_store = std::move(store);
+    return *this;
+  }
 };
 
 /// A client's handle onto one simulated cluster: the cluster model, the
@@ -113,6 +184,23 @@ class Session {
   /// The cache compiles/optimizations read through; nullptr when
   /// caching is disabled for this session.
   PlanCache* plan_cache() const { return state_->cache; }
+  /// The persistent artifact store opened from
+  /// SessionOptions::artifact_store; nullptr when persistence is off or
+  /// the open failed (see artifact_store_status()).
+  const std::shared_ptr<store::PlanArtifactStore>& artifact_store() const {
+    return state_->store;
+  }
+  /// OK when persistence is off or the artifact loaded cleanly;
+  /// otherwise why the store started empty (corrupt file, version
+  /// skew) or could not be opened at all (invalid options). A non-OK
+  /// status never fails the session — it degrades to plain in-process
+  /// caching.
+  const Status& artifact_store_status() const {
+    return state_->store_status;
+  }
+  /// Persists pending plan artifacts now instead of at destruction
+  /// (fleet warm-up, tests). No-op without a writable store.
+  Status FlushArtifacts();
 
   /// Registers a metadata-only input (benchmark scale). Rejects empty
   /// paths, non-positive dimensions, and sparsity outside [0, 1].
@@ -144,14 +232,18 @@ class Session {
       MlProgram* program, const ResourceConfig& config,
       const obs::CalibratedOpRegistry* calibration = nullptr);
 
-  /// Executes the program for real on in-memory data (correctness path;
-  /// all read() inputs must have payloads).
-  Result<RealRun> ExecuteReal(MlProgram* program, bool echo = false);
-  /// Same, with full engine control: worker count, CP memory budget
-  /// (spilling to the session HDFS under pressure), and an optional
-  /// pre-run strict plan audit with the budget-conformance check.
+  /// Executes the program for real on in-memory data (correctness
+  /// path; all read() inputs must have payloads) with full engine
+  /// control: worker count, CP memory budget (spilling to the session
+  /// HDFS under pressure), and an optional pre-run strict plan audit
+  /// with the budget-conformance check.
   Result<RealRun> ExecuteReal(MlProgram* program,
-                              const RealRunOptions& options);
+                              const RealRunOptions& options =
+                                  RealRunOptions());
+  /// Deprecated forwarding shim for the old ad-hoc bool overload.
+  [[deprecated("fold the flag into RealRunOptions: "
+               "ExecuteReal(program, RealRunOptions().WithEcho(echo))")]]
+  Result<RealRun> ExecuteReal(MlProgram* program, bool echo);
 
   /// Simulated "measured" execution on the cluster model. Mutates the
   /// program's IR with sizes discovered at runtime. Runtime
@@ -180,6 +272,10 @@ class Session {
     SimulatedHdfs hdfs;
     PlanCache* cache = nullptr;  // not owned
     bool analyze_compiles = true;
+    /// Owned artifact store (shared with the cache via AttachStore so
+    /// destruction order does not matter) and the open-time verdict.
+    std::shared_ptr<store::PlanArtifactStore> store;
+    Status store_status;
   };
   std::shared_ptr<State> state_;
 };

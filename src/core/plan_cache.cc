@@ -55,10 +55,12 @@ uint64_t ComputeScriptSignature(const std::string& source,
   return h;
 }
 
-uint64_t ComputeProgramSignature(const MlProgram& program) {
-  uint64_t h =
-      ComputeScriptSignature(program.source(), program.args(),
-                             program.hdfs());
+namespace {
+
+// Folds the dynamic-recompilation state (accumulated size overrides)
+// into a base script digest; shared by the in-process and portable
+// program signatures so both invalidate identically on re-optimization.
+uint64_t FoldSizeOverrides(uint64_t h, const MlProgram& program) {
   for (const auto& [name, info] : program.size_overrides()) {
     HashString(&h, name);
     HashInt(&h, static_cast<int64_t>(info.dtype));
@@ -70,6 +72,59 @@ uint64_t ComputeProgramSignature(const MlProgram& program) {
     HashString(&h, info.string_value);
   }
   return h;
+}
+
+}  // namespace
+
+uint64_t ComputeProgramSignature(const MlProgram& program) {
+  return FoldSizeOverrides(
+      ComputeScriptSignature(program.source(), program.args(),
+                             program.hdfs()),
+      program);
+}
+
+uint64_t ComputeLeafInputSignature(const ScriptArgs& args,
+                                   const SimulatedHdfs* hdfs) {
+  uint64_t h = kFnvOffset;
+  if (hdfs == nullptr) return h;
+  // ScriptArgs is an ordered map, so the digest is deterministic. Only
+  // argument values that name registered files contribute: those are
+  // the program's leaf inputs, and drift anywhere else in the namespace
+  // must not invalidate this program's artifacts.
+  for (const auto& [key, value] : args) {
+    Result<HdfsFile> file = hdfs->Get(value);
+    if (!file.ok()) continue;
+    HashString(&h, value);
+    HashInt(&h, file->characteristics.rows());
+    HashInt(&h, file->characteristics.cols());
+    HashInt(&h, file->characteristics.nnz());
+    HashInt(&h, static_cast<int64_t>(file->format));
+    HashInt(&h, file->size_bytes);
+  }
+  return h;
+}
+
+uint64_t ComputePortableScriptSignature(const std::string& source,
+                                        const ScriptArgs& args,
+                                        const SimulatedHdfs* hdfs) {
+  uint64_t h = kFnvOffset;
+  HashString(&h, source);
+  for (const auto& [key, value] : args) {
+    HashString(&h, key);
+    HashString(&h, value);
+  }
+  // No instance id and no whole-namespace fingerprint: this digest must
+  // be stable across processes and insensitive to unrelated files, so
+  // only the program's own leaf inputs are folded in.
+  HashInt(&h, static_cast<int64_t>(ComputeLeafInputSignature(args, hdfs)));
+  return h;
+}
+
+uint64_t ComputePortableProgramSignature(const MlProgram& program) {
+  return FoldSizeOverrides(
+      ComputePortableScriptSignature(program.source(), program.args(),
+                                     program.hdfs()),
+      program);
 }
 
 uint64_t ComputeOptimizerContextHash(const ClusterConfig& cc,
@@ -137,6 +192,7 @@ Result<std::unique_ptr<MlProgram>> PlanCache::GetOrCompile(
   uint64_t sig = ComputeScriptSignature(source, args, hdfs);
   std::shared_ptr<MlProgram> master;
   std::shared_ptr<InFlight> flight;
+  std::shared_ptr<PlanStore> store;
   bool leader = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -155,8 +211,7 @@ Result<std::unique_ptr<MlProgram>> PlanCache::GetOrCompile(
         leader = true;
         flight = std::make_shared<InFlight>();
         inflight_[sig] = flight;
-        stats_.program_misses++;
-        RELM_COUNTER_INC("plan_cache.program_misses");
+        store = store_;
       }
     }
   }
@@ -175,6 +230,34 @@ Result<std::unique_ptr<MlProgram>> PlanCache::GetOrCompile(
     }
     RELM_COUNTER_INC("plan_cache.program_hits");
     return flight->master->Clone();
+  }
+
+  // Leader with an attached store: ask it (outside the lock — the store
+  // may touch disk) whether it already holds validated artifacts for
+  // this script against these exact leaf inputs. If so the compile
+  // below is pure hydration of previously published work and counts as
+  // a store hit, not a miss — "zero full compiles" on a warm cold-start
+  // means exactly this counter split.
+  bool store_hit = false;
+  uint64_t portable_sig = 0;
+  if (store != nullptr) {
+    portable_sig = ComputePortableScriptSignature(source, args, hdfs);
+    store_hit = store->HasValidProgram(portable_sig, hdfs);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (store_hit) {
+      stats_.program_hits++;
+      stats_.store_program_hits++;
+    } else {
+      stats_.program_misses++;
+    }
+  }
+  if (store_hit) {
+    RELM_COUNTER_INC("plan_cache.program_hits");
+    RELM_COUNTER_INC("plan_cache.store_program_hits");
+  } else {
+    RELM_COUNTER_INC("plan_cache.program_misses");
   }
 
   // Leader: compile once (and clone the caller's private copy) outside
@@ -233,27 +316,74 @@ Result<std::unique_ptr<MlProgram>> PlanCache::GetOrCompile(
   }
   flight->promise.set_value();
   if (!failure.ok()) return failure;
+  // Write-behind: publish the program record (portable signature +
+  // leaf-input snapshot) so future processes can treat this compile as
+  // hydration. Re-recording a store hit would only rewrite identical
+  // metadata, so skip it.
+  if (store != nullptr && !store_hit) {
+    store->RecordProgram(portable_sig, args, hdfs);
+  }
   return copy;
 }
 
 std::optional<PlanCache::CachedCandidate> PlanCache::LookupWhatIf(
     const WhatIfKey& key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = whatif_.find(key);
-  if (it == whatif_.end()) {
-    stats_.whatif_misses++;
-    RELM_COUNTER_INC("plan_cache.whatif_misses");
-    return std::nullopt;
+  std::shared_ptr<PlanStore> store;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = whatif_.find(key);
+    if (it != whatif_.end()) {
+      stats_.whatif_hits++;
+      RELM_COUNTER_INC("plan_cache.whatif_hits");
+      whatif_lru_.splice(whatif_lru_.begin(), whatif_lru_,
+                         it->second.lru_it);
+      return it->second.candidate;
+    }
+    store = store_;
   }
-  stats_.whatif_hits++;
-  RELM_COUNTER_INC("plan_cache.whatif_hits");
-  whatif_lru_.splice(whatif_lru_.begin(), whatif_lru_, it->second.lru_it);
-  return it->second.candidate;
+  // In-memory miss: read through to the persistent store (outside mu_ —
+  // the lookup may touch disk). A hit is promoted into the LRU so the
+  // grid loop's next pass over the same point stays in memory.
+  if (store != nullptr && key.portable_sig != 0) {
+    std::optional<CachedCandidate> hydrated = store->LookupWhatIf(
+        PortableWhatIfKey{key.portable_sig, key.context_hash, key.cp_heap,
+                          key.cp_cores});
+    if (hydrated.has_value()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.whatif_hits++;
+      stats_.store_whatif_hits++;
+      RELM_COUNTER_INC("plan_cache.whatif_hits");
+      RELM_COUNTER_INC("plan_cache.store_whatif_hits");
+      InsertWhatIfLocked(key, *hydrated);
+      return hydrated;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.whatif_misses++;
+  RELM_COUNTER_INC("plan_cache.whatif_misses");
+  return std::nullopt;
 }
 
 void PlanCache::InsertWhatIf(const WhatIfKey& key,
                              CachedCandidate candidate) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<PlanStore> store;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    store = store_;
+    InsertWhatIfLocked(key, candidate);
+  }
+  // Write-behind, outside mu_: the store serializes internally and a
+  // read-only store drops the record.
+  if (store != nullptr && key.portable_sig != 0) {
+    store->RecordWhatIf(
+        PortableWhatIfKey{key.portable_sig, key.context_hash, key.cp_heap,
+                          key.cp_cores},
+        candidate);
+  }
+}
+
+void PlanCache::InsertWhatIfLocked(const WhatIfKey& key,
+                                   CachedCandidate candidate) {
   auto it = whatif_.find(key);
   if (it != whatif_.end()) {
     it->second.candidate = std::move(candidate);
@@ -268,6 +398,16 @@ void PlanCache::InsertWhatIf(const WhatIfKey& key,
     stats_.evictions++;
     RELM_COUNTER_INC("plan_cache.evictions");
   }
+}
+
+void PlanCache::AttachStore(std::shared_ptr<PlanStore> store) {
+  std::lock_guard<std::mutex> lock(mu_);
+  store_ = std::move(store);
+}
+
+std::shared_ptr<PlanStore> PlanCache::store() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_;
 }
 
 PlanCache::Stats PlanCache::stats() const {

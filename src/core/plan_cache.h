@@ -37,6 +37,7 @@
 namespace relm {
 
 struct OptimizerOptions;  // core/resource_optimizer.h
+class PlanStore;          // below
 
 /// Identity of a submitted program for caching purposes: a 64-bit FNV-1a
 /// digest over the script source, the argument bindings, the accumulated
@@ -65,6 +66,29 @@ uint64_t ComputeScriptSignature(const std::string& source,
 uint64_t ComputeOptimizerContextHash(const ClusterConfig& cc,
                                      const OptimizerOptions& opts);
 
+/// Digest of the *leaf inputs* a script binds: for every argument value
+/// that names a registered hdfs path, the path plus its metadata
+/// (rows, cols, nnz, format, size). This is the persistence analogue of
+/// the whole-namespace fingerprint in ComputeScriptSignature: drift in
+/// files the program never reads does not invalidate its artifacts, only
+/// drift in its own inputs does (Tundra-style leaf-input signatures).
+uint64_t ComputeLeafInputSignature(const ScriptArgs& args,
+                                   const SimulatedHdfs* hdfs);
+
+/// Cross-process identity of a (source, args, leaf inputs) triple. Unlike
+/// ComputeScriptSignature this excludes the hdfs instance id and the
+/// whole-namespace fingerprint, so the same script against identically
+/// shaped inputs hashes the same in every process — the key persisted
+/// plan artifacts are stored and re-validated under.
+uint64_t ComputePortableScriptSignature(const std::string& source,
+                                        const ScriptArgs& args,
+                                        const SimulatedHdfs* hdfs);
+
+/// Portable signature of a compiled program (same digest as
+/// ComputePortableScriptSignature of its source/args/inputs, folded with
+/// any accumulated size overrides from dynamic recompilation).
+uint64_t ComputePortableProgramSignature(const MlProgram& program);
+
 /// Key of one what-if evaluation: "what does this program cost at CP
 /// grid point (cp_heap, cp_cores)?".
 struct WhatIfKey {
@@ -72,11 +96,25 @@ struct WhatIfKey {
   uint64_t context_hash = 0;
   int64_t cp_heap = 0;
   int cp_cores = 1;
+  /// Cross-process program identity for the persistent artifact store;
+  /// 0 means "not persistable". Deliberately excluded from equality and
+  /// hashing — in-memory identity stays pinned to the hdfs instance.
+  uint64_t portable_sig = 0;
 
   bool operator==(const WhatIfKey& o) const {
     return program_sig == o.program_sig && context_hash == o.context_hash &&
            cp_heap == o.cp_heap && cp_cores == o.cp_cores;
   }
+};
+
+/// Process-independent what-if key used by the persistent artifact
+/// store: the portable program signature replaces the instance-pinned
+/// one, everything else matches WhatIfKey.
+struct PortableWhatIfKey {
+  uint64_t portable_sig = 0;
+  uint64_t context_hash = 0;
+  int64_t cp_heap = 0;
+  int cp_cores = 1;
 };
 
 class PlanCache {
@@ -111,6 +149,14 @@ class PlanCache {
     int64_t whatif_hits = 0;
     int64_t whatif_misses = 0;
     int64_t evictions = 0;
+    /// Subset of the hits above that were satisfied by the attached
+    /// persistent store rather than by prior work in this process: a
+    /// leader compile whose portable signature the store vouched for
+    /// (store_program_hits), and what-if entries hydrated from disk
+    /// (store_whatif_hits). A warm cold-start shows program_misses == 0
+    /// with these counters equal to the cold run's miss counts.
+    int64_t store_program_hits = 0;
+    int64_t store_whatif_hits = 0;
 
     double WhatIfHitRate() const {
       int64_t total = whatif_hits + whatif_misses;
@@ -138,15 +184,26 @@ class PlanCache {
       const std::string& source, const ScriptArgs& args,
       const SimulatedHdfs* hdfs);
 
-  /// What-if cost cache.
+  /// What-if cost cache. Lookups read through to the attached store on
+  /// an in-memory miss (a disk hit is promoted into the LRU and counted
+  /// as both a whatif_hit and a store_whatif_hit); inserts are written
+  /// behind to the store when the key carries a portable signature.
   std::optional<CachedCandidate> LookupWhatIf(const WhatIfKey& key);
   void InsertWhatIf(const WhatIfKey& key, CachedCandidate candidate);
+
+  /// Attaches (or detaches, with nullptr) a persistent artifact store.
+  /// The cache shares ownership: sessions may be destroyed in any order
+  /// relative to the store they wired in.
+  void AttachStore(std::shared_ptr<PlanStore> store);
+  std::shared_ptr<PlanStore> store() const;
 
   Stats stats() const;
   size_t NumPrograms() const;
   size_t NumWhatIfEntries() const;
 
-  /// Drops all entries and zeroes the stats (tests, bench phases).
+  /// Drops all entries and zeroes the stats (tests, bench phases). The
+  /// attached store, if any, is kept — Clear simulates a process restart
+  /// for which the on-disk artifacts are exactly the state that survives.
   void Clear();
 
  private:
@@ -178,8 +235,14 @@ class PlanCache {
   // instead of each running the full compile.
   struct InFlight;
 
+  // Inserts an already-validated candidate under mu_ without notifying
+  // the store (used when promoting a store hit into the LRU).
+  void InsertWhatIfLocked(const WhatIfKey& key, CachedCandidate candidate)
+      RELM_REQUIRES(mu_);
+
   Options opts_;
   mutable std::mutex mu_;
+  std::shared_ptr<PlanStore> store_ RELM_GUARDED_BY(mu_);
   Stats stats_ RELM_GUARDED_BY(mu_);
   // LRU lists hold keys, most recently used at the front.
   std::list<uint64_t> program_lru_ RELM_GUARDED_BY(mu_);
@@ -189,6 +252,40 @@ class PlanCache {
   std::list<WhatIfKey> whatif_lru_ RELM_GUARDED_BY(mu_);
   std::unordered_map<WhatIfKey, WhatIfEntry, WhatIfKeyHash> whatif_
       RELM_GUARDED_BY(mu_);
+};
+
+/// Persistence hook under PlanCache. Implemented by
+/// store::PlanArtifactStore (src/store/) — declared here so core does
+/// not depend on the store library. All methods must be thread-safe;
+/// the cache calls them outside its own lock, so implementations must
+/// not call back into the cache.
+class PlanStore {
+ public:
+  virtual ~PlanStore() = default;
+
+  /// Disk-side what-if lookup. Returns the hydrated candidate when the
+  /// store holds a valid entry for the key, nullopt otherwise.
+  virtual std::optional<PlanCache::CachedCandidate> LookupWhatIf(
+      const PortableWhatIfKey& key) = 0;
+
+  /// Write-behind of a freshly costed grid point.
+  virtual void RecordWhatIf(const PortableWhatIfKey& key,
+                            const PlanCache::CachedCandidate& candidate) = 0;
+
+  /// True when the store holds a program record for `portable_sig`
+  /// whose recorded leaf-input metadata still matches the live
+  /// namespace — i.e. a recompile of this script is pure hydration of
+  /// previously validated work, not new compilation.
+  virtual bool HasValidProgram(uint64_t portable_sig,
+                               const SimulatedHdfs* hdfs) = 0;
+
+  /// Records a leader-compiled program: its portable signature plus a
+  /// snapshot of the leaf-input metadata it compiled against, so later
+  /// processes can detect per-program input drift (incremental
+  /// recompilation: only programs whose own inputs drifted lose their
+  /// artifacts).
+  virtual void RecordProgram(uint64_t portable_sig, const ScriptArgs& args,
+                             const SimulatedHdfs* hdfs) = 0;
 };
 
 }  // namespace relm

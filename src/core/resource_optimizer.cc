@@ -175,6 +175,7 @@ class ResourceOptimizer::Runner {
     cache_ = opts_.plan_cache;
     if (cache_ != nullptr) {
       program_sig_ = ComputeProgramSignature(*program_);
+      portable_sig_ = ComputePortableProgramSignature(*program_);
       context_hash_ = ComputeOptimizerContextHash(cc_, opts_);
     }
     auto start = Clock::now();
@@ -289,6 +290,7 @@ class ResourceOptimizer::Runner {
     WhatIfKey key;
     key.program_sig = program_sig_;
     key.context_hash = context_hash_;
+    key.portable_sig = portable_sig_;
     key.cp_heap = rc;
     key.cp_cores = cores;
     return key;
@@ -738,6 +740,7 @@ class ResourceOptimizer::Runner {
   std::atomic<int64_t> parallel_cost_invocations_{0};
   PlanCache* cache_ = nullptr;  // not owned; nullptr = caching disabled
   uint64_t program_sig_ = 0;
+  uint64_t portable_sig_ = 0;
   uint64_t context_hash_ = 0;
 };
 

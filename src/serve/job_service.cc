@@ -68,6 +68,9 @@ Status ServeOptions::Validate() const {
     return Status::InvalidArgument(
         "ServeOptions: degrade_after_attempts must be >= 1");
   }
+  if (!artifact_store.path.empty()) {
+    RELM_RETURN_IF_ERROR(artifact_store.Validate());
+  }
   RELM_RETURN_IF_ERROR(retry.Validate());
   RELM_RETURN_IF_ERROR(fault_policy.Validate());
   RELM_RETURN_IF_ERROR(optimizer.Validate());
@@ -161,8 +164,9 @@ bool JobHandle::Cancel() {
 
 JobService::JobService(ClusterConfig cc, ServeOptions options)
     : options_(std::move(options)),
-      session_(cc, SessionOptions{/*enable_plan_cache=*/true,
-                                  options_.plan_cache}),
+      session_(cc, SessionOptions()
+                       .WithPlanCache(options_.plan_cache)
+                       .WithArtifactStore(options_.artifact_store)),
       startup_status_(options_.Validate()) {
   if (options_.max_inflight_container_bytes <= 0) {
     options_.max_inflight_container_bytes = cc.total_memory();

@@ -92,6 +92,12 @@ struct ServeOptions {
   /// Plan/what-if cache shared by all workers (not owned). nullptr
   /// selects PlanCache::Global().
   PlanCache* plan_cache = nullptr;
+  /// Persistent plan-artifact store opened by the service's backing
+  /// Session and attached to the shared plan cache, so a restarted
+  /// fleet node (or a sibling process pointed at the same artifact)
+  /// serves its first jobs from warm plans instead of full compiles.
+  /// Empty path (the default) leaves persistence off.
+  ArtifactStoreOptions artifact_store;
   /// Optimizer/simulator settings applied to every job.
   OptimizerOptions optimizer;
   SimOptions sim;
@@ -149,6 +155,10 @@ struct ServeOptions {
   }
   ServeOptions& WithPlanCache(PlanCache* cache) {
     plan_cache = cache;
+    return *this;
+  }
+  ServeOptions& WithArtifactStore(ArtifactStoreOptions store) {
+    artifact_store = std::move(store);
     return *this;
   }
   ServeOptions& WithOptimizer(OptimizerOptions opts) {

@@ -1,0 +1,106 @@
+#ifndef RELM_STORE_ARTIFACT_FORMAT_H_
+#define RELM_STORE_ARTIFACT_FORMAT_H_
+
+// On-disk layout of a plan-artifact file (DESIGN.md §14): the frozen,
+// checksummed, memory-mappable snapshot of a PlanCache's persistable
+// state. The format follows the frozen-data discipline: fixed-size POD
+// record arrays addressed by index ranges, one string segment addressed
+// by (offset, length), a header carrying counts and an FNV-1a payload
+// checksum, and no pointers — so a validated file can be consumed
+// zero-copy straight out of an mmap.
+//
+//   +----------------+  ArtifactHeader (64 bytes)
+//   | programs       |  program_count  x ProgramRecord   (16 bytes)
+//   | inputs         |  input_count    x InputRecord     (48 bytes)
+//   | what-ifs       |  whatif_count   x WhatIfRecord    (72 bytes)
+//   | block heaps    |  block_heap_cnt x BlockHeapRecord (16 bytes)
+//   | strings        |  string_bytes   (input paths, unterminated)
+//   +----------------+
+//
+// Every multi-byte field is host-endian; the artifact is a same-machine
+// cache, not an interchange format, and the checksum rejects files from
+// a different layout anyway.
+
+#include <cstdint>
+
+namespace relm {
+namespace store {
+
+/// "RELMPLAN" little-endian; any other value fails validation.
+constexpr uint64_t kArtifactMagic = 0x4e414c504d4c4552ULL;
+/// Bumped on any layout change; mismatches are rejected (version skew
+/// degrades to a cold compile, never a misread).
+constexpr uint32_t kArtifactVersion = 1;
+
+struct ArtifactHeader {
+  uint64_t magic = kArtifactMagic;
+  uint32_t version = kArtifactVersion;
+  uint32_t header_bytes = sizeof(ArtifactHeader);
+  /// Bytes following the header; must equal file size - header_bytes.
+  uint64_t payload_bytes = 0;
+  /// FNV-1a over the payload bytes.
+  uint64_t payload_checksum = 0;
+  uint32_t program_count = 0;
+  uint32_t input_count = 0;
+  uint32_t whatif_count = 0;
+  uint32_t block_heap_count = 0;
+  uint64_t string_bytes = 0;
+  uint64_t reserved = 0;
+};
+static_assert(sizeof(ArtifactHeader) == 64, "header layout drifted");
+
+/// One persisted program: its portable signature plus the index range
+/// of the leaf-input metadata snapshot it compiled against.
+struct ProgramRecord {
+  uint64_t portable_sig = 0;
+  uint32_t input_begin = 0;
+  uint32_t input_count = 0;
+};
+static_assert(sizeof(ProgramRecord) == 16, "record layout drifted");
+
+/// Metadata snapshot of one leaf input at compile time. A later process
+/// replays the comparison against its live namespace: any drift marks
+/// the owning program dirty (and only that program — incremental
+/// recompilation).
+struct InputRecord {
+  uint64_t path_off = 0;  // into the string segment
+  uint32_t path_len = 0;
+  uint32_t format = 0;  // DataFormat
+  int64_t rows = 0;
+  int64_t cols = 0;
+  int64_t nnz = 0;
+  int64_t size_bytes = 0;
+};
+static_assert(sizeof(InputRecord) == 48, "record layout drifted");
+
+/// One memoized what-if evaluation: the PortableWhatIfKey fields plus
+/// the flattened CachedCandidate (per-block MR heaps live in the
+/// block-heap array under [block_begin, block_begin + block_count)).
+struct WhatIfRecord {
+  uint64_t portable_sig = 0;
+  uint64_t context_hash = 0;
+  int64_t cp_heap = 0;
+  double cost = 0.0;
+  int64_t cfg_cp_heap = 0;
+  int64_t cfg_default_mr_heap = 0;
+  uint32_t block_begin = 0;
+  uint32_t block_count = 0;
+  int32_t cp_cores = 1;
+  int32_t cfg_cp_cores = 1;
+  int32_t pruned_blocks = 0;
+  int32_t enumerated_blocks = 0;
+};
+static_assert(sizeof(WhatIfRecord) == 72, "record layout drifted");
+
+/// One (generic block id -> MR heap) override of a persisted candidate.
+struct BlockHeapRecord {
+  int64_t heap = 0;
+  int32_t block_id = 0;
+  int32_t pad = 0;
+};
+static_assert(sizeof(BlockHeapRecord) == 16, "record layout drifted");
+
+}  // namespace store
+}  // namespace relm
+
+#endif  // RELM_STORE_ARTIFACT_FORMAT_H_

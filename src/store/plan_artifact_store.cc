@@ -1,0 +1,615 @@
+#include "store/plan_artifact_store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <unordered_set>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace relm {
+
+Status ArtifactStoreOptions::Validate() const {
+  if (path.empty()) {
+    return Status::InvalidArgument(
+        "ArtifactStoreOptions: path must not be empty");
+  }
+  if (max_bytes != 0 && max_bytes < static_cast<int64_t>(
+                                        sizeof(store::ArtifactHeader))) {
+    return Status::InvalidArgument(
+        "ArtifactStoreOptions: max_bytes below the artifact header size");
+  }
+  return Status::OK();
+}
+
+namespace store {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t FnvChecksum(const void* data, size_t n) {
+  uint64_t h = kFnvOffset;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Structural validation of a candidate artifact image. Fills the
+/// best-effort header fields of `info` (when non-null) even for files
+/// that fail, so lint can still report what the header claims.
+Status ValidateImage(const char* data, size_t len, ArtifactInfo* info) {
+  if (info != nullptr) info->file_bytes = len;
+  if (len < sizeof(ArtifactHeader)) {
+    return Status::Internal("artifact rejected: truncated header (" +
+                            std::to_string(len) + " bytes)");
+  }
+  ArtifactHeader h;
+  std::memcpy(&h, data, sizeof(h));
+  if (info != nullptr) {
+    info->magic = h.magic;
+    info->version = h.version;
+    info->stored_checksum = h.payload_checksum;
+    info->program_count = h.program_count;
+    info->input_count = h.input_count;
+    info->whatif_count = h.whatif_count;
+    info->block_heap_count = h.block_heap_count;
+    info->string_bytes = h.string_bytes;
+  }
+  if (h.magic != kArtifactMagic) {
+    return Status::Internal("artifact rejected: bad magic");
+  }
+  if (h.version != kArtifactVersion) {
+    return Status::Internal("artifact rejected: version skew (file v" +
+                            std::to_string(h.version) + ", expected v" +
+                            std::to_string(kArtifactVersion) + ")");
+  }
+  if (h.header_bytes != sizeof(ArtifactHeader)) {
+    return Status::Internal("artifact rejected: bad header size");
+  }
+  if (h.payload_bytes != len - sizeof(ArtifactHeader)) {
+    return Status::Internal("artifact rejected: truncated payload (" +
+                            std::to_string(len - sizeof(ArtifactHeader)) +
+                            " bytes, header claims " +
+                            std::to_string(h.payload_bytes) + ")");
+  }
+  uint64_t expect = uint64_t{h.program_count} * sizeof(ProgramRecord) +
+                    uint64_t{h.input_count} * sizeof(InputRecord) +
+                    uint64_t{h.whatif_count} * sizeof(WhatIfRecord) +
+                    uint64_t{h.block_heap_count} * sizeof(BlockHeapRecord) +
+                    h.string_bytes;
+  if (expect != h.payload_bytes) {
+    return Status::Internal(
+        "artifact rejected: record counts disagree with payload size");
+  }
+  uint64_t checksum = FnvChecksum(data + sizeof(ArtifactHeader),
+                                  h.payload_bytes);
+  if (info != nullptr) info->computed_checksum = checksum;
+  if (checksum != h.payload_checksum) {
+    return Status::Internal("artifact rejected: payload checksum mismatch");
+  }
+  // Cross-reference ranges: every record index and string slice must
+  // land inside its segment, or hydration would read out of bounds.
+  const char* p = data + sizeof(ArtifactHeader);
+  const ProgramRecord* programs =
+      reinterpret_cast<const ProgramRecord*>(p);
+  p += uint64_t{h.program_count} * sizeof(ProgramRecord);
+  const InputRecord* inputs = reinterpret_cast<const InputRecord*>(p);
+  p += uint64_t{h.input_count} * sizeof(InputRecord);
+  const WhatIfRecord* whatifs = reinterpret_cast<const WhatIfRecord*>(p);
+  p += uint64_t{h.whatif_count} * sizeof(WhatIfRecord);
+  p += uint64_t{h.block_heap_count} * sizeof(BlockHeapRecord);
+  for (uint32_t i = 0; i < h.program_count; ++i) {
+    uint64_t end = uint64_t{programs[i].input_begin} +
+                   programs[i].input_count;
+    if (end > h.input_count) {
+      return Status::Internal(
+          "artifact rejected: program input range out of bounds");
+    }
+  }
+  for (uint32_t i = 0; i < h.input_count; ++i) {
+    if (inputs[i].path_off + inputs[i].path_len > h.string_bytes) {
+      return Status::Internal(
+          "artifact rejected: input path slice out of bounds");
+    }
+  }
+  for (uint32_t i = 0; i < h.whatif_count; ++i) {
+    uint64_t end = uint64_t{whatifs[i].block_begin} +
+                   whatifs[i].block_count;
+    if (end > h.block_heap_count) {
+      return Status::Internal(
+          "artifact rejected: what-if block range out of bounds");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ArtifactInfo> InspectArtifact(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    return Status::NotFound("cannot open artifact: " + path);
+  }
+  std::string image((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  ArtifactInfo info;
+  info.path = path;
+  info.integrity = ValidateImage(image.data(), image.size(), &info);
+  return info;
+}
+
+/// One validated artifact file held in an mmap, plus the frozen lookup
+/// indexes pointing straight into the mapping.
+struct PlanArtifactStore::MappedFile {
+  const char* base = nullptr;
+  size_t len = 0;
+  ArtifactHeader header;
+  const ProgramRecord* programs = nullptr;
+  const InputRecord* inputs = nullptr;
+  const WhatIfRecord* whatifs = nullptr;
+  const BlockHeapRecord* block_heaps = nullptr;
+  const char* strings = nullptr;
+  std::unordered_map<uint64_t, const ProgramRecord*> program_index;
+  std::unordered_map<PortableWhatIfKey, const WhatIfRecord*,
+                     PortableKeyHash, PortableKeyEq>
+      whatif_index;
+
+  ~MappedFile() {
+    if (base != nullptr) {
+      ::munmap(const_cast<char*>(base), len);
+    }
+  }
+
+  std::string PathOf(const InputRecord& rec) const {
+    return std::string(strings + rec.path_off, rec.path_len);
+  }
+};
+
+Result<std::shared_ptr<PlanArtifactStore::MappedFile>>
+PlanArtifactStore::LoadFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("cannot open artifact: " + path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return Status::Internal("artifact rejected: cannot stat " + path);
+  }
+  size_t len = static_cast<size_t>(st.st_size);
+  if (len == 0) {
+    ::close(fd);
+    return Status::Internal("artifact rejected: empty file " + path);
+  }
+  void* base = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (base == MAP_FAILED) {
+    return Status::Internal("artifact rejected: mmap failed for " + path);
+  }
+  auto file = std::make_shared<MappedFile>();
+  file->base = static_cast<const char*>(base);
+  file->len = len;
+  Status valid = ValidateImage(file->base, len, nullptr);
+  if (!valid.ok()) return valid;  // dtor unmaps
+  std::memcpy(&file->header, file->base, sizeof(ArtifactHeader));
+  const char* p = file->base + sizeof(ArtifactHeader);
+  file->programs = reinterpret_cast<const ProgramRecord*>(p);
+  p += uint64_t{file->header.program_count} * sizeof(ProgramRecord);
+  file->inputs = reinterpret_cast<const InputRecord*>(p);
+  p += uint64_t{file->header.input_count} * sizeof(InputRecord);
+  file->whatifs = reinterpret_cast<const WhatIfRecord*>(p);
+  p += uint64_t{file->header.whatif_count} * sizeof(WhatIfRecord);
+  file->block_heaps = reinterpret_cast<const BlockHeapRecord*>(p);
+  p += uint64_t{file->header.block_heap_count} * sizeof(BlockHeapRecord);
+  file->strings = p;
+  for (uint32_t i = 0; i < file->header.program_count; ++i) {
+    file->program_index[file->programs[i].portable_sig] =
+        &file->programs[i];
+  }
+  for (uint32_t i = 0; i < file->header.whatif_count; ++i) {
+    const WhatIfRecord& r = file->whatifs[i];
+    file->whatif_index[PortableWhatIfKey{r.portable_sig, r.context_hash,
+                                         r.cp_heap, r.cp_cores}] = &r;
+  }
+  return file;
+}
+
+PlanArtifactStore::PlanArtifactStore(ArtifactStoreOptions options)
+    : options_(std::move(options)) {}
+
+Result<std::shared_ptr<PlanArtifactStore>> PlanArtifactStore::Open(
+    const ArtifactStoreOptions& options) {
+  RELM_RETURN_IF_ERROR(options.Validate());
+  std::shared_ptr<PlanArtifactStore> s(new PlanArtifactStore(options));
+  struct stat st;
+  if (::stat(options.path.c_str(), &st) != 0) {
+    // Absent file: a cold store that will be created on first flush.
+    return s;
+  }
+  Result<std::shared_ptr<MappedFile>> loaded = LoadFile(options.path);
+  if (loaded.ok()) {
+    std::lock_guard<std::mutex> lock(s->mu_);
+    s->frozen_ = std::move(*loaded);
+    RELM_COUNTER_INC("plan_store.loads");
+  } else {
+    // Corrupt / truncated / version-skewed: reject and start empty so
+    // the system falls back to clean recompilation.
+    s->load_status_ = loaded.status();
+    RELM_COUNTER_INC("plan_store.load_rejects");
+  }
+  return s;
+}
+
+PlanArtifactStore::~PlanArtifactStore() {
+  // Best-effort: a failed final flush only loses warm-cache entries.
+  Status flushed = Flush();
+  (void)flushed;
+}
+
+PlanCache::CachedCandidate PlanArtifactStore::Hydrate(
+    const MappedFile& file, const WhatIfRecord& rec) {
+  PlanCache::CachedCandidate cand;
+  cand.config.cp_heap = rec.cfg_cp_heap;
+  cand.config.default_mr_heap = rec.cfg_default_mr_heap;
+  cand.config.cp_cores = rec.cfg_cp_cores;
+  for (uint32_t i = 0; i < rec.block_count; ++i) {
+    const BlockHeapRecord& b = file.block_heaps[rec.block_begin + i];
+    cand.config.per_block_mr_heap[b.block_id] = b.heap;
+  }
+  cand.cost = rec.cost;
+  cand.pruned_blocks = rec.pruned_blocks;
+  cand.enumerated_blocks = rec.enumerated_blocks;
+  return cand;
+}
+
+bool PlanArtifactStore::InputsMatchLive(
+    const std::vector<InputSnapshot>& inputs, const SimulatedHdfs* hdfs) {
+  if (hdfs == nullptr) return inputs.empty();
+  for (const InputSnapshot& in : inputs) {
+    Result<HdfsFile> live = hdfs->Get(in.path);
+    if (!live.ok()) return false;
+    if (live->characteristics.rows() != in.rows ||
+        live->characteristics.cols() != in.cols ||
+        live->characteristics.nnz() != in.nnz ||
+        static_cast<uint32_t>(live->format) != in.format ||
+        live->size_bytes != in.size_bytes) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<PlanCache::CachedCandidate> PlanArtifactStore::LookupWhatIf(
+    const PortableWhatIfKey& key) {
+  std::shared_ptr<MappedFile> frozen;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = new_whatif_.find(key);
+    if (it != new_whatif_.end()) {
+      RELM_COUNTER_INC("plan_store.whatif_hits");
+      return it->second;
+    }
+    frozen = frozen_;
+  }
+  if (frozen == nullptr) return std::nullopt;
+  auto it = frozen->whatif_index.find(key);
+  if (it == frozen->whatif_index.end()) return std::nullopt;
+  RELM_COUNTER_INC("plan_store.whatif_hits");
+  return Hydrate(*frozen, *it->second);
+}
+
+void PlanArtifactStore::RecordWhatIf(
+    const PortableWhatIfKey& key,
+    const PlanCache::CachedCandidate& candidate) {
+  if (options_.read_only) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = new_whatif_.emplace(key, candidate);
+  if (inserted) {
+    new_whatif_order_.push_back(key);
+  } else {
+    it->second = candidate;
+  }
+  dirty_ = true;
+  RELM_COUNTER_INC("plan_store.whatif_records");
+}
+
+bool PlanArtifactStore::HasValidProgram(uint64_t portable_sig,
+                                        const SimulatedHdfs* hdfs) {
+  std::shared_ptr<MappedFile> frozen;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = new_programs_.find(portable_sig);
+    if (it != new_programs_.end()) {
+      return InputsMatchLive(it->second.inputs, hdfs);
+    }
+    frozen = frozen_;
+  }
+  if (frozen == nullptr) return false;
+  auto it = frozen->program_index.find(portable_sig);
+  if (it == frozen->program_index.end()) return false;
+  std::vector<InputSnapshot> inputs;
+  inputs.reserve(it->second->input_count);
+  for (uint32_t i = 0; i < it->second->input_count; ++i) {
+    const InputRecord& rec =
+        frozen->inputs[it->second->input_begin + i];
+    inputs.push_back(InputSnapshot{frozen->PathOf(rec), rec.format,
+                                   rec.rows, rec.cols, rec.nnz,
+                                   rec.size_bytes});
+  }
+  // Defense in depth: the portable signature already folds the inputs'
+  // metadata, but replaying the comparison against the live namespace
+  // catches hash collisions and hand-edited artifacts.
+  return InputsMatchLive(inputs, hdfs);
+}
+
+void PlanArtifactStore::RecordProgram(uint64_t portable_sig,
+                                      const ScriptArgs& args,
+                                      const SimulatedHdfs* hdfs) {
+  if (options_.read_only) return;
+  ProgramData data;
+  if (hdfs != nullptr) {
+    // Same leaf-input walk as ComputeLeafInputSignature: argument
+    // values that name registered files, in (deterministic) arg order.
+    for (const auto& [key, value] : args) {
+      Result<HdfsFile> file = hdfs->Get(value);
+      if (!file.ok()) continue;
+      data.inputs.push_back(InputSnapshot{
+          value, static_cast<uint32_t>(file->format),
+          file->characteristics.rows(), file->characteristics.cols(),
+          file->characteristics.nnz(), file->size_bytes});
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  new_programs_[portable_sig] = std::move(data);
+  dirty_ = true;
+  RELM_COUNTER_INC("plan_store.program_records");
+}
+
+Status PlanArtifactStore::Flush() {
+  if (options_.read_only) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!dirty_) return Status::OK();
+
+  // Merge order (oldest first, later sources win on key collisions):
+  // the file currently on disk — possibly advanced by another process
+  // since we opened — then our open-time frozen view, then the overlay.
+  std::shared_ptr<MappedFile> disk;
+  {
+    Result<std::shared_ptr<MappedFile>> current = LoadFile(options_.path);
+    if (current.ok()) disk = std::move(*current);
+  }
+
+  std::vector<std::pair<uint64_t, ProgramData>> programs;
+  std::unordered_set<uint64_t> program_seen;
+  auto add_program = [&](uint64_t sig, ProgramData data) {
+    if (!program_seen.insert(sig).second) {
+      for (auto& [s, d] : programs) {
+        if (s == sig) d = std::move(data);
+      }
+      return;
+    }
+    programs.emplace_back(sig, std::move(data));
+  };
+  std::vector<std::pair<PortableWhatIfKey, PlanCache::CachedCandidate>>
+      whatifs;
+  std::unordered_map<PortableWhatIfKey, size_t, PortableKeyHash,
+                     PortableKeyEq>
+      whatif_pos;
+  auto add_whatif = [&](const PortableWhatIfKey& key,
+                        PlanCache::CachedCandidate cand) {
+    auto [it, inserted] = whatif_pos.emplace(key, whatifs.size());
+    if (inserted) {
+      whatifs.emplace_back(key, std::move(cand));
+    } else {
+      whatifs[it->second].second = std::move(cand);
+    }
+  };
+  auto add_file = [&](const std::shared_ptr<MappedFile>& file) {
+    if (file == nullptr) return;
+    for (uint32_t i = 0; i < file->header.program_count; ++i) {
+      const ProgramRecord& rec = file->programs[i];
+      ProgramData data;
+      data.inputs.reserve(rec.input_count);
+      for (uint32_t j = 0; j < rec.input_count; ++j) {
+        const InputRecord& in = file->inputs[rec.input_begin + j];
+        data.inputs.push_back(InputSnapshot{file->PathOf(in), in.format,
+                                            in.rows, in.cols, in.nnz,
+                                            in.size_bytes});
+      }
+      add_program(rec.portable_sig, std::move(data));
+    }
+    for (uint32_t i = 0; i < file->header.whatif_count; ++i) {
+      const WhatIfRecord& rec = file->whatifs[i];
+      add_whatif(PortableWhatIfKey{rec.portable_sig, rec.context_hash,
+                                   rec.cp_heap, rec.cp_cores},
+                 Hydrate(*file, rec));
+    }
+  };
+  add_file(disk);
+  add_file(frozen_);
+  for (auto& [sig, data] : new_programs_) add_program(sig, data);
+  for (const PortableWhatIfKey& key : new_whatif_order_) {
+    add_whatif(key, new_whatif_.at(key));
+  }
+
+  // Size cap: drop the oldest what-if entries (then the oldest
+  // programs) until the serialized artifact fits.
+  auto serialized_bytes = [&]() {
+    uint64_t inputs = 0;
+    uint64_t strings = 0;
+    for (const auto& [sig, data] : programs) {
+      inputs += data.inputs.size();
+      for (const InputSnapshot& in : data.inputs) {
+        strings += in.path.size();
+      }
+    }
+    uint64_t blocks = 0;
+    for (const auto& [key, cand] : whatifs) {
+      blocks += cand.config.per_block_mr_heap.size();
+    }
+    return sizeof(ArtifactHeader) + programs.size() * sizeof(ProgramRecord) +
+           inputs * sizeof(InputRecord) +
+           whatifs.size() * sizeof(WhatIfRecord) +
+           blocks * sizeof(BlockHeapRecord) + strings;
+  };
+  size_t drop_whatif = 0;
+  size_t drop_programs = 0;
+  if (options_.max_bytes > 0) {
+    uint64_t cap = static_cast<uint64_t>(options_.max_bytes);
+    while (serialized_bytes() > cap &&
+           (!whatifs.empty() || !programs.empty())) {
+      if (!whatifs.empty()) {
+        whatifs.erase(whatifs.begin());
+        drop_whatif++;
+      } else {
+        programs.erase(programs.begin());
+        drop_programs++;
+      }
+    }
+    if (drop_whatif > 0 || drop_programs > 0) {
+      RELM_COUNTER_ADD("plan_store.cap_evictions",
+                       static_cast<int64_t>(drop_whatif + drop_programs));
+    }
+  }
+
+  // Serialize: record arrays then the string segment, header last (it
+  // needs the payload checksum).
+  std::string payload;
+  std::string strings;
+  std::vector<InputRecord> input_records;
+  std::vector<ProgramRecord> program_records;
+  for (const auto& [sig, data] : programs) {
+    ProgramRecord rec;
+    rec.portable_sig = sig;
+    rec.input_begin = static_cast<uint32_t>(input_records.size());
+    rec.input_count = static_cast<uint32_t>(data.inputs.size());
+    for (const InputSnapshot& in : data.inputs) {
+      InputRecord ir;
+      ir.path_off = strings.size();
+      ir.path_len = static_cast<uint32_t>(in.path.size());
+      ir.format = in.format;
+      ir.rows = in.rows;
+      ir.cols = in.cols;
+      ir.nnz = in.nnz;
+      ir.size_bytes = in.size_bytes;
+      strings += in.path;
+      input_records.push_back(ir);
+    }
+    program_records.push_back(rec);
+  }
+  std::vector<WhatIfRecord> whatif_records;
+  std::vector<BlockHeapRecord> block_records;
+  for (const auto& [key, cand] : whatifs) {
+    WhatIfRecord rec;
+    rec.portable_sig = key.portable_sig;
+    rec.context_hash = key.context_hash;
+    rec.cp_heap = key.cp_heap;
+    rec.cp_cores = key.cp_cores;
+    rec.cost = cand.cost;
+    rec.cfg_cp_heap = cand.config.cp_heap;
+    rec.cfg_default_mr_heap = cand.config.default_mr_heap;
+    rec.cfg_cp_cores = cand.config.cp_cores;
+    rec.pruned_blocks = cand.pruned_blocks;
+    rec.enumerated_blocks = cand.enumerated_blocks;
+    rec.block_begin = static_cast<uint32_t>(block_records.size());
+    rec.block_count =
+        static_cast<uint32_t>(cand.config.per_block_mr_heap.size());
+    for (const auto& [block_id, heap] : cand.config.per_block_mr_heap) {
+      block_records.push_back(BlockHeapRecord{heap, block_id, 0});
+    }
+    whatif_records.push_back(rec);
+  }
+  auto append = [&payload](const void* data, size_t n) {
+    payload.append(static_cast<const char*>(data), n);
+  };
+  if (!program_records.empty()) {
+    append(program_records.data(),
+           program_records.size() * sizeof(ProgramRecord));
+  }
+  if (!input_records.empty()) {
+    append(input_records.data(),
+           input_records.size() * sizeof(InputRecord));
+  }
+  if (!whatif_records.empty()) {
+    append(whatif_records.data(),
+           whatif_records.size() * sizeof(WhatIfRecord));
+  }
+  if (!block_records.empty()) {
+    append(block_records.data(),
+           block_records.size() * sizeof(BlockHeapRecord));
+  }
+  payload += strings;
+
+  ArtifactHeader header;
+  header.payload_bytes = payload.size();
+  header.payload_checksum = FnvChecksum(payload.data(), payload.size());
+  header.program_count = static_cast<uint32_t>(program_records.size());
+  header.input_count = static_cast<uint32_t>(input_records.size());
+  header.whatif_count = static_cast<uint32_t>(whatif_records.size());
+  header.block_heap_count = static_cast<uint32_t>(block_records.size());
+  header.string_bytes = strings.size();
+
+  // Atomic publish: never expose a half-written artifact, even to a
+  // reader racing this flush in another process.
+  std::string tmp =
+      options_.path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) {
+      return Status::Unavailable("cannot write artifact temp file: " + tmp);
+    }
+    out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+    out.write(payload.data(),
+              static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out.good()) {
+      std::remove(tmp.c_str());
+      return Status::Unavailable("short write to artifact temp file: " +
+                                 tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), options_.path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Unavailable("cannot publish artifact: " +
+                               options_.path);
+  }
+
+  // Re-map the published file as the new frozen view and retire the
+  // overlay it absorbed.
+  Result<std::shared_ptr<MappedFile>> republished = LoadFile(options_.path);
+  if (republished.ok()) frozen_ = std::move(*republished);
+  new_programs_.clear();
+  new_whatif_.clear();
+  new_whatif_order_.clear();
+  dirty_ = false;
+  flushes_++;
+  RELM_COUNTER_INC("plan_store.flushes");
+  return Status::OK();
+}
+
+PlanArtifactStore::Stats PlanArtifactStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  if (frozen_ != nullptr) {
+    s.frozen_programs = frozen_->header.program_count;
+    s.frozen_whatif = frozen_->header.whatif_count;
+  }
+  s.pending_programs = new_programs_.size();
+  s.pending_whatif = new_whatif_.size();
+  s.flushes = flushes_;
+  return s;
+}
+
+}  // namespace store
+}  // namespace relm

@@ -1,0 +1,214 @@
+#ifndef RELM_STORE_PLAN_ARTIFACT_STORE_H_
+#define RELM_STORE_PLAN_ARTIFACT_STORE_H_
+
+// Persistent plan-artifact store: the PlanStore implementation behind
+// PlanCache's read-through/write-behind hooks. Artifacts (program
+// records with leaf-input snapshots, what-if cost entries) are frozen
+// into the checksummed binary format of artifact_format.h, mapped
+// zero-copy at open, and written back atomically (temp file + rename,
+// merged with the current on-disk contents so concurrent writers lose
+// no entries) on Flush. A corrupt, truncated, or version-skewed file is
+// rejected at open — the store then starts empty and the system pays a
+// clean recompile, never a crash or a wrong-plan hit.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "core/plan_cache.h"
+#include "hdfs/file_system.h"
+#include "store/artifact_format.h"
+
+namespace relm {
+
+/// Construction knobs for the persistent artifact store, exposed
+/// through the Session API (SessionOptions::artifact_store). Same
+/// builder-setter + Validate()-on-use shape as ServeOptions.
+struct ArtifactStoreOptions {
+  /// Artifact file path; empty disables the store entirely.
+  std::string path;
+  /// Cap on the serialized artifact size. Flush drops the oldest
+  /// what-if entries first to fit under it. <= 0 means unlimited.
+  int64_t max_bytes = 64 * 1024 * 1024;
+  /// Read-only mode: warm loads are served, but RecordProgram /
+  /// RecordWhatIf / Flush become no-ops (fleet followers sharing one
+  /// pre-warmed artifact without write races).
+  bool read_only = false;
+
+  /// Rejects nonsensical combinations with InvalidArgument. Run when a
+  /// session opens the store; also available to callers directly.
+  Status Validate() const;
+
+  // ---- chainable named setters (builder-style construction) ----
+  ArtifactStoreOptions& WithPath(std::string p) {
+    path = std::move(p);
+    return *this;
+  }
+  ArtifactStoreOptions& WithMaxBytes(int64_t bytes) {
+    max_bytes = bytes;
+    return *this;
+  }
+  ArtifactStoreOptions& WithReadOnly(bool ro) {
+    read_only = ro;
+    return *this;
+  }
+};
+
+namespace store {
+
+/// Everything relm-lint's --artifact mode reports about one file:
+/// best-effort header fields plus the integrity verdict.
+struct ArtifactInfo {
+  std::string path;
+  uint64_t file_bytes = 0;
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  uint64_t stored_checksum = 0;
+  uint64_t computed_checksum = 0;
+  uint32_t program_count = 0;
+  uint32_t input_count = 0;
+  uint32_t whatif_count = 0;
+  uint32_t block_heap_count = 0;
+  uint64_t string_bytes = 0;
+  /// OK when the file validates end to end; otherwise the exact
+  /// rejection reason (truncation, bad magic, version skew, checksum
+  /// mismatch, out-of-range record references).
+  Status integrity = Status::OK();
+};
+
+/// Reads and validates an artifact header without loading the store.
+/// Fails only when the file cannot be read at all; structural problems
+/// are reported through ArtifactInfo::integrity.
+Result<ArtifactInfo> InspectArtifact(const std::string& path);
+
+class PlanArtifactStore : public PlanStore {
+ public:
+  /// Opens (or prepares to create) the artifact at options.path. Fails
+  /// only on invalid options; an unreadable or corrupt file leaves the
+  /// store empty with the rejection recorded in load_status().
+  static Result<std::shared_ptr<PlanArtifactStore>> Open(
+      const ArtifactStoreOptions& options);
+
+  /// Flushes pending writes (best-effort).
+  ~PlanArtifactStore() override;
+
+  PlanArtifactStore(const PlanArtifactStore&) = delete;
+  PlanArtifactStore& operator=(const PlanArtifactStore&) = delete;
+
+  // PlanStore interface (thread-safe; called by PlanCache outside its
+  // own lock).
+  std::optional<PlanCache::CachedCandidate> LookupWhatIf(
+      const PortableWhatIfKey& key) override;
+  void RecordWhatIf(const PortableWhatIfKey& key,
+                    const PlanCache::CachedCandidate& candidate) override;
+  bool HasValidProgram(uint64_t portable_sig,
+                       const SimulatedHdfs* hdfs) override;
+  void RecordProgram(uint64_t portable_sig, const ScriptArgs& args,
+                     const SimulatedHdfs* hdfs) override;
+
+  /// Serializes frozen + pending state back to options.path: merged
+  /// with whatever is on disk right now (so two sessions flushing
+  /// concurrently lose no entries), size-capped, written to a temp file
+  /// and atomically renamed into place. No-op when read-only or clean.
+  Status Flush();
+
+  /// Verdict of the open-time load: OK for a valid (or absent) file,
+  /// otherwise why the artifact was rejected and the store started
+  /// empty.
+  const Status& load_status() const { return load_status_; }
+  const ArtifactStoreOptions& options() const { return options_; }
+
+  struct Stats {
+    size_t frozen_programs = 0;
+    size_t frozen_whatif = 0;
+    size_t pending_programs = 0;
+    size_t pending_whatif = 0;
+    int64_t flushes = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct PortableKeyHash {
+    size_t operator()(const PortableWhatIfKey& k) const {
+      uint64_t h = k.portable_sig;
+      h ^= k.context_hash + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h ^= static_cast<uint64_t>(k.cp_heap) + 0x9e3779b97f4a7c15ULL +
+           (h << 6) + (h >> 2);
+      h ^= static_cast<uint64_t>(k.cp_cores) + 0x9e3779b97f4a7c15ULL +
+           (h << 6) + (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+  struct PortableKeyEq {
+    bool operator()(const PortableWhatIfKey& a,
+                    const PortableWhatIfKey& b) const {
+      return a.portable_sig == b.portable_sig &&
+             a.context_hash == b.context_hash && a.cp_heap == b.cp_heap &&
+             a.cp_cores == b.cp_cores;
+    }
+  };
+
+  /// In-memory (mutable) form of one leaf-input snapshot / one program.
+  struct InputSnapshot {
+    std::string path;
+    uint32_t format = 0;
+    int64_t rows = 0;
+    int64_t cols = 0;
+    int64_t nnz = 0;
+    int64_t size_bytes = 0;
+  };
+  struct ProgramData {
+    std::vector<InputSnapshot> inputs;
+  };
+
+  /// One validated, mapped artifact file plus the frozen indexes into
+  /// it. Immutable after construction; lookups read straight out of
+  /// the mapping.
+  struct MappedFile;
+
+  explicit PlanArtifactStore(ArtifactStoreOptions options);
+
+  /// Maps and validates `path`; returns the frozen view or why the
+  /// file was rejected.
+  static Result<std::shared_ptr<MappedFile>> LoadFile(
+      const std::string& path);
+
+  /// Hydrates a frozen what-if record into a CachedCandidate.
+  static PlanCache::CachedCandidate Hydrate(const MappedFile& file,
+                                            const WhatIfRecord& rec);
+  /// Re-checks a program's recorded leaf inputs against the live
+  /// namespace.
+  static bool InputsMatchLive(const std::vector<InputSnapshot>& inputs,
+                              const SimulatedHdfs* hdfs);
+
+  const ArtifactStoreOptions options_;
+  Status load_status_;
+
+  mutable std::mutex mu_;
+  /// Frozen view of the file mapped at open (null when absent or
+  /// rejected). Shared_ptr so lookups can pin it outside mu_ while a
+  /// Flush swaps in the rewritten file.
+  std::shared_ptr<MappedFile> frozen_ RELM_GUARDED_BY(mu_);
+  /// Overlay of entries recorded since open; wins over frozen_.
+  std::unordered_map<uint64_t, ProgramData> new_programs_
+      RELM_GUARDED_BY(mu_);
+  std::unordered_map<PortableWhatIfKey, PlanCache::CachedCandidate,
+                     PortableKeyHash, PortableKeyEq>
+      new_whatif_ RELM_GUARDED_BY(mu_);
+  /// Overlay insertion order (what the size cap evicts last).
+  std::vector<PortableWhatIfKey> new_whatif_order_ RELM_GUARDED_BY(mu_);
+  bool dirty_ RELM_GUARDED_BY(mu_) = false;
+  int64_t flushes_ RELM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace store
+}  // namespace relm
+
+#endif  // RELM_STORE_PLAN_ARTIFACT_STORE_H_

@@ -7,6 +7,11 @@
 #include "api/relm_system.h"
 #include "spark/spark_model.h"
 
+// This file is the RelmSystem shim's coverage: it exercises the
+// deprecated facade on purpose until the compatibility header is
+// removed (see the migration timeline in README.md).
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace relm {
 namespace {
 

@@ -11,13 +11,21 @@
 
 #include <gtest/gtest.h>
 
-#include "api/relm_system.h"
+#include "api/session.h"
 #include "common/bytes.h"
 #include "common/random.h"
 #include "obs/trace.h"
 
 namespace relm {
 namespace {
+
+// These suites predate plan caching: an uncached Session keeps every
+// call's compile and optimize costs identical to the retired
+// RelmSystem facade they were written against.
+Session UncachedSession() {
+  return Session(ClusterConfig::PaperCluster(),
+                 SessionOptions().WithPlanCacheEnabled(false));
+}
 
 /// Generator state: variables defined so far and their true values.
 struct GenState {
@@ -100,7 +108,7 @@ TEST_P(DifferentialTest, RandomScalarProgramsMatchReference) {
   for (int i = 0; i < num_statements; ++i) {
     state.script << "print(\"v" << i << "=\" + v" << i << ")\n";
   }
-  RelmSystem sys;
+  Session sys = UncachedSession();
   auto prog = sys.CompileSource(state.script.str(), {});
   ASSERT_TRUE(prog.ok()) << prog.status().ToString() << "\nscript:\n"
                          << state.script.str();
@@ -138,7 +146,7 @@ TEST(DifferentialLoopTest, AccumulationMatchesReference) {
            << "print(\"acc=\" + acc)";
     double expect = 1;
     for (int i = 1; i <= iters; ++i) expect = expect * mult + add + i;
-    RelmSystem sys;
+    Session sys = UncachedSession();
     auto prog = sys.CompileSource(script.str(), {});
     ASSERT_TRUE(prog.ok()) << script.str();
     auto run = sys.ExecuteReal(prog->get());
@@ -151,7 +159,7 @@ TEST(DifferentialLoopTest, AccumulationMatchesReference) {
 /// Observability must be pure observation: the same simulated run with
 /// the tracer enabled and disabled must produce bit-identical results.
 TEST(ObservabilityDifferentialTest, TracingDoesNotPerturbSimulation) {
-  RelmSystem sys;
+  Session sys = UncachedSession();
   sys.RegisterMatrixMetadata("/data/X", 1000000, 1000, 1.0);
   sys.RegisterMatrixMetadata("/data/y", 1000000, 1, 1.0);
   auto prog = sys.CompileSource(

@@ -8,10 +8,18 @@
 
 #include <gtest/gtest.h>
 
-#include "api/relm_system.h"
+#include "api/session.h"
 
 namespace relm {
 namespace {
+
+// These suites predate plan caching: an uncached Session keeps every
+// call's compile and optimize costs identical to the retired
+// RelmSystem facade they were written against.
+Session UncachedSession() {
+  return Session(ClusterConfig::PaperCluster(),
+                 SessionOptions().WithPlanCacheEnabled(false));
+}
 
 std::string ReadScript(const std::string& name) {
   std::ifstream in(std::string(RELM_SCRIPTS_DIR) + "/" + name);
@@ -33,7 +41,7 @@ class ExtensionsTest : public ::testing::Test {
     return std::move(*p);
   }
 
-  RelmSystem sys_;
+  Session sys_ = UncachedSession();
 };
 
 // ---- offer-based allocation (Section 2.3) ----

@@ -3,12 +3,20 @@
 
 #include <gtest/gtest.h>
 
-#include "api/relm_system.h"
+#include "api/session.h"
 #include "lops/compiler_backend.h"
 #include "matrix/kernels.h"
 
 namespace relm {
 namespace {
+
+// These suites predate plan caching: an uncached Session keeps every
+// call's compile and optimize costs identical to the retired
+// RelmSystem facade they were written against.
+Session UncachedSession() {
+  return Session(ClusterConfig::PaperCluster(),
+                 SessionOptions().WithPlanCacheEnabled(false));
+}
 
 // ---- kernel ----
 
@@ -55,7 +63,7 @@ class LeftIndexScriptTest : public ::testing::Test {
     RELM_RETURN_IF_ERROR(run.status());
     return run->printed;
   }
-  RelmSystem sys_;
+  Session sys_ = UncachedSession();
 };
 
 TEST_F(LeftIndexScriptTest, PartialUpdateEndToEnd) {

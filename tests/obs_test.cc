@@ -16,7 +16,7 @@
 
 #include <gtest/gtest.h>
 
-#include "api/relm_system.h"
+#include "api/session.h"
 #include "common/bytes.h"
 #include "common/logging.h"
 #include "common/random.h"
@@ -31,6 +31,14 @@
 
 namespace relm {
 namespace {
+
+// These suites predate plan caching: an uncached Session keeps every
+// call's compile and optimize costs identical to the retired
+// RelmSystem facade they were written against.
+Session UncachedSession() {
+  return Session(ClusterConfig::PaperCluster(),
+                 SessionOptions().WithPlanCacheEnabled(false));
+}
 
 using obs::Histogram;
 using obs::MetricsRegistry;
@@ -336,7 +344,7 @@ class ObsSystemTest : public ::testing::Test {
  protected:
   /// LinregDS on the 8 GB scenario: big enough that a small CP heap
   /// schedules MR jobs (the same setup the fault-injection tests use).
-  std::unique_ptr<MlProgram> Compile(RelmSystem* sys) {
+  std::unique_ptr<MlProgram> Compile(Session* sys) {
     sys->RegisterMatrixMetadata("/data/X", 1000000, 1000, 1.0);
     sys->RegisterMatrixMetadata("/data/y", 1000000, 1, 1.0);
     auto prog = sys->CompileFile(
@@ -348,11 +356,11 @@ class ObsSystemTest : public ::testing::Test {
 };
 
 TEST_F(ObsSystemTest, OptimizerTraceExplainsEveryGridPoint) {
-  RelmSystem sys;
+  Session sys = UncachedSession();
   auto prog = Compile(&sys);
-  OptimizerStats stats;
-  auto cfg = sys.OptimizeResources(prog.get(), &stats);
-  ASSERT_TRUE(cfg.ok()) << cfg.status().ToString();
+  auto outcome = sys.Optimize(prog.get());
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  const OptimizerStats& stats = outcome->stats;
 
   ASSERT_FALSE(stats.trace.grid_points.empty());
   int winners = 0;
@@ -394,7 +402,7 @@ TEST_F(ObsSystemTest, OptimizerTraceExplainsEveryGridPoint) {
 // ---- typed SimEvent timeline & counter routing ----
 
 TEST_F(ObsSystemTest, FaultRunEmitsGoldenTypedEventSequence) {
-  RelmSystem sys;
+  Session sys = UncachedSession();
   auto prog = Compile(&sys);
   SimOptions opts;
   opts.noise = 0.0;
@@ -446,7 +454,7 @@ TEST_F(ObsSystemTest, FaultRunEmitsGoldenTypedEventSequence) {
 
 #if RELM_OBS_ENABLED
 TEST_F(ObsSystemTest, RegistryCountersMatchSimResultExactly) {
-  RelmSystem sys;
+  Session sys = UncachedSession();
   auto prog = Compile(&sys);
   MetricsRegistry::Global().Reset();
   SimOptions opts;
@@ -483,12 +491,12 @@ TEST_F(ObsSystemTest, RegistryCountersMatchSimResultExactly) {
 }
 
 TEST_F(ObsSystemTest, RegistryCountersMatchOptimizerStatsExactly) {
-  RelmSystem sys;
+  Session sys = UncachedSession();
   auto prog = Compile(&sys);
   MetricsRegistry::Global().Reset();
-  OptimizerStats stats;
-  auto cfg = sys.OptimizeResources(prog.get(), &stats);
-  ASSERT_TRUE(cfg.ok()) << cfg.status().ToString();
+  auto outcome = sys.Optimize(prog.get());
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  const OptimizerStats& stats = outcome->stats;
   MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
   EXPECT_EQ(snap.counter("optimizer.runs"), 1);
   EXPECT_EQ(snap.counter("optimizer.block_recompiles"),
@@ -504,12 +512,11 @@ TEST_F(ObsSystemTest, TracedRunNestsSimulatorSpans) {
   Tracer::Global().SetEnabled(false);
   Tracer::Global().Clear();
   Tracer::Global().SetEnabled(true);
-  RelmSystem sys;
+  Session sys = UncachedSession();
   auto prog = Compile(&sys);
-  OptimizerStats stats;
-  auto cfg = sys.OptimizeResources(prog.get(), &stats);
-  ASSERT_TRUE(cfg.ok());
-  auto run = sys.Simulate(prog.get(), *cfg);
+  auto outcome = sys.Optimize(prog.get());
+  ASSERT_TRUE(outcome.ok());
+  auto run = sys.Simulate(prog.get(), outcome->config);
   ASSERT_TRUE(run.ok());
   Tracer::Global().SetEnabled(false);
 

@@ -10,13 +10,21 @@
 
 #include <gtest/gtest.h>
 
-#include "api/relm_system.h"
+#include "api/session.h"
 #include "core/grid_generators.h"
 #include "core/resource_optimizer.h"
 #include "lops/compiler_backend.h"
 
 namespace relm {
 namespace {
+
+// These suites predate plan caching: an uncached Session keeps every
+// call's compile and optimize costs identical to the retired
+// RelmSystem facade they were written against.
+Session UncachedSession() {
+  return Session(ClusterConfig::PaperCluster(),
+                 SessionOptions().WithPlanCacheEnabled(false));
+}
 
 const char* kScripts[] = {"linreg_ds.dml", "linreg_cg.dml", "l2svm.dml",
                           "mlogreg.dml", "glm.dml"};
@@ -28,7 +36,7 @@ std::string ReadScript(const std::string& name) {
   return ss.str();
 }
 
-std::unique_ptr<MlProgram> CompileFor(RelmSystem* sys,
+std::unique_ptr<MlProgram> CompileFor(Session* sys,
                                       const std::string& script,
                                       int64_t cells, int64_t cols,
                                       double sparsity) {
@@ -51,7 +59,7 @@ class PlanInvariantTest : public ::testing::TestWithParam<PlanParam> {};
 
 TEST_P(PlanInvariantTest, EveryMrOperatorInExactlyOneJob) {
   auto [script, cp, mr] = GetParam();
-  RelmSystem sys;
+  Session sys = UncachedSession();
   auto prog = CompileFor(&sys, script, 1000000000LL, 1000, 1.0);
   CompileCounters counters;
   auto rp = GenerateRuntimeProgram(prog.get(), sys.cluster(),
@@ -97,7 +105,7 @@ TEST_P(PlanInvariantTest, EveryMrOperatorInExactlyOneJob) {
 
 TEST_P(PlanInvariantTest, InstructionsRespectDependencies) {
   auto [script, cp, mr] = GetParam();
-  RelmSystem sys;
+  Session sys = UncachedSession();
   auto prog = CompileFor(&sys, script, 1000000000LL, 1000, 1.0);
   CompileCounters counters;
   auto rp = GenerateRuntimeProgram(prog.get(), sys.cluster(),
@@ -167,7 +175,7 @@ INSTANTIATE_TEST_SUITE_P(
 class MonotonicityTest : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(MonotonicityTest, MrJobsNeverIncreaseWithCpMemory) {
-  RelmSystem sys;
+  Session sys = UncachedSession();
   auto prog = CompileFor(&sys, GetParam(), 1000000000LL, 1000, 1.0);
   int prev_jobs = -1;
   for (int64_t cp : {512 * kMB, 1 * kGB, 2 * kGB, 4 * kGB, 8 * kGB,
@@ -187,7 +195,7 @@ TEST_P(MonotonicityTest, MrJobsNeverIncreaseWithCpMemory) {
 }
 
 TEST_P(MonotonicityTest, SimulatedTimeDeterministic) {
-  RelmSystem sys;
+  Session sys = UncachedSession();
   auto prog = CompileFor(&sys, GetParam(), 100000000LL, 1000, 1.0);
   SimOptions opts;
   opts.seed = 99;
@@ -215,7 +223,7 @@ class GridPropertyTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(GridPropertyTest, AllGridsSortedUniqueAndBounded) {
   int m = GetParam();
-  RelmSystem sys;
+  Session sys = UncachedSession();
   auto prog = CompileFor(&sys, "l2svm.dml", 1000000000LL, 1000, 1.0);
   const ClusterConfig& cc = sys.cluster();
   for (GridType type : {GridType::kEquiSpaced, GridType::kExpSpaced,
@@ -233,7 +241,7 @@ TEST_P(GridPropertyTest, AllGridsSortedUniqueAndBounded) {
 
 TEST_P(GridPropertyTest, EquiGapsAreUniform) {
   int m = GetParam();
-  RelmSystem sys;
+  Session sys = UncachedSession();
   const ClusterConfig& cc = sys.cluster();
   auto pts = EnumGridPoints(nullptr, cc, GridType::kEquiSpaced, m);
   ASSERT_EQ(pts.size(), static_cast<size_t>(m));
@@ -259,20 +267,21 @@ class OptimizerPropertyTest
 
 TEST_P(OptimizerPropertyTest, OptNeverWorseThanBaselinesByModel) {
   auto [script, cols, sparsity] = GetParam();
-  RelmSystem sys;
+  Session sys = UncachedSession();
   auto prog = CompileFor(&sys, script, 1000000000LL, cols, sparsity);
-  auto config = sys.OptimizeResources(prog.get());
-  ASSERT_TRUE(config.ok());
-  double opt_cost = *sys.EstimateCost(prog.get(), *config);
+  auto outcome = sys.Optimize(prog.get());
+  ASSERT_TRUE(outcome.ok());
+  const ResourceConfig& config = outcome->config;
+  double opt_cost = *sys.EstimateCost(prog.get(), config);
   for (const auto& baseline : sys.StaticBaselines()) {
     double base_cost = *sys.EstimateCost(prog.get(), baseline.config);
     EXPECT_LE(opt_cost, base_cost * 1.03)
         << baseline.name << " beats Opt under the model";
   }
   // The chosen config must respect cluster constraints.
-  EXPECT_GE(config->cp_heap, sys.cluster().MinHeapSize());
-  EXPECT_LE(config->cp_heap, sys.cluster().MaxHeapSize());
-  EXPECT_LE(config->MaxMrHeap(), sys.cluster().MaxHeapSize());
+  EXPECT_GE(config.cp_heap, sys.cluster().MinHeapSize());
+  EXPECT_LE(config.cp_heap, sys.cluster().MaxHeapSize());
+  EXPECT_LE(config.MaxMrHeap(), sys.cluster().MaxHeapSize());
 }
 
 INSTANTIATE_TEST_SUITE_P(

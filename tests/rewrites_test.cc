@@ -3,10 +3,18 @@
 
 #include <gtest/gtest.h>
 
-#include "api/relm_system.h"
+#include "api/session.h"
 
 namespace relm {
 namespace {
+
+// These suites predate plan caching: an uncached Session keeps every
+// call's compile and optimize costs identical to the retired
+// RelmSystem facade they were written against.
+Session UncachedSession() {
+  return Session(ClusterConfig::PaperCluster(),
+                 SessionOptions().WithPlanCacheEnabled(false));
+}
 
 class RewriteTest : public ::testing::Test {
  protected:
@@ -133,7 +141,7 @@ TEST_F(RewriteTest, MatMultChainReordered) {
 }
 
 TEST_F(RewriteTest, MatMultChainSemanticsPreserved) {
-  RelmSystem sys;
+  Session sys = UncachedSession();
   Random rng(9);
   sys.RegisterMatrix("/m/A", MatrixBlock::Rand(6, 4, 1.0, -1, 1, &rng));
   sys.RegisterMatrix("/m/B", MatrixBlock::Rand(4, 7, 1.0, -1, 1, &rng));
@@ -154,7 +162,7 @@ TEST_F(RewriteTest, MatMultChainSemanticsPreserved) {
 TEST_F(RewriteTest, SemanticsPreservedUnderRewrites) {
   // Execute for real: rewritten expressions must produce the same
   // numbers as their unsimplified meanings.
-  RelmSystem sys;
+  Session sys = UncachedSession();
   Random rng(3);
   sys.RegisterMatrix("/m/A", MatrixBlock::Rand(6, 5, 1.0, -2, 2, &rng));
   auto prog = sys.CompileSource(

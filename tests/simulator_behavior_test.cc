@@ -9,10 +9,18 @@
 
 #include <gtest/gtest.h>
 
-#include "api/relm_system.h"
+#include "api/session.h"
 
 namespace relm {
 namespace {
+
+// These suites predate plan caching: an uncached Session keeps every
+// call's compile and optimize costs identical to the retired
+// RelmSystem facade they were written against.
+Session UncachedSession() {
+  return Session(ClusterConfig::PaperCluster(),
+                 SessionOptions().WithPlanCacheEnabled(false));
+}
 
 std::string ReadScript(const std::string& name) {
   std::ifstream in(std::string(RELM_SCRIPTS_DIR) + "/" + name);
@@ -26,7 +34,7 @@ class SimBehaviorTest : public ::testing::Test {
   std::unique_ptr<MlProgram> Compile(const std::string& script,
                                      int64_t rows, int64_t cols,
                                      double sparsity = 1.0) {
-    sys_ = std::make_unique<RelmSystem>();
+    sys_ = std::make_unique<Session>(UncachedSession());
     sys_->RegisterMatrixMetadata("/data/X", rows, cols, sparsity);
     sys_->RegisterMatrixMetadata("/data/y", rows, 1);
     ScriptArgs args{{"X", "/data/X"}, {"Y", "/data/y"},
@@ -45,7 +53,7 @@ class SimBehaviorTest : public ::testing::Test {
     return *run;
   }
 
-  std::unique_ptr<RelmSystem> sys_;
+  std::unique_ptr<Session> sys_;
 };
 
 TEST_F(SimBehaviorTest, IoContentionMonotone) {
@@ -186,7 +194,7 @@ class SimSweepTest : public ::testing::TestWithParam<ScriptConfig> {};
 
 TEST_P(SimSweepTest, AllConfigsExecutableAndFinite) {
   auto [script, cp, mr] = GetParam();
-  RelmSystem sys;
+  Session sys = UncachedSession();
   sys.RegisterMatrixMetadata("/data/X", 1000000, 100);
   sys.RegisterMatrixMetadata("/data/y", 1000000, 1);
   ScriptArgs args{{"X", "/data/X"}, {"Y", "/data/y"},

@@ -1,0 +1,517 @@
+// Persistent plan-artifact store: format round-trips, every rejection
+// path (truncation, checksum, version skew, stale input fingerprints),
+// concurrent writers, and the cold-start differential — a fresh process
+// against a warm artifact must reach its first result with zero full
+// compiles and a bitwise-identical configuration.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/session.h"
+#include "core/plan_cache.h"
+#include "store/artifact_format.h"
+#include "store/plan_artifact_store.h"
+
+namespace relm {
+namespace {
+
+using store::ArtifactHeader;
+using store::InspectArtifact;
+using store::PlanArtifactStore;
+
+std::string TmpPath(const std::string& name) {
+  std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::shared_ptr<PlanArtifactStore> MustOpen(
+    const ArtifactStoreOptions& options) {
+  auto opened = PlanArtifactStore::Open(options);
+  EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+  return *opened;
+}
+
+/// A namespace with the canonical large inputs the DML scripts bind.
+void RegisterCanonicalInputs(SimulatedHdfs* hdfs) {
+  hdfs->PutMetadata("/data/X", MatrixCharacteristics(1000000, 1000));
+  hdfs->PutMetadata("/data/y", MatrixCharacteristics(1000000, 1));
+}
+
+const ScriptArgs kArgs{{"X", "/data/X"}, {"Y", "/data/y"}, {"B", "/out/B"}};
+
+const char* kScript =
+    "X = read($X)\n"
+    "y = read($Y)\n"
+    "A = t(X) %*% X\n"
+    "b = t(X) %*% y\n"
+    "w = solve(A, b)\n"
+    "write(w, $B)\n";
+
+PlanCache::CachedCandidate MakeCandidate(int64_t cp_heap, double cost) {
+  PlanCache::CachedCandidate cand;
+  cand.config.cp_heap = cp_heap;
+  cand.config.default_mr_heap = 512 * kMB;
+  cand.config.cp_cores = 2;
+  cand.config.per_block_mr_heap[3] = 1 * kGB;
+  cand.config.per_block_mr_heap[7] = 2 * kGB;
+  cand.cost = cost;
+  cand.pruned_blocks = 4;
+  cand.enumerated_blocks = 9;
+  return cand;
+}
+
+// ---- options validation ----
+
+TEST(ArtifactStoreOptionsTest, ValidateRejectsNonsense) {
+  EXPECT_FALSE(ArtifactStoreOptions().Validate().ok());  // empty path
+  EXPECT_FALSE(ArtifactStoreOptions()
+                   .WithPath("/tmp/a")
+                   .WithMaxBytes(8)  // below the header size
+                   .Validate()
+                   .ok());
+  EXPECT_TRUE(ArtifactStoreOptions().WithPath("/tmp/a").Validate().ok());
+  EXPECT_TRUE(ArtifactStoreOptions()
+                  .WithPath("/tmp/a")
+                  .WithMaxBytes(0)  // unlimited
+                  .Validate()
+                  .ok());
+  EXPECT_FALSE(PlanArtifactStore::Open(ArtifactStoreOptions()).ok());
+}
+
+TEST(ArtifactStoreOptionsTest, SessionRequiresPlanCacheForPersistence) {
+  SessionOptions options =
+      SessionOptions()
+          .WithPlanCacheEnabled(false)
+          .WithArtifactStore(ArtifactStoreOptions().WithPath("/tmp/a"));
+  EXPECT_FALSE(options.Validate().ok());
+  // The session itself degrades instead of crashing: the conflict is
+  // surfaced through artifact_store_status().
+  Session session(ClusterConfig::PaperCluster(), options);
+  EXPECT_FALSE(session.artifact_store_status().ok());
+  EXPECT_EQ(session.artifact_store(), nullptr);
+}
+
+// ---- round trips ----
+
+TEST(PlanArtifactStoreTest, AbsentFileIsAnEmptyColdStore) {
+  std::string path = TmpPath("absent.relmplan");
+  auto s = MustOpen(ArtifactStoreOptions().WithPath(path));
+  EXPECT_TRUE(s->load_status().ok());
+  SimulatedHdfs hdfs;
+  EXPECT_FALSE(s->HasValidProgram(42, &hdfs));
+  EXPECT_FALSE(s->LookupWhatIf(PortableWhatIfKey{42, 1, 2, 1}).has_value());
+  // Nothing recorded: no flush, no file.
+  EXPECT_TRUE(s->Flush().ok());
+  EXPECT_FALSE(std::ifstream(path).good());
+}
+
+TEST(PlanArtifactStoreTest, RoundTripsProgramsAndWhatIfEntries) {
+  std::string path = TmpPath("roundtrip.relmplan");
+  SimulatedHdfs hdfs;
+  RegisterCanonicalInputs(&hdfs);
+  uint64_t sig = ComputePortableScriptSignature(kScript, kArgs, &hdfs);
+  PortableWhatIfKey key{sig, /*context_hash=*/77, 4 * kGB, 2};
+  {
+    auto s = MustOpen(ArtifactStoreOptions().WithPath(path));
+    s->RecordProgram(sig, kArgs, &hdfs);
+    s->RecordWhatIf(key, MakeCandidate(4 * kGB, 123.5));
+    EXPECT_EQ(s->stats().pending_programs, 1u);
+    EXPECT_EQ(s->stats().pending_whatif, 1u);
+    // The overlay serves lookups even before the flush.
+    EXPECT_TRUE(s->HasValidProgram(sig, &hdfs));
+    ASSERT_TRUE(s->LookupWhatIf(key).has_value());
+    ASSERT_TRUE(s->Flush().ok());
+    EXPECT_EQ(s->stats().frozen_programs, 1u);
+    EXPECT_EQ(s->stats().frozen_whatif, 1u);
+    EXPECT_EQ(s->stats().pending_programs, 0u);
+  }
+  // A second "process" maps the frozen file.
+  auto s = MustOpen(ArtifactStoreOptions().WithPath(path));
+  EXPECT_TRUE(s->load_status().ok());
+  EXPECT_EQ(s->stats().frozen_programs, 1u);
+  EXPECT_TRUE(s->HasValidProgram(sig, &hdfs));
+  EXPECT_FALSE(s->HasValidProgram(sig + 1, &hdfs));
+  auto hit = s->LookupWhatIf(key);
+  ASSERT_TRUE(hit.has_value());
+  PlanCache::CachedCandidate want = MakeCandidate(4 * kGB, 123.5);
+  EXPECT_EQ(hit->config.cp_heap, want.config.cp_heap);
+  EXPECT_EQ(hit->config.default_mr_heap, want.config.default_mr_heap);
+  EXPECT_EQ(hit->config.cp_cores, want.config.cp_cores);
+  EXPECT_EQ(hit->config.per_block_mr_heap, want.config.per_block_mr_heap);
+  EXPECT_EQ(hit->cost, want.cost);
+  EXPECT_EQ(hit->pruned_blocks, want.pruned_blocks);
+  EXPECT_EQ(hit->enumerated_blocks, want.enumerated_blocks);
+  EXPECT_FALSE(
+      s->LookupWhatIf(PortableWhatIfKey{sig, 77, 8 * kGB, 2}).has_value());
+}
+
+TEST(PlanArtifactStoreTest, InspectReportsAValidArtifact) {
+  std::string path = TmpPath("inspect.relmplan");
+  SimulatedHdfs hdfs;
+  RegisterCanonicalInputs(&hdfs);
+  {
+    auto s = MustOpen(ArtifactStoreOptions().WithPath(path));
+    s->RecordProgram(11, kArgs, &hdfs);
+    s->RecordWhatIf(PortableWhatIfKey{11, 1, 1 * kGB, 1},
+                    MakeCandidate(1 * kGB, 9.0));
+    ASSERT_TRUE(s->Flush().ok());
+  }
+  auto info = InspectArtifact(path);
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->integrity.ok()) << info->integrity.ToString();
+  EXPECT_EQ(info->magic, store::kArtifactMagic);
+  EXPECT_EQ(info->version, store::kArtifactVersion);
+  EXPECT_EQ(info->program_count, 1u);
+  EXPECT_EQ(info->input_count, 2u);  // X and y resolve; B does not
+  EXPECT_EQ(info->whatif_count, 1u);
+  EXPECT_EQ(info->block_heap_count, 2u);
+  EXPECT_EQ(info->stored_checksum, info->computed_checksum);
+  EXPECT_FALSE(InspectArtifact(TmpPath("no_such.relmplan")).ok());
+}
+
+// ---- rejection paths: each degrades to an empty (cold) store ----
+
+class CorruptionTest : public ::testing::Test {
+ protected:
+  /// Writes a small valid artifact and returns its bytes.
+  std::string MakeValidArtifact(const std::string& path) {
+    SimulatedHdfs hdfs;
+    RegisterCanonicalInputs(&hdfs);
+    auto s = MustOpen(ArtifactStoreOptions().WithPath(path));
+    s->RecordProgram(11, kArgs, &hdfs);
+    s->RecordWhatIf(PortableWhatIfKey{11, 1, 1 * kGB, 1},
+                    MakeCandidate(1 * kGB, 9.0));
+    EXPECT_TRUE(s->Flush().ok());
+    return ReadFile(path);
+  }
+
+  /// The store must reject the current file contents with `want` in the
+  /// load status, start empty, and still be able to rebuild a valid
+  /// artifact from scratch (the clean-recompile recovery path).
+  void ExpectRejectedAndRecoverable(const std::string& path,
+                                    const std::string& want) {
+    auto s = MustOpen(ArtifactStoreOptions().WithPath(path));
+    EXPECT_FALSE(s->load_status().ok());
+    EXPECT_NE(s->load_status().ToString().find(want), std::string::npos)
+        << s->load_status().ToString();
+    EXPECT_EQ(s->stats().frozen_programs, 0u);
+    SimulatedHdfs hdfs;
+    EXPECT_FALSE(s->HasValidProgram(11, &hdfs));
+    // lint agrees with the store's verdict.
+    auto info = InspectArtifact(path);
+    ASSERT_TRUE(info.ok());
+    EXPECT_FALSE(info->integrity.ok());
+    // Recovery: new work still persists over the corpse.
+    s->RecordProgram(21, {}, nullptr);
+    ASSERT_TRUE(s->Flush().ok());
+    auto healed = InspectArtifact(path);
+    ASSERT_TRUE(healed.ok());
+    EXPECT_TRUE(healed->integrity.ok());
+    EXPECT_EQ(healed->program_count, 1u);
+  }
+};
+
+TEST_F(CorruptionTest, TruncatedHeaderRejected) {
+  std::string path = TmpPath("trunc_header.relmplan");
+  std::string bytes = MakeValidArtifact(path);
+  WriteFile(path, bytes.substr(0, 10));
+  ExpectRejectedAndRecoverable(path, "truncated header");
+}
+
+TEST_F(CorruptionTest, TruncatedPayloadRejected) {
+  std::string path = TmpPath("trunc_payload.relmplan");
+  std::string bytes = MakeValidArtifact(path);
+  WriteFile(path, bytes.substr(0, bytes.size() - 4));
+  ExpectRejectedAndRecoverable(path, "truncated payload");
+}
+
+TEST_F(CorruptionTest, ChecksumMismatchRejected) {
+  std::string path = TmpPath("checksum.relmplan");
+  std::string bytes = MakeValidArtifact(path);
+  bytes[sizeof(ArtifactHeader) + 3] ^= 0x5a;  // flip a payload byte
+  WriteFile(path, bytes);
+  ExpectRejectedAndRecoverable(path, "checksum mismatch");
+}
+
+TEST_F(CorruptionTest, VersionSkewRejected) {
+  std::string path = TmpPath("version.relmplan");
+  std::string bytes = MakeValidArtifact(path);
+  uint32_t future = store::kArtifactVersion + 1;
+  std::memcpy(bytes.data() + offsetof(ArtifactHeader, version), &future,
+              sizeof(future));
+  WriteFile(path, bytes);
+  ExpectRejectedAndRecoverable(path, "version skew");
+}
+
+TEST_F(CorruptionTest, BadMagicRejected) {
+  std::string path = TmpPath("magic.relmplan");
+  std::string bytes = MakeValidArtifact(path);
+  bytes[0] ^= 0xff;
+  WriteFile(path, bytes);
+  ExpectRejectedAndRecoverable(path, "bad magic");
+}
+
+// ---- stale-input invalidation (incremental recompilation) ----
+
+TEST(PlanArtifactStoreTest, StaleInputInvalidatesOnlyItsOwnProgram) {
+  std::string path = TmpPath("stale.relmplan");
+  ScriptArgs x_args{{"X", "/data/X"}};
+  ScriptArgs y_args{{"Y", "/data/y"}};
+  {
+    SimulatedHdfs hdfs;
+    RegisterCanonicalInputs(&hdfs);
+    auto s = MustOpen(ArtifactStoreOptions().WithPath(path));
+    s->RecordProgram(101, x_args, &hdfs);  // reads only X
+    s->RecordProgram(202, y_args, &hdfs);  // reads only y
+    ASSERT_TRUE(s->Flush().ok());
+  }
+  // A later process where X grew but y is unchanged: only the program
+  // that reads X is stale — Tundra-style leaf-input signatures, not a
+  // whole-namespace fingerprint.
+  SimulatedHdfs drifted;
+  drifted.PutMetadata("/data/X", MatrixCharacteristics(2000000, 1000));
+  drifted.PutMetadata("/data/y", MatrixCharacteristics(1000000, 1));
+  auto s = MustOpen(ArtifactStoreOptions().WithPath(path));
+  EXPECT_TRUE(s->load_status().ok());
+  EXPECT_FALSE(s->HasValidProgram(101, &drifted));
+  EXPECT_TRUE(s->HasValidProgram(202, &drifted));
+  // A deleted input is also stale.
+  drifted.Delete("/data/y");
+  EXPECT_FALSE(s->HasValidProgram(202, &drifted));
+}
+
+TEST(PortableSignatureTest, StableAcrossProcessesAndUnrelatedDrift) {
+  SimulatedHdfs a;
+  RegisterCanonicalInputs(&a);
+  SimulatedHdfs b;
+  RegisterCanonicalInputs(&b);
+  // Distinct namespace instances with identical inputs: the in-process
+  // signature must differ (master programs pin their namespace), the
+  // portable one must match (it names work, not a process).
+  EXPECT_NE(ComputeScriptSignature(kScript, kArgs, &a),
+            ComputeScriptSignature(kScript, kArgs, &b));
+  uint64_t sig_a = ComputePortableScriptSignature(kScript, kArgs, &a);
+  EXPECT_EQ(sig_a, ComputePortableScriptSignature(kScript, kArgs, &b));
+  // Drift in a file the script never reads does not invalidate...
+  b.PutMetadata("/data/unrelated", MatrixCharacteristics(5, 5));
+  EXPECT_EQ(sig_a, ComputePortableScriptSignature(kScript, kArgs, &b));
+  // ...but drift in a bound input does.
+  b.PutMetadata("/data/X", MatrixCharacteristics(2000000, 1000));
+  EXPECT_NE(sig_a, ComputePortableScriptSignature(kScript, kArgs, &b));
+}
+
+// ---- concurrency and capacity ----
+
+TEST(PlanArtifactStoreTest, ConcurrentWritersLoseNoEntries) {
+  std::string path = TmpPath("concurrent.relmplan");
+  SimulatedHdfs hdfs;
+  RegisterCanonicalInputs(&hdfs);
+  // Two stores on the same path — two Sessions, two processes. Both
+  // opened cold; each records its own work; the second flush must merge
+  // with (not clobber) the first's published file.
+  auto a = MustOpen(ArtifactStoreOptions().WithPath(path));
+  auto b = MustOpen(ArtifactStoreOptions().WithPath(path));
+  a->RecordProgram(1001, kArgs, &hdfs);
+  a->RecordWhatIf(PortableWhatIfKey{1001, 5, 1 * kGB, 1},
+                  MakeCandidate(1 * kGB, 1.0));
+  b->RecordProgram(2002, kArgs, &hdfs);
+  b->RecordWhatIf(PortableWhatIfKey{2002, 5, 2 * kGB, 1},
+                  MakeCandidate(2 * kGB, 2.0));
+  ASSERT_TRUE(a->Flush().ok());
+  ASSERT_TRUE(b->Flush().ok());
+  auto c = MustOpen(ArtifactStoreOptions().WithPath(path));
+  EXPECT_TRUE(c->HasValidProgram(1001, &hdfs));
+  EXPECT_TRUE(c->HasValidProgram(2002, &hdfs));
+  EXPECT_TRUE(
+      c->LookupWhatIf(PortableWhatIfKey{1001, 5, 1 * kGB, 1}).has_value());
+  EXPECT_TRUE(
+      c->LookupWhatIf(PortableWhatIfKey{2002, 5, 2 * kGB, 1}).has_value());
+  EXPECT_EQ(c->stats().frozen_programs, 2u);
+  EXPECT_EQ(c->stats().frozen_whatif, 2u);
+}
+
+TEST(PlanArtifactStoreTest, ReadOnlyStoreServesButNeverWrites) {
+  std::string path = TmpPath("readonly.relmplan");
+  SimulatedHdfs hdfs;
+  RegisterCanonicalInputs(&hdfs);
+  uint64_t sig = 31;
+  PortableWhatIfKey key{sig, 9, 1 * kGB, 1};
+  {
+    auto w = MustOpen(ArtifactStoreOptions().WithPath(path));
+    w->RecordProgram(sig, kArgs, &hdfs);
+    w->RecordWhatIf(key, MakeCandidate(1 * kGB, 3.0));
+    ASSERT_TRUE(w->Flush().ok());
+  }
+  std::string before = ReadFile(path);
+  auto ro = MustOpen(
+      ArtifactStoreOptions().WithPath(path).WithReadOnly(true));
+  EXPECT_TRUE(ro->HasValidProgram(sig, &hdfs));
+  EXPECT_TRUE(ro->LookupWhatIf(key).has_value());
+  // Writes are no-ops: nothing pends, nothing flushes, no byte moves.
+  ro->RecordProgram(77, kArgs, &hdfs);
+  ro->RecordWhatIf(PortableWhatIfKey{77, 9, 1 * kGB, 1},
+                   MakeCandidate(1 * kGB, 4.0));
+  EXPECT_EQ(ro->stats().pending_programs, 0u);
+  EXPECT_EQ(ro->stats().pending_whatif, 0u);
+  EXPECT_TRUE(ro->Flush().ok());
+  EXPECT_EQ(ro->stats().flushes, 0);
+  EXPECT_EQ(ReadFile(path), before);
+}
+
+TEST(PlanArtifactStoreTest, SizeCapDropsOldestWhatIfEntriesFirst) {
+  std::string path = TmpPath("cap.relmplan");
+  // Room for the header plus two block-heap-free what-if records.
+  int64_t cap = static_cast<int64_t>(sizeof(ArtifactHeader) +
+                                     2 * sizeof(store::WhatIfRecord));
+  auto s = MustOpen(
+      ArtifactStoreOptions().WithPath(path).WithMaxBytes(cap));
+  for (int i = 0; i < 5; ++i) {
+    PlanCache::CachedCandidate cand;
+    cand.config.cp_heap = (i + 1) * kGB;
+    cand.cost = i;
+    s->RecordWhatIf(PortableWhatIfKey{uint64_t(50 + i), 1, (i + 1) * kGB, 1},
+                    cand);
+  }
+  ASSERT_TRUE(s->Flush().ok());
+  auto info = InspectArtifact(path);
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->integrity.ok());
+  EXPECT_EQ(info->whatif_count, 2u);
+  EXPECT_LE(info->file_bytes, static_cast<uint64_t>(cap));
+  // The newest entries are the ones kept.
+  auto r = MustOpen(ArtifactStoreOptions().WithPath(path));
+  EXPECT_FALSE(
+      r->LookupWhatIf(PortableWhatIfKey{50, 1, 1 * kGB, 1}).has_value());
+  EXPECT_TRUE(
+      r->LookupWhatIf(PortableWhatIfKey{54, 1, 5 * kGB, 1}).has_value());
+}
+
+// ---- the cold-start differential (the acceptance bar) ----
+
+struct ColdStartRun {
+  PlanCache::Stats cache_stats;
+  ResourceConfig config;
+  OptimizerStats opt_stats;
+};
+
+/// One simulated process lifetime: fresh PlanCache (nothing in-memory
+/// survives), shared artifact path (what disk preserves).
+ColdStartRun RunProcess(PlanCache* cache, const std::string& path) {
+  Session session(
+      ClusterConfig::PaperCluster(),
+      SessionOptions().WithPlanCache(cache).WithArtifactStore(
+          ArtifactStoreOptions().WithPath(path)));
+  EXPECT_TRUE(session.artifact_store_status().ok())
+      << session.artifact_store_status().ToString();
+  RegisterCanonicalInputs(&session.hdfs());
+  auto prog = session.CompileSource(kScript, kArgs);
+  EXPECT_TRUE(prog.ok()) << prog.status().ToString();
+  auto outcome = session.Optimize(prog->get());
+  EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(session.FlushArtifacts().ok());
+  ColdStartRun run;
+  run.cache_stats = cache->stats();
+  run.config = outcome->config;
+  run.opt_stats = std::move(outcome->stats);
+  return run;
+}
+
+TEST(ColdStartTest, WarmStoreYieldsZeroCompilesAndIdenticalConfig) {
+  std::string path = TmpPath("cold_start.relmplan");
+
+  PlanCache cold_cache;
+  ColdStartRun cold = RunProcess(&cold_cache, path);
+  EXPECT_EQ(cold.cache_stats.program_misses, 1);
+  EXPECT_EQ(cold.cache_stats.store_program_hits, 0);
+  EXPECT_GT(cold.cache_stats.whatif_misses, 0);
+
+  // "Process restart": a brand-new cache, only the artifact survives.
+  PlanCache warm_cache;
+  ColdStartRun warm = RunProcess(&warm_cache, path);
+
+  // Zero full compiles: the store vouched for the program signature...
+  EXPECT_EQ(warm.cache_stats.program_misses, 0);
+  EXPECT_EQ(warm.cache_stats.store_program_hits, 1);
+  // ...and every grid point the sweep asked for hydrated from disk.
+  EXPECT_EQ(warm.cache_stats.whatif_misses, 0);
+  EXPECT_GT(warm.cache_stats.store_whatif_hits, 0);
+  EXPECT_EQ(warm.opt_stats.block_recompiles, 0);
+
+  // Bitwise-identical decision.
+  EXPECT_EQ(warm.config.cp_heap, cold.config.cp_heap);
+  EXPECT_EQ(warm.config.cp_cores, cold.config.cp_cores);
+  EXPECT_EQ(warm.config.default_mr_heap, cold.config.default_mr_heap);
+  EXPECT_EQ(warm.config.per_block_mr_heap, cold.config.per_block_mr_heap);
+  EXPECT_EQ(warm.opt_stats.best_cost, cold.opt_stats.best_cost);
+}
+
+TEST(ColdStartTest, CorruptArtifactDegradesToCleanRecompile) {
+  std::string path = TmpPath("cold_start_corrupt.relmplan");
+  PlanCache cold_cache;
+  RunProcess(&cold_cache, path);
+  // Scribble over the artifact between "processes".
+  std::string bytes = ReadFile(path);
+  bytes[sizeof(ArtifactHeader) + 1] ^= 0x40;
+  WriteFile(path, bytes);
+
+  PlanCache warm_cache;
+  Session session(
+      ClusterConfig::PaperCluster(),
+      SessionOptions().WithPlanCache(&warm_cache).WithArtifactStore(
+          ArtifactStoreOptions().WithPath(path)));
+  // The rejection is visible but non-fatal...
+  EXPECT_FALSE(session.artifact_store_status().ok());
+  ASSERT_NE(session.artifact_store(), nullptr);
+  RegisterCanonicalInputs(&session.hdfs());
+  auto prog = session.CompileSource(kScript, kArgs);
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  auto outcome = session.Optimize(prog->get());
+  ASSERT_TRUE(outcome.ok());
+  // ...and the run paid the clean recompile instead of a wrong hit.
+  EXPECT_EQ(warm_cache.stats().program_misses, 1);
+  EXPECT_EQ(warm_cache.stats().store_program_hits, 0);
+  // The flush then heals the artifact for the next process.
+  ASSERT_TRUE(session.FlushArtifacts().ok());
+  auto info = InspectArtifact(path);
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->integrity.ok());
+}
+
+TEST(ColdStartTest, StoreIsSharedAcrossSessionsOfOneService) {
+  // Two sessions in one process sharing a cache and store (the
+  // JobService fleet shape): the second session's open merges through
+  // the same artifact without clobbering the first's entries.
+  std::string path = TmpPath("fleet.relmplan");
+  PlanCache cache;
+  PlanCache::Stats first;
+  {
+    PlanCache c1;
+    RunProcess(&c1, path);
+    first = c1.stats();
+  }
+  EXPECT_EQ(first.program_misses, 1);
+  ColdStartRun second = RunProcess(&cache, path);
+  EXPECT_EQ(second.cache_stats.program_misses, 0);
+  EXPECT_EQ(second.cache_stats.store_program_hits, 1);
+}
+
+}  // namespace
+}  // namespace relm

@@ -21,20 +21,27 @@
 //     --points N                  grid resolution for --grid (default 15)
 //     --artifact PATH             audit a plan-artifact file (repeatable;
 //                                 =PATH form also accepted)
+//     --dataflow                  dump the dataflow summary: per-block
+//                                 live ranges, static peak-memory bounds,
+//                                 dead writes and undefined reads with
+//                                 script line/column
 //     --json                      machine-readable report
 //
 // Quick start:
 //   relm-lint scripts/linreg_cg.dml
 //   relm-lint --grid --json scripts/*.dml
+//   relm-lint --dataflow scripts/linreg_ds.dml
 //   relm-lint --artifact /var/cache/relm/plans.relmplan
 
 #include <cstdio>
 #include <cstdlib>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "analysis/analysis.h"
+#include "analysis/dataflow.h"
 #include "api/session.h"
 #include "common/string_util.h"
 #include "lops/compiler_backend.h"
@@ -58,7 +65,7 @@ void Usage() {
                "usage: relm-lint [--input NAME=PATH:RxC[:SP] ...]\n"
                "                 [--arg NAME=VALUE ...] [--grid]\n"
                "                 [--points N] [--artifact PATH ...]\n"
-               "                 [--json] SCRIPT.dml ...\n");
+               "                 [--dataflow] [--json] SCRIPT.dml ...\n");
   std::exit(2);
 }
 
@@ -142,6 +149,121 @@ struct StageResult {
   analysis::AnalysisReport report;
 };
 
+std::string JoinSet(const std::set<std::string>& vars) {
+  std::string out;
+  for (const std::string& v : vars) {
+    if (!out.empty()) out += ", ";
+    out += v;
+  }
+  return out;
+}
+
+std::string JsonStringArray(const std::set<std::string>& vars) {
+  std::string out = "[";
+  bool first = true;
+  for (const std::string& v : vars) {
+    if (!first) out += ",";
+    first = false;
+    out += obs::JsonQuote(v);
+  }
+  return out + "]";
+}
+
+/// Human-readable dump of the dataflow summary: per-block live ranges,
+/// the peak bounds, and every dead write / undefined read with script
+/// provenance. Informational — the corresponding diagnostics already
+/// surface through the dead-write / use-liveness / memory-bound passes
+/// in the stage reports above.
+void PrintDataflow(const analysis::DataflowSummary& df) {
+  std::printf("  dataflow:\n");
+  for (const auto& [id, bl] : df.liveness) {
+    std::printf("    block %d [%s]  live-in {%s}  live-out {%s}\n", id,
+                BlockKindName(bl.kind), JoinSet(bl.live_in).c_str(),
+                JoinSet(bl.live_out).c_str());
+  }
+  const analysis::PeakMemory& pk = df.peak;
+  if (pk.bounded) {
+    std::printf("    peak: resident %lld bytes (block %d), live %lld "
+                "bytes, max-op %lld bytes",
+                static_cast<long long>(pk.resident_bytes),
+                pk.peak_block_id, static_cast<long long>(pk.live_bytes),
+                static_cast<long long>(pk.max_op_bytes));
+    if (pk.max_op_hop_id >= 0) {
+      std::printf(" (hop %lld, block %d",
+                  static_cast<long long>(pk.max_op_hop_id),
+                  pk.max_op_block_id);
+      if (pk.max_op_line > 0) std::printf(", line %d", pk.max_op_line);
+      std::printf(")");
+    }
+    std::printf("\n");
+  } else {
+    std::printf("    peak: unbounded (unknown dimensions or recursion "
+                "forced the worst-case sentinel)\n");
+  }
+  for (const auto& dw : df.dead_writes) {
+    std::printf("    dead write: '%s' in block %d", dw.var.c_str(),
+                dw.block_id);
+    if (dw.line > 0) std::printf(" at line %d:%d", dw.line, dw.column);
+    std::printf("%s\n", dw.materialized ? " (materialized in the IR)" : "");
+  }
+  for (const auto& ur : df.undefined_reads) {
+    std::printf("    %s read: '%s' in block %d",
+                ur.definite ? "undefined" : "possibly-undefined",
+                ur.var.c_str(), ur.block_id);
+    if (ur.line > 0) std::printf(" at line %d:%d", ur.line, ur.column);
+    std::printf("\n");
+  }
+}
+
+/// JSON form of the same dump, embedded per script under "dataflow".
+std::string DataflowToJson(const analysis::DataflowSummary& df) {
+  const analysis::PeakMemory& pk = df.peak;
+  std::string out = "{\"peak\":{";
+  out += "\"bounded\":" + std::string(pk.bounded ? "true" : "false") +
+         ",\"resident_bytes\":" + std::to_string(pk.resident_bytes) +
+         ",\"live_bytes\":" + std::to_string(pk.live_bytes) +
+         ",\"max_op_bytes\":" + std::to_string(pk.max_op_bytes) +
+         ",\"max_op_hop\":" + std::to_string(pk.max_op_hop_id) +
+         ",\"max_op_block\":" + std::to_string(pk.max_op_block_id) +
+         ",\"max_op_line\":" + std::to_string(pk.max_op_line) +
+         ",\"peak_block\":" + std::to_string(pk.peak_block_id) + "}";
+  out += ",\"blocks\":[";
+  bool first = true;
+  for (const auto& [id, bl] : df.liveness) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"id\":" + std::to_string(id) + ",\"kind\":" +
+           obs::JsonQuote(BlockKindName(bl.kind)) +
+           ",\"live_in\":" + JsonStringArray(bl.live_in) +
+           ",\"live_out\":" + JsonStringArray(bl.live_out) + "}";
+  }
+  out += "],\"dead_writes\":[";
+  first = true;
+  for (const auto& dw : df.dead_writes) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"var\":" + obs::JsonQuote(dw.var) +
+           ",\"block\":" + std::to_string(dw.block_id) +
+           ",\"line\":" + std::to_string(dw.line) +
+           ",\"column\":" + std::to_string(dw.column) +
+           ",\"materialized\":" +
+           std::string(dw.materialized ? "true" : "false") + "}";
+  }
+  out += "],\"undefined_reads\":[";
+  first = true;
+  for (const auto& ur : df.undefined_reads) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"var\":" + obs::JsonQuote(ur.var) +
+           ",\"block\":" + std::to_string(ur.block_id) +
+           ",\"line\":" + std::to_string(ur.line) +
+           ",\"column\":" + std::to_string(ur.column) +
+           ",\"definite\":" +
+           std::string(ur.definite ? "true" : "false") + "}";
+  }
+  return out + "]}";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -151,6 +273,7 @@ int main(int argc, char** argv) {
   ScriptArgs args;
   bool grid = false;
   bool json = false;
+  bool dataflow = false;
   int points = 15;
 
   for (int i = 1; i < argc; ++i) {
@@ -176,6 +299,8 @@ int main(int argc, char** argv) {
       artifacts.push_back(next());
     } else if (flag.rfind("--artifact=", 0) == 0) {
       artifacts.push_back(flag.substr(std::string("--artifact=").size()));
+    } else if (flag == "--dataflow") {
+      dataflow = true;
     } else if (flag == "--json") {
       json = true;
     } else if (!flag.empty() && flag[0] == '-') {
@@ -270,6 +395,12 @@ int main(int argc, char** argv) {
     }
     if (errors > 0) any_errors = true;
 
+    // Program-only dataflow summary (no runtime plan): the peak is the
+    // configuration-independent bound, the same one the plan cache
+    // stores and JobService admission consults.
+    analysis::DataflowSummary df;
+    if (dataflow) df = analysis::AnalyzeDataflow(*prog->get());
+
     if (json) {
       if (!first_script) json_out += ",";
       first_script = false;
@@ -282,7 +413,9 @@ int main(int argc, char** argv) {
         json_out += "{\"stage\":" + obs::JsonQuote(stages[i].stage) +
                     ",\"report\":" + stages[i].report.ToJson() + "}";
       }
-      json_out += "]}";
+      json_out += "]";
+      if (dataflow) json_out += ",\"dataflow\":" + DataflowToJson(df);
+      json_out += "}";
     } else {
       std::printf("%s: %d error(s), %d warning(s)\n", script.c_str(),
                   errors, warnings);
@@ -292,6 +425,7 @@ int main(int argc, char** argv) {
                       d.ToString().c_str());
         }
       }
+      if (dataflow) PrintDataflow(df);
     }
   }
 

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Extended check build, ten stages in separate trees:
+# Extended check build, eleven stages in separate trees:
 #
 #   1. ASan+UBSan Debug build running the full test suite (catches
 #      allocation bugs and UB in the simulator's recovery logic);
@@ -38,7 +38,12 @@
 #      --cold-start gate (warm process must reach its first plan >= 2x
 #      faster with zero full compiles), and relm-lint --artifact must
 #      accept the artifact the bench wrote and reject a bit-flipped
-#      copy of it.
+#      copy of it;
+#  11. the dataflow lint golden: relm-lint --dataflow --json over every
+#      shipped script, reduced to its stable facts (error diagnostics,
+#      peak boundedness, dead writes, undefined reads) and diffed
+#      against scripts/lint_dataflow.golden — a new error-severity
+#      diagnostic or a silently-unbounded peak fails the build.
 #
 # TSan is incompatible with ASan, hence the separate tree. Slower than
 # the default build; use before merging changes that touch allocation
@@ -108,7 +113,10 @@ if command -v clang++ >/dev/null 2>&1; then
   clang++ -std=c++20 -fsyntax-only -Wthread-safety -Werror=thread-safety \
     -I "$repo_root/src" \
     "$repo_root/src/core/plan_cache.cc" \
-    "$repo_root/src/serve/job_service.cc"
+    "$repo_root/src/serve/job_service.cc" \
+    "$repo_root/src/exec/memory_manager.cc" \
+    "$repo_root/src/exec/worker_pool.cc" \
+    "$repo_root/src/store/plan_artifact_store.cc"
 else
   echo "  clang++ not installed; skipping -Wthread-safety pass"
 fi
@@ -180,5 +188,23 @@ for tree in "${prefix}-gate" "${prefix}-asan"; do
   fi
   rm -f "$artifact" "$artifact.bad"
 done
+
+echo "=== stage 11: relm-lint --dataflow golden over shipped scripts ==="
+# Dataflow lint regression gate: reduce the --dataflow --json report to
+# its golden-stable facts (error-severity diagnostics, peak boundedness,
+# dead-write / undefined-read findings with line:column) and diff them
+# against the committed baseline. A new error, a script whose static
+# peak silently becomes unbounded, or a new dead write fails the build;
+# byte counts and hop ids are deliberately excluded so cost-model tuning
+# does not churn the golden. relm-lint itself exits non-zero on errors,
+# which the diff then localizes.
+lint_json="${prefix}-gate/lint_dataflow.json"
+lint_actual="${prefix}-gate/lint_dataflow.txt"
+"${prefix}-gate/examples/relm-lint" --dataflow --json \
+  "$repo_root"/scripts/*.dml > "$lint_json" \
+  || echo "  relm-lint exited non-zero; the golden diff below names why"
+python3 "$repo_root/scripts/lint_golden_extract.py" "$lint_json" \
+  > "$lint_actual"
+diff -u "$repo_root/scripts/lint_dataflow.golden" "$lint_actual"
 
 echo "all check stages passed"

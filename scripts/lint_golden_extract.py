@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Reduce `relm-lint --dataflow --json` output to golden-stable lines.
+
+Keeps what must never change silently — error-severity diagnostics, the
+boundedness of the static peak, and the dead-write / undefined-read
+findings (all deterministic: variable names and script line/column) —
+and drops what legitimately drifts with the cost model (byte counts,
+hop ids). check.sh stage 11 diffs the result against the committed
+scripts/lint_dataflow.golden; a new error-severity diagnostic or a lost
+bound fails the build.
+
+Usage: lint_golden_extract.py LINT_JSON_FILE
+"""
+
+import json
+import os
+import sys
+
+
+def main() -> int:
+    with open(sys.argv[1], encoding="utf-8") as f:
+        report = json.load(f)
+    lines = []
+    for script in report.get("scripts", []):
+        name = os.path.basename(script["script"])
+        errors = []
+        for stage in script.get("stages", []):
+            for diag in stage["report"].get("diagnostics", []):
+                if diag["severity"] != "ERROR":
+                    continue
+                errors.append(
+                    f"{name} error: [{diag['pass']}] {diag['location']}"
+                )
+        lines.append(f"{name} errors={len(errors)}")
+        lines.extend(sorted(errors))
+        df = script.get("dataflow")
+        if df is not None:
+            bounded = "true" if df["peak"]["bounded"] else "false"
+            lines.append(f"{name} peak_bounded={bounded}")
+            for dw in df.get("dead_writes", []):
+                lines.append(
+                    f"{name} dead_write: {dw['var']} "
+                    f"line={dw['line']}:{dw['column']} "
+                    f"materialized={'true' if dw['materialized'] else 'false'}"
+                )
+            for ur in df.get("undefined_reads", []):
+                lines.append(
+                    f"{name} undefined_read: {ur['var']} "
+                    f"line={ur['line']}:{ur['column']} "
+                    f"definite={'true' if ur['definite'] else 'false'}"
+                )
+    print("\n".join(lines))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

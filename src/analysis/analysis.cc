@@ -94,6 +94,9 @@ Analyzer Analyzer::Default() {
   a.AddPass(MakeBudgetConformancePass());
   a.AddPass(MakePiggybackLegalityPass());
   a.AddPass(MakePoolPurityPass());
+  a.AddPass(MakeMemoryBoundPass());
+  a.AddPass(MakeDeadWritePass());
+  a.AddPass(MakeUseLivenessPass());
   a.AddPass(MakeRecompileIdempotencePass());
   return a;
 }

@@ -112,7 +112,7 @@ class Analyzer {
  public:
   Analyzer() = default;
 
-  /// All six built-in passes, in dependency-friendly order (structural
+  /// All nine built-in passes, in dependency-friendly order (structural
   /// checks before the passes that assume a well-formed DAG).
   static Analyzer Default();
 
@@ -152,7 +152,24 @@ std::unique_ptr<Pass> MakePiggybackLegalityPass();
 /// function calls — a poolable-but-impure program is an error.
 std::unique_ptr<Pass> MakePoolPurityPass();
 
-/// (6) "recompile-idempotence": re-running the backend compile under the
+/// (6) "memory-bound": compares the dataflow peak bounds (analysis/
+/// dataflow.h) against the plan's CP budget — errors when a CP-only
+/// operation's working set cannot fit even with eviction (no MR
+/// fallback exists), warns when the liveness-disciplined peak predicts
+/// buffer-pool spill. No-op without a runtime plan.
+std::unique_ptr<Pass> MakeMemoryBoundPass();
+
+/// (7) "dead-write": assignments (and materialized transient-write
+/// roots) whose value no path consumes before overwrite or program end
+/// — wasted recompute in user scripts. Warnings only.
+std::unique_ptr<Pass> MakeDeadWritePass();
+
+/// (8) "use-liveness": transient reads of variables no prior path
+/// defines (error) or that some path leaves undefined (warning) —
+/// beyond what the validator catches syntactically.
+std::unique_ptr<Pass> MakeUseLivenessPass();
+
+/// (9) "recompile-idempotence": re-running the backend compile under the
 /// plan's own ResourceConfig reproduces the identical plan signature.
 std::unique_ptr<Pass> MakeRecompileIdempotencePass();
 

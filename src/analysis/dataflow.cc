@@ -1,0 +1,660 @@
+// Implementation of the dataflow framework (see dataflow.h). Three
+// cooperating walks over the statement-block tree:
+//
+//   1. LivenessAnalyzer — backward AST-level liveness with a fixpoint
+//      over loop back edges. Recomputed from scratch; deliberately does
+//      NOT read the live sets BuildProgramBlocks cached on the blocks.
+//   2. IrWalker — forward walk over the per-block HOP DAGs maintaining
+//      (may-defined, must-defined) variable sets: collects def-use
+//      chains, flags undefined / possibly-undefined transient reads,
+//      and dead writes (AST-level backward scan per generic block plus
+//      materialized transient-write roots the recomputed liveness says
+//      nobody consumes).
+//   3. PeakWalker — forward abstract interpretation of the resident
+//      variable set: per-instruction peak candidates (resident sum plus
+//      the instruction's working set), commit of transient writes at
+//      block exit, branch max-merge, and a two-pass loop walk (sizes
+//      that grow across the back edge were already degraded to unknown
+//      by the DAG builder, so two passes reach the max fixpoint).
+//
+// All set lattices are finite (variable names of one script) and every
+// transfer function is monotone, so the loop fixpoints terminate.
+
+#include "analysis/dataflow.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "hops/size_propagation.h"
+#include "lang/statement_block.h"
+#include "lops/compiler_backend.h"
+#include "matrix/matrix_characteristics.h"
+
+namespace relm {
+namespace analysis {
+namespace {
+
+using VarSet = std::set<std::string>;
+
+VarSet SetUnion(const VarSet& a, const VarSet& b) {
+  VarSet out = a;
+  out.insert(b.begin(), b.end());
+  return out;
+}
+
+VarSet SetMinus(const VarSet& a, const VarSet& b) {
+  VarSet out;
+  for (const std::string& v : a) {
+    if (!b.count(v)) out.insert(v);
+  }
+  return out;
+}
+
+VarSet SetIntersect(const VarSet& a, const VarSet& b) {
+  VarSet out;
+  for (const std::string& v : a) {
+    if (b.count(v)) out.insert(v);
+  }
+  return out;
+}
+
+/// Reachable nodes of a DAG (cycle-safe, null-safe).
+std::vector<const Hop*> DagNodes(const HopDag& dag) {
+  std::vector<const Hop*> out;
+  std::unordered_set<const Hop*> seen;
+  std::vector<const Hop*> stack;
+  for (const HopPtr& root : dag.roots) {
+    if (root != nullptr && seen.insert(root.get()).second) {
+      stack.push_back(root.get());
+    }
+  }
+  while (!stack.empty()) {
+    const Hop* h = stack.back();
+    stack.pop_back();
+    out.push_back(h);
+    for (const HopPtr& in : h->inputs()) {
+      if (in != nullptr && seen.insert(in.get()).second) {
+        stack.push_back(in.get());
+      }
+    }
+  }
+  return out;
+}
+
+const Hop* ResolveFused(const Hop* h) {
+  while (h != nullptr && h->fused() && !h->inputs().empty()) {
+    h = h->input(0);
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------
+// 1. Liveness (backward, AST statement level, loop fixpoint)
+// ---------------------------------------------------------------------
+
+class LivenessAnalyzer {
+ public:
+  explicit LivenessAnalyzer(std::map<int, BlockLiveness>* out)
+      : out_(out) {}
+
+  /// Live-in of a block sequence given the live-out after it.
+  VarSet Sequence(const std::vector<BlockPtr>& blocks, VarSet live_out) {
+    for (auto it = blocks.rbegin(); it != blocks.rend(); ++it) {
+      live_out = Block(**it, live_out);
+    }
+    return live_out;
+  }
+
+ private:
+  VarSet Block(const StatementBlock& blk, const VarSet& live_out) {
+    VarSet live_in;
+    switch (blk.kind()) {
+      case BlockKind::kGeneric: {
+        VarSet live = live_out;
+        for (auto it = blk.statements.rbegin();
+             it != blk.statements.rend(); ++it) {
+          VarSet reads;
+          VarSet writes;
+          CollectReadsWrites(**it, &reads, &writes);
+          live = SetUnion(SetMinus(live, writes), reads);
+        }
+        live_in = live;
+        break;
+      }
+      case BlockKind::kIf: {
+        const auto& s = static_cast<const IfStmt&>(*blk.control);
+        VarSet pred;
+        CollectExprReads(*s.predicate, &pred);
+        VarSet then_in = Sequence(blk.body, live_out);
+        VarSet else_in = Sequence(blk.else_body, live_out);
+        live_in = SetUnion(pred, SetUnion(then_in, else_in));
+        break;
+      }
+      case BlockKind::kWhile: {
+        const auto& s = static_cast<const WhileStmt&>(*blk.control);
+        VarSet pred;
+        CollectExprReads(*s.predicate, &pred);
+        live_in = LoopFixpoint(blk, pred, /*loop_var=*/"", live_out);
+        break;
+      }
+      case BlockKind::kFor: {
+        const auto& s = static_cast<const ForStmt&>(*blk.control);
+        VarSet bounds;
+        CollectExprReads(*s.from, &bounds);
+        CollectExprReads(*s.to, &bounds);
+        if (s.increment) CollectExprReads(*s.increment, &bounds);
+        live_in = LoopFixpoint(blk, bounds, s.var, live_out);
+        break;
+      }
+    }
+    (*out_)[blk.id()] = BlockLiveness{blk.id(), blk.kind(), live_in,
+                                      live_out};
+    return live_in;
+  }
+
+  /// Backward loop liveness: iterate the body until the live set across
+  /// the back edge stabilizes. `header_reads` are the predicate (while)
+  /// or bound-expression (for) reads, evaluated before every iteration;
+  /// `loop_var` is redefined by the loop itself on each iteration (for
+  /// loops) and therefore never live across the back edge.
+  VarSet LoopFixpoint(const StatementBlock& blk, const VarSet& header_reads,
+                      const std::string& loop_var, const VarSet& live_out) {
+    VarSet exit = SetUnion(live_out, header_reads);
+    VarSet body_out = exit;
+    VarSet body_in;
+    while (true) {
+      body_in = Sequence(blk.body, body_out);
+      if (!loop_var.empty()) body_in.erase(loop_var);
+      VarSet next = SetUnion(exit, body_in);
+      if (next == body_out) break;
+      body_out = std::move(next);
+    }
+    // The loop may run zero times: everything live after it stays live
+    // before it, in addition to the first iteration's needs.
+    return SetUnion(header_reads, SetUnion(live_out, body_in));
+  }
+
+  std::map<int, BlockLiveness>* out_;
+};
+
+// ---------------------------------------------------------------------
+// 2. Def-use chains, undefined reads, dead writes
+// ---------------------------------------------------------------------
+
+class IrWalker {
+ public:
+  IrWalker(const MlProgram& program, DataflowSummary* sum)
+      : p_(program), sum_(sum) {}
+
+  void Run() {
+    DefState st;
+    WalkSeq(p_.blocks().main, &st, /*reachable=*/true);
+    for (const auto& [name, blocks] : p_.blocks().functions) {
+      const FunctionDef& fn = p_.ast().functions.at(name);
+      DefState fst;
+      for (const FunctionParam& param : fn.params) {
+        fst.may.insert(param.name);
+        fst.must.insert(param.name);
+      }
+      WalkSeq(blocks, &fst, /*reachable=*/true);
+      // Return values must be defined when the function exits.
+      for (const FunctionParam& ret : fn.returns) {
+        if (!fst.may.count(ret.name)) {
+          sum_->undefined_reads.push_back(
+              UndefinedRead{ret.name, -1, -1, 0, 0, /*definite=*/true});
+        } else if (!fst.must.count(ret.name)) {
+          sum_->undefined_reads.push_back(
+              UndefinedRead{ret.name, -1, -1, 0, 0, /*definite=*/false});
+        }
+      }
+    }
+    ScanDeadWrites(p_.blocks().main);
+    for (const auto& [name, blocks] : p_.blocks().functions) {
+      ScanDeadWrites(blocks);
+    }
+  }
+
+ private:
+  /// Forward definite-assignment state: `may` holds variables some path
+  /// defined, `must` holds variables every path defined.
+  struct DefState {
+    VarSet may;
+    VarSet must;
+  };
+
+  void WalkSeq(const std::vector<BlockPtr>& blocks, DefState* st,
+               bool reachable) {
+    for (const BlockPtr& blk : blocks) WalkBlock(*blk, st, reachable);
+  }
+
+  void WalkBlock(const StatementBlock& blk, DefState* st, bool reachable) {
+    const BlockIR* ir =
+        p_.has_ir(blk.id()) ? &p_.ir(blk.id()) : nullptr;
+    switch (blk.kind()) {
+      case BlockKind::kGeneric: {
+        if (ir != nullptr) {
+          // Transient reads in a generic block's DAG always read the
+          // block-ENTRY value: in-block redefinitions are consumed via
+          // direct hop edges, never through a read hop. So the whole
+          // DAG is checked against the entry state, then the block's
+          // transient-write roots extend it.
+          CheckDagReads(blk.id(), ir->dag, *st, reachable);
+          for (const HopPtr& root : ir->dag.roots) {
+            if (root == nullptr ||
+                root->kind() != HopKind::kTransientWrite) {
+              continue;
+            }
+            sum_->def_use[root->name()].defs.push_back(
+                VarSite{blk.id(), root->id(), root->line(),
+                        root->column()});
+            st->may.insert(root->name());
+            st->must.insert(root->name());
+          }
+        }
+        break;
+      }
+      case BlockKind::kIf: {
+        if (ir != nullptr) {
+          CheckDagReads(blk.id(), ir->dag, *st, reachable);
+        }
+        int taken = ir != nullptr ? ir->taken_branch : -1;
+        DefState then_st = *st;
+        DefState else_st = *st;
+        WalkSeq(blk.body, &then_st, reachable && taken != 1);
+        WalkSeq(blk.else_body, &else_st, reachable && taken != 0);
+        if (taken == 0) {
+          *st = std::move(then_st);
+        } else if (taken == 1) {
+          *st = std::move(else_st);
+        } else {
+          st->may = SetUnion(then_st.may, else_st.may);
+          st->must = SetIntersect(then_st.must, else_st.must);
+        }
+        break;
+      }
+      case BlockKind::kWhile:
+      case BlockKind::kFor: {
+        if (ir != nullptr) {
+          CheckDagReads(blk.id(), ir->dag, *st, reachable);
+        }
+        DefState body_st = *st;
+        if (blk.kind() == BlockKind::kFor) {
+          const auto& s = static_cast<const ForStmt&>(*blk.control);
+          body_st.may.insert(s.var);
+          body_st.must.insert(s.var);
+        }
+        // First-iteration semantics: body reads are checked against the
+        // loop-entry state (later iterations only see more defs), and
+        // the loop may run zero times, so `must` does not grow.
+        WalkSeq(blk.body, &body_st, reachable);
+        st->may = SetUnion(st->may, body_st.may);
+        break;
+      }
+    }
+  }
+
+  void CheckDagReads(int block_id, const HopDag& dag, const DefState& st,
+                     bool reachable) {
+    for (const Hop* h : DagNodes(dag)) {
+      if (h->kind() != HopKind::kTransientRead) continue;
+      sum_->def_use[h->name()].uses.push_back(
+          VarSite{block_id, h->id(), h->line(), h->column()});
+      if (!reachable) continue;  // statically-dead branch: no findings
+      if (!st.may.count(h->name())) {
+        sum_->undefined_reads.push_back(
+            UndefinedRead{h->name(), block_id, h->id(), h->line(),
+                          h->column(), /*definite=*/true});
+      } else if (!st.must.count(h->name())) {
+        sum_->undefined_reads.push_back(
+            UndefinedRead{h->name(), block_id, h->id(), h->line(),
+                          h->column(), /*definite=*/false});
+      }
+    }
+  }
+
+  // ---- dead writes ----
+
+  void ScanDeadWrites(const std::vector<BlockPtr>& blocks) {
+    for (const BlockPtr& blk : blocks) {
+      if (blk->kind() == BlockKind::kGeneric) {
+        ScanGeneric(*blk);
+        continue;
+      }
+      ScanDeadWrites(blk->body);
+      ScanDeadWrites(blk->else_body);
+    }
+  }
+
+  void ScanGeneric(const StatementBlock& blk) {
+    auto lit = sum_->liveness.find(blk.id());
+    VarSet live =
+        lit != sum_->liveness.end() ? lit->second.live_out : VarSet{};
+    // Materialized transient writes the recomputed liveness says nobody
+    // consumes: the runtime computes and pins a value with no reader.
+    if (p_.has_ir(blk.id())) {
+      for (const HopPtr& root : p_.ir(blk.id()).dag.roots) {
+        if (root != nullptr && root->kind() == HopKind::kTransientWrite &&
+            !live.count(root->name())) {
+          sum_->dead_writes.push_back(
+              DeadWrite{root->name(), blk.id(), root->line(),
+                        root->column(), /*materialized=*/true});
+        }
+      }
+    }
+    // Backward statement scan: a write whose target is dead afterwards
+    // never reaches a reader. The DAG builder drops such assignments
+    // entirely (unreachable from any root), so this is the only place
+    // they are visible — exactly the lint users need.
+    for (auto it = blk.statements.rbegin(); it != blk.statements.rend();
+         ++it) {
+      const Statement& s = **it;
+      VarSet reads;
+      VarSet writes;
+      CollectReadsWrites(s, &reads, &writes);
+      if (s.kind == Statement::Kind::kAssign) {
+        const auto& a = static_cast<const AssignStmt&>(s);
+        // A user-function call still executes for its other returns and
+        // side effects; its dead targets are not wasted recompute.
+        if (!ExprHasUserCall(*a.rhs)) {
+          for (const std::string& target : a.targets) {
+            if (!live.count(target)) {
+              sum_->dead_writes.push_back(DeadWrite{
+                  target, blk.id(), s.line, s.column,
+                  /*materialized=*/false});
+            }
+          }
+        }
+      }
+      live = SetUnion(SetMinus(live, writes), reads);
+    }
+  }
+
+  bool ExprHasUserCall(const Expr& e) const {
+    switch (e.kind) {
+      case Expr::Kind::kLiteral:
+      case Expr::Kind::kIdent:
+      case Expr::Kind::kParam:
+        return false;
+      case Expr::Kind::kUnary:
+        return ExprHasUserCall(
+            *static_cast<const UnaryExpr&>(e).operand);
+      case Expr::Kind::kBinary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        return ExprHasUserCall(*b.lhs) || ExprHasUserCall(*b.rhs);
+      }
+      case Expr::Kind::kMatMult: {
+        const auto& m = static_cast<const MatMultExpr&>(e);
+        return ExprHasUserCall(*m.lhs) || ExprHasUserCall(*m.rhs);
+      }
+      case Expr::Kind::kIndex: {
+        const auto& ix = static_cast<const IndexExpr&>(e);
+        for (const Expr* sub :
+             {ix.target.get(), ix.row_lower.get(), ix.row_upper.get(),
+              ix.col_lower.get(), ix.col_upper.get()}) {
+          if (sub != nullptr && ExprHasUserCall(*sub)) return true;
+        }
+        return false;
+      }
+      case Expr::Kind::kCall: {
+        const auto& call = static_cast<const CallExpr&>(e);
+        if (p_.ast().functions.count(call.function)) return true;
+        for (const CallArg& arg : call.args) {
+          if (arg.value && ExprHasUserCall(*arg.value)) return true;
+        }
+        return false;
+      }
+    }
+    return false;
+  }
+
+  const MlProgram& p_;
+  DataflowSummary* sum_;
+};
+
+// ---------------------------------------------------------------------
+// 3. Peak-memory walk (forward abstract interpretation)
+// ---------------------------------------------------------------------
+
+class PeakWalker {
+ public:
+  PeakWalker(const MlProgram& program,
+             const std::map<int, BlockLiveness>& liveness,
+             bool honor_exec_types)
+      : p_(program), live_(liveness), honor_exec_(honor_exec_types) {}
+
+  PeakMemory Run() {
+    Resident res;
+    Resident liv;
+    WalkSeq(p_.blocks().main, &res, &liv);
+    peak_.bounded = peak_.resident_bytes < kUnknownSizeSentinel;
+    return peak_;
+  }
+
+ private:
+  /// Abstract resident set: variable -> pinned bytes (worst case).
+  using Resident = std::map<std::string, int64_t>;
+
+  static int64_t Sum(const Resident& r) {
+    int64_t total = 0;
+    for (const auto& [name, bytes] : r) {
+      total = SaturatingAdd(total, bytes);
+    }
+    return total;
+  }
+
+  static void RestrictTo(Resident* r, const VarSet& keep) {
+    for (auto it = r->begin(); it != r->end();) {
+      if (keep.count(it->first)) {
+        ++it;
+      } else {
+        it = r->erase(it);
+      }
+    }
+  }
+
+  /// Pointwise max over the union of keys (sound join of branch states:
+  /// whichever branch ran, no variable is larger than this).
+  static Resident MaxMerge(const Resident& a, const Resident& b) {
+    Resident out = a;
+    for (const auto& [name, bytes] : b) {
+      auto [it, inserted] = out.emplace(name, bytes);
+      if (!inserted) it->second = std::max(it->second, bytes);
+    }
+    return out;
+  }
+
+  void Candidate(int64_t bytes, int block_id) {
+    if (bytes > peak_.resident_bytes) {
+      peak_.resident_bytes = bytes;
+      peak_.peak_block_id = block_id;
+    }
+  }
+
+  void CandidateLive(int64_t bytes) {
+    peak_.live_bytes = std::max(peak_.live_bytes, bytes);
+  }
+
+  void WalkSeq(const std::vector<BlockPtr>& blocks, Resident* res,
+               Resident* liv) {
+    for (const BlockPtr& blk : blocks) WalkBlock(*blk, res, liv);
+  }
+
+  void WalkBlock(const StatementBlock& blk, Resident* res, Resident* liv) {
+    auto lit = live_.find(blk.id());
+    // The liveness-disciplined model drops everything not live into the
+    // block; the resident model keeps it (the engine does too).
+    if (lit != live_.end()) RestrictTo(liv, lit->second.live_in);
+    const BlockIR* ir =
+        p_.has_ir(blk.id()) ? &p_.ir(blk.id()) : nullptr;
+    switch (blk.kind()) {
+      case BlockKind::kGeneric: {
+        if (ir == nullptr) break;
+        WalkDag(blk.id(), ir->dag, *res, *liv);
+        for (const HopPtr& root : ir->dag.roots) {
+          if (root == nullptr ||
+              root->kind() != HopKind::kTransientWrite) {
+            continue;
+          }
+          (*res)[root->name()] = root->output_mem();
+          (*liv)[root->name()] = root->output_mem();
+        }
+        Candidate(Sum(*res), blk.id());
+        CandidateLive(Sum(*liv));
+        if (lit != live_.end()) RestrictTo(liv, lit->second.live_out);
+        break;
+      }
+      case BlockKind::kIf: {
+        if (ir != nullptr) WalkDag(blk.id(), ir->dag, *res, *liv);
+        int taken = ir != nullptr ? ir->taken_branch : -1;
+        if (taken == 0) {
+          WalkSeq(blk.body, res, liv);
+        } else if (taken == 1) {
+          WalkSeq(blk.else_body, res, liv);
+        } else {
+          Resident res_then = *res;
+          Resident liv_then = *liv;
+          WalkSeq(blk.body, &res_then, &liv_then);
+          Resident res_else = std::move(*res);
+          Resident liv_else = std::move(*liv);
+          WalkSeq(blk.else_body, &res_else, &liv_else);
+          *res = MaxMerge(res_then, res_else);
+          *liv = MaxMerge(liv_then, liv_else);
+        }
+        break;
+      }
+      case BlockKind::kWhile:
+      case BlockKind::kFor: {
+        if (ir != nullptr) WalkDag(blk.id(), ir->dag, *res, *liv);
+        // Two body passes with a max-merge against the pre-loop state:
+        // sizes that change across the back edge were degraded to
+        // unknown by the DAG builder, so the second pass (running from
+        // the merged state) reaches the abstract fixpoint.
+        for (int pass = 0; pass < 2; ++pass) {
+          Resident res0 = *res;
+          Resident liv0 = *liv;
+          WalkSeq(blk.body, res, liv);
+          *res = MaxMerge(res0, *res);
+          *liv = MaxMerge(liv0, *liv);
+        }
+        break;
+      }
+    }
+  }
+
+  void WalkDag(int block_id, const HopDag& dag, const Resident& res,
+               const Resident& liv) {
+    for (const Hop* h : DagNodes(dag)) {
+      if (h->kind() == HopKind::kFunctionCall) {
+        int64_t fn_extra = FunctionPeak(h->function_name);
+        Candidate(SaturatingAdd(Sum(res), fn_extra), block_id);
+        CandidateLive(SaturatingAdd(Sum(liv), fn_extra));
+        continue;
+      }
+      if (!HopIsOperator(*h) || h->fused()) continue;
+      if (honor_exec_ && h->exec_type() == ExecType::kMR) continue;
+      if (h->op_mem() > peak_.max_op_bytes) {
+        peak_.max_op_bytes = h->op_mem();
+        peak_.max_op_hop_id = h->id();
+        peak_.max_op_block_id = block_id;
+        peak_.max_op_line = h->line();
+      }
+      Candidate(SaturatingAdd(Sum(res), Extra(*h, res)), block_id);
+      CandidateLive(SaturatingAdd(Sum(liv), Extra(*h, liv)));
+    }
+  }
+
+  /// Working-set bytes the instruction adds on top of the resident sum.
+  /// op_mem counts inputs + intermediates + output; inputs that are
+  /// resident variables are already in the sum, so their share is
+  /// subtracted (floored at the output estimate, which is never
+  /// resident before the instruction finishes).
+  static int64_t Extra(const Hop& h, const Resident& resident) {
+    int64_t extra = h.op_mem();
+    if (extra >= kUnknownSizeSentinel) return extra;
+    for (const HopPtr& raw : h.inputs()) {
+      const Hop* in = ResolveFused(raw.get());
+      if (in == nullptr || in->kind() != HopKind::kTransientRead) continue;
+      auto it = resident.find(in->name());
+      if (it == resident.end()) continue;
+      if (in->output_mem() >= kUnknownSizeSentinel) continue;
+      extra = std::max(h.output_mem(), extra - in->output_mem());
+    }
+    return extra;
+  }
+
+  /// Peak bytes one invocation of `name` holds on top of the caller's
+  /// residency: the function frame pins its arguments and its own
+  /// variables until the frame is torn down. Memoized; recursion (not
+  /// supported by the runtime either) degrades to the sentinel.
+  int64_t FunctionPeak(const std::string& name) {
+    auto mit = fn_peak_.find(name);
+    if (mit != fn_peak_.end()) return mit->second;
+    if (fn_in_progress_.count(name)) return kUnknownSizeSentinel;
+    auto fit = p_.blocks().functions.find(name);
+    if (fit == p_.blocks().functions.end()) return 0;
+    fn_in_progress_.insert(name);
+    Resident res;
+    Resident liv;
+    // Frame entry: arguments are pinned under the parameter names.
+    // Their sizes come from the first block's entry symbols (unknown
+    // parameter characteristics saturate to the sentinel).
+    if (!fit->second.empty() && p_.has_ir(fit->second.front()->id())) {
+      const SymbolMap& entry =
+          p_.ir(fit->second.front()->id()).entry_symbols;
+      for (const auto& [var, info] : entry) {
+        int64_t bytes = info.dtype == DataType::kMatrix
+                            ? EstimateSizeInMemory(info.mc)
+                            : static_cast<int64_t>(sizeof(double));
+        res[var] = bytes;
+        liv[var] = bytes;
+      }
+    }
+    int64_t saved_resident = peak_.resident_bytes;
+    int saved_block = peak_.peak_block_id;
+    int64_t saved_live = peak_.live_bytes;
+    peak_.resident_bytes = 0;
+    peak_.live_bytes = 0;
+    Candidate(Sum(res), -1);
+    WalkSeq(fit->second, &res, &liv);
+    int64_t fn_peak = peak_.resident_bytes;
+    peak_.resident_bytes = saved_resident;
+    peak_.peak_block_id = saved_block;
+    peak_.live_bytes = saved_live;
+    fn_in_progress_.erase(name);
+    fn_peak_[name] = fn_peak;
+    return fn_peak;
+  }
+
+  const MlProgram& p_;
+  const std::map<int, BlockLiveness>& live_;
+  bool honor_exec_;
+  PeakMemory peak_;
+  std::map<std::string, int64_t> fn_peak_;
+  std::set<std::string> fn_in_progress_;
+};
+
+}  // namespace
+
+DataflowSummary AnalyzeDataflow(const MlProgram& program,
+                                const RuntimeProgram* runtime) {
+  DataflowSummary sum;
+  LivenessAnalyzer liveness(&sum.liveness);
+  // Program end: nothing stays live (write() outputs are read by the
+  // write statement itself, so they are live up to that point).
+  liveness.Sequence(program.blocks().main, VarSet{});
+  for (const auto& [name, blocks] : program.blocks().functions) {
+    const FunctionDef& fn = program.ast().functions.at(name);
+    VarSet returns;
+    for (const FunctionParam& ret : fn.returns) returns.insert(ret.name);
+    liveness.Sequence(blocks, returns);
+  }
+  IrWalker(program, &sum).Run();
+  PeakWalker walker(program, sum.liveness,
+                    /*honor_exec_types=*/runtime != nullptr);
+  sum.peak = walker.Run();
+  return sum;
+}
+
+}  // namespace analysis
+}  // namespace relm

@@ -1,0 +1,134 @@
+#ifndef RELM_ANALYSIS_DATAFLOW_H_
+#define RELM_ANALYSIS_DATAFLOW_H_
+
+// Dataflow analysis over the HOP IR: def-use chains, recomputed variable
+// liveness across the statement-block tree (honoring loop back edges via
+// a backward fixpoint), and static peak-memory bounds derived by walking
+// each block's instructions in emission order and summing live matrix
+// sizes from the propagated MatrixCharacteristics.
+//
+// Everything here is a pure function over a compiled MlProgram (plus an
+// optional RuntimeProgram to honor CP/MR operator placement): no state is
+// mutated, so summaries are safe to cache alongside the compiled program
+// (PlanCache) and to consult at admission time (JobService).
+//
+// Two peak models are computed on purpose:
+//   - resident_bytes models the execution engine as it is: every written
+//     variable stays pinned in the MemoryManager until overwritten or
+//     program end. This is the sound upper bound on the observed
+//     high-water mark (the soundness differential asserts it).
+//   - live_bytes models a liveness-disciplined engine that retains only
+//     live-in variables at each block boundary: the bound an eviction
+//     policy informed by this analysis could achieve, and the number the
+//     memory-bound pass compares against the plan's CP budget to predict
+//     spill.
+// See DESIGN.md §15 for the lattice and the soundness argument.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hops/ml_program.h"
+#include "lops/runtime_program.h"
+
+namespace relm {
+namespace analysis {
+
+/// One definition or use site of a variable: hop granularity with script
+/// provenance (line/column are 0 when the hop carries none).
+struct VarSite {
+  int block_id = -1;
+  int64_t hop_id = -1;
+  int line = 0;
+  int column = 0;
+};
+
+/// Def-use chain of one variable across the whole program, in walk order
+/// (main pre-order, then functions).
+struct VarDefUse {
+  std::vector<VarSite> defs;  // transient writes
+  std::vector<VarSite> uses;  // transient reads
+};
+
+/// Recomputed liveness of one statement block. Independent of the live
+/// sets BuildProgramBlocks cached on the blocks, so the two derivations
+/// cross-check each other (a divergence shows up as a dead materialized
+/// write or an undefined transient read).
+struct BlockLiveness {
+  int block_id = -1;
+  BlockKind kind = BlockKind::kGeneric;
+  std::set<std::string> live_in;
+  std::set<std::string> live_out;
+};
+
+/// An assignment whose value can never be observed: overwritten or
+/// dropped on every path before any read.
+struct DeadWrite {
+  std::string var;
+  int block_id = -1;
+  int line = 0;
+  int column = 0;
+  /// True when the write is nonetheless materialized in the IR as a
+  /// transient-write root: the runtime would compute and pin a value
+  /// nobody consumes (wasted recompute, not just dead source text).
+  bool materialized = false;
+};
+
+/// A read of a variable that some (or no) prior path defines.
+struct UndefinedRead {
+  std::string var;
+  int block_id = -1;
+  int64_t hop_id = -1;
+  int line = 0;
+  int column = 0;
+  /// True: no path defines the variable before this read (error).
+  /// False: at least one path misses a definition (warning).
+  bool definite = false;
+};
+
+/// Static peak-memory bounds over the program, in bytes.
+struct PeakMemory {
+  /// Resident model (see file comment): sound vs. the engine's actual
+  /// retention policy. kUnknownSizeSentinel-saturated.
+  int64_t resident_bytes = 0;
+  /// Liveness-disciplined model; always <= resident_bytes.
+  int64_t live_bytes = 0;
+  /// Largest single CP working set (op_mem): irreducible by eviction —
+  /// if this exceeds the engine capacity the plan cannot run at all.
+  int64_t max_op_bytes = 0;
+  int64_t max_op_hop_id = -1;
+  int max_op_block_id = -1;
+  int max_op_line = 0;
+  /// Block where the resident peak occurs.
+  int peak_block_id = -1;
+  /// False when unknown dimensions (or recursion) forced the
+  /// kUnknownSizeSentinel worst case somewhere: the bounds then mean
+  /// "unbounded" and enforcement (admission, spill prediction) must not
+  /// act on them.
+  bool bounded = true;
+};
+
+/// The complete result of one dataflow analysis run.
+struct DataflowSummary {
+  std::map<int, BlockLiveness> liveness;  // keyed by block id
+  std::map<std::string, VarDefUse> def_use;
+  std::vector<DeadWrite> dead_writes;
+  std::vector<UndefinedRead> undefined_reads;
+  PeakMemory peak;
+};
+
+/// Runs liveness, def-use, dead-write/undefined-read detection, and the
+/// peak walk over `program`. With a non-null `runtime` the peak walk
+/// honors the plan's CP/MR placement (MR working sets do not occupy
+/// control-program memory); program-only analysis conservatively treats
+/// every operator as CP, making the program-level bound cacheable
+/// independently of any resource configuration.
+DataflowSummary AnalyzeDataflow(const MlProgram& program,
+                                const RuntimeProgram* runtime = nullptr);
+
+}  // namespace analysis
+}  // namespace relm
+
+#endif  // RELM_ANALYSIS_DATAFLOW_H_

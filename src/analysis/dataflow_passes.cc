@@ -1,0 +1,169 @@
+// The dataflow-backed plan-integrity passes: memory-bound, dead-write,
+// and use-liveness. All three are thin adapters from the DataflowSummary
+// (analysis/dataflow.h) into the diagnostic framework; the analysis
+// itself is a pure function of the compiled program (plus the runtime
+// plan's CP/MR placement for the memory bound), so each pass simply
+// re-derives its summary — the framework gives passes no shared state,
+// and the walks are linear in program size.
+
+#include <string>
+
+#include "analysis/analysis.h"
+#include "analysis/dataflow.h"
+#include "lops/compiler_backend.h"
+#include "matrix/matrix_characteristics.h"
+
+namespace relm {
+namespace analysis {
+
+namespace {
+
+std::string SiteLoc(int block_id, int64_t hop_id, int line, int column) {
+  std::string loc = "block " + std::to_string(block_id);
+  if (hop_id >= 0) loc += " hop " + std::to_string(hop_id);
+  if (line > 0) {
+    loc += " at line " + std::to_string(line) + ":" +
+           std::to_string(column);
+  }
+  return loc;
+}
+
+std::string Bytes(int64_t b) { return std::to_string(b) + " bytes"; }
+
+// ---- (6) static peak vs. CP budget ----
+
+class MemoryBoundPass : public Pass {
+ public:
+  const char* id() const override { return "memory-bound"; }
+
+  void Run(const AnalysisInput& input, AnalysisReport* report) override {
+    if (input.runtime == nullptr) return;  // needs a plan and its budget
+    const int64_t budget = input.runtime->resources.CpBudget();
+    DataflowSummary sum = AnalyzeDataflow(*input.program, input.runtime);
+
+    // A CP-only operation that exceeds the budget has no MR fallback and
+    // no eviction escape hatch: its working set is live all at once.
+    CheckBlocks(input.runtime->main, budget, report);
+    for (const auto& [name, blocks] : input.runtime->functions) {
+      CheckBlocks(blocks, budget, report);
+    }
+
+    // Eviction can shed anything not live at the peak instruction, so
+    // the spill prediction compares the liveness-disciplined bound (the
+    // resident bound flags scripts the engine handles fine by evicting).
+    if (sum.peak.bounded && sum.peak.live_bytes > budget) {
+      report->Add(
+          Severity::kWarning, id(),
+          SiteLoc(sum.peak.peak_block_id, sum.peak.max_op_hop_id,
+                  sum.peak.max_op_line, 0),
+          "static live-set peak " + Bytes(sum.peak.live_bytes) +
+              " exceeds the CP budget " + Bytes(budget) +
+              ": the plan will spill (resident-model bound " +
+              Bytes(sum.peak.resident_bytes) + ")");
+    }
+  }
+
+ private:
+  void CheckBlocks(const std::vector<RuntimeBlock>& blocks, int64_t budget,
+                   AnalysisReport* report) {
+    for (const RuntimeBlock& block : blocks) {
+      int block_id = block.block != nullptr ? block.block->id() : -1;
+      for (const RuntimeInstr& instr : block.instrs) {
+        if (instr.kind != RuntimeInstr::Kind::kCp ||
+            instr.hop == nullptr) {
+          continue;
+        }
+        const Hop& h = *instr.hop;
+        if (!HopIsOperator(h) || HopIsMrCapable(h)) continue;
+        // Only genuine compute operators hold their whole working set at
+        // once: writes pin an already-computed value (evictable), calls
+        // and prints carry pass-through estimates. And an *unknown*
+        // working set (sentinel-saturated) is not evidence of not
+        // fitting — dynamic recompilation resolves it at run time.
+        switch (h.kind()) {
+          case HopKind::kTransientWrite:
+          case HopKind::kPersistentWrite:
+          case HopKind::kFunctionCall:
+          case HopKind::kPrint:
+            continue;
+          default:
+            break;
+        }
+        if (h.op_mem() >= kUnknownSizeSentinel) continue;
+        if (h.op_mem() > budget) {
+          report->Add(
+              Severity::kError, id(),
+              SiteLoc(block_id, h.id(), h.line(), h.column()),
+              std::string(HopKindName(h.kind())) +
+                  " is CP-only but its working set " + Bytes(h.op_mem()) +
+                  " exceeds the CP budget " + Bytes(budget) +
+                  ": no eviction or MR fallback can make it fit");
+        }
+      }
+      CheckBlocks(block.body, budget, report);
+      CheckBlocks(block.else_body, budget, report);
+    }
+  }
+};
+
+// ---- (7) dead writes ----
+
+class DeadWritePass : public Pass {
+ public:
+  const char* id() const override { return "dead-write"; }
+
+  void Run(const AnalysisInput& input, AnalysisReport* report) override {
+    DataflowSummary sum = AnalyzeDataflow(*input.program);
+    for (const DeadWrite& dw : sum.dead_writes) {
+      report->Add(Severity::kWarning, id(),
+                  SiteLoc(dw.block_id, -1, dw.line, dw.column),
+                  std::string(dw.materialized
+                                  ? "computed and materialized value of '"
+                                  : "assignment to '") +
+                      dw.var +
+                      "' is never read before being overwritten or "
+                      "dropped");
+    }
+  }
+};
+
+// ---- (8) reads without a reaching definition ----
+
+class UseLivenessPass : public Pass {
+ public:
+  const char* id() const override { return "use-liveness"; }
+
+  void Run(const AnalysisInput& input, AnalysisReport* report) override {
+    DataflowSummary sum = AnalyzeDataflow(*input.program);
+    for (const UndefinedRead& ur : sum.undefined_reads) {
+      if (ur.definite) {
+        report->Add(Severity::kError, id(),
+                    SiteLoc(ur.block_id, ur.hop_id, ur.line, ur.column),
+                    "read of '" + ur.var +
+                        "' which no prior path defines");
+      } else {
+        report->Add(Severity::kWarning, id(),
+                    SiteLoc(ur.block_id, ur.hop_id, ur.line, ur.column),
+                    "read of '" + ur.var +
+                        "' which some path leaves undefined");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> MakeMemoryBoundPass() {
+  return std::make_unique<MemoryBoundPass>();
+}
+
+std::unique_ptr<Pass> MakeDeadWritePass() {
+  return std::make_unique<DeadWritePass>();
+}
+
+std::unique_ptr<Pass> MakeUseLivenessPass() {
+  return std::make_unique<UseLivenessPass>();
+}
+
+}  // namespace analysis
+}  // namespace relm

@@ -19,8 +19,14 @@ namespace analysis {
 namespace {
 
 std::string HopLoc(int block_id, const Hop& hop) {
-  return "block " + std::to_string(block_id) + " hop " +
-         std::to_string(hop.id()) + " (" + HopKindName(hop.kind()) + ")";
+  std::string loc = "block " + std::to_string(block_id) + " hop " +
+                    std::to_string(hop.id()) + " (" +
+                    HopKindName(hop.kind()) + ")";
+  if (hop.line() > 0) {
+    loc += " at line " + std::to_string(hop.line()) + ":" +
+           std::to_string(hop.column());
+  }
+  return loc;
 }
 
 std::string BlockLoc(int block_id) {

@@ -3,6 +3,7 @@
 #include <future>
 
 #include "analysis/analysis.h"
+#include "analysis/dataflow.h"
 #include "core/resource_optimizer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -184,6 +185,7 @@ struct PlanCache::InFlight {
   std::shared_future<void> done;
   Status status = Status::OK();
   std::shared_ptr<MlProgram> master;
+  std::shared_ptr<const analysis::DataflowSummary> dataflow;
 };
 
 Result<std::unique_ptr<MlProgram>> PlanCache::GetOrCompile(
@@ -284,11 +286,18 @@ Result<std::unique_ptr<MlProgram>> PlanCache::GetOrCompile(
         }
       }
       if (failure.ok()) {
+        // The dataflow summary (liveness, static peak bounds) is a pure
+        // function of the master: compute it once here — still outside
+        // mu_ — and publish it alongside the program for LookupDataflow.
+        flight->dataflow =
+            std::make_shared<const analysis::DataflowSummary>(
+                analysis::AnalyzeDataflow(*flight->master));
         Result<std::unique_ptr<MlProgram>> cloned =
             flight->master->Clone();
         if (!cloned.ok()) {
           failure = cloned.status();
           flight->master = nullptr;
+          flight->dataflow = nullptr;
         } else {
           copy = std::move(*cloned);
         }
@@ -304,7 +313,8 @@ Result<std::unique_ptr<MlProgram>> PlanCache::GetOrCompile(
     if (in != inflight_.end() && in->second == flight) inflight_.erase(in);
     if (failure.ok() && programs_.find(sig) == programs_.end()) {
       program_lru_.push_front(sig);
-      programs_[sig] = ProgramEntry{flight->master, program_lru_.begin()};
+      programs_[sig] = ProgramEntry{flight->master, flight->dataflow,
+                                    program_lru_.begin()};
       while (programs_.size() > opts_.max_programs) {
         uint64_t victim = program_lru_.back();
         program_lru_.pop_back();
@@ -324,6 +334,13 @@ Result<std::unique_ptr<MlProgram>> PlanCache::GetOrCompile(
     store->RecordProgram(portable_sig, args, hdfs);
   }
   return copy;
+}
+
+std::shared_ptr<const analysis::DataflowSummary> PlanCache::LookupDataflow(
+    uint64_t script_sig) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = programs_.find(script_sig);
+  return it != programs_.end() ? it->second.dataflow : nullptr;
 }
 
 std::optional<PlanCache::CachedCandidate> PlanCache::LookupWhatIf(

@@ -27,6 +27,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "analysis/dataflow.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "hdfs/file_system.h"
@@ -184,6 +185,16 @@ class PlanCache {
       const std::string& source, const ScriptArgs& args,
       const SimulatedHdfs* hdfs);
 
+  /// Program-level dataflow summary (liveness, def-use, static peak
+  /// bounds — analysis/dataflow.h) of the cached master under
+  /// `script_sig` (ComputeScriptSignature). Computed once by the
+  /// leader compile and stored alongside the program: the summary is a
+  /// pure function of the compiled program, independent of any resource
+  /// configuration, so every admission decision and lint over the same
+  /// script shares it. nullptr when no master is cached under the key.
+  std::shared_ptr<const analysis::DataflowSummary> LookupDataflow(
+      uint64_t script_sig) const;
+
   /// What-if cost cache. Lookups read through to the attached store on
   /// an in-memory miss (a disk hit is promoted into the LRU and counted
   /// as both a whatif_hit and a store_whatif_hit); inserts are written
@@ -224,6 +235,9 @@ class PlanCache {
     // cache lock (cloning is a recompile; doing it under mu_ would
     // serialize every concurrent submission).
     std::shared_ptr<MlProgram> master;
+    // Dataflow summary of the master (leader-computed; see
+    // LookupDataflow). Immutable, shared with lookups.
+    std::shared_ptr<const analysis::DataflowSummary> dataflow;
     std::list<uint64_t>::iterator lru_it;
   };
   struct WhatIfEntry {

@@ -87,6 +87,7 @@ ExecStats Engine::stats() const {
     s.evictions = memory_->evictions();
     s.spill_bytes = memory_->spill_bytes();
     s.reload_bytes = memory_->reload_bytes();
+    s.high_water_bytes = memory_->high_water_bytes();
   }
   if (chaos_ != nullptr) s.faults_injected = chaos_->total_fired();
   return s;

@@ -65,6 +65,9 @@ struct ExecStats {
   int64_t evictions = 0;
   int64_t spill_bytes = 0;
   int64_t reload_bytes = 0;
+  /// MemoryManager residency high-water mark over the run (bytes); the
+  /// empirical counterpart of the static resident-model peak bound.
+  int64_t high_water_bytes = 0;
   int64_t faults_injected = 0;
 };
 

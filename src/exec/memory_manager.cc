@@ -119,6 +119,7 @@ std::vector<MemoryManager::Evicted> MemoryManager::PutLocked(
   e.lru_it = lru_.begin();
   entries_[name] = std::move(e);
   used_ += bytes;
+  if (used_ > high_water_) high_water_ = used_;
   evicted_sources_.erase(name);
   return evicted;
 }
@@ -196,6 +197,11 @@ int64_t MemoryManager::capacity() const {
 int64_t MemoryManager::evictions() const {
   std::lock_guard<std::mutex> lock(mu_);
   return evictions_;
+}
+
+int64_t MemoryManager::high_water_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return high_water_;
 }
 
 int64_t MemoryManager::spill_bytes() const {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "exec/fault_hooks.h"
 #include "hdfs/file_system.h"
 #include "matrix/matrix_block.h"
@@ -81,6 +82,12 @@ class MemoryManager {
   int64_t capacity() const;
   int64_t evictions() const;
 
+  /// Largest used_bytes() ever observed (monotone across Clear/DropAll:
+  /// it describes the run, not the current residency). The dataflow
+  /// soundness differential compares this against the static resident
+  /// bound — the bound must never be below it.
+  int64_t high_water_bytes() const;
+
   // ---- payload API (interpreter) ----
 
   /// Pins a real matrix payload under `name`, evicting LRU entries as
@@ -127,34 +134,39 @@ class MemoryManager {
     int64_t bytes = 0;
   };
 
-  std::string SpillPathLocked(const Entry& e, const std::string& name) const;
-  void EvictOneLocked(std::vector<Evicted>* evicted);
+  std::string SpillPathLocked(const Entry& e, const std::string& name) const
+      RELM_REQUIRES(mu_);
+  void EvictOneLocked(std::vector<Evicted>* evicted) RELM_REQUIRES(mu_);
   std::vector<Evicted> PutLocked(const std::string& name, int64_t bytes,
                                  bool dirty,
                                  std::shared_ptr<const MatrixBlock> payload,
-                                 const std::string& source_path);
-  void RemoveLocked(const std::string& name);
+                                 const std::string& source_path)
+      RELM_REQUIRES(mu_);
+  void RemoveLocked(const std::string& name) RELM_REQUIRES(mu_);
 
   mutable std::mutex mu_;
-  int64_t capacity_;
-  SimulatedHdfs* hdfs_;
+  int64_t capacity_ RELM_GUARDED_BY(mu_);
+  SimulatedHdfs* const hdfs_;
   const std::string spill_prefix_;
-  ChaosInjector* chaos_;
-  int64_t used_ = 0;
-  int64_t evictions_ = 0;
-  int64_t spill_bytes_ = 0;
-  int64_t reload_bytes_ = 0;
-  std::map<std::string, Entry> entries_;
-  std::list<std::string> lru_;  // front = most recent
+  ChaosInjector* const chaos_;
+  int64_t used_ RELM_GUARDED_BY(mu_) = 0;
+  int64_t high_water_ RELM_GUARDED_BY(mu_) = 0;
+  int64_t evictions_ RELM_GUARDED_BY(mu_) = 0;
+  int64_t spill_bytes_ RELM_GUARDED_BY(mu_) = 0;
+  int64_t reload_bytes_ RELM_GUARDED_BY(mu_) = 0;
+  std::map<std::string, Entry> entries_ RELM_GUARDED_BY(mu_);
+  std::list<std::string> lru_ RELM_GUARDED_BY(mu_);  // front = most recent
   /// Evicted payload entries and where to reload them from.
-  std::map<std::string, EvictedSource> evicted_sources_;
+  std::map<std::string, EvictedSource> evicted_sources_
+      RELM_GUARDED_BY(mu_);
   /// Spill files this manager wrote (cleaned up by DropAll).
-  std::map<std::string, std::string> spill_files_;  // name -> path
+  std::map<std::string, std::string> spill_files_
+      RELM_GUARDED_BY(mu_);  // name -> path
   /// Dirty payloads whose spill write was failed by chaos injection:
   /// the only copy is gone, so FetchMatrix must surface a typed loss
   /// instead of silently reloading stale or missing data.
-  std::set<std::string> lost_;
-  int64_t lost_blocks_ = 0;
+  std::set<std::string> lost_ RELM_GUARDED_BY(mu_);
+  int64_t lost_blocks_ RELM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace exec

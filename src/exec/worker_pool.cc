@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace relm {
@@ -17,8 +18,10 @@ namespace exec {
 struct WorkerPool::State {
   std::mutex mu;
   std::condition_variable cv;
-  std::deque<std::function<void()>> queue;
-  bool stopping = false;
+  std::deque<std::function<void()>> queue RELM_GUARDED_BY(mu);
+  bool stopping RELM_GUARDED_BY(mu) = false;
+  /// Only touched by the constructor (spawn) and destructor (join),
+  /// strictly before/after any worker activity — no lock needed.
   std::vector<std::thread> threads;
 };
 
@@ -70,8 +73,8 @@ int DefaultWorkers() {
 }
 
 std::mutex g_pool_mu;
-int g_workers = 0;  // 0 = not yet resolved
-std::unique_ptr<WorkerPool> g_pool;
+int g_workers RELM_GUARDED_BY(g_pool_mu) = 0;  // 0 = not yet resolved
+std::unique_ptr<WorkerPool> g_pool RELM_GUARDED_BY(g_pool_mu);
 
 }  // namespace
 

@@ -162,6 +162,7 @@ class IrBuilder::Impl {
   Status ProcessIf(StatementBlock* blk, SymbolMap* table, bool store,
                    BlockIR* ir) {
     const auto& stmt = static_cast<const IfStmt&>(*blk->control);
+    LocScope loc(this, stmt.line, stmt.column);
     DagContext ctx;
     RELM_ASSIGN_OR_RETURN(HopPtr pred, BuildExpr(*stmt.predicate, &ctx,
                                                  table));
@@ -197,6 +198,7 @@ class IrBuilder::Impl {
   Status ProcessWhile(StatementBlock* blk, SymbolMap* table, bool store,
                       BlockIR* ir) {
     const auto& stmt = static_cast<const WhileStmt&>(*blk->control);
+    LocScope loc(this, stmt.line, stmt.column);
     // Trial pass: detect unstable variable sizes across the back edge.
     SymbolMap snapshot = *table;
     SymbolMap trial = *table;
@@ -220,6 +222,7 @@ class IrBuilder::Impl {
   Status ProcessFor(StatementBlock* blk, SymbolMap* table, bool store,
                     BlockIR* ir) {
     const auto& stmt = static_cast<const ForStmt&>(*blk->control);
+    LocScope loc(this, stmt.line, stmt.column);
     DagContext ctx;
     RELM_ASSIGN_OR_RETURN(HopPtr from, BuildExpr(*stmt.from, &ctx, table));
     RELM_ASSIGN_OR_RETURN(HopPtr to, BuildExpr(*stmt.to, &ctx, table));
@@ -376,6 +379,8 @@ class IrBuilder::Impl {
       auto it = ctx.var_hops.find(var);
       if (it == ctx.var_hops.end()) continue;
       auto tw = NewHop(HopKind::kTransientWrite, it->second->data_type());
+      // Point the write at the defining statement, not the block's end.
+      tw->set_location(it->second->line(), it->second->column());
       tw->set_name(var);
       tw->set_value_type(it->second->value_type());
       tw->AddInput(it->second);
@@ -388,6 +393,7 @@ class IrBuilder::Impl {
 
   Status ProcessStatement(const Statement& stmt, DagContext* ctx,
                           SymbolMap* table) {
+    LocScope loc(this, stmt.line, stmt.column);
     switch (stmt.kind) {
       case Statement::Kind::kAssign: {
         const auto& a = static_cast<const AssignStmt&>(stmt);
@@ -401,7 +407,7 @@ class IrBuilder::Impl {
                            double def) -> Result<HopPtr> {
             if (!e) {
               HopPtr h = MakeNumericLiteral(def);
-              h->set_id(next_id_++);
+              Stamp(h.get());
               InferHopCharacteristics(h.get());
               return h;
             }
@@ -531,16 +537,49 @@ class IrBuilder::Impl {
 
   // ---------------- expression construction ----------------
 
+  /// Assigns the next hop id and stamps the current script position so
+  /// every diagnostic downstream can point at a real source location.
+  void Stamp(Hop* h) {
+    h->set_id(next_id_++);
+    h->set_location(cur_line_, cur_col_);
+  }
+
+  /// Scopes the builder's current script position to one expression;
+  /// restores the enclosing position on exit. Expressions without
+  /// position info (synthesized bounds) inherit the enclosing one.
+  class LocScope {
+   public:
+    LocScope(Impl* impl, int line, int column)
+        : impl_(impl), saved_line_(impl->cur_line_),
+          saved_col_(impl->cur_col_) {
+      if (line > 0) {
+        impl_->cur_line_ = line;
+        impl_->cur_col_ = column;
+      }
+    }
+    ~LocScope() {
+      impl_->cur_line_ = saved_line_;
+      impl_->cur_col_ = saved_col_;
+    }
+    LocScope(const LocScope&) = delete;
+    LocScope& operator=(const LocScope&) = delete;
+
+   private:
+    Impl* impl_;
+    int saved_line_;
+    int saved_col_;
+  };
+
   HopPtr NewHop(HopKind kind, DataType dtype) {
     auto h = std::make_shared<Hop>(kind, dtype);
-    h->set_id(next_id_++);
+    Stamp(h.get());
     return h;
   }
 
   HopPtr Intern(DagContext* ctx, const std::string& key, HopPtr hop) {
     auto it = ctx->cse.find(key);
     if (it != ctx->cse.end()) return it->second;
-    hop->set_id(next_id_++);
+    Stamp(hop.get());
     InferHopCharacteristics(hop.get());
     ctx->cse.emplace(key, hop);
     return hop;
@@ -569,7 +608,7 @@ class IrBuilder::Impl {
       // Constant propagation across blocks.
       hop = info.is_string ? MakeStringLiteral(info.string_value)
                            : MakeNumericLiteral(info.scalar_value);
-      hop->set_id(next_id_++);
+      Stamp(hop.get());
       InferHopCharacteristics(hop.get());
     } else {
       DataType dt = info.dtype == DataType::kUnknown ? DataType::kMatrix
@@ -586,6 +625,7 @@ class IrBuilder::Impl {
 
   Result<HopPtr> BuildExpr(const Expr& expr, DagContext* ctx,
                            SymbolMap* table) {
+    LocScope loc(this, expr.line, expr.column);
     switch (expr.kind) {
       case Expr::Kind::kLiteral: {
         const auto& lit = static_cast<const LiteralExpr&>(expr);
@@ -602,7 +642,7 @@ class IrBuilder::Impl {
             h = MakeNumericLiteral(lit.number);
             break;
         }
-        h->set_id(next_id_++);
+        Stamp(h.get());
         InferHopCharacteristics(h.get());
         return h;
       }
@@ -615,7 +655,7 @@ class IrBuilder::Impl {
         const auto& u = static_cast<const UnaryExpr&>(expr);
         RELM_ASSIGN_OR_RETURN(HopPtr in, BuildExpr(*u.operand, ctx, table));
         if (HopPtr folded = TryFoldUnary(u.op, in)) {
-          folded->set_id(next_id_++);
+          Stamp(folded.get());
           InferHopCharacteristics(folded.get());
           return folded;
         }
@@ -720,7 +760,7 @@ class IrBuilder::Impl {
   Result<HopPtr> MakeBinary(BinOp op, HopPtr lhs, HopPtr rhs,
                             DagContext* ctx) {
     if (HopPtr folded = TryFoldBinary(op, lhs, rhs)) {
-      folded->set_id(next_id_++);
+      Stamp(folded.get());
       InferHopCharacteristics(folded.get());
       return folded;
     }
@@ -756,7 +796,7 @@ class IrBuilder::Impl {
     auto bound = [&](const ExprPtr& e, double def) -> Result<HopPtr> {
       if (!e) {
         HopPtr h = MakeNumericLiteral(def);
-        h->set_id(next_id_++);
+        Stamp(h.get());
         InferHopCharacteristics(h.get());
         return h;
       }
@@ -851,7 +891,7 @@ class IrBuilder::Impl {
           RELM_ASSIGN_OR_RETURN(value_h, BuildExpr(*min, ctx, table));
         } else {
           value_h = MakeNumericLiteral(0.0);
-          value_h->set_id(next_id_++);
+          Stamp(value_h.get());
           InferHopCharacteristics(value_h.get());
         }
       }
@@ -868,12 +908,12 @@ class IrBuilder::Impl {
           RELM_ASSIGN_OR_RETURN(sp_h, BuildExpr(*sp, ctx, table));
         } else {
           sp_h = MakeNumericLiteral(1.0);
-          sp_h->set_id(next_id_++);
+          Stamp(sp_h.get());
           InferHopCharacteristics(sp_h.get());
         }
         h->AddInput(sp_h);
         // No CSE for rand (non-deterministic).
-        h->set_id(next_id_++);
+        Stamp(h.get());
         InferHopCharacteristics(h.get());
         return HopPtr(h);
       }
@@ -983,7 +1023,7 @@ class IrBuilder::Impl {
                 : fn == "ceil"  ? UnOp::kCeil
                                 : UnOp::kSign;
       if (HopPtr folded = TryFoldUnary(op, in)) {
-        folded->set_id(next_id_++);
+        Stamp(folded.get());
         InferHopCharacteristics(folded.get());
         return folded;
       }
@@ -998,7 +1038,7 @@ class IrBuilder::Impl {
       int64_t dim = rows ? in->mc().rows() : in->mc().cols();
       if (dim >= 0) {
         HopPtr lit = MakeNumericLiteral(static_cast<double>(dim));
-        lit->set_id(next_id_++);
+        Stamp(lit.get());
         lit->set_value_type(ValueType::kInt);
         InferHopCharacteristics(lit.get());
         return lit;
@@ -1045,6 +1085,9 @@ class IrBuilder::Impl {
   MlProgram* program_;
   const SymbolMap& overrides_;
   int64_t next_id_ = 0;
+  // Script position currently being compiled (see LocScope / Stamp).
+  int cur_line_ = 0;
+  int cur_col_ = 0;
 };
 
 IrBuilder::IrBuilder(MlProgram* program, const SymbolMap& size_overrides)

@@ -84,6 +84,16 @@ class Hop {
   int64_t id() const { return id_; }
   void set_id(int64_t id) { id_ = id; }
 
+  /// Script position (1-based) of the AST node this hop was built from;
+  /// 0 when unknown (synthesized hops, e.g. implicit index bounds).
+  /// Diagnostics use it to point at real source lines instead of hop ids.
+  int line() const { return line_; }
+  int column() const { return column_; }
+  void set_location(int line, int column) {
+    line_ = line;
+    column_ = column;
+  }
+
   /// Variable name for reads/writes; file path for persistent IO.
   const std::string& name() const { return name_; }
   void set_name(std::string n) { name_ = std::move(n); }
@@ -153,6 +163,8 @@ class Hop {
   DataType data_type_;
   ValueType value_type_ = ValueType::kDouble;
   int64_t id_ = -1;
+  int line_ = 0;
+  int column_ = 0;
   std::string name_;
   std::vector<HopPtr> inputs_;
   MatrixCharacteristics mc_{0, 0, 0};

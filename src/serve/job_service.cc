@@ -5,8 +5,10 @@
 #include <chrono>
 #include <thread>
 
+#include "analysis/dataflow.h"
 #include "common/logging.h"
 #include "common/random.h"
+#include "core/plan_cache.h"
 #include "exec/worker_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -454,6 +456,39 @@ Status JobService::RunAttempt(JobHandle::Shared& shared, JobOutcome* outcome,
   // The optimizer already costed the winning configuration; reuse it
   // rather than re-deriving the estimate per job.
   outcome->estimated_cost_seconds = outcome->opt_stats.best_cost;
+  if (options_.static_bound_policy != StaticBoundPolicy::kOff) {
+    // Admission on the static dataflow bound: the plan cache computed
+    // the summary once at compile time; fall back to a direct analysis
+    // when the cache is disabled or the entry aged out. Only a FINITE
+    // bound is actionable — unknown dims mean "no static verdict".
+    std::shared_ptr<const analysis::DataflowSummary> df =
+        session_.plan_cache() != nullptr
+            ? session_.plan_cache()->LookupDataflow(script_sig)
+            : nullptr;
+    if (df == nullptr) {
+      df = std::make_shared<const analysis::DataflowSummary>(
+          analysis::AnalyzeDataflow(*program));
+    }
+    const int64_t budget = outcome->config.CpBudget();
+    if (df->peak.bounded && df->peak.resident_bytes > budget) {
+      RELM_COUNTER_INC("serve.static_bound_violations");
+      if (options_.static_bound_policy == StaticBoundPolicy::kReject) {
+        ReleaseProgram(script_sig, std::move(program));
+        // ResourceError is non-retryable (common/retry.h): the bound is
+        // a property of script and grant, so retrying cannot help.
+        return Status::ResourceError(
+            "admission rejected: static peak-memory bound " +
+            std::to_string(df->peak.resident_bytes) +
+            " bytes exceeds the granted CP budget " +
+            std::to_string(budget) + " bytes");
+      }
+      // kDegradeSerial: admit, but run the serial reference engine —
+      // parallel scheduling holds several working sets at once, which
+      // is exactly what a plan already predicted to spill cannot afford.
+      degraded = true;
+      outcome->degraded = true;
+    }
+  }
   if (options_.simulate) {
     // Execution-time admission: hold back until the granted CP (AM)
     // container fits under the inflight-memory cap.
@@ -496,6 +531,7 @@ Status JobService::RunAttempt(JobHandle::Shared& shared, JobOutcome* outcome,
       scope->Add("exec.spill_bytes", es.spill_bytes);
       scope->Add("exec.reload_bytes", es.reload_bytes);
       scope->Add("exec.evictions", es.evictions);
+      scope->Add("exec.high_water_bytes", es.high_water_bytes);
       scope->Add("exec.faults_injected", es.faults_injected);
     }
   }

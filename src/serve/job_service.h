@@ -37,6 +37,23 @@
 namespace relm {
 namespace serve {
 
+/// What JobService admission does with a job whose static dataflow peak
+/// bound (analysis/dataflow.h, resident model) exceeds the CP budget of
+/// the granted resource configuration. The bound is consulted only when
+/// it is finite (`PeakMemory::bounded`): unknown sizes mean "no static
+/// verdict", never a rejection.
+enum class StaticBoundPolicy {
+  /// Ignore the static bound (default: existing behavior).
+  kOff = 0,
+  /// Fail the job with ResourceError before simulation/execution —
+  /// predicted spill is treated as an undersized grant.
+  kReject,
+  /// Admit, but force the serial reference engine for real execution
+  /// (parallel instruction scheduling multiplies peak residency by
+  /// holding several working sets at once).
+  kDegradeSerial,
+};
+
 /// Configuration of the job service.
 struct ServeOptions {
   /// Worker threads executing admitted jobs.
@@ -85,6 +102,11 @@ struct ServeOptions {
   /// (workers = 1) instead of the parallel scheduler, so repeated
   /// parallel-path failures cannot burn every attempt. >= 1.
   int degrade_after_attempts = 2;
+  /// Admission on the static dataflow peak bound: what to do when a
+  /// job's statically bounded resident peak exceeds the granted
+  /// configuration's CP budget (predicted spill before a single
+  /// instruction runs). Off by default.
+  StaticBoundPolicy static_bound_policy = StaticBoundPolicy::kOff;
   /// Chaos injection applied to `execute_real` runs (fault-tolerance
   /// testing; off by default). Each job gets its own injector whose
   /// draw counters persist across that job's retries.
@@ -147,6 +169,10 @@ struct ServeOptions {
   }
   ServeOptions& WithDegradeAfterAttempts(int attempts) {
     degrade_after_attempts = attempts;
+    return *this;
+  }
+  ServeOptions& WithStaticBoundPolicy(StaticBoundPolicy policy) {
+    static_bound_policy = policy;
     return *this;
   }
   ServeOptions& WithFaultPolicy(exec::FaultPolicy policy) {

@@ -75,6 +75,23 @@ TEST_F(PlanCacheTest, RepeatedCompileHitsCache) {
   EXPECT_EQ((*first)->total_blocks(), (*second)->total_blocks());
 }
 
+TEST_F(PlanCacheTest, DataflowSummaryStoredWithCompiledProgram) {
+  PlanCache cache;
+  ASSERT_TRUE(cache.GetOrCompile(source_, LinregArgs(), &hdfs_).ok());
+  const uint64_t sig =
+      ComputeScriptSignature(source_, LinregArgs(), &hdfs_);
+  std::shared_ptr<const analysis::DataflowSummary> df =
+      cache.LookupDataflow(sig);
+  ASSERT_NE(df, nullptr);
+  // linreg_ds over known dims: a finite, positive static peak, ready
+  // for admission-time vetting without re-running the analysis.
+  EXPECT_TRUE(df->peak.bounded);
+  EXPECT_GT(df->peak.resident_bytes, 0);
+  EXPECT_FALSE(df->liveness.empty());
+  // Unknown signatures answer null, never a stale summary.
+  EXPECT_EQ(cache.LookupDataflow(sig + 1), nullptr);
+}
+
 TEST_F(PlanCacheTest, MetadataChangeInvalidatesProgramKey) {
   PlanCache cache;
   ASSERT_TRUE(cache.GetOrCompile(source_, LinregArgs(), &hdfs_).ok());
@@ -487,6 +504,81 @@ TEST(JobServiceTest, OversizedJobsCompleteUnderTinyCapacityCap) {
   }
   EXPECT_EQ(service.stats().completed, 8);
   EXPECT_EQ(service.stats().inflight_container_bytes, 0);
+}
+
+// ---- static-bound admission --------------------------------------------
+
+/// A linreg_ds job over 20M x 1000 inputs: ~160 GB of statically-bounded
+/// live matrices, beyond the CP budget of any configuration the paper
+/// cluster can grant.
+serve::JobRequest OversizedBoundRequest(const std::string& source) {
+  serve::JobRequest request;
+  request.source = source;
+  request.args = LinregArgs();
+  request.inputs = {{"/data/X", 20000000, 1000, 1.0},
+                    {"/data/y", 20000000, 1, 1.0}};
+  return request;
+}
+
+TEST(JobServiceTest, StaticBoundRejectFailsJobBeforeExecution) {
+  const std::string source = ReadScript("linreg_ds.dml");
+  PlanCache cache;
+  serve::JobService service(
+      ClusterConfig::PaperCluster(),
+      serve::ServeOptions()
+          .WithWorkers(1)
+          .WithPlanCache(&cache)
+          .WithStaticBoundPolicy(serve::StaticBoundPolicy::kReject));
+  auto handle = service.Submit("t", OversizedBoundRequest(source));
+  ASSERT_TRUE(handle.ok());
+  auto outcome = handle->Await();
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_NE(outcome.status().ToString().find("admission rejected"),
+            std::string::npos)
+      << outcome.status().ToString();
+  EXPECT_EQ(handle->state(), serve::JobState::kFailed);
+  serve::JobService::Stats stats = service.stats();
+  EXPECT_EQ(stats.failed, 1);
+  // ResourceError is non-retryable: the bound is a property of script
+  // and grant, so the job fails on its first attempt — nothing ran.
+  EXPECT_EQ(stats.retries, 0);
+}
+
+TEST(JobServiceTest, StaticBoundRejectAdmitsFittingJob) {
+  const std::string source = ReadScript("linreg_ds.dml");
+  PlanCache cache;
+  serve::JobService service(
+      ClusterConfig::PaperCluster(),
+      serve::ServeOptions()
+          .WithWorkers(1)
+          .WithPlanCache(&cache)
+          .WithStaticBoundPolicy(serve::StaticBoundPolicy::kReject));
+  // The canonical 1M x 100 job fits comfortably: no false rejections.
+  auto handle = service.Submit("t", LinregRequest(source));
+  ASSERT_TRUE(handle.ok());
+  auto outcome = handle->Await();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_FALSE(outcome->degraded);
+  EXPECT_EQ(service.stats().completed, 1);
+}
+
+TEST(JobServiceTest, StaticBoundDegradeSerialAdmitsAndMarksJob) {
+  const std::string source = ReadScript("linreg_ds.dml");
+  PlanCache cache;
+  serve::JobService service(
+      ClusterConfig::PaperCluster(),
+      serve::ServeOptions()
+          .WithWorkers(1)
+          .WithPlanCache(&cache)
+          .WithStaticBoundPolicy(serve::StaticBoundPolicy::kDegradeSerial));
+  auto handle = service.Submit("t", OversizedBoundRequest(source));
+  ASSERT_TRUE(handle.ok());
+  auto outcome = handle->Await();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  // Admitted, simulated, but flagged for the serial reference engine.
+  EXPECT_TRUE(outcome->degraded);
+  EXPECT_TRUE(outcome->simulated);
+  EXPECT_EQ(service.stats().completed, 1);
 }
 
 // Stress: many clients, mixed workloads, concurrent metadata

@@ -1,0 +1,477 @@
+// Extension harness: the pluggable scheduling subsystem (DESIGN.md §16).
+// Two tables:
+//   (a) burst — a mixed-tenant burst through a one-worker service, run
+//       once per policy. Tenant "batch" floods cold-compile jobs with
+//       no deadline; tenant "svc" submits warm-cache jobs with a
+//       deadline calibrated from a measured cold compile (so the shape
+//       is machine-independent, sanitizers included). Round-robin
+//       interleaves the tenants and the later svc jobs sink behind the
+//       flood past their deadlines; cost-aware (svc at priority,
+//       "batch" quota-bounded) dispatches every svc job first and
+//       misses none.
+//   (b) chaos — cost-aware under real execution on a two-node cluster
+//       where every container fills a node: straggler stalls keep
+//       containers held while rolling node-loss injections and
+//       priority preemption reclaim the over-quota co-tenant's grants.
+//       The in-quota tenant's deadlines must hold regardless.
+// The binary is also the scheduling SLO gate: it exits non-zero when
+// cost-aware misses an in-quota deadline, fails to beat round-robin on
+// the miss count, or the chaos phase never observes a preemption.
+// `--json-out=PATH` exports every row as JSON (the "sched" table is
+// compared against BENCH_sched.json by scripts/bench_gate.py; the
+// chaos row goes to "sched_chaos", informative but ungated — its
+// wall-clock depends on fault timing); `--quick` shrinks the workload
+// for CI smoke runs.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/bytes.h"
+#include "common/random.h"
+#include "core/plan_cache.h"
+#include "exec/worker_pool.h"
+#include "matrix/kernels.h"
+#include "serve/job_service.h"
+
+namespace relm {
+namespace bench {
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::ostringstream& Json() {
+  static std::ostringstream json;
+  return json;
+}
+
+void JsonRow(const std::string& table, const std::string& label,
+             int workers, double ms, int64_t svc_misses,
+             double svc_p95_wait_ms, int64_t svc_completed,
+             int64_t preempted, int64_t held_over_quota) {
+  std::ostringstream& json = Json();
+  if (json.tellp() > 0) json << ",\n";
+  json << "  {\"table\":\"" << table << "\",\"label\":\"" << label
+       << "\",\"workers\":" << workers << ",\"ms\":" << ms
+       << ",\"svc_misses\":" << svc_misses
+       << ",\"svc_p95_wait_ms\":" << svc_p95_wait_ms
+       << ",\"svc_completed\":" << svc_completed
+       << ",\"preempted\":" << preempted
+       << ",\"held_over_quota\":" << held_over_quota << "}";
+}
+
+std::string MustReadScript(const std::string& name) {
+  std::ifstream in(ScriptPath(name));
+  if (!in.good()) {
+    std::fprintf(stderr, "cannot read script %s\n", name.c_str());
+    std::exit(1);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+ScriptArgs LinregArgs() {
+  return ScriptArgs{{"X", "/data/X"}, {"Y", "/data/y"}, {"B", "/out/B"}};
+}
+
+/// Warm-path service job: shares one script signature across the whole
+/// run, so after one warm-up every instance is a sub-millisecond plan
+/// cache hit.
+serve::JobRequest SvcRequest(const std::string& source) {
+  serve::JobRequest request;
+  request.source = source;
+  request.args = LinregArgs();
+  request.inputs = {{"/data/X", 1000000, 100, 1.0},
+                    {"/data/y", 1000000, 1, 1.0}};
+  return request;
+}
+
+/// Cold-path batch job: `base` gives each instance its own input paths
+/// and therefore its own script signature — every one is a full
+/// (milliseconds-scale) compile, never a cache hit.
+serve::JobRequest ColdBatchRequest(const std::string& source,
+                                   const std::string& base) {
+  serve::JobRequest request;
+  request.source = source;
+  request.args =
+      ScriptArgs{{"X", base + "/X"}, {"Y", base + "/y"}, {"B", "/out/B"}};
+  request.inputs = {{base + "/X", 1000000, 100, 1.0},
+                    {base + "/y", 1000000, 1, 1.0}};
+  return request;
+}
+
+serve::JobHandle MustSubmit(serve::JobService* service,
+                            const std::string& tenant,
+                            serve::JobRequest request) {
+  auto handle = service->Submit(tenant, std::move(request));
+  if (!handle.ok()) {
+    std::fprintf(stderr, "submit failed for %s: %s\n", tenant.c_str(),
+                 handle.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(*handle);
+}
+
+// ---- (a) burst: round_robin vs cost_aware ------------------------------
+
+struct BurstConfig {
+  int batch_jobs = 12;
+  int svc_jobs = 8;
+};
+
+struct BurstResult {
+  double wall_ms = 0.0;
+  double t_batch_ms = 0.0;    // calibrated cold-compile service time
+  double deadline_ms = 0.0;   // svc deadline derived from it
+  double svc_p95_wait_ms = 0.0;
+  int64_t svc_misses = 0;
+  int64_t svc_completed = 0;
+  int64_t batch_completed = 0;
+  int64_t held_over_quota = 0;
+};
+
+BurstResult RunBurst(sched::SchedulerPolicy policy,
+                     const BurstConfig& cfg) {
+  const std::string svc_source = MustReadScript("linreg_ds.dml");
+  const std::string batch_source = MustReadScript("linreg_cg.dml");
+  PlanCache cache;
+  serve::ServeOptions options;
+  options.WithWorkers(1).WithPlanCache(&cache).WithScheduler(policy);
+  if (policy == sched::SchedulerPolicy::kCostAware) {
+    // One-byte memory quota: "batch" is over quota whenever it holds
+    // any container, so its queued work defers to "svc".
+    options.WithTenantQuota("batch", sched::TenantQuota{1, 0});
+  }
+  serve::JobService service(ClusterConfig::PaperCluster(), options);
+  if (!service.startup_status().ok()) {
+    std::fprintf(stderr, "service startup failed: %s\n",
+                 service.startup_status().ToString().c_str());
+    std::exit(1);
+  }
+
+  // Warm the svc script's plan so every raced svc job is a uniform
+  // cache hit.
+  if (!MustSubmit(&service, "warm", SvcRequest(svc_source)).Await().ok()) {
+    std::fprintf(stderr, "warm-up job failed\n");
+    std::exit(1);
+  }
+  // Calibrate one cold compile of the batch script (max of two pilots,
+  // so a lucky fast pilot cannot produce an unmeetable deadline).
+  BurstResult result;
+  for (int i = 0; i < 2; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    if (!MustSubmit(&service, "warm",
+                    ColdBatchRequest(batch_source,
+                                     "/cal" + std::to_string(i)))
+             .Await()
+             .ok()) {
+      std::fprintf(stderr, "calibration job failed\n");
+      std::exit(1);
+    }
+    result.t_batch_ms = std::max(result.t_batch_ms, MsSince(t0));
+  }
+  // Deadline budget per svc job: 3.5 cold compiles. Under round-robin
+  // the k-th svc job waits ~(k+1) batch compiles, so jobs beyond the
+  // third miss; under cost-aware it waits at most the in-flight batch
+  // job plus earlier (sub-millisecond) svc jobs — ~3x headroom.
+  result.deadline_ms = 3.5 * result.t_batch_ms;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<serve::JobHandle> batch_handles;
+  for (int i = 0; i < cfg.batch_jobs; ++i) {
+    batch_handles.push_back(MustSubmit(
+        &service, "batch",
+        ColdBatchRequest(batch_source, "/b" + std::to_string(i))));
+  }
+  std::vector<serve::JobHandle> svc_handles;
+  for (int i = 0; i < cfg.svc_jobs; ++i) {
+    serve::JobRequest request = SvcRequest(svc_source);
+    request.deadline_seconds = result.deadline_ms / 1000.0;
+    request.priority = 5;
+    svc_handles.push_back(MustSubmit(&service, "svc", std::move(request)));
+  }
+  service.Drain();
+  result.wall_ms = MsSince(t0);
+
+  for (serve::JobHandle& handle : batch_handles) {
+    if (!handle.Await().ok()) {
+      std::fprintf(stderr, "batch job failed unexpectedly\n");
+      std::exit(1);
+    }
+  }
+  for (serve::JobHandle& handle : svc_handles) {
+    auto outcome = handle.Await();
+    // Deadline misses are the measured signal; any other failure is a
+    // harness bug.
+    if (!outcome.ok() &&
+        outcome.status().code() != StatusCode::kDeadlineExceeded) {
+      std::fprintf(stderr, "svc job failed: %s\n",
+                   outcome.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  serve::JobService::Stats stats = service.stats();
+  result.batch_completed = static_cast<int64_t>(cfg.batch_jobs);
+  auto it = stats.per_tenant.find("svc");
+  if (it != stats.per_tenant.end()) {
+    result.svc_misses = it->second.deadline_misses;
+    result.svc_completed = it->second.completed;
+    result.svc_p95_wait_ms = it->second.wait_ms.p95;
+  }
+  result.held_over_quota = stats.sched.held_over_quota;
+  return result;
+}
+
+// ---- (b) chaos: node loss + co-tenant preemption -----------------------
+
+struct ChaosResult {
+  double wall_ms = 0.0;
+  int64_t preempted = 0;
+  int64_t svc_misses = 0;
+  int64_t svc_completed = 0;
+  int64_t batch_resolved = 0;
+  bool timed_out = false;
+};
+
+/// Deterministic small regression data with real payloads (the chaos
+/// phase executes for real; simulated runs never hold containers long
+/// enough to preempt).
+void RegisterRealRegressionData(Session* session) {
+  Random rng(42);
+  MatrixBlock x = MatrixBlock::Rand(200, 8, 1.0, -1, 1, &rng);
+  MatrixBlock beta = MatrixBlock::Rand(8, 1, 1.0, -2, 2, &rng);
+  MatrixBlock y = *MatMult(x, beta);
+  if (!session->RegisterMatrix("/data/X", std::move(x)).ok() ||
+      !session->RegisterMatrix("/data/y", std::move(y)).ok()) {
+    std::fprintf(stderr, "matrix registration failed\n");
+    std::exit(1);
+  }
+}
+
+ChaosResult RunChaos(int batch_jobs, int svc_jobs) {
+  const std::string source = MustReadScript("linreg_ds.dml");
+  // Two-node cluster where every AM container rounds up to a full
+  // node: a third concurrent allocation always contends, so in-quota
+  // grants go through preemption.
+  ClusterConfig cc;
+  cc.num_worker_nodes = 2;
+  cc.memory_per_node = 2 * kGB;
+  cc.min_allocation = 2 * kGB;
+  cc.max_allocation = 2 * kGB;
+  // Stragglers (every parallel task stalls 1ms) keep containers held
+  // long enough for injections to catch live grants.
+  exec::FaultPolicy chaos;
+  chaos.WithSeed(7)
+      .WithRate(exec::FaultSite::kHdfsRead, 0.2)
+      .WithRate(exec::FaultSite::kTaskStall, 1.0)
+      .WithStallMicros(1000);
+  exec::SetWorkers(2);  // task-site faults fire on the parallel path only
+  PlanCache cache;
+  serve::JobService service(
+      cc, serve::ServeOptions()
+              .WithWorkers(3)
+              .WithSimulation(false)
+              .WithExecWorkers(2)
+              .WithScheduler(sched::SchedulerPolicy::kCostAware)
+              .WithTenantQuota("batch", sched::TenantQuota{1, 0})
+              .WithFaultPolicy(chaos)
+              .WithRetry(RetryPolicy()
+                             .WithInitialBackoffSeconds(0.001)
+                             .WithMaxBackoffSeconds(0.01))
+              .WithPlanCache(&cache));
+  if (!service.startup_status().ok()) {
+    std::fprintf(stderr, "chaos service startup failed: %s\n",
+                 service.startup_status().ToString().c_str());
+    std::exit(1);
+  }
+  RegisterRealRegressionData(&service.session());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  // No InputSpec list here: metadata registration would replace the
+  // real payloads registered above.
+  const auto real_request = [&source] {
+    serve::JobRequest request;
+    request.source = source;
+    request.args = LinregArgs();
+    request.execute_real = true;
+    request.max_attempts = 10;
+    return request;
+  };
+  std::vector<serve::JobHandle> batch_handles;
+  for (int i = 0; i < batch_jobs; ++i) {
+    batch_handles.push_back(MustSubmit(&service, "batch", real_request()));
+  }
+  std::vector<serve::JobHandle> svc_handles;
+  for (int i = 0; i < svc_jobs; ++i) {
+    serve::JobRequest request = real_request();
+    request.deadline_seconds = 120.0;
+    request.priority = 5;
+    svc_handles.push_back(MustSubmit(&service, "svc", std::move(request)));
+  }
+  // Rolling node loss until at least one live container has been
+  // reclaimed (injected kills and priority preemptions both count),
+  // bounded by a wall-clock guard so a wedged run reports instead of
+  // hanging.
+  ChaosResult result;
+  const int total = batch_jobs + svc_jobs;
+  int node = 0;
+  while (true) {
+    if (MsSince(t0) > 60000.0) {
+      result.timed_out = true;
+      break;
+    }
+    serve::JobService::Stats s = service.stats();
+    if (s.completed + s.failed + s.cancelled >= total) break;
+    if (s.preempted == 0) {
+      service.InjectNodeLoss(node);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      if (!service.RestoreNode(node).ok()) {
+        std::fprintf(stderr, "node restore failed\n");
+        std::exit(1);
+      }
+      node ^= 1;
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  service.Drain();
+  result.wall_ms = MsSince(t0);
+
+  for (serve::JobHandle& handle : svc_handles) {
+    auto outcome = handle.Await();
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "in-quota chaos job failed: %s\n",
+                   outcome.status().ToString().c_str());
+    }
+  }
+  // Over-quota work resolves as success or a typed retryable error when
+  // chaos + preemption burned its attempt budget; either counts as
+  // resolved.
+  for (serve::JobHandle& handle : batch_handles) {
+    auto outcome = handle.Await();
+    if (outcome.ok() ||
+        outcome.status().code() == StatusCode::kUnavailable ||
+        outcome.status().code() == StatusCode::kOverloaded) {
+      result.batch_resolved++;
+    }
+  }
+  serve::JobService::Stats stats = service.stats();
+  result.preempted = stats.preempted;
+  auto it = stats.per_tenant.find("svc");
+  if (it != stats.per_tenant.end()) {
+    result.svc_misses = it->second.deadline_misses;
+    result.svc_completed = it->second.completed;
+  }
+  service.Shutdown();
+  exec::SetWorkers(1);  // restore the process-wide serial default
+  return result;
+}
+
+// ---- driver ------------------------------------------------------------
+
+bool Check(bool ok, const char* what) {
+  std::printf("  %-58s %s\n", what, ok ? "[PASS]" : "[FAIL]");
+  return ok;
+}
+
+int Run(const std::string& json_out, bool quick) {
+  PrintHeader("Scheduling: cost-aware multi-tenant SLO vs round-robin");
+  BurstConfig cfg;
+  if (quick) {
+    cfg.batch_jobs = 8;
+    cfg.svc_jobs = 4;
+  }
+  std::printf("\n(a) mixed-tenant burst: %d cold batch + %d deadline svc "
+              "jobs, 1 worker\n",
+              cfg.batch_jobs, cfg.svc_jobs);
+  BurstResult rr = RunBurst(sched::SchedulerPolicy::kRoundRobin, cfg);
+  BurstResult ca = RunBurst(sched::SchedulerPolicy::kCostAware, cfg);
+  std::printf("%-14s %10s %12s %10s %12s %14s %10s\n", "policy",
+              "wall(ms)", "deadline(ms)", "misses", "svc done",
+              "p95 wait(ms)", "held OQ");
+  const auto print_burst = [](const char* name, const BurstResult& r,
+                              int svc_jobs) {
+    std::printf("%-14s %10.1f %12.1f %6lld/%-3d %9lld/%-2d %14.2f %10lld\n",
+                name, r.wall_ms, r.deadline_ms,
+                static_cast<long long>(r.svc_misses), svc_jobs,
+                static_cast<long long>(r.svc_completed), svc_jobs,
+                r.svc_p95_wait_ms,
+                static_cast<long long>(r.held_over_quota));
+  };
+  print_burst("round_robin", rr, cfg.svc_jobs);
+  print_burst("cost_aware", ca, cfg.svc_jobs);
+  JsonRow("sched", "burst_round_robin", 1, rr.wall_ms, rr.svc_misses,
+          rr.svc_p95_wait_ms, rr.svc_completed, 0, rr.held_over_quota);
+  JsonRow("sched", "burst_cost_aware", 1, ca.wall_ms, ca.svc_misses,
+          ca.svc_p95_wait_ms, ca.svc_completed, 0, ca.held_over_quota);
+
+  const int chaos_batch = quick ? 4 : 6;
+  const int chaos_svc = quick ? 2 : 3;
+  std::printf("\n(b) chaos: node loss + preemption, %d batch + %d svc "
+              "real-exec jobs, cost_aware\n",
+              chaos_batch, chaos_svc);
+  ChaosResult chaos = RunChaos(chaos_batch, chaos_svc);
+  std::printf("%-14s %10.1f  preempted=%lld  misses=%lld  svc=%lld/%d  "
+              "batch resolved=%lld/%d%s\n",
+              "cost_aware", chaos.wall_ms,
+              static_cast<long long>(chaos.preempted),
+              static_cast<long long>(chaos.svc_misses),
+              static_cast<long long>(chaos.svc_completed), chaos_svc,
+              static_cast<long long>(chaos.batch_resolved), chaos_batch,
+              chaos.timed_out ? "  [TIMED OUT]" : "");
+  JsonRow("sched_chaos", "chaos_cost_aware", 3, chaos.wall_ms,
+          chaos.svc_misses, 0.0, chaos.svc_completed, chaos.preempted, 0);
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    out << "[\n" << Json().str() << "\n]\n";
+    std::printf("\nwrote JSON results to %s\n", json_out.c_str());
+  }
+
+  std::printf("\nscheduling SLO gate:\n");
+  bool pass = true;
+  pass &= Check(ca.svc_misses == 0, "cost_aware: zero in-quota misses");
+  pass &= Check(ca.svc_completed == cfg.svc_jobs,
+                "cost_aware: every svc job completed");
+  pass &= Check(rr.svc_misses > ca.svc_misses,
+                "cost_aware beats round_robin on deadline misses");
+  pass &= Check(chaos.preempted >= 1,
+                "chaos: >= 1 container preempted/reclaimed");
+  pass &= Check(chaos.svc_misses == 0,
+                "chaos: zero in-quota misses under node loss");
+  pass &= Check(chaos.svc_completed == chaos_svc && !chaos.timed_out,
+                "chaos: every in-quota job completed in time");
+  std::printf("scheduling gate: %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace relm
+
+int main(int argc, char** argv) {
+  relm::bench::InitBench(argc, argv);
+  std::string json_out;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* kFlag = "--json-out=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      json_out = argv[i] + std::strlen(kFlag);
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    }
+  }
+  return relm::bench::Run(json_out, quick);
+}

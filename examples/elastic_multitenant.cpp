@@ -1,58 +1,110 @@
-// Multi-tenancy demo: the optimizer's secondary objective — avoiding
-// unnecessary over-provisioning — directly buys cluster throughput.
-// Reproduces the effect of Figure 12: a right-sized AM container admits
-// many concurrent applications, while the large static baseline (B-LL)
-// saturates at six.
+// Multi-tenancy demo: cost-aware SLO scheduling through the job
+// service (DESIGN.md §16). Two tenants share one cluster: "batch"
+// floods twelve no-deadline jobs under a one-byte memory quota, while
+// "svc" submits four deadline jobs at priority. The cost-aware policy
+// orders by least slack over cached what-if estimates and defers the
+// over-quota flood, so the service tenant's deadlines hold no matter
+// how deep the batch backlog is — run it and compare each tenant's
+// queue-wait percentiles and the scheduler's per-job decision tags.
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "api/session.h"
-#include "mrsim/throughput.h"
+#include "serve/job_service.h"
 
 using namespace relm;  // NOLINT — example brevity
 
-int main() {
-  Session sys;
-  // Scenario S, dense1000: 800 MB input (the Figure 12(a) workload).
-  sys.RegisterMatrixMetadata("/data/X", 100000, 1000);
-  sys.RegisterMatrixMetadata("/data/y", 100000, 1);
-  ScriptArgs args{{"X", "/data/X"}, {"Y", "/data/y"}, {"B", "/out/B"}};
+namespace {
 
-  auto prog = sys.CompileFile(
-      std::string(RELM_SCRIPTS_DIR) + "/linreg_ds.dml", args);
-  if (!prog.ok()) {
-    std::printf("compile error: %s\n", prog.status().ToString().c_str());
+/// One linear-regression job over inputs under `base` (scenario S,
+/// dense100). Distinct bases give distinct script signatures: each
+/// batch job below pays a full compile, so the backlog is still alive
+/// when the service tenant's submissions arrive.
+serve::JobRequest LinregJob(const std::string& source,
+                            const std::string& base) {
+  serve::JobRequest request;
+  request.source = source;
+  request.args = ScriptArgs{{"X", base + "/X"}, {"Y", base + "/y"},
+                            {"B", "/out/B"}};
+  request.inputs = {{base + "/X", 1000000, 100, 1.0},
+                    {base + "/y", 1000000, 1, 1.0}};
+  return request;
+}
+
+}  // namespace
+
+int main() {
+  std::string script_path =
+      std::string(RELM_SCRIPTS_DIR) + "/linreg_ds.dml";
+  std::ifstream in(script_path);
+  if (!in.good()) {
+    std::printf("cannot read %s\n", script_path.c_str());
     return 1;
   }
-  auto outcome = sys.Optimize(prog->get());
-  if (!outcome.ok()) return 1;
-  const ResourceConfig& opt_config = outcome->config;
-  ResourceConfig bll = sys.StaticBaselines().back().config;  // B-LL
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string script = ss.str();
 
-  const ClusterConfig& cc = sys.cluster();
-  auto run_opt = sys.Simulate((*prog)->Clone()->get(), opt_config);
-  auto run_bll = sys.Simulate((*prog)->Clone()->get(), bll);
-  double solo_opt = run_opt->elapsed_seconds;
-  double solo_bll = run_bll->elapsed_seconds;
-
-  int64_t c_opt = cc.ContainerRequestForHeap(opt_config.cp_heap);
-  int64_t c_bll = cc.ContainerRequestForHeap(bll.cp_heap);
-  std::printf("Opt  : %s -> AM container %s, solo %.1fs\n",
-              opt_config.ToString().c_str(), FormatBytes(c_opt).c_str(),
-              solo_opt);
-  std::printf("B-LL : %s -> AM container %s, solo %.1fs\n\n",
-              bll.ToString().c_str(), FormatBytes(c_bll).c_str(),
-              solo_bll);
-
-  std::printf("%8s %16s %16s %8s\n", "#users", "Opt [app/min]",
-              "B-LL [app/min]", "speedup");
-  for (int users : {1, 2, 4, 8, 16, 32, 64, 128}) {
-    auto t_opt = SimulateThroughput(cc, c_opt, solo_opt, users);
-    auto t_bll = SimulateThroughput(cc, c_bll, solo_bll, users);
-    std::printf("%8d %16.1f %16.1f %7.1fx\n", users,
-                t_opt.apps_per_minute, t_bll.apps_per_minute,
-                t_opt.apps_per_minute / t_bll.apps_per_minute);
+  // Cost-aware scheduling: "batch" gets a one-byte memory quota, so it
+  // is over quota whenever it holds a container — its queued work
+  // defers to "svc" and its containers stay preemptible.
+  serve::JobService service(
+      ClusterConfig::PaperCluster(),
+      serve::ServeOptions()
+          .WithWorkers(2)
+          .WithScheduler(sched::SchedulerPolicy::kCostAware)
+          .WithTenantQuota("batch", sched::TenantQuota{1, 0}));
+  if (!service.startup_status().ok()) {
+    std::printf("startup failed: %s\n",
+                service.startup_status().ToString().c_str());
+    return 1;
   }
-  return 0;
+
+  std::vector<serve::JobHandle> handles;
+  for (int i = 0; i < 12; ++i) {
+    auto handle = service.Submit(
+        "batch", LinregJob(script, "/batch" + std::to_string(i)));
+    if (handle.ok()) handles.push_back(std::move(*handle));
+  }
+  for (int i = 0; i < 4; ++i) {
+    serve::JobRequest request = LinregJob(script, "/svc");
+    request.deadline_seconds = 10.0;  // SLO: finish within 10s
+    request.priority = 5;
+    auto handle = service.Submit("svc", std::move(request));
+    if (handle.ok()) handles.push_back(std::move(*handle));
+  }
+  service.Drain();
+
+  std::printf("%-8s %-10s %s\n", "tenant", "job", "scheduler decision");
+  for (serve::JobHandle& handle : handles) {
+    auto outcome = handle.Await();
+    if (!outcome.ok()) {
+      std::printf("%-8s #%-9llu FAILED: %s\n", handle.tenant().c_str(),
+                  static_cast<unsigned long long>(handle.id()),
+                  outcome.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-8s #%-9llu %s\n", handle.tenant().c_str(),
+                static_cast<unsigned long long>(handle.id()),
+                outcome->telemetry.trace.sched_decision.c_str());
+  }
+
+  serve::JobService::Stats stats = service.stats();
+  std::printf("\npolicy=%s  dispatched=%lld  held_over_quota=%lld\n",
+              stats.scheduler.c_str(),
+              static_cast<long long>(stats.sched.dispatched),
+              static_cast<long long>(stats.sched.held_over_quota));
+  for (const auto& [tenant, t] : stats.per_tenant) {
+    std::printf(
+        "tenant %-6s completed=%lld deadline_misses=%lld "
+        "wait p50=%.2fms p95=%.2fms\n",
+        tenant.c_str(), static_cast<long long>(t.completed),
+        static_cast<long long>(t.deadline_misses), t.wait_ms.p50,
+        t.wait_ms.p95);
+  }
+  return stats.per_tenant["svc"].deadline_misses == 0 ? 0 : 1;
 }

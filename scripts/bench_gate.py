@@ -1,18 +1,21 @@
 #!/usr/bin/env python3
-"""Perf-regression gate over bench_ext_exec JSON exports.
+"""Perf-regression gate over bench JSON exports.
 
-Compares one or more fresh `bench_ext_exec --json-out=` runs against the
-committed baseline (BENCH_exec.json by default) and fails when a gated
-row got slower than the allowed ratio. Rows are keyed by
-(table, label, workers); when several fresh files are given, the gate
-takes the per-key minimum wall-clock across them, so transient machine
-noise in a single run does not fail the gate.
+Compares one or more fresh `--json-out=` runs (bench_ext_exec,
+bench_ext_sched) against the committed baseline (BENCH_exec.json by
+default; pass --baseline BENCH_sched.json for the scheduler rows) and
+fails when a gated row got slower than the allowed ratio. Rows are
+keyed by (table, label, workers); when several fresh files are given,
+the gate takes the per-key minimum wall-clock across them, so transient
+machine noise in a single run does not fail the gate.
 
-Only the tables named by --tables are gated (default: end_to_end and
-cold_start — the kernel table measures sub-millisecond loops too noisy
-to gate, and the spill table's interesting signal is bytes, not
-wall-clock; the cold_start warm row is a mean over several hydrations,
-which keeps it stable enough to gate).
+Only the tables named by --tables are gated (default: end_to_end,
+cold_start, and sched — the kernel table measures sub-millisecond loops
+too noisy to gate, the spill table's interesting signal is bytes, not
+wall-clock, and the sched_chaos row's wall-clock depends on fault
+timing; the cold_start warm row is a mean over several hydrations,
+which keeps it stable enough to gate). Gated tables absent from the
+baseline are simply skipped, so one default covers both baselines.
 
 Exit status: 0 when every gated row passes; nonzero on regression, on a
 gated baseline row missing from the fresh runs, or on bad input.
@@ -54,7 +57,7 @@ def main(argv=None):
     parser.add_argument("--threshold", type=float, default=1.25,
                         help="max allowed fresh/baseline wall-clock ratio "
                              "(default: %(default)s, i.e. +25%%)")
-    parser.add_argument("--tables", default="end_to_end,cold_start",
+    parser.add_argument("--tables", default="end_to_end,cold_start,sched",
                         help="comma-separated tables to gate "
                              "(default: %(default)s)")
     parser.add_argument("fresh", nargs="+",

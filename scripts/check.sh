@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Extended check build, eleven stages in separate trees:
+# Extended check build, twelve stages in separate trees:
 #
 #   1. ASan+UBSan Debug build running the full test suite (catches
 #      allocation bugs and UB in the simulator's recovery logic);
@@ -43,7 +43,13 @@
 #      shipped script, reduced to its stable facts (error diagnostics,
 #      peak boundedness, dead writes, undefined reads) and diffed
 #      against scripts/lint_dataflow.golden — a new error-severity
-#      diagnostic or a silently-unbounded peak fails the build.
+#      diagnostic or a silently-unbounded peak fails the build;
+#  12. the scheduling subsystem: the TSan tree soaks the scheduler
+#      tests (quota starvation races, chaos preemption) and runs the
+#      bench_ext_sched --quick SLO gate (cost-aware must hold every
+#      in-quota deadline and beat round-robin on misses, under node
+#      loss + preemption); the plain tree then runs the full bench
+#      three times against the committed BENCH_sched.json baseline.
 #
 # TSan is incompatible with ASan, hence the separate tree. Slower than
 # the default build; use before merging changes that touch allocation
@@ -82,13 +88,14 @@ echo "=== stage 4: TSan, serving layer + multi-client bench smoke ==="
 cmake --build "${prefix}-tsan" -j "$(nproc)" \
   --target serve_test bench_fig12_throughput
 ctest --test-dir "${prefix}-tsan" --output-on-failure \
-  -R 'PlanCacheTest|OptimizerCacheTest|SessionTest|JobServiceTest|JobTelemetryTest'
+  -R 'PlanCacheTest|OptimizerCacheTest|SessionTest|JobServiceTest|JobTelemetryTest|JobSchedulerTest'
 # Small end-to-end smoke: 4 concurrent clients through the job service.
 "${prefix}-tsan/bench/bench_fig12_throughput" --clients=4 --jobs=3
 
-echo "=== stage 5: header self-containment (serve/, api/) ==="
+echo "=== stage 5: header self-containment (serve/, sched/, api/) ==="
 cxx="${CXX:-c++}"
-for header in "$repo_root"/src/serve/*.h "$repo_root"/src/api/*.h; do
+for header in "$repo_root"/src/serve/*.h "$repo_root"/src/sched/*.h \
+              "$repo_root"/src/api/*.h; do
   echo "  checking ${header#"$repo_root"/}"
   "$cxx" -std=c++20 -fsyntax-only -x c++ -I "$repo_root/src" "$header"
 done
@@ -104,6 +111,7 @@ if command -v clang-tidy >/dev/null 2>&1; then
     "$repo_root"/src/analysis/*.cc \
     "$repo_root"/src/core/*.cc \
     "$repo_root"/src/serve/*.cc \
+    "$repo_root"/src/sched/*.cc \
     "$repo_root"/src/api/*.cc
 else
   echo "  clang-tidy not installed; skipping tidy lint"
@@ -135,7 +143,7 @@ echo "=== stage 8: chaos soak under ASan and TSan (RELM_EXEC_WORKERS=8) ==="
 # Fault injection on the real engine under both sanitizers: the soak
 # retries every shipped script through seeded chaos, and the fault-layer
 # unit tests cover the retry/deadline/cancel/degrade state machine.
-chaos_filter='ChaosSoakTest|ChaosInjectorTest|FaultPolicyTest|JobServiceFaultTest|RetryTest'
+chaos_filter='ChaosSoakTest|ChaosInjectorTest|FaultPolicyTest|JobServiceFaultTest|JobSchedulerTest|RetryTest'
 cmake --build "${prefix}-asan" -j "$(nproc)" \
   --target common_test exec_test exec_differential_test serve_test
 RELM_EXEC_WORKERS=8 ctest --test-dir "${prefix}-asan" --output-on-failure \
@@ -206,5 +214,28 @@ lint_actual="${prefix}-gate/lint_dataflow.txt"
 python3 "$repo_root/scripts/lint_golden_extract.py" "$lint_json" \
   > "$lint_actual"
 diff -u "$repo_root/scripts/lint_dataflow.golden" "$lint_actual"
+
+echo "=== stage 12: scheduling subsystem (TSan soak + SLO/perf gates) ==="
+# Policy unit tests and the service-level scheduler races (quota
+# starvation, chaos preemption) under TSan, then the bench SLO gate:
+# bench_ext_sched exits non-zero when cost-aware misses an in-quota
+# deadline, fails to beat round-robin on misses, or the chaos phase
+# never observes a preemption. Deadlines are calibrated from a measured
+# cold compile, so the gate holds under sanitizer slowdown too.
+cmake --build "${prefix}-tsan" -j "$(nproc)" \
+  --target sched_test serve_test bench_ext_sched
+ctest --test-dir "${prefix}-tsan" --output-on-failure \
+  -R 'SchedEntryTest|CostAwareSchedulerTest|MakeSchedulerTest|RoundRobinDifferentialTest|JobSchedulerTest'
+"${prefix}-tsan/bench/bench_ext_sched" --quick
+# Perf gate on the plain tree against the committed scheduler baseline
+# (same three-run minimum and widened threshold as stage 9).
+cmake --build "${prefix}-gate" -j "$(nproc)" --target bench_ext_sched
+for i in 1 2 3; do
+  "${prefix}-gate/bench/bench_ext_sched" \
+    --json-out="${prefix}-gate/bench_sched_run${i}.json" >/dev/null
+done
+python3 "$repo_root/scripts/bench_gate.py" \
+  --baseline "$repo_root/BENCH_sched.json" --threshold 1.5 \
+  "${prefix}-gate"/bench_sched_run{1,2,3}.json
 
 echo "all check stages passed"

@@ -1,0 +1,46 @@
+#include "core/cost_oracle.h"
+
+namespace relm {
+
+void PlanCacheCostOracle::Observe(uint64_t script_signature,
+                                  const WhatIfKey& key,
+                                  double cost_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.size() >= kMaxEntries &&
+      entries_.find(script_signature) == entries_.end()) {
+    // At capacity: drop an arbitrary entry (unordered_map begin). The
+    // evicted script re-observes on its next optimization.
+    entries_.erase(entries_.begin());
+  }
+  Entry& entry = entries_[script_signature];
+  entry.key = key;
+  entry.last_cost_seconds = cost_seconds;
+}
+
+double PlanCacheCostOracle::EstimateRuntimeSeconds(
+    uint64_t script_signature) const {
+  Entry entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(script_signature);
+    if (it == entries_.end()) return -1.0;
+    entry = it->second;
+  }
+  if (cache_ != nullptr) {
+    // Read through the shared what-if cache: the authoritative cost of
+    // the winning grid point, refreshed in the LRU by this lookup.
+    std::optional<PlanCache::CachedCandidate> cached =
+        cache_->LookupWhatIf(entry.key);
+    if (cached.has_value()) return cached->cost;
+  }
+  // Evicted from the cache (or cache-less service): the memoized cost
+  // from the last optimization still beats scheduling blind.
+  return entry.last_cost_seconds;
+}
+
+size_t PlanCacheCostOracle::NumEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace relm

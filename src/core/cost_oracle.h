@@ -1,0 +1,63 @@
+#ifndef RELM_CORE_COST_ORACLE_H_
+#define RELM_CORE_COST_ORACLE_H_
+
+// Read-through adapter from the scheduler's CostOracle interface onto
+// the PlanCache's what-if cost cache (DESIGN.md §16). The JobService
+// records, after each optimization, which what-if grid point won for a
+// script signature (Observe); subsequent scheduling decisions for the
+// same script resolve their runtime estimate by reading that cached
+// candidate back — never by recomputation. The optimizer already paid
+// for the estimate; the scheduler gets it for a hash lookup.
+//
+// A small memo keeps the last observed cost per signature so estimates
+// survive what-if LRU eviction (the memo is the fallback, the cache the
+// authority). Thread-safe: Observe and EstimateRuntimeSeconds race
+// freely across submit and worker threads.
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/thread_annotations.h"
+#include "core/plan_cache.h"
+#include "sched/scheduler.h"
+
+namespace relm {
+
+class PlanCacheCostOracle : public sched::CostOracle {
+ public:
+  /// `cache` is not owned; nullptr degrades to memo-only estimates.
+  explicit PlanCacheCostOracle(PlanCache* cache) : cache_(cache) {}
+
+  /// Records the winning grid point (`key`) and its cost for the plan
+  /// behind `script_signature`. Called by the serving tier right after
+  /// optimization, where both are free.
+  void Observe(uint64_t script_signature, const WhatIfKey& key,
+               double cost_seconds);
+
+  /// sched::CostOracle: cached estimate or < 0 when the script has
+  /// never been optimized (cold scripts are scheduled estimate-free
+  /// and gain an estimate after their first optimization).
+  double EstimateRuntimeSeconds(uint64_t script_signature) const override;
+
+  size_t NumEntries() const;
+
+ private:
+  struct Entry {
+    WhatIfKey key;
+    double last_cost_seconds = -1.0;
+  };
+
+  /// Bound on memoized signatures; far above any realistic distinct
+  /// script count, present so a signature-churning workload (e.g. per
+  /// job unique args) cannot grow the map without limit.
+  static constexpr size_t kMaxEntries = 4096;
+
+  PlanCache* cache_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, Entry> entries_ RELM_GUARDED_BY(mu_);
+};
+
+}  // namespace relm
+
+#endif  // RELM_CORE_COST_ORACLE_H_

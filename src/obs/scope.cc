@@ -25,6 +25,9 @@ std::string TraceContext::ToJsonArgs() const {
   std::ostringstream os;
   os << "\"job_id\":" << job_id << ",\"tenant\":" << JsonQuote(tenant)
      << ",\"plan_sig\":\"" << sig << "\",\"attempt\":" << attempt;
+  if (!sched_decision.empty()) {
+    os << ",\"sched\":" << JsonQuote(sched_decision);
+  }
   return os.str();
 }
 

@@ -38,6 +38,12 @@ struct TraceContext {
   uint64_t plan_signature = 0;
   /// 1-based execution attempt; 0 for job-level (pre-attempt) work.
   int attempt = 0;
+  /// Scheduler decision tag for the dispatch that started this job
+  /// (sched::SchedDecision::reason, e.g. "rr" or
+  /// "cost_aware:slack=1.2s"); empty when the work was never queued
+  /// through a scheduler. Stamped onto trace events with the rest of
+  /// the context so dispatch decisions are attributable per span.
+  std::string sched_decision;
 
   bool valid() const { return job_id != 0; }
 

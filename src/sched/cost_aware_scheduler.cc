@@ -1,0 +1,187 @@
+#include "sched/cost_aware_scheduler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace relm {
+namespace sched {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Total order of the dequeue policy: true when `a` should dispatch
+/// before `b`.
+bool Precedes(const SchedEntry& a, const SchedEntry& b) {
+  if (a.priority != b.priority) return a.priority > b.priority;
+  const double slack_a = a.Slack();
+  const double slack_b = b.Slack();
+  if (slack_a != slack_b) return slack_a < slack_b;
+  const double cost_a =
+      a.cost_estimate_seconds >= 0.0 ? a.cost_estimate_seconds : kInf;
+  const double cost_b =
+      b.cost_estimate_seconds >= 0.0 ? b.cost_estimate_seconds : kInf;
+  if (cost_a != cost_b) return cost_a < cost_b;
+  return a.job_id < b.job_id;
+}
+
+}  // namespace
+
+CostAwareScheduler::CostAwareScheduler(
+    const SchedulerLimits& limits, std::map<std::string, TenantQuota> quotas)
+    : limits_(limits), quotas_(std::move(quotas)) {}
+
+bool CostAwareScheduler::InQuota(const std::string& tenant) const {
+  auto qit = quotas_.find(tenant);
+  if (qit == quotas_.end() || qit->second.unlimited()) return true;
+  auto uit = usage_.find(tenant);
+  if (uit == usage_.end()) return true;
+  const TenantQuota& quota = qit->second;
+  const Usage& usage = uit->second;
+  if (quota.memory_bytes > 0 && usage.memory_bytes >= quota.memory_bytes) {
+    return false;
+  }
+  if (quota.vcores > 0 && usage.vcores >= quota.vcores) return false;
+  return true;
+}
+
+Status CostAwareScheduler::Admit(const SchedEntry& entry) {
+  // Same two admission caps (and messages) as the round-robin baseline:
+  // quota state never rejects a submission, it only defers dispatch and
+  // weakens capacity priority.
+  if (static_cast<int>(queue_.size()) + running_ >=
+      limits_.max_pending_jobs) {
+    stats_.rejected++;
+    RELM_COUNTER_INC("sched.rejected");
+    return Status::ResourceError(
+        "admission control: service at capacity (" +
+        std::to_string(static_cast<int>(queue_.size()) + running_) +
+        " jobs pending)");
+  }
+  int& tenant_queued = queued_per_tenant_[entry.tenant];
+  if (tenant_queued >= limits_.max_queued_per_tenant) {
+    stats_.rejected++;
+    RELM_COUNTER_INC("sched.rejected");
+    return Status::ResourceError("admission control: tenant \"" +
+                                 entry.tenant + "\" queue quota exceeded");
+  }
+  tenant_queued++;
+  queue_.push_back(entry);
+  stats_.admitted++;
+  RELM_COUNTER_INC("sched.admitted");
+  return Status::OK();
+}
+
+int CostAwareScheduler::PickLocked(bool in_quota_only) const {
+  int best = -1;
+  for (int i = 0; i < static_cast<int>(queue_.size()); ++i) {
+    if (in_quota_only && !InQuota(queue_[i].tenant)) continue;
+    if (best < 0 || Precedes(queue_[i], queue_[best])) best = i;
+  }
+  return best;
+}
+
+std::optional<SchedDecision> CostAwareScheduler::Dequeue(
+    double now_seconds) {
+  if (queue_.empty()) return std::nullopt;
+  bool held_back = false;
+  int pick = PickLocked(/*in_quota_only=*/true);
+  if (pick >= 0) {
+    // In-quota work dispatched while over-quota entries sit queued:
+    // that is the quota doing its job, counted for observability.
+    for (const SchedEntry& e : queue_) {
+      if (!InQuota(e.tenant)) {
+        held_back = true;
+        break;
+      }
+    }
+  } else {
+    // Work-conserving backfill: everything queued is over quota, so run
+    // the best of it rather than idling the cluster. Its containers
+    // stay preemptible.
+    pick = PickLocked(/*in_quota_only=*/false);
+  }
+  if (pick < 0) return std::nullopt;
+
+  SchedEntry entry = std::move(queue_[static_cast<size_t>(pick)]);
+  queue_.erase(queue_.begin() + pick);
+  auto qit = queued_per_tenant_.find(entry.tenant);
+  if (qit != queued_per_tenant_.end() && --qit->second <= 0) {
+    queued_per_tenant_.erase(qit);
+  }
+  running_++;
+  usage_[entry.tenant].running_jobs++;
+  stats_.dispatched++;
+  RELM_COUNTER_INC("sched.dispatched");
+  if (held_back) {
+    stats_.held_over_quota++;
+    RELM_COUNTER_INC("sched.held_over_quota");
+  }
+
+  const bool in_quota = InQuota(entry.tenant);
+  char reason[96];
+  const double slack = entry.Slack();
+  if (slack == kInf) {
+    std::snprintf(reason, sizeof(reason), "cost_aware:%s",
+                  in_quota ? "no_deadline" : "over_quota_backfill");
+  } else {
+    std::snprintf(reason, sizeof(reason), "cost_aware:slack=%.3fs%s",
+                  slack - now_seconds,
+                  in_quota ? "" : ":over_quota_backfill");
+  }
+  return SchedDecision{entry.job_id, reason};
+}
+
+bool CostAwareScheduler::HasRunnable(double now_seconds) const {
+  (void)now_seconds;
+  // Work-conserving: anything queued is runnable now (over-quota work
+  // backfills when it is alone).
+  return !queue_.empty();
+}
+
+void CostAwareScheduler::OnJobFinished(const std::string& tenant) {
+  if (running_ > 0) running_--;
+  auto it = usage_.find(tenant);
+  if (it == usage_.end()) return;
+  if (it->second.running_jobs > 0) it->second.running_jobs--;
+  if (it->second.running_jobs == 0 && it->second.memory_bytes <= 0 &&
+      it->second.vcores <= 0) {
+    usage_.erase(it);
+  }
+}
+
+void CostAwareScheduler::OnCapacityAcquired(const std::string& tenant,
+                                            int64_t memory_bytes,
+                                            int vcores) {
+  Usage& usage = usage_[tenant];
+  usage.memory_bytes += memory_bytes;
+  usage.vcores += vcores;
+}
+
+void CostAwareScheduler::OnCapacityReleased(const std::string& tenant,
+                                            int64_t memory_bytes,
+                                            int vcores) {
+  auto it = usage_.find(tenant);
+  if (it == usage_.end()) return;
+  it->second.memory_bytes = std::max<int64_t>(
+      0, it->second.memory_bytes - memory_bytes);
+  it->second.vcores = std::max(0, it->second.vcores - vcores);
+}
+
+int CostAwareScheduler::AllocationPriority(const std::string& tenant,
+                                           int request_priority) const {
+  if (InQuota(tenant)) {
+    // The boost is a hard floor: an in-quota tenant outranks every
+    // over-quota container regardless of what either side requested, so
+    // negative request priorities saturate at the floor.
+    return kQuotaBoost + std::clamp(request_priority, 0, kQuotaBoost - 1);
+  }
+  return std::clamp(request_priority, -(kQuotaBoost - 1), kQuotaBoost - 1);
+}
+
+}  // namespace sched
+}  // namespace relm

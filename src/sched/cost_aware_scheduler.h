@@ -1,0 +1,91 @@
+#ifndef RELM_SCHED_COST_AWARE_SCHEDULER_H_
+#define RELM_SCHED_COST_AWARE_SCHEDULER_H_
+
+// Cost-aware multi-tenant SLO scheduling (DESIGN.md §16): least-slack
+// ordering over cached what-if runtime estimates, elastic per-tenant
+// memory/vcore quotas, and priority preemption of over-quota tenants.
+//
+// Ordering (Dequeue) — among runnable entries, pick by:
+//   1. higher request priority;
+//   2. ascending slack = absolute deadline - runtime estimate (a job
+//      with a larger estimated runtime has less slack and dispatches
+//      earlier; no deadline = infinite slack, so deadline jobs always
+//      precede deadline-free ones);
+//   3. ascending runtime estimate (shortest-job-first; unknown last);
+//   4. FIFO by job id.
+//
+// Quota gating — a tenant whose *running* usage (granted AM container
+// bytes, CP vcores) has reached its quota is runnable only when no
+// in-quota tenant has queued work (work-conserving backfill: the
+// cluster never idles while work exists). Enforcement teeth come from
+// capacity, not the queue: over-quota tenants' containers are granted
+// at low priority, so AllocateWithPreemption reclaims them the moment
+// an in-quota tenant needs the room.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.h"
+
+namespace relm {
+namespace sched {
+
+class CostAwareScheduler : public Scheduler {
+ public:
+  CostAwareScheduler(const SchedulerLimits& limits,
+                     std::map<std::string, TenantQuota> quotas);
+
+  const char* name() const override { return "cost_aware"; }
+
+  Status Admit(const SchedEntry& entry) override;
+  std::optional<SchedDecision> Dequeue(double now_seconds) override;
+  bool HasRunnable(double now_seconds) const override;
+  void OnJobFinished(const std::string& tenant) override;
+  void OnCapacityAcquired(const std::string& tenant, int64_t memory_bytes,
+                          int vcores) override;
+  void OnCapacityReleased(const std::string& tenant, int64_t memory_bytes,
+                          int vcores) override;
+  CapacityMode capacity_mode() const override {
+    return CapacityMode::kPreemptiveRm;
+  }
+  /// In-quota tenants are boosted past every possible over-quota
+  /// priority: over-quota requests clamp to +/-(kQuotaBoost-1), while
+  /// in-quota requests clamp to [0, kQuotaBoost-1] on top of the boost,
+  /// so an in-quota grant always wins a preemption contest against an
+  /// over-quota container and never against another in-quota one.
+  int AllocationPriority(const std::string& tenant,
+                         int request_priority) const override;
+  int queued() const override { return static_cast<int>(queue_.size()); }
+  SchedulerStats stats() const override { return stats_; }
+
+  /// Whether `tenant` currently has head-room under its quota.
+  bool InQuota(const std::string& tenant) const;
+
+  static constexpr int kQuotaBoost = 1000;
+
+ private:
+  /// Index into queue_ of the best entry per the ordering above, or -1.
+  /// When `in_quota_only`, entries of over-quota tenants are skipped.
+  int PickLocked(bool in_quota_only) const;
+
+  struct Usage {
+    int64_t memory_bytes = 0;
+    int vcores = 0;
+    int running_jobs = 0;
+  };
+
+  SchedulerLimits limits_;
+  std::map<std::string, TenantQuota> quotas_;
+  std::map<std::string, Usage> usage_;
+  std::map<std::string, int> queued_per_tenant_;
+  std::vector<SchedEntry> queue_;
+  int running_ = 0;
+  SchedulerStats stats_;
+};
+
+}  // namespace sched
+}  // namespace relm
+
+#endif  // RELM_SCHED_COST_AWARE_SCHEDULER_H_

@@ -1,0 +1,75 @@
+#include "sched/round_robin_scheduler.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace relm {
+namespace sched {
+
+RoundRobinScheduler::RoundRobinScheduler(const SchedulerLimits& limits)
+    : limits_(limits) {}
+
+Status RoundRobinScheduler::Admit(const SchedEntry& entry) {
+  // Admission control, stage 1: queue depth. The messages match the
+  // pre-refactor JobService strings exactly — callers and tests key off
+  // them, and the differential test compares them verbatim.
+  if (queued_ + running_ >= limits_.max_pending_jobs) {
+    stats_.rejected++;
+    RELM_COUNTER_INC("sched.rejected");
+    return Status::ResourceError(
+        "admission control: service at capacity (" +
+        std::to_string(queued_ + running_) + " jobs pending)");
+  }
+  auto& tenant_queue = queues_[entry.tenant];
+  if (static_cast<int>(tenant_queue.size()) >=
+      limits_.max_queued_per_tenant) {
+    stats_.rejected++;
+    RELM_COUNTER_INC("sched.rejected");
+    return Status::ResourceError("admission control: tenant \"" +
+                                 entry.tenant + "\" queue quota exceeded");
+  }
+  if (tenant_queue.empty()) tenant_rr_.push_back(entry.tenant);
+  tenant_queue.push_back(entry);
+  queued_++;
+  stats_.admitted++;
+  RELM_COUNTER_INC("sched.admitted");
+  return Status::OK();
+}
+
+std::optional<SchedDecision> RoundRobinScheduler::Dequeue(
+    double now_seconds) {
+  (void)now_seconds;  // FIFO rotation is time-blind
+  if (tenant_rr_.empty()) return std::nullopt;
+  // Round-robin: serve the head of the front tenant's FIFO, then move
+  // that tenant to the back if it still has queued work. A tenant with
+  // one job interleaves with a tenant that queued fifty.
+  const std::string tenant = tenant_rr_.front();
+  tenant_rr_.pop_front();
+  auto it = queues_.find(tenant);
+  SchedEntry entry = std::move(it->second.front());
+  it->second.pop_front();
+  if (!it->second.empty()) {
+    tenant_rr_.push_back(tenant);
+  } else {
+    queues_.erase(it);
+  }
+  queued_--;
+  running_++;
+  stats_.dispatched++;
+  RELM_COUNTER_INC("sched.dispatched");
+  return SchedDecision{entry.job_id, "rr"};
+}
+
+bool RoundRobinScheduler::HasRunnable(double now_seconds) const {
+  (void)now_seconds;
+  return !tenant_rr_.empty();
+}
+
+void RoundRobinScheduler::OnJobFinished(const std::string& tenant) {
+  (void)tenant;
+  if (running_ > 0) running_--;
+}
+
+}  // namespace sched
+}  // namespace relm

@@ -1,0 +1,50 @@
+#ifndef RELM_SCHED_ROUND_ROBIN_SCHEDULER_H_
+#define RELM_SCHED_ROUND_ROBIN_SCHEDULER_H_
+
+// The pre-refactor JobService scheduling logic, extracted verbatim:
+// per-tenant FIFO queues, a round-robin rotation over tenants with
+// queued work, and the two admission caps (global queue depth,
+// per-tenant queued jobs). Behavior-preserving by construction and by
+// differential test (tests/sched_test.cc drives this class and a
+// reference model of the old JobService code with identical op
+// sequences).
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "sched/scheduler.h"
+
+namespace relm {
+namespace sched {
+
+class RoundRobinScheduler : public Scheduler {
+ public:
+  explicit RoundRobinScheduler(const SchedulerLimits& limits);
+
+  const char* name() const override { return "round_robin"; }
+
+  Status Admit(const SchedEntry& entry) override;
+  std::optional<SchedDecision> Dequeue(double now_seconds) override;
+  bool HasRunnable(double now_seconds) const override;
+  void OnJobFinished(const std::string& tenant) override;
+  int queued() const override { return queued_; }
+  SchedulerStats stats() const override { return stats_; }
+
+ private:
+  SchedulerLimits limits_;
+  // Per-tenant FIFO queues plus the round-robin order of tenants that
+  // currently have queued work (the exact structures the JobService
+  // used to own).
+  std::map<std::string, std::deque<SchedEntry>> queues_;
+  std::deque<std::string> tenant_rr_;
+  int queued_ = 0;
+  int running_ = 0;
+  SchedulerStats stats_;
+};
+
+}  // namespace sched
+}  // namespace relm
+
+#endif  // RELM_SCHED_ROUND_ROBIN_SCHEDULER_H_

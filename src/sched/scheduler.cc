@@ -1,0 +1,51 @@
+#include "sched/scheduler.h"
+
+#include <limits>
+#include <utility>
+
+#include "sched/cost_aware_scheduler.h"
+#include "sched/round_robin_scheduler.h"
+
+namespace relm {
+namespace sched {
+
+double SchedEntry::AbsoluteDeadline() const {
+  if (deadline_seconds <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return submit_seconds + deadline_seconds;
+}
+
+double SchedEntry::Slack() const {
+  const double abs_deadline = AbsoluteDeadline();
+  if (abs_deadline == std::numeric_limits<double>::infinity()) {
+    return abs_deadline;
+  }
+  return abs_deadline -
+         (cost_estimate_seconds >= 0.0 ? cost_estimate_seconds : 0.0);
+}
+
+const char* SchedulerPolicyName(SchedulerPolicy policy) {
+  switch (policy) {
+    case SchedulerPolicy::kRoundRobin:
+      return "round_robin";
+    case SchedulerPolicy::kCostAware:
+      return "cost_aware";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Scheduler> MakeScheduler(
+    SchedulerPolicy policy, const SchedulerLimits& limits,
+    const std::map<std::string, TenantQuota>& quotas) {
+  switch (policy) {
+    case SchedulerPolicy::kRoundRobin:
+      return std::make_unique<RoundRobinScheduler>(limits);
+    case SchedulerPolicy::kCostAware:
+      return std::make_unique<CostAwareScheduler>(limits, quotas);
+  }
+  return std::make_unique<RoundRobinScheduler>(limits);
+}
+
+}  // namespace sched
+}  // namespace relm

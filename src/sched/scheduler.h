@@ -1,0 +1,199 @@
+#ifndef RELM_SCHED_SCHEDULER_H_
+#define RELM_SCHED_SCHEDULER_H_
+
+// Pluggable multi-tenant job scheduling, extracted from the serving
+// tier (DESIGN.md §16). A Scheduler owns the queueing, ordering, and
+// admission decisions the JobService used to hard-code; the service
+// keeps the mechanism (worker pool, capacity grants, retries) and asks
+// the policy what to run next.
+//
+// Two policies ship:
+//   RoundRobinScheduler — the pre-refactor behavior, extracted verbatim:
+//     per-tenant FIFO queues served round-robin, queue-depth and
+//     per-tenant admission caps. Differential-tested against a reference
+//     model of the old JobService ordering.
+//   CostAwareScheduler  — per-tenant memory/vcore quotas, least-slack
+//     ordering driven by cached what-if runtime estimates (a CostOracle
+//     adapter over the PlanCache, core/cost_oracle.h), and priority
+//     preemption of over-quota tenants' containers through the
+//     ResourceManager (yarn/resource_manager.h).
+//
+// Threading contract: a Scheduler is NOT internally synchronized. The
+// owning service serializes every call under its own mutex (the same
+// lock that guards its queue bookkeeping), which keeps the policy logic
+// single-threaded and trivially testable.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+
+namespace relm {
+namespace sched {
+
+/// Per-tenant resource quota. A field of 0 means unlimited in that
+/// dimension; a tenant is "over quota" once its *running* usage reaches
+/// either limit. Quotas are elastic (capacity-scheduler semantics):
+/// over-quota work still runs when nothing in-quota is runnable, but it
+/// is dispatched last and its containers are granted at low priority,
+/// so an in-quota tenant's allocation can preempt them.
+struct TenantQuota {
+  int64_t memory_bytes = 0;
+  int vcores = 0;
+
+  bool unlimited() const { return memory_bytes <= 0 && vcores <= 0; }
+};
+
+/// Admission limits shared by every policy (mirrors ServeOptions).
+struct SchedulerLimits {
+  int max_pending_jobs = 256;
+  int max_queued_per_tenant = 64;
+};
+
+/// Typed view of one schedulable job: everything a policy may order or
+/// gate on, nothing it may not (the request body stays in the service).
+struct SchedEntry {
+  uint64_t job_id = 0;
+  std::string tenant;
+  /// Submission time in service-epoch seconds (monotonic).
+  double submit_seconds = 0.0;
+  /// Wall-clock deadline measured from submission; <= 0 means none.
+  double deadline_seconds = 0.0;
+  /// Cached what-if runtime estimate for this job's plan, in seconds;
+  /// < 0 when no estimate is known yet (first sight of the script).
+  double cost_estimate_seconds = -1.0;
+  /// Caller-declared urgency (JobRequest::priority, higher wins).
+  int priority = 0;
+  /// Execution attempt about to run (1 on first admission; re-admitted
+  /// preemption victims carry their attempt count).
+  int attempt = 1;
+
+  /// Absolute deadline on the service epoch; +inf when none.
+  double AbsoluteDeadline() const;
+  /// Scheduling slack: absolute deadline minus the runtime estimate
+  /// (least slack = most urgent). +inf when no deadline.
+  double Slack() const;
+};
+
+/// One dispatch decision: which job to run and a short human/trace tag
+/// describing why (stamped onto the job's TraceContext by the service).
+struct SchedDecision {
+  uint64_t job_id = 0;
+  std::string reason;
+};
+
+/// How the policy wants execution-time capacity granted.
+enum class CapacityMode {
+  /// Ticket-ordered FIFO grants against a global inflight-bytes cap
+  /// (the pre-refactor JobService mechanism).
+  kFifoByteCap = 0,
+  /// Per-node container placement through a ResourceManager with
+  /// priority preemption: allocations carry AllocationPriority(), and
+  /// an in-quota tenant's grant may preempt over-quota containers.
+  kPreemptiveRm,
+};
+
+/// Point-in-time policy counters (also exported via sched.* metrics).
+struct SchedulerStats {
+  int64_t admitted = 0;
+  int64_t rejected = 0;
+  int64_t dispatched = 0;
+  /// Dispatches where at least one queued over-quota entry was passed
+  /// over in favor of in-quota work.
+  int64_t held_over_quota = 0;
+};
+
+/// Runtime-estimate source for cost-aware policies. Implemented in
+/// core/cost_oracle.h as a read-through adapter over the PlanCache's
+/// what-if cost cache; the interface lives here so the sched library
+/// depends only on common/.
+class CostOracle {
+ public:
+  virtual ~CostOracle() = default;
+  /// Estimated runtime (seconds) of the plan behind `script_signature`,
+  /// served from cache — never recomputed. < 0 when unknown.
+  virtual double EstimateRuntimeSeconds(uint64_t script_signature) const = 0;
+};
+
+/// The policy interface. All calls are externally synchronized by the
+/// owning service (see the threading contract above).
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Admission at submit time: OK enqueues the entry; a non-OK status
+  /// (typed ResourceError) rejects the submission and is returned to
+  /// the caller verbatim.
+  virtual Status Admit(const SchedEntry& entry) = 0;
+
+  /// Picks the next job to dispatch, or nullopt when nothing should
+  /// run now. `now_seconds` is the service-epoch clock. The picked job
+  /// counts as running until OnJobFinished.
+  virtual std::optional<SchedDecision> Dequeue(double now_seconds) = 0;
+
+  /// Whether Dequeue(now) would return a job. Used as the worker wait
+  /// predicate; must be consistent with Dequeue.
+  virtual bool HasRunnable(double now_seconds) const = 0;
+
+  /// A previously dequeued job of `tenant` resolved (any terminal
+  /// state). Balances the running count taken by Dequeue.
+  virtual void OnJobFinished(const std::string& tenant) = 0;
+
+  /// Capacity lifecycle notifications (quota usage accounting). The
+  /// service reports each granted AM container's memory and the
+  /// configuration's CP cores; kFifoByteCap policies may ignore them.
+  virtual void OnCapacityAcquired(const std::string& tenant,
+                                  int64_t memory_bytes, int vcores) {
+    (void)tenant;
+    (void)memory_bytes;
+    (void)vcores;
+  }
+  virtual void OnCapacityReleased(const std::string& tenant,
+                                  int64_t memory_bytes, int vcores) {
+    (void)tenant;
+    (void)memory_bytes;
+    (void)vcores;
+  }
+
+  virtual CapacityMode capacity_mode() const {
+    return CapacityMode::kFifoByteCap;
+  }
+
+  /// Container-allocation priority for a tenant's grant under the
+  /// current quota state (kPreemptiveRm mode). In-quota tenants must
+  /// outrank over-quota tenants regardless of request priority.
+  virtual int AllocationPriority(const std::string& tenant,
+                                 int request_priority) const {
+    (void)tenant;
+    return request_priority;
+  }
+
+  /// Jobs currently queued (admitted, not yet dequeued).
+  virtual int queued() const = 0;
+
+  virtual SchedulerStats stats() const = 0;
+};
+
+/// Which shipped policy a service should construct.
+enum class SchedulerPolicy {
+  kRoundRobin = 0,
+  kCostAware,
+};
+
+const char* SchedulerPolicyName(SchedulerPolicy policy);
+
+/// Builds one of the shipped policies. `quotas` is only consulted by
+/// the cost-aware policy; tenants absent from the map are unlimited.
+std::unique_ptr<Scheduler> MakeScheduler(
+    SchedulerPolicy policy, const SchedulerLimits& limits,
+    const std::map<std::string, TenantQuota>& quotas = {});
+
+}  // namespace sched
+}  // namespace relm
+
+#endif  // RELM_SCHED_SCHEDULER_H_

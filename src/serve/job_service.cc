@@ -24,6 +24,18 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+#if RELM_OBS_ENABLED
+/// Dynamic-name registry access for per-tenant metrics (the RELM_*
+/// macros cache one handle per call site, which is wrong for names
+/// built at runtime).
+void TenantCounterAdd(const std::string& tenant, const char* suffix,
+                      int64_t delta) {
+  obs::MetricsRegistry::Global()
+      .GetCounter("serve.tenant." + tenant + suffix)
+      ->Add(delta);
+}
+#endif
+
 }  // namespace
 
 const char* JobStateName(JobState state) {
@@ -99,6 +111,11 @@ struct JobHandle::Shared {
   /// during retry backoff (lock-free so waiters never contend with the
   /// executing worker).
   std::atomic<bool> cancel_requested{false};
+  /// Set when the job's execution container is reclaimed mid-attempt
+  /// (preempted by a higher-priority tenant or killed by node loss);
+  /// consumed at the attempt boundary, where the attempt resolves with
+  /// a retryable Unavailable and re-runs.
+  std::atomic<bool> preempted{false};
 };
 
 namespace {
@@ -112,6 +129,18 @@ bool IsTerminal(JobState state) {
 
 struct JobService::Job {
   std::shared_ptr<JobHandle::Shared> shared;
+  /// Dispatch decision tag from the scheduler (SchedDecision::reason),
+  /// stamped onto the job's TraceContext by RunJob.
+  std::string sched_decision;
+};
+
+/// Per-tenant SLO slot. The histogram and counters are internally
+/// atomic; only the owning map (tenant_local_) needs a lock.
+struct JobService::TenantLocal {
+  obs::Histogram wait_ms;
+  std::atomic<int64_t> completed{0};
+  std::atomic<int64_t> deadline_misses{0};
+  std::atomic<int64_t> preemptions{0};
 };
 
 uint64_t JobHandle::id() const { return shared_ ? shared_->id : 0; }
@@ -169,11 +198,38 @@ JobService::JobService(ClusterConfig cc, ServeOptions options)
       session_(cc, SessionOptions()
                        .WithPlanCache(options_.plan_cache)
                        .WithArtifactStore(options_.artifact_store)),
-      startup_status_(options_.Validate()) {
+      startup_status_(options_.Validate()),
+      cost_oracle_(session_.plan_cache()),
+      epoch_(std::chrono::steady_clock::now()) {
   if (options_.max_inflight_container_bytes <= 0) {
     options_.max_inflight_container_bytes = cc.total_memory();
   }
   if (!startup_status_.ok()) return;
+  {
+    // Workers have not started yet; the lock satisfies the guarded-by
+    // annotations, not a concurrency need.
+    std::lock_guard<std::mutex> lock(mu_);
+    sched::SchedulerLimits limits;
+    limits.max_pending_jobs = options_.max_pending_jobs;
+    limits.max_queued_per_tenant = options_.max_queued_per_tenant;
+    if (options_.scheduler_factory != nullptr) {
+      scheduler_ = options_.scheduler_factory(limits, options_.tenant_quotas);
+      if (scheduler_ == nullptr) {
+        startup_status_ = Status::InvalidArgument(
+            "ServeOptions: scheduler_factory returned null");
+        return;
+      }
+    } else {
+      scheduler_ = sched::MakeScheduler(options_.scheduler, limits,
+                                        options_.tenant_quotas);
+    }
+    if (scheduler_->capacity_mode() == sched::CapacityMode::kPreemptiveRm) {
+      // The policy wants per-node placement with priority preemption:
+      // the service owns a ResourceManager modeling the same cluster
+      // the session simulates.
+      am_rm_ = std::make_unique<ResourceManager>(cc);
+    }
+  }
   if (options_.exec_workers > 0) {
     // One process-wide kernel/DAG pool shared by every job; per-job
     // pools would oversubscribe the host num_workers times over. The
@@ -219,6 +275,8 @@ void JobService::Drain() {
   drain_cv_.wait(lock, [this] { return queued_ == 0 && running_ == 0; });
 }
 
+double JobService::NowSeconds() const { return SecondsSince(epoch_); }
+
 JobService::Stats JobService::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats out = stats_;
@@ -228,6 +286,10 @@ JobService::Stats JobService::stats() const {
   out.inflight_container_bytes = inflight_container_bytes_;
   out.exec_workers_requested = options_.exec_workers;
   out.exec_workers_effective = exec_workers_effective_;
+  if (scheduler_ != nullptr) {
+    out.scheduler = scheduler_->name();
+    out.sched = scheduler_->stats();
+  }
   {
     std::lock_guard<std::mutex> pool_lock(pool_mu_);
     out.pooled_programs = static_cast<int>(pooled_instances_);
@@ -242,7 +304,26 @@ JobService::Stats JobService::stats() const {
   fill(run_ms_hist_, &out.run_ms);
   fill(e2e_ms_hist_, &out.e2e_ms);
   fill(attempts_hist_, &out.attempts_per_job);
+  {
+    std::lock_guard<std::mutex> tenant_lock(tenant_mu_);
+    for (const auto& [tenant, local] : tenant_local_) {
+      Stats::TenantStats& ts = out.per_tenant[tenant];
+      fill(local->wait_ms, &ts.wait_ms);
+      ts.completed = local->completed.load(std::memory_order_relaxed);
+      ts.deadline_misses =
+          local->deadline_misses.load(std::memory_order_relaxed);
+      ts.preemptions = local->preemptions.load(std::memory_order_relaxed);
+    }
+  }
   return out;
+}
+
+JobService::TenantLocal& JobService::TenantLocalFor(
+    const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(tenant_mu_);
+  std::unique_ptr<TenantLocal>& slot = tenant_local_[tenant];
+  if (slot == nullptr) slot = std::make_unique<TenantLocal>();
+  return *slot;
 }
 
 // ---- submission / admission -------------------------------------------
@@ -257,32 +338,39 @@ Result<JobHandle> JobService::Submit(const std::string& tenant,
   shared->request = std::move(request);
   shared->submit_time = std::chrono::steady_clock::now();
 
+  // Cost estimate outside the lock: the signature hashes source + args
+  // + namespace metadata, and the oracle resolves it with a hash probe
+  // against the what-if cache — never a recomputation. Scripts whose
+  // inputs are first registered by the run itself hash differently
+  // here than at run time, so they schedule estimate-free once and
+  // warm after their first optimization.
+  const uint64_t script_sig = ComputeScriptSignature(
+      shared->request.source, shared->request.args, &session_.hdfs());
+  const double estimate = cost_oracle_.EstimateRuntimeSeconds(script_sig);
+
+  sched::SchedEntry entry;
+  entry.tenant = name;
+  entry.deadline_seconds = shared->request.deadline_seconds;
+  entry.cost_estimate_seconds = estimate;
+  entry.priority = shared->request.priority;
+
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
       return Status::ResourceError("JobService is shutting down");
     }
-    // Admission control, stage 1: queue depth.
-    if (queued_ + running_ >= options_.max_pending_jobs) {
+    entry.submit_seconds = NowSeconds();
+    entry.job_id = next_job_id_++;
+    const Status admitted = scheduler_->Admit(entry);
+    if (!admitted.ok()) {
       stats_.rejected++;
       RELM_COUNTER_INC("serve.jobs_rejected");
-      return Status::ResourceError(
-          "admission control: service at capacity (" +
-          std::to_string(queued_ + running_) + " jobs pending)");
+      return admitted;
     }
-    auto& tenant_queue = queues_[name];
-    if (static_cast<int>(tenant_queue.size()) >=
-        options_.max_queued_per_tenant) {
-      stats_.rejected++;
-      RELM_COUNTER_INC("serve.jobs_rejected");
-      return Status::ResourceError("admission control: tenant \"" + name +
-                                   "\" queue quota exceeded");
-    }
-    shared->id = next_job_id_++;
+    shared->id = entry.job_id;
     auto job = std::make_shared<Job>();
     job->shared = shared;
-    if (tenant_queue.empty()) tenant_rr_.push_back(name);
-    tenant_queue.push_back(std::move(job));
+    pending_[entry.job_id] = std::move(job);
     queued_++;
     stats_.submitted++;
     RELM_COUNTER_INC("serve.jobs_submitted");
@@ -295,20 +383,15 @@ Result<JobHandle> JobService::Submit(const std::string& tenant,
 // ---- worker pool -------------------------------------------------------
 
 std::shared_ptr<JobService::Job> JobService::NextJobLocked() {
-  if (tenant_rr_.empty()) return nullptr;
-  // Round-robin: serve the head of the front tenant's FIFO, then move
-  // that tenant to the back if it still has queued work. A tenant with
-  // one job interleaves with a tenant that queued fifty.
-  const std::string tenant = tenant_rr_.front();
-  tenant_rr_.pop_front();
-  auto it = queues_.find(tenant);
-  std::shared_ptr<Job> job = std::move(it->second.front());
-  it->second.pop_front();
-  if (!it->second.empty()) {
-    tenant_rr_.push_back(tenant);
-  } else {
-    queues_.erase(it);
-  }
+  std::optional<sched::SchedDecision> decision =
+      scheduler_->Dequeue(NowSeconds());
+  if (!decision.has_value()) return nullptr;
+  auto it = pending_.find(decision->job_id);
+  // The scheduler only dispatches ids it admitted, and every admitted
+  // id is in pending_ until dequeued.
+  std::shared_ptr<Job> job = std::move(it->second);
+  pending_.erase(it);
+  job->sched_decision = std::move(decision->reason);
   queued_--;
   running_++;
   RELM_GAUGE_SET("serve.queue_depth", static_cast<double>(queued_));
@@ -320,55 +403,186 @@ void JobService::WorkerLoop() {
     std::shared_ptr<Job> job;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock,
-                    [this] { return stopping_ || !tenant_rr_.empty(); });
+      work_cv_.wait(lock, [this] {
+        return stopping_ || scheduler_->HasRunnable(NowSeconds());
+      });
       // Drain remaining queued jobs even when stopping: accepted jobs
       // always resolve, so no Await() ever hangs.
       job = NextJobLocked();
-      if (job == nullptr) return;  // stopping and nothing queued
+      if (job == nullptr) {
+        if (stopping_) return;
+        continue;  // spurious runnable signal; re-wait
+      }
     }
     RunJob(job);
     {
       std::lock_guard<std::mutex> lock(mu_);
       running_--;
+      scheduler_->OnJobFinished(job->shared->tenant);
       if (queued_ == 0 && running_ == 0) drain_cv_.notify_all();
     }
   }
 }
 
-void JobService::AcquireCapacity(int64_t container_bytes) {
+// ---- execution capacity ------------------------------------------------
+
+Status JobService::AcquireCapacity(
+    const std::shared_ptr<JobHandle::Shared>& shared, int64_t container_bytes,
+    int vcores, int64_t* rm_container) {
+  *rm_container = -1;
   std::unique_lock<std::mutex> lock(mu_);
-  // Grants are strictly FIFO: each waiter takes a ticket and only the
-  // ticket being served may claim. Without the ordering, a steady
-  // stream of small jobs that keep fitting under the cap would keep
-  // inflight bytes nonzero forever and starve a request larger than the
-  // cap, which is only admitted when it has the cluster to itself (it
-  // can never fit alongside others, but must not deadlock either).
-  const uint64_t ticket = capacity_next_ticket_++;
-  capacity_cv_.wait(lock, [this, ticket, container_bytes] {
-    if (ticket != capacity_serving_) return false;
-    if (inflight_container_bytes_ == 0) return true;
-    return inflight_container_bytes_ + container_bytes <=
-           options_.max_inflight_container_bytes;
-  });
-  capacity_serving_++;
-  inflight_container_bytes_ += container_bytes;
-  RELM_GAUGE_SET("serve.inflight_container_bytes",
-                 static_cast<double>(inflight_container_bytes_));
-  lock.unlock();
-  // The next ticket holder may already fit under the cap; wake waiters
-  // so it can claim without waiting for a capacity release.
+  if (scheduler_->capacity_mode() == sched::CapacityMode::kFifoByteCap) {
+    // Grants are strictly FIFO: each waiter takes a ticket and only the
+    // ticket being served may claim. Without the ordering, a steady
+    // stream of small jobs that keep fitting under the cap would keep
+    // inflight bytes nonzero forever and starve a request larger than
+    // the cap, which is only admitted when it has the cluster to itself
+    // (it can never fit alongside others, but must not deadlock
+    // either).
+    const uint64_t ticket = capacity_next_ticket_++;
+    capacity_cv_.wait(lock, [this, ticket, container_bytes] {
+      if (ticket != capacity_serving_) return false;
+      if (inflight_container_bytes_ == 0) return true;
+      return inflight_container_bytes_ + container_bytes <=
+             options_.max_inflight_container_bytes;
+    });
+    capacity_serving_++;
+    inflight_container_bytes_ += container_bytes;
+    RELM_GAUGE_SET("serve.inflight_container_bytes",
+                   static_cast<double>(inflight_container_bytes_));
+    lock.unlock();
+    // The next ticket holder may already fit under the cap; wake
+    // waiters so it can claim without waiting for a capacity release.
+    capacity_cv_.notify_all();
+    return Status::OK();
+  }
+  // Preemptive-RM mode: place the AM container on a node at the
+  // scheduler's allocation priority. In-quota tenants carry a priority
+  // boost, so when no node has room their grant preempts over-quota
+  // containers instead of queueing behind them.
+  const std::string& tenant = shared->tenant;
+  while (true) {
+    const int priority =
+        scheduler_->AllocationPriority(tenant, shared->request.priority);
+    std::vector<Container> preempted;
+    Result<Container> granted = am_rm_->AllocateWithPreemption(
+        container_bytes, priority, &preempted, tenant);
+    if (granted.ok()) {
+      for (const Container& victim : preempted) {
+        ReclaimVictimLocked(victim);
+      }
+      ContainerGrant grant;
+      grant.owner = shared;
+      grant.tenant = tenant;
+      grant.memory = granted->memory;
+      grant.vcores = vcores;
+      container_grants_[granted->id] = std::move(grant);
+      *rm_container = granted->id;
+      inflight_container_bytes_ += granted->memory;
+      RELM_GAUGE_SET("serve.inflight_container_bytes",
+                     static_cast<double>(inflight_container_bytes_));
+      scheduler_->OnCapacityAcquired(tenant, granted->memory, vcores);
+      return Status::OK();
+    }
+    // No grant. With zero live containers there is nothing to wait on:
+    // the request is permanently unsatisfiable if the full cluster is
+    // up (larger than any node allows), and during shutdown no node
+    // restore is coming either. Both resolve the attempt with the RM's
+    // typed error instead of hanging.
+    if (am_rm_->NumLiveContainers() == 0 &&
+        (stopping_ ||
+         am_rm_->NumAvailableNodes() == am_rm_->cluster().num_worker_nodes)) {
+      return granted.status();
+    }
+    // Otherwise room frees up when a container releases (or a lost
+    // node returns); re-check periodically as well so node-restore
+    // races cannot strand a waiter.
+    capacity_cv_.wait_for(lock, std::chrono::milliseconds(20));
+  }
+}
+
+void JobService::ReleaseCapacity(int64_t container_bytes,
+                                 int64_t rm_container) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (scheduler_->capacity_mode() == sched::CapacityMode::kFifoByteCap) {
+      inflight_container_bytes_ -= container_bytes;
+      RELM_GAUGE_SET("serve.inflight_container_bytes",
+                     static_cast<double>(inflight_container_bytes_));
+    } else {
+      auto it = container_grants_.find(rm_container);
+      if (it != container_grants_.end()) {
+        // Normal release. A missing grant means the container was
+        // preempted or its node was lost: the RM already reclaimed the
+        // memory and ReclaimVictimLocked already balanced the books.
+        Container released;
+        released.id = rm_container;
+        am_rm_->Release(released);
+        inflight_container_bytes_ -= it->second.memory;
+        scheduler_->OnCapacityReleased(it->second.tenant, it->second.memory,
+                                       it->second.vcores);
+        container_grants_.erase(it);
+        RELM_GAUGE_SET("serve.inflight_container_bytes",
+                       static_cast<double>(inflight_container_bytes_));
+      }
+    }
+  }
   capacity_cv_.notify_all();
 }
 
-void JobService::ReleaseCapacity(int64_t container_bytes) {
+void JobService::ReclaimVictimLocked(const Container& victim) {
+  auto it = container_grants_.find(victim.id);
+  if (it == container_grants_.end()) return;
+  ContainerGrant& grant = it->second;
+  // Flag the owner: its in-flight attempt's work is lost; the attempt
+  // resolves with a retryable Unavailable at the next boundary.
+  grant.owner->preempted.store(true, std::memory_order_relaxed);
+  inflight_container_bytes_ -= grant.memory;
+  scheduler_->OnCapacityReleased(grant.tenant, grant.memory, grant.vcores);
+  stats_.preempted++;
+  TenantLocalFor(grant.tenant)
+      .preemptions.fetch_add(1, std::memory_order_relaxed);
+  RELM_COUNTER_INC("sched.preemptions");
+#if RELM_OBS_ENABLED
+  TenantCounterAdd(grant.tenant, ".preemptions", 1);
+#endif
+  container_grants_.erase(it);
+}
+
+int JobService::InjectNodeLoss(int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (am_rm_ == nullptr) return 0;
+  const std::vector<Container> killed = am_rm_->DecommissionNode(node);
+  for (const Container& victim : killed) {
+    ReclaimVictimLocked(victim);
+  }
+  RELM_COUNTER_INC("serve.node_loss_injected");
+  return static_cast<int>(killed.size());
+}
+
+Status JobService::RestoreNode(int node) {
+  Status status = Status::OK();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    inflight_container_bytes_ -= container_bytes;
-    RELM_GAUGE_SET("serve.inflight_container_bytes",
-                   static_cast<double>(inflight_container_bytes_));
+    if (am_rm_ == nullptr) return Status::OK();
+    status = am_rm_->RecommissionNode(node);
   }
   capacity_cv_.notify_all();
+  return status;
+}
+
+Status JobService::ConsumePreemption(JobHandle::Shared& shared) {
+  if (!shared.preempted.exchange(false, std::memory_order_relaxed)) {
+    return Status::OK();
+  }
+  RELM_COUNTER_INC("sched.preempted_attempts");
+  // Unavailable is retryable: the victim re-runs through the normal
+  // retry machinery, re-acquiring capacity at its own (possibly low)
+  // priority — lost work is modeled, not silently kept.
+  return Status::Unavailable(
+      "job " + std::to_string(shared.id) +
+      " lost its execution container (preempted by a higher-priority "
+      "tenant or node failure)");
 }
 
 // ---- program instance pool ---------------------------------------------
@@ -427,10 +641,11 @@ void JobService::ReleaseProgram(uint64_t script_sig,
 
 // ---- execution ---------------------------------------------------------
 
-Status JobService::RunAttempt(JobHandle::Shared& shared, JobOutcome* outcome,
-                              bool degraded, exec::ChaosInjector* chaos,
-                              obs::TraceContext ctx,
-                              obs::MetricScope* scope) {
+Status JobService::RunAttempt(
+    const std::shared_ptr<JobHandle::Shared>& shared_job, JobOutcome* outcome,
+    bool degraded, exec::ChaosInjector* chaos, obs::TraceContext ctx,
+    obs::MetricScope* scope) {
+  JobHandle::Shared& shared = *shared_job;
   // Inputs first: concurrent registration is safe (SimulatedHdfs
   // locks internally) and identical re-registration is idempotent.
   for (const InputSpec& input : shared.request.inputs) {
@@ -456,6 +671,19 @@ Status JobService::RunAttempt(JobHandle::Shared& shared, JobOutcome* outcome,
   // The optimizer already costed the winning configuration; reuse it
   // rather than re-deriving the estimate per job.
   outcome->estimated_cost_seconds = outcome->opt_stats.best_cost;
+  {
+    // Feed the scheduler's cost oracle: record which what-if grid
+    // point won for this script so the next submission of the same
+    // script is ordered by a cached runtime estimate (a hash lookup at
+    // Submit time, never a recomputation).
+    WhatIfKey what_if;
+    what_if.program_sig = ComputeProgramSignature(*program);
+    what_if.context_hash =
+        ComputeOptimizerContextHash(session_.cluster(), options_.optimizer);
+    what_if.cp_heap = outcome->config.cp_heap;
+    what_if.cp_cores = outcome->config.cp_cores;
+    cost_oracle_.Observe(script_sig, what_if, outcome->opt_stats.best_cost);
+  }
   if (options_.static_bound_policy != StaticBoundPolicy::kOff) {
     // Admission on the static dataflow bound: the plan cache computed
     // the summary once at compile time; fall back to a direct analysis
@@ -491,13 +719,20 @@ Status JobService::RunAttempt(JobHandle::Shared& shared, JobOutcome* outcome,
   }
   if (options_.simulate) {
     // Execution-time admission: hold back until the granted CP (AM)
-    // container fits under the inflight-memory cap.
+    // container fits (byte cap), or place it through the RM with
+    // preemption (cost-aware policy).
     const int64_t container_bytes =
         session_.cluster().ContainerRequestForHeap(outcome->config.cp_heap);
-    AcquireCapacity(container_bytes);
+    int64_t rm_container = -1;
+    RELM_RETURN_IF_ERROR(AcquireCapacity(
+        shared_job, container_bytes, outcome->config.cp_cores, &rm_container));
     Result<SimResult> sim = session_.Simulate(
         program.get(), outcome->config, options_.sim, shared.request.oracle);
-    ReleaseCapacity(container_bytes);
+    ReleaseCapacity(container_bytes, rm_container);
+    // A container reclaimed mid-run voids the attempt regardless of
+    // how the simulation itself fared: the work is lost with the
+    // container.
+    RELM_RETURN_IF_ERROR(ConsumePreemption(shared));
     RELM_RETURN_IF_ERROR(sim.status());
     outcome->sim = std::move(sim).value();
     outcome->simulated = true;
@@ -508,7 +743,9 @@ Status JobService::RunAttempt(JobHandle::Shared& shared, JobOutcome* outcome,
     // execution-time admission control applies as for simulation.
     const int64_t container_bytes =
         session_.cluster().ContainerRequestForHeap(outcome->config.cp_heap);
-    AcquireCapacity(container_bytes);
+    int64_t rm_container = -1;
+    RELM_RETURN_IF_ERROR(AcquireCapacity(
+        shared_job, container_bytes, outcome->config.cp_cores, &rm_container));
     RealRunOptions real_opts;
     // Degraded mode: repeated failures fall back to the serial
     // reference engine, trading throughput for the fault-free path.
@@ -516,7 +753,8 @@ Status JobService::RunAttempt(JobHandle::Shared& shared, JobOutcome* outcome,
     real_opts.memory_budget = outcome->config.CpBudget();
     real_opts.chaos = chaos;
     Result<RealRun> real = session_.ExecuteReal(program.get(), real_opts);
-    ReleaseCapacity(container_bytes);
+    ReleaseCapacity(container_bytes, rm_container);
+    RELM_RETURN_IF_ERROR(ConsumePreemption(shared));
     RELM_RETURN_IF_ERROR(real.status());
     outcome->real = std::move(real).value();
     outcome->executed_real = true;
@@ -566,6 +804,13 @@ void JobService::RunJob(const std::shared_ptr<Job>& job) {
   }
   RELM_HISTOGRAM_OBSERVE("serve.job_wait_seconds", wait_seconds);
   wait_ms_hist_.Observe(wait_seconds * 1e3);
+  TenantLocal& tenant_local = TenantLocalFor(shared.tenant);
+  tenant_local.wait_ms.Observe(wait_seconds * 1e3);
+#if RELM_OBS_ENABLED
+  obs::MetricsRegistry::Global()
+      .GetHistogram("serve.tenant." + shared.tenant + ".wait_ms")
+      ->Observe(wait_seconds * 1e3);
+#endif
 
   // Job-level trace context: bound to this worker thread for the whole
   // job, so every span and counter recorded below — by the optimizer,
@@ -575,6 +820,7 @@ void JobService::RunJob(const std::shared_ptr<Job>& job) {
   obs::TraceContext job_ctx;
   job_ctx.job_id = shared.id;
   job_ctx.tenant = shared.tenant;
+  job_ctx.sched_decision = job->sched_decision;
   obs::ScopedTraceContext bind_job(job_ctx);
   obs::MetricScope scope(job_ctx);
   RELM_TRACE_SPAN("serve.job");  // job_id/tenant stamped from context
@@ -628,7 +874,7 @@ void JobService::RunJob(const std::shared_ptr<Job>& job) {
     }
     obs::TraceContext attempt_ctx = job_ctx;
     attempt_ctx.attempt = attempt;
-    status = RunAttempt(shared, &outcome, degraded, chaos.get(),
+    status = RunAttempt(job->shared, &outcome, degraded, chaos.get(),
                         attempt_ctx, &scope);
     if (status.ok() || !IsRetryable(status)) break;
     if (attempt >= max_attempts) {
@@ -703,6 +949,9 @@ void JobService::RunJob(const std::shared_ptr<Job>& job) {
   outcome.telemetry = scope.TakeSnapshot();
 
   const bool cancelled = status.code() == StatusCode::kCancelled;
+  const bool deadline_missed =
+      !status.ok() && !cancelled &&
+      status.code() == StatusCode::kDeadlineExceeded;
   {
     std::lock_guard<std::mutex> service_lock(mu_);
     outcome.completion_index = ++completion_counter_;
@@ -712,19 +961,24 @@ void JobService::RunJob(const std::shared_ptr<Job>& job) {
       stats_.cancelled++;
     } else {
       stats_.failed++;
-      if (status.code() == StatusCode::kDeadlineExceeded) {
+      if (deadline_missed) {
         stats_.deadline_misses++;
       }
     }
   }
   if (status.ok()) {
+    tenant_local.completed.fetch_add(1, std::memory_order_relaxed);
     RELM_COUNTER_INC("serve.jobs_completed");
   } else if (cancelled) {
     RELM_COUNTER_INC("serve.jobs_cancelled");
   } else {
     RELM_COUNTER_INC("serve.jobs_failed");
-    if (status.code() == StatusCode::kDeadlineExceeded) {
+    if (deadline_missed) {
+      tenant_local.deadline_misses.fetch_add(1, std::memory_order_relaxed);
       RELM_COUNTER_INC("serve.deadline_misses");
+#if RELM_OBS_ENABLED
+      TenantCounterAdd(shared.tenant, ".deadline_misses", 1);
+#endif
     }
   }
   {

@@ -2,19 +2,26 @@
 #define RELM_SERVE_JOB_SERVICE_H_
 
 // Concurrent job service over one simulated cluster: accepts DML
-// submissions from many client threads, runs them through a bounded
-// worker pool with per-tenant FIFO fairness, and gates execution with
-// two admission controls — queue depth at submit time and the summed
-// container footprint of granted ResourceConfigs at execution time.
-// Submissions return JobHandle futures carrying status, optimizer
-// stats/trace, and the simulated run. Compilation and what-if costing
-// read through the shared PlanCache, so a service under steady traffic
-// spends its cycles on new programs, not on re-deriving plans it
-// already knows.
+// submissions from many client threads and runs them through a bounded
+// worker pool. Queueing, ordering, and admission are delegated to a
+// pluggable scheduling policy (sched/scheduler.h): round-robin
+// per-tenant FIFO fairness by default, or cost-aware multi-tenant SLO
+// scheduling with per-tenant quotas, deadline-driven (least-slack)
+// ordering from cached what-if runtime estimates, and quota-driven
+// container preemption. Execution capacity is gated either by the
+// summed container footprint of granted ResourceConfigs (FIFO byte
+// cap) or by a per-node ResourceManager with priority preemption,
+// whichever the policy asks for. Submissions return JobHandle futures
+// carrying status, optimizer stats/trace, and the simulated run.
+// Compilation and what-if costing read through the shared PlanCache,
+// so a service under steady traffic spends its cycles on new programs,
+// not on re-deriving plans it already knows.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -27,12 +34,15 @@
 #include "common/retry.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "core/cost_oracle.h"
 #include "core/plan_cache.h"
 #include "core/resource_optimizer.h"
 #include "exec/fault_hooks.h"
 #include "mrsim/cluster_simulator.h"
 #include "obs/metrics.h"
 #include "obs/scope.h"
+#include "sched/scheduler.h"
+#include "yarn/resource_manager.h"
 
 namespace relm {
 namespace serve {
@@ -66,8 +76,29 @@ struct ServeOptions {
   int max_queued_per_tenant = 64;
   /// Admission control (memory): cap on the summed AM container
   /// footprint of concurrently executing jobs. <= 0 selects the
-  /// simulated cluster's total memory.
+  /// simulated cluster's total memory. Consulted only in the FIFO
+  /// byte-cap capacity mode; the preemptive-RM mode gates on per-node
+  /// placement instead.
   int64_t max_inflight_container_bytes = 0;
+  /// Scheduling policy for queued jobs (DESIGN.md §16). kRoundRobin
+  /// preserves the pre-refactor per-tenant FIFO fairness; kCostAware
+  /// adds per-tenant quotas, deadline-aware least-slack ordering driven
+  /// by cached what-if cost estimates, and priority preemption of
+  /// over-quota tenants' containers.
+  sched::SchedulerPolicy scheduler = sched::SchedulerPolicy::kRoundRobin;
+  /// Per-tenant resource quotas, consulted by the cost-aware policy
+  /// only. Tenants absent from the map are unlimited. Quotas are
+  /// elastic: over-quota work still runs when nothing in-quota is
+  /// runnable, but is dispatched last and its containers are
+  /// preemptible by in-quota allocations.
+  std::map<std::string, sched::TenantQuota> tenant_quotas;
+  /// Escape hatch for custom policies: when set, the service constructs
+  /// its scheduler through this factory and ignores `scheduler`.
+  /// Returning nullptr fails service startup with InvalidArgument.
+  std::function<std::unique_ptr<sched::Scheduler>(
+      const sched::SchedulerLimits&,
+      const std::map<std::string, sched::TenantQuota>&)>
+      scheduler_factory;
   /// Run the measured cluster simulation for each job. When false, jobs
   /// stop after optimization + cost estimation (what-if service mode).
   bool simulate = true;
@@ -89,7 +120,9 @@ struct ServeOptions {
   /// including re-acquiring execution capacity, so a retrying job
   /// cannot starve other tenants — after a jittered exponential
   /// backoff. Non-retryable failures and simulate-only jobs never
-  /// retry.
+  /// retry. Container preemption resolves the victim's attempt with a
+  /// retryable Unavailable, so preempted jobs re-run through the same
+  /// machinery.
   RetryPolicy retry;
   /// Cap on jobs concurrently sitting in retry backoff. A transient
   /// failure arriving while the retry queue is full is shed instead of
@@ -145,6 +178,23 @@ struct ServeOptions {
   }
   ServeOptions& WithMaxInflightContainerBytes(int64_t bytes) {
     max_inflight_container_bytes = bytes;
+    return *this;
+  }
+  ServeOptions& WithScheduler(sched::SchedulerPolicy policy) {
+    scheduler = policy;
+    return *this;
+  }
+  ServeOptions& WithTenantQuota(const std::string& tenant,
+                                sched::TenantQuota quota) {
+    tenant_quotas[tenant] = quota;
+    return *this;
+  }
+  ServeOptions& WithSchedulerFactory(
+      std::function<std::unique_ptr<sched::Scheduler>(
+          const sched::SchedulerLimits&,
+          const std::map<std::string, sched::TenantQuota>&)>
+          factory) {
+    scheduler_factory = std::move(factory);
     return *this;
   }
   ServeOptions& WithSimulation(bool enabled) {
@@ -222,7 +272,13 @@ struct JobRequest {
   /// means none. A job whose deadline has passed before an attempt
   /// starts fails with DeadlineExceeded (a running attempt is never
   /// interrupted mid-flight), and retry backoffs never sleep past it.
+  /// The cost-aware scheduler orders by slack (deadline minus cached
+  /// runtime estimate), so tighter deadlines dispatch earlier.
   double deadline_seconds = 0.0;
+  /// Caller-declared urgency (higher wins), consulted by the
+  /// cost-aware scheduler for dispatch ordering and container
+  /// allocation priority. The round-robin policy ignores it.
+  int priority = 0;
   /// Per-job cap on total execution attempts (1 = no retries); 0 uses
   /// the service RetryPolicy's max_attempts.
   int max_attempts = 0;
@@ -261,11 +317,12 @@ struct JobOutcome {
   /// Position in the service-wide completion order (1-based) — lets
   /// fairness tests observe interleaving without extra hooks.
   int64_t completion_index = 0;
-  /// Job-scoped telemetry: the job's TraceContext (final attempt) and
-  /// the per-job counter/gauge deltas the service attributed to it
-  /// (engine counters from its real runs, attempt bookkeeping). The
-  /// global registry keeps aggregating across jobs; this is the
-  /// per-job overlay (DESIGN.md §13).
+  /// Job-scoped telemetry: the job's TraceContext (final attempt,
+  /// including the scheduler's dispatch decision tag) and the per-job
+  /// counter/gauge deltas the service attributed to it (engine
+  /// counters from its real runs, attempt bookkeeping). The global
+  /// registry keeps aggregating across jobs; this is the per-job
+  /// overlay (DESIGN.md §13).
   obs::MetricScope::Snapshot telemetry;
 };
 
@@ -340,6 +397,16 @@ class JobService {
   /// Idempotent; the destructor calls it.
   void Shutdown();
 
+  /// Fault injection (preemptive-RM capacity mode only): takes node
+  /// `node` of the service's ResourceManager out of service, killing
+  /// every container hosted there. Victims' running attempts resolve
+  /// with a retryable Unavailable and re-run through the retry
+  /// machinery, exactly like preemption victims. Returns the number of
+  /// containers killed; 0 in FIFO byte-cap mode or for unknown nodes.
+  int InjectNodeLoss(int node);
+  /// Returns a lost node to service (no-op in FIFO byte-cap mode).
+  Status RestoreNode(int node);
+
   /// Service-wide counters (also exported via obs metrics).
   struct Stats {
     int64_t submitted = 0;
@@ -357,6 +424,11 @@ class JobService {
     int64_t deadline_misses = 0;
     int64_t degraded_runs = 0;
     int64_t overload_shed = 0;
+    /// Execution containers reclaimed from their owners before the
+    /// attempt finished — preempted by a higher-priority tenant's
+    /// allocation or killed by injected node loss (preemptive-RM
+    /// capacity mode).
+    int64_t preempted = 0;
     int queued = 0;
     int running = 0;
     /// Jobs currently sitting in retry backoff.
@@ -387,15 +459,42 @@ class JobService {
     Slo run_ms;
     Slo e2e_ms;
     Slo attempts_per_job;
+    /// Per-tenant SLO view: the tenant's queue-wait latency
+    /// distribution plus its completion / deadline-miss / preemption
+    /// counts. Keyed by tenant name, populated as tenants submit; also
+    /// exported to the global registry as serve.tenant.<name>.*
+    /// metrics (and from there into --metrics-out JSONL dumps).
+    struct TenantStats {
+      Slo wait_ms;
+      int64_t completed = 0;
+      int64_t deadline_misses = 0;
+      int64_t preemptions = 0;
+    };
+    std::map<std::string, TenantStats> per_tenant;
+    /// Scheduler policy counters (admitted/rejected/dispatched/
+    /// held_over_quota) and the policy's name.
+    std::string scheduler;
+    sched::SchedulerStats sched;
   };
   Stats stats() const;
 
  private:
   struct Job;
+  struct TenantLocal;
+
+  /// Bookkeeping for one live RM container grant (preemptive mode).
+  struct ContainerGrant {
+    std::shared_ptr<JobHandle::Shared> owner;
+    std::string tenant;
+    int64_t memory = 0;
+    int vcores = 0;
+  };
 
   void WorkerLoop();
-  /// Picks the next job round-robin across tenant FIFOs. Returns null
-  /// when stopping and empty. Called with mu_ held... (see .cc)
+  /// Seconds since service start (the scheduler's monotonic epoch).
+  double NowSeconds() const;
+  /// Asks the scheduler for the next dispatch and resolves it to the
+  /// pending job control block. Returns null when nothing should run.
   std::shared_ptr<Job> NextJobLocked() RELM_REQUIRES(mu_);
   /// The attempt loop: runs RunAttempt up to the job's attempt budget,
   /// honoring cancellation, the deadline, retry backoff, load shedding,
@@ -407,9 +506,15 @@ class JobService {
   /// `ctx` carries the job/attempt identity; it is re-bound with the
   /// compiled plan signature for the duration of the attempt, and the
   /// attempt's engine counters are attributed into `scope`.
-  Status RunAttempt(JobHandle::Shared& shared, JobOutcome* outcome,
-                    bool degraded, exec::ChaosInjector* chaos,
-                    obs::TraceContext ctx, obs::MetricScope* scope);
+  Status RunAttempt(const std::shared_ptr<JobHandle::Shared>& shared,
+                    JobOutcome* outcome, bool degraded,
+                    exec::ChaosInjector* chaos, obs::TraceContext ctx,
+                    obs::MetricScope* scope);
+  /// Consumes a pending preemption/node-loss flag on the job: returns
+  /// a retryable Unavailable when the job's container was reclaimed
+  /// mid-attempt (the attempt's work is discarded and re-run), OK
+  /// otherwise.
+  Status ConsumePreemption(JobHandle::Shared& shared);
   /// Sleeps up to `seconds` in small slices, returning early on
   /// cancellation or service shutdown.
   void BackoffSleep(double seconds, const JobHandle::Shared& shared);
@@ -426,16 +531,35 @@ class JobService {
                                                     const JobRequest& request);
   void ReleaseProgram(uint64_t script_sig,
                       std::unique_ptr<MlProgram> program);
-  /// Blocks until `container_bytes` fits under the inflight cap, then
-  /// claims it (jobs larger than the cap run exclusively). Grants are
-  /// strictly FIFO (ticket-ordered), so a steady stream of small jobs
-  /// cannot starve a job that needs the cluster drained first.
-  void AcquireCapacity(int64_t container_bytes);
-  void ReleaseCapacity(int64_t container_bytes);
+  /// Claims execution capacity for one attempt. In FIFO byte-cap mode,
+  /// blocks until `container_bytes` fits under the inflight cap with
+  /// strictly FIFO (ticket-ordered) grants, so a steady stream of
+  /// small jobs cannot starve a job that needs the cluster drained
+  /// first; `*rm_container` stays -1. In preemptive-RM mode, places a
+  /// container through the service ResourceManager at the scheduler's
+  /// AllocationPriority — preempting over-quota tenants' containers
+  /// when no node has room — and returns its id in `*rm_container`.
+  /// Non-OK only for permanently unsatisfiable requests.
+  Status AcquireCapacity(const std::shared_ptr<JobHandle::Shared>& shared,
+                         int64_t container_bytes, int vcores,
+                         int64_t* rm_container);
+  void ReleaseCapacity(int64_t container_bytes, int64_t rm_container);
+  /// Reclaims a preempted/killed container's grant: flags the owner
+  /// (its attempt resolves retryably), releases quota usage, counts
+  /// the preemption against the owning tenant.
+  void ReclaimVictimLocked(const Container& victim) RELM_REQUIRES(mu_);
+  /// Per-tenant stats slot (created on first use; pointers stable).
+  TenantLocal& TenantLocalFor(const std::string& tenant);
 
   ServeOptions options_;
   Session session_;
   Status startup_status_;
+  /// Read-through adapter over the session's PlanCache: records each
+  /// optimization's winning what-if grid point so Submit can schedule
+  /// repeat scripts with a cached runtime estimate (never recomputed).
+  PlanCacheCostOracle cost_oracle_;
+  /// Service start; SchedEntry times are seconds on this epoch.
+  std::chrono::steady_clock::time_point epoch_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // workers: queue non-empty / stop
@@ -444,11 +568,16 @@ class JobService {
   bool stopping_ RELM_GUARDED_BY(mu_) = false;
   uint64_t next_job_id_ RELM_GUARDED_BY(mu_) = 1;
   int64_t completion_counter_ RELM_GUARDED_BY(mu_) = 0;
-  // Per-tenant FIFO queues plus the round-robin order of tenants that
-  // currently have queued work.
-  std::map<std::string, std::deque<std::shared_ptr<Job>>> queues_
-      RELM_GUARDED_BY(mu_);
-  std::deque<std::string> tenant_rr_ RELM_GUARDED_BY(mu_);
+  /// The scheduling policy. NOT internally synchronized: every call is
+  /// serialized under mu_ (the policy's threading contract).
+  std::unique_ptr<sched::Scheduler> scheduler_ RELM_GUARDED_BY(mu_);
+  /// Admitted-but-not-dispatched jobs by id; the scheduler owns the
+  /// ordering, this map owns the control blocks.
+  std::map<uint64_t, std::shared_ptr<Job>> pending_ RELM_GUARDED_BY(mu_);
+  /// Per-node container accounting for the preemptive capacity mode
+  /// (null when the policy asked for the FIFO byte cap).
+  std::unique_ptr<ResourceManager> am_rm_ RELM_GUARDED_BY(mu_);
+  std::map<int64_t, ContainerGrant> container_grants_ RELM_GUARDED_BY(mu_);
   int queued_ RELM_GUARDED_BY(mu_) = 0;
   int running_ RELM_GUARDED_BY(mu_) = 0;
   int retrying_ RELM_GUARDED_BY(mu_) = 0;
@@ -469,6 +598,12 @@ class JobService {
   obs::Histogram run_ms_hist_;
   obs::Histogram e2e_ms_hist_;
   obs::Histogram attempts_hist_;
+  // Per-tenant SLO slots. tenant_mu_ guards only the map shape; the
+  // slots themselves are atomic and mutated lock-free. Lock order:
+  // mu_ before tenant_mu_ (never the reverse).
+  mutable std::mutex tenant_mu_;
+  std::map<std::string, std::unique_ptr<TenantLocal>> tenant_local_
+      RELM_GUARDED_BY(tenant_mu_);
 
   mutable std::mutex pool_mu_;
   std::map<uint64_t, std::vector<std::unique_ptr<MlProgram>>> program_pool_

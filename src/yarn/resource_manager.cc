@@ -27,7 +27,8 @@ Result<int64_t> ResourceManager::RoundRequest(int64_t memory) const {
   return memory;
 }
 
-Result<Container> ResourceManager::Allocate(int64_t memory, int priority) {
+Result<Container> ResourceManager::Allocate(int64_t memory, int priority,
+                                            const std::string& tag) {
   RELM_ASSIGN_OR_RETURN(memory, RoundRequest(memory));
   // Most-free-node placement over available nodes.
   int best = -1;
@@ -42,15 +43,16 @@ Result<Container> ResourceManager::Allocate(int64_t memory, int priority) {
                                  " free");
   }
   free_[best] -= memory;
-  Container c{next_id_++, best, memory, priority};
+  Container c{next_id_++, best, memory, priority, tag};
   live_[c.id] = c;
   RELM_COUNTER_INC("rm.allocations");
   return c;
 }
 
 Result<Container> ResourceManager::AllocateWithPreemption(
-    int64_t memory, int priority, std::vector<Container>* preempted) {
-  Result<Container> direct = Allocate(memory, priority);
+    int64_t memory, int priority, std::vector<Container>* preempted,
+    const std::string& tag) {
+  Result<Container> direct = Allocate(memory, priority, tag);
   if (direct.ok() ||
       direct.status().code() != StatusCode::kResourceError) {
     return direct;
@@ -102,7 +104,7 @@ Result<Container> ResourceManager::AllocateWithPreemption(
     if (preempted != nullptr) preempted->push_back(victim);
   }
   free_[best] -= rounded;
-  Container c{next_id_++, best, rounded, priority};
+  Container c{next_id_++, best, rounded, priority, tag};
   live_[c.id] = c;
   RELM_COUNTER_INC("rm.allocations");
   return c;

@@ -12,13 +12,16 @@
 namespace relm {
 
 /// A granted container: node index, memory reserved on that node, a
-/// process-unique id, and the scheduling priority it was granted at
-/// (higher values win preemption contests).
+/// process-unique id, the scheduling priority it was granted at
+/// (higher values win preemption contests), and an optional owner tag
+/// (the tenant name, stamped by multi-tenant callers) so preemption
+/// victims are attributable per tenant.
 struct Container {
   int64_t id = -1;
   int node = -1;
   int64_t memory = 0;
   int priority = 0;
+  std::string tag;
 };
 
 /// Capacity-accounting model of the YARN ResourceManager. Grants and
@@ -38,18 +41,23 @@ class ResourceManager {
   /// the caller or rounded up here to a min-allocation multiple) on the
   /// available node with the most free memory. Returns ResourceError if
   /// the request violates constraints and NotFound-like ResourceError if
-  /// no node currently has room (caller may queue and retry).
-  Result<Container> Allocate(int64_t memory, int priority = 0);
+  /// no node currently has room (caller may queue and retry). `tag`
+  /// names the owner (e.g. the tenant) for attribution.
+  Result<Container> Allocate(int64_t memory, int priority = 0,
+                             const std::string& tag = "");
 
   /// Allocates like Allocate(), but when no node has room it preempts
   /// strictly-lower-priority containers (lowest priority first, then
   /// most recently granted) on the node that needs the least eviction
   /// volume. Preempted containers are appended to `preempted` (may be
   /// null) and are no longer live; their owners must not Release them
-  /// again (doing so is a safe no-op).
+  /// again (doing so is a safe no-op). Requests from a multi-tenant
+  /// scheduler carry the tenant's priority and tag, so victims name the
+  /// tenant that lost the container.
   Result<Container> AllocateWithPreemption(
       int64_t memory, int priority,
-      std::vector<Container>* preempted = nullptr);
+      std::vector<Container>* preempted = nullptr,
+      const std::string& tag = "");
 
   /// Releases a previously granted container. Idempotent per id: double
   /// release, release of an unknown/never-granted id, and release of a

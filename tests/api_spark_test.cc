@@ -4,13 +4,8 @@
 
 #include <gtest/gtest.h>
 
-#include "api/relm_system.h"
+#include "api/session.h"
 #include "spark/spark_model.h"
-
-// This file is the RelmSystem shim's coverage: it exercises the
-// deprecated facade on purpose until the compatibility header is
-// removed (see the migration timeline in README.md).
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace relm {
 namespace {
@@ -19,95 +14,69 @@ std::string ScriptPath(const std::string& name) {
   return std::string(RELM_SCRIPTS_DIR) + "/" + name;
 }
 
-class RelmSystemTest : public ::testing::Test {
- protected:
-  RelmSystem sys_;
-};
-
-TEST_F(RelmSystemTest, CompileFileAndMissingFile) {
-  sys_.RegisterMatrixMetadata("/data/X", 1000000, 1000);
-  sys_.RegisterMatrixMetadata("/data/y", 1000000, 1);
-  ScriptArgs args{{"X", "/data/X"}, {"Y", "/data/y"}, {"B", "/out/B"}};
-  auto prog = sys_.CompileFile(ScriptPath("linreg_ds.dml"), args);
-  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
-  EXPECT_GT((*prog)->total_blocks(), 0);
-  EXPECT_FALSE(sys_.CompileFile("/no/such/file.dml", args).ok());
+/// Uncached Session: per-call costs match the pre-caching system, so
+/// optimizer statistics below are deterministic per call.
+Session UncachedSession() {
+  return Session(ClusterConfig::PaperCluster(),
+                 SessionOptions().WithPlanCacheEnabled(false));
 }
 
-TEST_F(RelmSystemTest, OptimizeEstimateSimulateRoundTrip) {
-  sys_.RegisterMatrixMetadata("/data/X", 1000000, 1000);
-  sys_.RegisterMatrixMetadata("/data/y", 1000000, 1);
+TEST(SessionApiTest, CompileFileAndMissingFile) {
+  Session sys = UncachedSession();
+  ASSERT_TRUE(sys.RegisterMatrixMetadata("/data/X", 1000000, 1000).ok());
+  ASSERT_TRUE(sys.RegisterMatrixMetadata("/data/y", 1000000, 1).ok());
   ScriptArgs args{{"X", "/data/X"}, {"Y", "/data/y"}, {"B", "/out/B"}};
-  auto prog = sys_.CompileFile(ScriptPath("linreg_cg.dml"), args);
+  auto prog = sys.CompileFile(ScriptPath("linreg_ds.dml"), args);
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  EXPECT_GT((*prog)->total_blocks(), 0);
+  EXPECT_FALSE(sys.CompileFile("/no/such/file.dml", args).ok());
+}
+
+TEST(SessionApiTest, OptimizeEstimateSimulateRoundTrip) {
+  Session sys = UncachedSession();
+  ASSERT_TRUE(sys.RegisterMatrixMetadata("/data/X", 1000000, 1000).ok());
+  ASSERT_TRUE(sys.RegisterMatrixMetadata("/data/y", 1000000, 1).ok());
+  ScriptArgs args{{"X", "/data/X"}, {"Y", "/data/y"}, {"B", "/out/B"}};
+  auto prog = sys.CompileFile(ScriptPath("linreg_cg.dml"), args);
   ASSERT_TRUE(prog.ok());
-  OptimizerStats stats;
-  auto config = sys_.OptimizeResources(prog->get(), &stats);
-  ASSERT_TRUE(config.ok());
-  auto est = sys_.EstimateCost(prog->get(), *config);
+  auto outcome = sys.Optimize(prog->get());
+  ASSERT_TRUE(outcome.ok());
+  auto est = sys.EstimateCost(prog->get(), outcome->config);
   ASSERT_TRUE(est.ok());
   EXPECT_GT(*est, 0.0);
   auto clone = (*prog)->Clone();
   ASSERT_TRUE(clone.ok());
-  auto run = sys_.Simulate(clone->get(), *config);
+  auto run = sys.Simulate(clone->get(), outcome->config);
   ASSERT_TRUE(run.ok());
   // Measured within a reasonable factor of the estimate (no unknowns).
   EXPECT_LT(run->elapsed_seconds, *est * 3.0);
   EXPECT_GT(run->elapsed_seconds, *est * 0.3);
 }
 
-TEST_F(RelmSystemTest, RealExecutionThroughFacade) {
-  sys_.RegisterMatrix("/m/A", MatrixBlock::Constant(4, 4, 2.0));
-  auto prog = sys_.CompileSource(
-      "A = read(\"/m/A\")\nprint(\"sum=\" + sum(A))", {});
-  ASSERT_TRUE(prog.ok());
-  auto run = sys_.ExecuteReal(prog->get());
-  ASSERT_TRUE(run.ok());
-  ASSERT_EQ(run->printed.size(), 1u);
-  EXPECT_EQ(run->printed[0], "sum=32");
-}
-
-TEST_F(RelmSystemTest, StaticBaselinesMatchPaper) {
-  auto baselines = sys_.StaticBaselines();
-  ASSERT_EQ(baselines.size(), 4u);
-  EXPECT_STREQ(baselines[0].name, "B-SS");
-  EXPECT_EQ(baselines[0].config.cp_heap, 512 * kMB);
-  EXPECT_EQ(baselines[0].config.default_mr_heap, 512 * kMB);
-  EXPECT_STREQ(baselines[3].name, "B-LL");
-  EXPECT_EQ(baselines[3].config.cp_heap, sys_.cluster().MaxHeapSize());
-  EXPECT_EQ(baselines[3].config.default_mr_heap, GigaBytes(4.4));
-}
-
-// ---- Session API (the facade above is a deprecated shim over it) ----
-
-TEST(SessionApiTest, OptimizeReturnsOutcomeMatchingFacade) {
-  // The deprecated facade and the Session API must agree bit-for-bit:
-  // RelmSystem is now a thin shim over an uncached Session.
-  RelmSystem legacy;
-  legacy.RegisterMatrixMetadata("/data/X", 1000000, 1000);
-  legacy.RegisterMatrixMetadata("/data/y", 1000000, 1);
+TEST(SessionApiTest, UncachedSessionsOptimizeDeterministically) {
+  // Two independent uncached sessions derive bit-identical plans and
+  // do identical optimizer work for the same program — nothing about
+  // a session's private state (caches, artifact stores) may leak into
+  // the optimization result.
   ScriptArgs args{{"X", "/data/X"}, {"Y", "/data/y"}, {"B", "/out/B"}};
-  auto legacy_prog = legacy.CompileFile(ScriptPath("linreg_cg.dml"), args);
-  ASSERT_TRUE(legacy_prog.ok());
-  OptimizerStats legacy_stats;
-  auto legacy_config =
-      legacy.OptimizeResources(legacy_prog->get(), &legacy_stats);
-  ASSERT_TRUE(legacy_config.ok());
-
-  Session session;
-  ASSERT_TRUE(
-      session.RegisterMatrixMetadata("/data/X", 1000000, 1000).ok());
-  ASSERT_TRUE(session.RegisterMatrixMetadata("/data/y", 1000000, 1).ok());
-  auto prog = session.CompileFile(ScriptPath("linreg_cg.dml"), args);
-  ASSERT_TRUE(prog.ok());
-  auto outcome = session.Optimize(prog->get());
-  ASSERT_TRUE(outcome.ok());
-  EXPECT_EQ(outcome->config.cp_heap, legacy_config->cp_heap);
-  EXPECT_EQ(outcome->config.default_mr_heap,
-            legacy_config->default_mr_heap);
-  EXPECT_DOUBLE_EQ(outcome->stats.best_cost, legacy_stats.best_cost);
-  EXPECT_EQ(outcome->stats.cp_grid_points, legacy_stats.cp_grid_points);
-  EXPECT_EQ(outcome->stats.cost_invocations,
-            legacy_stats.cost_invocations);
+  auto optimize = [&args] {
+    Session sys = UncachedSession();
+    EXPECT_TRUE(sys.RegisterMatrixMetadata("/data/X", 1000000, 1000).ok());
+    EXPECT_TRUE(sys.RegisterMatrixMetadata("/data/y", 1000000, 1).ok());
+    auto prog = sys.CompileFile(ScriptPath("linreg_cg.dml"), args);
+    EXPECT_TRUE(prog.ok());
+    auto outcome = sys.Optimize(prog->get());
+    EXPECT_TRUE(outcome.ok());
+    return *outcome;
+  };
+  OptimizeOutcome first = optimize();
+  OptimizeOutcome second = optimize();
+  EXPECT_EQ(first.config.cp_heap, second.config.cp_heap);
+  EXPECT_EQ(first.config.default_mr_heap, second.config.default_mr_heap);
+  EXPECT_EQ(first.config.cp_cores, second.config.cp_cores);
+  EXPECT_DOUBLE_EQ(first.stats.best_cost, second.stats.best_cost);
+  EXPECT_EQ(first.stats.cp_grid_points, second.stats.cp_grid_points);
+  EXPECT_EQ(first.stats.cost_invocations, second.stats.cost_invocations);
 }
 
 TEST(SessionApiTest, RegisterMatrixMetadataValidates) {
@@ -134,17 +103,16 @@ TEST(SessionApiTest, RealExecutionThroughSession) {
   EXPECT_EQ(run->printed[0], "sum=32");
 }
 
-TEST(SessionApiTest, FacadeSessionSharesState) {
-  // RelmSystem::session() exposes the underlying Session; metadata
-  // registered through either side is visible to the other.
-  RelmSystem legacy;
-  legacy.RegisterMatrixMetadata("/data/X", 100, 10);
-  EXPECT_TRUE(legacy.session().hdfs().Exists("/data/X"));
-  ASSERT_TRUE(
-      legacy.session().RegisterMatrixMetadata("/data/y", 100, 1).ok());
-  ScriptArgs args{{"X", "/data/X"}, {"Y", "/data/y"}, {"B", "/out/B"}};
-  EXPECT_TRUE(
-      legacy.CompileFile(ScriptPath("linreg_ds.dml"), args).ok());
+TEST(SessionApiTest, StaticBaselinesMatchPaper) {
+  Session sys = UncachedSession();
+  auto baselines = sys.StaticBaselines();
+  ASSERT_EQ(baselines.size(), 4u);
+  EXPECT_STREQ(baselines[0].name, "B-SS");
+  EXPECT_EQ(baselines[0].config.cp_heap, 512 * kMB);
+  EXPECT_EQ(baselines[0].config.default_mr_heap, 512 * kMB);
+  EXPECT_STREQ(baselines[3].name, "B-LL");
+  EXPECT_EQ(baselines[3].config.cp_heap, sys.cluster().MaxHeapSize());
+  EXPECT_EQ(baselines[3].config.default_mr_heap, GigaBytes(4.4));
 }
 
 // ---- Spark model (Appendix D) ----

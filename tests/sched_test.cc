@@ -1,0 +1,334 @@
+// Unit tests for the pluggable scheduling subsystem (sched/):
+// round-robin extraction differential-tested against a reference model
+// of the pre-refactor JobService ordering, cost-aware least-slack
+// ordering, elastic quota gating with work-conserving backfill, and
+// allocation-priority boosting.
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "sched/cost_aware_scheduler.h"
+#include "sched/round_robin_scheduler.h"
+#include "sched/scheduler.h"
+
+namespace relm {
+namespace sched {
+namespace {
+
+SchedEntry MakeEntry(uint64_t id, const std::string& tenant,
+                     double deadline = 0.0, double cost = -1.0,
+                     int priority = 0, double submit = 0.0) {
+  SchedEntry entry;
+  entry.job_id = id;
+  entry.tenant = tenant;
+  entry.submit_seconds = submit;
+  entry.deadline_seconds = deadline;
+  entry.cost_estimate_seconds = cost;
+  entry.priority = priority;
+  return entry;
+}
+
+// ---- SchedEntry math ---------------------------------------------------
+
+TEST(SchedEntryTest, AbsoluteDeadlineAndSlack) {
+  SchedEntry none = MakeEntry(1, "t", /*deadline=*/0.0, /*cost=*/2.0);
+  EXPECT_TRUE(std::isinf(none.AbsoluteDeadline()));
+  EXPECT_TRUE(std::isinf(none.Slack()));
+
+  SchedEntry e = MakeEntry(2, "t", /*deadline=*/10.0, /*cost=*/3.0,
+                           /*priority=*/0, /*submit=*/5.0);
+  EXPECT_DOUBLE_EQ(e.AbsoluteDeadline(), 15.0);
+  EXPECT_DOUBLE_EQ(e.Slack(), 12.0);
+
+  // Unknown cost estimate: slack degrades to the bare deadline.
+  SchedEntry unknown = MakeEntry(3, "t", /*deadline=*/10.0, /*cost=*/-1.0);
+  EXPECT_DOUBLE_EQ(unknown.Slack(), 10.0);
+}
+
+// ---- round-robin differential vs the pre-refactor JobService -----------
+
+/// Reference model: a verbatim transcription of the queueing logic the
+/// JobService hard-coded before the scheduler extraction (per-tenant
+/// FIFO queues + round-robin tenant rotation + the two admission caps).
+/// The RoundRobinScheduler must be behavior-preserving against this.
+class LegacyJobServiceModel {
+ public:
+  LegacyJobServiceModel(int max_pending, int max_per_tenant)
+      : max_pending_(max_pending), max_per_tenant_(max_per_tenant) {}
+
+  Status Admit(uint64_t id, const std::string& tenant) {
+    if (queued_ + running_ >= max_pending_) {
+      return Status::ResourceError(
+          "admission control: service at capacity (" +
+          std::to_string(queued_ + running_) + " jobs pending)");
+    }
+    auto& queue = queues_[tenant];
+    if (static_cast<int>(queue.size()) >= max_per_tenant_) {
+      return Status::ResourceError("admission control: tenant \"" + tenant +
+                                   "\" queue quota exceeded");
+    }
+    if (queue.empty()) tenant_rr_.push_back(tenant);
+    queue.push_back(id);
+    queued_++;
+    return Status::OK();
+  }
+
+  std::optional<uint64_t> Dequeue() {
+    if (tenant_rr_.empty()) return std::nullopt;
+    const std::string tenant = tenant_rr_.front();
+    tenant_rr_.pop_front();
+    auto it = queues_.find(tenant);
+    const uint64_t id = it->second.front();
+    it->second.pop_front();
+    if (!it->second.empty()) {
+      tenant_rr_.push_back(tenant);
+    } else {
+      queues_.erase(it);
+    }
+    queued_--;
+    running_++;
+    last_tenant_ = tenant;
+    return id;
+  }
+
+  void Finish() { running_--; }
+
+  int queued() const { return queued_; }
+  const std::string& last_tenant() const { return last_tenant_; }
+
+ private:
+  int max_pending_;
+  int max_per_tenant_;
+  std::map<std::string, std::deque<uint64_t>> queues_;
+  std::deque<std::string> tenant_rr_;
+  int queued_ = 0;
+  int running_ = 0;
+  std::string last_tenant_;
+};
+
+TEST(RoundRobinDifferentialTest, MatchesPreRefactorJobServiceOrdering) {
+  const std::vector<std::string> tenants = {"alpha", "beta", "gamma",
+                                            "delta"};
+  for (const uint32_t seed : {1u, 7u, 42u, 1234u, 99999u}) {
+    SchedulerLimits limits;
+    limits.max_pending_jobs = 12;
+    limits.max_queued_per_tenant = 3;
+    RoundRobinScheduler rr(limits);
+    LegacyJobServiceModel legacy(limits.max_pending_jobs,
+                                 limits.max_queued_per_tenant);
+    std::mt19937 rng(seed);
+    uint64_t next_id = 1;
+    // Tenants of dispatched-but-unfinished jobs, finished in dispatch
+    // order (the common case for a FIFO worker pool).
+    std::deque<std::string> running_tenants;
+
+    for (int op = 0; op < 2000; ++op) {
+      const uint32_t kind = rng() % 10;
+      if (kind < 5) {
+        const std::string& tenant = tenants[rng() % tenants.size()];
+        const uint64_t id = next_id++;
+        const Status got = rr.Admit(MakeEntry(id, tenant));
+        const Status want = legacy.Admit(id, tenant);
+        ASSERT_EQ(got.ok(), want.ok()) << "op " << op << " seed " << seed;
+        if (!got.ok()) {
+          // Rejections must carry the exact pre-refactor messages.
+          ASSERT_EQ(got.message(), want.message());
+        }
+      } else if (kind < 8) {
+        std::optional<SchedDecision> got = rr.Dequeue(/*now_seconds=*/0.0);
+        std::optional<uint64_t> want = legacy.Dequeue();
+        ASSERT_EQ(got.has_value(), want.has_value())
+            << "op " << op << " seed " << seed;
+        if (got.has_value()) {
+          ASSERT_EQ(got->job_id, *want) << "op " << op << " seed " << seed;
+          EXPECT_EQ(got->reason, "rr");
+          running_tenants.push_back(legacy.last_tenant());
+        }
+      } else if (!running_tenants.empty()) {
+        rr.OnJobFinished(running_tenants.front());
+        legacy.Finish();
+        running_tenants.pop_front();
+      }
+      ASSERT_EQ(rr.queued(), legacy.queued());
+      ASSERT_EQ(rr.HasRunnable(0.0), legacy.queued() > 0);
+    }
+  }
+}
+
+// ---- cost-aware ordering -----------------------------------------------
+
+std::vector<uint64_t> DrainOrder(Scheduler* sched, double now = 0.0) {
+  std::vector<uint64_t> order;
+  while (auto decision = sched->Dequeue(now)) {
+    order.push_back(decision->job_id);
+  }
+  return order;
+}
+
+TEST(CostAwareSchedulerTest, LeastSlackFirstThenShortestJob) {
+  CostAwareScheduler ca(SchedulerLimits{}, {});
+  // Slack = deadline - cost (submit 0): j1=9, j2=4, j3=1; j4..j6 have
+  // no deadline (infinite slack) and order by cost estimate, unknown
+  // cost last.
+  ASSERT_TRUE(ca.Admit(MakeEntry(1, "a", 10.0, 1.0)).ok());
+  ASSERT_TRUE(ca.Admit(MakeEntry(2, "a", 5.0, 1.0)).ok());
+  ASSERT_TRUE(ca.Admit(MakeEntry(3, "b", 5.0, 4.0)).ok());
+  ASSERT_TRUE(ca.Admit(MakeEntry(4, "b", 0.0, 2.0)).ok());
+  ASSERT_TRUE(ca.Admit(MakeEntry(5, "c", 0.0, -1.0)).ok());
+  ASSERT_TRUE(ca.Admit(MakeEntry(6, "c", 0.0, 1.0)).ok());
+  EXPECT_EQ(DrainOrder(&ca), (std::vector<uint64_t>{3, 2, 1, 6, 4, 5}));
+}
+
+TEST(CostAwareSchedulerTest, SlackTieBreaksByCostThenJobId) {
+  CostAwareScheduler ca(SchedulerLimits{}, {});
+  // j1 and j2 tie on slack (5.0); j2 is shorter and goes first. j3
+  // ties j1 on slack AND cost; FIFO by id breaks it.
+  ASSERT_TRUE(ca.Admit(MakeEntry(1, "a", 8.0, 3.0)).ok());
+  ASSERT_TRUE(ca.Admit(MakeEntry(2, "a", 6.0, 1.0)).ok());
+  ASSERT_TRUE(ca.Admit(MakeEntry(3, "b", 8.0, 3.0)).ok());
+  EXPECT_EQ(DrainOrder(&ca), (std::vector<uint64_t>{2, 1, 3}));
+}
+
+TEST(CostAwareSchedulerTest, RequestPriorityDominatesSlack) {
+  CostAwareScheduler ca(SchedulerLimits{}, {});
+  ASSERT_TRUE(
+      ca.Admit(MakeEntry(1, "a", 1.0, 0.5, /*priority=*/0)).ok());
+  ASSERT_TRUE(
+      ca.Admit(MakeEntry(2, "b", 0.0, -1.0, /*priority=*/1)).ok());
+  EXPECT_EQ(DrainOrder(&ca), (std::vector<uint64_t>{2, 1}));
+}
+
+TEST(CostAwareSchedulerTest, DecisionReasonCarriesSlack) {
+  CostAwareScheduler ca(SchedulerLimits{}, {});
+  ASSERT_TRUE(ca.Admit(MakeEntry(1, "a", 10.0, 2.0)).ok());
+  ASSERT_TRUE(ca.Admit(MakeEntry(2, "a", 0.0, -1.0)).ok());
+  std::optional<SchedDecision> first = ca.Dequeue(0.0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->reason, "cost_aware:slack=8.000s");
+  std::optional<SchedDecision> second = ca.Dequeue(0.0);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->reason, "cost_aware:no_deadline");
+}
+
+// ---- quota gating ------------------------------------------------------
+
+TEST(CostAwareSchedulerTest, OverQuotaTenantDefersToInQuotaWork) {
+  constexpr int64_t kMB = 1 << 20;
+  std::map<std::string, TenantQuota> quotas;
+  quotas["batch"] = TenantQuota{1 * kMB, 0};
+  CostAwareScheduler ca(SchedulerLimits{}, quotas);
+  // Push "batch" over its memory quota.
+  ca.OnCapacityAcquired("batch", 2 * kMB, 1);
+  ASSERT_FALSE(ca.InQuota("batch"));
+  ASSERT_TRUE(ca.InQuota("svc"));
+
+  // The batch job has far less slack, but the in-quota tenant wins.
+  ASSERT_TRUE(ca.Admit(MakeEntry(1, "batch", 1.0, 0.5)).ok());
+  ASSERT_TRUE(ca.Admit(MakeEntry(2, "svc", 0.0, -1.0)).ok());
+  std::optional<SchedDecision> first = ca.Dequeue(0.0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->job_id, 2u);
+  EXPECT_EQ(ca.stats().held_over_quota, 1);
+
+  // Work-conserving backfill: alone in the queue, over-quota work runs
+  // anyway (its containers stay preemptible).
+  std::optional<SchedDecision> second = ca.Dequeue(0.0);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->job_id, 1u);
+  EXPECT_NE(second->reason.find("over_quota_backfill"), std::string::npos);
+
+  // Releasing the capacity restores quota headroom.
+  ca.OnCapacityReleased("batch", 2 * kMB, 1);
+  EXPECT_TRUE(ca.InQuota("batch"));
+}
+
+TEST(CostAwareSchedulerTest, VcoreQuotaGatesIndependently) {
+  std::map<std::string, TenantQuota> quotas;
+  quotas["t"] = TenantQuota{0, 4};
+  CostAwareScheduler ca(SchedulerLimits{}, quotas);
+  ca.OnCapacityAcquired("t", 1 << 30, 3);
+  EXPECT_TRUE(ca.InQuota("t"));  // memory unlimited, vcores below cap
+  ca.OnCapacityAcquired("t", 0, 1);
+  EXPECT_FALSE(ca.InQuota("t"));
+}
+
+TEST(CostAwareSchedulerTest, AllocationPriorityBoostsInQuotaTenants) {
+  constexpr int64_t kMB = 1 << 20;
+  std::map<std::string, TenantQuota> quotas;
+  quotas["batch"] = TenantQuota{1 * kMB, 0};
+  CostAwareScheduler ca(SchedulerLimits{}, quotas);
+
+  const int boost = CostAwareScheduler::kQuotaBoost;
+  EXPECT_EQ(ca.AllocationPriority("svc", 0), boost);
+  EXPECT_EQ(ca.AllocationPriority("svc", 5), boost + 5);
+  ca.OnCapacityAcquired("batch", 2 * kMB, 0);
+  EXPECT_EQ(ca.AllocationPriority("batch", 0), 0);
+  // Request priorities clamp under the boost: an over-quota tenant can
+  // never outrank an in-quota one, whatever it asks for.
+  EXPECT_EQ(ca.AllocationPriority("batch", 1 << 20), boost - 1);
+  EXPECT_LT(ca.AllocationPriority("batch", 1 << 20),
+            ca.AllocationPriority("svc", -(1 << 20)));
+}
+
+// ---- admission parity --------------------------------------------------
+
+TEST(CostAwareSchedulerTest, AdmissionCapsMatchRoundRobinMessages) {
+  SchedulerLimits limits;
+  limits.max_pending_jobs = 4;
+  limits.max_queued_per_tenant = 2;
+  RoundRobinScheduler rr(limits);
+  CostAwareScheduler ca(limits, {});
+
+  uint64_t id = 1;
+  // Per-tenant cap first: third job of one tenant bounces identically.
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(rr.Admit(MakeEntry(id, "a")).ok());
+    ASSERT_TRUE(ca.Admit(MakeEntry(id, "a")).ok());
+    id++;
+  }
+  const Status rr_tenant = rr.Admit(MakeEntry(id, "a"));
+  const Status ca_tenant = ca.Admit(MakeEntry(id, "a"));
+  ASSERT_FALSE(rr_tenant.ok());
+  EXPECT_EQ(rr_tenant.message(), ca_tenant.message());
+  id++;
+  // Global cap next.
+  for (const char* tenant : {"b", "c"}) {
+    ASSERT_TRUE(rr.Admit(MakeEntry(id, tenant)).ok());
+    ASSERT_TRUE(ca.Admit(MakeEntry(id, tenant)).ok());
+    id++;
+  }
+  const Status rr_full = rr.Admit(MakeEntry(id, "d"));
+  const Status ca_full = ca.Admit(MakeEntry(id, "d"));
+  ASSERT_FALSE(rr_full.ok());
+  EXPECT_EQ(rr_full.message(), ca_full.message());
+}
+
+TEST(MakeSchedulerTest, BuildsRequestedPolicy) {
+  std::unique_ptr<Scheduler> rr =
+      MakeScheduler(SchedulerPolicy::kRoundRobin, SchedulerLimits{});
+  ASSERT_NE(rr, nullptr);
+  EXPECT_STREQ(rr->name(), "round_robin");
+  EXPECT_EQ(rr->capacity_mode(), CapacityMode::kFifoByteCap);
+
+  std::unique_ptr<Scheduler> ca =
+      MakeScheduler(SchedulerPolicy::kCostAware, SchedulerLimits{});
+  ASSERT_NE(ca, nullptr);
+  EXPECT_STREQ(ca->name(), "cost_aware");
+  EXPECT_EQ(ca->capacity_mode(), CapacityMode::kPreemptiveRm);
+
+  EXPECT_STREQ(SchedulerPolicyName(SchedulerPolicy::kRoundRobin),
+               "round_robin");
+  EXPECT_STREQ(SchedulerPolicyName(SchedulerPolicy::kCostAware),
+               "cost_aware");
+}
+
+}  // namespace
+}  // namespace sched
+}  // namespace relm
